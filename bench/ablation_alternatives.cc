@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces the §VII-B comparisons: how much extra renewable energy,
+ * uniform compute-server energy efficiency, or server-lifetime extension
+ * is needed to match the GreenSKUs' savings.
+ */
+#include <iostream>
+
+#include "carbon/model.h"
+#include "common/table.h"
+#include "gsf/alternatives.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::gsf;
+
+    const carbon::ModelParams params;
+    const carbon::FleetComposition fleet;
+    const AlternativesAnalysis analysis(params, fleet);
+
+    const carbon::CarbonModel model(params);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const double full_per_core =
+        model.savingsVs(baseline, carbon::StandardSkus::greenFull())
+            .total_savings;
+    const carbon::DataCenterModel dc;
+    // GreenSKU-Full's DC-wide savings: open-data cluster savings chain
+    // lands near 8% (§VI; see fig11_intensity_sweep).
+    const double dc_target = 0.08;
+
+    std::cout << "Sec. VII-B: alternative strategies matched against "
+                 "GreenSKU-Full's savings\n\n";
+
+    Table table({"Strategy", "Required to match", "Paper reports"},
+                {Align::Left, Align::Right, Align::Right});
+    table.addRow({"Increase renewables (pp of DC energy, for " +
+                      Table::percent(dc_target) + " DC-wide savings)",
+                  Table::num(analysis.requiredRenewableIncrease(dc_target) *
+                                 100.0,
+                             1) + " pp",
+                  "2.6 pp"});
+    table.addRow({"Compute energy-efficiency gain (for " +
+                      Table::percent(dc_target) + " DC-wide savings)",
+                  Table::percent(analysis.requiredEfficiencyGain(dc_target),
+                                 0),
+                  "28%"});
+    table.addRow(
+        {"Server lifetime extension (for " +
+             Table::percent(full_per_core) + " per-core savings)",
+         "6 -> " +
+             Table::num(
+                 analysis.requiredLifetimeYears(baseline, full_per_core),
+                 1) +
+             " years",
+         "6 -> 13 years"});
+    std::cout << table.render() << '\n';
+
+    std::cout << "Context: the US grid's renewable share grew only "
+                 "~1.2 pp/year over the last five years, and a Zen3->Zen4 "
+                 "upgrade (two years) bought ~25% efficiency -- each "
+                 "alternative is a multi-year program (Sec. VII-B).\n";
+    std::cout << "Note: the renewable-increase solve uses our open "
+                 "fleet/intensity data; the paper's 2.6 pp uses internal "
+                 "numbers (see EXPERIMENTS.md).\n";
+    return 0;
+}

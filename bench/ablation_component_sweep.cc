@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation for design goal D1 (§II): the operational-vs-embodied
+ * tradeoff of each low-carbon component decision, isolated. Starting
+ * from GreenSKU-Efficient, toggles DDR4-via-CXL reuse and SSD reuse
+ * independently, and sweeps the memory:core ratio around the
+ * carbon-optimal 8 GB/core of Baseline-Resized.
+ */
+#include <iostream>
+
+#include "carbon/catalog.h"
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace gsku;
+using namespace gsku::carbon;
+
+/** GreenSKU-Efficient with only SSD reuse (no CXL memory). */
+ServerSku
+efficientWithReusedSsd()
+{
+    ServerSku sku = StandardSkus::greenEfficient();
+    sku.name = "Efficient + reused SSDs";
+    sku.storage = StorageCapacity::tb(2 * 4.0 + 12 * 1.0);
+    for (auto &slot : sku.slots) {
+        if (slot.component.kind == ComponentKind::Ssd) {
+            slot = {Catalog::newSsd(4.0), 2};
+        }
+    }
+    sku.slots.push_back({Catalog::reusedSsd(1.0), 12});
+    sku.validate();
+    return sku;
+}
+
+/** Baseline with a chosen DIMM count (memory:core sweep). */
+ServerSku
+baselineWithDimms(int dimms)
+{
+    ServerSku sku = StandardSkus::baseline();
+    sku.name = "Baseline " + std::to_string(dimms) + "x64";
+    sku.local_memory = MemCapacity::gb(dimms * 64.0);
+    for (auto &slot : sku.slots) {
+        if (slot.component.kind == ComponentKind::Dram) {
+            slot.count = dimms;
+        }
+    }
+    sku.validate();
+    return sku;
+}
+
+} // namespace
+
+int
+main()
+{
+    const CarbonModel model;
+    const ServerSku baseline = StandardSkus::baseline();
+
+    std::cout << "Ablation (D1): per-component operational vs embodied "
+                 "tradeoffs, per core vs the Gen3 baseline\n\n";
+
+    Table table({"Configuration", "Op save", "Emb save", "Total save"},
+                {Align::Left, Align::Right, Align::Right, Align::Right});
+    const ServerSku configs[] = {
+        StandardSkus::greenEfficient(),     // CPU only.
+        StandardSkus::greenCxl(),           // + DRAM reuse.
+        efficientWithReusedSsd(),           // + SSD reuse (no DRAM).
+        StandardSkus::greenFull(),          // Both reuses.
+    };
+    for (const auto &sku : configs) {
+        const SavingsRow row = model.savingsVs(baseline, sku);
+        table.addRow({sku.name, Table::percent(row.operational_savings, 1),
+                      Table::percent(row.embodied_savings, 1),
+                      Table::percent(row.total_savings, 1)});
+    }
+    std::cout << table.render() << '\n';
+
+    std::cout << "Memory:core ratio sweep on the baseline (Baseline-"
+                 "Resized picks 8 GB/core):\n\n";
+    Table sweep({"DIMMs", "GB/core", "Op save", "Emb save", "Total save"},
+                {Align::Right, Align::Right, Align::Right, Align::Right,
+                 Align::Right});
+    for (int dimms = 8; dimms <= 14; ++dimms) {
+        const ServerSku sku = baselineWithDimms(dimms);
+        const SavingsRow row = model.savingsVs(baseline, sku);
+        sweep.addRow({std::to_string(dimms),
+                      Table::num(sku.memoryPerCore(), 1),
+                      Table::percent(row.operational_savings, 1),
+                      Table::percent(row.embodied_savings, 1),
+                      Table::percent(row.total_savings, 1)});
+    }
+    std::cout << sweep.render() << '\n';
+    std::cout << "Reading: DRAM/SSD reuse each buys embodied savings at "
+                 "an operational cost (D1); right-sizing memory buys both "
+                 "but saturates once workloads need the capacity.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: growth-buffer sizing and SKU-option fragmentation (§IV-D,
+ * design goal D2). Validates the newsvendor sizing by Monte-Carlo and
+ * quantifies how much extra buffer a provider pays for offering more
+ * SKU options — the paper's argument for the single baseline-only
+ * buffer workaround (§V).
+ */
+#include <iostream>
+
+#include "carbon/model.h"
+#include "cluster/demand.h"
+#include "common/table.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::cluster;
+
+    const GrowthBufferSizer sizer;
+    const DemandParams &p = sizer.params();
+
+    std::cout << "Growth-buffer sizing (demand " << p.mean_cores
+              << " cores, " << p.lead_time_weeks
+              << "-week lead time, service level "
+              << Table::percent(p.service_level, 1) << ")\n\n";
+
+    std::cout << "Analytic buffer: "
+              << Table::num(sizer.bufferCores(), 0) << " cores ("
+              << Table::percent(sizer.bufferFraction(), 1)
+              << " of demand)\n";
+    Rng rng(2024);
+    std::cout << "Monte-Carlo shortfall probability with that buffer: "
+              << Table::percent(sizer.simulateShortfallProbability(rng),
+                                2)
+              << "  (target "
+              << Table::percent(1.0 - p.service_level, 2) << ")\n\n";
+
+    std::cout << "D2: buffer growth when demand fragments across SKU "
+                 "options\n\n";
+    const carbon::CarbonModel carbon;
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const double kg_per_core =
+        carbon.perCore(baseline).total().asKg();
+
+    Table table({"SKU options", "Total buffer (cores)", "Penalty",
+                 "Extra buffer emissions (tCO2e)"},
+                {Align::Right, Align::Right, Align::Right, Align::Right});
+    for (int options : {1, 2, 3, 4, 6, 8}) {
+        const double cores = sizer.fragmentedBufferCores(options);
+        const double extra = cores - sizer.bufferCores();
+        table.addRow({std::to_string(options), Table::num(cores, 0),
+                      Table::percent(sizer.fragmentationPenalty(options),
+                                     1),
+                      Table::num(extra * kg_per_core / 1000.0, 1)});
+    }
+    std::cout << table.render() << '\n';
+    std::cout << "Reading: every further SKU option inflates safety "
+                 "stock (~sqrt(k)); the paper's workaround — one "
+                 "baseline-only buffer with GreenSKU fungibility — "
+                 "avoids this at the cost of a slightly dirtier buffer "
+                 "(counted by the evaluator).\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: server lifetime extension as a carbon strategy (§VII-B),
+ * evaluated with maintenance aging and forgone generational efficiency
+ * — the full-consequence analysis the paper says GSF enables.
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "gsf/lifetime.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::gsf;
+
+    const LifetimeExtensionModel model{carbon::ModelParams{},
+                                       reliability::AfrParams{}};
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+
+    std::cout << "Lifetime-extension ablation (Gen3 baseline, per core "
+                 "and service-year)\n\n";
+
+    Table table({"Lifetime (y)", "AFR@age", "Embodied kg/core/y",
+                 "Operational kg/core/y", "Maintenance kg/core/y",
+                 "Total kg/core/y"},
+                {Align::Right, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right});
+    for (const auto &point : model.sweep(baseline, 4.0, 20.0, 2.0)) {
+        table.addRow({Table::num(point.years, 0),
+                      Table::num(point.afr, 1),
+                      Table::num(point.embodied_per_core_year.asKg(), 2),
+                      Table::num(point.operational_per_core_year.asKg(),
+                                 2),
+                      Table::num(point.maintenance_per_core_year.asKg(),
+                                 3),
+                      Table::num(point.total().asKg(), 2)});
+    }
+    std::cout << table.render() << '\n';
+
+    const double optimal = model.optimalLifetimeYears(baseline);
+    const auto at6 = model.evaluate(baseline, 6.0);
+    const auto at13 = model.evaluate(baseline, 13.0);
+    const auto best = model.evaluate(baseline, optimal);
+
+    std::cout << "Carbon-optimal lifetime: " << Table::num(optimal, 1)
+              << " years ("
+              << Table::percent(
+                     1.0 - best.total().asKg() / at6.total().asKg(), 1)
+              << " below the 6-year policy)\n";
+    std::cout
+        << "The naive Sec. VII-B equivalence (embodied amortization "
+           "only, see ablation_alternatives) makes 13 years look worth "
+           "GreenSKU-Full's 26% per-core savings; counting forgone "
+           "generational efficiency and maintenance aging, 13 years "
+           "actually nets only "
+        << Table::percent(
+               1.0 - at13.total().asKg() / at6.total().asKg(), 1)
+        << " — the paper's point that lifetime extension is a poor "
+           "substitute for GreenSKU design.\n";
+    return 0;
+}

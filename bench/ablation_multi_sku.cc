@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Ablation: multi-GreenSKU clusters, simulated (D2 cross-check). The
+ * analytic portfolio model (ablation_portfolio) says one GreenSKU type
+ * captures nearly all savings; this bench re-asks the question with the
+ * trace-driven allocator — real packing, real fallbacks — by sizing
+ * clusters with one vs two GreenSKU types and comparing emissions.
+ */
+#include <iostream>
+
+#include "carbon/model.h"
+#include "cluster/trace_gen.h"
+#include "common/solver.h"
+#include "common/table.h"
+#include "gsf/adoption.h"
+#include "gsf/sizing.h"
+#include "reliability/maintenance.h"
+
+namespace {
+
+using namespace gsku;
+
+/** Emissions of a sized multi-SKU deployment (buffers omitted — both
+ *  scenarios would carry the same baseline-only buffer per §V). */
+CarbonMass
+deploymentEmissions(const carbon::CarbonModel &model,
+                    const carbon::ServerSku &baseline, int baselines,
+                    const std::vector<cluster::GreenGroupSpec> &greens,
+                    CarbonIntensity ci)
+{
+    const reliability::MaintenanceModel maintenance;
+    auto for_sku = [&](const carbon::ServerSku &sku, int count) {
+        const double oos = maintenance.outOfServiceFraction(sku);
+        return model.perCore(sku, ci).total() *
+               (count * (1.0 + oos) * sku.cores);
+    };
+    CarbonMass total = for_sku(baseline, baselines);
+    for (const auto &g : greens) {
+        total += for_sku(g.sku, g.count);
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 400.0;
+    params.duration_h = 24.0 * 14.0;
+    const cluster::VmTrace trace =
+        cluster::TraceGenerator(params).generate(17);
+
+    const carbon::CarbonModel model;
+    const perf::PerfModel perf;
+    const gsf::AdoptionModel adoption(perf, model);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(0.1);
+    const cluster::VmAllocator alloc;
+
+    // Right-size the baseline-only reference.
+    const gsf::ClusterSizer sizer;
+    const int base_only = sizer.rightSizeBaselineOnly(trace, baseline);
+    const CarbonMass base_em =
+        deploymentEmissions(model, baseline, base_only, {}, ci);
+
+    std::cout << "Multi-SKU cluster simulation (trace "
+              << trace.vms.size() << " VMs; baseline-only needs "
+              << base_only << " servers)\n\n";
+
+    Table table({"Cluster", "Baselines", "Greens", "Emissions (tCO2e)",
+                 "Savings"},
+                {Align::Left, Align::Right, Align::Left, Align::Right,
+                 Align::Right});
+    table.addRow({"baseline only", std::to_string(base_only), "-",
+                  Table::num(base_em.asTonnes(), 0), "0%"});
+
+    // Candidate green menus: one type (Full), and two types
+    // (Full preferred, Efficient as the secondary option).
+    struct Menu
+    {
+        const char *label;
+        std::vector<carbon::ServerSku> skus;
+    };
+    const Menu menus[] = {
+        {"1 type: Full", {carbon::StandardSkus::greenFull()}},
+        {"2 types: Full+Efficient",
+         {carbon::StandardSkus::greenFull(),
+          carbon::StandardSkus::greenEfficient()}},
+    };
+
+    for (const Menu &menu : menus) {
+        // Equal green counts per type; smallest (b, g) hosting the
+        // trace: first minimal baselines with ample greens, then
+        // minimal per-type green count.
+        std::vector<cluster::GreenGroupSpec> groups;
+        for (const auto &sku : menu.skus) {
+            groups.push_back(cluster::GreenGroupSpec{
+                sku, 0, adoption.buildTable(baseline, sku, ci)});
+        }
+        // Size: minimal baselines with ample greens everywhere, then
+        // minimize each green group's count in turn (preference order),
+        // holding the others at their current counts.
+        const int ample = base_only;
+        auto fits = [&](int baselines) {
+            cluster::MultiClusterSpec spec;
+            spec.baseline_sku = baseline;
+            spec.baselines = baselines;
+            spec.greens = groups;
+            return alloc.replay(trace, spec).success;
+        };
+        for (auto &g : groups) {
+            g.count = ample;
+        }
+        const auto b_min = smallestTrue(
+            [&](long b) { return fits(static_cast<int>(b)); }, 0,
+            base_only);
+        for (auto &g : groups) {
+            const auto g_min = smallestTrue(
+                [&](long count) {
+                    g.count = static_cast<int>(count);
+                    return fits(static_cast<int>(*b_min));
+                },
+                0, ample);
+            g.count = static_cast<int>(*g_min);
+        }
+        const CarbonMass em = deploymentEmissions(
+            model, baseline, static_cast<int>(*b_min), groups, ci);
+        std::string green_text;
+        for (std::size_t i = 0; i < groups.size(); ++i) {
+            green_text += (i ? " + " : "") +
+                          std::to_string(groups[i].count) + "x " +
+                          groups[i].sku.name;
+        }
+        table.addRow({menu.label, std::to_string(*b_min), green_text,
+                      Table::num(em.asTonnes(), 0),
+                      Table::percent(1.0 - em / base_em, 1)});
+    }
+
+    std::cout << table.render() << '\n';
+    std::cout << "Reading: with packing simulated, the second GreenSKU "
+                 "type still buys no extra savings (it splits the same "
+                 "adopters across more, partially-filled server pools) — "
+                 "agreeing with the analytic D2 portfolio model, before "
+                 "even counting its extra growth buffer.\n";
+    return 0;
+}

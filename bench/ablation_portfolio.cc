@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: how many GreenSKU types to deploy (design goal D2). Sweeps
+ * portfolio sizes over the three GreenSKU designs, counting both the
+ * demand-matching gains and the buffer-fragmentation cost — the
+ * quantitative version of the paper's "cloud providers must limit how
+ * many SKU types they deploy".
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "gsf/portfolio.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::gsf;
+
+    const PortfolioAnalysis analysis{carbon::ModelParams{},
+                                     cluster::DemandParams{}, 50000.0};
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(0.1);
+
+    // Menu ordered by per-core savings at the average CI; 75% of demand
+    // is adoptable (the rest stays on baselines), mean scaling 1.07.
+    const std::vector<PortfolioSlice> menu = {
+        {carbon::StandardSkus::greenFull(), 0.25, 1.07},
+        {carbon::StandardSkus::greenCxl(), 0.25, 1.07},
+        {carbon::StandardSkus::greenEfficient(), 0.25, 1.07},
+    };
+
+    std::cout << "D2 portfolio sweep: 50k-core demand, 75% adoptable, "
+                 "CI = 0.1 kg/kWh\n\n";
+
+    Table table({"Portfolio", "SKU types", "Demand (tCO2e)",
+                 "Buffers (tCO2e)", "Total (tCO2e)", "Savings"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right});
+    for (const PortfolioResult &r :
+         analysis.sweepPortfolioSizes(baseline, menu, ci)) {
+        table.addRow({r.label, std::to_string(r.sku_types),
+                      Table::num(r.demand_emissions.asTonnes(), 0),
+                      Table::num(r.buffer_emissions.asTonnes(), 0),
+                      Table::num(r.total().asTonnes(), 0),
+                      Table::percent(r.savings, 2)});
+    }
+    std::cout << table.render() << '\n';
+    std::cout << "Reading: the first GreenSKU type buys nearly all the "
+                 "savings; every further type re-fragments demand "
+                 "(sqrt(k) safety stock) for little additional matching "
+                 "gain — deploy one well-chosen GreenSKU per region, as "
+                 "the paper's region analysis (Fig. 11) suggests.\n";
+    return 0;
+}

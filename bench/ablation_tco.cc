@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces the §VII-A TCO analysis: GSF with the carbon model swapped
+ * for a cost model. Prints per-core lifetime cost for every SKU and the
+ * premium of the carbon-efficient GreenSKU over the cost-optimal SKU
+ * (paper: "a cost-efficient server SKU is only 5% less costly").
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "carbon/sku.h"
+#include "common/table.h"
+#include "gsf/tco.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::gsf;
+
+    const TcoModel model;
+    auto skus = carbon::StandardSkus::tableFourRows();
+
+    // A cost-optimized candidate: GreenSKU-Full with the DDR5 fit cut to
+    // 10 DIMMs (7 GB/core). Cheaper per core, but its memory:core ratio
+    // falls below the workload-optimal 8 GB/core, so the carbon-driven
+    // design process rejects it — this is the SKU the paper's
+    // "cost-efficient server SKU" comparison is about.
+    {
+        carbon::ServerSku cheap = carbon::StandardSkus::greenFull();
+        cheap.name = "Cost-Optimized (10x64 DDR5)";
+        cheap.local_memory = MemCapacity::gb(10 * 64.0);
+        for (auto &slot : cheap.slots) {
+            if (slot.component.kind == carbon::ComponentKind::Dram &&
+                !slot.component.reused) {
+                slot.count = 10;
+            }
+        }
+        cheap.validate();
+        skus.push_back(cheap);
+    }
+
+    std::cout << "Sec. VII-A: TCO view of the SKU catalog (carbon model "
+                 "swapped for a cost model)\n\n";
+
+    double best = 1e18;
+    std::string best_name;
+    Table table({"SKU", "Server capex ($)", "Lifetime opex ($)",
+                 "$/core (capex)", "$/core (opex)", "$/core total"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right});
+    for (const auto &sku : skus) {
+        const PerCoreCost cost = model.perCore(sku);
+        if (cost.total() < best) {
+            best = cost.total();
+            best_name = sku.name;
+        }
+        table.addRow({sku.name, Table::num(model.serverCapexUsd(sku), 0),
+                      Table::num(model.serverOpexUsd(sku), 0),
+                      Table::num(cost.capex_usd, 1),
+                      Table::num(cost.opex_usd, 1),
+                      Table::num(cost.total(), 1)});
+    }
+    std::cout << table.render() << '\n';
+
+    const double full =
+        model.perCore(carbon::StandardSkus::greenFull()).total();
+    std::cout << "Cost-optimal SKU: " << best_name << " at $"
+              << Table::num(best, 1) << "/core; carbon-efficient "
+                 "GreenSKU-Full at $" << Table::num(full, 1)
+              << "/core -> premium "
+              << Table::percent((full - best) / full, 1) << '\n';
+    std::cout << "Paper anchor: the cost-efficient SKU is only ~5% less "
+                 "costly than the carbon-efficient GreenSKU.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig. 1: the carbon breakdown of general-purpose data centers
+ * — operational and embodied emissions by category, the compute-server
+ * component split, and the §II headline percentages, for both the
+ * Azure-like renewable mix and the hypothetical 100%-renewable mix.
+ */
+#include <iostream>
+
+#include "carbon/datacenter.h"
+#include "common/table.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::carbon;
+
+    const DataCenterModel model;
+
+    auto print = [&](const char *title, const FleetComposition &fleet) {
+        const DcBreakdown bd = model.breakdown(fleet);
+        std::cout << title << "\n";
+        std::cout << "  effective carbon intensity: "
+                  << Table::num(fleet.effectiveIntensity().asKgPerKwh(), 3)
+                  << " kgCO2e/kWh\n\n";
+
+        Table cat({"Category", "Operational", "Embodied"},
+                  {Align::Left, Align::Right, Align::Right});
+        for (const char *name : {"compute", "storage", "network"}) {
+            cat.addRow({name,
+                        Table::percent(bd.operational_by_category.at(name)),
+                        Table::percent(bd.embodied_by_category.at(name))});
+        }
+        cat.addRow({"cooling+power",
+                    Table::percent(
+                        bd.operational_by_category.at("cooling+power")),
+                    "-"});
+        cat.addRow({"building+non-IT", "-",
+                    Table::percent(
+                        bd.embodied_by_category.at("building+non-IT"))});
+        std::cout << cat.render() << '\n';
+
+        Table comp({"Compute-server component", "Share of op+emb"},
+                   {Align::Left, Align::Right});
+        for (const auto &[name, share] : bd.compute_by_component) {
+            comp.addRow({name, Table::percent(share)});
+        }
+        std::cout << comp.render() << '\n';
+
+        std::cout << "  operational share of total: "
+                  << Table::percent(bd.operational_share_of_total)
+                  << "   compute share of total: "
+                  << Table::percent(bd.compute_share_of_total) << "\n\n";
+    };
+
+    std::cout << "Fig. 1 / Sec. II: carbon breakdown of general-purpose "
+                 "data centers\n\n";
+
+    FleetComposition azure;
+    print("[A] Azure-like renewable mix (60% location-matched)", azure);
+
+    FleetComposition green = azure;
+    green.renewable_fraction = 1.0;
+    print("[B] Hypothetical 100% renewable mix", green);
+
+    std::cout
+        << "Paper anchors (Sec. II): operational ~58% of total; compute "
+           "servers ~57% of DC emissions;\n  within compute: DRAM 35%, "
+           "SSD 28%, CPU 24%; at 100% renewables operational ~9% and "
+           "compute ~44%.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Fig. 2: moving average (and raw) normalized DDR4 DIMM
+ * failure rates vs deployment time over a 7-year horizon. Rates are
+ * normalized to the steady-state AFR, as in the paper's "normalized
+ * failure rates". The expected shape: an initial period of higher AFRs,
+ * then a flat rate for the remaining years — the case for DRAM reuse.
+ */
+#include <iostream>
+
+#include "common/chart.h"
+#include "common/table.h"
+#include "reliability/failure_sim.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::reliability;
+
+    HazardParams hazard;
+    hazard.base_afr = 0.012;            // ~1.2% AFR class of parts.
+    hazard.infant_multiplier = 2.0;
+    hazard.infant_decay_months = 6.0;
+
+    FleetFailureSimulator sim(hazard, 500000, /*seed=*/2024);
+    const auto stats = sim.run(/*months=*/84, /*smoothing_window=*/6);
+
+    std::cout << "Fig. 2: normalized DDR4 failure rates vs deployment "
+                 "time (500k-DIMM fleet)\n\n";
+
+    Table table({"Month", "Population", "Failures", "Raw (norm.)",
+                 "Moving avg (norm.)"},
+                {Align::Right, Align::Right, Align::Right, Align::Right,
+                 Align::Right});
+    for (const auto &s : stats) {
+        if (s.month % 3 != 0) {
+            continue;               // Quarterly rows keep output short.
+        }
+        table.addRow({std::to_string(s.month), std::to_string(s.population),
+                      std::to_string(s.failures),
+                      Table::num(s.raw_rate / hazard.base_afr, 2),
+                      Table::num(s.smoothed_rate / hazard.base_afr, 2)});
+    }
+    std::cout << table.render() << '\n';
+
+    // Render the figure: raw (gray in the paper) and moving average.
+    ChartSeries raw;
+    raw.name = "raw (normalized)";
+    raw.glyph = '.';
+    ChartSeries avg;
+    avg.name = "moving average";
+    avg.glyph = '*';
+    for (const auto &s : stats) {
+        raw.points.emplace_back(s.month, s.raw_rate / hazard.base_afr);
+        avg.points.emplace_back(s.month,
+                                s.smoothed_rate / hazard.base_afr);
+    }
+    ChartOptions opts;
+    opts.x_label = "deployment month";
+    opts.y_label = "normalized failure rate";
+    std::cout << renderChart({raw, avg}, opts) << '\n';
+
+    // Flatness statistic: mean smoothed rate in years 2-4 vs years 5-7.
+    auto mean_rate = [&](int from, int to) {
+        double sum = 0.0;
+        int n = 0;
+        for (const auto &s : stats) {
+            if (s.month >= from && s.month < to) {
+                sum += s.smoothed_rate;
+                ++n;
+            }
+        }
+        return sum / n;
+    };
+    const double mid = mean_rate(24, 48);
+    const double late = mean_rate(60, 84);
+    std::cout << "Flatness: mean AFR years 2-4 = "
+              << Table::num(mid * 100, 2) << "%/y, years 5-7 = "
+              << Table::num(late * 100, 2)
+              << "%/y (ratio " << Table::num(late / mid, 3) << ")\n";
+    std::cout << "Paper anchor: after an initial period of higher AFRs, "
+                 "rates stay constant over 7 years.\n";
+    return 0;
+}

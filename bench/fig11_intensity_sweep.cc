@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces Figs. 11/12: end-to-end cluster-level carbon savings
+ * relative to all-baseline clusters across a range of grid carbon
+ * intensities, for the three GreenSKU configurations, with vertical
+ * markers for three Azure data center regions. Also prints the §VI /
+ * Appendix A-F chain: average cluster savings -> net data-center
+ * savings.
+ */
+#include <cmath>
+#include <iostream>
+
+#include "carbon/datacenter.h"
+#include "common/chart.h"
+#include "cluster/trace_gen.h"
+#include "common/table.h"
+#include "gsf/evaluator.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::gsf;
+
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 600.0;
+    params.duration_h = 24.0 * 14.0;
+    const cluster::TraceGenerator gen(params);
+    const auto traces = gen.generateFamily(12, /*base_seed=*/11);
+
+    const GsfEvaluator evaluator{GsfEvaluator::Options{}};
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+
+    // The paper's figures plot up to ~0.4 kg/kWh (the europe-north
+    // marker plus margin); with open data the per-core Efficient/Full
+    // crossover lies beyond this range (~0.9 kg/kWh).
+    std::vector<double> grid;
+    for (int i = 0; i <= 9; ++i) {
+        grid.push_back(0.05 * i);
+    }
+
+    const carbon::ServerSku greens[] = {
+        carbon::StandardSkus::greenEfficient(),
+        carbon::StandardSkus::greenCxl(),
+        carbon::StandardSkus::greenFull(),
+    };
+
+    std::cout << "Figs. 11/12: cluster-level carbon savings vs carbon "
+                 "intensity (" << traces.size() << " traces)\n\n";
+
+    std::vector<IntensitySweep> sweeps;
+    for (const auto &green : greens) {
+        sweeps.push_back(evaluator.sweep(traces, baseline, green, grid));
+    }
+
+    Table table({"CI (kg/kWh)", "GreenSKU-Efficient", "GreenSKU-CXL",
+                 "GreenSKU-Full", "Region"},
+                {Align::Right, Align::Right, Align::Right, Align::Right,
+                 Align::Left});
+    auto region = [](double ci) -> std::string {
+        // Estimated grid intensities for three Azure regions (public
+        // grid data; DESIGN.md §1).
+        auto near = [ci](double x) { return std::abs(ci - x) < 1e-9; };
+        if (near(0.05)) {
+            return "<- Azure-us-south (est.)";
+        }
+        if (near(0.15)) {
+            return "<- Azure-us-central (est.)";
+        }
+        if (near(0.35)) {
+            return "<- Azure-europe-north (est.)";
+        }
+        return "";
+    };
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        table.addRow({Table::num(grid[i], 2),
+                      Table::percent(sweeps[0].mean_savings[i], 1),
+                      Table::percent(sweeps[1].mean_savings[i], 1),
+                      Table::percent(sweeps[2].mean_savings[i], 1),
+                      region(grid[i])});
+    }
+    std::cout << table.render() << '\n';
+
+    // Render the figure itself.
+    std::vector<ChartSeries> chart_series;
+    const char glyphs[] = {'e', 'x', 'F'};
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+        ChartSeries cs;
+        cs.name = sweeps[s].sku_name;
+        cs.glyph = glyphs[s];
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            cs.points.emplace_back(grid[i],
+                                   sweeps[s].mean_savings[i] * 100.0);
+        }
+        chart_series.push_back(cs);
+    }
+    ChartOptions chart_opts;
+    chart_opts.x_label = "carbon intensity (kgCO2e/kWh)";
+    chart_opts.y_label = "cluster savings (%)";
+    chart_opts.x_markers = {{0.05, "Azure-us-south (est.)"},
+                            {0.15, "Azure-us-central (est.)"},
+                            {0.35, "Azure-europe-north (est.)"}};
+    std::cout << renderChart(chart_series, chart_opts) << '\n';
+
+    const double avg_full = GsfEvaluator::meanSavings(sweeps[2]);
+    const carbon::DataCenterModel dc;
+    const carbon::FleetComposition fleet;
+    std::cout << "Average cluster-level savings (GreenSKU-Full, over the "
+                 "sweep): " << Table::percent(avg_full, 1) << '\n';
+    std::cout << "Net data-center savings (compute share "
+              << Table::percent(
+                     dc.breakdown(fleet).compute_share_of_total, 0)
+              << "): "
+              << Table::percent(dc.dcSavings(fleet, avg_full), 1)
+              << "\n\n";
+    std::cout << "Paper anchors: reuse-heavy designs win at low CI, the "
+                 "efficient-only design converges at high CI (with open "
+                 "data the per-core crossover sits near 0.9 kg/kWh); "
+                 "open-data average cluster savings ~14% -> DC ~7%.\n";
+    return 0;
+}

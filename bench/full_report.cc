@@ -1,0 +1,16 @@
+/**
+ * @file
+ * One-shot reproduction report: every headline number of the paper's
+ * evaluation from a single binary (the programmatic union of the other
+ * benches, for quick regression checks).
+ */
+#include <iostream>
+
+#include "gsf/report.h"
+
+int
+main()
+{
+    std::cout << gsku::gsf::generateReport().render();
+    return 0;
+}

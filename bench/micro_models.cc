@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths: carbon
+ * model evaluation, queueing percentiles, scaling-factor search, trace
+ * generation, allocator replay, and full cluster sizing. These bound the
+ * cost of the design-space iteration loop §VIII describes ("hundreds of
+ * configurations").
+ */
+#include <benchmark/benchmark.h>
+
+#include "carbon/model.h"
+#include "cluster/trace_gen.h"
+#include "gsf/adoption.h"
+#include "gsf/sizing.h"
+#include "perf/cpu.h"
+#include "perf/model.h"
+#include "perf/queueing.h"
+
+namespace {
+
+using namespace gsku;
+
+void
+BM_CarbonPerCore(benchmark::State &state)
+{
+    const carbon::CarbonModel model;
+    const carbon::ServerSku sku = carbon::StandardSkus::greenFull();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.perCore(sku));
+    }
+}
+BENCHMARK(BM_CarbonPerCore);
+
+void
+BM_SavingsTable(benchmark::State &state)
+{
+    const carbon::CarbonModel model;
+    const auto rows = carbon::StandardSkus::tableFourRows();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.savingsTable(rows));
+    }
+}
+BENCHMARK(BM_SavingsTable);
+
+void
+BM_SojournPercentile(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            perf::percentileSojournMs(10, 200.0, 1700.0, 95.0));
+    }
+}
+BENCHMARK(BM_SojournPercentile);
+
+void
+BM_ScalingFactorTable(benchmark::State &state)
+{
+    const perf::PerfModel model;
+    const perf::CpuSpec gen3 = perf::CpuCatalog::genoa();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.scalingTable(gen3));
+    }
+}
+BENCHMARK(BM_ScalingFactorTable);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = static_cast<double>(state.range(0));
+    params.duration_h = 24.0 * 14.0;
+    const cluster::TraceGenerator gen(params);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.generate(seed++));
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(100)->Arg(400);
+
+void
+BM_AllocatorReplay(benchmark::State &state)
+{
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = static_cast<double>(state.range(0));
+    params.duration_h = 24.0 * 14.0;
+    const cluster::VmTrace trace =
+        cluster::TraceGenerator(params).generate(5);
+    const int servers = static_cast<int>(
+        trace.peakConcurrentCores() / 60 + 2);
+    const cluster::ClusterSpec spec{carbon::StandardSkus::baseline(),
+                                    carbon::StandardSkus::greenFull(),
+                                    servers, 0};
+    const cluster::VmAllocator alloc;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            alloc.replay(trace, spec, cluster::AdoptionTable::none()));
+    }
+}
+BENCHMARK(BM_AllocatorReplay)->Arg(100)->Arg(400);
+
+void
+BM_ClusterSizing(benchmark::State &state)
+{
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 150.0;
+    params.duration_h = 24.0 * 7.0;
+    const cluster::VmTrace trace =
+        cluster::TraceGenerator(params).generate(9);
+    const perf::PerfModel perf;
+    const carbon::CarbonModel carbon;
+    const gsf::AdoptionModel adoption(perf, carbon);
+    const auto baseline = carbon::StandardSkus::baseline();
+    const auto green = carbon::StandardSkus::greenFull();
+    const auto table = adoption.buildTable(baseline, green,
+                                           CarbonIntensity::kgPerKwh(0.1));
+    const gsf::ClusterSizer sizer;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sizer.size(trace, baseline, green, table));
+    }
+}
+BENCHMARK(BM_ClusterSizing);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table II: GreenSKU-Efficient's (and GreenSKU-CXL's)
+ * normalized slowdown compiling three DevOps programs, relative to the
+ * Gen3 baseline at equal core count.
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::perf;
+
+    const PerfModel model;
+
+    std::cout << "Table II: DevOps build slowdown normalized to Gen3 "
+                 "(8 cores each)\n\n";
+
+    Table table({"DevOps App.", "Gen1", "Gen2", "Gen3",
+                 "GreenSKU-Efficient", "GreenSKU-CXL"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right});
+
+    for (const char *name : {"Build-PHP", "Build-Python", "Build-Wasm"}) {
+        const AppProfile &app = AppCatalog::byName(name);
+        table.addRow(
+            {name,
+             Table::num(model.buildSlowdown(app, CpuCatalog::rome()), 2),
+             Table::num(model.buildSlowdown(app, CpuCatalog::milan()), 2),
+             Table::num(model.buildSlowdown(app, CpuCatalog::genoa()), 2),
+             Table::num(model.buildSlowdown(app, CpuCatalog::bergamo()),
+                        2),
+             Table::num(
+                 model.buildSlowdown(app, CpuCatalog::bergamo(), true),
+                 2)});
+    }
+    std::cout << table.render() << '\n';
+    std::cout << "Paper values: PHP 1.27/1.11/1.00/1.17/1.38, Python "
+                 "1.28/1.13/1.00/1.15/1.21, Wasm 1.34/1.19/1.00/1.15/"
+                 "1.28.\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Table III: GreenSKU-Efficient's performance scaling factor
+ * for each application, relative to the Gen1/Gen2/Gen3 baselines, with
+ * the fleet core-hour share per class.
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::perf;
+
+    const PerfModel model;
+
+    std::cout << "Table III: GreenSKU-Efficient scaling factor vs Gen "
+                 "1/2/3 per application\n\n";
+
+    Table table({"Application Category", "% Fleet Core Hours",
+                 "Application", "Gen1", "Gen2", "Gen3"},
+                {Align::Left, Align::Right, Align::Left, Align::Right,
+                 Align::Right, Align::Right});
+
+    AppClass last_class = AppClass::DevOps;
+    bool first = true;
+    for (const auto &app : AppCatalog::all()) {
+        const bool new_class = first || app.cls != last_class;
+        first = false;
+        last_class = app.cls;
+        table.addRow(
+            {new_class ? toString(app.cls) : "",
+             new_class
+                 ? Table::num(fleetCoreHourShare(app.cls) * 100.0, 0)
+                 : "",
+             app.name + (app.production ? " *" : ""),
+             model.scalingFactor(app, CpuCatalog::rome()).display(),
+             model.scalingFactor(app, CpuCatalog::milan()).display(),
+             model.scalingFactor(app, CpuCatalog::genoa()).display()});
+    }
+    std::cout << table.render() << '\n';
+    std::cout << "\"*\" marks Microsoft production applications. A cell "
+                 "of \">1.5\" means no candidate VM size (8/10/12 cores) "
+                 "meets the SLO.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces the §VI low-load latency analysis: each latency-reporting
+ * application at 30% of peak, on GreenSKU-Efficient scaled by its
+ * scaling factor, relative to the 8-core baselines. The paper reports
+ * medians of -8.3% / -2% / +16% vs Gen1/2/3.
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::perf;
+
+    const PerfModel model;
+    const CpuSpec green = CpuCatalog::bergamo();
+    const CpuSpec gens[] = {CpuCatalog::rome(), CpuCatalog::milan(),
+                            CpuCatalog::genoa()};
+
+    std::cout << "Sec. VI low-load latency: GreenSKU-Efficient (scaled) "
+                 "vs 8-core baselines at 30% of peak\n\n";
+
+    Table table({"Application", "vs Gen1", "vs Gen2", "vs Gen3"},
+                {Align::Left, Align::Right, Align::Right, Align::Right});
+    for (const auto &app : AppCatalog::all()) {
+        if (app.throughput_only) {
+            continue;
+        }
+        std::vector<std::string> cells = {app.name};
+        for (const CpuSpec &base : gens) {
+            const auto sf = model.scalingFactor(app, base);
+            const int cores = sf.feasible ? sf.green_cores : 12;
+            const double ratio =
+                model.lowLoadLatencyMs(app, green, cores) /
+                model.lowLoadLatencyMs(app, base, 8);
+            cells.push_back(Table::percent(ratio - 1.0, 1));
+        }
+        table.addRow(cells);
+    }
+    std::cout << table.render() << '\n';
+
+    std::cout << "Medians: vs Gen1 "
+              << Table::percent(
+                     model.medianLowLoadRatio(CpuCatalog::rome()) - 1.0, 1)
+              << ", vs Gen2 "
+              << Table::percent(
+                     model.medianLowLoadRatio(CpuCatalog::milan()) - 1.0,
+                     1)
+              << ", vs Gen3 "
+              << Table::percent(
+                     model.medianLowLoadRatio(CpuCatalog::genoa()) - 1.0,
+                     1)
+              << '\n';
+    std::cout << "Paper medians: -8.3% / -2% / +16%.\n";
+    return 0;
+}

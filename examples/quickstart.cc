@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Quickstart: evaluate a custom GreenSKU design end-to-end with GSF.
+ *
+ * Walks the full pipeline on a user-defined SKU:
+ *   1. compose a server SKU from catalog components,
+ *   2. ask the carbon model for its per-core emissions and rack fit,
+ *   3. ask the performance model which applications can adopt it,
+ *   4. size a cluster for a synthetic workload and report the savings.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "carbon/catalog.h"
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "cluster/trace_gen.h"
+#include "common/table.h"
+#include "gsf/evaluator.h"
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::carbon;
+
+    // ---- 1. Compose a custom GreenSKU -------------------------------
+    // A Bergamo server with a 50/50 split of new DDR5 and reused DDR4
+    // (more aggressive than the paper's GreenSKU-CXL) and reused SSDs.
+    ServerSku my_sku;
+    my_sku.name = "MyGreenSKU";
+    my_sku.generation = Generation::GreenSku;
+    my_sku.cores = 128;
+    my_sku.local_memory = MemCapacity::gb(8 * 64.0);
+    my_sku.cxl_memory = MemCapacity::gb(16 * 32.0);
+    my_sku.storage = StorageCapacity::tb(2 * 4.0 + 12 * 1.0);
+    my_sku.slots = {
+        {Catalog::bergamoCpu(), 1},
+        {Catalog::ddr5Dimm(64.0), 8},
+        {Catalog::reusedDdr4Dimm(32.0), 16},
+        {Catalog::cxlController(), 4},      // 4 DIMMs per controller.
+        {Catalog::newSsd(4.0), 2},
+        {Catalog::reusedSsd(1.0), 12},
+        {Catalog::serverMisc(), 1},
+    };
+    my_sku.validate();
+
+    const ServerSku baseline = StandardSkus::baseline();
+
+    // ---- 2. Carbon: per-core emissions and rack fit ------------------
+    const CarbonModel carbon;
+    const RackFootprint rack = carbon.rackFootprint(my_sku);
+    const SavingsRow savings = carbon.savingsVs(baseline, my_sku);
+
+    std::cout << "== Carbon ==\n";
+    std::cout << my_sku.name << ": P_s = "
+              << Table::num(rack.server_power.asWatts(), 0)
+              << " W, embodied = "
+              << Table::num(carbon.serverEmbodied(my_sku).asKg(), 0)
+              << " kgCO2e, " << rack.servers_per_rack
+              << " servers/rack ("
+              << (rack.space_constrained ? "space" : "power")
+              << "-constrained)\n";
+    std::cout << "Per-core savings vs baseline: op "
+              << Table::percent(savings.operational_savings, 1) << ", emb "
+              << Table::percent(savings.embodied_savings, 1) << ", total "
+              << Table::percent(savings.total_savings, 1) << "\n\n";
+
+    // ---- 3. Performance: who can adopt it? ---------------------------
+    const perf::PerfModel perf;
+    const gsf::AdoptionModel adoption(perf, carbon);
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(0.1);
+
+    std::cout << "== Adoption (vs Gen3-origin VMs, CI = 0.1) ==\n";
+    Table table({"Application", "Scaling factor", "Adopts"},
+                {Align::Left, Align::Right, Align::Left});
+    for (const auto &app : perf::AppCatalog::all()) {
+        const auto sf =
+            perf.scalingFactor(app, perf::CpuCatalog::genoa());
+        const auto d = adoption.decide(app, Generation::Gen3, baseline,
+                                       my_sku, ci);
+        table.addRow({app.name, sf.display(), d.adopt ? "yes" : "no"});
+    }
+    std::cout << table.render() << '\n';
+
+    // ---- 4. Cluster: size it against a workload ----------------------
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 250.0;
+    params.duration_h = 24.0 * 14.0;
+    const cluster::VmTrace trace =
+        cluster::TraceGenerator(params).generate(1);
+
+    const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+    const auto eval =
+        evaluator.evaluateCluster(trace, baseline, my_sku, ci);
+
+    std::cout << "== Cluster ==\n";
+    std::cout << "Workload: " << trace.vms.size() << " VM deployments over "
+              << Table::num(trace.duration_h / 24.0, 0) << " days\n";
+    std::cout << "All-baseline cluster: "
+              << eval.sizing.baseline_only_servers << " servers (+"
+              << eval.baseline_scenario_buffer << " buffer)\n";
+    std::cout << "Mixed cluster: " << eval.sizing.mixed_baselines
+              << " baselines + " << eval.sizing.mixed_greens << " "
+              << my_sku.name << " (+" << eval.mixed_scenario_buffer
+              << " buffer)\n";
+    std::cout << "Cluster-level carbon savings: "
+              << Table::percent(eval.savings, 1) << '\n';
+    return 0;
+}

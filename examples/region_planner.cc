@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Region planner: pick the lowest-carbon GreenSKU per data-center region
+ * (the Fig. 11 takeaway — "the best GreenSKU design depends on the data
+ * center's operating conditions") and estimate the fleet-wide savings of
+ * deploying each region's best design.
+ */
+#include <iostream>
+#include <vector>
+
+#include "carbon/datacenter.h"
+#include "cluster/trace_gen.h"
+#include "common/table.h"
+#include "gsf/evaluator.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::gsf;
+
+    struct Region
+    {
+        const char *name;
+        double grid_ci;     ///< kgCO2e/kWh, public grid estimates.
+        int clusters;       ///< Relative fleet weight.
+    };
+    const Region regions[] = {
+        {"us-south", 0.05, 6}, {"us-central", 0.15, 8},
+        {"us-west", 0.10, 5},  {"europe-north", 0.35, 4},
+        {"asia-east", 0.45, 3},
+    };
+
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 250.0;
+    params.duration_h = 24.0 * 14.0;
+    const auto traces =
+        cluster::TraceGenerator(params).generateFamily(4, 5);
+
+    const GsfEvaluator evaluator{GsfEvaluator::Options{}};
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const std::vector<carbon::ServerSku> greens = {
+        carbon::StandardSkus::greenEfficient(),
+        carbon::StandardSkus::greenCxl(),
+        carbon::StandardSkus::greenFull(),
+    };
+
+    std::cout << "Region planner: best GreenSKU per region\n\n";
+
+    Table table({"Region", "CI (kg/kWh)", "Best SKU", "Cluster savings"},
+                {Align::Left, Align::Right, Align::Left, Align::Right});
+    double weighted = 0.0;
+    int total_clusters = 0;
+    for (const Region &region : regions) {
+        double best = -1.0;
+        std::string best_name;
+        for (const auto &green : greens) {
+            const auto sweep = evaluator.sweep(traces, baseline, green,
+                                               {region.grid_ci});
+            if (sweep.mean_savings[0] > best) {
+                best = sweep.mean_savings[0];
+                best_name = green.name;
+            }
+        }
+        weighted += best * region.clusters;
+        total_clusters += region.clusters;
+        table.addRow({region.name, Table::num(region.grid_ci, 2),
+                      best_name, Table::percent(best, 1)});
+    }
+    std::cout << table.render() << '\n';
+
+    const double fleet_savings = weighted / total_clusters;
+    const carbon::DataCenterModel dc;
+    std::cout << "Fleet-weighted cluster savings with per-region SKU "
+                 "choice: " << Table::percent(fleet_savings, 1) << '\n';
+    std::cout << "Net data-center savings: "
+              << Table::percent(
+                     dc.dcSavings(carbon::FleetComposition{},
+                                  fleet_savings),
+                     1)
+              << '\n';
+    return 0;
+}

@@ -1,0 +1,152 @@
+#include "carbon/catalog.h"
+
+#include "common/error.h"
+
+namespace gsku::carbon {
+
+namespace {
+
+constexpr double kDdr5WattsPerGb = 0.37;
+constexpr double kDdr5EmbodiedKgPerGb = 1.65;
+constexpr double kDdr4WattsPerGb = 0.46;
+constexpr double kNewSsdWattsPerTb = 5.6;
+constexpr double kNewSsdEmbodiedKgPerTb = 17.3;
+constexpr double kReusedSsdWattsPerDrive = 8.0;
+
+} // namespace
+
+Component
+Catalog::bergamoCpu()
+{
+    return Component{"AMD Bergamo 128c", ComponentKind::Cpu,
+                     Power::watts(400.0), CarbonMass::kg(28.3)};
+}
+
+Component
+Catalog::genoaCpu()
+{
+    return Component{"AMD Genoa 80c", ComponentKind::Cpu,
+                     Power::watts(320.0), CarbonMass::kg(30.0)};
+}
+
+Component
+Catalog::milanCpu()
+{
+    return Component{"AMD Milan 64c", ComponentKind::Cpu,
+                     Power::watts(280.0), CarbonMass::kg(24.0)};
+}
+
+Component
+Catalog::romeCpu()
+{
+    return Component{"AMD Rome 64c", ComponentKind::Cpu,
+                     Power::watts(240.0), CarbonMass::kg(22.0)};
+}
+
+Component
+Catalog::ddr5Dimm(double capacity_gb)
+{
+    GSKU_REQUIRE(capacity_gb > 0.0, "DIMM capacity must be positive");
+    return Component{"DDR5 DIMM", ComponentKind::Dram,
+                     Power::watts(kDdr5WattsPerGb * capacity_gb),
+                     CarbonMass::kg(kDdr5EmbodiedKgPerGb * capacity_gb)};
+}
+
+Component
+Catalog::reusedDdr4Dimm(double capacity_gb)
+{
+    GSKU_REQUIRE(capacity_gb > 0.0, "DIMM capacity must be positive");
+    Component c{"Reused DDR4 DIMM (CXL)", ComponentKind::Dram,
+                Power::watts(kDdr4WattsPerGb * capacity_gb),
+                CarbonMass::kg(0.0)};
+    c.reused = true;
+    return c;
+}
+
+Component
+Catalog::newSsd(double capacity_tb)
+{
+    GSKU_REQUIRE(capacity_tb > 0.0, "SSD capacity must be positive");
+    return Component{"E1.S NVMe SSD", ComponentKind::Ssd,
+                     Power::watts(kNewSsdWattsPerTb * capacity_tb),
+                     CarbonMass::kg(kNewSsdEmbodiedKgPerTb * capacity_tb)};
+}
+
+Component
+Catalog::reusedSsd(double capacity_tb)
+{
+    GSKU_REQUIRE(capacity_tb > 0.0, "SSD capacity must be positive");
+    Component c{"Reused m.2 SSD", ComponentKind::Ssd,
+                Power::watts(kReusedSsdWattsPerDrive),
+                CarbonMass::kg(0.0)};
+    c.reused = true;
+    return c;
+}
+
+Component
+Catalog::paperDdr4Dimm(double capacity_gb)
+{
+    GSKU_REQUIRE(capacity_gb > 0.0, "DIMM capacity must be positive");
+    Component c{"Reused DDR4 DIMM (Table V)", ComponentKind::Dram,
+                Power::watts(0.37 * capacity_gb), CarbonMass::kg(0.0)};
+    c.reused = true;
+    return c;
+}
+
+Component
+Catalog::paperCxlController()
+{
+    return Component{"CXL controller (Table V)",
+                     ComponentKind::CxlController, Power::watts(5.8),
+                     CarbonMass::kg(2.5)};
+}
+
+Component
+Catalog::cxlController()
+{
+    Component c{"CXL controller", ComponentKind::CxlController,
+                Power::watts(5.8), CarbonMass::kg(2.5)};
+    c.derate_override = kCxlDerate;
+    return c;
+}
+
+Component
+Catalog::serverMisc()
+{
+    return Component{"NIC/fans/board/PSU", ComponentKind::Misc,
+                     Power::watts(30.0), CarbonMass::kg(90.0)};
+}
+
+Component
+Catalog::serverMiscNoNic()
+{
+    return Component{"Fans/board/PSU", ComponentKind::Misc,
+                     Power::watts(15.0), CarbonMass::kg(60.0)};
+}
+
+Component
+Catalog::nic()
+{
+    return Component{"100G NIC", ComponentKind::Nic, Power::watts(15.0),
+                     CarbonMass::kg(30.0)};
+}
+
+Component
+Catalog::reusedNic()
+{
+    Component c{"Reused 40G NIC", ComponentKind::Nic, Power::watts(18.0),
+                CarbonMass::kg(0.0)};
+    c.reused = true;
+    return c;
+}
+
+Component
+Catalog::lpddrDimm(double capacity_gb)
+{
+    GSKU_REQUIRE(capacity_gb > 0.0, "DIMM capacity must be positive");
+    return Component{"LPDDR5 DIMM", ComponentKind::Dram,
+                     Power::watts(0.25 * capacity_gb),
+                     CarbonMass::kg(1.85 * capacity_gb)};
+}
+
+} // namespace gsku::carbon

@@ -1,0 +1,36 @@
+#include "carbon/component.h"
+
+#include "common/error.h"
+
+namespace gsku::carbon {
+
+std::string
+toString(ComponentKind kind)
+{
+    switch (kind) {
+      case ComponentKind::Cpu: return "CPU";
+      case ComponentKind::Dram: return "DRAM";
+      case ComponentKind::Ssd: return "SSD";
+      case ComponentKind::Hdd: return "HDD";
+      case ComponentKind::CxlController: return "CXL";
+      case ComponentKind::Nic: return "NIC";
+      case ComponentKind::Misc: return "Misc";
+    }
+    GSKU_ASSERT(false, "unhandled ComponentKind");
+}
+
+Power
+slotTdp(const ComponentSlot &slot)
+{
+    GSKU_REQUIRE(slot.count >= 0, "component count must be non-negative");
+    return slot.component.tdp * static_cast<double>(slot.count);
+}
+
+CarbonMass
+slotEmbodied(const ComponentSlot &slot)
+{
+    GSKU_REQUIRE(slot.count >= 0, "component count must be non-negative");
+    return slot.component.embodied * static_cast<double>(slot.count);
+}
+
+} // namespace gsku::carbon

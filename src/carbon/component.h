@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Server hardware components as the carbon model sees them: a thermal
+ * design power, an embodied-carbon mass, and a derating behaviour.
+ *
+ * Embodied emissions follow the paper's accounting: counted once per
+ * component across the supply chain; components in their "second life"
+ * (reused DDR4 DIMMs, reused SSDs) carry zero embodied carbon (§V).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace gsku::carbon {
+
+/** Broad component classes used for breakdowns (Fig. 1) and reliability. */
+enum class ComponentKind
+{
+    Cpu,
+    Dram,
+    Ssd,
+    Hdd,
+    CxlController,
+    Nic,
+    Misc,       ///< Fans, BMC, mainboard, PSU, chassis.
+};
+
+/** Returns a human-readable name for a component kind. */
+std::string toString(ComponentKind kind);
+
+/**
+ * One physical component instance inside a server.
+ *
+ * @c derate_override lets a component opt out of the load-dependent TDP
+ * derating of Eq. 1 (e.g. a CXL controller draws near-constant power);
+ * a negative value means "use the model-wide derate factor".
+ */
+struct Component
+{
+    std::string name;
+    ComponentKind kind = ComponentKind::Misc;
+    Power tdp;                      ///< Thermal design power of this unit.
+    CarbonMass embodied;            ///< kgCO2e; zero when reused.
+    bool reused = false;            ///< Second-life component (§V).
+    double derate_override = -1.0;  ///< <0: use the model-wide derate.
+
+    /** True when this component has a fixed (non-derated) power draw. */
+    bool hasDerateOverride() const { return derate_override >= 0.0; }
+};
+
+/** A component plus how many identical copies the server carries. */
+struct ComponentSlot
+{
+    Component component;
+    int count = 1;
+};
+
+/** Sum of TDP over a slot's copies. */
+Power slotTdp(const ComponentSlot &slot);
+
+/** Sum of embodied carbon over a slot's copies. */
+CarbonMass slotEmbodied(const ComponentSlot &slot);
+
+} // namespace gsku::carbon

@@ -1,0 +1,246 @@
+#include "carbon/datacenter.h"
+
+#include <cmath>
+
+#include "carbon/catalog.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+
+namespace {
+
+/** Nearline HDD for storage servers: 7 W spinning, 30 kg embodied. */
+Component
+hdd()
+{
+    return Component{"Nearline HDD", ComponentKind::Hdd, Power::watts(7.0),
+                     CarbonMass::kg(30.0)};
+}
+
+/** Switching ASIC complex: near-constant 250 W, 300 kg embodied. */
+Component
+switchAsic()
+{
+    Component c{"Switch ASIC/PHY", ComponentKind::Nic, Power::watts(250.0),
+                CarbonMass::kg(300.0)};
+    c.derate_override = 1.0;
+    return c;
+}
+
+} // namespace
+
+ServerSku
+FleetSkus::storageServer()
+{
+    ServerSku sku;
+    sku.name = "Storage server";
+    sku.generation = Generation::Gen1;
+    sku.cores = 64;
+    sku.form_factor_u = 4;
+    sku.local_memory = MemCapacity::gb(256.0);
+    sku.storage = StorageCapacity::tb(60 * 16.0);
+    sku.slots = {
+        {Catalog::romeCpu(), 1},
+        {Catalog::ddr5Dimm(32.0), 8},
+        {hdd(), 60},
+        {Catalog::serverMisc(), 1},
+    };
+    sku.validate();
+    return sku;
+}
+
+ServerSku
+FleetSkus::networkServer()
+{
+    ServerSku sku;
+    sku.name = "Network server";
+    sku.generation = Generation::Gen1;
+    sku.cores = 8;
+    sku.form_factor_u = 2;
+    sku.local_memory = MemCapacity::gb(32.0);
+    sku.storage = StorageCapacity::tb(0.5);
+    sku.slots = {
+        // A small control CPU plus the always-on switching complex.
+        {Component{"Control CPU", ComponentKind::Cpu, Power::watts(50.0),
+                   CarbonMass::kg(5.0)},
+         1},
+        {switchAsic(), 1},
+        {Catalog::serverMisc(), 1},
+    };
+    sku.validate();
+    return sku;
+}
+
+ServerSku
+FleetSkus::fleetComputeServer()
+{
+    ServerSku sku = StandardSkus::baseline();
+    sku.name = "Fleet compute server";
+    // General-purpose fleet compute servers carry the larger SSD fit
+    // (6 x 8 TB); this drives the SSD share of Fig. 1.
+    sku.storage = StorageCapacity::tb(6 * 8.0);
+    for (auto &slot : sku.slots) {
+        if (slot.component.kind == ComponentKind::Ssd) {
+            slot = {Catalog::newSsd(8.0), 6};
+        }
+    }
+    sku.validate();
+    return sku;
+}
+
+CarbonIntensity
+FleetComposition::effectiveIntensity() const
+{
+    GSKU_REQUIRE(renewable_fraction >= 0.0 && renewable_fraction <= 1.0,
+                 "renewable fraction must be in [0, 1]");
+    GSKU_REQUIRE(renewable_matching_residual >= 0.0 &&
+                     renewable_matching_residual <= 1.0,
+                 "matching residual must be in [0, 1]");
+    // Only (1 - residual) of purchased renewables displaces grid energy
+    // hour-by-hour; the rest of consumption stays at grid intensity.
+    const double grid_share =
+        1.0 - renewable_fraction * (1.0 - renewable_matching_residual);
+    return grid_intensity * grid_share;
+}
+
+DataCenterModel::DataCenterModel(ModelParams params) : params_(params)
+{
+}
+
+DcBreakdown
+DataCenterModel::breakdown(const FleetComposition &fleet) const
+{
+    GSKU_REQUIRE(fleet.compute_servers > 0, "fleet needs compute servers");
+    GSKU_REQUIRE(fleet.storage_servers >= 0 && fleet.network_servers >= 0,
+                 "server counts must be non-negative");
+
+    ModelParams params = params_;
+    params.carbon_intensity = fleet.effectiveIntensity();
+    const CarbonModel model(params);
+
+    struct Category
+    {
+        std::string name;
+        ServerSku sku;
+        int count;
+    };
+    const std::vector<Category> categories = {
+        {"compute", fleet.compute_sku, fleet.compute_servers},
+        {"storage", FleetSkus::storageServer(), fleet.storage_servers},
+        {"network", FleetSkus::networkServer(), fleet.network_servers},
+    };
+
+    DcBreakdown out;
+    const Duration life = params.lifetime;
+    const CarbonIntensity ci = params.carbon_intensity;
+
+    std::map<std::string, double> op_kg;
+    std::map<std::string, double> emb_kg;
+    double building_emb = 0.0;
+    double it_power_w = 0.0;
+    double compute_op = 0.0;
+    double compute_emb = 0.0;
+
+    for (const auto &cat : categories) {
+        if (cat.count == 0) {
+            continue;
+        }
+        const RackFootprint rack = model.rackFootprint(cat.sku);
+        const double racks = std::ceil(
+            static_cast<double>(cat.count) /
+            static_cast<double>(rack.servers_per_rack));
+        const Power power =
+            model.serverPower(cat.sku) * static_cast<double>(cat.count) +
+            params.rack_misc_power * racks;
+        const double op = (power * life * ci).asKg();
+        const double emb =
+            (model.serverEmbodied(cat.sku) * static_cast<double>(cat.count) +
+             params.rack_misc_embodied * racks)
+                .asKg();
+        op_kg[cat.name] = op;
+        emb_kg[cat.name] = emb;
+        building_emb += params.dc_embodied_per_rack.asKg() * racks;
+        it_power_w += power.asWatts();
+        if (cat.name == "compute") {
+            // Attribute the compute share of the PUE overhead to compute
+            // when computing its share of total DC emissions.
+            compute_op = op * params.pue;
+            compute_emb = emb;
+        }
+    }
+
+    // PUE overhead: cooling and power distribution energy.
+    const double cooling_op =
+        (Power::watts(it_power_w) * life * ci).asKg() * (params.pue - 1.0);
+
+    double total_op = cooling_op;
+    for (const auto &[name, kg] : op_kg) {
+        total_op += kg;
+    }
+    double total_emb = building_emb;
+    for (const auto &[name, kg] : emb_kg) {
+        total_emb += kg;
+    }
+
+    out.total_operational = CarbonMass::kg(total_op);
+    out.total_embodied = CarbonMass::kg(total_emb);
+
+    for (const auto &[name, kg] : op_kg) {
+        out.operational_by_category[name] = kg / total_op;
+    }
+    out.operational_by_category["cooling+power"] = cooling_op / total_op;
+    for (const auto &[name, kg] : emb_kg) {
+        out.embodied_by_category[name] = kg / total_emb;
+    }
+    out.embodied_by_category["building+non-IT"] = building_emb / total_emb;
+
+    // Compute-server emissions split by component kind: lifetime
+    // operational (with the compute share of PUE) plus embodied, plus a
+    // per-server slice of rack and building overheads under "Misc".
+    {
+        const ServerSku &sku = fleet.compute_sku;
+        const RackFootprint rack = model.rackFootprint(sku);
+        const double kg_per_w =
+            (Power::watts(1.0) * life * ci).asKg() * params.pue;
+        const auto power_by_kind = model.serverPowerByKind(sku);
+        const auto emb_by_kind = model.serverEmbodiedByKind(sku);
+
+        std::map<std::string, double> combined;
+        double server_total = 0.0;
+        for (const auto &[kind, watts] : power_by_kind) {
+            combined[toString(kind)] += watts * kg_per_w;
+        }
+        for (const auto &[kind, kg] : emb_by_kind) {
+            combined[toString(kind)] += kg;
+        }
+        const double per_server_overhead =
+            (params.rack_misc_power.asWatts() * kg_per_w +
+             params.rack_misc_embodied.asKg() +
+             params.dc_embodied_per_rack.asKg()) /
+            static_cast<double>(rack.servers_per_rack);
+        combined[toString(ComponentKind::Misc)] += per_server_overhead;
+        for (const auto &[name, kg] : combined) {
+            server_total += kg;
+        }
+        for (const auto &[name, kg] : combined) {
+            out.compute_by_component[name] = kg / server_total;
+        }
+    }
+
+    const double grand_total = total_op + total_emb;
+    out.operational_share_of_total = total_op / grand_total;
+    out.compute_share_of_total = (compute_op + compute_emb) / grand_total;
+    return out;
+}
+
+double
+DataCenterModel::dcSavings(const FleetComposition &fleet,
+                           double compute_cluster_savings) const
+{
+    GSKU_REQUIRE(compute_cluster_savings <= 1.0,
+                 "savings fraction cannot exceed 1");
+    const DcBreakdown bd = breakdown(fleet);
+    return compute_cluster_savings * bd.compute_share_of_total;
+}
+
+} // namespace gsku::carbon

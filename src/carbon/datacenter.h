@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Data-center-level carbon accounting: the Fig. 1 breakdown (operational
+ * and embodied emissions by server type and by compute-server component)
+ * and the conversion from compute-cluster savings to net data-center
+ * savings (the paper's 14% cluster -> 7-8% DC step).
+ *
+ * The fleet composition substitutes for Azure's proprietary fleet data; it
+ * is parameterized so the §II percentages (operational 58% of total,
+ * compute 57% of DC emissions, DRAM 35% / SSD 28% / CPU 24% within compute)
+ * are reproduced with a plausible fleet, and the 100%-renewable variant
+ * follows from the renewable-matching residual.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+
+namespace gsku::carbon {
+
+/** Non-compute server archetypes needed for the Fig. 1 breakdown. */
+class FleetSkus
+{
+  public:
+    /** Storage server: JBOD of HDDs, modest CPU; large embodied. */
+    static ServerSku storageServer();
+
+    /** Network server/switch: constant power draw, small embodied. */
+    static ServerSku networkServer();
+
+    /**
+     * Fleet-representative compute server for the breakdown: the Gen3
+     * baseline with the larger SSD fit typical of general-purpose fleets
+     * (6 x 4 TB), which drives the SSD share of Fig. 1.
+     */
+    static ServerSku fleetComputeServer();
+};
+
+/** How a data center's servers and energy supply are composed. */
+struct FleetComposition
+{
+    ServerSku compute_sku = FleetSkus::fleetComputeServer();
+    int compute_servers = 10000;
+    int storage_servers = 5000;
+    int network_servers = 1500;
+
+    /** Location-matched renewable energy fraction (0.4-0.8 at Azure). */
+    double renewable_fraction = 0.6;
+
+    /**
+     * Fraction of consumption that stays grid-supplied even under "100%"
+     * renewable purchases, due to hourly-matching shortfall (§VII cites
+     * the long tail in generation variance).
+     */
+    double renewable_matching_residual = 0.03;
+
+    /** Underlying grid carbon intensity before renewable matching. */
+    CarbonIntensity grid_intensity = CarbonIntensity::kgPerKwh(0.32);
+
+    /** Effective carbon intensity after renewable matching. */
+    CarbonIntensity effectiveIntensity() const;
+};
+
+/** Shares in [0,1]; keys are category names (compute/storage/...). */
+using CategoryShares = std::map<std::string, double>;
+
+/** The Fig. 1 output plus the §II headline percentages. */
+struct DcBreakdown
+{
+    CarbonMass total_operational;
+    CarbonMass total_embodied;
+
+    /** Operational emissions by category (compute/storage/network/
+     *  cooling+power, the PUE overhead). Shares sum to 1. */
+    CategoryShares operational_by_category;
+
+    /** Embodied emissions by category (compute/storage/network/
+     *  building+non-IT). Shares sum to 1. */
+    CategoryShares embodied_by_category;
+
+    /** Combined (op+emb) compute-server emissions split by component
+     *  kind; the §II DRAM/SSD/CPU percentages. Shares sum to 1. */
+    CategoryShares compute_by_component;
+
+    double operational_share_of_total = 0.0;   ///< §II: ~58%.
+    double compute_share_of_total = 0.0;       ///< §II: ~57%.
+
+    CarbonMass total() const { return total_operational + total_embodied; }
+};
+
+/** Aggregates fleet emissions and derives the Fig. 1 / §II breakdowns. */
+class DataCenterModel
+{
+  public:
+    explicit DataCenterModel(ModelParams params = ModelParams{});
+
+    /** Full Fig. 1 breakdown for a fleet. */
+    DcBreakdown breakdown(const FleetComposition &fleet) const;
+
+    /**
+     * Net DC savings when the compute clusters save
+     * @p compute_cluster_savings (fraction): scales by the compute share
+     * of total DC emissions (the paper's 14% -> 7% step).
+     */
+    double dcSavings(const FleetComposition &fleet,
+                     double compute_cluster_savings) const;
+
+  private:
+    ModelParams params_;
+};
+
+} // namespace gsku::carbon

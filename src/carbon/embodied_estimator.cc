@@ -1,0 +1,88 @@
+#include "carbon/embodied_estimator.h"
+
+#include "common/error.h"
+
+namespace gsku::carbon {
+
+double
+kgCo2PerCm2(ProcessNode node)
+{
+    // Back-solved so the bottom-up estimates of the DieCatalog packages
+    // reproduce the Appendix A Table V top-down values (the bridge runs
+    // Table V -> die areas -> per-area intensity, not the reverse);
+    // magnitudes are consistent with IMEC/ACT-class figures where the
+    // supply-chain scope matches. See docs/calibration.md.
+    switch (node) {
+      case ProcessNode::N5: return 2.8;
+      case ProcessNode::N7: return 2.1;
+      case ProcessNode::N16: return 1.0;
+      case ProcessNode::Dram1x: return 4.2;
+      case ProcessNode::Nand: return 1.85;
+    }
+    GSKU_ASSERT(false, "unhandled ProcessNode");
+}
+
+CarbonMass
+estimateEmbodied(const PackageSpec &package)
+{
+    GSKU_REQUIRE(!package.dies.empty(),
+                 "package must contain at least one die");
+    GSKU_REQUIRE(package.packaging_overhead >= 0.0,
+                 "packaging overhead must be non-negative");
+    double die_kg = 0.0;
+    for (const DieSpec &die : package.dies) {
+        GSKU_REQUIRE(die.area_cm2 > 0.0, "die area must be positive: " +
+                                             die.name);
+        GSKU_REQUIRE(die.count > 0, "die count must be positive: " +
+                                        die.name);
+        die_kg += die.area_cm2 * die.count * kgCo2PerCm2(die.node);
+    }
+    return CarbonMass::kg(die_kg * (1.0 + package.packaging_overhead));
+}
+
+PackageSpec
+DieCatalog::bergamo()
+{
+    return PackageSpec{
+        "AMD Bergamo",
+        {
+            {"Zen 4c CCD", ProcessNode::N5, 0.73, 8},
+            {"IO die", ProcessNode::N7, 3.97, 1},
+        }};
+}
+
+PackageSpec
+DieCatalog::genoa()
+{
+    return PackageSpec{
+        "AMD Genoa (80c cloud)",
+        {
+            {"Zen 4 CCD", ProcessNode::N5, 0.72, 10},
+            {"IO die", ProcessNode::N7, 3.97, 1},
+        }};
+}
+
+PackageSpec
+DieCatalog::ddr5Dimm64()
+{
+    // 64 GB = 32 x 16 Gb dies at ~0.68 cm^2 each.
+    return PackageSpec{
+        "64 GB DDR5 RDIMM",
+        {
+            {"16 Gb DRAM die", ProcessNode::Dram1x, 0.68, 32},
+        }};
+}
+
+PackageSpec
+DieCatalog::ssd2tb()
+{
+    // 2 TB = 16 x 1 Tb TLC NAND dies plus a controller.
+    return PackageSpec{
+        "2 TB NVMe SSD",
+        {
+            {"1 Tb TLC NAND die", ProcessNode::Nand, 1.0, 16},
+            {"SSD controller", ProcessNode::N16, 0.5, 1},
+        }};
+}
+
+} // namespace gsku::carbon

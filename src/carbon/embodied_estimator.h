@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bottom-up embodied-carbon estimation from silicon area (§II: "we
+ * estimate raw materials from vendor manifests, measure devices'
+ * silicon area, and use averaged emissions for manufacturing processes
+ * reported in industry datasets such as IMEC" — the ACT-style [64]
+ * methodology). The catalog's per-component kgCO2e values are top-down
+ * numbers from Appendix A; this estimator derives them bottom-up, so
+ * the two can be cross-checked and new components can be priced when no
+ * published figure exists.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace gsku::carbon {
+
+/** Manufacturing process nodes with distinct per-area footprints. */
+enum class ProcessNode
+{
+    N5,         ///< 5 nm-class logic (Zen 4/4c compute dies).
+    N7,         ///< 7 nm-class logic (Zen 2/3 dies, IO dies).
+    N16,        ///< 16 nm-class logic (controllers, NICs).
+    Dram1x,     ///< 1x-nm DRAM process.
+    Nand,       ///< 3D NAND flash.
+};
+
+/**
+ * Per-area manufacturing emissions (kgCO2e per cm^2 of good die),
+ * IMEC/ACT-style industry averages including yield. Values are
+ * best-effort public estimates; see docs/calibration.md.
+ */
+double kgCo2PerCm2(ProcessNode node);
+
+/** One die (or die type) inside a package. */
+struct DieSpec
+{
+    std::string name;
+    ProcessNode node = ProcessNode::N7;
+    double area_cm2 = 0.0;
+    int count = 1;
+};
+
+/** A packaged device to estimate. */
+struct PackageSpec
+{
+    std::string name;
+    std::vector<DieSpec> dies;
+
+    /** Substrate/assembly/test overhead as a fraction of die carbon. */
+    double packaging_overhead = 0.15;
+};
+
+/** Bottom-up embodied estimate for a package. */
+CarbonMass estimateEmbodied(const PackageSpec &package);
+
+/** Published die configurations of the catalog CPUs, for cross-checks. */
+class DieCatalog
+{
+  public:
+    /** Bergamo: 8 Zen 4c CCDs (~73 mm^2) + 1 IO die (~397 mm^2). */
+    static PackageSpec bergamo();
+
+    /** Genoa-class 80-core cloud part: 10 Zen 4 CCDs + IO die. */
+    static PackageSpec genoa();
+
+    /** A 64 GB DDR5 RDIMM: 2x-nm DRAM dies totaling ~10.9 cm^2. */
+    static PackageSpec ddr5Dimm64();
+
+    /** A 2 TB TLC NVMe SSD: NAND stack ~19 cm^2 + controller. */
+    static PackageSpec ssd2tb();
+};
+
+} // namespace gsku::carbon

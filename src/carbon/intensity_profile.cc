@@ -1,0 +1,92 @@
+#include "carbon/intensity_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku::carbon {
+
+IntensityProfile::IntensityProfile(CarbonIntensity mean,
+                                   double swing_fraction,
+                                   double cleanest_hour)
+    : mean_(mean), swing_fraction_(swing_fraction),
+      cleanest_hour_(cleanest_hour)
+{
+    GSKU_REQUIRE(mean.asKgPerKwh() >= 0.0,
+                 "mean intensity must be non-negative");
+    GSKU_REQUIRE(swing_fraction >= 0.0 && swing_fraction < 1.0,
+                 "swing fraction must be in [0, 1)");
+    GSKU_REQUIRE(cleanest_hour >= 0.0 && cleanest_hour < 24.0,
+                 "cleanest hour must be in [0, 24)");
+}
+
+IntensityProfile
+IntensityProfile::solarHeavy(CarbonIntensity mean)
+{
+    return IntensityProfile(mean, 0.4, 13.0);
+}
+
+IntensityProfile
+IntensityProfile::flat(CarbonIntensity mean)
+{
+    return IntensityProfile(mean, 0.0, 0.0);
+}
+
+CarbonIntensity
+IntensityProfile::at(double hour) const
+{
+    GSKU_REQUIRE(hour >= 0.0 && hour <= 24.0, "hour must be in [0, 24]");
+    const double phase = 2.0 * M_PI * (hour - cleanest_hour_) / 24.0;
+    // Cosine trough at the cleanest hour; integrates to the mean.
+    return mean_ * (1.0 - swing_fraction_ * std::cos(phase));
+}
+
+CarbonIntensity
+IntensityProfile::cleanestWindowMean(double window_hours) const
+{
+    GSKU_REQUIRE(window_hours > 0.0 && window_hours <= 24.0,
+                 "window must be in (0, 24] hours");
+    // The cleanest window is centered on the cleanest hour by symmetry;
+    // integrate the profile over it numerically.
+    const int steps = 256;
+    double sum = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        double h = cleanest_hour_ +
+                   window_hours * ((i + 0.5) / steps - 0.5);
+        h = std::fmod(h + 24.0, 24.0);
+        sum += at(h).asKgPerKwh();
+    }
+    return CarbonIntensity::kgPerKwh(sum / steps);
+}
+
+double
+TemporalShifter::operationalSavings(const IntensityProfile &profile,
+                                    double deferrable_fraction,
+                                    double window_hours)
+{
+    GSKU_REQUIRE(deferrable_fraction >= 0.0 && deferrable_fraction <= 1.0,
+                 "deferrable fraction must be in [0, 1]");
+    const double mean = profile.dailyMean().asKgPerKwh();
+    if (mean <= 0.0) {
+        return 0.0;
+    }
+    const double clean =
+        profile.cleanestWindowMean(window_hours).asKgPerKwh();
+    return deferrable_fraction * (mean - clean) / mean;
+}
+
+double
+TemporalShifter::totalSavings(const IntensityProfile &profile,
+                              double deferrable_fraction,
+                              double window_hours,
+                              double operational_share)
+{
+    GSKU_REQUIRE(operational_share >= 0.0 && operational_share <= 1.0,
+                 "operational share must be in [0, 1]");
+    return operational_share * operationalSavings(profile,
+                                                  deferrable_fraction,
+                                                  window_hours);
+}
+
+} // namespace gsku::carbon

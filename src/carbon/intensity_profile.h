@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Time-varying grid carbon intensity and temporal workload shifting.
+ *
+ * The paper's related work (§IX) notes that spatial/temporal shifting
+ * of flexible workloads toward renewable availability "can apply on top
+ * of GreenSKUs". This module provides the substrate to quantify that
+ * composition: a diurnal carbon-intensity profile (solar-heavy grids
+ * are cleanest mid-day) and a shifter that moves deferrable work into
+ * the cleanest hours.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace gsku::carbon {
+
+/** A sinusoidal 24-hour carbon-intensity profile. */
+class IntensityProfile
+{
+  public:
+    /**
+     * @param mean daily mean intensity
+     * @param swing_fraction peak-to-mean swing (0 = flat grid);
+     *        intensity ranges mean*(1 +/- swing_fraction)
+     * @param cleanest_hour hour of day with the lowest intensity
+     */
+    IntensityProfile(CarbonIntensity mean, double swing_fraction,
+                     double cleanest_hour);
+
+    /** A solar-heavy grid: cleanest at 13:00, 40% swing. */
+    static IntensityProfile solarHeavy(CarbonIntensity mean);
+
+    /** A flat grid (no shifting opportunity). */
+    static IntensityProfile flat(CarbonIntensity mean);
+
+    /** Intensity at an hour of day in [0, 24]. */
+    CarbonIntensity at(double hour) const;
+
+    /** Mean over the day (equals the constructor's mean). */
+    CarbonIntensity dailyMean() const { return mean_; }
+
+    /** Mean intensity over the @p window_hours cleanest hours. */
+    CarbonIntensity cleanestWindowMean(double window_hours) const;
+
+  private:
+    CarbonIntensity mean_;
+    double swing_fraction_;
+    double cleanest_hour_;
+};
+
+/**
+ * Temporal shifting of deferrable work (batch/DevOps-class jobs):
+ * operational emissions when a fraction of daily compute runs in the
+ * cleanest window instead of uniformly across the day.
+ */
+class TemporalShifter
+{
+  public:
+    /**
+     * Fractional reduction in *operational* emissions from shifting
+     * @p deferrable_fraction of the work into the cleanest
+     * @p window_hours, the rest staying uniform.
+     */
+    static double operationalSavings(const IntensityProfile &profile,
+                                     double deferrable_fraction,
+                                     double window_hours);
+
+    /**
+     * Fractional reduction in *total* emissions given the operational
+     * share of the deployment's footprint (shifting cannot touch
+     * embodied carbon — the reason it composes with, rather than
+     * replaces, GreenSKU design).
+     */
+    static double totalSavings(const IntensityProfile &profile,
+                               double deferrable_fraction,
+                               double window_hours,
+                               double operational_share);
+};
+
+} // namespace gsku::carbon

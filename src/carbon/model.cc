@@ -1,0 +1,168 @@
+#include "carbon/model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku::carbon {
+
+CarbonMass
+RackFootprint::perCore() const
+{
+    GSKU_REQUIRE(cores_per_rack > 0, "rack has no cores");
+    return total() / static_cast<double>(cores_per_rack);
+}
+
+CarbonModel::CarbonModel(ModelParams params) : params_(params)
+{
+    GSKU_REQUIRE(params_.derate > 0.0 && params_.derate <= 1.0,
+                 "derate factor must be in (0, 1]");
+    GSKU_REQUIRE(params_.cpu_vr_loss >= 1.0,
+                 "VR loss factor must be >= 1");
+    GSKU_REQUIRE(params_.lifetime.asHours() > 0.0,
+                 "lifetime must be positive");
+    GSKU_REQUIRE(params_.pue >= 1.0, "PUE must be >= 1");
+    GSKU_REQUIRE(params_.rack_space_u > 0, "rack space must be positive");
+    GSKU_REQUIRE(
+        params_.rack_power_capacity > params_.rack_misc_power,
+        "rack power capacity must exceed the empty rack's own power");
+}
+
+Power
+CarbonModel::slotPower(const ComponentSlot &slot) const
+{
+    const Component &c = slot.component;
+    const double derate =
+        c.hasDerateOverride() ? c.derate_override : params_.derate;
+    const double vr =
+        c.kind == ComponentKind::Cpu ? params_.cpu_vr_loss : 1.0;
+    return slotTdp(slot) * derate * vr;
+}
+
+Power
+CarbonModel::serverPower(const ServerSku &sku) const
+{
+    Power total;
+    for (const auto &slot : sku.slots) {
+        total += slotPower(slot);
+    }
+    return total;
+}
+
+CarbonMass
+CarbonModel::serverEmbodied(const ServerSku &sku) const
+{
+    CarbonMass total;
+    for (const auto &slot : sku.slots) {
+        total += slotEmbodied(slot);
+    }
+    return total;
+}
+
+CarbonMass
+CarbonModel::serverOperational(const ServerSku &sku) const
+{
+    return serverPower(sku) * params_.lifetime * params_.carbon_intensity;
+}
+
+KindBreakdown
+CarbonModel::serverPowerByKind(const ServerSku &sku) const
+{
+    KindBreakdown out;
+    for (const auto &slot : sku.slots) {
+        out[slot.component.kind] += slotPower(slot).asWatts();
+    }
+    return out;
+}
+
+KindBreakdown
+CarbonModel::serverEmbodiedByKind(const ServerSku &sku) const
+{
+    KindBreakdown out;
+    for (const auto &slot : sku.slots) {
+        out[slot.component.kind] += slotEmbodied(slot).asKg();
+    }
+    return out;
+}
+
+RackFootprint
+CarbonModel::rackFootprint(const ServerSku &sku) const
+{
+    sku.validate();
+    RackFootprint fp;
+    fp.server_power = serverPower(sku);
+    GSKU_REQUIRE(fp.server_power.asWatts() > 0.0, "server draws no power");
+
+    const double budget =
+        (params_.rack_power_capacity - params_.rack_misc_power).asWatts();
+    const int by_power =
+        static_cast<int>(std::floor(budget / fp.server_power.asWatts()));
+    const int by_space = params_.rack_space_u / sku.form_factor_u;
+    GSKU_REQUIRE(by_power >= 1 && by_space >= 1,
+                 "rack cannot host a single server of SKU " + sku.name);
+
+    fp.servers_per_rack = std::min(by_power, by_space);
+    fp.space_constrained = by_space <= by_power;
+    fp.cores_per_rack = fp.servers_per_rack * sku.cores;
+
+    const double n = static_cast<double>(fp.servers_per_rack);
+    fp.rack_power = n * fp.server_power + params_.rack_misc_power;
+    fp.rack_embodied =
+        n * serverEmbodied(sku) + params_.rack_misc_embodied;
+    fp.rack_operational =
+        fp.rack_power * params_.lifetime * params_.carbon_intensity;
+    return fp;
+}
+
+PerCoreEmissions
+CarbonModel::perCore(const ServerSku &sku) const
+{
+    return perCore(sku, params_.carbon_intensity);
+}
+
+PerCoreEmissions
+CarbonModel::perCore(const ServerSku &sku, CarbonIntensity ci) const
+{
+    const RackFootprint fp = rackFootprint(sku);
+    const double cores = static_cast<double>(fp.cores_per_rack);
+
+    PerCoreEmissions out;
+    // DC operational = rack power scaled by PUE (cooling, distribution).
+    out.operational =
+        (fp.rack_power * params_.lifetime * ci) * params_.pue / cores;
+    // DC embodied = rack embodied plus the per-rack share of DC
+    // infrastructure embodied carbon amortized over one server lifetime.
+    out.embodied = (fp.rack_embodied + params_.dc_embodied_per_rack) / cores;
+    return out;
+}
+
+SavingsRow
+CarbonModel::savingsVs(const ServerSku &baseline, const ServerSku &sku) const
+{
+    const PerCoreEmissions base = perCore(baseline);
+    const PerCoreEmissions mine = perCore(sku);
+    GSKU_ASSERT(base.operational.asKg() > 0.0 && base.embodied.asKg() > 0.0,
+                "baseline emissions must be positive");
+
+    SavingsRow row;
+    row.sku_name = sku.name;
+    row.per_core = mine;
+    row.operational_savings = 1.0 - mine.operational / base.operational;
+    row.embodied_savings = 1.0 - mine.embodied / base.embodied;
+    row.total_savings = 1.0 - mine.total() / base.total();
+    return row;
+}
+
+std::vector<SavingsRow>
+CarbonModel::savingsTable(const std::vector<ServerSku> &skus) const
+{
+    GSKU_REQUIRE(!skus.empty(), "savingsTable needs at least the baseline");
+    std::vector<SavingsRow> rows;
+    rows.reserve(skus.size());
+    for (const auto &sku : skus) {
+        rows.push_back(savingsVs(skus.front(), sku));
+    }
+    return rows;
+}
+
+} // namespace gsku::carbon

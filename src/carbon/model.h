@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The GSF carbon model component (§IV-A, implemented as in §V).
+ *
+ * Aggregates embodied and operational emissions from the server level
+ * (Eq. 1), through the rack level (Eqs. 2 and 3), to the data-center
+ * level, and emits the CO2e-per-core metric every other GSF component
+ * consumes. The §V worked example is reproduced exactly by
+ * rackFootprint(); Table IV/VIII uses perCore(), which additionally
+ * amortizes DC-level embodied overheads and applies PUE.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "carbon/catalog.h"
+#include "carbon/sku.h"
+#include "common/units.h"
+
+namespace gsku::carbon {
+
+/** Per-component-kind split of a server's power or embodied carbon. */
+using KindBreakdown = std::map<ComponentKind, double>;
+
+/** Rack-level aggregate (Eqs. 2 and 3 plus lifetime operational). */
+struct RackFootprint
+{
+    int servers_per_rack = 0;       ///< N_s.
+    bool space_constrained = false; ///< True when space, not power, binds.
+    Power server_power;             ///< P_s (Eq. 1).
+    Power rack_power;               ///< P_r (Eq. 2).
+    CarbonMass rack_embodied;       ///< E_emb,r (Eq. 3).
+    CarbonMass rack_operational;    ///< E_op,r = P_r * L * CI.
+    int cores_per_rack = 0;         ///< N_c,r.
+
+    /** Net rack emissions E_r = E_op,r + E_emb,r. */
+    CarbonMass total() const { return rack_operational + rack_embodied; }
+
+    /** Rack-level CO2e-per-core (the §V example's 31 kg figure). */
+    CarbonMass perCore() const;
+};
+
+/** The model's headline output: amortized emissions per core. */
+struct PerCoreEmissions
+{
+    CarbonMass operational;
+    CarbonMass embodied;
+
+    CarbonMass total() const { return operational + embodied; }
+};
+
+/** One row of Table IV / Table VIII: savings relative to the baseline. */
+struct SavingsRow
+{
+    std::string sku_name;
+    PerCoreEmissions per_core;
+    double operational_savings = 0.0;   ///< Fraction, e.g. 0.16.
+    double embodied_savings = 0.0;
+    double total_savings = 0.0;
+};
+
+/**
+ * Carbon model: stateless given its parameters; all queries are const.
+ */
+class CarbonModel
+{
+  public:
+    explicit CarbonModel(ModelParams params = ModelParams{});
+
+    const ModelParams &params() const { return params_; }
+
+    /**
+     * Average server power P_s per Eq. 1: sum of component TDPs scaled
+     * by the derate factor (or a component's override), with the CPU's
+     * voltage-regulator loss applied as in the §V example.
+     */
+    Power serverPower(const ServerSku &sku) const;
+
+    /** Server embodied emissions E_emb,s (reused components count 0). */
+    CarbonMass serverEmbodied(const ServerSku &sku) const;
+
+    /** Server lifetime operational emissions at the model's CI (no PUE). */
+    CarbonMass serverOperational(const ServerSku &sku) const;
+
+    /** Per-kind split of derated server power, in watts. */
+    KindBreakdown serverPowerByKind(const ServerSku &sku) const;
+
+    /** Per-kind split of server embodied carbon, in kgCO2e. */
+    KindBreakdown serverEmbodiedByKind(const ServerSku &sku) const;
+
+    /**
+     * Rack-level aggregate. N_s = min(floor((P_cap - P_rack_misc)/P_s),
+     * floor(space / form factor)) as in the §V example.
+     */
+    RackFootprint rackFootprint(const ServerSku &sku) const;
+
+    /**
+     * DC-amortized per-core emissions: operational includes PUE;
+     * embodied includes the per-rack DC infrastructure overhead.
+     * This is the CO2e-per-core the adoption component consumes.
+     */
+    PerCoreEmissions perCore(const ServerSku &sku) const;
+
+    /** perCore() at an explicit carbon intensity (for Fig. 11 sweeps). */
+    PerCoreEmissions perCore(const ServerSku &sku, CarbonIntensity ci) const;
+
+    /** One savings row relative to a baseline SKU. */
+    SavingsRow savingsVs(const ServerSku &baseline,
+                         const ServerSku &sku) const;
+
+    /** Full Table IV/VIII: first row is the baseline (no savings). */
+    std::vector<SavingsRow>
+    savingsTable(const std::vector<ServerSku> &skus) const;
+
+  private:
+    ModelParams params_;
+
+    /** Derated power contribution of one slot. */
+    Power slotPower(const ComponentSlot &slot) const;
+};
+
+} // namespace gsku::carbon

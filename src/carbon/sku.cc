@@ -1,0 +1,242 @@
+#include "carbon/sku.h"
+
+#include "carbon/catalog.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+
+std::string
+toString(Generation gen)
+{
+    switch (gen) {
+      case Generation::Gen1: return "Gen1";
+      case Generation::Gen2: return "Gen2";
+      case Generation::Gen3: return "Gen3";
+      case Generation::GreenSku: return "GreenSKU";
+    }
+    GSKU_ASSERT(false, "unhandled Generation");
+}
+
+double
+ServerSku::memoryPerCore() const
+{
+    GSKU_REQUIRE(cores > 0, "SKU has no cores");
+    return totalMemory().asGb() / static_cast<double>(cores);
+}
+
+double
+ServerSku::cxlMemoryFraction() const
+{
+    const double total = totalMemory().asGb();
+    if (total <= 0.0) {
+        return 0.0;
+    }
+    return cxl_memory.asGb() / total;
+}
+
+int
+ServerSku::unitCount(ComponentKind kind) const
+{
+    int n = 0;
+    for (const auto &slot : slots) {
+        if (slot.component.kind == kind) {
+            n += slot.count;
+        }
+    }
+    return n;
+}
+
+void
+ServerSku::validate() const
+{
+    GSKU_REQUIRE(!name.empty(), "SKU must have a name");
+    GSKU_REQUIRE(cores > 0, "SKU must have cores: " + name);
+    GSKU_REQUIRE(form_factor_u > 0, "SKU form factor must be positive");
+    GSKU_REQUIRE(local_memory.asGb() >= 0.0 && cxl_memory.asGb() >= 0.0,
+                 "memory capacities must be non-negative");
+    GSKU_REQUIRE(!slots.empty(), "SKU must have components: " + name);
+    bool has_cpu = false;
+    for (const auto &slot : slots) {
+        GSKU_REQUIRE(slot.count > 0, "component slot with zero count");
+        has_cpu |= slot.component.kind == ComponentKind::Cpu;
+    }
+    GSKU_REQUIRE(has_cpu, "SKU must contain a CPU: " + name);
+    const bool has_cxl_dram = cxl_memory.asGb() > 0.0;
+    const bool has_cxl_card = unitCount(ComponentKind::CxlController) > 0;
+    GSKU_REQUIRE(has_cxl_dram == has_cxl_card,
+                 "CXL memory requires CXL controllers and vice versa: " +
+                     name);
+}
+
+namespace {
+
+ServerSku
+finish(ServerSku sku)
+{
+    sku.validate();
+    return sku;
+}
+
+} // namespace
+
+ServerSku
+StandardSkus::baseline()
+{
+    ServerSku sku;
+    sku.name = "Baseline";
+    sku.generation = Generation::Gen3;
+    sku.cores = 80;
+    sku.local_memory = MemCapacity::gb(12 * 64.0);
+    sku.storage = StorageCapacity::tb(6 * 2.0);
+    sku.slots = {
+        {Catalog::genoaCpu(), 1},
+        {Catalog::ddr5Dimm(64.0), 12},
+        {Catalog::newSsd(2.0), 6},
+        {Catalog::serverMisc(), 1},
+    };
+    return finish(sku);
+}
+
+ServerSku
+StandardSkus::baselineResized()
+{
+    ServerSku sku;
+    sku.name = "Baseline-Resized";
+    sku.generation = Generation::Gen3;
+    sku.cores = 80;
+    sku.local_memory = MemCapacity::gb(10 * 64.0);
+    sku.storage = StorageCapacity::tb(6 * 2.0);
+    sku.slots = {
+        {Catalog::genoaCpu(), 1},
+        {Catalog::ddr5Dimm(64.0), 10},
+        {Catalog::newSsd(2.0), 6},
+        {Catalog::serverMisc(), 1},
+    };
+    return finish(sku);
+}
+
+ServerSku
+StandardSkus::greenEfficient()
+{
+    ServerSku sku;
+    sku.name = "GreenSKU-Efficient";
+    sku.generation = Generation::GreenSku;
+    sku.cores = 128;
+    sku.local_memory = MemCapacity::gb(12 * 96.0);
+    sku.storage = StorageCapacity::tb(5 * 4.0);
+    sku.slots = {
+        {Catalog::bergamoCpu(), 1},
+        {Catalog::ddr5Dimm(96.0), 12},
+        {Catalog::newSsd(4.0), 5},
+        {Catalog::serverMisc(), 1},
+    };
+    return finish(sku);
+}
+
+ServerSku
+StandardSkus::greenCxl()
+{
+    ServerSku sku;
+    sku.name = "GreenSKU-CXL";
+    sku.generation = Generation::GreenSku;
+    sku.cores = 128;
+    sku.local_memory = MemCapacity::gb(12 * 64.0);
+    sku.cxl_memory = MemCapacity::gb(8 * 32.0);
+    sku.storage = StorageCapacity::tb(5 * 4.0);
+    sku.slots = {
+        {Catalog::bergamoCpu(), 1},
+        {Catalog::ddr5Dimm(64.0), 12},
+        {Catalog::reusedDdr4Dimm(32.0), 8},
+        {Catalog::cxlController(), 2},
+        {Catalog::newSsd(4.0), 5},
+        {Catalog::serverMisc(), 1},
+    };
+    return finish(sku);
+}
+
+ServerSku
+StandardSkus::greenFull()
+{
+    ServerSku sku;
+    sku.name = "GreenSKU-Full";
+    sku.generation = Generation::GreenSku;
+    sku.cores = 128;
+    sku.local_memory = MemCapacity::gb(12 * 64.0);
+    sku.cxl_memory = MemCapacity::gb(8 * 32.0);
+    sku.storage = StorageCapacity::tb(2 * 4.0 + 12 * 1.0);
+    sku.slots = {
+        {Catalog::bergamoCpu(), 1},
+        {Catalog::ddr5Dimm(64.0), 12},
+        {Catalog::reusedDdr4Dimm(32.0), 8},
+        {Catalog::cxlController(), 2},
+        {Catalog::newSsd(4.0), 2},
+        {Catalog::reusedSsd(1.0), 12},
+        {Catalog::serverMisc(), 1},
+    };
+    return finish(sku);
+}
+
+ServerSku
+StandardSkus::gen1()
+{
+    ServerSku sku;
+    sku.name = "Gen1";
+    sku.generation = Generation::Gen1;
+    sku.cores = 64;
+    sku.local_memory = MemCapacity::gb(12 * 32.0);
+    sku.storage = StorageCapacity::tb(4 * 1.0);
+    sku.slots = {
+        {Catalog::romeCpu(), 1},
+        {Catalog::ddr5Dimm(32.0), 12},
+        {Catalog::newSsd(1.0), 4},
+        {Catalog::serverMisc(), 1},
+    };
+    return finish(sku);
+}
+
+ServerSku
+StandardSkus::gen2()
+{
+    ServerSku sku;
+    sku.name = "Gen2";
+    sku.generation = Generation::Gen2;
+    sku.cores = 64;
+    sku.local_memory = MemCapacity::gb(12 * 48.0);
+    sku.storage = StorageCapacity::tb(4 * 2.0);
+    sku.slots = {
+        {Catalog::milanCpu(), 1},
+        {Catalog::ddr5Dimm(48.0), 12},
+        {Catalog::newSsd(2.0), 4},
+        {Catalog::serverMisc(), 1},
+    };
+    return finish(sku);
+}
+
+ServerSku
+StandardSkus::paperExampleCxl()
+{
+    ServerSku sku;
+    sku.name = "GreenSKU-CXL (Sec. V example)";
+    sku.generation = Generation::GreenSku;
+    sku.cores = 128;
+    sku.local_memory = MemCapacity::gb(768.0);
+    sku.cxl_memory = MemCapacity::gb(256.0);
+    sku.storage = StorageCapacity::tb(20.0);
+    sku.slots = {
+        {Catalog::bergamoCpu(), 1},
+        {Catalog::ddr5Dimm(64.0), 12},
+        {Catalog::paperDdr4Dimm(32.0), 8},
+        {Catalog::paperCxlController(), 2},
+        {Catalog::newSsd(4.0), 5},
+    };
+    return finish(sku);
+}
+
+std::vector<ServerSku>
+StandardSkus::tableFourRows()
+{
+    return {baseline(), baselineResized(), greenEfficient(), greenCxl(),
+            greenFull()};
+}
+
+} // namespace gsku::carbon

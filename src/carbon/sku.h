@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Server SKU descriptions: a named composition of components plus the
+ * capacities the cluster simulator schedules against. The five standard
+ * SKUs are exactly the rows of the paper's Table IV / Table VIII.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "carbon/component.h"
+#include "common/units.h"
+
+namespace gsku::carbon {
+
+/** Which hardware generation a SKU belongs to (drives perf + traces). */
+enum class Generation
+{
+    Gen1,       ///< AMD Rome.
+    Gen2,       ///< AMD Milan.
+    Gen3,       ///< AMD Genoa (the paper's baseline SKU).
+    GreenSku,   ///< AMD Bergamo-based GreenSKU.
+};
+
+std::string toString(Generation gen);
+
+/**
+ * A compute server SKU: component list plus schedulable capacities.
+ * Invariants are checked by validate(); the factory functions below
+ * always return validated SKUs.
+ */
+struct ServerSku
+{
+    std::string name;
+    Generation generation = Generation::Gen3;
+    int cores = 0;                  ///< Schedulable physical cores.
+    int form_factor_u = 2;          ///< Rack units occupied.
+    MemCapacity local_memory;       ///< Direct-attached (DDR5) memory.
+    MemCapacity cxl_memory;         ///< CXL-attached (reused DDR4) memory.
+    StorageCapacity storage;        ///< Total SSD capacity.
+    std::vector<ComponentSlot> slots;
+
+    /** Total schedulable memory (local + CXL). */
+    MemCapacity totalMemory() const { return local_memory + cxl_memory; }
+
+    /** Memory-to-core ratio in GB per core (9.6 baseline vs 8 GreenSKU). */
+    double memoryPerCore() const;
+
+    /** Fraction of memory that is CXL-attached (the Fig. 10 shading). */
+    double cxlMemoryFraction() const;
+
+    /** Count of component units of a kind (e.g. DIMMs for AFR math). */
+    int unitCount(ComponentKind kind) const;
+
+    /** Throws UserError when the SKU is inconsistent. */
+    void validate() const;
+};
+
+/**
+ * Factory for the paper's SKU configurations (Table IV / VIII rows).
+ * All use the open-source component catalog.
+ */
+class StandardSkus
+{
+  public:
+    /** Gen3 baseline: 80 cores, 12x64 GB DDR5, 6x2 TB SSD. */
+    static ServerSku baseline();
+
+    /** Baseline-Resized: memory:core reduced 9.6 -> 8 (10x64 GB). */
+    static ServerSku baselineResized();
+
+    /** GreenSKU-Efficient: Bergamo, 12x96 GB DDR5, 5x4 TB SSD. */
+    static ServerSku greenEfficient();
+
+    /** GreenSKU-CXL: 12x64 DDR5 + 8x32 reused DDR4 via 2 CXL cards. */
+    static ServerSku greenCxl();
+
+    /** GreenSKU-Full: GreenSKU-CXL with 2x4 TB new + 12x1 TB reused SSD. */
+    static ServerSku greenFull();
+
+    /** Gen1 (Rome) server, for mixed-generation fleets. */
+    static ServerSku gen1();
+
+    /** Gen2 (Milan) server, for mixed-generation fleets. */
+    static ServerSku gen2();
+
+    /**
+     * The §V worked-example variant of GreenSKU-CXL, built verbatim from
+     * Table V (DDR4 at 0.37 W/GB, derated CXL card, no server misc).
+     * Reproduces E_emb,s = 1644 kg and P_s = 403 W.
+     */
+    static ServerSku paperExampleCxl();
+
+    /** All five Table IV/VIII rows in paper order. */
+    static std::vector<ServerSku> tableFourRows();
+};
+
+} // namespace gsku::carbon

@@ -1,0 +1,237 @@
+#include "carbon/sku_parser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "carbon/catalog.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+
+namespace {
+
+/** A parsed <count>x<size> pair. */
+struct CountSize
+{
+    int count = 0;
+    double size = 0.0;
+};
+
+CountSize
+parseCountSize(const std::string &key, const std::string &value)
+{
+    const std::size_t x = value.find('x');
+    GSKU_REQUIRE(x != std::string::npos && x > 0 && x + 1 < value.size(),
+                 "expected <count>x<size> for " + key + ", got '" +
+                     value + "'");
+    CountSize out;
+    try {
+        std::size_t used = 0;
+        out.count = std::stoi(value.substr(0, x), &used);
+        GSKU_REQUIRE(used == x, "malformed count in " + key + "='" +
+                                    value + "'");
+        out.size = std::stod(value.substr(x + 1), &used);
+        GSKU_REQUIRE(used == value.size() - x - 1,
+                     "malformed size in " + key + "='" + value + "'");
+    } catch (const std::logic_error &) {
+        GSKU_REQUIRE(false,
+                     "malformed number in " + key + "='" + value + "'");
+    }
+    GSKU_REQUIRE(out.count > 0, key + " count must be positive");
+    GSKU_REQUIRE(out.size > 0.0, key + " size must be positive");
+    return out;
+}
+
+struct CpuChoice
+{
+    Component component;
+    int cores;
+    Generation generation;
+};
+
+CpuChoice
+cpuFor(const std::string &name)
+{
+    if (name == "bergamo") {
+        return {Catalog::bergamoCpu(), 128, Generation::GreenSku};
+    }
+    if (name == "genoa") {
+        return {Catalog::genoaCpu(), 80, Generation::Gen3};
+    }
+    if (name == "milan") {
+        return {Catalog::milanCpu(), 64, Generation::Gen2};
+    }
+    if (name == "rome") {
+        return {Catalog::romeCpu(), 64, Generation::Gen1};
+    }
+    GSKU_REQUIRE(false, "unknown cpu '" + name +
+                            "' (expected bergamo|genoa|milan|rome)");
+    GSKU_ASSERT(false, "unreachable");
+}
+
+} // namespace
+
+ServerSku
+parseSku(const std::string &spec)
+{
+    std::map<std::string, std::string> kv;
+    std::istringstream in(spec);
+    std::string token;
+    while (in >> token) {
+        const std::size_t eq = token.find('=');
+        GSKU_REQUIRE(eq != std::string::npos && eq > 0,
+                     "expected key=value, got '" + token + "'");
+        const std::string key = token.substr(0, eq);
+        GSKU_REQUIRE(!kv.count(key), "duplicate key '" + key + "'");
+        kv[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    GSKU_REQUIRE(kv.count("cpu"), "spec must name a cpu");
+
+    static const std::vector<std::string> known = {
+        "name", "cpu",        "ddr5", "lpddr", "cxl_ddr4",
+        "ssd",  "reused_ssd", "nic",  "u"};
+    for (const auto &[key, value] : kv) {
+        GSKU_REQUIRE(std::find(known.begin(), known.end(), key) !=
+                         known.end(),
+                     "unknown key '" + key + "'");
+    }
+
+    ServerSku sku;
+    sku.name = kv.count("name") ? kv.at("name") : spec;
+
+    const CpuChoice cpu = cpuFor(kv.at("cpu"));
+    sku.generation = cpu.generation;
+    sku.cores = cpu.cores;
+    sku.slots.push_back({cpu.component, 1});
+
+    double local_gb = 0.0;
+    double cxl_gb = 0.0;
+    double storage_tb = 0.0;
+
+    if (kv.count("ddr5")) {
+        const CountSize cs = parseCountSize("ddr5", kv.at("ddr5"));
+        sku.slots.push_back({Catalog::ddr5Dimm(cs.size), cs.count});
+        local_gb += cs.count * cs.size;
+    }
+    if (kv.count("lpddr")) {
+        const CountSize cs = parseCountSize("lpddr", kv.at("lpddr"));
+        sku.slots.push_back({Catalog::lpddrDimm(cs.size), cs.count});
+        local_gb += cs.count * cs.size;
+    }
+    if (kv.count("cxl_ddr4")) {
+        const CountSize cs =
+            parseCountSize("cxl_ddr4", kv.at("cxl_ddr4"));
+        sku.slots.push_back({Catalog::reusedDdr4Dimm(cs.size), cs.count});
+        // One CXL controller per four DDR4 DIMMs (§III prototype).
+        sku.slots.push_back(
+            {Catalog::cxlController(), (cs.count + 3) / 4});
+        cxl_gb += cs.count * cs.size;
+    }
+    if (kv.count("ssd")) {
+        const CountSize cs = parseCountSize("ssd", kv.at("ssd"));
+        sku.slots.push_back({Catalog::newSsd(cs.size), cs.count});
+        storage_tb += cs.count * cs.size;
+    }
+    if (kv.count("reused_ssd")) {
+        const CountSize cs =
+            parseCountSize("reused_ssd", kv.at("reused_ssd"));
+        sku.slots.push_back({Catalog::reusedSsd(cs.size), cs.count});
+        storage_tb += cs.count * cs.size;
+    }
+
+    const std::string nic = kv.count("nic") ? kv.at("nic") : "bundled";
+    if (nic == "bundled") {
+        sku.slots.push_back({Catalog::serverMisc(), 1});
+    } else if (nic == "new") {
+        sku.slots.push_back({Catalog::serverMiscNoNic(), 1});
+        sku.slots.push_back({Catalog::nic(), 1});
+    } else if (nic == "reused") {
+        sku.slots.push_back({Catalog::serverMiscNoNic(), 1});
+        sku.slots.push_back({Catalog::reusedNic(), 1});
+    } else {
+        GSKU_REQUIRE(false, "unknown nic '" + nic +
+                                "' (expected new|reused|bundled)");
+    }
+
+    if (kv.count("u")) {
+        try {
+            sku.form_factor_u = std::stoi(kv.at("u"));
+        } catch (const std::logic_error &) {
+            GSKU_REQUIRE(false, "malformed u='" + kv.at("u") + "'");
+        }
+    }
+
+    sku.local_memory = MemCapacity::gb(local_gb);
+    sku.cxl_memory = MemCapacity::gb(cxl_gb);
+    sku.storage = StorageCapacity::tb(storage_tb);
+    sku.validate();
+    return sku;
+}
+
+std::string
+formatSku(const ServerSku &sku)
+{
+    std::ostringstream out;
+    // Names are free-form; sanitize characters the grammar reserves.
+    std::string name = sku.name;
+    for (char &c : name) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            c = '_';
+        } else if (c == '=') {
+            c = ':';
+        }
+    }
+    out << "name=" << name;
+
+    auto emit_count_size = [&](const char *key, const ComponentSlot &slot,
+                               double per_unit) {
+        const double size =
+            std::round(slot.component.tdp.asWatts() / per_unit * 100.0) /
+            100.0;
+        out << ' ' << key << '=' << slot.count << 'x' << size;
+    };
+
+    bool saw_nic = false;
+    bool saw_misc_no_nic = false;
+    for (const auto &slot : sku.slots) {
+        const Component &c = slot.component;
+        if (c.kind == ComponentKind::Cpu) {
+            std::string cpu = "genoa";
+            if (c.name.find("Bergamo") != std::string::npos) {
+                cpu = "bergamo";
+            } else if (c.name.find("Milan") != std::string::npos) {
+                cpu = "milan";
+            } else if (c.name.find("Rome") != std::string::npos) {
+                cpu = "rome";
+            }
+            out << " cpu=" << cpu;
+        } else if (c.name == "DDR5 DIMM") {
+            emit_count_size("ddr5", slot, 0.37);
+        } else if (c.name == "LPDDR5 DIMM") {
+            emit_count_size("lpddr", slot, 0.25);
+        } else if (c.name == "Reused DDR4 DIMM (CXL)") {
+            emit_count_size("cxl_ddr4", slot, 0.46);
+        } else if (c.name == "E1.S NVMe SSD") {
+            emit_count_size("ssd", slot, 5.6);
+        } else if (c.name == "Reused m.2 SSD") {
+            out << " reused_ssd=" << slot.count << "x1";
+        } else if (c.kind == ComponentKind::Nic) {
+            saw_nic = true;
+            out << " nic=" << (c.reused ? "reused" : "new");
+        } else if (c.name == "Fans/board/PSU") {
+            saw_misc_no_nic = true;
+        }
+        // CXL controllers and the bundled misc are implied.
+    }
+    GSKU_REQUIRE(saw_nic == saw_misc_no_nic,
+                 "cannot format a SKU with inconsistent NIC/misc slots");
+    if (sku.form_factor_u != 2) {
+        out << " u=" << sku.form_factor_u;
+    }
+    return out.str();
+}
+
+} // namespace gsku::carbon

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Compact text specs for server SKUs, so tools and scripts can explore
+ * designs without writing C++ (the §VIII design-space loop from a shell).
+ *
+ * Grammar (whitespace-separated key=value tokens, one SKU per spec):
+ *
+ *   name=<string>              optional; defaults to the spec itself
+ *   cpu=<bergamo|genoa|milan|rome>
+ *   ddr5=<count>x<gb>          new DDR5 DIMMs
+ *   lpddr=<count>x<gb>         low-power DRAM DIMMs
+ *   cxl_ddr4=<count>x<gb>      reused DDR4 via CXL (4 DIMMs/controller)
+ *   ssd=<count>x<tb>           new E1.S SSDs
+ *   reused_ssd=<count>x<tb>    reused m.2 SSDs
+ *   nic=<new|reused|bundled>   optional; default bundled (in misc)
+ *   u=<units>                  optional form factor; default 2
+ *
+ * Example:
+ *   "cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1"
+ * is exactly GreenSKU-Full.
+ */
+#pragma once
+
+#include <string>
+
+#include "carbon/sku.h"
+
+namespace gsku::carbon {
+
+/** Parses a SKU spec string; throws UserError with a precise message on
+ *  any malformed token, unknown key, or inconsistent combination. */
+ServerSku parseSku(const std::string &spec);
+
+/** Renders a SKU back into a spec string parseable by parseSku().
+ *  Round-trips every SKU built from catalog components. */
+std::string formatSku(const ServerSku &sku);
+
+} // namespace gsku::carbon

@@ -1,0 +1,508 @@
+#include "cluster/allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+
+namespace {
+
+std::size_t
+generationIndex(carbon::Generation gen)
+{
+    switch (gen) {
+      case carbon::Generation::Gen1: return 0;
+      case carbon::Generation::Gen2: return 1;
+      case carbon::Generation::Gen3: return 2;
+      case carbon::Generation::GreenSku:
+        break;
+    }
+    GSKU_REQUIRE(false, "VM origin generation must be Gen1/2/3");
+    GSKU_ASSERT(false, "unreachable");
+}
+
+} // namespace
+
+AdoptionTable::AdoptionTable()
+    : entries_(perf::AppCatalog::all().size() * 3)
+{
+}
+
+AdoptionTable
+AdoptionTable::none()
+{
+    return AdoptionTable();
+}
+
+std::size_t
+AdoptionTable::slot(std::size_t app_index, carbon::Generation gen)
+{
+    return app_index * 3 + generationIndex(gen);
+}
+
+void
+AdoptionTable::set(std::size_t app_index, carbon::Generation gen,
+                   AdoptionDecision decision)
+{
+    const std::size_t i = slot(app_index, gen);
+    GSKU_REQUIRE(i < entries_.size(), "app index out of range");
+    GSKU_REQUIRE(decision.scaling_factor >= 1.0,
+                 "scaling factor must be >= 1");
+    entries_[i] = decision;
+}
+
+AdoptionDecision
+AdoptionTable::get(std::size_t app_index, carbon::Generation gen) const
+{
+    const std::size_t i = slot(app_index, gen);
+    GSKU_REQUIRE(i < entries_.size(), "app index out of range");
+    return entries_[i];
+}
+
+double
+AdoptionTable::adoptionRate() const
+{
+    if (entries_.empty()) {
+        return 0.0;
+    }
+    std::size_t n = 0;
+    for (const auto &e : entries_) {
+        n += e.adopt ? 1 : 0;
+    }
+    return static_cast<double>(n) / static_cast<double>(entries_.size());
+}
+
+std::string
+toString(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::BestFit: return "best-fit";
+      case PlacementPolicy::FirstFit: return "first-fit";
+      case PlacementPolicy::WorstFit: return "worst-fit";
+    }
+    GSKU_ASSERT(false, "unhandled PlacementPolicy");
+}
+
+VmAllocator::VmAllocator(ReplayOptions options) : options_(options)
+{
+    GSKU_REQUIRE(options_.snapshot_interval_h > 0.0,
+                 "snapshot interval must be positive");
+}
+
+namespace {
+
+/** Mutable state of one simulated server. */
+struct ServerState
+{
+    int total_cores = 0;
+    double total_mem = 0.0;
+    double used_cores = 0.0;
+    double used_mem = 0.0;
+    int vm_count = 0;
+    bool dedicated = false;     ///< Holding a full-node VM.
+
+    double touched_mem = 0.0;   ///< Sum of allocated x touch fraction.
+    double max_touched = 0.0;   ///< Lifetime maximum of touched_mem.
+    bool ever_used = false;
+
+    double freeCores() const { return total_cores - used_cores; }
+    double freeMem() const { return total_mem - used_mem; }
+};
+
+/** Resources a VM occupies on the server it landed on. */
+struct Placement
+{
+    std::size_t server = 0;
+    bool on_green = false;
+    double cores = 0.0;
+    double mem = 0.0;
+    double touched = 0.0;
+};
+
+/** Pending departure event for the priority queue. */
+struct Departure
+{
+    double time = 0.0;
+    VmId vm = 0;
+
+    bool
+    operator>(const Departure &other) const
+    {
+        return time > other.time;
+    }
+};
+
+/**
+ * Placement with prefer-non-empty: among feasible servers, pick per the
+ * policy (best-fit minimizes leftover cores, ties broken by leftover
+ * memory), considering non-empty servers before empty ones.
+ */
+std::optional<std::size_t>
+pickServer(const std::vector<ServerState> &servers, std::size_t begin,
+           std::size_t end, double cores, double mem, bool need_empty,
+           PlacementPolicy policy)
+{
+    std::optional<std::size_t> best;
+    double best_cores = 0.0;
+    double best_mem = 0.0;
+    bool best_nonempty = false;
+
+    for (std::size_t i = begin; i < end; ++i) {
+        const ServerState &s = servers[i];
+        if (s.dedicated || s.freeCores() < cores || s.freeMem() < mem) {
+            continue;
+        }
+        const bool nonempty = s.vm_count > 0;
+        if (need_empty && nonempty) {
+            continue;
+        }
+        if (policy == PlacementPolicy::FirstFit && nonempty) {
+            return i;   // First feasible non-empty server wins outright.
+        }
+        const double left_cores = s.freeCores() - cores;
+        const double left_mem = s.freeMem() - mem;
+        bool fit_better;
+        switch (policy) {
+          case PlacementPolicy::WorstFit:
+            fit_better = left_cores > best_cores ||
+                         (left_cores == best_cores && left_mem > best_mem);
+            break;
+          case PlacementPolicy::FirstFit:
+            fit_better = false;     // Keep the earliest (empty) server.
+            break;
+          case PlacementPolicy::BestFit:
+          default:
+            fit_better = left_cores < best_cores ||
+                         (left_cores == best_cores && left_mem < best_mem);
+            break;
+        }
+        const bool better = !best || (nonempty && !best_nonempty) ||
+                            (nonempty == best_nonempty && fit_better);
+        if (better) {
+            best = i;
+            best_cores = left_cores;
+            best_mem = left_mem;
+            best_nonempty = nonempty;
+        }
+    }
+    return best;
+}
+
+/** Snapshot-accumulated packing sums for one group. */
+struct PackingAccumulator
+{
+    double core_sum = 0.0;
+    double mem_sum = 0.0;
+    long samples = 0;
+
+    void
+    sample(const std::vector<ServerState> &servers, std::size_t begin,
+           std::size_t end)
+    {
+        double cores_used = 0.0;
+        long cores_total = 0;
+        double mem_used = 0.0;
+        double mem_total = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            const ServerState &s = servers[i];
+            if (s.vm_count == 0) {
+                continue;
+            }
+            cores_used += s.used_cores;
+            cores_total += s.total_cores;
+            mem_used += s.used_mem;
+            mem_total += s.total_mem;
+        }
+        if (cores_total > 0) {
+            core_sum += cores_used / static_cast<double>(cores_total);
+            mem_sum += mem_used / mem_total;
+            ++samples;
+        }
+    }
+
+    double coreMean() const { return samples ? core_sum / samples : 0.0; }
+    double memMean() const { return samples ? mem_sum / samples : 0.0; }
+};
+
+GroupMetrics
+finishGroup(const std::vector<ServerState> &servers, std::size_t begin,
+            std::size_t end, const PackingAccumulator &acc, long placed)
+{
+    GroupMetrics m;
+    m.servers = static_cast<int>(end - begin);
+    m.vms_placed = placed;
+    m.mean_core_packing = acc.coreMean();
+    m.mean_mem_packing = acc.memMean();
+
+    double util_sum = 0.0;
+    long used_servers = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const ServerState &s = servers[i];
+        if (!s.ever_used) {
+            continue;
+        }
+        util_sum += s.max_touched / s.total_mem;
+        ++used_servers;
+    }
+    m.mean_max_mem_utilization =
+        used_servers ? util_sum / static_cast<double>(used_servers) : 0.0;
+    return m;
+}
+
+} // namespace
+
+ReplayResult
+VmAllocator::replay(const VmTrace &trace, const ClusterSpec &cluster,
+                    const AdoptionTable &adoption) const
+{
+    GSKU_REQUIRE(cluster.baselines >= 0 && cluster.greens >= 0,
+                 "server counts must be non-negative");
+    MultiClusterSpec multi;
+    multi.baseline_sku = cluster.baseline_sku;
+    multi.baselines = cluster.baselines;
+    multi.greens.push_back(
+        GreenGroupSpec{cluster.green_sku, cluster.greens, adoption});
+
+    const MultiReplayResult r = replay(trace, multi);
+    ReplayResult out;
+    out.success = r.success;
+    out.placed = r.placed;
+    out.rejected = r.rejected;
+    out.baseline = r.baseline;
+    out.green = r.greens.front();
+    out.green_placed = r.green_placed;
+    out.green_fallbacks = r.green_fallbacks;
+    return out;
+}
+
+MultiReplayResult
+VmAllocator::replay(const VmTrace &trace,
+                    const MultiClusterSpec &cluster) const
+{
+    GSKU_REQUIRE(cluster.baselines >= 0,
+                 "baseline count must be non-negative");
+    cluster.baseline_sku.validate();
+    long total_servers = cluster.baselines;
+    for (const GreenGroupSpec &group : cluster.greens) {
+        GSKU_REQUIRE(group.count >= 0,
+                     "green group counts must be non-negative");
+        group.sku.validate();
+        total_servers += group.count;
+    }
+    GSKU_REQUIRE(total_servers > 0, "cluster must contain servers");
+
+    // Server layout: [0, n_base) baseline, then each green group's
+    // contiguous range in preference order.
+    struct GroupRange
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+    const std::size_t n_base = static_cast<std::size_t>(cluster.baselines);
+    std::vector<GroupRange> green_ranges;
+    std::size_t cursor = n_base;
+    for (const GreenGroupSpec &group : cluster.greens) {
+        GroupRange range;
+        range.begin = cursor;
+        cursor += static_cast<std::size_t>(group.count);
+        range.end = cursor;
+        green_ranges.push_back(range);
+    }
+
+    std::vector<ServerState> servers(cursor);
+    for (std::size_t i = 0; i < n_base; ++i) {
+        servers[i].total_cores = cluster.baseline_sku.cores;
+        servers[i].total_mem = cluster.baseline_sku.totalMemory().asGb();
+    }
+    for (std::size_t g = 0; g < cluster.greens.size(); ++g) {
+        for (std::size_t i = green_ranges[g].begin;
+             i < green_ranges[g].end; ++i) {
+            servers[i].total_cores = cluster.greens[g].sku.cores;
+            servers[i].total_mem =
+                cluster.greens[g].sku.totalMemory().asGb();
+        }
+    }
+
+    std::vector<VmRequest> vms = trace.vms;
+    std::sort(vms.begin(), vms.end(),
+              [](const VmRequest &a, const VmRequest &b) {
+                  return a.arrival_h < b.arrival_h;
+              });
+
+    std::priority_queue<Departure, std::vector<Departure>,
+                        std::greater<Departure>>
+        departures;
+    std::vector<Placement> placements;
+    std::vector<bool> live;
+    auto placement_of = [&](VmId id) -> Placement & {
+        GSKU_ASSERT(id < placements.size() && live[id],
+                    "departure for unknown VM");
+        return placements[id];
+    };
+
+    MultiReplayResult result;
+    PackingAccumulator base_acc;
+    std::vector<PackingAccumulator> green_accs(cluster.greens.size());
+    double next_snapshot = options_.snapshot_interval_h;
+    long base_placed = 0;
+    std::vector<long> green_placed(cluster.greens.size(), 0);
+
+    auto snapshot_all = [&]() {
+        base_acc.sample(servers, 0, n_base);
+        for (std::size_t g = 0; g < green_accs.size(); ++g) {
+            green_accs[g].sample(servers, green_ranges[g].begin,
+                                 green_ranges[g].end);
+        }
+    };
+
+    auto release = [&](const Departure &dep) {
+        Placement &p = placement_of(dep.vm);
+        ServerState &s = servers[p.server];
+        s.used_cores -= p.cores;
+        s.used_mem -= p.mem;
+        s.touched_mem -= p.touched;
+        s.vm_count -= 1;
+        s.dedicated = false;
+        GSKU_ASSERT(s.used_cores >= -1e-6 && s.used_mem >= -1e-6 &&
+                        s.vm_count >= 0,
+                    "server resource accounting went negative");
+        live[dep.vm] = false;
+    };
+
+    for (const VmRequest &vm : vms) {
+        while (!departures.empty() &&
+               departures.top().time <= vm.arrival_h) {
+            const Departure dep = departures.top();
+            while (next_snapshot <= dep.time) {
+                snapshot_all();
+                next_snapshot += options_.snapshot_interval_h;
+            }
+            departures.pop();
+            release(dep);
+        }
+        while (next_snapshot <= vm.arrival_h) {
+            snapshot_all();
+            next_snapshot += options_.snapshot_interval_h;
+        }
+
+        std::optional<std::size_t> target;
+        int placed_group = -1;      // -1 = baseline.
+        double cores = static_cast<double>(vm.cores);
+        double mem = vm.memory_gb;
+
+        if (vm.full_node) {
+            // Dedicated baseline server (Sec. V): must be empty.
+            target = pickServer(servers, 0, n_base, cores, mem,
+                                /*need_empty=*/true, options_.policy);
+        } else {
+            bool any_adopts = false;
+            for (std::size_t g = 0; g < cluster.greens.size(); ++g) {
+                const AdoptionDecision decision =
+                    cluster.greens[g].adoption.get(vm.app_index,
+                                                   vm.origin_generation);
+                if (!decision.adopt) {
+                    continue;
+                }
+                any_adopts = true;
+                if (cluster.greens[g].count == 0) {
+                    continue;
+                }
+                // Fractional core allocation: the paper multiplies the
+                // VM's core count by the scaling factor; rounding up
+                // would systematically over-penalize small VMs.
+                const double green_cores =
+                    static_cast<double>(vm.cores) *
+                    decision.scaling_factor;
+                const double green_mem =
+                    vm.memory_gb * decision.scaling_factor;
+                target = pickServer(servers, green_ranges[g].begin,
+                                    green_ranges[g].end, green_cores,
+                                    green_mem, false, options_.policy);
+                if (target) {
+                    placed_group = static_cast<int>(g);
+                    cores = green_cores;
+                    mem = green_mem;
+                    break;
+                }
+            }
+            if (!target && any_adopts) {
+                ++result.green_fallbacks;
+            }
+            if (!target) {
+                target = pickServer(servers, 0, n_base, cores, mem,
+                                    false, options_.policy);
+            }
+        }
+
+        if (!target) {
+            ++result.rejected;
+            if (options_.stop_on_reject) {
+                result.greens.resize(cluster.greens.size());
+                return result;
+            }
+            continue;
+        }
+
+        ServerState &s = servers[*target];
+        Placement p;
+        p.server = *target;
+        p.on_green = placed_group >= 0;
+        p.cores = cores;
+        p.mem = mem;
+        p.touched = vm.memory_gb * vm.max_mem_touch_fraction;
+        s.used_cores += p.cores;
+        s.used_mem += p.mem;
+        s.touched_mem += p.touched;
+        s.max_touched = std::max(s.max_touched, s.touched_mem);
+        s.vm_count += 1;
+        s.ever_used = true;
+        s.dedicated = vm.full_node;
+
+        if (vm.id >= placements.size()) {
+            placements.resize(vm.id + 1);
+            live.resize(vm.id + 1, false);
+        }
+        placements[vm.id] = p;
+        live[vm.id] = true;
+        departures.push(Departure{vm.departure_h, vm.id});
+
+        ++result.placed;
+        if (placed_group >= 0) {
+            ++green_placed[placed_group];
+            ++result.green_placed;
+        } else {
+            ++base_placed;
+        }
+    }
+
+    // Drain remaining departures for final snapshots.
+    while (!departures.empty()) {
+        const Departure dep = departures.top();
+        if (dep.time > trace.duration_h) {
+            break;
+        }
+        while (next_snapshot <= dep.time) {
+            snapshot_all();
+            next_snapshot += options_.snapshot_interval_h;
+        }
+        departures.pop();
+        release(dep);
+    }
+
+    result.success = result.rejected == 0;
+    result.baseline =
+        finishGroup(servers, 0, n_base, base_acc, base_placed);
+    for (std::size_t g = 0; g < cluster.greens.size(); ++g) {
+        result.greens.push_back(
+            finishGroup(servers, green_ranges[g].begin,
+                        green_ranges[g].end, green_accs[g],
+                        green_placed[g]));
+    }
+    return result;
+}
+
+} // namespace gsku::cluster

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * GSF's VM allocation and packing component (§IV-C), implemented as an
+ * event-driven simulator of Azure's production placement rules (§V):
+ *
+ *  1. best-fit placement to reduce resource fragmentation,
+ *  2. preference for non-empty servers,
+ *  3. placement constraints: full-node VMs take a dedicated baseline
+ *     server; a VM may run on the GreenSKU only when its application
+ *     adopts it, with its cores and memory inflated by the scaling
+ *     factor; when GreenSKU capacity runs out, an adopting VM falls back
+ *     to a baseline server (the §V growth-buffer fungibility rule).
+ *
+ * The replay reports packing densities (Fig. 9) and per-server maximum
+ * touched-memory utilization (Fig. 10).
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "carbon/sku.h"
+#include "cluster/vm.h"
+
+namespace gsku::cluster {
+
+/** Whether VMs of one (application, origin-generation) pair move to the
+ *  GreenSKU, and at what resource inflation. */
+struct AdoptionDecision
+{
+    bool adopt = false;
+    double scaling_factor = 1.0;
+};
+
+/** Adoption decisions for every (app, origin generation) pair. */
+class AdoptionTable
+{
+  public:
+    /** Builds a table where no VM adopts (the all-baseline cluster). */
+    AdoptionTable();
+
+    /** Table sized for the app catalog; entries default to no-adopt. */
+    static AdoptionTable none();
+
+    void set(std::size_t app_index, carbon::Generation gen,
+             AdoptionDecision decision);
+    AdoptionDecision get(std::size_t app_index,
+                         carbon::Generation gen) const;
+
+    /** Fraction of catalog (app, gen) pairs that adopt. */
+    double adoptionRate() const;
+
+  private:
+    // 3 origin generations (Gen1/2/3) per app.
+    std::vector<AdoptionDecision> entries_;
+
+    static std::size_t slot(std::size_t app_index, carbon::Generation gen);
+};
+
+/** The simulated cluster: counts of two homogeneous server groups. */
+struct ClusterSpec
+{
+    carbon::ServerSku baseline_sku;
+    carbon::ServerSku green_sku;
+    int baselines = 0;
+    int greens = 0;
+};
+
+/** One homogeneous GreenSKU group in a multi-SKU cluster. */
+struct GreenGroupSpec
+{
+    carbon::ServerSku sku;
+    int count = 0;
+
+    /** Adoption decisions for this SKU (per-SKU carbon differs). */
+    AdoptionTable adoption;
+};
+
+/**
+ * A cluster with one baseline group and any number of GreenSKU groups.
+ * Groups are in *preference order*: an adopting VM tries each group in
+ * turn (first group whose table adopts it and has room) before falling
+ * back to the baseline — callers list the lowest-carbon SKU first.
+ */
+struct MultiClusterSpec
+{
+    carbon::ServerSku baseline_sku;
+    int baselines = 0;
+    std::vector<GreenGroupSpec> greens;
+};
+
+/** Which feasible server a VM placement picks (rule 1 of §V). */
+enum class PlacementPolicy
+{
+    BestFit,        ///< Minimize leftover cores (the production rule).
+    FirstFit,       ///< First feasible server in index order.
+    WorstFit,       ///< Maximize leftover cores (anti-consolidation).
+};
+
+std::string toString(PlacementPolicy policy);
+
+/** Replay tuning knobs. */
+struct ReplayOptions
+{
+    double snapshot_interval_h = 12.0;  ///< Packing-density sampling.
+    bool stop_on_reject = true;         ///< Abort at first rejection.
+    PlacementPolicy policy = PlacementPolicy::BestFit;
+};
+
+/** Packing metrics for one server group (baseline or green). */
+struct GroupMetrics
+{
+    int servers = 0;
+    long vms_placed = 0;
+
+    /** Snapshot-averaged allocated/allocatable cores on non-empty
+     *  servers (Fig. 9 solid lines). */
+    double mean_core_packing = 0.0;
+
+    /** Same for memory (Fig. 9 dashed lines). */
+    double mean_mem_packing = 0.0;
+
+    /**
+     * Mean over servers of the lifetime-maximum touched-memory
+     * utilization (Fig. 10): max over time of
+     * sum(vm allocated memory x touched fraction) / server capacity.
+     */
+    double mean_max_mem_utilization = 0.0;
+};
+
+/** Outcome of replaying a trace against a cluster. */
+struct ReplayResult
+{
+    bool success = false;       ///< True when no VM was rejected.
+    long placed = 0;
+    long rejected = 0;
+    GroupMetrics baseline;
+    GroupMetrics green;
+
+    /** VMs that adopted and landed on a GreenSKU. */
+    long green_placed = 0;
+
+    /** Adopting VMs that fell back to a baseline server. */
+    long green_fallbacks = 0;
+};
+
+/** Replay outcome for a multi-SKU cluster. */
+struct MultiReplayResult
+{
+    bool success = false;
+    long placed = 0;
+    long rejected = 0;
+    GroupMetrics baseline;
+    std::vector<GroupMetrics> greens;   ///< One per green group.
+    long green_placed = 0;              ///< Across all green groups.
+    long green_fallbacks = 0;
+};
+
+/** Event-driven VM placement simulator. */
+class VmAllocator
+{
+  public:
+    explicit VmAllocator(ReplayOptions options = ReplayOptions{});
+
+    /**
+     * Replay @p trace against @p cluster under @p adoption.
+     * Deterministic: identical inputs give identical results.
+     */
+    ReplayResult replay(const VmTrace &trace, const ClusterSpec &cluster,
+                        const AdoptionTable &adoption) const;
+
+    /** Replay against a multi-GreenSKU cluster (see MultiClusterSpec). */
+    MultiReplayResult replay(const VmTrace &trace,
+                             const MultiClusterSpec &cluster) const;
+
+  private:
+    ReplayOptions options_;
+};
+
+} // namespace gsku::cluster

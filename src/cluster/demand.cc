@@ -1,0 +1,141 @@
+#include "cluster/demand.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku::cluster {
+
+GrowthBufferSizer::GrowthBufferSizer(DemandParams params) : params_(params)
+{
+    GSKU_REQUIRE(params_.mean_cores > 0.0, "mean demand must be positive");
+    GSKU_REQUIRE(params_.weekly_sigma >= 0.0,
+                 "volatility must be non-negative");
+    GSKU_REQUIRE(params_.lead_time_weeks > 0.0,
+                 "lead time must be positive");
+    GSKU_REQUIRE(params_.service_level > 0.5 &&
+                     params_.service_level < 1.0,
+                 "service level must be in (0.5, 1)");
+}
+
+double
+GrowthBufferSizer::normalQuantile(double p)
+{
+    GSKU_REQUIRE(p > 0.0 && p < 1.0, "quantile p must be in (0, 1)");
+    // Acklam's rational approximation (|relative error| < 1.15e-9).
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double p_low = 0.02425;
+    double q;
+    double r;
+    if (p < p_low) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= 1.0 - p_low) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+                    r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+                    r +
+                1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double
+GrowthBufferSizer::bufferCores() const
+{
+    const double z = normalQuantile(params_.service_level);
+    const double mean_growth = params_.mean_cores *
+                               params_.weekly_growth *
+                               params_.lead_time_weeks;
+    const double sigma = params_.mean_cores * params_.weekly_sigma *
+                         std::sqrt(params_.lead_time_weeks);
+    return mean_growth + z * sigma;
+}
+
+double
+GrowthBufferSizer::bufferFraction() const
+{
+    return bufferCores() / params_.mean_cores;
+}
+
+double
+GrowthBufferSizer::fragmentedBufferCores(int options) const
+{
+    GSKU_REQUIRE(options >= 1, "need at least one SKU option");
+    // Splitting demand into `options` equal streams reduces customer
+    // multiplexing within each stream (§IV-D), so per-stream *relative*
+    // volatility grows by sqrt(options) — the usual independent-
+    // portfolio aggregation run in reverse. Each stream then holds its
+    // own safety stock, and the summed z-term grows by sqrt(options)
+    // while the deterministic mean-growth part is unchanged.
+    GrowthBufferSizer per_stream(params_);
+    per_stream.params_.mean_cores = params_.mean_cores / options;
+    per_stream.params_.weekly_sigma =
+        params_.weekly_sigma * std::sqrt(static_cast<double>(options));
+    return per_stream.bufferCores() * options;
+}
+
+double
+GrowthBufferSizer::fragmentationPenalty(int options) const
+{
+    return fragmentedBufferCores(options) / bufferCores() - 1.0;
+}
+
+double
+GrowthBufferSizer::simulateShortfallProbability(Rng &rng, int trials) const
+{
+    GSKU_REQUIRE(trials > 0, "need at least one trial");
+    const double buffer = bufferCores();
+    const int weeks =
+        static_cast<int>(std::ceil(params_.lead_time_weeks));
+    int shortfalls = 0;
+    for (int t = 0; t < trials; ++t) {
+        double demand = params_.mean_cores;
+        for (int w = 0; w < weeks; ++w) {
+            const double span =
+                std::min(1.0, params_.lead_time_weeks - w);
+            const double drift =
+                params_.mean_cores * params_.weekly_growth * span;
+            const double shock = params_.mean_cores *
+                                 params_.weekly_sigma *
+                                 std::sqrt(span) * rng.normal();
+            demand += drift + shock;
+        }
+        shortfalls += demand > params_.mean_cores + buffer ? 1 : 0;
+    }
+    return static_cast<double>(shortfalls) /
+           static_cast<double>(trials);
+}
+
+} // namespace gsku::cluster

@@ -1,0 +1,169 @@
+#include "cluster/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distributions.h"
+#include "common/error.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+
+TraceGenerator::TraceGenerator(TraceGenParams params)
+    : params_(std::move(params))
+{
+    GSKU_REQUIRE(params_.duration_h > 0.0, "trace duration must be positive");
+    GSKU_REQUIRE(params_.target_concurrent_vms > 0.0,
+                 "target VM population must be positive");
+    GSKU_REQUIRE(params_.mean_lifetime_h > 0.0,
+                 "mean lifetime must be positive");
+    GSKU_REQUIRE(params_.core_sizes.size() == params_.core_weights.size(),
+                 "core size/weight vectors must align");
+    GSKU_REQUIRE(params_.mem_per_core.size() == params_.mem_weights.size(),
+                 "memory size/weight vectors must align");
+    GSKU_REQUIRE(params_.generation_weights.size() == 3,
+                 "need weights for Gen1/2/3");
+    GSKU_REQUIRE(params_.full_node_fraction >= 0.0 &&
+                     params_.full_node_fraction < 1.0,
+                 "full-node fraction must be in [0, 1)");
+    GSKU_REQUIRE(params_.touch_mean > 0.0 && params_.touch_mean < 1.0,
+                 "touch mean must be in (0, 1)");
+}
+
+namespace {
+
+/** Sample an application index per §V: class by core-hour share, then
+ *  uniform within the class. */
+std::size_t
+sampleApp(Rng &rng, const Discrete &class_dist)
+{
+    using perf::AppClass;
+    static const AppClass classes[] = {
+        AppClass::BigData,     AppClass::WebApp,
+        AppClass::RealTimeComms, AppClass::MlInference,
+        AppClass::WebProxy,    AppClass::DevOps,
+    };
+    const AppClass cls = classes[class_dist.sample(rng)];
+
+    // Map back to indices in the flat catalog.
+    std::vector<std::size_t> members;
+    const auto &all = perf::AppCatalog::all();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (all[i].cls == cls) {
+            members.push_back(i);
+        }
+    }
+    GSKU_ASSERT(!members.empty(), "application class has no members");
+    return members[rng.uniformInt(members.size())];
+}
+
+} // namespace
+
+VmTrace
+TraceGenerator::generate(std::uint64_t seed) const
+{
+    Rng rng(seed);
+
+    // Per-trace diversity: load level, memory tilt, lifetime scale.
+    const double load_mult =
+        1.0 + params_.load_jitter * (2.0 * rng.uniform() - 1.0);
+    const double mem_tilt =
+        1.0 + params_.memory_jitter * (2.0 * rng.uniform() - 1.0);
+    const double lifetime_mult = 0.7 + 0.6 * rng.uniform();
+
+    const double mean_lifetime = params_.mean_lifetime_h * lifetime_mult;
+    const double concurrent = params_.target_concurrent_vms * load_mult;
+    // Little's law: arrival rate sustaining the target population.
+    const double arrival_rate = concurrent / mean_lifetime;
+
+    const Exponential interarrival(arrival_rate);
+    // Log-normal with the requested mean: mean = exp(mu + sigma^2/2).
+    const double sigma = params_.lifetime_sigma;
+    const LogNormal lifetime(std::log(mean_lifetime) - 0.5 * sigma * sigma,
+                             sigma);
+
+    // Tilt memory weights toward heavier buckets for memory-heavy traces.
+    std::vector<double> mem_weights = params_.mem_weights;
+    for (std::size_t i = 0; i < mem_weights.size(); ++i) {
+        const double tilt = static_cast<double>(i) -
+                            static_cast<double>(mem_weights.size() - 1) / 2.0;
+        mem_weights[i] *= std::pow(mem_tilt, tilt);
+    }
+
+    const Discrete core_dist(params_.core_weights);
+    const Discrete mem_dist(mem_weights);
+    const Discrete gen_dist(params_.generation_weights);
+    const Discrete class_dist({
+        perf::fleetCoreHourShare(perf::AppClass::BigData),
+        perf::fleetCoreHourShare(perf::AppClass::WebApp),
+        perf::fleetCoreHourShare(perf::AppClass::RealTimeComms),
+        perf::fleetCoreHourShare(perf::AppClass::MlInference),
+        perf::fleetCoreHourShare(perf::AppClass::WebProxy),
+        perf::fleetCoreHourShare(perf::AppClass::DevOps),
+    });
+
+    static const carbon::Generation generations[] = {
+        carbon::Generation::Gen1,
+        carbon::Generation::Gen2,
+        carbon::Generation::Gen3,
+    };
+
+    VmTrace trace;
+    trace.name = "synthetic-" + std::to_string(seed);
+    trace.duration_h = params_.duration_h;
+
+    double t = 0.0;
+    VmId next_id = 1;
+    while (true) {
+        t += interarrival.sample(rng);
+        if (t >= params_.duration_h) {
+            break;
+        }
+        VmRequest vm;
+        vm.id = next_id++;
+        vm.arrival_h = t;
+        vm.origin_generation = generations[gen_dist.sample(rng)];
+        vm.app_index = sampleApp(rng, class_dist);
+        vm.full_node = rng.uniform() < params_.full_node_fraction;
+
+        if (vm.full_node) {
+            // Full-node VMs take a whole baseline server and live long.
+            vm.cores = 80;
+            vm.memory_gb = 768.0;
+            vm.departure_h =
+                t + std::max(lifetime.sample(rng), 3.0 * mean_lifetime);
+        } else {
+            vm.cores = params_.core_sizes[core_dist.sample(rng)];
+            vm.memory_gb = static_cast<double>(vm.cores) *
+                           params_.mem_per_core[mem_dist.sample(rng)];
+            vm.departure_h = t + std::max(0.05, lifetime.sample(rng));
+        }
+
+        // Touched-memory fraction, clamped to (0.05, 1.0).
+        const double touch =
+            params_.touch_mean + params_.touch_spread * rng.normal();
+        vm.max_mem_touch_fraction = std::clamp(touch, 0.05, 1.0);
+
+        trace.vms.push_back(vm);
+    }
+    GSKU_REQUIRE(!trace.vms.empty(),
+                 "generated an empty trace; increase duration or load");
+    return trace;
+}
+
+std::vector<VmTrace>
+TraceGenerator::generateFamily(int count, std::uint64_t base_seed) const
+{
+    GSKU_REQUIRE(count > 0, "family must contain at least one trace");
+    Rng seeder(base_seed);
+    std::vector<VmTrace> traces;
+    traces.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        traces.push_back(generate(seeder()));
+        traces.back().name =
+            "cluster-" + std::to_string(i + 1);
+    }
+    return traces;
+}
+
+} // namespace gsku::cluster

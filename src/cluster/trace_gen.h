@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic VM trace generator substituting for Azure's proprietary
+ * production traces (DESIGN.md §1). The joint distribution of VM size,
+ * lifetime, memory:core ratio, and touched-memory fraction follows the
+ * published characterizations the paper builds on:
+ *
+ *  - VM core sizes concentrate on small VMs with a heavy tail
+ *    (Resource Central [50]);
+ *  - lifetimes are log-normal-ish with many short VMs and a fat tail of
+ *    long-living ones;
+ *  - applications are assigned by sampling class core-hour shares
+ *    (Table III), then uniformly within the class (§V);
+ *  - the maximum touched fraction of allocated memory averages ~0.55
+ *    (Pond [81]: untouched is almost half);
+ *  - a small population of long-living "full-node" VMs requires
+ *    dedicated baseline servers (§V).
+ *
+ * Each of the 35 evaluation traces perturbs load level, memory heaviness,
+ * and lifetime scale via per-trace multipliers drawn from the trace seed,
+ * mimicking cluster-to-cluster diversity.
+ */
+#pragma once
+
+#include "cluster/vm.h"
+#include "common/rng.h"
+
+namespace gsku::cluster {
+
+/** Generator parameters; defaults model a medium general-purpose cluster. */
+struct TraceGenParams
+{
+    double duration_h = 24.0 * 28.0;        ///< Four weeks.
+    double target_concurrent_vms = 600.0;   ///< Steady-state population.
+    double mean_lifetime_h = 48.0;
+
+    /** Core-size buckets and weights (Resource Central-like mix). */
+    std::vector<int> core_sizes = {2, 4, 8, 16, 24, 32, 48};
+    std::vector<double> core_weights = {30, 28, 22, 11, 5, 3, 1};
+
+    /** Memory per core buckets in GB and weights. */
+    std::vector<double> mem_per_core = {2.0, 4.0, 8.0};
+    std::vector<double> mem_weights = {25, 55, 20};
+
+    /** Origin-generation mix (Gen1, Gen2, Gen3): old generations keep
+     *  growing (§II). */
+    std::vector<double> generation_weights = {0.25, 0.35, 0.40};
+
+    /** Fraction of arrivals that are full-node VMs. */
+    double full_node_fraction = 0.002;
+
+    /** Log-normal sigma of lifetimes (median derived from the mean). */
+    double lifetime_sigma = 1.4;
+
+    /** Beta-like touched-fraction spread around the Pond mean. */
+    double touch_mean = 0.55;
+    double touch_spread = 0.18;
+
+    /** Cross-trace diversity multiplier ranges (sampled per trace). */
+    double load_jitter = 0.35;      ///< +/- on target_concurrent_vms.
+    double memory_jitter = 0.25;    ///< +/- on memory weights tilt.
+};
+
+/** Generates reproducible synthetic traces. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(TraceGenParams params = TraceGenParams{});
+
+    const TraceGenParams &params() const { return params_; }
+
+    /** One trace; the same (params, seed) always yields the same trace. */
+    VmTrace generate(std::uint64_t seed) const;
+
+    /** A family of traces with per-trace diversity (the 35 clusters). */
+    std::vector<VmTrace> generateFamily(int count,
+                                        std::uint64_t base_seed) const;
+
+  private:
+    TraceGenParams params_;
+};
+
+} // namespace gsku::cluster

@@ -1,0 +1,176 @@
+#include "cluster/trace_io.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+
+namespace {
+
+const char *const kHeader[] = {
+    "id",         "arrival_h", "departure_h",
+    "cores",      "memory_gb", "generation",
+    "full_node",  "app",       "max_mem_touch_fraction",
+};
+constexpr std::size_t kColumns = std::size(kHeader);
+
+std::string
+generationName(carbon::Generation gen)
+{
+    return carbon::toString(gen);
+}
+
+carbon::Generation
+parseGeneration(const std::string &text, int line)
+{
+    if (text == "Gen1") {
+        return carbon::Generation::Gen1;
+    }
+    if (text == "Gen2") {
+        return carbon::Generation::Gen2;
+    }
+    if (text == "Gen3") {
+        return carbon::Generation::Gen3;
+    }
+    GSKU_REQUIRE(false, "line " + std::to_string(line) +
+                            ": unknown generation '" + text + "'");
+    GSKU_ASSERT(false, "unreachable");
+}
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    // The trace format never quotes (names contain no commas).
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream in(line);
+    while (std::getline(in, cell, ',')) {
+        cells.push_back(cell);
+    }
+    if (!line.empty() && line.back() == ',') {
+        cells.emplace_back();
+    }
+    return cells;
+}
+
+} // namespace
+
+void
+writeTraceCsv(const VmTrace &trace, std::ostream &out)
+{
+    CsvWriter csv(out);
+    csv.writeHeader(
+        std::vector<std::string>(kHeader, kHeader + kColumns));
+    for (const VmRequest &vm : trace.vms) {
+        const auto &app = perf::AppCatalog::all().at(vm.app_index);
+        std::ostringstream arrival;
+        std::ostringstream departure;
+        std::ostringstream touch;
+        arrival.precision(17);
+        departure.precision(17);
+        touch.precision(17);
+        arrival << vm.arrival_h;
+        departure << vm.departure_h;
+        touch << vm.max_mem_touch_fraction;
+        csv.writeRow(std::vector<std::string>{
+            std::to_string(vm.id), arrival.str(), departure.str(),
+            std::to_string(vm.cores), std::to_string(vm.memory_gb),
+            generationName(vm.origin_generation),
+            vm.full_node ? "1" : "0", app.name, touch.str()});
+    }
+}
+
+VmTrace
+readTraceCsv(std::istream &in, const std::string &name)
+{
+    VmTrace trace;
+    trace.name = name;
+
+    std::string line;
+    GSKU_REQUIRE(std::getline(in, line), "trace CSV is empty");
+    const auto header = splitCsvLine(line);
+    GSKU_REQUIRE(header.size() == kColumns,
+                 "trace CSV header has " + std::to_string(header.size()) +
+                     " columns, expected " + std::to_string(kColumns));
+    for (std::size_t i = 0; i < kColumns; ++i) {
+        GSKU_REQUIRE(header[i] == kHeader[i],
+                     "trace CSV header column " + std::to_string(i + 1) +
+                         " is '" + header[i] + "', expected '" +
+                         kHeader[i] + "'");
+    }
+
+    int line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) {
+            continue;
+        }
+        const auto cells = splitCsvLine(line);
+        GSKU_REQUIRE(cells.size() == kColumns,
+                     "line " + std::to_string(line_no) + ": expected " +
+                         std::to_string(kColumns) + " cells, got " +
+                         std::to_string(cells.size()));
+        VmRequest vm;
+        try {
+            vm.id = std::stoull(cells[0]);
+            vm.arrival_h = std::stod(cells[1]);
+            vm.departure_h = std::stod(cells[2]);
+            vm.cores = std::stoi(cells[3]);
+            vm.memory_gb = std::stod(cells[4]);
+            vm.max_mem_touch_fraction = std::stod(cells[8]);
+        } catch (const std::logic_error &) {
+            GSKU_REQUIRE(false, "line " + std::to_string(line_no) +
+                                    ": malformed number");
+        }
+        vm.origin_generation = parseGeneration(cells[5], line_no);
+        GSKU_REQUIRE(cells[6] == "0" || cells[6] == "1",
+                     "line " + std::to_string(line_no) +
+                         ": full_node must be 0 or 1");
+        vm.full_node = cells[6] == "1";
+
+        const auto &apps = perf::AppCatalog::all();
+        bool found = false;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            if (apps[i].name == cells[7]) {
+                vm.app_index = i;
+                found = true;
+                break;
+            }
+        }
+        GSKU_REQUIRE(found, "line " + std::to_string(line_no) +
+                                ": unknown application '" + cells[7] +
+                                "'");
+        GSKU_REQUIRE(vm.departure_h > vm.arrival_h,
+                     "line " + std::to_string(line_no) +
+                         ": departure must follow arrival");
+        GSKU_REQUIRE(vm.cores > 0 && vm.memory_gb > 0.0,
+                     "line " + std::to_string(line_no) +
+                         ": resources must be positive");
+        GSKU_REQUIRE(vm.max_mem_touch_fraction >= 0.0 &&
+                         vm.max_mem_touch_fraction <= 1.0,
+                     "line " + std::to_string(line_no) +
+                         ": touch fraction must be in [0, 1]");
+        trace.vms.push_back(vm);
+    }
+    GSKU_REQUIRE(!trace.vms.empty(), "trace CSV contains no VMs");
+
+    std::sort(trace.vms.begin(), trace.vms.end(),
+              [](const VmRequest &a, const VmRequest &b) {
+                  return a.arrival_h < b.arrival_h;
+              });
+    double end = 0.0;
+    for (const VmRequest &vm : trace.vms) {
+        end = std::max(end, vm.arrival_h);
+    }
+    trace.duration_h = end + 1e-6;
+    return trace;
+}
+
+} // namespace gsku::cluster

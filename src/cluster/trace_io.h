@@ -1,0 +1,35 @@
+/**
+ * @file
+ * VM-trace serialization: write traces to CSV and read them back, so
+ * workloads can be archived, shared, and replayed bit-exactly — the
+ * role Azure's published trace datasets play for the paper's artifact.
+ *
+ * Format (header required, one VM per row):
+ *
+ *   id,arrival_h,departure_h,cores,memory_gb,generation,full_node,
+ *   app,max_mem_touch_fraction
+ *
+ * `generation` is Gen1|Gen2|Gen3; `app` is the application name from
+ * the catalog (stored by name, resolved to an index on load, so traces
+ * stay readable and survive catalog reordering).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cluster/vm.h"
+
+namespace gsku::cluster {
+
+/** Writes @p trace as CSV. */
+void writeTraceCsv(const VmTrace &trace, std::ostream &out);
+
+/**
+ * Parses a trace from CSV; throws UserError naming the offending line
+ * on any malformed row, unknown application, or inconsistent times.
+ * The returned trace is sorted by arrival time.
+ */
+VmTrace readTraceCsv(std::istream &in, const std::string &name = "csv");
+
+} // namespace gsku::cluster

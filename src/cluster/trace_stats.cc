@@ -1,0 +1,66 @@
+#include "cluster/trace_stats.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gsku::cluster {
+
+double
+TraceStats::classMixDeviation() const
+{
+    double worst = 0.0;
+    for (const perf::AppClass cls :
+         {perf::AppClass::BigData, perf::AppClass::WebApp,
+          perf::AppClass::RealTimeComms, perf::AppClass::MlInference,
+          perf::AppClass::WebProxy, perf::AppClass::DevOps}) {
+        const auto it = class_shares.find(cls);
+        const double share = it == class_shares.end() ? 0.0 : it->second;
+        // Table III shares sum to 0.99; renormalize for comparison.
+        const double expected = perf::fleetCoreHourShare(cls) / 0.99;
+        worst = std::max(worst, std::abs(share - expected));
+    }
+    return worst;
+}
+
+TraceStats
+summarizeTrace(const VmTrace &trace)
+{
+    GSKU_REQUIRE(!trace.vms.empty(), "cannot summarize an empty trace");
+    GSKU_REQUIRE(trace.duration_h > 0.0,
+                 "trace duration must be positive");
+
+    TraceStats stats;
+    stats.trace_name = trace.name;
+    stats.vm_count = trace.vms.size();
+
+    std::map<perf::AppClass, int> class_counts;
+    std::map<carbon::Generation, int> gen_counts;
+    double vm_hours = 0.0;
+    for (const VmRequest &vm : trace.vms) {
+        stats.cores.add(vm.cores);
+        stats.memory_gb.add(vm.memory_gb);
+        stats.lifetime_h.add(vm.lifetimeHours());
+        stats.touch_fraction.add(vm.max_mem_touch_fraction);
+        stats.full_node_vms += vm.full_node ? 1 : 0;
+        class_counts[perf::AppCatalog::all().at(vm.app_index).cls]++;
+        gen_counts[vm.origin_generation]++;
+        // Clip lifetimes at the trace end for the population estimate.
+        vm_hours += std::min(vm.departure_h, trace.duration_h) -
+                    vm.arrival_h;
+    }
+
+    const double n = static_cast<double>(stats.vm_count);
+    for (const auto &[cls, count] : class_counts) {
+        stats.class_shares[cls] = count / n;
+    }
+    for (const auto &[gen, count] : gen_counts) {
+        stats.generation_shares[gen] = count / n;
+    }
+    stats.peak_concurrent_cores = trace.peakConcurrentCores();
+    stats.peak_concurrent_memory_gb = trace.peakConcurrentMemoryGb();
+    stats.mean_population = vm_hours / trace.duration_h;
+    return stats;
+}
+
+} // namespace gsku::cluster

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload-characterization summary of a VM trace: the per-trace
+ * statistics the §V methodology depends on (class mix vs Table III
+ * shares, Pond-style touched-memory mean, full-node share, steady-state
+ * population), packaged for reporting and for validating synthetic or
+ * imported traces before using them in an evaluation.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cluster/vm.h"
+#include "common/stats.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+
+/** Aggregate statistics of one trace. */
+struct TraceStats
+{
+    std::string trace_name;
+    std::size_t vm_count = 0;
+    int full_node_vms = 0;
+
+    OnlineStats cores;
+    OnlineStats memory_gb;
+    OnlineStats lifetime_h;
+    OnlineStats touch_fraction;
+
+    /** VM-count share per application class (sums to 1). */
+    std::map<perf::AppClass, double> class_shares;
+
+    /** VM-count share per origin generation. */
+    std::map<carbon::Generation, double> generation_shares;
+
+    int peak_concurrent_cores = 0;
+    double peak_concurrent_memory_gb = 0.0;
+
+    /** Mean concurrent VM population over the trace duration
+     *  (Little's law: arrivals x mean lifetime / duration). */
+    double mean_population = 0.0;
+
+    /**
+     * Largest absolute deviation between the trace's class shares and
+     * the Table III fleet core-hour shares — a sanity metric for
+     * synthetic traces (small) and a drift detector for imported ones.
+     */
+    double classMixDeviation() const;
+};
+
+/** Compute the summary; throws UserError on an empty trace. */
+TraceStats summarizeTrace(const VmTrace &trace);
+
+} // namespace gsku::cluster

@@ -1,0 +1,48 @@
+#include "cluster/vm.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gsku::cluster {
+
+namespace {
+
+/** Sweep arrivals/departures accumulating a demand dimension. */
+template <typename Getter>
+double
+peakDemand(const std::vector<VmRequest> &vms, Getter get)
+{
+    // time -> delta of demand at that time.
+    std::map<double, double> deltas;
+    for (const auto &vm : vms) {
+        deltas[vm.arrival_h] += get(vm);
+        deltas[vm.departure_h] -= get(vm);
+    }
+    double current = 0.0;
+    double peak = 0.0;
+    for (const auto &[t, d] : deltas) {
+        current += d;
+        peak = std::max(peak, current);
+    }
+    return peak;
+}
+
+} // namespace
+
+int
+VmTrace::peakConcurrentCores() const
+{
+    return static_cast<int>(peakDemand(
+        vms, [](const VmRequest &vm) {
+            return static_cast<double>(vm.cores);
+        }));
+}
+
+double
+VmTrace::peakConcurrentMemoryGb() const
+{
+    return peakDemand(vms,
+                      [](const VmRequest &vm) { return vm.memory_gb; });
+}
+
+} // namespace gsku::cluster

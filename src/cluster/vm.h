@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The VM workload data model: VM requests with arrival/departure times,
+ * resource demands, origin server generation, the application they run
+ * (assigned per §V by sampling class core-hour shares), and the
+ * Pond-style maximum touched-memory fraction that drives Fig. 10.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "carbon/sku.h"
+
+namespace gsku::cluster {
+
+using VmId = std::uint64_t;
+
+/** One VM deployment in a trace. */
+struct VmRequest
+{
+    VmId id = 0;
+    double arrival_h = 0.0;
+    double departure_h = 0.0;
+    int cores = 0;
+    double memory_gb = 0.0;
+
+    /** Server generation the VM was deployed on in the trace (§V:
+     *  pre-defined in production traces). */
+    carbon::Generation origin_generation = carbon::Generation::Gen3;
+
+    /** Long-living VM requiring a dedicated baseline server (§V). */
+    bool full_node = false;
+
+    /** Index into perf::AppCatalog::all() of the assigned application. */
+    std::size_t app_index = 0;
+
+    /**
+     * Maximum fraction of allocated memory the VM ever touches over its
+     * lifetime (Pond [81]: untouched memory is almost half of a VM's
+     * allocation on average).
+     */
+    double max_mem_touch_fraction = 0.5;
+
+    double lifetimeHours() const { return departure_h - arrival_h; }
+};
+
+/** A VM arrival/departure trace for one cluster. */
+struct VmTrace
+{
+    std::string name;
+    double duration_h = 0.0;
+    std::vector<VmRequest> vms;     ///< Sorted by arrival time.
+
+    /** Peak simultaneous core demand (no packing effects). */
+    int peakConcurrentCores() const;
+
+    /** Peak simultaneous memory demand in GB. */
+    double peakConcurrentMemoryGb() const;
+};
+
+} // namespace gsku::cluster

@@ -1,0 +1,153 @@
+#include "common/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gsku {
+
+namespace {
+
+std::string
+formatTick(double v)
+{
+    std::ostringstream out;
+    if (std::abs(v) >= 1000.0) {
+        out << std::fixed << std::setprecision(0) << v;
+    } else if (std::abs(v) >= 1.0 || v == 0.0) {
+        out << std::fixed << std::setprecision(1) << v;
+    } else {
+        out << std::fixed << std::setprecision(3) << v;
+    }
+    return out.str();
+}
+
+} // namespace
+
+std::string
+renderChart(const std::vector<ChartSeries> &series,
+            const ChartOptions &options)
+{
+    GSKU_REQUIRE(!series.empty(), "chart needs at least one series");
+    GSKU_REQUIRE(options.width >= 16 && options.height >= 4,
+                 "chart area too small");
+
+    // Data bounds over finite points.
+    double x_min = std::numeric_limits<double>::infinity();
+    double x_max = -x_min;
+    double y_min = options.y_from_zero
+                       ? 0.0
+                       : std::numeric_limits<double>::infinity();
+    double y_max = -std::numeric_limits<double>::infinity();
+    long finite_points = 0;
+    for (const ChartSeries &s : series) {
+        for (const auto &[x, y] : s.points) {
+            if (!std::isfinite(x) || !std::isfinite(y)) {
+                continue;
+            }
+            ++finite_points;
+            x_min = std::min(x_min, x);
+            x_max = std::max(x_max, x);
+            y_min = std::min(y_min, y);
+            y_max = std::max(y_max, y);
+        }
+    }
+    for (const auto &[x, label] : options.x_markers) {
+        x_min = std::min(x_min, x);
+        x_max = std::max(x_max, x);
+    }
+    GSKU_REQUIRE(finite_points > 0, "chart has no finite points");
+    if (x_max == x_min) {
+        x_max = x_min + 1.0;
+    }
+    if (y_max <= y_min) {
+        y_max = y_min + 1.0;
+    }
+
+    const int w = options.width;
+    const int h = options.height;
+    std::vector<std::string> grid(h, std::string(w, ' '));
+
+    auto col_of = [&](double x) {
+        return static_cast<int>(std::lround(
+            (x - x_min) / (x_max - x_min) * (w - 1)));
+    };
+    auto row_of = [&](double y) {
+        // Row 0 is the top of the plot.
+        return h - 1 -
+               static_cast<int>(std::lround(
+                   (y - y_min) / (y_max - y_min) * (h - 1)));
+    };
+
+    // Vertical markers first so data overwrites them.
+    for (const auto &[x, label] : options.x_markers) {
+        const int col = col_of(x);
+        for (int row = 0; row < h; ++row) {
+            grid[row][col] = '|';
+        }
+    }
+
+    for (const ChartSeries &s : series) {
+        for (const auto &[x, y] : s.points) {
+            if (!std::isfinite(x) || !std::isfinite(y)) {
+                continue;
+            }
+            const int col = std::clamp(col_of(x), 0, w - 1);
+            const int row = std::clamp(row_of(y), 0, h - 1);
+            grid[row][col] = s.glyph;
+        }
+    }
+
+    // Assemble with a y-axis gutter.
+    const std::string top_tick = formatTick(y_max);
+    const std::string bottom_tick = formatTick(y_min);
+    const std::size_t gutter =
+        std::max(top_tick.size(), bottom_tick.size()) + 1;
+
+    std::ostringstream out;
+    if (!options.y_label.empty()) {
+        out << std::string(gutter, ' ') << options.y_label << '\n';
+    }
+    for (int row = 0; row < h; ++row) {
+        std::string tick;
+        if (row == 0) {
+            tick = top_tick;
+        } else if (row == h - 1) {
+            tick = bottom_tick;
+        } else if (row == h / 2) {
+            tick = formatTick(y_min + (y_max - y_min) * 0.5);
+        }
+        out << std::setw(static_cast<int>(gutter) - 1) << tick << '|'
+            << grid[row] << '\n';
+    }
+    out << std::string(gutter - 1, ' ') << '+' << std::string(w, '-')
+        << '\n';
+    out << std::string(gutter, ' ') << formatTick(x_min)
+        << std::string(
+               std::max<std::size_t>(
+                   1, w - formatTick(x_min).size() -
+                          formatTick(x_max).size()),
+               ' ')
+        << formatTick(x_max);
+    if (!options.x_label.empty()) {
+        out << "  " << options.x_label;
+    }
+    out << '\n';
+
+    out << std::string(gutter, ' ') << "legend:";
+    for (const ChartSeries &s : series) {
+        out << "  " << s.glyph << " = " << s.name;
+    }
+    out << '\n';
+    for (const auto &[x, label] : options.x_markers) {
+        out << std::string(gutter, ' ') << "| at " << formatTick(x)
+            << ": " << label << '\n';
+    }
+    return out.str();
+}
+
+} // namespace gsku

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII line charts for the figure-reproduction benches: a terminal
+ * rendering of y-vs-x series so `bench/fig*` binaries regenerate the
+ * paper's *figures*, not only their underlying numbers.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gsku {
+
+/** One named series of (x, y) points. Points need not be sorted. */
+struct ChartSeries
+{
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+
+    /** Glyph used for this series' points ('*', 'o', '+', ...). */
+    char glyph = '*';
+};
+
+/** Plot configuration. */
+struct ChartOptions
+{
+    int width = 68;             ///< Plot-area columns.
+    int height = 18;            ///< Plot-area rows.
+    std::string x_label;
+    std::string y_label;
+    bool y_from_zero = true;    ///< Anchor the y axis at zero.
+
+    /** Vertical markers drawn as '|' at given x positions with labels
+     *  listed under the chart (the Fig. 11 region lines). */
+    std::vector<std::pair<double, std::string>> x_markers;
+};
+
+/**
+ * Render the series into a fixed-size ASCII grid with axes, tick
+ * labels, a legend, and optional vertical markers. Series are drawn in
+ * order; later series overwrite earlier glyphs on collisions.
+ * Non-finite y values (e.g. saturated latencies) are skipped.
+ */
+std::string renderChart(const std::vector<ChartSeries> &series,
+                        const ChartOptions &options = ChartOptions{});
+
+} // namespace gsku

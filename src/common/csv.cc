@@ -1,0 +1,83 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gsku {
+
+namespace {
+
+bool
+needsQuoting(const std::string &s)
+{
+    return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::ostream &out) : out_(out)
+{
+}
+
+void
+CsvWriter::writeHeader(const std::vector<std::string> &names)
+{
+    GSKU_REQUIRE(!header_written_, "CSV header already written");
+    columns_ = names.size();
+    header_written_ = true;
+    emit(names);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    if (header_written_) {
+        GSKU_REQUIRE(cells.size() == columns_,
+                     "CSV row width does not match header");
+    }
+    emit(cells);
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        std::ostringstream s;
+        s.precision(12);
+        s << v;
+        cells.push_back(s.str());
+    }
+    writeRow(cells);
+}
+
+void
+CsvWriter::emit(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) {
+            out_ << ',';
+        }
+        out_ << (needsQuoting(cells[i]) ? quote(cells[i]) : cells[i]);
+    }
+    out_ << '\n';
+}
+
+} // namespace gsku

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal CSV writer used by benches/examples to dump series for plotting.
+ */
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gsku {
+
+/** Streams rows to an ostream with RFC-4180-style quoting when needed. */
+class CsvWriter
+{
+  public:
+    /** The writer borrows the stream; it must outlive the writer. */
+    explicit CsvWriter(std::ostream &out);
+
+    void writeHeader(const std::vector<std::string> &names);
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of doubles with full precision. */
+    void writeRow(const std::vector<double> &values);
+
+  private:
+    std::ostream &out_;
+    std::size_t columns_ = 0;
+    bool header_written_ = false;
+
+    void emit(const std::vector<std::string> &cells);
+};
+
+} // namespace gsku

@@ -1,0 +1,105 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku {
+
+Exponential::Exponential(double rate) : rate_(rate)
+{
+    GSKU_REQUIRE(rate > 0.0, "Exponential rate must be positive");
+}
+
+double
+Exponential::sample(Rng &rng) const
+{
+    double u;
+    do {
+        u = rng.uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate_;
+}
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma)
+{
+    GSKU_REQUIRE(sigma > 0.0, "LogNormal sigma must be positive");
+}
+
+LogNormal
+LogNormal::fromMedianAndSigma(double median, double sigma)
+{
+    GSKU_REQUIRE(median > 0.0, "LogNormal median must be positive");
+    return LogNormal(std::log(median), sigma);
+}
+
+double
+LogNormal::sample(Rng &rng) const
+{
+    return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+double
+LogNormal::mean() const
+{
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double
+LogNormal::median() const
+{
+    return std::exp(mu_);
+}
+
+BoundedPareto::BoundedPareto(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi)
+{
+    GSKU_REQUIRE(alpha > 0.0, "BoundedPareto alpha must be positive");
+    GSKU_REQUIRE(0.0 < lo && lo < hi, "BoundedPareto requires 0 < lo < hi");
+}
+
+double
+BoundedPareto::sample(Rng &rng) const
+{
+    // Inverse CDF of the bounded Pareto.
+    const double u = rng.uniform();
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+Discrete::Discrete(std::vector<double> weights)
+{
+    GSKU_REQUIRE(!weights.empty(), "Discrete needs at least one weight");
+    cumulative_.reserve(weights.size());
+    double running = 0.0;
+    for (double w : weights) {
+        GSKU_REQUIRE(w >= 0.0, "Discrete weights must be non-negative");
+        running += w;
+        cumulative_.push_back(running);
+    }
+    total_ = running;
+    GSKU_REQUIRE(total_ > 0.0, "Discrete weights must not all be zero");
+}
+
+std::size_t
+Discrete::sample(Rng &rng) const
+{
+    const double u = rng.uniform() * total_;
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    const std::size_t idx = static_cast<std::size_t>(
+        std::distance(cumulative_.begin(), it));
+    return std::min(idx, cumulative_.size() - 1);
+}
+
+double
+Discrete::probability(std::size_t i) const
+{
+    GSKU_REQUIRE(i < cumulative_.size(), "Discrete index out of range");
+    const double prev = i == 0 ? 0.0 : cumulative_[i - 1];
+    return (cumulative_[i] - prev) / total_;
+}
+
+} // namespace gsku

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sampling distributions used by the trace generator and failure models.
+ *
+ * Each distribution owns its parameters and samples from a caller-provided
+ * Rng, so a single generator can drive many distributions with a
+ * reproducible interleaving. Inverse-CDF sampling keeps streams identical
+ * across standard-library implementations.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gsku {
+
+/** Exponential distribution with rate lambda (mean 1/lambda). */
+class Exponential
+{
+  public:
+    explicit Exponential(double rate);
+
+    double sample(Rng &rng) const;
+    double mean() const { return 1.0 / rate_; }
+
+  private:
+    double rate_;
+};
+
+/** Log-normal distribution parameterized by the underlying normal. */
+class LogNormal
+{
+  public:
+    LogNormal(double mu, double sigma);
+
+    /** Construct from the distribution's own mean/median shape. */
+    static LogNormal fromMedianAndSigma(double median, double sigma);
+
+    double sample(Rng &rng) const;
+    double mean() const;
+    double median() const;
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+/** Bounded Pareto on [lo, hi] with tail index alpha. */
+class BoundedPareto
+{
+  public:
+    BoundedPareto(double alpha, double lo, double hi);
+
+    double sample(Rng &rng) const;
+
+  private:
+    double alpha_;
+    double lo_;
+    double hi_;
+};
+
+/**
+ * Discrete distribution over indices 0..n-1 with given non-negative
+ * weights (not necessarily normalized). Sampling is O(log n).
+ */
+class Discrete
+{
+  public:
+    explicit Discrete(std::vector<double> weights);
+
+    std::size_t sample(Rng &rng) const;
+    std::size_t size() const { return cumulative_.size(); }
+
+    /** Normalized probability of index i. */
+    double probability(std::size_t i) const;
+
+  private:
+    std::vector<double> cumulative_;
+    double total_;
+};
+
+} // namespace gsku

@@ -1,0 +1,33 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace gsku {
+namespace detail {
+
+namespace {
+
+std::string
+formatMessage(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream out;
+    out << msg << " [" << file << ":" << line << "]";
+    return out.str();
+}
+
+} // namespace
+
+void
+throwUserError(const char *file, int line, const std::string &msg)
+{
+    throw UserError(formatMessage(file, line, msg));
+}
+
+void
+throwInternalError(const char *file, int line, const std::string &msg)
+{
+    throw InternalError(formatMessage(file, line, msg));
+}
+
+} // namespace detail
+} // namespace gsku

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error handling for the GreenSKU library.
+ *
+ * Follows the gem5 fatal-vs-panic convention:
+ *  - UserError ("fatal"): the caller supplied an invalid configuration or
+ *    argument; the library cannot continue but the library itself is fine.
+ *  - InternalError ("panic"): an invariant inside the library was violated;
+ *    this is a bug in the library, never the caller's fault.
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gsku {
+
+/** Raised when caller-provided configuration or arguments are invalid. */
+class UserError : public std::runtime_error
+{
+  public:
+    explicit UserError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Raised when an internal invariant is violated (a library bug). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throwUserError(const char *file, int line,
+                                 const std::string &msg);
+[[noreturn]] void throwInternalError(const char *file, int line,
+                                     const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Validate a caller-supplied condition; throws UserError when false.
+ * Use for configuration and argument checking on public entry points.
+ */
+#define GSKU_REQUIRE(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::gsku::detail::throwUserError(__FILE__, __LINE__, (msg));       \
+        }                                                                    \
+    } while (0)
+
+/**
+ * Check an internal invariant; throws InternalError when false.
+ * A firing GSKU_ASSERT always indicates a library bug.
+ */
+#define GSKU_ASSERT(cond, msg)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::gsku::detail::throwInternalError(__FILE__, __LINE__, (msg));   \
+        }                                                                    \
+    } while (0)
+
+} // namespace gsku

@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    GSKU_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    GSKU_REQUIRE(n > 0, "uniformInt requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t x;
+    do {
+        x = (*this)();
+    } while (x >= limit);
+    return x % n;
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; draw until u1 is nonzero so log() is finite.
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)());
+}
+
+} // namespace gsku

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic pieces of the library (trace generation, failure
+ * Monte-Carlo) draw from this generator so that every experiment is exactly
+ * reproducible from a seed. We implement xoshiro256++ directly instead of
+ * using std::mt19937 so the stream is identical across standard libraries.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace gsku {
+
+/** xoshiro256++ generator; satisfies UniformRandomBitGenerator. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via SplitMix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Next raw 64-bit output. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (deterministic, no cached spare). */
+    double normal();
+
+    /**
+     * Fork an independent child stream. Children are seeded from this
+     * stream's output, so a parent seed fully determines the whole tree of
+     * streams; used to give each trace/fleet its own generator.
+     */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace gsku

@@ -1,0 +1,67 @@
+#include "common/solver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku {
+
+std::optional<RootResult>
+bisect(const std::function<double(double)> &f, double lo, double hi,
+       double f_tolerance, double x_tolerance, int max_iterations)
+{
+    GSKU_REQUIRE(lo < hi, "bisect requires lo < hi");
+    GSKU_REQUIRE(f_tolerance > 0.0 && x_tolerance > 0.0,
+                 "bisect tolerances must be positive");
+
+    double flo = f(lo);
+    double fhi = f(hi);
+    if (flo == 0.0) {
+        return RootResult{lo, 0.0, 0};
+    }
+    if (fhi == 0.0) {
+        return RootResult{hi, 0.0, 0};
+    }
+    if (std::signbit(flo) == std::signbit(fhi)) {
+        return std::nullopt;
+    }
+
+    double mid = lo;
+    double fmid = flo;
+    int iter = 0;
+    for (; iter < max_iterations; ++iter) {
+        mid = 0.5 * (lo + hi);
+        fmid = f(mid);
+        if (std::abs(fmid) <= f_tolerance || (hi - lo) < x_tolerance) {
+            break;
+        }
+        if (std::signbit(fmid) == std::signbit(flo)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return RootResult{mid, fmid, iter};
+}
+
+std::optional<long>
+smallestTrue(const std::function<bool(long)> &pred, long lo, long hi)
+{
+    GSKU_REQUIRE(lo <= hi, "smallestTrue requires lo <= hi");
+    if (!pred(hi)) {
+        return std::nullopt;
+    }
+    // Invariant: pred(hi) is true; answer lies in [lo, hi].
+    while (lo < hi) {
+        const long mid = lo + (hi - lo) / 2;
+        if (pred(mid)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return hi;
+}
+
+} // namespace gsku

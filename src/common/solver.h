@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Scalar root finding and monotone search. The §VII "alternatives" analyses
+ * (how much renewables / efficiency / lifetime matches GreenSKU-Full's
+ * savings) are all solved as root-finding problems on monotone functions.
+ */
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace gsku {
+
+/** Result of a bisection solve. */
+struct RootResult
+{
+    double root;        ///< Abscissa where f crosses zero.
+    double residual;    ///< f(root); |residual| <= tolerance on success.
+    int iterations;     ///< Bisection steps performed.
+};
+
+/**
+ * Find x in [lo, hi] with f(x) = 0 by bisection. Stops when
+ * |f(x)| <= f_tolerance or the bracket narrows below x_tolerance.
+ *
+ * Requires f(lo) and f(hi) to bracket a root (opposite signs); returns
+ * std::nullopt when they do not. f need not be monotone, but with multiple
+ * roots an arbitrary one is returned.
+ */
+std::optional<RootResult>
+bisect(const std::function<double(double)> &f, double lo, double hi,
+       double f_tolerance = 1e-9, double x_tolerance = 1e-12,
+       int max_iterations = 200);
+
+/**
+ * Smallest integer n in [lo, hi] such that pred(n) is true, assuming pred
+ * is monotone (false... then true). Returns std::nullopt when pred(hi) is
+ * false. Used by cluster right-sizing ("fewest servers hosting the trace").
+ */
+std::optional<long>
+smallestTrue(const std::function<bool(long)> &pred, long lo, long hi);
+
+} // namespace gsku

@@ -1,0 +1,163 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku {
+
+void
+OnlineStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::mean() const
+{
+    GSKU_REQUIRE(count_ > 0, "mean() of empty OnlineStats");
+    return mean_;
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineStats::min() const
+{
+    GSKU_REQUIRE(count_ > 0, "min() of empty OnlineStats");
+    return min_;
+}
+
+double
+OnlineStats::max() const
+{
+    GSKU_REQUIRE(count_ > 0, "max() of empty OnlineStats");
+    return max_;
+}
+
+void
+PercentileEstimator::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+void
+PercentileEstimator::addAll(const std::vector<double> &xs)
+{
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+}
+
+void
+PercentileEstimator::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+PercentileEstimator::percentile(double p) const
+{
+    GSKU_REQUIRE(!samples_.empty(), "percentile() of empty estimator");
+    GSKU_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+    ensureSorted();
+    if (samples_.size() == 1) {
+        return samples_.front();
+    }
+    const double rank =
+        p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    GSKU_REQUIRE(!sorted_.empty(), "EmpiricalCdf needs at least one sample");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+EmpiricalCdf::at(double x) const
+{
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(std::distance(sorted_.begin(), it)) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    GSKU_REQUIRE(q > 0.0 && q <= 1.0, "quantile q must be in (0, 1]");
+    const std::size_t n = sorted_.size();
+    const std::size_t idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n))) - 1;
+    return sorted_[std::min(idx, n - 1)];
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::curve() const
+{
+    std::vector<std::pair<double, double>> points;
+    points.reserve(sorted_.size());
+    const double n = static_cast<double>(sorted_.size());
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+        points.emplace_back(sorted_[i], static_cast<double>(i + 1) / n);
+    }
+    return points;
+}
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window)
+{
+    GSKU_REQUIRE(window > 0, "MovingAverage window must be positive");
+}
+
+double
+MovingAverage::add(double x)
+{
+    buffer_.push_back(x);
+    sum_ += x;
+    if (buffer_.size() > window_) {
+        sum_ -= buffer_.front();
+        buffer_.pop_front();
+    }
+    return value();
+}
+
+double
+MovingAverage::value() const
+{
+    GSKU_REQUIRE(!buffer_.empty(), "value() of empty MovingAverage");
+    return sum_ / static_cast<double>(buffer_.size());
+}
+
+} // namespace gsku

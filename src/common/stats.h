@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Statistical accumulators: online mean/variance, percentile estimation,
+ * empirical CDFs, and moving averages. These back every figure that reports
+ * a distribution (Figs. 2, 9, 10) and the latency percentiles in Figs. 7/8.
+ */
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace gsku {
+
+/** Welford online mean/variance accumulator. */
+class OnlineStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double mean() const;
+    /** Unbiased sample variance; 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Exact percentile estimator over a retained sample set.
+ * Uses linear interpolation between closest ranks (the common
+ * "exclusive" definition used by numpy's default).
+ */
+class PercentileEstimator
+{
+  public:
+    void add(double x);
+    void addAll(const std::vector<double> &xs);
+
+    std::size_t count() const { return samples_.size(); }
+
+    /** p in [0, 100]. Requires at least one sample. */
+    double percentile(double p) const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Empirical CDF built from a sample set; evaluation and inverse
+ * (quantile) lookups, plus an evenly-spaced dump for plotting.
+ */
+class EmpiricalCdf
+{
+  public:
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    /** Fraction of samples <= x. */
+    double at(double x) const;
+
+    /** Smallest sample with CDF >= q, q in (0, 1]. */
+    double quantile(double q) const;
+
+    std::size_t count() const { return sorted_.size(); }
+    const std::vector<double> &sorted() const { return sorted_; }
+
+    /** (value, cumulative fraction) pairs for every sample, for plotting. */
+    std::vector<std::pair<double, double>> curve() const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+/** Fixed-window trailing moving average (the black line in Fig. 2). */
+class MovingAverage
+{
+  public:
+    explicit MovingAverage(std::size_t window);
+
+    /** Add a sample and return the current windowed average. */
+    double add(double x);
+
+    double value() const;
+    bool full() const { return buffer_.size() == window_; }
+
+  private:
+    std::size_t window_;
+    std::deque<double> buffer_;
+    double sum_ = 0.0;
+};
+
+} // namespace gsku

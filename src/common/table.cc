@@ -1,0 +1,84 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gsku {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns))
+{
+    GSKU_REQUIRE(!headers_.empty(), "Table needs at least one column");
+    if (aligns_.empty()) {
+        aligns_.assign(headers_.size(), Align::Left);
+    }
+    GSKU_REQUIRE(aligns_.size() == headers_.size(),
+                 "Table aligns must match header count");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    GSKU_REQUIRE(cells.size() == headers_.size(),
+                 "Table row has wrong number of cells");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " ");
+            const std::size_t pad = widths[c] - row[c].size();
+            if (aligns_[c] == Align::Right) {
+                out << std::string(pad, ' ') << row[c];
+            } else {
+                out << row[c] << std::string(pad, ' ');
+            }
+            out << " |";
+        }
+        out << '\n';
+    };
+
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+    }
+    out << '\n';
+    for (const auto &row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << v;
+    return out.str();
+}
+
+std::string
+Table::percent(double ratio, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << ratio * 100.0 << "%";
+    return out.str();
+}
+
+} // namespace gsku

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Console table rendering for the reproduction harnesses. Each bench binary
+ * prints the same rows the paper's tables/figures report; this renderer
+ * keeps that output aligned and diffable.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gsku {
+
+/** Horizontal alignment of a column's cells. */
+enum class Align { Left, Right };
+
+/**
+ * A simple monospace table: set headers, append rows of strings, render.
+ * Column widths are computed from content; headers get a separator rule.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers,
+                   std::vector<Align> aligns = {});
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render the full table as a string (trailing newline included). */
+    std::string render() const;
+
+    /** Format a double with the given precision; helper for row building. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a ratio as a percentage string, e.g. 0.28 -> "28%". */
+    static std::string percent(double ratio, int precision = 0);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gsku

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Strongly-typed physical quantities used throughout the carbon model.
+ *
+ * The carbon model mixes power, energy, time, carbon mass, and carbon
+ * intensity; mixing these up silently is the classic source of
+ * order-of-magnitude errors in emission models. Each quantity is therefore a
+ * distinct type with only the physically meaningful operators defined:
+ *
+ *   Power * Duration            -> Energy
+ *   Energy * CarbonIntensity    -> CarbonMass
+ *
+ * Canonical internal representations: watts, kilowatt-hours, hours,
+ * kgCO2e, and kgCO2e/kWh, matching the units the paper reports.
+ */
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace gsku {
+
+namespace detail {
+
+/**
+ * CRTP base providing the arithmetic shared by all scalar quantities:
+ * addition/subtraction with the same quantity, scaling by dimensionless
+ * doubles, ratios (same-quantity division yields a dimensionless double),
+ * and ordering.
+ */
+template <typename Derived>
+class ScalarQuantity
+{
+  public:
+    constexpr ScalarQuantity() = default;
+    explicit constexpr ScalarQuantity(double value) : value_(value) {}
+
+    /** Raw value in the quantity's canonical unit. */
+    constexpr double raw() const { return value_; }
+
+    friend constexpr Derived
+    operator+(Derived a, Derived b)
+    {
+        return Derived(a.raw() + b.raw());
+    }
+
+    friend constexpr Derived
+    operator-(Derived a, Derived b)
+    {
+        return Derived(a.raw() - b.raw());
+    }
+
+    friend constexpr Derived
+    operator*(Derived a, double s)
+    {
+        return Derived(a.raw() * s);
+    }
+
+    friend constexpr Derived
+    operator*(double s, Derived a)
+    {
+        return Derived(a.raw() * s);
+    }
+
+    friend constexpr Derived
+    operator/(Derived a, double s)
+    {
+        return Derived(a.raw() / s);
+    }
+
+    /** Ratio of two like quantities is dimensionless. */
+    friend constexpr double
+    operator/(Derived a, Derived b)
+    {
+        return a.raw() / b.raw();
+    }
+
+    friend constexpr Derived
+    operator-(Derived a)
+    {
+        return Derived(-a.raw());
+    }
+
+    Derived &
+    operator+=(Derived other)
+    {
+        value_ += other.raw();
+        return static_cast<Derived &>(*this);
+    }
+
+    Derived &
+    operator-=(Derived other)
+    {
+        value_ -= other.raw();
+        return static_cast<Derived &>(*this);
+    }
+
+    friend constexpr auto
+    operator<=>(ScalarQuantity a, ScalarQuantity b)
+    {
+        return a.value_ <=> b.value_;
+    }
+
+    friend constexpr bool
+    operator==(ScalarQuantity a, ScalarQuantity b)
+    {
+        return a.value_ == b.value_;
+    }
+
+  private:
+    double value_ = 0.0;
+};
+
+} // namespace detail
+
+/** Electrical power; canonical unit: watts. */
+class Power : public detail::ScalarQuantity<Power>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr Power watts(double w) { return Power(w); }
+    static constexpr Power kilowatts(double kw) { return Power(kw * 1e3); }
+
+    constexpr double asWatts() const { return raw(); }
+    constexpr double asKilowatts() const { return raw() / 1e3; }
+};
+
+/** Time span; canonical unit: hours. */
+class Duration : public detail::ScalarQuantity<Duration>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr Duration hours(double h) { return Duration(h); }
+    static constexpr Duration days(double d) { return Duration(d * 24.0); }
+
+    /** One year is 8760 hours, matching the paper's 52,560 h = 6 y. */
+    static constexpr Duration years(double y) { return Duration(y * 8760.0); }
+
+    constexpr double asHours() const { return raw(); }
+    constexpr double asYears() const { return raw() / 8760.0; }
+};
+
+/** Electrical energy; canonical unit: kilowatt-hours. */
+class Energy : public detail::ScalarQuantity<Energy>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr Energy kilowattHours(double kwh) { return Energy(kwh); }
+    static constexpr Energy
+    megawattHours(double mwh)
+    {
+        return Energy(mwh * 1e3);
+    }
+
+    constexpr double asKilowattHours() const { return raw(); }
+};
+
+/** Carbon-dioxide-equivalent mass; canonical unit: kgCO2e. */
+class CarbonMass : public detail::ScalarQuantity<CarbonMass>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr CarbonMass kg(double kg) { return CarbonMass(kg); }
+    static constexpr CarbonMass
+    tonnes(double t)
+    {
+        return CarbonMass(t * 1e3);
+    }
+
+    constexpr double asKg() const { return raw(); }
+    constexpr double asTonnes() const { return raw() / 1e3; }
+};
+
+/** Grid carbon intensity; canonical unit: kgCO2e per kWh. */
+class CarbonIntensity : public detail::ScalarQuantity<CarbonIntensity>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr CarbonIntensity
+    kgPerKwh(double v)
+    {
+        return CarbonIntensity(v);
+    }
+
+    constexpr double asKgPerKwh() const { return raw(); }
+};
+
+/** Power sustained over a duration yields energy. */
+constexpr Energy
+operator*(Power p, Duration t)
+{
+    return Energy::kilowattHours(p.asKilowatts() * t.asHours());
+}
+
+constexpr Energy
+operator*(Duration t, Power p)
+{
+    return p * t;
+}
+
+/** Energy consumed at a grid carbon intensity yields emitted carbon. */
+constexpr CarbonMass
+operator*(Energy e, CarbonIntensity ci)
+{
+    return CarbonMass::kg(e.asKilowattHours() * ci.asKgPerKwh());
+}
+
+constexpr CarbonMass
+operator*(CarbonIntensity ci, Energy e)
+{
+    return e * ci;
+}
+
+/** Memory capacity; canonical unit: gigabytes (decimal, matching DIMM SKUs). */
+class MemCapacity : public detail::ScalarQuantity<MemCapacity>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr MemCapacity gb(double v) { return MemCapacity(v); }
+
+    constexpr double asGb() const { return raw(); }
+};
+
+/** Storage capacity; canonical unit: terabytes. */
+class StorageCapacity : public detail::ScalarQuantity<StorageCapacity>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr StorageCapacity tb(double v) { return StorageCapacity(v); }
+    static constexpr StorageCapacity
+    gb(double v)
+    {
+        return StorageCapacity(v / 1e3);
+    }
+
+    constexpr double asTb() const { return raw(); }
+};
+
+} // namespace gsku

@@ -1,0 +1,79 @@
+#include "gsf/adoption.h"
+
+#include "common/error.h"
+#include "perf/cpu.h"
+
+namespace gsku::gsf {
+
+AdoptionModel::AdoptionModel(const perf::PerfModel &perf,
+                             const carbon::CarbonModel &carbon)
+    : perf_(perf), carbon_(carbon)
+{
+}
+
+cluster::AdoptionDecision
+AdoptionModel::decide(const perf::AppProfile &app,
+                      carbon::Generation origin_gen,
+                      const carbon::ServerSku &baseline,
+                      const carbon::ServerSku &green,
+                      CarbonIntensity ci) const
+{
+    const perf::CpuSpec base_cpu = perf::CpuCatalog::forGeneration(origin_gen);
+    const perf::ScalingResult sf = perf_.scalingFactor(app, base_cpu);
+
+    cluster::AdoptionDecision decision;
+    if (!sf.feasible) {
+        // Performance goals unreachable within the candidate sizes.
+        return decision;
+    }
+
+    const double base_cores =
+        static_cast<double>(perf_.config().baseline_vm_cores);
+    const double green_cores = static_cast<double>(sf.green_cores);
+
+    const CarbonMass base_carbon =
+        carbon_.perCore(baseline, ci).total() * base_cores;
+    const CarbonMass green_carbon =
+        carbon_.perCore(green, ci).total() * green_cores;
+
+    if (green_carbon < base_carbon) {
+        decision.adopt = true;
+        decision.scaling_factor = sf.factor;
+    }
+    return decision;
+}
+
+cluster::AdoptionTable
+AdoptionModel::buildTable(const carbon::ServerSku &baseline,
+                          const carbon::ServerSku &green,
+                          CarbonIntensity ci) const
+{
+    cluster::AdoptionTable table;
+    const carbon::Generation gens[] = {carbon::Generation::Gen1,
+                                       carbon::Generation::Gen2,
+                                       carbon::Generation::Gen3};
+    const auto &apps = perf::AppCatalog::all();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        for (carbon::Generation gen : gens) {
+            table.set(i, gen, decide(apps[i], gen, baseline, green, ci));
+        }
+    }
+    return table;
+}
+
+double
+AdoptionModel::adoptedCoreHourShare(const carbon::ServerSku &baseline,
+                                    const carbon::ServerSku &green,
+                                    carbon::Generation origin_gen,
+                                    CarbonIntensity ci) const
+{
+    double share = 0.0;
+    for (const auto &app : perf::AppCatalog::all()) {
+        if (decide(app, origin_gen, baseline, green, ci).adopt) {
+            share += perf::AppCatalog::fleetWeight(app);
+        }
+    }
+    return share;
+}
+
+} // namespace gsku::gsf

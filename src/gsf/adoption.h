@@ -1,0 +1,58 @@
+/**
+ * @file
+ * GSF's adoption component (§IV-C, §V): decides, per application and per
+ * origin server generation, whether VMs should move to a GreenSKU.
+ *
+ * A VM adopts when the carbon to serve its application on the GreenSKU —
+ * the scaling-factor-inflated core count times the GreenSKU's
+ * CO2e-per-core — is below the carbon of serving it on the baseline SKU
+ * with 8 cores at the baseline's CO2e-per-core. Applications whose
+ * scaling factor the performance component reports as infeasible (">1.5",
+ * e.g. Silo) never adopt.
+ */
+#pragma once
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "cluster/allocator.h"
+#include "perf/model.h"
+
+namespace gsku::gsf {
+
+/** Builds per-(app, generation) adoption tables for the allocator. */
+class AdoptionModel
+{
+  public:
+    /** Both models are borrowed; they must outlive the AdoptionModel. */
+    AdoptionModel(const perf::PerfModel &perf,
+                  const carbon::CarbonModel &carbon);
+
+    /**
+     * Decision for one application whose VM originated on @p origin_gen,
+     * against @p green evaluated at carbon intensity @p ci.
+     */
+    cluster::AdoptionDecision
+    decide(const perf::AppProfile &app, carbon::Generation origin_gen,
+           const carbon::ServerSku &baseline, const carbon::ServerSku &green,
+           CarbonIntensity ci) const;
+
+    /** Full table over the app catalog and Gen1/2/3 origins. */
+    cluster::AdoptionTable
+    buildTable(const carbon::ServerSku &baseline,
+               const carbon::ServerSku &green, CarbonIntensity ci) const;
+
+    /**
+     * Fraction of fleet core-hours (Table III weights) whose application
+     * adopts the GreenSKU for VMs originating on @p origin_gen.
+     */
+    double adoptedCoreHourShare(const carbon::ServerSku &baseline,
+                                const carbon::ServerSku &green,
+                                carbon::Generation origin_gen,
+                                CarbonIntensity ci) const;
+
+  private:
+    const perf::PerfModel &perf_;
+    const carbon::CarbonModel &carbon_;
+};
+
+} // namespace gsku::gsf

@@ -1,0 +1,94 @@
+#include "gsf/alternatives.h"
+
+#include "common/error.h"
+#include "common/solver.h"
+
+namespace gsku::gsf {
+
+AlternativesAnalysis::AlternativesAnalysis(carbon::ModelParams params,
+                                           carbon::FleetComposition fleet)
+    : params_(params), fleet_(fleet)
+{
+}
+
+double
+AlternativesAnalysis::requiredRenewableIncrease(double dc_savings) const
+{
+    GSKU_REQUIRE(dc_savings > 0.0 && dc_savings < 1.0,
+                 "savings fraction must be in (0, 1)");
+    const carbon::DataCenterModel dc(params_);
+    const double base_total = dc.breakdown(fleet_).total().asKg();
+    const double target = base_total * (1.0 - dc_savings);
+
+    const double headroom = 1.0 - fleet_.renewable_fraction;
+    const auto root = bisect(
+        [&](double delta) {
+            carbon::FleetComposition shifted = fleet_;
+            shifted.renewable_fraction += delta;
+            return dc.breakdown(shifted).total().asKg() - target;
+        },
+        0.0, headroom, 1e-6 * base_total, 1e-9);
+    GSKU_REQUIRE(root.has_value(),
+                 "no renewable increase within headroom matches the target "
+                 "savings");
+    return root->root;
+}
+
+double
+AlternativesAnalysis::requiredEfficiencyGain(double dc_savings) const
+{
+    GSKU_REQUIRE(dc_savings > 0.0 && dc_savings < 1.0,
+                 "savings fraction must be in (0, 1)");
+    const carbon::DataCenterModel dc(params_);
+    const double base_total = dc.breakdown(fleet_).total().asKg();
+    const double target = base_total * (1.0 - dc_savings);
+
+    // Efficiency gain x scales every compute-server component's power by
+    // 1/(1+x); embodied emissions are optimistically unchanged (§VII-B).
+    auto total_with_gain = [&](double x) {
+        carbon::FleetComposition scaled = fleet_;
+        for (auto &slot : scaled.compute_sku.slots) {
+            slot.component.tdp = slot.component.tdp / (1.0 + x);
+        }
+        return dc.breakdown(scaled).total().asKg();
+    };
+
+    const auto root = bisect(
+        [&](double x) { return total_with_gain(x) - target; }, 0.0, 20.0,
+        1e-6 * base_total, 1e-9);
+    GSKU_REQUIRE(root.has_value(),
+                 "no efficiency gain matches the target savings");
+    return root->root;
+}
+
+double
+AlternativesAnalysis::requiredLifetimeYears(
+    const carbon::ServerSku &baseline, double per_core_savings) const
+{
+    GSKU_REQUIRE(per_core_savings > 0.0 && per_core_savings < 1.0,
+                 "savings fraction must be in (0, 1)");
+    const carbon::CarbonModel model(params_);
+    const carbon::PerCoreEmissions base = model.perCore(baseline);
+
+    // Per core and year of service: operational is constant per year;
+    // embodied amortizes over the lifetime L (years).
+    const double base_years = params_.lifetime.asYears();
+    const double op_per_year = base.operational.asKg() / base_years;
+    const double emb_per_core = base.embodied.asKg();
+
+    const double base_per_year = op_per_year + emb_per_core / base_years;
+    const double target = base_per_year * (1.0 - per_core_savings);
+
+    // op_per_year alone is a floor; infeasible when the target is below.
+    GSKU_REQUIRE(target > op_per_year,
+                 "target savings exceed what lifetime extension can give");
+    const auto root = bisect(
+        [&](double years) {
+            return op_per_year + emb_per_core / years - target;
+        },
+        base_years, 100.0 * base_years, 1e-9, 1e-9);
+    GSKU_REQUIRE(root.has_value(), "no lifetime matches the target savings");
+    return root->root;
+}
+
+} // namespace gsku::gsf

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The §VII-B comparisons: how much of each alternative carbon-reduction
+ * strategy — more renewables, better energy efficiency, longer server
+ * lifetimes — is needed to match the GreenSKUs' savings. Each is a
+ * root-finding problem on a monotone emissions function.
+ */
+#pragma once
+
+#include "carbon/datacenter.h"
+#include "carbon/model.h"
+#include "carbon/sku.h"
+
+namespace gsku::gsf {
+
+/** Solver outputs; see each query for units. */
+class AlternativesAnalysis
+{
+  public:
+    AlternativesAnalysis(carbon::ModelParams params,
+                         carbon::FleetComposition fleet);
+
+    /**
+     * Percentage-point increase in the renewable fraction of the
+     * average data center that matches a given data-center-wide savings
+     * fraction (paper: 2.6 pp for GreenSKU-Full's DC-wide savings).
+     */
+    double requiredRenewableIncrease(double dc_savings) const;
+
+    /**
+     * Uniform energy-efficiency improvement (perf/W gain; power scales
+     * by 1/(1+x)) required of all *compute-server* components to match a
+     * given DC-wide savings fraction (paper: 28%).
+     */
+    double requiredEfficiencyGain(double dc_savings) const;
+
+    /**
+     * Server lifetime (years) whose embodied amortization matches a
+     * given per-core total-savings fraction on the baseline SKU
+     * (paper: 6 -> 13 years for GreenSKU-Full's per-core savings),
+     * assuming extension does not change operational emissions.
+     */
+    double requiredLifetimeYears(const carbon::ServerSku &baseline,
+                                 double per_core_savings) const;
+
+  private:
+    carbon::ModelParams params_;
+    carbon::FleetComposition fleet_;
+};
+
+} // namespace gsku::gsf

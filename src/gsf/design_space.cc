@@ -1,0 +1,133 @@
+#include "gsf/design_space.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "carbon/catalog.h"
+#include "common/error.h"
+
+namespace gsku::gsf {
+
+DesignSpaceExplorer::DesignSpaceExplorer(const carbon::CarbonModel &model,
+                                         DesignConstraints constraints)
+    : model_(model), constraints_(constraints)
+{
+    GSKU_REQUIRE(constraints_.min_mem_per_core > 0.0 &&
+                     constraints_.min_mem_per_core <=
+                         constraints_.max_mem_per_core,
+                 "memory:core bounds must be ordered and positive");
+    GSKU_REQUIRE(constraints_.max_cxl_fraction >= 0.0 &&
+                     constraints_.max_cxl_fraction <= 1.0,
+                 "CXL fraction bound must be in [0, 1]");
+    GSKU_REQUIRE(constraints_.max_cxl_cards >= 0 &&
+                     constraints_.max_ssd_units >= 0,
+                 "capacity bounds must be non-negative");
+}
+
+std::optional<carbon::ServerSku>
+DesignSpaceExplorer::buildCandidate(int ddr5_dimms, int cxl_ddr4_dimms,
+                                    int new_ssds, int reused_ssds) const
+{
+    GSKU_REQUIRE(ddr5_dimms >= 0 && cxl_ddr4_dimms >= 0 &&
+                     new_ssds >= 0 && reused_ssds >= 0,
+                 "component counts must be non-negative");
+    using carbon::Catalog;
+
+    const double local_gb = ddr5_dimms * 64.0;
+    const double cxl_gb = cxl_ddr4_dimms * 32.0;
+    const double total_gb = local_gb + cxl_gb;
+    const double storage_tb = new_ssds * 4.0 + reused_ssds * 1.0;
+    const int cxl_cards = (cxl_ddr4_dimms + 3) / 4;
+
+    const double mem_per_core = total_gb / 128.0;
+    const double cxl_fraction = total_gb > 0.0 ? cxl_gb / total_gb : 0.0;
+    if (mem_per_core < constraints_.min_mem_per_core ||
+        mem_per_core > constraints_.max_mem_per_core ||
+        cxl_fraction > constraints_.max_cxl_fraction ||
+        cxl_cards > constraints_.max_cxl_cards ||
+        new_ssds + reused_ssds > constraints_.max_ssd_units ||
+        storage_tb < constraints_.min_storage_tb) {
+        return std::nullopt;
+    }
+
+    carbon::ServerSku sku;
+    std::ostringstream name;
+    name << "B/" << ddr5_dimms << "x64/" << cxl_ddr4_dimms << "x32cxl/"
+         << new_ssds << "+" << reused_ssds << "ssd";
+    sku.name = name.str();
+    sku.generation = carbon::Generation::GreenSku;
+    sku.cores = 128;
+    sku.local_memory = MemCapacity::gb(local_gb);
+    sku.cxl_memory = MemCapacity::gb(cxl_gb);
+    sku.storage = StorageCapacity::tb(storage_tb);
+    sku.slots = {{Catalog::bergamoCpu(), 1}, {Catalog::serverMisc(), 1}};
+    if (ddr5_dimms > 0) {
+        sku.slots.push_back({Catalog::ddr5Dimm(64.0), ddr5_dimms});
+    }
+    if (cxl_ddr4_dimms > 0) {
+        sku.slots.push_back(
+            {Catalog::reusedDdr4Dimm(32.0), cxl_ddr4_dimms});
+        sku.slots.push_back({Catalog::cxlController(), cxl_cards});
+    }
+    if (new_ssds > 0) {
+        sku.slots.push_back({Catalog::newSsd(4.0), new_ssds});
+    }
+    if (reused_ssds > 0) {
+        sku.slots.push_back({Catalog::reusedSsd(1.0), reused_ssds});
+    }
+    sku.validate();
+    return sku;
+}
+
+std::vector<RankedDesign>
+DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
+                             const DesignRange &range,
+                             long *considered) const
+{
+    GSKU_REQUIRE(!range.ddr5_dimms.empty() &&
+                     !range.cxl_ddr4_dimms.empty() &&
+                     !range.new_ssds.empty() &&
+                     !range.reused_ssds.empty(),
+                 "design range must not be empty");
+    std::vector<RankedDesign> designs;
+    long count = 0;
+    for (int ddr5 : range.ddr5_dimms) {
+        for (int ddr4 : range.cxl_ddr4_dimms) {
+            for (int new_ssd : range.new_ssds) {
+                for (int reused_ssd : range.reused_ssds) {
+                    ++count;
+                    const auto sku = buildCandidate(ddr5, ddr4, new_ssd,
+                                                    reused_ssd);
+                    if (!sku) {
+                        continue;
+                    }
+                    designs.push_back(
+                        {*sku, model_.savingsVs(baseline, *sku)});
+                }
+            }
+        }
+    }
+    if (considered != nullptr) {
+        *considered = count;
+    }
+    std::sort(designs.begin(), designs.end(),
+              [](const RankedDesign &a, const RankedDesign &b) {
+                  return a.savings.total_savings > b.savings.total_savings;
+              });
+    return designs;
+}
+
+std::size_t
+DesignSpaceExplorer::rankOf(const std::vector<RankedDesign> &designs,
+                            const carbon::SavingsRow &savings)
+{
+    std::size_t rank = 1;
+    for (const RankedDesign &d : designs) {
+        if (d.savings.total_savings > savings.total_savings) {
+            ++rank;
+        }
+    }
+    return rank;
+}
+
+} // namespace gsku::gsf

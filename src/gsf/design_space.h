@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Design-space exploration as a library (§VIII "Navigating component
+ * search space"): the paper's authors "used parts of GSF to iterate
+ * through hundreds of configurations" and anticipate "a future search
+ * framework [that] could ... repeatedly run GSF to evaluate emissions".
+ * This component is that loop: enumerate Bergamo-based candidates over
+ * component ranges, filter by deployability constraints (the
+ * compatibility/performance interactions §VIII names), and rank by the
+ * carbon model.
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+
+namespace gsku::gsf {
+
+/** Deployability constraints a candidate must satisfy. */
+struct DesignConstraints
+{
+    /** Workload-driven memory:core bounds in GB/core (§VI found 8
+     *  carbon-optimal; the baseline ships 9.6). */
+    double min_mem_per_core = 7.0;
+    double max_mem_per_core = 10.0;
+
+    /** CXL-backed memory beyond this share risks adoption (Fig. 10's
+     *  shaded region is 25%). */
+    double max_cxl_fraction = 0.26;
+
+    /** PCIe/CXL capacity: cards at 4 DIMMs each, drives at 4 lanes. */
+    int max_cxl_cards = 4;
+    int max_ssd_units = 16;
+
+    /** Minimum storage the VM offerings need. */
+    double min_storage_tb = 8.0;
+};
+
+/** Component count ranges to enumerate. */
+struct DesignRange
+{
+    std::vector<int> ddr5_dimms = {6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+    std::vector<int> cxl_ddr4_dimms = {0, 4, 8, 12, 16};
+    std::vector<int> new_ssds = {0, 1, 2, 3, 4, 5, 6};
+    std::vector<int> reused_ssds = {0, 2, 4, 6, 8, 10, 12, 14};
+};
+
+/** One evaluated candidate. */
+struct RankedDesign
+{
+    carbon::ServerSku sku;
+    carbon::SavingsRow savings;
+};
+
+/** The exploration driver. */
+class DesignSpaceExplorer
+{
+  public:
+    DesignSpaceExplorer(const carbon::CarbonModel &model,
+                        DesignConstraints constraints = {});
+
+    /**
+     * Build a Bergamo candidate (64 GB DDR5 DIMMs, 32 GB reused DDR4,
+     * 4 TB new SSDs, 1 TB reused SSDs); std::nullopt when it violates
+     * the constraints.
+     */
+    std::optional<carbon::ServerSku>
+    buildCandidate(int ddr5_dimms, int cxl_ddr4_dimms, int new_ssds,
+                   int reused_ssds) const;
+
+    /**
+     * Enumerate the range, evaluate deployable candidates against
+     * @p baseline, and return them sorted by total savings descending.
+     * @p considered (optional out) counts all enumerated combinations.
+     */
+    std::vector<RankedDesign>
+    explore(const carbon::ServerSku &baseline,
+            const DesignRange &range = {},
+            long *considered = nullptr) const;
+
+    /** 1-based rank @p sku's total savings would hold in @p designs
+     *  (designs must be sorted as explore() returns them). */
+    static std::size_t rankOf(const std::vector<RankedDesign> &designs,
+                              const carbon::SavingsRow &savings);
+
+  private:
+    const carbon::CarbonModel &model_;
+    DesignConstraints constraints_;
+};
+
+} // namespace gsku::gsf

@@ -1,0 +1,178 @@
+#include "gsf/evaluator.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gsku::gsf {
+
+GsfEvaluator::GsfEvaluator(Options options)
+    : options_(options),
+      carbon_(options_.carbon_params),
+      perf_(options_.perf_config),
+      maintenance_(options_.afr_params),
+      adoption_(perf_, carbon_),
+      sizer_(options_.replay)
+{
+    GSKU_REQUIRE(options_.buffer.buffer_fraction >= 0.0 &&
+                     options_.buffer.buffer_fraction < 1.0,
+                 "buffer fraction must be in [0, 1)");
+}
+
+CarbonMass
+GsfEvaluator::deploymentEmissions(const carbon::ServerSku &sku, int servers,
+                                  CarbonIntensity ci) const
+{
+    GSKU_REQUIRE(servers >= 0, "server count must be non-negative");
+    const carbon::PerCoreEmissions per_core = carbon_.perCore(sku, ci);
+    // Out-of-service servers must be over-provisioned to deliver the
+    // nominal capacity (§IV-B maintenance component).
+    const double oos = maintenance_.outOfServiceFraction(sku);
+    const double effective = static_cast<double>(servers) * (1.0 + oos);
+    return per_core.total() * (effective * static_cast<double>(sku.cores));
+}
+
+namespace {
+
+/** Buffer servers (baseline SKU) covering a fraction of core capacity. */
+int
+bufferServers(double core_capacity, double fraction, int baseline_cores)
+{
+    return static_cast<int>(std::ceil(
+        core_capacity * fraction / static_cast<double>(baseline_cores)));
+}
+
+} // namespace
+
+ClusterEvaluation
+GsfEvaluator::evaluateCluster(const cluster::VmTrace &trace,
+                              const carbon::ServerSku &baseline,
+                              const carbon::ServerSku &green,
+                              CarbonIntensity ci) const
+{
+    const cluster::AdoptionTable adoption =
+        adoption_.buildTable(baseline, green, ci);
+    const SizingResult sizing = sizer_.size(trace, baseline, green, adoption);
+
+    ClusterEvaluation eval;
+    eval.trace_name = trace.name;
+    eval.sizing = sizing;
+
+    // Growth buffers: baseline SKUs only (§V workaround), sized from each
+    // scenario's core capacity.
+    const double base_cores =
+        static_cast<double>(sizing.baseline_only_servers * baseline.cores);
+    const double mixed_cores =
+        static_cast<double>(sizing.mixed_baselines * baseline.cores +
+                            sizing.mixed_greens * green.cores);
+    eval.baseline_scenario_buffer = bufferServers(
+        base_cores, options_.buffer.buffer_fraction, baseline.cores);
+    eval.mixed_scenario_buffer = bufferServers(
+        mixed_cores, options_.buffer.buffer_fraction, baseline.cores);
+
+    eval.baseline_scenario_emissions = deploymentEmissions(
+        baseline,
+        sizing.baseline_only_servers + eval.baseline_scenario_buffer, ci);
+    eval.mixed_scenario_emissions =
+        deploymentEmissions(baseline,
+                            sizing.mixed_baselines +
+                                eval.mixed_scenario_buffer,
+                            ci) +
+        deploymentEmissions(green, sizing.mixed_greens, ci);
+
+    GSKU_ASSERT(eval.baseline_scenario_emissions.asKg() > 0.0,
+                "baseline scenario must have emissions");
+    eval.savings = 1.0 - eval.mixed_scenario_emissions /
+                             eval.baseline_scenario_emissions;
+    return eval;
+}
+
+IntensitySweep
+GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
+                    const carbon::ServerSku &baseline,
+                    const carbon::ServerSku &green,
+                    const std::vector<double> &intensities) const
+{
+    GSKU_REQUIRE(!traces.empty(), "sweep needs at least one trace");
+    GSKU_REQUIRE(!intensities.empty(), "sweep needs intensities");
+
+    IntensitySweep out;
+    out.sku_name = green.name;
+    out.intensities = intensities;
+
+    // Sizing depends on CI only through the adoption table; cache sizing
+    // results per (trace, table signature).
+    std::map<std::pair<std::size_t, std::string>, SizingResult> cache;
+    auto signature = [](const cluster::AdoptionTable &table) {
+        std::ostringstream sig;
+        const auto &apps = perf::AppCatalog::all();
+        const carbon::Generation gens[] = {carbon::Generation::Gen1,
+                                           carbon::Generation::Gen2,
+                                           carbon::Generation::Gen3};
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            for (carbon::Generation g : gens) {
+                const auto d = table.get(i, g);
+                sig << (d.adopt ? 'a' : '-') << d.scaling_factor << ';';
+            }
+        }
+        return sig.str();
+    };
+
+    for (double ci_value : intensities) {
+        const CarbonIntensity ci = CarbonIntensity::kgPerKwh(ci_value);
+        const cluster::AdoptionTable adoption =
+            adoption_.buildTable(baseline, green, ci);
+        const std::string sig = signature(adoption);
+
+        double sum = 0.0;
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            auto key = std::make_pair(t, sig);
+            auto it = cache.find(key);
+            if (it == cache.end()) {
+                it = cache
+                         .emplace(key, sizer_.size(traces[t], baseline,
+                                                   green, adoption))
+                         .first;
+            }
+            const SizingResult &sizing = it->second;
+
+            // Recompute emissions at this CI from the cached sizing.
+            ClusterEvaluation eval;
+            eval.sizing = sizing;
+            const double base_cores = static_cast<double>(
+                sizing.baseline_only_servers * baseline.cores);
+            const double mixed_cores = static_cast<double>(
+                sizing.mixed_baselines * baseline.cores +
+                sizing.mixed_greens * green.cores);
+            const int buffer_base = bufferServers(
+                base_cores, options_.buffer.buffer_fraction, baseline.cores);
+            const int buffer_mixed = bufferServers(
+                mixed_cores, options_.buffer.buffer_fraction,
+                baseline.cores);
+            const CarbonMass base_em = deploymentEmissions(
+                baseline, sizing.baseline_only_servers + buffer_base, ci);
+            const CarbonMass mixed_em =
+                deploymentEmissions(
+                    baseline, sizing.mixed_baselines + buffer_mixed, ci) +
+                deploymentEmissions(green, sizing.mixed_greens, ci);
+            sum += 1.0 - mixed_em / base_em;
+        }
+        out.mean_savings.push_back(sum /
+                                   static_cast<double>(traces.size()));
+    }
+    return out;
+}
+
+double
+GsfEvaluator::meanSavings(const IntensitySweep &sweep)
+{
+    GSKU_REQUIRE(!sweep.mean_savings.empty(), "sweep has no points");
+    double sum = 0.0;
+    for (double s : sweep.mean_savings) {
+        sum += s;
+    }
+    return sum / static_cast<double>(sweep.mean_savings.size());
+}
+
+} // namespace gsku::gsf

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The end-to-end GSF evaluation (§IV, Fig. 6): wires the carbon model,
+ * performance model, maintenance model, adoption component, VM allocation
+ * simulator, cluster sizing, and growth buffer into the paper's headline
+ * outputs — cluster-level carbon savings as a function of grid carbon
+ * intensity (Figs. 11/12), and net data-center savings.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "carbon/datacenter.h"
+#include "carbon/model.h"
+#include "cluster/trace_gen.h"
+#include "gsf/adoption.h"
+#include "gsf/sizing.h"
+#include "perf/model.h"
+#include "reliability/maintenance.h"
+
+namespace gsku::gsf {
+
+/**
+ * Growth-buffer parameters (§IV-D, §V): extra capacity to absorb
+ * deployment-growth spikes. Per the §V workaround the buffer consists of
+ * baseline SKUs only (their demand history exists), so in a mixed
+ * cluster the buffer is carbon-inefficient — a cost the evaluator counts.
+ */
+struct GrowthBufferParams
+{
+    /** Buffer capacity as a fraction of the cluster's core capacity. */
+    double buffer_fraction = 0.08;
+};
+
+/** One evaluated cluster scenario (one trace, one GreenSKU design). */
+struct ClusterEvaluation
+{
+    std::string trace_name;
+    SizingResult sizing;
+    int baseline_scenario_buffer = 0;   ///< Buffer servers, all-baseline.
+    int mixed_scenario_buffer = 0;      ///< Buffer servers, mixed cluster.
+
+    /** Carbon of the all-baseline scenario at the evaluation CI. */
+    CarbonMass baseline_scenario_emissions;
+
+    /** Carbon of the mixed (GreenSKU + baseline) scenario. */
+    CarbonMass mixed_scenario_emissions;
+
+    /** Cluster-level savings fraction (Figs. 11/12 y-axis). */
+    double savings = 0.0;
+};
+
+/** A savings-vs-carbon-intensity series for one GreenSKU design. */
+struct IntensitySweep
+{
+    std::string sku_name;
+    std::vector<double> intensities;    ///< kgCO2e/kWh.
+    std::vector<double> mean_savings;   ///< Mean over traces, fraction.
+};
+
+/** Everything the evaluator needs, owned in one place. */
+class GsfEvaluator
+{
+  public:
+    struct Options
+    {
+        carbon::ModelParams carbon_params;
+        perf::PerfConfig perf_config;
+        reliability::AfrParams afr_params;
+        GrowthBufferParams buffer;
+        cluster::ReplayOptions replay;
+    };
+
+    explicit GsfEvaluator(Options options = Options{});
+
+    const carbon::CarbonModel &carbonModel() const { return carbon_; }
+    const perf::PerfModel &perfModel() const { return perf_; }
+    const AdoptionModel &adoptionModel() const { return adoption_; }
+
+    /**
+     * Evaluate one GreenSKU design on one trace at carbon intensity
+     * @p ci. Sizes both scenarios, adds growth buffers and the
+     * maintenance out-of-service overhead, and compares emissions.
+     */
+    ClusterEvaluation evaluateCluster(const cluster::VmTrace &trace,
+                                      const carbon::ServerSku &baseline,
+                                      const carbon::ServerSku &green,
+                                      CarbonIntensity ci) const;
+
+    /**
+     * Figs. 11/12: mean cluster savings across @p traces for each CI in
+     * @p intensities. Sizing results are cached per distinct adoption
+     * table, so the sweep re-simulates only when adoption flips.
+     */
+    IntensitySweep sweep(const std::vector<cluster::VmTrace> &traces,
+                         const carbon::ServerSku &baseline,
+                         const carbon::ServerSku &green,
+                         const std::vector<double> &intensities) const;
+
+    /** Mean savings over a sweep's CI grid (the paper's "average
+     *  cluster-level savings of 14%"). */
+    static double meanSavings(const IntensitySweep &sweep);
+
+    /**
+     * Lifetime emissions attributed to a deployment of @p servers
+     * servers of @p sku at @p ci, including the maintenance
+     * out-of-service overhead (out-of-service servers are extra servers
+     * that must exist to deliver the same capacity).
+     */
+    CarbonMass deploymentEmissions(const carbon::ServerSku &sku,
+                                   int servers, CarbonIntensity ci) const;
+
+  private:
+    Options options_;
+    carbon::CarbonModel carbon_;
+    perf::PerfModel perf_;
+    reliability::MaintenanceModel maintenance_;
+    AdoptionModel adoption_;
+    ClusterSizer sizer_;
+};
+
+} // namespace gsku::gsf

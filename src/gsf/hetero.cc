@@ -1,0 +1,129 @@
+#include "gsf/hetero.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "perf/cpu.h"
+
+namespace gsku::gsf {
+
+AcceleratorSpec
+AcceleratorSpec::newInferenceCard()
+{
+    return AcceleratorSpec{"Inference card (new)", Power::watts(75.0),
+                           CarbonMass::kg(45.0), 12.0, false};
+}
+
+AcceleratorSpec
+AcceleratorSpec::reusedInferenceCard()
+{
+    return AcceleratorSpec{"Inference card (reused)", Power::watts(80.0),
+                           CarbonMass::kg(0.0), 8.0, true};
+}
+
+bool
+HeteroDecision::offloads() const
+{
+    return options[best].accelerators > 0;
+}
+
+HeteroAdoptionModel::HeteroAdoptionModel(const perf::PerfModel &perf,
+                                         const carbon::CarbonModel &carbon)
+    : perf_(perf), carbon_(carbon)
+{
+}
+
+CarbonMass
+HeteroAdoptionModel::acceleratorCarbon(const AcceleratorSpec &accel,
+                                       CarbonIntensity ci) const
+{
+    const carbon::ModelParams &params = carbon_.params();
+    const Energy lifetime_energy =
+        accel.tdp * params.derate * params.lifetime;
+    return accel.embodied + lifetime_energy * ci * params.pue;
+}
+
+HeteroDecision
+HeteroAdoptionModel::decide(
+    const perf::AppProfile &app, carbon::Generation origin_gen,
+    const carbon::ServerSku &baseline, const carbon::ServerSku &green,
+    const std::vector<AcceleratorSpec> &accelerators, CarbonIntensity ci,
+    double host_cores) const
+{
+    GSKU_REQUIRE(app.cls == perf::AppClass::MlInference,
+                 "accelerator offload modeled for ML inference apps: " +
+                     app.name);
+    GSKU_REQUIRE(host_cores >= 0.0, "host cores must be non-negative");
+
+    const perf::CpuSpec base_cpu =
+        perf::CpuCatalog::forGeneration(origin_gen);
+    const perf::CpuSpec green_cpu = perf::CpuCatalog::bergamo();
+    const double base_cores =
+        static_cast<double>(perf_.config().baseline_vm_cores);
+
+    // Demand: the baseline VM's aggregate throughput, in Genoa-core
+    // units of this application.
+    const double demand =
+        base_cores * perf_.perCorePerf(app, base_cpu);
+
+    HeteroDecision decision;
+
+    // Option 1: stay on the baseline SKU.
+    {
+        HeteroOption opt;
+        opt.label = "baseline CPU";
+        opt.feasible = true;
+        opt.carbon = carbon_.perCore(baseline, ci).total() * base_cores;
+        decision.options.push_back(opt);
+    }
+
+    // Option 2: GreenSKU CPU cores via the scaling factor.
+    {
+        HeteroOption opt;
+        opt.label = "GreenSKU CPU";
+        const perf::ScalingResult sf =
+            perf_.scalingFactor(app, base_cpu);
+        if (sf.feasible) {
+            opt.feasible = true;
+            opt.green_cores = static_cast<double>(sf.green_cores);
+            opt.carbon =
+                carbon_.perCore(green, ci).total() * opt.green_cores;
+        }
+        decision.options.push_back(opt);
+    }
+
+    // Option 3+: GreenSKU host slice + accelerators.
+    for (const AcceleratorSpec &accel : accelerators) {
+        GSKU_REQUIRE(accel.relative_throughput > 0.0,
+                     "accelerator throughput must be positive");
+        HeteroOption opt;
+        opt.label = "GreenSKU host + " + accel.name;
+        const double host_throughput =
+            host_cores * perf_.perCorePerf(app, green_cpu);
+        const double residual = demand - host_throughput;
+        opt.accelerators =
+            residual <= 0.0
+                ? 0
+                : static_cast<int>(
+                      std::ceil(residual / accel.relative_throughput));
+        opt.green_cores = host_cores;
+        opt.feasible = true;
+        opt.carbon =
+            carbon_.perCore(green, ci).total() * host_cores +
+            acceleratorCarbon(accel, ci) *
+                static_cast<double>(opt.accelerators);
+        decision.options.push_back(opt);
+    }
+
+    decision.best = 0;
+    for (std::size_t i = 1; i < decision.options.size(); ++i) {
+        const HeteroOption &opt = decision.options[i];
+        if (opt.feasible &&
+            opt.carbon < decision.options[decision.best].carbon) {
+            decision.best = i;
+        }
+    }
+    return decision;
+}
+
+} // namespace gsku::gsf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Heterogeneous-compute extension of GSF (§VIII): "Extending GSF to
+ * study GreenSKUs with heterogeneous accelerators ... the adoption
+ * model's 'scaling factor' may need to reflect scaling out across CPUs
+ * and/or accelerators. Such extensions can help study accelerator-reuse
+ * for less compute-intensive ML models."
+ *
+ * This module generalizes the adoption comparison to three ways of
+ * serving an ML-inference workload's baseline-equivalent throughput:
+ *
+ *  1. the baseline SKU's CPU cores (the status quo),
+ *  2. GreenSKU CPU cores scaled by the performance component's factor,
+ *  3. a small GreenSKU host slice plus inference accelerator cards —
+ *     either new cards, or reused previous-generation cards
+ *     (second-life, zero embodied, lower throughput, worse perf/W).
+ *
+ * The decision picks the lowest-carbon feasible option, exactly like
+ * the homogeneous adoption component.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "perf/model.h"
+
+namespace gsku::gsf {
+
+/** An inference accelerator card as the carbon model sees it. */
+struct AcceleratorSpec
+{
+    std::string name;
+    Power tdp;
+    CarbonMass embodied;
+
+    /**
+     * Sustained inference throughput of one card relative to one Genoa
+     * core running the same model (cards serve many streams).
+     */
+    double relative_throughput = 10.0;
+
+    bool reused = false;
+
+    /** A current-generation 75 W inference card (new). */
+    static AcceleratorSpec newInferenceCard();
+
+    /** A reused previous-generation card: zero embodied, ~2/3 the
+     *  throughput, worse perf/W (§VIII's accelerator-reuse candidate). */
+    static AcceleratorSpec reusedInferenceCard();
+};
+
+/** One way of serving the workload, with its carbon price. */
+struct HeteroOption
+{
+    std::string label;
+    bool feasible = false;
+    double green_cores = 0.0;       ///< GreenSKU host cores used.
+    int accelerators = 0;
+    CarbonMass carbon;              ///< Lifetime CO2e for the deployment.
+};
+
+/** The chosen option plus all candidates (for reporting). */
+struct HeteroDecision
+{
+    std::vector<HeteroOption> options;  ///< Baseline first.
+    std::size_t best = 0;               ///< Index of the winner.
+
+    const HeteroOption &chosen() const { return options[best]; }
+
+    /** True when an accelerator option wins. */
+    bool offloads() const;
+};
+
+/** The generalized adoption model. */
+class HeteroAdoptionModel
+{
+  public:
+    HeteroAdoptionModel(const perf::PerfModel &perf,
+                        const carbon::CarbonModel &carbon);
+
+    /**
+     * Lifetime carbon attributable to one accelerator card at @p ci
+     * (embodied + derated power over the server lifetime with PUE).
+     */
+    CarbonMass acceleratorCarbon(const AcceleratorSpec &accel,
+                                 CarbonIntensity ci) const;
+
+    /**
+     * Compare serving @p app's baseline 8-core-equivalent throughput on
+     * (1) the baseline SKU, (2) GreenSKU CPU cores, (3) GreenSKU host +
+     * each accelerator in @p accelerators.
+     *
+     * @param host_cores GreenSKU cores kept for pre/post-processing in
+     *        the accelerated options.
+     */
+    HeteroDecision
+    decide(const perf::AppProfile &app, carbon::Generation origin_gen,
+           const carbon::ServerSku &baseline,
+           const carbon::ServerSku &green,
+           const std::vector<AcceleratorSpec> &accelerators,
+           CarbonIntensity ci, double host_cores = 2.0) const;
+
+  private:
+    const perf::PerfModel &perf_;
+    const carbon::CarbonModel &carbon_;
+};
+
+} // namespace gsku::gsf

@@ -1,0 +1,143 @@
+#include "gsf/lifetime.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku::gsf {
+
+LifetimeExtensionModel::LifetimeExtensionModel(
+    carbon::ModelParams carbon_params, reliability::AfrParams afr_params,
+    LifetimeParams lifetime_params)
+    : carbon_params_(carbon_params), afr_params_(afr_params),
+      lifetime_params_(lifetime_params)
+{
+    GSKU_REQUIRE(lifetime_params_.wearout_onset_years > 0.0,
+                 "wear-out onset must be positive");
+    GSKU_REQUIRE(lifetime_params_.afr_growth_per_year >= 0.0,
+                 "AFR growth must be non-negative");
+    GSKU_REQUIRE(lifetime_params_.generational_perf_per_year >= 0.0,
+                 "generational improvement must be non-negative");
+    GSKU_REQUIRE(lifetime_params_.repair_carbon_fraction >= 0.0,
+                 "repair carbon fraction must be non-negative");
+}
+
+double
+LifetimeExtensionModel::afrAtAge(const carbon::ServerSku &sku,
+                                 double years) const
+{
+    GSKU_REQUIRE(years >= 0.0, "age must be non-negative");
+    const reliability::MaintenanceModel maintenance(afr_params_);
+    const double base = maintenance.serverAfr(sku);
+    const double past =
+        std::max(0.0, years - lifetime_params_.wearout_onset_years);
+    return base * (1.0 + lifetime_params_.afr_growth_per_year * past);
+}
+
+LifetimePoint
+LifetimeExtensionModel::evaluate(const carbon::ServerSku &sku,
+                                 double years) const
+{
+    GSKU_REQUIRE(years > 0.0, "lifetime must be positive");
+
+    const carbon::CarbonModel model(carbon_params_);
+    const double cores = static_cast<double>(sku.cores);
+
+    LifetimePoint point;
+    point.years = years;
+    point.afr = afrAtAge(sku, years);
+
+    // Embodied amortizes over the whole lifetime.
+    point.embodied_per_core_year =
+        model.serverEmbodied(sku) / (cores * years);
+
+    // Operational per delivered-core-year: the server's power is
+    // constant, but each year of age forgoes generational per-core
+    // performance, so the *effective* (delivered-work-normalized) core
+    // count of an old server shrinks relative to the current fleet.
+    // Average the per-effective-core energy over the lifetime.
+    const CarbonMass op_per_year =
+        model.serverPower(sku) * Duration::years(1.0) *
+        carbon_params_.carbon_intensity * carbon_params_.pue;
+    double inflation_sum = 0.0;
+    const int steps = std::max(1, static_cast<int>(std::ceil(years)));
+    for (int y = 0; y < steps; ++y) {
+        const double span =
+            std::min(1.0, years - static_cast<double>(y));
+        const double mid_age = static_cast<double>(y) + span / 2.0;
+        inflation_sum +=
+            span *
+            std::pow(1.0 + lifetime_params_.generational_perf_per_year,
+                     mid_age);
+    }
+    point.operational_per_core_year =
+        op_per_year * (inflation_sum / years) / cores;
+
+    // Maintenance: repairs per year (FIP-mitigated), each costing a
+    // fraction of annual operational emissions; averaged over life.
+    const reliability::MaintenanceModel maintenance(afr_params_);
+    const double flat_repairs = maintenance.repairRate(sku) / 100.0;
+    double repair_sum = 0.0;
+    for (int y = 0; y < steps; ++y) {
+        const double span =
+            std::min(1.0, years - static_cast<double>(y));
+        const double mid_age = static_cast<double>(y) + span / 2.0;
+        const double aging =
+            afrAtAge(sku, mid_age) / maintenance.serverAfr(sku);
+        repair_sum += span * flat_repairs * aging;
+    }
+    point.maintenance_per_core_year =
+        op_per_year * lifetime_params_.repair_carbon_fraction *
+        (repair_sum / years) / cores;
+
+    return point;
+}
+
+std::vector<LifetimePoint>
+LifetimeExtensionModel::sweep(const carbon::ServerSku &sku,
+                              double from_years, double to_years,
+                              double step_years) const
+{
+    GSKU_REQUIRE(from_years > 0.0 && from_years <= to_years,
+                 "invalid lifetime range");
+    GSKU_REQUIRE(step_years > 0.0, "step must be positive");
+    std::vector<LifetimePoint> points;
+    for (double y = from_years; y <= to_years + 1e-9; y += step_years) {
+        points.push_back(evaluate(sku, y));
+    }
+    return points;
+}
+
+double
+LifetimeExtensionModel::optimalLifetimeYears(const carbon::ServerSku &sku,
+                                             double lo, double hi) const
+{
+    GSKU_REQUIRE(0.0 < lo && lo < hi, "invalid search range");
+    // Golden-section search; the objective is unimodal (embodied
+    // amortization is convex-decreasing, aging penalties increasing).
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = lo;
+    double b = hi;
+    double x1 = b - phi * (b - a);
+    double x2 = a + phi * (b - a);
+    double f1 = evaluate(sku, x1).total().asKg();
+    double f2 = evaluate(sku, x2).total().asKg();
+    for (int i = 0; i < 80 && (b - a) > 1e-6; ++i) {
+        if (f1 < f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - phi * (b - a);
+            f1 = evaluate(sku, x1).total().asKg();
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + phi * (b - a);
+            f2 = evaluate(sku, x2).total().asKg();
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+} // namespace gsku::gsf

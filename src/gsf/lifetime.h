@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Server-lifetime-extension evaluation (§VII-B): the paper notes that
+ * GSF "can evaluate server lifetime extension by considering such
+ * extension's impact on maintenance, performance, and emissions". This
+ * component implements that evaluation:
+ *
+ *  - embodied emissions amortize over more service years (the benefit);
+ *  - maintenance grows with age — components leave their flat-AFR
+ *    regime and repairs become costlier ("maintenance can become cost
+ *    prohibitive over this time frame" [88][89]);
+ *  - older servers deliver fewer effective cores per watt relative to
+ *    the current generation, so per-delivered-core operational
+ *    emissions grow with each forgone refresh ("older servers tend to
+ *    have higher per-core operational emissions" [64][75]).
+ *
+ * The headline query is the carbon-optimal lifetime and the shape of
+ * per-core-year emissions vs lifetime.
+ */
+#pragma once
+
+#include <vector>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "reliability/maintenance.h"
+
+namespace gsku::gsf {
+
+/** Aging model parameters. */
+struct LifetimeParams
+{
+    /** Years of flat AFR before wear-out raises failure rates (the
+     *  paper's telemetry is flat to 7 y; accelerated aging to 12 y). */
+    double wearout_onset_years = 12.0;
+
+    /** Fractional AFR growth per year past the onset. */
+    double afr_growth_per_year = 0.25;
+
+    /**
+     * Annual per-core performance improvement of the newest generation
+     * (the FSP treadmill, ~15% per ~2.5-year generation): keeping a
+     * server one more year forgoes this much delivered work per watt.
+     */
+    double generational_perf_per_year = 0.06;
+
+    /** Emissions attributed to one repair visit, as a fraction of the
+     *  server's annual operational emissions (truck roll, spares). */
+    double repair_carbon_fraction = 0.02;
+};
+
+/** Emissions picture at one candidate lifetime. */
+struct LifetimePoint
+{
+    double years = 0.0;
+    double afr = 0.0;                   ///< Per 100 servers, at that age.
+    CarbonMass embodied_per_core_year;
+    CarbonMass operational_per_core_year;
+    CarbonMass maintenance_per_core_year;
+
+    CarbonMass
+    total() const
+    {
+        return embodied_per_core_year + operational_per_core_year +
+               maintenance_per_core_year;
+    }
+};
+
+/** Lifetime-extension evaluator. */
+class LifetimeExtensionModel
+{
+  public:
+    LifetimeExtensionModel(carbon::ModelParams carbon_params,
+                           reliability::AfrParams afr_params,
+                           LifetimeParams lifetime_params = LifetimeParams{});
+
+    /** AFR (per 100 servers) of @p sku at a given age. */
+    double afrAtAge(const carbon::ServerSku &sku, double years) const;
+
+    /** Per-core-year emissions when @p sku serves for @p years. */
+    LifetimePoint evaluate(const carbon::ServerSku &sku,
+                           double years) const;
+
+    /** evaluate() across a lifetime grid (the ablation curve). */
+    std::vector<LifetimePoint> sweep(const carbon::ServerSku &sku,
+                                     double from_years, double to_years,
+                                     double step_years) const;
+
+    /** Lifetime minimizing per-core-year emissions, within [lo, hi]. */
+    double optimalLifetimeYears(const carbon::ServerSku &sku,
+                                double lo = 2.0, double hi = 20.0) const;
+
+  private:
+    carbon::ModelParams carbon_params_;
+    reliability::AfrParams afr_params_;
+    LifetimeParams lifetime_params_;
+};
+
+} // namespace gsku::gsf

@@ -1,0 +1,118 @@
+#include "gsf/portfolio.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku::gsf {
+
+PortfolioAnalysis::PortfolioAnalysis(carbon::ModelParams carbon_params,
+                                     cluster::DemandParams demand_params,
+                                     double total_demand_cores)
+    : carbon_params_(carbon_params), demand_params_(demand_params),
+      total_demand_cores_(total_demand_cores)
+{
+    GSKU_REQUIRE(total_demand_cores > 0.0,
+                 "total demand must be positive");
+}
+
+CarbonMass
+PortfolioAnalysis::serveEmissions(const carbon::ServerSku &sku,
+                                  double cores, double sf,
+                                  CarbonIntensity ci) const
+{
+    GSKU_REQUIRE(sf >= 1.0, "scaling factor must be >= 1");
+    const carbon::CarbonModel model(carbon_params_);
+    return model.perCore(sku, ci).total() * (cores * sf);
+}
+
+PortfolioResult
+PortfolioAnalysis::evaluate(const carbon::ServerSku &baseline,
+                            const std::vector<PortfolioSlice> &slices,
+                            CarbonIntensity ci,
+                            const std::string &label) const
+{
+    double green_share = 0.0;
+    for (const PortfolioSlice &slice : slices) {
+        GSKU_REQUIRE(slice.demand_share >= 0.0, "shares must be >= 0");
+        green_share += slice.demand_share;
+    }
+    GSKU_REQUIRE(green_share <= 1.0 + 1e-9,
+                 "demand shares exceed the total demand");
+
+    PortfolioResult result;
+    result.label = label;
+    result.sku_types = 1 + static_cast<int>(slices.size());
+
+    // Demand-serving emissions: each slice on its SKU, rest on baseline.
+    const double base_cores =
+        total_demand_cores_ * (1.0 - green_share);
+    result.demand_emissions =
+        serveEmissions(baseline, base_cores, 1.0, ci);
+    for (const PortfolioSlice &slice : slices) {
+        result.demand_emissions += serveEmissions(
+            slice.sku, total_demand_cores_ * slice.demand_share,
+            slice.mean_scaling, ci);
+    }
+
+    // Growth buffers: one per SKU type (the D2 cost). Per-stream
+    // relative volatility grows with the number of independent streams;
+    // buffers are built from the stream's own SKU.
+    const int streams = result.sku_types;
+    const carbon::CarbonModel model(carbon_params_);
+    auto buffer_for = [&](const carbon::ServerSku &sku, double cores,
+                          double sf) {
+        if (cores <= 0.0) {
+            return CarbonMass::kg(0.0);
+        }
+        cluster::DemandParams p = demand_params_;
+        p.mean_cores = cores * sf;
+        p.weekly_sigma = demand_params_.weekly_sigma *
+                         std::sqrt(static_cast<double>(streams));
+        const cluster::GrowthBufferSizer sizer(p);
+        return model.perCore(sku, ci).total() * sizer.bufferCores();
+    };
+    result.buffer_emissions = buffer_for(baseline, base_cores, 1.0);
+    for (const PortfolioSlice &slice : slices) {
+        result.buffer_emissions +=
+            buffer_for(slice.sku,
+                       total_demand_cores_ * slice.demand_share,
+                       slice.mean_scaling);
+    }
+    return result;
+}
+
+std::vector<PortfolioResult>
+PortfolioAnalysis::sweepPortfolioSizes(
+    const carbon::ServerSku &baseline,
+    const std::vector<PortfolioSlice> &menu, CarbonIntensity ci) const
+{
+    GSKU_REQUIRE(!menu.empty(), "menu must contain GreenSKU candidates");
+    double adoptable = 0.0;
+    for (const PortfolioSlice &slice : menu) {
+        adoptable += slice.demand_share;
+    }
+    GSKU_REQUIRE(adoptable > 0.0 && adoptable <= 1.0,
+                 "menu demand shares must sum into (0, 1]");
+
+    std::vector<PortfolioResult> results;
+    for (std::size_t k = 0; k <= menu.size(); ++k) {
+        std::vector<PortfolioSlice> slices(menu.begin(),
+                                           menu.begin() + k);
+        // The adoptable demand splits equally across deployed types.
+        for (PortfolioSlice &slice : slices) {
+            slice.demand_share = adoptable / static_cast<double>(k);
+        }
+        const std::string label =
+            k == 0 ? "baseline only"
+                   : std::to_string(k) + " GreenSKU type(s)";
+        results.push_back(evaluate(baseline, slices, ci, label));
+    }
+    const double reference = results.front().total().asKg();
+    for (PortfolioResult &r : results) {
+        r.savings = 1.0 - r.total().asKg() / reference;
+    }
+    return results;
+}
+
+} // namespace gsku::gsf

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * SKU-portfolio analysis (design goal D2, §II): "each new SKU adds
+ * operational complexity and cost ... offering numerous server options
+ * can reduce demand multiplexing ... adding many server options may
+ * require larger buffers. Thus, cloud providers must limit how many SKU
+ * types they deploy."
+ *
+ * This component answers the resulting design question directly: given
+ * a menu of GreenSKU designs, how many SKU types should a provider
+ * deploy? Each additional type serves its demand slice with a
+ * better-matched (lower-carbon) SKU, but fragments demand across more
+ * independent streams, inflating the growth buffer by ~sqrt(k)
+ * (cluster/demand.h). The optimum is where marginal matching gains stop
+ * paying for marginal buffer carbon.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "cluster/demand.h"
+
+namespace gsku::gsf {
+
+/** One SKU type in a candidate portfolio with its demand share. */
+struct PortfolioSlice
+{
+    carbon::ServerSku sku;
+
+    /** Fraction of compute demand (in baseline-core-equivalents) this
+     *  SKU serves, already inflated by scaling factors. */
+    double demand_share = 0.0;
+
+    /** Mean scaling factor of the workloads routed to this SKU. */
+    double mean_scaling = 1.0;
+};
+
+/** Evaluation of one candidate portfolio. */
+struct PortfolioResult
+{
+    std::string label;
+    int sku_types = 0;              ///< Baseline counts as one type.
+    CarbonMass demand_emissions;    ///< Serving the demand itself.
+    CarbonMass buffer_emissions;    ///< Growth buffers (fragmented).
+    double savings = 0.0;           ///< vs the baseline-only portfolio.
+
+    CarbonMass total() const { return demand_emissions + buffer_emissions; }
+};
+
+/** Portfolio evaluator. */
+class PortfolioAnalysis
+{
+  public:
+    PortfolioAnalysis(carbon::ModelParams carbon_params,
+                      cluster::DemandParams demand_params,
+                      double total_demand_cores = 50000.0);
+
+    /**
+     * Evaluate a portfolio at carbon intensity @p ci. Slices' demand
+     * shares must sum to at most 1; the remainder stays on
+     * @p baseline. Buffers are sized per SKU type (baseline included)
+     * with the fragmentation-adjusted demand model and are built from
+     * the slice's own SKU.
+     */
+    PortfolioResult evaluate(const carbon::ServerSku &baseline,
+                             const std::vector<PortfolioSlice> &slices,
+                             CarbonIntensity ci,
+                             const std::string &label) const;
+
+    /**
+     * Convenience: evaluate deploying the first k entries of @p menu
+     * (k = 0 .. menu.size()), splitting the adoptable demand share
+     * @p adoptable equally among the deployed GreenSKU types, and
+     * return all results (k = 0 first — the baseline-only reference).
+     */
+    std::vector<PortfolioResult>
+    sweepPortfolioSizes(const carbon::ServerSku &baseline,
+                        const std::vector<PortfolioSlice> &menu,
+                        CarbonIntensity ci) const;
+
+  private:
+    carbon::ModelParams carbon_params_;
+    cluster::DemandParams demand_params_;
+    double total_demand_cores_;
+
+    /** Emissions of serving `cores` baseline-core-equivalents on `sku`
+     *  at scaling `sf`. */
+    CarbonMass serveEmissions(const carbon::ServerSku &sku, double cores,
+                              double sf, CarbonIntensity ci) const;
+};
+
+} // namespace gsku::gsf

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * One-call reproduction report: runs the whole GSF pipeline — carbon
+ * tables, scaling factors, maintenance, tiering, cluster sweep, DC
+ * chain, and the §VII alternatives — and gathers every headline number
+ * into a single struct. This is the programmatic equivalent of running
+ * all bench binaries; downstream users embed it for regression tracking
+ * against the paper.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "carbon/model.h"
+#include "gsf/evaluator.h"
+
+namespace gsku::gsf {
+
+/** Everything the paper's evaluation headlines, in one place. */
+struct ReproductionReport
+{
+    // §V worked example.
+    double example_server_power_w = 0.0;        ///< Paper: 403.
+    double example_server_embodied_kg = 0.0;    ///< Paper: 1644.
+    int example_servers_per_rack = 0;           ///< Paper: 16.
+    double example_rack_per_core_kg = 0.0;      ///< Paper: 31.
+
+    // Table VIII (per-core savings vs baseline).
+    std::vector<carbon::SavingsRow> savings_table;
+
+    // Table III digest.
+    int scaling_cells_feasible = 0;             ///< Of 57 cells.
+    int scaling_cells_unscaled = 0;             ///< Factor-1 cells.
+
+    // §V maintenance.
+    double baseline_afr = 0.0;                  ///< Paper: 4.8.
+    double green_full_afr = 0.0;                ///< Paper: 7.2.
+    double baseline_repair_rate = 0.0;          ///< Paper: 3.0.
+    double green_full_repair_rate = 0.0;        ///< Paper: 3.6.
+
+    // §III / §VI CXL claims.
+    double tiering_share_under_5pct = 0.0;      ///< Paper: 0.98.
+    double cxl_tolerant_core_hours = 0.0;       ///< Paper: 0.202.
+
+    // §VI cluster evaluation (GreenSKU-Full).
+    double cluster_savings_at_mean_ci = 0.0;    ///< At CI = 0.1.
+    double mean_cluster_savings = 0.0;          ///< Over the CI sweep.
+    double dc_savings = 0.0;                    ///< Paper: ~0.07-0.08.
+
+    // §VII-B alternatives.
+    double lifetime_equivalent_years = 0.0;     ///< Paper: 13.
+    double efficiency_equivalent = 0.0;         ///< Paper: 0.28.
+    double renewables_equivalent_pp = 0.0;      ///< Paper: 0.026.
+
+    /** Render as a human-readable summary. */
+    std::string render() const;
+};
+
+/** Report generation knobs (defaults match the bench binaries). */
+struct ReportOptions
+{
+    GsfEvaluator::Options evaluator;
+    int traces = 6;
+    std::uint64_t trace_seed = 11;
+    double trace_concurrent_vms = 450.0;
+    std::vector<double> ci_grid = {0.0,  0.05, 0.1, 0.15, 0.2,
+                                   0.25, 0.3,  0.35, 0.4, 0.45};
+};
+
+/** Run the full pipeline and gather the report. */
+ReproductionReport generateReport(const ReportOptions &options = {});
+
+} // namespace gsku::gsf

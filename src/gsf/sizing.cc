@@ -1,0 +1,163 @@
+#include "gsf/sizing.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/solver.h"
+
+namespace gsku::gsf {
+
+ClusterSizer::ClusterSizer(cluster::ReplayOptions options)
+    : options_(options)
+{
+}
+
+bool
+ClusterSizer::fits(const cluster::VmTrace &trace,
+                   const cluster::ClusterSpec &spec,
+                   const cluster::AdoptionTable &adoption) const
+{
+    cluster::VmAllocator allocator(options_);
+    return allocator.replay(trace, spec, adoption).success;
+}
+
+int
+ClusterSizer::rightSizeBaselineOnly(const cluster::VmTrace &trace,
+                                    const carbon::ServerSku &baseline) const
+{
+    GSKU_REQUIRE(!trace.vms.empty(), "trace is empty");
+
+    // Upper bound: peak concurrent demand with zero packing efficiency
+    // (every VM on its own server) always fits.
+    const long hi = static_cast<long>(trace.vms.size()) + 1;
+    const auto n = smallestTrue(
+        [&](long servers) {
+            cluster::ClusterSpec spec{baseline, baseline,
+                                      static_cast<int>(servers), 0};
+            return fits(trace, spec, cluster::AdoptionTable::none());
+        },
+        1, hi);
+    GSKU_ASSERT(n.has_value(), "one server per VM must always fit");
+    return static_cast<int>(*n);
+}
+
+SizingResult
+ClusterSizer::size(const cluster::VmTrace &trace,
+                   const carbon::ServerSku &baseline,
+                   const carbon::ServerSku &green,
+                   const cluster::AdoptionTable &adoption) const
+{
+    SizingResult result;
+    result.baseline_only_servers = rightSizeBaselineOnly(trace, baseline);
+
+    // Generous GreenSKU cap: every baseline's cores re-hosted at the
+    // maximum scaling factor (1.5) plus slack absorbs any packing loss.
+    const int green_cap = static_cast<int>(std::ceil(
+        static_cast<double>(result.baseline_only_servers) *
+        static_cast<double>(baseline.cores) * 1.5 /
+        static_cast<double>(green.cores))) + 4;
+
+    // Fewest baselines able to host the non-adopters (monotone in b).
+    const auto b_min = smallestTrue(
+        [&](long b) {
+            cluster::ClusterSpec spec{baseline, green,
+                                      static_cast<int>(b), green_cap};
+            return fits(trace, spec, adoption);
+        },
+        0, result.baseline_only_servers);
+    GSKU_ASSERT(b_min.has_value(),
+                "mixed cluster must fit with all baselines present");
+    result.mixed_baselines = static_cast<int>(*b_min);
+
+    // Fewest GreenSKUs at that baseline count (monotone in g).
+    const auto g_min = smallestTrue(
+        [&](long g) {
+            cluster::ClusterSpec spec{baseline, green,
+                                      result.mixed_baselines,
+                                      static_cast<int>(g)};
+            return fits(trace, spec, adoption);
+        },
+        0, green_cap);
+    GSKU_ASSERT(g_min.has_value(), "green cap must fit");
+    result.mixed_greens = static_cast<int>(*g_min);
+
+    cluster::VmAllocator allocator(options_);
+    result.baseline_only_replay = allocator.replay(
+        trace,
+        cluster::ClusterSpec{baseline, green,
+                             result.baseline_only_servers, 0},
+        cluster::AdoptionTable::none());
+    result.mixed_replay = allocator.replay(
+        trace,
+        cluster::ClusterSpec{baseline, green, result.mixed_baselines,
+                             result.mixed_greens},
+        adoption);
+    GSKU_ASSERT(result.baseline_only_replay.success &&
+                    result.mixed_replay.success,
+                "right-sized clusters must host the trace");
+    return result;
+}
+
+SizingResult
+ClusterSizer::sizeIncremental(const cluster::VmTrace &trace,
+                              const carbon::ServerSku &baseline,
+                              const carbon::ServerSku &green,
+                              const cluster::AdoptionTable &adoption) const
+{
+    SizingResult result;
+    result.baseline_only_servers = rightSizeBaselineOnly(trace, baseline);
+
+    int baselines = result.baseline_only_servers;
+    int greens = 0;
+    // Replace one baseline at a time, adding GreenSKUs until the trace
+    // fits again; stop when no replacement works within a generous
+    // per-step budget (a removed 80-core baseline never needs more
+    // than a couple of 128-core GreenSKUs even at 1.5x scaling).
+    const int per_step_budget = 3;
+    while (baselines > 0) {
+        const int candidate_baselines = baselines - 1;
+        int added = -1;
+        for (int extra = 0; extra <= per_step_budget; ++extra) {
+            cluster::ClusterSpec spec{baseline, green,
+                                      candidate_baselines,
+                                      greens + extra};
+            if (fits(trace, spec, adoption)) {
+                added = extra;
+                break;
+            }
+        }
+        if (added < 0) {
+            break;      // This baseline cannot be replaced.
+        }
+        baselines = candidate_baselines;
+        greens += added;
+    }
+    // Trim surplus GreenSKUs the incremental walk may have accumulated.
+    while (greens > 0) {
+        cluster::ClusterSpec spec{baseline, green, baselines, greens - 1};
+        if (!fits(trace, spec, adoption)) {
+            break;
+        }
+        --greens;
+    }
+    result.mixed_baselines = baselines;
+    result.mixed_greens = greens;
+
+    cluster::VmAllocator allocator(options_);
+    result.baseline_only_replay = allocator.replay(
+        trace,
+        cluster::ClusterSpec{baseline, green,
+                             result.baseline_only_servers, 0},
+        cluster::AdoptionTable::none());
+    result.mixed_replay = allocator.replay(
+        trace,
+        cluster::ClusterSpec{baseline, green, result.mixed_baselines,
+                             result.mixed_greens},
+        adoption);
+    GSKU_ASSERT(result.baseline_only_replay.success &&
+                    result.mixed_replay.success,
+                "incrementally sized clusters must host the trace");
+    return result;
+}
+
+} // namespace gsku::gsf

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GSF's cluster-sizing component (§IV-D, §V): how many baseline SKUs and
+ * GreenSKUs are required to serve a cluster's VM workload.
+ *
+ * Procedure per §V: first right-size a baseline-only cluster (the minimum
+ * number of baseline servers hosting the trace with no rejection), then
+ * replace baseline servers with GreenSKUs until no further baseline can
+ * be removed — i.e. find the minimum number of baselines needed for the
+ * VMs that cannot adopt, and the minimum number of GreenSKUs that then
+ * hosts the adopters. Both searches are monotone and run by bisection
+ * over allocator replays.
+ */
+#pragma once
+
+#include "cluster/allocator.h"
+#include "cluster/vm.h"
+
+namespace gsku::gsf {
+
+/** Output of the sizing search for one trace. */
+struct SizingResult
+{
+    int baseline_only_servers = 0;  ///< Right-sized all-baseline cluster.
+    int mixed_baselines = 0;        ///< Baselines left after replacement.
+    int mixed_greens = 0;           ///< GreenSKUs in the mixed cluster.
+
+    /** Replay of the trace against the final clusters (for Figs. 9/10). */
+    cluster::ReplayResult baseline_only_replay;
+    cluster::ReplayResult mixed_replay;
+};
+
+/** Sizing search driver. */
+class ClusterSizer
+{
+  public:
+    explicit ClusterSizer(
+        cluster::ReplayOptions options = cluster::ReplayOptions{});
+
+    /** Minimum baseline-only cluster hosting @p trace. */
+    int rightSizeBaselineOnly(const cluster::VmTrace &trace,
+                              const carbon::ServerSku &baseline) const;
+
+    /** Full §V procedure; @p adoption decides which VMs can move.
+     *  Implemented with bisection (both searches are monotone). */
+    SizingResult size(const cluster::VmTrace &trace,
+                      const carbon::ServerSku &baseline,
+                      const carbon::ServerSku &green,
+                      const cluster::AdoptionTable &adoption) const;
+
+    /**
+     * The paper's procedure verbatim (§V): "incrementally replace each
+     * baseline SKU with enough GreenSKU servers until no VM is
+     * rejected. We repeat this process until we can no longer replace
+     * baseline SKUs." O(baselines x greens) replays — provided as the
+     * methodological reference; size() reaches the same answer in
+     * O(log) replays (tests/gsf/sizing_test.cc asserts agreement).
+     */
+    SizingResult sizeIncremental(const cluster::VmTrace &trace,
+                                 const carbon::ServerSku &baseline,
+                                 const carbon::ServerSku &green,
+                                 const cluster::AdoptionTable &adoption)
+        const;
+
+  private:
+    cluster::ReplayOptions options_;
+
+    bool fits(const cluster::VmTrace &trace,
+              const cluster::ClusterSpec &spec,
+              const cluster::AdoptionTable &adoption) const;
+};
+
+} // namespace gsku::gsf

@@ -1,0 +1,84 @@
+#include "gsf/tco.h"
+
+#include "carbon/model.h"
+#include "common/error.h"
+
+namespace gsku::gsf {
+
+TcoModel::TcoModel(TcoParams tco_params, carbon::ModelParams carbon_params)
+    : tco_(std::move(tco_params)), carbon_params_(carbon_params)
+{
+    GSKU_REQUIRE(tco_.energy_usd_per_kwh >= 0.0,
+                 "energy price must be non-negative");
+}
+
+double
+TcoModel::componentPrice(const carbon::Component &component) const
+{
+    // Capacity-priced kinds first.
+    if (component.name == "DDR5 DIMM") {
+        return component.tdp.asWatts() / 0.37 * tco_.ddr5_usd_per_gb;
+    }
+    if (component.name == "Reused DDR4 DIMM (CXL)") {
+        return component.tdp.asWatts() / 0.46 * tco_.reused_ddr4_usd_per_gb;
+    }
+    if (component.name == "E1.S NVMe SSD") {
+        return component.tdp.asWatts() / 5.6 * tco_.new_ssd_usd_per_tb;
+    }
+    const auto it = tco_.component_price_usd.find(component.name);
+    GSKU_REQUIRE(it != tco_.component_price_usd.end(),
+                 "no price for component: " + component.name);
+    return it->second;
+}
+
+double
+TcoModel::serverCapexUsd(const carbon::ServerSku &sku) const
+{
+    double total = 0.0;
+    for (const auto &slot : sku.slots) {
+        total += componentPrice(slot.component) *
+                 static_cast<double>(slot.count);
+    }
+    return total;
+}
+
+double
+TcoModel::serverOpexUsd(const carbon::ServerSku &sku) const
+{
+    const carbon::CarbonModel model(carbon_params_);
+    const Energy lifetime_energy =
+        model.serverPower(sku) * carbon_params_.lifetime;
+    return lifetime_energy.asKilowattHours() * tco_.energy_usd_per_kwh *
+           carbon_params_.pue;
+}
+
+PerCoreCost
+TcoModel::perCore(const carbon::ServerSku &sku) const
+{
+    const carbon::CarbonModel model(carbon_params_);
+    const carbon::RackFootprint rack = model.rackFootprint(sku);
+    const double n = static_cast<double>(rack.servers_per_rack);
+    const double cores = static_cast<double>(rack.cores_per_rack);
+
+    PerCoreCost cost;
+    cost.capex_usd = (n * serverCapexUsd(sku) + tco_.rack_usd +
+                      tco_.dc_facility_usd_per_rack) /
+                     cores;
+    const double rack_energy_usd =
+        (carbon_params_.rack_misc_power * carbon_params_.lifetime)
+            .asKilowattHours() *
+        tco_.energy_usd_per_kwh * carbon_params_.pue;
+    cost.opex_usd = (n * serverOpexUsd(sku) + rack_energy_usd) / cores;
+    return cost;
+}
+
+double
+TcoModel::relativeCost(const carbon::ServerSku &reference,
+                       const carbon::ServerSku &sku) const
+{
+    const double ref = perCore(reference).total();
+    GSKU_ASSERT(ref > 0.0, "reference cost must be positive");
+    return perCore(sku).total() / ref;
+}
+
+} // namespace gsku::gsf

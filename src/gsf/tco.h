@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Total-Cost-of-Ownership variant of the carbon model (§VII-A): GSF's
+ * structure with the carbon model swapped for a cost model. Component
+ * prices are public list-price estimates (the paper's TCO data is
+ * sensitive); the query of interest is relative cost between SKUs, e.g.
+ * the paper's "a cost-efficient SKU is only 5% less costly than our
+ * carbon-efficient GreenSKU".
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "carbon/catalog.h"
+#include "carbon/sku.h"
+
+namespace gsku::gsf {
+
+/** Cost parameters: component prices plus energy and facility costs. */
+struct TcoParams
+{
+    /** USD per component, keyed by component name as in the catalog. */
+    std::map<std::string, double> component_price_usd = {
+        {"AMD Bergamo 128c", 9500.0},
+        {"AMD Genoa 80c", 7200.0},
+        {"AMD Milan 64c", 4200.0},
+        {"AMD Rome 64c", 2500.0},
+        {"DDR5 DIMM", 0.0},             // priced per GB below
+        {"Reused DDR4 DIMM (CXL)", 0.0},
+        {"E1.S NVMe SSD", 0.0},         // priced per TB below
+        {"Reused m.2 SSD", 80.0},       // requalification cost per drive
+        {"CXL controller", 450.0},
+        {"NIC/fans/board/PSU", 1400.0},
+    };
+
+    double ddr5_usd_per_gb = 4.0;
+    /** Requalification/handling cost of reused DDR4, per GB. */
+    double reused_ddr4_usd_per_gb = 1.5;
+    double new_ssd_usd_per_tb = 90.0;
+
+    /** Electricity price, USD per kWh. */
+    double energy_usd_per_kwh = 0.08;
+
+    /** Rack + facility cost amortized per rack over one lifetime. */
+    double rack_usd = 3000.0;
+    double dc_facility_usd_per_rack = 20000.0;
+};
+
+/** Per-core lifetime cost, mirroring PerCoreEmissions. */
+struct PerCoreCost
+{
+    double capex_usd = 0.0;
+    double opex_usd = 0.0;
+
+    double total() const { return capex_usd + opex_usd; }
+};
+
+/**
+ * The TCO model: same aggregation (server -> rack -> per-core, server
+ * counts from the carbon model's rack fit) with dollars instead of
+ * kgCO2e — demonstrating GSF's model-swap flexibility (§VII-A).
+ */
+class TcoModel
+{
+  public:
+    TcoModel(TcoParams tco_params = TcoParams{},
+             carbon::ModelParams carbon_params = carbon::ModelParams{});
+
+    /** Server bill of materials, USD. */
+    double serverCapexUsd(const carbon::ServerSku &sku) const;
+
+    /** Lifetime energy cost of one server, USD. */
+    double serverOpexUsd(const carbon::ServerSku &sku) const;
+
+    /** Rack-amortized per-core lifetime cost. */
+    PerCoreCost perCore(const carbon::ServerSku &sku) const;
+
+    /** Cost of @p sku relative to @p reference (1.0 = equal). */
+    double relativeCost(const carbon::ServerSku &reference,
+                        const carbon::ServerSku &sku) const;
+
+  private:
+    TcoParams tco_;
+    carbon::ModelParams carbon_params_;
+
+    double componentPrice(const carbon::Component &component) const;
+};
+
+} // namespace gsku::gsf

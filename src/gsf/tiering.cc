@@ -1,0 +1,117 @@
+#include "gsf/tiering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku::gsf {
+
+MemoryTieringPolicy::MemoryTieringPolicy(TieringConfig config)
+    : config_(config)
+{
+    GSKU_REQUIRE(config_.full_cxl_sensitivity_threshold >= 0.0,
+                 "sensitivity threshold must be non-negative");
+    GSKU_REQUIRE(config_.untouched_claim_fraction >= 0.0 &&
+                     config_.untouched_claim_fraction <= 1.0,
+                 "untouched claim fraction must be in [0, 1]");
+    GSKU_REQUIRE(config_.cxl_latency_penalty >= 0.0,
+                 "CXL latency penalty must be non-negative");
+}
+
+TieringDecision
+MemoryTieringPolicy::decide(const perf::AppProfile &app,
+                            double touched_fraction,
+                            const carbon::ServerSku &sku) const
+{
+    GSKU_REQUIRE(touched_fraction >= 0.0 && touched_fraction <= 1.0,
+                 "touched fraction must be in [0, 1]");
+    const double cxl_share = sku.cxlMemoryFraction();
+
+    TieringDecision out;
+    if (cxl_share <= 0.0) {
+        return out;             // No CXL memory on this SKU.
+    }
+
+    if (app.cxl_sens <= config_.full_cxl_sensitivity_threshold) {
+        // Hardware counters say this app runs from CXL without a
+        // significant slowdown; back it entirely with reused DDR4.
+        out.fully_cxl = true;
+        out.cxl_fraction = 1.0;
+        out.touched_on_cxl = 1.0;
+        out.slowdown = 1.0 + app.cxl_sens * config_.cxl_latency_penalty;
+        return out;
+    }
+
+    // Place (a conservative fraction of) the predicted-untouched memory
+    // on CXL, up to the SKU's CXL share. Untouched memory never faces
+    // the latency penalty.
+    const double untouched = 1.0 - touched_fraction;
+    const double untouched_on_cxl =
+        std::min(cxl_share, untouched * config_.untouched_claim_fraction);
+
+    // Any remaining CXL capacity must hold touched memory, which *does*
+    // slow the app down in proportion to the touched share on CXL.
+    const double touched_spill =
+        std::max(0.0, cxl_share - untouched_on_cxl);
+    out.cxl_fraction = cxl_share;
+    out.touched_on_cxl =
+        touched_fraction > 0.0
+            ? std::min(1.0, touched_spill / touched_fraction)
+            : 0.0;
+    out.slowdown = 1.0 + app.cxl_sens * config_.cxl_latency_penalty *
+                             out.touched_on_cxl;
+    return out;
+}
+
+double
+MemoryTieringPolicy::fleetShareBelowSlowdown(const carbon::ServerSku &sku,
+                                             double slowdown_threshold,
+                                             double mean_touched,
+                                             double sigma_touched) const
+{
+    GSKU_REQUIRE(slowdown_threshold >= 1.0,
+                 "slowdown threshold must be >= 1");
+    GSKU_REQUIRE(sigma_touched > 0.0, "touched sigma must be positive");
+
+    // Probability a N(mean, sigma) touched fraction (clamped to [0,1])
+    // keeps this app's slowdown under the threshold. decide() is
+    // monotone non-decreasing in the touched fraction, so we integrate
+    // by probing the normal quantiles.
+    auto normal_cdf = [&](double x) {
+        return 0.5 * std::erfc(-(x - mean_touched) /
+                               (sigma_touched * std::sqrt(2.0)));
+    };
+    auto share_ok = [&](const perf::AppProfile &app) {
+        if (decide(app, 1.0, sku).slowdown <= slowdown_threshold) {
+            return 1.0;
+        }
+        if (decide(app, 0.0, sku).slowdown > slowdown_threshold) {
+            return 0.0;
+        }
+        // Bisect the largest touched fraction still under threshold.
+        double lo = 0.0;
+        double hi = 1.0;
+        for (int i = 0; i < 50; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            if (decide(app, mid, sku).slowdown <= slowdown_threshold) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        return normal_cdf(lo);
+    };
+
+    double share = 0.0;
+    double total = 0.0;
+    for (const auto &app : perf::AppCatalog::all()) {
+        const double weight = perf::AppCatalog::fleetWeight(app);
+        total += weight;
+        share += weight * share_ok(app);
+    }
+    GSKU_ASSERT(total > 0.0, "fleet weights must be positive");
+    return share / total;
+}
+
+} // namespace gsku::gsf

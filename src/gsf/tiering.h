@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Pond-style memory tiering (§III): decide how much of a VM's memory can
+ * be backed by CXL-attached reused DDR4 without a slowdown, and predict
+ * the residual slowdown otherwise.
+ *
+ * The paper's mechanism, which this model reproduces:
+ *  - hardware counters identify applications that can run *entirely*
+ *    from CXL without facing a slowdown (low memory-latency
+ *    sensitivity);
+ *  - for other applications, Pond's prediction model finds *untouched*
+ *    memory (on average almost half of a VM's allocation) and exposes it
+ *    as a zero-compute NUMA node backed by CXL; untouched memory is
+ *    never accessed, so it causes no slowdown;
+ *  - only the *touched* spill beyond local DDR5 capacity incurs the CXL
+ *    latency penalty, scaled by the application's sensitivity.
+ *
+ * Target anchor: "this approach ensures that 98% of applications incur
+ * <5% slowdown with CXL" (§III).
+ */
+#pragma once
+
+#include "carbon/sku.h"
+#include "perf/app.h"
+#include "perf/model.h"
+
+namespace gsku::gsf {
+
+/** How a VM's memory is split across tiers, and the predicted cost. */
+struct TieringDecision
+{
+    /** Fraction of the VM's allocation backed by CXL DDR4. */
+    double cxl_fraction = 0.0;
+
+    /** Fraction of *touched* memory that ended up on CXL. */
+    double touched_on_cxl = 0.0;
+
+    /** Predicted service-time slowdown (1.0 = none). */
+    double slowdown = 1.0;
+
+    /** True when the VM runs entirely from CXL (sensitivity-exempt). */
+    bool fully_cxl = false;
+};
+
+/** Tuning knobs of the tiering policy. */
+struct TieringConfig
+{
+    /** Apps at or below this latency sensitivity run fully from CXL
+     *  without a "significant" slowdown (§III / §VI's 20.2%). */
+    double full_cxl_sensitivity_threshold = 0.05;
+
+    /** Safety margin on the untouched-memory prediction: the predictor
+     *  claims only this fraction of the untouched memory (Pond's
+     *  predictions are deliberately conservative). */
+    double untouched_claim_fraction = 0.9;
+
+    /** Relative CXL latency penalty (280 vs 140 ns; §III). */
+    double cxl_latency_penalty = 1.0;
+};
+
+/**
+ * The tiering policy: pure function of application profile, the VM's
+ * touched fraction, and the SKU's CXL memory share.
+ */
+class MemoryTieringPolicy
+{
+  public:
+    explicit MemoryTieringPolicy(TieringConfig config = TieringConfig{});
+
+    const TieringConfig &config() const { return config_; }
+
+    /**
+     * Split a VM's memory between local DDR5 and CXL DDR4 on @p sku.
+     *
+     * @param app the application running in the VM
+     * @param touched_fraction the VM's maximum touched-memory fraction
+     * @param sku the server (its cxlMemoryFraction() is the CXL share)
+     */
+    TieringDecision decide(const perf::AppProfile &app,
+                           double touched_fraction,
+                           const carbon::ServerSku &sku) const;
+
+    /**
+     * Fraction of fleet core-hours whose predicted slowdown stays below
+     * @p slowdown_threshold, integrating each application over a
+     * normal touched-fraction distribution (Pond-like: mean ~0.55).
+     * The §III anchor: ~98% of applications incur <5% slowdown.
+     */
+    double fleetShareBelowSlowdown(const carbon::ServerSku &sku,
+                                   double slowdown_threshold = 1.05,
+                                   double mean_touched = 0.55,
+                                   double sigma_touched = 0.18) const;
+
+  private:
+    TieringConfig config_;
+};
+
+} // namespace gsku::gsf

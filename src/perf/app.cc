@@ -1,0 +1,170 @@
+#include "perf/app.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gsku::perf {
+
+std::string
+toString(AppClass cls)
+{
+    switch (cls) {
+      case AppClass::BigData: return "Big Data";
+      case AppClass::WebApp: return "Web App";
+      case AppClass::RealTimeComms: return "Real-Time Communication";
+      case AppClass::MlInference: return "ML Inference";
+      case AppClass::WebProxy: return "Web Proxy";
+      case AppClass::DevOps: return "DevOps";
+    }
+    GSKU_ASSERT(false, "unhandled AppClass");
+}
+
+double
+fleetCoreHourShare(AppClass cls)
+{
+    // Table III "% of Fleet Core Hours".
+    switch (cls) {
+      case AppClass::BigData: return 0.32;
+      case AppClass::WebApp: return 0.27;
+      case AppClass::RealTimeComms: return 0.24;
+      case AppClass::MlInference: return 0.11;
+      case AppClass::WebProxy: return 0.04;
+      case AppClass::DevOps: return 0.01;
+    }
+    GSKU_ASSERT(false, "unhandled AppClass");
+}
+
+namespace {
+
+/** Shorthand builder keeping the catalog below readable. */
+AppProfile
+app(std::string name, AppClass cls, double service_ms, double freq_sens,
+    double llc_sens, double bw_sens, double cxl_sens,
+    bool production = false, bool throughput_only = false)
+{
+    AppProfile p;
+    p.name = std::move(name);
+    p.cls = cls;
+    p.base_service_ms = service_ms;
+    p.freq_sens = freq_sens;
+    p.llc_sens = llc_sens;
+    p.bw_sens = bw_sens;
+    p.cxl_sens = cxl_sens;
+    p.production = production;
+    p.throughput_only = throughput_only;
+    return p;
+}
+
+std::vector<AppProfile>
+buildCatalog()
+{
+    using C = AppClass;
+    std::vector<AppProfile> apps;
+
+    // Big data: in-memory stores and OLTP databases. Masstree is
+    // bandwidth-bound, Silo strongly LLC-bound (hence >1.5 everywhere),
+    // Redis/Shore per-core insensitive.
+    apps.push_back(app("Redis", C::BigData, 0.10, 0.00, 0.00, 0.00, 0.25));
+    apps.push_back(
+        app("Masstree", C::BigData, 1.10, 0.50, 0.25, 0.70, 0.35));
+    apps.push_back(app("Silo", C::BigData, 1.50, 0.60, 1.00, 0.00, 0.30));
+    apps.push_back(app("Shore", C::BigData, 1.20, 0.00, 0.00, 0.00, 0.04));
+
+    // Web applications; WebF-* are Microsoft production services.
+    apps.push_back(
+        app("Xapian", C::WebApp, 4.00, 0.55, 0.10, 0.40, 0.20));
+    apps.push_back(
+        app("WebF-Dynamic", C::WebApp, 6.00, 0.70, 0.00, 0.00, 0.15, true));
+    apps.push_back(
+        app("WebF-Hot", C::WebApp, 3.00, 0.50, 0.20, 0.00, 0.25, true));
+    apps.push_back(
+        app("WebF-Cold", C::WebApp, 8.00, 0.00, 0.00, 0.00, 0.10, true));
+
+    // Real-time communication. Moses's language models make it strongly
+    // memory-latency bound (the Fig. 8 "more impacted" case).
+    apps.push_back(
+        app("Moses", C::RealTimeComms, 4.50, 0.55, 0.00, 0.15, 0.45));
+    apps.push_back(
+        app("Sphinx", C::RealTimeComms, 80.0, 0.70, 0.00, 0.00, 0.20));
+
+    // ML inference: compute-bound, insensitive to the efficient core.
+    apps.push_back(
+        app("Img-DNN", C::MlInference, 10.0, 0.00, 0.00, 0.00, 0.03));
+
+    // Web proxies: compute/network bound; HAProxy is the Fig. 8 "less
+    // impacted" case (11% peak reduction under CXL).
+    apps.push_back(app("Nginx", C::WebProxy, 0.20, 0.30, 0.00, 0.00, 0.08));
+    apps.push_back(app("Caddy", C::WebProxy, 0.30, 0.00, 0.00, 0.00, 0.05));
+    apps.push_back(app("Envoy", C::WebProxy, 0.25, 0.00, 0.00, 0.00, 0.06));
+    apps.push_back(
+        app("HAProxy", C::WebProxy, 0.15, 0.30, 0.00, 0.00, 0.11));
+    apps.push_back(
+        app("Traefik", C::WebProxy, 0.35, 0.30, 0.00, 0.00, 0.09));
+
+    // DevOps builds: report throughput (build time) only; Table II.
+    apps.push_back(app("Build-Python", C::DevOps, 240000.0, 0.20, 0.12,
+                       0.00, 0.052, false, true));
+    apps.push_back(app("Build-Wasm", C::DevOps, 300000.0, 0.45, 0.06, 0.00,
+                       0.113, false, true));
+    apps.push_back(app("Build-PHP", C::DevOps, 180000.0, 0.10, 0.155, 0.00,
+                       0.18, false, true));
+
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+AppCatalog::all()
+{
+    static const std::vector<AppProfile> catalog = buildCatalog();
+    return catalog;
+}
+
+std::vector<AppProfile>
+AppCatalog::byClass(AppClass cls)
+{
+    std::vector<AppProfile> out;
+    for (const auto &a : all()) {
+        if (a.cls == cls) {
+            out.push_back(a);
+        }
+    }
+    return out;
+}
+
+const AppProfile &
+AppCatalog::byName(const std::string &name)
+{
+    for (const auto &a : all()) {
+        if (a.name == name) {
+            return a;
+        }
+    }
+    GSKU_REQUIRE(false, "unknown application: " + name);
+    GSKU_ASSERT(false, "unreachable");
+}
+
+double
+AppCatalog::fleetWeight(const AppProfile &app)
+{
+    const auto in_class = byClass(app.cls);
+    GSKU_ASSERT(!in_class.empty(), "app class has no members");
+    return fleetCoreHourShare(app.cls) /
+           static_cast<double>(in_class.size());
+}
+
+double
+AppCatalog::cxlTolerantCoreHourShare(double threshold)
+{
+    double share = 0.0;
+    for (const auto &a : all()) {
+        if (a.cxl_sens <= threshold) {
+            share += fleetWeight(a);
+        }
+    }
+    return share;
+}
+
+} // namespace gsku::perf

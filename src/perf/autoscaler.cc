@@ -1,0 +1,93 @@
+#include "perf/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gsku::perf {
+
+double
+DiurnalLoad::qpsAt(double hour) const
+{
+    GSKU_REQUIRE(hour >= 0.0 && hour <= 24.0, "hour must be in [0, 24]");
+    GSKU_REQUIRE(trough_fraction > 0.0 && trough_fraction <= 1.0,
+                 "trough fraction must be in (0, 1]");
+    const double mid = (1.0 + trough_fraction) / 2.0;
+    const double amplitude = (1.0 - trough_fraction) / 2.0;
+    const double phase = 2.0 * M_PI * (hour - peak_hour) / 24.0;
+    return peak_qps * (mid + amplitude * std::cos(phase));
+}
+
+double
+AutoScaleResult::coreHoursSaved() const
+{
+    if (static_core_hours <= 0.0) {
+        return 0.0;
+    }
+    return 1.0 - scaled_core_hours / static_core_hours;
+}
+
+AutoScaler::AutoScaler(const PerfModel &model)
+    : AutoScaler(model, Config{})
+{
+}
+
+AutoScaler::AutoScaler(const PerfModel &model, Config config)
+    : model_(model), config_(std::move(config))
+{
+    GSKU_REQUIRE(!config_.core_options.empty(),
+                 "auto-scaler needs candidate sizes");
+    GSKU_REQUIRE(std::is_sorted(config_.core_options.begin(),
+                                config_.core_options.end()),
+                 "core options must be sorted ascending");
+    GSKU_REQUIRE(config_.interval_h > 0.0 && config_.interval_h <= 24.0,
+                 "interval must be in (0, 24] hours");
+    GSKU_REQUIRE(config_.slo_headroom > 0.0 && config_.slo_headroom <= 1.0,
+                 "SLO headroom must be in (0, 1]");
+}
+
+int
+AutoScaler::coresFor(const AppProfile &app, const CpuSpec &cpu, double qps,
+                     const SloSpec &slo) const
+{
+    for (int cores : config_.core_options) {
+        const double p95 = model_.p95LatencyMs(app, cpu, cores, qps);
+        if (p95 <= slo.p95_ms * config_.slo_headroom) {
+            return cores;
+        }
+    }
+    return config_.core_options.back();
+}
+
+AutoScaleResult
+AutoScaler::simulateDay(const AppProfile &app, const CpuSpec &cpu,
+                        const DiurnalLoad &load) const
+{
+    GSKU_REQUIRE(!app.throughput_only,
+                 "auto-scaling applies to latency-critical apps: " +
+                     app.name);
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+
+    AutoScaleResult result;
+    result.static_cores =
+        coresFor(app, cpu, load.qpsAt(load.peak_hour), slo);
+
+    for (double hour = 0.0; hour < 24.0 - 1e-9;
+         hour += config_.interval_h) {
+        ScaleInterval interval;
+        interval.hour = hour;
+        interval.qps = load.qpsAt(std::min(24.0, hour));
+        interval.cores = coresFor(app, cpu, interval.qps, slo);
+        interval.p95_ms =
+            model_.p95LatencyMs(app, cpu, interval.cores, interval.qps);
+        result.schedule.push_back(interval);
+        result.scaled_core_hours +=
+            interval.cores * config_.interval_h;
+        result.static_core_hours +=
+            result.static_cores * config_.interval_h;
+    }
+    return result;
+}
+
+} // namespace gsku::perf

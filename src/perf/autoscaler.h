@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Post-deployment runtime auto-scaling (§VIII "Scheduling real-time
+ * applications"): the paper points to auto-scalers [98][100] as the way
+ * GreenSKUs keep meeting SLOs across load changes after deployment.
+ *
+ * This component simulates a day of diurnal load against a VM whose
+ * core count an auto-scaler adjusts each interval to the smallest size
+ * meeting the SLO, and reports the core-hours (and hence operational
+ * carbon) saved relative to statically provisioning for peak.
+ */
+#pragma once
+
+#include <vector>
+
+#include "perf/app.h"
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+namespace gsku::perf {
+
+/** A sinusoidal day/night load pattern. */
+struct DiurnalLoad
+{
+    double peak_qps = 1000.0;
+
+    /** Trough load as a fraction of peak (clouds see 0.3-0.6). */
+    double trough_fraction = 0.4;
+
+    /** Hour of day (0-24) at which load peaks. */
+    double peak_hour = 14.0;
+
+    /** Load at an hour of day. */
+    double qpsAt(double hour) const;
+};
+
+/** One interval of the simulated schedule. */
+struct ScaleInterval
+{
+    double hour = 0.0;
+    double qps = 0.0;
+    int cores = 0;
+    double p95_ms = 0.0;
+};
+
+/** Outcome of a simulated day. */
+struct AutoScaleResult
+{
+    int static_cores = 0;           ///< Peak-provisioned VM size.
+    double static_core_hours = 0.0;
+    double scaled_core_hours = 0.0;
+    std::vector<ScaleInterval> schedule;
+
+    /** Fraction of core-hours (and operational carbon) saved. */
+    double coreHoursSaved() const;
+};
+
+/** The auto-scaler simulator. */
+class AutoScaler
+{
+  public:
+    struct Config
+    {
+        /** Candidate VM sizes, smallest to largest. */
+        std::vector<int> core_options = {2, 4, 6, 8, 10, 12, 16, 20, 24};
+
+        /** Scheduling interval in hours. */
+        double interval_h = 1.0;
+
+        /** Latency headroom on the SLO when picking a size (scaling
+         *  reactively needs slack for the next interval's growth). */
+        double slo_headroom = 0.9;
+    };
+
+    explicit AutoScaler(const PerfModel &model);
+    AutoScaler(const PerfModel &model, Config config);
+
+    /**
+     * Smallest candidate size meeting @p slo at @p qps on @p cpu
+     * (with the configured headroom); the largest candidate when none
+     * does.
+     */
+    int coresFor(const AppProfile &app, const CpuSpec &cpu, double qps,
+                 const SloSpec &slo) const;
+
+    /**
+     * Simulate one day of @p load with the SLO derived from the Gen3
+     * baseline (the deployment contract), auto-scaling on @p cpu.
+     */
+    AutoScaleResult simulateDay(const AppProfile &app, const CpuSpec &cpu,
+                                const DiurnalLoad &load) const;
+
+  private:
+    const PerfModel &model_;
+    Config config_;
+};
+
+} // namespace gsku::perf

@@ -1,0 +1,63 @@
+#include "perf/cpu.h"
+
+#include "common/error.h"
+
+namespace gsku::perf {
+
+double
+CpuSpec::llcPerCoreMib() const
+{
+    GSKU_REQUIRE(cores_per_socket > 0, "CPU has no cores");
+    return llc_mib / static_cast<double>(cores_per_socket);
+}
+
+double
+CpuSpec::bwPerCoreGbps() const
+{
+    GSKU_REQUIRE(cores_per_socket > 0, "CPU has no cores");
+    return mem_bw_gbps / static_cast<double>(cores_per_socket);
+}
+
+CpuSpec
+CpuCatalog::bergamo()
+{
+    // 460 GB/s of DDR5 plus ~100 GB/s via 32 CXL/PCIe5 lanes (§III).
+    return CpuSpec{"AMD Bergamo", carbon::Generation::GreenSku, 128, 3.0,
+                   256.0, Power::watts(350.0), 560.0, 1.10};
+}
+
+CpuSpec
+CpuCatalog::rome()
+{
+    // 8-channel DDR4-3200: ~205 GB/s.
+    return CpuSpec{"AMD Rome", carbon::Generation::Gen1, 64, 3.0, 256.0,
+                   Power::watts(240.0), 204.8, 0.88};
+}
+
+CpuSpec
+CpuCatalog::milan()
+{
+    return CpuSpec{"AMD Milan", carbon::Generation::Gen2, 64, 3.7, 256.0,
+                   Power::watts(280.0), 204.8, 1.00};
+}
+
+CpuSpec
+CpuCatalog::genoa()
+{
+    return CpuSpec{"AMD Genoa", carbon::Generation::Gen3, 80, 3.7, 384.0,
+                   Power::watts(320.0), 460.0, 1.10};
+}
+
+CpuSpec
+CpuCatalog::forGeneration(carbon::Generation gen)
+{
+    switch (gen) {
+      case carbon::Generation::Gen1: return rome();
+      case carbon::Generation::Gen2: return milan();
+      case carbon::Generation::Gen3: return genoa();
+      case carbon::Generation::GreenSku: return bergamo();
+    }
+    GSKU_ASSERT(false, "unhandled Generation");
+}
+
+} // namespace gsku::perf

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CPU performance specifications (paper Table I) extended with the
+ * memory-bandwidth and generational-IPC attributes the performance model
+ * needs. Per-core performance is *derived* from these attributes per
+ * application (see perf/model.h), never hard-coded per (app, CPU) pair.
+ */
+#pragma once
+
+#include <string>
+
+#include "carbon/sku.h"
+#include "common/units.h"
+
+namespace gsku::perf {
+
+/** A CPU as the performance model sees it. */
+struct CpuSpec
+{
+    std::string name;
+    carbon::Generation generation;
+    int cores_per_socket = 0;
+    double max_freq_ghz = 0.0;      ///< Table I.
+    double llc_mib = 0.0;           ///< Last-level cache per socket.
+    Power tdp;
+    double mem_bw_gbps = 0.0;       ///< Socket memory bandwidth (incl. CXL).
+
+    /**
+     * Generational instructions-per-cycle factor relative to Zen 4
+     * (Genoa/Bergamo = 1.10, Milan/Zen 3 = 1.00, Rome/Zen 2 = 0.88).
+     * Bergamo's Zen 4c core has Zen 4 IPC with less cache (§III).
+     */
+    double ipc = 1.0;
+
+    double llcPerCoreMib() const;
+    double bwPerCoreGbps() const;
+};
+
+/** The four CPUs of Table I. */
+class CpuCatalog
+{
+  public:
+    /** AMD Bergamo: 128 c, 3.0 GHz, 256 MiB LLC, 350 W, 460+100 GB/s. */
+    static CpuSpec bergamo();
+
+    /** AMD Rome (Gen1): 64 c, 3.0 GHz, 256 MiB, 240 W, DDR4 BW. */
+    static CpuSpec rome();
+
+    /** AMD Milan (Gen2): 64 c, 3.7 GHz, 256 MiB, 280 W, DDR4 BW. */
+    static CpuSpec milan();
+
+    /** AMD Genoa (Gen3): 80 c, 3.7 GHz, 384 MiB, 300-350 W, 460 GB/s. */
+    static CpuSpec genoa();
+
+    /** CPU for a generation; GreenSku maps to Bergamo. */
+    static CpuSpec forGeneration(carbon::Generation gen);
+};
+
+} // namespace gsku::perf

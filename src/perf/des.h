@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Discrete-event simulation of a multi-core VM serving requests —
+ * an independent check on the analytic M/M/c latency model.
+ *
+ * The analytic model (perf/queueing.h) gives closed-form percentiles;
+ * this simulator generates actual Poisson arrivals and exponential
+ * service times on c cores with FCFS queueing and measures empirical
+ * latency percentiles. Tests assert the two agree, which protects every
+ * downstream result (SLOs, scaling factors, Figs. 7/8) against errors
+ * in the queueing math.
+ *
+ * The simulator also supports what the closed form cannot: general
+ * service-time distributions (via a squared-coefficient-of-variation
+ * knob) for sensitivity studies on the exponential-service assumption.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace gsku::perf {
+
+/** Simulation configuration. */
+struct DesConfig
+{
+    int servers = 8;                ///< Cores in the VM.
+    double service_rate = 100.0;    ///< Per-core, requests/second.
+    double arrival_rate = 500.0;    ///< Poisson arrivals, requests/second.
+
+    /**
+     * Squared coefficient of variation of service times:
+     * 1.0 = exponential (the M/M/c assumption), 0 = deterministic,
+     * >1 = hyper-exponential-like (heavier tail).
+     */
+    double service_scv = 1.0;
+
+    long warmup_requests = 2000;    ///< Discarded before measuring.
+    long measured_requests = 100000;
+};
+
+/** Result of one simulation run. */
+struct DesResult
+{
+    long completed = 0;
+    double mean_sojourn_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double utilization = 0.0;       ///< Measured core busy fraction.
+};
+
+/** FCFS multi-server queue simulator. */
+class QueueSimulator
+{
+  public:
+    explicit QueueSimulator(DesConfig config);
+
+    /** Run once with the given seed; deterministic per (config, seed). */
+    DesResult run(std::uint64_t seed) const;
+
+  private:
+    DesConfig config_;
+
+    /** Draw one service time honoring the configured SCV. */
+    double sampleServiceS(Rng &rng) const;
+};
+
+} // namespace gsku::perf

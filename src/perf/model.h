@@ -1,0 +1,165 @@
+/**
+ * @file
+ * GSF's performance component (§IV-B), implemented as in §V: profile a
+ * GreenSKU's relative performance per application and output a *scaling
+ * factor* — how many GreenSKU cores per baseline-SKU core a VM needs to
+ * meet the application's performance goals.
+ *
+ * Methodology mirrors the paper:
+ *  - SLO: the 95th-percentile latency the baseline SKU achieves with an
+ *    8-core VM at 90% of its peak saturation throughput (§VI).
+ *  - Candidate GreenSKU VM sizes: 8, 10, 12 cores; the scaling factor is
+ *    the smallest candidate meeting the SLO, divided by 8.
+ *  - DevOps builds report throughput only; their scaling factor comes
+ *    from matching aggregate build throughput (Table II).
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "carbon/sku.h"
+#include "perf/app.h"
+#include "perf/cpu.h"
+
+namespace gsku::perf {
+
+/** One point of a latency-vs-load curve (Figs. 7 and 8). */
+struct LatencyPoint
+{
+    double qps = 0.0;
+    double p95_ms = 0.0;    ///< +inf beyond saturation.
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+};
+
+/** A full latency-vs-load curve for one (app, CPU, cores) config. */
+struct LatencyCurve
+{
+    std::string label;
+    double peak_qps = 0.0;
+    std::vector<LatencyPoint> points;
+};
+
+/** The SLO derived from a baseline configuration. */
+struct SloSpec
+{
+    double load_qps = 0.0;  ///< 90% of the baseline's peak throughput.
+    double p95_ms = 0.0;    ///< Baseline p95 latency at that load.
+};
+
+/** Result of the scaling-factor search for one (app, baseline) pair. */
+struct ScalingResult
+{
+    bool feasible = false;  ///< False renders as ">1.5" (Table III).
+    int green_cores = 0;    ///< Cores used when feasible.
+    double factor = 0.0;    ///< green_cores / 8 when feasible.
+
+    /** Table III cell text: "1", "1.25", "1.5", or ">1.5". */
+    std::string display() const;
+};
+
+/** Tunables of the performance methodology (defaults follow the paper). */
+struct PerfConfig
+{
+    int baseline_vm_cores = 8;
+    std::vector<int> green_core_options = {8, 10, 12};
+    double tail_percentile = 95.0;
+    double slo_load_fraction = 0.9;     ///< SLO set at 90% of peak.
+    double low_load_fraction = 0.3;     ///< "Low" load (§VI).
+
+    /** Measurement-noise tolerance when comparing tail latencies. */
+    double tolerance = 0.02;
+
+    /** Tolerance when matching aggregate build throughput (Table II
+     *  build-time measurements are noisier than latency SLOs). */
+    double throughput_tolerance = 0.05;
+
+    /** Relative CXL latency penalty: (280 - 140) / 140 ns (§III). */
+    double cxl_latency_penalty = 1.0;
+};
+
+/**
+ * The performance model. Stateless; all queries are const.
+ */
+class PerfModel
+{
+  public:
+    explicit PerfModel(PerfConfig config = PerfConfig{});
+
+    const PerfConfig &config() const { return config_; }
+
+    /**
+     * Per-core performance of @p app on @p cpu relative to one Genoa
+     * core (= 1.0), derived from the app's sensitivity exponents.
+     */
+    double perCorePerf(const AppProfile &app, const CpuSpec &cpu) const;
+
+    /**
+     * Mean per-request service time in ms on one core of @p cpu;
+     * @p cxl_backed applies the CXL memory-latency inflation.
+     */
+    double serviceMs(const AppProfile &app, const CpuSpec &cpu,
+                     bool cxl_backed = false) const;
+
+    /** Per-core service rate in requests/second. */
+    double serviceRate(const AppProfile &app, const CpuSpec &cpu,
+                       bool cxl_backed = false) const;
+
+    /** Saturation throughput of a VM with @p cores cores. */
+    double peakQps(const AppProfile &app, const CpuSpec &cpu, int cores,
+                   bool cxl_backed = false) const;
+
+    /** p95 sojourn latency at @p qps; +inf beyond saturation. */
+    double p95LatencyMs(const AppProfile &app, const CpuSpec &cpu,
+                        int cores, double qps,
+                        bool cxl_backed = false) const;
+
+    /** SLO from the baseline generation's 8-core VM (§VI). */
+    SloSpec slo(const AppProfile &app, const CpuSpec &baseline) const;
+
+    /** Latency-vs-load curve with @p n_points up to saturation. */
+    LatencyCurve curve(const AppProfile &app, const CpuSpec &cpu, int cores,
+                       bool cxl_backed = false, int n_points = 25) const;
+
+    /**
+     * Scaling factor of the GreenSKU (Bergamo) VM relative to an 8-core
+     * VM on @p baseline — a Table III cell. Latency apps must meet the
+     * baseline-derived SLO; throughput-only apps must match aggregate
+     * throughput within tolerance.
+     */
+    ScalingResult scalingFactor(const AppProfile &app,
+                                const CpuSpec &baseline,
+                                bool cxl_backed = false) const;
+
+    /** All Table III rows against one baseline generation. */
+    std::vector<ScalingResult>
+    scalingTable(const CpuSpec &baseline) const;
+
+    /**
+     * Latency at 30% of the configuration's own peak (§VI low-load).
+     * Uses the mean sojourn time, dominated by service time at low load.
+     */
+    double lowLoadLatencyMs(const AppProfile &app, const CpuSpec &cpu,
+                            int cores, bool cxl_backed = false) const;
+
+    /**
+     * Median (across latency-reporting apps) of the GreenSKU's low-load
+     * latency relative to @p baseline, each app scaled by its scaling
+     * factor as in §VI. Paper: -8.3% / -2% / +16% vs Gen1/2/3.
+     */
+    double medianLowLoadRatio(const CpuSpec &baseline) const;
+
+    /**
+     * DevOps build slowdown of @p cpu relative to Gen3 at equal core
+     * count (a Table II cell); >1 is slower.
+     */
+    double buildSlowdown(const AppProfile &app, const CpuSpec &cpu,
+                         bool cxl_backed = false) const;
+
+  private:
+    PerfConfig config_;
+};
+
+} // namespace gsku::perf

@@ -1,0 +1,113 @@
+#include "perf/queueing.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace gsku::perf {
+
+double
+erlangC(int servers, double offered_load)
+{
+    GSKU_REQUIRE(servers >= 1, "erlangC needs at least one server");
+    GSKU_REQUIRE(offered_load >= 0.0, "offered load must be non-negative");
+    GSKU_REQUIRE(offered_load < static_cast<double>(servers),
+                 "erlangC requires a stable queue (a < c)");
+    if (offered_load == 0.0) {
+        return 0.0;
+    }
+
+    // Numerically stable recurrence on the inverse Erlang-B:
+    //   1/B(0,a) = 1;  1/B(k,a) = 1 + (k/a) / B(k-1,a)^-1 ... inverted.
+    // We carry inv_b = 1/B(k, a).
+    const double a = offered_load;
+    double inv_b = 1.0;
+    for (int k = 1; k <= servers; ++k) {
+        inv_b = 1.0 + inv_b * static_cast<double>(k) / a;
+    }
+    const double b = 1.0 / inv_b;
+    const double rho = a / static_cast<double>(servers);
+    return b / (1.0 - rho + rho * b);
+}
+
+double
+meanWaitMs(int servers, double mu, double lambda)
+{
+    GSKU_REQUIRE(mu > 0.0, "service rate must be positive");
+    GSKU_REQUIRE(lambda >= 0.0, "arrival rate must be non-negative");
+    const double capacity = static_cast<double>(servers) * mu;
+    if (lambda >= capacity) {
+        return std::numeric_limits<double>::infinity();
+    }
+    const double c_prob = erlangC(servers, lambda / mu);
+    const double wait_s = c_prob / (capacity - lambda);
+    return wait_s * 1e3;
+}
+
+double
+peakThroughput(int servers, double mu)
+{
+    GSKU_REQUIRE(servers >= 1 && mu > 0.0, "invalid queue parameters");
+    return static_cast<double>(servers) * mu;
+}
+
+namespace {
+
+/**
+ * P(T > t) for sojourn time T, with t in seconds.
+ * theta = c*mu - lambda is the conditional-wait rate.
+ */
+double
+sojournTail(double mu, double theta, double wait_prob, double t)
+{
+    const double no_wait = (1.0 - wait_prob) * std::exp(-mu * t);
+    double with_wait;
+    if (std::abs(theta - mu) < 1e-9 * mu) {
+        // Hypoexponential degenerates to Erlang-2.
+        with_wait = std::exp(-mu * t) * (1.0 + mu * t);
+    } else {
+        with_wait = (theta * std::exp(-mu * t) - mu * std::exp(-theta * t)) /
+                    (theta - mu);
+    }
+    return no_wait + wait_prob * with_wait;
+}
+
+} // namespace
+
+double
+percentileSojournMs(int servers, double mu, double lambda, double p)
+{
+    GSKU_REQUIRE(servers >= 1, "need at least one server");
+    GSKU_REQUIRE(mu > 0.0, "service rate must be positive");
+    GSKU_REQUIRE(lambda >= 0.0, "arrival rate must be non-negative");
+    GSKU_REQUIRE(p > 0.0 && p < 100.0, "percentile must be in (0, 100)");
+
+    const double capacity = static_cast<double>(servers) * mu;
+    if (lambda >= capacity) {
+        return std::numeric_limits<double>::infinity();
+    }
+    const double wait_prob =
+        lambda == 0.0 ? 0.0 : erlangC(servers, lambda / mu);
+    const double theta = capacity - lambda;
+    const double target = 1.0 - p / 100.0;
+
+    // Bracket: the tail is below `target` somewhere before the sum of the
+    // individual-stage percentiles; grow the bracket geometrically.
+    double hi = (1.0 / mu + 1.0 / theta) * std::log(1.0 / target) + 1e-9;
+    while (sojournTail(mu, theta, wait_prob, hi) > target) {
+        hi *= 2.0;
+    }
+    double lo = 0.0;
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (sojournTail(mu, theta, wait_prob, mid) > target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi) * 1e3;
+}
+
+} // namespace gsku::perf

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * M/M/c queueing machinery behind the latency-vs-load curves (Figs. 7/8).
+ *
+ * A VM running a latency-critical application with k cores is modeled as
+ * an M/M/k queue whose per-server rate is the application's per-core
+ * service rate on that CPU. Tail latency percentiles come from the exact
+ * sojourn-time distribution of the M/M/c FCFS queue:
+ *
+ *   P(T > t) = (1-C) P(S > t) + C P(S + W > t)
+ *
+ * with S ~ exp(mu), W ~ exp(c mu (1 - rho)) and C the Erlang-C waiting
+ * probability. The percentile is found by bisection on t, which is smooth
+ * and deterministic — exactly what the SLO search needs.
+ */
+#pragma once
+
+namespace gsku::perf {
+
+/**
+ * Erlang-C: probability an arrival waits in an M/M/c queue.
+ *
+ * @param servers number of servers c (>= 1)
+ * @param offered_load a = lambda / mu in Erlangs; must satisfy a < c
+ */
+double erlangC(int servers, double offered_load);
+
+/** Mean waiting time in queue (ms) for M/M/c; lambda in req/s, mu per
+ *  server in req/s. Returns +inf when the queue is unstable. */
+double meanWaitMs(int servers, double mu, double lambda);
+
+/**
+ * The p-th percentile (p in (0,100)) of sojourn time in ms for an M/M/c
+ * queue, or +infinity when lambda >= c*mu (saturated).
+ *
+ * @param servers number of servers
+ * @param mu per-server service rate, requests/second
+ * @param lambda arrival rate, requests/second
+ */
+double percentileSojournMs(int servers, double mu, double lambda, double p);
+
+/** Saturation throughput c * mu, requests/second. */
+double peakThroughput(int servers, double mu);
+
+} // namespace gsku::perf

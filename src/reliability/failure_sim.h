@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Monte-Carlo fleet failure simulator behind Fig. 2: normalized DDR4 DIMM
+ * failure rates over deployment time. The hazard model is
+ * "bathtub-without-wearout": an infant-mortality term decaying to a
+ * constant base rate, matching the paper's observation that after an
+ * initial period of higher AFRs, failure rates stay constant over 7+
+ * years (and accelerated-aging studies show flat beyond 12 years).
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gsku::reliability {
+
+/** Hazard-rate parameters for one device population. */
+struct HazardParams
+{
+    /** Steady-state annual failure rate (fraction of fleet per year). */
+    double base_afr = 0.001;
+
+    /** Infant-mortality multiplier at t=0 (hazard = multiple * base). */
+    double infant_multiplier = 2.0;
+
+    /** Decay time constant of infant mortality, months. */
+    double infant_decay_months = 6.0;
+
+    /** Monthly hazard rate at a device age in months. */
+    double monthlyHazard(double age_months) const;
+};
+
+/** One month of the simulated fleet's life. */
+struct MonthlyFailureStat
+{
+    int month = 0;
+    long population = 0;        ///< Devices alive at month start.
+    long failures = 0;
+    double raw_rate = 0.0;      ///< failures / population, annualized.
+    double smoothed_rate = 0.0; ///< Trailing moving average (black line).
+};
+
+/** Simulates a device fleet and reports monthly (smoothed) AFRs. */
+class FleetFailureSimulator
+{
+  public:
+    FleetFailureSimulator(HazardParams params, long fleet_size,
+                          std::uint64_t seed = 42);
+
+    /**
+     * Run for @p months months; failed devices are not replaced
+     * (decommissioned hosts leave the denominator, as in production
+     * telemetry). @p smoothing_window is the moving-average width.
+     */
+    std::vector<MonthlyFailureStat> run(int months,
+                                        std::size_t smoothing_window = 6);
+
+  private:
+    HazardParams params_;
+    long fleet_size_;
+    Rng rng_;
+};
+
+} // namespace gsku::reliability

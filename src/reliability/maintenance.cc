@@ -1,0 +1,67 @@
+#include "reliability/maintenance.h"
+
+#include "common/error.h"
+
+namespace gsku::reliability {
+
+MaintenanceModel::MaintenanceModel(AfrParams params) : params_(params)
+{
+    GSKU_REQUIRE(params_.dimm_afr >= 0.0 && params_.ssd_afr >= 0.0 &&
+                     params_.other_afr >= 0.0,
+                 "AFRs must be non-negative");
+    GSKU_REQUIRE(params_.fip_effectiveness >= 0.0 &&
+                     params_.fip_effectiveness <= 1.0,
+                 "FIP effectiveness must be in [0, 1]");
+    GSKU_REQUIRE(params_.repair_time.asHours() > 0.0,
+                 "repair time must be positive");
+}
+
+MaintenanceStats
+MaintenanceModel::stats(const carbon::ServerSku &sku) const
+{
+    MaintenanceStats out;
+    const int dimms = sku.unitCount(carbon::ComponentKind::Dram);
+    const int ssds = sku.unitCount(carbon::ComponentKind::Ssd);
+    // §V: reused DIMMs/SSDs show lower-or-equal AFRs than new parts, so
+    // the same per-unit AFR applies to both.
+    out.dimm_ssd_afr = static_cast<double>(dimms) * params_.dimm_afr +
+                       static_cast<double>(ssds) * params_.ssd_afr;
+    out.server_afr = out.dimm_ssd_afr + params_.other_afr;
+    out.repair_rate = params_.other_afr +
+                      (1.0 - params_.fip_effectiveness) * out.dimm_ssd_afr;
+    // Rates are per 100 servers per year; convert to per server-year.
+    out.oos_fraction =
+        out.repair_rate / 100.0 * params_.repair_time.asYears();
+    return out;
+}
+
+double
+MaintenanceModel::serverAfr(const carbon::ServerSku &sku) const
+{
+    return stats(sku).server_afr;
+}
+
+double
+MaintenanceModel::repairRate(const carbon::ServerSku &sku) const
+{
+    return stats(sku).repair_rate;
+}
+
+double
+MaintenanceModel::outOfServiceFraction(const carbon::ServerSku &sku) const
+{
+    return stats(sku).oos_fraction;
+}
+
+double
+MaintenanceModel::coos(const carbon::ServerSku &sku,
+                       const CoosInputs &in) const
+{
+    GSKU_REQUIRE(in.servers_per_baseline > 0.0 &&
+                     in.per_server_emissions_ratio > 0.0,
+                 "C_OOS inputs must be positive");
+    return repairRate(sku) * in.servers_per_baseline *
+           in.per_server_emissions_ratio;
+}
+
+} // namespace gsku::reliability

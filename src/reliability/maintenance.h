@@ -1,0 +1,98 @@
+/**
+ * @file
+ * GSF's maintenance component (§IV-B, §V): server annual failure rates
+ * aggregated from component AFRs, Fail-In-Place (FIP) mitigation, the
+ * Little's-law out-of-service overhead, and the C_OOS maintenance-carbon
+ * comparison of §V.
+ *
+ * The §V worked example is the validation anchor: a baseline SKU with
+ * 12 DIMMs and 6 SSDs has AFR 4.8 (DIMM 0.1, SSD 0.2 each; DIMMs+SSDs are
+ * half of server AFR); GreenSKU-Full with 20 DIMMs and 14 SSDs has 7.2.
+ * With 75%-effective FIP the repair rates drop to 3.0 and 3.6, and
+ * C_OOS = 3.6 * 0.66 * 1.262 = 2.98 vs 3.0 — negligible overhead.
+ */
+#pragma once
+
+#include "carbon/sku.h"
+#include "common/units.h"
+
+namespace gsku::reliability {
+
+/** Component and overhead AFR parameters (per §V footnotes). */
+struct AfrParams
+{
+    /** Annual failure rate of one DIMM, in failures per 100 servers. */
+    double dimm_afr = 0.1;
+
+    /** Annual failure rate of one SSD, in failures per 100 servers. */
+    double ssd_afr = 0.2;
+
+    /**
+     * AFR of everything else (CPU, board, PSU, NIC, fans) per server.
+     * 2.4 makes DIMMs+SSDs exactly half of the baseline's server AFR,
+     * matching §V footnote 3.
+     */
+    double other_afr = 2.4;
+
+    /** Fraction of DIMM/SSD failures FIP absorbs without repair (§V). */
+    double fip_effectiveness = 0.75;
+
+    /** Mean time to repair an out-of-service server. */
+    Duration repair_time = Duration::days(14.0);
+};
+
+/** Per-SKU maintenance figures; rates are per 100 servers per year. */
+struct MaintenanceStats
+{
+    double dimm_ssd_afr = 0.0;  ///< AFR from DIMMs and SSDs.
+    double server_afr = 0.0;    ///< Total server AFR.
+    double repair_rate = 0.0;   ///< AFR after FIP absorption.
+    double oos_fraction = 0.0;  ///< Little's law: repair_rate * MTTR.
+};
+
+/** Inputs for the §V C_OOS comparison of two SKUs. */
+struct CoosInputs
+{
+    /** Servers of this SKU needed per baseline server (0.66 for
+     *  GreenSKU-Full after scaling-factor inflation). */
+    double servers_per_baseline = 1.0;
+
+    /** Per-server emissions relative to the baseline SKU (1.262 for
+     *  GreenSKU-Full). */
+    double per_server_emissions_ratio = 1.0;
+};
+
+/** The maintenance model. */
+class MaintenanceModel
+{
+  public:
+    explicit MaintenanceModel(AfrParams params = AfrParams{});
+
+    const AfrParams &params() const { return params_; }
+
+    /** Full maintenance figures for a SKU. */
+    MaintenanceStats stats(const carbon::ServerSku &sku) const;
+
+    /** Server AFR per 100 servers (component sum + other overhead). */
+    double serverAfr(const carbon::ServerSku &sku) const;
+
+    /** Repair rate per 100 servers after FIP (only DIMM/SSD absorb). */
+    double repairRate(const carbon::ServerSku &sku) const;
+
+    /**
+     * Fraction of servers out of service at any time, via Little's law:
+     * (repair rate per server-year) * (repair time in years).
+     */
+    double outOfServiceFraction(const carbon::ServerSku &sku) const;
+
+    /**
+     * Maintenance carbon overhead C_OOS = repair rate x servers-needed x
+     * per-server emissions (both normalized to the baseline SKU).
+     */
+    double coos(const carbon::ServerSku &sku, const CoosInputs &in) const;
+
+  private:
+    AfrParams params_;
+};
+
+} // namespace gsku::reliability

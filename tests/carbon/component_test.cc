@@ -1,0 +1,111 @@
+/** @file Component and catalog data integrity (Table V provenance). */
+#include <gtest/gtest.h>
+
+#include "carbon/catalog.h"
+#include "carbon/component.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+namespace {
+
+TEST(ComponentTest, SlotAggregationScalesByCount)
+{
+    const ComponentSlot slot{Catalog::ddr5Dimm(64.0), 12};
+    EXPECT_NEAR(slotTdp(slot).asWatts(), 12 * 64.0 * 0.37, 1e-9);
+    EXPECT_NEAR(slotEmbodied(slot).asKg(), 12 * 64.0 * 1.65, 1e-9);
+}
+
+TEST(ComponentTest, NegativeCountRejected)
+{
+    const ComponentSlot slot{Catalog::ddr5Dimm(64.0), -1};
+    EXPECT_THROW(slotTdp(slot), UserError);
+    EXPECT_THROW(slotEmbodied(slot), UserError);
+}
+
+TEST(ComponentTest, KindNamesUnique)
+{
+    EXPECT_EQ(toString(ComponentKind::Cpu), "CPU");
+    EXPECT_EQ(toString(ComponentKind::Dram), "DRAM");
+    EXPECT_EQ(toString(ComponentKind::Ssd), "SSD");
+    EXPECT_EQ(toString(ComponentKind::Hdd), "HDD");
+    EXPECT_EQ(toString(ComponentKind::CxlController), "CXL");
+    EXPECT_EQ(toString(ComponentKind::Nic), "NIC");
+    EXPECT_EQ(toString(ComponentKind::Misc), "Misc");
+}
+
+TEST(CatalogTest, BergamoMatchesTableV)
+{
+    const Component c = Catalog::bergamoCpu();
+    EXPECT_DOUBLE_EQ(c.tdp.asWatts(), 400.0);
+    EXPECT_DOUBLE_EQ(c.embodied.asKg(), 28.3);
+    EXPECT_EQ(c.kind, ComponentKind::Cpu);
+    EXPECT_FALSE(c.reused);
+}
+
+TEST(CatalogTest, Ddr5MatchesTableV)
+{
+    const Component c = Catalog::ddr5Dimm(96.0);
+    EXPECT_NEAR(c.tdp.asWatts(), 96.0 * 0.37, 1e-9);
+    EXPECT_NEAR(c.embodied.asKg(), 96.0 * 1.65, 1e-9);
+}
+
+TEST(CatalogTest, ReusedComponentsHaveZeroEmbodied)
+{
+    EXPECT_DOUBLE_EQ(Catalog::reusedDdr4Dimm(32.0).embodied.asKg(), 0.0);
+    EXPECT_TRUE(Catalog::reusedDdr4Dimm(32.0).reused);
+    EXPECT_DOUBLE_EQ(Catalog::reusedSsd(1.0).embodied.asKg(), 0.0);
+    EXPECT_TRUE(Catalog::reusedSsd(1.0).reused);
+    EXPECT_DOUBLE_EQ(Catalog::paperDdr4Dimm(32.0).embodied.asKg(), 0.0);
+}
+
+TEST(CatalogTest, ReusedDdr4DrawsMorePerGbThanDdr5)
+{
+    // §III: old DIMMs' lower density costs operational energy.
+    const double ddr5 = Catalog::ddr5Dimm(32.0).tdp.asWatts();
+    const double ddr4 = Catalog::reusedDdr4Dimm(32.0).tdp.asWatts();
+    EXPECT_GT(ddr4, ddr5);
+}
+
+TEST(CatalogTest, ReusedSsdLessEfficientPerTb)
+{
+    // 8 W for a 1 TB reused drive vs 5.6 W/TB new (§VI).
+    EXPECT_GT(Catalog::reusedSsd(1.0).tdp.asWatts(),
+              Catalog::newSsd(1.0).tdp.asWatts());
+}
+
+TEST(CatalogTest, CxlControllerIsNotDerated)
+{
+    const Component c = Catalog::cxlController();
+    EXPECT_TRUE(c.hasDerateOverride());
+    EXPECT_DOUBLE_EQ(c.derate_override, 1.0);
+    EXPECT_DOUBLE_EQ(c.tdp.asWatts(), 5.8);
+    EXPECT_DOUBLE_EQ(c.embodied.asKg(), 2.5);
+}
+
+TEST(CatalogTest, PaperVariantsMatchTableVExactly)
+{
+    // The §V worked example uses 0.37 W/GB DDR4 and a derated CXL card.
+    EXPECT_NEAR(Catalog::paperDdr4Dimm(32.0).tdp.asWatts(), 32.0 * 0.37,
+                1e-9);
+    EXPECT_FALSE(Catalog::paperCxlController().hasDerateOverride());
+}
+
+TEST(CatalogTest, CpuGenerationsOrderedByTdp)
+{
+    // Table I: Rome 240 W < Milan 280 W < Genoa 300-350 W < Bergamo 400 W
+    // (SKU TDP per Table V).
+    EXPECT_LT(Catalog::romeCpu().tdp, Catalog::milanCpu().tdp);
+    EXPECT_LT(Catalog::milanCpu().tdp, Catalog::genoaCpu().tdp);
+    EXPECT_LT(Catalog::genoaCpu().tdp, Catalog::bergamoCpu().tdp);
+}
+
+TEST(CatalogTest, CapacityMustBePositive)
+{
+    EXPECT_THROW(Catalog::ddr5Dimm(0.0), UserError);
+    EXPECT_THROW(Catalog::reusedDdr4Dimm(-4.0), UserError);
+    EXPECT_THROW(Catalog::newSsd(0.0), UserError);
+    EXPECT_THROW(Catalog::reusedSsd(-1.0), UserError);
+}
+
+} // namespace
+} // namespace gsku::carbon

@@ -1,0 +1,149 @@
+/** @file Fig. 1 / §II data-center breakdown reproduction and properties. */
+#include <gtest/gtest.h>
+
+#include "carbon/datacenter.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+namespace {
+
+class DatacenterTest : public ::testing::Test
+{
+  protected:
+    DataCenterModel model_;
+    FleetComposition fleet_;            // Azure-like defaults.
+    DcBreakdown bd_ = model_.breakdown(fleet_);
+};
+
+TEST_F(DatacenterTest, SharesSumToOne)
+{
+    double op = 0.0;
+    for (const auto &[name, share] : bd_.operational_by_category) {
+        op += share;
+    }
+    EXPECT_NEAR(op, 1.0, 1e-9);
+    double emb = 0.0;
+    for (const auto &[name, share] : bd_.embodied_by_category) {
+        emb += share;
+    }
+    EXPECT_NEAR(emb, 1.0, 1e-9);
+    double comp = 0.0;
+    for (const auto &[name, share] : bd_.compute_by_component) {
+        comp += share;
+    }
+    EXPECT_NEAR(comp, 1.0, 1e-9);
+}
+
+TEST_F(DatacenterTest, OperationalShareNear58Percent)
+{
+    // §II: operational emissions are about 58% of total at Azure's
+    // 40-80% renewable mix.
+    EXPECT_NEAR(bd_.operational_share_of_total, 0.58, 0.04);
+}
+
+TEST_F(DatacenterTest, ComputeShareNear57Percent)
+{
+    // §II: compute servers account for 57% of data center emissions.
+    EXPECT_NEAR(bd_.compute_share_of_total, 0.57, 0.05);
+}
+
+TEST_F(DatacenterTest, ComputeComponentSharesMatchSectionTwo)
+{
+    // §II: DRAM 35%, SSD 28%, CPU 24% within compute servers.
+    EXPECT_NEAR(bd_.compute_by_component.at("DRAM"), 0.35, 0.05);
+    EXPECT_NEAR(bd_.compute_by_component.at("SSD"), 0.28, 0.05);
+    EXPECT_NEAR(bd_.compute_by_component.at("CPU"), 0.24, 0.06);
+}
+
+TEST_F(DatacenterTest, TopThreeComponentsCauseTwoThirds)
+{
+    // §III: CPU+DRAM+SSD cause 67% of a compute server's net emissions
+    // (we tolerate our best-effort misc estimates).
+    const double top3 = bd_.compute_by_component.at("DRAM") +
+                        bd_.compute_by_component.at("SSD") +
+                        bd_.compute_by_component.at("CPU");
+    EXPECT_GT(top3, 0.67);
+}
+
+TEST_F(DatacenterTest, ComputeDominatesOperational)
+{
+    // Fig. 1: compute servers consume most of the power.
+    const double compute = bd_.operational_by_category.at("compute");
+    EXPECT_GT(compute, bd_.operational_by_category.at("storage"));
+    EXPECT_GT(compute, bd_.operational_by_category.at("network"));
+    EXPECT_GT(compute, bd_.operational_by_category.at("cooling+power"));
+    EXPECT_GT(compute, 0.5);
+}
+
+TEST_F(DatacenterTest, StorageEmbodiedOutweighsItsOperational)
+{
+    // Fig. 1: storage servers have a large embodied footprint but
+    // consume relatively little power.
+    EXPECT_GT(bd_.embodied_by_category.at("storage"),
+              bd_.operational_by_category.at("storage"));
+}
+
+TEST_F(DatacenterTest, FullRenewablesLeaveSmallOperationalShare)
+{
+    // §II: with 100% renewables, operational drops to ~9% of total.
+    FleetComposition green = fleet_;
+    green.renewable_fraction = 1.0;
+    const DcBreakdown bd = model_.breakdown(green);
+    EXPECT_NEAR(bd.operational_share_of_total, 0.09, 0.04);
+}
+
+TEST_F(DatacenterTest, FullRenewablesComputeShareNear44Percent)
+{
+    // §II: compute drops to ~44% of data center emissions.
+    FleetComposition green = fleet_;
+    green.renewable_fraction = 1.0;
+    const DcBreakdown bd = model_.breakdown(green);
+    EXPECT_NEAR(bd.compute_share_of_total, 0.44, 0.08);
+}
+
+TEST_F(DatacenterTest, EffectiveIntensityNearPaperAverage)
+{
+    // Table VI uses 0.1 kg/kWh as the average across Azure regions.
+    EXPECT_NEAR(fleet_.effectiveIntensity().asKgPerKwh(), 0.1, 0.05);
+}
+
+TEST_F(DatacenterTest, EffectiveIntensityMonotoneInRenewables)
+{
+    FleetComposition f = fleet_;
+    double prev = 1e9;
+    for (double r : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        f.renewable_fraction = r;
+        const double ci = f.effectiveIntensity().asKgPerKwh();
+        ASSERT_LT(ci, prev);
+        prev = ci;
+    }
+}
+
+TEST_F(DatacenterTest, DcSavingsScaleWithComputeShare)
+{
+    // 14% cluster savings -> ~7-8% DC savings (§VI / Appendix A-F).
+    const double dc = model_.dcSavings(fleet_, 0.14);
+    EXPECT_NEAR(dc, 0.075, 0.015);
+    EXPECT_DOUBLE_EQ(model_.dcSavings(fleet_, 0.0), 0.0);
+}
+
+TEST_F(DatacenterTest, InputValidation)
+{
+    FleetComposition bad = fleet_;
+    bad.compute_servers = 0;
+    EXPECT_THROW(model_.breakdown(bad), UserError);
+    bad = fleet_;
+    bad.renewable_fraction = 1.5;
+    EXPECT_THROW(bad.effectiveIntensity(), UserError);
+    EXPECT_THROW(model_.dcSavings(fleet_, 1.5), UserError);
+}
+
+TEST_F(DatacenterTest, StorageAndNetworkSkusValid)
+{
+    EXPECT_NO_THROW(FleetSkus::storageServer().validate());
+    EXPECT_NO_THROW(FleetSkus::networkServer().validate());
+    EXPECT_NO_THROW(FleetSkus::fleetComputeServer().validate());
+}
+
+} // namespace
+} // namespace gsku::carbon

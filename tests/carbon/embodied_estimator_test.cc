@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bottom-up vs top-down embodied-carbon cross-checks: the die-area
+ * estimates (§II methodology) must reproduce the Appendix A Table V
+ * values the catalog carries, within the tolerance such estimates
+ * support (~15%).
+ */
+#include <gtest/gtest.h>
+
+#include "carbon/catalog.h"
+#include "carbon/embodied_estimator.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+namespace {
+
+TEST(EmbodiedEstimatorTest, BergamoMatchesTableV)
+{
+    const CarbonMass estimate = estimateEmbodied(DieCatalog::bergamo());
+    EXPECT_NEAR(estimate.asKg(), Catalog::bergamoCpu().embodied.asKg(),
+                0.15 * Catalog::bergamoCpu().embodied.asKg());
+}
+
+TEST(EmbodiedEstimatorTest, GenoaMatchesCalibratedValue)
+{
+    const CarbonMass estimate = estimateEmbodied(DieCatalog::genoa());
+    EXPECT_NEAR(estimate.asKg(), Catalog::genoaCpu().embodied.asKg(),
+                0.15 * Catalog::genoaCpu().embodied.asKg());
+}
+
+TEST(EmbodiedEstimatorTest, Ddr5DimmMatchesPerGbValue)
+{
+    const CarbonMass estimate =
+        estimateEmbodied(DieCatalog::ddr5Dimm64());
+    const double table_v = 64.0 * 1.65;
+    EXPECT_NEAR(estimate.asKg(), table_v, 0.1 * table_v);
+}
+
+TEST(EmbodiedEstimatorTest, SsdMatchesPerTbValue)
+{
+    const CarbonMass estimate = estimateEmbodied(DieCatalog::ssd2tb());
+    const double table_v = 2.0 * 17.3;
+    EXPECT_NEAR(estimate.asKg(), table_v, 0.1 * table_v);
+}
+
+TEST(EmbodiedEstimatorTest, GenoaHasMoreSiliconThanBergamo)
+{
+    // 10 Zen 4 CCDs vs 8 Zen 4c CCDs: the baseline CPU carries more
+    // compute silicon, consistent with its higher calibrated embodied
+    // value.
+    EXPECT_GT(estimateEmbodied(DieCatalog::genoa()).asKg(),
+              estimateEmbodied(DieCatalog::bergamo()).asKg());
+}
+
+TEST(EmbodiedEstimatorTest, EstimateScalesWithAreaAndCount)
+{
+    PackageSpec one{"one", {{"die", ProcessNode::N7, 1.0, 1}}, 0.0};
+    PackageSpec two_count{"two", {{"die", ProcessNode::N7, 1.0, 2}}, 0.0};
+    PackageSpec two_area{"two", {{"die", ProcessNode::N7, 2.0, 1}}, 0.0};
+    const double base = estimateEmbodied(one).asKg();
+    EXPECT_DOUBLE_EQ(estimateEmbodied(two_count).asKg(), 2.0 * base);
+    EXPECT_DOUBLE_EQ(estimateEmbodied(two_area).asKg(), 2.0 * base);
+}
+
+TEST(EmbodiedEstimatorTest, PackagingOverheadApplied)
+{
+    PackageSpec bare{"bare", {{"die", ProcessNode::N5, 1.0, 1}}, 0.0};
+    PackageSpec packaged{"packaged",
+                         {{"die", ProcessNode::N5, 1.0, 1}},
+                         0.2};
+    EXPECT_NEAR(estimateEmbodied(packaged).asKg(),
+                1.2 * estimateEmbodied(bare).asKg(), 1e-12);
+}
+
+TEST(EmbodiedEstimatorTest, Validation)
+{
+    PackageSpec empty{"empty", {}, 0.1};
+    EXPECT_THROW(estimateEmbodied(empty), UserError);
+    PackageSpec bad_area{"bad", {{"die", ProcessNode::N7, 0.0, 1}}, 0.1};
+    EXPECT_THROW(estimateEmbodied(bad_area), UserError);
+    PackageSpec bad_count{"bad", {{"die", ProcessNode::N7, 1.0, 0}}, 0.1};
+    EXPECT_THROW(estimateEmbodied(bad_count), UserError);
+}
+
+} // namespace
+} // namespace gsku::carbon

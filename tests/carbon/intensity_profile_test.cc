@@ -1,0 +1,127 @@
+/** @file Diurnal carbon-intensity and temporal-shifting tests (§IX). */
+#include <gtest/gtest.h>
+
+#include "carbon/intensity_profile.h"
+#include "carbon/model.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+namespace {
+
+TEST(IntensityProfileTest, CleanestHourIsTheTrough)
+{
+    const IntensityProfile p =
+        IntensityProfile::solarHeavy(CarbonIntensity::kgPerKwh(0.2));
+    const double trough = p.at(13.0).asKgPerKwh();
+    for (double h = 0.0; h <= 24.0; h += 0.5) {
+        ASSERT_GE(p.at(h).asKgPerKwh(), trough - 1e-12) << h;
+    }
+    // Peak is 12 hours away from the trough.
+    EXPECT_NEAR(p.at(1.0).asKgPerKwh(), 0.2 * 1.4, 1e-9);
+    EXPECT_NEAR(trough, 0.2 * 0.6, 1e-9);
+}
+
+TEST(IntensityProfileTest, IntegratesToTheMean)
+{
+    const IntensityProfile p =
+        IntensityProfile::solarHeavy(CarbonIntensity::kgPerKwh(0.3));
+    double sum = 0.0;
+    const int n = 2400;
+    for (int i = 0; i < n; ++i) {
+        sum += p.at(24.0 * (i + 0.5) / n).asKgPerKwh();
+    }
+    EXPECT_NEAR(sum / n, 0.3, 1e-6);
+}
+
+TEST(IntensityProfileTest, FlatGridIsFlat)
+{
+    const IntensityProfile p =
+        IntensityProfile::flat(CarbonIntensity::kgPerKwh(0.15));
+    for (double h : {0.0, 6.0, 12.0, 23.9}) {
+        EXPECT_DOUBLE_EQ(p.at(h).asKgPerKwh(), 0.15);
+    }
+    EXPECT_NEAR(p.cleanestWindowMean(4.0).asKgPerKwh(), 0.15, 1e-12);
+}
+
+TEST(IntensityProfileTest, CleanWindowBelowDailyMean)
+{
+    const IntensityProfile p =
+        IntensityProfile::solarHeavy(CarbonIntensity::kgPerKwh(0.2));
+    const double mean = p.dailyMean().asKgPerKwh();
+    double prev = 0.0;
+    for (double window : {2.0, 6.0, 12.0, 24.0}) {
+        const double clean = p.cleanestWindowMean(window).asKgPerKwh();
+        ASSERT_LT(clean, mean + 1e-9);
+        ASSERT_GE(clean, prev);        // Wider windows are dirtier.
+        prev = clean;
+    }
+    // A full-day window is the daily mean.
+    EXPECT_NEAR(p.cleanestWindowMean(24.0).asKgPerKwh(), mean, 1e-4);
+}
+
+TEST(TemporalShifterTest, SavingsScaleWithDeferrableFraction)
+{
+    const IntensityProfile p =
+        IntensityProfile::solarHeavy(CarbonIntensity::kgPerKwh(0.2));
+    const double s10 = TemporalShifter::operationalSavings(p, 0.1, 6.0);
+    const double s20 = TemporalShifter::operationalSavings(p, 0.2, 6.0);
+    EXPECT_NEAR(s20, 2.0 * s10, 1e-12);
+    EXPECT_GT(s10, 0.0);
+}
+
+TEST(TemporalShifterTest, FlatGridYieldsNothing)
+{
+    const IntensityProfile p =
+        IntensityProfile::flat(CarbonIntensity::kgPerKwh(0.2));
+    EXPECT_NEAR(TemporalShifter::operationalSavings(p, 0.5, 6.0), 0.0,
+                1e-12);
+}
+
+TEST(TemporalShifterTest, TotalSavingsDilutedByEmbodied)
+{
+    // Shifting cannot touch embodied carbon — the §IX composition
+    // argument: temporal shifting complements, not replaces, GreenSKUs.
+    const IntensityProfile p =
+        IntensityProfile::solarHeavy(CarbonIntensity::kgPerKwh(0.2));
+    const double op = TemporalShifter::operationalSavings(p, 0.3, 6.0);
+    const double total =
+        TemporalShifter::totalSavings(p, 0.3, 6.0, 0.52);
+    EXPECT_NEAR(total, 0.52 * op, 1e-12);
+    EXPECT_LT(total, op);
+}
+
+TEST(TemporalShifterTest, ComposesWithGreenSkuSavings)
+{
+    // A GreenSKU-Full deployment with 20% of work deferrable on a
+    // solar-heavy grid stacks a few extra points on top of the SKU's
+    // own savings.
+    const CarbonModel model;
+    const PerCoreEmissions pc =
+        model.perCore(StandardSkus::greenFull());
+    const double op_share = pc.operational / pc.total();
+    const IntensityProfile p =
+        IntensityProfile::solarHeavy(CarbonIntensity::kgPerKwh(0.1));
+    const double extra =
+        TemporalShifter::totalSavings(p, 0.2, 6.0, op_share);
+    EXPECT_GT(extra, 0.02);
+    EXPECT_LT(extra, 0.08);
+}
+
+TEST(TemporalShifterTest, InputValidation)
+{
+    const IntensityProfile p =
+        IntensityProfile::flat(CarbonIntensity::kgPerKwh(0.1));
+    EXPECT_THROW(TemporalShifter::operationalSavings(p, -0.1, 6.0),
+                 UserError);
+    EXPECT_THROW(TemporalShifter::operationalSavings(p, 0.5, 0.0),
+                 UserError);
+    EXPECT_THROW(TemporalShifter::totalSavings(p, 0.5, 6.0, 1.5),
+                 UserError);
+    EXPECT_THROW(p.at(25.0), UserError);
+    EXPECT_THROW(IntensityProfile(CarbonIntensity::kgPerKwh(0.1), 1.0,
+                                  0.0),
+                 UserError);
+}
+
+} // namespace
+} // namespace gsku::carbon

@@ -1,0 +1,178 @@
+/** @file Carbon model structural and property tests. */
+#include <gtest/gtest.h>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+namespace {
+
+TEST(CarbonModelTest, ParameterValidation)
+{
+    ModelParams p;
+    p.derate = 0.0;
+    EXPECT_THROW(CarbonModel{p}, UserError);
+    p = ModelParams{};
+    p.cpu_vr_loss = 0.9;
+    EXPECT_THROW(CarbonModel{p}, UserError);
+    p = ModelParams{};
+    p.pue = 0.8;
+    EXPECT_THROW(CarbonModel{p}, UserError);
+    p = ModelParams{};
+    p.rack_misc_power = Power::watts(20000.0);
+    EXPECT_THROW(CarbonModel{p}, UserError);
+}
+
+TEST(CarbonModelTest, PowerBreakdownSumsToTotal)
+{
+    const CarbonModel model;
+    const ServerSku sku = StandardSkus::greenFull();
+    const KindBreakdown by_kind = model.serverPowerByKind(sku);
+    double sum = 0.0;
+    for (const auto &[kind, watts] : by_kind) {
+        sum += watts;
+    }
+    EXPECT_NEAR(sum, model.serverPower(sku).asWatts(), 1e-9);
+}
+
+TEST(CarbonModelTest, EmbodiedBreakdownSumsToTotal)
+{
+    const CarbonModel model;
+    const ServerSku sku = StandardSkus::greenCxl();
+    const KindBreakdown by_kind = model.serverEmbodiedByKind(sku);
+    double sum = 0.0;
+    for (const auto &[kind, kg] : by_kind) {
+        sum += kg;
+    }
+    EXPECT_NEAR(sum, model.serverEmbodied(sku).asKg(), 1e-9);
+}
+
+TEST(CarbonModelTest, OperationalScalesLinearlyWithIntensity)
+{
+    const CarbonModel model;
+    const ServerSku sku = StandardSkus::baseline();
+    const PerCoreEmissions at1 =
+        model.perCore(sku, CarbonIntensity::kgPerKwh(0.1));
+    const PerCoreEmissions at2 =
+        model.perCore(sku, CarbonIntensity::kgPerKwh(0.2));
+    EXPECT_NEAR(at2.operational.asKg(), 2.0 * at1.operational.asKg(), 1e-9);
+    EXPECT_DOUBLE_EQ(at2.embodied.asKg(), at1.embodied.asKg());
+}
+
+TEST(CarbonModelTest, ZeroIntensityLeavesOnlyEmbodied)
+{
+    const CarbonModel model;
+    const ServerSku sku = StandardSkus::greenFull();
+    const PerCoreEmissions pc =
+        model.perCore(sku, CarbonIntensity::kgPerKwh(0.0));
+    EXPECT_DOUBLE_EQ(pc.operational.asKg(), 0.0);
+    EXPECT_GT(pc.embodied.asKg(), 0.0);
+}
+
+TEST(CarbonModelTest, LongerLifetimeRaisesOperationalOnly)
+{
+    ModelParams p12;
+    p12.lifetime = Duration::years(12.0);
+    const CarbonModel base_model;
+    const CarbonModel long_model(p12);
+    const ServerSku sku = StandardSkus::baseline();
+    EXPECT_NEAR(long_model.serverOperational(sku).asKg(),
+                2.0 * base_model.serverOperational(sku).asKg(), 1e-6);
+    EXPECT_DOUBLE_EQ(long_model.serverEmbodied(sku).asKg(),
+                     base_model.serverEmbodied(sku).asKg());
+}
+
+TEST(CarbonModelTest, PowerConstrainedRackWhenSpaceAbundant)
+{
+    ModelParams p;
+    p.rack_space_u = 200;   // Space no longer binds.
+    const CarbonModel model(p);
+    const RackFootprint fp = model.rackFootprint(StandardSkus::baseline());
+    EXPECT_FALSE(fp.space_constrained);
+    // floor((15000 - 500) / P_s) servers fit by power.
+    const int expected = static_cast<int>(
+        (15000.0 - 500.0) / model.serverPower(StandardSkus::baseline())
+                                .asWatts());
+    EXPECT_EQ(fp.servers_per_rack, expected);
+}
+
+TEST(CarbonModelTest, RackRejectsOversizedServer)
+{
+    ModelParams p;
+    p.rack_space_u = 1;     // Nothing fits a 2U server.
+    const CarbonModel model(p);
+    EXPECT_THROW(model.rackFootprint(StandardSkus::baseline()), UserError);
+}
+
+TEST(CarbonModelTest, PerCoreIncludesPueAndDcOverheads)
+{
+    ModelParams with;
+    ModelParams without;
+    without.pue = 1.0;
+    without.dc_embodied_per_rack = CarbonMass::kg(1e-9);
+    const CarbonModel m_with(with);
+    const CarbonModel m_without(without);
+    const ServerSku sku = StandardSkus::baseline();
+    EXPECT_GT(m_with.perCore(sku).operational.asKg(),
+              m_without.perCore(sku).operational.asKg());
+    EXPECT_GT(m_with.perCore(sku).embodied.asKg(),
+              m_without.perCore(sku).embodied.asKg());
+}
+
+TEST(CarbonModelTest, SavingsVsSelfIsZero)
+{
+    const CarbonModel model;
+    const SavingsRow row = model.savingsVs(StandardSkus::baseline(),
+                                           StandardSkus::baseline());
+    EXPECT_DOUBLE_EQ(row.operational_savings, 0.0);
+    EXPECT_DOUBLE_EQ(row.embodied_savings, 0.0);
+    EXPECT_DOUBLE_EQ(row.total_savings, 0.0);
+}
+
+TEST(CarbonModelTest, TotalSavingsBetweenOpAndEmb)
+{
+    // Total is an emissions-weighted mix of the two components, so it
+    // must lie between them.
+    const CarbonModel model;
+    const SavingsRow row = model.savingsVs(StandardSkus::baseline(),
+                                           StandardSkus::greenFull());
+    const double lo =
+        std::min(row.operational_savings, row.embodied_savings);
+    const double hi =
+        std::max(row.operational_savings, row.embodied_savings);
+    EXPECT_GE(row.total_savings, lo);
+    EXPECT_LE(row.total_savings, hi);
+}
+
+TEST(CarbonModelTest, SavingsTableKeepsOrderAndBaselineFirst)
+{
+    const CarbonModel model;
+    const auto rows = model.savingsTable(StandardSkus::tableFourRows());
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows.front().sku_name, "Baseline");
+    EXPECT_DOUBLE_EQ(rows.front().total_savings, 0.0);
+}
+
+TEST(CarbonModelTest, SavingsTableRejectsEmpty)
+{
+    const CarbonModel model;
+    EXPECT_THROW(model.savingsTable({}), UserError);
+}
+
+TEST(CarbonModelTest, ReuseTradeoffDirectionD1)
+{
+    // Design goal D1: reuse lowers embodied but raises operational.
+    const CarbonModel model;
+    const PerCoreEmissions eff =
+        model.perCore(StandardSkus::greenEfficient());
+    const PerCoreEmissions cxl = model.perCore(StandardSkus::greenCxl());
+    const PerCoreEmissions full = model.perCore(StandardSkus::greenFull());
+    EXPECT_LT(cxl.embodied.asKg(), eff.embodied.asKg());
+    EXPECT_GE(cxl.operational.asKg(), eff.operational.asKg());
+    EXPECT_LT(full.embodied.asKg(), cxl.embodied.asKg());
+    EXPECT_GT(full.operational.asKg(), cxl.operational.asKg());
+}
+
+} // namespace
+} // namespace gsku::carbon

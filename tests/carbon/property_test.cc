@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Property tests of the carbon model, parameterized over every standard
+ * SKU and a carbon-intensity grid: invariants that must hold for any
+ * server design, not just the paper's rows.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+
+namespace gsku::carbon {
+namespace {
+
+std::vector<ServerSku>
+allSkus()
+{
+    auto skus = StandardSkus::tableFourRows();
+    skus.push_back(StandardSkus::gen1());
+    skus.push_back(StandardSkus::gen2());
+    skus.push_back(StandardSkus::paperExampleCxl());
+    return skus;
+}
+
+class SkuPropertyTest : public ::testing::TestWithParam<ServerSku>
+{
+  protected:
+    CarbonModel model_;
+};
+
+TEST_P(SkuPropertyTest, PowerAndEmbodiedArePositive)
+{
+    const ServerSku &sku = GetParam();
+    EXPECT_GT(model_.serverPower(sku).asWatts(), 0.0);
+    EXPECT_GT(model_.serverEmbodied(sku).asKg(), 0.0);
+}
+
+TEST_P(SkuPropertyTest, DeratedPowerBelowTdpSum)
+{
+    const ServerSku &sku = GetParam();
+    double tdp_sum = 0.0;
+    for (const auto &slot : sku.slots) {
+        tdp_sum += slotTdp(slot).asWatts();
+    }
+    // Even with the CPU VR loss, 0.44 derating keeps P_s below the
+    // nameplate sum (a server never averages above its TDP, §V).
+    EXPECT_LT(model_.serverPower(sku).asWatts(), tdp_sum);
+}
+
+TEST_P(SkuPropertyTest, RackFitWithinPhysicalLimits)
+{
+    const ServerSku &sku = GetParam();
+    const RackFootprint fp = model_.rackFootprint(sku);
+    EXPECT_GE(fp.servers_per_rack, 1);
+    EXPECT_LE(fp.servers_per_rack * sku.form_factor_u,
+              model_.params().rack_space_u);
+    EXPECT_LE(fp.rack_power.asWatts(),
+              model_.params().rack_power_capacity.asWatts());
+    EXPECT_EQ(fp.cores_per_rack, fp.servers_per_rack * sku.cores);
+}
+
+TEST_P(SkuPropertyTest, PerCoreTotalsDecomposeExactly)
+{
+    const ServerSku &sku = GetParam();
+    const PerCoreEmissions pc = model_.perCore(sku);
+    EXPECT_NEAR(pc.total().asKg(),
+                pc.operational.asKg() + pc.embodied.asKg(), 1e-12);
+    EXPECT_GT(pc.operational.asKg(), 0.0);
+    EXPECT_GT(pc.embodied.asKg(), 0.0);
+}
+
+TEST_P(SkuPropertyTest, OperationalLinearInIntensity)
+{
+    const ServerSku &sku = GetParam();
+    const double base =
+        model_.perCore(sku, CarbonIntensity::kgPerKwh(0.1))
+            .operational.asKg();
+    for (double ci : {0.0, 0.05, 0.2, 0.5, 1.0}) {
+        const PerCoreEmissions pc =
+            model_.perCore(sku, CarbonIntensity::kgPerKwh(ci));
+        EXPECT_NEAR(pc.operational.asKg(), base * ci / 0.1, 1e-9)
+            << "CI " << ci;
+    }
+}
+
+TEST_P(SkuPropertyTest, EmbodiedIndependentOfIntensity)
+{
+    const ServerSku &sku = GetParam();
+    const double at_zero =
+        model_.perCore(sku, CarbonIntensity::kgPerKwh(0.0)).embodied.asKg();
+    const double at_high =
+        model_.perCore(sku, CarbonIntensity::kgPerKwh(0.9)).embodied.asKg();
+    EXPECT_DOUBLE_EQ(at_zero, at_high);
+}
+
+TEST_P(SkuPropertyTest, ReusedComponentsCarryNoEmbodiedCarbon)
+{
+    const ServerSku &sku = GetParam();
+    for (const auto &slot : sku.slots) {
+        if (slot.component.reused) {
+            EXPECT_DOUBLE_EQ(slot.component.embodied.asKg(), 0.0)
+                << slot.component.name;
+        }
+    }
+}
+
+TEST_P(SkuPropertyTest, HigherDerateRaisesPower)
+{
+    const ServerSku &sku = GetParam();
+    ModelParams hot;
+    hot.derate = 0.9;
+    const CarbonModel hot_model(hot);
+    EXPECT_GT(hot_model.serverPower(sku).asWatts(),
+              model_.serverPower(sku).asWatts());
+}
+
+TEST_P(SkuPropertyTest, PueScalesOperationalOnly)
+{
+    const ServerSku &sku = GetParam();
+    ModelParams high_pue;
+    high_pue.pue = 1.6;
+    const CarbonModel high(high_pue);
+    const PerCoreEmissions base = model_.perCore(sku);
+    const PerCoreEmissions scaled = high.perCore(sku);
+    EXPECT_NEAR(scaled.operational.asKg(),
+                base.operational.asKg() * 1.6 / 1.25, 1e-9);
+    EXPECT_DOUBLE_EQ(scaled.embodied.asKg(), base.embodied.asKg());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSkus, SkuPropertyTest, ::testing::ValuesIn(allSkus()),
+    [](const auto &info) {
+        std::string name = info.param.name;
+        std::string out;
+        for (char c : name) {
+            if (std::isalnum(static_cast<unsigned char>(c))) {
+                out += c;
+            }
+        }
+        return out;
+    });
+
+class IntensityGridTest : public ::testing::TestWithParam<double>
+{
+  protected:
+    CarbonModel model_;
+};
+
+TEST_P(IntensityGridTest, GreenSkusNeverWorseOnEmbodied)
+{
+    // At any CI, each reuse step strictly reduces per-core embodied
+    // emissions (embodied does not depend on CI, but the invariant is
+    // checked through the public per-CI API).
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(GetParam());
+    const double eff =
+        model_.perCore(StandardSkus::greenEfficient(), ci).embodied.asKg();
+    const double cxl =
+        model_.perCore(StandardSkus::greenCxl(), ci).embodied.asKg();
+    const double full =
+        model_.perCore(StandardSkus::greenFull(), ci).embodied.asKg();
+    EXPECT_LT(cxl, eff);
+    EXPECT_LT(full, cxl);
+}
+
+TEST_P(IntensityGridTest, FullBeatsBaselineAcrossTheGrid)
+{
+    // GreenSKU-Full's per-core total stays below the baseline over the
+    // whole realistic CI range (the Fig. 12 sweep's precondition).
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(GetParam());
+    EXPECT_LT(model_.perCore(StandardSkus::greenFull(), ci).total().asKg(),
+              model_.perCore(StandardSkus::baseline(), ci).total().asKg());
+}
+
+TEST_P(IntensityGridTest, SavingsOrderingFlipsWithIntensity)
+{
+    // Below the crossover Full leads; far above, Efficient's lower
+    // operational footprint wins per core.
+    const double ci = GetParam();
+    const auto total = [&](const ServerSku &sku) {
+        return model_.perCore(sku, CarbonIntensity::kgPerKwh(ci))
+            .total()
+            .asKg();
+    };
+    const double eff = total(StandardSkus::greenEfficient());
+    const double full = total(StandardSkus::greenFull());
+    if (ci < 0.8) {
+        EXPECT_LT(full, eff) << "below the crossover";
+    } else if (ci > 1.0) {
+        EXPECT_LT(eff, full) << "above the crossover";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, IntensityGridTest,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.35, 0.5,
+                                           0.7, 1.1, 1.5),
+                         [](const auto &info) {
+                             char buf[16];
+                             std::snprintf(buf, sizeof(buf), "CI%03d",
+                                           int(info.param * 100));
+                             return std::string(buf);
+                         });
+
+} // namespace
+} // namespace gsku::carbon

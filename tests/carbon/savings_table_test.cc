@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Reproduction of Appendix A Table VIII: per-core operational, embodied,
+ * and total savings of the four GreenSKU configurations relative to the
+ * Gen3 baseline, computed from the open-source component data. Expected
+ * values are the paper's Table VIII cells; tolerances are +/-2 percentage
+ * points (our Genoa/misc estimates are best-effort, DESIGN.md §3).
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+
+namespace gsku::carbon {
+namespace {
+
+struct ExpectedRow
+{
+    double op;
+    double emb;
+    double total;
+};
+
+const std::map<std::string, ExpectedRow> kTableViii = {
+    {"Baseline-Resized", {0.06, 0.10, 0.08}},
+    {"GreenSKU-Efficient", {0.16, 0.14, 0.15}},
+    {"GreenSKU-CXL", {0.15, 0.32, 0.24}},
+    {"GreenSKU-Full", {0.14, 0.38, 0.26}},
+};
+
+constexpr double kTolerance = 0.02;
+
+class SavingsTableTest : public ::testing::Test
+{
+  protected:
+    CarbonModel model_;
+    std::vector<SavingsRow> rows_ =
+        model_.savingsTable(StandardSkus::tableFourRows());
+
+    const SavingsRow &
+    row(const std::string &name) const
+    {
+        for (const auto &r : rows_) {
+            if (r.sku_name == name) {
+                return r;
+            }
+        }
+        throw std::runtime_error("missing row " + name);
+    }
+};
+
+TEST_F(SavingsTableTest, BaselineResizedMatches)
+{
+    const auto &r = row("Baseline-Resized");
+    const auto &e = kTableViii.at("Baseline-Resized");
+    EXPECT_NEAR(r.operational_savings, e.op, kTolerance);
+    EXPECT_NEAR(r.embodied_savings, e.emb, kTolerance);
+    EXPECT_NEAR(r.total_savings, e.total, kTolerance);
+}
+
+TEST_F(SavingsTableTest, GreenEfficientMatches)
+{
+    const auto &r = row("GreenSKU-Efficient");
+    const auto &e = kTableViii.at("GreenSKU-Efficient");
+    EXPECT_NEAR(r.operational_savings, e.op, kTolerance);
+    EXPECT_NEAR(r.embodied_savings, e.emb, kTolerance);
+    EXPECT_NEAR(r.total_savings, e.total, kTolerance);
+}
+
+TEST_F(SavingsTableTest, GreenCxlMatches)
+{
+    const auto &r = row("GreenSKU-CXL");
+    const auto &e = kTableViii.at("GreenSKU-CXL");
+    EXPECT_NEAR(r.operational_savings, e.op, kTolerance);
+    EXPECT_NEAR(r.embodied_savings, e.emb, kTolerance);
+    EXPECT_NEAR(r.total_savings, e.total, kTolerance);
+}
+
+TEST_F(SavingsTableTest, GreenFullMatches)
+{
+    const auto &r = row("GreenSKU-Full");
+    const auto &e = kTableViii.at("GreenSKU-Full");
+    EXPECT_NEAR(r.operational_savings, e.op, kTolerance);
+    EXPECT_NEAR(r.embodied_savings, e.emb, kTolerance);
+    EXPECT_NEAR(r.total_savings, e.total, kTolerance);
+}
+
+TEST_F(SavingsTableTest, TotalSavingsRiseWithEachReuseStep)
+{
+    // Table VIII: 8% -> 15% -> 24% -> 26%.
+    EXPECT_LT(row("Baseline-Resized").total_savings,
+              row("GreenSKU-Efficient").total_savings);
+    EXPECT_LT(row("GreenSKU-Efficient").total_savings,
+              row("GreenSKU-CXL").total_savings);
+    EXPECT_LT(row("GreenSKU-CXL").total_savings,
+              row("GreenSKU-Full").total_savings);
+}
+
+TEST_F(SavingsTableTest, EmbodiedSavingsRiseWithReuse)
+{
+    EXPECT_LT(row("GreenSKU-Efficient").embodied_savings,
+              row("GreenSKU-CXL").embodied_savings);
+    EXPECT_LT(row("GreenSKU-CXL").embodied_savings,
+              row("GreenSKU-Full").embodied_savings);
+}
+
+TEST_F(SavingsTableTest, OperationalSavingsFallWithReuse)
+{
+    // Reused components are less energy efficient (§VI).
+    EXPECT_GE(row("GreenSKU-Efficient").operational_savings,
+              row("GreenSKU-CXL").operational_savings);
+    EXPECT_GT(row("GreenSKU-CXL").operational_savings,
+              row("GreenSKU-Full").operational_savings);
+}
+
+TEST_F(SavingsTableTest, HeadlinePerCoreSavingsNearPaper)
+{
+    // §VI/abstract: most carbon-efficient GreenSKU saves 26% (open
+    // data) / 28% (internal) per core.
+    EXPECT_NEAR(row("GreenSKU-Full").total_savings, 0.26, kTolerance);
+}
+
+} // namespace
+} // namespace gsku::carbon

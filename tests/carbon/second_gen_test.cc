@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Second-generation GreenSKU component tests (§III): NIC reuse and
+ * low-power DRAM "may be feasible, but yield low returns today" — the
+ * carbon model must quantify exactly that.
+ */
+#include <gtest/gtest.h>
+
+#include "carbon/catalog.h"
+#include "carbon/model.h"
+#include "carbon/sku.h"
+
+namespace gsku::carbon {
+namespace {
+
+/** GreenSKU-Full with the NIC broken out and optionally reused. */
+ServerSku
+fullWithNic(bool reused_nic)
+{
+    ServerSku sku = StandardSkus::greenFull();
+    sku.name = reused_nic ? "Full + reused NIC" : "Full + explicit NIC";
+    for (auto &slot : sku.slots) {
+        if (slot.component.kind == ComponentKind::Misc) {
+            slot = {Catalog::serverMiscNoNic(), 1};
+        }
+    }
+    sku.slots.push_back(
+        {reused_nic ? Catalog::reusedNic() : Catalog::nic(), 1});
+    sku.validate();
+    return sku;
+}
+
+/** GreenSKU-Efficient with LPDDR instead of DDR5. */
+ServerSku
+efficientWithLpddr()
+{
+    ServerSku sku = StandardSkus::greenEfficient();
+    sku.name = "Efficient + LPDDR";
+    for (auto &slot : sku.slots) {
+        if (slot.component.kind == ComponentKind::Dram) {
+            slot = {Catalog::lpddrDimm(96.0), 12};
+        }
+    }
+    sku.validate();
+    return sku;
+}
+
+TEST(SecondGenTest, ReusedNicHasZeroEmbodiedButMorePower)
+{
+    EXPECT_DOUBLE_EQ(Catalog::reusedNic().embodied.asKg(), 0.0);
+    EXPECT_TRUE(Catalog::reusedNic().reused);
+    EXPECT_GT(Catalog::reusedNic().tdp.asWatts(),
+              Catalog::nic().tdp.asWatts());
+}
+
+TEST(SecondGenTest, MiscSplitIsConsistent)
+{
+    // NIC + misc-without-NIC must reproduce the aggregated misc bundle.
+    EXPECT_DOUBLE_EQ(Catalog::serverMiscNoNic().tdp.asWatts() +
+                         Catalog::nic().tdp.asWatts(),
+                     Catalog::serverMisc().tdp.asWatts());
+    EXPECT_DOUBLE_EQ(Catalog::serverMiscNoNic().embodied.asKg() +
+                         Catalog::nic().embodied.asKg(),
+                     Catalog::serverMisc().embodied.asKg());
+}
+
+TEST(SecondGenTest, NicReuseYieldsLowReturns)
+{
+    // §III: NIC reuse "yields low returns today": under 1.5 pp of
+    // additional total per-core savings on top of GreenSKU-Full.
+    const CarbonModel model;
+    const ServerSku baseline = StandardSkus::baseline();
+    const double with_new =
+        model.savingsVs(baseline, fullWithNic(false)).total_savings;
+    const double with_reused =
+        model.savingsVs(baseline, fullWithNic(true)).total_savings;
+    EXPECT_GT(with_reused, with_new);           // It does help...
+    EXPECT_LT(with_reused - with_new, 0.015);   // ...but barely.
+}
+
+TEST(SecondGenTest, NicReuseTradesOpForEmbodied)
+{
+    const CarbonModel model;
+    const ServerSku baseline = StandardSkus::baseline();
+    const auto new_nic = model.savingsVs(baseline, fullWithNic(false));
+    const auto reused = model.savingsVs(baseline, fullWithNic(true));
+    EXPECT_GT(reused.embodied_savings, new_nic.embodied_savings);
+    EXPECT_LT(reused.operational_savings, new_nic.operational_savings);
+}
+
+TEST(SecondGenTest, LpddrYieldsLowReturns)
+{
+    // Low-power DRAM saves operational but costs embodied; net gain on
+    // GreenSKU-Efficient stays under ~3 pp.
+    const CarbonModel model;
+    const ServerSku baseline = StandardSkus::baseline();
+    const auto ddr5 =
+        model.savingsVs(baseline, StandardSkus::greenEfficient());
+    const auto lpddr = model.savingsVs(baseline, efficientWithLpddr());
+    EXPECT_GT(lpddr.operational_savings, ddr5.operational_savings);
+    EXPECT_LT(lpddr.embodied_savings, ddr5.embodied_savings);
+    EXPECT_LT(std::abs(lpddr.total_savings - ddr5.total_savings), 0.03);
+}
+
+TEST(SecondGenTest, LpddrBetterAtHighCarbonIntensity)
+{
+    // The LPDDR tradeoff flips with grid intensity: its operational
+    // advantage matters more where power is dirtier.
+    ModelParams dirty;
+    dirty.carbon_intensity = CarbonIntensity::kgPerKwh(0.5);
+    const CarbonModel model(dirty);
+    const ServerSku baseline = StandardSkus::baseline();
+    const double ddr5 =
+        model.savingsVs(baseline, StandardSkus::greenEfficient())
+            .total_savings;
+    const double lpddr =
+        model.savingsVs(baseline, efficientWithLpddr()).total_savings;
+    EXPECT_GT(lpddr, ddr5);
+}
+
+} // namespace
+} // namespace gsku::carbon

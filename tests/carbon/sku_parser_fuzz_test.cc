@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Robustness fuzzing of the SKU spec parser: deterministic random token
+ * soup must never crash, never throw anything but UserError, and every
+ * accepted spec must produce a valid, carbon-evaluable SKU.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "carbon/model.h"
+#include "carbon/sku_parser.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace gsku::carbon {
+namespace {
+
+/** Random token built from grammar fragments and junk. */
+std::string
+randomToken(Rng &rng)
+{
+    static const char *const keys[] = {"name", "cpu",  "ddr5",
+                                       "lpddr", "cxl_ddr4", "ssd",
+                                       "reused_ssd", "nic", "u",
+                                       "bogus", ""};
+    static const char *const values[] = {
+        "bergamo", "genoa", "12x64", "8x32", "0x4",   "2x-4", "x",
+        "4x",      "axb",   "new",   "reused", "2",   "1e9x1", "",
+        "12x64x2", "nan",   "-3"};
+    std::string token = keys[rng.uniformInt(std::size(keys))];
+    if (rng.uniform() < 0.9) {
+        token += "=";
+        token += values[rng.uniformInt(std::size(values))];
+    }
+    return token;
+}
+
+TEST(SkuParserFuzzTest, RandomSpecsNeverCrash)
+{
+    Rng rng(0xF00D);
+    const CarbonModel model;
+    int accepted = 0;
+    int rejected = 0;
+    for (int trial = 0; trial < 3000; ++trial) {
+        std::string spec;
+        const int tokens = 1 + static_cast<int>(rng.uniformInt(6));
+        for (int t = 0; t < tokens; ++t) {
+            if (t > 0) {
+                spec += ' ';
+            }
+            spec += randomToken(rng);
+        }
+        try {
+            const ServerSku sku = parseSku(spec);
+            // Anything accepted must be fully usable downstream.
+            sku.validate();
+            EXPECT_GT(model.serverPower(sku).asWatts(), 0.0) << spec;
+            EXPECT_GE(model.serverEmbodied(sku).asKg(), 0.0) << spec;
+            ++accepted;
+        } catch (const UserError &) {
+            ++rejected;     // The only acceptable failure mode.
+        }
+    }
+    // The grammar fragments make both outcomes common; if either stops
+    // occurring, the generator (or the parser) has degenerated.
+    EXPECT_GT(accepted, 3);
+    EXPECT_GT(rejected, 1000);
+}
+
+TEST(SkuParserFuzzTest, ValidSpecPlusJunkTokenAlwaysRejected)
+{
+    Rng rng(0xBEEF);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::string junk = "bogus" + std::to_string(rng()) + "=1x1";
+        EXPECT_THROW(parseSku("cpu=genoa ddr5=12x64 ssd=6x2 " + junk),
+                     UserError);
+    }
+}
+
+TEST(SkuParserFuzzTest, FormatParseStableUnderRepetition)
+{
+    // format(parse(format(parse(x)))) must be a fixed point.
+    const ServerSku sku = parseSku(
+        "cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1");
+    const std::string once = formatSku(sku);
+    const std::string twice = formatSku(parseSku(once));
+    EXPECT_EQ(once, twice);
+}
+
+} // namespace
+} // namespace gsku::carbon

@@ -1,0 +1,133 @@
+/** @file SKU spec-string parser tests, including round-trips. */
+#include <gtest/gtest.h>
+
+#include "carbon/model.h"
+#include "carbon/sku_parser.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+namespace {
+
+TEST(SkuParserTest, ParsesGreenSkuFullSpec)
+{
+    const ServerSku sku = parseSku(
+        "cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1");
+    EXPECT_EQ(sku.cores, 128);
+    EXPECT_EQ(sku.generation, Generation::GreenSku);
+    EXPECT_DOUBLE_EQ(sku.local_memory.asGb(), 768.0);
+    EXPECT_DOUBLE_EQ(sku.cxl_memory.asGb(), 256.0);
+    EXPECT_DOUBLE_EQ(sku.storage.asTb(), 20.0);
+    EXPECT_EQ(sku.unitCount(ComponentKind::CxlController), 2);
+}
+
+TEST(SkuParserTest, ParsedSpecMatchesFactoryCarbon)
+{
+    // The parsed GreenSKU-Full must be carbon-identical to the factory
+    // SKU, not just structurally similar.
+    const CarbonModel model;
+    const ServerSku parsed = parseSku(
+        "cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1");
+    const ServerSku factory = StandardSkus::greenFull();
+    EXPECT_NEAR(model.serverPower(parsed).asWatts(),
+                model.serverPower(factory).asWatts(), 1e-9);
+    EXPECT_NEAR(model.serverEmbodied(parsed).asKg(),
+                model.serverEmbodied(factory).asKg(), 1e-9);
+}
+
+TEST(SkuParserTest, BaselineSpecMatchesFactory)
+{
+    const CarbonModel model;
+    const ServerSku parsed = parseSku("cpu=genoa ddr5=12x64 ssd=6x2");
+    const ServerSku factory = StandardSkus::baseline();
+    EXPECT_EQ(parsed.cores, factory.cores);
+    EXPECT_NEAR(model.perCore(parsed).total().asKg(),
+                model.perCore(factory).total().asKg(), 1e-9);
+}
+
+TEST(SkuParserTest, NameDefaultsToSpec)
+{
+    const ServerSku named =
+        parseSku("name=MySku cpu=genoa ddr5=10x64 ssd=4x2");
+    EXPECT_EQ(named.name, "MySku");
+    const ServerSku unnamed = parseSku("cpu=genoa ddr5=10x64 ssd=4x2");
+    EXPECT_EQ(unnamed.name, "cpu=genoa ddr5=10x64 ssd=4x2");
+}
+
+TEST(SkuParserTest, CxlControllersFollowDimmCount)
+{
+    EXPECT_EQ(parseSku("cpu=bergamo ddr5=8x64 cxl_ddr4=4x32 ssd=2x4")
+                  .unitCount(ComponentKind::CxlController),
+              1);
+    EXPECT_EQ(parseSku("cpu=bergamo ddr5=8x64 cxl_ddr4=5x32 ssd=2x4")
+                  .unitCount(ComponentKind::CxlController),
+              2);
+    EXPECT_EQ(parseSku("cpu=bergamo ddr5=8x64 cxl_ddr4=16x32 ssd=2x4")
+                  .unitCount(ComponentKind::CxlController),
+              4);
+}
+
+TEST(SkuParserTest, NicVariantsParsed)
+{
+    const ServerSku reused =
+        parseSku("cpu=bergamo ddr5=12x64 ssd=2x4 nic=reused");
+    EXPECT_EQ(reused.unitCount(ComponentKind::Nic), 1);
+    const ServerSku bundled = parseSku("cpu=bergamo ddr5=12x64 ssd=2x4");
+    EXPECT_EQ(bundled.unitCount(ComponentKind::Nic), 0);
+}
+
+TEST(SkuParserTest, LpddrAndFormFactor)
+{
+    const ServerSku sku =
+        parseSku("cpu=bergamo lpddr=12x96 ssd=5x4 u=1");
+    EXPECT_DOUBLE_EQ(sku.local_memory.asGb(), 1152.0);
+    EXPECT_EQ(sku.form_factor_u, 1);
+}
+
+TEST(SkuParserTest, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseSku(""), UserError);                    // No CPU.
+    EXPECT_THROW(parseSku("cpu=sparc ddr5=2x64"), UserError); // Bad CPU.
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=64"), UserError);   // No 'x'.
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=ax64 ssd=1x1"), UserError);
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=2x64 ddr5=4x32"),
+                 UserError);                                  // Duplicate.
+    EXPECT_THROW(parseSku("cpu=genoa flux=1x1"), UserError);  // Unknown.
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=0x64 ssd=1x1"), UserError);
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=2x-64 ssd=1x1"), UserError);
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=2x64 nic=fast"), UserError);
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=2x64 u=zero"), UserError);
+}
+
+TEST(SkuParserTest, RoundTripsThroughFormat)
+{
+    const char *specs[] = {
+        "cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1",
+        "cpu=genoa ddr5=12x64 ssd=6x2",
+        "cpu=bergamo lpddr=12x96 ssd=5x4 nic=reused u=1",
+    };
+    const CarbonModel model;
+    for (const char *spec : specs) {
+        const ServerSku original = parseSku(spec);
+        const ServerSku reparsed = parseSku(formatSku(original));
+        EXPECT_EQ(reparsed.cores, original.cores) << spec;
+        EXPECT_NEAR(model.serverPower(reparsed).asWatts(),
+                    model.serverPower(original).asWatts(), 1e-6)
+            << spec;
+        EXPECT_NEAR(model.serverEmbodied(reparsed).asKg(),
+                    model.serverEmbodied(original).asKg(), 1e-6)
+            << spec;
+        EXPECT_DOUBLE_EQ(reparsed.totalMemory().asGb(),
+                         original.totalMemory().asGb())
+            << spec;
+    }
+}
+
+TEST(SkuParserTest, WhitespaceIsFlexible)
+{
+    const ServerSku sku =
+        parseSku("  cpu=genoa   ddr5=12x64\tssd=6x2  ");
+    EXPECT_EQ(sku.cores, 80);
+}
+
+} // namespace
+} // namespace gsku::carbon

@@ -1,0 +1,127 @@
+/** @file SKU composition checks against Table IV / Table VIII rows. */
+#include <gtest/gtest.h>
+
+#include "carbon/catalog.h"
+#include "carbon/sku.h"
+#include "common/error.h"
+
+namespace gsku::carbon {
+namespace {
+
+TEST(SkuTest, BaselineMatchesTableIv)
+{
+    const ServerSku sku = StandardSkus::baseline();
+    EXPECT_EQ(sku.cores, 80);
+    EXPECT_DOUBLE_EQ(sku.local_memory.asGb(), 768.0);
+    EXPECT_DOUBLE_EQ(sku.cxl_memory.asGb(), 0.0);
+    EXPECT_DOUBLE_EQ(sku.storage.asTb(), 12.0);
+    EXPECT_EQ(sku.unitCount(ComponentKind::Dram), 12);
+    EXPECT_EQ(sku.unitCount(ComponentKind::Ssd), 6);
+    // Memory:core ratio 9.6 (§VI).
+    EXPECT_NEAR(sku.memoryPerCore(), 9.6, 1e-9);
+}
+
+TEST(SkuTest, BaselineResizedDropsToRatioEight)
+{
+    const ServerSku sku = StandardSkus::baselineResized();
+    EXPECT_EQ(sku.unitCount(ComponentKind::Dram), 10);
+    EXPECT_NEAR(sku.memoryPerCore(), 8.0, 1e-9);
+}
+
+TEST(SkuTest, GreenEfficientMatchesTableIv)
+{
+    const ServerSku sku = StandardSkus::greenEfficient();
+    EXPECT_EQ(sku.cores, 128);
+    EXPECT_DOUBLE_EQ(sku.local_memory.asGb(), 12 * 96.0);
+    EXPECT_DOUBLE_EQ(sku.storage.asTb(), 20.0);
+    EXPECT_NEAR(sku.memoryPerCore(), 9.0, 1e-9);
+    EXPECT_EQ(sku.unitCount(ComponentKind::CxlController), 0);
+}
+
+TEST(SkuTest, GreenCxlMatchesTableIv)
+{
+    const ServerSku sku = StandardSkus::greenCxl();
+    EXPECT_DOUBLE_EQ(sku.local_memory.asGb(), 768.0);
+    EXPECT_DOUBLE_EQ(sku.cxl_memory.asGb(), 256.0);
+    EXPECT_EQ(sku.unitCount(ComponentKind::Dram), 20);
+    EXPECT_EQ(sku.unitCount(ComponentKind::CxlController), 2);
+    // Memory:core ratio 8 (§VI).
+    EXPECT_NEAR(sku.memoryPerCore(), 8.0, 1e-9);
+    // §VI: 25% of memory reused via CXL (the Fig. 10 shaded region).
+    EXPECT_NEAR(sku.cxlMemoryFraction(), 0.25, 1e-9);
+}
+
+TEST(SkuTest, GreenFullMatchesTableIv)
+{
+    const ServerSku sku = StandardSkus::greenFull();
+    EXPECT_EQ(sku.unitCount(ComponentKind::Dram), 20);
+    EXPECT_EQ(sku.unitCount(ComponentKind::Ssd), 14);   // 2 new + 12 reused.
+    EXPECT_DOUBLE_EQ(sku.storage.asTb(), 20.0);
+    EXPECT_EQ(sku.generation, Generation::GreenSku);
+}
+
+TEST(SkuTest, TableFourRowsInPaperOrder)
+{
+    const auto rows = StandardSkus::tableFourRows();
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows[0].name, "Baseline");
+    EXPECT_EQ(rows[1].name, "Baseline-Resized");
+    EXPECT_EQ(rows[2].name, "GreenSKU-Efficient");
+    EXPECT_EQ(rows[3].name, "GreenSKU-CXL");
+    EXPECT_EQ(rows[4].name, "GreenSKU-Full");
+}
+
+TEST(SkuTest, ValidationCatchesMissingCpu)
+{
+    ServerSku sku = StandardSkus::baseline();
+    sku.slots.erase(sku.slots.begin());     // Drop the CPU.
+    EXPECT_THROW(sku.validate(), UserError);
+}
+
+TEST(SkuTest, ValidationCatchesCxlMismatch)
+{
+    ServerSku sku = StandardSkus::greenCxl();
+    // CXL memory declared but controllers removed.
+    sku.slots.erase(
+        std::remove_if(sku.slots.begin(), sku.slots.end(),
+                       [](const ComponentSlot &s) {
+                           return s.component.kind ==
+                                  ComponentKind::CxlController;
+                       }),
+        sku.slots.end());
+    EXPECT_THROW(sku.validate(), UserError);
+}
+
+TEST(SkuTest, ValidationCatchesZeroCores)
+{
+    ServerSku sku = StandardSkus::baseline();
+    sku.cores = 0;
+    EXPECT_THROW(sku.validate(), UserError);
+    EXPECT_THROW(sku.memoryPerCore(), UserError);
+}
+
+TEST(SkuTest, GenerationNamesRoundTrip)
+{
+    EXPECT_EQ(toString(Generation::Gen1), "Gen1");
+    EXPECT_EQ(toString(Generation::Gen2), "Gen2");
+    EXPECT_EQ(toString(Generation::Gen3), "Gen3");
+    EXPECT_EQ(toString(Generation::GreenSku), "GreenSKU");
+}
+
+TEST(SkuTest, OldGenerationsHaveFewerCores)
+{
+    EXPECT_EQ(StandardSkus::gen1().cores, 64);
+    EXPECT_EQ(StandardSkus::gen2().cores, 64);
+    EXPECT_EQ(StandardSkus::gen1().generation, Generation::Gen1);
+    EXPECT_EQ(StandardSkus::gen2().generation, Generation::Gen2);
+}
+
+TEST(SkuTest, CxlFractionZeroWithoutCxl)
+{
+    EXPECT_DOUBLE_EQ(StandardSkus::baseline().cxlMemoryFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(StandardSkus::greenEfficient().cxlMemoryFraction(),
+                     0.0);
+}
+
+} // namespace
+} // namespace gsku::carbon

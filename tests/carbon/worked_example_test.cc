@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduction of the §V worked example — the paper's own validation
+ * anchor for the carbon model. All expected values are quoted verbatim
+ * from §V; tolerances cover the paper's stated rounding of intermediate
+ * outputs ("we ... round intermediate calculations' outputs").
+ */
+#include <gtest/gtest.h>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+
+namespace gsku::carbon {
+namespace {
+
+class WorkedExampleTest : public ::testing::Test
+{
+  protected:
+    CarbonModel model_;                 // Table VI defaults.
+    ServerSku sku_ = StandardSkus::paperExampleCxl();
+};
+
+TEST_F(WorkedExampleTest, ServerEmbodiedIs1644Kg)
+{
+    // CPU 28.3 + DDR5 768*1.65 + DDR4 0 + SSD 20*17.3 + 2 CXL * 2.5.
+    EXPECT_NEAR(model_.serverEmbodied(sku_).asKg(), 1644.0, 5.0);
+}
+
+TEST_F(WorkedExampleTest, ServerPowerIs403W)
+{
+    // Derate 0.44 on every component, 5% VR loss on the CPU.
+    EXPECT_NEAR(model_.serverPower(sku_).asWatts(), 403.0, 4.0);
+}
+
+TEST_F(WorkedExampleTest, RackIsSpaceConstrainedTo16Servers)
+{
+    const RackFootprint fp = model_.rackFootprint(sku_);
+    // Power would allow floor((15000-500)/403) = 35; space allows 16.
+    EXPECT_EQ(fp.servers_per_rack, 16);
+    EXPECT_TRUE(fp.space_constrained);
+}
+
+TEST_F(WorkedExampleTest, RackEmbodiedIs26804Kg)
+{
+    // 16 * 1644 + 500.
+    EXPECT_NEAR(model_.rackFootprint(sku_).rack_embodied.asKg(), 26804.0,
+                60.0);
+}
+
+TEST_F(WorkedExampleTest, RackPowerIs6953W)
+{
+    // 16 * 403 + 500.
+    EXPECT_NEAR(model_.rackFootprint(sku_).rack_power.asWatts(), 6953.0,
+                60.0);
+}
+
+TEST_F(WorkedExampleTest, RackOperationalIs36547Kg)
+{
+    // 6 years * 0.1 kg/kWh * 6953 W.
+    EXPECT_NEAR(model_.rackFootprint(sku_).rack_operational.asKg(), 36547.0,
+                330.0);
+}
+
+TEST_F(WorkedExampleTest, RackTotalIs63351Kg)
+{
+    EXPECT_NEAR(model_.rackFootprint(sku_).total().asKg(), 63351.0, 400.0);
+}
+
+TEST_F(WorkedExampleTest, RackLevelPerCoreIs31Kg)
+{
+    const RackFootprint fp = model_.rackFootprint(sku_);
+    EXPECT_EQ(fp.cores_per_rack, 2048);
+    EXPECT_NEAR(fp.perCore().asKg(), 31.0, 0.5);
+}
+
+TEST_F(WorkedExampleTest, DeratingBelowOneReducesPower)
+{
+    ModelParams full_power;
+    full_power.derate = 1.0;
+    const CarbonModel undeterred(full_power);
+    EXPECT_GT(undeterred.serverPower(sku_).asWatts(),
+              model_.serverPower(sku_).asWatts());
+}
+
+TEST_F(WorkedExampleTest, VrLossOnlyAffectsCpu)
+{
+    ModelParams no_vr;
+    no_vr.cpu_vr_loss = 1.0;
+    const CarbonModel model(no_vr);
+    // Removing the VR loss removes exactly 5% of the derated CPU power.
+    const double delta = model_.serverPower(sku_).asWatts() -
+                         model.serverPower(sku_).asWatts();
+    EXPECT_NEAR(delta, 400.0 * 0.44 * 0.05, 1e-9);
+}
+
+} // namespace
+} // namespace gsku::carbon

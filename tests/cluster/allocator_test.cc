@@ -1,0 +1,278 @@
+/**
+ * @file
+ * VM allocation simulator tests: the three §V placement rules (best-fit,
+ * prefer non-empty, placement constraints), adoption-driven inflation,
+ * GreenSKU fallback, rejection handling, and packing metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/allocator.h"
+#include "common/error.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+namespace {
+
+VmRequest
+vm(VmId id, double arrive, double depart, int cores, double mem,
+   carbon::Generation gen = carbon::Generation::Gen3,
+   std::size_t app_index = 0)
+{
+    VmRequest r;
+    r.id = id;
+    r.arrival_h = arrive;
+    r.departure_h = depart;
+    r.cores = cores;
+    r.memory_gb = mem;
+    r.origin_generation = gen;
+    r.app_index = app_index;
+    r.max_mem_touch_fraction = 0.5;
+    return r;
+}
+
+VmTrace
+makeTrace(std::vector<VmRequest> vms, double duration = 100.0)
+{
+    VmTrace t;
+    t.name = "test";
+    t.duration_h = duration;
+    t.vms = std::move(vms);
+    return t;
+}
+
+ClusterSpec
+spec(int baselines, int greens)
+{
+    return ClusterSpec{carbon::StandardSkus::baseline(),
+                       carbon::StandardSkus::greenFull(), baselines,
+                       greens};
+}
+
+AdoptionTable
+adoptAll(double factor)
+{
+    AdoptionTable t;
+    const carbon::Generation gens[] = {carbon::Generation::Gen1,
+                                       carbon::Generation::Gen2,
+                                       carbon::Generation::Gen3};
+    for (std::size_t i = 0; i < perf::AppCatalog::all().size(); ++i) {
+        for (auto g : gens) {
+            t.set(i, g, {true, factor});
+        }
+    }
+    return t;
+}
+
+TEST(AdoptionTableTest, DefaultsToNoAdoption)
+{
+    const AdoptionTable t = AdoptionTable::none();
+    EXPECT_DOUBLE_EQ(t.adoptionRate(), 0.0);
+    EXPECT_FALSE(t.get(0, carbon::Generation::Gen1).adopt);
+}
+
+TEST(AdoptionTableTest, SetGetRoundTrips)
+{
+    AdoptionTable t;
+    t.set(3, carbon::Generation::Gen2, {true, 1.25});
+    const auto d = t.get(3, carbon::Generation::Gen2);
+    EXPECT_TRUE(d.adopt);
+    EXPECT_DOUBLE_EQ(d.scaling_factor, 1.25);
+    EXPECT_FALSE(t.get(3, carbon::Generation::Gen1).adopt);
+}
+
+TEST(AdoptionTableTest, Validation)
+{
+    AdoptionTable t;
+    EXPECT_THROW(t.set(1000, carbon::Generation::Gen1, {true, 1.0}),
+                 UserError);
+    EXPECT_THROW(t.set(0, carbon::Generation::Gen1, {true, 0.5}),
+                 UserError);
+    EXPECT_THROW(t.get(0, carbon::Generation::GreenSku), UserError);
+}
+
+TEST(AllocatorTest, PlacesAllWhenCapacitySuffices)
+{
+    VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 10, 8, 32), vm(2, 1, 11, 16, 64)}), spec(1, 0),
+        AdoptionTable::none());
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.placed, 2);
+    EXPECT_EQ(result.rejected, 0);
+}
+
+TEST(AllocatorTest, RejectsWhenCoresExhausted)
+{
+    // 80-core baseline cannot host 3 x 32-core concurrent VMs.
+    VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 10, 32, 64), vm(2, 1, 10, 32, 64),
+                   vm(3, 2, 10, 32, 64)}),
+        spec(1, 0), AdoptionTable::none());
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.rejected, 1);
+}
+
+TEST(AllocatorTest, RejectsWhenMemoryExhausted)
+{
+    // Cores fit but memory (768 GB) does not.
+    VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 10, 8, 700), vm(2, 1, 10, 8, 700)}),
+        spec(1, 0), AdoptionTable::none());
+    EXPECT_FALSE(result.success);
+}
+
+TEST(AllocatorTest, DepartureFreesResources)
+{
+    // Sequential VMs reuse the same server.
+    VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 5, 64, 512), vm(2, 6, 10, 64, 512)}),
+        spec(1, 0), AdoptionTable::none());
+    EXPECT_TRUE(result.success);
+}
+
+TEST(AllocatorTest, PrefersNonEmptyServers)
+{
+    // Two baselines; three small VMs must all land on one server.
+    VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 60, 4, 16), vm(2, 1, 60, 4, 16),
+                   vm(3, 2, 60, 4, 16)}),
+        spec(2, 0), AdoptionTable::none());
+    EXPECT_TRUE(result.success);
+    // Mean max-memory utilization averages only over used servers; with
+    // consolidation exactly one server was ever used.
+    EXPECT_GT(result.baseline.mean_max_mem_utilization, 0.0);
+    // Peak packing on the single non-empty server is 12/80 cores.
+    EXPECT_NEAR(result.baseline.mean_core_packing, 12.0 / 80.0, 0.05);
+}
+
+TEST(AllocatorTest, FullNodeVmTakesDedicatedBaseline)
+{
+    VmRequest fn = vm(1, 0, 50, 80, 768);
+    fn.full_node = true;
+    // A second VM cannot share the dedicated server.
+    VmAllocator alloc;
+    const auto reject = alloc.replay(makeTrace({fn, vm(2, 1, 10, 2, 8)}),
+                                     spec(1, 0), AdoptionTable::none());
+    EXPECT_FALSE(reject.success);
+
+    const auto ok = alloc.replay(makeTrace({fn, vm(2, 1, 10, 2, 8)}),
+                                 spec(2, 0), AdoptionTable::none());
+    EXPECT_TRUE(ok.success);
+}
+
+TEST(AllocatorTest, FullNodeVmNeverUsesGreen)
+{
+    VmRequest fn = vm(1, 0, 50, 80, 768);
+    fn.full_node = true;
+    VmAllocator alloc;
+    // Only green servers available: the full-node VM must be rejected.
+    const auto result =
+        alloc.replay(makeTrace({fn}), spec(0, 2), adoptAll(1.0));
+    EXPECT_FALSE(result.success);
+}
+
+TEST(AllocatorTest, AdoptingVmScalesOnGreen)
+{
+    // One green server (128 cores); a 64-core VM at factor 1.5 consumes
+    // 96 cores, so two such VMs cannot share it.
+    VmAllocator alloc;
+    const auto one = alloc.replay(makeTrace({vm(1, 0, 10, 64, 256)}),
+                                  spec(0, 1), adoptAll(1.5));
+    EXPECT_TRUE(one.success);
+    EXPECT_EQ(one.green_placed, 1);
+
+    const auto two = alloc.replay(
+        makeTrace({vm(1, 0, 10, 64, 256), vm(2, 1, 10, 64, 256)}),
+        spec(0, 1), adoptAll(1.5));
+    EXPECT_FALSE(two.success);
+}
+
+TEST(AllocatorTest, AdopterFallsBackToBaselineUnscaled)
+{
+    // Green full; the adopting VM falls back to the baseline at its
+    // original size (the §V fungibility rule).
+    VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 10, 100, 400), vm(2, 1, 10, 60, 240)}),
+        spec(1, 1), adoptAll(1.25));
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.green_placed, 1);
+    EXPECT_EQ(result.green_fallbacks, 1);
+    EXPECT_EQ(result.baseline.vms_placed, 1);
+}
+
+TEST(AllocatorTest, NonAdopterNeverUsesGreen)
+{
+    VmAllocator alloc;
+    const auto result = alloc.replay(makeTrace({vm(1, 0, 10, 8, 32)}),
+                                     spec(0, 1), AdoptionTable::none());
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.green.vms_placed, 0);
+}
+
+TEST(AllocatorTest, BestFitMinimizesLeftover)
+{
+    // Fill one server to 72/80 cores; an 8-core VM should land there
+    // (best fit), leaving the second server empty.
+    VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 20, 72, 288), vm(2, 1, 20, 8, 32)}),
+        spec(2, 0), AdoptionTable::none());
+    EXPECT_TRUE(result.success);
+    // Exactly one server used -> its packing is full at snapshot times.
+    EXPECT_GT(result.baseline.mean_core_packing, 0.99);
+}
+
+TEST(AllocatorTest, MaxMemUtilizationTracksTouchedMemory)
+{
+    // One VM touching 50% of 384 GB on a 768 GB server: 25%.
+    VmAllocator alloc;
+    const auto result = alloc.replay(makeTrace({vm(1, 0, 50, 8, 384)}),
+                                     spec(1, 0), AdoptionTable::none());
+    EXPECT_TRUE(result.success);
+    EXPECT_NEAR(result.baseline.mean_max_mem_utilization, 0.25, 1e-9);
+}
+
+TEST(AllocatorTest, StopOnRejectFalseCountsAllRejections)
+{
+    ReplayOptions opts;
+    opts.stop_on_reject = false;
+    VmAllocator alloc(opts);
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 10, 80, 700), vm(2, 1, 10, 80, 700),
+                   vm(3, 2, 10, 80, 700)}),
+        spec(1, 0), AdoptionTable::none());
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.placed, 1);
+    EXPECT_EQ(result.rejected, 2);
+}
+
+TEST(AllocatorTest, EmptyClusterRejected)
+{
+    VmAllocator alloc;
+    EXPECT_THROW(alloc.replay(makeTrace({vm(1, 0, 1, 1, 1)}), spec(0, 0),
+                              AdoptionTable::none()),
+                 UserError);
+}
+
+TEST(AllocatorTest, PackingMetricsWithinBounds)
+{
+    VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 40, 16, 64), vm(2, 5, 60, 24, 96),
+                   vm(3, 10, 80, 8, 32)}),
+        spec(2, 0), AdoptionTable::none());
+    EXPECT_TRUE(result.success);
+    EXPECT_GE(result.baseline.mean_core_packing, 0.0);
+    EXPECT_LE(result.baseline.mean_core_packing, 1.0);
+    EXPECT_GE(result.baseline.mean_mem_packing, 0.0);
+    EXPECT_LE(result.baseline.mean_mem_packing, 1.0);
+    EXPECT_LE(result.baseline.mean_max_mem_utilization, 1.0);
+}
+
+} // namespace
+} // namespace gsku::cluster

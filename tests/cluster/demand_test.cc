@@ -1,0 +1,115 @@
+/** @file Growth-buffer sizing tests (§IV-D, design goal D2). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/demand.h"
+#include "common/error.h"
+
+namespace gsku::cluster {
+namespace {
+
+TEST(NormalQuantileTest, KnownValues)
+{
+    EXPECT_NEAR(GrowthBufferSizer::normalQuantile(0.5), 0.0, 1e-8);
+    EXPECT_NEAR(GrowthBufferSizer::normalQuantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(GrowthBufferSizer::normalQuantile(0.999), 3.090232, 1e-5);
+    EXPECT_NEAR(GrowthBufferSizer::normalQuantile(0.001), -3.090232,
+                1e-5);
+}
+
+TEST(NormalQuantileTest, RejectsBoundaries)
+{
+    EXPECT_THROW(GrowthBufferSizer::normalQuantile(0.0), UserError);
+    EXPECT_THROW(GrowthBufferSizer::normalQuantile(1.0), UserError);
+}
+
+TEST(GrowthBufferTest, BufferMatchesClosedForm)
+{
+    DemandParams p;
+    p.mean_cores = 1000.0;
+    p.weekly_growth = 0.01;
+    p.weekly_sigma = 0.02;
+    p.lead_time_weeks = 9.0;
+    p.service_level = 0.975;
+    const GrowthBufferSizer sizer(p);
+    // mean growth 1000*0.01*9 = 90; z*sigma = 1.96*1000*0.02*3 = 117.6.
+    EXPECT_NEAR(sizer.bufferCores(), 90.0 + 117.598, 0.1);
+    EXPECT_NEAR(sizer.bufferFraction(), 0.2076, 0.001);
+}
+
+TEST(GrowthBufferTest, DefaultFractionNearEvaluatorSetting)
+{
+    // The evaluator's default 8% buffer fraction comes from this sizing.
+    const GrowthBufferSizer sizer;
+    EXPECT_NEAR(sizer.bufferFraction(), 0.08, 0.35 * 0.08 + 0.03);
+}
+
+TEST(GrowthBufferTest, HigherServiceLevelNeedsMoreBuffer)
+{
+    DemandParams p;
+    p.service_level = 0.99;
+    const GrowthBufferSizer low(p);
+    p.service_level = 0.9999;
+    const GrowthBufferSizer high(p);
+    EXPECT_GT(high.bufferCores(), low.bufferCores());
+}
+
+TEST(GrowthBufferTest, LongerLeadTimeNeedsMoreBuffer)
+{
+    DemandParams p;
+    p.lead_time_weeks = 4.0;
+    const GrowthBufferSizer fast(p);
+    p.lead_time_weeks = 16.0;
+    const GrowthBufferSizer slow(p);
+    EXPECT_GT(slow.bufferCores(), fast.bufferCores());
+}
+
+TEST(GrowthBufferTest, FragmentationGrowsLikeSqrtK)
+{
+    // Design goal D2: "adding many server options may require larger
+    // buffers". With negligible drift the penalty is sqrt(k) - 1.
+    DemandParams p;
+    p.weekly_growth = 0.0;
+    const GrowthBufferSizer sizer(p);
+    EXPECT_NEAR(sizer.fragmentationPenalty(1), 0.0, 1e-9);
+    EXPECT_NEAR(sizer.fragmentationPenalty(4), 1.0, 1e-6);
+    EXPECT_NEAR(sizer.fragmentationPenalty(9), 2.0, 1e-6);
+}
+
+TEST(GrowthBufferTest, DriftDilutesFragmentationPenalty)
+{
+    // The deterministic growth part does not fragment.
+    const GrowthBufferSizer sizer;  // Has non-zero drift.
+    EXPECT_LT(sizer.fragmentationPenalty(4), 1.0);
+    EXPECT_GT(sizer.fragmentationPenalty(4), 0.0);
+}
+
+TEST(GrowthBufferTest, SimulationMatchesAnalyticServiceLevel)
+{
+    DemandParams p;
+    p.service_level = 0.95;     // Moderate level keeps the MC cheap.
+    const GrowthBufferSizer sizer(p);
+    Rng rng(123);
+    const double shortfall =
+        sizer.simulateShortfallProbability(rng, 40000);
+    EXPECT_NEAR(shortfall, 0.05, 0.012);
+}
+
+TEST(GrowthBufferTest, ParameterValidation)
+{
+    DemandParams p;
+    p.mean_cores = 0.0;
+    EXPECT_THROW(GrowthBufferSizer{p}, UserError);
+    p = DemandParams{};
+    p.service_level = 0.4;
+    EXPECT_THROW(GrowthBufferSizer{p}, UserError);
+    p = DemandParams{};
+    const GrowthBufferSizer sizer(p);
+    EXPECT_THROW(sizer.fragmentedBufferCores(0), UserError);
+    Rng rng(1);
+    EXPECT_THROW(sizer.simulateShortfallProbability(rng, 0), UserError);
+}
+
+} // namespace
+} // namespace gsku::cluster

@@ -1,0 +1,178 @@
+/** @file Multi-GreenSKU cluster replay tests (D2 simulation support). */
+#include <gtest/gtest.h>
+
+#include "cluster/allocator.h"
+#include "cluster/trace_gen.h"
+#include "common/error.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+namespace {
+
+AdoptionTable
+adoptAll(double factor)
+{
+    AdoptionTable t;
+    for (std::size_t i = 0; i < perf::AppCatalog::all().size(); ++i) {
+        for (auto g : {carbon::Generation::Gen1, carbon::Generation::Gen2,
+                       carbon::Generation::Gen3}) {
+            t.set(i, g, {true, factor});
+        }
+    }
+    return t;
+}
+
+VmRequest
+vm(VmId id, double arrive, double depart, int cores, double mem)
+{
+    VmRequest r;
+    r.id = id;
+    r.arrival_h = arrive;
+    r.departure_h = depart;
+    r.cores = cores;
+    r.memory_gb = mem;
+    r.max_mem_touch_fraction = 0.5;
+    return r;
+}
+
+VmTrace
+makeTrace(std::vector<VmRequest> vms)
+{
+    VmTrace t;
+    t.name = "multi";
+    t.duration_h = 100.0;
+    t.vms = std::move(vms);
+    return t;
+}
+
+TEST(MultiSkuTest, SingleGroupMatchesTwoGroupApi)
+{
+    TraceGenParams params;
+    params.target_concurrent_vms = 100.0;
+    params.duration_h = 24.0 * 5.0;
+    const VmTrace trace = TraceGenerator(params).generate(3);
+
+    const AdoptionTable adoption = adoptAll(1.25);
+    const VmAllocator alloc;
+
+    const ClusterSpec two{carbon::StandardSkus::baseline(),
+                          carbon::StandardSkus::greenFull(), 10, 8};
+    const ReplayResult a = alloc.replay(trace, two, adoption);
+
+    MultiClusterSpec multi;
+    multi.baseline_sku = carbon::StandardSkus::baseline();
+    multi.baselines = 10;
+    multi.greens.push_back(
+        GreenGroupSpec{carbon::StandardSkus::greenFull(), 8, adoption});
+    const MultiReplayResult b = alloc.replay(trace, multi);
+
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_EQ(a.green_placed, b.green_placed);
+    EXPECT_DOUBLE_EQ(a.green.mean_core_packing,
+                     b.greens.front().mean_core_packing);
+    EXPECT_DOUBLE_EQ(a.baseline.mean_max_mem_utilization,
+                     b.baseline.mean_max_mem_utilization);
+}
+
+TEST(MultiSkuTest, PreferenceOrderRespected)
+{
+    // Two green groups with room; every adopting VM must land on the
+    // first-listed (preferred) group.
+    MultiClusterSpec multi;
+    multi.baseline_sku = carbon::StandardSkus::baseline();
+    multi.baselines = 1;
+    multi.greens.push_back(GreenGroupSpec{
+        carbon::StandardSkus::greenFull(), 2, adoptAll(1.0)});
+    multi.greens.push_back(GreenGroupSpec{
+        carbon::StandardSkus::greenEfficient(), 2, adoptAll(1.0)});
+
+    const VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 10, 8, 32), vm(2, 1, 10, 8, 32)}), multi);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.greens[0].vms_placed, 2);
+    EXPECT_EQ(result.greens[1].vms_placed, 0);
+}
+
+TEST(MultiSkuTest, OverflowSpillsToNextGroup)
+{
+    // First group too small: the second group catches the overflow.
+    MultiClusterSpec multi;
+    multi.baseline_sku = carbon::StandardSkus::baseline();
+    multi.baselines = 1;
+    multi.greens.push_back(GreenGroupSpec{
+        carbon::StandardSkus::greenFull(), 1, adoptAll(1.0)});
+    multi.greens.push_back(GreenGroupSpec{
+        carbon::StandardSkus::greenEfficient(), 1, adoptAll(1.0)});
+
+    const VmAllocator alloc;
+    const auto result = alloc.replay(
+        makeTrace({vm(1, 0, 10, 100, 400), vm(2, 1, 10, 100, 400)}),
+        multi);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.greens[0].vms_placed, 1);
+    EXPECT_EQ(result.greens[1].vms_placed, 1);
+}
+
+TEST(MultiSkuTest, PerGroupAdoptionTablesIndependent)
+{
+    // Group 1 adopts nothing; group 2 adopts everything — all adopting
+    // placements land on group 2.
+    MultiClusterSpec multi;
+    multi.baseline_sku = carbon::StandardSkus::baseline();
+    multi.baselines = 1;
+    multi.greens.push_back(GreenGroupSpec{
+        carbon::StandardSkus::greenFull(), 2, AdoptionTable::none()});
+    multi.greens.push_back(GreenGroupSpec{
+        carbon::StandardSkus::greenCxl(), 2, adoptAll(1.0)});
+
+    const VmAllocator alloc;
+    const auto result =
+        alloc.replay(makeTrace({vm(1, 0, 10, 8, 32)}), multi);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.greens[0].vms_placed, 0);
+    EXPECT_EQ(result.greens[1].vms_placed, 1);
+}
+
+TEST(MultiSkuTest, NoGreensBehavesLikeBaselineOnly)
+{
+    MultiClusterSpec multi;
+    multi.baseline_sku = carbon::StandardSkus::baseline();
+    multi.baselines = 2;
+    const VmAllocator alloc;
+    const auto result =
+        alloc.replay(makeTrace({vm(1, 0, 10, 8, 32)}), multi);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.baseline.vms_placed, 1);
+    EXPECT_TRUE(result.greens.empty());
+    EXPECT_EQ(result.green_fallbacks, 0);
+}
+
+TEST(MultiSkuTest, EmptyClusterRejected)
+{
+    MultiClusterSpec multi;
+    multi.baseline_sku = carbon::StandardSkus::baseline();
+    const VmAllocator alloc;
+    EXPECT_THROW(alloc.replay(makeTrace({vm(1, 0, 1, 1, 1)}), multi),
+                 UserError);
+}
+
+TEST(MultiSkuTest, ZeroCountGroupSkipped)
+{
+    MultiClusterSpec multi;
+    multi.baseline_sku = carbon::StandardSkus::baseline();
+    multi.baselines = 1;
+    multi.greens.push_back(GreenGroupSpec{
+        carbon::StandardSkus::greenFull(), 0, adoptAll(1.0)});
+    const VmAllocator alloc;
+    const auto result =
+        alloc.replay(makeTrace({vm(1, 0, 10, 8, 32)}), multi);
+    EXPECT_TRUE(result.success);
+    EXPECT_EQ(result.baseline.vms_placed, 1);
+    // The VM adopted but had no green capacity: counted as a fallback.
+    EXPECT_EQ(result.green_fallbacks, 1);
+}
+
+} // namespace
+} // namespace gsku::cluster

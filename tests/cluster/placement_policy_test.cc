@@ -1,0 +1,107 @@
+/** @file Placement-policy variants: best-fit must pack best (§V rule 1). */
+#include <gtest/gtest.h>
+
+#include "cluster/allocator.h"
+#include "cluster/trace_gen.h"
+#include "gsf/sizing.h"
+
+namespace gsku::cluster {
+namespace {
+
+VmTrace
+denseTrace()
+{
+    TraceGenParams params;
+    params.target_concurrent_vms = 150.0;
+    params.duration_h = 24.0 * 7.0;
+    return TraceGenerator(params).generate(77);
+}
+
+int
+rightSize(PlacementPolicy policy, const VmTrace &trace)
+{
+    ReplayOptions opts;
+    opts.policy = policy;
+    return gsf::ClusterSizer(opts).rightSizeBaselineOnly(
+        trace, carbon::StandardSkus::baseline());
+}
+
+TEST(PlacementPolicyTest, NamesRoundTrip)
+{
+    EXPECT_EQ(toString(PlacementPolicy::BestFit), "best-fit");
+    EXPECT_EQ(toString(PlacementPolicy::FirstFit), "first-fit");
+    EXPECT_EQ(toString(PlacementPolicy::WorstFit), "worst-fit");
+}
+
+TEST(PlacementPolicyTest, BestFitNeedsNoMoreServersThanAlternatives)
+{
+    const VmTrace trace = denseTrace();
+    const int best = rightSize(PlacementPolicy::BestFit, trace);
+    const int first = rightSize(PlacementPolicy::FirstFit, trace);
+    const int worst = rightSize(PlacementPolicy::WorstFit, trace);
+    EXPECT_LE(best, first);
+    EXPECT_LE(best, worst);
+}
+
+TEST(PlacementPolicyTest, WorstFitSpreadsLoad)
+{
+    // On an over-provisioned cluster, worst-fit touches more servers
+    // than best-fit (which consolidates).
+    const VmTrace trace = denseTrace();
+    const ClusterSpec spec{carbon::StandardSkus::baseline(),
+                           carbon::StandardSkus::greenFull(),
+                           rightSize(PlacementPolicy::BestFit, trace) + 10,
+                           0};
+
+    ReplayOptions best_opts;
+    best_opts.policy = PlacementPolicy::BestFit;
+    ReplayOptions worst_opts;
+    worst_opts.policy = PlacementPolicy::WorstFit;
+
+    const auto best = VmAllocator(best_opts).replay(
+        trace, spec, AdoptionTable::none());
+    const auto worst = VmAllocator(worst_opts).replay(
+        trace, spec, AdoptionTable::none());
+    ASSERT_TRUE(best.success);
+    ASSERT_TRUE(worst.success);
+    EXPECT_GE(best.baseline.mean_core_packing,
+              worst.baseline.mean_core_packing);
+}
+
+TEST(PlacementPolicyTest, AllPoliciesConserveVms)
+{
+    const VmTrace trace = denseTrace();
+    for (PlacementPolicy policy :
+         {PlacementPolicy::BestFit, PlacementPolicy::FirstFit,
+          PlacementPolicy::WorstFit}) {
+        ReplayOptions opts;
+        opts.policy = policy;
+        opts.stop_on_reject = false;
+        const ClusterSpec spec{carbon::StandardSkus::baseline(),
+                               carbon::StandardSkus::greenFull(), 60, 0};
+        const auto result =
+            VmAllocator(opts).replay(trace, spec, AdoptionTable::none());
+        EXPECT_EQ(result.placed + result.rejected,
+                  static_cast<long>(trace.vms.size()))
+            << toString(policy);
+    }
+}
+
+TEST(PlacementPolicyTest, PoliciesAreDeterministic)
+{
+    const VmTrace trace = denseTrace();
+    ReplayOptions opts;
+    opts.policy = PlacementPolicy::FirstFit;
+    const ClusterSpec spec{carbon::StandardSkus::baseline(),
+                           carbon::StandardSkus::greenFull(), 40, 0};
+    const auto a =
+        VmAllocator(opts).replay(trace, spec, AdoptionTable::none());
+    const auto b =
+        VmAllocator(opts).replay(trace, spec, AdoptionTable::none());
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_DOUBLE_EQ(a.baseline.mean_core_packing,
+                     b.baseline.mean_core_packing);
+}
+
+} // namespace
+} // namespace gsku::cluster

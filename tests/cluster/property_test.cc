@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Property tests of the cluster substrate, parameterized over trace
+ * seeds: conservation, determinism, monotonicity, and metric bounds
+ * that must hold for any workload.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/allocator.h"
+#include "cluster/trace_gen.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+namespace {
+
+VmTrace
+traceFor(std::uint64_t seed)
+{
+    TraceGenParams params;
+    params.target_concurrent_vms = 120.0;
+    params.duration_h = 24.0 * 7.0;
+    return TraceGenerator(params).generate(seed);
+}
+
+class TraceSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceSeedTest, ReplayConservesVms)
+{
+    const VmTrace trace = traceFor(GetParam());
+    ReplayOptions opts;
+    opts.stop_on_reject = false;
+    const VmAllocator alloc(opts);
+    const ClusterSpec spec{carbon::StandardSkus::baseline(),
+                           carbon::StandardSkus::greenFull(), 25, 0};
+    const auto result = alloc.replay(trace, spec, AdoptionTable::none());
+    EXPECT_EQ(result.placed + result.rejected,
+              static_cast<long>(trace.vms.size()));
+    EXPECT_EQ(result.green.vms_placed, 0);
+    EXPECT_EQ(result.placed, result.baseline.vms_placed);
+}
+
+TEST_P(TraceSeedTest, MetricsWithinUnitBounds)
+{
+    const VmTrace trace = traceFor(GetParam());
+    ReplayOptions opts;
+    opts.stop_on_reject = false;
+    const VmAllocator alloc(opts);
+    const ClusterSpec spec{carbon::StandardSkus::baseline(),
+                           carbon::StandardSkus::greenFull(), 20, 10};
+    AdoptionTable adoption;
+    for (std::size_t i = 0; i < perf::AppCatalog::all().size(); ++i) {
+        adoption.set(i, carbon::Generation::Gen1, {true, 1.25});
+        adoption.set(i, carbon::Generation::Gen2, {true, 1.0});
+    }
+    const auto result = alloc.replay(trace, spec, adoption);
+    for (const GroupMetrics *m : {&result.baseline, &result.green}) {
+        EXPECT_GE(m->mean_core_packing, 0.0);
+        EXPECT_LE(m->mean_core_packing, 1.0);
+        EXPECT_GE(m->mean_mem_packing, 0.0);
+        EXPECT_LE(m->mean_mem_packing, 1.0);
+        EXPECT_GE(m->mean_max_mem_utilization, 0.0);
+        EXPECT_LE(m->mean_max_mem_utilization, 1.0 + 1e-9);
+    }
+}
+
+TEST_P(TraceSeedTest, ReplayIsDeterministic)
+{
+    const VmTrace trace = traceFor(GetParam());
+    const VmAllocator alloc;
+    const ClusterSpec spec{carbon::StandardSkus::baseline(),
+                           carbon::StandardSkus::greenFull(), 30, 0};
+    const auto a = alloc.replay(trace, spec, AdoptionTable::none());
+    const auto b = alloc.replay(trace, spec, AdoptionTable::none());
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_DOUBLE_EQ(a.baseline.mean_core_packing,
+                     b.baseline.mean_core_packing);
+    EXPECT_DOUBLE_EQ(a.baseline.mean_max_mem_utilization,
+                     b.baseline.mean_max_mem_utilization);
+}
+
+TEST_P(TraceSeedTest, MoreServersNeverHurt)
+{
+    // Placement success is monotone in cluster size.
+    const VmTrace trace = traceFor(GetParam());
+    ReplayOptions opts;
+    opts.stop_on_reject = false;
+    const VmAllocator alloc(opts);
+    long prev_placed = -1;
+    for (int servers : {10, 20, 40, 80}) {
+        const ClusterSpec spec{carbon::StandardSkus::baseline(),
+                               carbon::StandardSkus::greenFull(), servers,
+                               0};
+        const auto result =
+            alloc.replay(trace, spec, AdoptionTable::none());
+        EXPECT_GE(result.placed, prev_placed) << servers << " servers";
+        prev_placed = result.placed;
+    }
+}
+
+TEST_P(TraceSeedTest, ScalingInflationReducesGreenCapacity)
+{
+    // Raising every scaling factor can only reduce what fits on a
+    // fixed green cluster.
+    const VmTrace trace = traceFor(GetParam());
+    ReplayOptions opts;
+    opts.stop_on_reject = false;
+    const VmAllocator alloc(opts);
+    const ClusterSpec spec{carbon::StandardSkus::baseline(),
+                           carbon::StandardSkus::greenFull(), 0, 14};
+
+    auto adopt_all = [](double factor) {
+        AdoptionTable t;
+        for (std::size_t i = 0; i < perf::AppCatalog::all().size(); ++i) {
+            for (auto g :
+                 {carbon::Generation::Gen1, carbon::Generation::Gen2,
+                  carbon::Generation::Gen3}) {
+                t.set(i, g, {true, factor});
+            }
+        }
+        return t;
+    };
+    const auto lean = alloc.replay(trace, spec, adopt_all(1.0));
+    const auto fat = alloc.replay(trace, spec, adopt_all(1.5));
+    EXPECT_GE(lean.green_placed, fat.green_placed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSeedTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u),
+                         [](const auto &info) {
+                             return "Seed" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace gsku::cluster

@@ -1,0 +1,167 @@
+/** @file Synthetic trace generator: determinism and target distributions. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/trace_gen.h"
+#include "common/error.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+namespace {
+
+TEST(TraceGenTest, DeterministicForSeed)
+{
+    const TraceGenerator gen;
+    const VmTrace a = gen.generate(42);
+    const VmTrace b = gen.generate(42);
+    ASSERT_EQ(a.vms.size(), b.vms.size());
+    for (std::size_t i = 0; i < a.vms.size(); ++i) {
+        ASSERT_EQ(a.vms[i].cores, b.vms[i].cores);
+        ASSERT_DOUBLE_EQ(a.vms[i].arrival_h, b.vms[i].arrival_h);
+        ASSERT_EQ(a.vms[i].app_index, b.vms[i].app_index);
+    }
+}
+
+TEST(TraceGenTest, DifferentSeedsDiffer)
+{
+    const TraceGenerator gen;
+    const VmTrace a = gen.generate(1);
+    const VmTrace b = gen.generate(2);
+    EXPECT_NE(a.vms.size(), b.vms.size());
+}
+
+TEST(TraceGenTest, ArrivalsSortedAndWithinDuration)
+{
+    const TraceGenerator gen;
+    const VmTrace t = gen.generate(7);
+    double prev = 0.0;
+    for (const auto &vm : t.vms) {
+        ASSERT_GE(vm.arrival_h, prev);
+        ASSERT_LT(vm.arrival_h, t.duration_h);
+        ASSERT_GT(vm.departure_h, vm.arrival_h);
+        prev = vm.arrival_h;
+    }
+}
+
+TEST(TraceGenTest, SteadyStatePopulationNearTarget)
+{
+    TraceGenParams p;
+    p.target_concurrent_vms = 400.0;
+    p.load_jitter = 0.0;        // Disable per-trace diversity.
+    p.duration_h = 24.0 * 60.0;
+    const TraceGenerator gen(p);
+    const VmTrace t = gen.generate(3);
+
+    // Count VMs alive at several mid-trace instants.
+    double sum = 0.0;
+    int samples = 0;
+    for (double at = 400.0; at < 1200.0; at += 100.0) {
+        int alive = 0;
+        for (const auto &vm : t.vms) {
+            alive += vm.arrival_h <= at && vm.departure_h > at ? 1 : 0;
+        }
+        sum += alive;
+        ++samples;
+    }
+    EXPECT_NEAR(sum / samples, 400.0, 80.0);
+}
+
+TEST(TraceGenTest, AppClassMixTracksCoreHourShares)
+{
+    TraceGenParams p;
+    p.duration_h = 24.0 * 120.0;
+    const TraceGenerator gen(p);
+    const VmTrace t = gen.generate(11);
+
+    std::map<perf::AppClass, int> counts;
+    for (const auto &vm : t.vms) {
+        counts[perf::AppCatalog::all()[vm.app_index].cls]++;
+    }
+    const double n = static_cast<double>(t.vms.size());
+    EXPECT_NEAR(counts[perf::AppClass::BigData] / n, 0.32, 0.03);
+    EXPECT_NEAR(counts[perf::AppClass::WebApp] / n, 0.27, 0.03);
+    EXPECT_NEAR(counts[perf::AppClass::RealTimeComms] / n, 0.24, 0.03);
+    EXPECT_NEAR(counts[perf::AppClass::MlInference] / n, 0.11, 0.03);
+}
+
+TEST(TraceGenTest, TouchFractionMatchesPondMean)
+{
+    // Pond [81]: untouched memory is about half of allocation.
+    const TraceGenerator gen;
+    const VmTrace t = gen.generate(5);
+    double sum = 0.0;
+    for (const auto &vm : t.vms) {
+        ASSERT_GE(vm.max_mem_touch_fraction, 0.05);
+        ASSERT_LE(vm.max_mem_touch_fraction, 1.0);
+        sum += vm.max_mem_touch_fraction;
+    }
+    EXPECT_NEAR(sum / t.vms.size(), 0.55, 0.04);
+}
+
+TEST(TraceGenTest, FullNodeVmsAreRareAndWhole)
+{
+    TraceGenParams p;
+    p.duration_h = 24.0 * 120.0;
+    const TraceGenerator gen(p);
+    const VmTrace t = gen.generate(13);
+    int full = 0;
+    for (const auto &vm : t.vms) {
+        if (vm.full_node) {
+            ++full;
+            ASSERT_EQ(vm.cores, 80);
+            ASSERT_DOUBLE_EQ(vm.memory_gb, 768.0);
+        }
+    }
+    EXPECT_GT(full, 0);
+    EXPECT_LT(static_cast<double>(full) / t.vms.size(), 0.01);
+}
+
+TEST(TraceGenTest, GenerationMixRepresented)
+{
+    const TraceGenerator gen;
+    const VmTrace t = gen.generate(17);
+    std::map<carbon::Generation, int> counts;
+    for (const auto &vm : t.vms) {
+        counts[vm.origin_generation]++;
+    }
+    EXPECT_GT(counts[carbon::Generation::Gen1], 0);
+    EXPECT_GT(counts[carbon::Generation::Gen2], 0);
+    EXPECT_GT(counts[carbon::Generation::Gen3], 0);
+    EXPECT_GT(counts[carbon::Generation::Gen3],
+              counts[carbon::Generation::Gen1]);
+}
+
+TEST(TraceGenTest, FamilyHasDistinctNamesAndSizes)
+{
+    const TraceGenerator gen;
+    const auto family = gen.generateFamily(5, 100);
+    ASSERT_EQ(family.size(), 5u);
+    EXPECT_EQ(family[0].name, "cluster-1");
+    EXPECT_EQ(family[4].name, "cluster-5");
+    // Per-trace load jitter: sizes should not all be equal.
+    bool any_diff = false;
+    for (std::size_t i = 1; i < family.size(); ++i) {
+        any_diff |= family[i].vms.size() != family[0].vms.size();
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(TraceGenTest, ParameterValidation)
+{
+    TraceGenParams p;
+    p.duration_h = 0.0;
+    EXPECT_THROW(TraceGenerator{p}, UserError);
+    p = TraceGenParams{};
+    p.core_weights.pop_back();
+    EXPECT_THROW(TraceGenerator{p}, UserError);
+    p = TraceGenParams{};
+    p.full_node_fraction = 1.0;
+    EXPECT_THROW(TraceGenerator{p}, UserError);
+    p = TraceGenParams{};
+    const TraceGenerator gen(p);
+    EXPECT_THROW(gen.generateFamily(0, 1), UserError);
+}
+
+} // namespace
+} // namespace gsku::cluster

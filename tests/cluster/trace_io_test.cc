@@ -1,0 +1,120 @@
+/** @file Trace CSV round-trip and error-reporting tests. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/trace_gen.h"
+#include "cluster/trace_io.h"
+#include "common/error.h"
+
+namespace gsku::cluster {
+namespace {
+
+TEST(TraceIoTest, RoundTripsGeneratedTrace)
+{
+    TraceGenParams params;
+    params.target_concurrent_vms = 80.0;
+    params.duration_h = 24.0 * 3.0;
+    const VmTrace original = TraceGenerator(params).generate(9);
+
+    std::stringstream buffer;
+    writeTraceCsv(original, buffer);
+    const VmTrace loaded = readTraceCsv(buffer, original.name);
+
+    ASSERT_EQ(loaded.vms.size(), original.vms.size());
+    for (std::size_t i = 0; i < original.vms.size(); ++i) {
+        const VmRequest &a = original.vms[i];
+        const VmRequest &b = loaded.vms[i];
+        ASSERT_EQ(a.id, b.id);
+        ASSERT_DOUBLE_EQ(a.arrival_h, b.arrival_h);
+        ASSERT_DOUBLE_EQ(a.departure_h, b.departure_h);
+        ASSERT_EQ(a.cores, b.cores);
+        ASSERT_DOUBLE_EQ(a.memory_gb, b.memory_gb);
+        ASSERT_EQ(a.origin_generation, b.origin_generation);
+        ASSERT_EQ(a.full_node, b.full_node);
+        ASSERT_EQ(a.app_index, b.app_index);
+        ASSERT_DOUBLE_EQ(a.max_mem_touch_fraction,
+                         b.max_mem_touch_fraction);
+    }
+    EXPECT_EQ(loaded.peakConcurrentCores(),
+              original.peakConcurrentCores());
+}
+
+TEST(TraceIoTest, ReadSortsOutOfOrderRows)
+{
+    std::stringstream in(
+        "id,arrival_h,departure_h,cores,memory_gb,generation,full_node,"
+        "app,max_mem_touch_fraction\n"
+        "2,5.0,6.0,4,16,Gen3,0,Redis,0.5\n"
+        "1,1.0,2.0,2,8,Gen1,0,Moses,0.4\n");
+    const VmTrace trace = readTraceCsv(in);
+    ASSERT_EQ(trace.vms.size(), 2u);
+    EXPECT_EQ(trace.vms[0].id, 1u);
+    EXPECT_EQ(trace.vms[1].id, 2u);
+}
+
+TEST(TraceIoTest, ErrorsNameTheLine)
+{
+    const char *header =
+        "id,arrival_h,departure_h,cores,memory_gb,generation,full_node,"
+        "app,max_mem_touch_fraction\n";
+    struct Case
+    {
+        const char *row;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"1,1.0,2.0,4,16,Gen9,0,Redis,0.5\n", "unknown generation"},
+        {"1,1.0,2.0,4,16,Gen1,2,Redis,0.5\n", "full_node"},
+        {"1,1.0,2.0,4,16,Gen1,0,Postgres,0.5\n", "unknown application"},
+        {"1,3.0,2.0,4,16,Gen1,0,Redis,0.5\n", "departure"},
+        {"1,1.0,2.0,0,16,Gen1,0,Redis,0.5\n", "positive"},
+        {"1,1.0,2.0,4,16,Gen1,0,Redis,1.5\n", "touch fraction"},
+        {"1,abc,2.0,4,16,Gen1,0,Redis,0.5\n", "malformed number"},
+        {"1,1.0,2.0,4,16,Gen1,0,Redis\n", "cells"},
+    };
+    for (const Case &c : cases) {
+        std::stringstream in(std::string(header) + c.row);
+        try {
+            readTraceCsv(in);
+            FAIL() << "expected throw for: " << c.row;
+        } catch (const UserError &e) {
+            EXPECT_NE(std::string(e.what()).find("line 2"),
+                      std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find(c.needle),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(TraceIoTest, RejectsBadHeaderAndEmptyFile)
+{
+    std::stringstream empty("");
+    EXPECT_THROW(readTraceCsv(empty), UserError);
+
+    std::stringstream bad_header("a,b,c\n1,2,3\n");
+    EXPECT_THROW(readTraceCsv(bad_header), UserError);
+
+    std::stringstream no_rows(
+        "id,arrival_h,departure_h,cores,memory_gb,generation,full_node,"
+        "app,max_mem_touch_fraction\n");
+    EXPECT_THROW(readTraceCsv(no_rows), UserError);
+}
+
+TEST(TraceIoTest, SkipsBlankLines)
+{
+    std::stringstream in(
+        "id,arrival_h,departure_h,cores,memory_gb,generation,full_node,"
+        "app,max_mem_touch_fraction\n"
+        "\n"
+        "1,1.0,2.0,2,8,Gen2,0,Nginx,0.3\n"
+        "\n");
+    const VmTrace trace = readTraceCsv(in);
+    EXPECT_EQ(trace.vms.size(), 1u);
+    EXPECT_EQ(trace.vms[0].origin_generation, carbon::Generation::Gen2);
+}
+
+} // namespace
+} // namespace gsku::cluster

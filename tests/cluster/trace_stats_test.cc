@@ -1,0 +1,90 @@
+/** @file Trace-characterization summary tests. */
+#include <gtest/gtest.h>
+
+#include "cluster/trace_gen.h"
+#include "cluster/trace_stats.h"
+#include "common/error.h"
+
+namespace gsku::cluster {
+namespace {
+
+TEST(TraceStatsTest, HandComputedTrace)
+{
+    VmTrace trace;
+    trace.name = "hand";
+    trace.duration_h = 10.0;
+    VmRequest a;
+    a.id = 1;
+    a.arrival_h = 0.0;
+    a.departure_h = 4.0;
+    a.cores = 4;
+    a.memory_gb = 16.0;
+    a.app_index = 0;    // Redis (BigData).
+    a.max_mem_touch_fraction = 0.5;
+    VmRequest b = a;
+    b.id = 2;
+    b.arrival_h = 2.0;
+    b.departure_h = 8.0;
+    b.cores = 8;
+    b.memory_gb = 32.0;
+    b.origin_generation = carbon::Generation::Gen1;
+    trace.vms = {a, b};
+
+    const TraceStats stats = summarizeTrace(trace);
+    EXPECT_EQ(stats.vm_count, 2u);
+    EXPECT_DOUBLE_EQ(stats.cores.mean(), 6.0);
+    EXPECT_DOUBLE_EQ(stats.memory_gb.mean(), 24.0);
+    EXPECT_DOUBLE_EQ(stats.lifetime_h.mean(), 5.0);
+    EXPECT_EQ(stats.peak_concurrent_cores, 12);
+    // (4h + 6h) of VM time over 10 h -> mean population 1.0.
+    EXPECT_DOUBLE_EQ(stats.mean_population, 1.0);
+    EXPECT_DOUBLE_EQ(stats.class_shares.at(perf::AppClass::BigData), 1.0);
+    EXPECT_DOUBLE_EQ(
+        stats.generation_shares.at(carbon::Generation::Gen1), 0.5);
+}
+
+TEST(TraceStatsTest, SyntheticTraceMatchesGeneratorTargets)
+{
+    TraceGenParams params;
+    params.target_concurrent_vms = 300.0;
+    params.duration_h = 24.0 * 28.0;
+    params.load_jitter = 0.0;
+    const VmTrace trace = TraceGenerator(params).generate(5);
+    const TraceStats stats = summarizeTrace(trace);
+
+    EXPECT_NEAR(stats.touch_fraction.mean(), 0.55, 0.03);
+    EXPECT_NEAR(stats.mean_population, 300.0, 60.0);
+    // Class mix tracks Table III shares closely on a large trace.
+    EXPECT_LT(stats.classMixDeviation(), 0.03);
+    EXPECT_LT(static_cast<double>(stats.full_node_vms) /
+                  static_cast<double>(stats.vm_count),
+              0.01);
+}
+
+TEST(TraceStatsTest, DeviationDetectsSkewedMixes)
+{
+    // A trace of only DevOps builds is maximally off the fleet mix.
+    VmTrace trace;
+    trace.name = "skewed";
+    trace.duration_h = 10.0;
+    VmRequest vm;
+    vm.id = 1;
+    vm.arrival_h = 0.0;
+    vm.departure_h = 1.0;
+    vm.cores = 2;
+    vm.memory_gb = 8.0;
+    vm.app_index = perf::AppCatalog::all().size() - 1;  // Build-PHP.
+    trace.vms = {vm};
+    const TraceStats stats = summarizeTrace(trace);
+    EXPECT_GT(stats.classMixDeviation(), 0.3);
+}
+
+TEST(TraceStatsTest, EmptyTraceRejected)
+{
+    VmTrace trace;
+    trace.duration_h = 1.0;
+    EXPECT_THROW(summarizeTrace(trace), UserError);
+}
+
+} // namespace
+} // namespace gsku::cluster

@@ -1,0 +1,69 @@
+/** @file VM trace data-model tests (peak demand sweeps). */
+#include <gtest/gtest.h>
+
+#include "cluster/vm.h"
+
+namespace gsku::cluster {
+namespace {
+
+VmRequest
+vm(VmId id, double arrive, double depart, int cores, double mem)
+{
+    VmRequest r;
+    r.id = id;
+    r.arrival_h = arrive;
+    r.departure_h = depart;
+    r.cores = cores;
+    r.memory_gb = mem;
+    return r;
+}
+
+TEST(VmTest, LifetimeComputed)
+{
+    EXPECT_DOUBLE_EQ(vm(1, 2.0, 7.5, 4, 16.0).lifetimeHours(), 5.5);
+}
+
+TEST(VmTraceTest, PeakOfDisjointVmsIsMax)
+{
+    VmTrace t;
+    t.vms = {vm(1, 0.0, 1.0, 8, 32.0), vm(2, 2.0, 3.0, 4, 64.0)};
+    EXPECT_EQ(t.peakConcurrentCores(), 8);
+    EXPECT_DOUBLE_EQ(t.peakConcurrentMemoryGb(), 64.0);
+}
+
+TEST(VmTraceTest, PeakOfOverlappingVmsIsSum)
+{
+    VmTrace t;
+    t.vms = {vm(1, 0.0, 10.0, 8, 32.0), vm(2, 5.0, 15.0, 4, 64.0)};
+    EXPECT_EQ(t.peakConcurrentCores(), 12);
+    EXPECT_DOUBLE_EQ(t.peakConcurrentMemoryGb(), 96.0);
+}
+
+TEST(VmTraceTest, BackToBackVmsDoNotStack)
+{
+    // Departure at t frees resources before an arrival at t.
+    VmTrace t;
+    t.vms = {vm(1, 0.0, 5.0, 8, 32.0), vm(2, 5.0, 10.0, 8, 32.0)};
+    EXPECT_EQ(t.peakConcurrentCores(), 8);
+}
+
+TEST(VmTraceTest, PeakIndependentOfVectorOrder)
+{
+    VmTrace a;
+    a.vms = {vm(1, 0.0, 10.0, 2, 8.0), vm(2, 1.0, 4.0, 16, 64.0),
+             vm(3, 3.0, 12.0, 8, 16.0)};
+    VmTrace b = a;
+    std::swap(b.vms[0], b.vms[2]);
+    EXPECT_EQ(a.peakConcurrentCores(), b.peakConcurrentCores());
+    EXPECT_EQ(a.peakConcurrentCores(), 26);
+}
+
+TEST(VmTraceTest, EmptyTraceHasZeroPeak)
+{
+    VmTrace t;
+    EXPECT_EQ(t.peakConcurrentCores(), 0);
+    EXPECT_DOUBLE_EQ(t.peakConcurrentMemoryGb(), 0.0);
+}
+
+} // namespace
+} // namespace gsku::cluster

@@ -1,0 +1,118 @@
+/** @file ASCII chart renderer tests. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/chart.h"
+#include "common/error.h"
+
+namespace gsku {
+namespace {
+
+ChartSeries
+line(const std::string &name, char glyph, double slope, int n = 10)
+{
+    ChartSeries s;
+    s.name = name;
+    s.glyph = glyph;
+    for (int i = 0; i < n; ++i) {
+        s.points.emplace_back(i, slope * i);
+    }
+    return s;
+}
+
+TEST(ChartTest, ContainsGlyphsAxesAndLegend)
+{
+    const std::string out = renderChart({line("up", '*', 2.0)});
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);      // Axis corner.
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("* = up"), std::string::npos);
+}
+
+TEST(ChartTest, RowAndColumnCounts)
+{
+    ChartOptions opts;
+    opts.height = 10;
+    opts.width = 30;
+    const std::string out = renderChart({line("s", '*', 1.0)}, opts);
+    int rows = 0;
+    for (char c : out) {
+        rows += c == '\n' ? 1 : 0;
+    }
+    // 10 plot rows + axis + x-tick row + legend.
+    EXPECT_EQ(rows, 13);
+}
+
+TEST(ChartTest, ExtremesLandAtCorners)
+{
+    ChartOptions opts;
+    opts.height = 8;
+    opts.width = 20;
+    opts.y_from_zero = true;
+    ChartSeries s;
+    s.glyph = 'x';
+    s.name = "corner";
+    s.points = {{0.0, 0.0}, {1.0, 1.0}};
+    const std::string out = renderChart({s}, opts);
+
+    // Split into lines; top plot row has the max-y point at the right.
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : out) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    EXPECT_EQ(lines[0].back(), 'x');                  // (1,1) top-right.
+    EXPECT_EQ(lines[7][lines[7].find('|') + 1], 'x'); // (0,0) bottom-left.
+}
+
+TEST(ChartTest, SkipsNonFinitePoints)
+{
+    ChartSeries s = line("sat", '*', 1.0);
+    s.points.emplace_back(100.0,
+                          std::numeric_limits<double>::infinity());
+    const std::string out = renderChart({s});
+    // The infinite point must not drag x_max to 100 with an empty tail:
+    // the rightmost data column would then be blank. Instead x_max stays
+    // at the finite maximum (9).
+    EXPECT_NE(out.find("9.0"), std::string::npos);
+}
+
+TEST(ChartTest, MarkersDrawnAndLabeled)
+{
+    ChartOptions opts;
+    opts.x_markers = {{5.0, "region A"}};
+    const std::string out = renderChart({line("s", '*', 1.0)}, opts);
+    EXPECT_NE(out.find('|'), std::string::npos);
+    EXPECT_NE(out.find("region A"), std::string::npos);
+}
+
+TEST(ChartTest, MultipleSeriesKeepDistinctGlyphs)
+{
+    const std::string out =
+        renderChart({line("a", 'o', 1.0), line("b", '#', 3.0)});
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find("o = a"), std::string::npos);
+    EXPECT_NE(out.find("# = b"), std::string::npos);
+}
+
+TEST(ChartTest, Validation)
+{
+    EXPECT_THROW(renderChart({}), UserError);
+    ChartSeries empty;
+    empty.name = "none";
+    EXPECT_THROW(renderChart({empty}), UserError);
+    ChartOptions tiny;
+    tiny.width = 4;
+    EXPECT_THROW(renderChart({line("s", '*', 1.0)}, tiny), UserError);
+}
+
+} // namespace
+} // namespace gsku

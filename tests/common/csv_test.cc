@@ -1,0 +1,71 @@
+/** @file CSV writer quoting and shape validation. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace gsku {
+namespace {
+
+TEST(CsvTest, WritesHeaderAndRows)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeHeader({"a", "b"});
+    csv.writeRow(std::vector<std::string>{"1", "2"});
+    EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvTest, QuotesCommasAndQuotes)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<std::string>{"hello, world", "say \"hi\"", "plain"});
+    EXPECT_EQ(out.str(), "\"hello, world\",\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(CsvTest, QuotesNewlines)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<std::string>{"line1\nline2"});
+    EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvTest, DoubleRowsUseFullPrecision)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<double>{0.1, 123456.789});
+    EXPECT_EQ(out.str(), "0.1,123456.789\n");
+}
+
+TEST(CsvTest, RowWidthCheckedAgainstHeader)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeHeader({"a", "b"});
+    EXPECT_THROW(csv.writeRow(std::vector<std::string>{"1"}), UserError);
+}
+
+TEST(CsvTest, DoubleHeaderRejected)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeHeader({"a"});
+    EXPECT_THROW(csv.writeHeader({"b"}), UserError);
+}
+
+TEST(CsvTest, RowsWithoutHeaderAllowed)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.writeRow(std::vector<std::string>{"1", "2"});
+    csv.writeRow(std::vector<std::string>{"3"});
+    EXPECT_EQ(out.str(), "1,2\n3\n");
+}
+
+} // namespace
+} // namespace gsku

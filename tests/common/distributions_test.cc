@@ -1,0 +1,139 @@
+/** @file Moment and support checks for the sampling distributions. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.h"
+#include "common/error.h"
+
+namespace gsku {
+namespace {
+
+constexpr int kSamples = 100000;
+
+TEST(ExponentialTest, MeanMatchesRate)
+{
+    Rng rng(1);
+    const Exponential d(0.25);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+        sum += d.sample(rng);
+    }
+    EXPECT_NEAR(sum / kSamples, 4.0, 0.1);
+}
+
+TEST(ExponentialTest, SamplesArePositive)
+{
+    Rng rng(2);
+    const Exponential d(3.0);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_GT(d.sample(rng), 0.0);
+    }
+}
+
+TEST(ExponentialTest, RejectsNonPositiveRate)
+{
+    EXPECT_THROW(Exponential(0.0), UserError);
+    EXPECT_THROW(Exponential(-1.0), UserError);
+}
+
+TEST(LogNormalTest, MedianAndMeanMatch)
+{
+    Rng rng(3);
+    const LogNormal d = LogNormal::fromMedianAndSigma(10.0, 0.5);
+    EXPECT_DOUBLE_EQ(d.median(), 10.0);
+    EXPECT_NEAR(d.mean(), 10.0 * std::exp(0.125), 1e-9);
+
+    int below = 0;
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+        const double x = d.sample(rng);
+        below += x < 10.0 ? 1 : 0;
+        sum += x;
+    }
+    EXPECT_NEAR(static_cast<double>(below) / kSamples, 0.5, 0.01);
+    EXPECT_NEAR(sum / kSamples, d.mean(), 0.15);
+}
+
+TEST(LogNormalTest, RejectsBadParameters)
+{
+    EXPECT_THROW(LogNormal(0.0, 0.0), UserError);
+    EXPECT_THROW(LogNormal::fromMedianAndSigma(-1.0, 0.5), UserError);
+}
+
+TEST(BoundedParetoTest, SupportRespected)
+{
+    Rng rng(4);
+    const BoundedPareto d(1.2, 2.0, 50.0);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = d.sample(rng);
+        ASSERT_GE(x, 2.0);
+        ASSERT_LE(x, 50.0);
+    }
+}
+
+TEST(BoundedParetoTest, HeavyTailSkewsLow)
+{
+    Rng rng(5);
+    const BoundedPareto d(1.5, 1.0, 100.0);
+    int below_10 = 0;
+    for (int i = 0; i < kSamples; ++i) {
+        below_10 += d.sample(rng) < 10.0 ? 1 : 0;
+    }
+    // Most mass near the lower bound for alpha > 1.
+    EXPECT_GT(static_cast<double>(below_10) / kSamples, 0.9);
+}
+
+TEST(BoundedParetoTest, RejectsBadParameters)
+{
+    EXPECT_THROW(BoundedPareto(0.0, 1.0, 2.0), UserError);
+    EXPECT_THROW(BoundedPareto(1.0, 2.0, 2.0), UserError);
+    EXPECT_THROW(BoundedPareto(1.0, -1.0, 2.0), UserError);
+}
+
+TEST(DiscreteTest, ProbabilitiesNormalized)
+{
+    const Discrete d({1.0, 3.0, 6.0});
+    EXPECT_DOUBLE_EQ(d.probability(0), 0.1);
+    EXPECT_DOUBLE_EQ(d.probability(1), 0.3);
+    EXPECT_DOUBLE_EQ(d.probability(2), 0.6);
+}
+
+TEST(DiscreteTest, EmpiricalFrequenciesMatch)
+{
+    Rng rng(6);
+    const Discrete d({2.0, 3.0, 5.0});
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < kSamples; ++i) {
+        ++counts[d.sample(rng)];
+    }
+    EXPECT_NEAR(counts[0] / double(kSamples), 0.2, 0.01);
+    EXPECT_NEAR(counts[1] / double(kSamples), 0.3, 0.01);
+    EXPECT_NEAR(counts[2] / double(kSamples), 0.5, 0.01);
+}
+
+TEST(DiscreteTest, ZeroWeightNeverSampled)
+{
+    Rng rng(7);
+    const Discrete d({1.0, 0.0, 1.0});
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_NE(d.sample(rng), 1u);
+    }
+}
+
+TEST(DiscreteTest, RejectsInvalidWeights)
+{
+    EXPECT_THROW(Discrete({}), UserError);
+    EXPECT_THROW(Discrete({0.0, 0.0}), UserError);
+    EXPECT_THROW(Discrete({1.0, -0.5}), UserError);
+}
+
+TEST(DiscreteTest, ProbabilityIndexChecked)
+{
+    const Discrete d({1.0, 1.0});
+    EXPECT_THROW(d.probability(2), UserError);
+}
+
+} // namespace
+} // namespace gsku

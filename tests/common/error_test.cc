@@ -1,0 +1,69 @@
+/** @file Error-handling contract: REQUIRE -> UserError, ASSERT -> bug. */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+
+namespace gsku {
+namespace {
+
+TEST(ErrorTest, RequireThrowsUserErrorWhenFalse)
+{
+    EXPECT_THROW(GSKU_REQUIRE(false, "bad input"), UserError);
+}
+
+TEST(ErrorTest, RequirePassesWhenTrue)
+{
+    EXPECT_NO_THROW(GSKU_REQUIRE(true, "never thrown"));
+}
+
+TEST(ErrorTest, AssertThrowsInternalErrorWhenFalse)
+{
+    EXPECT_THROW(GSKU_ASSERT(false, "invariant broken"), InternalError);
+}
+
+TEST(ErrorTest, AssertPassesWhenTrue)
+{
+    EXPECT_NO_THROW(GSKU_ASSERT(true, "never thrown"));
+}
+
+TEST(ErrorTest, MessageContainsTextAndLocation)
+{
+    try {
+        GSKU_REQUIRE(false, "specific message");
+        FAIL() << "should have thrown";
+    } catch (const UserError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("specific message"), std::string::npos);
+        EXPECT_NE(what.find("error_test.cc"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, UserErrorIsNotInternalError)
+{
+    try {
+        GSKU_REQUIRE(false, "user fault");
+        FAIL() << "should have thrown";
+    } catch (const InternalError &) {
+        FAIL() << "UserError must not be an InternalError";
+    } catch (const UserError &) {
+        SUCCEED();
+    }
+}
+
+TEST(ErrorTest, ConditionEvaluatedExactlyOnce)
+{
+    int calls = 0;
+    auto once = [&]() {
+        ++calls;
+        return true;
+    };
+    GSKU_REQUIRE(once(), "side effects");
+    EXPECT_EQ(calls, 1);
+    GSKU_ASSERT(once(), "side effects");
+    EXPECT_EQ(calls, 2);
+}
+
+} // namespace
+} // namespace gsku

@@ -1,0 +1,125 @@
+/** @file Determinism and distribution sanity of the xoshiro256++ RNG. */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace gsku {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a(), b());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        equal += a() == b() ? 1 : 0;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.uniform();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRejectsInverted)
+{
+    Rng rng(17);
+    EXPECT_THROW(rng.uniform(5.0, -3.0), UserError);
+}
+
+TEST(RngTest, UniformIntCoversRange)
+{
+    Rng rng(19);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t x = rng.uniformInt(7);
+        ASSERT_LT(x, 7u);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntRejectsZero)
+{
+    Rng rng(23);
+    EXPECT_THROW(rng.uniformInt(0), UserError);
+}
+
+TEST(RngTest, NormalMomentsMatch)
+{
+    Rng rng(29);
+    const int n = 200000;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sumsq += z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic)
+{
+    Rng parent1(31);
+    Rng parent2(31);
+    Rng child1 = parent1.fork();
+    Rng child2 = parent2.fork();
+    // Same parent seed -> same child stream.
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(child1(), child2());
+    }
+    // Child differs from parent continuation.
+    Rng child3 = parent1.fork();
+    EXPECT_NE(child1(), child3());
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(std::uniform_random_bit_generator<Rng>);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gsku

@@ -1,0 +1,110 @@
+/** @file Root finding and monotone search, including the §VII use shapes. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/solver.h"
+
+namespace gsku {
+namespace {
+
+TEST(BisectTest, FindsSimpleRoot)
+{
+    const auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(r->root, std::sqrt(2.0), 1e-7);
+    EXPECT_LE(std::abs(r->residual), 1e-9);
+}
+
+TEST(BisectTest, ExactEndpointRoots)
+{
+    const auto lo = bisect([](double x) { return x; }, 0.0, 1.0);
+    ASSERT_TRUE(lo.has_value());
+    EXPECT_DOUBLE_EQ(lo->root, 0.0);
+
+    const auto hi = bisect([](double x) { return x - 1.0; }, 0.0, 1.0);
+    ASSERT_TRUE(hi.has_value());
+    EXPECT_DOUBLE_EQ(hi->root, 1.0);
+}
+
+TEST(BisectTest, NoBracketReturnsNullopt)
+{
+    EXPECT_FALSE(
+        bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0).has_value());
+}
+
+TEST(BisectTest, DecreasingFunctionWorks)
+{
+    const auto r = bisect([](double x) { return 5.0 - x; }, 0.0, 10.0);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(r->root, 5.0, 1e-7);
+}
+
+TEST(BisectTest, LargeScaleFunctionNeedsXTolerance)
+{
+    // Emissions-sized residuals (1e7 kg) with domain in fractions: the
+    // regression that motivated separate x/f tolerances.
+    const double base = 8.8e7;
+    const auto r = bisect(
+        [&](double x) { return base * (0.08 - x); }, 0.0, 0.4,
+        /*f_tolerance=*/1.0, /*x_tolerance=*/1e-9);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(r->root, 0.08, 1e-6);
+}
+
+TEST(BisectTest, RejectsBadArguments)
+{
+    auto f = [](double x) { return x; };
+    EXPECT_THROW(bisect(f, 1.0, 0.0), UserError);
+    EXPECT_THROW(bisect(f, 0.0, 1.0, 0.0), UserError);
+    EXPECT_THROW(bisect(f, 0.0, 1.0, 1e-9, 0.0), UserError);
+}
+
+TEST(SmallestTrueTest, FindsThreshold)
+{
+    const auto n = smallestTrue([](long x) { return x >= 37; }, 0, 1000);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 37);
+}
+
+TEST(SmallestTrueTest, AllTrueGivesLo)
+{
+    const auto n = smallestTrue([](long) { return true; }, 5, 100);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 5);
+}
+
+TEST(SmallestTrueTest, NoneTrueGivesNullopt)
+{
+    EXPECT_FALSE(smallestTrue([](long) { return false; }, 0, 10).has_value());
+}
+
+TEST(SmallestTrueTest, SinglePointRange)
+{
+    const auto n = smallestTrue([](long x) { return x == 7; }, 7, 7);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 7);
+}
+
+TEST(SmallestTrueTest, EvaluationCountLogarithmic)
+{
+    int calls = 0;
+    const auto n = smallestTrue(
+        [&](long x) {
+            ++calls;
+            return x >= 123456;
+        },
+        0, 1000000);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 123456);
+    EXPECT_LE(calls, 25);
+}
+
+TEST(SmallestTrueTest, RejectsInvertedRange)
+{
+    EXPECT_THROW(smallestTrue([](long) { return true; }, 5, 4), UserError);
+}
+
+} // namespace
+} // namespace gsku

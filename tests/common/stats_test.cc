@@ -1,0 +1,143 @@
+/** @file Statistical accumulator tests, including percentile edge cases. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace gsku {
+namespace {
+
+TEST(OnlineStatsTest, MeanVarianceKnownValues)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(x);
+    }
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, SingleSampleHasZeroVariance)
+{
+    OnlineStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, EmptyQueriesThrow)
+{
+    OnlineStats s;
+    EXPECT_THROW(s.mean(), UserError);
+    EXPECT_THROW(s.min(), UserError);
+    EXPECT_THROW(s.max(), UserError);
+}
+
+TEST(PercentileTest, MedianOfOddSet)
+{
+    PercentileEstimator p;
+    p.addAll({5.0, 1.0, 3.0});
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 3.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks)
+{
+    PercentileEstimator p;
+    p.addAll({10.0, 20.0, 30.0, 40.0});
+    // Rank = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 25.0);
+    EXPECT_DOUBLE_EQ(p.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100.0), 40.0);
+}
+
+TEST(PercentileTest, MonotoneInP)
+{
+    PercentileEstimator p;
+    for (int i = 0; i < 100; ++i) {
+        p.add(static_cast<double>((i * 37) % 100));
+    }
+    double prev = p.percentile(0.0);
+    for (double q = 5.0; q <= 100.0; q += 5.0) {
+        const double cur = p.percentile(q);
+        ASSERT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(PercentileTest, AddAfterQueryReSorts)
+{
+    PercentileEstimator p;
+    p.add(1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 1.0);
+    p.add(0.0);
+    p.add(10.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100.0), 10.0);
+}
+
+TEST(PercentileTest, GuardsInvalidInput)
+{
+    PercentileEstimator p;
+    EXPECT_THROW(p.percentile(50.0), UserError);
+    p.add(1.0);
+    EXPECT_THROW(p.percentile(-1.0), UserError);
+    EXPECT_THROW(p.percentile(101.0), UserError);
+}
+
+TEST(EmpiricalCdfTest, AtAndQuantileAgree)
+{
+    EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(3.0), 0.6);
+    EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.6), 3.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 1.0);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotone)
+{
+    EmpiricalCdf cdf({3.0, 1.0, 2.0, 2.0});
+    const auto curve = cdf.curve();
+    ASSERT_EQ(curve.size(), 4u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        ASSERT_GE(curve[i].first, curve[i - 1].first);
+        ASSERT_GT(curve[i].second, curve[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, RejectsEmptyAndBadQuantile)
+{
+    EXPECT_THROW(EmpiricalCdf({}), UserError);
+    EmpiricalCdf cdf({1.0});
+    EXPECT_THROW(cdf.quantile(0.0), UserError);
+    EXPECT_THROW(cdf.quantile(1.5), UserError);
+}
+
+TEST(MovingAverageTest, WindowSlides)
+{
+    MovingAverage ma(3);
+    EXPECT_DOUBLE_EQ(ma.add(3.0), 3.0);
+    EXPECT_DOUBLE_EQ(ma.add(6.0), 4.5);
+    EXPECT_DOUBLE_EQ(ma.add(9.0), 6.0);
+    EXPECT_TRUE(ma.full());
+    // Window drops the 3.0.
+    EXPECT_DOUBLE_EQ(ma.add(12.0), 9.0);
+}
+
+TEST(MovingAverageTest, GuardsMisuse)
+{
+    EXPECT_THROW(MovingAverage(0), UserError);
+    MovingAverage ma(2);
+    EXPECT_THROW(ma.value(), UserError);
+}
+
+} // namespace
+} // namespace gsku

@@ -1,0 +1,72 @@
+/** @file Console table rendering contract. */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace gsku {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    Table t({"Name", "Value"}, {Align::Left, Align::Right});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| Name   |"), std::string::npos);
+    EXPECT_NE(out.find("| longer |    22 |"), std::string::npos);
+    EXPECT_NE(out.find("| a      |     1 |"), std::string::npos);
+}
+
+TEST(TableTest, HeaderRulepresent)
+{
+    Table t({"X"});
+    t.addRow({"y"});
+    EXPECT_NE(t.render().find("|---|"), std::string::npos);
+}
+
+TEST(TableTest, DefaultsToLeftAlignment)
+{
+    Table t({"A", "B"});
+    t.addRow({"x", "y"});
+    EXPECT_NE(t.render().find("| x | y |"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthValidated)
+{
+    Table t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only one"}), UserError);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), UserError);
+}
+
+TEST(TableTest, ConstructionValidated)
+{
+    EXPECT_THROW(Table({}), UserError);
+    EXPECT_THROW(Table({"A"}, {Align::Left, Align::Right}), UserError);
+}
+
+TEST(TableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, PercentFormatsRatios)
+{
+    EXPECT_EQ(Table::percent(0.28), "28%");
+    EXPECT_EQ(Table::percent(0.0756, 1), "7.6%");
+    EXPECT_EQ(Table::percent(-0.05), "-5%");
+}
+
+TEST(TableTest, RowCountTracks)
+{
+    Table t({"A"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"x"});
+    t.addRow({"y"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+} // namespace
+} // namespace gsku

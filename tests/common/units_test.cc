@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit-algebra tests: the typed quantities must behave like the physics
+ * they encode, since every carbon number in the library flows through
+ * these operators.
+ */
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace gsku {
+namespace {
+
+TEST(PowerTest, ConstructorsAgree)
+{
+    EXPECT_DOUBLE_EQ(Power::watts(1500.0).asKilowatts(), 1.5);
+    EXPECT_DOUBLE_EQ(Power::kilowatts(1.5).asWatts(), 1500.0);
+}
+
+TEST(PowerTest, ArithmeticWorks)
+{
+    const Power a = Power::watts(100.0);
+    const Power b = Power::watts(250.0);
+    EXPECT_DOUBLE_EQ((a + b).asWatts(), 350.0);
+    EXPECT_DOUBLE_EQ((b - a).asWatts(), 150.0);
+    EXPECT_DOUBLE_EQ((a * 3.0).asWatts(), 300.0);
+    EXPECT_DOUBLE_EQ((3.0 * a).asWatts(), 300.0);
+    EXPECT_DOUBLE_EQ((b / 2.0).asWatts(), 125.0);
+    EXPECT_DOUBLE_EQ(b / a, 2.5);
+}
+
+TEST(PowerTest, ComparisonsWork)
+{
+    EXPECT_LT(Power::watts(10.0), Power::watts(20.0));
+    EXPECT_GT(Power::watts(30.0), Power::watts(20.0));
+    EXPECT_EQ(Power::watts(20.0), Power::watts(20.0));
+}
+
+TEST(PowerTest, CompoundAssignmentWorks)
+{
+    Power p = Power::watts(10.0);
+    p += Power::watts(5.0);
+    EXPECT_DOUBLE_EQ(p.asWatts(), 15.0);
+    p -= Power::watts(3.0);
+    EXPECT_DOUBLE_EQ(p.asWatts(), 12.0);
+}
+
+TEST(DurationTest, YearIs8760Hours)
+{
+    EXPECT_DOUBLE_EQ(Duration::years(1.0).asHours(), 8760.0);
+    // The paper's 6-year lifetime is 52,560 hours (§V).
+    EXPECT_DOUBLE_EQ(Duration::years(6.0).asHours(), 52560.0);
+}
+
+TEST(DurationTest, DaysConvert)
+{
+    EXPECT_DOUBLE_EQ(Duration::days(2.0).asHours(), 48.0);
+    EXPECT_NEAR(Duration::days(365.0).asYears(), 1.0, 1e-12);
+}
+
+TEST(EnergyTest, PowerTimesDurationIsEnergy)
+{
+    const Energy e = Power::kilowatts(2.0) * Duration::hours(3.0);
+    EXPECT_DOUBLE_EQ(e.asKilowattHours(), 6.0);
+    // Commutes.
+    const Energy e2 = Duration::hours(3.0) * Power::kilowatts(2.0);
+    EXPECT_DOUBLE_EQ(e2.asKilowattHours(), 6.0);
+}
+
+TEST(EnergyTest, MegawattHoursConvert)
+{
+    EXPECT_DOUBLE_EQ(Energy::megawattHours(1.0).asKilowattHours(), 1000.0);
+}
+
+TEST(CarbonMassTest, EnergyTimesIntensityIsCarbon)
+{
+    const Energy e = Energy::kilowattHours(500.0);
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(0.1);
+    EXPECT_DOUBLE_EQ((e * ci).asKg(), 50.0);
+    EXPECT_DOUBLE_EQ((ci * e).asKg(), 50.0);
+}
+
+TEST(CarbonMassTest, TonnesConvert)
+{
+    EXPECT_DOUBLE_EQ(CarbonMass::tonnes(2.0).asKg(), 2000.0);
+    EXPECT_DOUBLE_EQ(CarbonMass::kg(1500.0).asTonnes(), 1.5);
+}
+
+TEST(CarbonMassTest, WorkedExampleOperationalChain)
+{
+    // §V: E_op,r = P_r * L * CI with P_r = 6953 W, 6 years, 0.1 kg/kWh.
+    const CarbonMass op = Power::watts(6953.0) * Duration::years(6.0) *
+                          CarbonIntensity::kgPerKwh(0.1);
+    EXPECT_NEAR(op.asKg(), 36547.0, 10.0);
+}
+
+TEST(CapacityTest, MemAndStorageConvert)
+{
+    EXPECT_DOUBLE_EQ(MemCapacity::gb(768.0).asGb(), 768.0);
+    EXPECT_DOUBLE_EQ(StorageCapacity::tb(20.0).asTb(), 20.0);
+    EXPECT_DOUBLE_EQ(StorageCapacity::gb(500.0).asTb(), 0.5);
+}
+
+TEST(QuantityTest, NegationAndRatio)
+{
+    EXPECT_DOUBLE_EQ((-CarbonMass::kg(5.0)).asKg(), -5.0);
+    EXPECT_DOUBLE_EQ(CarbonMass::kg(10.0) / CarbonMass::kg(4.0), 2.5);
+}
+
+} // namespace
+} // namespace gsku

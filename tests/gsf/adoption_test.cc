@@ -1,0 +1,120 @@
+/** @file Adoption component tests (§IV-C / §V): carbon-driven decisions. */
+#include <gtest/gtest.h>
+
+#include "gsf/adoption.h"
+#include "perf/cpu.h"
+
+namespace gsku::gsf {
+namespace {
+
+class AdoptionTest : public ::testing::Test
+{
+  protected:
+    perf::PerfModel perf_;
+    carbon::CarbonModel carbon_;
+    AdoptionModel model_{perf_, carbon_};
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+    carbon::ServerSku full_ = carbon::StandardSkus::greenFull();
+    CarbonIntensity ci_ = CarbonIntensity::kgPerKwh(0.1);
+};
+
+TEST_F(AdoptionTest, UnscaledAppsAdopt)
+{
+    // Redis needs no scaling and the GreenSKU's CO2e/core is lower.
+    const auto d = model_.decide(perf::AppCatalog::byName("Redis"),
+                                 carbon::Generation::Gen3, baseline_,
+                                 full_, ci_);
+    EXPECT_TRUE(d.adopt);
+    EXPECT_DOUBLE_EQ(d.scaling_factor, 1.0);
+}
+
+TEST_F(AdoptionTest, InfeasibleAppsNeverAdopt)
+{
+    // Silo's scaling factor is >1.5 on every generation (Table III).
+    for (auto gen : {carbon::Generation::Gen1, carbon::Generation::Gen2,
+                     carbon::Generation::Gen3}) {
+        EXPECT_FALSE(model_.decide(perf::AppCatalog::byName("Silo"), gen,
+                                   baseline_, full_, ci_)
+                         .adopt);
+    }
+}
+
+TEST_F(AdoptionTest, HighScalingOffsetsCarbonSavings)
+{
+    // §VI: apps needing 1.5x scaling offset GreenSKU savings at the
+    // average CI (1.5 x green per-core exceeds baseline per-core).
+    const auto d = model_.decide(perf::AppCatalog::byName("Xapian"),
+                                 carbon::Generation::Gen3, baseline_,
+                                 full_, ci_);
+    EXPECT_FALSE(d.adopt);
+}
+
+TEST_F(AdoptionTest, SameAppAdoptsForOlderGenerations)
+{
+    // Xapian vs Gen1/Gen2 needs no scaling -> adopts.
+    for (auto gen :
+         {carbon::Generation::Gen1, carbon::Generation::Gen2}) {
+        EXPECT_TRUE(model_.decide(perf::AppCatalog::byName("Xapian"), gen,
+                                  baseline_, full_, ci_)
+                        .adopt);
+    }
+}
+
+TEST_F(AdoptionTest, LowIntensityFavorsAdoption)
+{
+    // At CI -> 0 only embodied matters; the GreenSKU-Full advantage is
+    // largest, so adoption cannot shrink.
+    const auto low = model_.buildTable(baseline_, full_,
+                                       CarbonIntensity::kgPerKwh(0.0));
+    const auto high = model_.buildTable(baseline_, full_,
+                                        CarbonIntensity::kgPerKwh(0.6));
+    EXPECT_GE(low.adoptionRate(), high.adoptionRate());
+    EXPECT_GT(low.adoptionRate(), 0.8);
+}
+
+TEST_F(AdoptionTest, TableConsistentWithDecide)
+{
+    const auto table = model_.buildTable(baseline_, full_, ci_);
+    const auto &apps = perf::AppCatalog::all();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        for (auto gen : {carbon::Generation::Gen1,
+                         carbon::Generation::Gen2,
+                         carbon::Generation::Gen3}) {
+            const auto expected =
+                model_.decide(apps[i], gen, baseline_, full_, ci_);
+            const auto got = table.get(i, gen);
+            ASSERT_EQ(got.adopt, expected.adopt) << apps[i].name;
+            if (expected.adopt) {
+                ASSERT_DOUBLE_EQ(got.scaling_factor,
+                                 expected.scaling_factor)
+                    << apps[i].name;
+            }
+        }
+    }
+}
+
+TEST_F(AdoptionTest, CoreHourShareWeightsByFleet)
+{
+    const double gen1 = model_.adoptedCoreHourShare(
+        baseline_, full_, carbon::Generation::Gen1, ci_);
+    const double gen3 = model_.adoptedCoreHourShare(
+        baseline_, full_, carbon::Generation::Gen3, ci_);
+    // Vs Gen1 everything but Silo adopts (91% of the 99% accounted).
+    EXPECT_NEAR(gen1, 0.91, 0.02);
+    // Vs Gen3 the 1.5x/!feasible apps drop out.
+    EXPECT_LT(gen3, gen1);
+    EXPECT_GT(gen3, 0.4);
+}
+
+TEST_F(AdoptionTest, EfficientSkuAdoptsLessThanFullAtModerateCi)
+{
+    // GreenSKU-Efficient's smaller per-core savings cannot pay for
+    // 1.25x scaling with open data, so its adoption is narrower.
+    const auto eff = model_.buildTable(
+        baseline_, carbon::StandardSkus::greenEfficient(), ci_);
+    const auto full = model_.buildTable(baseline_, full_, ci_);
+    EXPECT_LT(eff.adoptionRate(), full.adoptionRate());
+}
+
+} // namespace
+} // namespace gsku::gsf

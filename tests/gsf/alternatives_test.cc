@@ -1,0 +1,90 @@
+/** @file §VII-B alternative-strategy solvers. */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gsf/alternatives.h"
+
+namespace gsku::gsf {
+namespace {
+
+class AlternativesTest : public ::testing::Test
+{
+  protected:
+    AlternativesAnalysis analysis_{carbon::ModelParams{},
+                                   carbon::FleetComposition{}};
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+};
+
+TEST_F(AlternativesTest, LifetimeExtensionMatchesPaper)
+{
+    // §VII-B: matching GreenSKU-Full's per-core savings (26% open /
+    // 28% internal) requires extending lifetime from 6 to ~13 years.
+    const double years = analysis_.requiredLifetimeYears(baseline_, 0.26);
+    EXPECT_NEAR(years, 13.0, 1.5);
+}
+
+TEST_F(AlternativesTest, LifetimeGrowsSuperlinearlyWithTarget)
+{
+    const double y1 = analysis_.requiredLifetimeYears(baseline_, 0.10);
+    const double y2 = analysis_.requiredLifetimeYears(baseline_, 0.20);
+    const double y3 = analysis_.requiredLifetimeYears(baseline_, 0.30);
+    EXPECT_LT(y1, y2);
+    EXPECT_LT(y2, y3);
+    EXPECT_GT(y3 - y2, y2 - y1);
+}
+
+TEST_F(AlternativesTest, LifetimeInfeasibleBeyondEmbodiedShare)
+{
+    // Even infinite lifetime cannot remove operational emissions.
+    EXPECT_THROW(analysis_.requiredLifetimeYears(baseline_, 0.9),
+                 UserError);
+}
+
+TEST_F(AlternativesTest, EfficiencyGainNearPaper28Percent)
+{
+    // §VII-B: ~28% more efficient compute components match the DC-wide
+    // savings (~8%).
+    const double gain = analysis_.requiredEfficiencyGain(0.08);
+    EXPECT_NEAR(gain, 0.28, 0.06);
+}
+
+TEST_F(AlternativesTest, EfficiencyGainMonotoneInTarget)
+{
+    EXPECT_LT(analysis_.requiredEfficiencyGain(0.04),
+              analysis_.requiredEfficiencyGain(0.08));
+}
+
+TEST_F(AlternativesTest, RenewableIncreaseSolvesTarget)
+{
+    // Our honest solve lands at ~6-7 pp for the 8% DC-wide savings; the
+    // paper reports 2.6 pp with internal data (see EXPERIMENTS.md).
+    const double delta = analysis_.requiredRenewableIncrease(0.08);
+    EXPECT_GT(delta, 0.02);
+    EXPECT_LT(delta, 0.12);
+
+    // Verify the root actually achieves the target.
+    carbon::FleetComposition fleet;
+    const carbon::DataCenterModel dc{carbon::ModelParams{}};
+    const double base = dc.breakdown(fleet).total().asKg();
+    fleet.renewable_fraction += delta;
+    const double shifted = dc.breakdown(fleet).total().asKg();
+    EXPECT_NEAR(1.0 - shifted / base, 0.08, 0.002);
+}
+
+TEST_F(AlternativesTest, RenewableIncreaseMonotone)
+{
+    EXPECT_LT(analysis_.requiredRenewableIncrease(0.03),
+              analysis_.requiredRenewableIncrease(0.08));
+}
+
+TEST_F(AlternativesTest, TargetsValidated)
+{
+    EXPECT_THROW(analysis_.requiredRenewableIncrease(0.0), UserError);
+    EXPECT_THROW(analysis_.requiredRenewableIncrease(1.0), UserError);
+    EXPECT_THROW(analysis_.requiredEfficiencyGain(-0.1), UserError);
+    EXPECT_THROW(analysis_.requiredLifetimeYears(baseline_, 0.0),
+                 UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,106 @@
+/** @file Design-space explorer tests (§VIII search loop). */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gsf/design_space.h"
+
+namespace gsku::gsf {
+namespace {
+
+class DesignSpaceTest : public ::testing::Test
+{
+  protected:
+    carbon::CarbonModel model_;
+    DesignSpaceExplorer explorer_{model_};
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+};
+
+TEST_F(DesignSpaceTest, GreenSkuFullIsABuildableCandidate)
+{
+    const auto sku = explorer_.buildCandidate(12, 8, 2, 12);
+    ASSERT_TRUE(sku.has_value());
+    // Carbon-identical to the factory GreenSKU-Full.
+    EXPECT_NEAR(
+        model_.perCore(*sku).total().asKg(),
+        model_.perCore(carbon::StandardSkus::greenFull()).total().asKg(),
+        1e-9);
+}
+
+TEST_F(DesignSpaceTest, ConstraintsRejectBadCandidates)
+{
+    // Too little memory (6 x 64 = 3 GB/core).
+    EXPECT_FALSE(explorer_.buildCandidate(6, 0, 4, 0).has_value());
+    // Too much memory (16 x 64 + 16 x 32 = 12 GB/core).
+    EXPECT_FALSE(explorer_.buildCandidate(16, 16, 4, 0).has_value());
+    // CXL share above the bound (8x64 + 16x32 -> 50%).
+    EXPECT_FALSE(explorer_.buildCandidate(8, 16, 4, 0).has_value());
+    // Too little storage.
+    EXPECT_FALSE(explorer_.buildCandidate(14, 0, 1, 2).has_value());
+    // Too many SSD units.
+    EXPECT_FALSE(explorer_.buildCandidate(14, 0, 6, 14).has_value());
+}
+
+TEST_F(DesignSpaceTest, ExploreSortsBySavings)
+{
+    long considered = 0;
+    const auto designs = explorer_.explore(baseline_, {}, &considered);
+    ASSERT_GT(designs.size(), 100u);
+    EXPECT_GT(considered, static_cast<long>(designs.size()));
+    for (std::size_t i = 1; i < designs.size(); ++i) {
+        ASSERT_GE(designs[i - 1].savings.total_savings,
+                  designs[i].savings.total_savings);
+    }
+}
+
+TEST_F(DesignSpaceTest, EveryDesignSatisfiesConstraints)
+{
+    const DesignConstraints c;
+    for (const auto &d : explorer_.explore(baseline_)) {
+        ASSERT_GE(d.sku.memoryPerCore(), c.min_mem_per_core);
+        ASSERT_LE(d.sku.memoryPerCore(), c.max_mem_per_core);
+        ASSERT_LE(d.sku.cxlMemoryFraction(), c.max_cxl_fraction);
+        ASSERT_GE(d.sku.storage.asTb(), c.min_storage_tb);
+    }
+}
+
+TEST_F(DesignSpaceTest, PaperSkuRanksNearTheTop)
+{
+    // §VIII: the paper's GreenSKU-Full "may not be the optimal
+    // configuration" — it should rank well but not first in the wider
+    // space.
+    const auto designs = explorer_.explore(baseline_);
+    const auto full_savings = model_.savingsVs(
+        baseline_, carbon::StandardSkus::greenFull());
+    const std::size_t rank =
+        DesignSpaceExplorer::rankOf(designs, full_savings);
+    EXPECT_GT(rank, 1u);
+    EXPECT_LT(rank, designs.size() / 2);
+}
+
+TEST_F(DesignSpaceTest, TighterConstraintsShrinkTheSpace)
+{
+    DesignConstraints strict;
+    strict.max_cxl_fraction = 0.0;      // No CXL memory allowed.
+    const DesignSpaceExplorer no_cxl(model_, strict);
+    const auto all = explorer_.explore(baseline_);
+    const auto restricted = no_cxl.explore(baseline_);
+    EXPECT_LT(restricted.size(), all.size());
+    for (const auto &d : restricted) {
+        ASSERT_DOUBLE_EQ(d.sku.cxlMemoryFraction(), 0.0);
+    }
+}
+
+TEST_F(DesignSpaceTest, Validation)
+{
+    DesignConstraints bad;
+    bad.min_mem_per_core = 10.0;
+    bad.max_mem_per_core = 7.0;
+    EXPECT_THROW(DesignSpaceExplorer(model_, bad), UserError);
+    EXPECT_THROW(explorer_.buildCandidate(-1, 0, 1, 0), UserError);
+    DesignRange empty;
+    empty.ddr5_dimms.clear();
+    EXPECT_THROW(explorer_.explore(baseline_, empty), UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

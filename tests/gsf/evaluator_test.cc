@@ -1,0 +1,154 @@
+/** @file End-to-end GSF evaluation: Figs. 11/12 qualitative invariants. */
+#include <gtest/gtest.h>
+
+#include "cluster/trace_gen.h"
+
+#include "common/error.h"
+#include "gsf/evaluator.h"
+
+namespace gsku::gsf {
+namespace {
+
+class EvaluatorTest : public ::testing::Test
+{
+  protected:
+    EvaluatorTest()
+    {
+        cluster::TraceGenParams p;
+        p.target_concurrent_vms = 150.0;
+        p.duration_h = 24.0 * 7.0;
+        trace_ = cluster::TraceGenerator(p).generate(33);
+    }
+
+    cluster::VmTrace trace_;
+    GsfEvaluator evaluator_{GsfEvaluator::Options{}};
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+};
+
+TEST_F(EvaluatorTest, FullSavesAtAverageIntensity)
+{
+    const auto eval = evaluator_.evaluateCluster(
+        trace_, baseline_, carbon::StandardSkus::greenFull(),
+        CarbonIntensity::kgPerKwh(0.1));
+    EXPECT_GT(eval.savings, 0.04);
+    EXPECT_LT(eval.savings, 0.26);   // Bounded by per-core savings.
+    EXPECT_LT(eval.mixed_scenario_emissions.asKg(),
+              eval.baseline_scenario_emissions.asKg());
+}
+
+TEST_F(EvaluatorTest, ReuseWinsAtLowIntensity)
+{
+    // Fig. 11/12: at low CI, embodied dominates; Full > CXL > Efficient.
+    const CarbonIntensity low = CarbonIntensity::kgPerKwh(0.0);
+    const double full =
+        evaluator_
+            .evaluateCluster(trace_, baseline_,
+                             carbon::StandardSkus::greenFull(), low)
+            .savings;
+    const double cxl =
+        evaluator_
+            .evaluateCluster(trace_, baseline_,
+                             carbon::StandardSkus::greenCxl(), low)
+            .savings;
+    const double eff =
+        evaluator_
+            .evaluateCluster(trace_, baseline_,
+                             carbon::StandardSkus::greenEfficient(), low)
+            .savings;
+    EXPECT_GT(full, cxl);
+    EXPECT_GT(cxl, eff);
+    EXPECT_GT(full, 0.12);
+}
+
+TEST_F(EvaluatorTest, SavingsDeclineWithIntensityForReuseSkus)
+{
+    // Reuse SKUs save embodied carbon, so their advantage shrinks as
+    // operational emissions grow.
+    const auto green = carbon::StandardSkus::greenFull();
+    double prev = 1.0;
+    for (double ci : {0.0, 0.1, 0.3, 0.6}) {
+        const double s =
+            evaluator_
+                .evaluateCluster(trace_, baseline_, green,
+                                 CarbonIntensity::kgPerKwh(ci))
+                .savings;
+        EXPECT_LT(s, prev);
+        prev = s;
+    }
+}
+
+TEST_F(EvaluatorTest, BuffersScaleWithClusterCapacity)
+{
+    const auto eval = evaluator_.evaluateCluster(
+        trace_, baseline_, carbon::StandardSkus::greenFull(),
+        CarbonIntensity::kgPerKwh(0.1));
+    EXPECT_GT(eval.baseline_scenario_buffer, 0);
+    EXPECT_GT(eval.mixed_scenario_buffer, 0);
+}
+
+TEST_F(EvaluatorTest, DeploymentEmissionsIncludeOosOverhead)
+{
+    GsfEvaluator::Options no_failures;
+    no_failures.afr_params.other_afr = 1e-9;
+    no_failures.afr_params.dimm_afr = 0.0;
+    no_failures.afr_params.ssd_afr = 0.0;
+    const GsfEvaluator healthy(no_failures);
+
+    const auto sku = carbon::StandardSkus::baseline();
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(0.1);
+    EXPECT_GT(evaluator_.deploymentEmissions(sku, 10, ci).asKg(),
+              healthy.deploymentEmissions(sku, 10, ci).asKg());
+}
+
+TEST_F(EvaluatorTest, SweepCachesAcrossIntensities)
+{
+    // A fine CI grid must not blow up runtime: sizing is cached per
+    // adoption signature. 12 points over one trace finishes quickly.
+    std::vector<double> grid;
+    for (int i = 0; i <= 11; ++i) {
+        grid.push_back(0.05 * i);
+    }
+    const auto sweep =
+        evaluator_.sweep({trace_}, baseline_,
+                         carbon::StandardSkus::greenFull(), grid);
+    ASSERT_EQ(sweep.mean_savings.size(), grid.size());
+    // Monotone non-increasing in CI for the reuse-heavy SKU.
+    for (std::size_t i = 1; i < sweep.mean_savings.size(); ++i) {
+        EXPECT_LE(sweep.mean_savings[i], sweep.mean_savings[i - 1] + 1e-9);
+    }
+    EXPECT_GT(GsfEvaluator::meanSavings(sweep), 0.0);
+}
+
+TEST_F(EvaluatorTest, SweepValidatesInputs)
+{
+    EXPECT_THROW(evaluator_.sweep({}, baseline_,
+                                  carbon::StandardSkus::greenFull(),
+                                  {0.1}),
+                 UserError);
+    EXPECT_THROW(evaluator_.sweep({trace_}, baseline_,
+                                  carbon::StandardSkus::greenFull(), {}),
+                 UserError);
+}
+
+TEST_F(EvaluatorTest, OptionsValidated)
+{
+    GsfEvaluator::Options bad;
+    bad.buffer.buffer_fraction = 1.0;
+    EXPECT_THROW(GsfEvaluator{bad}, UserError);
+}
+
+TEST_F(EvaluatorTest, DcLevelSavingsFromClusterSavings)
+{
+    // The §VI chain: cluster savings -> DC savings via compute share.
+    const auto eval = evaluator_.evaluateCluster(
+        trace_, baseline_, carbon::StandardSkus::greenFull(),
+        CarbonIntensity::kgPerKwh(0.1));
+    const carbon::DataCenterModel dc;
+    const double dc_savings =
+        dc.dcSavings(carbon::FleetComposition{}, eval.savings);
+    EXPECT_GT(dc_savings, 0.0);
+    EXPECT_LT(dc_savings, eval.savings);
+}
+
+} // namespace
+} // namespace gsku::gsf

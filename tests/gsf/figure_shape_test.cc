@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure-level integration tests: run the Figs. 9/10 pipelines on a
+ * small trace family and assert the *shape claims* the paper draws from
+ * those figures. These are the automated versions of the bench
+ * binaries' "paper anchor" footnotes.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/trace_gen.h"
+#include "common/stats.h"
+#include "gsf/adoption.h"
+#include "gsf/sizing.h"
+
+namespace gsku::gsf {
+namespace {
+
+class FigureShapeTest : public ::testing::Test
+{
+  protected:
+    FigureShapeTest()
+    {
+        cluster::TraceGenParams params;
+        params.target_concurrent_vms = 200.0;
+        params.duration_h = 24.0 * 10.0;
+        traces_ = cluster::TraceGenerator(params).generateFamily(8, 2024);
+    }
+
+    std::vector<cluster::VmTrace> traces_;
+    carbon::CarbonModel carbon_;
+    perf::PerfModel perf_;
+    AdoptionModel adoption_{perf_, carbon_};
+    ClusterSizer sizer_;
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+};
+
+TEST_F(FigureShapeTest, Fig9PackingTradeoff)
+{
+    // Fig. 9's claim: GreenSKU-Full trades better memory packing for
+    // worse core packing (memory:core 8 vs 9.6), on average across
+    // traces.
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const auto table = adoption_.buildTable(baseline_, green,
+                                            CarbonIntensity::kgPerKwh(0.1));
+    OnlineStats base_core;
+    OnlineStats base_mem;
+    OnlineStats green_core;
+    OnlineStats green_mem;
+    for (const auto &trace : traces_) {
+        const SizingResult r = sizer_.size(trace, baseline_, green, table);
+        base_core.add(r.baseline_only_replay.baseline.mean_core_packing);
+        base_mem.add(r.baseline_only_replay.baseline.mean_mem_packing);
+        green_core.add(r.mixed_replay.green.mean_core_packing);
+        green_mem.add(r.mixed_replay.green.mean_mem_packing);
+    }
+    EXPECT_LT(green_core.mean(), base_core.mean());
+    EXPECT_GT(green_mem.mean(), base_mem.mean());
+    // Both clusters pack cores far better than memory (§II
+    // underutilization of memory capacity at the 9.6 ratio).
+    EXPECT_GT(base_core.mean(), base_mem.mean());
+}
+
+TEST_F(FigureShapeTest, Fig10MemoryDemandFitsLocalDdr5)
+{
+    // Fig. 10's claim: almost all servers can serve their VMs' touched
+    // memory from local DDR5; at most a small minority of traces dip
+    // into the 25% CXL-backed region.
+    const carbon::ServerSku green = carbon::StandardSkus::greenCxl();
+    const double local_fraction = 1.0 - green.cxlMemoryFraction();
+    const auto table = adoption_.buildTable(baseline_, green,
+                                            CarbonIntensity::kgPerKwh(0.1));
+    int need_cxl = 0;
+    OnlineStats util;
+    for (const auto &trace : traces_) {
+        const SizingResult r = sizer_.size(trace, baseline_, green, table);
+        const double u =
+            r.mixed_replay.green.mean_max_mem_utilization;
+        util.add(u);
+        need_cxl += u > local_fraction ? 1 : 0;
+    }
+    EXPECT_LT(util.mean(), 0.6);            // "below 60%" anchor.
+    EXPECT_LE(need_cxl, 1);                 // "~3% of traces" anchor.
+}
+
+TEST_F(FigureShapeTest, MixedClustersAlwaysShrinkTheFleet)
+{
+    // Across every trace, the mixed cluster must use fewer baselines
+    // than the all-baseline cluster, and its total core capacity must
+    // stay within the 1.5x scaling envelope.
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const auto table = adoption_.buildTable(baseline_, green,
+                                            CarbonIntensity::kgPerKwh(0.1));
+    for (const auto &trace : traces_) {
+        const SizingResult r = sizer_.size(trace, baseline_, green, table);
+        EXPECT_LT(r.mixed_baselines, r.baseline_only_servers)
+            << trace.name;
+        const int mixed_cores = r.mixed_baselines * baseline_.cores +
+                                r.mixed_greens * green.cores;
+        const int base_cores =
+            r.baseline_only_servers * baseline_.cores;
+        EXPECT_LT(mixed_cores, base_cores * 3 / 2) << trace.name;
+    }
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Golden regression tests: pin the exact end-to-end numbers of the
+ * calibrated pipeline on fixed seeds. A change to any model, catalog
+ * value, or the RNG stream that moves a headline result shows up here
+ * first — re-golden deliberately, never accidentally.
+ */
+#include <gtest/gtest.h>
+
+#include "carbon/model.h"
+#include "cluster/trace_gen.h"
+#include "gsf/evaluator.h"
+
+namespace gsku::gsf {
+namespace {
+
+TEST(GoldenTest, PerCoreEmissionsOfStandardSkus)
+{
+    const carbon::CarbonModel model;
+    const auto pc = [&](const carbon::ServerSku &sku) {
+        return model.perCore(sku).total().asKg();
+    };
+    // kgCO2e per core, lifetime, at CI = 0.1 (tolerance 0.05 kg).
+    EXPECT_NEAR(pc(carbon::StandardSkus::baseline()), 55.07, 0.05);
+    EXPECT_NEAR(pc(carbon::StandardSkus::baselineResized()), 50.72, 0.05);
+    EXPECT_NEAR(pc(carbon::StandardSkus::greenEfficient()), 46.56, 0.05);
+    EXPECT_NEAR(pc(carbon::StandardSkus::greenCxl()), 41.68, 0.05);
+    EXPECT_NEAR(pc(carbon::StandardSkus::greenFull()), 40.73, 0.05);
+}
+
+TEST(GoldenTest, TraceGenerationPinned)
+{
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 200.0;
+    params.duration_h = 24.0 * 7.0;
+    const cluster::VmTrace trace =
+        cluster::TraceGenerator(params).generate(12345);
+    // Pin structure, not just size: any change to the RNG stream or
+    // sampling order shifts these.
+    EXPECT_EQ(trace.vms.size(), 961u);
+    EXPECT_EQ(trace.peakConcurrentCores(), 1504);
+    EXPECT_EQ(trace.vms.front().cores, 4);
+    EXPECT_NEAR(trace.vms.front().arrival_h, 0.3024, 1e-3);
+}
+
+TEST(GoldenTest, EndToEndClusterEvaluationPinned)
+{
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 200.0;
+    params.duration_h = 24.0 * 7.0;
+    const cluster::VmTrace trace =
+        cluster::TraceGenerator(params).generate(12345);
+
+    const GsfEvaluator evaluator{GsfEvaluator::Options{}};
+    const auto eval = evaluator.evaluateCluster(
+        trace, carbon::StandardSkus::baseline(),
+        carbon::StandardSkus::greenFull(),
+        CarbonIntensity::kgPerKwh(0.1));
+
+    // Re-golden when a model change is *intended* to move these.
+    EXPECT_EQ(eval.sizing.baseline_only_servers, 20);
+    EXPECT_EQ(eval.sizing.mixed_baselines, 5);
+    EXPECT_EQ(eval.sizing.mixed_greens, 10);
+    EXPECT_NEAR(eval.savings, 0.144, 0.005);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,123 @@
+/** @file Heterogeneous-compute extension tests (§VIII). */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gsf/hetero.h"
+
+namespace gsku::gsf {
+namespace {
+
+class HeteroTest : public ::testing::Test
+{
+  protected:
+    perf::PerfModel perf_;
+    carbon::CarbonModel carbon_;
+    HeteroAdoptionModel model_{perf_, carbon_};
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+    carbon::ServerSku green_ = carbon::StandardSkus::greenFull();
+    CarbonIntensity ci_ = CarbonIntensity::kgPerKwh(0.1);
+    perf::AppProfile img_dnn_ = perf::AppCatalog::byName("Img-DNN");
+};
+
+TEST_F(HeteroTest, AcceleratorCarbonSumsEmbodiedAndOperational)
+{
+    const AcceleratorSpec fresh = AcceleratorSpec::newInferenceCard();
+    const CarbonMass total = model_.acceleratorCarbon(fresh, ci_);
+    EXPECT_GT(total.asKg(), fresh.embodied.asKg());
+    // At CI = 0 only embodied remains.
+    EXPECT_DOUBLE_EQ(
+        model_.acceleratorCarbon(fresh, CarbonIntensity::kgPerKwh(0.0))
+            .asKg(),
+        fresh.embodied.asKg());
+    // Reused cards have zero embodied carbon.
+    EXPECT_DOUBLE_EQ(
+        model_
+            .acceleratorCarbon(AcceleratorSpec::reusedInferenceCard(),
+                               CarbonIntensity::kgPerKwh(0.0))
+            .asKg(),
+        0.0);
+}
+
+TEST_F(HeteroTest, AllOptionsReported)
+{
+    const HeteroDecision d = model_.decide(
+        img_dnn_, carbon::Generation::Gen3, baseline_, green_,
+        {AcceleratorSpec::newInferenceCard(),
+         AcceleratorSpec::reusedInferenceCard()},
+        ci_);
+    ASSERT_EQ(d.options.size(), 4u);
+    EXPECT_EQ(d.options[0].label, "baseline CPU");
+    EXPECT_TRUE(d.options[0].feasible);
+    EXPECT_TRUE(d.options[1].feasible);    // Img-DNN scales at 1.
+}
+
+TEST_F(HeteroTest, OffloadToReusedCardWinsForInference)
+{
+    // §VIII's candidate: accelerator reuse for less compute-intensive
+    // ML models beats burning 8+ CPU cores.
+    const HeteroDecision d = model_.decide(
+        img_dnn_, carbon::Generation::Gen3, baseline_, green_,
+        {AcceleratorSpec::reusedInferenceCard()}, ci_);
+    EXPECT_TRUE(d.offloads());
+    EXPECT_LT(d.chosen().carbon.asKg(), d.options[0].carbon.asKg());
+    EXPECT_LT(d.chosen().carbon.asKg(), d.options[1].carbon.asKg());
+}
+
+TEST_F(HeteroTest, ReusedCardBeatsNewCardAtLowIntensity)
+{
+    const HeteroDecision d = model_.decide(
+        img_dnn_, carbon::Generation::Gen3, baseline_, green_,
+        {AcceleratorSpec::newInferenceCard(),
+         AcceleratorSpec::reusedInferenceCard()},
+        CarbonIntensity::kgPerKwh(0.0));
+    EXPECT_TRUE(d.offloads());
+    EXPECT_NE(d.chosen().label.find("reused"), std::string::npos);
+}
+
+TEST_F(HeteroTest, NewCardWinsAtVeryHighIntensity)
+{
+    // The reused card's worse perf/W flips the choice when power is
+    // dirty enough — the same D1 tradeoff, now for accelerators.
+    const HeteroDecision d = model_.decide(
+        img_dnn_, carbon::Generation::Gen3, baseline_, green_,
+        {AcceleratorSpec::newInferenceCard(),
+         AcceleratorSpec::reusedInferenceCard()},
+        CarbonIntensity::kgPerKwh(1.5));
+    if (d.offloads()) {
+        EXPECT_NE(d.chosen().label.find("new"), std::string::npos);
+    }
+}
+
+TEST_F(HeteroTest, AcceleratorCountCoversResidualDemand)
+{
+    const HeteroDecision d = model_.decide(
+        img_dnn_, carbon::Generation::Gen3, baseline_, green_,
+        {AcceleratorSpec::reusedInferenceCard()}, ci_, /*host_cores=*/2.0);
+    const HeteroOption &accel = d.options[2];
+    // Demand is 8 Genoa-core units; host covers 2 Bergamo cores worth.
+    const double host = 2.0 * perf_.perCorePerf(
+                                  img_dnn_, perf::CpuCatalog::bergamo());
+    const double residual = 8.0 - host;
+    EXPECT_EQ(accel.accelerators,
+              static_cast<int>(std::ceil(residual / 8.0)));
+}
+
+TEST_F(HeteroTest, BigHostSliceNeedsNoAccelerators)
+{
+    const HeteroDecision d = model_.decide(
+        img_dnn_, carbon::Generation::Gen3, baseline_, green_,
+        {AcceleratorSpec::reusedInferenceCard()}, ci_,
+        /*host_cores=*/16.0);
+    EXPECT_EQ(d.options[2].accelerators, 0);
+}
+
+TEST_F(HeteroTest, NonInferenceAppsRejected)
+{
+    EXPECT_THROW(model_.decide(perf::AppCatalog::byName("Redis"),
+                               carbon::Generation::Gen3, baseline_,
+                               green_, {}, ci_),
+                 UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * End-to-end integration tests: the full GSF pipeline (Fig. 6) wired
+ * exactly as the benches run it, checking cross-component consistency
+ * rather than any single model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "carbon/datacenter.h"
+#include "cluster/demand.h"
+#include "cluster/trace_gen.h"
+#include "gsf/evaluator.h"
+#include "gsf/tiering.h"
+#include "perf/cpu.h"
+
+namespace gsku::gsf {
+namespace {
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    IntegrationTest()
+    {
+        cluster::TraceGenParams p;
+        p.target_concurrent_vms = 180.0;
+        p.duration_h = 24.0 * 7.0;
+        trace_ = cluster::TraceGenerator(p).generate(55);
+    }
+
+    cluster::VmTrace trace_;
+    GsfEvaluator evaluator_{GsfEvaluator::Options{}};
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+    carbon::ServerSku full_ = carbon::StandardSkus::greenFull();
+    CarbonIntensity ci_ = CarbonIntensity::kgPerKwh(0.1);
+};
+
+TEST_F(IntegrationTest, PipelineIsFullyDeterministic)
+{
+    const auto a = evaluator_.evaluateCluster(trace_, baseline_, full_,
+                                              ci_);
+    const auto b = evaluator_.evaluateCluster(trace_, baseline_, full_,
+                                              ci_);
+    EXPECT_DOUBLE_EQ(a.savings, b.savings);
+    EXPECT_EQ(a.sizing.mixed_greens, b.sizing.mixed_greens);
+    EXPECT_EQ(a.sizing.mixed_baselines, b.sizing.mixed_baselines);
+}
+
+TEST_F(IntegrationTest, SavingsMatchManualRecomputation)
+{
+    // Recompute the evaluator's savings by hand from its own outputs:
+    // the published pieces must reproduce the published total.
+    const auto eval =
+        evaluator_.evaluateCluster(trace_, baseline_, full_, ci_);
+
+    const CarbonMass base = evaluator_.deploymentEmissions(
+        baseline_,
+        eval.sizing.baseline_only_servers + eval.baseline_scenario_buffer,
+        ci_);
+    const CarbonMass mixed =
+        evaluator_.deploymentEmissions(
+            baseline_,
+            eval.sizing.mixed_baselines + eval.mixed_scenario_buffer,
+            ci_) +
+        evaluator_.deploymentEmissions(full_, eval.sizing.mixed_greens,
+                                       ci_);
+    EXPECT_NEAR(eval.savings, 1.0 - mixed / base, 1e-12);
+    EXPECT_DOUBLE_EQ(eval.baseline_scenario_emissions.asKg(), base.asKg());
+    EXPECT_DOUBLE_EQ(eval.mixed_scenario_emissions.asKg(), mixed.asKg());
+}
+
+TEST_F(IntegrationTest, AdoptionTableReflectsScalingFactors)
+{
+    // Cross-check adoption against the perf model's Table III: apps
+    // with infeasible scaling never adopt; apps at factor 1 vs Gen1
+    // always adopt at CI=0.1 under GreenSKU-Full.
+    const auto table =
+        evaluator_.adoptionModel().buildTable(baseline_, full_, ci_);
+    const auto &apps = perf::AppCatalog::all();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto sf = evaluator_.perfModel().scalingFactor(
+            apps[i], perf::CpuCatalog::rome());
+        const auto decision = table.get(i, carbon::Generation::Gen1);
+        if (!sf.feasible) {
+            EXPECT_FALSE(decision.adopt) << apps[i].name;
+        } else if (sf.factor == 1.0) {
+            EXPECT_TRUE(decision.adopt) << apps[i].name;
+            EXPECT_DOUBLE_EQ(decision.scaling_factor, 1.0)
+                << apps[i].name;
+        }
+    }
+}
+
+TEST_F(IntegrationTest, MixedClusterCapacityCoversScaledDemand)
+{
+    const auto eval =
+        evaluator_.evaluateCluster(trace_, baseline_, full_, ci_);
+    const int mixed_cores =
+        eval.sizing.mixed_baselines * baseline_.cores +
+        eval.sizing.mixed_greens * full_.cores;
+    // Capacity at least the unscaled peak demand...
+    EXPECT_GE(mixed_cores, trace_.peakConcurrentCores());
+    // ...and not absurdly above the 1.5x worst-case scaling envelope.
+    EXPECT_LE(mixed_cores,
+              static_cast<int>(trace_.peakConcurrentCores() * 1.5) +
+                  2 * full_.cores + 2 * baseline_.cores);
+}
+
+TEST_F(IntegrationTest, ClusterToDcChainIsConsistent)
+{
+    const auto eval =
+        evaluator_.evaluateCluster(trace_, baseline_, full_, ci_);
+    const carbon::DataCenterModel dc;
+    const carbon::FleetComposition fleet;
+    const double dc_savings = dc.dcSavings(fleet, eval.savings);
+    EXPECT_NEAR(dc_savings,
+                eval.savings *
+                    dc.breakdown(fleet).compute_share_of_total,
+                1e-12);
+}
+
+TEST_F(IntegrationTest, TieringKeepsAdoptedWorkloadFast)
+{
+    // The CXL SKU the evaluator deploys must keep ~98% of core-hours
+    // under 5% slowdown via tiering — otherwise the adoption component's
+    // "no CXL penalty for adopters" premise would not hold.
+    const MemoryTieringPolicy tiering;
+    EXPECT_GT(tiering.fleetShareBelowSlowdown(
+                  carbon::StandardSkus::greenCxl()),
+              0.95);
+}
+
+TEST_F(IntegrationTest, BufferFractionTraceableToDemandModel)
+{
+    // The evaluator's default buffer fraction is the newsvendor sizing
+    // of the default demand process (within rounding slack).
+    const cluster::GrowthBufferSizer sizer;
+    GsfEvaluator::Options opts;
+    EXPECT_NEAR(opts.buffer.buffer_fraction, sizer.bufferFraction(),
+                0.02);
+}
+
+TEST_F(IntegrationTest, HigherIntensityMonotonicallyErodesSavings)
+{
+    double prev = 1.0;
+    for (double ci : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+        const auto eval = evaluator_.evaluateCluster(
+            trace_, baseline_, full_, CarbonIntensity::kgPerKwh(ci));
+        EXPECT_LE(eval.savings, prev + 1e-9) << "CI " << ci;
+        prev = eval.savings;
+    }
+}
+
+} // namespace
+} // namespace gsku::gsf

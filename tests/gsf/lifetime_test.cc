@@ -1,0 +1,129 @@
+/** @file Lifetime-extension evaluator tests (§VII-B deep dive). */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gsf/lifetime.h"
+
+namespace gsku::gsf {
+namespace {
+
+class LifetimeTest : public ::testing::Test
+{
+  protected:
+    LifetimeExtensionModel model_{carbon::ModelParams{},
+                                  reliability::AfrParams{}};
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+};
+
+TEST_F(LifetimeTest, AfrFlatUntilWearoutOnset)
+{
+    // The Fig. 2 regime: flat to 12 years per accelerated aging (§III).
+    const double base = model_.afrAtAge(baseline_, 0.0);
+    EXPECT_DOUBLE_EQ(model_.afrAtAge(baseline_, 7.0), base);
+    EXPECT_DOUBLE_EQ(model_.afrAtAge(baseline_, 12.0), base);
+    EXPECT_GT(model_.afrAtAge(baseline_, 15.0), base);
+}
+
+TEST_F(LifetimeTest, AfrGrowsLinearlyPastOnset)
+{
+    const double base = model_.afrAtAge(baseline_, 0.0);
+    EXPECT_NEAR(model_.afrAtAge(baseline_, 16.0), base * 2.0, 1e-9);
+}
+
+TEST_F(LifetimeTest, EmbodiedAmortizesInversely)
+{
+    const auto p6 = model_.evaluate(baseline_, 6.0);
+    const auto p12 = model_.evaluate(baseline_, 12.0);
+    EXPECT_NEAR(p12.embodied_per_core_year.asKg(),
+                p6.embodied_per_core_year.asKg() / 2.0, 1e-9);
+}
+
+TEST_F(LifetimeTest, OperationalGrowsWithAge)
+{
+    // Forgone generational improvements make old cores deliver less
+    // work per watt.
+    const auto p6 = model_.evaluate(baseline_, 6.0);
+    const auto p12 = model_.evaluate(baseline_, 12.0);
+    EXPECT_GT(p12.operational_per_core_year.asKg(),
+              p6.operational_per_core_year.asKg());
+}
+
+TEST_F(LifetimeTest, MaintenanceGrowsPastWearout)
+{
+    const auto p10 = model_.evaluate(baseline_, 10.0);
+    const auto p20 = model_.evaluate(baseline_, 20.0);
+    EXPECT_GT(p20.maintenance_per_core_year.asKg(),
+              p10.maintenance_per_core_year.asKg());
+}
+
+TEST_F(LifetimeTest, OptimalLifetimeBeyondSixYears)
+{
+    // At today's embodied share, extending beyond 6 years still pays;
+    // the optimum sits in the 8-16-year range rather than at the cap —
+    // §VII-B's point that extension helps but runs into maintenance
+    // and performance walls.
+    const double optimal = model_.optimalLifetimeYears(baseline_);
+    EXPECT_GT(optimal, 6.0);
+    EXPECT_LT(optimal, 18.0);
+
+    const auto at_optimal = model_.evaluate(baseline_, optimal);
+    const auto at_six = model_.evaluate(baseline_, 6.0);
+    EXPECT_LT(at_optimal.total().asKg(), at_six.total().asKg());
+}
+
+TEST_F(LifetimeTest, ObjectiveIsUnimodalOnGrid)
+{
+    const auto points = model_.sweep(baseline_, 2.0, 20.0, 1.0);
+    // Strictly decreasing then increasing (allowing flatness).
+    bool increasing = false;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        const double prev = points[i - 1].total().asKg();
+        const double cur = points[i].total().asKg();
+        if (cur > prev + 1e-9) {
+            increasing = true;
+        } else if (increasing) {
+            FAIL() << "objective rose then fell at "
+                   << points[i].years << " years";
+        }
+    }
+    SUCCEED();
+}
+
+TEST_F(LifetimeTest, NoAgingMakesLongerAlwaysBetter)
+{
+    LifetimeParams no_aging;
+    no_aging.afr_growth_per_year = 0.0;
+    no_aging.generational_perf_per_year = 0.0;
+    const LifetimeExtensionModel model(carbon::ModelParams{},
+                                       reliability::AfrParams{},
+                                       no_aging);
+    const double optimal = model.optimalLifetimeYears(baseline_, 2.0,
+                                                      30.0);
+    EXPECT_GT(optimal, 29.0);  // Pushes to the search boundary.
+}
+
+TEST_F(LifetimeTest, SweepAndEvaluateAgree)
+{
+    const auto points = model_.sweep(baseline_, 4.0, 8.0, 2.0);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_DOUBLE_EQ(points[1].years, 6.0);
+    EXPECT_DOUBLE_EQ(points[1].total().asKg(),
+                     model_.evaluate(baseline_, 6.0).total().asKg());
+}
+
+TEST_F(LifetimeTest, InputValidation)
+{
+    EXPECT_THROW(model_.evaluate(baseline_, 0.0), UserError);
+    EXPECT_THROW(model_.afrAtAge(baseline_, -1.0), UserError);
+    EXPECT_THROW(model_.sweep(baseline_, 8.0, 4.0, 1.0), UserError);
+    EXPECT_THROW(model_.optimalLifetimeYears(baseline_, 5.0, 5.0),
+                 UserError);
+    LifetimeParams bad;
+    bad.wearout_onset_years = 0.0;
+    EXPECT_THROW(LifetimeExtensionModel(carbon::ModelParams{},
+                                        reliability::AfrParams{}, bad),
+                 UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,101 @@
+/** @file SKU-portfolio (D2) analysis tests. */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gsf/portfolio.h"
+
+namespace gsku::gsf {
+namespace {
+
+class PortfolioTest : public ::testing::Test
+{
+  protected:
+    PortfolioAnalysis analysis_{carbon::ModelParams{},
+                                cluster::DemandParams{}, 50000.0};
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+    CarbonIntensity ci_ = CarbonIntensity::kgPerKwh(0.1);
+
+    std::vector<PortfolioSlice>
+    menu() const
+    {
+        // Three GreenSKU candidates sharing 75% adoptable demand.
+        return {
+            {carbon::StandardSkus::greenFull(), 0.25, 1.07},
+            {carbon::StandardSkus::greenCxl(), 0.25, 1.07},
+            {carbon::StandardSkus::greenEfficient(), 0.25, 1.07},
+        };
+    }
+};
+
+TEST_F(PortfolioTest, BaselineOnlyHasOneType)
+{
+    const PortfolioResult r =
+        analysis_.evaluate(baseline_, {}, ci_, "base");
+    EXPECT_EQ(r.sku_types, 1);
+    EXPECT_GT(r.demand_emissions.asKg(), 0.0);
+    EXPECT_GT(r.buffer_emissions.asKg(), 0.0);
+}
+
+TEST_F(PortfolioTest, OneGreenTypeBeatsBaselineOnly)
+{
+    const auto results =
+        analysis_.sweepPortfolioSizes(baseline_, menu(), ci_);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_DOUBLE_EQ(results[0].savings, 0.0);
+    EXPECT_GT(results[1].savings, 0.05);
+}
+
+TEST_F(PortfolioTest, BufferCostGrowsWithTypes)
+{
+    const auto results =
+        analysis_.sweepPortfolioSizes(baseline_, menu(), ci_);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_GT(results[i].buffer_emissions.asKg(),
+                  results[i - 1].buffer_emissions.asKg())
+            << results[i].label;
+    }
+}
+
+TEST_F(PortfolioTest, MarginalTypeGainsDiminish)
+{
+    // With a near-homogeneous menu, extra types add buffer cost but no
+    // matching gain: savings peak at one GreenSKU type, the paper's
+    // "limit how many SKU types they deploy" conclusion.
+    const auto results =
+        analysis_.sweepPortfolioSizes(baseline_, menu(), ci_);
+    EXPECT_GE(results[1].savings, results[2].savings);
+    EXPECT_GE(results[2].savings, results[3].savings);
+}
+
+TEST_F(PortfolioTest, ScalingInflationCountsAgainstGreens)
+{
+    const std::vector<PortfolioSlice> lean = {
+        {carbon::StandardSkus::greenFull(), 0.5, 1.0}};
+    const std::vector<PortfolioSlice> fat = {
+        {carbon::StandardSkus::greenFull(), 0.5, 1.3}};
+    const auto a = analysis_.evaluate(baseline_, lean, ci_, "lean");
+    const auto b = analysis_.evaluate(baseline_, fat, ci_, "fat");
+    EXPECT_LT(a.total().asKg(), b.total().asKg());
+}
+
+TEST_F(PortfolioTest, InputValidation)
+{
+    EXPECT_THROW(analysis_.evaluate(
+                     baseline_,
+                     {{carbon::StandardSkus::greenFull(), 1.2, 1.0}},
+                     ci_, "x"),
+                 UserError);
+    EXPECT_THROW(analysis_.evaluate(
+                     baseline_,
+                     {{carbon::StandardSkus::greenFull(), 0.5, 0.8}},
+                     ci_, "x"),
+                 UserError);
+    EXPECT_THROW(analysis_.sweepPortfolioSizes(baseline_, {}, ci_),
+                 UserError);
+    EXPECT_THROW(PortfolioAnalysis(carbon::ModelParams{},
+                                   cluster::DemandParams{}, 0.0),
+                 UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,105 @@
+/** @file One-call reproduction report tests. */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gsf/report.h"
+
+namespace gsku::gsf {
+namespace {
+
+class ReportTest : public ::testing::Test
+{
+  protected:
+    static const ReproductionReport &
+    report()
+    {
+        // Generated once; the pipeline takes a few seconds.
+        static const ReproductionReport r = [] {
+            ReportOptions options;
+            options.traces = 2;
+            options.trace_concurrent_vms = 150.0;
+            options.ci_grid = {0.0, 0.1, 0.2, 0.3};
+            return generateReport(options);
+        }();
+        return r;
+    }
+};
+
+TEST_F(ReportTest, WorkedExampleFieldsMatchPaper)
+{
+    const auto &r = report();
+    EXPECT_NEAR(r.example_server_power_w, 403.0, 4.0);
+    EXPECT_NEAR(r.example_server_embodied_kg, 1644.0, 5.0);
+    EXPECT_EQ(r.example_servers_per_rack, 16);
+    EXPECT_NEAR(r.example_rack_per_core_kg, 31.0, 0.5);
+}
+
+TEST_F(ReportTest, SavingsTableComplete)
+{
+    const auto &r = report();
+    ASSERT_EQ(r.savings_table.size(), 5u);
+    EXPECT_NEAR(r.savings_table.back().total_savings, 0.26, 0.02);
+}
+
+TEST_F(ReportTest, ScalingDigestMatchesTableIii)
+{
+    const auto &r = report();
+    // 57 cells; 4 infeasible (Silo x3, Masstree vs Gen3); 37 unscaled
+    // (19 vs Gen1 minus Silo = 18, 15 vs Gen2, wait — pinned from the
+    // exact Table III: Gen1 has 18 ones, Gen2 has 15, Gen3 has 6).
+    EXPECT_EQ(r.scaling_cells_feasible, 53);
+    EXPECT_EQ(r.scaling_cells_unscaled, 18 + 15 + 6);
+}
+
+TEST_F(ReportTest, MaintenanceAndCxlHeadlines)
+{
+    const auto &r = report();
+    EXPECT_NEAR(r.baseline_afr, 4.8, 1e-9);
+    EXPECT_NEAR(r.green_full_afr, 7.2, 1e-9);
+    EXPECT_NEAR(r.tiering_share_under_5pct, 0.98, 0.015);
+    EXPECT_NEAR(r.cxl_tolerant_core_hours, 0.202, 0.015);
+}
+
+TEST_F(ReportTest, ClusterAndDcSavingsPlausible)
+{
+    const auto &r = report();
+    // The test config uses tiny traces (150 VMs, 2 clusters) where
+    // integer-server granularity dilutes savings; the bench defaults
+    // land near the paper's numbers.
+    EXPECT_GT(r.cluster_savings_at_mean_ci, 0.015);
+    EXPECT_GT(r.mean_cluster_savings, 0.03);
+    EXPECT_LT(r.mean_cluster_savings, 0.26);
+    EXPECT_GT(r.dc_savings, 0.02);
+    EXPECT_LT(r.dc_savings, r.mean_cluster_savings);
+}
+
+TEST_F(ReportTest, AlternativesInPaperBallpark)
+{
+    const auto &r = report();
+    EXPECT_NEAR(r.lifetime_equivalent_years, 13.0, 1.5);
+    EXPECT_GT(r.efficiency_equivalent, 0.05);
+    EXPECT_GT(r.renewables_equivalent_pp, 0.01);
+}
+
+TEST_F(ReportTest, RenderMentionsEveryHeadline)
+{
+    const std::string text = report().render();
+    for (const char *needle :
+         {"worked example", "Table VIII", "Table III", "Maintenance",
+          "CXL", "Cluster", "VII-B", "GreenSKU-Full"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST_F(ReportTest, OptionsValidated)
+{
+    ReportOptions bad;
+    bad.traces = 0;
+    EXPECT_THROW(generateReport(bad), UserError);
+    bad = ReportOptions{};
+    bad.ci_grid.clear();
+    EXPECT_THROW(generateReport(bad), UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,100 @@
+/** @file TCO model (§VII-A): GSF with dollars instead of kgCO2e. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "gsf/tco.h"
+
+namespace gsku::gsf {
+namespace {
+
+class TcoTest : public ::testing::Test
+{
+  protected:
+    TcoModel model_;
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+    carbon::ServerSku full_ = carbon::StandardSkus::greenFull();
+};
+
+TEST_F(TcoTest, CapexSumsComponentPrices)
+{
+    // Baseline: Genoa 7200 + 768 GB * 4 + 12 TB * 90 + misc 1400.
+    EXPECT_NEAR(model_.serverCapexUsd(baseline_),
+                7200.0 + 768.0 * 4.0 + 12.0 * 90.0 + 1400.0, 1.0);
+}
+
+TEST_F(TcoTest, ReusedPartsArePricedAtRequalification)
+{
+    // GreenSKU-CXL vs Efficient: reused DDR4 is cheaper than the DDR5
+    // it displaces, even with requalification costs.
+    const double eff =
+        model_.serverCapexUsd(carbon::StandardSkus::greenEfficient());
+    const double cxl =
+        model_.serverCapexUsd(carbon::StandardSkus::greenCxl());
+    EXPECT_LT(cxl, eff);
+}
+
+TEST_F(TcoTest, OpexScalesWithPower)
+{
+    // The Full SKU draws more power than Efficient -> more energy cost.
+    EXPECT_GT(model_.serverOpexUsd(full_),
+              model_.serverOpexUsd(carbon::StandardSkus::greenEfficient()));
+}
+
+TEST_F(TcoTest, PerCoreSplitsCapexOpex)
+{
+    const PerCoreCost cost = model_.perCore(baseline_);
+    EXPECT_GT(cost.capex_usd, 0.0);
+    EXPECT_GT(cost.opex_usd, 0.0);
+    EXPECT_DOUBLE_EQ(cost.total(), cost.capex_usd + cost.opex_usd);
+}
+
+TEST_F(TcoTest, RelativeCostOfSelfIsOne)
+{
+    EXPECT_DOUBLE_EQ(model_.relativeCost(baseline_, baseline_), 1.0);
+}
+
+TEST_F(TcoTest, GreenSkusCostLessPerCoreThanBaseline)
+{
+    // High core counts amortize platform cost; the GreenSKUs are not a
+    // cost regression relative to the baseline.
+    EXPECT_LT(model_.relativeCost(baseline_, full_), 1.0);
+    EXPECT_LT(model_.relativeCost(
+                  baseline_, carbon::StandardSkus::greenEfficient()),
+              1.0);
+}
+
+TEST_F(TcoTest, CarbonEfficientSkuWithinFivePercentOfCostOptimal)
+{
+    // §VII-A: "a cost-efficient server SKU is only 5% less costly
+    // compared to our carbon-efficient GreenSKU."
+    double cost_optimal = 1e18;
+    for (const auto &sku : carbon::StandardSkus::tableFourRows()) {
+        cost_optimal =
+            std::min(cost_optimal, model_.perCore(sku).total());
+    }
+    const double carbon_efficient = model_.perCore(full_).total();
+    EXPECT_LE((carbon_efficient - cost_optimal) / carbon_efficient, 0.05);
+}
+
+TEST_F(TcoTest, UnknownComponentRejected)
+{
+    carbon::ServerSku sku = baseline_;
+    sku.slots.push_back(
+        {carbon::Component{"Mystery accelerator",
+                           carbon::ComponentKind::Misc, Power::watts(10.0),
+                           CarbonMass::kg(1.0)},
+         1});
+    EXPECT_THROW(model_.serverCapexUsd(sku), UserError);
+}
+
+TEST_F(TcoTest, EnergyPriceValidated)
+{
+    TcoParams p;
+    p.energy_usd_per_kwh = -0.01;
+    EXPECT_THROW(TcoModel{p}, UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,121 @@
+/** @file Pond-style memory-tiering policy tests (§III anchors). */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gsf/tiering.h"
+
+namespace gsku::gsf {
+namespace {
+
+class TieringTest : public ::testing::Test
+{
+  protected:
+    MemoryTieringPolicy policy_;
+    carbon::ServerSku cxl_sku_ = carbon::StandardSkus::greenCxl();
+    carbon::ServerSku no_cxl_sku_ =
+        carbon::StandardSkus::greenEfficient();
+};
+
+TEST_F(TieringTest, NoCxlMemoryMeansNoDecision)
+{
+    const auto d = policy_.decide(perf::AppCatalog::byName("Moses"), 0.5,
+                                  no_cxl_sku_);
+    EXPECT_DOUBLE_EQ(d.cxl_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(d.slowdown, 1.0);
+    EXPECT_FALSE(d.fully_cxl);
+}
+
+TEST_F(TieringTest, InsensitiveAppsRunFullyFromCxl)
+{
+    // Img-DNN (cxl_sens 0.03) is below the 0.05 threshold: hardware
+    // counters say it can run entirely from CXL (§III).
+    const auto d = policy_.decide(perf::AppCatalog::byName("Img-DNN"),
+                                  0.5, cxl_sku_);
+    EXPECT_TRUE(d.fully_cxl);
+    EXPECT_DOUBLE_EQ(d.cxl_fraction, 1.0);
+    EXPECT_LE(d.slowdown, 1.05);
+}
+
+TEST_F(TieringTest, UntouchedMemoryAbsorbsCxlWithoutSlowdown)
+{
+    // Moses touching 55%: untouched 45% x 0.9 claim covers the SKU's
+    // 25% CXL share entirely -> zero touched spill, no slowdown.
+    const auto d = policy_.decide(perf::AppCatalog::byName("Moses"), 0.55,
+                                  cxl_sku_);
+    EXPECT_FALSE(d.fully_cxl);
+    EXPECT_DOUBLE_EQ(d.touched_on_cxl, 0.0);
+    EXPECT_DOUBLE_EQ(d.slowdown, 1.0);
+    EXPECT_NEAR(d.cxl_fraction, 0.25, 1e-9);
+}
+
+TEST_F(TieringTest, HighTouchVmsSpillAndSlowDown)
+{
+    // Touching 95%: only 4.5% claimable untouched; ~20.5 pp of touched
+    // memory must live on CXL -> sensitivity-scaled slowdown.
+    const auto d = policy_.decide(perf::AppCatalog::byName("Moses"), 0.95,
+                                  cxl_sku_);
+    EXPECT_GT(d.touched_on_cxl, 0.15);
+    EXPECT_GT(d.slowdown, 1.05);
+    EXPECT_LT(d.slowdown, 1.0 + 0.45);  // Bounded by full-CXL penalty.
+}
+
+TEST_F(TieringTest, SlowdownMonotoneInTouchedFraction)
+{
+    const auto &app = perf::AppCatalog::byName("Masstree");
+    double prev = 0.0;
+    for (double t = 0.0; t <= 1.0; t += 0.05) {
+        const double s = policy_.decide(app, t, cxl_sku_).slowdown;
+        ASSERT_GE(s, prev);
+        prev = s;
+    }
+}
+
+TEST_F(TieringTest, FleetShareBelow5PercentIs98Percent)
+{
+    // §III: "this approach ensures that 98% of applications incur <5%
+    // slowdown with CXL" (weighted by fleet core-hours).
+    const double share = policy_.fleetShareBelowSlowdown(cxl_sku_);
+    EXPECT_NEAR(share, 0.98, 0.015);
+}
+
+TEST_F(TieringTest, LooserThresholdCoversEveryone)
+{
+    EXPECT_NEAR(policy_.fleetShareBelowSlowdown(cxl_sku_, 1.5), 1.0,
+                1e-9);
+}
+
+TEST_F(TieringTest, NoCxlSkuHasNoSlowdownAnywhere)
+{
+    EXPECT_DOUBLE_EQ(policy_.fleetShareBelowSlowdown(no_cxl_sku_), 1.0);
+}
+
+TEST_F(TieringTest, WithoutPredictorEverythingSpills)
+{
+    // Disable the untouched-memory predictor: the full CXL share lands
+    // on touched memory; sensitive apps slow down even at mean touch.
+    TieringConfig cfg;
+    cfg.untouched_claim_fraction = 0.0;
+    const MemoryTieringPolicy naive(cfg);
+    const auto d = naive.decide(perf::AppCatalog::byName("Moses"), 0.55,
+                                cxl_sku_);
+    EXPECT_GT(d.slowdown, 1.15);
+    EXPECT_LT(naive.fleetShareBelowSlowdown(cxl_sku_), 0.7);
+}
+
+TEST_F(TieringTest, InputValidation)
+{
+    EXPECT_THROW(policy_.decide(perf::AppCatalog::byName("Moses"), -0.1,
+                                cxl_sku_),
+                 UserError);
+    EXPECT_THROW(policy_.decide(perf::AppCatalog::byName("Moses"), 1.1,
+                                cxl_sku_),
+                 UserError);
+    EXPECT_THROW(policy_.fleetShareBelowSlowdown(cxl_sku_, 0.9),
+                 UserError);
+    TieringConfig bad;
+    bad.untouched_claim_fraction = 1.5;
+    EXPECT_THROW(MemoryTieringPolicy{bad}, UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -1,0 +1,118 @@
+/** @file Application catalog integrity against §V / Table III. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "perf/app.h"
+
+namespace gsku::perf {
+namespace {
+
+TEST(AppCatalogTest, TwentyApplications)
+{
+    // §V: "we benchmark 20 open-source and closed-source applications".
+    // 19 named in Table III plus Traefik listed with the proxies.
+    EXPECT_EQ(AppCatalog::all().size(), 19u);
+}
+
+TEST(AppCatalogTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &a : AppCatalog::all()) {
+        EXPECT_TRUE(names.insert(a.name).second) << a.name;
+    }
+}
+
+TEST(AppCatalogTest, ClassSharesMatchTableIii)
+{
+    EXPECT_DOUBLE_EQ(fleetCoreHourShare(AppClass::BigData), 0.32);
+    EXPECT_DOUBLE_EQ(fleetCoreHourShare(AppClass::WebApp), 0.27);
+    EXPECT_DOUBLE_EQ(fleetCoreHourShare(AppClass::RealTimeComms), 0.24);
+    EXPECT_DOUBLE_EQ(fleetCoreHourShare(AppClass::MlInference), 0.11);
+    EXPECT_DOUBLE_EQ(fleetCoreHourShare(AppClass::WebProxy), 0.04);
+    EXPECT_DOUBLE_EQ(fleetCoreHourShare(AppClass::DevOps), 0.01);
+}
+
+TEST(AppCatalogTest, ClassMembership)
+{
+    EXPECT_EQ(AppCatalog::byClass(AppClass::BigData).size(), 4u);
+    EXPECT_EQ(AppCatalog::byClass(AppClass::WebApp).size(), 4u);
+    EXPECT_EQ(AppCatalog::byClass(AppClass::RealTimeComms).size(), 2u);
+    EXPECT_EQ(AppCatalog::byClass(AppClass::MlInference).size(), 1u);
+    EXPECT_EQ(AppCatalog::byClass(AppClass::WebProxy).size(), 5u);
+    EXPECT_EQ(AppCatalog::byClass(AppClass::DevOps).size(), 3u);
+}
+
+TEST(AppCatalogTest, ProductionServicesFlagged)
+{
+    // Table III marks WebF-* as production applications.
+    for (const char *name : {"WebF-Dynamic", "WebF-Hot", "WebF-Cold"}) {
+        EXPECT_TRUE(AppCatalog::byName(name).production) << name;
+    }
+    EXPECT_FALSE(AppCatalog::byName("Redis").production);
+}
+
+TEST(AppCatalogTest, OnlyBuildsAreThroughputOnly)
+{
+    for (const auto &a : AppCatalog::all()) {
+        EXPECT_EQ(a.throughput_only, a.cls == AppClass::DevOps) << a.name;
+    }
+}
+
+TEST(AppCatalogTest, ByNameThrowsForUnknown)
+{
+    EXPECT_THROW(AppCatalog::byName("Memcached"), UserError);
+}
+
+TEST(AppCatalogTest, FleetWeightsSumToClassShares)
+{
+    double total = 0.0;
+    for (const auto &a : AppCatalog::all()) {
+        total += AppCatalog::fleetWeight(a);
+    }
+    // Table III shares sum to 99%.
+    EXPECT_NEAR(total, 0.99, 1e-9);
+}
+
+TEST(AppCatalogTest, CxlTolerantShareNear20Percent)
+{
+    // §VI: 20.2% of applications weighted by fleet core-hours do not
+    // face significant CXL penalties.
+    EXPECT_NEAR(AppCatalog::cxlTolerantCoreHourShare(), 0.202, 0.015);
+}
+
+TEST(AppCatalogTest, MosesIsTheMostCxlSensitive)
+{
+    // Fig. 8: Moses is the "more impacted" application.
+    const double moses = AppCatalog::byName("Moses").cxl_sens;
+    for (const auto &a : AppCatalog::all()) {
+        EXPECT_LE(a.cxl_sens, moses) << a.name;
+    }
+}
+
+TEST(AppCatalogTest, HaproxyCxlPenaltyNear11Percent)
+{
+    // Fig. 8: HAProxy sees an 11% peak-throughput reduction under CXL.
+    EXPECT_NEAR(AppCatalog::byName("HAProxy").cxl_sens, 0.11, 1e-9);
+}
+
+TEST(AppCatalogTest, SensitivitiesAreNonNegative)
+{
+    for (const auto &a : AppCatalog::all()) {
+        EXPECT_GE(a.freq_sens, 0.0) << a.name;
+        EXPECT_GE(a.llc_sens, 0.0) << a.name;
+        EXPECT_GE(a.bw_sens, 0.0) << a.name;
+        EXPECT_GE(a.cxl_sens, 0.0) << a.name;
+        EXPECT_GT(a.base_service_ms, 0.0) << a.name;
+    }
+}
+
+TEST(AppCatalogTest, SiloIsLlcBound)
+{
+    // Silo's >1.5 scaling on every generation comes from LLC pressure.
+    EXPECT_GE(AppCatalog::byName("Silo").llc_sens, 0.9);
+}
+
+} // namespace
+} // namespace gsku::perf

@@ -1,0 +1,122 @@
+/** @file Runtime auto-scaling tests (§VIII future-work feature). */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "perf/autoscaler.h"
+
+namespace gsku::perf {
+namespace {
+
+class AutoScalerTest : public ::testing::Test
+{
+  protected:
+    PerfModel model_;
+    AutoScaler scaler_{model_};
+    CpuSpec green_ = CpuCatalog::bergamo();
+};
+
+TEST(DiurnalLoadTest, PeakAndTroughCorrect)
+{
+    DiurnalLoad load;
+    load.peak_qps = 1000.0;
+    load.trough_fraction = 0.4;
+    load.peak_hour = 14.0;
+    EXPECT_NEAR(load.qpsAt(14.0), 1000.0, 1e-9);
+    EXPECT_NEAR(load.qpsAt(2.0), 400.0, 1e-9);   // 12h opposite.
+    EXPECT_THROW(load.qpsAt(-1.0), gsku::UserError);
+    EXPECT_THROW(load.qpsAt(25.0), gsku::UserError);
+}
+
+TEST(DiurnalLoadTest, AlwaysWithinEnvelope)
+{
+    DiurnalLoad load;
+    for (double h = 0.0; h <= 24.0; h += 0.5) {
+        const double q = load.qpsAt(h);
+        ASSERT_GE(q, load.peak_qps * load.trough_fraction - 1e-9);
+        ASSERT_LE(q, load.peak_qps + 1e-9);
+    }
+}
+
+TEST_F(AutoScalerTest, CoresForIsMonotoneInLoad)
+{
+    const auto &app = AppCatalog::byName("Xapian");
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+    int prev = 0;
+    for (double frac : {0.2, 0.4, 0.6, 0.8, 0.95}) {
+        const int cores =
+            scaler_.coresFor(app, green_, frac * slo.load_qps, slo);
+        ASSERT_GE(cores, prev);
+        prev = cores;
+    }
+}
+
+TEST_F(AutoScalerTest, DaySimulationSavesCoreHours)
+{
+    const auto &app = AppCatalog::byName("Nginx");
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+    DiurnalLoad load;
+    load.peak_qps = slo.load_qps;
+    load.trough_fraction = 0.35;
+
+    const AutoScaleResult result =
+        scaler_.simulateDay(app, green_, load);
+    EXPECT_EQ(result.schedule.size(), 24u);
+    EXPECT_GT(result.coreHoursSaved(), 0.1);
+    EXPECT_LT(result.coreHoursSaved(), 0.7);
+    // Static provisioning must never be undercut at the peak interval.
+    for (const auto &interval : result.schedule) {
+        ASSERT_LE(interval.cores, result.static_cores);
+    }
+}
+
+TEST_F(AutoScalerTest, SloRespectedEveryInterval)
+{
+    const auto &app = AppCatalog::byName("Moses");
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+    DiurnalLoad load;
+    load.peak_qps = slo.load_qps;
+
+    const AutoScaleResult result =
+        scaler_.simulateDay(app, green_, load);
+    for (const auto &interval : result.schedule) {
+        ASSERT_LE(interval.p95_ms, slo.p95_ms * 1.0 + 1e-9)
+            << "hour " << interval.hour;
+    }
+}
+
+TEST_F(AutoScalerTest, FlatLoadNeverScales)
+{
+    const auto &app = AppCatalog::byName("Caddy");
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+    DiurnalLoad load;
+    load.peak_qps = 0.5 * slo.load_qps;
+    load.trough_fraction = 1.0;     // Constant load.
+
+    const AutoScaleResult result =
+        scaler_.simulateDay(app, green_, load);
+    EXPECT_NEAR(result.coreHoursSaved(), 0.0, 1e-9);
+}
+
+TEST_F(AutoScalerTest, ThroughputOnlyAppsRejected)
+{
+    DiurnalLoad load;
+    EXPECT_THROW(scaler_.simulateDay(AppCatalog::byName("Build-PHP"),
+                                     green_, load),
+                 gsku::UserError);
+}
+
+TEST_F(AutoScalerTest, ConfigValidation)
+{
+    AutoScaler::Config bad;
+    bad.core_options = {8, 4};      // Not sorted.
+    EXPECT_THROW(AutoScaler(model_, bad), gsku::UserError);
+    bad = AutoScaler::Config{};
+    bad.interval_h = 0.0;
+    EXPECT_THROW(AutoScaler(model_, bad), gsku::UserError);
+    bad = AutoScaler::Config{};
+    bad.slo_headroom = 1.5;
+    EXPECT_THROW(AutoScaler(model_, bad), gsku::UserError);
+}
+
+} // namespace
+} // namespace gsku::perf

@@ -1,0 +1,69 @@
+/** @file CPU catalog checks against Table I and §III bandwidth figures. */
+#include <gtest/gtest.h>
+
+#include "perf/cpu.h"
+
+namespace gsku::perf {
+namespace {
+
+TEST(CpuCatalogTest, TableOneCoreCounts)
+{
+    EXPECT_EQ(CpuCatalog::bergamo().cores_per_socket, 128);
+    EXPECT_EQ(CpuCatalog::rome().cores_per_socket, 64);
+    EXPECT_EQ(CpuCatalog::milan().cores_per_socket, 64);
+    EXPECT_EQ(CpuCatalog::genoa().cores_per_socket, 80);
+}
+
+TEST(CpuCatalogTest, TableOneFrequencies)
+{
+    EXPECT_DOUBLE_EQ(CpuCatalog::bergamo().max_freq_ghz, 3.0);
+    EXPECT_DOUBLE_EQ(CpuCatalog::rome().max_freq_ghz, 3.0);
+    EXPECT_DOUBLE_EQ(CpuCatalog::milan().max_freq_ghz, 3.7);
+    EXPECT_DOUBLE_EQ(CpuCatalog::genoa().max_freq_ghz, 3.7);
+}
+
+TEST(CpuCatalogTest, TableOneLlcSizes)
+{
+    EXPECT_DOUBLE_EQ(CpuCatalog::bergamo().llc_mib, 256.0);
+    EXPECT_DOUBLE_EQ(CpuCatalog::rome().llc_mib, 256.0);
+    EXPECT_DOUBLE_EQ(CpuCatalog::milan().llc_mib, 256.0);
+    EXPECT_DOUBLE_EQ(CpuCatalog::genoa().llc_mib, 384.0);
+}
+
+TEST(CpuCatalogTest, LlcPerCoreOrdering)
+{
+    // Bergamo 2 MiB/core vs Genoa 4.8 MiB/core (§III).
+    EXPECT_NEAR(CpuCatalog::bergamo().llcPerCoreMib(), 2.0, 1e-9);
+    EXPECT_NEAR(CpuCatalog::genoa().llcPerCoreMib(), 4.8, 1e-9);
+    EXPECT_NEAR(CpuCatalog::rome().llcPerCoreMib(), 4.0, 1e-9);
+}
+
+TEST(CpuCatalogTest, BandwidthPerCoreMatchesSectionThree)
+{
+    // §III: Genoa 5.8 GB/s per core; Bergamo (460+100)/128 = 4.4 GB/s.
+    EXPECT_NEAR(CpuCatalog::genoa().bwPerCoreGbps(), 5.75, 0.05);
+    EXPECT_NEAR(CpuCatalog::bergamo().bwPerCoreGbps(), 4.375, 0.05);
+}
+
+TEST(CpuCatalogTest, GenerationMappingRoundTrips)
+{
+    EXPECT_EQ(CpuCatalog::forGeneration(carbon::Generation::Gen1).name,
+              "AMD Rome");
+    EXPECT_EQ(CpuCatalog::forGeneration(carbon::Generation::Gen2).name,
+              "AMD Milan");
+    EXPECT_EQ(CpuCatalog::forGeneration(carbon::Generation::Gen3).name,
+              "AMD Genoa");
+    EXPECT_EQ(CpuCatalog::forGeneration(carbon::Generation::GreenSku).name,
+              "AMD Bergamo");
+}
+
+TEST(CpuCatalogTest, IpcGenerationalOrdering)
+{
+    EXPECT_LT(CpuCatalog::rome().ipc, CpuCatalog::milan().ipc);
+    EXPECT_LT(CpuCatalog::milan().ipc, CpuCatalog::genoa().ipc);
+    // Zen 4c has Zen 4 IPC (§III: same core, less cache).
+    EXPECT_DOUBLE_EQ(CpuCatalog::bergamo().ipc, CpuCatalog::genoa().ipc);
+}
+
+} // namespace
+} // namespace gsku::perf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Consistency between the Fig. 7 latency curves and the Table III
+ * scaling decisions: wherever the search says k cores suffice, the
+ * k-core curve must actually sit under the SLO at the SLO load, the
+ * (k-2)-core curve must not, and infeasible apps must violate the SLO
+ * even at the largest candidate size. Parameterized over every
+ * latency-reporting application.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+namespace gsku::perf {
+namespace {
+
+std::vector<AppProfile>
+latencyApps()
+{
+    std::vector<AppProfile> apps;
+    for (const auto &app : AppCatalog::all()) {
+        if (!app.throughput_only) {
+            apps.push_back(app);
+        }
+    }
+    return apps;
+}
+
+class CurveConsistencyTest : public ::testing::TestWithParam<AppProfile>
+{
+  protected:
+    PerfModel model_;
+    CpuSpec green_ = CpuCatalog::bergamo();
+};
+
+TEST_P(CurveConsistencyTest, ChosenSizeMeetsSloOnTheCurve)
+{
+    const AppProfile &app = GetParam();
+    for (const CpuSpec &base :
+         {CpuCatalog::rome(), CpuCatalog::milan(), CpuCatalog::genoa()}) {
+        const ScalingResult sf = model_.scalingFactor(app, base);
+        const SloSpec slo = model_.slo(app, base);
+        if (!sf.feasible) {
+            // Even 12 cores must miss the SLO.
+            const double p95 =
+                model_.p95LatencyMs(app, green_, 12, slo.load_qps);
+            EXPECT_GT(p95, slo.p95_ms * 1.02)
+                << app.name << " vs " << base.name;
+            continue;
+        }
+        const double chosen =
+            model_.p95LatencyMs(app, green_, sf.green_cores,
+                                slo.load_qps);
+        EXPECT_LE(chosen, slo.p95_ms * 1.02)
+            << app.name << " vs " << base.name;
+
+        // Minimality: the next-smaller candidate (if any) must fail.
+        if (sf.green_cores > 8) {
+            const double smaller = model_.p95LatencyMs(
+                app, green_, sf.green_cores - 2, slo.load_qps);
+            EXPECT_GT(smaller, slo.p95_ms * 1.02)
+                << app.name << " vs " << base.name;
+        }
+    }
+}
+
+TEST_P(CurveConsistencyTest, CurvePeaksWhereTheModelSays)
+{
+    // The rendered curve's last point (99% of saturation) must be
+    // finite, and anything past peak must be saturated.
+    const AppProfile &app = GetParam();
+    const LatencyCurve curve = model_.curve(app, green_, 10, false, 10);
+    EXPECT_TRUE(std::isfinite(curve.points.back().p95_ms)) << app.name;
+    const double beyond = model_.p95LatencyMs(app, green_, 10,
+                                              1.01 * curve.peak_qps);
+    EXPECT_TRUE(std::isinf(beyond)) << app.name;
+}
+
+TEST_P(CurveConsistencyTest, SloLoadIsBelowGreenPeakWhenFeasible)
+{
+    // Feasibility implies stability at the SLO load.
+    const AppProfile &app = GetParam();
+    const ScalingResult sf =
+        model_.scalingFactor(app, CpuCatalog::genoa());
+    if (!sf.feasible) {
+        GTEST_SKIP() << "infeasible vs Gen3";
+    }
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+    EXPECT_LT(slo.load_qps,
+              model_.peakQps(app, green_, sf.green_cores))
+        << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LatencyApps, CurveConsistencyTest,
+    ::testing::ValuesIn(latencyApps()), [](const auto &info) {
+        std::string out;
+        for (char c : info.param.name) {
+            if (std::isalnum(static_cast<unsigned char>(c))) {
+                out += c;
+            }
+        }
+        return out;
+    });
+
+} // namespace
+} // namespace gsku::perf

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Performance-model tests beyond the Table III calibration: Table II
+ * build slowdowns, Fig. 7/8 curve structure, SLO construction, low-load
+ * latency (§VI), and the Sysbench per-core anchor (§III).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+namespace gsku::perf {
+namespace {
+
+class PerfModelTest : public ::testing::Test
+{
+  protected:
+    PerfModel model_;
+};
+
+TEST_F(PerfModelTest, GenoaIsTheReferenceCore)
+{
+    for (const auto &app : AppCatalog::all()) {
+        EXPECT_DOUBLE_EQ(model_.perCorePerf(app, CpuCatalog::genoa()), 1.0)
+            << app.name;
+    }
+}
+
+TEST_F(PerfModelTest, SysbenchLikeSlowdownNearTenPercent)
+{
+    // §III: Bergamo incurs ~10% per-core slowdown vs Genoa and ~6% vs
+    // Milan on Sysbench. A moderately frequency-sensitive profile
+    // (alpha ~ 0.5, like Masstree's frequency term alone) reproduces it.
+    AppProfile sysbench;
+    sysbench.name = "sysbench";
+    sysbench.freq_sens = 0.5;
+    const double bergamo =
+        model_.perCorePerf(sysbench, CpuCatalog::bergamo());
+    const double milan = model_.perCorePerf(sysbench, CpuCatalog::milan());
+    EXPECT_NEAR(1.0 / bergamo, 1.10, 0.02);
+    // The paper measures 1.06 vs Milan; our four-attribute per-core
+    // model (shared generational IPC) lands at ~1.01-1.05.
+    EXPECT_NEAR(milan / bergamo, 1.03, 0.04);
+}
+
+TEST_F(PerfModelTest, TableTwoEfficientSlowdowns)
+{
+    // Table II, GreenSKU-Efficient column: 1.17 / 1.15 / 1.15.
+    const CpuSpec green = CpuCatalog::bergamo();
+    EXPECT_NEAR(model_.buildSlowdown(AppCatalog::byName("Build-PHP"), green),
+                1.17, 0.03);
+    EXPECT_NEAR(
+        model_.buildSlowdown(AppCatalog::byName("Build-Python"), green),
+        1.15, 0.03);
+    EXPECT_NEAR(
+        model_.buildSlowdown(AppCatalog::byName("Build-Wasm"), green), 1.15,
+        0.04);
+}
+
+TEST_F(PerfModelTest, TableTwoCxlSlowdowns)
+{
+    // Table II, GreenSKU-CXL column: 1.38 / 1.21 / 1.28.
+    const CpuSpec green = CpuCatalog::bergamo();
+    EXPECT_NEAR(
+        model_.buildSlowdown(AppCatalog::byName("Build-PHP"), green, true),
+        1.38, 0.04);
+    EXPECT_NEAR(model_.buildSlowdown(AppCatalog::byName("Build-Python"),
+                                     green, true),
+                1.21, 0.04);
+    EXPECT_NEAR(
+        model_.buildSlowdown(AppCatalog::byName("Build-Wasm"), green, true),
+        1.28, 0.04);
+}
+
+TEST_F(PerfModelTest, TableTwoGenerationSlowdowns)
+{
+    // Table II rows: Gen1 1.27-1.34, Gen2 1.11-1.19 (tolerance 0.06 for
+    // our single-coefficient fit).
+    for (const char *name : {"Build-PHP", "Build-Python", "Build-Wasm"}) {
+        const AppProfile &app = AppCatalog::byName(name);
+        const double g1 = model_.buildSlowdown(app, CpuCatalog::rome());
+        const double g2 = model_.buildSlowdown(app, CpuCatalog::milan());
+        EXPECT_NEAR(g1, 1.30, 0.09) << name;
+        EXPECT_NEAR(g2, 1.14, 0.06) << name;
+        // Efficient beats Gen1 for all builds (§VI).
+        EXPECT_LT(model_.buildSlowdown(app, CpuCatalog::bergamo()), g1)
+            << name;
+    }
+}
+
+TEST_F(PerfModelTest, BuildSlowdownRejectsLatencyApps)
+{
+    EXPECT_THROW(model_.buildSlowdown(AppCatalog::byName("Redis"),
+                                      CpuCatalog::bergamo()),
+                 UserError);
+}
+
+TEST_F(PerfModelTest, SloRejectsThroughputOnlyApps)
+{
+    EXPECT_THROW(model_.slo(AppCatalog::byName("Build-PHP"),
+                            CpuCatalog::genoa()),
+                 UserError);
+}
+
+TEST_F(PerfModelTest, SloSetAt90PercentOfPeak)
+{
+    const AppProfile &app = AppCatalog::byName("Xapian");
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+    const double peak = model_.peakQps(app, CpuCatalog::genoa(), 8);
+    EXPECT_NEAR(slo.load_qps, 0.9 * peak, 1e-9);
+    EXPECT_GT(slo.p95_ms, 0.0);
+}
+
+TEST_F(PerfModelTest, CurveIsMonotoneAndSaturates)
+{
+    const AppProfile &app = AppCatalog::byName("Moses");
+    const LatencyCurve curve =
+        model_.curve(app, CpuCatalog::genoa(), 8, false, 30);
+    ASSERT_EQ(curve.points.size(), 30u);
+    for (std::size_t i = 1; i < curve.points.size(); ++i) {
+        ASSERT_GT(curve.points[i].qps, curve.points[i - 1].qps);
+        ASSERT_GE(curve.points[i].p95_ms, curve.points[i - 1].p95_ms);
+        ASSERT_GE(curve.points[i].p99_ms, curve.points[i].p95_ms);
+    }
+    // Knee: last point at 99% load is much slower than half load.
+    EXPECT_GT(curve.points.back().p95_ms,
+              3.0 * curve.points[14].p95_ms);
+}
+
+TEST_F(PerfModelTest, MassTreeCannotMatchGen3Peak)
+{
+    // §VI: "for applications such as Masstree, even with 12 cores,
+    // GreenSKU-Efficient cannot match Gen3's peak throughput".
+    const AppProfile &app = AppCatalog::byName("Masstree");
+    const double gen3_peak = model_.peakQps(app, CpuCatalog::genoa(), 8);
+    const double green_peak =
+        model_.peakQps(app, CpuCatalog::bergamo(), 12);
+    EXPECT_LT(green_peak, gen3_peak);
+}
+
+TEST_F(PerfModelTest, MosesSaturatesEarlyUnderCxl)
+{
+    // Fig. 8: Moses on GreenSKU-CXL saturates well below
+    // GreenSKU-Efficient at the same core count.
+    const AppProfile &app = AppCatalog::byName("Moses");
+    const int cores =
+        model_.scalingFactor(app, CpuCatalog::genoa()).green_cores;
+    const double plain =
+        model_.peakQps(app, CpuCatalog::bergamo(), cores, false);
+    const double cxl =
+        model_.peakQps(app, CpuCatalog::bergamo(), cores, true);
+    EXPECT_LT(cxl, 0.75 * plain);
+}
+
+TEST_F(PerfModelTest, HaproxyLosesElevenPercentPeakUnderCxl)
+{
+    // Fig. 8: HAProxy only faces an 11% peak-throughput reduction.
+    const AppProfile &app = AppCatalog::byName("HAProxy");
+    const double plain =
+        model_.peakQps(app, CpuCatalog::bergamo(), 10, false);
+    const double cxl = model_.peakQps(app, CpuCatalog::bergamo(), 10, true);
+    EXPECT_NEAR(1.0 - cxl / plain, 0.099, 0.02);
+}
+
+TEST_F(PerfModelTest, LowLoadLatencyDominatedByServiceTime)
+{
+    const AppProfile &app = AppCatalog::byName("Sphinx");
+    const double ll =
+        model_.lowLoadLatencyMs(app, CpuCatalog::genoa(), 8);
+    const double service = model_.serviceMs(app, CpuCatalog::genoa());
+    EXPECT_GE(ll, service);
+    EXPECT_LT(ll, 1.5 * service);
+}
+
+TEST_F(PerfModelTest, MedianLowLoadRatiosOrderedAcrossGenerations)
+{
+    // §VI: median low-load latency is lower than Gen1 and Gen2, higher
+    // than Gen3 (paper: -8.3% / -2% / +16%; our calibrated model
+    // reproduces the ordering and the Gen3 direction, see
+    // EXPERIMENTS.md for measured magnitudes).
+    const double vs_g1 = model_.medianLowLoadRatio(CpuCatalog::rome());
+    const double vs_g2 = model_.medianLowLoadRatio(CpuCatalog::milan());
+    const double vs_g3 = model_.medianLowLoadRatio(CpuCatalog::genoa());
+    EXPECT_LT(vs_g1, 1.0);
+    EXPECT_LT(vs_g2, 1.0);
+    EXPECT_GT(vs_g3, 1.0);
+    EXPECT_LT(vs_g1, vs_g2);
+    EXPECT_LT(vs_g2, vs_g3);
+}
+
+TEST_F(PerfModelTest, ConfigValidation)
+{
+    PerfConfig bad;
+    bad.baseline_vm_cores = 0;
+    EXPECT_THROW(PerfModel{bad}, UserError);
+    bad = PerfConfig{};
+    bad.green_core_options.clear();
+    EXPECT_THROW(PerfModel{bad}, UserError);
+    bad = PerfConfig{};
+    bad.tail_percentile = 100.0;
+    EXPECT_THROW(PerfModel{bad}, UserError);
+    bad = PerfConfig{};
+    bad.slo_load_fraction = 1.0;
+    EXPECT_THROW(PerfModel{bad}, UserError);
+}
+
+TEST_F(PerfModelTest, CustomCoreOptionsChangeGranularity)
+{
+    // WebF-Hot needs 12 cores vs Gen3 (factor 1.5); restricting the
+    // candidate set to {8} makes it infeasible, and {8, 12} skips the
+    // 10-core option without changing the outcome.
+    PerfConfig only8;
+    only8.green_core_options = {8};
+    EXPECT_FALSE(PerfModel(only8)
+                     .scalingFactor(AppCatalog::byName("WebF-Hot"),
+                                    CpuCatalog::genoa())
+                     .feasible);
+
+    PerfConfig coarse;
+    coarse.green_core_options = {8, 12};
+    const auto r = PerfModel(coarse).scalingFactor(
+        AppCatalog::byName("WebF-Hot"), CpuCatalog::genoa());
+    EXPECT_TRUE(r.feasible);
+    EXPECT_DOUBLE_EQ(r.factor, 1.5);
+}
+
+TEST_F(PerfModelTest, CurveRequiresTwoPoints)
+{
+    EXPECT_THROW(model_.curve(AppCatalog::byName("Redis"),
+                              CpuCatalog::genoa(), 8, false, 1),
+                 UserError);
+}
+
+} // namespace
+} // namespace gsku::perf

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Property tests of the performance model, parameterized over every
+ * application: invariants connecting CPU attributes, service times,
+ * queueing curves, and scaling factors.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+namespace gsku::perf {
+namespace {
+
+class AppPropertyTest : public ::testing::TestWithParam<AppProfile>
+{
+  protected:
+    PerfModel model_;
+};
+
+TEST_P(AppPropertyTest, GenerationsGetFasterPerCore)
+{
+    const AppProfile &app = GetParam();
+    const double rome = model_.perCorePerf(app, CpuCatalog::rome());
+    const double milan = model_.perCorePerf(app, CpuCatalog::milan());
+    const double genoa = model_.perCorePerf(app, CpuCatalog::genoa());
+    EXPECT_LT(rome, milan) << app.name;
+    EXPECT_LT(milan, genoa) << app.name;
+}
+
+TEST_P(AppPropertyTest, BergamoBetweenRomeAndGenoa)
+{
+    // The efficient core is never faster than the same-IPC,
+    // higher-frequency, bigger-cache Genoa; and it beats Gen1 for every
+    // app except the strongly LLC-bound ones (Silo — exactly the app
+    // whose Table III row is >1.5 even against Gen1).
+    const AppProfile &app = GetParam();
+    const double bergamo = model_.perCorePerf(app, CpuCatalog::bergamo());
+    EXPECT_LE(bergamo, model_.perCorePerf(app, CpuCatalog::genoa()))
+        << app.name;
+    if (app.llc_sens < 0.9) {
+        EXPECT_GT(bergamo, model_.perCorePerf(app, CpuCatalog::rome()))
+            << app.name;
+    } else {
+        EXPECT_LT(bergamo, model_.perCorePerf(app, CpuCatalog::rome()))
+            << app.name;
+    }
+}
+
+TEST_P(AppPropertyTest, ServiceTimeInverseToPerf)
+{
+    const AppProfile &app = GetParam();
+    for (const CpuSpec &cpu :
+         {CpuCatalog::rome(), CpuCatalog::milan(), CpuCatalog::genoa(),
+          CpuCatalog::bergamo()}) {
+        EXPECT_NEAR(model_.serviceMs(app, cpu) *
+                        model_.perCorePerf(app, cpu),
+                    app.base_service_ms, 1e-9)
+            << app.name << " on " << cpu.name;
+    }
+}
+
+TEST_P(AppPropertyTest, CxlInflatesServiceBySensitivity)
+{
+    const AppProfile &app = GetParam();
+    const CpuSpec green = CpuCatalog::bergamo();
+    const double plain = model_.serviceMs(app, green, false);
+    const double cxl = model_.serviceMs(app, green, true);
+    EXPECT_NEAR(cxl / plain, 1.0 + app.cxl_sens, 1e-9) << app.name;
+}
+
+TEST_P(AppPropertyTest, PeakThroughputLinearInCores)
+{
+    const AppProfile &app = GetParam();
+    const CpuSpec cpu = CpuCatalog::genoa();
+    const double per_core = model_.peakQps(app, cpu, 1);
+    for (int cores : {2, 8, 32}) {
+        EXPECT_NEAR(model_.peakQps(app, cpu, cores), per_core * cores,
+                    1e-6)
+            << app.name;
+    }
+}
+
+TEST_P(AppPropertyTest, ScalingFactorWellFormed)
+{
+    const AppProfile &app = GetParam();
+    for (const CpuSpec &base :
+         {CpuCatalog::rome(), CpuCatalog::milan(), CpuCatalog::genoa()}) {
+        const ScalingResult r = model_.scalingFactor(app, base);
+        if (r.feasible) {
+            EXPECT_GE(r.factor, 1.0) << app.name;
+            EXPECT_LE(r.factor, 1.5) << app.name;
+            EXPECT_EQ(r.green_cores,
+                      static_cast<int>(r.factor * 8.0 + 0.5))
+                << app.name;
+        } else {
+            EXPECT_EQ(r.green_cores, 0) << app.name;
+        }
+    }
+}
+
+TEST_P(AppPropertyTest, LatencyAppsSatisfyTheirOwnSloOnBaseline)
+{
+    // Sanity of the SLO construction: the baseline at the SLO load meets
+    // its own SLO with equality.
+    const AppProfile &app = GetParam();
+    if (app.throughput_only) {
+        GTEST_SKIP() << "throughput-only";
+    }
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+    const double p95 =
+        model_.p95LatencyMs(app, CpuCatalog::genoa(), 8, slo.load_qps);
+    EXPECT_NEAR(p95, slo.p95_ms, 1e-9) << app.name;
+}
+
+TEST_P(AppPropertyTest, MoreCoresNeverHurtLatency)
+{
+    const AppProfile &app = GetParam();
+    if (app.throughput_only) {
+        GTEST_SKIP() << "throughput-only";
+    }
+    const CpuSpec green = CpuCatalog::bergamo();
+    const double qps = 0.7 * model_.peakQps(app, green, 8);
+    double prev = std::numeric_limits<double>::infinity();
+    for (int cores : {8, 10, 12, 16}) {
+        const double p95 = model_.p95LatencyMs(app, green, cores, qps);
+        EXPECT_LE(p95, prev + 1e-9) << app.name << " at " << cores;
+        prev = p95;
+    }
+}
+
+TEST_P(AppPropertyTest, LowLoadLatencyBelowSloLatency)
+{
+    const AppProfile &app = GetParam();
+    if (app.throughput_only) {
+        GTEST_SKIP() << "throughput-only";
+    }
+    const SloSpec slo = model_.slo(app, CpuCatalog::genoa());
+    // Mean latency at 30% load sits well under the p95 tail at 90%.
+    EXPECT_LT(model_.lowLoadLatencyMs(app, CpuCatalog::genoa(), 8),
+              slo.p95_ms)
+        << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppPropertyTest, ::testing::ValuesIn(AppCatalog::all()),
+    [](const auto &info) {
+        std::string out;
+        for (char c : info.param.name) {
+            if (std::isalnum(static_cast<unsigned char>(c))) {
+                out += c;
+            }
+        }
+        return out;
+    });
+
+} // namespace
+} // namespace gsku::perf

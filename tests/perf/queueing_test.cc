@@ -1,0 +1,149 @@
+/** @file M/M/c queueing math: known values and structural properties. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "perf/queueing.h"
+
+namespace gsku::perf {
+namespace {
+
+TEST(ErlangCTest, SingleServerEqualsRho)
+{
+    // For M/M/1, P(wait) = rho.
+    EXPECT_NEAR(erlangC(1, 0.5), 0.5, 1e-12);
+    EXPECT_NEAR(erlangC(1, 0.9), 0.9, 1e-12);
+}
+
+TEST(ErlangCTest, KnownTwoServerValue)
+{
+    // M/M/2 with a = 1 (rho = 0.5): C = 1/3.
+    EXPECT_NEAR(erlangC(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangCTest, ZeroLoadNeverWaits)
+{
+    EXPECT_DOUBLE_EQ(erlangC(4, 0.0), 0.0);
+}
+
+TEST(ErlangCTest, MonotoneInLoad)
+{
+    double prev = 0.0;
+    for (double a = 0.5; a < 8.0; a += 0.5) {
+        const double c = erlangC(8, a);
+        ASSERT_GT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(ErlangCTest, MoreServersWaitLessAtSameRho)
+{
+    // Pooling: at equal utilization, larger systems queue less.
+    EXPECT_GT(erlangC(2, 2 * 0.8), erlangC(8, 8 * 0.8));
+    EXPECT_GT(erlangC(8, 8 * 0.8), erlangC(32, 32 * 0.8));
+}
+
+TEST(ErlangCTest, RejectsUnstableLoad)
+{
+    EXPECT_THROW(erlangC(4, 4.0), UserError);
+    EXPECT_THROW(erlangC(4, 5.0), UserError);
+    EXPECT_THROW(erlangC(0, 0.5), UserError);
+}
+
+TEST(MeanWaitTest, MatchesMm1ClosedForm)
+{
+    // M/M/1: Wq = rho / (mu - lambda).
+    const double mu = 10.0;
+    const double lambda = 7.0;
+    const double expected_s = (lambda / mu) / (mu - lambda);
+    EXPECT_NEAR(meanWaitMs(1, mu, lambda), expected_s * 1e3, 1e-9);
+}
+
+TEST(MeanWaitTest, SaturationGivesInfinity)
+{
+    EXPECT_TRUE(std::isinf(meanWaitMs(4, 10.0, 40.0)));
+    EXPECT_TRUE(std::isinf(meanWaitMs(4, 10.0, 50.0)));
+}
+
+TEST(PeakThroughputTest, IsServersTimesRate)
+{
+    EXPECT_DOUBLE_EQ(peakThroughput(8, 125.0), 1000.0);
+}
+
+TEST(SojournTest, ZeroLoadIsServicePercentile)
+{
+    // With no queueing, T = S ~ exp(mu); p-th percentile is
+    // -ln(1-p)/mu.
+    const double mu = 100.0;
+    const double p95 = percentileSojournMs(4, mu, 0.0, 95.0);
+    EXPECT_NEAR(p95, -std::log(0.05) / mu * 1e3, 0.01);
+}
+
+TEST(SojournTest, MonotoneInLoad)
+{
+    const double mu = 50.0;
+    double prev = 0.0;
+    for (double frac = 0.1; frac < 1.0; frac += 0.1) {
+        const double t =
+            percentileSojournMs(8, mu, frac * 8 * mu, 95.0);
+        ASSERT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(SojournTest, HigherPercentilesAreSlower)
+{
+    const double mu = 50.0;
+    const double lambda = 0.8 * 8 * mu;
+    const double p50 = percentileSojournMs(8, mu, lambda, 50.0);
+    const double p95 = percentileSojournMs(8, mu, lambda, 95.0);
+    const double p99 = percentileSojournMs(8, mu, lambda, 99.0);
+    EXPECT_LT(p50, p95);
+    EXPECT_LT(p95, p99);
+}
+
+TEST(SojournTest, SaturatedIsInfinite)
+{
+    EXPECT_TRUE(std::isinf(percentileSojournMs(8, 50.0, 400.0, 95.0)));
+    EXPECT_TRUE(std::isinf(percentileSojournMs(8, 50.0, 500.0, 95.0)));
+}
+
+TEST(SojournTest, HockeyStickNearSaturation)
+{
+    // Fig. 7 shape: latency at 95% load is far above latency at 50%.
+    const double mu = 50.0;
+    const double low = percentileSojournMs(8, mu, 0.5 * 8 * mu, 95.0);
+    const double high = percentileSojournMs(8, mu, 0.95 * 8 * mu, 95.0);
+    EXPECT_GT(high, 2.5 * low);
+}
+
+TEST(SojournTest, FasterServersScaleLatencyDown)
+{
+    // Doubling mu at equal utilization halves latency exactly.
+    const double t1 = percentileSojournMs(8, 50.0, 0.8 * 400.0, 95.0);
+    const double t2 = percentileSojournMs(8, 100.0, 0.8 * 800.0, 95.0);
+    EXPECT_NEAR(t1, 2.0 * t2, 1e-6);
+}
+
+TEST(SojournTest, DegenerateThetaEqualsMuHandled)
+{
+    // Pick parameters where c*mu - lambda == mu exactly: c=2, lambda=mu.
+    const double mu = 10.0;
+    const double t = percentileSojournMs(2, mu, mu, 95.0);
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GT(t, 0.0);
+}
+
+TEST(SojournTest, ArgumentValidation)
+{
+    EXPECT_THROW(percentileSojournMs(0, 1.0, 0.0, 95.0), UserError);
+    EXPECT_THROW(percentileSojournMs(1, 0.0, 0.0, 95.0), UserError);
+    EXPECT_THROW(percentileSojournMs(1, 1.0, -1.0, 95.0), UserError);
+    EXPECT_THROW(percentileSojournMs(1, 1.0, 0.5, 0.0), UserError);
+    EXPECT_THROW(percentileSojournMs(1, 1.0, 0.5, 100.0), UserError);
+}
+
+} // namespace
+} // namespace gsku::perf

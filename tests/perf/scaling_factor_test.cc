@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Exact reproduction of Table III: GreenSKU-Efficient's performance
+ * scaling factor for every application against the Gen1, Gen2, and Gen3
+ * baselines. This is the calibration contract of the performance model:
+ * the derived per-core performance plus the queueing-based SLO search
+ * must land every one of the 57 cells on the paper's value.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "perf/cpu.h"
+#include "perf/model.h"
+
+namespace gsku::perf {
+namespace {
+
+struct TableIiiRow
+{
+    const char *app;
+    const char *gen1;
+    const char *gen2;
+    const char *gen3;
+};
+
+constexpr std::array<TableIiiRow, 19> kTableIii = {{
+    {"Redis", "1", "1", "1"},
+    {"Masstree", "1", "1", ">1.5"},
+    {"Silo", ">1.5", ">1.5", ">1.5"},
+    {"Shore", "1", "1", "1"},
+    {"Xapian", "1", "1", "1.5"},
+    {"WebF-Dynamic", "1", "1.25", "1.25"},
+    {"WebF-Hot", "1", "1.25", "1.5"},
+    {"WebF-Cold", "1", "1", "1"},
+    {"Moses", "1", "1", "1.25"},
+    {"Sphinx", "1", "1.25", "1.25"},
+    {"Img-DNN", "1", "1", "1"},
+    {"Nginx", "1", "1", "1.25"},
+    {"Caddy", "1", "1", "1"},
+    {"Envoy", "1", "1", "1"},
+    {"HAProxy", "1", "1", "1.25"},
+    {"Traefik", "1", "1", "1.25"},
+    {"Build-Python", "1", "1", "1.25"},
+    {"Build-Wasm", "1", "1", "1.25"},
+    {"Build-PHP", "1", "1", "1.25"},
+}};
+
+class ScalingFactorTest : public ::testing::TestWithParam<TableIiiRow>
+{
+  protected:
+    PerfModel model_;
+};
+
+TEST_P(ScalingFactorTest, MatchesTableIii)
+{
+    const TableIiiRow &row = GetParam();
+    const AppProfile &app = AppCatalog::byName(row.app);
+
+    EXPECT_EQ(model_.scalingFactor(app, CpuCatalog::rome()).display(),
+              row.gen1)
+        << row.app << " vs Gen1";
+    EXPECT_EQ(model_.scalingFactor(app, CpuCatalog::milan()).display(),
+              row.gen2)
+        << row.app << " vs Gen2";
+    EXPECT_EQ(model_.scalingFactor(app, CpuCatalog::genoa()).display(),
+              row.gen3)
+        << row.app << " vs Gen3";
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIii, ScalingFactorTest,
+                         ::testing::ValuesIn(kTableIii),
+                         [](const auto &info) {
+                             std::string name = info.param.app;
+                             for (char &c : name) {
+                                 if (c == '-') {
+                                     c = '_';
+                                 }
+                             }
+                             return name;
+                         });
+
+TEST(ScalingFactorPropertiesTest, FactorsNeverShrinkForNewerBaselines)
+{
+    // A newer (faster) baseline can only require equal or more scaling.
+    PerfModel model;
+    auto numeric = [](const ScalingResult &r) {
+        return r.feasible ? r.factor : 10.0;
+    };
+    for (const auto &app : AppCatalog::all()) {
+        const double g1 =
+            numeric(model.scalingFactor(app, CpuCatalog::rome()));
+        const double g2 =
+            numeric(model.scalingFactor(app, CpuCatalog::milan()));
+        const double g3 =
+            numeric(model.scalingFactor(app, CpuCatalog::genoa()));
+        EXPECT_LE(g1, g2) << app.name;
+        EXPECT_LE(g2, g3) << app.name;
+    }
+}
+
+TEST(ScalingFactorPropertiesTest, SixAppsNeedNoScalingVsGen3)
+{
+    // §VI says "for seven applications" GreenSKU-Efficient meets Gen3's
+    // SLO without scaling, but Table III's Gen3 column itself contains
+    // six factor-1 cells among the 19 named applications (the 20th
+    // benchmarked app is not named); we reproduce the table.
+    PerfModel model;
+    int unscaled = 0;
+    for (const auto &app : AppCatalog::all()) {
+        const auto r = model.scalingFactor(app, CpuCatalog::genoa());
+        if (r.feasible && r.factor == 1.0) {
+            ++unscaled;
+        }
+    }
+    EXPECT_EQ(unscaled, 6);
+}
+
+TEST(ScalingFactorPropertiesTest, CxlBackingOnlyHurts)
+{
+    PerfModel model;
+    auto numeric = [](const ScalingResult &r) {
+        return r.feasible ? r.factor : 10.0;
+    };
+    for (const auto &app : AppCatalog::all()) {
+        const double plain =
+            numeric(model.scalingFactor(app, CpuCatalog::genoa(), false));
+        const double cxl =
+            numeric(model.scalingFactor(app, CpuCatalog::genoa(), true));
+        EXPECT_GE(cxl, plain) << app.name;
+    }
+}
+
+TEST(ScalingFactorPropertiesTest, P99SloGivesSimilarBehavior)
+{
+    // §VI: "We also measure 99th% latency and notice similar
+    // behaviors." The scaling-factor table must be essentially
+    // unchanged when the SLO percentile moves from p95 to p99.
+    PerfConfig p99;
+    p99.tail_percentile = 99.0;
+    PerfModel strict(p99);
+    PerfModel standard;
+    int diffs = 0;
+    for (const auto &app : AppCatalog::all()) {
+        for (const CpuSpec &base :
+             {CpuCatalog::rome(), CpuCatalog::milan(),
+              CpuCatalog::genoa()}) {
+            if (strict.scalingFactor(app, base).display() !=
+                standard.scalingFactor(app, base).display()) {
+                ++diffs;
+            }
+        }
+    }
+    EXPECT_LE(diffs, 2) << "p99 SLO changed " << diffs
+                        << " of 57 Table III cells";
+}
+
+TEST(ScalingFactorPropertiesTest, DisplayFormatsAreCanonical)
+{
+    ScalingResult r;
+    EXPECT_EQ(r.display(), ">1.5");
+    r.feasible = true;
+    r.factor = 1.0;
+    EXPECT_EQ(r.display(), "1");
+    r.factor = 1.25;
+    EXPECT_EQ(r.display(), "1.25");
+    r.factor = 1.5;
+    EXPECT_EQ(r.display(), "1.5");
+    r.factor = 2.0;
+    EXPECT_EQ(r.display(), "2.00");
+}
+
+} // namespace
+} // namespace gsku::perf

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fig. 2 failure-simulation tests: the hazard model must produce an
+ * initial period of elevated AFRs followed by a flat rate over a 7-year
+ * (84-month) horizon — the paper's argument for reusing old DIMMs.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "reliability/failure_sim.h"
+
+namespace gsku::reliability {
+namespace {
+
+TEST(HazardTest, InfantMortalityDecaysToBase)
+{
+    HazardParams h;
+    h.base_afr = 0.012;
+    h.infant_multiplier = 2.0;
+    h.infant_decay_months = 6.0;
+    EXPECT_NEAR(h.monthlyHazard(0.0), 2.0 * 0.012 / 12.0, 1e-12);
+    // After many decay constants the hazard is the base rate.
+    EXPECT_NEAR(h.monthlyHazard(60.0), 0.012 / 12.0, 1e-6);
+}
+
+TEST(HazardTest, MonotoneDecreasing)
+{
+    HazardParams h;
+    double prev = h.monthlyHazard(0.0);
+    for (int m = 1; m <= 84; ++m) {
+        const double cur = h.monthlyHazard(m);
+        ASSERT_LE(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(FailureSimTest, DeterministicForSameSeed)
+{
+    HazardParams h;
+    FleetFailureSimulator a(h, 100000, 7);
+    FleetFailureSimulator b(h, 100000, 7);
+    const auto ra = a.run(84);
+    const auto rb = b.run(84);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        ASSERT_EQ(ra[i].failures, rb[i].failures);
+    }
+}
+
+TEST(FailureSimTest, RatesFlatAfterInfantPeriod)
+{
+    // The Fig. 2 claim: after the initial period, failure rates stay
+    // constant over 7 years.
+    HazardParams h;
+    h.base_afr = 0.012;
+    FleetFailureSimulator sim(h, 500000, 42);
+    const auto stats = sim.run(84, 6);
+
+    // Mean smoothed rate over years 2-4 vs years 5-7 differs by <15%.
+    auto mean_rate = [&](int from, int to) {
+        double sum = 0.0;
+        int n = 0;
+        for (const auto &s : stats) {
+            if (s.month >= from && s.month < to) {
+                sum += s.smoothed_rate;
+                ++n;
+            }
+        }
+        return sum / n;
+    };
+    const double mid = mean_rate(24, 48);
+    const double late = mean_rate(60, 84);
+    EXPECT_NEAR(late / mid, 1.0, 0.15);
+}
+
+TEST(FailureSimTest, EarlyRatesElevated)
+{
+    HazardParams h;
+    h.base_afr = 0.012;
+    h.infant_multiplier = 2.0;
+    FleetFailureSimulator sim(h, 500000, 42);
+    const auto stats = sim.run(84, 3);
+    // First months' raw rate is clearly above the steady state.
+    EXPECT_GT(stats[0].raw_rate, 1.5 * 0.012);
+    EXPECT_NEAR(stats[70].smoothed_rate, 0.012, 0.003);
+}
+
+TEST(FailureSimTest, PopulationOnlyShrinks)
+{
+    HazardParams h;
+    h.base_afr = 0.05;
+    FleetFailureSimulator sim(h, 10000, 1);
+    const auto stats = sim.run(120);
+    for (std::size_t i = 1; i < stats.size(); ++i) {
+        ASSERT_LE(stats[i].population, stats[i - 1].population);
+        ASSERT_EQ(stats[i].population,
+                  stats[i - 1].population - stats[i - 1].failures);
+    }
+}
+
+TEST(FailureSimTest, FailuresNeverExceedPopulation)
+{
+    HazardParams h;
+    h.base_afr = 0.5;      // Aggressive to stress the clamp.
+    h.infant_multiplier = 5.0;
+    FleetFailureSimulator sim(h, 100, 3);
+    for (const auto &s : sim.run(240)) {
+        ASSERT_GE(s.failures, 0);
+        ASSERT_LE(s.failures, s.population);
+    }
+}
+
+TEST(FailureSimTest, ParameterValidation)
+{
+    HazardParams h;
+    EXPECT_THROW(FleetFailureSimulator(h, 0), UserError);
+    h.base_afr = 0.0;
+    EXPECT_THROW(FleetFailureSimulator(h, 10), UserError);
+    h = HazardParams{};
+    h.infant_multiplier = 0.5;
+    EXPECT_THROW(FleetFailureSimulator(h, 10), UserError);
+    h = HazardParams{};
+    FleetFailureSimulator sim(h, 10);
+    EXPECT_THROW(sim.run(0), UserError);
+    EXPECT_THROW(h.monthlyHazard(-1.0), UserError);
+}
+
+} // namespace
+} // namespace gsku::reliability

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Maintenance-model tests anchored on the §V worked example:
+ * baseline AFR 4.8, GreenSKU-Full AFR 7.2; FIP(75%) repair rates 3.0 and
+ * 3.6; C_OOS 3.0 vs ~2.98.
+ */
+#include <gtest/gtest.h>
+
+#include "carbon/sku.h"
+#include "common/error.h"
+#include "reliability/maintenance.h"
+
+namespace gsku::reliability {
+namespace {
+
+class MaintenanceTest : public ::testing::Test
+{
+  protected:
+    MaintenanceModel model_;
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+    carbon::ServerSku full_ = carbon::StandardSkus::greenFull();
+};
+
+TEST_F(MaintenanceTest, BaselineAfrIs4Point8)
+{
+    // 12 DIMMs * 0.1 + 6 SSDs * 0.2 = 2.4; DIMMs+SSDs are half of the
+    // server AFR (§V footnote 3) -> 4.8 total.
+    const MaintenanceStats s = model_.stats(baseline_);
+    EXPECT_NEAR(s.dimm_ssd_afr, 2.4, 1e-9);
+    EXPECT_NEAR(s.server_afr, 4.8, 1e-9);
+}
+
+TEST_F(MaintenanceTest, GreenFullAfrIs7Point2)
+{
+    // 20 DIMMs and 14 SSDs (§V): 2.0 + 2.8 + 2.4 = 7.2.
+    EXPECT_NEAR(model_.serverAfr(full_), 7.2, 1e-9);
+}
+
+TEST_F(MaintenanceTest, FipReducesRepairRatesTo3And3Point6)
+{
+    EXPECT_NEAR(model_.repairRate(baseline_), 3.0, 1e-9);
+    EXPECT_NEAR(model_.repairRate(full_), 3.6, 1e-9);
+}
+
+TEST_F(MaintenanceTest, CoosComparisonMatchesWorkedExample)
+{
+    // C_OOS = 3 * 1 * 1 = 3 (baseline); 3.6 * 0.66 * 1.262 ~= 2.98.
+    EXPECT_NEAR(model_.coos(baseline_, {1.0, 1.0}), 3.0, 1e-9);
+    EXPECT_NEAR(model_.coos(full_, {0.66, 1.262}), 2.98, 0.03);
+}
+
+TEST_F(MaintenanceTest, GreenFullMaintenanceOverheadNegligible)
+{
+    // §V's conclusion: the GreenSKU's C_OOS does not exceed baseline's.
+    EXPECT_LE(model_.coos(full_, {0.66, 1.262}),
+              model_.coos(baseline_, {1.0, 1.0}) + 0.01);
+}
+
+TEST_F(MaintenanceTest, OosFractionFollowsLittlesLaw)
+{
+    // repair rate per server-year * repair time in years.
+    const double expected =
+        3.0 / 100.0 * (14.0 / 365.0);
+    EXPECT_NEAR(model_.outOfServiceFraction(baseline_), expected, 1e-6);
+}
+
+TEST_F(MaintenanceTest, FipFullyEffectiveLeavesOtherFailures)
+{
+    AfrParams p;
+    p.fip_effectiveness = 1.0;
+    const MaintenanceModel model(p);
+    EXPECT_NEAR(model.repairRate(full_), p.other_afr, 1e-9);
+}
+
+TEST_F(MaintenanceTest, NoFipMeansRepairEqualsAfr)
+{
+    AfrParams p;
+    p.fip_effectiveness = 0.0;
+    const MaintenanceModel model(p);
+    EXPECT_NEAR(model.repairRate(full_), model.serverAfr(full_), 1e-9);
+}
+
+TEST_F(MaintenanceTest, MoreComponentsMeanHigherAfr)
+{
+    EXPECT_GT(model_.serverAfr(full_), model_.serverAfr(baseline_));
+    EXPECT_GT(model_.serverAfr(carbon::StandardSkus::greenCxl()),
+              model_.serverAfr(carbon::StandardSkus::greenEfficient()));
+}
+
+TEST_F(MaintenanceTest, ParamValidation)
+{
+    AfrParams p;
+    p.fip_effectiveness = 1.5;
+    EXPECT_THROW(MaintenanceModel{p}, UserError);
+    p = AfrParams{};
+    p.dimm_afr = -0.1;
+    EXPECT_THROW(MaintenanceModel{p}, UserError);
+    p = AfrParams{};
+    p.repair_time = Duration::hours(0.0);
+    EXPECT_THROW(MaintenanceModel{p}, UserError);
+}
+
+TEST_F(MaintenanceTest, CoosInputValidation)
+{
+    EXPECT_THROW(model_.coos(baseline_, {0.0, 1.0}), UserError);
+    EXPECT_THROW(model_.coos(baseline_, {1.0, -1.0}), UserError);
+}
+
+} // namespace
+} // namespace gsku::reliability
