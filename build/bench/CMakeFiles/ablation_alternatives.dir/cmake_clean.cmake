@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alternatives.dir/ablation_alternatives.cc.o"
+  "CMakeFiles/ablation_alternatives.dir/ablation_alternatives.cc.o.d"
+  "ablation_alternatives"
+  "ablation_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autoscaler.dir/ablation_autoscaler.cc.o"
+  "CMakeFiles/ablation_autoscaler.dir/ablation_autoscaler.cc.o.d"
+  "ablation_autoscaler"
+  "ablation_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

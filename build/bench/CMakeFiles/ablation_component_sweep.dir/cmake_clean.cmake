@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_component_sweep.dir/ablation_component_sweep.cc.o"
+  "CMakeFiles/ablation_component_sweep.dir/ablation_component_sweep.cc.o.d"
+  "ablation_component_sweep"
+  "ablation_component_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_component_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

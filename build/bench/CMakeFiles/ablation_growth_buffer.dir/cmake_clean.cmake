@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_growth_buffer.dir/ablation_growth_buffer.cc.o"
+  "CMakeFiles/ablation_growth_buffer.dir/ablation_growth_buffer.cc.o.d"
+  "ablation_growth_buffer"
+  "ablation_growth_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_growth_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hetero.dir/ablation_hetero.cc.o"
+  "CMakeFiles/ablation_hetero.dir/ablation_hetero.cc.o.d"
+  "ablation_hetero"
+  "ablation_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

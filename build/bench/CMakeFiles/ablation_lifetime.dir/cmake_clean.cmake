@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lifetime.dir/ablation_lifetime.cc.o"
+  "CMakeFiles/ablation_lifetime.dir/ablation_lifetime.cc.o.d"
+  "ablation_lifetime"
+  "ablation_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

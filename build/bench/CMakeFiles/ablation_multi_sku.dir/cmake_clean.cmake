@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_sku.dir/ablation_multi_sku.cc.o"
+  "CMakeFiles/ablation_multi_sku.dir/ablation_multi_sku.cc.o.d"
+  "ablation_multi_sku"
+  "ablation_multi_sku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_sku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

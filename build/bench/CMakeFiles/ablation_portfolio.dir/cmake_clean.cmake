@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_portfolio.dir/ablation_portfolio.cc.o"
+  "CMakeFiles/ablation_portfolio.dir/ablation_portfolio.cc.o.d"
+  "ablation_portfolio"
+  "ablation_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_second_gen.dir/ablation_second_gen.cc.o"
+  "CMakeFiles/ablation_second_gen.dir/ablation_second_gen.cc.o.d"
+  "ablation_second_gen"
+  "ablation_second_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_second_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tco.dir/ablation_tco.cc.o"
+  "CMakeFiles/ablation_tco.dir/ablation_tco.cc.o.d"
+  "ablation_tco"
+  "ablation_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_temporal.dir/ablation_temporal.cc.o"
+  "CMakeFiles/ablation_temporal.dir/ablation_temporal.cc.o.d"
+  "ablation_temporal"
+  "ablation_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

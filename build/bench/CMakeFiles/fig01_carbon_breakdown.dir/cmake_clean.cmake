@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_carbon_breakdown.dir/fig01_carbon_breakdown.cc.o"
+  "CMakeFiles/fig01_carbon_breakdown.dir/fig01_carbon_breakdown.cc.o.d"
+  "fig01_carbon_breakdown"
+  "fig01_carbon_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_carbon_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

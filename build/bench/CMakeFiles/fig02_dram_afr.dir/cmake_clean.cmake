@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_dram_afr.dir/fig02_dram_afr.cc.o"
+  "CMakeFiles/fig02_dram_afr.dir/fig02_dram_afr.cc.o.d"
+  "fig02_dram_afr"
+  "fig02_dram_afr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dram_afr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cxl_latency.dir/fig08_cxl_latency.cc.o"
+  "CMakeFiles/fig08_cxl_latency.dir/fig08_cxl_latency.cc.o.d"
+  "fig08_cxl_latency"
+  "fig08_cxl_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cxl_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

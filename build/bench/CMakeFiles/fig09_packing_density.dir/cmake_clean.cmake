@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_packing_density.dir/fig09_packing_density.cc.o"
+  "CMakeFiles/fig09_packing_density.dir/fig09_packing_density.cc.o.d"
+  "fig09_packing_density"
+  "fig09_packing_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_packing_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memory_utilization.dir/fig10_memory_utilization.cc.o"
+  "CMakeFiles/fig10_memory_utilization.dir/fig10_memory_utilization.cc.o.d"
+  "fig10_memory_utilization"
+  "fig10_memory_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memory_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cpu_catalog.dir/table1_cpu_catalog.cc.o"
+  "CMakeFiles/table1_cpu_catalog.dir/table1_cpu_catalog.cc.o.d"
+  "table1_cpu_catalog"
+  "table1_cpu_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cpu_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_devops.dir/table2_devops.cc.o"
+  "CMakeFiles/table2_devops.dir/table2_devops.cc.o.d"
+  "table2_devops"
+  "table2_devops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_devops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_scaling_factors.dir/table3_scaling_factors.cc.o"
+  "CMakeFiles/table3_scaling_factors.dir/table3_scaling_factors.cc.o.d"
+  "table3_scaling_factors"
+  "table3_scaling_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_scaling_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

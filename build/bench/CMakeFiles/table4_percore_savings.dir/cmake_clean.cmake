@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_percore_savings.dir/table4_percore_savings.cc.o"
+  "CMakeFiles/table4_percore_savings.dir/table4_percore_savings.cc.o.d"
+  "table4_percore_savings"
+  "table4_percore_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_percore_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

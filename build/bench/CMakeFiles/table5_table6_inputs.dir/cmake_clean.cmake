@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_table6_inputs.dir/table5_table6_inputs.cc.o"
+  "CMakeFiles/table5_table6_inputs.dir/table5_table6_inputs.cc.o.d"
+  "table5_table6_inputs"
+  "table5_table6_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_table6_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_lowload_latency.dir/table_lowload_latency.cc.o"
+  "CMakeFiles/table_lowload_latency.dir/table_lowload_latency.cc.o.d"
+  "table_lowload_latency"
+  "table_lowload_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_lowload_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

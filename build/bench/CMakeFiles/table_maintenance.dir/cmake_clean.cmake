@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_maintenance.dir/table_maintenance.cc.o"
+  "CMakeFiles/table_maintenance.dir/table_maintenance.cc.o.d"
+  "table_maintenance"
+  "table_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

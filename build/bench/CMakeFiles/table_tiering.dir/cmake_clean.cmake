@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_tiering.dir/table_tiering.cc.o"
+  "CMakeFiles/table_tiering.dir/table_tiering.cc.o.d"
+  "table_tiering"
+  "table_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

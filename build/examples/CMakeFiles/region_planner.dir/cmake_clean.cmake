@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_planner.dir/region_planner.cc.o"
+  "CMakeFiles/region_planner.dir/region_planner.cc.o.d"
+  "region_planner"
+  "region_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

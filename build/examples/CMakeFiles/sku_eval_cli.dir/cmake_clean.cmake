@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sku_eval_cli.dir/sku_eval_cli.cc.o"
+  "CMakeFiles/sku_eval_cli.dir/sku_eval_cli.cc.o.d"
+  "sku_eval_cli"
+  "sku_eval_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sku_eval_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

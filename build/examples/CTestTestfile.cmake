@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_smoke_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_smoke_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;gsku_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_design_space "/root/repo/build/examples/design_space")
+set_tests_properties(example_smoke_design_space PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;gsku_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_region_planner "/root/repo/build/examples/region_planner")
+set_tests_properties(example_smoke_region_planner PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;gsku_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_trace_explorer "/root/repo/build/examples/trace_explorer")
+set_tests_properties(example_smoke_trace_explorer PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;gsku_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smoke_sku_eval_cli "/root/repo/build/examples/sku_eval_cli")
+set_tests_properties(example_smoke_sku_eval_cli PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;gsku_example;/root/repo/examples/CMakeLists.txt;0;")

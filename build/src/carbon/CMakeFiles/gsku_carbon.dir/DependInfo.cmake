@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/carbon/catalog.cc" "src/carbon/CMakeFiles/gsku_carbon.dir/catalog.cc.o" "gcc" "src/carbon/CMakeFiles/gsku_carbon.dir/catalog.cc.o.d"
+  "/root/repo/src/carbon/component.cc" "src/carbon/CMakeFiles/gsku_carbon.dir/component.cc.o" "gcc" "src/carbon/CMakeFiles/gsku_carbon.dir/component.cc.o.d"
+  "/root/repo/src/carbon/datacenter.cc" "src/carbon/CMakeFiles/gsku_carbon.dir/datacenter.cc.o" "gcc" "src/carbon/CMakeFiles/gsku_carbon.dir/datacenter.cc.o.d"
+  "/root/repo/src/carbon/embodied_estimator.cc" "src/carbon/CMakeFiles/gsku_carbon.dir/embodied_estimator.cc.o" "gcc" "src/carbon/CMakeFiles/gsku_carbon.dir/embodied_estimator.cc.o.d"
+  "/root/repo/src/carbon/intensity_profile.cc" "src/carbon/CMakeFiles/gsku_carbon.dir/intensity_profile.cc.o" "gcc" "src/carbon/CMakeFiles/gsku_carbon.dir/intensity_profile.cc.o.d"
+  "/root/repo/src/carbon/model.cc" "src/carbon/CMakeFiles/gsku_carbon.dir/model.cc.o" "gcc" "src/carbon/CMakeFiles/gsku_carbon.dir/model.cc.o.d"
+  "/root/repo/src/carbon/sku.cc" "src/carbon/CMakeFiles/gsku_carbon.dir/sku.cc.o" "gcc" "src/carbon/CMakeFiles/gsku_carbon.dir/sku.cc.o.d"
+  "/root/repo/src/carbon/sku_parser.cc" "src/carbon/CMakeFiles/gsku_carbon.dir/sku_parser.cc.o" "gcc" "src/carbon/CMakeFiles/gsku_carbon.dir/sku_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsku_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

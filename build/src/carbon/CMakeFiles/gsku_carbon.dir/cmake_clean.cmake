@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsku_carbon.dir/catalog.cc.o"
+  "CMakeFiles/gsku_carbon.dir/catalog.cc.o.d"
+  "CMakeFiles/gsku_carbon.dir/component.cc.o"
+  "CMakeFiles/gsku_carbon.dir/component.cc.o.d"
+  "CMakeFiles/gsku_carbon.dir/datacenter.cc.o"
+  "CMakeFiles/gsku_carbon.dir/datacenter.cc.o.d"
+  "CMakeFiles/gsku_carbon.dir/embodied_estimator.cc.o"
+  "CMakeFiles/gsku_carbon.dir/embodied_estimator.cc.o.d"
+  "CMakeFiles/gsku_carbon.dir/intensity_profile.cc.o"
+  "CMakeFiles/gsku_carbon.dir/intensity_profile.cc.o.d"
+  "CMakeFiles/gsku_carbon.dir/model.cc.o"
+  "CMakeFiles/gsku_carbon.dir/model.cc.o.d"
+  "CMakeFiles/gsku_carbon.dir/sku.cc.o"
+  "CMakeFiles/gsku_carbon.dir/sku.cc.o.d"
+  "CMakeFiles/gsku_carbon.dir/sku_parser.cc.o"
+  "CMakeFiles/gsku_carbon.dir/sku_parser.cc.o.d"
+  "libgsku_carbon.a"
+  "libgsku_carbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsku_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocator.cc" "src/cluster/CMakeFiles/gsku_cluster.dir/allocator.cc.o" "gcc" "src/cluster/CMakeFiles/gsku_cluster.dir/allocator.cc.o.d"
+  "/root/repo/src/cluster/demand.cc" "src/cluster/CMakeFiles/gsku_cluster.dir/demand.cc.o" "gcc" "src/cluster/CMakeFiles/gsku_cluster.dir/demand.cc.o.d"
+  "/root/repo/src/cluster/trace_gen.cc" "src/cluster/CMakeFiles/gsku_cluster.dir/trace_gen.cc.o" "gcc" "src/cluster/CMakeFiles/gsku_cluster.dir/trace_gen.cc.o.d"
+  "/root/repo/src/cluster/trace_io.cc" "src/cluster/CMakeFiles/gsku_cluster.dir/trace_io.cc.o" "gcc" "src/cluster/CMakeFiles/gsku_cluster.dir/trace_io.cc.o.d"
+  "/root/repo/src/cluster/trace_stats.cc" "src/cluster/CMakeFiles/gsku_cluster.dir/trace_stats.cc.o" "gcc" "src/cluster/CMakeFiles/gsku_cluster.dir/trace_stats.cc.o.d"
+  "/root/repo/src/cluster/vm.cc" "src/cluster/CMakeFiles/gsku_cluster.dir/vm.cc.o" "gcc" "src/cluster/CMakeFiles/gsku_cluster.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsku_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/gsku_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gsku_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

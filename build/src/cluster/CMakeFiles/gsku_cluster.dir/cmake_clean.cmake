@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsku_cluster.dir/allocator.cc.o"
+  "CMakeFiles/gsku_cluster.dir/allocator.cc.o.d"
+  "CMakeFiles/gsku_cluster.dir/demand.cc.o"
+  "CMakeFiles/gsku_cluster.dir/demand.cc.o.d"
+  "CMakeFiles/gsku_cluster.dir/trace_gen.cc.o"
+  "CMakeFiles/gsku_cluster.dir/trace_gen.cc.o.d"
+  "CMakeFiles/gsku_cluster.dir/trace_io.cc.o"
+  "CMakeFiles/gsku_cluster.dir/trace_io.cc.o.d"
+  "CMakeFiles/gsku_cluster.dir/trace_stats.cc.o"
+  "CMakeFiles/gsku_cluster.dir/trace_stats.cc.o.d"
+  "CMakeFiles/gsku_cluster.dir/vm.cc.o"
+  "CMakeFiles/gsku_cluster.dir/vm.cc.o.d"
+  "libgsku_cluster.a"
+  "libgsku_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsku_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsku_common.dir/chart.cc.o"
+  "CMakeFiles/gsku_common.dir/chart.cc.o.d"
+  "CMakeFiles/gsku_common.dir/csv.cc.o"
+  "CMakeFiles/gsku_common.dir/csv.cc.o.d"
+  "CMakeFiles/gsku_common.dir/distributions.cc.o"
+  "CMakeFiles/gsku_common.dir/distributions.cc.o.d"
+  "CMakeFiles/gsku_common.dir/error.cc.o"
+  "CMakeFiles/gsku_common.dir/error.cc.o.d"
+  "CMakeFiles/gsku_common.dir/rng.cc.o"
+  "CMakeFiles/gsku_common.dir/rng.cc.o.d"
+  "CMakeFiles/gsku_common.dir/solver.cc.o"
+  "CMakeFiles/gsku_common.dir/solver.cc.o.d"
+  "CMakeFiles/gsku_common.dir/stats.cc.o"
+  "CMakeFiles/gsku_common.dir/stats.cc.o.d"
+  "CMakeFiles/gsku_common.dir/table.cc.o"
+  "CMakeFiles/gsku_common.dir/table.cc.o.d"
+  "libgsku_common.a"
+  "libgsku_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsku_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

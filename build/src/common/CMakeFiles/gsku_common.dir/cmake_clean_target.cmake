@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsku_common.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsf/adoption.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/adoption.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/adoption.cc.o.d"
+  "/root/repo/src/gsf/alternatives.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/alternatives.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/alternatives.cc.o.d"
+  "/root/repo/src/gsf/design_space.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/design_space.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/design_space.cc.o.d"
+  "/root/repo/src/gsf/evaluator.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/evaluator.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/evaluator.cc.o.d"
+  "/root/repo/src/gsf/hetero.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/hetero.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/hetero.cc.o.d"
+  "/root/repo/src/gsf/lifetime.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/lifetime.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/lifetime.cc.o.d"
+  "/root/repo/src/gsf/portfolio.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/portfolio.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/portfolio.cc.o.d"
+  "/root/repo/src/gsf/report.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/report.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/report.cc.o.d"
+  "/root/repo/src/gsf/sizing.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/sizing.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/sizing.cc.o.d"
+  "/root/repo/src/gsf/tco.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/tco.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/tco.cc.o.d"
+  "/root/repo/src/gsf/tiering.cc" "src/gsf/CMakeFiles/gsku_gsf.dir/tiering.cc.o" "gcc" "src/gsf/CMakeFiles/gsku_gsf.dir/tiering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsku_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/gsku_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gsku_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/gsku_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gsku_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

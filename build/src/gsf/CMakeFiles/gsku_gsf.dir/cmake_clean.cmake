@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsku_gsf.dir/adoption.cc.o"
+  "CMakeFiles/gsku_gsf.dir/adoption.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/alternatives.cc.o"
+  "CMakeFiles/gsku_gsf.dir/alternatives.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/design_space.cc.o"
+  "CMakeFiles/gsku_gsf.dir/design_space.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/evaluator.cc.o"
+  "CMakeFiles/gsku_gsf.dir/evaluator.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/hetero.cc.o"
+  "CMakeFiles/gsku_gsf.dir/hetero.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/lifetime.cc.o"
+  "CMakeFiles/gsku_gsf.dir/lifetime.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/portfolio.cc.o"
+  "CMakeFiles/gsku_gsf.dir/portfolio.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/report.cc.o"
+  "CMakeFiles/gsku_gsf.dir/report.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/sizing.cc.o"
+  "CMakeFiles/gsku_gsf.dir/sizing.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/tco.cc.o"
+  "CMakeFiles/gsku_gsf.dir/tco.cc.o.d"
+  "CMakeFiles/gsku_gsf.dir/tiering.cc.o"
+  "CMakeFiles/gsku_gsf.dir/tiering.cc.o.d"
+  "libgsku_gsf.a"
+  "libgsku_gsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsku_gsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gsku_gsf.
+# This may be replaced when dependencies are built.

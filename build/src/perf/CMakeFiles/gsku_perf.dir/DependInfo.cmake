@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/app.cc" "src/perf/CMakeFiles/gsku_perf.dir/app.cc.o" "gcc" "src/perf/CMakeFiles/gsku_perf.dir/app.cc.o.d"
+  "/root/repo/src/perf/autoscaler.cc" "src/perf/CMakeFiles/gsku_perf.dir/autoscaler.cc.o" "gcc" "src/perf/CMakeFiles/gsku_perf.dir/autoscaler.cc.o.d"
+  "/root/repo/src/perf/cpu.cc" "src/perf/CMakeFiles/gsku_perf.dir/cpu.cc.o" "gcc" "src/perf/CMakeFiles/gsku_perf.dir/cpu.cc.o.d"
+  "/root/repo/src/perf/des.cc" "src/perf/CMakeFiles/gsku_perf.dir/des.cc.o" "gcc" "src/perf/CMakeFiles/gsku_perf.dir/des.cc.o.d"
+  "/root/repo/src/perf/model.cc" "src/perf/CMakeFiles/gsku_perf.dir/model.cc.o" "gcc" "src/perf/CMakeFiles/gsku_perf.dir/model.cc.o.d"
+  "/root/repo/src/perf/queueing.cc" "src/perf/CMakeFiles/gsku_perf.dir/queueing.cc.o" "gcc" "src/perf/CMakeFiles/gsku_perf.dir/queueing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsku_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/gsku_carbon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

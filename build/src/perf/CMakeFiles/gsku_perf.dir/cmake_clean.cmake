@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsku_perf.dir/app.cc.o"
+  "CMakeFiles/gsku_perf.dir/app.cc.o.d"
+  "CMakeFiles/gsku_perf.dir/autoscaler.cc.o"
+  "CMakeFiles/gsku_perf.dir/autoscaler.cc.o.d"
+  "CMakeFiles/gsku_perf.dir/cpu.cc.o"
+  "CMakeFiles/gsku_perf.dir/cpu.cc.o.d"
+  "CMakeFiles/gsku_perf.dir/des.cc.o"
+  "CMakeFiles/gsku_perf.dir/des.cc.o.d"
+  "CMakeFiles/gsku_perf.dir/model.cc.o"
+  "CMakeFiles/gsku_perf.dir/model.cc.o.d"
+  "CMakeFiles/gsku_perf.dir/queueing.cc.o"
+  "CMakeFiles/gsku_perf.dir/queueing.cc.o.d"
+  "libgsku_perf.a"
+  "libgsku_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsku_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

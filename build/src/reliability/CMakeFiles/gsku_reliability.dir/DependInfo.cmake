@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/failure_sim.cc" "src/reliability/CMakeFiles/gsku_reliability.dir/failure_sim.cc.o" "gcc" "src/reliability/CMakeFiles/gsku_reliability.dir/failure_sim.cc.o.d"
+  "/root/repo/src/reliability/maintenance.cc" "src/reliability/CMakeFiles/gsku_reliability.dir/maintenance.cc.o" "gcc" "src/reliability/CMakeFiles/gsku_reliability.dir/maintenance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gsku_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/gsku_carbon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

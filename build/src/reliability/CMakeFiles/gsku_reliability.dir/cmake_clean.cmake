@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsku_reliability.dir/failure_sim.cc.o"
+  "CMakeFiles/gsku_reliability.dir/failure_sim.cc.o.d"
+  "CMakeFiles/gsku_reliability.dir/maintenance.cc.o"
+  "CMakeFiles/gsku_reliability.dir/maintenance.cc.o.d"
+  "libgsku_reliability.a"
+  "libgsku_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsku_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adoption_test.dir/gsf/adoption_test.cc.o"
+  "CMakeFiles/adoption_test.dir/gsf/adoption_test.cc.o.d"
+  "adoption_test"
+  "adoption_test.pdb"
+  "adoption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adoption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_catalog_test.dir/perf/app_catalog_test.cc.o"
+  "CMakeFiles/app_catalog_test.dir/perf/app_catalog_test.cc.o.d"
+  "app_catalog_test"
+  "app_catalog_test.pdb"
+  "app_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

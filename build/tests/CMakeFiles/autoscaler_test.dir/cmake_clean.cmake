@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaler_test.dir/perf/autoscaler_test.cc.o"
+  "CMakeFiles/autoscaler_test.dir/perf/autoscaler_test.cc.o.d"
+  "autoscaler_test"
+  "autoscaler_test.pdb"
+  "autoscaler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

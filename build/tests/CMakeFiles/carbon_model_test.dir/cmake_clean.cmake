@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carbon_model_test.dir/carbon/model_test.cc.o"
+  "CMakeFiles/carbon_model_test.dir/carbon/model_test.cc.o.d"
+  "carbon_model_test"
+  "carbon_model_test.pdb"
+  "carbon_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carbon_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carbon_property_test.dir/carbon/property_test.cc.o"
+  "CMakeFiles/carbon_property_test.dir/carbon/property_test.cc.o.d"
+  "carbon_property_test"
+  "carbon_property_test.pdb"
+  "carbon_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carbon_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

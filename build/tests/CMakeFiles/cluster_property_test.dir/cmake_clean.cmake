@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_property_test.dir/cluster/property_test.cc.o"
+  "CMakeFiles/cluster_property_test.dir/cluster/property_test.cc.o.d"
+  "cluster_property_test"
+  "cluster_property_test.pdb"
+  "cluster_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_test.dir/carbon/component_test.cc.o"
+  "CMakeFiles/component_test.dir/carbon/component_test.cc.o.d"
+  "component_test"
+  "component_test.pdb"
+  "component_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_test.dir/perf/cpu_test.cc.o"
+  "CMakeFiles/cpu_test.dir/perf/cpu_test.cc.o.d"
+  "cpu_test"
+  "cpu_test.pdb"
+  "cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_consistency_test.dir/perf/curve_consistency_test.cc.o"
+  "CMakeFiles/curve_consistency_test.dir/perf/curve_consistency_test.cc.o.d"
+  "curve_consistency_test"
+  "curve_consistency_test.pdb"
+  "curve_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

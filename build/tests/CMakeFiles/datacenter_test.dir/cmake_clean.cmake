@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_test.dir/carbon/datacenter_test.cc.o"
+  "CMakeFiles/datacenter_test.dir/carbon/datacenter_test.cc.o.d"
+  "datacenter_test"
+  "datacenter_test.pdb"
+  "datacenter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

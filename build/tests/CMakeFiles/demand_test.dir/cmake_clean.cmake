@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_test.dir/cluster/demand_test.cc.o"
+  "CMakeFiles/demand_test.dir/cluster/demand_test.cc.o.d"
+  "demand_test"
+  "demand_test.pdb"
+  "demand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_test.dir/gsf/design_space_test.cc.o"
+  "CMakeFiles/design_space_test.dir/gsf/design_space_test.cc.o.d"
+  "design_space_test"
+  "design_space_test.pdb"
+  "design_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embodied_estimator_test.dir/carbon/embodied_estimator_test.cc.o"
+  "CMakeFiles/embodied_estimator_test.dir/carbon/embodied_estimator_test.cc.o.d"
+  "embodied_estimator_test"
+  "embodied_estimator_test.pdb"
+  "embodied_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embodied_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_test.dir/common/error_test.cc.o"
+  "CMakeFiles/error_test.dir/common/error_test.cc.o.d"
+  "error_test"
+  "error_test.pdb"
+  "error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

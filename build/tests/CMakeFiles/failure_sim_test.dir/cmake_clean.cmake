@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_sim_test.dir/reliability/failure_sim_test.cc.o"
+  "CMakeFiles/failure_sim_test.dir/reliability/failure_sim_test.cc.o.d"
+  "failure_sim_test"
+  "failure_sim_test.pdb"
+  "failure_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

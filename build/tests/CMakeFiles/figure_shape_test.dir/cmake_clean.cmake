@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_shape_test.dir/gsf/figure_shape_test.cc.o"
+  "CMakeFiles/figure_shape_test.dir/gsf/figure_shape_test.cc.o.d"
+  "figure_shape_test"
+  "figure_shape_test.pdb"
+  "figure_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_test.dir/gsf/hetero_test.cc.o"
+  "CMakeFiles/hetero_test.dir/gsf/hetero_test.cc.o.d"
+  "hetero_test"
+  "hetero_test.pdb"
+  "hetero_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

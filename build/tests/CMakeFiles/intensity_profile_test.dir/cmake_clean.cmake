@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intensity_profile_test.dir/carbon/intensity_profile_test.cc.o"
+  "CMakeFiles/intensity_profile_test.dir/carbon/intensity_profile_test.cc.o.d"
+  "intensity_profile_test"
+  "intensity_profile_test.pdb"
+  "intensity_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intensity_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

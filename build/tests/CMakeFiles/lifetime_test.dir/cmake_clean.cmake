@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_test.dir/gsf/lifetime_test.cc.o"
+  "CMakeFiles/lifetime_test.dir/gsf/lifetime_test.cc.o.d"
+  "lifetime_test"
+  "lifetime_test.pdb"
+  "lifetime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

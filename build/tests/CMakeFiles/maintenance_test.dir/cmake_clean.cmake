@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_test.dir/reliability/maintenance_test.cc.o"
+  "CMakeFiles/maintenance_test.dir/reliability/maintenance_test.cc.o.d"
+  "maintenance_test"
+  "maintenance_test.pdb"
+  "maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sku_test.dir/cluster/multi_sku_test.cc.o"
+  "CMakeFiles/multi_sku_test.dir/cluster/multi_sku_test.cc.o.d"
+  "multi_sku_test"
+  "multi_sku_test.pdb"
+  "multi_sku_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sku_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_property_test.dir/perf/property_test.cc.o"
+  "CMakeFiles/perf_property_test.dir/perf/property_test.cc.o.d"
+  "perf_property_test"
+  "perf_property_test.pdb"
+  "perf_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

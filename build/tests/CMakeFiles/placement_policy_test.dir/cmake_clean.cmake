@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_policy_test.dir/cluster/placement_policy_test.cc.o"
+  "CMakeFiles/placement_policy_test.dir/cluster/placement_policy_test.cc.o.d"
+  "placement_policy_test"
+  "placement_policy_test.pdb"
+  "placement_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_test.dir/gsf/portfolio_test.cc.o"
+  "CMakeFiles/portfolio_test.dir/gsf/portfolio_test.cc.o.d"
+  "portfolio_test"
+  "portfolio_test.pdb"
+  "portfolio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

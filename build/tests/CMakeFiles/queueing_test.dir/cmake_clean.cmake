@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_test.dir/perf/queueing_test.cc.o"
+  "CMakeFiles/queueing_test.dir/perf/queueing_test.cc.o.d"
+  "queueing_test"
+  "queueing_test.pdb"
+  "queueing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/carbon/savings_table_test.cc" "tests/CMakeFiles/savings_table_test.dir/carbon/savings_table_test.cc.o" "gcc" "tests/CMakeFiles/savings_table_test.dir/carbon/savings_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gsf/CMakeFiles/gsku_gsf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gsku_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/gsku_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gsku_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/gsku_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gsku_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savings_table_test.dir/carbon/savings_table_test.cc.o"
+  "CMakeFiles/savings_table_test.dir/carbon/savings_table_test.cc.o.d"
+  "savings_table_test"
+  "savings_table_test.pdb"
+  "savings_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savings_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

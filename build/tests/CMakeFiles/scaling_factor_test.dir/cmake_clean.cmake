@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_factor_test.dir/perf/scaling_factor_test.cc.o"
+  "CMakeFiles/scaling_factor_test.dir/perf/scaling_factor_test.cc.o.d"
+  "scaling_factor_test"
+  "scaling_factor_test.pdb"
+  "scaling_factor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

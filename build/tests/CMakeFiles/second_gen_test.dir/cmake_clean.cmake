@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/second_gen_test.dir/carbon/second_gen_test.cc.o"
+  "CMakeFiles/second_gen_test.dir/carbon/second_gen_test.cc.o.d"
+  "second_gen_test"
+  "second_gen_test.pdb"
+  "second_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/second_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizing_test.dir/gsf/sizing_test.cc.o"
+  "CMakeFiles/sizing_test.dir/gsf/sizing_test.cc.o.d"
+  "sizing_test"
+  "sizing_test.pdb"
+  "sizing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sku_parser_test.dir/carbon/sku_parser_test.cc.o"
+  "CMakeFiles/sku_parser_test.dir/carbon/sku_parser_test.cc.o.d"
+  "sku_parser_test"
+  "sku_parser_test.pdb"
+  "sku_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sku_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

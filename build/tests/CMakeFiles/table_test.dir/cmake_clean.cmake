@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_test.dir/common/table_test.cc.o"
+  "CMakeFiles/table_test.dir/common/table_test.cc.o.d"
+  "table_test"
+  "table_test.pdb"
+  "table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

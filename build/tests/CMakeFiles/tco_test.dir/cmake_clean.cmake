@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_test.dir/gsf/tco_test.cc.o"
+  "CMakeFiles/tco_test.dir/gsf/tco_test.cc.o.d"
+  "tco_test"
+  "tco_test.pdb"
+  "tco_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

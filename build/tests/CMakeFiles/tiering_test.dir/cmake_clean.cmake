@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiering_test.dir/gsf/tiering_test.cc.o"
+  "CMakeFiles/tiering_test.dir/gsf/tiering_test.cc.o.d"
+  "tiering_test"
+  "tiering_test.pdb"
+  "tiering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

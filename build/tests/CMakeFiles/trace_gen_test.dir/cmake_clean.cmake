@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_gen_test.dir/cluster/trace_gen_test.cc.o"
+  "CMakeFiles/trace_gen_test.dir/cluster/trace_gen_test.cc.o.d"
+  "trace_gen_test"
+  "trace_gen_test.pdb"
+  "trace_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/units_test.dir/common/units_test.cc.o"
+  "CMakeFiles/units_test.dir/common/units_test.cc.o.d"
+  "units_test"
+  "units_test.pdb"
+  "units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worked_example_test.dir/carbon/worked_example_test.cc.o"
+  "CMakeFiles/worked_example_test.dir/carbon/worked_example_test.cc.o.d"
+  "worked_example_test"
+  "worked_example_test.pdb"
+  "worked_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worked_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
