@@ -43,7 +43,7 @@ main()
     std::cout << "Sec. VII-A: TCO view of the SKU catalog (carbon model "
                  "swapped for a cost model)\n\n";
 
-    double best = 1e18;
+    Cost best = Cost::usd(1e18);
     std::string best_name;
     Table table({"SKU", "Server capex ($)", "Lifetime opex ($)",
                  "$/core (capex)", "$/core (opex)", "$/core total"},
@@ -55,19 +55,20 @@ main()
             best = cost.total();
             best_name = sku.name;
         }
-        table.addRow({sku.name, Table::num(model.serverCapexUsd(sku), 0),
-                      Table::num(model.serverOpexUsd(sku), 0),
-                      Table::num(cost.capex_usd, 1),
-                      Table::num(cost.opex_usd, 1),
-                      Table::num(cost.total(), 1)});
+        table.addRow({sku.name,
+                      Table::num(model.serverCapex(sku).asUsd(), 0),
+                      Table::num(model.serverOpex(sku).asUsd(), 0),
+                      Table::num(cost.capex.asUsd(), 1),
+                      Table::num(cost.opex.asUsd(), 1),
+                      Table::num(cost.total().asUsd(), 1)});
     }
     std::cout << table.render() << '\n';
 
-    const double full =
+    const Cost full =
         model.perCore(carbon::StandardSkus::greenFull()).total();
     std::cout << "Cost-optimal SKU: " << best_name << " at $"
-              << Table::num(best, 1) << "/core; carbon-efficient "
-                 "GreenSKU-Full at $" << Table::num(full, 1)
+              << Table::num(best.asUsd(), 1) << "/core; carbon-efficient "
+                 "GreenSKU-Full at $" << Table::num(full.asUsd(), 1)
               << "/core -> premium "
               << Table::percent((full - best) / full, 1) << '\n';
     std::cout << "Paper anchor: the cost-efficient SKU is only ~5% less "

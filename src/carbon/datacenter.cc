@@ -208,10 +208,10 @@ DataCenterModel::breakdown(const FleetComposition &fleet) const
         std::map<std::string, double> combined;
         double server_total = 0.0;
         for (const auto &[kind, watts] : power_by_kind) {
-            combined[toString(kind)] += watts * kg_per_w;
+            combined[toString(kind)] += watts.asWatts() * kg_per_w;
         }
         for (const auto &[kind, kg] : emb_by_kind) {
-            combined[toString(kind)] += kg;
+            combined[toString(kind)] += kg.asKg();
         }
         const double per_server_overhead =
             (params.rack_misc_power.asWatts() * kg_per_w +

@@ -33,7 +33,7 @@ enum class ProcessNode
  * IMEC/ACT-style industry averages including yield. Values are
  * best-effort public estimates; see docs/calibration.md.
  */
-double kgCo2PerCm2(ProcessNode node);
+double kgCo2PerCm2(ProcessNode node); // lint-ok: raw-double-units kg/cm^2 has no strong type; internal ratio
 
 /** One die (or die type) inside a package. */
 struct DieSpec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/error.h"
 
 namespace gsku::carbon {
@@ -39,7 +40,12 @@ IntensityProfile::at(double hour) const
     GSKU_REQUIRE(hour >= 0.0 && hour <= 24.0, "hour must be in [0, 24]");
     const double phase = 2.0 * M_PI * (hour - cleanest_hour_) / 24.0;
     // Cosine trough at the cleanest hour; integrates to the mean.
-    return mean_ * (1.0 - swing_fraction_ * std::cos(phase));
+    const CarbonIntensity ci =
+        mean_ * (1.0 - swing_fraction_ * std::cos(phase));
+    GSKU_ENSURE(ci.asKgPerKwh() >= 0.0 &&
+                    ci <= mean_ * (1.0 + swing_fraction_ + 1e-9),
+                "profile intensity left its [mean*(1-s), mean*(1+s)] band");
+    return ci;
 }
 
 CarbonIntensity
@@ -57,7 +63,14 @@ IntensityProfile::cleanestWindowMean(double window_hours) const
         h = std::fmod(h + 24.0, 24.0);
         sum += at(h).asKgPerKwh();
     }
-    return CarbonIntensity::kgPerKwh(sum / steps);
+    const CarbonIntensity window_mean = CarbonIntensity::kgPerKwh(sum / steps);
+    // Monotone-profile contract: the window centered on the cleanest
+    // hour can never be dirtier than the daily mean, and widening the
+    // window can only move it toward the mean — downstream shifting
+    // savings rely on mean - clean >= 0.
+    GSKU_ENSURE(window_mean <= mean_ * (1.0 + 1e-9),
+                "cleanest-window mean exceeds the daily mean");
+    return window_mean;
 }
 
 double

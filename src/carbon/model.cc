@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/error.h"
 
 namespace gsku::carbon {
@@ -11,6 +12,36 @@ RackFootprint::perCore() const
 {
     GSKU_REQUIRE(cores_per_rack > 0, "rack has no cores");
     return total() / static_cast<double>(cores_per_rack);
+}
+
+void
+RackFootprint::checkInvariants() const
+{
+    GSKU_INVARIANT(servers_per_rack >= 1, "rack fits no servers");
+    GSKU_INVARIANT(cores_per_rack >= servers_per_rack,
+                   "rack has fewer cores than servers");
+    GSKU_INVARIANT(server_power.asWatts() > 0.0 &&
+                       std::isfinite(server_power.asWatts()),
+                   "server power must be positive and finite");
+    GSKU_INVARIANT(rack_power >= server_power,
+                   "rack power below one server's power");
+    GSKU_INVARIANT(rack_embodied.asKg() >= 0.0 &&
+                       std::isfinite(rack_embodied.asKg()),
+                   "rack embodied carbon must be non-negative");
+    GSKU_INVARIANT(rack_operational.asKg() >= 0.0 &&
+                       std::isfinite(rack_operational.asKg()),
+                   "rack operational carbon must be non-negative");
+}
+
+void
+PerCoreEmissions::checkInvariants() const
+{
+    GSKU_INVARIANT(operational.asKg() >= 0.0 &&
+                       std::isfinite(operational.asKg()),
+                   "per-core operational carbon must be non-negative");
+    GSKU_INVARIANT(embodied.asKg() >= 0.0 &&
+                       std::isfinite(embodied.asKg()),
+                   "per-core embodied carbon must be non-negative");
 }
 
 CarbonModel::CarbonModel(ModelParams params) : params_(params)
@@ -56,31 +87,54 @@ CarbonModel::serverEmbodied(const ServerSku &sku) const
     for (const auto &slot : sku.slots) {
         total += slotEmbodied(slot);
     }
+    GSKU_ENSURE(total.asKg() >= 0.0,
+                "server embodied carbon must be non-negative");
     return total;
 }
 
 CarbonMass
 CarbonModel::serverOperational(const ServerSku &sku) const
 {
-    return serverPower(sku) * params_.lifetime * params_.carbon_intensity;
+    const CarbonMass op =
+        serverPower(sku) * params_.lifetime * params_.carbon_intensity;
+    GSKU_ENSURE(op.asKg() >= 0.0,
+                "server operational carbon must be non-negative");
+    return op;
 }
 
-KindBreakdown
+PowerBreakdown
 CarbonModel::serverPowerByKind(const ServerSku &sku) const
 {
-    KindBreakdown out;
+    PowerBreakdown out;
     for (const auto &slot : sku.slots) {
-        out[slot.component.kind] += slotPower(slot).asWatts();
+        out[slot.component.kind] += slotPower(slot);
+    }
+    if (contracts::auditEnabled()) {
+        Power sum;
+        for (const auto &[kind, p] : out) {
+            sum += p;
+        }
+        GSKU_AUDIT(std::abs(sum.asWatts() -
+                            serverPower(sku).asWatts()) < 1e-6,
+                   "per-kind power split must sum to total server power");
     }
     return out;
 }
 
-KindBreakdown
+CarbonBreakdown
 CarbonModel::serverEmbodiedByKind(const ServerSku &sku) const
 {
-    KindBreakdown out;
+    CarbonBreakdown out;
     for (const auto &slot : sku.slots) {
-        out[slot.component.kind] += slotEmbodied(slot).asKg();
+        out[slot.component.kind] += slotEmbodied(slot);
+    }
+    if (contracts::auditEnabled()) {
+        CarbonMass sum;
+        for (const auto &[kind, kg] : out) {
+            sum += kg;
+        }
+        GSKU_AUDIT(std::abs(sum.asKg() - serverEmbodied(sku).asKg()) < 1e-6,
+                   "per-kind embodied split must sum to server embodied");
     }
     return out;
 }
@@ -111,6 +165,9 @@ CarbonModel::rackFootprint(const ServerSku &sku) const
         n * serverEmbodied(sku) + params_.rack_misc_embodied;
     fp.rack_operational =
         fp.rack_power * params_.lifetime * params_.carbon_intensity;
+    fp.checkInvariants();
+    GSKU_ENSURE(fp.rack_power <= params_.rack_power_capacity,
+                "rack fit exceeds the rack power cap");
     return fp;
 }
 
@@ -123,6 +180,8 @@ CarbonModel::perCore(const ServerSku &sku) const
 PerCoreEmissions
 CarbonModel::perCore(const ServerSku &sku, CarbonIntensity ci) const
 {
+    GSKU_REQUIRE(ci.asKgPerKwh() >= 0.0,
+                 "carbon intensity must be non-negative");
     const RackFootprint fp = rackFootprint(sku);
     const double cores = static_cast<double>(fp.cores_per_rack);
 
@@ -133,6 +192,7 @@ CarbonModel::perCore(const ServerSku &sku, CarbonIntensity ci) const
     // DC embodied = rack embodied plus the per-rack share of DC
     // infrastructure embodied carbon amortized over one server lifetime.
     out.embodied = (fp.rack_embodied + params_.dc_embodied_per_rack) / cores;
+    out.checkInvariants();
     return out;
 }
 

@@ -21,8 +21,11 @@
 
 namespace gsku::carbon {
 
-/** Per-component-kind split of a server's power or embodied carbon. */
-using KindBreakdown = std::map<ComponentKind, double>;
+/** Per-component-kind split of a server's derated power draw. */
+using PowerBreakdown = std::map<ComponentKind, Power>;
+
+/** Per-component-kind split of a server's embodied carbon. */
+using CarbonBreakdown = std::map<ComponentKind, CarbonMass>;
 
 /** Rack-level aggregate (Eqs. 2 and 3 plus lifetime operational). */
 struct RackFootprint
@@ -40,6 +43,14 @@ struct RackFootprint
 
     /** Rack-level CO2e-per-core (the §V example's 31 kg figure). */
     CarbonMass perCore() const;
+
+    /**
+     * Contract check: a well-formed footprint has at least one server,
+     * positive power, non-negative carbon masses, and cores consistent
+     * with the server count. CarbonModel::rackFootprint() ENSUREs this
+     * on every result; throws InternalError on violation.
+     */
+    void checkInvariants() const;
 };
 
 /** The model's headline output: amortized emissions per core. */
@@ -49,6 +60,10 @@ struct PerCoreEmissions
     CarbonMass embodied;
 
     CarbonMass total() const { return operational + embodied; }
+
+    /** Contract check: emissions are finite and non-negative; throws
+     *  InternalError on violation (a sign error in the model). */
+    void checkInvariants() const;
 };
 
 /** One row of Table IV / Table VIII: savings relative to the baseline. */
@@ -84,11 +99,11 @@ class CarbonModel
     /** Server lifetime operational emissions at the model's CI (no PUE). */
     CarbonMass serverOperational(const ServerSku &sku) const;
 
-    /** Per-kind split of derated server power, in watts. */
-    KindBreakdown serverPowerByKind(const ServerSku &sku) const;
+    /** Per-kind split of derated server power. */
+    PowerBreakdown serverPowerByKind(const ServerSku &sku) const;
 
-    /** Per-kind split of server embodied carbon, in kgCO2e. */
-    KindBreakdown serverEmbodiedByKind(const ServerSku &sku) const;
+    /** Per-kind split of server embodied carbon. */
+    CarbonBreakdown serverEmbodiedByKind(const ServerSku &sku) const;
 
     /**
      * Rack-level aggregate. N_s = min(floor((P_cap - P_rack_misc)/P_s),

@@ -42,6 +42,12 @@ parseCountSize(const std::string &key, const std::string &value)
     }
     GSKU_REQUIRE(out.count > 0, key + " count must be positive");
     GSKU_REQUIRE(out.size > 0.0, key + " size must be positive");
+    // Fuzzing-derived sanity bounds: absurd counts/sizes previously
+    // parsed fine and overflowed downstream capacity sums to inf.
+    GSKU_REQUIRE(out.count <= 4096,
+                 key + " count is implausibly large (max 4096)");
+    GSKU_REQUIRE(std::isfinite(out.size) && out.size <= 1.0e6,
+                 key + " size is implausibly large (max 1e6)");
     return out;
 }
 
@@ -162,6 +168,10 @@ parseSku(const std::string &spec)
         } catch (const std::logic_error &) {
             GSKU_REQUIRE(false, "malformed u='" + kv.at("u") + "'");
         }
+        // A server taller than the rack would make the rack-fit model
+        // report zero servers per rack; reject it as caller error here.
+        GSKU_REQUIRE(sku.form_factor_u >= 1 && sku.form_factor_u <= 48,
+                     "u must be in [1, 48], got '" + kv.at("u") + "'");
     }
 
     sku.local_memory = MemCapacity::gb(local_gb);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/contracts.h"
 #include "common/error.h"
 #include "perf/app.h"
 
@@ -74,6 +75,20 @@ AdoptionTable::adoptionRate() const
         n += e.adopt ? 1 : 0;
     }
     return static_cast<double>(n) / static_cast<double>(entries_.size());
+}
+
+void
+GroupMetrics::checkInvariants() const
+{
+    GSKU_INVARIANT(servers >= 0 && vms_placed >= 0,
+                   "group counts must be non-negative");
+    GSKU_INVARIANT(mean_core_packing >= 0.0 && mean_core_packing <= 1.0,
+                   "core packing density must lie in [0, 1]");
+    GSKU_INVARIANT(mean_mem_packing >= 0.0 && mean_mem_packing <= 1.0,
+                   "memory packing density must lie in [0, 1]");
+    GSKU_INVARIANT(mean_max_mem_utilization >= 0.0 &&
+                       mean_max_mem_utilization <= 1.0 + 1e-9,
+                   "touched-memory utilization must lie in [0, 1]");
 }
 
 std::string
@@ -339,9 +354,30 @@ VmAllocator::replay(const VmTrace &trace,
     std::vector<Placement> placements;
     std::vector<bool> live;
     auto placement_of = [&](VmId id) -> Placement & {
-        GSKU_ASSERT(id < placements.size() && live[id],
+        GSKU_EXPECT(id < placements.size() && live[id],
                     "departure for unknown VM");
         return placements[id];
+    };
+
+    // Conservation audit: the per-server accounting must always agree
+    // with the ledger of live placements — cores and memory are neither
+    // created nor destroyed by placement and release.
+    double ledger_cores = 0.0;
+    double ledger_mem = 0.0;
+    auto audit_conservation = [&]() {
+        if (!contracts::auditEnabled()) {
+            return;
+        }
+        double used_cores = 0.0;
+        double used_mem = 0.0;
+        for (const ServerState &s : servers) {
+            used_cores += s.used_cores;
+            used_mem += s.used_mem;
+        }
+        GSKU_AUDIT(std::abs(used_cores - ledger_cores) < 1e-6,
+                   "allocated cores leaked or were double-freed");
+        GSKU_AUDIT(std::abs(used_mem - ledger_mem) < 1e-6,
+                   "allocated memory leaked or was double-freed");
     };
 
     MultiReplayResult result;
@@ -352,6 +388,7 @@ VmAllocator::replay(const VmTrace &trace,
     std::vector<long> green_placed(cluster.greens.size(), 0);
 
     auto snapshot_all = [&]() {
+        audit_conservation();
         base_acc.sample(servers, 0, n_base);
         for (std::size_t g = 0; g < green_accs.size(); ++g) {
             green_accs[g].sample(servers, green_ranges[g].begin,
@@ -367,9 +404,11 @@ VmAllocator::replay(const VmTrace &trace,
         s.touched_mem -= p.touched;
         s.vm_count -= 1;
         s.dedicated = false;
-        GSKU_ASSERT(s.used_cores >= -1e-6 && s.used_mem >= -1e-6 &&
-                        s.vm_count >= 0,
-                    "server resource accounting went negative");
+        ledger_cores -= p.cores;
+        ledger_mem -= p.mem;
+        GSKU_INVARIANT(s.used_cores >= -1e-6 && s.used_mem >= -1e-6 &&
+                           s.vm_count >= 0,
+                       "server resource accounting went negative");
         live[dep.vm] = false;
     };
 
@@ -461,6 +500,11 @@ VmAllocator::replay(const VmTrace &trace,
         s.vm_count += 1;
         s.ever_used = true;
         s.dedicated = vm.full_node;
+        ledger_cores += p.cores;
+        ledger_mem += p.mem;
+        GSKU_INVARIANT(s.used_cores <= s.total_cores + 1e-6 &&
+                           s.used_mem <= s.total_mem + 1e-6,
+                       "placement oversubscribed a server");
 
         if (vm.id >= placements.size()) {
             placements.resize(vm.id + 1);
@@ -493,6 +537,7 @@ VmAllocator::replay(const VmTrace &trace,
         release(dep);
     }
 
+    audit_conservation();
     result.success = result.rejected == 0;
     result.baseline =
         finishGroup(servers, 0, n_base, base_acc, base_placed);
@@ -501,6 +546,15 @@ VmAllocator::replay(const VmTrace &trace,
             finishGroup(servers, green_ranges[g].begin,
                         green_ranges[g].end, green_accs[g],
                         green_placed[g]));
+    }
+    GSKU_ENSURE(result.placed + result.rejected <=
+                    static_cast<long>(vms.size()),
+                "placement outcomes exceed the trace size");
+    GSKU_ENSURE(result.green_placed <= result.placed,
+                "green placements exceed total placements");
+    result.baseline.checkInvariants();
+    for (const GroupMetrics &g : result.greens) {
+        g.checkInvariants();
     }
     return result;
 }

@@ -127,6 +127,13 @@ struct GroupMetrics
      * sum(vm allocated memory x touched fraction) / server capacity.
      */
     double mean_max_mem_utilization = 0.0;
+
+    /**
+     * Contract check: counts non-negative and every packing/utilization
+     * mean inside [0, 1]. VmAllocator ENSUREs this on every group it
+     * reports; throws InternalError on violation.
+     */
+    void checkInvariants() const;
 };
 
 /** Outcome of replaying a trace against a cluster. */

@@ -1,0 +1,18 @@
+#include "common/contracts.h"
+
+#include <sstream>
+
+namespace gsku::contracts {
+namespace detail {
+
+void
+contractFailure(const char *kind, const char *cond, const char *file,
+                int line, const std::string &msg)
+{
+    std::ostringstream out;
+    out << "contract violated: " << kind << "(" << cond << "): " << msg;
+    ::gsku::detail::throwInternalError(file, line, out.str());
+}
+
+} // namespace detail
+} // namespace gsku::contracts

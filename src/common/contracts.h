@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Contract (design-by-contract) layer for the GreenSKU library.
+ *
+ * Complements common/error.h:
+ *  - GSKU_REQUIRE (error.h) validates *caller* input on public entry
+ *    points and throws UserError; it is always compiled in.
+ *  - The contract macros below check *internal* correctness — the
+ *    arithmetic and bookkeeping the paper's results rest on — and throw
+ *    InternalError. A firing contract is always a library bug.
+ *
+ * Macro semantics:
+ *  - GSKU_EXPECT(cond, msg)    precondition of an internal operation.
+ *  - GSKU_ENSURE(cond, msg)    postcondition: a result the operation
+ *                              promised (non-negative carbon mass,
+ *                              monotone event time, ...).
+ *  - GSKU_INVARIANT(cond, msg) state invariant that must hold between
+ *                              operations.
+ *  - GSKU_AUDIT(cond, msg)     expensive invariant (e.g. a full pass
+ *                              over simulator state); only checked in
+ *                              audit-level builds.
+ *
+ * Check levels (GSKU_CONTRACT_LEVEL):
+ *  - 0: all contract macros compile to no-ops (opt-in via
+ *       -DGSKU_CONTRACTS=OFF for maximum-speed production runs).
+ *  - 1: cheap O(1) contracts (EXPECT/ENSURE/INVARIANT) are checked;
+ *       audits are skipped. The default for optimized builds.
+ *  - 2: everything is checked, including audits. The default for Debug
+ *       and sanitizer builds (the `asan`/`tsan` CMake presets).
+ *
+ * The level is normally injected by CMake (see GSKU_CONTRACTS in the
+ * top-level CMakeLists.txt); the fallback below picks 2 under a
+ * sanitizer or unoptimized build and 1 otherwise.
+ */
+#pragma once
+
+#include "common/error.h"
+
+// ---------------------------------------------------------------------
+// Level selection.
+// ---------------------------------------------------------------------
+
+#if !defined(GSKU_CONTRACT_LEVEL)
+#  if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#    define GSKU_CONTRACT_LEVEL 2
+#  elif defined(__has_feature)
+#    if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#      define GSKU_CONTRACT_LEVEL 2
+#    endif
+#  endif
+#endif
+#if !defined(GSKU_CONTRACT_LEVEL)
+#  if !defined(NDEBUG)
+#    define GSKU_CONTRACT_LEVEL 2
+#  else
+#    define GSKU_CONTRACT_LEVEL 1
+#  endif
+#endif
+
+#if GSKU_CONTRACT_LEVEL < 0 || GSKU_CONTRACT_LEVEL > 2
+#  error "GSKU_CONTRACT_LEVEL must be 0, 1, or 2"
+#endif
+
+namespace gsku::contracts {
+
+/** Compile-time contract level of this translation unit. */
+inline constexpr int kLevel = GSKU_CONTRACT_LEVEL;
+
+/** True when the cheap contracts (EXPECT/ENSURE/INVARIANT) are active. */
+inline constexpr bool enabled() { return kLevel >= 1; }
+
+/**
+ * True when expensive audits are active. Use to skip *building the
+ * inputs* of a GSKU_AUDIT (e.g. summing state across a fleet):
+ *
+ *   if (gsku::contracts::auditEnabled()) {
+ *       const double total = sumAllocatedCores(servers);
+ *       GSKU_AUDIT(std::abs(total - ledger) < 1e-6, "cores leaked");
+ *   }
+ */
+inline constexpr bool auditEnabled() { return kLevel >= 2; }
+
+namespace detail {
+
+[[noreturn]] void contractFailure(const char *kind, const char *cond,
+                                  const char *file, int line,
+                                  const std::string &msg);
+
+} // namespace detail
+} // namespace gsku::contracts
+
+// ---------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------
+
+#define GSKU_DETAIL_CONTRACT(kind, cond, msg)                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::gsku::contracts::detail::contractFailure(                      \
+                kind, #cond, __FILE__, __LINE__, (msg));                     \
+        }                                                                    \
+    } while (0)
+
+#if GSKU_CONTRACT_LEVEL >= 1
+/** Precondition of an internal operation; throws InternalError. */
+#  define GSKU_EXPECT(cond, msg) GSKU_DETAIL_CONTRACT("EXPECT", cond, msg)
+/** Postcondition of an internal operation; throws InternalError. */
+#  define GSKU_ENSURE(cond, msg) GSKU_DETAIL_CONTRACT("ENSURE", cond, msg)
+/** State invariant between operations; throws InternalError. */
+#  define GSKU_INVARIANT(cond, msg)                                          \
+    GSKU_DETAIL_CONTRACT("INVARIANT", cond, msg)
+#else
+#  define GSKU_EXPECT(cond, msg) ((void)0)
+#  define GSKU_ENSURE(cond, msg) ((void)0)
+#  define GSKU_INVARIANT(cond, msg) ((void)0)
+#endif
+
+#if GSKU_CONTRACT_LEVEL >= 2
+/** Expensive invariant; only checked at audit level (Debug/sanitizer). */
+#  define GSKU_AUDIT(cond, msg) GSKU_DETAIL_CONTRACT("AUDIT", cond, msg)
+#else
+#  define GSKU_AUDIT(cond, msg) ((void)0)
+#endif

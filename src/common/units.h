@@ -216,6 +216,48 @@ operator*(CarbonIntensity ci, Energy e)
     return e * ci;
 }
 
+/**
+ * Money; canonical unit: US dollars. Used by the TCO model so cost can
+ * never be silently mixed with carbon mass or energy (the same class of
+ * bug the carbon quantities guard against).
+ */
+class Cost : public detail::ScalarQuantity<Cost>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr Cost usd(double v) { return Cost(v); }
+
+    constexpr double asUsd() const { return raw(); }
+};
+
+/** Electricity price; canonical unit: USD per kWh. */
+class EnergyPrice : public detail::ScalarQuantity<EnergyPrice>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr EnergyPrice usdPerKwh(double v)
+    {
+        return EnergyPrice(v);
+    }
+
+    constexpr double asUsdPerKwh() const { return raw(); }
+};
+
+/** Energy bought at a price yields cost. */
+constexpr Cost
+operator*(Energy e, EnergyPrice p)
+{
+    return Cost::usd(e.asKilowattHours() * p.asUsdPerKwh());
+}
+
+constexpr Cost
+operator*(EnergyPrice p, Energy e)
+{
+    return e * p;
+}
+
 /** Memory capacity; canonical unit: gigabytes (decimal, matching DIMM SKUs). */
 class MemCapacity : public detail::ScalarQuantity<MemCapacity>
 {
@@ -242,5 +284,56 @@ class StorageCapacity : public detail::ScalarQuantity<StorageCapacity>
 
     constexpr double asTb() const { return raw(); }
 };
+
+/** Memory price; canonical unit: USD per GB. */
+class MemPrice : public detail::ScalarQuantity<MemPrice>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr MemPrice usdPerGb(double v) { return MemPrice(v); }
+
+    constexpr double asUsdPerGb() const { return raw(); }
+};
+
+/** Storage price; canonical unit: USD per TB. */
+class StoragePrice : public detail::ScalarQuantity<StoragePrice>
+{
+  public:
+    using ScalarQuantity::ScalarQuantity;
+
+    static constexpr StoragePrice usdPerTb(double v)
+    {
+        return StoragePrice(v);
+    }
+
+    constexpr double asUsdPerTb() const { return raw(); }
+};
+
+/** Memory bought at a per-GB price yields cost. */
+constexpr Cost
+operator*(MemCapacity m, MemPrice p)
+{
+    return Cost::usd(m.asGb() * p.asUsdPerGb());
+}
+
+constexpr Cost
+operator*(MemPrice p, MemCapacity m)
+{
+    return m * p;
+}
+
+/** Storage bought at a per-TB price yields cost. */
+constexpr Cost
+operator*(StorageCapacity s, StoragePrice p)
+{
+    return Cost::usd(s.asTb() * p.asUsdPerTb());
+}
+
+constexpr Cost
+operator*(StoragePrice p, StorageCapacity s)
+{
+    return s * p;
+}
 
 } // namespace gsku

@@ -29,11 +29,10 @@ generateReport(const ReportOptions &options)
         const carbon::ServerSku example =
             carbon::StandardSkus::paperExampleCxl();
         const carbon::RackFootprint rack = carbon.rackFootprint(example);
-        report.example_server_power_w = rack.server_power.asWatts();
-        report.example_server_embodied_kg =
-            carbon.serverEmbodied(example).asKg();
+        report.example_server_power = rack.server_power;
+        report.example_server_embodied = carbon.serverEmbodied(example);
         report.example_servers_per_rack = rack.servers_per_rack;
-        report.example_rack_per_core_kg = rack.perCore().asKg();
+        report.example_rack_per_core = rack.perCore();
     }
 
     // Table VIII.
@@ -114,11 +113,11 @@ ReproductionReport::render() const
     out << "==================================\n\n";
 
     out << "Sec. V worked example: P_s = "
-        << Table::num(example_server_power_w, 1) << " W (paper 403), "
-        << "E_emb,s = " << Table::num(example_server_embodied_kg, 0)
+        << Table::num(example_server_power.asWatts(), 1) << " W (paper 403), "
+        << "E_emb,s = " << Table::num(example_server_embodied.asKg(), 0)
         << " kg (1644), " << example_servers_per_rack
         << " servers/rack (16), "
-        << Table::num(example_rack_per_core_kg, 1) << " kg/core (31)\n\n";
+        << Table::num(example_rack_per_core.asKg(), 1) << " kg/core (31)\n\n";
 
     out << "Table VIII per-core savings vs baseline:\n";
     for (std::size_t i = 1; i < savings_table.size(); ++i) {

@@ -21,10 +21,10 @@ namespace gsku::gsf {
 struct ReproductionReport
 {
     // §V worked example.
-    double example_server_power_w = 0.0;        ///< Paper: 403.
-    double example_server_embodied_kg = 0.0;    ///< Paper: 1644.
+    Power example_server_power;                 ///< Paper: 403 W.
+    CarbonMass example_server_embodied;         ///< Paper: 1644 kg.
     int example_servers_per_rack = 0;           ///< Paper: 16.
-    double example_rack_per_core_kg = 0.0;      ///< Paper: 31.
+    CarbonMass example_rack_per_core;           ///< Paper: 31 kg.
 
     // Table VIII (per-core savings vs baseline).
     std::vector<carbon::SavingsRow> savings_table;

@@ -2,10 +2,24 @@
 
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/error.h"
 #include "common/solver.h"
 
 namespace gsku::gsf {
+
+void
+SizingResult::checkInvariants() const
+{
+    GSKU_INVARIANT(baseline_only_servers >= 1,
+                   "a non-empty trace needs at least one baseline server");
+    GSKU_INVARIANT(mixed_baselines >= 0 && mixed_greens >= 0,
+                   "mixed-cluster server counts must be non-negative");
+    GSKU_INVARIANT(mixed_baselines <= baseline_only_servers,
+                   "replacement cannot increase the baseline count");
+    GSKU_INVARIANT(baseline_only_replay.success && mixed_replay.success,
+                   "right-sized clusters must host the trace");
+}
 
 ClusterSizer::ClusterSizer(cluster::ReplayOptions options)
     : options_(options)
@@ -92,9 +106,7 @@ ClusterSizer::size(const cluster::VmTrace &trace,
         cluster::ClusterSpec{baseline, green, result.mixed_baselines,
                              result.mixed_greens},
         adoption);
-    GSKU_ASSERT(result.baseline_only_replay.success &&
-                    result.mixed_replay.success,
-                "right-sized clusters must host the trace");
+    result.checkInvariants();
     return result;
 }
 
@@ -154,9 +166,7 @@ ClusterSizer::sizeIncremental(const cluster::VmTrace &trace,
         cluster::ClusterSpec{baseline, green, result.mixed_baselines,
                              result.mixed_greens},
         adoption);
-    GSKU_ASSERT(result.baseline_only_replay.success &&
-                    result.mixed_replay.success,
-                "incrementally sized clusters must host the trace");
+    result.checkInvariants();
     return result;
 }
 

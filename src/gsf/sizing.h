@@ -28,6 +28,14 @@ struct SizingResult
     /** Replay of the trace against the final clusters (for Figs. 9/10). */
     cluster::ReplayResult baseline_only_replay;
     cluster::ReplayResult mixed_replay;
+
+    /**
+     * Contract check: server counts are non-negative, the mixed cluster
+     * never needs more baselines than the baseline-only cluster, and
+     * both final replays succeeded. ClusterSizer ENSUREs this on every
+     * result; throws InternalError on violation.
+     */
+    void checkInvariants() const;
 };
 
 /** Sizing search driver. */

@@ -1,55 +1,88 @@
 #include "gsf/tco.h"
 
+#include <cmath>
+
 #include "carbon/model.h"
+#include "common/contracts.h"
 #include "common/error.h"
 
 namespace gsku::gsf {
 
+void
+PerCoreCost::checkInvariants() const
+{
+    GSKU_INVARIANT(capex.asUsd() >= 0.0 && std::isfinite(capex.asUsd()),
+                   "per-core capex must be non-negative and finite");
+    GSKU_INVARIANT(opex.asUsd() >= 0.0 && std::isfinite(opex.asUsd()),
+                   "per-core opex must be non-negative and finite");
+}
+
 TcoModel::TcoModel(TcoParams tco_params, carbon::ModelParams carbon_params)
     : tco_(std::move(tco_params)), carbon_params_(carbon_params)
 {
-    GSKU_REQUIRE(tco_.energy_usd_per_kwh >= 0.0,
+    GSKU_REQUIRE(tco_.energy_price.asUsdPerKwh() >= 0.0,
                  "energy price must be non-negative");
+    GSKU_REQUIRE(tco_.ddr5_price.asUsdPerGb() >= 0.0 &&
+                     tco_.reused_ddr4_price.asUsdPerGb() >= 0.0 &&
+                     tco_.new_ssd_price.asUsdPerTb() >= 0.0,
+                 "capacity prices must be non-negative");
+    GSKU_REQUIRE(tco_.rack_cost.asUsd() >= 0.0 &&
+                     tco_.dc_facility_cost.asUsd() >= 0.0,
+                 "rack and facility costs must be non-negative");
+    for (const auto &[name, cost] : tco_.component_cost) {
+        GSKU_REQUIRE(cost.asUsd() >= 0.0,
+                     "component price must be non-negative: " + name);
+    }
 }
 
-double
+Cost
 TcoModel::componentPrice(const carbon::Component &component) const
 {
-    // Capacity-priced kinds first.
+    // Capacity-priced kinds first: recover the capacity from the
+    // per-unit power density the catalog encodes.
     if (component.name == "DDR5 DIMM") {
-        return component.tdp.asWatts() / 0.37 * tco_.ddr5_usd_per_gb;
+        const MemCapacity gb =
+            MemCapacity::gb(component.tdp.asWatts() / 0.37);
+        return gb * tco_.ddr5_price;
     }
     if (component.name == "Reused DDR4 DIMM (CXL)") {
-        return component.tdp.asWatts() / 0.46 * tco_.reused_ddr4_usd_per_gb;
+        const MemCapacity gb =
+            MemCapacity::gb(component.tdp.asWatts() / 0.46);
+        return gb * tco_.reused_ddr4_price;
     }
     if (component.name == "E1.S NVMe SSD") {
-        return component.tdp.asWatts() / 5.6 * tco_.new_ssd_usd_per_tb;
+        const StorageCapacity tb =
+            StorageCapacity::tb(component.tdp.asWatts() / 5.6);
+        return tb * tco_.new_ssd_price;
     }
-    const auto it = tco_.component_price_usd.find(component.name);
-    GSKU_REQUIRE(it != tco_.component_price_usd.end(),
+    const auto it = tco_.component_cost.find(component.name);
+    GSKU_REQUIRE(it != tco_.component_cost.end(),
                  "no price for component: " + component.name);
     return it->second;
 }
 
-double
-TcoModel::serverCapexUsd(const carbon::ServerSku &sku) const
+Cost
+TcoModel::serverCapex(const carbon::ServerSku &sku) const
 {
-    double total = 0.0;
+    Cost total;
     for (const auto &slot : sku.slots) {
         total += componentPrice(slot.component) *
                  static_cast<double>(slot.count);
     }
+    GSKU_ENSURE(total.asUsd() >= 0.0, "server capex must be non-negative");
     return total;
 }
 
-double
-TcoModel::serverOpexUsd(const carbon::ServerSku &sku) const
+Cost
+TcoModel::serverOpex(const carbon::ServerSku &sku) const
 {
     const carbon::CarbonModel model(carbon_params_);
     const Energy lifetime_energy =
         model.serverPower(sku) * carbon_params_.lifetime;
-    return lifetime_energy.asKilowattHours() * tco_.energy_usd_per_kwh *
-           carbon_params_.pue;
+    const Cost opex =
+        lifetime_energy * tco_.energy_price * carbon_params_.pue;
+    GSKU_ENSURE(opex.asUsd() >= 0.0, "server opex must be non-negative");
+    return opex;
 }
 
 PerCoreCost
@@ -59,16 +92,17 @@ TcoModel::perCore(const carbon::ServerSku &sku) const
     const carbon::RackFootprint rack = model.rackFootprint(sku);
     const double n = static_cast<double>(rack.servers_per_rack);
     const double cores = static_cast<double>(rack.cores_per_rack);
+    GSKU_EXPECT(cores > 0.0, "rack fit produced no cores");
 
     PerCoreCost cost;
-    cost.capex_usd = (n * serverCapexUsd(sku) + tco_.rack_usd +
-                      tco_.dc_facility_usd_per_rack) /
-                     cores;
-    const double rack_energy_usd =
-        (carbon_params_.rack_misc_power * carbon_params_.lifetime)
-            .asKilowattHours() *
-        tco_.energy_usd_per_kwh * carbon_params_.pue;
-    cost.opex_usd = (n * serverOpexUsd(sku) + rack_energy_usd) / cores;
+    cost.capex = (n * serverCapex(sku) + tco_.rack_cost +
+                  tco_.dc_facility_cost) /
+                 cores;
+    const Cost rack_energy =
+        (carbon_params_.rack_misc_power * carbon_params_.lifetime) *
+        tco_.energy_price * carbon_params_.pue;
+    cost.opex = (n * serverOpex(sku) + rack_energy) / cores;
+    cost.checkInvariants();
     return cost;
 }
 
@@ -76,8 +110,8 @@ double
 TcoModel::relativeCost(const carbon::ServerSku &reference,
                        const carbon::ServerSku &sku) const
 {
-    const double ref = perCore(reference).total();
-    GSKU_ASSERT(ref > 0.0, "reference cost must be positive");
+    const Cost ref = perCore(reference).total();
+    GSKU_EXPECT(ref.asUsd() > 0.0, "reference cost must be positive");
     return perCore(sku).total() / ref;
 }
 

@@ -6,6 +6,10 @@
  * sensitive); the query of interest is relative cost between SKUs, e.g.
  * the paper's "a cost-efficient SKU is only 5% less costly than our
  * carbon-efficient GreenSKU".
+ *
+ * All monetary quantities use the strong types in common/units.h
+ * (Cost, EnergyPrice, MemPrice, StoragePrice) so dollars can never be
+ * silently mixed with kgCO2e or kWh.
  */
 #pragma once
 
@@ -15,46 +19,51 @@
 
 #include "carbon/catalog.h"
 #include "carbon/sku.h"
+#include "common/units.h"
 
 namespace gsku::gsf {
 
 /** Cost parameters: component prices plus energy and facility costs. */
 struct TcoParams
 {
-    /** USD per component, keyed by component name as in the catalog. */
-    std::map<std::string, double> component_price_usd = {
-        {"AMD Bergamo 128c", 9500.0},
-        {"AMD Genoa 80c", 7200.0},
-        {"AMD Milan 64c", 4200.0},
-        {"AMD Rome 64c", 2500.0},
-        {"DDR5 DIMM", 0.0},             // priced per GB below
-        {"Reused DDR4 DIMM (CXL)", 0.0},
-        {"E1.S NVMe SSD", 0.0},         // priced per TB below
-        {"Reused m.2 SSD", 80.0},       // requalification cost per drive
-        {"CXL controller", 450.0},
-        {"NIC/fans/board/PSU", 1400.0},
+    /** Price per component, keyed by component name as in the catalog. */
+    std::map<std::string, Cost> component_cost = {
+        {"AMD Bergamo 128c", Cost::usd(9500.0)},
+        {"AMD Genoa 80c", Cost::usd(7200.0)},
+        {"AMD Milan 64c", Cost::usd(4200.0)},
+        {"AMD Rome 64c", Cost::usd(2500.0)},
+        {"DDR5 DIMM", Cost::usd(0.0)},             // priced per GB below
+        {"Reused DDR4 DIMM (CXL)", Cost::usd(0.0)},
+        {"E1.S NVMe SSD", Cost::usd(0.0)},         // priced per TB below
+        {"Reused m.2 SSD", Cost::usd(80.0)},       // requalification/drive
+        {"CXL controller", Cost::usd(450.0)},
+        {"NIC/fans/board/PSU", Cost::usd(1400.0)},
     };
 
-    double ddr5_usd_per_gb = 4.0;
+    MemPrice ddr5_price = MemPrice::usdPerGb(4.0);
     /** Requalification/handling cost of reused DDR4, per GB. */
-    double reused_ddr4_usd_per_gb = 1.5;
-    double new_ssd_usd_per_tb = 90.0;
+    MemPrice reused_ddr4_price = MemPrice::usdPerGb(1.5);
+    StoragePrice new_ssd_price = StoragePrice::usdPerTb(90.0);
 
-    /** Electricity price, USD per kWh. */
-    double energy_usd_per_kwh = 0.08;
+    /** Electricity price. */
+    EnergyPrice energy_price = EnergyPrice::usdPerKwh(0.08);
 
     /** Rack + facility cost amortized per rack over one lifetime. */
-    double rack_usd = 3000.0;
-    double dc_facility_usd_per_rack = 20000.0;
+    Cost rack_cost = Cost::usd(3000.0);
+    Cost dc_facility_cost = Cost::usd(20000.0);
 };
 
 /** Per-core lifetime cost, mirroring PerCoreEmissions. */
 struct PerCoreCost
 {
-    double capex_usd = 0.0;
-    double opex_usd = 0.0;
+    Cost capex;
+    Cost opex;
 
-    double total() const { return capex_usd + opex_usd; }
+    Cost total() const { return capex + opex; }
+
+    /** Contract check: costs are finite and non-negative; throws
+     *  InternalError on violation (a sign error in the model). */
+    void checkInvariants() const;
 };
 
 /**
@@ -68,11 +77,11 @@ class TcoModel
     TcoModel(TcoParams tco_params = TcoParams{},
              carbon::ModelParams carbon_params = carbon::ModelParams{});
 
-    /** Server bill of materials, USD. */
-    double serverCapexUsd(const carbon::ServerSku &sku) const;
+    /** Server bill of materials. */
+    Cost serverCapex(const carbon::ServerSku &sku) const;
 
-    /** Lifetime energy cost of one server, USD. */
-    double serverOpexUsd(const carbon::ServerSku &sku) const;
+    /** Lifetime energy cost of one server (including PUE). */
+    Cost serverOpex(const carbon::ServerSku &sku) const;
 
     /** Rack-amortized per-core lifetime cost. */
     PerCoreCost perCore(const carbon::ServerSku &sku) const;
@@ -85,7 +94,7 @@ class TcoModel
     TcoParams tco_;
     carbon::ModelParams carbon_params_;
 
-    double componentPrice(const carbon::Component &component) const;
+    Cost componentPrice(const carbon::Component &component) const;
 };
 
 } // namespace gsku::gsf

@@ -4,10 +4,28 @@
 #include <cmath>
 #include <queue>
 
+#include "common/contracts.h"
 #include "common/distributions.h"
 #include "common/error.h"
 
 namespace gsku::perf {
+
+void
+DesResult::checkInvariants() const
+{
+    GSKU_INVARIANT(completed >= 0,
+                   "completed request count must be non-negative");
+    GSKU_INVARIANT(mean_sojourn_ms >= 0.0,
+                   "mean sojourn time must be non-negative");
+    GSKU_INVARIANT(p50_ms >= 0.0 && p50_ms <= p95_ms && p95_ms <= p99_ms,
+                   "latency percentiles must be ordered p50<=p95<=p99");
+    // Busy time counts each started request's full service, so the last
+    // in-flight requests can push measured utilization marginally past
+    // 1.0 on short runs; anything beyond that slack is an energy-model
+    // hazard (utilization feeds the derate curves).
+    GSKU_INVARIANT(utilization >= 0.0 && utilization <= 1.01,
+                   "core utilization must lie in [0, 1]");
+}
 
 QueueSimulator::QueueSimulator(DesConfig config) : config_(config)
 {
@@ -107,7 +125,13 @@ QueueSimulator::run(std::uint64_t seed) const
         }
     };
 
+    double prev_clock = 0.0;
     while (measured < config_.measured_requests) {
+        // Event-time monotonicity: the simulation clock never runs
+        // backwards, whichever event type fires next.
+        GSKU_INVARIANT(clock >= prev_clock,
+                       "simulation clock moved backwards");
+        prev_clock = clock;
         if (!departures.empty() && departures.top() <= next_arrival) {
             // A core frees up; start the oldest queued request.
             clock = departures.top();
@@ -146,6 +170,9 @@ QueueSimulator::run(std::uint64_t seed) const
         clock > 0.0
             ? busy_time / (clock * static_cast<double>(config_.servers))
             : 0.0;
+    result.checkInvariants();
+    GSKU_ENSURE(result.completed <= config_.measured_requests,
+                "measured more requests than configured");
     return result;
 }
 

@@ -50,6 +50,14 @@ struct DesResult
     double p95_ms = 0.0;
     double p99_ms = 0.0;
     double utilization = 0.0;       ///< Measured core busy fraction.
+
+    /**
+     * Contract check: latency percentiles are ordered (p50 <= p95 <=
+     * p99), sojourns are non-negative, and utilization lies in [0, 1].
+     * QueueSimulator::run() ENSUREs this on every result; throws
+     * InternalError on violation.
+     */
+    void checkInvariants() const;
 };
 
 /** FCFS multi-server queue simulator. */

@@ -3,6 +3,7 @@
 
 #include "carbon/model.h"
 #include "carbon/sku.h"
+#include "common/contracts.h"
 #include "common/error.h"
 
 namespace gsku::carbon {
@@ -28,24 +29,24 @@ TEST(CarbonModelTest, PowerBreakdownSumsToTotal)
 {
     const CarbonModel model;
     const ServerSku sku = StandardSkus::greenFull();
-    const KindBreakdown by_kind = model.serverPowerByKind(sku);
-    double sum = 0.0;
+    const PowerBreakdown by_kind = model.serverPowerByKind(sku);
+    Power sum;
     for (const auto &[kind, watts] : by_kind) {
         sum += watts;
     }
-    EXPECT_NEAR(sum, model.serverPower(sku).asWatts(), 1e-9);
+    EXPECT_NEAR(sum.asWatts(), model.serverPower(sku).asWatts(), 1e-9);
 }
 
 TEST(CarbonModelTest, EmbodiedBreakdownSumsToTotal)
 {
     const CarbonModel model;
     const ServerSku sku = StandardSkus::greenCxl();
-    const KindBreakdown by_kind = model.serverEmbodiedByKind(sku);
-    double sum = 0.0;
+    const CarbonBreakdown by_kind = model.serverEmbodiedByKind(sku);
+    CarbonMass sum;
     for (const auto &[kind, kg] : by_kind) {
         sum += kg;
     }
-    EXPECT_NEAR(sum, model.serverEmbodied(sku).asKg(), 1e-9);
+    EXPECT_NEAR(sum.asKg(), model.serverEmbodied(sku).asKg(), 1e-9);
 }
 
 TEST(CarbonModelTest, OperationalScalesLinearlyWithIntensity)
@@ -172,6 +173,41 @@ TEST(CarbonModelTest, ReuseTradeoffDirectionD1)
     EXPECT_GE(cxl.operational.asKg(), eff.operational.asKg());
     EXPECT_LT(full.embodied.asKg(), cxl.embodied.asKg());
     EXPECT_GT(full.operational.asKg(), cxl.operational.asKg());
+}
+
+TEST(CarbonModelTest, CorruptRackFootprintViolatesContract)
+{
+    if (!contracts::enabled()) {
+        GTEST_SKIP() << "contracts compiled out (GSKU_CONTRACTS=OFF)";
+    }
+    const CarbonModel model;
+    RackFootprint fp = model.rackFootprint(StandardSkus::baseline());
+    EXPECT_NO_THROW(fp.checkInvariants());
+
+    RackFootprint no_servers = fp;
+    no_servers.servers_per_rack = 0;
+    EXPECT_THROW(no_servers.checkInvariants(), InternalError);
+
+    RackFootprint negative_embodied = fp;
+    negative_embodied.rack_embodied = CarbonMass::kg(-1.0);
+    EXPECT_THROW(negative_embodied.checkInvariants(), InternalError);
+
+    RackFootprint impossible_power = fp;
+    impossible_power.rack_power = Power::watts(0.0);
+    EXPECT_THROW(impossible_power.checkInvariants(), InternalError);
+}
+
+TEST(CarbonModelTest, CorruptPerCoreEmissionsViolatesContract)
+{
+    if (!contracts::enabled()) {
+        GTEST_SKIP() << "contracts compiled out (GSKU_CONTRACTS=OFF)";
+    }
+    const CarbonModel model;
+    PerCoreEmissions e = model.perCore(StandardSkus::greenFull());
+    EXPECT_NO_THROW(e.checkInvariants());
+
+    e.embodied = CarbonMass::kg(-0.5);
+    EXPECT_THROW(e.checkInvariants(), InternalError);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
 #include "carbon/model.h"
@@ -66,6 +67,73 @@ TEST(SkuParserFuzzTest, RandomSpecsNeverCrash)
     // occurring, the generator (or the parser) has degenerated.
     EXPECT_GT(accepted, 3);
     EXPECT_GT(rejected, 1000);
+}
+
+TEST(SkuParserFuzzTest, MalformedCorpusNeverEscapesUserError)
+{
+    // Regression corpus assembled while running the fuzzer under
+    // ASan/UBSan: each entry once probed an overflow, parse ambiguity,
+    // or empty-field path. All must be rejected as UserError — no other
+    // exception type, no sanitizer report, no acceptance.
+    static const char *const corpus[] = {
+        // Count/capacity overflow probes.
+        "cpu=genoa ddr5=999999999x999999",
+        "cpu=genoa ddr5=2147483648x64",
+        "cpu=genoa ssd=4x99999999999999999999",
+        "cpu=genoa u=99999999999",
+        "cpu=genoa u=2147483648",
+        // Sign and non-integer probes.
+        "cpu=genoa ddr5=-1x64",
+        "cpu=genoa ddr5=4x-64",
+        "cpu=genoa ddr5=4.5x64",
+        "cpu=genoa u=-0",
+        // Empty / truncated fields.
+        "cpu=",
+        "cpu= ddr5=12x64",
+        "=genoa",
+        "=",
+        "cpu==genoa",
+        "cpu=genoa ddr5=x",
+        "cpu=genoa ddr5=12x",
+        "cpu=genoa ddr5=x64",
+        // Floating-point special values and huge magnitudes.
+        "cpu=genoa ddr5=1e308x64",
+        "cpu=genoa ddr5=4xinf",
+        "cpu=genoa ddr5=nanx64",
+        "cpu=genoa u=inf",
+        // Duplicate and conflicting keys.
+        "cpu=genoa cpu=bergamo",
+        "cpu=genoa ddr5=12x64 ddr5=8x32 ddr5=4x16 ddr5=2x8 ddr5=1x4",
+        // Whitespace-only and separator abuse.
+        " ",
+        "\t",
+        "cpu genoa",
+        "cpu=genoa,ssd=2x4",
+    };
+    for (const char *spec : corpus) {
+        EXPECT_THROW(parseSku(spec), UserError) << "spec: '" << spec << "'";
+    }
+}
+
+TEST(SkuParserFuzzTest, AcceptedExtremesStayFiniteDownstream)
+{
+    // Near-limit but syntactically valid specs must evaluate to finite
+    // carbon numbers (no UB on multiply; caught by UBSan builds).
+    const CarbonModel model;
+    for (const char *spec : {"cpu=genoa ddr5=64x256 u=40",
+                             "cpu=bergamo ssd=24x16 u=1",
+                             "cpu=milan cxl_ddr4=1x1 u=48"}) {
+        try {
+            const ServerSku sku = parseSku(spec);
+            sku.validate();
+            EXPECT_TRUE(std::isfinite(model.serverPower(sku).asWatts()))
+                << spec;
+            EXPECT_TRUE(std::isfinite(model.serverEmbodied(sku).asKg()))
+                << spec;
+        } catch (const UserError &) {
+            // Rejection is fine; crashing or accepting non-finite is not.
+        }
+    }
 }
 
 TEST(SkuParserFuzzTest, ValidSpecPlusJunkTokenAlwaysRejected)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/allocator.h"
+#include "common/contracts.h"
 #include "common/error.h"
 #include "perf/app.h"
 
@@ -272,6 +273,32 @@ TEST(AllocatorTest, PackingMetricsWithinBounds)
     EXPECT_GE(result.baseline.mean_mem_packing, 0.0);
     EXPECT_LE(result.baseline.mean_mem_packing, 1.0);
     EXPECT_LE(result.baseline.mean_max_mem_utilization, 1.0);
+}
+
+TEST(AllocatorContractTest, CorruptGroupMetricsViolatesContract)
+{
+    if (!contracts::enabled()) {
+        GTEST_SKIP() << "contracts compiled out (GSKU_CONTRACTS=OFF)";
+    }
+    GroupMetrics m;
+    m.servers = 4;
+    m.vms_placed = 10;
+    m.mean_core_packing = 0.7;
+    m.mean_mem_packing = 0.6;
+    m.mean_max_mem_utilization = 0.8;
+    EXPECT_NO_THROW(m.checkInvariants());
+
+    GroupMetrics negative_servers = m;
+    negative_servers.servers = -1;
+    EXPECT_THROW(negative_servers.checkInvariants(), InternalError);
+
+    GroupMetrics overpacked = m;
+    overpacked.mean_core_packing = 1.2;
+    EXPECT_THROW(overpacked.checkInvariants(), InternalError);
+
+    GroupMetrics oversubscribed = m;
+    oversubscribed.mean_max_mem_utilization = 1.5;
+    EXPECT_THROW(oversubscribed.checkInvariants(), InternalError);
 }
 
 } // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the contract macro layer (common/contracts.h): satisfied
+ * contracts are free, violated ones throw InternalError with enough
+ * context to debug, and the audit tier activates only at level >= 2.
+ */
+#include "common/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace gsku {
+namespace {
+
+TEST(ContractsTest, LevelMatchesCompileTimeConfiguration)
+{
+    EXPECT_EQ(contracts::kLevel, GSKU_CONTRACT_LEVEL);
+    EXPECT_EQ(contracts::enabled(), GSKU_CONTRACT_LEVEL >= 1);
+    EXPECT_EQ(contracts::auditEnabled(), GSKU_CONTRACT_LEVEL >= 2);
+}
+
+TEST(ContractsTest, SatisfiedContractsDoNotThrow)
+{
+    EXPECT_NO_THROW(GSKU_EXPECT(1 + 1 == 2, "arithmetic works"));
+    EXPECT_NO_THROW(GSKU_ENSURE(true, "trivially true"));
+    EXPECT_NO_THROW(GSKU_INVARIANT(2 < 3, "ordering holds"));
+    EXPECT_NO_THROW(GSKU_AUDIT(true, "audit holds"));
+}
+
+TEST(ContractsTest, ViolatedExpectThrowsInternalError)
+{
+    if (!contracts::enabled()) {
+        GTEST_SKIP() << "contracts compiled out (GSKU_CONTRACTS=OFF)";
+    }
+    EXPECT_THROW(GSKU_EXPECT(false, "precondition broken"), InternalError);
+    EXPECT_THROW(GSKU_ENSURE(false, "postcondition broken"), InternalError);
+    EXPECT_THROW(GSKU_INVARIANT(false, "invariant broken"), InternalError);
+}
+
+TEST(ContractsTest, FailureMessageNamesKindConditionAndHint)
+{
+    if (!contracts::enabled()) {
+        GTEST_SKIP() << "contracts compiled out (GSKU_CONTRACTS=OFF)";
+    }
+    try {
+        GSKU_ENSURE(2 + 2 == 5, "the model conserves carbon");
+        FAIL() << "GSKU_ENSURE(false) did not throw";
+    } catch (const InternalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("ENSURE"), std::string::npos) << what;
+        EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+        EXPECT_NE(what.find("the model conserves carbon"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+TEST(ContractsTest, AuditTierOnlyActiveAtLevelTwo)
+{
+    if (contracts::auditEnabled()) {
+        EXPECT_THROW(GSKU_AUDIT(false, "expensive check fails"),
+                     InternalError);
+    } else {
+        EXPECT_NO_THROW(GSKU_AUDIT(false, "compiled out below level 2"));
+    }
+}
+
+TEST(ContractsTest, ConditionIsNotEvaluatedWhenCompiledOut)
+{
+    // At any level the macro must evaluate the condition at most once;
+    // below the activation level it must not evaluate it at all.
+    int evaluations = 0;
+    auto probe = [&evaluations]() {
+        ++evaluations;
+        return true;
+    };
+    GSKU_EXPECT(probe(), "counts evaluations");
+    EXPECT_EQ(evaluations, contracts::enabled() ? 1 : 0);
+
+    evaluations = 0;
+    GSKU_AUDIT(probe(), "counts audit evaluations");
+    EXPECT_EQ(evaluations, contracts::auditEnabled() ? 1 : 0);
+}
+
+TEST(ContractsTest, ContractViolationIsAnInternalNotUserError)
+{
+    if (!contracts::enabled()) {
+        GTEST_SKIP() << "contracts compiled out (GSKU_CONTRACTS=OFF)";
+    }
+    // Contract failures indicate library bugs, so they must never be
+    // catchable as UserError (caller mistakes).
+    bool caught_user_error = false;
+    try {
+        GSKU_INVARIANT(false, "library bug");
+    } catch (const UserError &) {
+        caught_user_error = true;
+    } catch (const InternalError &) {
+    }
+    EXPECT_FALSE(caught_user_error);
+}
+
+} // namespace
+} // namespace gsku

@@ -107,5 +107,41 @@ TEST(QuantityTest, NegationAndRatio)
     EXPECT_DOUBLE_EQ(CarbonMass::kg(10.0) / CarbonMass::kg(4.0), 2.5);
 }
 
+TEST(CostTest, RoundTripsAndArithmetic)
+{
+    EXPECT_DOUBLE_EQ(Cost::usd(9500.0).asUsd(), 9500.0);
+    EXPECT_DOUBLE_EQ(EnergyPrice::usdPerKwh(0.08).asUsdPerKwh(), 0.08);
+    EXPECT_DOUBLE_EQ(MemPrice::usdPerGb(4.0).asUsdPerGb(), 4.0);
+    EXPECT_DOUBLE_EQ(StoragePrice::usdPerTb(90.0).asUsdPerTb(), 90.0);
+
+    const Cost total = Cost::usd(100.0) + Cost::usd(50.0) * 2.0;
+    EXPECT_DOUBLE_EQ(total.asUsd(), 200.0);
+    EXPECT_DOUBLE_EQ(Cost::usd(200.0) / Cost::usd(80.0), 2.5);
+    EXPECT_LT(Cost::usd(1.0), Cost::usd(2.0));
+}
+
+TEST(CostTest, DimensionalProductsYieldCost)
+{
+    // Energy x price: 6 years of 400 W at 8 cents/kWh.
+    const Energy e = Power::watts(400.0) * Duration::years(6.0);
+    const Cost opex = e * EnergyPrice::usdPerKwh(0.08);
+    EXPECT_NEAR(opex.asUsd(), 400.0 * 6.0 * 8760.0 / 1000.0 * 0.08, 1e-6);
+    // Commutativity across all capacity/price pairs.
+    EXPECT_DOUBLE_EQ((EnergyPrice::usdPerKwh(0.08) * e).asUsd(),
+                     (e * EnergyPrice::usdPerKwh(0.08)).asUsd());
+    EXPECT_DOUBLE_EQ(
+        (MemCapacity::gb(768.0) * MemPrice::usdPerGb(4.0)).asUsd(),
+        3072.0);
+    EXPECT_DOUBLE_EQ(
+        (MemPrice::usdPerGb(4.0) * MemCapacity::gb(768.0)).asUsd(),
+        3072.0);
+    EXPECT_DOUBLE_EQ(
+        (StorageCapacity::tb(12.0) * StoragePrice::usdPerTb(90.0)).asUsd(),
+        1080.0);
+    EXPECT_DOUBLE_EQ(
+        (StoragePrice::usdPerTb(90.0) * StorageCapacity::tb(12.0)).asUsd(),
+        1080.0);
+}
+
 } // namespace
 } // namespace gsku

@@ -28,10 +28,10 @@ class ReportTest : public ::testing::Test
 TEST_F(ReportTest, WorkedExampleFieldsMatchPaper)
 {
     const auto &r = report();
-    EXPECT_NEAR(r.example_server_power_w, 403.0, 4.0);
-    EXPECT_NEAR(r.example_server_embodied_kg, 1644.0, 5.0);
+    EXPECT_NEAR(r.example_server_power.asWatts(), 403.0, 4.0);
+    EXPECT_NEAR(r.example_server_embodied.asKg(), 1644.0, 5.0);
     EXPECT_EQ(r.example_servers_per_rack, 16);
-    EXPECT_NEAR(r.example_rack_per_core_kg, 31.0, 0.5);
+    EXPECT_NEAR(r.example_rack_per_core.asKg(), 31.0, 0.5);
 }
 
 TEST_F(ReportTest, SavingsTableComplete)

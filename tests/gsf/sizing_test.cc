@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "cluster/trace_gen.h"
+#include "common/contracts.h"
+#include "common/error.h"
 #include "gsf/adoption.h"
 #include "gsf/sizing.h"
 
@@ -118,6 +120,29 @@ TEST_F(SizingTest, ReplaysExposePackingMetrics)
     EXPECT_GT(r.baseline_only_replay.baseline.mean_core_packing, 0.3);
     EXPECT_GT(r.mixed_replay.green.mean_core_packing, 0.3);
     EXPECT_GT(r.mixed_replay.green.mean_max_mem_utilization, 0.0);
+}
+
+TEST_F(SizingTest, CorruptSizingResultViolatesContract)
+{
+    if (!contracts::enabled()) {
+        GTEST_SKIP() << "contracts compiled out (GSKU_CONTRACTS=OFF)";
+    }
+    const auto table = adoption_.buildTable(baseline_, green_,
+                                            CarbonIntensity::kgPerKwh(0.1));
+    SizingResult r = sizer_.size(trace_, baseline_, green_, table);
+    EXPECT_NO_THROW(r.checkInvariants());
+
+    SizingResult empty_cluster = r;
+    empty_cluster.baseline_only_servers = 0;
+    EXPECT_THROW(empty_cluster.checkInvariants(), InternalError);
+
+    SizingResult grew_baselines = r;
+    grew_baselines.mixed_baselines = grew_baselines.baseline_only_servers + 1;
+    EXPECT_THROW(grew_baselines.checkInvariants(), InternalError);
+
+    SizingResult failed_replay = r;
+    failed_replay.mixed_replay.success = false;
+    EXPECT_THROW(failed_replay.checkInvariants(), InternalError);
 }
 
 } // namespace

@@ -20,7 +20,7 @@ class TcoTest : public ::testing::Test
 TEST_F(TcoTest, CapexSumsComponentPrices)
 {
     // Baseline: Genoa 7200 + 768 GB * 4 + 12 TB * 90 + misc 1400.
-    EXPECT_NEAR(model_.serverCapexUsd(baseline_),
+    EXPECT_NEAR(model_.serverCapex(baseline_).asUsd(),
                 7200.0 + 768.0 * 4.0 + 12.0 * 90.0 + 1400.0, 1.0);
 }
 
@@ -28,26 +28,27 @@ TEST_F(TcoTest, ReusedPartsArePricedAtRequalification)
 {
     // GreenSKU-CXL vs Efficient: reused DDR4 is cheaper than the DDR5
     // it displaces, even with requalification costs.
-    const double eff =
-        model_.serverCapexUsd(carbon::StandardSkus::greenEfficient());
-    const double cxl =
-        model_.serverCapexUsd(carbon::StandardSkus::greenCxl());
+    const Cost eff =
+        model_.serverCapex(carbon::StandardSkus::greenEfficient());
+    const Cost cxl =
+        model_.serverCapex(carbon::StandardSkus::greenCxl());
     EXPECT_LT(cxl, eff);
 }
 
 TEST_F(TcoTest, OpexScalesWithPower)
 {
     // The Full SKU draws more power than Efficient -> more energy cost.
-    EXPECT_GT(model_.serverOpexUsd(full_),
-              model_.serverOpexUsd(carbon::StandardSkus::greenEfficient()));
+    EXPECT_GT(model_.serverOpex(full_),
+              model_.serverOpex(carbon::StandardSkus::greenEfficient()));
 }
 
 TEST_F(TcoTest, PerCoreSplitsCapexOpex)
 {
     const PerCoreCost cost = model_.perCore(baseline_);
-    EXPECT_GT(cost.capex_usd, 0.0);
-    EXPECT_GT(cost.opex_usd, 0.0);
-    EXPECT_DOUBLE_EQ(cost.total(), cost.capex_usd + cost.opex_usd);
+    EXPECT_GT(cost.capex.asUsd(), 0.0);
+    EXPECT_GT(cost.opex.asUsd(), 0.0);
+    EXPECT_DOUBLE_EQ(cost.total().asUsd(),
+                     (cost.capex + cost.opex).asUsd());
 }
 
 TEST_F(TcoTest, RelativeCostOfSelfIsOne)
@@ -69,12 +70,12 @@ TEST_F(TcoTest, CarbonEfficientSkuWithinFivePercentOfCostOptimal)
 {
     // §VII-A: "a cost-efficient server SKU is only 5% less costly
     // compared to our carbon-efficient GreenSKU."
-    double cost_optimal = 1e18;
+    Cost cost_optimal = Cost::usd(1e18);
     for (const auto &sku : carbon::StandardSkus::tableFourRows()) {
         cost_optimal =
             std::min(cost_optimal, model_.perCore(sku).total());
     }
-    const double carbon_efficient = model_.perCore(full_).total();
+    const Cost carbon_efficient = model_.perCore(full_).total();
     EXPECT_LE((carbon_efficient - cost_optimal) / carbon_efficient, 0.05);
 }
 
@@ -86,14 +87,30 @@ TEST_F(TcoTest, UnknownComponentRejected)
                            carbon::ComponentKind::Misc, Power::watts(10.0),
                            CarbonMass::kg(1.0)},
          1});
-    EXPECT_THROW(model_.serverCapexUsd(sku), UserError);
+    EXPECT_THROW(model_.serverCapex(sku), UserError);
 }
 
 TEST_F(TcoTest, EnergyPriceValidated)
 {
     TcoParams p;
-    p.energy_usd_per_kwh = -0.01;
+    p.energy_price = EnergyPrice::usdPerKwh(-0.01);
     EXPECT_THROW(TcoModel{p}, UserError);
+}
+
+TEST_F(TcoTest, NegativeComponentPriceRejected)
+{
+    TcoParams p;
+    p.component_cost["AMD Genoa 80c"] = Cost::usd(-1.0);
+    EXPECT_THROW(TcoModel{p}, UserError);
+}
+
+TEST_F(TcoTest, CorruptPerCoreCostViolatesContract)
+{
+    // A hand-corrupted result must trip the invariant check: negative
+    // cost is always a model bug, hence InternalError.
+    PerCoreCost cost;
+    cost.capex = Cost::usd(-1.0);
+    EXPECT_THROW(cost.checkInvariants(), InternalError);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "common/contracts.h"
 #include "common/error.h"
 #include "perf/des.h"
 #include "perf/queueing.h"
@@ -142,6 +143,30 @@ TEST(DesTest, ConfigValidation)
     cfg = DesConfig{};
     cfg.measured_requests = 0;
     EXPECT_THROW(QueueSimulator{cfg}, UserError);
+}
+
+TEST(DesContractTest, CorruptDesResultViolatesContract)
+{
+    if (!contracts::enabled()) {
+        GTEST_SKIP() << "contracts compiled out (GSKU_CONTRACTS=OFF)";
+    }
+    DesConfig cfg = configFor(4, 1.0, 0.5);
+    cfg.measured_requests = 2000;
+    cfg.warmup_requests = 200;
+    DesResult r = QueueSimulator(cfg).run(7);
+    EXPECT_NO_THROW(r.checkInvariants());
+
+    DesResult unordered = r;
+    unordered.p95_ms = unordered.p99_ms + 1.0;
+    EXPECT_THROW(unordered.checkInvariants(), InternalError);
+
+    DesResult negative_sojourn = r;
+    negative_sojourn.mean_sojourn_ms = -1.0;
+    EXPECT_THROW(negative_sojourn.checkInvariants(), InternalError);
+
+    DesResult impossible_utilization = r;
+    impossible_utilization.utilization = 1.5;
+    EXPECT_THROW(impossible_utilization.checkInvariants(), InternalError);
 }
 
 } // namespace

@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules clang-tidy cannot express.
+
+Rules (each a distinct class, all hard CI gates — see docs/analysis.md):
+
+  raw-double-units  Public headers of src/carbon, src/gsf, and src/perf
+                    must not pass carbon/power/energy/cost quantities as
+                    raw ``double``; use the strong types in
+                    src/common/units.h (Power, Energy, CarbonMass,
+                    CarbonIntensity, Cost, ...). Dimensionless values
+                    (fractions, shares, factors, ratios, savings) are
+                    exempt.
+
+  rng-usage         All randomness must flow through gsku::Rng
+                    (src/common/rng.h). ``rand()``, ``srand()``,
+                    ``std::random_device``, and the standard engines are
+                    banned everywhere else: they destroy bit-for-bit
+                    reproducibility across standard libraries.
+
+  error-convention  No naked ``throw`` outside src/common/error.* and
+                    src/common/contracts.*. Errors must go through
+                    GSKU_REQUIRE / GSKU_ASSERT (error.h) or the contract
+                    macros (contracts.h) so every exception is a
+                    UserError or InternalError with file:line context.
+
+  pragma-once       Every header under src/ starts its include guard
+                    with ``#pragma once``.
+
+Suppress a finding by appending ``// lint-ok: <rule> <why>`` to the
+offending line. Suppressions are themselves audited: an unused one is an
+error, so stale escapes cannot accumulate.
+
+Usage:
+  tools/lint.py [--list-rules] [paths ...]   (default path: src)
+
+Exit status: 0 when clean, 1 when any finding (or stale suppression)
+remains, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------
+# Shared helpers.
+# --------------------------------------------------------------------
+
+SUPPRESS_RE = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
+
+# Identifier words that imply a physical/monetary dimension.
+UNIT_WORDS = {
+    "carbon", "co2", "emission", "emissions", "embodied",
+    "power", "watt", "watts", "tdp",
+    "energy", "kwh", "kg", "joule", "joules",
+    "cost", "usd", "price", "capex", "opex",
+    "intensity",
+}
+
+# Words that mark a value as dimensionless even when a unit word is
+# also present ("repair_carbon_fraction" is a fraction, not a mass).
+DIMENSIONLESS_WORDS = {
+    "fraction", "share", "shares", "ratio", "factor", "savings",
+    "relative", "scale", "scaling", "normalized", "derate", "pue",
+    "loss", "slowdown", "residual", "efficiency", "premium",
+}
+
+WORD_SPLIT_RE = re.compile(r"[a-z0-9]+|[A-Z][a-z0-9]*|[A-Z]+(?![a-z])")
+
+
+def split_words(identifier: str) -> list[str]:
+    """Split snake_case / camelCase into lowercase words."""
+    return [w.lower() for w in WORD_SPLIT_RE.findall(identifier)]
+
+
+def strip_comments(line: str, in_block: bool) -> tuple[str, bool]:
+    """Remove comment text from one line.
+
+    Returns the code portion and whether a /* block comment is still
+    open after this line. String literals are not parsed — good enough
+    for this codebase's headers.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), in_block
+
+
+class Finding:
+    def __init__(self, path: Path, line_no: int, rule: str, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def suppressed(line: str, rule: str, used: set[tuple[Path, int]],
+               path: Path, line_no: int) -> bool:
+    m = SUPPRESS_RE.search(line)
+    if m and m.group(1) == rule:
+        used.add((path, line_no))
+        return True
+    return False
+
+
+# --------------------------------------------------------------------
+# Rule: raw-double-units
+# --------------------------------------------------------------------
+
+UNITS_DIRS = ("carbon", "gsf", "perf")
+
+# `double identifier` (declaration, parameter, or return type + name)
+# and `double>` map values followed by an identifier.
+DOUBLE_DECL_RE = re.compile(r"\bdouble\s*[&*]?\s+([A-Za-z_]\w*)")
+DOUBLE_MAP_RE = re.compile(r"\bdouble\s*>\s+([A-Za-z_]\w*)")
+
+
+def check_raw_double_units(path: Path, lines: list[str],
+                           used: set) -> list[Finding]:
+    findings = []
+    rel = path.as_posix()
+    if path.suffix != ".h":
+        return findings
+    if not any(f"src/{d}/" in rel for d in UNITS_DIRS):
+        return findings
+    in_block = False
+    for i, raw in enumerate(lines, 1):
+        code, in_block = strip_comments(raw, in_block)
+        if not code.strip():
+            continue
+        for regex in (DOUBLE_DECL_RE, DOUBLE_MAP_RE):
+            for m in regex.finditer(code):
+                ident = m.group(1)
+                words = set(split_words(ident))
+                if not words & UNIT_WORDS:
+                    continue
+                if words & DIMENSIONLESS_WORDS:
+                    continue
+                if suppressed(raw, "raw-double-units", used, path, i):
+                    continue
+                findings.append(Finding(
+                    path, i, "raw-double-units",
+                    f"'{ident}' looks dimensioned (matched: "
+                    f"{', '.join(sorted(words & UNIT_WORDS))}) but is a "
+                    f"raw double; use a strong type from "
+                    f"common/units.h"))
+    return findings
+
+
+# --------------------------------------------------------------------
+# Rule: rng-usage
+# --------------------------------------------------------------------
+
+RNG_ALLOWED = {"src/common/rng.h", "src/common/rng.cc"}
+RNG_BANNED_RE = re.compile(
+    r"(?<![\w:])(rand|srand|drand48|lrand48)\s*\(|"
+    r"std::\s*(random_device|mt19937(_64)?|minstd_rand0?|"
+    r"default_random_engine|knuth_b|ranlux\w+)\b")
+
+
+def check_rng_usage(path: Path, lines: list[str], used: set) -> list[Finding]:
+    findings = []
+    if path.as_posix().replace("\\", "/").endswith(tuple(RNG_ALLOWED)):
+        return findings
+    in_block = False
+    for i, raw in enumerate(lines, 1):
+        code, in_block = strip_comments(raw, in_block)
+        m = RNG_BANNED_RE.search(code)
+        if not m:
+            continue
+        if suppressed(raw, "rng-usage", used, path, i):
+            continue
+        findings.append(Finding(
+            path, i, "rng-usage",
+            f"'{m.group(0).strip()}' breaks seeded reproducibility; "
+            f"draw from gsku::Rng (common/rng.h) instead"))
+    return findings
+
+
+# --------------------------------------------------------------------
+# Rule: error-convention
+# --------------------------------------------------------------------
+
+ERROR_ALLOWED = ("src/common/error.h", "src/common/error.cc",
+                 "src/common/contracts.h", "src/common/contracts.cc")
+THROW_RE = re.compile(r"(?<![\w:])throw\b(?!\s*;)")
+
+
+def check_error_convention(path: Path, lines: list[str],
+                           used: set) -> list[Finding]:
+    findings = []
+    if path.as_posix().replace("\\", "/").endswith(ERROR_ALLOWED):
+        return findings
+    in_block = False
+    for i, raw in enumerate(lines, 1):
+        code, in_block = strip_comments(raw, in_block)
+        if not THROW_RE.search(code):
+            continue
+        if suppressed(raw, "error-convention", used, path, i):
+            continue
+        findings.append(Finding(
+            path, i, "error-convention",
+            "naked 'throw' bypasses the UserError/InternalError "
+            "convention; use GSKU_REQUIRE/GSKU_ASSERT (common/error.h) "
+            "or the contract macros (common/contracts.h)"))
+    return findings
+
+
+# --------------------------------------------------------------------
+# Rule: pragma-once
+# --------------------------------------------------------------------
+
+def check_pragma_once(path: Path, lines: list[str],
+                      used: set) -> list[Finding]:
+    if path.suffix != ".h":
+        return []
+    for raw in lines:
+        if raw.strip() == "#pragma once":
+            return []
+        if suppressed(raw, "pragma-once", used, path, 1):
+            return []
+    return [Finding(path, 1, "pragma-once",
+                    "header is missing '#pragma once'")]
+
+
+# --------------------------------------------------------------------
+# Driver.
+# --------------------------------------------------------------------
+
+RULES = {
+    "raw-double-units": check_raw_double_units,
+    "rng-usage": check_rng_usage,
+    "error-convention": check_error_convention,
+    "pragma-once": check_pragma_once,
+}
+
+
+def lint_file(path: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [Finding(path, 0, "io", f"cannot read file: {e}")]
+    lines = text.splitlines()
+
+    used: set[tuple[Path, int]] = set()
+    findings: list[Finding] = []
+    for rule in RULES.values():
+        findings.extend(rule(path, lines, used))
+
+    # Audit suppressions: every `// lint-ok:` must have silenced
+    # something, or it is stale and must be removed.
+    for i, raw in enumerate(lines, 1):
+        m = SUPPRESS_RE.search(raw)
+        if not m:
+            continue
+        if m.group(1) not in RULES:
+            findings.append(Finding(
+                path, i, "lint-ok",
+                f"suppression names unknown rule '{m.group(1)}'"))
+        elif (path, i) not in used:
+            findings.append(Finding(
+                path, i, "lint-ok",
+                f"stale suppression: no '{m.group(1)}' finding on "
+                f"this line"))
+    return findings
+
+
+def collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.h")))
+            files.extend(sorted(path.rglob("*.cc")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"lint.py: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="GreenSKU repo-invariant linter")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    findings: list[Finding] = []
+    files = collect_files(args.paths or ["src"])
+    for path in files:
+        findings.extend(lint_file(path))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint.py: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: clean ({len(files)} files, "
+          f"{len(RULES)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
