@@ -11,6 +11,7 @@
 #include "carbon/catalog.h"
 #include "carbon/model.h"
 #include "carbon/sku.h"
+#include "common/parallel.h"
 #include "common/table.h"
 
 namespace {
@@ -64,15 +65,22 @@ main()
 
     Table table({"Configuration", "Op save", "Emb save", "Total save"},
                 {Align::Left, Align::Right, Align::Right, Align::Right});
-    const ServerSku configs[] = {
+    const std::vector<ServerSku> configs = {
         StandardSkus::greenEfficient(),     // CPU only.
         StandardSkus::greenCxl(),           // + DRAM reuse.
         efficientWithReusedSsd(),           // + SSD reuse (no DRAM).
         StandardSkus::greenFull(),          // Both reuses.
     };
-    for (const auto &sku : configs) {
-        const SavingsRow row = model.savingsVs(baseline, sku);
-        table.addRow({sku.name, Table::percent(row.operational_savings, 1),
+    // Rows are independent model evaluations: compute them on the
+    // worker pool, render in order.
+    const auto config_rows = gsku::parallelMap<SavingsRow>(
+        configs.size(), [&](std::size_t i) {
+            return model.savingsVs(baseline, configs[i]);
+        });
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const SavingsRow &row = config_rows[i];
+        table.addRow({configs[i].name,
+                      Table::percent(row.operational_savings, 1),
                       Table::percent(row.embodied_savings, 1),
                       Table::percent(row.total_savings, 1)});
     }
@@ -83,14 +91,27 @@ main()
     Table sweep({"DIMMs", "GB/core", "Op save", "Emb save", "Total save"},
                 {Align::Right, Align::Right, Align::Right, Align::Right,
                  Align::Right});
-    for (int dimms = 8; dimms <= 14; ++dimms) {
-        const ServerSku sku = baselineWithDimms(dimms);
-        const SavingsRow row = model.savingsVs(baseline, sku);
-        sweep.addRow({std::to_string(dimms),
-                      Table::num(sku.memoryPerCore(), 1),
-                      Table::percent(row.operational_savings, 1),
-                      Table::percent(row.embodied_savings, 1),
-                      Table::percent(row.total_savings, 1)});
+    const int dimms_lo = 8;
+    const int dimms_hi = 14;
+    struct DimmRow
+    {
+        int dimms = 0;
+        ServerSku sku;
+        SavingsRow row;
+    };
+    const auto dimm_rows = gsku::parallelMap<DimmRow>(
+        static_cast<std::size_t>(dimms_hi - dimms_lo + 1),
+        [&](std::size_t i) {
+            const int dimms = dimms_lo + static_cast<int>(i);
+            const ServerSku sku = baselineWithDimms(dimms);
+            return DimmRow{dimms, sku, model.savingsVs(baseline, sku)};
+        });
+    for (const DimmRow &r : dimm_rows) {
+        sweep.addRow({std::to_string(r.dimms),
+                      Table::num(r.sku.memoryPerCore(), 1),
+                      Table::percent(r.row.operational_savings, 1),
+                      Table::percent(r.row.embodied_savings, 1),
+                      Table::percent(r.row.total_savings, 1)});
     }
     std::cout << sweep.render() << '\n';
     std::cout << "Reading: DRAM/SSD reuse each buys embodied savings at "

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Timed benchmark of the parallel GSF evaluation engine. Runs the same
+ * Fig. 11-style intensity sweep at 1, 2, and 8 pool threads (via
+ * ThreadPool::resetGlobal), checksums every per-CI mean-savings value,
+ * and writes BENCH_sweep.json with wall times, speedups, and the
+ * checksums. Exits nonzero if any thread count produces a different
+ * checksum: the determinism contract of common/parallel.h is that
+ * parallel and serial runs are byte-identical.
+ *
+ * Speedups are only meaningful up to the machine's core count
+ * (hardware_concurrency is recorded in the JSON so CI can judge); the
+ * checksum equality check is meaningful everywhere.
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "carbon/catalog.h"
+#include "cluster/trace_gen.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "gsf/evaluator.h"
+
+int
+main()
+{
+    using namespace gsku;
+    using namespace gsku::gsf;
+
+    // A scaled-down fig11 configuration: enough distinct (trace,
+    // adoption-table) sizing jobs to exercise the pool, small enough
+    // that the 1-thread leg stays well inside the smoke-test budget.
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 300.0;
+    params.duration_h = 24.0 * 7.0;
+    const auto traces =
+        cluster::TraceGenerator(params).generateFamily(8, /*base_seed=*/7);
+
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const std::vector<double> grid = {0.05, 0.1, 0.15, 0.2, 0.3, 0.4};
+
+    const int hw = ThreadPool::defaultThreads();
+    const std::vector<int> thread_counts = {1, 2, 8};
+
+    std::cout << "bench_sweep: " << traces.size() << " traces x "
+              << grid.size() << " CIs, hardware threads " << hw << "\n\n";
+
+    struct Leg
+    {
+        int threads = 0;
+        double seconds = 0.0;
+        std::string checksum;
+    };
+    std::vector<Leg> legs;
+
+    for (int threads : thread_counts) {
+        ThreadPool::resetGlobal(threads);
+        const GsfEvaluator evaluator{GsfEvaluator::Options{}};
+
+        const bench::WallTimer timer;
+        const IntensitySweep sweep =
+            evaluator.sweep(traces, baseline, green, grid);
+        const double seconds = timer.seconds();
+
+        bench::Checksum sum;
+        sum.add(sweep.intensities);
+        sum.add(sweep.mean_savings);
+        legs.push_back({threads, seconds, sum.hex()});
+    }
+    ThreadPool::resetGlobal(ThreadPool::defaultThreads());
+
+    bool identical = true;
+    for (const Leg &leg : legs) {
+        identical = identical && leg.checksum == legs.front().checksum;
+    }
+
+    Table table({"Threads", "Wall (s)", "Speedup", "Checksum"},
+                {Align::Right, Align::Right, Align::Right, Align::Left});
+    std::vector<bench::JsonObject> json_legs;
+    for (const Leg &leg : legs) {
+        const double speedup =
+            leg.seconds > 0.0 ? legs.front().seconds / leg.seconds : 0.0;
+        table.addRow({std::to_string(leg.threads),
+                      Table::num(leg.seconds, 3), Table::num(speedup, 2),
+                      leg.checksum});
+        bench::JsonObject j;
+        j.field("threads", leg.threads)
+            .field("seconds", leg.seconds)
+            .field("speedup", speedup)
+            .field("checksum", leg.checksum);
+        json_legs.push_back(j);
+    }
+    std::cout << table.render() << '\n';
+
+    bench::JsonObject doc;
+    doc.field("benchmark", std::string("gsf_intensity_sweep"))
+        .field("traces", static_cast<int>(traces.size()))
+        .field("intensities", static_cast<int>(grid.size()))
+        .field("hardware_concurrency", hw)
+        .field("checksums_identical", identical)
+        .array("legs", json_legs);
+    const std::string path = "BENCH_sweep.json";
+    if (!doc.writeFile(path)) {
+        std::cerr << "bench_sweep: failed to write " << path << '\n';
+        return 2;
+    }
+    std::cout << "wrote " << path << '\n';
+
+    if (!identical) {
+        std::cerr << "bench_sweep: CHECKSUM MISMATCH across thread "
+                     "counts - parallel run is not deterministic\n";
+        return 1;
+    }
+    std::cout << "checksums identical across thread counts "
+                 "(deterministic)\n";
+    return 0;
+}

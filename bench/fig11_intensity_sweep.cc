@@ -13,6 +13,7 @@
 #include "carbon/datacenter.h"
 #include "common/chart.h"
 #include "cluster/trace_gen.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "gsf/evaluator.h"
 
@@ -46,8 +47,13 @@ main()
     };
 
     std::cout << "Figs. 11/12: cluster-level carbon savings vs carbon "
-                 "intensity (" << traces.size() << " traces)\n\n";
+                 "intensity (" << traces.size() << " traces, "
+              << ThreadPool::global().threads()
+              << " worker threads; set GSKU_THREADS to override)\n\n";
 
+    // Each sweep fans its per-(trace, adoption-table) sizing jobs out
+    // across the worker pool; the loop over the three designs stays
+    // serial so every sweep gets the whole pool.
     std::vector<IntensitySweep> sweeps;
     for (const auto &green : greens) {
         sweeps.push_back(evaluator.sweep(traces, baseline, green, grid));

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tiny benchmark harness shared by the timed bench drivers: a wall
+ * timer, an order-sensitive FNV-1a checksum over double bit patterns
+ * (so "same numbers, same order" is verifiable across thread counts),
+ * and a minimal JSON object writer for machine-readable results
+ * (BENCH_*.json artifacts archived by CI).
+ *
+ * Header-only on purpose: bench/ executables link gsku_* libraries but
+ * have no library of their own.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gsku::bench {
+
+/** Wall-clock timer; starts on construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction (or the last reset()). */
+    double seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Order-sensitive FNV-1a checksum over the exact bit patterns of the
+ * values fed to it. Two runs that produce byte-identical numbers in
+ * the same order produce the same checksum; any reordering or
+ * last-bit difference changes it.
+ */
+class Checksum
+{
+  public:
+    void add(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int byte = 0; byte < 8; ++byte) {
+            hash_ ^= (bits >> (byte * 8)) & 0xffu;
+            hash_ *= 0x100000001b3ull;      // FNV-1a 64-bit prime.
+        }
+    }
+
+    void add(const std::vector<double> &vs)
+    {
+        for (double v : vs) {
+            add(v);
+        }
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+    /** Checksum as fixed-width hex, for JSON/stdout. */
+    std::string hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(16, '0');
+        for (int i = 0; i < 16; ++i) {
+            out[15 - i] = digits[(hash_ >> (i * 4)) & 0xfu];
+        }
+        return out;
+    }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;    // FNV offset basis.
+};
+
+/**
+ * Minimal JSON writer: a flat object whose values are numbers,
+ * strings, booleans, or arrays of flat objects. Enough for bench
+ * artifacts; not a general-purpose serializer.
+ */
+class JsonObject
+{
+  public:
+    JsonObject &field(const std::string &key, double v)
+    {
+        std::ostringstream s;
+        s.precision(std::numeric_limits<double>::max_digits10);
+        s << v;
+        return raw(key, s.str());
+    }
+
+    JsonObject &field(const std::string &key, std::int64_t v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    JsonObject &field(const std::string &key, int v)
+    {
+        return field(key, static_cast<std::int64_t>(v));
+    }
+
+    JsonObject &field(const std::string &key, bool v)
+    {
+        return raw(key, v ? "true" : "false");
+    }
+
+    JsonObject &field(const std::string &key, const std::string &v)
+    {
+        return raw(key, quote(v));
+    }
+
+    JsonObject &array(const std::string &key,
+                      const std::vector<JsonObject> &items)
+    {
+        std::string body = "[";
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            body += (i ? ", " : "") + items[i].str();
+        }
+        return raw(key, body + "]");
+    }
+
+    std::string str() const { return "{" + body_ + "}"; }
+
+    /** Write the object (plus trailing newline) to @p path. */
+    bool writeFile(const std::string &path) const
+    {
+        std::ofstream out(path);
+        out << str() << '\n';
+        return static_cast<bool>(out);
+    }
+
+  private:
+    JsonObject &raw(const std::string &key, const std::string &value)
+    {
+        body_ += (body_.empty() ? "" : ", ") + quote(key) + ": " + value;
+        return *this;
+    }
+
+    static std::string quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+            }
+            out += c;
+        }
+        return out + "\"";
+    }
+
+    std::string body_;
+};
+
+} // namespace gsku::bench

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <set>
+#include <utility>
 
 #include "common/contracts.h"
 #include "common/error.h"
@@ -124,8 +126,26 @@ struct ServerState
     double max_touched = 0.0;   ///< Lifetime maximum of touched_mem.
     bool ever_used = false;
 
+    /** Free-core key this server is currently filed under in its
+     *  group's capacity index (exact erase requires the exact key). */
+    double index_key = 0.0;
+
     double freeCores() const { return total_cores - used_cores; }
     double freeMem() const { return total_mem - used_mem; }
+};
+
+/**
+ * Per-group free-capacity index. Non-empty, non-dedicated servers are
+ * keyed by (free cores, server id); empty servers live in a separate
+ * id-ordered set because every empty server of a homogeneous group has
+ * identical capacity, making the lowest id the placement winner among
+ * them under every policy. Dedicated servers are never placement
+ * candidates and are not indexed.
+ */
+struct GroupIndex
+{
+    std::set<std::pair<double, std::size_t>> nonempty;
+    std::set<std::size_t> empty;
 };
 
 /** Resources a VM occupies on the server it landed on. */
@@ -205,6 +225,96 @@ pickServer(const std::vector<ServerState> &servers, std::size_t begin,
         }
     }
     return best;
+}
+
+/**
+ * Index-backed placement, equivalent to pickServer bit for bit. The
+ * scan's winner is the lexicographic minimum over feasible servers of
+ * (empty, leftover cores, leftover memory, id) for BestFit and
+ * (empty, -leftover cores, -leftover memory, id) for WorstFit — a total
+ * order, so any enumeration finding that minimum matches the scan.
+ * Walking the index from lower_bound(cores) (BestFit) or the top
+ * (WorstFit) visits servers in monotone leftover-core order; the walk
+ * stops as soon as the leftover-core field can no longer tie, and ties
+ * are resolved by (leftover memory, id) exactly as the scan does.
+ * @p group_cores / @p group_mem are the group's per-server capacity,
+ * deciding feasibility for (interchangeable) empty servers.
+ */
+std::optional<std::size_t>
+pickServerIndexed(const std::vector<ServerState> &servers,
+                  const GroupIndex &index, double cores, double mem,
+                  bool need_empty, double group_cores, double group_mem,
+                  PlacementPolicy policy)
+{
+    auto pick_empty = [&]() -> std::optional<std::size_t> {
+        if (index.empty.empty() || group_cores < cores ||
+            group_mem < mem) {
+            return std::nullopt;
+        }
+        return *index.empty.begin();
+    };
+    if (need_empty) {
+        return pick_empty();
+    }
+
+    std::optional<std::size_t> best;
+    double best_left = 0.0;
+    double best_mem = 0.0;
+    if (policy == PlacementPolicy::BestFit) {
+        const auto from =
+            index.nonempty.lower_bound({cores, std::size_t{0}});
+        for (auto it = from; it != index.nonempty.end(); ++it) {
+            const double left_cores = it->first - cores;
+            if (best && left_cores > best_left) {
+                break;      // Leftover cores can only grow from here.
+            }
+            const ServerState &s = servers[it->second];
+            if (s.freeMem() < mem) {
+                continue;
+            }
+            const double left_mem = s.freeMem() - mem;
+            if (!best) {
+                best = it->second;
+                best_left = left_cores;
+                best_mem = left_mem;
+            } else if (left_mem < best_mem ||
+                       (left_mem == best_mem && it->second < *best)) {
+                best = it->second;
+                best_mem = left_mem;
+            }
+        }
+    } else {
+        GSKU_ASSERT(policy == PlacementPolicy::WorstFit,
+                    "FirstFit placement must use the linear scan");
+        for (auto it = index.nonempty.rbegin();
+             it != index.nonempty.rend(); ++it) {
+            if (it->first < cores) {
+                break;      // Descending: nothing below here fits.
+            }
+            const double left_cores = it->first - cores;
+            if (best && left_cores < best_left) {
+                break;
+            }
+            const ServerState &s = servers[it->second];
+            if (s.freeMem() < mem) {
+                continue;
+            }
+            const double left_mem = s.freeMem() - mem;
+            if (!best) {
+                best = it->second;
+                best_left = left_cores;
+                best_mem = left_mem;
+            } else if (left_mem > best_mem ||
+                       (left_mem == best_mem && it->second < *best)) {
+                best = it->second;
+                best_mem = left_mem;
+            }
+        }
+    }
+    if (best) {
+        return best;
+    }
+    return pick_empty();
 }
 
 /** Snapshot-accumulated packing sums for one group. */
@@ -342,6 +452,67 @@ VmAllocator::replay(const VmTrace &trace,
         }
     }
 
+    // Per-group free-capacity indexes (O(log n) placement). FirstFit
+    // ranks by server id, which the capacity ordering cannot serve, so
+    // it stays on the linear scan.
+    const bool indexed = options_.use_placement_index &&
+                         options_.policy != PlacementPolicy::FirstFit;
+    std::vector<std::size_t> group_of(servers.size(), 0);
+    std::vector<double> group_cores(1 + cluster.greens.size(), 0.0);
+    std::vector<double> group_mem(1 + cluster.greens.size(), 0.0);
+    group_cores[0] = static_cast<double>(cluster.baseline_sku.cores);
+    group_mem[0] = cluster.baseline_sku.totalMemory().asGb();
+    for (std::size_t g = 0; g < cluster.greens.size(); ++g) {
+        group_cores[1 + g] =
+            static_cast<double>(cluster.greens[g].sku.cores);
+        group_mem[1 + g] = cluster.greens[g].sku.totalMemory().asGb();
+        for (std::size_t i = green_ranges[g].begin;
+             i < green_ranges[g].end; ++i) {
+            group_of[i] = 1 + g;
+        }
+    }
+    std::vector<GroupIndex> index(1 + cluster.greens.size());
+    if (indexed) {
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+            index[group_of[i]].empty.insert(i);
+        }
+    }
+    auto index_erase = [&](std::size_t id) {
+        if (!indexed) {
+            return;
+        }
+        ServerState &s = servers[id];
+        GroupIndex &gi = index[group_of[id]];
+        if (s.vm_count == 0) {
+            gi.empty.erase(id);
+        } else if (!s.dedicated) {
+            gi.nonempty.erase({s.index_key, id});
+        }
+    };
+    auto index_insert = [&](std::size_t id) {
+        if (!indexed) {
+            return;
+        }
+        ServerState &s = servers[id];
+        GroupIndex &gi = index[group_of[id]];
+        if (s.vm_count == 0) {
+            gi.empty.insert(id);
+        } else if (!s.dedicated) {
+            s.index_key = s.freeCores();
+            gi.nonempty.insert({s.index_key, id});
+        }
+    };
+    auto pick = [&](std::size_t group, std::size_t begin, std::size_t end,
+                    double cores, double mem, bool need_empty) {
+        if (indexed) {
+            return pickServerIndexed(servers, index[group], cores, mem,
+                                     need_empty, group_cores[group],
+                                     group_mem[group], options_.policy);
+        }
+        return pickServer(servers, begin, end, cores, mem, need_empty,
+                          options_.policy);
+    };
+
     std::vector<VmRequest> vms = trace.vms;
     std::sort(vms.begin(), vms.end(),
               [](const VmRequest &a, const VmRequest &b) {
@@ -399,6 +570,7 @@ VmAllocator::replay(const VmTrace &trace,
     auto release = [&](const Departure &dep) {
         Placement &p = placement_of(dep.vm);
         ServerState &s = servers[p.server];
+        index_erase(p.server);
         s.used_cores -= p.cores;
         s.used_mem -= p.mem;
         s.touched_mem -= p.touched;
@@ -409,6 +581,7 @@ VmAllocator::replay(const VmTrace &trace,
         GSKU_INVARIANT(s.used_cores >= -1e-6 && s.used_mem >= -1e-6 &&
                            s.vm_count >= 0,
                        "server resource accounting went negative");
+        index_insert(p.server);
         live[dep.vm] = false;
     };
 
@@ -435,8 +608,7 @@ VmAllocator::replay(const VmTrace &trace,
 
         if (vm.full_node) {
             // Dedicated baseline server (Sec. V): must be empty.
-            target = pickServer(servers, 0, n_base, cores, mem,
-                                /*need_empty=*/true, options_.policy);
+            target = pick(0, 0, n_base, cores, mem, /*need_empty=*/true);
         } else {
             bool any_adopts = false;
             for (std::size_t g = 0; g < cluster.greens.size(); ++g) {
@@ -458,9 +630,9 @@ VmAllocator::replay(const VmTrace &trace,
                     decision.scaling_factor;
                 const double green_mem =
                     vm.memory_gb * decision.scaling_factor;
-                target = pickServer(servers, green_ranges[g].begin,
-                                    green_ranges[g].end, green_cores,
-                                    green_mem, false, options_.policy);
+                target = pick(1 + g, green_ranges[g].begin,
+                              green_ranges[g].end, green_cores,
+                              green_mem, false);
                 if (target) {
                     placed_group = static_cast<int>(g);
                     cores = green_cores;
@@ -472,8 +644,7 @@ VmAllocator::replay(const VmTrace &trace,
                 ++result.green_fallbacks;
             }
             if (!target) {
-                target = pickServer(servers, 0, n_base, cores, mem,
-                                    false, options_.policy);
+                target = pick(0, 0, n_base, cores, mem, false);
             }
         }
 
@@ -487,6 +658,7 @@ VmAllocator::replay(const VmTrace &trace,
         }
 
         ServerState &s = servers[*target];
+        index_erase(*target);
         Placement p;
         p.server = *target;
         p.on_green = placed_group >= 0;
@@ -505,6 +677,7 @@ VmAllocator::replay(const VmTrace &trace,
         GSKU_INVARIANT(s.used_cores <= s.total_cores + 1e-6 &&
                            s.used_mem <= s.total_mem + 1e-6,
                        "placement oversubscribed a server");
+        index_insert(*target);
 
         if (vm.id >= placements.size()) {
             placements.resize(vm.id + 1);

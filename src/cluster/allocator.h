@@ -106,6 +106,18 @@ struct ReplayOptions
     double snapshot_interval_h = 12.0;  ///< Packing-density sampling.
     bool stop_on_reject = true;         ///< Abort at first rejection.
     PlacementPolicy policy = PlacementPolicy::BestFit;
+
+    /**
+     * Place through the per-group free-capacity index (ordered by free
+     * cores, tie-broken by server id) instead of the O(servers) linear
+     * scan. Placements are bit-identical either way (the winner is the
+     * lexicographic minimum of (emptiness, leftover cores, leftover
+     * memory, server id) under both paths — asserted by
+     * tests/cluster/allocator_index_test.cc); the index makes each
+     * placement O(log servers). FirstFit always uses the scan: its
+     * winner is ordered by server id, which the index cannot serve.
+     */
+    bool use_placement_index = true;
 };
 
 /** Packing metrics for one server group (baseline or green). */

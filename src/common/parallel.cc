@@ -1,0 +1,256 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace gsku {
+
+namespace detail {
+
+namespace {
+
+/** True while the current thread is executing a pool task; nested
+ *  parallelFor calls detect this and run serially inline. */
+thread_local bool tls_in_pool_task = false;
+
+} // namespace
+
+/** One parallelFor invocation: a shared work-stealing batch. */
+struct Batch
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+
+    std::atomic<std::size_t> next{0};   ///< Next unclaimed task index.
+    std::atomic<std::size_t> done{0};   ///< Completed task count.
+
+    std::mutex m;
+    std::condition_variable cv;         ///< Signals completion.
+    bool complete = false;
+
+    /** Exception from the lowest-index failing task. */
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+
+    void
+    runOne(std::size_t i)
+    {
+        const bool saved = tls_in_pool_task;
+        tls_in_pool_task = true;
+        try {
+            (*body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(m);
+            if (!error || i < error_index) {
+                error = std::current_exception();
+                error_index = i;
+            }
+        }
+        tls_in_pool_task = saved;
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+            std::lock_guard<std::mutex> lock(m);
+            complete = true;
+            cv.notify_all();
+        }
+    }
+
+    /** Claim and run tasks until none are left. */
+    void
+    drain()
+    {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) {
+                return;
+            }
+            runOne(i);
+        }
+    }
+};
+
+struct PoolImpl
+{
+    int threads = 1;
+    std::vector<std::thread> workers;
+
+    std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::deque<std::shared_ptr<Batch>> queue;
+    bool stop = false;
+
+    explicit PoolImpl(int thread_count)
+        : threads(thread_count < 1 ? 1 : thread_count)
+    {
+        for (int i = 0; i < threads - 1; ++i) {
+            workers.emplace_back([this] { workerLoop(); });
+        }
+    }
+
+    ~PoolImpl()
+    {
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex);
+            stop = true;
+        }
+        queue_cv.notify_all();
+        for (std::thread &w : workers) {
+            w.join();
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::shared_ptr<Batch> batch;
+            {
+                std::unique_lock<std::mutex> lock(queue_mutex);
+                queue_cv.wait(lock,
+                              [this] { return stop || !queue.empty(); });
+                if (stop) {
+                    return;
+                }
+                batch = queue.front();
+            }
+            batch->drain();
+            {
+                // Retire the batch once its tasks are all claimed.
+                std::lock_guard<std::mutex> lock(queue_mutex);
+                if (!queue.empty() && queue.front() == batch) {
+                    queue.pop_front();
+                }
+            }
+        }
+    }
+
+    void
+    run(std::size_t n, const std::function<void(std::size_t)> &body)
+    {
+        if (n == 0) {
+            return;
+        }
+        // Serial fast path: single-threaded pool, trivial batch, or a
+        // nested call from inside a pool task (deadlock-free nesting).
+        if (threads == 1 || n == 1 || tls_in_pool_task) {
+            for (std::size_t i = 0; i < n; ++i) {
+                body(i);
+            }
+            return;
+        }
+
+        auto batch = std::make_shared<Batch>();
+        batch->n = n;
+        batch->body = &body;
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex);
+            queue.push_back(batch);
+        }
+        queue_cv.notify_all();
+
+        // The caller participates, then waits for stragglers.
+        batch->drain();
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex);
+            if (!queue.empty() && queue.front() == batch) {
+                queue.pop_front();
+            }
+        }
+        {
+            std::unique_lock<std::mutex> lock(batch->m);
+            batch->cv.wait(lock, [&] { return batch->complete; });
+        }
+        if (batch->error) {
+            std::rethrow_exception(batch->error);
+        }
+    }
+};
+
+} // namespace detail
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(std::make_unique<detail::PoolImpl>(threads))
+{
+}
+
+ThreadPool::~ThreadPool() = default;
+
+int
+ThreadPool::threads() const
+{
+    return impl_->threads;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    impl_->run(n, body);
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("GSKU_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+            return static_cast<int>(v);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> &
+globalSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+std::mutex &
+globalMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalMutex());
+    auto &slot = globalSlot();
+    if (!slot) {
+        slot = std::make_unique<ThreadPool>(defaultThreads());
+    }
+    return *slot;
+}
+
+void
+ThreadPool::resetGlobal(int threads)
+{
+    std::lock_guard<std::mutex> lock(globalMutex());
+    auto &slot = globalSlot();
+    slot.reset();
+    slot = std::make_unique<ThreadPool>(threads);
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
+{
+    ThreadPool::global().parallelFor(n, body);
+}
+
+} // namespace gsku

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The repo-wide parallel execution layer: a fixed-size worker pool with
+ * deterministic `parallelFor` / `parallelMap` primitives.
+ *
+ * Design rules (docs/performance.md):
+ *
+ *  - All concurrency flows through this pool. Raw std::thread /
+ *    std::async are banned elsewhere (tools/lint.py `concurrency` rule)
+ *    so there is exactly one place to audit for races.
+ *  - Determinism: tasks are indexed 0..n-1 and results land in the slot
+ *    of their index, so parallel and serial runs produce byte-identical
+ *    outputs whenever the tasks themselves are pure functions of their
+ *    index. Work distribution (which thread runs which index) is NOT
+ *    deterministic — only the results are.
+ *  - Thread count: `GSKU_THREADS` env override, else the hardware
+ *    concurrency. At 1 thread every primitive degenerates to a plain
+ *    serial loop on the calling thread — no workers are ever touched.
+ *  - Nesting: a `parallelFor` issued from inside a pool task runs
+ *    serially inline on the calling worker. This makes nested
+ *    parallelism deadlock-free and keeps the pool at its fixed size;
+ *    structure code so the *outer* level has enough tasks.
+ *  - Exceptions: if tasks throw, the exception from the lowest task
+ *    index is rethrown on the caller (deterministic), after all tasks
+ *    have finished.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace gsku {
+
+namespace detail {
+struct PoolImpl;
+} // namespace detail
+
+/** Fixed-size worker pool. One global instance serves the whole
+ *  process; private instances exist only for tests. */
+class ThreadPool
+{
+  public:
+    /** @p threads total concurrency (including the calling thread);
+     *  clamped to >= 1. The pool spawns threads-1 workers. */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency this pool provides (workers + caller). */
+    int threads() const;
+
+    /**
+     * Run @p body(i) for every i in [0, n). Blocks until all tasks are
+     * done; the calling thread participates. Serial (and allocation-
+     * free) when threads() == 1, n <= 1, or called from inside a pool
+     * task.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Deterministically-ordered map: out[i] = body(i). @p T must be
+     * default-constructible and movable.
+     */
+    template <typename T>
+    std::vector<T>
+    parallelMap(std::size_t n,
+                const std::function<T(std::size_t)> &body)
+    {
+        std::vector<T> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = body(i); });
+        return out;
+    }
+
+    /** The process-wide pool, created on first use with
+     *  defaultThreads() threads. */
+    static ThreadPool &global();
+
+    /**
+     * Thread count the global pool is created with: the positive
+     * integer in the GSKU_THREADS environment variable if set and
+     * valid, else std::thread::hardware_concurrency() (min 1).
+     */
+    static int defaultThreads();
+
+    /**
+     * Destroy and re-create the global pool with @p threads threads.
+     * For benchmarks and parity tests only: must not race with any
+     * in-flight parallelFor on the global pool.
+     */
+    static void resetGlobal(int threads);
+
+  private:
+    std::unique_ptr<detail::PoolImpl> impl_;
+};
+
+/** parallelFor on the global pool. */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+/** parallelMap on the global pool. */
+template <typename T>
+std::vector<T>
+parallelMap(std::size_t n, const std::function<T(std::size_t)> &body)
+{
+    return ThreadPool::global().parallelMap<T>(n, body);
+}
+
+} // namespace gsku

@@ -1,6 +1,7 @@
 #include "common/solver.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 
@@ -62,6 +63,43 @@ smallestTrue(const std::function<bool(long)> &pred, long lo, long hi)
         }
     }
     return hi;
+}
+
+std::optional<long>
+smallestTrueGalloping(const std::function<bool(long)> &pred, long lo,
+                      long hi)
+{
+    GSKU_REQUIRE(lo <= hi, "smallestTrueGalloping requires lo <= hi");
+    if (pred(lo)) {
+        return lo;
+    }
+    // Gallop with doubling steps: probe lo+1, lo+3, lo+7, ... clamped
+    // to hi. `floor` tracks the largest value known false.
+    long floor = lo;
+    long probe = lo;
+    long step = 1;
+    while (probe < hi) {
+        probe = (hi - probe > step) ? probe + step : hi;
+        if (pred(probe)) {
+            // Bisect the bracket (floor, probe]; pred(probe) is true.
+            long left = floor + 1;
+            long right = probe;
+            while (left < right) {
+                const long mid = left + (right - left) / 2;
+                if (pred(mid)) {
+                    right = mid;
+                } else {
+                    left = mid + 1;
+                }
+            }
+            return right;
+        }
+        floor = probe;
+        if (step <= (std::numeric_limits<long>::max() / 2)) {
+            step *= 2;
+        }
+    }
+    return std::nullopt;        // pred(hi) was probed false.
 }
 
 } // namespace gsku

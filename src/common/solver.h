@@ -40,4 +40,17 @@ bisect(const std::function<double(double)> &f, double lo, double hi,
 std::optional<long>
 smallestTrue(const std::function<bool(long)> &pred, long lo, long hi);
 
+/**
+ * smallestTrue for searches whose answer is expected near @p lo:
+ * gallop up from lo with doubling steps until pred flips true (capped
+ * at hi), then bisect the last (false, true] bracket. Identical answer
+ * to smallestTrue(pred, lo, hi) in O(log(answer - lo)) probes instead
+ * of O(log(hi - lo)) — the win when hi is a huge safety bound and lo a
+ * tight seed (e.g. cluster sizing seeded from peak concurrent demand).
+ * Returns std::nullopt when pred is false on the whole range.
+ */
+std::optional<long>
+smallestTrueGalloping(const std::function<bool(long)> &pred, long lo,
+                      long hi);
+
 } // namespace gsku

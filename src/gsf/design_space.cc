@@ -1,10 +1,12 @@
 #include "gsf/design_space.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "carbon/catalog.h"
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace gsku::gsf {
 
@@ -89,26 +91,51 @@ DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
                      !range.new_ssds.empty() &&
                      !range.reused_ssds.empty(),
                  "design range must not be empty");
-    std::vector<RankedDesign> designs;
-    long count = 0;
+    // Enumerate combinations up front (cheap), evaluate candidates on
+    // the worker pool, then collect survivors in enumeration order so
+    // the result is identical at every thread count.
+    struct Combo
+    {
+        int ddr5 = 0;
+        int ddr4 = 0;
+        int new_ssd = 0;
+        int reused_ssd = 0;
+    };
+    std::vector<Combo> combos;
+    combos.reserve(range.ddr5_dimms.size() *
+                   range.cxl_ddr4_dimms.size() * range.new_ssds.size() *
+                   range.reused_ssds.size());
     for (int ddr5 : range.ddr5_dimms) {
         for (int ddr4 : range.cxl_ddr4_dimms) {
             for (int new_ssd : range.new_ssds) {
                 for (int reused_ssd : range.reused_ssds) {
-                    ++count;
-                    const auto sku = buildCandidate(ddr5, ddr4, new_ssd,
-                                                    reused_ssd);
-                    if (!sku) {
-                        continue;
-                    }
-                    designs.push_back(
-                        {*sku, model_.savingsVs(baseline, *sku)});
+                    combos.push_back(
+                        Combo{ddr5, ddr4, new_ssd, reused_ssd});
                 }
             }
         }
     }
+
+    const auto evaluated = parallelMap<std::optional<RankedDesign>>(
+        combos.size(),
+        [&](std::size_t i) -> std::optional<RankedDesign> {
+            const Combo &c = combos[i];
+            const auto sku = buildCandidate(c.ddr5, c.ddr4, c.new_ssd,
+                                            c.reused_ssd);
+            if (!sku) {
+                return std::nullopt;
+            }
+            return RankedDesign{*sku, model_.savingsVs(baseline, *sku)};
+        });
+
+    std::vector<RankedDesign> designs;
+    for (const auto &d : evaluated) {
+        if (d) {
+            designs.push_back(*d);
+        }
+    }
     if (considered != nullptr) {
-        *considered = count;
+        *considered = static_cast<long>(combos.size());
     }
     std::sort(designs.begin(), designs.end(),
               [](const RankedDesign &a, const RankedDesign &b) {

@@ -1,9 +1,12 @@
 #include "gsf/evaluator.h"
 
 #include <cmath>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace gsku::gsf {
 
@@ -101,9 +104,18 @@ GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
     out.sku_name = green.name;
     out.intensities = intensities;
 
-    // Sizing depends on CI only through the adoption table; cache sizing
-    // results per (trace, table signature).
-    std::map<std::pair<std::size_t, std::string>, SizingResult> cache;
+    // Sizing depends on CI only through the adoption table; sizing
+    // results are shared per (trace, table signature). The sweep runs
+    // in three phases so the expensive phase parallelizes without
+    // duplicating cache entries across threads:
+    //   1. serial: adoption table + signature per CI (cheap model
+    //      evaluations);
+    //   2. pooled: one sizing task per *distinct* (trace, signature)
+    //      pair — the per-adoption-table cache, with each entry
+    //      computed exactly once and tasks ordered by first
+    //      appearance so results are thread-count independent;
+    //   3. serial: per-CI emissions from the cached sizings (cheap),
+    //      accumulated in trace order for bit-identical sums.
     auto signature = [](const cluster::AdoptionTable &table) {
         std::ostringstream sig;
         const auto &apps = perf::AppCatalog::all();
@@ -119,27 +131,48 @@ GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
         return sig.str();
     };
 
+    // Phase 1: adoption tables and their signatures.
+    std::vector<cluster::AdoptionTable> tables;
+    std::vector<std::string> sigs;
+    tables.reserve(intensities.size());
+    sigs.reserve(intensities.size());
     for (double ci_value : intensities) {
         const CarbonIntensity ci = CarbonIntensity::kgPerKwh(ci_value);
-        const cluster::AdoptionTable adoption =
-            adoption_.buildTable(baseline, green, ci);
-        const std::string sig = signature(adoption);
+        tables.push_back(adoption_.buildTable(baseline, green, ci));
+        sigs.push_back(signature(tables.back()));
+    }
 
+    // Phase 2: distinct sizing jobs, keyed by (trace, signature).
+    struct SizingJob
+    {
+        std::size_t trace = 0;
+        std::size_t table = 0;      ///< First CI index with this table.
+    };
+    std::map<std::pair<std::size_t, std::string>, std::size_t> job_of;
+    std::vector<SizingJob> jobs;
+    for (std::size_t c = 0; c < intensities.size(); ++c) {
+        for (std::size_t t = 0; t < traces.size(); ++t) {
+            const auto key = std::make_pair(t, sigs[c]);
+            if (job_of.emplace(key, jobs.size()).second) {
+                jobs.push_back(SizingJob{t, c});
+            }
+        }
+    }
+    const std::vector<SizingResult> sized =
+        parallelMap<SizingResult>(jobs.size(), [&](std::size_t j) {
+            return sizer_.size(traces[jobs[j].trace], baseline, green,
+                               tables[jobs[j].table]);
+        });
+
+    // Phase 3: emissions per CI from the cached sizings.
+    for (std::size_t c = 0; c < intensities.size(); ++c) {
+        const CarbonIntensity ci =
+            CarbonIntensity::kgPerKwh(intensities[c]);
         double sum = 0.0;
         for (std::size_t t = 0; t < traces.size(); ++t) {
-            auto key = std::make_pair(t, sig);
-            auto it = cache.find(key);
-            if (it == cache.end()) {
-                it = cache
-                         .emplace(key, sizer_.size(traces[t], baseline,
-                                                   green, adoption))
-                         .first;
-            }
-            const SizingResult &sizing = it->second;
+            const SizingResult &sizing =
+                sized[job_of.at(std::make_pair(t, sigs[c]))];
 
-            // Recompute emissions at this CI from the cached sizing.
-            ClusterEvaluation eval;
-            eval.sizing = sizing;
             const double base_cores = static_cast<double>(
                 sizing.baseline_only_servers * baseline.cores);
             const double mixed_cores = static_cast<double>(

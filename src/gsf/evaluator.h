@@ -92,7 +92,10 @@ class GsfEvaluator
     /**
      * Figs. 11/12: mean cluster savings across @p traces for each CI in
      * @p intensities. Sizing results are cached per distinct adoption
-     * table, so the sweep re-simulates only when adoption flips.
+     * table, so the sweep re-simulates only when adoption flips. The
+     * distinct sizing jobs run on the worker pool (common/parallel.h);
+     * results are byte-identical at every thread count (see
+     * docs/performance.md).
      */
     IntensitySweep sweep(const std::vector<cluster::VmTrace> &traces,
                          const carbon::ServerSku &baseline,

@@ -1,10 +1,13 @@
 #include "gsf/report.h"
 
+#include <functional>
 #include <sstream>
+#include <vector>
 
 #include "carbon/datacenter.h"
 #include "cluster/trace_gen.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "gsf/alternatives.h"
 #include "gsf/tiering.h"
@@ -24,47 +27,60 @@ generateReport(const ReportOptions &options)
     const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
     const carbon::ServerSku full = carbon::StandardSkus::greenFull();
 
-    // §V worked example.
-    {
-        const carbon::ServerSku example =
-            carbon::StandardSkus::paperExampleCxl();
-        const carbon::RackFootprint rack = carbon.rackFootprint(example);
-        report.example_server_power = rack.server_power;
-        report.example_server_embodied = carbon.serverEmbodied(example);
-        report.example_servers_per_rack = rack.servers_per_rack;
-        report.example_rack_per_core = rack.perCore();
-    }
-
-    // Table VIII.
-    report.savings_table =
-        carbon.savingsTable(carbon::StandardSkus::tableFourRows());
-
-    // Table III digest.
-    const perf::PerfModel perf(options.evaluator.perf_config);
-    for (const perf::CpuSpec &base :
-         {perf::CpuCatalog::rome(), perf::CpuCatalog::milan(),
-          perf::CpuCatalog::genoa()}) {
-        for (const auto &row : perf.scalingTable(base)) {
-            report.scaling_cells_feasible += row.feasible ? 1 : 0;
-            report.scaling_cells_unscaled +=
-                row.feasible && row.factor == 1.0 ? 1 : 0;
-        }
-    }
-
-    // Maintenance.
-    const reliability::MaintenanceModel maintenance(
-        options.evaluator.afr_params);
-    report.baseline_afr = maintenance.serverAfr(baseline);
-    report.green_full_afr = maintenance.serverAfr(full);
-    report.baseline_repair_rate = maintenance.repairRate(baseline);
-    report.green_full_repair_rate = maintenance.repairRate(full);
-
-    // CXL claims.
-    report.tiering_share_under_5pct =
-        MemoryTieringPolicy{}.fleetShareBelowSlowdown(
-            carbon::StandardSkus::greenCxl());
-    report.cxl_tolerant_core_hours =
-        perf::AppCatalog::cxlTolerantCoreHourShare();
+    // The cheap model sections are independent and write disjoint
+    // report fields: run them as pool tasks. The cluster sweep below
+    // stays at the top level so its (much larger) internal task set
+    // gets the whole pool.
+    const std::vector<std::function<void()>> sections = {
+        [&] {
+            // §V worked example.
+            const carbon::ServerSku example =
+                carbon::StandardSkus::paperExampleCxl();
+            const carbon::RackFootprint rack =
+                carbon.rackFootprint(example);
+            report.example_server_power = rack.server_power;
+            report.example_server_embodied = carbon.serverEmbodied(example);
+            report.example_servers_per_rack = rack.servers_per_rack;
+            report.example_rack_per_core = rack.perCore();
+        },
+        [&] {
+            // Table VIII.
+            report.savings_table =
+                carbon.savingsTable(carbon::StandardSkus::tableFourRows());
+        },
+        [&] {
+            // Table III digest.
+            const perf::PerfModel perf(options.evaluator.perf_config);
+            for (const perf::CpuSpec &base :
+                 {perf::CpuCatalog::rome(), perf::CpuCatalog::milan(),
+                  perf::CpuCatalog::genoa()}) {
+                for (const auto &row : perf.scalingTable(base)) {
+                    report.scaling_cells_feasible += row.feasible ? 1 : 0;
+                    report.scaling_cells_unscaled +=
+                        row.feasible && row.factor == 1.0 ? 1 : 0;
+                }
+            }
+        },
+        [&] {
+            // Maintenance.
+            const reliability::MaintenanceModel maintenance(
+                options.evaluator.afr_params);
+            report.baseline_afr = maintenance.serverAfr(baseline);
+            report.green_full_afr = maintenance.serverAfr(full);
+            report.baseline_repair_rate = maintenance.repairRate(baseline);
+            report.green_full_repair_rate = maintenance.repairRate(full);
+        },
+        [&] {
+            // CXL claims.
+            report.tiering_share_under_5pct =
+                MemoryTieringPolicy{}.fleetShareBelowSlowdown(
+                    carbon::StandardSkus::greenCxl());
+            report.cxl_tolerant_core_hours =
+                perf::AppCatalog::cxlTolerantCoreHourShare();
+        },
+    };
+    parallelFor(sections.size(),
+                [&](std::size_t i) { sections[i](); });
 
     // Cluster sweep + DC chain.
     {

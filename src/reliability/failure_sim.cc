@@ -1,8 +1,10 @@
 #include "reliability/failure_sim.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace gsku::reliability {
@@ -70,6 +72,71 @@ FleetFailureSimulator::run(int months, std::size_t smoothing_window)
         if (alive == 0) {
             break;
         }
+    }
+    return out;
+}
+
+std::vector<MonthlyTrialStat>
+FleetFailureSimulator::runTrials(int trials, int months,
+                                 std::size_t smoothing_window)
+{
+    GSKU_REQUIRE(trials > 0, "need at least one trial");
+    GSKU_REQUIRE(months > 0, "simulation needs at least one month");
+
+    // Fork one independent stream per trial, serially, before any
+    // parallel work: the parent seed fully determines every trial
+    // regardless of how the pool schedules them.
+    std::vector<Rng> streams;
+    streams.reserve(static_cast<std::size_t>(trials));
+    for (int i = 0; i < trials; ++i) {
+        streams.push_back(rng_.fork());
+    }
+
+    const auto runs = parallelMap<std::vector<MonthlyFailureStat>>(
+        static_cast<std::size_t>(trials), [&](std::size_t i) {
+            FleetFailureSimulator sim(params_, fleet_size_, 0);
+            sim.rng_ = streams[i];
+            return sim.run(months, smoothing_window);
+        });
+
+    // Aggregate per month over the trials that still have population
+    // (a trial whose fleet died out stops contributing), accumulating
+    // in trial order so sums are bit-reproducible.
+    std::vector<MonthlyTrialStat> out;
+    for (int m = 0; m < months; ++m) {
+        MonthlyTrialStat stat;
+        stat.month = m;
+        bool first = true;
+        for (const auto &run : runs) {
+            if (static_cast<std::size_t>(m) >= run.size()) {
+                continue;
+            }
+            const MonthlyFailureStat &s = run[m];
+            ++stat.trials;
+            stat.mean_failures += static_cast<double>(s.failures);
+            stat.mean_population += static_cast<double>(s.population);
+            stat.mean_raw_rate += s.raw_rate;
+            stat.mean_smoothed_rate += s.smoothed_rate;
+            if (first) {
+                stat.min_smoothed_rate = s.smoothed_rate;
+                stat.max_smoothed_rate = s.smoothed_rate;
+                first = false;
+            } else {
+                stat.min_smoothed_rate =
+                    std::min(stat.min_smoothed_rate, s.smoothed_rate);
+                stat.max_smoothed_rate =
+                    std::max(stat.max_smoothed_rate, s.smoothed_rate);
+            }
+        }
+        if (stat.trials == 0) {
+            break;      // Every trial's fleet has died out.
+        }
+        const double n = static_cast<double>(stat.trials);
+        stat.mean_failures /= n;
+        stat.mean_population /= n;
+        stat.mean_raw_rate /= n;
+        stat.mean_smoothed_rate /= n;
+        out.push_back(stat);
     }
     return out;
 }

@@ -41,6 +41,19 @@ struct MonthlyFailureStat
     double smoothed_rate = 0.0; ///< Trailing moving average (black line).
 };
 
+/** One month aggregated across independent Monte-Carlo trials. */
+struct MonthlyTrialStat
+{
+    int month = 0;
+    int trials = 0;                  ///< Trials with data for this month.
+    double mean_failures = 0.0;
+    double mean_population = 0.0;
+    double mean_raw_rate = 0.0;
+    double mean_smoothed_rate = 0.0;
+    double min_smoothed_rate = 0.0;  ///< Envelope across trials.
+    double max_smoothed_rate = 0.0;
+};
+
 /** Simulates a device fleet and reports monthly (smoothed) AFRs. */
 class FleetFailureSimulator
 {
@@ -55,6 +68,18 @@ class FleetFailureSimulator
      */
     std::vector<MonthlyFailureStat> run(int months,
                                         std::size_t smoothing_window = 6);
+
+    /**
+     * Run @p trials independent Monte-Carlo trials and aggregate them
+     * per month (mean rates/failures plus the smoothed-rate envelope —
+     * the Fig. 2 scatter reduced to bands). Each trial draws from its
+     * own RNG stream forked deterministically from this simulator's
+     * seed *before* any parallel work, and trials execute on the
+     * worker pool (common/parallel.h): results are byte-identical at
+     * every thread count. Consumes this simulator's RNG state.
+     */
+    std::vector<MonthlyTrialStat>
+    runTrials(int trials, int months, std::size_t smoothing_window = 6);
 
   private:
     HazardParams params_;

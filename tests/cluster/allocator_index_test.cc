@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Placement-index equivalence: ReplayOptions::use_placement_index swaps
+ * the O(servers) linear scan for an O(log servers) free-capacity index,
+ * and the two paths must produce bit-identical replays (the winner is
+ * the same lexicographic minimum either way — see allocator.h). These
+ * tests replay generated traces under both paths and require exact
+ * equality of every count and every metric, for BestFit and WorstFit,
+ * with and without stop_on_reject, and for multi-green-group clusters.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/allocator.h"
+#include "cluster/trace_gen.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+namespace {
+
+AdoptionTable
+adoptAll(double factor)
+{
+    AdoptionTable t;
+    const carbon::Generation gens[] = {carbon::Generation::Gen1,
+                                       carbon::Generation::Gen2,
+                                       carbon::Generation::Gen3};
+    for (std::size_t i = 0; i < perf::AppCatalog::all().size(); ++i) {
+        for (auto g : gens) {
+            t.set(i, g, {true, factor});
+        }
+    }
+    return t;
+}
+
+VmTrace
+generatedTrace(double concurrent_vms, std::uint64_t seed)
+{
+    TraceGenParams params;
+    params.target_concurrent_vms = concurrent_vms;
+    params.duration_h = 24.0 * 3.0;
+    return TraceGenerator(params).generate(seed);
+}
+
+void
+expectGroupsEqual(const GroupMetrics &a, const GroupMetrics &b)
+{
+    EXPECT_EQ(a.servers, b.servers);
+    EXPECT_EQ(a.vms_placed, b.vms_placed);
+    // Exact equality on purpose: the contract is bit-identical, not
+    // approximately equal.
+    EXPECT_EQ(a.mean_core_packing, b.mean_core_packing);
+    EXPECT_EQ(a.mean_mem_packing, b.mean_mem_packing);
+    EXPECT_EQ(a.mean_max_mem_utilization, b.mean_max_mem_utilization);
+}
+
+void
+expectReplaysEqual(const ReplayResult &a, const ReplayResult &b)
+{
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.green_placed, b.green_placed);
+    EXPECT_EQ(a.green_fallbacks, b.green_fallbacks);
+    expectGroupsEqual(a.baseline, b.baseline);
+    expectGroupsEqual(a.green, b.green);
+}
+
+/** Replays the same scenario with the scan and with the index. */
+void
+expectScanIndexParity(const VmTrace &trace, const ClusterSpec &cluster,
+                      const AdoptionTable &adoption, ReplayOptions opts)
+{
+    opts.use_placement_index = false;
+    const ReplayResult scan =
+        VmAllocator(opts).replay(trace, cluster, adoption);
+    opts.use_placement_index = true;
+    const ReplayResult indexed =
+        VmAllocator(opts).replay(trace, cluster, adoption);
+    expectReplaysEqual(scan, indexed);
+}
+
+TEST(AllocatorIndexTest, BestFitMatchesScanOnGeneratedTraces)
+{
+    const ClusterSpec cluster{carbon::StandardSkus::baseline(),
+                              carbon::StandardSkus::greenFull(), 40, 30};
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        expectScanIndexParity(generatedTrace(120.0, seed), cluster,
+                              adoptAll(1.1), ReplayOptions{});
+    }
+}
+
+TEST(AllocatorIndexTest, WorstFitMatchesScanOnGeneratedTraces)
+{
+    ReplayOptions opts;
+    opts.policy = PlacementPolicy::WorstFit;
+    const ClusterSpec cluster{carbon::StandardSkus::baseline(),
+                              carbon::StandardSkus::greenFull(), 40, 30};
+    for (std::uint64_t seed : {4u, 5u}) {
+        expectScanIndexParity(generatedTrace(120.0, seed), cluster,
+                              adoptAll(1.1), opts);
+    }
+}
+
+TEST(AllocatorIndexTest, MatchesScanUnderOverloadWithoutStopOnReject)
+{
+    // An undersized cluster: many placements fail, servers repeatedly
+    // empty and refill, and the replay keeps going past rejections --
+    // the index's erase/insert bookkeeping is exercised hardest here.
+    ReplayOptions opts;
+    opts.stop_on_reject = false;
+    const ClusterSpec cluster{carbon::StandardSkus::baseline(),
+                              carbon::StandardSkus::greenFull(), 8, 6};
+    for (std::uint64_t seed : {6u, 7u}) {
+        expectScanIndexParity(generatedTrace(150.0, seed), cluster,
+                              adoptAll(1.2), opts);
+    }
+}
+
+TEST(AllocatorIndexTest, MatchesScanWithoutAdoption)
+{
+    ReplayOptions opts;
+    opts.stop_on_reject = false;
+    const ClusterSpec cluster{carbon::StandardSkus::baseline(),
+                              carbon::StandardSkus::greenFull(), 30, 0};
+    expectScanIndexParity(generatedTrace(100.0, 8), cluster,
+                          AdoptionTable::none(), opts);
+}
+
+TEST(AllocatorIndexTest, MultiGreenGroupMatchesScan)
+{
+    MultiClusterSpec cluster;
+    cluster.baseline_sku = carbon::StandardSkus::baseline();
+    cluster.baselines = 30;
+    cluster.greens.push_back(
+        {carbon::StandardSkus::greenFull(), 15, adoptAll(1.15)});
+    cluster.greens.push_back(
+        {carbon::StandardSkus::greenCxl(), 15, adoptAll(1.05)});
+
+    const VmTrace trace = generatedTrace(110.0, 9);
+    ReplayOptions opts;
+    opts.stop_on_reject = false;
+
+    opts.use_placement_index = false;
+    const MultiReplayResult scan = VmAllocator(opts).replay(trace, cluster);
+    opts.use_placement_index = true;
+    const MultiReplayResult indexed =
+        VmAllocator(opts).replay(trace, cluster);
+
+    EXPECT_EQ(scan.success, indexed.success);
+    EXPECT_EQ(scan.placed, indexed.placed);
+    EXPECT_EQ(scan.rejected, indexed.rejected);
+    EXPECT_EQ(scan.green_placed, indexed.green_placed);
+    EXPECT_EQ(scan.green_fallbacks, indexed.green_fallbacks);
+    expectGroupsEqual(scan.baseline, indexed.baseline);
+    ASSERT_EQ(scan.greens.size(), indexed.greens.size());
+    for (std::size_t g = 0; g < scan.greens.size(); ++g) {
+        expectGroupsEqual(scan.greens[g], indexed.greens[g]);
+    }
+}
+
+TEST(AllocatorIndexTest, FirstFitIgnoresTheIndexFlag)
+{
+    // FirstFit always scans (documented in ReplayOptions); flipping the
+    // flag must not change anything.
+    ReplayOptions opts;
+    opts.policy = PlacementPolicy::FirstFit;
+    const ClusterSpec cluster{carbon::StandardSkus::baseline(),
+                              carbon::StandardSkus::greenFull(), 20, 10};
+    expectScanIndexParity(generatedTrace(80.0, 10), cluster, adoptAll(1.1),
+                          opts);
+}
+
+} // namespace
+} // namespace gsku::cluster

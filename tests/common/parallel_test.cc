@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Worker-pool tests: every index runs exactly once, map results land in
+ * index order, serial fallback at one thread, deterministic exception
+ * propagation (lowest index), deadlock-free nested parallelism, and the
+ * GSKU_THREADS override.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace gsku {
+namespace {
+
+TEST(ParallelTest, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelTest, MapResultsLandInIndexOrder)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap<std::size_t>(
+        257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], i * i);
+    }
+}
+
+TEST(ParallelTest, SingleThreadPoolRunsSerially)
+{
+    // With one thread everything runs inline on the caller: the order
+    // of side effects is exactly 0..n-1.
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    std::vector<std::size_t> order;
+    pool.parallelFor(10, [&](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expect(10);
+    std::iota(expect.begin(), expect.end(), std::size_t{0});
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelTest, ThreadCountClampedToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1);
+    ThreadPool negative(-3);
+    EXPECT_EQ(negative.threads(), 1);
+}
+
+TEST(ParallelTest, ZeroTasksIsANoop)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(pool.parallelMap<int>(0, [](std::size_t) { return 1; })
+                    .empty());
+}
+
+TEST(ParallelTest, LowestIndexExceptionWins)
+{
+    // Several tasks throw; the rethrown exception must be the one from
+    // the lowest task index regardless of scheduling.
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        try {
+            pool.parallelFor(64, [&](std::size_t i) {
+                if (i % 7 == 3) {       // Lowest thrower is index 3.
+                    throw std::runtime_error("task " + std::to_string(i));
+                }
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "task 3");
+        }
+    }
+}
+
+TEST(ParallelTest, ExceptionDoesNotPoisonThePool)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(
+                     8, [](std::size_t) { throw std::runtime_error("x"); }),
+                 std::runtime_error);
+    // The pool still works afterwards.
+    std::atomic<int> count{0};
+    pool.parallelFor(100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelTest, NestedParallelForRunsSerialInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kOuter = 16;
+    constexpr std::size_t kInner = 16;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    pool.parallelFor(kOuter, [&](std::size_t i) {
+        // An inner parallelFor from inside a pool task must run
+        // serially inline (and in particular must not deadlock waiting
+        // for workers that are all busy running outer tasks).
+        pool.parallelFor(kInner, [&](std::size_t j) {
+            hits[i * kInner + j].fetch_add(1);
+        });
+    });
+    for (const auto &h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelTest, GlobalPoolResetChangesThreadCount)
+{
+    const int original = ThreadPool::global().threads();
+    ThreadPool::resetGlobal(3);
+    EXPECT_EQ(ThreadPool::global().threads(), 3);
+    std::atomic<int> count{0};
+    parallelFor(50, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+    ThreadPool::resetGlobal(original);
+}
+
+TEST(ParallelTest, DefaultThreadsHonorsEnvOverride)
+{
+    ::setenv("GSKU_THREADS", "5", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 5);
+    ::setenv("GSKU_THREADS", "0", 1);       // Invalid: fall back.
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+    ::setenv("GSKU_THREADS", "junk", 1);    // Invalid: fall back.
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+    ::unsetenv("GSKU_THREADS");
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
+
+TEST(ParallelTest, FreeFunctionsUseGlobalPool)
+{
+    const auto out =
+        parallelMap<int>(10, [](std::size_t i) { return int(i) + 1; });
+    ASSERT_EQ(out.size(), 10u);
+    EXPECT_EQ(out.front(), 1);
+    EXPECT_EQ(out.back(), 10);
+}
+
+} // namespace
+} // namespace gsku

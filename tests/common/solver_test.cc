@@ -106,5 +106,67 @@ TEST(SmallestTrueTest, RejectsInvertedRange)
     EXPECT_THROW(smallestTrue([](long) { return true; }, 5, 4), UserError);
 }
 
+TEST(GallopingTest, MatchesSmallestTrueEverywhere)
+{
+    // Exhaustive cross-check on a small domain: for every threshold and
+    // every lo, the galloping search answers exactly like the bisection.
+    for (long threshold = 0; threshold <= 40; ++threshold) {
+        for (long lo = 0; lo <= 20; ++lo) {
+            auto pred = [threshold](long x) { return x >= threshold; };
+            const auto a = smallestTrue(pred, lo, 40);
+            const auto b = smallestTrueGalloping(pred, lo, 40);
+            ASSERT_EQ(a.has_value(), b.has_value())
+                << "threshold=" << threshold << " lo=" << lo;
+            if (a) {
+                ASSERT_EQ(*a, *b)
+                    << "threshold=" << threshold << " lo=" << lo;
+            }
+        }
+    }
+}
+
+TEST(GallopingTest, NoneTrueGivesNullopt)
+{
+    EXPECT_FALSE(
+        smallestTrueGalloping([](long) { return false; }, 0, 100)
+            .has_value());
+}
+
+TEST(GallopingTest, CheapWhenAnswerIsNearLo)
+{
+    // The satellite's whole point: when the seed (lo) is close to the
+    // answer, probe count is O(log(answer - lo)), independent of hi.
+    int calls = 0;
+    const auto n = smallestTrueGalloping(
+        [&](long x) {
+            ++calls;
+            return x >= 1005;
+        },
+        1000, 100000000);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 1005);
+    EXPECT_LE(calls, 8);
+}
+
+TEST(GallopingTest, AllTrueGivesLoWithOneProbe)
+{
+    int calls = 0;
+    const auto n = smallestTrueGalloping(
+        [&](long) {
+            ++calls;
+            return true;
+        },
+        7, 1000000);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 7);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(GallopingTest, RejectsInvertedRange)
+{
+    EXPECT_THROW(smallestTrueGalloping([](long) { return true; }, 5, 4),
+                 UserError);
+}
+
 } // namespace
 } // namespace gsku

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Serial-vs-parallel parity: the worker pool's determinism contract
+ * (common/parallel.h) says parallel and serial runs are byte-identical.
+ * This test runs the three parallelized engines — the GSF intensity
+ * sweep, the design-space exploration, and the Monte-Carlo failure
+ * trials — at 1 and 4 global-pool threads and requires bit-equal
+ * results (EXPECT_EQ on doubles, not EXPECT_NEAR: last-bit differences
+ * are failures).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/trace_gen.h"
+#include "common/parallel.h"
+#include "gsf/design_space.h"
+#include "gsf/evaluator.h"
+#include "reliability/failure_sim.h"
+
+namespace gsku {
+namespace {
+
+/** Runs @p body at 1 thread and at 4 threads, restoring the global
+ *  pool afterwards, and returns both results. */
+template <typename T, typename Fn>
+std::pair<T, T>
+atOneAndFourThreads(const Fn &body)
+{
+    const int original = ThreadPool::global().threads();
+    ThreadPool::resetGlobal(1);
+    T serial = body();
+    ThreadPool::resetGlobal(4);
+    T parallel = body();
+    ThreadPool::resetGlobal(original);
+    return {std::move(serial), std::move(parallel)};
+}
+
+TEST(ParallelParityTest, IntensitySweepIsByteIdentical)
+{
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 150.0;
+    params.duration_h = 24.0 * 3.0;
+    const auto traces =
+        cluster::TraceGenerator(params).generateFamily(4, /*base_seed=*/3);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const std::vector<double> grid = {0.05, 0.15, 0.3};
+
+    const auto [serial, parallel] =
+        atOneAndFourThreads<gsf::IntensitySweep>([&] {
+            const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+            return evaluator.sweep(traces, baseline, green, grid);
+        });
+
+    EXPECT_EQ(serial.sku_name, parallel.sku_name);
+    ASSERT_EQ(serial.intensities.size(), parallel.intensities.size());
+    ASSERT_EQ(serial.mean_savings.size(), parallel.mean_savings.size());
+    for (std::size_t i = 0; i < serial.mean_savings.size(); ++i) {
+        EXPECT_EQ(serial.intensities[i], parallel.intensities[i]);
+        EXPECT_EQ(serial.mean_savings[i], parallel.mean_savings[i]);
+    }
+}
+
+TEST(ParallelParityTest, DesignSpaceExplorationIsByteIdentical)
+{
+    const carbon::CarbonModel model;
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    gsf::DesignRange range;        // Trimmed range to keep the test fast.
+    range.ddr5_dimms = {8, 10, 12};
+    range.cxl_ddr4_dimms = {0, 8};
+    range.new_ssds = {2, 4};
+    range.reused_ssds = {0, 8};
+
+    struct Outcome
+    {
+        std::vector<gsf::RankedDesign> designs;
+        long considered = 0;
+    };
+    const auto [serial, parallel] = atOneAndFourThreads<Outcome>([&] {
+        Outcome o;
+        const gsf::DesignSpaceExplorer explorer(model);
+        o.designs = explorer.explore(baseline, range, &o.considered);
+        return o;
+    });
+
+    EXPECT_EQ(serial.considered, parallel.considered);
+    ASSERT_EQ(serial.designs.size(), parallel.designs.size());
+    for (std::size_t i = 0; i < serial.designs.size(); ++i) {
+        EXPECT_EQ(serial.designs[i].sku.name, parallel.designs[i].sku.name);
+        EXPECT_EQ(serial.designs[i].savings.total_savings,
+                  parallel.designs[i].savings.total_savings);
+        EXPECT_EQ(serial.designs[i].savings.operational_savings,
+                  parallel.designs[i].savings.operational_savings);
+        EXPECT_EQ(serial.designs[i].savings.embodied_savings,
+                  parallel.designs[i].savings.embodied_savings);
+    }
+}
+
+TEST(ParallelParityTest, FailureTrialsAreByteIdentical)
+{
+    using reliability::MonthlyTrialStat;
+    const auto [serial, parallel] =
+        atOneAndFourThreads<std::vector<MonthlyTrialStat>>([] {
+            reliability::FleetFailureSimulator sim(
+                reliability::HazardParams{}, /*fleet_size=*/20000,
+                /*seed=*/99);
+            return sim.runTrials(/*trials=*/16, /*months=*/48);
+        });
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t m = 0; m < serial.size(); ++m) {
+        EXPECT_EQ(serial[m].trials, parallel[m].trials);
+        EXPECT_EQ(serial[m].mean_failures, parallel[m].mean_failures);
+        EXPECT_EQ(serial[m].mean_population, parallel[m].mean_population);
+        EXPECT_EQ(serial[m].mean_raw_rate, parallel[m].mean_raw_rate);
+        EXPECT_EQ(serial[m].mean_smoothed_rate,
+                  parallel[m].mean_smoothed_rate);
+        EXPECT_EQ(serial[m].min_smoothed_rate,
+                  parallel[m].min_smoothed_rate);
+        EXPECT_EQ(serial[m].max_smoothed_rate,
+                  parallel[m].max_smoothed_rate);
+    }
+}
+
+TEST(ParallelParityTest, ClusterSizingIsByteIdenticalAcrossThreads)
+{
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 120.0;
+    params.duration_h = 24.0 * 3.0;
+    const auto trace = cluster::TraceGenerator(params).generate(17);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+
+    const auto [serial, parallel] =
+        atOneAndFourThreads<gsf::ClusterEvaluation>([&] {
+            return evaluator.evaluateCluster(trace, baseline, green,
+                                             CarbonIntensity::kgPerKwh(0.1));
+        });
+    EXPECT_EQ(serial.sizing.baseline_only_servers,
+              parallel.sizing.baseline_only_servers);
+    EXPECT_EQ(serial.sizing.mixed_baselines,
+              parallel.sizing.mixed_baselines);
+    EXPECT_EQ(serial.sizing.mixed_greens, parallel.sizing.mixed_greens);
+    EXPECT_EQ(serial.savings, parallel.savings);
+}
+
+} // namespace
+} // namespace gsku

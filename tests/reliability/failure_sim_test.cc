@@ -110,6 +110,61 @@ TEST(FailureSimTest, FailuresNeverExceedPopulation)
     }
 }
 
+TEST(FailureTrialsTest, DeterministicForSameSeed)
+{
+    HazardParams h;
+    FleetFailureSimulator a(h, 50000, 11);
+    FleetFailureSimulator b(h, 50000, 11);
+    const auto ra = a.runTrials(8, 48);
+    const auto rb = b.runTrials(8, 48);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        ASSERT_EQ(ra[i].mean_failures, rb[i].mean_failures);
+        ASSERT_EQ(ra[i].mean_smoothed_rate, rb[i].mean_smoothed_rate);
+    }
+}
+
+TEST(FailureTrialsTest, AggregatesAndEnvelopesAreConsistent)
+{
+    HazardParams h;
+    h.base_afr = 0.012;
+    FleetFailureSimulator sim(h, 100000, 42);
+    const auto stats = sim.runTrials(12, 60);
+    ASSERT_FALSE(stats.empty());
+    for (const auto &s : stats) {
+        EXPECT_EQ(s.trials, 12);        // Large fleets never die out.
+        EXPECT_GE(s.mean_failures, 0.0);
+        EXPECT_GT(s.mean_population, 0.0);
+        EXPECT_LE(s.min_smoothed_rate, s.mean_smoothed_rate);
+        EXPECT_GE(s.max_smoothed_rate, s.mean_smoothed_rate);
+    }
+    // The trial mean reproduces the Fig. 2 shape: elevated early,
+    // near-base later.
+    EXPECT_GT(stats[0].mean_raw_rate, 1.5 * h.base_afr);
+    EXPECT_NEAR(stats[50].mean_smoothed_rate, h.base_afr, 0.004);
+}
+
+TEST(FailureTrialsTest, SingleTrialEnvelopeCollapsesToTheMean)
+{
+    HazardParams h;
+    FleetFailureSimulator sim(h, 20000, 5);
+    const auto agg = sim.runTrials(1, 36);
+    ASSERT_FALSE(agg.empty());
+    for (const auto &s : agg) {
+        EXPECT_EQ(s.trials, 1);
+        EXPECT_EQ(s.min_smoothed_rate, s.mean_smoothed_rate);
+        EXPECT_EQ(s.max_smoothed_rate, s.mean_smoothed_rate);
+    }
+}
+
+TEST(FailureTrialsTest, Validation)
+{
+    HazardParams h;
+    FleetFailureSimulator sim(h, 100);
+    EXPECT_THROW(sim.runTrials(0, 12), UserError);
+    EXPECT_THROW(sim.runTrials(4, 0), UserError);
+}
+
 TEST(FailureSimTest, ParameterValidation)
 {
     HazardParams h;

@@ -26,6 +26,15 @@ Rules (each a distinct class, all hard CI gates — see docs/analysis.md):
   pragma-once       Every header under src/ starts its include guard
                     with ``#pragma once``.
 
+  concurrency       All concurrency flows through the worker pool in
+                    src/common/parallel.h (docs/performance.md). Raw
+                    ``std::thread`` / ``std::jthread`` / ``std::async``
+                    construction and ``.detach()`` are banned outside
+                    parallel.h/.cc: one audited place for threads keeps
+                    the determinism contract and the TSan surface small.
+                    (``std::thread::hardware_concurrency()`` is allowed:
+                    it queries, it does not spawn.)
+
 Suppress a finding by appending ``// lint-ok: <rule> <why>`` to the
 offending line. Suppressions are themselves audited: an unused one is an
 error, so stale escapes cannot accumulate.
@@ -228,6 +237,41 @@ def check_error_convention(path: Path, lines: list[str],
 
 
 # --------------------------------------------------------------------
+# Rule: concurrency
+# --------------------------------------------------------------------
+
+CONCURRENCY_ALLOWED = ("src/common/parallel.h", "src/common/parallel.cc")
+# std::thread{...} / std::jthread / std::async spawn execution;
+# `std::thread::...` statics (hardware_concurrency) only query and are
+# allowed. `.detach()` orphans a thread no matter how it was made.
+CONCURRENCY_BANNED_RE = re.compile(
+    r"std::\s*(thread|jthread)\b(?!\s*::)|"
+    r"std::\s*async\s*[(<]|"
+    r"\.\s*detach\s*\(")
+
+
+def check_concurrency(path: Path, lines: list[str],
+                      used: set) -> list[Finding]:
+    findings = []
+    if path.as_posix().replace("\\", "/").endswith(CONCURRENCY_ALLOWED):
+        return findings
+    in_block = False
+    for i, raw in enumerate(lines, 1):
+        code, in_block = strip_comments(raw, in_block)
+        m = CONCURRENCY_BANNED_RE.search(code)
+        if not m:
+            continue
+        if suppressed(raw, "concurrency", used, path, i):
+            continue
+        findings.append(Finding(
+            path, i, "concurrency",
+            f"'{m.group(0).strip()}' spawns or detaches a raw thread; "
+            f"route all parallelism through the worker pool in "
+            f"common/parallel.h (docs/performance.md)"))
+    return findings
+
+
+# --------------------------------------------------------------------
 # Rule: pragma-once
 # --------------------------------------------------------------------
 
@@ -252,6 +296,7 @@ RULES = {
     "raw-double-units": check_raw_double_units,
     "rng-usage": check_rng_usage,
     "error-convention": check_error_convention,
+    "concurrency": check_concurrency,
     "pragma-once": check_pragma_once,
 }
 
