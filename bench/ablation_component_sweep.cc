@@ -13,6 +13,8 @@
 #include "carbon/sku.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -57,6 +59,8 @@ baselineWithDimms(int dimms)
 int
 main()
 {
+    gsku::obs::metrics().reset();
+
     const CarbonModel model;
     const ServerSku baseline = StandardSkus::baseline();
 
@@ -117,5 +121,16 @@ main()
     std::cout << "Reading: DRAM/SSD reuse each buys embodied savings at "
                  "an operational cost (D1); right-sizing memory buys both "
                  "but saturates once workloads need the capacity.\n";
+
+    gsku::obs::RunManifest manifest("ablation_component_sweep");
+    manifest
+        .config("configs", static_cast<std::int64_t>(configs.size()))
+        .config("dimms_lo", static_cast<std::int64_t>(dimms_lo))
+        .config("dimms_hi", static_cast<std::int64_t>(dimms_hi));
+    if (!manifest.write("MANIFEST_ablation_component_sweep.json")) {
+        std::cerr
+            << "ablation_component_sweep: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -22,6 +22,8 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "gsf/evaluator.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -29,14 +31,19 @@ main()
     using namespace gsku;
     using namespace gsku::gsf;
 
+    // Per-run metrics isolation: the manifest written at the end
+    // carries only this run's counts.
+    obs::metrics().reset();
+
     // A scaled-down fig11 configuration: enough distinct (trace,
     // adoption-table) sizing jobs to exercise the pool, small enough
     // that the 1-thread leg stays well inside the smoke-test budget.
     cluster::TraceGenParams params;
     params.target_concurrent_vms = 300.0;
     params.duration_h = 24.0 * 7.0;
-    const auto traces =
-        cluster::TraceGenerator(params).generateFamily(8, /*base_seed=*/7);
+    const std::uint64_t trace_seed = 7;
+    const auto traces = cluster::TraceGenerator(params).generateFamily(
+        8, /*base_seed=*/trace_seed);
 
     const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
     const carbon::ServerSku green = carbon::StandardSkus::greenFull();
@@ -108,6 +115,22 @@ main()
         return 2;
     }
     std::cout << "wrote " << path << '\n';
+
+    obs::RunManifest manifest("bench_sweep");
+    manifest.config("traces", static_cast<std::int64_t>(traces.size()))
+        .config("intensities", static_cast<std::int64_t>(grid.size()))
+        .config("target_concurrent_vms", params.target_concurrent_vms)
+        .config("duration_h", params.duration_h)
+        .config("thread_counts", std::string("1,2,8"))
+        .config("checksums_identical", identical)
+        .seed("trace_family_base", trace_seed);
+    const std::string manifest_path = "MANIFEST_bench_sweep.json";
+    if (!manifest.write(manifest_path)) {
+        std::cerr << "bench_sweep: failed to write " << manifest_path
+                  << '\n';
+        return 2;
+    }
+    std::cout << "wrote " << manifest_path << '\n';
 
     if (!identical) {
         std::cerr << "bench_sweep: CHECKSUM MISMATCH across thread "

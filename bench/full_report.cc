@@ -7,10 +7,30 @@
 #include <iostream>
 
 #include "gsf/report.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
 {
-    std::cout << gsku::gsf::generateReport().render();
+    using namespace gsku;
+
+    obs::metrics().reset();
+    const gsf::ReportOptions options;
+    const gsf::ReproductionReport report = gsf::generateReport(options);
+    std::cout << report.render();
+
+    obs::RunManifest manifest("full_report");
+    manifest.config("traces", static_cast<std::int64_t>(options.traces))
+        .config("trace_concurrent_vms", options.trace_concurrent_vms)
+        .config("ci_grid_points",
+                static_cast<std::int64_t>(options.ci_grid.size()))
+        .config("mean_cluster_savings", report.mean_cluster_savings)
+        .config("dc_savings", report.dc_savings)
+        .seed("trace_family_base", options.trace_seed);
+    if (!manifest.write("MANIFEST_full_report.json")) {
+        std::cerr << "full_report: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -133,12 +134,21 @@ class JsonObject
 
     std::string str() const { return "{" + body_ + "}"; }
 
-    /** Write the object (plus trailing newline) to @p path. */
+    /** Write the object (plus trailing newline) to @p path atomically:
+     *  the full document lands in a temp file first and is published
+     *  with rename(), so a reader (or a crash mid-write) never sees a
+     *  truncated BENCH_*.json. */
     bool writeFile(const std::string &path) const
     {
-        std::ofstream out(path);
-        out << str() << '\n';
-        return static_cast<bool>(out);
+        const std::string tmp = path + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            out << str() << '\n';
+            if (!out) {
+                return false;
+            }
+        }
+        return std::rename(tmp.c_str(), path.c_str()) == 0;
     }
 
   private:

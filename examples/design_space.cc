@@ -8,18 +8,59 @@
  *
  * This mirrors how the authors "used parts of GSF to iterate through
  * hundreds of configurations" when designing the prototypes.
+ *
+ * Options:
+ *   --metrics        print the metrics snapshot after the exploration
+ *   --trace <path>   record a Chrome-trace of the run to <path>
+ *   --help           show usage
  */
 #include <iostream>
+#include <string>
 
 #include "carbon/model.h"
 #include "common/table.h"
 #include "gsf/design_space.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gsku;
     using namespace gsku::gsf;
+
+    bool show_metrics = false;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: design_space [--metrics] "
+                         "[--trace <path>]\n"
+                         "  --metrics        print the metrics snapshot "
+                         "after the exploration\n"
+                         "  --trace <path>   record a Chrome-trace of "
+                         "the run to <path>\n"
+                         "  --help           show this message\n";
+            return 0;
+        }
+        if (arg == "--metrics") {
+            show_metrics = true;
+        } else if (arg == "--trace") {
+            if (i + 1 >= argc) {
+                std::cerr << "design_space: --trace needs a path\n";
+                return 1;
+            }
+            trace_path = argv[++i];
+        } else {
+            std::cerr << "design_space: unknown argument " << arg
+                      << '\n';
+            return 1;
+        }
+    }
+    if (!trace_path.empty()) {
+        obs::startTrace();
+    }
+    obs::metrics().reset();
 
     const carbon::CarbonModel model;
     const DesignSpaceExplorer explorer(model);
@@ -58,5 +99,15 @@ main()
               << designs.size()
               << " — near-optimal, as §VIII anticipates (\"may not be "
                  "the optimal configuration\").\n";
+
+    if (show_metrics) {
+        std::cout << "\nMetrics snapshot:\n"
+                  << obs::metrics().snapshot().toText();
+    }
+    if (!trace_path.empty() && !obs::writeTrace(trace_path)) {
+        std::cerr << "design_space: failed to write " << trace_path
+                  << '\n';
+        return 2;
+    }
     return 0;
 }

@@ -4,8 +4,13 @@
  * as a compact spec string — design-space exploration from a shell.
  *
  * Usage:
- *   sku_eval_cli "<spec>" [carbon_intensity]
+ *   sku_eval_cli [options] "<spec>" [carbon_intensity]
  *   sku_eval_cli                       # evaluates GreenSKU-Full
+ *
+ * Options:
+ *   --metrics        print the metrics snapshot after the evaluation
+ *   --trace <path>   record a Chrome-trace of the run to <path>
+ *   --help           show usage
  *
  * Examples:
  *   sku_eval_cli "cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1"
@@ -13,6 +18,7 @@
  */
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "carbon/model.h"
 #include "carbon/sku_parser.h"
@@ -21,17 +27,70 @@
 #include "common/table.h"
 #include "gsf/evaluator.h"
 #include "gsf/tiering.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: sku_eval_cli [options] [\"<spec>\"] "
+           "[carbon_intensity]\n"
+           "options:\n"
+           "  --metrics        print the metrics snapshot after the "
+           "evaluation\n"
+           "  --trace <path>   record a Chrome-trace of the run to "
+           "<path>\n"
+           "  --help           show this message\n"
+           "spec example:\n"
+           "  \"cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 "
+           "reused_ssd=12x1\"\n";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace gsku;
 
+    bool show_metrics = false;
+    std::string trace_path;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        }
+        if (arg == "--metrics") {
+            show_metrics = true;
+        } else if (arg == "--trace") {
+            if (i + 1 >= argc) {
+                std::cerr << "sku_eval_cli: --trace needs a path\n";
+                return 1;
+            }
+            trace_path = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "sku_eval_cli: unknown option " << arg << '\n';
+            printUsage(std::cerr);
+            return 1;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (!trace_path.empty()) {
+        obs::startTrace();
+    }
+    obs::metrics().reset();
+
     const std::string spec =
-        argc > 1 ? argv[1]
-                 : "name=GreenSKU-Full cpu=bergamo ddr5=12x64 "
-                   "cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1";
-    const double ci_value = argc > 2 ? std::atof(argv[2]) : 0.1;
+        !positional.empty() ? positional[0]
+                            : "name=GreenSKU-Full cpu=bergamo ddr5=12x64 "
+                              "cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1";
+    const double ci_value =
+        positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.1;
 
     carbon::ServerSku sku;
     try {
@@ -84,10 +143,24 @@ main(int argc, char **argv)
                   << " of fleet core-hours stay under 5% slowdown\n\n";
     }
 
+    // Observability epilogue shared by both exit paths.
+    auto finish = [&]() -> int {
+        if (show_metrics) {
+            std::cout << "\nMetrics snapshot:\n"
+                      << obs::metrics().snapshot().toText();
+        }
+        if (!trace_path.empty() && !obs::writeTrace(trace_path)) {
+            std::cerr << "sku_eval_cli: failed to write " << trace_path
+                      << '\n';
+            return 2;
+        }
+        return 0;
+    };
+
     if (sku.generation != carbon::Generation::GreenSku) {
         std::cout << "(cluster evaluation needs a Bergamo-based GreenSKU "
                      "spec; skipping)\n";
-        return 0;
+        return finish();
     }
 
     cluster::TraceGenParams params;
@@ -105,5 +178,5 @@ main(int argc, char **argv)
               << eval.sizing.mixed_baselines << "+"
               << eval.sizing.mixed_greens << " -> savings "
               << Table::percent(eval.savings, 1) << '\n';
-    return 0;
+    return finish();
 }

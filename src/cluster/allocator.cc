@@ -8,6 +8,8 @@
 
 #include "common/contracts.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/app.h"
 
 namespace gsku::cluster {
@@ -408,6 +410,23 @@ MultiReplayResult
 VmAllocator::replay(const VmTrace &trace,
                     const MultiClusterSpec &cluster) const
 {
+    // All replay entry points funnel through this overload, so these
+    // metrics count every simulated replay in the process.
+    static obs::Counter &replays =
+        obs::metrics().counter("allocator.replays");
+    static obs::Counter &placements_total =
+        obs::metrics().counter("allocator.placements");
+    static obs::Counter &rejections_total =
+        obs::metrics().counter("allocator.rejections");
+    static obs::Counter &fallbacks_total =
+        obs::metrics().counter("allocator.green_fallbacks");
+    static obs::Counter &evictions_total =
+        obs::metrics().counter("allocator.evictions");
+    replays.inc();
+    obs::TraceSpan span("allocator", "replay");
+    span.arg("trace", trace.name)
+        .arg("vms", static_cast<std::uint64_t>(trace.vms.size()));
+
     GSKU_REQUIRE(cluster.baselines >= 0,
                  "baseline count must be non-negative");
     cluster.baseline_sku.validate();
@@ -567,7 +586,9 @@ VmAllocator::replay(const VmTrace &trace,
         }
     };
 
+    long released = 0;
     auto release = [&](const Departure &dep) {
+        ++released;
         Placement &p = placement_of(dep.vm);
         ServerState &s = servers[p.server];
         index_erase(p.server);
@@ -652,6 +673,14 @@ VmAllocator::replay(const VmTrace &trace,
             ++result.rejected;
             if (options_.stop_on_reject) {
                 result.greens.resize(cluster.greens.size());
+                placements_total.inc(
+                    static_cast<std::uint64_t>(result.placed));
+                rejections_total.inc(
+                    static_cast<std::uint64_t>(result.rejected));
+                fallbacks_total.inc(
+                    static_cast<std::uint64_t>(result.green_fallbacks));
+                evictions_total.inc(
+                    static_cast<std::uint64_t>(released));
                 return result;
             }
             continue;
@@ -729,6 +758,11 @@ VmAllocator::replay(const VmTrace &trace,
     for (const GroupMetrics &g : result.greens) {
         g.checkInvariants();
     }
+    placements_total.inc(static_cast<std::uint64_t>(result.placed));
+    rejections_total.inc(static_cast<std::uint64_t>(result.rejected));
+    fallbacks_total.inc(
+        static_cast<std::uint64_t>(result.green_fallbacks));
+    evictions_total.inc(static_cast<std::uint64_t>(released));
     return result;
 }
 

@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gsku {
 
@@ -19,6 +21,17 @@ namespace {
 /** True while the current thread is executing a pool task; nested
  *  parallelFor calls detect this and run serially inline. */
 thread_local bool tls_in_pool_task = false;
+
+/** Worker id within the owning pool: 0 = the submitting caller,
+ *  1..threads-1 = pool workers. Observability only (trace span tags). */
+thread_local int tls_worker_id = 0;
+
+obs::Counter &
+tasksRunCounter()
+{
+    static obs::Counter &c = obs::metrics().counter("parallel.tasks_run");
+    return c;
+}
 
 } // namespace
 
@@ -42,6 +55,10 @@ struct Batch
     void
     runOne(std::size_t i)
     {
+        tasksRunCounter().inc();
+        obs::TraceSpan span("parallel", "task");
+        span.arg("index", static_cast<std::uint64_t>(i))
+            .arg("worker", static_cast<std::int64_t>(tls_worker_id));
         const bool saved = tls_in_pool_task;
         tls_in_pool_task = true;
         try {
@@ -89,8 +106,10 @@ struct PoolImpl
     explicit PoolImpl(int thread_count)
         : threads(thread_count < 1 ? 1 : thread_count)
     {
+        obs::metrics().gauge("parallel.pool_threads")
+            .set(static_cast<double>(threads));
         for (int i = 0; i < threads - 1; ++i) {
-            workers.emplace_back([this] { workerLoop(); });
+            workers.emplace_back([this, i] { workerLoop(i + 1); });
         }
     }
 
@@ -107,8 +126,9 @@ struct PoolImpl
     }
 
     void
-    workerLoop()
+    workerLoop(int worker_id)
     {
+        tls_worker_id = worker_id;
         for (;;) {
             std::shared_ptr<Batch> batch;
             {
@@ -137,12 +157,25 @@ struct PoolImpl
         if (n == 0) {
             return;
         }
+        // Batch-shape metrics are identical at every thread count: both
+        // the serial and pooled paths run the same n tasks.
+        static obs::Counter &batches =
+            obs::metrics().counter("parallel.batches");
+        static obs::Histogram &batch_tasks = obs::metrics().histogram(
+            "parallel.batch_tasks", {1, 4, 16, 64, 256, 1024, 4096});
+        batches.inc();
+        batch_tasks.observe(static_cast<double>(n));
         // Serial fast path: single-threaded pool, trivial batch, or a
         // nested call from inside a pool task (deadlock-free nesting).
         if (threads == 1 || n == 1 || tls_in_pool_task) {
             for (std::size_t i = 0; i < n; ++i) {
+                obs::TraceSpan span("parallel", "task");
+                span.arg("index", static_cast<std::uint64_t>(i))
+                    .arg("worker",
+                         static_cast<std::int64_t>(tls_worker_id));
                 body(i);
             }
+            tasksRunCounter().inc(n);
             return;
         }
 

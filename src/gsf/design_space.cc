@@ -7,6 +7,8 @@
 #include "carbon/catalog.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gsku::gsf {
 
@@ -91,6 +93,7 @@ DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
                      !range.new_ssds.empty() &&
                      !range.reused_ssds.empty(),
                  "design range must not be empty");
+    obs::TraceSpan span("design_space", "explore");
     // Enumerate combinations up front (cheap), evaluate candidates on
     // the worker pool, then collect survivors in enumeration order so
     // the result is identical at every thread count.
@@ -134,6 +137,14 @@ DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
             designs.push_back(*d);
         }
     }
+    static obs::Counter &candidates =
+        obs::metrics().counter("design_space.candidates");
+    static obs::Counter &feasible =
+        obs::metrics().counter("design_space.feasible");
+    candidates.inc(static_cast<std::uint64_t>(combos.size()));
+    feasible.inc(static_cast<std::uint64_t>(designs.size()));
+    span.arg("candidates", static_cast<std::uint64_t>(combos.size()))
+        .arg("feasible", static_cast<std::uint64_t>(designs.size()));
     if (considered != nullptr) {
         *considered = static_cast<long>(combos.size());
     }

@@ -7,6 +7,8 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gsku::gsf {
 
@@ -54,6 +56,12 @@ GsfEvaluator::evaluateCluster(const cluster::VmTrace &trace,
                               const carbon::ServerSku &green,
                               CarbonIntensity ci) const
 {
+    static obs::Counter &cluster_evals =
+        obs::metrics().counter("evaluator.cluster_evals");
+    cluster_evals.inc();
+    obs::TraceSpan span("evaluator", "evaluateCluster");
+    span.arg("trace", trace.name).arg("sku", green.name);
+
     const cluster::AdoptionTable adoption =
         adoption_.buildTable(baseline, green, ci);
     const SizingResult sizing = sizer_.size(trace, baseline, green, adoption);
@@ -99,6 +107,15 @@ GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
 {
     GSKU_REQUIRE(!traces.empty(), "sweep needs at least one trace");
     GSKU_REQUIRE(!intensities.empty(), "sweep needs intensities");
+
+    static obs::Counter &sweeps =
+        obs::metrics().counter("evaluator.sweeps");
+    sweeps.inc();
+    obs::TraceSpan span("evaluator", "sweep");
+    span.arg("sku", green.name)
+        .arg("traces", static_cast<std::uint64_t>(traces.size()))
+        .arg("intensities",
+             static_cast<std::uint64_t>(intensities.size()));
 
     IntensitySweep out;
     out.sku_name = green.name;
@@ -148,13 +165,20 @@ GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
         std::size_t trace = 0;
         std::size_t table = 0;      ///< First CI index with this table.
     };
+    static obs::Counter &cache_hits =
+        obs::metrics().counter("evaluator.cache_hits");
+    static obs::Counter &cache_misses =
+        obs::metrics().counter("evaluator.cache_misses");
     std::map<std::pair<std::size_t, std::string>, std::size_t> job_of;
     std::vector<SizingJob> jobs;
     for (std::size_t c = 0; c < intensities.size(); ++c) {
         for (std::size_t t = 0; t < traces.size(); ++t) {
             const auto key = std::make_pair(t, sigs[c]);
             if (job_of.emplace(key, jobs.size()).second) {
+                cache_misses.inc();
                 jobs.push_back(SizingJob{t, c});
+            } else {
+                cache_hits.inc();
             }
         }
     }

@@ -11,6 +11,7 @@
 #include "common/table.h"
 #include "gsf/alternatives.h"
 #include "gsf/tiering.h"
+#include "obs/trace.h"
 #include "perf/cpu.h"
 #include "reliability/maintenance.h"
 
@@ -21,6 +22,9 @@ generateReport(const ReportOptions &options)
 {
     GSKU_REQUIRE(options.traces > 0, "report needs at least one trace");
     GSKU_REQUIRE(!options.ci_grid.empty(), "report needs a CI grid");
+
+    obs::TraceSpan span("report", "generateReport");
+    span.arg("traces", static_cast<std::int64_t>(options.traces));
 
     ReproductionReport report;
     const carbon::CarbonModel carbon(options.evaluator.carbon_params);
@@ -84,6 +88,7 @@ generateReport(const ReportOptions &options)
 
     // Cluster sweep + DC chain.
     {
+        obs::TraceSpan sweep_span("report", "clusterSweep");
         cluster::TraceGenParams params;
         params.target_concurrent_vms = options.trace_concurrent_vms;
         params.duration_h = 24.0 * 14.0;

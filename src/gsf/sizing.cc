@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gsku::gsf {
 
@@ -33,6 +35,9 @@ ClusterSizer::fits(const cluster::VmTrace &trace,
                    const cluster::ClusterSpec &spec,
                    const cluster::AdoptionTable &adoption) const
 {
+    static obs::Counter &replays =
+        obs::metrics().counter("sizer.replays");
+    replays.inc();
     cluster::VmAllocator allocator(options_);
     return allocator.replay(trace, spec, adoption).success;
 }
@@ -42,6 +47,9 @@ ClusterSizer::rightSizeBaselineOnly(const cluster::VmTrace &trace,
                                     const carbon::ServerSku &baseline) const
 {
     GSKU_REQUIRE(!trace.vms.empty(), "trace is empty");
+
+    obs::TraceSpan span("sizer", "rightSizeBaselineOnly");
+    span.arg("trace", trace.name);
 
     // Lower bound: servers must at least cover the trace's peak
     // concurrent core demand (the cluster::TraceStats
@@ -72,6 +80,12 @@ ClusterSizer::size(const cluster::VmTrace &trace,
                    const carbon::ServerSku &green,
                    const cluster::AdoptionTable &adoption) const
 {
+    static obs::Counter &sizings =
+        obs::metrics().counter("sizer.sizings");
+    sizings.inc();
+    obs::TraceSpan span("sizer", "size");
+    span.arg("trace", trace.name);
+
     SizingResult result;
     result.baseline_only_servers = rightSizeBaselineOnly(trace, baseline);
 

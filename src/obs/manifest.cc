@@ -1,0 +1,185 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gsku::obs {
+
+namespace {
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream s;
+    s.precision(std::numeric_limits<double>::max_digits10);
+    s << v;
+    return s.str();
+}
+
+/** Compile-time build description: compiler, standard, build type,
+ *  contract level, sanitizers. */
+std::string
+buildInfoJson()
+{
+    std::ostringstream out;
+    out << "{\"compiler\": "
+#if defined(__VERSION__)
+        << jsonQuote(__VERSION__)
+#else
+        << "\"unknown\""
+#endif
+        << ", \"cxx_standard\": " << static_cast<long>(__cplusplus)
+        << ", \"build_type\": "
+#if defined(NDEBUG)
+        << "\"optimized\""
+#else
+        << "\"debug\""
+#endif
+        << ", \"contract_level\": "
+#if defined(GSKU_CONTRACT_LEVEL)
+        << GSKU_CONTRACT_LEVEL
+#elif defined(NDEBUG)
+        << 1    // contracts.h AUTO default for optimized builds.
+#else
+        << 2    // contracts.h AUTO default for debug builds.
+#endif
+        << ", \"sanitizers\": [";
+    bool first = true;
+    (void)first;
+#if defined(__SANITIZE_ADDRESS__)
+    out << "\"address\"";
+    first = false;
+#elif defined(__has_feature)
+#  if __has_feature(address_sanitizer)
+    out << "\"address\"";
+    first = false;
+#  endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+    out << (first ? "" : ", ") << "\"thread\"";
+#elif defined(__has_feature)
+#  if __has_feature(thread_sanitizer)
+    out << (first ? "" : ", ") << "\"thread\"";
+#  endif
+#endif
+    out << "]}";
+    return out.str();
+}
+
+/** Runtime threading description: env override, hardware, tracing. */
+std::string
+threadsJson()
+{
+    const char *env = std::getenv("GSKU_THREADS");
+    const char *trace_env = std::getenv("GSKU_TRACE");
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::ostringstream out;
+    out << "{\"gsku_threads_env\": "
+        << (env != nullptr ? jsonQuote(env) : "null")
+        << ", \"hardware_concurrency\": " << hw
+        << ", \"gsku_trace_env\": "
+        << (trace_env != nullptr ? jsonQuote(trace_env) : "null")
+        << ", \"trace_enabled\": "
+        << (traceEnabled() ? "true" : "false") << "}";
+    return out.str();
+}
+
+} // namespace
+
+RunManifest::RunManifest(std::string program)
+    : program_(std::move(program))
+{
+}
+
+RunManifest &
+RunManifest::config(const std::string &key, const std::string &value)
+{
+    config_.emplace_back(key, jsonQuote(value));
+    return *this;
+}
+
+RunManifest &
+RunManifest::config(const std::string &key, std::int64_t value)
+{
+    config_.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+RunManifest &
+RunManifest::config(const std::string &key, double value)
+{
+    config_.emplace_back(key, jsonNumber(value));
+    return *this;
+}
+
+RunManifest &
+RunManifest::config(const std::string &key, bool value)
+{
+    config_.emplace_back(key, value ? "true" : "false");
+    return *this;
+}
+
+RunManifest &
+RunManifest::seed(const std::string &name, std::uint64_t value)
+{
+    seeds_.emplace_back(name, value);
+    return *this;
+}
+
+std::string
+RunManifest::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"schema\": \"gsku-manifest-v1\", \"program\": "
+        << jsonQuote(program_) << ",\n \"config\": {";
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+        out << (i ? ", " : "") << jsonQuote(config_[i].first) << ": "
+            << config_[i].second;
+    }
+    out << "},\n \"seeds\": {";
+    for (std::size_t i = 0; i < seeds_.size(); ++i) {
+        out << (i ? ", " : "") << jsonQuote(seeds_[i].first) << ": "
+            << seeds_[i].second;
+    }
+    out << "},\n \"threads\": " << threadsJson() << ",\n \"build\": "
+        << buildInfoJson() << ",\n \"metrics\": "
+        << metrics().snapshot().toJson() << "}\n";
+    return out.str();
+}
+
+bool
+RunManifest::write(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::trunc);
+        file << toJson();
+        if (!file) {
+            return false;
+        }
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace gsku::obs

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Run-provenance manifests: every report/bench driver emits a
+ * `MANIFEST_<name>.json` alongside its output capturing the run's
+ * configuration, RNG seeds, threading, build flags, and the final
+ * metrics snapshot — so any two runs are diffable and any number in an
+ * artifact is attributable to the exact configuration that produced it
+ * (schema in docs/observability.md; validated by tools/validate_obs.py).
+ *
+ * Manifests deliberately contain no timestamps or hostnames: two runs
+ * of the same binary with the same inputs produce byte-identical
+ * manifests, so `diff` isolates real configuration drift.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsku::obs {
+
+/**
+ * Builder for one run's manifest. Construct with the program name, add
+ * config entries and seeds, then write(); threading, build info, and
+ * the current metrics snapshot are captured automatically at write
+ * time.
+ */
+class RunManifest
+{
+  public:
+    explicit RunManifest(std::string program);
+
+    /** Record one configuration entry (kept in insertion order). */
+    RunManifest &config(const std::string &key, const std::string &value);
+    RunManifest &config(const std::string &key, std::int64_t value);
+    RunManifest &config(const std::string &key, double value);
+    RunManifest &config(const std::string &key, bool value);
+
+    /** Record one named RNG seed. */
+    RunManifest &seed(const std::string &name, std::uint64_t value);
+
+    /** Render the manifest JSON (schema gsku-manifest-v1). */
+    std::string toJson() const;
+
+    /** Write toJson() atomically (temp file + rename); false on I/O
+     *  failure. */
+    bool write(const std::string &path) const;
+
+  private:
+    std::string program_;
+    std::vector<std::pair<std::string, std::string>> config_;  ///< key -> rendered JSON value.
+    std::vector<std::pair<std::string, std::uint64_t>> seeds_;
+};
+
+} // namespace gsku::obs

@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace gsku::obs {
+
+namespace {
+
+/** JSON string escaping for metric names (quotes and backslashes). */
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream s;
+    s.precision(std::numeric_limits<double>::max_digits10);
+    s << v;
+    return s.str();
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1])
+{
+    std::sort(bounds_.begin(), bounds_.end());
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Histogram::observe(double v)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t bucket =
+        static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+std::string
+MetricsSnapshot::toText() const
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : counters) {
+        out << name << " " << value << '\n';
+    }
+    for (const auto &[name, value] : gauges) {
+        out << name << " " << jsonNumber(value) << '\n';
+    }
+    for (const auto &[name, h] : histograms) {
+        out << name << " count=" << h.count << " sum="
+            << jsonNumber(h.sum) << " buckets=[";
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            out << (i ? " " : "") << h.buckets[i];
+        }
+        out << "]\n";
+    }
+    return out.str();
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters) {
+        out << (first ? "" : ", ") << jsonQuote(name) << ": " << value;
+        first = false;
+    }
+    out << "}, \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        out << (first ? "" : ", ") << jsonQuote(name) << ": "
+            << jsonNumber(value);
+        first = false;
+    }
+    out << "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        out << (first ? "" : ", ") << jsonQuote(name)
+            << ": {\"bounds\": [";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            out << (i ? ", " : "") << jsonNumber(h.bounds[i]);
+        }
+        out << "], \"buckets\": [";
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            out << (i ? ", " : "") << h.buckets[i];
+        }
+        out << "], \"count\": " << h.count << ", \"sum\": "
+            << jsonNumber(h.sum) << "}";
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    }
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, c] : counters_) {
+        snap.counters[name] = c->value();
+    }
+    for (const auto &[name, g] : gauges_) {
+        snap.gauges[name] = g->value();
+    }
+    for (const auto &[name, h] : histograms_) {
+        MetricsSnapshot::HistogramValue v;
+        v.bounds = h->bounds();
+        v.buckets = h->bucketCounts();
+        v.count = h->count();
+        v.sum = h->sum();
+        snap.histograms[name] = std::move(v);
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &entry : counters_) {
+        entry.second->reset();
+    }
+    for (const auto &entry : gauges_) {
+        entry.second->reset();
+    }
+    for (const auto &entry : histograms_) {
+        entry.second->reset();
+    }
+}
+
+Registry &
+Registry::global()
+{
+    // Leaked on purpose: cached metric references in worker threads and
+    // atexit trace/manifest writers must never observe a destroyed
+    // registry.
+    static Registry *registry = new Registry;
+    return *registry;
+}
+
+} // namespace gsku::obs

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket histograms for the GSF engines (docs/observability.md
+ * lists the catalog).
+ *
+ * Design rules:
+ *
+ *  - Observational only. Metrics never feed back into any model; the
+ *    byte-identical-output contract of common/parallel.h holds with
+ *    metrics on (they are always on) at every thread count. The *values*
+ *    of scheduling-sensitive metrics (e.g. parallel.tasks_run split per
+ *    worker) may differ run to run; model outputs never do.
+ *  - Hot-path cost is one relaxed atomic add. Look the metric up once
+ *    (`static obs::Counter &c = obs::metrics().counter("x");`) and
+ *    increment the cached reference inside loops.
+ *  - Registered metric objects live forever (the registry is a leaked
+ *    singleton), so cached references never dangle — including in
+ *    worker threads that outlive main().
+ *  - Per-run isolation comes from snapshot() + reset(): drivers reset
+ *    at the start of a run and snapshot at the end, so manifests carry
+ *    only that run's counts.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gsku::obs {
+
+/** Monotone event count. Increments are relaxed atomics: cheap on hot
+ *  paths, exact under concurrency (summed, never sampled). */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1)
+    {
+        value_.fetch_add(by, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value (pool size, config knobs, ...). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations <= bounds[i];
+ * one overflow bucket catches the rest. Bounds are fixed at
+ * registration, so concurrent observes are just relaxed increments.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    std::vector<std::uint64_t> bucketCounts() const;
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    void reset();
+
+  private:
+    std::vector<double> bounds_;    ///< Ascending upper bounds.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Point-in-time copy of every registered metric, with exporters. */
+struct MetricsSnapshot
+{
+    struct HistogramValue
+    {
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramValue> histograms;
+
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Human-readable listing, one metric per line. */
+    std::string toText() const;
+
+    /** JSON object {"counters": {...}, "gauges": {...},
+     *  "histograms": {...}} — embedded verbatim in run manifests. */
+    std::string toJson() const;
+};
+
+/**
+ * The registry: name -> metric, created on first use. Thread-safe;
+ * returned references are valid for the life of the process.
+ */
+class Registry
+{
+  public:
+    /** Find or create the counter named @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Find or create the gauge named @p name. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find or create a histogram with ascending upper @p bounds. The
+     * bounds of an existing histogram win; callers registering the same
+     * name must agree on them.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    /** Copy every metric's current value. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every registered metric (names stay registered). */
+    void reset();
+
+    /** The process-wide registry (leaked singleton; never destroyed). */
+    static Registry &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Shorthand for Registry::global(). */
+inline Registry &
+metrics()
+{
+    return Registry::global();
+}
+
+} // namespace gsku::obs

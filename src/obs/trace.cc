@@ -1,0 +1,310 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+
+namespace gsku::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Whether spans are currently recorded. */
+std::atomic<bool> g_enabled{false};
+
+/**
+ * Global tracer state behind the per-thread buffers. Leaked singleton:
+ * thread-local buffer destructors (worker threads can outlive main)
+ * and the atexit writer must never observe a destroyed tracer.
+ */
+struct Tracer
+{
+    std::mutex mutex;
+    Clock::time_point epoch = Clock::now();
+    std::uint64_t next_tid = 0;
+    std::vector<struct ThreadBuffer *> buffers;   ///< Live threads.
+    std::vector<TraceEvent> retired;              ///< From dead threads.
+    std::string env_path;   ///< GSKU_TRACE target ("" = none).
+};
+
+Tracer &
+tracer()
+{
+    static Tracer *t = new Tracer;
+    return *t;
+}
+
+/** Per-thread event buffer, registered with the tracer on first use. */
+struct ThreadBuffer
+{
+    std::mutex mutex;   ///< Guards events against a concurrent drain.
+    std::vector<TraceEvent> events;
+    std::uint64_t tid = 0;
+    int depth = 0;      ///< Current span nesting depth.
+
+    ThreadBuffer()
+    {
+        Tracer &t = tracer();
+        std::lock_guard<std::mutex> lock(t.mutex);
+        tid = t.next_tid++;
+        t.buffers.push_back(this);
+    }
+
+    ~ThreadBuffer()
+    {
+        Tracer &t = tracer();
+        std::lock_guard<std::mutex> lock(t.mutex);
+        {
+            std::lock_guard<std::mutex> buffer_lock(mutex);
+            t.retired.insert(t.retired.end(),
+                             std::make_move_iterator(events.begin()),
+                             std::make_move_iterator(events.end()));
+            events.clear();
+        }
+        t.buffers.erase(
+            std::remove(t.buffers.begin(), t.buffers.end(), this),
+            t.buffers.end());
+    }
+};
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local ThreadBuffer buffer;
+    return buffer;
+}
+
+void
+writeEnvTraceAtExit()
+{
+    const std::string path = tracer().env_path;
+    if (!path.empty()) {
+        writeTrace(path);
+    }
+}
+
+/** One-time init: GSKU_TRACE=<path> enables tracing for the process
+ *  and registers an atexit writer for <path>. */
+void
+initFromEnv()
+{
+    const char *env = std::getenv("GSKU_TRACE");
+    if (env == nullptr || *env == '\0') {
+        return;
+    }
+    {
+        Tracer &t = tracer();
+        std::lock_guard<std::mutex> lock(t.mutex);
+        t.env_path = env;
+        t.epoch = Clock::now();
+    }
+    g_enabled.store(true, std::memory_order_relaxed);
+    std::atexit(writeEnvTraceAtExit);
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream s;
+    s.precision(std::numeric_limits<double>::max_digits10);
+    s << v;
+    return s.str();
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    static const bool env_checked = [] {
+        initFromEnv();
+        return true;
+    }();
+    (void)env_checked;
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+startTrace()
+{
+    traceEnabled();     // Ensure env init ran first.
+    {
+        Tracer &t = tracer();
+        std::lock_guard<std::mutex> lock(t.mutex);
+        t.epoch = Clock::now();
+    }
+    g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+stopTrace()
+{
+    g_enabled.store(false, std::memory_order_relaxed);
+    drainTrace();
+}
+
+std::vector<TraceEvent>
+drainTrace()
+{
+    Tracer &t = tracer();
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(t.mutex);
+        out = std::move(t.retired);
+        t.retired.clear();
+        for (ThreadBuffer *buffer : t.buffers) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            out.insert(out.end(),
+                       std::make_move_iterator(buffer->events.begin()),
+                       std::make_move_iterator(buffer->events.end()));
+            buffer->events.clear();
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.tid != b.tid) {
+                      return a.tid < b.tid;
+                  }
+                  if (a.ts_us != b.ts_us) {
+                      return a.ts_us < b.ts_us;
+                  }
+                  return a.dur_us > b.dur_us;
+              });
+    return out;
+}
+
+bool
+writeTrace(const std::string &path)
+{
+    const std::vector<TraceEvent> events = drainTrace();
+
+    std::ostringstream out;
+    out << "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        out << (i ? ",\n " : "\n ") << "{\"name\": "
+            << jsonQuote(e.name) << ", \"cat\": "
+            << jsonQuote(e.category) << ", \"ph\": \"X\", \"ts\": "
+            << jsonNumber(e.ts_us) << ", \"dur\": "
+            << jsonNumber(e.dur_us) << ", \"pid\": 1, \"tid\": "
+            << e.tid;
+        if (!e.args_json.empty()) {
+            out << ", \"args\": {" << e.args_json << "}";
+        }
+        out << "}";
+    }
+    out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+
+    // Atomic publish: a crashed or concurrent reader never sees a
+    // truncated trace file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::trunc);
+        file << out.str();
+        if (!file) {
+            return false;
+        }
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+TraceSpan::TraceSpan(const char *category, const char *name)
+{
+    if (!traceEnabled()) {
+        return;
+    }
+    active_ = true;
+    category_ = category;
+    name_ = name;
+    ++threadBuffer().depth;
+    start_ = Clock::now();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_) {
+        return;
+    }
+    const Clock::time_point end = Clock::now();
+    Tracer &t = tracer();
+    ThreadBuffer &buffer = threadBuffer();
+
+    TraceEvent event;
+    event.category = category_;
+    event.name = name_;
+    event.ts_us =
+        std::chrono::duration<double, std::micro>(start_ - t.epoch)
+            .count();
+    event.dur_us =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    event.tid = buffer.tid;
+    event.depth = buffer.depth;
+    event.args_json = std::move(args_json_);
+
+    {
+        std::lock_guard<std::mutex> lock(buffer.mutex);
+        buffer.events.push_back(std::move(event));
+    }
+    --buffer.depth;
+}
+
+TraceSpan &
+TraceSpan::arg(const char *key, std::int64_t value)
+{
+    if (active_) {
+        args_json_ += (args_json_.empty() ? "" : ", ") +
+                      jsonQuote(key) + ": " + std::to_string(value);
+    }
+    return *this;
+}
+
+TraceSpan &
+TraceSpan::arg(const char *key, std::uint64_t value)
+{
+    if (active_) {
+        args_json_ += (args_json_.empty() ? "" : ", ") +
+                      jsonQuote(key) + ": " + std::to_string(value);
+    }
+    return *this;
+}
+
+TraceSpan &
+TraceSpan::arg(const char *key, double value)
+{
+    if (active_) {
+        args_json_ += (args_json_.empty() ? "" : ", ") +
+                      jsonQuote(key) + ": " + jsonNumber(value);
+    }
+    return *this;
+}
+
+TraceSpan &
+TraceSpan::arg(const char *key, const std::string &value)
+{
+    if (active_) {
+        args_json_ += (args_json_.empty() ? "" : ", ") +
+                      jsonQuote(key) + ": " + jsonQuote(value);
+    }
+    return *this;
+}
+
+} // namespace gsku::obs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scoped tracing: RAII spans recorded into per-thread buffers and
+ * exported as Chrome-trace JSON (loadable in chrome://tracing and
+ * https://ui.perfetto.dev — see docs/observability.md).
+ *
+ * Design rules:
+ *
+ *  - Near-zero cost when disabled: a TraceSpan constructor is one
+ *    relaxed atomic load, and no clock is ever read.
+ *  - Enabled either programmatically (startTrace/writeTrace) or by
+ *    setting GSKU_TRACE=<path> in the environment, in which case the
+ *    trace is written to <path> automatically at process exit.
+ *  - Observational only: spans record wall time around engine loops and
+ *    never feed back into any model, so enabling tracing cannot perturb
+ *    results (asserted by tests/gsf/parallel_parity_test.cc).
+ *  - Per-thread buffers keep recording contention-free; buffers are
+ *    drained under a registry lock only at export time.
+ *
+ * This file (with bench/harness.h) is the only sanctioned home of
+ * direct std::chrono clock reads — the `timing` rule in tools/lint.py
+ * bans them elsewhere so all timing is attributable.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsku::obs {
+
+/** One completed span, in microseconds relative to the trace epoch. */
+struct TraceEvent
+{
+    std::string category;
+    std::string name;
+    double ts_us = 0.0;     ///< Start, relative to the trace epoch.
+    double dur_us = 0.0;    ///< Duration (>= 0).
+    std::uint64_t tid = 0;  ///< Small per-thread id (0 = first seen).
+    int depth = 0;          ///< Span nesting depth on its thread.
+    std::string args_json;  ///< Pre-rendered `"k": v` pairs, or empty.
+};
+
+/** True while spans are being recorded. The first call initializes
+ *  tracing from the GSKU_TRACE environment variable. */
+bool traceEnabled();
+
+/** Begin recording spans (idempotent). */
+void startTrace();
+
+/** Stop recording and discard any buffered events. */
+void stopTrace();
+
+/** Move all buffered events out of the per-thread buffers (recording
+ *  continues). Events are sorted by (tid, ts, -dur). */
+std::vector<TraceEvent> drainTrace();
+
+/**
+ * Drain and write a Chrome-trace JSON file ({"traceEvents": [...]})
+ * atomically (temp file + rename). Returns false on I/O failure.
+ */
+bool writeTrace(const std::string &path);
+
+/**
+ * RAII span: records (category, name, start, duration) on the current
+ * thread from construction to destruction. When tracing is disabled
+ * the constructor is a single relaxed load and arg() is a no-op.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *category, const char *name);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Attach an argument (shown in the trace viewer's span details). */
+    TraceSpan &arg(const char *key, std::int64_t value);
+    TraceSpan &arg(const char *key, std::uint64_t value);
+    TraceSpan &arg(const char *key, double value);
+    TraceSpan &arg(const char *key, const std::string &value);
+
+  private:
+    bool active_ = false;
+    const char *category_ = nullptr;
+    const char *name_ = nullptr;
+    std::chrono::steady_clock::time_point start_;
+    std::string args_json_;
+};
+
+} // namespace gsku::obs

@@ -7,6 +7,8 @@
 #include "common/contracts.h"
 #include "common/distributions.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gsku::perf {
 
@@ -90,6 +92,14 @@ QueueSimulator::sampleServiceS(Rng &rng) const
 DesResult
 QueueSimulator::run(std::uint64_t seed) const
 {
+    obs::TraceSpan span("des", "run");
+    span.arg("servers", static_cast<std::int64_t>(config_.servers))
+        .arg("seed", static_cast<std::uint64_t>(seed));
+    // Accumulated locally and added once at the end: the event loop is
+    // the hottest path in the perf model and must not touch shared
+    // atomics per event.
+    std::uint64_t events_processed = 0;
+
     Rng rng(seed);
 
     // Cores are interchangeable; track only the number busy and, when
@@ -132,6 +142,7 @@ QueueSimulator::run(std::uint64_t seed) const
         GSKU_INVARIANT(clock >= prev_clock,
                        "simulation clock moved backwards");
         prev_clock = clock;
+        ++events_processed;
         if (!departures.empty() && departures.top() <= next_arrival) {
             // A core frees up; start the oldest queued request.
             clock = departures.top();
@@ -173,6 +184,9 @@ QueueSimulator::run(std::uint64_t seed) const
     result.checkInvariants();
     GSKU_ENSURE(result.completed <= config_.measured_requests,
                 "measured more requests than configured");
+    static obs::Counter &events =
+        obs::metrics().counter("des.events_processed");
+    events.inc(events_processed);
     return result;
 }
 

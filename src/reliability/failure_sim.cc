@@ -6,6 +6,8 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gsku::reliability {
 
@@ -82,6 +84,13 @@ FleetFailureSimulator::runTrials(int trials, int months,
 {
     GSKU_REQUIRE(trials > 0, "need at least one trial");
     GSKU_REQUIRE(months > 0, "simulation needs at least one month");
+
+    static obs::Counter &trial_count =
+        obs::metrics().counter("failure_sim.trials");
+    trial_count.inc(static_cast<std::uint64_t>(trials));
+    obs::TraceSpan span("failure_sim", "runTrials");
+    span.arg("trials", static_cast<std::int64_t>(trials))
+        .arg("months", static_cast<std::int64_t>(months));
 
     // Fork one independent stream per trial, serially, before any
     // parallel work: the parent seed fully determines every trial

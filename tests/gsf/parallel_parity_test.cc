@@ -16,6 +16,8 @@
 #include "common/parallel.h"
 #include "gsf/design_space.h"
 #include "gsf/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reliability/failure_sim.h"
 
 namespace gsku {
@@ -144,6 +146,83 @@ TEST(ParallelParityTest, ClusterSizingIsByteIdenticalAcrossThreads)
               parallel.sizing.mixed_baselines);
     EXPECT_EQ(serial.sizing.mixed_greens, parallel.sizing.mixed_greens);
     EXPECT_EQ(serial.savings, parallel.savings);
+}
+
+TEST(ParallelParityTest, ObservabilityLeavesOutputsByteIdentical)
+{
+    // Observability is strictly observational: enabling tracing and
+    // resetting/snapshotting metrics must leave every model output
+    // byte-identical, at 1 thread and at 4 threads.
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 150.0;
+    params.duration_h = 24.0 * 3.0;
+    const auto traces =
+        cluster::TraceGenerator(params).generateFamily(3, /*base_seed=*/5);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const std::vector<double> grid = {0.05, 0.15, 0.3};
+
+    struct Outputs
+    {
+        gsf::IntensitySweep sweep;
+        gsf::SizingResult sizing;
+        std::vector<reliability::MonthlyTrialStat> trials;
+    };
+    auto run_all = [&]() {
+        Outputs out;
+        const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+        out.sweep = evaluator.sweep(traces, baseline, green, grid);
+        const gsf::ClusterSizer sizer{cluster::ReplayOptions{}};
+        out.sizing =
+            sizer.size(traces.front(), baseline, green,
+                       cluster::AdoptionTable::none());
+        reliability::FleetFailureSimulator sim(
+            reliability::HazardParams{}, /*fleet_size=*/20000,
+            /*seed=*/99);
+        out.trials = sim.runTrials(/*trials=*/8, /*months=*/24);
+        return out;
+    };
+    auto expect_equal = [](const Outputs &a, const Outputs &b) {
+        ASSERT_EQ(a.sweep.mean_savings.size(),
+                  b.sweep.mean_savings.size());
+        for (std::size_t i = 0; i < a.sweep.mean_savings.size(); ++i) {
+            EXPECT_EQ(a.sweep.mean_savings[i], b.sweep.mean_savings[i]);
+        }
+        EXPECT_EQ(a.sizing.baseline_only_servers,
+                  b.sizing.baseline_only_servers);
+        EXPECT_EQ(a.sizing.mixed_baselines, b.sizing.mixed_baselines);
+        EXPECT_EQ(a.sizing.mixed_greens, b.sizing.mixed_greens);
+        ASSERT_EQ(a.trials.size(), b.trials.size());
+        for (std::size_t m = 0; m < a.trials.size(); ++m) {
+            EXPECT_EQ(a.trials[m].mean_failures,
+                      b.trials[m].mean_failures);
+            EXPECT_EQ(a.trials[m].mean_smoothed_rate,
+                      b.trials[m].mean_smoothed_rate);
+        }
+    };
+
+    const int original = ThreadPool::global().threads();
+    for (int threads : {1, 4}) {
+        ThreadPool::resetGlobal(threads);
+
+        ASSERT_FALSE(obs::traceEnabled());
+        const Outputs plain = run_all();
+
+        obs::metrics().reset();
+        obs::startTrace();
+        const Outputs observed = run_all();
+        const auto events = obs::drainTrace();
+        obs::stopTrace();
+        const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+
+        expect_equal(plain, observed);
+        // The instrumentation itself must have fired.
+        EXPECT_FALSE(events.empty());
+        EXPECT_GT(snap.counter("sizer.replays"), 0u);
+        EXPECT_GT(snap.counter("allocator.replays"), 0u);
+        EXPECT_GT(snap.counter("failure_sim.trials"), 0u);
+    }
+    ThreadPool::resetGlobal(original);
 }
 
 } // namespace

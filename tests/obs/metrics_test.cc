@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Metrics registry: exact concurrent counting through the worker pool,
+ * snapshot/reset isolation, histogram bucketing, and exporter output.
+ */
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+namespace gsku::obs {
+namespace {
+
+TEST(MetricsTest, ConcurrentIncrementsFromParallelForSumExactly)
+{
+    Counter &c = metrics().counter("test.concurrent_increments");
+    c.reset();
+
+    const int original = ThreadPool::global().threads();
+    ThreadPool::resetGlobal(4);
+    const std::size_t tasks = 1000;
+    const std::uint64_t per_task = 37;
+    parallelFor(tasks, [&](std::size_t) {
+        for (std::uint64_t k = 0; k < per_task; ++k) {
+            c.inc();
+        }
+    });
+    ThreadPool::resetGlobal(original);
+
+    // Counters are summed, never sampled: the relaxed adds must land
+    // exactly, whatever the pool's schedule was.
+    EXPECT_EQ(c.value(), tasks * per_task);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences)
+{
+    Counter &a = metrics().counter("test.stable_ref");
+    Counter &b = metrics().counter("test.stable_ref");
+    EXPECT_EQ(&a, &b);
+
+    Gauge &g1 = metrics().gauge("test.stable_gauge");
+    Gauge &g2 = metrics().gauge("test.stable_gauge");
+    EXPECT_EQ(&g1, &g2);
+}
+
+TEST(MetricsTest, SnapshotAndResetIsolateRuns)
+{
+    Counter &c = metrics().counter("test.isolation_counter");
+    Gauge &g = metrics().gauge("test.isolation_gauge");
+    metrics().reset();
+
+    c.inc(5);
+    g.set(2.5);
+    const MetricsSnapshot before = metrics().snapshot();
+    EXPECT_EQ(before.counter("test.isolation_counter"), 5u);
+    EXPECT_DOUBLE_EQ(before.gauges.at("test.isolation_gauge"), 2.5);
+
+    metrics().reset();
+    const MetricsSnapshot after = metrics().snapshot();
+    // Names stay registered; values are zeroed.
+    EXPECT_EQ(after.counter("test.isolation_counter"), 0u);
+    EXPECT_DOUBLE_EQ(after.gauges.at("test.isolation_gauge"), 0.0);
+
+    // A snapshot is a copy: later increments don't change it.
+    c.inc(3);
+    EXPECT_EQ(after.counter("test.isolation_counter"), 0u);
+    EXPECT_EQ(before.counter("test.isolation_counter"), 5u);
+}
+
+TEST(MetricsTest, UnknownCounterReadsAsZero)
+{
+    const MetricsSnapshot snap = metrics().snapshot();
+    EXPECT_EQ(snap.counter("test.never_registered"), 0u);
+}
+
+TEST(MetricsTest, HistogramBucketsByUpperBound)
+{
+    Histogram &h =
+        metrics().histogram("test.histogram", {1.0, 2.0, 4.0});
+    h.reset();
+
+    h.observe(0.5);     // <= 1 -> bucket 0.
+    h.observe(1.0);     // <= 1 -> bucket 0 (bounds are inclusive).
+    h.observe(1.5);     // <= 2 -> bucket 1.
+    h.observe(4.0);     // <= 4 -> bucket 2.
+    h.observe(100.0);   // overflow bucket.
+
+    const std::vector<std::uint64_t> buckets = h.bucketCounts();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_EQ(buckets[3], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(MetricsTest, HistogramCountsExactlyUnderConcurrency)
+{
+    Histogram &h =
+        metrics().histogram("test.histogram_concurrent", {10.0, 100.0});
+    h.reset();
+
+    const int original = ThreadPool::global().threads();
+    ThreadPool::resetGlobal(4);
+    const std::size_t tasks = 500;
+    parallelFor(tasks,
+                [&](std::size_t i) { h.observe(static_cast<double>(i)); });
+    ThreadPool::resetGlobal(original);
+
+    EXPECT_EQ(h.count(), tasks);
+    const std::vector<std::uint64_t> buckets = h.bucketCounts();
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[0] + buckets[1] + buckets[2], tasks);
+    EXPECT_EQ(buckets[0], 11u);     // 0..10 inclusive.
+    EXPECT_EQ(buckets[1], 90u);     // 11..100.
+    EXPECT_EQ(buckets[2], 399u);    // 101..499.
+}
+
+TEST(MetricsTest, ExportersIncludeRegisteredMetrics)
+{
+    metrics().counter("test.export_counter").inc(7);
+    metrics().gauge("test.export_gauge").set(1.5);
+
+    const MetricsSnapshot snap = metrics().snapshot();
+    const std::string text = snap.toText();
+    EXPECT_NE(text.find("test.export_counter"), std::string::npos);
+    EXPECT_NE(text.find("test.export_gauge"), std::string::npos);
+
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.export_counter\": 7"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace gsku::obs

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Scoped tracing: disabled spans record nothing, enabled spans capture
+ * non-negative durations with well-nested intervals per thread, and
+ * writeTrace emits a Chrome-trace JSON document.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/trace.h"
+
+namespace gsku::obs {
+namespace {
+
+/** Drain-and-discard so tests don't leak events into one another. */
+void
+clearTraceState()
+{
+    stopTrace();
+    drainTrace();
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing)
+{
+    clearTraceState();
+    ASSERT_FALSE(traceEnabled());
+    {
+        TraceSpan span("test", "disabled");
+        span.arg("k", std::int64_t{1});
+    }
+    EXPECT_TRUE(drainTrace().empty());
+}
+
+TEST(TraceTest, SpansCaptureNamesArgsAndNonNegativeDurations)
+{
+    clearTraceState();
+    startTrace();
+    {
+        TraceSpan outer("test", "outer");
+        outer.arg("answer", std::int64_t{42})
+            .arg("label", std::string("x"));
+        TraceSpan inner("test", "inner");
+    }
+    stopTrace();
+
+    // stopTrace discards; record again to exercise the drain path.
+    startTrace();
+    {
+        TraceSpan outer("test", "outer");
+        outer.arg("answer", std::int64_t{42});
+        {
+            TraceSpan inner("test", "inner");
+        }
+    }
+    const std::vector<TraceEvent> events = drainTrace();
+    stopTrace();
+
+    ASSERT_EQ(events.size(), 2u);
+    for (const TraceEvent &e : events) {
+        EXPECT_EQ(e.category, "test");
+        EXPECT_GE(e.ts_us, 0.0);
+        EXPECT_GE(e.dur_us, 0.0);
+    }
+    // Same thread: sorted by start time, the outer span comes first and
+    // fully contains the inner one.
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_LE(events[0].ts_us, events[1].ts_us);
+    EXPECT_GE(events[0].ts_us + events[0].dur_us,
+              events[1].ts_us + events[1].dur_us);
+    EXPECT_NE(events[0].args_json.find("\"answer\": 42"),
+              std::string::npos);
+}
+
+TEST(TraceTest, EventsAreWellNestedPerThread)
+{
+    clearTraceState();
+    startTrace();
+    const int original = ThreadPool::global().threads();
+    ThreadPool::resetGlobal(4);
+    parallelFor(64, [](std::size_t) {
+        TraceSpan outer("test", "work");
+        TraceSpan inner("test", "inner_work");
+    });
+    ThreadPool::resetGlobal(original);
+    const std::vector<TraceEvent> events = drainTrace();
+    stopTrace();
+
+    ASSERT_FALSE(events.empty());
+    // drainTrace sorts by (tid, ts, -dur): replay each thread's events
+    // against a stack; every span must close inside its parent.
+    std::vector<const TraceEvent *> stack;
+    std::uint64_t tid = events.front().tid;
+    for (const TraceEvent &e : events) {
+        EXPECT_GE(e.dur_us, 0.0);
+        if (e.tid != tid) {
+            tid = e.tid;
+            stack.clear();
+        }
+        while (!stack.empty() &&
+               stack.back()->ts_us + stack.back()->dur_us < e.ts_us) {
+            stack.pop_back();
+        }
+        if (!stack.empty()) {
+            EXPECT_LE(e.ts_us + e.dur_us,
+                      stack.back()->ts_us + stack.back()->dur_us)
+                << "span partially overlaps its enclosing span";
+        }
+        stack.push_back(&e);
+    }
+}
+
+TEST(TraceTest, WriteTraceEmitsChromeJson)
+{
+    clearTraceState();
+    startTrace();
+    {
+        TraceSpan span("test", "file_span");
+        span.arg("v", 1.25);
+    }
+    const std::string path = "trace_test_out.json";
+    ASSERT_TRUE(writeTrace(path));
+    stopTrace();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    std::remove(path.c_str());
+
+    // Chrome-trace shape: a traceEvents array of complete ("ph": "X")
+    // events with the recorded span present.
+    EXPECT_EQ(json.rfind("{\"traceEvents\":", 0), 0u);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"file_span\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"test\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TraceTest, StartTraceIsIdempotentAndStopDiscards)
+{
+    clearTraceState();
+    startTrace();
+    startTrace();
+    EXPECT_TRUE(traceEnabled());
+    {
+        TraceSpan span("test", "discarded");
+    }
+    stopTrace();
+    EXPECT_FALSE(traceEnabled());
+    EXPECT_TRUE(drainTrace().empty());
+}
+
+} // namespace
+} // namespace gsku::obs

@@ -35,6 +35,15 @@ Rules (each a distinct class, all hard CI gates — see docs/analysis.md):
                     (``std::thread::hardware_concurrency()`` is allowed:
                     it queries, it does not spawn.)
 
+  timing            Direct ``std::chrono`` clock reads
+                    (``steady_clock::now()`` and friends) are banned
+                    outside src/obs/ and bench/harness.h
+                    (docs/observability.md). All timing flows through
+                    obs::TraceSpan or the bench WallTimer so every
+                    measurement is attributable in traces and bench
+                    artifacts — and no model can accidentally become
+                    wall-clock dependent.
+
 Suppress a finding by appending ``// lint-ok: <rule> <why>`` to the
 offending line. Suppressions are themselves audited: an unused one is an
 error, so stale escapes cannot accumulate.
@@ -272,6 +281,41 @@ def check_concurrency(path: Path, lines: list[str],
 
 
 # --------------------------------------------------------------------
+# Rule: timing
+# --------------------------------------------------------------------
+
+TIMING_ALLOWED_DIRS = ("src/obs/",)
+TIMING_ALLOWED_FILES = ("bench/harness.h",)
+TIMING_BANNED_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now"
+    r"\s*\(")
+
+
+def check_timing(path: Path, lines: list[str], used: set) -> list[Finding]:
+    findings = []
+    rel = path.as_posix().replace("\\", "/")
+    if any(f"/{d}" in f"/{rel}" for d in TIMING_ALLOWED_DIRS):
+        return findings
+    if rel.endswith(TIMING_ALLOWED_FILES):
+        return findings
+    in_block = False
+    for i, raw in enumerate(lines, 1):
+        code, in_block = strip_comments(raw, in_block)
+        m = TIMING_BANNED_RE.search(code)
+        if not m:
+            continue
+        if suppressed(raw, "timing", used, path, i):
+            continue
+        findings.append(Finding(
+            path, i, "timing",
+            f"'{m.group(0).strip()}' reads a clock directly; time "
+            f"through obs::TraceSpan (src/obs/trace.h) or the bench "
+            f"WallTimer (bench/harness.h) so timing stays attributable "
+            f"(docs/observability.md)"))
+    return findings
+
+
+# --------------------------------------------------------------------
 # Rule: pragma-once
 # --------------------------------------------------------------------
 
@@ -297,6 +341,7 @@ RULES = {
     "rng-usage": check_rng_usage,
     "error-convention": check_error_convention,
     "concurrency": check_concurrency,
+    "timing": check_timing,
     "pragma-once": check_pragma_once,
 }
 

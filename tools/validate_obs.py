@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts: Chrome traces and run manifests.
+
+Checks (each a hard CI gate — see docs/observability.md):
+
+  trace     The file parses as JSON, has a ``traceEvents`` list of
+            complete ("ph": "X") events with the fields Perfetto needs
+            (name, cat, ts, dur, pid, tid), all durations are
+            non-negative, and per-(pid, tid) the spans are well-nested
+            (no partial overlaps).
+
+  manifest  The file parses as JSON with schema ``gsku-manifest-v1``
+            and carries the program name, config, seeds, threading,
+            build info, and an embedded metrics snapshot
+            (counters/gauges/histograms). Histogram bucket counts must
+            sum to the histogram's total count.
+
+  metrics   With ``--require-nonzero NAME...``, each named counter in
+            the manifest's metrics snapshot must be present and > 0 —
+            CI uses this to prove the engines actually ran through the
+            instrumented paths.
+
+Usage:
+  tools/validate_obs.py [--trace trace.json]... [--manifest m.json]...
+                        [--require-nonzero COUNTER...]
+
+Exit status: 0 when every check passes, 1 on any failure, 2 on usage
+errors (e.g. a named file is missing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_EVENT_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def load_json(path: Path, errors: list[str]):
+    try:
+        with path.open(encoding="utf-8") as f:
+            return json.load(f)
+    except json.JSONDecodeError as e:
+        fail(errors, f"{path}: not valid JSON: {e}")
+        return None
+
+
+def validate_trace(path: Path, errors: list[str]) -> None:
+    doc = load_json(path, errors)
+    if doc is None:
+        return
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(errors, f"{path}: missing 'traceEvents' object key")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(errors, f"{path}: 'traceEvents' is not a list")
+        return
+    if not events:
+        fail(errors, f"{path}: trace contains no events")
+        return
+
+    by_thread: dict[tuple, list[dict]] = {}
+    for i, e in enumerate(events):
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in e:
+                fail(errors, f"{path}: event {i} missing '{field}'")
+                return
+        if e["ph"] != "X":
+            fail(errors, f"{path}: event {i} has ph={e['ph']!r}; the "
+                         f"exporter only emits complete ('X') events")
+        if e["dur"] < 0:
+            fail(errors, f"{path}: event {i} ({e['name']}) has negative "
+                         f"duration {e['dur']}")
+        if e["ts"] < 0:
+            fail(errors, f"{path}: event {i} ({e['name']}) has negative "
+                         f"timestamp {e['ts']}")
+        by_thread.setdefault((e["pid"], e["tid"]), []).append(e)
+
+    # Well-nestedness per thread: sorted by (start, -duration), every
+    # span must close at or before the end of the enclosing span.
+    for (pid, tid), spans in by_thread.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[dict] = []
+        for e in spans:
+            end = e["ts"] + e["dur"]
+            while stack and stack[-1]["ts"] + stack[-1]["dur"] < e["ts"]:
+                stack.pop()
+            if stack:
+                parent_end = stack[-1]["ts"] + stack[-1]["dur"]
+                if end > parent_end:
+                    fail(errors,
+                         f"{path}: pid {pid} tid {tid}: span "
+                         f"'{e['name']}' [{e['ts']}, {end}] partially "
+                         f"overlaps '{stack[-1]['name']}' ending at "
+                         f"{parent_end}")
+            stack.append(e)
+
+
+def validate_manifest(path: Path, errors: list[str],
+                      require_nonzero: list[str]) -> None:
+    doc = load_json(path, errors)
+    if doc is None:
+        return
+    if not isinstance(doc, dict):
+        fail(errors, f"{path}: manifest is not a JSON object")
+        return
+    if doc.get("schema") != "gsku-manifest-v1":
+        fail(errors, f"{path}: schema is {doc.get('schema')!r}, "
+                     f"expected 'gsku-manifest-v1'")
+        return
+    if not isinstance(doc.get("program"), str) or not doc["program"]:
+        fail(errors, f"{path}: 'program' must be a non-empty string")
+    for key, kind in (("config", dict), ("seeds", dict),
+                      ("threads", dict), ("build", dict),
+                      ("metrics", dict)):
+        if not isinstance(doc.get(key), kind):
+            fail(errors, f"{path}: '{key}' missing or not an object")
+            return
+    for key in ("gsku_threads_env", "hardware_concurrency"):
+        if key not in doc["threads"]:
+            fail(errors, f"{path}: threads section missing '{key}'")
+    for key in ("compiler", "build_type", "contract_level",
+                "sanitizers"):
+        if key not in doc["build"]:
+            fail(errors, f"{path}: build section missing '{key}'")
+    for name, value in doc["seeds"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(errors, f"{path}: seed '{name}' is not a non-negative "
+                         f"integer")
+
+    metrics = doc["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(errors,
+                 f"{path}: metrics snapshot missing '{section}'")
+            return
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(errors, f"{path}: counter '{name}' is not a "
+                         f"non-negative integer")
+    for name, h in metrics["histograms"].items():
+        if sum(h.get("buckets", [])) != h.get("count"):
+            fail(errors, f"{path}: histogram '{name}' buckets sum to "
+                         f"{sum(h.get('buckets', []))}, count says "
+                         f"{h.get('count')}")
+
+    for name in require_nonzero:
+        value = metrics["counters"].get(name)
+        if value is None:
+            fail(errors, f"{path}: required counter '{name}' is absent "
+                         f"from the metrics snapshot")
+        elif value <= 0:
+            fail(errors, f"{path}: required counter '{name}' is "
+                         f"{value}; expected > 0")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate GreenSKU observability artifacts")
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="FILE",
+                        help="Chrome-trace JSON file to validate")
+    parser.add_argument("--manifest", action="append", default=[],
+                        metavar="FILE",
+                        help="run-manifest JSON file to validate")
+    parser.add_argument("--require-nonzero", nargs="*", default=[],
+                        metavar="COUNTER",
+                        help="counters that must be > 0 in every "
+                             "validated manifest")
+    args = parser.parse_args()
+
+    if not args.trace and not args.manifest:
+        parser.error("nothing to validate: pass --trace and/or "
+                     "--manifest")
+
+    errors: list[str] = []
+    checked = 0
+    for name in args.trace:
+        path = Path(name)
+        if not path.is_file():
+            print(f"validate_obs.py: no such file: {path}",
+                  file=sys.stderr)
+            return 2
+        validate_trace(path, errors)
+        checked += 1
+    for name in args.manifest:
+        path = Path(name)
+        if not path.is_file():
+            print(f"validate_obs.py: no such file: {path}",
+                  file=sys.stderr)
+            return 2
+        validate_manifest(path, errors, args.require_nonzero)
+        checked += 1
+
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"\nvalidate_obs.py: {len(errors)} error(s) in {checked} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"validate_obs.py: clean ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
