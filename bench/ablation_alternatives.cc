@@ -9,6 +9,8 @@
 #include "carbon/model.h"
 #include "common/table.h"
 #include "gsf/alternatives.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -16,6 +18,7 @@ main()
     using namespace gsku;
     using namespace gsku::gsf;
 
+    obs::metrics().reset();
     const carbon::ModelParams params;
     const carbon::FleetComposition fleet;
     const AlternativesAnalysis analysis(params, fleet);
@@ -64,5 +67,19 @@ main()
     std::cout << "Note: the renewable-increase solve uses our open "
                  "fleet/intensity data; the paper's 2.6 pp uses internal "
                  "numbers (see EXPERIMENTS.md).\n";
+
+    obs::RunManifest manifest("ablation_alternatives");
+    manifest.config("dc_target_savings", dc_target)
+        .config("full_per_core_savings", full_per_core)
+        .config("required_renewable_pp",
+                analysis.requiredRenewableIncrease(dc_target) * 100.0)
+        .config("required_efficiency_gain",
+                analysis.requiredEfficiencyGain(dc_target))
+        .config("required_lifetime_years",
+                analysis.requiredLifetimeYears(baseline, full_per_core));
+    if (!manifest.write("MANIFEST_ablation_alternatives.json")) {
+        std::cerr << "ablation_alternatives: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

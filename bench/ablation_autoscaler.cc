@@ -9,6 +9,8 @@
 
 #include "carbon/model.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "perf/autoscaler.h"
 
 int
@@ -17,6 +19,7 @@ main()
     using namespace gsku;
     using namespace gsku::perf;
 
+    obs::metrics().reset();
     const PerfModel model;
     const AutoScaler scaler(model);
     const CpuSpec green = CpuCatalog::bergamo();
@@ -61,5 +64,15 @@ main()
               << Table::percent(total_saved / apps, 1)
               << " — the §VIII opportunity: run-time systems compound "
                  "the design-time savings GSF quantifies.\n";
+
+    obs::RunManifest manifest("ablation_autoscaler");
+    manifest.config("trough_fraction", 0.4)
+        .config("apps", static_cast<std::int64_t>(apps))
+        .config("mean_core_hours_saved", total_saved / apps)
+        .config("kg_per_core_year", kg_per_core_year);
+    if (!manifest.write("MANIFEST_ablation_autoscaler.json")) {
+        std::cerr << "ablation_autoscaler: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -11,6 +11,8 @@
 #include "carbon/model.h"
 #include "cluster/demand.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -18,6 +20,7 @@ main()
     using namespace gsku;
     using namespace gsku::cluster;
 
+    obs::metrics().reset();
     const GrowthBufferSizer sizer;
     const DemandParams &p = sizer.params();
 
@@ -61,5 +64,17 @@ main()
                  "baseline-only buffer with GreenSKU fungibility — "
                  "avoids this at the cost of a slightly dirtier buffer "
                  "(counted by the evaluator).\n";
+
+    obs::RunManifest manifest("ablation_growth_buffer");
+    manifest.config("mean_cores", p.mean_cores)
+        .config("lead_time_weeks", p.lead_time_weeks)
+        .config("service_level", p.service_level)
+        .config("buffer_cores", sizer.bufferCores())
+        .config("buffer_fraction", sizer.bufferFraction())
+        .seed("shortfall_mc", 2024);
+    if (!manifest.write("MANIFEST_ablation_growth_buffer.json")) {
+        std::cerr << "ablation_growth_buffer: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -10,6 +10,8 @@
 
 #include "common/table.h"
 #include "gsf/hetero.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -17,6 +19,7 @@ main()
     using namespace gsku;
     using namespace gsku::gsf;
 
+    obs::metrics().reset();
     const perf::PerfModel perf;
     const carbon::CarbonModel carbon;
     const HeteroAdoptionModel model(perf, carbon);
@@ -61,5 +64,17 @@ main()
                                 1)
               << " vs baseline CPUs — the accelerator-reuse opportunity "
                  "§VIII flags for a future GSF extension.\n";
+
+    obs::RunManifest manifest("ablation_hetero");
+    manifest.config("app", app.name)
+        .config("accelerator_options",
+                static_cast<std::int64_t>(cards.size()))
+        .config("reference_ci_kg_per_kwh", 0.1)
+        .config("chosen_at_reference", d.chosen().label)
+        .config("chosen_carbon_kg", d.chosen().carbon.asKg());
+    if (!manifest.write("MANIFEST_ablation_hetero.json")) {
+        std::cerr << "ablation_hetero: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -8,6 +8,8 @@
 
 #include "common/table.h"
 #include "gsf/lifetime.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -15,6 +17,7 @@ main()
     using namespace gsku;
     using namespace gsku::gsf;
 
+    obs::metrics().reset();
     const LifetimeExtensionModel model{carbon::ModelParams{},
                                        reliability::AfrParams{}};
     const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
@@ -59,5 +62,17 @@ main()
                1.0 - at13.total().asKg() / at6.total().asKg(), 1)
         << " — the paper's point that lifetime extension is a poor "
            "substitute for GreenSKU design.\n";
+
+    obs::RunManifest manifest("ablation_lifetime");
+    manifest.config("sweep_from_years", 4.0)
+        .config("sweep_to_years", 20.0)
+        .config("sweep_step_years", 2.0)
+        .config("optimal_lifetime_years", optimal)
+        .config("net_savings_at_13y",
+                1.0 - at13.total().asKg() / at6.total().asKg());
+    if (!manifest.write("MANIFEST_ablation_lifetime.json")) {
+        std::cerr << "ablation_lifetime: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -14,6 +14,8 @@
 #include "common/table.h"
 #include "gsf/adoption.h"
 #include "gsf/sizing.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "reliability/maintenance.h"
 
 namespace {
@@ -46,6 +48,7 @@ deploymentEmissions(const carbon::CarbonModel &model,
 int
 main()
 {
+    obs::metrics().reset();
     cluster::TraceGenParams params;
     params.target_concurrent_vms = 400.0;
     params.duration_h = 24.0 * 14.0;
@@ -144,5 +147,17 @@ main()
                  "adopters across more, partially-filled server pools) — "
                  "agreeing with the analytic D2 portfolio model, before "
                  "even counting its extra growth buffer.\n";
+
+    obs::RunManifest manifest("ablation_multi_sku");
+    manifest.config("target_concurrent_vms", params.target_concurrent_vms)
+        .config("duration_h", params.duration_h)
+        .config("ci_kg_per_kwh", ci.asKgPerKwh())
+        .config("baseline_only_servers",
+                static_cast<std::int64_t>(base_only))
+        .seed("trace", 17);
+    if (!manifest.write("MANIFEST_ablation_multi_sku.json")) {
+        std::cerr << "ablation_multi_sku: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -12,6 +12,8 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "gsf/sizing.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -19,6 +21,7 @@ main()
     using namespace gsku;
     using namespace gsku::cluster;
 
+    obs::metrics().reset();
     TraceGenParams params;
     params.target_concurrent_vms = 250.0;
     params.duration_h = 24.0 * 14.0;
@@ -70,5 +73,16 @@ main()
                          baseline.cores / 1000.0,
                      1)
               << " tCO2e of avoidable lifetime emissions.\n";
+
+    obs::RunManifest manifest("ablation_placement");
+    manifest.config("traces", static_cast<std::int64_t>(traces.size()))
+        .config("target_concurrent_vms", params.target_concurrent_vms)
+        .config("duration_h", params.duration_h)
+        .config("best_fit_mean_servers", best_fit_servers)
+        .seed("trace_family_base", 31);
+    if (!manifest.write("MANIFEST_ablation_placement.json")) {
+        std::cerr << "ablation_placement: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -10,6 +10,8 @@
 
 #include "common/table.h"
 #include "gsf/portfolio.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -17,6 +19,7 @@ main()
     using namespace gsku;
     using namespace gsku::gsf;
 
+    obs::metrics().reset();
     const PortfolioAnalysis analysis{carbon::ModelParams{},
                                      cluster::DemandParams{}, 50000.0};
     const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
@@ -51,5 +54,16 @@ main()
                  "(sqrt(k) safety stock) for little additional matching "
                  "gain — deploy one well-chosen GreenSKU per region, as "
                  "the paper's region analysis (Fig. 11) suggests.\n";
+
+    obs::RunManifest manifest("ablation_portfolio");
+    manifest.config("demand_cores", 50000.0)
+        .config("ci_kg_per_kwh", ci.asKgPerKwh())
+        .config("menu_skus", static_cast<std::int64_t>(menu.size()))
+        .config("adoptable_fraction_per_slice", 0.25)
+        .config("mean_scaling", 1.07);
+    if (!manifest.write("MANIFEST_ablation_portfolio.json")) {
+        std::cerr << "ablation_portfolio: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

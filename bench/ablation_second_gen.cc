@@ -11,6 +11,8 @@
 #include "carbon/model.h"
 #include "carbon/sku.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -51,6 +53,7 @@ withLpddr(ServerSku sku)
 int
 main()
 {
+    obs::metrics().reset();
     const CarbonModel model;
     const ServerSku baseline = StandardSkus::baseline();
 
@@ -86,5 +89,14 @@ main()
                  "savings by roughly 0.3-2 pp at today's carbon intensity — "
                  "the paper's \"low returns today\", kept on the menu "
                  "for residual-emission hunting.\n";
+
+    obs::RunManifest manifest("ablation_second_gen");
+    manifest
+        .config("candidates", static_cast<std::int64_t>(skus.size()))
+        .config("full_nic_total_savings", full_total);
+    if (!manifest.write("MANIFEST_ablation_second_gen.json")) {
+        std::cerr << "ablation_second_gen: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -11,6 +11,8 @@
 #include "carbon/sku.h"
 #include "common/table.h"
 #include "gsf/tco.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -18,6 +20,7 @@ main()
     using namespace gsku;
     using namespace gsku::gsf;
 
+    obs::metrics().reset();
     const TcoModel model;
     auto skus = carbon::StandardSkus::tableFourRows();
 
@@ -73,5 +76,16 @@ main()
               << Table::percent((full - best) / full, 1) << '\n';
     std::cout << "Paper anchor: the cost-efficient SKU is only ~5% less "
                  "costly than the carbon-efficient GreenSKU.\n";
+
+    obs::RunManifest manifest("ablation_tco");
+    manifest.config("skus", static_cast<std::int64_t>(skus.size()))
+        .config("cost_optimal_sku", best_name)
+        .config("cost_optimal_usd_per_core", best.asUsd())
+        .config("green_full_usd_per_core", full.asUsd())
+        .config("green_full_premium", (full - best) / full);
+    if (!manifest.write("MANIFEST_ablation_tco.json")) {
+        std::cerr << "ablation_tco: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

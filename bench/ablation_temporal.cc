@@ -11,6 +11,8 @@
 #include "carbon/intensity_profile.h"
 #include "carbon/model.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -18,6 +20,7 @@ main()
     using namespace gsku;
     using namespace gsku::carbon;
 
+    obs::metrics().reset();
     const CarbonModel model;
     const ServerSku baseline = StandardSkus::baseline();
     const ServerSku green = StandardSkus::greenFull();
@@ -54,5 +57,15 @@ main()
                  "and only for deferrable work, so it composes with — "
                  "and cannot substitute for — GreenSKU design, which "
                  "also removes embodied carbon (Sec. IX).\n";
+
+    obs::RunManifest manifest("ablation_temporal");
+    manifest.config("mean_ci_kg_per_kwh", 0.1)
+        .config("clean_window_h", 6.0)
+        .config("sku_savings", sku_savings)
+        .config("green_operational_share", green_op_share);
+    if (!manifest.write("MANIFEST_ablation_temporal.json")) {
+        std::cerr << "ablation_temporal: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

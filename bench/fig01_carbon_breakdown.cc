@@ -9,6 +9,8 @@
 
 #include "carbon/datacenter.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -16,6 +18,7 @@ main()
     using namespace gsku;
     using namespace gsku::carbon;
 
+    obs::metrics().reset();
     const DataCenterModel model;
 
     auto print = [&](const char *title, const FleetComposition &fleet) {
@@ -69,5 +72,17 @@ main()
            "servers ~57% of DC emissions;\n  within compute: DRAM 35%, "
            "SSD 28%, CPU 24%; at 100% renewables operational ~9% and "
            "compute ~44%.\n";
+
+    obs::RunManifest manifest("fig01_carbon_breakdown");
+    manifest
+        .config("azure_renewable_fraction", azure.renewable_fraction)
+        .config("azure_operational_share",
+                model.breakdown(azure).operational_share_of_total)
+        .config("green_operational_share",
+                model.breakdown(green).operational_share_of_total);
+    if (!manifest.write("MANIFEST_fig01_carbon_breakdown.json")) {
+        std::cerr << "fig01_carbon_breakdown: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -10,6 +10,8 @@
 
 #include "common/chart.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "reliability/failure_sim.h"
 
 int
@@ -18,6 +20,7 @@ main()
     using namespace gsku;
     using namespace gsku::reliability;
 
+    obs::metrics().reset();
     HazardParams hazard;
     hazard.base_afr = 0.012;            // ~1.2% AFR class of parts.
     hazard.infant_multiplier = 2.0;
@@ -81,5 +84,18 @@ main()
               << "%/y (ratio " << Table::num(late / mid, 3) << ")\n";
     std::cout << "Paper anchor: after an initial period of higher AFRs, "
                  "rates stay constant over 7 years.\n";
+
+    obs::RunManifest manifest("fig02_dram_afr");
+    manifest.config("base_afr", hazard.base_afr)
+        .config("infant_multiplier", hazard.infant_multiplier)
+        .config("infant_decay_months", hazard.infant_decay_months)
+        .config("fleet_size", static_cast<std::int64_t>(500000))
+        .config("months", static_cast<std::int64_t>(84))
+        .config("flatness_ratio", late / mid)
+        .seed("fleet_sim", 2024);
+    if (!manifest.write("MANIFEST_fig02_dram_afr.json")) {
+        std::cerr << "fig02_dram_afr: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -11,6 +11,8 @@
 
 #include "common/chart.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "perf/cpu.h"
 #include "perf/model.h"
 
@@ -20,6 +22,7 @@ main()
     using namespace gsku;
     using namespace gsku::perf;
 
+    obs::metrics().reset();
     const PerfModel model;
     const CpuSpec gen3 = CpuCatalog::genoa();
     const CpuSpec green = CpuCatalog::bergamo();
@@ -100,5 +103,16 @@ main()
     std::cout << "Paper anchors: Xapian/Moses/Nginx meet the SLO with "
                  "10-12 cores; Masstree cannot match Gen3 peak even at 12 "
                  "cores.\n";
+
+    obs::RunManifest manifest("fig07_tail_latency");
+    manifest
+        .config("apps",
+                static_cast<std::int64_t>(sizeof(apps) / sizeof(apps[0])))
+        .config("baseline_cores", static_cast<std::int64_t>(8))
+        .config("max_green_cores", static_cast<std::int64_t>(12));
+    if (!manifest.write("MANIFEST_fig07_tail_latency.json")) {
+        std::cerr << "fig07_tail_latency: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -10,6 +10,8 @@
 
 #include "common/chart.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "perf/cpu.h"
 #include "perf/model.h"
 
@@ -19,6 +21,7 @@ main()
     using namespace gsku;
     using namespace gsku::perf;
 
+    obs::metrics().reset();
     const PerfModel model;
     const CpuSpec gen3 = CpuCatalog::genoa();
     const CpuSpec green = CpuCatalog::bergamo();
@@ -87,5 +90,14 @@ main()
     std::cout << "Paper anchors: Moses saturates early and fails the SLO "
                  "well before peak under CXL; HAProxy only loses ~11% "
                  "peak throughput.\n";
+
+    obs::RunManifest manifest("fig08_cxl_latency");
+    manifest.config("apps", static_cast<std::int64_t>(2))
+        .config("heavy_impact_app", "Moses")
+        .config("light_impact_app", "HAProxy");
+    if (!manifest.write("MANIFEST_fig08_cxl_latency.json")) {
+        std::cerr << "fig08_cxl_latency: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

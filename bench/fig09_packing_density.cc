@@ -15,6 +15,8 @@
 #include "common/table.h"
 #include "gsf/adoption.h"
 #include "gsf/sizing.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -23,6 +25,7 @@ main()
     using namespace gsku::cluster;
     using namespace gsku::gsf;
 
+    obs::metrics().reset();
     TraceGenParams params;
     params.target_concurrent_vms = 250.0;
     params.duration_h = 24.0 * 14.0;
@@ -109,5 +112,17 @@ main()
     std::cout << "Paper anchor: the GreenSKU-Full trades better memory "
                  "packing density for worse core packing density (memory:"
                  "core 8 vs the baseline's 9.6).\n";
+
+    obs::RunManifest manifest("fig09_packing_density");
+    manifest.config("traces", static_cast<std::int64_t>(traces.size()))
+        .config("target_concurrent_vms", params.target_concurrent_vms)
+        .config("duration_h", params.duration_h)
+        .config("mean_baseline_core_packing", mean(base_core))
+        .config("mean_green_core_packing", mean(green_core))
+        .seed("trace_family_base", 2024);
+    if (!manifest.write("MANIFEST_fig09_packing_density.json")) {
+        std::cerr << "fig09_packing_density: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

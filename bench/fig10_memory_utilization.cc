@@ -15,6 +15,8 @@
 #include "common/table.h"
 #include "gsf/adoption.h"
 #include "gsf/sizing.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -23,6 +25,7 @@ main()
     using namespace gsku::cluster;
     using namespace gsku::gsf;
 
+    obs::metrics().reset();
     TraceGenParams params;
     params.target_concurrent_vms = 250.0;
     params.duration_h = 24.0 * 14.0;
@@ -99,5 +102,17 @@ main()
     std::cout << "Paper anchors: most traces stay below ~60% utilization; "
                  "only ~3% of traces would dip into the 25% CXL-backed "
                  "region.\n";
+
+    obs::RunManifest manifest("fig10_memory_utilization");
+    manifest.config("traces", static_cast<std::int64_t>(traces.size()))
+        .config("target_concurrent_vms", params.target_concurrent_vms)
+        .config("duration_h", params.duration_h)
+        .config("local_memory_fraction", local_fraction)
+        .config("traces_needing_cxl", static_cast<std::int64_t>(need_cxl))
+        .seed("trace_family_base", 7);
+    if (!manifest.write("MANIFEST_fig10_memory_utilization.json")) {
+        std::cerr << "fig10_memory_utilization: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -8,10 +8,14 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "carbon/model.h"
 #include "cluster/trace_gen.h"
 #include "gsf/adoption.h"
 #include "gsf/sizing.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "perf/cpu.h"
 #include "perf/model.h"
 #include "perf/queueing.h"
@@ -123,4 +127,26 @@ BENCHMARK(BM_ClusterSizing);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the run can end with a manifest: the
+// microbench timings themselves live in google-benchmark's own output,
+// but the manifest records which build/threads produced them.
+int
+main(int argc, char **argv)
+{
+    gsku::obs::metrics().reset();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    gsku::obs::RunManifest manifest("micro_models");
+    manifest.config("benchmarks", "carbon, queueing, scaling, trace_gen, "
+                                  "allocator, sizing");
+    if (!manifest.write("MANIFEST_micro_models.json")) {
+        std::cerr << "micro_models: failed to write manifest\n";
+        return 2;
+    }
+    return 0;
+}

@@ -7,6 +7,8 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "perf/cpu.h"
 
 int
@@ -15,6 +17,7 @@ main()
     using namespace gsku;
     using namespace gsku::perf;
 
+    obs::metrics().reset();
     std::cout << "Table I: comparing baseline AMD CPUs to the efficient "
                  "Bergamo CPU\n\n";
 
@@ -49,5 +52,16 @@ main()
     std::cout << table.render() << '\n';
     std::cout << "Paper anchor (Sec. III): Genoa offers 5.8 GB/s per core; "
                  "Bergamo (460+100)/128 = 4.4 GB/s per core.\n";
+
+    obs::RunManifest manifest("table1_cpu_catalog");
+    manifest.config("cpus", static_cast<std::int64_t>(4))
+        .config("bergamo_bw_per_core_gbps",
+                CpuCatalog::bergamo().bwPerCoreGbps())
+        .config("genoa_bw_per_core_gbps",
+                CpuCatalog::genoa().bwPerCoreGbps());
+    if (!manifest.write("MANIFEST_table1_cpu_catalog.json")) {
+        std::cerr << "table1_cpu_catalog: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

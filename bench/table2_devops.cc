@@ -7,6 +7,8 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "perf/cpu.h"
 #include "perf/model.h"
 
@@ -16,6 +18,7 @@ main()
     using namespace gsku;
     using namespace gsku::perf;
 
+    obs::metrics().reset();
     const PerfModel model;
 
     std::cout << "Table II: DevOps build slowdown normalized to Gen3 "
@@ -43,5 +46,13 @@ main()
     std::cout << "Paper values: PHP 1.27/1.11/1.00/1.17/1.38, Python "
                  "1.28/1.13/1.00/1.15/1.21, Wasm 1.34/1.19/1.00/1.15/"
                  "1.28.\n";
+
+    obs::RunManifest manifest("table2_devops");
+    manifest.config("apps", static_cast<std::int64_t>(3))
+        .config("cores_per_build", static_cast<std::int64_t>(8));
+    if (!manifest.write("MANIFEST_table2_devops.json")) {
+        std::cerr << "table2_devops: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -7,6 +7,8 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "perf/cpu.h"
 #include "perf/model.h"
 
@@ -16,6 +18,7 @@ main()
     using namespace gsku;
     using namespace gsku::perf;
 
+    obs::metrics().reset();
     const PerfModel model;
 
     std::cout << "Table III: GreenSKU-Efficient scaling factor vs Gen "
@@ -46,5 +49,13 @@ main()
     std::cout << "\"*\" marks Microsoft production applications. A cell "
                  "of \">1.5\" means no candidate VM size (8/10/12 cores) "
                  "meets the SLO.\n";
+
+    obs::RunManifest manifest("table3_scaling_factors");
+    manifest.config(
+        "apps", static_cast<std::int64_t>(AppCatalog::all().size()));
+    if (!manifest.write("MANIFEST_table3_scaling_factors.json")) {
+        std::cerr << "table3_scaling_factors: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

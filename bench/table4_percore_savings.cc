@@ -11,6 +11,8 @@
 #include "carbon/model.h"
 #include "carbon/sku.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -44,6 +46,7 @@ main()
     using namespace gsku;
     using namespace gsku::carbon;
 
+    obs::metrics().reset();
     const CarbonModel model;
     const auto rows = model.savingsTable(StandardSkus::tableFourRows());
     const auto skus = StandardSkus::tableFourRows();
@@ -74,5 +77,14 @@ main()
                  "16/14/15, CXL 15/32/24, Full 14/38/26 (%).\n";
     std::cout << "Paper Table IV (internal data): Resized 3/6/4, "
                  "Efficient 29/14/23, CXL 23/25/24, Full 17/43/28 (%).\n";
+
+    obs::RunManifest manifest("table4_percore_savings");
+    manifest.config("skus", static_cast<std::int64_t>(rows.size()))
+        .config("ci_kg_per_kwh", 0.1)
+        .config("green_full_total_savings", rows.back().total_savings);
+    if (!manifest.write("MANIFEST_table4_percore_savings.json")) {
+        std::cerr << "table4_percore_savings: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -9,6 +9,8 @@
 
 #include "carbon/catalog.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -16,6 +18,7 @@ main()
     using namespace gsku;
     using namespace gsku::carbon;
 
+    obs::metrics().reset();
     std::cout << "Table V: component TDP and embodied carbon\n\n";
     Table five({"Component", "TDP (W)", "Embodied (kgCO2e)", "Source"},
                {Align::Left, Align::Right, Align::Right, Align::Left});
@@ -75,5 +78,17 @@ main()
     std::cout << six.render() << '\n';
     std::cout << "Calibrated entries are documented with their rationale "
                  "in src/carbon/catalog.h and DESIGN.md.\n";
+
+    obs::RunManifest manifest("table5_table6_inputs");
+    manifest
+        .config("carbon_intensity_kg_per_kwh",
+                p.carbon_intensity.asKgPerKwh())
+        .config("lifetime_years", p.lifetime.asYears())
+        .config("derate", p.derate)
+        .config("pue", p.pue);
+    if (!manifest.write("MANIFEST_table5_table6_inputs.json")) {
+        std::cerr << "table5_table6_inputs: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

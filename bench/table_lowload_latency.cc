@@ -8,6 +8,8 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "perf/cpu.h"
 #include "perf/model.h"
 
@@ -17,6 +19,7 @@ main()
     using namespace gsku;
     using namespace gsku::perf;
 
+    obs::metrics().reset();
     const PerfModel model;
     const CpuSpec green = CpuCatalog::bergamo();
     const CpuSpec gens[] = {CpuCatalog::rome(), CpuCatalog::milan(),
@@ -57,5 +60,14 @@ main()
                      1)
               << '\n';
     std::cout << "Paper medians: -8.3% / -2% / +16%.\n";
+
+    obs::RunManifest manifest("table_lowload_latency");
+    manifest.config("load_fraction_of_peak", 0.3)
+        .config("median_vs_gen3_ratio",
+                model.medianLowLoadRatio(CpuCatalog::genoa()));
+    if (!manifest.write("MANIFEST_table_lowload_latency.json")) {
+        std::cerr << "table_lowload_latency: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -10,6 +10,8 @@
 #include "carbon/model.h"
 #include "carbon/sku.h"
 #include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "reliability/maintenance.h"
 
 int
@@ -19,6 +21,7 @@ main()
     using namespace gsku::carbon;
     using namespace gsku::reliability;
 
+    obs::metrics().reset();
     const MaintenanceModel model;
     const CarbonModel carbon;
 
@@ -63,5 +66,17 @@ main()
               << Table::num(emissions_ratio, 3) << ")\n\n";
     std::cout << "Paper anchors: AFR 4.8 -> 7.2; FIP repair rates 3.0 / "
                  "3.6; C_OOS 3 vs 2.98 (negligible overhead).\n";
+
+    obs::RunManifest manifest("table_maintenance");
+    manifest.config("servers_per_baseline", servers_per_baseline)
+        .config("emissions_ratio", emissions_ratio)
+        .config("coos_baseline", model.coos(base, {1.0, 1.0}))
+        .config("coos_green_full",
+                model.coos(full,
+                           {servers_per_baseline, emissions_ratio}));
+    if (!manifest.write("MANIFEST_table_maintenance.json")) {
+        std::cerr << "table_maintenance: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

@@ -8,6 +8,8 @@
 
 #include "common/table.h"
 #include "gsf/tiering.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 
 int
 main()
@@ -15,6 +17,7 @@ main()
     using namespace gsku;
     using namespace gsku::gsf;
 
+    obs::metrics().reset();
     const MemoryTieringPolicy policy;
     const carbon::ServerSku sku = carbon::StandardSkus::greenCxl();
 
@@ -53,5 +56,16 @@ main()
                                 1)
               << " — the Pond mechanism is what makes DRAM reuse "
                  "adoption-neutral.\n";
+
+    obs::RunManifest manifest("table_tiering");
+    manifest.config("cxl_memory_fraction", sku.cxlMemoryFraction())
+        .config("fleet_share_below_slowdown",
+                policy.fleetShareBelowSlowdown(sku))
+        .config("cxl_tolerant_core_hour_share",
+                perf::AppCatalog::cxlTolerantCoreHourShare());
+    if (!manifest.write("MANIFEST_table_tiering.json")) {
+        std::cerr << "table_tiering: failed to write manifest\n";
+        return 2;
+    }
     return 0;
 }

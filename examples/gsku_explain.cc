@@ -1,0 +1,194 @@
+/**
+ * @file
+ * gsku_explain: answer "why does this SKU score what it scores?" from a
+ * decision-provenance ledger (obs/ledger.h, docs/observability.md).
+ *
+ * Usage:
+ *   gsku_explain [options] --why <sku>
+ *   gsku_explain [options] --compare <skuA> <skuB>
+ *   gsku_explain --diff <ledgerA> <ledgerB>
+ *   gsku_explain                       # demo: --why GreenSKU-Full
+ *
+ * Options:
+ *   --ledger <path>  answer from a recorded ledger (e.g. a run under
+ *                    GSKU_LEDGER=<path>) instead of running the demo
+ *                    evaluation in-process
+ *   --record <path>  write the demo run's ledger to <path>
+ *   --ci <value>     demo-run carbon intensity in kg/kWh (default 0.1)
+ *
+ * Exit codes: 0 success; 1 query failed (unknown SKU, leaf-sum check
+ * failure, parse error); for --diff, 1 also means the ledgers differ
+ * (like diff(1)).
+ */
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "cluster/trace_gen.h"
+#include "gsf/evaluator.h"
+#include "gsf/tco.h"
+#include "obs/explain.h"
+#include "obs/ledger.h"
+
+namespace {
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: gsku_explain [options] --why <sku>\n"
+           "       gsku_explain [options] --compare <skuA> <skuB>\n"
+           "       gsku_explain --diff <ledgerA> <ledgerB>\n"
+           "options:\n"
+           "  --ledger <path>  answer from a recorded ledger instead of\n"
+           "                   running the demo evaluation in-process\n"
+           "  --record <path>  write the demo run's ledger to <path>\n"
+           "  --ci <value>     demo carbon intensity, kg/kWh "
+           "(default 0.1)\n";
+}
+
+/**
+ * Record a demo ledger in-process: per-core carbon and cost for every
+ * standard SKU, plus one full cluster evaluation of GreenSKU-Full (which
+ * exercises adoption, SLO margins, sizing, allocation, and maintenance).
+ */
+void
+recordDemo(double ci_value)
+{
+    using namespace gsku;
+    gsku::obs::startLedger();
+
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(ci_value);
+    const std::vector<carbon::ServerSku> skus = {
+        carbon::StandardSkus::baseline(),
+        carbon::StandardSkus::baselineResized(),
+        carbon::StandardSkus::greenEfficient(),
+        carbon::StandardSkus::greenCxl(),
+        carbon::StandardSkus::greenFull(),
+    };
+    const carbon::CarbonModel carbon;
+    const gsf::TcoModel tco;
+    for (const carbon::ServerSku &sku : skus) {
+        carbon.perCore(sku, ci);
+        tco.perCore(sku);
+    }
+
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 120.0;
+    params.duration_h = 24.0 * 7.0;
+    const cluster::VmTrace trace =
+        cluster::TraceGenerator(params).generate(3);
+    const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+    evaluator.evaluateCluster(trace, carbon::StandardSkus::baseline(),
+                              carbon::StandardSkus::greenFull(), ci);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gsku;
+
+    std::string ledger_path;
+    std::string record_path;
+    std::string why_sku;
+    std::string compare_a;
+    std::string compare_b;
+    std::string diff_a;
+    std::string diff_b;
+    double ci_value = 0.1;
+
+    auto need = [&](int i, const char *opt, int count) {
+        if (i + count >= argc) {
+            std::cerr << "gsku_explain: " << opt << " needs " << count
+                      << (count == 1 ? " argument\n" : " arguments\n");
+            std::exit(1);
+        }
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        }
+        if (arg == "--ledger") {
+            need(i, "--ledger", 1);
+            ledger_path = argv[++i];
+        } else if (arg == "--record") {
+            need(i, "--record", 1);
+            record_path = argv[++i];
+        } else if (arg == "--ci") {
+            need(i, "--ci", 1);
+            ci_value = std::atof(argv[++i]);
+        } else if (arg == "--why") {
+            need(i, "--why", 1);
+            why_sku = argv[++i];
+        } else if (arg == "--compare") {
+            need(i, "--compare", 2);
+            compare_a = argv[++i];
+            compare_b = argv[++i];
+        } else if (arg == "--diff") {
+            need(i, "--diff", 2);
+            diff_a = argv[++i];
+            diff_b = argv[++i];
+        } else {
+            std::cerr << "gsku_explain: unknown argument " << arg << '\n';
+            printUsage(std::cerr);
+            return 1;
+        }
+    }
+
+    if (!diff_a.empty()) {
+        const obs::LedgerFile a = obs::readLedgerFile(diff_a);
+        const obs::LedgerFile b = obs::readLedgerFile(diff_b);
+        const obs::DiffResult diff = obs::diffLedgers(a, b);
+        if (!diff.ok) {
+            std::cerr << "gsku_explain: " << diff.error << '\n';
+            return 1;
+        }
+        std::cout << diff.text;
+        return diff.changes == 0 ? 0 : 1;
+    }
+
+    // Default query: explain the paper's headline design.
+    if (why_sku.empty() && compare_a.empty()) {
+        why_sku = "GreenSKU-Full";
+    }
+
+    obs::LedgerFile ledger;
+    if (!ledger_path.empty()) {
+        ledger = obs::readLedgerFile(ledger_path);
+    } else {
+        recordDemo(ci_value);
+        if (!record_path.empty() && !obs::writeLedger(record_path)) {
+            std::cerr << "gsku_explain: failed to write " << record_path
+                      << '\n';
+            return 1;
+        }
+        std::istringstream in(obs::renderLedger());
+        ledger = obs::parseLedger(in);
+    }
+
+    if (!why_sku.empty()) {
+        const obs::ExplainResult why = obs::explainWhy(ledger, why_sku);
+        std::cout << why.text;
+        if (!why.ok) {
+            std::cerr << "gsku_explain: " << why.error << '\n';
+            return 1;
+        }
+    }
+    if (!compare_a.empty()) {
+        const obs::ExplainResult cmp =
+            obs::compareSkus(ledger, compare_a, compare_b);
+        std::cout << cmp.text;
+        if (!cmp.ok) {
+            std::cerr << "gsku_explain: " << cmp.error << '\n';
+            return 1;
+        }
+    }
+    return 0;
+}

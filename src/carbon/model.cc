@@ -4,6 +4,7 @@
 
 #include "common/contracts.h"
 #include "common/error.h"
+#include "obs/ledger.h"
 
 namespace gsku::carbon {
 
@@ -193,7 +194,102 @@ CarbonModel::perCore(const ServerSku &sku, CarbonIntensity ci) const
     // infrastructure embodied carbon amortized over one server lifetime.
     out.embodied = (fp.rack_embodied + params_.dc_embodied_per_rack) / cores;
     out.checkInvariants();
+    if (obs::ledgerEnabled()) {
+        ledgerPerCore(sku, ci);
+    }
     return out;
+}
+
+PerCoreAttribution
+CarbonModel::attributePerCore(const ServerSku &sku, CarbonIntensity ci) const
+{
+    const RackFootprint fp = rackFootprint(sku);
+    const double n = static_cast<double>(fp.servers_per_rack);
+    const double cores = static_cast<double>(fp.cores_per_rack);
+
+    PerCoreAttribution out;
+    out.per_core.operational =
+        (fp.rack_power * params_.lifetime * ci) * params_.pue / cores;
+    out.per_core.embodied =
+        (fp.rack_embodied + params_.dc_embodied_per_rack) / cores;
+
+    // Per-kind leaves: each kind's share of the n servers' power and
+    // embodied carbon, amortized exactly like the headline number.
+    const PowerBreakdown power = serverPowerByKind(sku);
+    const CarbonBreakdown embodied = serverEmbodiedByKind(sku);
+    for (const auto &[kind, kind_power] : power) {
+        PerCoreTerm term;
+        term.component = toString(kind);
+        term.operational =
+            (n * kind_power * params_.lifetime * ci) * params_.pue /
+            cores;
+        const auto emb = embodied.find(kind);
+        if (emb != embodied.end()) {
+            term.embodied = n * emb->second / cores;
+        }
+        out.terms.push_back(std::move(term));
+    }
+    for (const auto &[kind, kind_embodied] : embodied) {
+        if (power.find(kind) != power.end()) {
+            continue;       // Already covered above.
+        }
+        PerCoreTerm term;
+        term.component = toString(kind);
+        term.embodied = n * kind_embodied / cores;
+        out.terms.push_back(std::move(term));
+    }
+
+    // Infrastructure leaves: the empty rack's own draw and embodied
+    // carbon, and the per-rack DC embodied share.
+    PerCoreTerm rack_misc;
+    rack_misc.component = "rack_misc";
+    rack_misc.operational =
+        (params_.rack_misc_power * params_.lifetime * ci) * params_.pue /
+        cores;
+    rack_misc.embodied = params_.rack_misc_embodied / cores;
+    out.terms.push_back(std::move(rack_misc));
+
+    PerCoreTerm dc_infra;
+    dc_infra.component = "dc_infra";
+    dc_infra.embodied = params_.dc_embodied_per_rack / cores;
+    out.terms.push_back(std::move(dc_infra));
+
+    CarbonMass op_sum;
+    CarbonMass emb_sum;
+    for (const PerCoreTerm &term : out.terms) {
+        op_sum += term.operational;
+        emb_sum += term.embodied;
+    }
+    GSKU_ENSURE(
+        std::abs(op_sum.asKg() - out.per_core.operational.asKg()) < 1e-9 &&
+            std::abs(emb_sum.asKg() - out.per_core.embodied.asKg()) < 1e-9,
+        "per-core attribution leaves must sum to the headline emissions");
+    return out;
+}
+
+void
+CarbonModel::ledgerPerCore(const ServerSku &sku, CarbonIntensity ci) const
+{
+    const PerCoreAttribution attribution = attributePerCore(sku, ci);
+    const RackFootprint fp = rackFootprint(sku);
+    obs::LedgerEntry(obs::LedgerEvent::CarbonPerCore)
+        .field("sku", sku.name)
+        .field("ci_kg_per_kwh", ci.asKgPerKwh())
+        .field("operational_kg", attribution.per_core.operational.asKg())
+        .field("embodied_kg", attribution.per_core.embodied.asKg())
+        .field("total_kg", attribution.per_core.total().asKg())
+        .field("servers_per_rack", fp.servers_per_rack)
+        .field("cores_per_rack", fp.cores_per_rack)
+        .field("pue", params_.pue)
+        .field("lifetime_h", params_.lifetime.asHours());
+    for (const PerCoreTerm &term : attribution.terms) {
+        obs::LedgerEntry(obs::LedgerEvent::CarbonComponent)
+            .field("sku", sku.name)
+            .field("component", term.component)
+            .field("ci_kg_per_kwh", ci.asKgPerKwh())
+            .field("operational_kg", term.operational.asKg())
+            .field("embodied_kg", term.embodied.asKg());
+    }
 }
 
 SavingsRow

@@ -66,6 +66,30 @@ struct PerCoreEmissions
     void checkInvariants() const;
 };
 
+/**
+ * One leaf of the per-core carbon attribution: a component kind, or one
+ * of the synthetic infrastructure leaves "rack_misc" (the empty rack's
+ * own power and embodied carbon) and "dc_infra" (the per-rack share of
+ * data-center embodied carbon). Leaves are exact: their operational and
+ * embodied terms sum to PerCoreEmissions within float reassociation
+ * error (attributePerCore() ENSUREs 1e-9).
+ */
+struct PerCoreTerm
+{
+    std::string component;
+    CarbonMass operational;
+    CarbonMass embodied;
+
+    CarbonMass total() const { return operational + embodied; }
+};
+
+/** Full per-core attribution: the headline number plus its leaves. */
+struct PerCoreAttribution
+{
+    PerCoreEmissions per_core;
+    std::vector<PerCoreTerm> terms;
+};
+
 /** One row of Table IV / Table VIII: savings relative to the baseline. */
 struct SavingsRow
 {
@@ -121,6 +145,16 @@ class CarbonModel
     /** perCore() at an explicit carbon intensity (for Fig. 11 sweeps). */
     PerCoreEmissions perCore(const ServerSku &sku, CarbonIntensity ci) const;
 
+    /**
+     * perCore() decomposed into per-component leaves (one per component
+     * kind, plus "rack_misc" and "dc_infra") whose operational and
+     * embodied terms sum back to the headline within 1e-9 kg — the
+     * attribution tree behind `gsku_explain --why` and the
+     * carbon.per_core / carbon.component ledger events.
+     */
+    PerCoreAttribution attributePerCore(const ServerSku &sku,
+                                        CarbonIntensity ci) const;
+
     /** One savings row relative to a baseline SKU. */
     SavingsRow savingsVs(const ServerSku &baseline,
                          const ServerSku &sku) const;
@@ -134,6 +168,10 @@ class CarbonModel
 
     /** Derated power contribution of one slot. */
     Power slotPower(const ComponentSlot &slot) const;
+
+    /** Record perCore()'s result and its attribution in the decision
+     *  ledger (no-op unless the ledger is enabled). */
+    void ledgerPerCore(const ServerSku &sku, CarbonIntensity ci) const;
 };
 
 } // namespace gsku::carbon

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <queue>
 #include <set>
 #include <utility>
 
 #include "common/contracts.h"
 #include "common/error.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/app.h"
@@ -79,6 +82,28 @@ AdoptionTable::adoptionRate() const
         n += e.adopt ? 1 : 0;
     }
     return static_cast<double>(n) / static_cast<double>(entries_.size());
+}
+
+std::uint64_t
+AdoptionTable::fingerprint() const
+{
+    // FNV-1a over (adopt, scaling factor bit pattern) per entry.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xffULL;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (const AdoptionDecision &e : entries_) {
+        mix(e.adopt ? 1 : 0);
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(e.scaling_factor),
+                      "scaling factor must be a 64-bit double");
+        std::memcpy(&bits, &e.scaling_factor, sizeof(bits));
+        mix(bits);
+    }
+    return h;
 }
 
 void
@@ -577,6 +602,38 @@ VmAllocator::replay(const VmTrace &trace,
     long base_placed = 0;
     std::vector<long> green_placed(cluster.greens.size(), 0);
 
+    // Decision-ledger outcome, shared by both exit paths. The adoption
+    // fingerprint ties this replay to the table(s) it packed under.
+    const char *first_reject = "none";
+    auto ledger_outcome = [&] {
+        if (!obs::ledgerEnabled()) {
+            return;
+        }
+        std::uint64_t fp = 1469598103934665603ULL;
+        long greens_total = 0;
+        for (const GreenGroupSpec &group : cluster.greens) {
+            fp ^= group.adoption.fingerprint();
+            fp *= 1099511628211ULL;
+            greens_total += group.count;
+        }
+        char fp_hex[17];
+        std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                      static_cast<unsigned long long>(fp));
+        obs::LedgerEntry(obs::LedgerEvent::AllocatorOutcome)
+            .field("trace", trace.name)
+            .field("baselines", static_cast<std::int64_t>(n_base))
+            .field("greens", static_cast<std::int64_t>(greens_total))
+            .field("adoption_fp", fp_hex)
+            .field("success", result.rejected == 0)
+            .field("placed", static_cast<std::int64_t>(result.placed))
+            .field("rejected", static_cast<std::int64_t>(result.rejected))
+            .field("green_placed",
+                   static_cast<std::int64_t>(result.green_placed))
+            .field("green_fallbacks",
+                   static_cast<std::int64_t>(result.green_fallbacks))
+            .field("first_reject", first_reject);
+    };
+
     auto snapshot_all = [&]() {
         audit_conservation();
         base_acc.sample(servers, 0, n_base);
@@ -671,8 +728,17 @@ VmAllocator::replay(const VmTrace &trace,
 
         if (!target) {
             ++result.rejected;
+            if (result.rejected == 1) {
+                // A full-node VM needs an *empty* baseline server; any
+                // other VM is rejected only when no server of any kind
+                // has capacity left.
+                first_reject = vm.full_node
+                                   ? "full_node_needs_empty_baseline"
+                                   : "no_capacity";
+            }
             if (options_.stop_on_reject) {
                 result.greens.resize(cluster.greens.size());
+                ledger_outcome();
                 placements_total.inc(
                     static_cast<std::uint64_t>(result.placed));
                 rejections_total.inc(
@@ -758,6 +824,7 @@ VmAllocator::replay(const VmTrace &trace,
     for (const GroupMetrics &g : result.greens) {
         g.checkInvariants();
     }
+    ledger_outcome();
     placements_total.inc(static_cast<std::uint64_t>(result.placed));
     rejections_total.inc(static_cast<std::uint64_t>(result.rejected));
     fallbacks_total.inc(

@@ -16,6 +16,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,6 +51,14 @@ class AdoptionTable
 
     /** Fraction of catalog (app, gen) pairs that adopt. */
     double adoptionRate() const;
+
+    /**
+     * FNV-1a hash over every (adopt, scaling factor) entry: a compact
+     * identity for this table in ledger events (sizing probes/results
+     * reference the table they sized under without replaying its 57
+     * entries per line).
+     */
+    std::uint64_t fingerprint() const;
 
   private:
     // 3 origin generations (Gen1/2/3) per app.

@@ -1,6 +1,7 @@
 #include "gsf/adoption.h"
 
 #include "common/error.h"
+#include "obs/ledger.h"
 #include "perf/cpu.h"
 
 namespace gsku::gsf {
@@ -24,6 +25,14 @@ AdoptionModel::decide(const perf::AppProfile &app,
     cluster::AdoptionDecision decision;
     if (!sf.feasible) {
         // Performance goals unreachable within the candidate sizes.
+        obs::LedgerEntry(obs::LedgerEvent::AdoptionDecision)
+            .field("app", app.name)
+            .field("origin_gen", carbon::toString(origin_gen))
+            .field("sku", green.name)
+            .field("baseline", baseline.name)
+            .field("ci_kg_per_kwh", ci.asKgPerKwh())
+            .field("reason", "infeasible_scaling")
+            .field("adopt", false);
         return decision;
     }
 
@@ -40,6 +49,18 @@ AdoptionModel::decide(const perf::AppProfile &app,
         decision.adopt = true;
         decision.scaling_factor = sf.factor;
     }
+    obs::LedgerEntry(obs::LedgerEvent::AdoptionDecision)
+        .field("app", app.name)
+        .field("origin_gen", carbon::toString(origin_gen))
+        .field("sku", green.name)
+        .field("baseline", baseline.name)
+        .field("ci_kg_per_kwh", ci.asKgPerKwh())
+        .field("reason", decision.adopt ? "adopted" : "carbon_worse")
+        .field("adopt", decision.adopt)
+        .field("scaling_factor", sf.factor)
+        .field("base_carbon_kg", base_carbon.asKg())
+        .field("green_carbon_kg", green_carbon.asKg())
+        .field("margin_kg", base_carbon.asKg() - green_carbon.asKg());
     return decision;
 }
 

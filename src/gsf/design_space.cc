@@ -7,6 +7,7 @@
 #include "carbon/catalog.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -45,19 +46,55 @@ DesignSpaceExplorer::buildCandidate(int ddr5_dimms, int cxl_ddr4_dimms,
 
     const double mem_per_core = total_gb / 128.0;
     const double cxl_fraction = total_gb > 0.0 ? cxl_gb / total_gb : 0.0;
-    if (mem_per_core < constraints_.min_mem_per_core ||
-        mem_per_core > constraints_.max_mem_per_core ||
-        cxl_fraction > constraints_.max_cxl_fraction ||
-        cxl_cards > constraints_.max_cxl_cards ||
-        new_ssds + reused_ssds > constraints_.max_ssd_units ||
-        storage_tb < constraints_.min_storage_tb) {
+
+    std::ostringstream name;
+    name << "B/" << ddr5_dimms << "x64/" << cxl_ddr4_dimms << "x32cxl/"
+         << new_ssds << "+" << reused_ssds << "ssd";
+
+    // Check deployability constraints one at a time so the verdict can
+    // name the first (binding) violation and its margin.
+    const char *violated = nullptr;
+    double value = 0.0;
+    double limit = 0.0;
+    if (mem_per_core < constraints_.min_mem_per_core) {
+        violated = "min_mem_per_core";
+        value = mem_per_core;
+        limit = constraints_.min_mem_per_core;
+    } else if (mem_per_core > constraints_.max_mem_per_core) {
+        violated = "max_mem_per_core";
+        value = mem_per_core;
+        limit = constraints_.max_mem_per_core;
+    } else if (cxl_fraction > constraints_.max_cxl_fraction) {
+        violated = "max_cxl_fraction";
+        value = cxl_fraction;
+        limit = constraints_.max_cxl_fraction;
+    } else if (cxl_cards > constraints_.max_cxl_cards) {
+        violated = "max_cxl_cards";
+        value = cxl_cards;
+        limit = constraints_.max_cxl_cards;
+    } else if (new_ssds + reused_ssds > constraints_.max_ssd_units) {
+        violated = "max_ssd_units";
+        value = new_ssds + reused_ssds;
+        limit = constraints_.max_ssd_units;
+    } else if (storage_tb < constraints_.min_storage_tb) {
+        violated = "min_storage_tb";
+        value = storage_tb;
+        limit = constraints_.min_storage_tb;
+    }
+    if (obs::ledgerEnabled()) {
+        obs::LedgerEntry entry(obs::LedgerEvent::DesignVerdict);
+        entry.field("candidate", name.str())
+            .field("feasible", violated == nullptr)
+            .field("constraint", violated != nullptr ? violated : "none");
+        if (violated != nullptr) {
+            entry.field("value", value).field("limit", limit);
+        }
+    }
+    if (violated != nullptr) {
         return std::nullopt;
     }
 
     carbon::ServerSku sku;
-    std::ostringstream name;
-    name << "B/" << ddr5_dimms << "x64/" << cxl_ddr4_dimms << "x32cxl/"
-         << new_ssds << "+" << reused_ssds << "ssd";
     sku.name = name.str();
     sku.generation = carbon::Generation::GreenSku;
     sku.cores = 128;

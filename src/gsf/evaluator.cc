@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -35,6 +36,14 @@ GsfEvaluator::deploymentEmissions(const carbon::ServerSku &sku, int servers,
     // nominal capacity (§IV-B maintenance component).
     const double oos = maintenance_.outOfServiceFraction(sku);
     const double effective = static_cast<double>(servers) * (1.0 + oos);
+    if (obs::ledgerEnabled()) {
+        obs::LedgerEntry(obs::LedgerEvent::MaintenanceGate)
+            .field("sku", sku.name)
+            .field("ci_kg_per_kwh", ci.asKgPerKwh())
+            .field("servers", servers)
+            .field("oos_fraction", oos)
+            .field("effective_servers", effective);
+    }
     return per_core.total() * (effective * static_cast<double>(sku.cores));
 }
 
@@ -96,6 +105,22 @@ GsfEvaluator::evaluateCluster(const cluster::VmTrace &trace,
                 "baseline scenario must have emissions");
     eval.savings = 1.0 - eval.mixed_scenario_emissions /
                              eval.baseline_scenario_emissions;
+    if (obs::ledgerEnabled()) {
+        obs::LedgerEntry(obs::LedgerEvent::EvaluatorVerdict)
+            .field("trace", trace.name)
+            .field("baseline", baseline.name)
+            .field("sku", green.name)
+            .field("ci_kg_per_kwh", ci.asKgPerKwh())
+            .field("baseline_servers", sizing.baseline_only_servers)
+            .field("baseline_buffer", eval.baseline_scenario_buffer)
+            .field("mixed_baselines", sizing.mixed_baselines)
+            .field("mixed_greens", sizing.mixed_greens)
+            .field("mixed_buffer", eval.mixed_scenario_buffer)
+            .field("baseline_kg", eval.baseline_scenario_emissions.asKg())
+            .field("mixed_kg", eval.mixed_scenario_emissions.asKg())
+            .field("savings", eval.savings)
+            .field("verdict", eval.savings > 0.0 ? "saves" : "costs");
+    }
     return eval;
 }
 
@@ -213,7 +238,25 @@ GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
                 deploymentEmissions(
                     baseline, sizing.mixed_baselines + buffer_mixed, ci) +
                 deploymentEmissions(green, sizing.mixed_greens, ci);
-            sum += 1.0 - mixed_em / base_em;
+            const double savings = 1.0 - mixed_em / base_em;
+            if (obs::ledgerEnabled()) {
+                obs::LedgerEntry(obs::LedgerEvent::EvaluatorVerdict)
+                    .field("trace", traces[t].name)
+                    .field("baseline", baseline.name)
+                    .field("sku", green.name)
+                    .field("ci_kg_per_kwh", ci.asKgPerKwh())
+                    .field("baseline_servers",
+                           sizing.baseline_only_servers)
+                    .field("baseline_buffer", buffer_base)
+                    .field("mixed_baselines", sizing.mixed_baselines)
+                    .field("mixed_greens", sizing.mixed_greens)
+                    .field("mixed_buffer", buffer_mixed)
+                    .field("baseline_kg", base_em.asKg())
+                    .field("mixed_kg", mixed_em.asKg())
+                    .field("savings", savings)
+                    .field("verdict", savings > 0.0 ? "saves" : "costs");
+            }
+            sum += savings;
         }
         out.mean_savings.push_back(sum /
                                    static_cast<double>(traces.size()));

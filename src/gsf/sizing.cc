@@ -1,12 +1,14 @@
 #include "gsf/sizing.h"
 
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/contracts.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/solver.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -33,13 +35,28 @@ ClusterSizer::ClusterSizer(cluster::ReplayOptions options)
 bool
 ClusterSizer::fits(const cluster::VmTrace &trace,
                    const cluster::ClusterSpec &spec,
-                   const cluster::AdoptionTable &adoption) const
+                   const cluster::AdoptionTable &adoption,
+                   const char *phase) const
 {
     static obs::Counter &replays =
         obs::metrics().counter("sizer.replays");
     replays.inc();
     cluster::VmAllocator allocator(options_);
-    return allocator.replay(trace, spec, adoption).success;
+    const bool success = allocator.replay(trace, spec, adoption).success;
+    if (obs::ledgerEnabled()) {
+        char fp_hex[17];
+        std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                      static_cast<unsigned long long>(
+                          adoption.fingerprint()));
+        obs::LedgerEntry(obs::LedgerEvent::SizingProbe)
+            .field("trace", trace.name)
+            .field("phase", phase)
+            .field("adoption_fp", fp_hex)
+            .field("baselines", spec.baselines)
+            .field("greens", spec.greens)
+            .field("fits", success);
+    }
+    return success;
 }
 
 int
@@ -67,7 +84,8 @@ ClusterSizer::rightSizeBaselineOnly(const cluster::VmTrace &trace,
         [&](long servers) {
             cluster::ClusterSpec spec{baseline, baseline,
                                       static_cast<int>(servers), 0};
-            return fits(trace, spec, cluster::AdoptionTable::none());
+            return fits(trace, spec, cluster::AdoptionTable::none(),
+                        "baseline_gallop");
         },
         std::min(lo, hi), hi);
     GSKU_ASSERT(n.has_value(), "one server per VM must always fit");
@@ -101,7 +119,7 @@ ClusterSizer::size(const cluster::VmTrace &trace,
         [&](long b) {
             cluster::ClusterSpec spec{baseline, green,
                                       static_cast<int>(b), green_cap};
-            return fits(trace, spec, adoption);
+            return fits(trace, spec, adoption, "mixed_baselines");
         },
         0, result.baseline_only_servers);
     GSKU_ASSERT(b_min.has_value(),
@@ -114,7 +132,7 @@ ClusterSizer::size(const cluster::VmTrace &trace,
             cluster::ClusterSpec spec{baseline, green,
                                       result.mixed_baselines,
                                       static_cast<int>(g)};
-            return fits(trace, spec, adoption);
+            return fits(trace, spec, adoption, "mixed_greens");
         },
         0, green_cap);
     GSKU_ASSERT(g_min.has_value(), "green cap must fit");
@@ -142,6 +160,20 @@ ClusterSizer::size(const cluster::VmTrace &trace,
     result.baseline_only_replay = std::move(replays[0]);
     result.mixed_replay = std::move(replays[1]);
     result.checkInvariants();
+    if (obs::ledgerEnabled()) {
+        char fp_hex[17];
+        std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                      static_cast<unsigned long long>(
+                          adoption.fingerprint()));
+        obs::LedgerEntry(obs::LedgerEvent::SizingResult)
+            .field("trace", trace.name)
+            .field("baseline", baseline.name)
+            .field("green", green.name)
+            .field("adoption_fp", fp_hex)
+            .field("baseline_only_servers", result.baseline_only_servers)
+            .field("mixed_baselines", result.mixed_baselines)
+            .field("mixed_greens", result.mixed_greens);
+    }
     return result;
 }
 
@@ -168,7 +200,7 @@ ClusterSizer::sizeIncremental(const cluster::VmTrace &trace,
             cluster::ClusterSpec spec{baseline, green,
                                       candidate_baselines,
                                       greens + extra};
-            if (fits(trace, spec, adoption)) {
+            if (fits(trace, spec, adoption, "incremental")) {
                 added = extra;
                 break;
             }
@@ -182,7 +214,7 @@ ClusterSizer::sizeIncremental(const cluster::VmTrace &trace,
     // Trim surplus GreenSKUs the incremental walk may have accumulated.
     while (greens > 0) {
         cluster::ClusterSpec spec{baseline, green, baselines, greens - 1};
-        if (!fits(trace, spec, adoption)) {
+        if (!fits(trace, spec, adoption, "incremental_trim")) {
             break;
         }
         --greens;

@@ -73,9 +73,12 @@ class ClusterSizer
   private:
     cluster::ReplayOptions options_;
 
+    /** One allocator replay; @p phase names the search that asked for
+     *  it in sizing.probe ledger events. */
     bool fits(const cluster::VmTrace &trace,
               const cluster::ClusterSpec &spec,
-              const cluster::AdoptionTable &adoption) const;
+              const cluster::AdoptionTable &adoption,
+              const char *phase) const;
 };
 
 } // namespace gsku::gsf

@@ -1,10 +1,12 @@
 #include "gsf/tco.h"
 
 #include <cmath>
+#include <map>
 
 #include "carbon/model.h"
 #include "common/contracts.h"
 #include "common/error.h"
+#include "obs/ledger.h"
 
 namespace gsku::gsf {
 
@@ -103,7 +105,82 @@ TcoModel::perCore(const carbon::ServerSku &sku) const
         tco_.energy_price * carbon_params_.pue;
     cost.opex = (n * serverOpex(sku) + rack_energy) / cores;
     cost.checkInvariants();
+    if (obs::ledgerEnabled()) {
+        const PerCoreCostAttribution attribution = attributePerCore(sku);
+        obs::LedgerEntry(obs::LedgerEvent::TcoPerCore)
+            .field("sku", sku.name)
+            .field("capex_usd", attribution.per_core.capex.asUsd())
+            .field("opex_usd", attribution.per_core.opex.asUsd())
+            .field("total_usd", attribution.per_core.total().asUsd());
+        for (const PerCoreCostTerm &term : attribution.terms) {
+            obs::LedgerEntry(obs::LedgerEvent::TcoComponent)
+                .field("sku", sku.name)
+                .field("component", term.component)
+                .field("capex_usd", term.capex.asUsd())
+                .field("opex_usd", term.opex.asUsd());
+        }
+    }
     return cost;
+}
+
+PerCoreCostAttribution
+TcoModel::attributePerCore(const carbon::ServerSku &sku) const
+{
+    const carbon::CarbonModel model(carbon_params_);
+    const carbon::RackFootprint rack = model.rackFootprint(sku);
+    const double n = static_cast<double>(rack.servers_per_rack);
+    const double cores = static_cast<double>(rack.cores_per_rack);
+
+    PerCoreCostAttribution out;
+    out.per_core.capex = (n * serverCapex(sku) + tco_.rack_cost +
+                          tco_.dc_facility_cost) /
+                         cores;
+    const Cost rack_energy =
+        (carbon_params_.rack_misc_power * carbon_params_.lifetime) *
+        tco_.energy_price * carbon_params_.pue;
+    out.per_core.opex = (n * serverOpex(sku) + rack_energy) / cores;
+
+    // Per-kind leaves: prices aggregated by component kind (aligning
+    // with the carbon attribution's leaves), energy from the carbon
+    // model's per-kind power split.
+    std::map<carbon::ComponentKind, Cost> capex_by_kind;
+    for (const auto &slot : sku.slots) {
+        capex_by_kind[slot.component.kind] +=
+            componentPrice(slot.component) *
+            static_cast<double>(slot.count);
+    }
+    const carbon::PowerBreakdown power = model.serverPowerByKind(sku);
+    for (const auto &[kind, kind_capex] : capex_by_kind) {
+        PerCoreCostTerm term;
+        term.component = carbon::toString(kind);
+        term.capex = n * kind_capex / cores;
+        const auto p = power.find(kind);
+        if (p != power.end()) {
+            term.opex = n * ((p->second * carbon_params_.lifetime) *
+                             tco_.energy_price * carbon_params_.pue) /
+                        cores;
+        }
+        out.terms.push_back(std::move(term));
+    }
+
+    PerCoreCostTerm rack_infra;
+    rack_infra.component = "rack_infra";
+    rack_infra.capex =
+        (tco_.rack_cost + tco_.dc_facility_cost) / cores;
+    rack_infra.opex = rack_energy / cores;
+    out.terms.push_back(std::move(rack_infra));
+
+    Cost capex_sum;
+    Cost opex_sum;
+    for (const PerCoreCostTerm &term : out.terms) {
+        capex_sum += term.capex;
+        opex_sum += term.opex;
+    }
+    GSKU_ENSURE(
+        std::abs(capex_sum.asUsd() - out.per_core.capex.asUsd()) < 1e-9 &&
+            std::abs(opex_sum.asUsd() - out.per_core.opex.asUsd()) < 1e-9,
+        "per-core cost leaves must sum to the headline cost");
+    return out;
 }
 
 double

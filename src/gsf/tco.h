@@ -67,6 +67,28 @@ struct PerCoreCost
 };
 
 /**
+ * One leaf of the per-core cost attribution: a catalog component name,
+ * or the synthetic "rack_infra" leaf (rack + facility capex and the
+ * empty rack's energy). Mirrors carbon::PerCoreTerm; leaves sum to
+ * PerCoreCost within 1e-9 USD (attributePerCore() ENSUREs it).
+ */
+struct PerCoreCostTerm
+{
+    std::string component;
+    Cost capex;
+    Cost opex;
+
+    Cost total() const { return capex + opex; }
+};
+
+/** Full per-core cost attribution: the headline plus its leaves. */
+struct PerCoreCostAttribution
+{
+    PerCoreCost per_core;
+    std::vector<PerCoreCostTerm> terms;
+};
+
+/**
  * The TCO model: same aggregation (server -> rack -> per-core, server
  * counts from the carbon model's rack fit) with dollars instead of
  * kgCO2e — demonstrating GSF's model-swap flexibility (§VII-A).
@@ -85,6 +107,15 @@ class TcoModel
 
     /** Rack-amortized per-core lifetime cost. */
     PerCoreCost perCore(const carbon::ServerSku &sku) const;
+
+    /**
+     * perCore() decomposed into per-component leaves (aggregated by
+     * catalog component name, plus "rack_infra") — the cost half of
+     * `gsku_explain --why` and the tco.per_core / tco.component ledger
+     * events.
+     */
+    PerCoreCostAttribution
+    attributePerCore(const carbon::ServerSku &sku) const;
 
     /** Cost of @p sku relative to @p reference (1.0 = equal). */
     double relativeCost(const carbon::ServerSku &reference,

@@ -1,0 +1,530 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace gsku::obs {
+
+namespace {
+
+/** Leaf sums must reproduce the recorded headline to this tolerance. */
+constexpr double kSumToleranceKg = 1e-9;
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtG(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** Records of @p event whose string field @p key equals @p value. */
+std::vector<const LedgerRecord *>
+where(const LedgerFile &ledger, LedgerEvent event, const std::string &key,
+      const std::string &value)
+{
+    std::vector<const LedgerRecord *> out;
+    for (const LedgerRecord *r : ledger.of(event)) {
+        if (r->str(key) == value) {
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+/** One attribution leaf, unified across carbon (op/emb) and TCO
+ *  (capex/opex) terms. */
+struct Leaf
+{
+    std::string component;
+    double part_a = 0.0;    ///< operational_kg or capex_usd.
+    double part_b = 0.0;    ///< embodied_kg or opex_usd.
+    double total() const { return part_a + part_b; }
+};
+
+std::vector<Leaf>
+sortedLeaves(std::vector<Leaf> leaves)
+{
+    std::sort(leaves.begin(), leaves.end(),
+              [](const Leaf &x, const Leaf &y) {
+                  if (x.total() != y.total()) {
+                      return x.total() > y.total();
+                  }
+                  return x.component < y.component;
+              });
+    return leaves;
+}
+
+/** Render one attribution table under a recorded headline and append
+ *  the leaf-sum check line. Returns the check's residual in units. */
+double
+renderLeafTable(std::ostringstream &out, const std::vector<Leaf> &leaves,
+                double headline_a, double headline_b,
+                const char *label_a, const char *label_b,
+                const char *unit, int decimals)
+{
+    out << "    " << std::left << std::setw(26) << "component"
+        << std::right << std::setw(14) << (std::string("total ") + unit)
+        << std::setw(14) << (std::string(label_a) + " " + unit)
+        << std::setw(14) << (std::string(label_b) + " " + unit)
+        << std::setw(9) << "share" << "\n";
+    const double headline = headline_a + headline_b;
+    double sum_a = 0.0;
+    double sum_b = 0.0;
+    for (const Leaf &leaf : leaves) {
+        sum_a += leaf.part_a;
+        sum_b += leaf.part_b;
+        const double share =
+            headline != 0.0 ? 100.0 * leaf.total() / headline : 0.0;
+        out << "    " << std::left << std::setw(26) << leaf.component
+            << std::right << std::setw(14) << fmt(leaf.total(), decimals)
+            << std::setw(14) << fmt(leaf.part_a, decimals)
+            << std::setw(14) << fmt(leaf.part_b, decimals)
+            << std::setw(8) << fmt(share, 1) << "%\n";
+    }
+    const double residual = std::max(std::abs(sum_a - headline_a),
+                                     std::abs(sum_b - headline_b));
+    out << "    leaf-sum check: |sum - headline| = " << fmtG(residual)
+        << " " << unit << " (tolerance " << fmtG(kSumToleranceKg) << ") "
+        << (residual <= kSumToleranceKg ? "OK" : "FAIL") << "\n";
+    return residual;
+}
+
+std::vector<Leaf>
+carbonLeaves(const LedgerFile &ledger, const std::string &sku, double ci)
+{
+    std::vector<Leaf> leaves;
+    for (const LedgerRecord *c :
+         where(ledger, LedgerEvent::CarbonComponent, "sku", sku)) {
+        if (c->num("ci_kg_per_kwh") != ci) {
+            continue;
+        }
+        leaves.push_back(Leaf{c->str("component"),
+                              c->num("operational_kg"),
+                              c->num("embodied_kg")});
+    }
+    return sortedLeaves(std::move(leaves));
+}
+
+std::vector<Leaf>
+tcoLeaves(const LedgerFile &ledger, const std::string &sku)
+{
+    std::vector<Leaf> leaves;
+    for (const LedgerRecord *c :
+         where(ledger, LedgerEvent::TcoComponent, "sku", sku)) {
+        leaves.push_back(Leaf{c->str("component"), c->num("capex_usd"),
+                              c->num("opex_usd")});
+    }
+    return sortedLeaves(std::move(leaves));
+}
+
+/** Carbon per-core records for @p sku, ordered by carbon intensity. */
+std::vector<const LedgerRecord *>
+carbonHeadlines(const LedgerFile &ledger, const std::string &sku)
+{
+    auto records = where(ledger, LedgerEvent::CarbonPerCore, "sku", sku);
+    std::sort(records.begin(), records.end(),
+              [](const LedgerRecord *a, const LedgerRecord *b) {
+                  return a->num("ci_kg_per_kwh") < b->num("ci_kg_per_kwh");
+              });
+    return records;
+}
+
+/** Compare two leaf sets term by term; returns the rendered table and
+ *  reports the dominant term through the out-parameters. */
+void
+renderLeafDelta(std::ostringstream &out, const std::vector<Leaf> &a,
+                const std::vector<Leaf> &b, const char *unit,
+                int decimals)
+{
+    std::map<std::string, std::pair<double, double>> by_component;
+    for (const Leaf &leaf : a) {
+        by_component[leaf.component].first = leaf.total();
+    }
+    for (const Leaf &leaf : b) {
+        by_component[leaf.component].second = leaf.total();
+    }
+    out << "    " << std::left << std::setw(26) << "component"
+        << std::right << std::setw(14) << "A" << std::setw(14) << "B"
+        << std::setw(14) << "delta" << "\n";
+    double total_a = 0.0;
+    double total_b = 0.0;
+    std::string dominant;
+    double dominant_delta = 0.0;
+    for (const auto &[component, totals] : by_component) {
+        const double delta = totals.second - totals.first;
+        total_a += totals.first;
+        total_b += totals.second;
+        if (std::abs(delta) > std::abs(dominant_delta)) {
+            dominant = component;
+            dominant_delta = delta;
+        }
+        out << "    " << std::left << std::setw(26) << component
+            << std::right << std::setw(14) << fmt(totals.first, decimals)
+            << std::setw(14) << fmt(totals.second, decimals)
+            << std::setw(14) << fmt(delta, decimals) << "\n";
+    }
+    const double net = total_b - total_a;
+    out << "    " << std::left << std::setw(26) << "total" << std::right
+        << std::setw(14) << fmt(total_a, decimals) << std::setw(14)
+        << fmt(total_b, decimals) << std::setw(14) << fmt(net, decimals)
+        << "\n";
+    if (!dominant.empty()) {
+        out << "    dominant term: " << dominant << " ("
+            << (dominant_delta >= 0.0 ? "+" : "")
+            << fmt(dominant_delta, decimals) << " " << unit;
+        if (net != 0.0) {
+            out << ", " << fmt(100.0 * dominant_delta / net, 1)
+                << "% of net delta";
+        }
+        out << ")\n";
+    }
+}
+
+/** Identity of a fact for diff pairing: event + every string field. */
+std::string
+identityOf(const LedgerRecord &record)
+{
+    std::string id = record.event;
+    for (const auto &[key, value] : record.strings) {
+        id += "|";
+        id += key;
+        id += "=";
+        id += value;
+    }
+    return id;
+}
+
+/** Human-readable identity (for diff report lines). */
+std::string
+identityLabel(const LedgerRecord &record)
+{
+    std::string label = record.event;
+    for (const auto &[key, value] : record.strings) {
+        label += " ";
+        label += key;
+        label += "=";
+        label += value;
+    }
+    return label;
+}
+
+/** Fields of @p a that differ in @p b, as "key: a -> b" fragments. */
+std::vector<std::string>
+changedFields(const LedgerRecord &a, const LedgerRecord &b)
+{
+    std::vector<std::string> changes;
+    for (const auto &[key, value] : a.numbers) {
+        const auto it = b.numbers.find(key);
+        if (it == b.numbers.end()) {
+            changes.push_back(key + ": " + fmtG(value) + " -> (absent)");
+        } else if (it->second != value) {
+            changes.push_back(key + ": " + fmtG(value) + " -> " +
+                              fmtG(it->second));
+        }
+    }
+    for (const auto &[key, value] : b.numbers) {
+        if (a.numbers.find(key) == a.numbers.end()) {
+            changes.push_back(key + ": (absent) -> " + fmtG(value));
+        }
+    }
+    for (const auto &[key, value] : a.bools) {
+        const auto it = b.bools.find(key);
+        if (it == b.bools.end()) {
+            changes.push_back(key + ": " +
+                              std::string(value ? "true" : "false") +
+                              " -> (absent)");
+        } else if (it->second != value) {
+            changes.push_back(key + ": " +
+                              std::string(value ? "true" : "false") +
+                              " -> " + (it->second ? "true" : "false"));
+        }
+    }
+    for (const auto &[key, value] : b.bools) {
+        if (a.bools.find(key) == a.bools.end()) {
+            changes.push_back(key + ": (absent) -> " +
+                              std::string(value ? "true" : "false"));
+        }
+    }
+    return changes;
+}
+
+} // namespace
+
+ExplainResult
+explainWhy(const LedgerFile &ledger, const std::string &sku)
+{
+    ExplainResult res;
+    if (!ledger.ok) {
+        res.error = "ledger not parsed: " + ledger.error;
+        return res;
+    }
+    const auto headlines = carbonHeadlines(ledger, sku);
+    if (headlines.empty()) {
+        res.error = "no carbon.per_core record for sku '" + sku +
+                    "' (was the ledger recorded with this SKU evaluated?)";
+        return res;
+    }
+
+    std::ostringstream out;
+    out << "== why " << sku << " ==\n\n";
+    double max_residual = 0.0;
+
+    out << "carbon attribution (per core, DC-amortized)\n";
+    for (const LedgerRecord *h : headlines) {
+        const double ci = h->num("ci_kg_per_kwh");
+        out << "  at CI " << fmt(ci, 3) << " kg/kWh: total "
+            << fmt(h->num("total_kg"), 3) << " kg = operational "
+            << fmt(h->num("operational_kg"), 3) << " + embodied "
+            << fmt(h->num("embodied_kg"), 3) << "\n";
+        max_residual = std::max(
+            max_residual,
+            renderLeafTable(out, carbonLeaves(ledger, sku, ci),
+                            h->num("operational_kg"),
+                            h->num("embodied_kg"), "oper", "emb", "kg",
+                            4));
+    }
+
+    const auto tco = where(ledger, LedgerEvent::TcoPerCore, "sku", sku);
+    if (!tco.empty()) {
+        const LedgerRecord *h = tco.front();
+        out << "\ncost attribution (per core, lifetime)\n";
+        out << "  total $" << fmt(h->num("total_usd"), 2) << " = capex $"
+            << fmt(h->num("capex_usd"), 2) << " + opex $"
+            << fmt(h->num("opex_usd"), 2) << "\n";
+        max_residual = std::max(
+            max_residual,
+            renderLeafTable(out, tcoLeaves(ledger, sku),
+                            h->num("capex_usd"), h->num("opex_usd"),
+                            "capex", "opex", "usd", 4));
+    }
+
+    const auto adoptions =
+        where(ledger, LedgerEvent::AdoptionDecision, "sku", sku);
+    if (!adoptions.empty()) {
+        long adopted = 0;
+        std::map<std::string, long> reasons;
+        for (const LedgerRecord *a : adoptions) {
+            adopted += a->bools.count("adopt") && a->bools.at("adopt");
+            ++reasons[a->str("reason")];
+        }
+        out << "\nadoption decisions targeting " << sku << "\n";
+        out << "  adopted " << adopted << "/" << adoptions.size()
+            << " (app, origin-gen) pairs; reasons:";
+        for (const auto &[reason, count] : reasons) {
+            out << " " << reason << "=" << count;
+        }
+        out << "\n";
+    }
+
+    const auto verdicts =
+        where(ledger, LedgerEvent::EvaluatorVerdict, "sku", sku);
+    if (!verdicts.empty()) {
+        out << "\nevaluator verdicts for " << sku << "\n";
+        out << "  " << std::left << std::setw(22) << "trace"
+            << std::right << std::setw(10) << "CI" << std::setw(12)
+            << "savings" << std::setw(10) << "verdict" << "\n";
+        for (const LedgerRecord *v : verdicts) {
+            out << "  " << std::left << std::setw(22) << v->str("trace")
+                << std::right << std::setw(10)
+                << fmt(v->num("ci_kg_per_kwh"), 3) << std::setw(11)
+                << fmt(100.0 * v->num("savings"), 1) << "%"
+                << std::setw(10) << v->str("verdict") << "\n";
+        }
+    }
+
+    const auto gates =
+        where(ledger, LedgerEvent::MaintenanceGate, "sku", sku);
+    if (!gates.empty()) {
+        const LedgerRecord *g = gates.front();
+        out << "\nmaintenance gate\n";
+        out << "  out-of-service fraction " << fmt(g->num("oos_fraction"), 4)
+            << " (every deployment over-provisions by that share)\n";
+    }
+
+    res.text = out.str();
+    if (max_residual > kSumToleranceKg) {
+        res.error = "leaf terms do not reproduce the recorded headline "
+                    "(residual " +
+                    fmtG(max_residual) + " > " + fmtG(kSumToleranceKg) +
+                    ")";
+        return res;
+    }
+    res.ok = true;
+    return res;
+}
+
+ExplainResult
+compareSkus(const LedgerFile &ledger, const std::string &sku_a,
+            const std::string &sku_b)
+{
+    ExplainResult res;
+    if (!ledger.ok) {
+        res.error = "ledger not parsed: " + ledger.error;
+        return res;
+    }
+    const auto heads_a = carbonHeadlines(ledger, sku_a);
+    const auto heads_b = carbonHeadlines(ledger, sku_b);
+    if (heads_a.empty() || heads_b.empty()) {
+        res.error = "no carbon.per_core record for sku '" +
+                    (heads_a.empty() ? sku_a : sku_b) + "'";
+        return res;
+    }
+
+    std::ostringstream out;
+    out << "== compare A=" << sku_a << " vs B=" << sku_b << " ==\n";
+
+    bool any_ci = false;
+    for (const LedgerRecord *ha : heads_a) {
+        const double ci = ha->num("ci_kg_per_kwh");
+        const LedgerRecord *hb = nullptr;
+        for (const LedgerRecord *candidate : heads_b) {
+            if (candidate->num("ci_kg_per_kwh") == ci) {
+                hb = candidate;
+                break;
+            }
+        }
+        if (hb == nullptr) {
+            continue;
+        }
+        any_ci = true;
+        out << "\ncarbon per core at CI " << fmt(ci, 3)
+            << " kg/kWh (delta = B - A)\n";
+        renderLeafDelta(out, carbonLeaves(ledger, sku_a, ci),
+                        carbonLeaves(ledger, sku_b, ci), "kg", 4);
+    }
+    if (!any_ci) {
+        res.error = "the two SKUs share no carbon intensity in this "
+                    "ledger; nothing to compare";
+        return res;
+    }
+
+    const auto tco_a = where(ledger, LedgerEvent::TcoPerCore, "sku", sku_a);
+    const auto tco_b = where(ledger, LedgerEvent::TcoPerCore, "sku", sku_b);
+    if (!tco_a.empty() && !tco_b.empty()) {
+        out << "\ncost per core (delta = B - A)\n";
+        renderLeafDelta(out, tcoLeaves(ledger, sku_a),
+                        tcoLeaves(ledger, sku_b), "usd", 4);
+    }
+
+    res.ok = true;
+    res.text = out.str();
+    return res;
+}
+
+DiffResult
+diffLedgers(const LedgerFile &a, const LedgerFile &b)
+{
+    DiffResult res;
+    if (!a.ok || !b.ok) {
+        res.error = "ledger not parsed: " + (a.ok ? b.error : a.error);
+        return res;
+    }
+
+    // Work on the facts unique to each side; shared facts are unchanged
+    // by construction (a fact is its rendered line).
+    std::map<std::string, const LedgerRecord *> lines_a;
+    std::map<std::string, const LedgerRecord *> lines_b;
+    for (const LedgerRecord &r : a.records) {
+        lines_a.emplace(r.raw, &r);
+    }
+    for (const LedgerRecord &r : b.records) {
+        lines_b.emplace(r.raw, &r);
+    }
+    std::map<std::string, std::vector<const LedgerRecord *>> only_a;
+    std::map<std::string, std::vector<const LedgerRecord *>> only_b;
+    for (const auto &[raw, record] : lines_a) {
+        if (lines_b.find(raw) == lines_b.end()) {
+            only_a[identityOf(*record)].push_back(record);
+        }
+    }
+    for (const auto &[raw, record] : lines_b) {
+        if (lines_a.find(raw) == lines_a.end()) {
+            only_b[identityOf(*record)].push_back(record);
+        }
+    }
+
+    std::ostringstream out;
+    out << "== ledger diff ==\n";
+    out << "A: " << a.records.size() << " facts, B: " << b.records.size()
+        << " facts\n";
+
+    std::vector<std::string> changed;
+    std::vector<std::string> removed;
+    std::vector<std::string> added;
+    for (const auto &[identity, records_a] : only_a) {
+        const auto it = only_b.find(identity);
+        if (it != only_b.end() &&
+            it->second.size() == records_a.size()) {
+            // Same identity, same multiplicity: pair positionally (both
+            // sides are sorted by their rendered line) and report the
+            // fields that moved each fact.
+            for (std::size_t i = 0; i < records_a.size(); ++i) {
+                std::string line = identityLabel(*records_a[i]) + ": ";
+                const auto fields =
+                    changedFields(*records_a[i], *it->second[i]);
+                for (std::size_t f = 0; f < fields.size(); ++f) {
+                    line += (f > 0 ? "; " : "") + fields[f];
+                }
+                changed.push_back(line);
+            }
+        } else {
+            for (const LedgerRecord *r : records_a) {
+                removed.push_back(identityLabel(*r));
+            }
+        }
+    }
+    for (const auto &[identity, records_b] : only_b) {
+        const auto it = only_a.find(identity);
+        if (it != only_a.end() && it->second.size() == records_b.size()) {
+            continue;   // Reported as changed above.
+        }
+        for (const LedgerRecord *r : records_b) {
+            added.push_back(identityLabel(*r));
+        }
+    }
+
+    res.changes = static_cast<long>(changed.size() + removed.size() +
+                                    added.size());
+    if (res.changes == 0) {
+        out << "no differences -- the runs made identical decisions.\n";
+    } else {
+        if (!changed.empty()) {
+            out << "\nchanged (" << changed.size() << "):\n";
+            for (const std::string &line : changed) {
+                out << "  " << line << "\n";
+            }
+        }
+        if (!removed.empty()) {
+            out << "\nonly in A (" << removed.size() << "):\n";
+            for (const std::string &line : removed) {
+                out << "  " << line << "\n";
+            }
+        }
+        if (!added.empty()) {
+            out << "\nonly in B (" << added.size() << "):\n";
+            for (const std::string &line : added) {
+                out << "  " << line << "\n";
+            }
+        }
+    }
+
+    res.ok = true;
+    res.text = out.str();
+    return res;
+}
+
+} // namespace gsku::obs

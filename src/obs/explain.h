@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The gsku_explain engine: turns a decision-provenance ledger
+ * (obs/ledger.h) into human-readable answers. Three queries:
+ *
+ *  - explainWhy:    why does SKU X have the carbon/cost it has? Renders
+ *                   the per-component attribution tree and re-verifies
+ *                   that the leaf terms sum to the recorded headline
+ *                   within 1e-9 kg (the same invariant the emitters
+ *                   enforce at write time).
+ *  - compareSkus:   term-by-term delta between two SKUs at each carbon
+ *                   intensity both were evaluated at, with the dominant
+ *                   term (largest absolute delta) highlighted.
+ *  - diffLedgers:   what changed between two runs — which decision
+ *                   facts appeared, disappeared, or moved, and which
+ *                   numeric inputs moved each changed verdict. Two
+ *                   ledgers from identical-seed runs diff to zero
+ *                   changes.
+ *
+ * Lives in the obs layer (below src/common), so failures are reported
+ * via the result structs' ok/error fields, never exceptions.
+ */
+#pragma once
+
+#include <string>
+
+#include "obs/ledger.h"
+
+namespace gsku::obs {
+
+/** Outcome of one explain query. */
+struct ExplainResult
+{
+    bool ok = false;
+    std::string error;  ///< Why the query failed ("" when ok).
+    std::string text;   ///< The rendered report (valid when ok).
+};
+
+/** Outcome of a ledger diff. */
+struct DiffResult
+{
+    bool ok = false;
+    std::string error;
+    std::string text;
+    long changes = 0;   ///< Added + removed + changed facts.
+};
+
+/**
+ * Attribution tree for @p sku: carbon per-component terms (per carbon
+ * intensity the ledger saw), TCO terms, adoption outcomes, and
+ * evaluator verdicts that involve the SKU. Fails when the ledger holds
+ * no carbon.per_core record for @p sku.
+ */
+ExplainResult explainWhy(const LedgerFile &ledger, const std::string &sku);
+
+/**
+ * Term-by-term carbon and cost comparison of @p sku_a vs @p sku_b at
+ * every carbon intensity both appear at. Fails when either SKU is
+ * absent from the ledger.
+ */
+ExplainResult compareSkus(const LedgerFile &ledger,
+                          const std::string &sku_a,
+                          const std::string &sku_b);
+
+/**
+ * Diff two ledgers: facts only in @p a (removed), only in @p b (added),
+ * and — when a removed and an added fact share their event and string
+ * identity — the numeric fields that moved. changes == 0 means the
+ * runs made identical decisions.
+ */
+DiffResult diffLedgers(const LedgerFile &a, const LedgerFile &b);
+
+} // namespace gsku::obs

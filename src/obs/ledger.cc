@@ -1,0 +1,435 @@
+#include "obs/ledger.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace gsku::obs {
+
+namespace {
+
+/** Whether decisions are currently recorded. */
+std::atomic<bool> g_enabled{false};
+
+/**
+ * Global ledger state. Leaked singleton: the atexit writer and entries
+ * committed from worker threads that outlive main() must never observe
+ * a destroyed store. The std::set both deduplicates (the ledger is a
+ * set of facts) and keeps lines sorted, so renders are byte-identical
+ * regardless of emission interleaving.
+ */
+struct Store
+{
+    std::mutex mutex;
+    std::set<std::string> lines;
+    std::string env_path;   ///< GSKU_LEDGER target ("" = none).
+};
+
+Store &
+store()
+{
+    static Store *s = new Store;
+    return *s;
+}
+
+void
+writeEnvLedgerAtExit()
+{
+    const std::string path = store().env_path;
+    if (!path.empty()) {
+        writeLedger(path);
+    }
+}
+
+/** One-time init: GSKU_LEDGER=<path> enables the ledger for the
+ *  process and registers an atexit writer for <path>. */
+void
+initFromEnv()
+{
+    const char *env = std::getenv("GSKU_LEDGER");
+    if (env == nullptr || *env == '\0') {
+        return;
+    }
+    {
+        Store &s = store();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.env_path = env;
+    }
+    g_enabled.store(true, std::memory_order_relaxed);
+    std::atexit(writeEnvLedgerAtExit);
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no Infinity/NaN literals; record them as strings so
+        // saturated latencies stay explicit instead of corrupting the
+        // file.
+        if (std::isnan(v)) {
+            return "\"nan\"";
+        }
+        return v > 0.0 ? "\"inf\"" : "\"-inf\"";
+    }
+    std::ostringstream s;
+    s.precision(std::numeric_limits<double>::max_digits10);
+    s << v;
+    return s.str();
+}
+
+} // namespace
+
+bool
+ledgerEnabled()
+{
+    static const bool env_checked = [] {
+        initFromEnv();
+        return true;
+    }();
+    (void)env_checked;
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+startLedger()
+{
+    ledgerEnabled();    // Ensure env init ran first.
+    {
+        Store &s = store();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.lines.clear();
+    }
+    g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+stopLedger()
+{
+    g_enabled.store(false, std::memory_order_relaxed);
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.lines.clear();
+}
+
+std::string
+renderLedger()
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::ostringstream out;
+    out << "{\"schema\": " << jsonQuote(kLedgerSchema)
+        << ", \"events\": " << s.lines.size() << "}\n";
+    for (const std::string &line : s.lines) {
+        out << line << '\n';
+    }
+    return out.str();
+}
+
+bool
+writeLedger(const std::string &path)
+{
+    const std::string body = renderLedger();
+
+    // Atomic publish: a crashed or concurrent reader never sees a
+    // truncated ledger.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::trunc);
+        file << body;
+        if (!file) {
+            return false;
+        }
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+LedgerEntry::LedgerEntry(LedgerEvent event)
+{
+    if (!ledgerEnabled()) {
+        return;
+    }
+    active_ = true;
+    line_ = "{\"event\": ";
+    line_ += jsonQuote(eventName(event));
+}
+
+LedgerEntry::~LedgerEntry()
+{
+    if (!active_) {
+        return;
+    }
+    line_ += "}";
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.lines.insert(std::move(line_));
+}
+
+LedgerEntry &
+LedgerEntry::field(const char *key, const char *value)
+{
+    if (active_) {
+        line_ += ", " + jsonQuote(key) + ": " + jsonQuote(value);
+    }
+    return *this;
+}
+
+LedgerEntry &
+LedgerEntry::field(const char *key, const std::string &value)
+{
+    if (active_) {
+        line_ += ", " + jsonQuote(key) + ": " + jsonQuote(value);
+    }
+    return *this;
+}
+
+LedgerEntry &
+LedgerEntry::field(const char *key, double value)
+{
+    if (active_) {
+        line_ += ", " + jsonQuote(key) + ": " + jsonNumber(value);
+    }
+    return *this;
+}
+
+LedgerEntry &
+LedgerEntry::field(const char *key, std::int64_t value)
+{
+    if (active_) {
+        line_ += ", " + jsonQuote(key) + ": " + std::to_string(value);
+    }
+    return *this;
+}
+
+LedgerEntry &
+LedgerEntry::field(const char *key, int value)
+{
+    return field(key, static_cast<std::int64_t>(value));
+}
+
+LedgerEntry &
+LedgerEntry::field(const char *key, bool value)
+{
+    if (active_) {
+        line_ += ", " + jsonQuote(key) + ": " +
+                 (value ? "true" : "false");
+    }
+    return *this;
+}
+
+// ---------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Minimal parser for the flat JSON objects the ledger writes: string,
+ *  number, and boolean values only. Returns false on malformed input
+ *  with @p error set. */
+bool
+parseFlatObject(const std::string &line, LedgerRecord &rec,
+                std::string &error)
+{
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    auto skip_ws = [&] {
+        while (i < n && (line[i] == ' ' || line[i] == '\t')) {
+            ++i;
+        }
+    };
+    auto parse_string = [&](std::string &out) {
+        if (i >= n || line[i] != '"') {
+            return false;
+        }
+        ++i;
+        out.clear();
+        while (i < n && line[i] != '"') {
+            if (line[i] == '\\' && i + 1 < n) {
+                ++i;
+            }
+            out += line[i++];
+        }
+        if (i >= n) {
+            return false;
+        }
+        ++i;    // Closing quote.
+        return true;
+    };
+
+    skip_ws();
+    if (i >= n || line[i] != '{') {
+        error = "line does not start with '{'";
+        return false;
+    }
+    ++i;
+    skip_ws();
+    if (i < n && line[i] == '}') {
+        return true;    // Empty object.
+    }
+    while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) {
+            error = "expected a quoted key";
+            return false;
+        }
+        skip_ws();
+        if (i >= n || line[i] != ':') {
+            error = "expected ':' after key \"" + key + "\"";
+            return false;
+        }
+        ++i;
+        skip_ws();
+        if (i < n && line[i] == '"') {
+            std::string value;
+            if (!parse_string(value)) {
+                error = "unterminated string for key \"" + key + "\"";
+                return false;
+            }
+            rec.strings[key] = value;
+        } else if (line.compare(i, 4, "true") == 0) {
+            rec.bools[key] = true;
+            i += 4;
+        } else if (line.compare(i, 5, "false") == 0) {
+            rec.bools[key] = false;
+            i += 5;
+        } else {
+            const std::size_t start = i;
+            while (i < n && line[i] != ',' && line[i] != '}') {
+                ++i;
+            }
+            const std::string token =
+                line.substr(start, i - start);
+            char *end = nullptr;
+            const double v = std::strtod(token.c_str(), &end);
+            if (end == token.c_str() || end == nullptr) {
+                error = "unparseable value for key \"" + key + "\"";
+                return false;
+            }
+            rec.numbers[key] = v;
+        }
+        skip_ws();
+        if (i < n && line[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (i < n && line[i] == '}') {
+            return true;
+        }
+        error = "expected ',' or '}' after value of \"" + key + "\"";
+        return false;
+    }
+}
+
+} // namespace
+
+const std::string &
+LedgerRecord::str(const std::string &key) const
+{
+    static const std::string empty;
+    const auto it = strings.find(key);
+    return it == strings.end() ? empty : it->second;
+}
+
+double
+LedgerRecord::num(const std::string &key, double fallback) const
+{
+    const auto it = numbers.find(key);
+    return it == numbers.end() ? fallback : it->second;
+}
+
+bool
+LedgerRecord::hasNum(const std::string &key) const
+{
+    return numbers.find(key) != numbers.end();
+}
+
+std::vector<const LedgerRecord *>
+LedgerFile::of(LedgerEvent event) const
+{
+    std::vector<const LedgerRecord *> out;
+    const std::string name = eventName(event);
+    for (const LedgerRecord &rec : records) {
+        if (rec.event == name) {
+            out.push_back(&rec);
+        }
+    }
+    return out;
+}
+
+LedgerFile
+parseLedger(std::istream &in)
+{
+    LedgerFile file;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) {
+            continue;
+        }
+        LedgerRecord rec;
+        std::string error;
+        if (!parseFlatObject(line, rec, error)) {
+            file.error =
+                "line " + std::to_string(line_no) + ": " + error;
+            return file;
+        }
+        if (line_no == 1) {
+            file.schema = rec.str("schema");
+            if (file.schema != kLedgerSchema) {
+                file.error = "header schema is \"" + file.schema +
+                             "\", expected \"" + kLedgerSchema + "\"";
+                return file;
+            }
+            continue;
+        }
+        rec.event = rec.str("event");
+        if (rec.event.empty()) {
+            file.error = "line " + std::to_string(line_no) +
+                         ": event line has no \"event\" field";
+            return file;
+        }
+        rec.strings.erase("event");
+        rec.raw = line;
+        file.records.push_back(std::move(rec));
+    }
+    if (file.schema.empty()) {
+        file.error = "empty file: missing schema header line";
+        return file;
+    }
+    file.ok = true;
+    return file;
+}
+
+LedgerFile
+readLedgerFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        LedgerFile file;
+        file.error = "cannot open " + path;
+        return file;
+    }
+    return parseLedger(in);
+}
+
+} // namespace gsku::obs

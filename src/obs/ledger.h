@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Decision-provenance ledger: every model-level decision (carbon
+ * attribution, TCO terms, adoption gates, SLO margins, sizing probes,
+ * allocator outcomes, design and evaluator verdicts) recorded as one
+ * structured JSONL fact, so any output number is attributable to the
+ * inputs that produced it (docs/observability.md "Decision ledger").
+ *
+ * Design rules:
+ *
+ *  - Near-zero cost when disabled: constructing a LedgerEntry is one
+ *    relaxed atomic load; emitters compute attribution terms only when
+ *    ledgerEnabled() says someone is listening.
+ *  - Enabled either programmatically (startLedger/writeLedger) or by
+ *    setting GSKU_LEDGER=<path>, in which case the ledger is written
+ *    to <path> automatically at process exit — the same publish path
+ *    (atomic temp file + rename, no timestamps) as traces/manifests.
+ *  - The ledger is a *set of decision facts*, not an execution log:
+ *    events are rendered sorted and deduplicated, so repeated identical
+ *    decisions (cache replays, repeated probes) collapse to one fact
+ *    and the file is byte-identical at every thread count (asserted by
+ *    tests/gsf/parallel_parity_test.cc).
+ *  - Event names live ONLY in the registry below; emitters spell
+ *    eventName(LedgerEvent::X). The `ledger-events` rule in
+ *    tools/lint.py bans the string literals elsewhere under src/.
+ */
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsku::obs {
+
+/** Every decision point that writes to the ledger. */
+enum class LedgerEvent
+{
+    CarbonPerCore = 0,  ///< DC-amortized per-core emissions of one SKU.
+    CarbonComponent,    ///< One per-component leaf of that attribution.
+    TcoPerCore,         ///< Per-core lifetime cost of one SKU.
+    TcoComponent,       ///< One per-component leaf of that cost.
+    AdoptionDecision,   ///< (app, origin gen) adopt/reject + reason.
+    PerfSloMargin,      ///< One candidate VM size vs the app's SLO.
+    SizingProbe,        ///< One allocator replay tried by the sizer.
+    SizingResult,       ///< Final server counts for one (trace, table).
+    AllocatorOutcome,   ///< One replay's outcome + first-reject reason.
+    DesignVerdict,      ///< Design-space candidate + binding constraint.
+    EvaluatorVerdict,   ///< Cluster evaluation: savings verdict.
+    MaintenanceGate,    ///< Out-of-service overhead applied to one SKU.
+};
+
+/**
+ * The event-name registry — the single home of these string literals
+ * (tools/lint.py `ledger-events`). Order matches LedgerEvent.
+ */
+inline constexpr const char *kLedgerEventNames[] = {
+    "carbon.per_core",
+    "carbon.component",
+    "tco.per_core",
+    "tco.component",
+    "adoption.decision",
+    "perf.slo_margin",
+    "sizing.probe",
+    "sizing.result",
+    "allocator.outcome",
+    "design.verdict",
+    "evaluator.verdict",
+    "maintenance.gate",
+};
+
+inline constexpr std::size_t kLedgerEventCount =
+    sizeof(kLedgerEventNames) / sizeof(kLedgerEventNames[0]);
+
+/** Wire name of @p event (the "event" field of its JSONL line). */
+constexpr const char *
+eventName(LedgerEvent event)
+{
+    return kLedgerEventNames[static_cast<std::size_t>(event)];
+}
+
+/** The schema tag on a ledger's header line. */
+inline constexpr const char *kLedgerSchema = "gsku-ledger-v1";
+
+/** True while decisions are being recorded. The first call initializes
+ *  the ledger from the GSKU_LEDGER environment variable. */
+bool ledgerEnabled();
+
+/** Begin recording decisions; clears previously recorded events. */
+void startLedger();
+
+/** Stop recording and discard all recorded events. */
+void stopLedger();
+
+/**
+ * Render the ledger: a `{"schema": ..., "events": N}` header line
+ * followed by every recorded event line, sorted lexicographically and
+ * deduplicated. Does not clear, so tests can render repeatedly and the
+ * GSKU_LEDGER atexit writer still sees the events.
+ */
+std::string renderLedger();
+
+/** Write renderLedger() atomically (temp file + rename); false on I/O
+ *  failure. */
+bool writeLedger(const std::string &path);
+
+/**
+ * Builder for one event line. Append fields, then let the destructor
+ * commit the line to the ledger. When the ledger is disabled every
+ * method is a no-op, so emission sites need no guards of their own
+ * (guard only the *computation* of expensive fields).
+ *
+ * Field values keep insertion order; emit identity fields (sku, app,
+ * trace) first so sorted lines group naturally. Non-finite doubles are
+ * rendered as the JSON strings "inf"/"-inf"/"nan".
+ */
+class LedgerEntry
+{
+  public:
+    explicit LedgerEntry(LedgerEvent event);
+    ~LedgerEntry();
+
+    LedgerEntry(const LedgerEntry &) = delete;
+    LedgerEntry &operator=(const LedgerEntry &) = delete;
+
+    LedgerEntry &field(const char *key, const char *value);
+    LedgerEntry &field(const char *key, const std::string &value);
+    LedgerEntry &field(const char *key, double value);
+    LedgerEntry &field(const char *key, std::int64_t value);
+    LedgerEntry &field(const char *key, int value);
+    LedgerEntry &field(const char *key, bool value);
+
+  private:
+    bool active_ = false;
+    std::string line_;
+};
+
+// ---------------------------------------------------------------------
+// Reader — used by the gsku_explain engine and the schema tests. Lives
+// below src/common, so failures are reported via return values, never
+// exceptions.
+// ---------------------------------------------------------------------
+
+/** One parsed event line: flat key -> value maps per JSON type. */
+struct LedgerRecord
+{
+    std::string event;                          ///< Wire event name.
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+    std::map<std::string, bool> bools;
+    std::string raw;                            ///< The original line.
+
+    /** String field, or "" when absent. */
+    const std::string &str(const std::string &key) const;
+
+    /** Numeric field, or @p fallback when absent. */
+    double num(const std::string &key, double fallback = 0.0) const;
+
+    /** True when @p key exists as a number. */
+    bool hasNum(const std::string &key) const;
+};
+
+/** A fully parsed ledger file. */
+struct LedgerFile
+{
+    bool ok = false;
+    std::string error;      ///< First parse error ("" when ok).
+    std::string schema;     ///< From the header line.
+    std::vector<LedgerRecord> records;
+
+    /** All records with the given event type, in file order. */
+    std::vector<const LedgerRecord *> of(LedgerEvent event) const;
+};
+
+/** Parse a ledger from a stream (header line + JSONL events). */
+LedgerFile parseLedger(std::istream &in);
+
+/** Parse the ledger file at @p path; !ok with error on I/O failure. */
+LedgerFile readLedgerFile(const std::string &path);
+
+} // namespace gsku::obs

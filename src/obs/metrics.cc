@@ -75,6 +75,38 @@ Histogram::reset()
     sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double
+MetricsSnapshot::HistogramValue::percentile(double p) const
+{
+    if (count == 0 || bounds.empty()) {
+        return 0.0;
+    }
+    p = std::min(100.0, std::max(0.0, p));
+    const double rank = p / 100.0 * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const std::uint64_t in_bucket = buckets[i];
+        if (static_cast<double>(cumulative + in_bucket) < rank ||
+            in_bucket == 0) {
+            cumulative += in_bucket;
+            continue;
+        }
+        if (i >= bounds.size()) {
+            break;  // Overflow bucket: no finite upper bound to
+                    // interpolate toward.
+        }
+        const double lower = i == 0 ? 0.0 : bounds[i - 1];
+        const double upper = bounds[i];
+        const double into =
+            (rank - static_cast<double>(cumulative)) /
+            static_cast<double>(in_bucket);
+        return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
+    }
+    // Rank falls in the overflow bucket (or past the end): the best
+    // the histogram can report is its largest finite bound.
+    return bounds.back();
+}
+
 std::uint64_t
 MetricsSnapshot::counter(const std::string &name) const
 {
@@ -94,7 +126,9 @@ MetricsSnapshot::toText() const
     }
     for (const auto &[name, h] : histograms) {
         out << name << " count=" << h.count << " sum="
-            << jsonNumber(h.sum) << " buckets=[";
+            << jsonNumber(h.sum) << " p50=" << jsonNumber(h.percentile(50))
+            << " p95=" << jsonNumber(h.percentile(95))
+            << " p99=" << jsonNumber(h.percentile(99)) << " buckets=[";
         for (std::size_t i = 0; i < h.buckets.size(); ++i) {
             out << (i ? " " : "") << h.buckets[i];
         }
@@ -133,7 +167,10 @@ MetricsSnapshot::toJson() const
             out << (i ? ", " : "") << h.buckets[i];
         }
         out << "], \"count\": " << h.count << ", \"sum\": "
-            << jsonNumber(h.sum) << "}";
+            << jsonNumber(h.sum) << ", \"p50\": "
+            << jsonNumber(h.percentile(50)) << ", \"p95\": "
+            << jsonNumber(h.percentile(95)) << ", \"p99\": "
+            << jsonNumber(h.percentile(99)) << "}";
         first = false;
     }
     out << "}}";

@@ -109,6 +109,16 @@ struct MetricsSnapshot
         std::vector<std::uint64_t> buckets;
         std::uint64_t count = 0;
         double sum = 0.0;
+
+        /**
+         * Estimate the @p p-th percentile (p in [0, 100]) by linear
+         * interpolation inside the bucket holding the target rank,
+         * Prometheus-style: the first bucket interpolates from 0, and
+         * a rank landing in the overflow bucket reports the last
+         * finite bound (the histogram cannot see beyond it). Returns
+         * 0.0 on an empty histogram.
+         */
+        double percentile(double p) const;
     };
 
     std::map<std::string, std::uint64_t> counters;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/ledger.h"
 #include "perf/queueing.h"
 
 namespace gsku::perf {
@@ -158,8 +159,20 @@ PerfModel::scalingFactor(const AppProfile &app, const CpuSpec &baseline,
                 (cxl_backed
                      ? 1.0 + app.cxl_sens * config_.cxl_latency_penalty
                      : 1.0);
-            if (green_capacity >=
-                base_capacity * (1.0 - config_.throughput_tolerance)) {
+            const double floor =
+                base_capacity * (1.0 - config_.throughput_tolerance);
+            const bool met = green_capacity >= floor;
+            obs::LedgerEntry(obs::LedgerEvent::PerfSloMargin)
+                .field("app", app.name)
+                .field("baseline", baseline.name)
+                .field("cores", k)
+                .field("mode", "throughput")
+                .field("cxl_backed", cxl_backed)
+                .field("met", met)
+                .field("achieved", green_capacity)
+                .field("limit", floor)
+                .field("margin", (green_capacity - floor) / floor);
+            if (met) {
                 result.feasible = true;
                 result.green_cores = k;
                 result.factor = static_cast<double>(k) /
@@ -175,7 +188,19 @@ PerfModel::scalingFactor(const AppProfile &app, const CpuSpec &baseline,
     for (int k : candidates) {
         const double p95 =
             p95LatencyMs(app, green, k, spec.load_qps, cxl_backed);
-        if (p95 <= spec.p95_ms * (1.0 + config_.tolerance)) {
+        const double limit = spec.p95_ms * (1.0 + config_.tolerance);
+        const bool met = p95 <= limit;
+        obs::LedgerEntry(obs::LedgerEvent::PerfSloMargin)
+            .field("app", app.name)
+            .field("baseline", baseline.name)
+            .field("cores", k)
+            .field("mode", "latency")
+            .field("cxl_backed", cxl_backed)
+            .field("met", met)
+            .field("achieved", p95)
+            .field("limit", limit)
+            .field("margin", (limit - p95) / limit);
+        if (met) {
             result.feasible = true;
             result.green_cores = k;
             result.factor =

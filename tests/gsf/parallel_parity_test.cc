@@ -16,6 +16,7 @@
 #include "common/parallel.h"
 #include "gsf/design_space.h"
 #include "gsf/evaluator.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reliability/failure_sim.h"
@@ -223,6 +224,34 @@ TEST(ParallelParityTest, ObservabilityLeavesOutputsByteIdentical)
         EXPECT_GT(snap.counter("failure_sim.trials"), 0u);
     }
     ThreadPool::resetGlobal(original);
+}
+
+TEST(ParallelParityTest, DecisionLedgerIsByteIdenticalAcrossThreads)
+{
+    // The ledger is a sorted set of decision facts, so the rendered
+    // file must be byte-identical whatever the pool schedule was —
+    // including the full evaluator pipeline with its cached sizings.
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 120.0;
+    params.duration_h = 24.0 * 3.0;
+    const auto traces =
+        cluster::TraceGenerator(params).generateFamily(2, /*base_seed=*/7);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const std::vector<double> grid = {0.05, 0.3};
+
+    const auto [serial, parallel] =
+        atOneAndFourThreads<std::string>([&] {
+            obs::startLedger();
+            const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+            evaluator.sweep(traces, baseline, green, grid);
+            std::string rendered = obs::renderLedger();
+            obs::stopLedger();
+            return rendered;
+        });
+
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
 }
 
 } // namespace

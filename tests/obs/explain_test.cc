@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The gsku_explain engine: golden --why output on a hand-built ledger,
+ * the 1e-9 leaf-sum re-verification, term-by-term comparison with
+ * dominant-term attribution, and ledger diffing (identical runs diff to
+ * zero changes; a moved input names the fields that moved).
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "obs/explain.h"
+#include "obs/ledger.h"
+
+namespace gsku::obs {
+namespace {
+
+LedgerFile
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseLedger(in);
+}
+
+/** A minimal two-component ledger whose leaves sum exactly. */
+const char *const kTinyLedger =
+    "{\"schema\": \"gsku-ledger-v1\", \"events\": 3}\n"
+    "{\"event\": \"carbon.per_core\", \"sku\": \"Tiny\", "
+    "\"ci_kg_per_kwh\": 0.1, \"operational_kg\": 30, "
+    "\"embodied_kg\": 10, \"total_kg\": 40}\n"
+    "{\"event\": \"carbon.component\", \"sku\": \"Tiny\", "
+    "\"component\": \"CPU\", \"ci_kg_per_kwh\": 0.1, "
+    "\"operational_kg\": 25, \"embodied_kg\": 5}\n"
+    "{\"event\": \"carbon.component\", \"sku\": \"Tiny\", "
+    "\"component\": \"DRAM\", \"ci_kg_per_kwh\": 0.1, "
+    "\"operational_kg\": 5, \"embodied_kg\": 5}\n";
+
+TEST(ExplainTest, WhyRendersTheGoldenAttributionTree)
+{
+    const LedgerFile ledger = parse(kTinyLedger);
+    ASSERT_TRUE(ledger.ok) << ledger.error;
+
+    const ExplainResult why = explainWhy(ledger, "Tiny");
+    ASSERT_TRUE(why.ok) << why.error;
+    const std::string golden =
+        "== why Tiny ==\n"
+        "\n"
+        "carbon attribution (per core, DC-amortized)\n"
+        "  at CI 0.100 kg/kWh: total 40.000 kg = operational 30.000 "
+        "+ embodied 10.000\n"
+        "    component                       total kg       oper kg"
+        "        emb kg    share\n"
+        "    CPU                              30.0000       25.0000"
+        "        5.0000    75.0%\n"
+        "    DRAM                             10.0000        5.0000"
+        "        5.0000    25.0%\n"
+        "    leaf-sum check: |sum - headline| = 0 kg "
+        "(tolerance 1e-09) OK\n";
+    EXPECT_EQ(why.text, golden);
+}
+
+TEST(ExplainTest, WhyFailsWhenLeavesDoNotReproduceTheHeadline)
+{
+    // Same ledger but the CPU leaf under-reports by 1 kg.
+    std::string broken = kTinyLedger;
+    const std::string needle = "\"operational_kg\": 25";
+    broken.replace(broken.find(needle), needle.size(),
+                   "\"operational_kg\": 24");
+    const LedgerFile ledger = parse(broken);
+    ASSERT_TRUE(ledger.ok) << ledger.error;
+
+    const ExplainResult why = explainWhy(ledger, "Tiny");
+    EXPECT_FALSE(why.ok);
+    EXPECT_NE(why.error.find("residual"), std::string::npos);
+    // The report is still rendered, with the check marked FAIL.
+    EXPECT_NE(why.text.find("FAIL"), std::string::npos);
+}
+
+TEST(ExplainTest, WhyReportsUnknownSkus)
+{
+    const LedgerFile ledger = parse(kTinyLedger);
+    const ExplainResult why = explainWhy(ledger, "No-Such-SKU");
+    EXPECT_FALSE(why.ok);
+    EXPECT_NE(why.error.find("No-Such-SKU"), std::string::npos);
+}
+
+TEST(ExplainTest, WhyVerifiesTheRealCarbonModelToTolerance)
+{
+    startLedger();
+    const carbon::CarbonModel model;
+    model.perCore(carbon::StandardSkus::greenFull(),
+                  CarbonIntensity::kgPerKwh(0.1));
+    const LedgerFile ledger = parse(renderLedger());
+    stopLedger();
+    ASSERT_TRUE(ledger.ok) << ledger.error;
+
+    const ExplainResult why = explainWhy(ledger, "GreenSKU-Full");
+    ASSERT_TRUE(why.ok) << why.error;
+    EXPECT_NE(why.text.find("OK"), std::string::npos);
+    EXPECT_EQ(why.text.find("FAIL"), std::string::npos);
+}
+
+TEST(ExplainTest, CompareFindsTheDominantTerm)
+{
+    const std::string two_skus =
+        std::string(kTinyLedger) +
+        "{\"event\": \"carbon.per_core\", \"sku\": \"Tiny2\", "
+        "\"ci_kg_per_kwh\": 0.1, \"operational_kg\": 20, "
+        "\"embodied_kg\": 8, \"total_kg\": 28}\n"
+        "{\"event\": \"carbon.component\", \"sku\": \"Tiny2\", "
+        "\"component\": \"CPU\", \"ci_kg_per_kwh\": 0.1, "
+        "\"operational_kg\": 18, \"embodied_kg\": 4}\n"
+        "{\"event\": \"carbon.component\", \"sku\": \"Tiny2\", "
+        "\"component\": \"DRAM\", \"ci_kg_per_kwh\": 0.1, "
+        "\"operational_kg\": 2, \"embodied_kg\": 4}\n";
+    const LedgerFile ledger = parse(two_skus);
+    ASSERT_TRUE(ledger.ok) << ledger.error;
+
+    const ExplainResult cmp = compareSkus(ledger, "Tiny", "Tiny2");
+    ASSERT_TRUE(cmp.ok) << cmp.error;
+    // CPU moves 30 -> 22 (-8), DRAM 10 -> 6 (-4): CPU dominates.
+    EXPECT_NE(cmp.text.find("dominant term: CPU"), std::string::npos);
+    EXPECT_NE(cmp.text.find("-8.0000"), std::string::npos);
+
+    const ExplainResult missing = compareSkus(ledger, "Tiny", "Absent");
+    EXPECT_FALSE(missing.ok);
+}
+
+TEST(ExplainTest, IdenticalLedgersDiffToZeroChanges)
+{
+    const LedgerFile a = parse(kTinyLedger);
+    const LedgerFile b = parse(kTinyLedger);
+    const DiffResult diff = diffLedgers(a, b);
+    ASSERT_TRUE(diff.ok) << diff.error;
+    EXPECT_EQ(diff.changes, 0);
+    EXPECT_NE(diff.text.find("no differences"), std::string::npos);
+}
+
+TEST(ExplainTest, DiffNamesTheFieldsThatMovedAVerdict)
+{
+    std::string moved = kTinyLedger;
+    const std::string needle = "\"embodied_kg\": 10, \"total_kg\": 40";
+    moved.replace(moved.find(needle), needle.size(),
+                  "\"embodied_kg\": 12, \"total_kg\": 42");
+    const LedgerFile a = parse(kTinyLedger);
+    const LedgerFile b = parse(moved);
+    const DiffResult diff = diffLedgers(a, b);
+    ASSERT_TRUE(diff.ok) << diff.error;
+    EXPECT_EQ(diff.changes, 1);
+    // The changed fact is identified and the moved inputs are named.
+    EXPECT_NE(diff.text.find("carbon.per_core sku=Tiny"),
+              std::string::npos);
+    EXPECT_NE(diff.text.find("embodied_kg: 10 -> 12"),
+              std::string::npos);
+    EXPECT_NE(diff.text.find("total_kg: 40 -> 42"), std::string::npos);
+}
+
+TEST(ExplainTest, DiffReportsFactsOnlyOneRunMade)
+{
+    const std::string extra =
+        std::string(kTinyLedger) +
+        "{\"event\": \"design.verdict\", \"candidate\": \"B/6x64\", "
+        "\"feasible\": false, \"constraint\": \"min_storage_tb\"}\n";
+    const DiffResult diff = diffLedgers(parse(kTinyLedger), parse(extra));
+    ASSERT_TRUE(diff.ok) << diff.error;
+    EXPECT_EQ(diff.changes, 1);
+    EXPECT_NE(diff.text.find("only in B"), std::string::npos);
+    EXPECT_NE(diff.text.find("design.verdict"), // lint-ok: ledger-events rendered output
+              std::string::npos);
+}
+
+} // namespace
+} // namespace gsku::obs

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Decision-provenance ledger: event-name registry, round-trip of every
+ * event type through render + parse, fact-set semantics (sorted,
+ * deduplicated), non-finite number handling, atomic file publish, and
+ * emission from the real models.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "gsf/tco.h"
+#include "obs/ledger.h"
+
+namespace gsku::obs {
+namespace {
+
+/** RAII ledger session so a failing assertion can't leak an enabled
+ *  ledger into later tests. */
+struct LedgerSession
+{
+    LedgerSession() { startLedger(); }
+    ~LedgerSession() { stopLedger(); }
+};
+
+LedgerFile
+parseRendered()
+{
+    std::istringstream in(renderLedger());
+    return parseLedger(in);
+}
+
+TEST(LedgerTest, RegistryCoversEveryEventExactlyOnce)
+{
+    ASSERT_EQ(kLedgerEventCount, 12u);
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kLedgerEventCount; ++i) {
+        names.insert(kLedgerEventNames[i]);
+    }
+    // Distinct wire names, and eventName() indexes the same table.
+    EXPECT_EQ(names.size(), kLedgerEventCount);
+    EXPECT_STREQ(eventName(LedgerEvent::CarbonPerCore),
+                 "carbon.per_core");    // lint-ok: ledger-events pins the registry
+    EXPECT_STREQ(eventName(LedgerEvent::MaintenanceGate),
+                 "maintenance.gate");   // lint-ok: ledger-events pins the registry
+}
+
+TEST(LedgerTest, EveryEventTypeRoundTripsThroughRenderAndParse)
+{
+    LedgerSession session;
+    ASSERT_TRUE(ledgerEnabled());
+
+    const LedgerEvent all[] = {
+        LedgerEvent::CarbonPerCore,   LedgerEvent::CarbonComponent,
+        LedgerEvent::TcoPerCore,      LedgerEvent::TcoComponent,
+        LedgerEvent::AdoptionDecision, LedgerEvent::PerfSloMargin,
+        LedgerEvent::SizingProbe,     LedgerEvent::SizingResult,
+        LedgerEvent::AllocatorOutcome, LedgerEvent::DesignVerdict,
+        LedgerEvent::EvaluatorVerdict, LedgerEvent::MaintenanceGate,
+    };
+    for (LedgerEvent event : all) {
+        LedgerEntry(event)
+            .field("sku", std::string("Test-SKU"))
+            .field("count", 42)
+            .field("wide", static_cast<std::int64_t>(1) << 40)
+            .field("value", 0.30000000000000004)
+            .field("met", true)
+            .field("adopt", false);
+    }
+
+    const LedgerFile file = parseRendered();
+    ASSERT_TRUE(file.ok) << file.error;
+    EXPECT_EQ(file.schema, kLedgerSchema);
+    ASSERT_EQ(file.records.size(), kLedgerEventCount);
+    for (LedgerEvent event : all) {
+        const auto records = file.of(event);
+        ASSERT_EQ(records.size(), 1u) << eventName(event);
+        const LedgerRecord &rec = *records.front();
+        EXPECT_EQ(rec.event, eventName(event));
+        EXPECT_EQ(rec.str("sku"), "Test-SKU");
+        EXPECT_EQ(rec.num("count"), 42.0);
+        EXPECT_EQ(rec.num("wide"),
+                  static_cast<double>(static_cast<std::int64_t>(1) << 40));
+        // max_digits10 precision: doubles survive the file exactly.
+        EXPECT_EQ(rec.num("value"), 0.30000000000000004);
+        ASSERT_EQ(rec.bools.count("met"), 1u);
+        EXPECT_TRUE(rec.bools.at("met"));
+        ASSERT_EQ(rec.bools.count("adopt"), 1u);
+        EXPECT_FALSE(rec.bools.at("adopt"));
+    }
+}
+
+TEST(LedgerTest, LedgerIsASortedDeduplicatedSetOfFacts)
+{
+    LedgerSession session;
+    // The same decision recorded three times is one fact.
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        LedgerEntry(LedgerEvent::SizingProbe)
+            .field("trace", "t")
+            .field("fits", true);
+    }
+    LedgerEntry(LedgerEvent::AllocatorOutcome).field("trace", "t");
+
+    const std::string rendered = renderLedger();
+    const LedgerFile file = parseRendered();
+    ASSERT_TRUE(file.ok) << file.error;
+    EXPECT_EQ(file.records.size(), 2u);
+
+    // Event lines are sorted lexicographically.
+    std::istringstream in(rendered);
+    std::string header;
+    std::string prev;
+    std::string line;
+    std::getline(in, header);
+    while (std::getline(in, line)) {
+        EXPECT_LT(prev, line);
+        prev = line;
+    }
+}
+
+TEST(LedgerTest, NonFiniteNumbersBecomeExplicitStrings)
+{
+    LedgerSession session;
+    const double inf = std::numeric_limits<double>::infinity();
+    LedgerEntry(LedgerEvent::PerfSloMargin)
+        .field("app", "saturated")
+        .field("achieved", inf)
+        .field("margin", -inf)
+        .field("noise", std::nan(""));
+
+    const LedgerFile file = parseRendered();
+    ASSERT_TRUE(file.ok) << file.error;
+    ASSERT_EQ(file.records.size(), 1u);
+    const LedgerRecord &rec = file.records.front();
+    // Rendered as quoted strings so the file stays valid JSONL.
+    EXPECT_EQ(rec.str("achieved"), "inf");
+    EXPECT_EQ(rec.str("margin"), "-inf");
+    EXPECT_EQ(rec.str("noise"), "nan");
+    EXPECT_FALSE(rec.hasNum("achieved"));
+}
+
+TEST(LedgerTest, DisabledLedgerRecordsNothing)
+{
+    stopLedger();
+    ASSERT_FALSE(ledgerEnabled());
+    LedgerEntry(LedgerEvent::DesignVerdict).field("candidate", "x");
+    startLedger();
+    const LedgerFile file = parseRendered();
+    stopLedger();
+    ASSERT_TRUE(file.ok) << file.error;
+    EXPECT_TRUE(file.records.empty());
+}
+
+TEST(LedgerTest, WriteAndReadBackThroughAFile)
+{
+    LedgerSession session;
+    LedgerEntry(LedgerEvent::DesignVerdict)
+        .field("candidate", "B/12x64/8x32cxl/2+12ssd")
+        .field("feasible", true)
+        .field("constraint", "none");
+
+    const std::string path = "ledger_test_roundtrip.jsonl";
+    ASSERT_TRUE(writeLedger(path));
+    const LedgerFile file = readLedgerFile(path);
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(file.ok) << file.error;
+    ASSERT_EQ(file.records.size(), 1u);
+    EXPECT_EQ(file.records.front().str("candidate"),
+              "B/12x64/8x32cxl/2+12ssd");
+    EXPECT_EQ(file.records.front().str("constraint"), "none");
+}
+
+TEST(LedgerTest, ParserRejectsBadHeadersAndBadLines)
+{
+    {
+        std::istringstream in("{\"schema\": \"something-else\"}\n");
+        const LedgerFile file = parseLedger(in);
+        EXPECT_FALSE(file.ok);
+        EXPECT_NE(file.error.find("schema"), std::string::npos);
+    }
+    {
+        std::istringstream in("");
+        EXPECT_FALSE(parseLedger(in).ok);
+    }
+    {
+        std::istringstream in(
+            "{\"schema\": \"gsku-ledger-v1\", \"events\": 1}\n"
+            "{\"sku\": \"no-event-field\"}\n");
+        const LedgerFile file = parseLedger(in);
+        EXPECT_FALSE(file.ok);
+        EXPECT_NE(file.error.find("event"), std::string::npos);
+    }
+    {
+        std::istringstream in(
+            "{\"schema\": \"gsku-ledger-v1\", \"events\": 1}\n"
+            "not json\n");
+        EXPECT_FALSE(parseLedger(in).ok);
+    }
+}
+
+TEST(LedgerTest, CarbonModelLeavesSumToTheRecordedHeadline)
+{
+    LedgerSession session;
+    const carbon::CarbonModel model;
+    const carbon::ServerSku sku = carbon::StandardSkus::greenFull();
+    const CarbonIntensity ci = CarbonIntensity::kgPerKwh(0.1);
+    const carbon::PerCoreEmissions per_core = model.perCore(sku, ci);
+    const gsf::TcoModel tco;
+    const gsf::PerCoreCost cost = tco.perCore(sku);
+
+    const LedgerFile file = parseRendered();
+    ASSERT_TRUE(file.ok) << file.error;
+
+    const auto headlines = file.of(LedgerEvent::CarbonPerCore);
+    ASSERT_EQ(headlines.size(), 1u);
+    EXPECT_EQ(headlines.front()->str("sku"), sku.name);
+    EXPECT_EQ(headlines.front()->num("total_kg"),
+              per_core.total().asKg());
+
+    double op_sum = 0.0;
+    double emb_sum = 0.0;
+    for (const LedgerRecord *leaf : file.of(LedgerEvent::CarbonComponent)) {
+        op_sum += leaf->num("operational_kg");
+        emb_sum += leaf->num("embodied_kg");
+    }
+    // The acceptance bound for `gsku_explain --why`: leaves reproduce
+    // the evaluator-reported per-core carbon to 1e-9 kg.
+    EXPECT_NEAR(op_sum, per_core.operational.asKg(), 1e-9);
+    EXPECT_NEAR(emb_sum, per_core.embodied.asKg(), 1e-9);
+
+    double capex_sum = 0.0;
+    double opex_sum = 0.0;
+    for (const LedgerRecord *leaf : file.of(LedgerEvent::TcoComponent)) {
+        capex_sum += leaf->num("capex_usd");
+        opex_sum += leaf->num("opex_usd");
+    }
+    EXPECT_NEAR(capex_sum, cost.capex.asUsd(), 1e-9);
+    EXPECT_NEAR(opex_sum, cost.opex.asUsd(), 1e-9);
+}
+
+} // namespace
+} // namespace gsku::obs

@@ -121,6 +121,68 @@ TEST(MetricsTest, HistogramCountsExactlyUnderConcurrency)
     EXPECT_EQ(buckets[2], 399u);    // 101..499.
 }
 
+TEST(MetricsTest, PercentilesPinLinearInterpolation)
+{
+    // Hand-built snapshot so every interpolation case is pinned exactly.
+    MetricsSnapshot::HistogramValue h;
+    h.bounds = {10.0, 20.0, 40.0};
+    h.buckets = {5, 3, 2, 0};
+    h.count = 10;
+
+    // p50: rank 5 lands exactly on the first bucket's cumulative count;
+    // interpolating from the Prometheus-style lower bound of 0 gives the
+    // bucket's upper bound.
+    EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+    // p95: rank 9.5 is 1.5 observations into the 2-count (20, 40]
+    // bucket: 20 + 20 * 0.75.
+    EXPECT_DOUBLE_EQ(h.percentile(95), 35.0);
+    // p99: rank 9.9 -> 20 + 20 * 0.95.
+    EXPECT_DOUBLE_EQ(h.percentile(99), 39.0);
+    // p0 clamps to the bottom of the first occupied bucket's range.
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 40.0);
+}
+
+TEST(MetricsTest, PercentileEdgeCases)
+{
+    // First bucket interpolates from 0, not from -inf.
+    MetricsSnapshot::HistogramValue first;
+    first.bounds = {10.0};
+    first.buckets = {4, 0};
+    first.count = 4;
+    EXPECT_DOUBLE_EQ(first.percentile(50), 5.0);
+
+    // A rank in the overflow bucket reports the last finite bound: the
+    // histogram cannot see beyond it.
+    MetricsSnapshot::HistogramValue overflow;
+    overflow.bounds = {10.0, 20.0, 40.0};
+    overflow.buckets = {0, 0, 0, 5};
+    overflow.count = 5;
+    EXPECT_DOUBLE_EQ(overflow.percentile(50), 40.0);
+
+    // Empty histogram reads as zero.
+    MetricsSnapshot::HistogramValue empty;
+    empty.bounds = {10.0};
+    empty.buckets = {0, 0};
+    EXPECT_DOUBLE_EQ(empty.percentile(99), 0.0);
+}
+
+TEST(MetricsTest, PercentilesFlowThroughLiveHistogramsAndExporters)
+{
+    Histogram &h =
+        metrics().histogram("test.percentile_export", {1.0, 2.0, 4.0});
+    h.reset();
+    for (int i = 0; i < 8; ++i) {
+        h.observe(0.5);     // All in the first bucket.
+    }
+    const MetricsSnapshot snap = metrics().snapshot();
+    const auto &value = snap.histograms.at("test.percentile_export");
+    EXPECT_DOUBLE_EQ(value.percentile(50), 0.5);
+
+    EXPECT_NE(snap.toText().find("p95="), std::string::npos);
+    EXPECT_NE(snap.toJson().find("\"p99\":"), std::string::npos);
+}
+
 TEST(MetricsTest, ExportersIncludeRegisteredMetrics)
 {
     metrics().counter("test.export_counter").inc(7);

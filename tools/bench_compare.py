@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare a bench run against a committed baseline (perf regression gate).
+
+Two classes of check, with different severities:
+
+  strict    Checksum drift is a hard failure: the bench checksum
+            fingerprints the model's numeric outputs, so any change
+            means the *results* changed, not just the speed. Also
+            strict: benchmark name/config mismatches and legs present
+            in the baseline but missing from the run (a silently
+            dropped thread count would hide a regression).
+
+  tolerant  Wall-clock moves are warnings by default (CI machines are
+            noisy and differ from the machine that recorded the
+            baseline); ``--max-slowdown`` sets the warning threshold as
+            a ratio (default 1.5 = warn beyond 50% slower). Pass
+            ``--strict-time`` to turn those warnings into failures on
+            a machine you trust for timing.
+
+Typical use (CI):
+  bench/bench_sweep
+  tools/bench_compare.py --baseline bench/baselines/BENCH_sweep.baseline.json \\
+                         --current BENCH_sweep.json
+
+Refreshing the baseline after an intended output change:
+  bench/bench_sweep && cp BENCH_sweep.json \\
+      bench/baselines/BENCH_sweep.baseline.json
+
+Exit status: 0 when every strict check passes (warnings allowed), 1 on
+any strict failure (or timing failure under --strict-time), 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path):
+    try:
+        with path.open(encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare.py: cannot load {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a bench JSON against a committed baseline")
+    parser.add_argument("--baseline", required=True, metavar="FILE",
+                        help="committed baseline JSON "
+                             "(bench/baselines/*.baseline.json)")
+    parser.add_argument("--current", required=True, metavar="FILE",
+                        help="freshly produced bench JSON")
+    parser.add_argument("--max-slowdown", type=float, default=1.5,
+                        metavar="RATIO",
+                        help="warn when a leg is slower than baseline "
+                             "by more than this ratio (default 1.5)")
+    parser.add_argument("--strict-time", action="store_true",
+                        help="treat wall-clock warnings as failures")
+    args = parser.parse_args()
+
+    baseline = load(Path(args.baseline))
+    current = load(Path(args.current))
+
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    for key in ("benchmark", "traces", "intensities"):
+        if baseline.get(key) != current.get(key):
+            errors.append(
+                f"config mismatch on {key!r}: baseline "
+                f"{baseline.get(key)!r} vs current {current.get(key)!r}")
+
+    if not current.get("checksums_identical", False):
+        errors.append("current run reports checksums_identical=false: "
+                      "results depend on the thread count")
+
+    base_legs = {leg["threads"]: leg for leg in baseline.get("legs", [])}
+    cur_legs = {leg["threads"]: leg for leg in current.get("legs", [])}
+    if not base_legs:
+        errors.append("baseline has no legs")
+
+    for threads, base in sorted(base_legs.items()):
+        cur = cur_legs.get(threads)
+        if cur is None:
+            errors.append(f"leg threads={threads} present in baseline "
+                          f"but missing from the current run")
+            continue
+        if cur.get("checksum") != base.get("checksum"):
+            errors.append(
+                f"CHECKSUM DRIFT at threads={threads}: baseline "
+                f"{base.get('checksum')} vs current "
+                f"{cur.get('checksum')} — the model outputs changed; "
+                f"if intended, refresh the committed baseline")
+        base_s = float(base.get("seconds", 0.0))
+        cur_s = float(cur.get("seconds", 0.0))
+        if base_s > 0.0 and cur_s > base_s * args.max_slowdown:
+            warnings.append(
+                f"threads={threads}: {cur_s:.3f}s vs baseline "
+                f"{base_s:.3f}s ({cur_s / base_s:.2f}x slower than "
+                f"baseline, threshold {args.max_slowdown:.2f}x)")
+
+    for w in warnings:
+        print(f"warning: {w}")
+    for e in errors:
+        print(f"error: {e}")
+
+    if errors or (args.strict_time and warnings):
+        print(f"\nbench_compare.py: FAIL ({len(errors)} error(s), "
+              f"{len(warnings)} timing warning(s))", file=sys.stderr)
+        return 1
+    status = "clean" if not warnings else \
+        f"clean with {len(warnings)} timing warning(s)"
+    print(f"bench_compare.py: {status} "
+          f"({len(base_legs)} leg(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,14 @@ Rules (each a distinct class, all hard CI gates — see docs/analysis.md):
                     artifacts — and no model can accidentally become
                     wall-clock dependent.
 
+  ledger-events     Decision-ledger event names ("carbon.per_core" and
+                    friends) are string literals only inside their
+                    registry, src/obs/ledger.h. Everywhere else they
+                    must be spelled obs::LedgerEvent::X /
+                    obs::eventName(...) so a renamed event is a compile
+                    error, not a silently orphaned fact
+                    (docs/observability.md).
+
 Suppress a finding by appending ``// lint-ok: <rule> <why>`` to the
 offending line. Suppressions are themselves audited: an unused one is an
 error, so stale escapes cannot accumulate.
@@ -316,6 +324,46 @@ def check_timing(path: Path, lines: list[str], used: set) -> list[Finding]:
 
 
 # --------------------------------------------------------------------
+# Rule: ledger-events
+# --------------------------------------------------------------------
+
+LEDGER_ALLOWED = ("src/obs/ledger.h",)
+# Mirrors kLedgerEventNames in src/obs/ledger.h (the registry of
+# record); obs_ledger_test pins that the two stay in sync.
+LEDGER_EVENT_NAMES = (
+    "carbon.per_core", "carbon.component",
+    "tco.per_core", "tco.component",
+    "adoption.decision", "perf.slo_margin",
+    "sizing.probe", "sizing.result",
+    "allocator.outcome", "design.verdict",
+    "evaluator.verdict", "maintenance.gate",
+)
+LEDGER_EVENTS_RE = re.compile(
+    '"(' + "|".join(re.escape(n) for n in LEDGER_EVENT_NAMES) + ')"')
+
+
+def check_ledger_events(path: Path, lines: list[str],
+                        used: set) -> list[Finding]:
+    findings = []
+    if path.as_posix().replace("\\", "/").endswith(LEDGER_ALLOWED):
+        return findings
+    in_block = False
+    for i, raw in enumerate(lines, 1):
+        code, in_block = strip_comments(raw, in_block)
+        m = LEDGER_EVENTS_RE.search(code)
+        if not m:
+            continue
+        if suppressed(raw, "ledger-events", used, path, i):
+            continue
+        findings.append(Finding(
+            path, i, "ledger-events",
+            f"ledger event name {m.group(0)} as a string literal; use "
+            f"obs::LedgerEvent / obs::eventName (src/obs/ledger.h) so "
+            f"renames cannot orphan facts"))
+    return findings
+
+
+# --------------------------------------------------------------------
 # Rule: pragma-once
 # --------------------------------------------------------------------
 
@@ -342,6 +390,7 @@ RULES = {
     "error-convention": check_error_convention,
     "concurrency": check_concurrency,
     "timing": check_timing,
+    "ledger-events": check_ledger_events,
     "pragma-once": check_pragma_once,
 }
 

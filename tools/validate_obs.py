@@ -20,8 +20,18 @@ Checks (each a hard CI gate — see docs/observability.md):
             CI uses this to prove the engines actually ran through the
             instrumented paths.
 
+  ledger    The file is a ``gsku-ledger-v1`` decision ledger
+            (src/obs/ledger.h): a schema header whose event count
+            matches the body, followed by flat JSONL facts with known
+            event names, sorted and unique (the ledger is a *set* of
+            facts). Cross-references hold: every carbon.component leaf
+            has a carbon.per_core parent for the same (sku, carbon
+            intensity), and every infeasible design.verdict names the
+            binding constraint it violated.
+
 Usage:
   tools/validate_obs.py [--trace trace.json]... [--manifest m.json]...
+                        [--ledger ledger.jsonl]...
                         [--require-nonzero COUNTER...]
 
 Exit status: 0 when every check passes, 1 on any failure, 2 on usage
@@ -36,6 +46,23 @@ import sys
 from pathlib import Path
 
 REQUIRED_EVENT_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+# Mirrors kLedgerEventNames in src/obs/ledger.h (the registry of record).
+LEDGER_SCHEMA = "gsku-ledger-v1"
+LEDGER_EVENTS = {
+    "carbon.per_core",
+    "carbon.component",
+    "tco.per_core",
+    "tco.component",
+    "adoption.decision",
+    "perf.slo_margin",
+    "sizing.probe",
+    "sizing.result",
+    "allocator.outcome",
+    "design.verdict",
+    "evaluator.verdict",
+    "maintenance.gate",
+}
 
 
 def fail(errors: list[str], message: str) -> None:
@@ -161,6 +188,90 @@ def validate_manifest(path: Path, errors: list[str],
                          f"{value}; expected > 0")
 
 
+def validate_ledger(path: Path, errors: list[str]) -> None:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as e:
+        fail(errors, f"{path}: cannot read: {e}")
+        return
+    if not lines:
+        fail(errors, f"{path}: empty file: missing schema header line")
+        return
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(errors, f"{path}: header is not valid JSON: {e}")
+        return
+    if header.get("schema") != LEDGER_SCHEMA:
+        fail(errors, f"{path}: schema is {header.get('schema')!r}, "
+                     f"expected {LEDGER_SCHEMA!r}")
+        return
+    body = [line for line in lines[1:] if line]
+    if header.get("events") != len(body):
+        fail(errors, f"{path}: header says {header.get('events')} "
+                     f"events, body has {len(body)}")
+
+    if body != sorted(body):
+        fail(errors, f"{path}: event lines are not sorted (the ledger "
+                     f"is a sorted set of facts)")
+    if len(set(body)) != len(body):
+        fail(errors, f"{path}: duplicate event lines (facts must be "
+                     f"unique)")
+
+    records = []
+    for i, line in enumerate(body, start=2):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(errors, f"{path}: line {i}: not valid JSON: {e}")
+            return
+        if not isinstance(rec, dict):
+            fail(errors, f"{path}: line {i}: not a JSON object")
+            return
+        event = rec.get("event")
+        if event not in LEDGER_EVENTS:
+            fail(errors, f"{path}: line {i}: unknown event {event!r}")
+        for key, value in rec.items():
+            if not isinstance(value, (str, int, float, bool)):
+                fail(errors, f"{path}: line {i}: field '{key}' is "
+                             f"{type(value).__name__}; ledger facts "
+                             f"are flat")
+        records.append(rec)
+
+    # Cross-references: every per-component carbon leaf must have its
+    # per-core parent for the same (sku, carbon intensity).
+    parents = {(r.get("sku"), r.get("ci_kg_per_kwh"))
+               for r in records if r.get("event") == "carbon.per_core"}
+    for r in records:
+        if r.get("event") != "carbon.component":
+            continue
+        key = (r.get("sku"), r.get("ci_kg_per_kwh"))
+        if key not in parents:
+            fail(errors, f"{path}: carbon.component leaf for "
+                         f"sku={key[0]!r} ci={key[1]!r} has no "
+                         f"carbon.per_core parent")
+
+    tco_parents = {r.get("sku") for r in records
+                   if r.get("event") == "tco.per_core"}
+    for r in records:
+        if r.get("event") != "tco.component":
+            continue
+        if r.get("sku") not in tco_parents:
+            fail(errors, f"{path}: tco.component leaf for "
+                         f"sku={r.get('sku')!r} has no tco.per_core "
+                         f"parent")
+
+    # Every rejected design candidate must say which constraint bound it.
+    for r in records:
+        if r.get("event") != "design.verdict" or r.get("feasible"):
+            continue
+        if r.get("constraint") in (None, "", "none"):
+            fail(errors, f"{path}: infeasible design.verdict for "
+                         f"{r.get('candidate')!r} does not name its "
+                         f"binding constraint")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Validate GreenSKU observability artifacts")
@@ -170,15 +281,18 @@ def main() -> int:
     parser.add_argument("--manifest", action="append", default=[],
                         metavar="FILE",
                         help="run-manifest JSON file to validate")
+    parser.add_argument("--ledger", action="append", default=[],
+                        metavar="FILE",
+                        help="decision-ledger JSONL file to validate")
     parser.add_argument("--require-nonzero", nargs="*", default=[],
                         metavar="COUNTER",
                         help="counters that must be > 0 in every "
                              "validated manifest")
     args = parser.parse_args()
 
-    if not args.trace and not args.manifest:
-        parser.error("nothing to validate: pass --trace and/or "
-                     "--manifest")
+    if not args.trace and not args.manifest and not args.ledger:
+        parser.error("nothing to validate: pass --trace, --manifest, "
+                     "and/or --ledger")
 
     errors: list[str] = []
     checked = 0
@@ -197,6 +311,14 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         validate_manifest(path, errors, args.require_nonzero)
+        checked += 1
+    for name in args.ledger:
+        path = Path(name)
+        if not path.is_file():
+            print(f"validate_obs.py: no such file: {path}",
+                  file=sys.stderr)
+            return 2
+        validate_ledger(path, errors)
         checked += 1
 
     for e in errors:
