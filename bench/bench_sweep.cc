@@ -21,6 +21,7 @@
 #include "cluster/trace_gen.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "gsf/eval_cache.h"
 #include "gsf/evaluator.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -123,6 +124,10 @@ main()
         .config("duration_h", params.duration_h)
         .config("thread_counts", std::string("1,2,8"))
         .config("checksums_identical", identical)
+        // Record whether the persistent eval cache served this run (a
+        // path-free bool: manifests must stay machine-independent).
+        // The evalcache.* counters in the metrics snapshot say how.
+        .config("eval_cache_enabled", evalCache() != nullptr)
         .seed("trace_family_base", trace_seed);
     const std::string manifest_path = "MANIFEST_bench_sweep.json";
     if (!manifest.write(manifest_path)) {

@@ -10,9 +10,12 @@
  * hundreds of configurations" when designing the prototypes.
  *
  * Options:
- *   --metrics        print the metrics snapshot after the exploration
- *   --trace <path>   record a Chrome-trace of the run to <path>
- *   --help           show usage
+ *   --metrics           print the metrics snapshot after the exploration
+ *   --trace <path>      record a Chrome-trace of the run to <path>
+ *   --eval-cache <dir>  persist exploration results under <dir> and
+ *                       reuse them on later runs (same as setting
+ *                       GSKU_EVAL_CACHE)
+ *   --help              show usage
  */
 #include <iostream>
 #include <string>
@@ -20,6 +23,7 @@
 #include "carbon/model.h"
 #include "common/table.h"
 #include "gsf/design_space.h"
+#include "gsf/eval_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -35,12 +39,14 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::cout << "usage: design_space [--metrics] "
-                         "[--trace <path>]\n"
-                         "  --metrics        print the metrics snapshot "
-                         "after the exploration\n"
-                         "  --trace <path>   record a Chrome-trace of "
+                         "[--trace <path>] [--eval-cache <dir>]\n"
+                         "  --metrics           print the metrics "
+                         "snapshot after the exploration\n"
+                         "  --trace <path>      record a Chrome-trace of "
                          "the run to <path>\n"
-                         "  --help           show this message\n";
+                         "  --eval-cache <dir>  persist exploration "
+                         "results under <dir> (same as GSKU_EVAL_CACHE)\n"
+                         "  --help              show this message\n";
             return 0;
         }
         if (arg == "--metrics") {
@@ -51,6 +57,13 @@ main(int argc, char **argv)
                 return 1;
             }
             trace_path = argv[++i];
+        } else if (arg == "--eval-cache") {
+            if (i + 1 >= argc) {
+                std::cerr
+                    << "design_space: --eval-cache needs a directory\n";
+                return 1;
+            }
+            configureEvalCache(argv[++i]);
         } else {
             std::cerr << "design_space: unknown argument " << arg
                       << '\n';

@@ -29,6 +29,7 @@
 #include "carbon/model.h"
 #include "carbon/sku.h"
 #include "cluster/trace_gen.h"
+#include "common/parse.h"
 #include "gsf/evaluator.h"
 #include "gsf/tco.h"
 #include "obs/explain.h"
@@ -123,7 +124,8 @@ main(int argc, char **argv)
             record_path = argv[++i];
         } else if (arg == "--ci") {
             need(i, "--ci", 1);
-            ci_value = std::atof(argv[++i]);
+            ci_value = parseDouble(argv[++i],
+                                   ParseContext{"argv", 0, "--ci"});
         } else if (arg == "--why") {
             need(i, "--why", 1);
             why_sku = argv[++i];

@@ -8,9 +8,12 @@
  *   sku_eval_cli                       # evaluates GreenSKU-Full
  *
  * Options:
- *   --metrics        print the metrics snapshot after the evaluation
- *   --trace <path>   record a Chrome-trace of the run to <path>
- *   --help           show usage
+ *   --metrics           print the metrics snapshot after the evaluation
+ *   --trace <path>      record a Chrome-trace of the run to <path>
+ *   --eval-cache <dir>  persist evaluation results under <dir> and
+ *                       reuse them on later runs (same as setting
+ *                       GSKU_EVAL_CACHE)
+ *   --help              show usage
  *
  * Examples:
  *   sku_eval_cli "cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1"
@@ -24,7 +27,9 @@
 #include "carbon/sku_parser.h"
 #include "cluster/trace_gen.h"
 #include "common/error.h"
+#include "common/parse.h"
 #include "common/table.h"
+#include "gsf/eval_cache.h"
 #include "gsf/evaluator.h"
 #include "gsf/tiering.h"
 #include "obs/metrics.h"
@@ -38,11 +43,13 @@ printUsage(std::ostream &out)
     out << "usage: sku_eval_cli [options] [\"<spec>\"] "
            "[carbon_intensity]\n"
            "options:\n"
-           "  --metrics        print the metrics snapshot after the "
+           "  --metrics           print the metrics snapshot after the "
            "evaluation\n"
-           "  --trace <path>   record a Chrome-trace of the run to "
+           "  --trace <path>      record a Chrome-trace of the run to "
            "<path>\n"
-           "  --help           show this message\n"
+           "  --eval-cache <dir>  persist evaluation results under "
+           "<dir> (same as GSKU_EVAL_CACHE)\n"
+           "  --help              show this message\n"
            "spec example:\n"
            "  \"cpu=bergamo ddr5=12x64 cxl_ddr4=8x32 ssd=2x4 "
            "reused_ssd=12x1\"\n";
@@ -72,6 +79,13 @@ main(int argc, char **argv)
                 return 1;
             }
             trace_path = argv[++i];
+        } else if (arg == "--eval-cache") {
+            if (i + 1 >= argc) {
+                std::cerr
+                    << "sku_eval_cli: --eval-cache needs a directory\n";
+                return 1;
+            }
+            gsf::configureEvalCache(argv[++i]);
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "sku_eval_cli: unknown option " << arg << '\n';
             printUsage(std::cerr);
@@ -90,7 +104,10 @@ main(int argc, char **argv)
                             : "name=GreenSKU-Full cpu=bergamo ddr5=12x64 "
                               "cxl_ddr4=8x32 ssd=2x4 reused_ssd=12x1";
     const double ci_value =
-        positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.1;
+        positional.size() > 1
+            ? parseDouble(positional[1],
+                          ParseContext{"argv", 0, "carbon intensity"})
+            : 0.1;
 
     carbon::ServerSku sku;
     try {

@@ -14,6 +14,7 @@
 #include "cluster/trace_gen.h"
 #include "cluster/trace_stats.h"
 #include "common/csv.h"
+#include "common/parse.h"
 #include "common/table.h"
 #include "gsf/adoption.h"
 #include "gsf/sizing.h"
@@ -26,8 +27,11 @@ main(int argc, char **argv)
     using namespace gsku::cluster;
 
     const std::uint64_t seed =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
-    const double target = argc > 2 ? std::atof(argv[2]) : 250.0;
+        argc > 1 ? parseU64(argv[1], ParseContext{"argv", 0, "seed"}) : 7;
+    const double target =
+        argc > 2 ? parseDouble(argv[2], ParseContext{"argv", 0,
+                                                     "target_vms"})
+                 : 250.0;
 
     TraceGenParams params;
     params.target_concurrent_vms = target;

@@ -8,6 +8,7 @@
 
 #include "carbon/catalog.h"
 #include "common/error.h"
+#include "common/parse.h"
 
 namespace gsku::carbon {
 
@@ -28,18 +29,10 @@ parseCountSize(const std::string &key, const std::string &value)
                  "expected <count>x<size> for " + key + ", got '" +
                      value + "'");
     CountSize out;
-    try {
-        std::size_t used = 0;
-        out.count = std::stoi(value.substr(0, x), &used);
-        GSKU_REQUIRE(used == x, "malformed count in " + key + "='" +
-                                    value + "'");
-        out.size = std::stod(value.substr(x + 1), &used);
-        GSKU_REQUIRE(used == value.size() - x - 1,
-                     "malformed size in " + key + "='" + value + "'");
-    } catch (const std::logic_error &) {
-        GSKU_REQUIRE(false,
-                     "malformed number in " + key + "='" + value + "'");
-    }
+    out.count = parseInt(value.substr(0, x),
+                         ParseContext{"sku spec", 0, key + " count"});
+    out.size = parseDouble(value.substr(x + 1),
+                           ParseContext{"sku spec", 0, key + " size"});
     GSKU_REQUIRE(out.count > 0, key + " count must be positive");
     GSKU_REQUIRE(out.size > 0.0, key + " size must be positive");
     // Fuzzing-derived sanity bounds: absurd counts/sizes previously
@@ -163,11 +156,8 @@ parseSku(const std::string &spec)
     }
 
     if (kv.count("u")) {
-        try {
-            sku.form_factor_u = std::stoi(kv.at("u"));
-        } catch (const std::logic_error &) {
-            GSKU_REQUIRE(false, "malformed u='" + kv.at("u") + "'");
-        }
+        sku.form_factor_u =
+            parseInt(kv.at("u"), ParseContext{"sku spec", 0, "u"});
         // A server taller than the rack would make the rack-fit model
         // report zero servers per rack; reject it as caller error here.
         GSKU_REQUIRE(sku.form_factor_u >= 1 && sku.form_factor_u <= 48,

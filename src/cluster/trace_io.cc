@@ -8,6 +8,7 @@
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "common/parse.h"
 #include "perf/app.h"
 
 namespace gsku::cluster {
@@ -118,17 +119,16 @@ readTraceCsv(std::istream &in, const std::string &name)
                          std::to_string(kColumns) + " cells, got " +
                          std::to_string(cells.size()));
         VmRequest vm;
-        try {
-            vm.id = std::stoull(cells[0]);
-            vm.arrival_h = std::stod(cells[1]);
-            vm.departure_h = std::stod(cells[2]);
-            vm.cores = std::stoi(cells[3]);
-            vm.memory_gb = std::stod(cells[4]);
-            vm.max_mem_touch_fraction = std::stod(cells[8]);
-        } catch (const std::logic_error &) {
-            GSKU_REQUIRE(false, "line " + std::to_string(line_no) +
-                                    ": malformed number");
-        }
+        auto ctx = [&](const char *field) {
+            return ParseContext{name, line_no, field};
+        };
+        vm.id = parseU64(cells[0], ctx("id"));
+        vm.arrival_h = parseDouble(cells[1], ctx("arrival_h"));
+        vm.departure_h = parseDouble(cells[2], ctx("departure_h"));
+        vm.cores = parseInt(cells[3], ctx("cores"));
+        vm.memory_gb = parseDouble(cells[4], ctx("memory_gb"));
+        vm.max_mem_touch_fraction =
+            parseDouble(cells[8], ctx("max_mem_touch_fraction"));
         vm.origin_generation = parseGeneration(cells[5], line_no);
         GSKU_REQUIRE(cells[6] == "0" || cells[6] == "1",
                      "line " + std::to_string(line_no) +

@@ -1,0 +1,298 @@
+#include "common/diskcache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/error.h"
+
+namespace fs = std::filesystem;
+
+namespace gsku {
+
+namespace {
+
+/** 16 lowercase hex digits — the only key shape the cache accepts. */
+bool
+validKey(const std::string &key)
+{
+    if (key.size() != 16) {
+        return false;
+    }
+    for (char c : key) {
+        const bool hex =
+            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Parses the one-line record header. Deliberately rigid: the header
+ * is machine-written by writeRecord below, so anything that deviates
+ * is corruption, not format flexibility to tolerate.
+ */
+bool
+parseHeader(const std::string &line, std::string &schema,
+            std::string &key, std::size_t &payload_bytes)
+{
+    auto grab = [&](const char *field, std::string &out) {
+        const std::string tag = std::string("\"") + field + "\": \"";
+        const std::size_t at = line.find(tag);
+        if (at == std::string::npos) {
+            return false;
+        }
+        const std::size_t start = at + tag.size();
+        const std::size_t end = line.find('"', start);
+        if (end == std::string::npos) {
+            return false;
+        }
+        out = line.substr(start, end - start);
+        return true;
+    };
+    if (!grab("schema", schema) || !grab("key", key)) {
+        return false;
+    }
+    const std::string tag = "\"payload_bytes\": ";
+    const std::size_t at = line.find(tag);
+    if (at == std::string::npos) {
+        return false;
+    }
+    std::size_t i = at + tag.size();
+    if (i >= line.size() || line[i] < '0' || line[i] > '9') {
+        return false;
+    }
+    payload_bytes = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        payload_bytes = payload_bytes * 10 +
+                        static_cast<std::size_t>(line[i] - '0');
+        ++i;
+    }
+    return true;
+}
+
+/** Atomic publish shared by records and the journal. */
+bool
+writeAtomically(const std::string &path, const std::string &body)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::trunc | std::ios::binary);
+        file << body;
+        if (!file) {
+            return false;
+        }
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace
+
+DiskCache::DiskCache(std::string dir, std::string schema,
+                     std::int64_t max_bytes)
+    : dir_(std::move(dir)), schema_(std::move(schema)),
+      max_bytes_(max_bytes)
+{
+    GSKU_REQUIRE(!dir_.empty(), "cache directory must not be empty");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    GSKU_REQUIRE(!ec && fs::is_directory(dir_),
+                 "cannot create cache directory '" + dir_ + "'");
+}
+
+std::string
+DiskCache::recordPath(const std::string &key) const
+{
+    return dir_ + "/" + key + ".rec";
+}
+
+std::string
+DiskCache::journalPath() const
+{
+    return dir_ + "/journal.txt";
+}
+
+std::vector<std::string>
+DiskCache::loadJournal()
+{
+    std::vector<std::string> keys;
+    {
+        std::ifstream in(journalPath());
+        std::string line;
+        bool header_ok = false;
+        if (std::getline(in, line)) {
+            header_ok = line == schema_;
+        }
+        if (header_ok) {
+            while (std::getline(in, line)) {
+                if (validKey(line) && fs::exists(recordPath(line))) {
+                    keys.push_back(line);
+                }
+            }
+        }
+    }
+    // Self-heal: adopt record files the journal does not know about
+    // (a crash between record and journal publish). They join at the
+    // oldest end, sorted, so recovery is deterministic.
+    std::vector<std::string> orphans;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() != 20 || name.substr(16) != ".rec") {
+            continue;
+        }
+        const std::string key = name.substr(0, 16);
+        if (validKey(key) &&
+            std::find(keys.begin(), keys.end(), key) == keys.end()) {
+            orphans.push_back(key);
+        }
+    }
+    std::sort(orphans.begin(), orphans.end());
+    keys.insert(keys.begin(), orphans.begin(), orphans.end());
+    return keys;
+}
+
+void
+DiskCache::storeJournal(const std::vector<std::string> &keys)
+{
+    std::string body = schema_ + "\n";
+    for (const std::string &key : keys) {
+        body += key + "\n";
+    }
+    writeAtomically(journalPath(), body);
+}
+
+void
+DiskCache::touch(const std::string &key)
+{
+    std::vector<std::string> keys = loadJournal();
+    const auto it = std::find(keys.begin(), keys.end(), key);
+    if (it != keys.end() && it + 1 == keys.end()) {
+        return;     // Already most recent; journal unchanged.
+    }
+    if (it != keys.end()) {
+        keys.erase(it);
+    }
+    keys.push_back(key);
+    storeJournal(keys);
+}
+
+CacheGetResult
+DiskCache::get(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheGetResult result;
+    if (!validKey(key)) {
+        result.status = CacheGetStatus::Miss;
+        return result;
+    }
+    std::ifstream in(recordPath(key), std::ios::binary);
+    if (!in) {
+        result.status = CacheGetStatus::Miss;
+        return result;
+    }
+    std::string header;
+    if (!std::getline(in, header)) {
+        result.status = CacheGetStatus::Corrupt;
+        return result;
+    }
+    std::string schema;
+    std::string stored_key;
+    std::size_t payload_bytes = 0;
+    if (!parseHeader(header, schema, stored_key, payload_bytes)) {
+        result.status = CacheGetStatus::Corrupt;
+        return result;
+    }
+    if (schema != schema_) {
+        result.status = CacheGetStatus::Stale;
+        return result;
+    }
+    if (stored_key != key) {
+        result.status = CacheGetStatus::Corrupt;
+        return result;
+    }
+    std::string payload(payload_bytes, '\0');
+    in.read(payload.data(),
+            static_cast<std::streamsize>(payload_bytes));
+    if (static_cast<std::size_t>(in.gcount()) != payload_bytes) {
+        result.status = CacheGetStatus::Corrupt;    // Truncated.
+        return result;
+    }
+    // Trailing bytes beyond the declared payload are inconsistent
+    // with the header — also corruption.
+    char extra = 0;
+    if (in.read(&extra, 1); in.gcount() != 0) {
+        result.status = CacheGetStatus::Corrupt;
+        return result;
+    }
+    result.status = CacheGetStatus::Hit;
+    result.payload = std::move(payload);
+    touch(key);
+    return result;
+}
+
+int
+DiskCache::put(const std::string &key, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!validKey(key)) {
+        return -1;
+    }
+    std::ostringstream header;
+    header << "{\"schema\": \"" << schema_ << "\", \"key\": \"" << key
+           << "\", \"payload_bytes\": " << payload.size() << "}\n";
+    if (!writeAtomically(recordPath(key), header.str() + payload)) {
+        return -1;
+    }
+    std::vector<std::string> keys = loadJournal();
+    const auto it = std::find(keys.begin(), keys.end(), key);
+    if (it != keys.end()) {
+        keys.erase(it);
+    }
+    keys.push_back(key);
+    const int evicted = evictToBudget(keys);
+    storeJournal(keys);
+    return evicted;
+}
+
+int
+DiskCache::evictToBudget(std::vector<std::string> &keys)
+{
+    if (max_bytes_ <= 0) {
+        return 0;
+    }
+    std::int64_t total = 0;
+    for (const std::string &key : keys) {
+        std::error_code ec;
+        const auto bytes = fs::file_size(recordPath(key), ec);
+        total += ec ? 0 : static_cast<std::int64_t>(bytes);
+    }
+    int evicted = 0;
+    // Never evict the most recent record (the one just stored or
+    // touched): a put must not be self-defeating under a budget
+    // smaller than a single record.
+    while (total > max_bytes_ && keys.size() > 1) {
+        const std::string victim = keys.front();
+        std::error_code ec;
+        const auto bytes = fs::file_size(recordPath(victim), ec);
+        total -= ec ? 0 : static_cast<std::int64_t>(bytes);
+        fs::remove(recordPath(victim), ec);
+        keys.erase(keys.begin());
+        ++evicted;
+    }
+    return evicted;
+}
+
+std::size_t
+DiskCache::size()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return loadJournal().size();
+}
+
+} // namespace gsku

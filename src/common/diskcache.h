@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Content-addressed on-disk record cache — the storage half of the
+ * persistent evaluation cache (gsf/eval_cache.h holds the keys and
+ * payload encodings; this layer knows nothing about what it stores).
+ *
+ * Layout: one record per file under the cache directory,
+ *
+ *   <dir>/<16-hex-key>.rec        header line + opaque payload bytes
+ *   <dir>/journal.txt             LRU order, schema-tagged
+ *
+ * A record file is a single JSON header line
+ *
+ *   {"schema": "gsku-evalcache-v1", "key": "<16-hex>", "payload_bytes": N}
+ *
+ * followed by exactly N payload bytes. The header makes every failure
+ * mode detectable: a schema tag from a future version reads as STALE,
+ * a key that does not match the file name (or a short/corrupt file)
+ * reads as CORRUPT — and both are treated by callers as a plain miss,
+ * never an error. Records and the journal are published atomically
+ * (temp file + rename, like the ledger/manifest writers), so a
+ * concurrent reader or a crash can never observe a half-written
+ * record.
+ *
+ * Eviction is LRU by *logical sequence number*, not by time: the
+ * journal stores keys oldest-first, rewritten on every touch. Like
+ * everything else in the repo the cache is timestamp-free, so two
+ * identical runs leave byte-identical cache state. When the byte
+ * budget is exceeded the least-recently-used records are deleted
+ * until the cache fits.
+ *
+ * Thread model: all operations serialize on one internal mutex. The
+ * cache sits below the hot compute paths (a get() replaces an entire
+ * cluster-sizing replay), so contention is not a concern.
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gsku {
+
+/** Outcome of a DiskCache::get, for callers that count outcomes. */
+enum class CacheGetStatus
+{
+    Hit,        ///< Record found, schema and key verified.
+    Miss,       ///< No record under this key.
+    Stale,      ///< Record exists but carries a different schema tag.
+    Corrupt,    ///< Record exists but is truncated or inconsistent.
+};
+
+/** A fetched record (payload plus how the lookup went). */
+struct CacheGetResult
+{
+    CacheGetStatus status = CacheGetStatus::Miss;
+    std::string payload;    ///< Empty unless status == Hit.
+
+    bool hit() const { return status == CacheGetStatus::Hit; }
+};
+
+class DiskCache
+{
+  public:
+    /**
+     * Opens (creating if needed) the cache rooted at @p dir.
+     * @p schema tags every record; a mismatch on read is Stale.
+     * @p max_bytes caps the total payload+header bytes kept on disk;
+     * <= 0 means unlimited. Throws UserError when @p dir cannot be
+     * created.
+     */
+    DiskCache(std::string dir, std::string schema,
+              std::int64_t max_bytes);
+
+    /**
+     * Looks up @p key (16 lowercase hex digits). Never throws on bad
+     * on-disk state: truncated, unreadable, or inconsistent records
+     * report Corrupt and wrong-schema records report Stale, both of
+     * which callers treat as a miss. A hit refreshes the key's LRU
+     * position.
+     */
+    CacheGetResult get(const std::string &key);
+
+    /**
+     * Stores @p payload under @p key (replacing any existing record),
+     * publishes atomically, then evicts least-recently-used records
+     * until the cache is back under its byte budget. Returns the
+     * number of records evicted; I/O failure is reported as -1 and
+     * leaves the cache usable (the entry is simply not stored).
+     */
+    int put(const std::string &key, const std::string &payload);
+
+    /** Number of records currently tracked by the journal. */
+    std::size_t size();
+
+    /** The cache directory this instance operates on. */
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string recordPath(const std::string &key) const;
+    std::string journalPath() const;
+
+    /** Loads the LRU journal (oldest first); self-heals by dropping
+     *  journal entries whose record files are gone. */
+    std::vector<std::string> loadJournal();
+
+    /** Atomically rewrites the journal. */
+    void storeJournal(const std::vector<std::string> &keys);
+
+    /** Moves @p key to the most-recently-used end of the journal. */
+    void touch(const std::string &key);
+
+    /** Deletes LRU records until total bytes fit the budget. */
+    int evictToBudget(std::vector<std::string> &keys);
+
+    std::mutex mutex_;
+    std::string dir_;
+    std::string schema_;
+    std::int64_t max_bytes_;
+};
+
+} // namespace gsku

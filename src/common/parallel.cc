@@ -233,7 +233,9 @@ ThreadPool::defaultThreads()
 {
     if (const char *env = std::getenv("GSKU_THREADS")) {
         char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
+        // Env knob: a malformed GSKU_THREADS falls back to hardware
+        // concurrency rather than throwing at pool construction.
+        const long v = std::strtol(env, &end, 10); // lint-ok: checked-parse
         if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
             return static_cast<int>(v);
         }

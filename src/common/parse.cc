@@ -1,0 +1,115 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <limits>
+#include <stdexcept>
+
+#include "common/error.h"
+
+namespace gsku {
+
+namespace {
+
+/**
+ * Shared full-token driver: runs one std::sto* conversion (passed as
+ * a callable so int/long/u64/double share the policy), then enforces
+ * that every character of the token was consumed. std::sto* skips
+ * leading whitespace and stops at the first bad character, both of
+ * which we treat as errors: a numeric cell is a number, nothing else.
+ */
+template <typename Conv>
+auto
+parseFullToken(const std::string &token, const ParseContext &ctx,
+               const char *type_name, Conv conv)
+{
+    GSKU_REQUIRE(!token.empty(),
+                 describe(ctx) + "empty token where a " +
+                     std::string(type_name) + " was expected");
+    GSKU_REQUIRE(!std::isspace(static_cast<unsigned char>(token.front())),
+                 describe(ctx) + "cannot parse '" + token + "' as " +
+                     type_name + ": leading whitespace");
+    std::size_t used = 0;
+    decltype(conv(token, &used)) value{};
+    try {
+        value = conv(token, &used);
+    } catch (const std::invalid_argument &) {
+        GSKU_REQUIRE(false, describe(ctx) + "cannot parse '" + token +
+                                "' as " + type_name);
+    } catch (const std::out_of_range &) {
+        GSKU_REQUIRE(false, describe(ctx) + "'" + token +
+                                "' is out of range for " + type_name);
+    }
+    GSKU_REQUIRE(used == token.size(),
+                 describe(ctx) + "cannot parse '" + token + "' as " +
+                     type_name + ": trailing junk '" +
+                     token.substr(used) + "'");
+    return value;
+}
+
+} // namespace
+
+std::string
+describe(const ParseContext &ctx)
+{
+    std::string out;
+    if (!ctx.source.empty()) {
+        out += ctx.source + ": ";
+    }
+    if (ctx.line > 0) {
+        out += "line " + std::to_string(ctx.line) + ": ";
+    }
+    if (!ctx.field.empty()) {
+        out += "field '" + ctx.field + "': ";
+    }
+    return out;
+}
+
+int
+parseInt(const std::string &token, const ParseContext &ctx)
+{
+    const long wide = parseFullToken(
+        token, ctx, "int", [](const std::string &t, std::size_t *used) {
+            return std::stol(t, used); // lint-ok: checked-parse
+        });
+    GSKU_REQUIRE(wide >= std::numeric_limits<int>::min() &&
+                     wide <= std::numeric_limits<int>::max(),
+                 describe(ctx) + "'" + token +
+                     "' is out of range for int");
+    return static_cast<int>(wide);
+}
+
+long
+parseLong(const std::string &token, const ParseContext &ctx)
+{
+    return parseFullToken(
+        token, ctx, "long", [](const std::string &t, std::size_t *used) {
+            return std::stol(t, used); // lint-ok: checked-parse
+        });
+}
+
+std::uint64_t
+parseU64(const std::string &token, const ParseContext &ctx)
+{
+    // std::stoull accepts "-1" by wrapping it; reject signs up front
+    // so an unsigned field can never swallow a negative cell.
+    GSKU_REQUIRE(token.empty() || (token.front() != '-' &&
+                                   token.front() != '+'),
+                 describe(ctx) + "cannot parse '" + token +
+                     "' as u64: sign not allowed");
+    return parseFullToken(
+        token, ctx, "u64", [](const std::string &t, std::size_t *used) {
+            return std::stoull(t, used); // lint-ok: checked-parse
+        });
+}
+
+double
+parseDouble(const std::string &token, const ParseContext &ctx)
+{
+    return parseFullToken(
+        token, ctx, "double",
+        [](const std::string &t, std::size_t *used) {
+            return std::stod(t, used); // lint-ok: checked-parse
+        });
+}
+
+} // namespace gsku

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Checked full-token numeric parsing.
+ *
+ * The std::sto* family has two failure modes that bit this repo's
+ * readers: malformed cells throw raw std::invalid_argument /
+ * std::out_of_range past the GSKU_REQUIRE error convention, and
+ * tokens with trailing junk ("12abc") parse silently as 12. Every
+ * parser here consumes the ENTIRE token or throws UserError, and the
+ * error message carries file/line/field context supplied by the
+ * caller, so a bad cell in row 40000 of a trace names itself.
+ *
+ * These are the only sanctioned entry points for text→number
+ * conversion outside this file; tools/lint.py (rule `checked-parse`)
+ * bans raw std::stoi/stod/atof/strtol elsewhere in src/.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gsku {
+
+/**
+ * Where a token came from, for error messages. All fields optional;
+ * an empty context still yields a usable "cannot parse ..." error.
+ */
+struct ParseContext
+{
+    std::string source;  ///< File name or input label.
+    int line = 0;        ///< 1-based line number; 0 = unknown.
+    std::string field;   ///< Column or field name.
+};
+
+/** Renders "source, line N, field 'f': " (omitting empty parts). */
+std::string describe(const ParseContext &ctx);
+
+/**
+ * Full-token conversions. Each throws UserError (never a raw
+ * std::logic_error) when the token is empty, is not a number, has
+ * trailing junk, or is out of range for the target type.
+ * Leading/trailing whitespace counts as junk: "12 " does not parse.
+ */
+int parseInt(const std::string &token, const ParseContext &ctx = {});
+long parseLong(const std::string &token, const ParseContext &ctx = {});
+std::uint64_t parseU64(const std::string &token,
+                       const ParseContext &ctx = {});
+double parseDouble(const std::string &token,
+                   const ParseContext &ctx = {});
+
+} // namespace gsku

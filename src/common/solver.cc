@@ -7,6 +7,30 @@
 
 namespace gsku {
 
+namespace {
+
+/**
+ * Bracket width hi - lo computed in unsigned space, so it is
+ * well-defined even when the bracket spans more than LONG_MAX
+ * (lo deeply negative, hi near the top). A plain signed subtraction
+ * there is undefined behaviour and, in practice, flips negative —
+ * which made the midpoint land outside [lo, hi].
+ */
+unsigned long
+bracketWidth(long lo, long hi)
+{
+    return static_cast<unsigned long>(hi) - static_cast<unsigned long>(lo);
+}
+
+/** lo + delta, overflow-free for any delta <= bracketWidth(lo, hi). */
+long
+bracketAdvance(long lo, unsigned long delta)
+{
+    return static_cast<long>(static_cast<unsigned long>(lo) + delta);
+}
+
+} // namespace
+
 std::optional<RootResult>
 bisect(const std::function<double(double)> &f, double lo, double hi,
        double f_tolerance, double x_tolerance, int max_iterations)
@@ -55,7 +79,7 @@ smallestTrue(const std::function<bool(long)> &pred, long lo, long hi)
     }
     // Invariant: pred(hi) is true; answer lies in [lo, hi].
     while (lo < hi) {
-        const long mid = lo + (hi - lo) / 2;
+        const long mid = bracketAdvance(lo, bracketWidth(lo, hi) / 2);
         if (pred(mid)) {
             hi = mid;
         } else {
@@ -74,18 +98,23 @@ smallestTrueGalloping(const std::function<bool(long)> &pred, long lo,
         return lo;
     }
     // Gallop with doubling steps: probe lo+1, lo+3, lo+7, ... clamped
-    // to hi. `floor` tracks the largest value known false.
+    // to hi. `floor` tracks the largest value known false. All bracket
+    // arithmetic goes through the unsigned helpers: near-LONG_MAX
+    // brackets overflowed the old signed `hi - probe` / `probe + step`.
     long floor = lo;
     long probe = lo;
-    long step = 1;
+    unsigned long step = 1;
     while (probe < hi) {
-        probe = (hi - probe > step) ? probe + step : hi;
+        probe = (bracketWidth(probe, hi) > step)
+                    ? bracketAdvance(probe, step)
+                    : hi;
         if (pred(probe)) {
             // Bisect the bracket (floor, probe]; pred(probe) is true.
             long left = floor + 1;
             long right = probe;
             while (left < right) {
-                const long mid = left + (right - left) / 2;
+                const long mid =
+                    bracketAdvance(left, bracketWidth(left, right) / 2);
                 if (pred(mid)) {
                     right = mid;
                 } else {
@@ -95,7 +124,7 @@ smallestTrueGalloping(const std::function<bool(long)> &pred, long lo,
             return right;
         }
         floor = probe;
-        if (step <= (std::numeric_limits<long>::max() / 2)) {
+        if (step <= (std::numeric_limits<unsigned long>::max() / 2)) {
             step *= 2;
         }
     }

@@ -7,6 +7,7 @@
 #include "carbon/catalog.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "gsf/eval_cache.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -125,6 +126,44 @@ DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
                              const DesignRange &range,
                              long *considered) const
 {
+    EvalCache *cache = evalCache();
+    if (cache == nullptr) {
+        return exploreUncached(baseline, range, considered);
+    }
+    const std::string key = designSpaceCacheKey(
+        baseline, range, constraints_, model_.params());
+    if (auto payload = cache->fetch(key, "design_space")) {
+        std::vector<RankedDesign> designs;
+        long cached_considered = 0;
+        std::vector<std::string> captured;
+        if (decodeRankedDesigns(*payload, &designs, &cached_considered,
+                                &captured)) {
+            obs::replayLedgerLines(captured);
+            if (considered != nullptr) {
+                *considered = cached_considered;
+            }
+            return designs;
+        }
+        cache->noteUndecodable();    // Undecodable payload: recompute.
+    }
+    obs::LedgerCapture capture;
+    long fresh_considered = 0;
+    std::vector<RankedDesign> designs =
+        exploreUncached(baseline, range, &fresh_considered);
+    cache->store(key, "design_space",
+                 encodeRankedDesigns(designs, fresh_considered,
+                                     capture.lines()));
+    if (considered != nullptr) {
+        *considered = fresh_considered;
+    }
+    return designs;
+}
+
+std::vector<RankedDesign>
+DesignSpaceExplorer::exploreUncached(const carbon::ServerSku &baseline,
+                                     const DesignRange &range,
+                                     long *considered) const
+{
     GSKU_REQUIRE(!range.ddr5_dimms.empty() &&
                      !range.cxl_ddr4_dimms.empty() &&
                      !range.new_ssds.empty() &&
@@ -156,17 +195,30 @@ DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
         }
     }
 
-    const auto evaluated = parallelMap<std::optional<RankedDesign>>(
-        combos.size(),
+    auto evaluate_one =
         [&](std::size_t i) -> std::optional<RankedDesign> {
-            const Combo &c = combos[i];
-            const auto sku = buildCandidate(c.ddr5, c.ddr4, c.new_ssd,
-                                            c.reused_ssd);
-            if (!sku) {
-                return std::nullopt;
-            }
-            return RankedDesign{*sku, model_.savingsVs(baseline, *sku)};
-        });
+        const Combo &c = combos[i];
+        const auto sku =
+            buildCandidate(c.ddr5, c.ddr4, c.new_ssd, c.reused_ssd);
+        if (!sku) {
+            return std::nullopt;
+        }
+        return RankedDesign{*sku, model_.savingsVs(baseline, *sku)};
+    };
+    // With a ledger capture live (an eval-cache store in progress),
+    // evaluate on THIS thread: captures are thread-local, and
+    // design.verdict facts emitted on pool workers would escape the
+    // payload being recorded.
+    std::vector<std::optional<RankedDesign>> evaluated;
+    if (obs::ledgerCaptureActive()) {
+        evaluated.reserve(combos.size());
+        for (std::size_t i = 0; i < combos.size(); ++i) {
+            evaluated.push_back(evaluate_one(i));
+        }
+    } else {
+        evaluated = parallelMap<std::optional<RankedDesign>>(
+            combos.size(), evaluate_one);
+    }
 
     std::vector<RankedDesign> designs;
     for (const auto &d : evaluated) {

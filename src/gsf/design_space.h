@@ -75,6 +75,9 @@ class DesignSpaceExplorer
      * Enumerate the range, evaluate deployable candidates against
      * @p baseline, and return them sorted by total savings descending.
      * @p considered (optional out) counts all enumerated combinations.
+     * Served from the persistent evaluation cache when enabled
+     * (gsf/eval_cache.h), keyed on the baseline, the range, the
+     * constraints, and the carbon-model parameters.
      */
     std::vector<RankedDesign>
     explore(const carbon::ServerSku &baseline,
@@ -87,6 +90,12 @@ class DesignSpaceExplorer
                               const carbon::SavingsRow &savings);
 
   private:
+    /** The actual enumeration; explore() wraps this in the eval-cache
+     *  fetch/compute/store cycle. */
+    std::vector<RankedDesign>
+    exploreUncached(const carbon::ServerSku &baseline,
+                    const DesignRange &range, long *considered) const;
+
     const carbon::CarbonModel &model_;
     DesignConstraints constraints_;
 };

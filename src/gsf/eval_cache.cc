@@ -1,0 +1,863 @@
+#include "gsf/eval_cache.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/parse.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+
+namespace gsku::gsf {
+
+namespace {
+
+constexpr std::int64_t kDefaultMaxBytes = 256ll * 1024 * 1024;
+
+const char kHexDigits[] = "0123456789abcdef";
+
+std::string
+toHex16(std::uint64_t v)
+{
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xfull];
+        v >>= 4;
+    }
+    return out;
+}
+
+/** Strict 16-hex-digit decode; the payload format writes nothing else,
+ *  so anything looser is corruption. */
+bool
+fromHex16(const std::string &s, std::uint64_t *out)
+{
+    if (s.size() != 16) {
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (char c : s) {
+        std::uint64_t nibble = 0;
+        if (c >= '0' && c <= '9') {
+            nibble = static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+        } else {
+            return false;
+        }
+        v = (v << 4) | nibble;
+    }
+    *out = v;
+    return true;
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double v = 0.0;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// EvalKeyHasher
+// ---------------------------------------------------------------------
+
+EvalKeyHasher &
+EvalKeyHasher::mix(std::uint64_t v)
+{
+    // FNV-1a over the 8 bytes, fixed little-endian order so the digest
+    // is identical on every platform.
+    for (int i = 0; i < 8; ++i) {
+        hash_ ^= (v >> (8 * i)) & 0xffull;
+        hash_ *= 0x100000001b3ull;
+    }
+    return *this;
+}
+
+EvalKeyHasher &
+EvalKeyHasher::mix(std::int64_t v)
+{
+    return mix(static_cast<std::uint64_t>(v));
+}
+
+EvalKeyHasher &
+EvalKeyHasher::mix(int v)
+{
+    return mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+}
+
+EvalKeyHasher &
+EvalKeyHasher::mix(bool v)
+{
+    return mix(static_cast<std::uint64_t>(v ? 1 : 0));
+}
+
+EvalKeyHasher &
+EvalKeyHasher::mix(double v)
+{
+    return mix(doubleBits(v));
+}
+
+EvalKeyHasher &
+EvalKeyHasher::mix(const std::string &s)
+{
+    // Length prefix keeps concatenated strings unambiguous
+    // ("ab"+"c" != "a"+"bc").
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (char c : s) {
+        hash_ ^= static_cast<unsigned char>(c);
+        hash_ *= 0x100000001b3ull;
+    }
+    return *this;
+}
+
+std::string
+EvalKeyHasher::hex() const
+{
+    return toHex16(hash_);
+}
+
+// ---------------------------------------------------------------------
+// Ingredient mixers
+// ---------------------------------------------------------------------
+
+void
+mixTrace(EvalKeyHasher &h, const cluster::VmTrace &trace)
+{
+    h.mix(trace.name);
+    h.mix(trace.duration_h);
+    h.mix(static_cast<std::uint64_t>(trace.vms.size()));
+    for (const cluster::VmRequest &vm : trace.vms) {
+        h.mix(vm.id);
+        h.mix(vm.arrival_h);
+        h.mix(vm.departure_h);
+        h.mix(vm.cores);
+        h.mix(vm.memory_gb);
+        h.mix(static_cast<int>(vm.origin_generation));
+        h.mix(vm.full_node);
+        h.mix(static_cast<std::uint64_t>(vm.app_index));
+        h.mix(vm.max_mem_touch_fraction);
+    }
+}
+
+void
+mixSku(EvalKeyHasher &h, const carbon::ServerSku &sku)
+{
+    h.mix(sku.name);
+    h.mix(static_cast<int>(sku.generation));
+    h.mix(sku.cores);
+    h.mix(sku.form_factor_u);
+    h.mix(sku.local_memory.asGb());
+    h.mix(sku.cxl_memory.asGb());
+    h.mix(sku.storage.asTb());
+    h.mix(static_cast<std::uint64_t>(sku.slots.size()));
+    for (const carbon::ComponentSlot &slot : sku.slots) {
+        h.mix(slot.component.name);
+        h.mix(static_cast<int>(slot.component.kind));
+        h.mix(slot.component.tdp.asWatts());
+        h.mix(slot.component.embodied.asKg());
+        h.mix(slot.component.reused);
+        h.mix(slot.component.derate_override);
+        h.mix(slot.count);
+    }
+}
+
+void
+mixReplayOptions(EvalKeyHasher &h, const cluster::ReplayOptions &options)
+{
+    h.mix(options.snapshot_interval_h);
+    h.mix(options.stop_on_reject);
+    h.mix(static_cast<int>(options.policy));
+    // use_placement_index is deliberately NOT mixed: placements are
+    // bit-identical with and without the index (the allocator's
+    // contract, asserted by allocator_index_test), so both paths may
+    // share cache entries.
+}
+
+namespace {
+
+void
+mixModelParams(EvalKeyHasher &h, const carbon::ModelParams &p)
+{
+    h.mix(p.carbon_intensity.asKgPerKwh());
+    h.mix(p.lifetime.asHours());
+    h.mix(p.derate);
+    h.mix(p.cpu_vr_loss);
+    h.mix(p.rack_space_u);
+    h.mix(p.rack_power_capacity.asWatts());
+    h.mix(p.rack_misc_power.asWatts());
+    h.mix(p.rack_misc_embodied.asKg());
+    h.mix(p.dc_embodied_per_rack.asKg());
+    h.mix(p.pue);
+}
+
+void
+mixPerfConfig(EvalKeyHasher &h, const perf::PerfConfig &c)
+{
+    h.mix(c.baseline_vm_cores);
+    h.mix(static_cast<std::uint64_t>(c.green_core_options.size()));
+    for (int cores : c.green_core_options) {
+        h.mix(cores);
+    }
+    h.mix(c.tail_percentile);
+    h.mix(c.slo_load_fraction);
+    h.mix(c.low_load_fraction);
+    h.mix(c.tolerance);
+    h.mix(c.throughput_tolerance);
+    h.mix(c.cxl_latency_penalty);
+}
+
+void
+mixAfrParams(EvalKeyHasher &h, const reliability::AfrParams &p)
+{
+    h.mix(p.dimm_afr);
+    h.mix(p.ssd_afr);
+    h.mix(p.other_afr);
+    h.mix(p.fip_effectiveness);
+    h.mix(p.repair_time.asHours());
+}
+
+/** The closure ingredients every key shares: the record kind (so the
+ *  three key spaces can never collide), the model-code version, and
+ *  whether the ledger records (payloads embed captured ledger lines,
+ *  so ledger-off payloads must never serve ledger-on runs). */
+void
+mixCommon(EvalKeyHasher &h, const char *kind,
+          std::uint64_t model_version)
+{
+    h.mix(std::string(kind));
+    h.mix(model_version);
+    h.mix(obs::ledgerEnabled());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Key builders
+// ---------------------------------------------------------------------
+
+std::string
+sizingCacheKey(const cluster::VmTrace &trace,
+               const carbon::ServerSku &baseline,
+               const carbon::ServerSku &green,
+               const cluster::AdoptionTable &adoption,
+               const cluster::ReplayOptions &options,
+               std::uint64_t model_version)
+{
+    EvalKeyHasher h;
+    mixCommon(h, "sizing", model_version);
+    mixTrace(h, trace);
+    mixSku(h, baseline);
+    mixSku(h, green);
+    h.mix(adoption.fingerprint());
+    mixReplayOptions(h, options);
+    return h.hex();
+}
+
+std::string
+designSpaceCacheKey(const carbon::ServerSku &baseline,
+                    const DesignRange &range,
+                    const DesignConstraints &constraints,
+                    const carbon::ModelParams &model_params,
+                    std::uint64_t model_version)
+{
+    EvalKeyHasher h;
+    mixCommon(h, "design_space", model_version);
+    mixSku(h, baseline);
+    auto mix_ints = [&h](const std::vector<int> &vs) {
+        h.mix(static_cast<std::uint64_t>(vs.size()));
+        for (int v : vs) {
+            h.mix(v);
+        }
+    };
+    mix_ints(range.ddr5_dimms);
+    mix_ints(range.cxl_ddr4_dimms);
+    mix_ints(range.new_ssds);
+    mix_ints(range.reused_ssds);
+    h.mix(constraints.min_mem_per_core);
+    h.mix(constraints.max_mem_per_core);
+    h.mix(constraints.max_cxl_fraction);
+    h.mix(constraints.max_cxl_cards);
+    h.mix(constraints.max_ssd_units);
+    h.mix(constraints.min_storage_tb);
+    mixModelParams(h, model_params);
+    return h.hex();
+}
+
+std::string
+clusterEvalCacheKey(const cluster::VmTrace &trace,
+                    const carbon::ServerSku &baseline,
+                    const carbon::ServerSku &green, CarbonIntensity ci,
+                    const GsfEvaluator::Options &options,
+                    std::uint64_t model_version)
+{
+    // The adoption table is *derived inside* the cached computation
+    // (from the perf config and the SKUs), so unlike sizingCacheKey the
+    // closure here is the evaluator's full Options — everything the
+    // adoption model, carbon model, maintenance model, and sizer read.
+    EvalKeyHasher h;
+    mixCommon(h, "cluster_eval", model_version);
+    mixTrace(h, trace);
+    mixSku(h, baseline);
+    mixSku(h, green);
+    h.mix(ci.asKgPerKwh());
+    mixModelParams(h, options.carbon_params);
+    mixPerfConfig(h, options.perf_config);
+    mixAfrParams(h, options.afr_params);
+    h.mix(options.buffer.buffer_fraction);
+    mixReplayOptions(h, options.replay);
+    return h.hex();
+}
+
+// ---------------------------------------------------------------------
+// Payload writer / reader
+// ---------------------------------------------------------------------
+
+PayloadWriter &
+PayloadWriter::u64(std::uint64_t v)
+{
+    out_ += toHex16(v);
+    out_ += '\n';
+    return *this;
+}
+
+PayloadWriter &
+PayloadWriter::i64(std::int64_t v)
+{
+    return u64(static_cast<std::uint64_t>(v));
+}
+
+PayloadWriter &
+PayloadWriter::f64(double v)
+{
+    return u64(doubleBits(v));
+}
+
+PayloadWriter &
+PayloadWriter::boolean(bool v)
+{
+    return u64(v ? 1 : 0);
+}
+
+PayloadWriter &
+PayloadWriter::line(const std::string &s)
+{
+    GSKU_ASSERT(s.find('\n') == std::string::npos,
+                "payload line must not contain newlines");
+    out_ += s;
+    out_ += '\n';
+    return *this;
+}
+
+PayloadWriter &
+PayloadWriter::lines(const std::vector<std::string> &ls)
+{
+    u64(static_cast<std::uint64_t>(ls.size()));
+    for (const std::string &l : ls) {
+        line(l);
+    }
+    return *this;
+}
+
+PayloadReader::PayloadReader(const std::string &payload)
+    : payload_(payload)
+{
+}
+
+bool
+PayloadReader::nextLine(std::string *out)
+{
+    if (pos_ >= payload_.size()) {
+        return false;
+    }
+    const std::size_t nl = payload_.find('\n', pos_);
+    if (nl == std::string::npos) {
+        return false;   // Unterminated final line: truncation.
+    }
+    *out = payload_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    return true;
+}
+
+bool
+PayloadReader::u64(std::uint64_t *out)
+{
+    std::string l;
+    return nextLine(&l) && fromHex16(l, out);
+}
+
+bool
+PayloadReader::i64(std::int64_t *out)
+{
+    std::uint64_t v = 0;
+    if (!u64(&v)) {
+        return false;
+    }
+    *out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+PayloadReader::f64(double *out)
+{
+    std::uint64_t v = 0;
+    if (!u64(&v)) {
+        return false;
+    }
+    *out = bitsToDouble(v);
+    return true;
+}
+
+bool
+PayloadReader::boolean(bool *out)
+{
+    std::uint64_t v = 0;
+    if (!u64(&v) || v > 1) {
+        return false;
+    }
+    *out = v == 1;
+    return true;
+}
+
+bool
+PayloadReader::line(std::string *out)
+{
+    return nextLine(out);
+}
+
+bool
+PayloadReader::lines(std::vector<std::string> *out)
+{
+    std::uint64_t n = 0;
+    if (!u64(&n) || n > payload_.size()) {
+        return false;   // A count the payload cannot possibly hold.
+    }
+    out->clear();
+    out->reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string l;
+        if (!nextLine(&l)) {
+            return false;
+        }
+        out->push_back(std::move(l));
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// EvalCache
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct EvalCacheCounters
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &stale;
+    obs::Counter &corrupt;
+    obs::Counter &undecodable;
+    obs::Counter &stores;
+    obs::Counter &store_failures;
+    obs::Counter &evictions;
+};
+
+EvalCacheCounters &
+counters()
+{
+    static EvalCacheCounters c{
+        obs::metrics().counter("evalcache.hits"),
+        obs::metrics().counter("evalcache.misses"),
+        obs::metrics().counter("evalcache.stale"),
+        obs::metrics().counter("evalcache.corrupt"),
+        obs::metrics().counter("evalcache.undecodable"),
+        obs::metrics().counter("evalcache.stores"),
+        obs::metrics().counter("evalcache.store_failures"),
+        obs::metrics().counter("evalcache.evictions"),
+    };
+    return c;
+}
+
+/** The provenance fact for one cached computation. Emitted with the
+ *  SAME fields on store and on every later hit: the ledger is a
+ *  deduplicated set, so cold and warm runs render identical files. */
+void
+noteCacheEntry(const char *kind, const std::string &key)
+{
+    obs::LedgerEntry(obs::LedgerEvent::CacheEntry)
+        .field("kind", kind)
+        .field("key", key);
+}
+
+} // namespace
+
+EvalCache::EvalCache(const std::string &dir, std::int64_t max_bytes)
+    : disk_(dir, kEvalCacheSchema, max_bytes)
+{
+}
+
+std::optional<std::string>
+EvalCache::fetch(const std::string &key, const char *kind)
+{
+    CacheGetResult result = disk_.get(key);
+    switch (result.status) {
+    case CacheGetStatus::Hit:
+        counters().hits.inc();
+        noteCacheEntry(kind, key);
+        return std::move(result.payload);
+    case CacheGetStatus::Miss:
+        counters().misses.inc();
+        return std::nullopt;
+    case CacheGetStatus::Stale:
+        counters().stale.inc();
+        return std::nullopt;
+    case CacheGetStatus::Corrupt:
+        counters().corrupt.inc();
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+void
+EvalCache::store(const std::string &key, const char *kind,
+                 const std::string &payload)
+{
+    const int evicted = disk_.put(key, payload);
+    if (evicted < 0) {
+        counters().store_failures.inc();
+        return;
+    }
+    counters().stores.inc();
+    counters().evictions.inc(static_cast<std::uint64_t>(evicted));
+    noteCacheEntry(kind, key);
+}
+
+void
+EvalCache::noteUndecodable()
+{
+    counters().undecodable.inc();
+}
+
+// ---------------------------------------------------------------------
+// Global configuration
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::mutex g_config_mutex;
+EvalCache *g_cache = nullptr;
+bool g_configured = false;
+
+std::int64_t
+envMaxBytes()
+{
+    const char *env = std::getenv("GSKU_EVAL_CACHE_MAX_BYTES");
+    if (env == nullptr || *env == '\0') {
+        return kDefaultMaxBytes;
+    }
+    return parseLong(env, ParseContext{"GSKU_EVAL_CACHE_MAX_BYTES "
+                                       "environment variable",
+                                       0, ""});
+}
+
+} // namespace
+
+EvalCache *
+evalCache()
+{
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    if (!g_configured) {
+        g_configured = true;
+        const char *dir = std::getenv("GSKU_EVAL_CACHE");
+        if (dir != nullptr && *dir != '\0') {
+            g_cache = new EvalCache(dir, envMaxBytes());
+        }
+    }
+    return g_cache;
+}
+
+void
+configureEvalCache(const std::string &dir, std::int64_t max_bytes)
+{
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_configured = true;
+    if (dir.empty()) {
+        g_cache = nullptr;  // Old instance (if any) leaks by design.
+        return;
+    }
+    g_cache = new EvalCache(dir,
+                            max_bytes > 0 ? max_bytes : envMaxBytes());
+}
+
+// ---------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+encodeGroupMetrics(PayloadWriter &w, const cluster::GroupMetrics &g)
+{
+    w.i64(g.servers)
+        .i64(g.vms_placed)
+        .f64(g.mean_core_packing)
+        .f64(g.mean_mem_packing)
+        .f64(g.mean_max_mem_utilization);
+}
+
+bool
+decodeGroupMetrics(PayloadReader &r, cluster::GroupMetrics *g)
+{
+    std::int64_t servers = 0;
+    return r.i64(&servers) &&
+           (g->servers = static_cast<int>(servers), true) &&
+           r.i64(&g->vms_placed) && r.f64(&g->mean_core_packing) &&
+           r.f64(&g->mean_mem_packing) &&
+           r.f64(&g->mean_max_mem_utilization);
+}
+
+void
+encodeReplayResult(PayloadWriter &w, const cluster::ReplayResult &rr)
+{
+    w.boolean(rr.success).i64(rr.placed).i64(rr.rejected);
+    encodeGroupMetrics(w, rr.baseline);
+    encodeGroupMetrics(w, rr.green);
+    w.i64(rr.green_placed).i64(rr.green_fallbacks);
+}
+
+bool
+decodeReplayResult(PayloadReader &r, cluster::ReplayResult *rr)
+{
+    return r.boolean(&rr->success) && r.i64(&rr->placed) &&
+           r.i64(&rr->rejected) && decodeGroupMetrics(r, &rr->baseline) &&
+           decodeGroupMetrics(r, &rr->green) && r.i64(&rr->green_placed) &&
+           r.i64(&rr->green_fallbacks);
+}
+
+void
+encodeSizing(PayloadWriter &w, const SizingResult &s)
+{
+    w.i64(s.baseline_only_servers)
+        .i64(s.mixed_baselines)
+        .i64(s.mixed_greens);
+    encodeReplayResult(w, s.baseline_only_replay);
+    encodeReplayResult(w, s.mixed_replay);
+}
+
+bool
+decodeSizing(PayloadReader &r, SizingResult *s)
+{
+    std::int64_t b_only = 0;
+    std::int64_t mixed_b = 0;
+    std::int64_t mixed_g = 0;
+    if (!r.i64(&b_only) || !r.i64(&mixed_b) || !r.i64(&mixed_g)) {
+        return false;
+    }
+    s->baseline_only_servers = static_cast<int>(b_only);
+    s->mixed_baselines = static_cast<int>(mixed_b);
+    s->mixed_greens = static_cast<int>(mixed_g);
+    return decodeReplayResult(r, &s->baseline_only_replay) &&
+           decodeReplayResult(r, &s->mixed_replay);
+}
+
+void
+encodeSku(PayloadWriter &w, const carbon::ServerSku &sku)
+{
+    w.line(sku.name)
+        .i64(static_cast<int>(sku.generation))
+        .i64(sku.cores)
+        .i64(sku.form_factor_u)
+        .f64(sku.local_memory.asGb())
+        .f64(sku.cxl_memory.asGb())
+        .f64(sku.storage.asTb())
+        .u64(static_cast<std::uint64_t>(sku.slots.size()));
+    for (const carbon::ComponentSlot &slot : sku.slots) {
+        w.line(slot.component.name)
+            .i64(static_cast<int>(slot.component.kind))
+            .f64(slot.component.tdp.asWatts())
+            .f64(slot.component.embodied.asKg())
+            .boolean(slot.component.reused)
+            .f64(slot.component.derate_override)
+            .i64(slot.count);
+    }
+}
+
+bool
+decodeSku(PayloadReader &r, carbon::ServerSku *sku)
+{
+    std::int64_t generation = 0;
+    std::int64_t cores = 0;
+    std::int64_t form_factor = 0;
+    double local_gb = 0.0;
+    double cxl_gb = 0.0;
+    double storage_tb = 0.0;
+    std::uint64_t slot_count = 0;
+    if (!r.line(&sku->name) || !r.i64(&generation) || !r.i64(&cores) ||
+        !r.i64(&form_factor) || !r.f64(&local_gb) || !r.f64(&cxl_gb) ||
+        !r.f64(&storage_tb) || !r.u64(&slot_count) ||
+        generation < 0 ||
+        generation > static_cast<int>(carbon::Generation::GreenSku) ||
+        slot_count > 4096) {
+        return false;
+    }
+    sku->generation = static_cast<carbon::Generation>(generation);
+    sku->cores = static_cast<int>(cores);
+    sku->form_factor_u = static_cast<int>(form_factor);
+    sku->local_memory = MemCapacity::gb(local_gb);
+    sku->cxl_memory = MemCapacity::gb(cxl_gb);
+    sku->storage = StorageCapacity::tb(storage_tb);
+    sku->slots.clear();
+    sku->slots.reserve(static_cast<std::size_t>(slot_count));
+    for (std::uint64_t i = 0; i < slot_count; ++i) {
+        carbon::ComponentSlot slot;
+        std::int64_t kind = 0;
+        std::int64_t count = 0;
+        double tdp_w = 0.0;
+        double embodied_kg = 0.0;
+        if (!r.line(&slot.component.name) || !r.i64(&kind) ||
+            !r.f64(&tdp_w) || !r.f64(&embodied_kg) ||
+            !r.boolean(&slot.component.reused) ||
+            !r.f64(&slot.component.derate_override) || !r.i64(&count) ||
+            kind < 0 ||
+            kind > static_cast<int>(carbon::ComponentKind::Misc)) {
+            return false;
+        }
+        slot.component.kind = static_cast<carbon::ComponentKind>(kind);
+        slot.component.tdp = Power::watts(tdp_w);
+        slot.component.embodied = CarbonMass::kg(embodied_kg);
+        slot.count = static_cast<int>(count);
+        sku->slots.push_back(std::move(slot));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeSizingResult(const SizingResult &result,
+                   const std::vector<std::string> &ledger)
+{
+    PayloadWriter w;
+    encodeSizing(w, result);
+    w.lines(ledger);
+    return w.str();
+}
+
+bool
+decodeSizingResult(const std::string &payload, SizingResult *result,
+                   std::vector<std::string> *ledger)
+{
+    PayloadReader r(payload);
+    return decodeSizing(r, result) && r.lines(ledger) && r.atEnd();
+}
+
+std::string
+encodeClusterEvaluation(const ClusterEvaluation &eval,
+                        const std::vector<std::string> &ledger)
+{
+    PayloadWriter w;
+    w.line(eval.trace_name);
+    encodeSizing(w, eval.sizing);
+    w.i64(eval.baseline_scenario_buffer)
+        .i64(eval.mixed_scenario_buffer)
+        .f64(eval.baseline_scenario_emissions.asKg())
+        .f64(eval.mixed_scenario_emissions.asKg())
+        .f64(eval.savings);
+    w.lines(ledger);
+    return w.str();
+}
+
+bool
+decodeClusterEvaluation(const std::string &payload,
+                        ClusterEvaluation *eval,
+                        std::vector<std::string> *ledger)
+{
+    PayloadReader r(payload);
+    if (!r.line(&eval->trace_name) || !decodeSizing(r, &eval->sizing)) {
+        return false;
+    }
+    std::int64_t base_buffer = 0;
+    std::int64_t mixed_buffer = 0;
+    double base_kg = 0.0;
+    double mixed_kg = 0.0;
+    if (!r.i64(&base_buffer) || !r.i64(&mixed_buffer) ||
+        !r.f64(&base_kg) || !r.f64(&mixed_kg) || !r.f64(&eval->savings)) {
+        return false;
+    }
+    eval->baseline_scenario_buffer = static_cast<int>(base_buffer);
+    eval->mixed_scenario_buffer = static_cast<int>(mixed_buffer);
+    eval->baseline_scenario_emissions = CarbonMass::kg(base_kg);
+    eval->mixed_scenario_emissions = CarbonMass::kg(mixed_kg);
+    return r.lines(ledger) && r.atEnd();
+}
+
+std::string
+encodeRankedDesigns(const std::vector<RankedDesign> &designs,
+                    long considered,
+                    const std::vector<std::string> &ledger)
+{
+    PayloadWriter w;
+    w.i64(considered);
+    w.u64(static_cast<std::uint64_t>(designs.size()));
+    for (const RankedDesign &d : designs) {
+        encodeSku(w, d.sku);
+        w.line(d.savings.sku_name)
+            .f64(d.savings.per_core.operational.asKg())
+            .f64(d.savings.per_core.embodied.asKg())
+            .f64(d.savings.operational_savings)
+            .f64(d.savings.embodied_savings)
+            .f64(d.savings.total_savings);
+    }
+    w.lines(ledger);
+    return w.str();
+}
+
+bool
+decodeRankedDesigns(const std::string &payload,
+                    std::vector<RankedDesign> *designs, long *considered,
+                    std::vector<std::string> *ledger)
+{
+    PayloadReader r(payload);
+    std::int64_t considered64 = 0;
+    std::uint64_t count = 0;
+    if (!r.i64(&considered64) || !r.u64(&count) ||
+        count > payload.size()) {
+        return false;
+    }
+    designs->clear();
+    designs->reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        RankedDesign d;
+        double op_kg = 0.0;
+        double emb_kg = 0.0;
+        if (!decodeSku(r, &d.sku) || !r.line(&d.savings.sku_name) ||
+            !r.f64(&op_kg) || !r.f64(&emb_kg) ||
+            !r.f64(&d.savings.operational_savings) ||
+            !r.f64(&d.savings.embodied_savings) ||
+            !r.f64(&d.savings.total_savings)) {
+            return false;
+        }
+        d.savings.per_core.operational = CarbonMass::kg(op_kg);
+        d.savings.per_core.embodied = CarbonMass::kg(emb_kg);
+        designs->push_back(std::move(d));
+    }
+    if (!r.lines(ledger) || !r.atEnd()) {
+        return false;
+    }
+    *considered = static_cast<long>(considered64);
+    return true;
+}
+
+} // namespace gsku::gsf

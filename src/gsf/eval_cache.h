@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Persistent cross-run evaluation cache (schema `gsku-evalcache-v1`).
+ *
+ * The per-process memo in GsfEvaluator::sweep dies with the process,
+ * so paper-scale experiments (Fig. 11 sweeps, ablation grids, the full
+ * report) redo identical cluster sizings run after run. This layer
+ * makes those results durable: each expensive computation is stored on
+ * disk under a content-addressed key — an FNV-1a digest of the *full
+ * input closure* (trace content, SKU serialization, adoption
+ * signature, replay options, model-code version stamp, and whether the
+ * decision ledger is recording) — so a warm run replays the stored
+ * result byte-for-byte and any single-ingredient perturbation forces a
+ * recompute.
+ *
+ * Cached record kinds (see docs/performance.md for the key closures):
+ *
+ *   sizing        ClusterSizer::size — a full SizingResult.
+ *   cluster_eval  GsfEvaluator::evaluateCluster — per-CI emissions.
+ *   design_space  DesignSpaceExplorer::explore — ranked designs.
+ *
+ * Safety model (proved by tests/gsf/eval_cache_test.cc and the
+ * cold-vs-warm parity legs of parallel_parity_test):
+ *
+ *  - Payloads carry every double as its exact 64-bit pattern, so a
+ *    warm result is bit-identical to the cold one.
+ *  - Each payload also carries the decision-ledger lines the cold
+ *    computation emitted (captured via obs::LedgerCapture); a hit
+ *    replays them, so cold and warm ledgers render byte-identical.
+ *    Whether the ledger records is folded into the key, so a payload
+ *    captured with the ledger off can never serve a ledger-on run.
+ *  - A truncated, corrupted, version-skewed, or undecodable record is
+ *    a miss, never an error: the evaluator silently recomputes.
+ *
+ * Enabled by `GSKU_EVAL_CACHE=<dir>` (or `--eval-cache <dir>` in the
+ * CLIs); `GSKU_EVAL_CACHE_MAX_BYTES` caps the on-disk size with LRU
+ * eviction (default 256 MiB). Disabled (the default), every call site
+ * compiles down to one null-pointer check.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "carbon/sku.h"
+#include "cluster/allocator.h"
+#include "cluster/vm.h"
+#include "common/diskcache.h"
+#include "gsf/design_space.h"
+#include "gsf/evaluator.h"
+#include "gsf/sizing.h"
+
+namespace gsku::gsf {
+
+/**
+ * Model-code version stamp folded into every cache key. Bump when a
+ * change to the carbon/perf/sizing/allocator models alters outputs:
+ * every key changes, so stale results can never be replayed. (The
+ * bench_compare checksum gate catches forgotten bumps: a warm run
+ * replaying outdated numbers drifts from the fresh baseline.)
+ */
+inline constexpr std::uint64_t kEvalCacheModelVersion = 1;
+
+/** On-disk record schema tag; a record with any other tag reads as
+ *  stale and is treated as a miss. */
+inline constexpr const char *kEvalCacheSchema = "gsku-evalcache-v1";
+
+/**
+ * FNV-1a accumulator for cache keys. Every ingredient is mixed as
+ * exact bytes (doubles by bit pattern), so "same key" means "same
+ * input closure to the last bit".
+ */
+class EvalKeyHasher
+{
+  public:
+    EvalKeyHasher &mix(std::uint64_t v);
+    EvalKeyHasher &mix(std::int64_t v);
+    EvalKeyHasher &mix(int v);
+    EvalKeyHasher &mix(bool v);
+    EvalKeyHasher &mix(double v);           ///< Exact bit pattern.
+    EvalKeyHasher &mix(const std::string &s);
+
+    /** The digest as 16 lowercase hex digits (DiskCache key shape). */
+    std::string hex() const;
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/** Content hash of a trace: name, duration, and every VM field. */
+void mixTrace(EvalKeyHasher &h, const cluster::VmTrace &trace);
+
+/** Full SKU serialization: capacities, generation, and every
+ *  component slot (name, kind, TDP, embodied, reuse, derate, count). */
+void mixSku(EvalKeyHasher &h, const carbon::ServerSku &sku);
+
+/** Replay knobs that change packing outcomes. */
+void mixReplayOptions(EvalKeyHasher &h,
+                      const cluster::ReplayOptions &options);
+
+/**
+ * Sequential payload writer. The wire format is line-oriented text:
+ * numbers as 16-hex-digit 64-bit patterns (doubles keep their exact
+ * bits), strings as raw lines. PayloadReader consumes the same
+ * stream; any deviation reads as corruption (a miss).
+ */
+class PayloadWriter
+{
+  public:
+    PayloadWriter &u64(std::uint64_t v);
+    PayloadWriter &i64(std::int64_t v);
+    PayloadWriter &f64(double v);
+    PayloadWriter &boolean(bool v);
+    PayloadWriter &line(const std::string &s);  ///< Must not contain \n.
+    PayloadWriter &lines(const std::vector<std::string> &ls);
+
+    const std::string &str() const { return out_; }
+
+  private:
+    std::string out_;
+};
+
+/** Sequential payload reader; every read returns false on any
+ *  malformation and never throws (corruption is a miss). */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(const std::string &payload);
+
+    bool u64(std::uint64_t *out);
+    bool i64(std::int64_t *out);
+    bool f64(double *out);
+    bool boolean(bool *out);
+    bool line(std::string *out);
+    bool lines(std::vector<std::string> *out);
+
+    /** True when the payload was consumed exactly. */
+    bool atEnd() const { return pos_ == payload_.size(); }
+
+  private:
+    bool nextLine(std::string *out);
+
+    const std::string &payload_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * The process-wide persistent cache. fetch/store count the
+ * `evalcache.*` metrics and emit one `cache.entry` ledger fact per
+ * key — the *same* fact on store and on hit, so cold and warm ledgers
+ * dedup to identical files.
+ */
+class EvalCache
+{
+  public:
+    /** @p max_bytes <= 0 means unlimited. Throws UserError when the
+     *  directory cannot be created. */
+    EvalCache(const std::string &dir, std::int64_t max_bytes);
+
+    /**
+     * Look up @p key. Returns the payload on a verified hit (counting
+     * evalcache.hits and emitting the cache.entry fact); nullopt on
+     * miss / stale schema / corrupt record, each counted separately.
+     */
+    std::optional<std::string> fetch(const std::string &key,
+                                     const char *kind);
+
+    /** Store @p payload under @p key, evicting LRU records past the
+     *  byte budget; emits the cache.entry fact. I/O failure only
+     *  counts (the entry is simply not stored). */
+    void store(const std::string &key, const char *kind,
+               const std::string &payload);
+
+    /** Count a payload that fetched cleanly but failed to decode
+     *  (callers then recompute — a decode failure is a miss too). */
+    void noteUndecodable();
+
+    const std::string &dir() const { return disk_.dir(); }
+
+  private:
+    DiskCache disk_;
+};
+
+/**
+ * The global cache: configured from `GSKU_EVAL_CACHE` on first use, or
+ * explicitly via configureEvalCache (CLI `--eval-cache`). Returns
+ * nullptr when disabled. The returned instance lives for the process
+ * (reconfiguration leaks the old one — instances are tiny).
+ */
+EvalCache *evalCache();
+
+/** Enable the cache rooted at @p dir ("" disables). @p max_bytes <= 0
+ *  means "use GSKU_EVAL_CACHE_MAX_BYTES, else the 256 MiB default". */
+void configureEvalCache(const std::string &dir,
+                        std::int64_t max_bytes = 0);
+
+// ---------------------------------------------------------------------
+// Key builders — one per record kind; each folds in the full input
+// closure plus the model version stamp and the ledger-recording flag.
+// @p model_version is overridable so tests can prove a version bump
+// forces a miss.
+// ---------------------------------------------------------------------
+
+std::string
+sizingCacheKey(const cluster::VmTrace &trace,
+               const carbon::ServerSku &baseline,
+               const carbon::ServerSku &green,
+               const cluster::AdoptionTable &adoption,
+               const cluster::ReplayOptions &options,
+               std::uint64_t model_version = kEvalCacheModelVersion);
+
+std::string
+clusterEvalCacheKey(const cluster::VmTrace &trace,
+                    const carbon::ServerSku &baseline,
+                    const carbon::ServerSku &green, CarbonIntensity ci,
+                    const GsfEvaluator::Options &options,
+                    std::uint64_t model_version = kEvalCacheModelVersion);
+
+std::string
+designSpaceCacheKey(const carbon::ServerSku &baseline,
+                    const DesignRange &range,
+                    const DesignConstraints &constraints,
+                    const carbon::ModelParams &model_params,
+                    std::uint64_t model_version = kEvalCacheModelVersion);
+
+// ---------------------------------------------------------------------
+// Payload codecs. Encoders append the captured ledger lines last;
+// decoders return false on any malformation (callers recompute).
+// ---------------------------------------------------------------------
+
+std::string encodeSizingResult(const SizingResult &result,
+                               const std::vector<std::string> &ledger);
+bool decodeSizingResult(const std::string &payload, SizingResult *result,
+                        std::vector<std::string> *ledger);
+
+std::string
+encodeClusterEvaluation(const ClusterEvaluation &eval,
+                        const std::vector<std::string> &ledger);
+bool decodeClusterEvaluation(const std::string &payload,
+                             ClusterEvaluation *eval,
+                             std::vector<std::string> *ledger);
+
+std::string
+encodeRankedDesigns(const std::vector<RankedDesign> &designs,
+                    long considered,
+                    const std::vector<std::string> &ledger);
+bool decodeRankedDesigns(const std::string &payload,
+                         std::vector<RankedDesign> *designs,
+                         long *considered,
+                         std::vector<std::string> *ledger);
+
+} // namespace gsku::gsf

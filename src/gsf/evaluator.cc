@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "gsf/eval_cache.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -64,6 +65,36 @@ GsfEvaluator::evaluateCluster(const cluster::VmTrace &trace,
                               const carbon::ServerSku &baseline,
                               const carbon::ServerSku &green,
                               CarbonIntensity ci) const
+{
+    EvalCache *cache = evalCache();
+    if (cache == nullptr) {
+        return evaluateClusterUncached(trace, baseline, green, ci);
+    }
+    const std::string key =
+        clusterEvalCacheKey(trace, baseline, green, ci, options_);
+    if (auto payload = cache->fetch(key, "cluster_eval")) {
+        ClusterEvaluation eval;
+        std::vector<std::string> captured;
+        if (decodeClusterEvaluation(*payload, &eval, &captured)) {
+            eval.sizing.checkInvariants();
+            obs::replayLedgerLines(captured);
+            return eval;
+        }
+        cache->noteUndecodable();    // Undecodable payload: recompute.
+    }
+    obs::LedgerCapture capture;
+    ClusterEvaluation eval =
+        evaluateClusterUncached(trace, baseline, green, ci);
+    cache->store(key, "cluster_eval",
+                 encodeClusterEvaluation(eval, capture.lines()));
+    return eval;
+}
+
+ClusterEvaluation
+GsfEvaluator::evaluateClusterUncached(const cluster::VmTrace &trace,
+                                      const carbon::ServerSku &baseline,
+                                      const carbon::ServerSku &green,
+                                      CarbonIntensity ci) const
 {
     static obs::Counter &cluster_evals =
         obs::metrics().counter("evaluator.cluster_evals");

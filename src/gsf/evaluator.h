@@ -83,6 +83,9 @@ class GsfEvaluator
      * Evaluate one GreenSKU design on one trace at carbon intensity
      * @p ci. Sizes both scenarios, adds growth buffers and the
      * maintenance out-of-service overhead, and compares emissions.
+     * Served from the persistent evaluation cache when enabled
+     * (gsf/eval_cache.h); the key covers the trace content, both SKUs,
+     * the CI, and every Options field, so any input change recomputes.
      */
     ClusterEvaluation evaluateCluster(const cluster::VmTrace &trace,
                                       const carbon::ServerSku &baseline,
@@ -116,6 +119,14 @@ class GsfEvaluator
                                    int servers, CarbonIntensity ci) const;
 
   private:
+    /** The actual evaluation; evaluateCluster() wraps this in the
+     *  eval-cache fetch/compute/store cycle. */
+    ClusterEvaluation
+    evaluateClusterUncached(const cluster::VmTrace &trace,
+                            const carbon::ServerSku &baseline,
+                            const carbon::ServerSku &green,
+                            CarbonIntensity ci) const;
+
     Options options_;
     carbon::CarbonModel carbon_;
     perf::PerfModel perf_;

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/solver.h"
+#include "gsf/eval_cache.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -98,6 +99,35 @@ ClusterSizer::size(const cluster::VmTrace &trace,
                    const carbon::ServerSku &green,
                    const cluster::AdoptionTable &adoption) const
 {
+    EvalCache *cache = evalCache();
+    if (cache == nullptr) {
+        return sizeUncached(trace, baseline, green, adoption);
+    }
+    const std::string key =
+        sizingCacheKey(trace, baseline, green, adoption, options_);
+    if (auto payload = cache->fetch(key, "sizing")) {
+        SizingResult result;
+        std::vector<std::string> captured;
+        if (decodeSizingResult(*payload, &result, &captured)) {
+            result.checkInvariants();
+            obs::replayLedgerLines(captured);
+            return result;
+        }
+        cache->noteUndecodable();    // Undecodable payload: recompute.
+    }
+    obs::LedgerCapture capture;
+    SizingResult result = sizeUncached(trace, baseline, green, adoption);
+    cache->store(key, "sizing",
+                 encodeSizingResult(result, capture.lines()));
+    return result;
+}
+
+SizingResult
+ClusterSizer::sizeUncached(const cluster::VmTrace &trace,
+                           const carbon::ServerSku &baseline,
+                           const carbon::ServerSku &green,
+                           const cluster::AdoptionTable &adoption) const
+{
     static obs::Counter &sizings =
         obs::metrics().counter("sizer.sizings");
     sizings.inc();
@@ -140,23 +170,31 @@ ClusterSizer::size(const cluster::VmTrace &trace,
 
     // The two scenario replays are independent: run them through the
     // worker pool (serial inline when nested inside a pooled sweep).
-    auto replays = parallelMap<cluster::ReplayResult>(
-        2, [&](std::size_t i) {
-            cluster::VmAllocator allocator(options_);
-            if (i == 0) {
-                return allocator.replay(
-                    trace,
-                    cluster::ClusterSpec{baseline, green,
-                                         result.baseline_only_servers, 0},
-                    cluster::AdoptionTable::none());
-            }
+    // When a ledger capture is live, run them on THIS thread instead:
+    // captures are thread-local, and allocator.outcome facts emitted on
+    // a pool worker would escape the eval-cache payload being recorded.
+    auto replay_one = [&](std::size_t i) {
+        cluster::VmAllocator allocator(options_);
+        if (i == 0) {
             return allocator.replay(
                 trace,
                 cluster::ClusterSpec{baseline, green,
-                                     result.mixed_baselines,
-                                     result.mixed_greens},
-                adoption);
-        });
+                                     result.baseline_only_servers, 0},
+                cluster::AdoptionTable::none());
+        }
+        return allocator.replay(
+            trace,
+            cluster::ClusterSpec{baseline, green, result.mixed_baselines,
+                                 result.mixed_greens},
+            adoption);
+    };
+    std::vector<cluster::ReplayResult> replays;
+    if (obs::ledgerCaptureActive()) {
+        replays.push_back(replay_one(0));
+        replays.push_back(replay_one(1));
+    } else {
+        replays = parallelMap<cluster::ReplayResult>(2, replay_one);
+    }
     result.baseline_only_replay = std::move(replays[0]);
     result.mixed_replay = std::move(replays[1]);
     result.checkInvariants();

@@ -49,8 +49,14 @@ class ClusterSizer
     int rightSizeBaselineOnly(const cluster::VmTrace &trace,
                               const carbon::ServerSku &baseline) const;
 
-    /** Full §V procedure; @p adoption decides which VMs can move.
-     *  Implemented with bisection (both searches are monotone). */
+    /**
+     * Full §V procedure; @p adoption decides which VMs can move.
+     * Implemented with bisection (both searches are monotone). When the
+     * persistent evaluation cache is enabled (gsf/eval_cache.h), the
+     * result is served from disk under its input-closure key; a hit
+     * replays the sizing's decision-ledger facts, so cached and fresh
+     * runs produce byte-identical ledgers.
+     */
     SizingResult size(const cluster::VmTrace &trace,
                       const carbon::ServerSku &baseline,
                       const carbon::ServerSku &green,
@@ -72,6 +78,13 @@ class ClusterSizer
 
   private:
     cluster::ReplayOptions options_;
+
+    /** The actual search; size() wraps this in the eval-cache
+     *  fetch/compute/store cycle. */
+    SizingResult sizeUncached(const cluster::VmTrace &trace,
+                              const carbon::ServerSku &baseline,
+                              const carbon::ServerSku &green,
+                              const cluster::AdoptionTable &adoption) const;
 
     /** One allocator replay; @p phase names the search that asked for
      *  it in sizing.probe ledger events. */

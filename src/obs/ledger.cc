@@ -172,12 +172,60 @@ LedgerEntry::LedgerEntry(LedgerEvent event)
     line_ += jsonQuote(eventName(event));
 }
 
+namespace {
+
+/** Top of the calling thread's capture-scope stack (nullptr = none). */
+thread_local LedgerCapture *t_capture_top = nullptr;
+
+} // namespace
+
+/** Append a committed line to every capture scope on this thread. */
+void
+detailRecordToCaptures(const std::string &line)
+{
+    for (LedgerCapture *scope = t_capture_top; scope != nullptr;
+         scope = scope->prev_) {
+        scope->lines_.push_back(line);
+    }
+}
+
+LedgerCapture::LedgerCapture() : prev_(t_capture_top)
+{
+    t_capture_top = this;
+}
+
+LedgerCapture::~LedgerCapture()
+{
+    t_capture_top = prev_;
+}
+
+bool
+ledgerCaptureActive()
+{
+    return t_capture_top != nullptr;
+}
+
+void
+replayLedgerLines(const std::vector<std::string> &lines)
+{
+    if (!ledgerEnabled() || lines.empty()) {
+        return;
+    }
+    for (const std::string &line : lines) {
+        detailRecordToCaptures(line);
+    }
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.lines.insert(lines.begin(), lines.end());
+}
+
 LedgerEntry::~LedgerEntry()
 {
     if (!active_) {
         return;
     }
     line_ += "}";
+    detailRecordToCaptures(line_);
     Store &s = store();
     std::lock_guard<std::mutex> lock(s.mutex);
     s.lines.insert(std::move(line_));
@@ -319,7 +367,10 @@ parseFlatObject(const std::string &line, LedgerRecord &rec,
             const std::string token =
                 line.substr(start, i - start);
             char *end = nullptr;
-            const double v = std::strtod(token.c_str(), &end);
+            // Tolerant read-back of our own JSONL: malformed values
+            // report a parse error, not a thrown UserError.
+            const double v = std::strtod( // lint-ok: checked-parse
+                token.c_str(), &end);
             if (end == token.c_str() || end == nullptr) {
                 error = "unparseable value for key \"" + key + "\"";
                 return false;

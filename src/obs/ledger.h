@@ -49,6 +49,9 @@ enum class LedgerEvent
     DesignVerdict,      ///< Design-space candidate + binding constraint.
     EvaluatorVerdict,   ///< Cluster evaluation: savings verdict.
     MaintenanceGate,    ///< Out-of-service overhead applied to one SKU.
+    CacheEntry,         ///< Eval-cache record: the key digest of one
+                        ///< cached computation (same fact on store and
+                        ///< hit, so cold/warm ledgers dedup identical).
 };
 
 /**
@@ -68,6 +71,7 @@ inline constexpr const char *kLedgerEventNames[] = {
     "design.verdict",
     "evaluator.verdict",
     "maintenance.gate",
+    "cache.entry",
 };
 
 inline constexpr std::size_t kLedgerEventCount =
@@ -135,6 +139,58 @@ class LedgerEntry
     bool active_ = false;
     std::string line_;
 };
+
+// ---------------------------------------------------------------------
+// Capture — used by the eval cache (gsf/eval_cache.h) to persist the
+// decision facts a computation emitted alongside its result, so a
+// later cache hit can replay them and a warm ledger stays
+// byte-identical to a cold one.
+// ---------------------------------------------------------------------
+
+/**
+ * RAII capture scope: while alive, every ledger line committed by
+ * *this thread* is also appended to the scope's line list (commitment
+ * to the global ledger is unchanged). Scopes nest; an inner scope's
+ * lines still reach the outer one. Captures nothing while the ledger
+ * is disabled (no lines are built at all), which is why the eval
+ * cache folds ledgerEnabled() into its keys.
+ *
+ * Thread model: the scope only sees lines from the thread that
+ * created it. Computations that must be captured whole therefore run
+ * single-threaded under a scope — the worker pool's serial-inline
+ * nesting rule makes that automatic for pool jobs, and
+ * ClusterSizer::size drops to serial replays when a capture is
+ * active (see sizing.cc).
+ */
+class LedgerCapture
+{
+  public:
+    LedgerCapture();
+    ~LedgerCapture();
+
+    LedgerCapture(const LedgerCapture &) = delete;
+    LedgerCapture &operator=(const LedgerCapture &) = delete;
+
+    /** Lines committed on this thread since construction. */
+    const std::vector<std::string> &lines() const { return lines_; }
+
+  private:
+    friend void detailRecordToCaptures(const std::string &line);
+
+    std::vector<std::string> lines_;
+    LedgerCapture *prev_ = nullptr;
+};
+
+/** True when the calling thread has a live LedgerCapture scope. */
+bool ledgerCaptureActive();
+
+/**
+ * Re-commit previously captured lines (a cache hit replaying the
+ * decisions of the run that stored the entry). No-op when the ledger
+ * is disabled; replayed lines also flow into any active capture
+ * scopes, so a hit inside a captured computation stays whole.
+ */
+void replayLedgerLines(const std::vector<std::string> &lines);
 
 // ---------------------------------------------------------------------
 // Reader — used by the gsku_explain engine and the schema tests. Lives

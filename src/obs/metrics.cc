@@ -86,24 +86,42 @@ MetricsSnapshot::HistogramValue::percentile(double p) const
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < buckets.size(); ++i) {
         const std::uint64_t in_bucket = buckets[i];
-        if (static_cast<double>(cumulative + in_bucket) < rank ||
-            in_bucket == 0) {
+        if (in_bucket == 0) {
+            continue;
+        }
+        const double reached = static_cast<double>(cumulative + in_bucket);
+        if (reached < rank) {
             cumulative += in_bucket;
             continue;
         }
         if (i >= bounds.size()) {
-            break;  // Overflow bucket: no finite upper bound to
-                    // interpolate toward.
+            // Overflow bucket: observations above the largest finite
+            // bound, with no upper edge to interpolate toward. The
+            // histogram's best (and only honest) answer is its largest
+            // finite bound — returned explicitly here, so an
+            // overflow-only histogram reports it for every percentile.
+            return bounds.back();
         }
-        const double lower = i == 0 ? 0.0 : bounds[i - 1];
+        if (reached == rank) {
+            // Rank lands exactly on this bucket's upper boundary; the
+            // value is the boundary itself, no interpolation.
+            return bounds[i];
+        }
+        // Bucket 0 keeps the traditional 0 lower edge for the usual
+        // non-negative histograms, but when the first bound is itself
+        // negative the edge must clamp to it — interpolating down from
+        // 0 walked past the bucket's own upper bound before (p50 of
+        // four samples below -10 with bounds {-10, 10} came out -5).
+        const double lower =
+            i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
         const double upper = bounds[i];
         const double into =
             (rank - static_cast<double>(cumulative)) /
             static_cast<double>(in_bucket);
         return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
     }
-    // Rank falls in the overflow bucket (or past the end): the best
-    // the histogram can report is its largest finite bound.
+    // Unreachable unless rank rounds above the total count; report the
+    // largest finite bound, the histogram's best upper estimate.
     return bounds.back();
 }
 

@@ -22,13 +22,31 @@ erlangC(int servers, double offered_load)
     //   1/B(0,a) = 1;  1/B(k,a) = 1 + (k/a) / B(k-1,a)^-1 ... inverted.
     // We carry inv_b = 1/B(k, a).
     const double a = offered_load;
+    const double c = static_cast<double>(servers);
     double inv_b = 1.0;
     for (int k = 1; k <= servers; ++k) {
         inv_b = 1.0 + inv_b * static_cast<double>(k) / a;
+        if (inv_b > 1e280) {
+            // The blocking probability B = 1/inv_b is below 1e-280 and
+            // inv_b grows monotonically once k exceeds a, so letting
+            // the recurrence run on would overflow inv_b to inf for
+            // large server counts. C <= c*B/(c-a) is then <= ~1e-260
+            // for any representable inputs: indistinguishable from an
+            // unqueued system.
+            return 0.0;
+        }
     }
     const double b = 1.0 / inv_b;
-    const double rho = a / static_cast<double>(servers);
-    return b / (1.0 - rho + rho * b);
+    // Final combination, cancellation-free. The textbook form
+    //   C = B / (1 - rho + rho*B),  rho = a/c
+    // computes 1 - rho by *dividing first and subtracting after*, so as
+    // rho -> 1 the subtraction returns rounding noise of magnitude
+    // ulp(1) and the result loses ~|log10(1-rho)| digits. Multiply
+    // through by c instead:
+    //   C = c*B / ((c - a) + a*B)
+    // where c - a is computed directly — exact by Sterbenz's lemma for
+    // any a in [c/2, 2c], i.e. everywhere near saturation.
+    return c * b / ((c - a) + a * b);
 }
 
 double

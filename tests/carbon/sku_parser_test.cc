@@ -98,6 +98,26 @@ TEST(SkuParserTest, RejectsMalformedSpecs)
     EXPECT_THROW(parseSku("cpu=genoa ddr5=2x64 u=zero"), UserError);
 }
 
+TEST(SkuParserTest, RejectsTrailingJunkInNumericFields)
+{
+    // Regression for the std::stoi/stod full-token bug: "12abc" used
+    // to parse silently as 12 and "1.5.5" as 1.5. The checked parsers
+    // (common/parse.h) reject the whole token as UserError — never a
+    // raw std::invalid_argument.
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=12abcx64 ssd=1x1"), UserError);
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=12x64abc ssd=1x1"), UserError);
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=2x64 ssd=1x1.5.5"), UserError);
+    EXPECT_THROW(parseSku("cpu=genoa ddr5=2x64 u=2u"), UserError);
+    try {
+        parseSku("cpu=genoa ddr5=12x64abc ssd=1x1");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("ddr5 size"), std::string::npos) << what;
+        EXPECT_NE(what.find("trailing junk"), std::string::npos) << what;
+    }
+}
+
 TEST(SkuParserTest, RoundTripsThroughFormat)
 {
     const char *specs[] = {

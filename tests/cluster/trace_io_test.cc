@@ -70,7 +70,15 @@ TEST(TraceIoTest, ErrorsNameTheLine)
         {"1,3.0,2.0,4,16,Gen1,0,Redis,0.5\n", "departure"},
         {"1,1.0,2.0,0,16,Gen1,0,Redis,0.5\n", "positive"},
         {"1,1.0,2.0,4,16,Gen1,0,Redis,1.5\n", "touch fraction"},
-        {"1,abc,2.0,4,16,Gen1,0,Redis,0.5\n", "malformed number"},
+        // Checked parsers: malformed cells name source, line, field,
+        // and token (common/parse.h), and trailing junk that std::stod
+        // silently accepted ("12abc" -> 12) is rejected outright.
+        {"1,abc,2.0,4,16,Gen1,0,Redis,0.5\n",
+         "field 'arrival_h': cannot parse 'abc' as double"},
+        {"1,1.0,2.0,4abc,16,Gen1,0,Redis,0.5\n",
+         "field 'cores': cannot parse '4abc' as int"},
+        {"1,1.0,2.0,4,16junk,Gen1,0,Redis,0.5\n", "trailing junk"},
+        {"-1,1.0,2.0,4,16,Gen1,0,Redis,0.5\n", "sign not allowed"},
         {"1,1.0,2.0,4,16,Gen1,0,Redis\n", "cells"},
     };
     for (const Case &c : cases) {

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Content-addressed disk cache: roundtrip, every corruption/staleness
+ * failure mode (all of which must read as a miss, never an error), LRU
+ * eviction order, and journal self-healing.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/diskcache.h"
+#include "common/error.h"
+
+namespace fs = std::filesystem;
+
+namespace gsku {
+namespace {
+
+constexpr const char *kSchema = "gsku-test-v1";
+
+/** Fresh, empty cache directory per test. */
+class DiskCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("gsku_diskcache_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string recordPath(const std::string &key) const
+    {
+        return dir_ + "/" + key + ".rec";
+    }
+
+    /** Overwrites a record file with raw bytes (poisoning helper). */
+    void writeRaw(const std::string &key, const std::string &bytes)
+    {
+        std::ofstream out(recordPath(key),
+                          std::ios::trunc | std::ios::binary);
+        out << bytes;
+    }
+
+    std::string readRaw(const std::string &key)
+    {
+        std::ifstream in(recordPath(key), std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in), {});
+    }
+
+    std::string dir_;
+};
+
+TEST_F(DiskCacheTest, PutGetRoundTrip)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    const std::string payload = "alpha\nbeta\x00gamma";
+    EXPECT_EQ(cache.put("00000000000000aa", payload), 0);
+    const CacheGetResult got = cache.get("00000000000000aa");
+    ASSERT_TRUE(got.hit());
+    EXPECT_EQ(got.payload, payload);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(DiskCacheTest, MissOnAbsentKey)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    EXPECT_EQ(cache.get("00000000000000bb").status,
+              CacheGetStatus::Miss);
+}
+
+TEST_F(DiskCacheTest, InvalidKeyShapesAreMissesAndRejectedPuts)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    for (const char *bad :
+         {"", "short", "00000000000000AA", "xyzxyzxyzxyzxyzx",
+          "00000000000000aaa", "../../../etc/pass"}) {
+        EXPECT_EQ(cache.get(bad).status, CacheGetStatus::Miss) << bad;
+        EXPECT_EQ(cache.put(bad, "p"), -1) << bad;
+    }
+}
+
+TEST_F(DiskCacheTest, EmptyPayloadRoundTrips)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    cache.put("00000000000000cc", "");
+    const CacheGetResult got = cache.get("00000000000000cc");
+    ASSERT_TRUE(got.hit());
+    EXPECT_EQ(got.payload, "");
+}
+
+TEST_F(DiskCacheTest, PersistsAcrossInstances)
+{
+    {
+        DiskCache cache(dir_, kSchema, 0);
+        cache.put("00000000000000dd", "durable");
+    }
+    DiskCache reopened(dir_, kSchema, 0);
+    const CacheGetResult got = reopened.get("00000000000000dd");
+    ASSERT_TRUE(got.hit());
+    EXPECT_EQ(got.payload, "durable");
+}
+
+TEST_F(DiskCacheTest, SchemaMismatchReadsStale)
+{
+    {
+        DiskCache old(dir_, "gsku-test-v0", 0);
+        old.put("00000000000000ee", "old bytes");
+    }
+    DiskCache cache(dir_, kSchema, 0);
+    EXPECT_EQ(cache.get("00000000000000ee").status,
+              CacheGetStatus::Stale);
+}
+
+TEST_F(DiskCacheTest, TruncatedRecordReadsCorrupt)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    cache.put("00000000000000ff", "twelve bytes");
+    const std::string bytes = readRaw("00000000000000ff");
+    writeRaw("00000000000000ff", bytes.substr(0, bytes.size() - 4));
+    EXPECT_EQ(cache.get("00000000000000ff").status,
+              CacheGetStatus::Corrupt);
+}
+
+TEST_F(DiskCacheTest, TrailingBytesReadCorrupt)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    cache.put("0000000000000011", "payload");
+    writeRaw("0000000000000011", readRaw("0000000000000011") + "x");
+    EXPECT_EQ(cache.get("0000000000000011").status,
+              CacheGetStatus::Corrupt);
+}
+
+TEST_F(DiskCacheTest, KeyMismatchReadsCorrupt)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    cache.put("0000000000000022", "payload");
+    // Copy 22's record under 33's name: header key contradicts the
+    // file name, which must read as corruption, not a hit.
+    writeRaw("0000000000000033", readRaw("0000000000000022"));
+    // Adopt the orphan into the journal so get() reaches the record.
+    EXPECT_EQ(cache.get("0000000000000033").status,
+              CacheGetStatus::Corrupt);
+}
+
+TEST_F(DiskCacheTest, GarbageHeaderReadsCorrupt)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    cache.put("0000000000000044", "payload");
+    writeRaw("0000000000000044", "not a header at all\npayload");
+    EXPECT_EQ(cache.get("0000000000000044").status,
+              CacheGetStatus::Corrupt);
+    // Empty file: no header line readable.
+    writeRaw("0000000000000044", "");
+    EXPECT_EQ(cache.get("0000000000000044").status,
+              CacheGetStatus::Corrupt);
+}
+
+TEST_F(DiskCacheTest, CorruptRecordIsRepairedByRePut)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    cache.put("0000000000000055", "good");
+    writeRaw("0000000000000055", "garbage");
+    EXPECT_EQ(cache.get("0000000000000055").status,
+              CacheGetStatus::Corrupt);
+    cache.put("0000000000000055", "good again");
+    const CacheGetResult got = cache.get("0000000000000055");
+    ASSERT_TRUE(got.hit());
+    EXPECT_EQ(got.payload, "good again");
+}
+
+TEST_F(DiskCacheTest, EvictsLeastRecentlyUsedFirst)
+{
+    // Measure one record's on-disk size, then budget for exactly 3.
+    const std::string payload(40, 'p');
+    std::int64_t record_bytes = 0;
+    {
+        DiskCache probe(dir_, kSchema, 0);
+        probe.put("00000000000000e0", payload);
+        record_bytes = static_cast<std::int64_t>(
+            fs::file_size(recordPath("00000000000000e0")));
+    }
+    fs::remove_all(dir_);
+    DiskCache cache(dir_, kSchema, 3 * record_bytes);
+    cache.put("000000000000000a", payload);
+    cache.put("000000000000000b", payload);
+    cache.put("000000000000000c", payload);
+    EXPECT_EQ(cache.size(), 3u);
+
+    // Touch a so b becomes the LRU victim.
+    EXPECT_TRUE(cache.get("000000000000000a").hit());
+    cache.put("000000000000000d", payload);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.get("000000000000000b").status,
+              CacheGetStatus::Miss);
+    EXPECT_TRUE(cache.get("000000000000000a").hit());
+    EXPECT_TRUE(cache.get("000000000000000c").hit());
+    EXPECT_TRUE(cache.get("000000000000000d").hit());
+    EXPECT_FALSE(fs::exists(recordPath("000000000000000b")));
+}
+
+TEST_F(DiskCacheTest, NeverEvictsTheJustStoredRecord)
+{
+    // Budget smaller than a single record: the put must still land
+    // (anything else makes a tight budget a cache that stores nothing).
+    DiskCache cache(dir_, kSchema, 10);
+    cache.put("00000000000000a1", std::string(100, 'q'));
+    EXPECT_TRUE(cache.get("00000000000000a1").hit());
+    EXPECT_EQ(cache.size(), 1u);
+
+    // The next put evicts the old record but keeps itself.
+    cache.put("00000000000000a2", std::string(100, 'r'));
+    EXPECT_EQ(cache.get("00000000000000a1").status,
+              CacheGetStatus::Miss);
+    EXPECT_TRUE(cache.get("00000000000000a2").hit());
+}
+
+TEST_F(DiskCacheTest, PutReportsEvictionCount)
+{
+    const std::string payload(40, 'p');
+    std::int64_t record_bytes = 0;
+    {
+        DiskCache probe(dir_, kSchema, 0);
+        probe.put("00000000000000e0", payload);
+        record_bytes = static_cast<std::int64_t>(
+            fs::file_size(recordPath("00000000000000e0")));
+    }
+    fs::remove_all(dir_);
+    DiskCache cache(dir_, kSchema, record_bytes);
+    EXPECT_EQ(cache.put("00000000000000b1", payload), 0);
+    EXPECT_EQ(cache.put("00000000000000b2", payload), 1);
+}
+
+TEST_F(DiskCacheTest, JournalSelfHealsOrphanRecords)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    cache.put("00000000000000c1", "known");
+    // Simulate a crash between record publish and journal publish:
+    // drop a record file the journal has never heard of.
+    writeRaw("00000000000000c2",
+             std::string("{\"schema\": \"") + kSchema +
+                 "\", \"key\": \"00000000000000c2\", "
+                 "\"payload_bytes\": 6}\norphan");
+    EXPECT_EQ(cache.size(), 2u);    // Orphan adopted.
+    const CacheGetResult got = cache.get("00000000000000c2");
+    ASSERT_TRUE(got.hit());
+    EXPECT_EQ(got.payload, "orphan");
+    // Orphans join at the LRU (oldest) end: under pressure the orphan
+    // is evicted before the journaled, just-touched record.
+    EXPECT_TRUE(cache.get("00000000000000c1").hit());
+}
+
+TEST_F(DiskCacheTest, JournalDropsEntriesWhoseRecordsVanished)
+{
+    DiskCache cache(dir_, kSchema, 0);
+    cache.put("00000000000000d1", "one");
+    cache.put("00000000000000d2", "two");
+    fs::remove(recordPath("00000000000000d1"));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.get("00000000000000d1").status,
+              CacheGetStatus::Miss);
+    EXPECT_TRUE(cache.get("00000000000000d2").hit());
+}
+
+TEST_F(DiskCacheTest, EmptyDirThrowsUserError)
+{
+    EXPECT_THROW(DiskCache("", kSchema, 0), UserError);
+}
+
+} // namespace
+} // namespace gsku

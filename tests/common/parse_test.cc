@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Checked full-token numeric parsing: the regression suite for the two
+ * std::sto* failure modes the readers hit in production — raw
+ * std::invalid_argument escaping past the UserError convention, and
+ * trailing junk ("12abc") silently parsing as 12.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/error.h"
+#include "common/parse.h"
+
+namespace gsku {
+namespace {
+
+TEST(ParseContextTest, DescribeRendersAllParts)
+{
+    EXPECT_EQ(describe({"trace.csv", 42, "cores"}),
+              "trace.csv: line 42: field 'cores': ");
+}
+
+TEST(ParseContextTest, DescribeOmitsEmptyParts)
+{
+    EXPECT_EQ(describe({}), "");
+    EXPECT_EQ(describe({"spec", 0, ""}), "spec: ");
+    EXPECT_EQ(describe({"", 7, ""}), "line 7: ");
+    EXPECT_EQ(describe({"", 0, "ddr5 count"}), "field 'ddr5 count': ");
+}
+
+TEST(ParseIntTest, AcceptsFullTokens)
+{
+    EXPECT_EQ(parseInt("0"), 0);
+    EXPECT_EQ(parseInt("-17"), -17);
+    EXPECT_EQ(parseInt("2147483647"), 2147483647);
+    EXPECT_EQ(parseInt("-2147483648"),
+              std::numeric_limits<int>::min());
+}
+
+TEST(ParseIntTest, MalformedThrowsUserErrorNotStdException)
+{
+    // The original bug: std::stoi("abc") throws std::invalid_argument,
+    // which escaped past every catch (const UserError &) handler.
+    try {
+        parseInt("abc");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("cannot parse 'abc'"),
+                  std::string::npos)
+            << e.what();
+    } catch (const std::invalid_argument &) {
+        FAIL() << "raw std::invalid_argument escaped the parser";
+    }
+}
+
+TEST(ParseIntTest, TrailingJunkRejected)
+{
+    // The second original bug: std::stoi("12abc") returns 12.
+    EXPECT_THROW(parseInt("12abc"), UserError);
+    EXPECT_THROW(parseInt("1.5"), UserError);
+    EXPECT_THROW(parseInt("7 "), UserError);
+    try {
+        parseInt("12abc");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("trailing junk 'abc'"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ParseIntTest, WhitespaceAndEmptyRejected)
+{
+    EXPECT_THROW(parseInt(""), UserError);
+    EXPECT_THROW(parseInt(" 12"), UserError);
+    EXPECT_THROW(parseInt("\t12"), UserError);
+    EXPECT_THROW(parseInt(" "), UserError);
+}
+
+TEST(ParseIntTest, OutOfRangeThrowsUserError)
+{
+    // Wider than int but fits long: caught by the range check.
+    EXPECT_THROW(parseInt("2147483648"), UserError);
+    EXPECT_THROW(parseInt("-2147483649"), UserError);
+    // Wider than long too: std::out_of_range converted to UserError.
+    try {
+        parseInt("999999999999999999999999");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("out of range"),
+                  std::string::npos)
+            << e.what();
+    } catch (const std::out_of_range &) {
+        FAIL() << "raw std::out_of_range escaped the parser";
+    }
+}
+
+TEST(ParseLongTest, RoundTripsWideValues)
+{
+    EXPECT_EQ(parseLong("9223372036854775807"),
+              std::numeric_limits<long>::max());
+    EXPECT_EQ(parseLong("-42"), -42L);
+    EXPECT_THROW(parseLong("9223372036854775808"), UserError);
+    EXPECT_THROW(parseLong("10x"), UserError);
+}
+
+TEST(ParseU64Test, AcceptsFullRange)
+{
+    EXPECT_EQ(parseU64("0"), 0u);
+    EXPECT_EQ(parseU64("18446744073709551615"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64Test, RejectsSigns)
+{
+    // std::stoull("-1") wraps to 2^64-1; the checked parser must not.
+    EXPECT_THROW(parseU64("-1"), UserError);
+    EXPECT_THROW(parseU64("+1"), UserError);
+    try {
+        parseU64("-1");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("sign not allowed"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ParseDoubleTest, AcceptsFullTokens)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("0.5"), 0.5);
+    EXPECT_DOUBLE_EQ(parseDouble("-1e3"), -1000.0);
+    EXPECT_DOUBLE_EQ(parseDouble("3"), 3.0);
+}
+
+TEST(ParseDoubleTest, MalformedAndJunkRejected)
+{
+    EXPECT_THROW(parseDouble("abc"), UserError);
+    EXPECT_THROW(parseDouble("1.5x"), UserError);
+    EXPECT_THROW(parseDouble("1.5 2.5"), UserError);
+    EXPECT_THROW(parseDouble(""), UserError);
+    EXPECT_THROW(parseDouble(" 1.5"), UserError);
+}
+
+TEST(ParseDoubleTest, ErrorsCarryContext)
+{
+    try {
+        parseDouble("abc", {"csv", 2, "arrival_h"});
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("csv: line 2: field 'arrival_h':"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("cannot parse 'abc' as double"),
+                  std::string::npos)
+            << what;
+    }
+}
+
+} // namespace
+} // namespace gsku

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "common/solver.h"
@@ -166,6 +167,74 @@ TEST(GallopingTest, RejectsInvertedRange)
 {
     EXPECT_THROW(smallestTrueGalloping([](long) { return true; }, 5, 4),
                  UserError);
+}
+
+TEST(GallopingTest, DegenerateSingletonRange)
+{
+    // lo == hi: one probe decides everything.
+    const auto yes =
+        smallestTrueGalloping([](long x) { return x == 9; }, 9, 9);
+    ASSERT_TRUE(yes.has_value());
+    EXPECT_EQ(*yes, 9);
+    EXPECT_FALSE(
+        smallestTrueGalloping([](long) { return false; }, 9, 9)
+            .has_value());
+}
+
+TEST(GallopingTest, TrueOnlyAtHi)
+{
+    // The gallop must clamp its last overshooting probe to hi exactly
+    // and bisect down to it.
+    const long hi = 1000;
+    const auto n = smallestTrueGalloping(
+        [&](long x) { return x >= hi; }, 0, hi);
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, hi);
+    const auto same = smallestTrue([&](long x) { return x >= hi; }, 0, hi);
+    ASSERT_TRUE(same.has_value());
+    EXPECT_EQ(*same, *n);
+}
+
+TEST(GallopingTest, NearLongMaxBracketsDoNotOverflow)
+{
+    // Regression for the signed-overflow bug: with hi at LONG_MAX the
+    // old `probe + step` / `hi - probe` arithmetic overflowed (UB) as
+    // the gallop approached the top. The unsigned bracket helpers must
+    // deliver exact answers over the full long range.
+    const long max = std::numeric_limits<long>::max();
+
+    // Answer right at the top of the range.
+    const auto top = smallestTrueGalloping(
+        [&](long x) { return x == max; }, max - 5, max);
+    ASSERT_TRUE(top.has_value());
+    EXPECT_EQ(*top, max);
+
+    // Huge bracket, answer far from lo: the doubling step saturates
+    // without wrapping.
+    const long target = max - 12345;
+    const auto far = smallestTrueGalloping(
+        [&](long x) { return x >= target; }, 0, max);
+    ASSERT_TRUE(far.has_value());
+    EXPECT_EQ(*far, target);
+
+    // Full-range bracket spanning negative lo: width exceeds LONG_MAX,
+    // which only unsigned arithmetic can represent.
+    const auto span = smallestTrueGalloping(
+        [](long x) { return x >= 42; }, std::numeric_limits<long>::min(),
+        max);
+    ASSERT_TRUE(span.has_value());
+    EXPECT_EQ(*span, 42);
+    const auto span_bisect = smallestTrue(
+        [](long x) { return x >= 42; }, std::numeric_limits<long>::min(),
+        max);
+    ASSERT_TRUE(span_bisect.has_value());
+    EXPECT_EQ(*span_bisect, 42);
+
+    // All-false over a near-top range stays nullopt (no wraparound
+    // probe can accidentally satisfy the predicate).
+    EXPECT_FALSE(smallestTrueGalloping([](long) { return false; },
+                                       max - 3, max)
+                     .has_value());
 }
 
 } // namespace

@@ -1,0 +1,748 @@
+/**
+ * @file
+ * Persistent evaluation cache: key closure (every ingredient
+ * perturbation forces a miss), payload codecs (bit-exact roundtrips),
+ * poisoning safety (corrupt/truncated/version-skewed records are silent
+ * misses followed by bit-identical recomputes), and ledger parity
+ * (cold and warm runs render byte-identical decision ledgers).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "carbon/model.h"
+#include "cluster/trace_gen.h"
+#include "gsf/adoption.h"
+#include "gsf/design_space.h"
+#include "gsf/eval_cache.h"
+#include "gsf/evaluator.h"
+#include "gsf/sizing.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+
+namespace fs = std::filesystem;
+
+namespace gsku::gsf {
+namespace {
+
+// ---------------------------------------------------------------------
+// Fixture helpers
+// ---------------------------------------------------------------------
+
+cluster::VmTrace
+smallTrace(std::uint64_t seed = 5)
+{
+    cluster::TraceGenParams p;
+    p.target_concurrent_vms = 60.0;
+    p.duration_h = 24.0 * 3.0;
+    return cluster::TraceGenerator(p).generate(seed);
+}
+
+void
+expectReplayEq(const cluster::ReplayResult &a,
+               const cluster::ReplayResult &b)
+{
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.green_placed, b.green_placed);
+    EXPECT_EQ(a.green_fallbacks, b.green_fallbacks);
+    EXPECT_EQ(a.baseline.servers, b.baseline.servers);
+    EXPECT_EQ(a.baseline.vms_placed, b.baseline.vms_placed);
+    // Bit-exact double comparisons: a warm result must be the cold
+    // result, not an approximation of it.
+    EXPECT_EQ(a.baseline.mean_core_packing, b.baseline.mean_core_packing);
+    EXPECT_EQ(a.baseline.mean_mem_packing, b.baseline.mean_mem_packing);
+    EXPECT_EQ(a.baseline.mean_max_mem_utilization,
+              b.baseline.mean_max_mem_utilization);
+    EXPECT_EQ(a.green.servers, b.green.servers);
+    EXPECT_EQ(a.green.vms_placed, b.green.vms_placed);
+    EXPECT_EQ(a.green.mean_core_packing, b.green.mean_core_packing);
+    EXPECT_EQ(a.green.mean_mem_packing, b.green.mean_mem_packing);
+    EXPECT_EQ(a.green.mean_max_mem_utilization,
+              b.green.mean_max_mem_utilization);
+}
+
+void
+expectSizingEq(const SizingResult &a, const SizingResult &b)
+{
+    EXPECT_EQ(a.baseline_only_servers, b.baseline_only_servers);
+    EXPECT_EQ(a.mixed_baselines, b.mixed_baselines);
+    EXPECT_EQ(a.mixed_greens, b.mixed_greens);
+    expectReplayEq(a.baseline_only_replay, b.baseline_only_replay);
+    expectReplayEq(a.mixed_replay, b.mixed_replay);
+}
+
+std::uint64_t
+counterValue(const char *name)
+{
+    return obs::metrics().counter(name).value();
+}
+
+/** Fresh cache dir per test; disables the global cache on teardown so
+ *  other tests in this binary stay uncached. */
+class EvalCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("gsku_evalcache_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(dir_);
+        obs::metrics().reset();
+    }
+
+    void TearDown() override
+    {
+        configureEvalCache("");
+        obs::stopLedger();
+        fs::remove_all(dir_);
+    }
+
+    /** The single .rec file a one-entry cache holds. */
+    std::string onlyRecordPath() const
+    {
+        std::string found;
+        for (const auto &entry : fs::directory_iterator(dir_)) {
+            const std::string name =
+                entry.path().filename().string();
+            if (name.size() == 20 && name.substr(16) == ".rec") {
+                EXPECT_TRUE(found.empty())
+                    << "expected exactly one record";
+                found = entry.path().string();
+            }
+        }
+        EXPECT_FALSE(found.empty()) << "no record file under " << dir_;
+        return found;
+    }
+
+    std::string dir_;
+};
+
+// ---------------------------------------------------------------------
+// Key hashing
+// ---------------------------------------------------------------------
+
+TEST(EvalKeyHasherTest, DigestIsDeterministicAndWellShaped)
+{
+    EvalKeyHasher a;
+    a.mix(std::uint64_t{7}).mix(-3).mix(true).mix(0.25).mix(
+        std::string("trace"));
+    EvalKeyHasher b;
+    b.mix(std::uint64_t{7}).mix(-3).mix(true).mix(0.25).mix(
+        std::string("trace"));
+    EXPECT_EQ(a.hex(), b.hex());
+    ASSERT_EQ(a.hex().size(), 16u);
+    for (char c : a.hex()) {
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << c;
+    }
+}
+
+TEST(EvalKeyHasherTest, EveryIngredientChangesTheDigest)
+{
+    const auto digest = [](auto fill) {
+        EvalKeyHasher h;
+        fill(h);
+        return h.hex();
+    };
+    const std::string base =
+        digest([](EvalKeyHasher &h) { h.mix(1).mix(0.5).mix(false); });
+    EXPECT_NE(base, digest([](EvalKeyHasher &h) {
+                  h.mix(2).mix(0.5).mix(false);
+              }));
+    EXPECT_NE(base, digest([](EvalKeyHasher &h) {
+                  h.mix(1).mix(0.50000001).mix(false);
+              }));
+    EXPECT_NE(base, digest([](EvalKeyHasher &h) {
+                  h.mix(1).mix(0.5).mix(true);
+              }));
+}
+
+TEST(EvalKeyHasherTest, StringMixingIsLengthPrefixed)
+{
+    // "ab" + "c" must not collide with "a" + "bc".
+    EvalKeyHasher a;
+    a.mix(std::string("ab")).mix(std::string("c"));
+    EvalKeyHasher b;
+    b.mix(std::string("a")).mix(std::string("bc"));
+    EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(EvalKeyHasherTest, DoubleMixingIsBitExact)
+{
+    // -0.0 and +0.0 compare equal but are different bit patterns; the
+    // key must distinguish them (bit-exactness is the contract).
+    EvalKeyHasher pos;
+    pos.mix(0.0);
+    EvalKeyHasher neg;
+    neg.mix(-0.0);
+    EXPECT_NE(pos.hex(), neg.hex());
+}
+
+// ---------------------------------------------------------------------
+// Key closures: any single-ingredient perturbation forces a new key
+// ---------------------------------------------------------------------
+
+class KeyClosureTest : public ::testing::Test
+{
+  protected:
+    KeyClosureTest()
+        : trace_(smallTrace()),
+          baseline_(carbon::StandardSkus::baseline()),
+          green_(carbon::StandardSkus::greenFull())
+    {
+        const AdoptionModel adoption{perf_, carbon_};
+        table_ = adoption.buildTable(baseline_, green_,
+                                     CarbonIntensity::kgPerKwh(0.1));
+    }
+
+    std::string baseKey() const
+    {
+        return sizingCacheKey(trace_, baseline_, green_, table_,
+                              options_);
+    }
+
+    cluster::VmTrace trace_;
+    carbon::ServerSku baseline_;
+    carbon::ServerSku green_;
+    perf::PerfModel perf_;
+    carbon::CarbonModel carbon_;
+    cluster::AdoptionTable table_;
+    cluster::ReplayOptions options_;
+};
+
+TEST_F(KeyClosureTest, SameInputsSameKey)
+{
+    EXPECT_EQ(baseKey(), baseKey());
+}
+
+TEST_F(KeyClosureTest, TraceContentIsInTheKey)
+{
+    cluster::VmTrace perturbed = trace_;
+    perturbed.vms.at(0).memory_gb += 1.0;
+    EXPECT_NE(baseKey(), sizingCacheKey(perturbed, baseline_, green_,
+                                        table_, options_));
+    // A renamed but otherwise identical trace is a different key too:
+    // the name is part of the closure (it lands in ledger lines).
+    cluster::VmTrace renamed = trace_;
+    renamed.name += "-copy";
+    EXPECT_NE(baseKey(), sizingCacheKey(renamed, baseline_, green_,
+                                        table_, options_));
+}
+
+TEST_F(KeyClosureTest, SkuSerializationIsInTheKey)
+{
+    carbon::ServerSku perturbed = green_;
+    perturbed.cores += 1;
+    EXPECT_NE(baseKey(), sizingCacheKey(trace_, baseline_, perturbed,
+                                        table_, options_));
+    carbon::ServerSku slot_tweak = green_;
+    ASSERT_FALSE(slot_tweak.slots.empty());
+    slot_tweak.slots.at(0).component.embodied =
+        slot_tweak.slots.at(0).component.embodied + CarbonMass::kg(1.0);
+    EXPECT_NE(baseKey(), sizingCacheKey(trace_, baseline_, slot_tweak,
+                                        table_, options_));
+}
+
+TEST_F(KeyClosureTest, AdoptionTableIsInTheKey)
+{
+    cluster::AdoptionTable perturbed = table_;
+    perturbed.set(0, carbon::Generation::Gen1,
+                  {!perturbed.get(0, carbon::Generation::Gen1).adopt,
+                   1.25});
+    EXPECT_NE(baseKey(), sizingCacheKey(trace_, baseline_, green_,
+                                        perturbed, options_));
+}
+
+TEST_F(KeyClosureTest, ReplayOptionsAreInTheKey)
+{
+    cluster::ReplayOptions perturbed = options_;
+    perturbed.snapshot_interval_h *= 2.0;
+    EXPECT_NE(baseKey(), sizingCacheKey(trace_, baseline_, green_,
+                                        table_, perturbed));
+
+    cluster::ReplayOptions policy = options_;
+    policy.policy = cluster::PlacementPolicy::FirstFit;
+    EXPECT_NE(baseKey(), sizingCacheKey(trace_, baseline_, green_,
+                                        table_, policy));
+
+    // use_placement_index is deliberately NOT keyed: placements are
+    // bit-identical either way (allocator_index_test proves it), so
+    // both settings may share cache entries.
+    cluster::ReplayOptions index = options_;
+    index.use_placement_index = !index.use_placement_index;
+    EXPECT_EQ(baseKey(), sizingCacheKey(trace_, baseline_, green_,
+                                        table_, index));
+}
+
+TEST_F(KeyClosureTest, ModelVersionBumpForcesNewKeys)
+{
+    EXPECT_NE(baseKey(),
+              sizingCacheKey(trace_, baseline_, green_, table_, options_,
+                             kEvalCacheModelVersion + 1));
+}
+
+TEST_F(KeyClosureTest, LedgerRecordingStateIsInTheKey)
+{
+    const std::string off = baseKey();
+    obs::startLedger();
+    const std::string on = baseKey();
+    obs::stopLedger();
+    EXPECT_NE(off, on);
+    EXPECT_EQ(off, baseKey());
+}
+
+TEST_F(KeyClosureTest, ClusterEvalKeyCoversCiAndOptions)
+{
+    const GsfEvaluator::Options opts;
+    const std::string base = clusterEvalCacheKey(
+        trace_, baseline_, green_, CarbonIntensity::kgPerKwh(0.1), opts);
+    EXPECT_EQ(base, clusterEvalCacheKey(trace_, baseline_, green_,
+                                        CarbonIntensity::kgPerKwh(0.1),
+                                        opts));
+    EXPECT_NE(base, clusterEvalCacheKey(trace_, baseline_, green_,
+                                        CarbonIntensity::kgPerKwh(0.2),
+                                        opts));
+    GsfEvaluator::Options buffer = opts;
+    buffer.buffer.buffer_fraction += 0.01;
+    EXPECT_NE(base, clusterEvalCacheKey(trace_, baseline_, green_,
+                                        CarbonIntensity::kgPerKwh(0.1),
+                                        buffer));
+    GsfEvaluator::Options carbon_params = opts;
+    carbon_params.carbon_params.pue += 0.01;
+    EXPECT_NE(base, clusterEvalCacheKey(trace_, baseline_, green_,
+                                        CarbonIntensity::kgPerKwh(0.1),
+                                        carbon_params));
+    EXPECT_NE(base, clusterEvalCacheKey(trace_, baseline_, green_,
+                                        CarbonIntensity::kgPerKwh(0.1),
+                                        opts,
+                                        kEvalCacheModelVersion + 1));
+}
+
+TEST_F(KeyClosureTest, DesignSpaceKeyCoversRangeConstraintsAndModel)
+{
+    const DesignRange range;
+    const DesignConstraints constraints;
+    const carbon::ModelParams params;
+    const std::string base =
+        designSpaceCacheKey(baseline_, range, constraints, params);
+    EXPECT_EQ(base,
+              designSpaceCacheKey(baseline_, range, constraints, params));
+
+    DesignRange r2 = range;
+    r2.ddr5_dimms.push_back(17);
+    EXPECT_NE(base,
+              designSpaceCacheKey(baseline_, r2, constraints, params));
+
+    DesignConstraints c2 = constraints;
+    c2.max_ssd_units += 1;
+    EXPECT_NE(base, designSpaceCacheKey(baseline_, range, c2, params));
+
+    carbon::ModelParams p2 = params;
+    p2.pue += 0.01;
+    EXPECT_NE(base,
+              designSpaceCacheKey(baseline_, range, constraints, p2));
+}
+
+// ---------------------------------------------------------------------
+// Payload wire format
+// ---------------------------------------------------------------------
+
+TEST(PayloadTest, RoundTripsEveryScalarKind)
+{
+    PayloadWriter w;
+    w.u64(0).u64(std::numeric_limits<std::uint64_t>::max());
+    w.i64(-1).i64(std::numeric_limits<std::int64_t>::min());
+    w.f64(0.1).f64(-0.0).f64(std::numeric_limits<double>::infinity());
+    w.f64(std::numeric_limits<double>::quiet_NaN());
+    w.boolean(true).boolean(false);
+    w.line("a string line");
+    w.lines({"one", "two", "three"});
+
+    PayloadReader r(w.str());
+    std::uint64_t u = 1;
+    ASSERT_TRUE(r.u64(&u));
+    EXPECT_EQ(u, 0u);
+    ASSERT_TRUE(r.u64(&u));
+    EXPECT_EQ(u, std::numeric_limits<std::uint64_t>::max());
+    std::int64_t i = 0;
+    ASSERT_TRUE(r.i64(&i));
+    EXPECT_EQ(i, -1);
+    ASSERT_TRUE(r.i64(&i));
+    EXPECT_EQ(i, std::numeric_limits<std::int64_t>::min());
+    double d = 0.0;
+    ASSERT_TRUE(r.f64(&d));
+    EXPECT_EQ(d, 0.1);
+    ASSERT_TRUE(r.f64(&d));
+    EXPECT_TRUE(d == 0.0 && std::signbit(d));    // Exact -0.0 bits.
+    ASSERT_TRUE(r.f64(&d));
+    EXPECT_TRUE(std::isinf(d));
+    ASSERT_TRUE(r.f64(&d));
+    EXPECT_TRUE(std::isnan(d));
+    bool b = false;
+    ASSERT_TRUE(r.boolean(&b));
+    EXPECT_TRUE(b);
+    ASSERT_TRUE(r.boolean(&b));
+    EXPECT_FALSE(b);
+    std::string s;
+    ASSERT_TRUE(r.line(&s));
+    EXPECT_EQ(s, "a string line");
+    std::vector<std::string> ls;
+    ASSERT_TRUE(r.lines(&ls));
+    EXPECT_EQ(ls, (std::vector<std::string>{"one", "two", "three"}));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(PayloadTest, MalformedReadsFailWithoutThrowing)
+{
+    // A truncated number, a non-hex line, and reading past the end
+    // must all return false (corruption is a miss, never an error).
+    PayloadReader truncated(std::string("00000000"));
+    std::uint64_t u = 0;
+    EXPECT_FALSE(truncated.u64(&u));
+
+    PayloadReader junk(std::string("zzzzzzzzzzzzzzzz\n"));
+    EXPECT_FALSE(junk.u64(&u));
+
+    PayloadWriter w;
+    w.u64(42);
+    PayloadReader exhausted(w.str());
+    ASSERT_TRUE(exhausted.u64(&u));
+    EXPECT_FALSE(exhausted.u64(&u));
+    EXPECT_TRUE(exhausted.atEnd());
+}
+
+// ---------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------
+
+TEST(CodecTest, SizingResultRoundTripsBitExactWithLedger)
+{
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const perf::PerfModel perf;
+    const carbon::CarbonModel carbon;
+    const AdoptionModel adoption{perf, carbon};
+    const auto table = adoption.buildTable(
+        baseline, green, CarbonIntensity::kgPerKwh(0.1));
+    const SizingResult cold =
+        ClusterSizer{}.size(trace, baseline, green, table);
+
+    const std::vector<std::string> ledger = {"{\"event\": \"a\"}",
+                                             "{\"event\": \"b\"}"};
+    const std::string payload = encodeSizingResult(cold, ledger);
+    SizingResult warm;
+    std::vector<std::string> warm_ledger;
+    ASSERT_TRUE(decodeSizingResult(payload, &warm, &warm_ledger));
+    expectSizingEq(cold, warm);
+    EXPECT_EQ(warm_ledger, ledger);
+    warm.checkInvariants();
+}
+
+TEST(CodecTest, DecodeRejectsTruncationGarbageAndTrailingBytes)
+{
+    const SizingResult result;    // Zeroed result encodes fine.
+    const std::string payload = encodeSizingResult(result, {});
+    SizingResult out;
+    std::vector<std::string> ledger;
+    ASSERT_TRUE(decodeSizingResult(payload, &out, &ledger));
+
+    EXPECT_FALSE(decodeSizingResult(
+        payload.substr(0, payload.size() / 2), &out, &ledger));
+    EXPECT_FALSE(decodeSizingResult(payload + "extra\n", &out, &ledger));
+    EXPECT_FALSE(decodeSizingResult("garbage", &out, &ledger));
+    EXPECT_FALSE(decodeSizingResult("", &out, &ledger));
+}
+
+TEST(CodecTest, RankedDesignsRoundTripWithConsideredCount)
+{
+    const carbon::CarbonModel model;
+    const DesignSpaceExplorer explorer(model);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    DesignRange range;
+    range.ddr5_dimms = {14, 16};
+    range.cxl_ddr4_dimms = {0, 8};
+    range.new_ssds = {2};
+    range.reused_ssds = {0, 2};
+    long considered = 0;
+    const auto designs = explorer.explore(baseline, range, &considered);
+    ASSERT_FALSE(designs.empty());
+
+    const std::string payload =
+        encodeRankedDesigns(designs, considered, {"ledger line"});
+    std::vector<RankedDesign> decoded;
+    long decoded_considered = 0;
+    std::vector<std::string> ledger;
+    ASSERT_TRUE(decodeRankedDesigns(payload, &decoded,
+                                    &decoded_considered, &ledger));
+    EXPECT_EQ(decoded_considered, considered);
+    EXPECT_EQ(ledger, std::vector<std::string>{"ledger line"});
+    ASSERT_EQ(decoded.size(), designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        EXPECT_EQ(decoded[i].sku.name, designs[i].sku.name);
+        EXPECT_EQ(decoded[i].sku.slots.size(),
+                  designs[i].sku.slots.size());
+        EXPECT_EQ(decoded[i].savings.total_savings,
+                  designs[i].savings.total_savings);
+        EXPECT_EQ(decoded[i].savings.operational_savings,
+                  designs[i].savings.operational_savings);
+        EXPECT_EQ(decoded[i].savings.embodied_savings,
+                  designs[i].savings.embodied_savings);
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: cold/warm parity, counters, poisoning
+// ---------------------------------------------------------------------
+
+TEST_F(EvalCacheTest, SizingColdThenWarmIsBitIdentical)
+{
+    configureEvalCache(dir_);
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const perf::PerfModel perf;
+    const carbon::CarbonModel carbon;
+    const AdoptionModel adoption{perf, carbon};
+    const auto table = adoption.buildTable(
+        baseline, green, CarbonIntensity::kgPerKwh(0.1));
+    const ClusterSizer sizer;
+
+    const std::uint64_t hits0 = counterValue("evalcache.hits");
+    const std::uint64_t misses0 = counterValue("evalcache.misses");
+    const SizingResult cold = sizer.size(trace, baseline, green, table);
+    EXPECT_EQ(counterValue("evalcache.misses"), misses0 + 1);
+    EXPECT_EQ(counterValue("evalcache.stores"), 1u);
+
+    const SizingResult warm = sizer.size(trace, baseline, green, table);
+    EXPECT_EQ(counterValue("evalcache.hits"), hits0 + 1);
+    expectSizingEq(cold, warm);
+}
+
+TEST_F(EvalCacheTest, DisabledCacheTouchesNothing)
+{
+    // No configureEvalCache call, GSKU_EVAL_CACHE unset in tests:
+    // evalCache() must stay disabled and the dir untouched.
+    ASSERT_EQ(evalCache(), nullptr);
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    ClusterSizer{}.size(trace, baseline, green,
+                        cluster::AdoptionTable::none());
+    EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST_F(EvalCacheTest, EvaluateClusterColdThenWarmIsBitIdentical)
+{
+    configureEvalCache(dir_);
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const GsfEvaluator evaluator{GsfEvaluator::Options{}};
+
+    const ClusterEvaluation cold = evaluator.evaluateCluster(
+        trace, baseline, carbon::StandardSkus::greenFull(),
+        CarbonIntensity::kgPerKwh(0.15));
+    const ClusterEvaluation warm = evaluator.evaluateCluster(
+        trace, baseline, carbon::StandardSkus::greenFull(),
+        CarbonIntensity::kgPerKwh(0.15));
+
+    EXPECT_EQ(cold.trace_name, warm.trace_name);
+    expectSizingEq(cold.sizing, warm.sizing);
+    EXPECT_EQ(cold.baseline_scenario_buffer,
+              warm.baseline_scenario_buffer);
+    EXPECT_EQ(cold.mixed_scenario_buffer, warm.mixed_scenario_buffer);
+    EXPECT_EQ(cold.baseline_scenario_emissions.asKg(),
+              warm.baseline_scenario_emissions.asKg());
+    EXPECT_EQ(cold.mixed_scenario_emissions.asKg(),
+              warm.mixed_scenario_emissions.asKg());
+    EXPECT_EQ(cold.savings, warm.savings);
+    EXPECT_GE(counterValue("evalcache.hits"), 1u);
+}
+
+TEST_F(EvalCacheTest, ExploreColdThenWarmIsBitIdentical)
+{
+    configureEvalCache(dir_);
+    const carbon::CarbonModel model;
+    const DesignSpaceExplorer explorer(model);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    DesignRange range;
+    range.ddr5_dimms = {14, 15, 16};
+    range.cxl_ddr4_dimms = {0, 8};
+    range.new_ssds = {2, 3};
+    range.reused_ssds = {0, 2};
+
+    long cold_considered = 0;
+    const auto cold = explorer.explore(baseline, range, &cold_considered);
+    long warm_considered = 0;
+    const auto warm = explorer.explore(baseline, range, &warm_considered);
+
+    EXPECT_GE(counterValue("evalcache.hits"), 1u);
+    EXPECT_EQ(cold_considered, warm_considered);
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].sku.name, warm[i].sku.name);
+        EXPECT_EQ(cold[i].savings.total_savings,
+                  warm[i].savings.total_savings);
+    }
+}
+
+TEST_F(EvalCacheTest, ColdAndWarmLedgersRenderByteIdentical)
+{
+    configureEvalCache(dir_);
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const perf::PerfModel perf;
+    const carbon::CarbonModel carbon;
+    const AdoptionModel adoption{perf, carbon};
+    const auto table = adoption.buildTable(
+        baseline, green, CarbonIntensity::kgPerKwh(0.1));
+    const ClusterSizer sizer;
+
+    obs::startLedger();
+    const SizingResult cold = sizer.size(trace, baseline, green, table);
+    const std::string cold_ledger = obs::renderLedger();
+    obs::stopLedger();
+
+    obs::startLedger();
+    const SizingResult warm = sizer.size(trace, baseline, green, table);
+    const std::string warm_ledger = obs::renderLedger();
+    obs::stopLedger();
+
+    expectSizingEq(cold, warm);
+    EXPECT_FALSE(cold_ledger.empty());
+    EXPECT_EQ(cold_ledger, warm_ledger);
+    // The cache.entry fact is present (same fact on store and hit).
+    EXPECT_NE(cold_ledger.find("cache.entry"), std::string::npos);
+}
+
+TEST_F(EvalCacheTest, CorruptedRecordIsASilentMissAndRecomputes)
+{
+    configureEvalCache(dir_);
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const ClusterSizer sizer;
+    const auto table = cluster::AdoptionTable::none();
+
+    const SizingResult cold = sizer.size(trace, baseline, green, table);
+    const std::string record = onlyRecordPath();
+
+    // Flip a payload byte in place (header line left intact).
+    {
+        std::fstream file(record,
+                          std::ios::in | std::ios::out | std::ios::binary);
+        std::string header;
+        std::getline(file, header);
+        const auto payload_at = file.tellg();
+        char byte = 0;
+        file.read(&byte, 1);
+        file.seekp(payload_at);
+        file.put(static_cast<char>(byte ^ 0x20));
+    }
+    const std::uint64_t stores0 = counterValue("evalcache.stores");
+    const SizingResult recomputed =
+        sizer.size(trace, baseline, green, table);
+    expectSizingEq(cold, recomputed);
+    // The poisoned record was rejected (corrupt or undecodable — both
+    // are misses) and the recompute re-stored a clean record...
+    EXPECT_EQ(counterValue("evalcache.corrupt") +
+                  counterValue("evalcache.undecodable"),
+              1u);
+    EXPECT_EQ(counterValue("evalcache.stores"), stores0 + 1);
+    // ...which now serves hits again.
+    const SizingResult warm = sizer.size(trace, baseline, green, table);
+    expectSizingEq(cold, warm);
+    EXPECT_GE(counterValue("evalcache.hits"), 1u);
+}
+
+TEST_F(EvalCacheTest, TruncatedRecordIsASilentMissAndRecomputes)
+{
+    configureEvalCache(dir_);
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const ClusterSizer sizer;
+    const auto table = cluster::AdoptionTable::none();
+
+    const SizingResult cold = sizer.size(trace, baseline, green, table);
+    const std::string record = onlyRecordPath();
+    std::string bytes;
+    {
+        std::ifstream in(record, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    {
+        std::ofstream out(record, std::ios::trunc | std::ios::binary);
+        out << bytes.substr(0, bytes.size() - 10);
+    }
+    const SizingResult recomputed =
+        sizer.size(trace, baseline, green, table);
+    expectSizingEq(cold, recomputed);
+    EXPECT_EQ(counterValue("evalcache.corrupt"), 1u);
+}
+
+TEST_F(EvalCacheTest, VersionSkewedRecordIsStaleNotAnError)
+{
+    configureEvalCache(dir_);
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const ClusterSizer sizer;
+    const auto table = cluster::AdoptionTable::none();
+
+    const SizingResult cold = sizer.size(trace, baseline, green, table);
+    const std::string record = onlyRecordPath();
+    // Rewrite the record as if a future version wrote it: same shape,
+    // different schema tag.
+    std::string bytes;
+    {
+        std::ifstream in(record, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    const std::string tag = kEvalCacheSchema;
+    const std::size_t at = bytes.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    bytes.replace(at, tag.size(), "gsku-evalcache-v999");
+    {
+        std::ofstream out(record, std::ios::trunc | std::ios::binary);
+        out << bytes;
+    }
+    const SizingResult recomputed =
+        sizer.size(trace, baseline, green, table);
+    expectSizingEq(cold, recomputed);
+    EXPECT_EQ(counterValue("evalcache.stale"), 1u);
+}
+
+TEST_F(EvalCacheTest, ModelVersionBumpNeverReplaysOldResults)
+{
+    configureEvalCache(dir_);
+    const cluster::VmTrace trace = smallTrace();
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const auto table = cluster::AdoptionTable::none();
+    const cluster::ReplayOptions options;
+
+    ClusterSizer{}.size(trace, baseline, green, table);
+    // The record stored under today's version is unreachable from a
+    // bumped version's key (fetch under the new key misses).
+    const std::string bumped_key =
+        sizingCacheKey(trace, baseline, green, table, options,
+                       kEvalCacheModelVersion + 1);
+    EXPECT_FALSE(evalCache()->fetch(bumped_key, "sizing").has_value());
+}
+
+} // namespace
+} // namespace gsku::gsf

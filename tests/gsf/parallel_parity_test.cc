@@ -10,11 +10,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "cluster/trace_gen.h"
 #include "common/parallel.h"
 #include "gsf/design_space.h"
+#include "gsf/eval_cache.h"
 #include "gsf/evaluator.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
@@ -252,6 +255,63 @@ TEST(ParallelParityTest, DecisionLedgerIsByteIdenticalAcrossThreads)
 
     EXPECT_FALSE(serial.empty());
     EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelParityTest, EvalCacheColdWarmParityAcrossThreads)
+{
+    // The persistent eval cache must preserve both contracts at once:
+    // a warm (cache-served) run is byte-identical to the cold run that
+    // populated it — results AND rendered ledger — at 1 and at 4 pool
+    // threads.
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "gsku_parity_evalcache").string();
+    fs::remove_all(dir);
+    gsf::configureEvalCache(dir);
+
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 100.0;
+    params.duration_h = 24.0 * 3.0;
+    const auto trace = cluster::TraceGenerator(params).generate(11);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+
+    struct Run
+    {
+        double savings = 0.0;
+        int mixed_greens = 0;
+        std::string ledger;
+    };
+    auto run_once = [&]() {
+        Run r;
+        obs::startLedger();
+        const auto eval = evaluator.evaluateCluster(
+            trace, baseline, green, CarbonIntensity::kgPerKwh(0.1));
+        r.savings = eval.savings;
+        r.mixed_greens = eval.sizing.mixed_greens;
+        r.ledger = obs::renderLedger();
+        obs::stopLedger();
+        return r;
+    };
+
+    const int original = ThreadPool::global().threads();
+    ThreadPool::resetGlobal(1);
+    const Run cold = run_once();     // Populates the cache.
+    const Run warm1 = run_once();    // Served from disk, 1 thread.
+    ThreadPool::resetGlobal(4);
+    const Run warm4 = run_once();    // Served from disk, 4 threads.
+    ThreadPool::resetGlobal(original);
+    gsf::configureEvalCache("");
+    fs::remove_all(dir);
+
+    for (const Run *warm : {&warm1, &warm4}) {
+        EXPECT_EQ(cold.savings, warm->savings);
+        EXPECT_EQ(cold.mixed_greens, warm->mixed_greens);
+        EXPECT_EQ(cold.ledger, warm->ledger);
+    }
+    EXPECT_FALSE(cold.ledger.empty());
+    EXPECT_NE(cold.ledger.find("cache.entry"), std::string::npos);
 }
 
 } // namespace

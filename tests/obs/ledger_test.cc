@@ -39,7 +39,7 @@ parseRendered()
 
 TEST(LedgerTest, RegistryCoversEveryEventExactlyOnce)
 {
-    ASSERT_EQ(kLedgerEventCount, 12u);
+    ASSERT_EQ(kLedgerEventCount, 13u);
     std::set<std::string> names;
     for (std::size_t i = 0; i < kLedgerEventCount; ++i) {
         names.insert(kLedgerEventNames[i]);
@@ -50,6 +50,8 @@ TEST(LedgerTest, RegistryCoversEveryEventExactlyOnce)
                  "carbon.per_core");    // lint-ok: ledger-events pins the registry
     EXPECT_STREQ(eventName(LedgerEvent::MaintenanceGate),
                  "maintenance.gate");   // lint-ok: ledger-events pins the registry
+    EXPECT_STREQ(eventName(LedgerEvent::CacheEntry),
+                 "cache.entry");        // lint-ok: ledger-events pins the registry
 }
 
 TEST(LedgerTest, EveryEventTypeRoundTripsThroughRenderAndParse)
@@ -64,6 +66,7 @@ TEST(LedgerTest, EveryEventTypeRoundTripsThroughRenderAndParse)
         LedgerEvent::SizingProbe,     LedgerEvent::SizingResult,
         LedgerEvent::AllocatorOutcome, LedgerEvent::DesignVerdict,
         LedgerEvent::EvaluatorVerdict, LedgerEvent::MaintenanceGate,
+        LedgerEvent::CacheEntry,
     };
     for (LedgerEvent event : all) {
         LedgerEntry(event)

@@ -167,6 +167,65 @@ TEST(MetricsTest, PercentileEdgeCases)
     EXPECT_DOUBLE_EQ(empty.percentile(99), 0.0);
 }
 
+TEST(MetricsTest, PercentileOverflowOnlyIsBoundedAtEveryPercentile)
+{
+    // Regression: the overflow bucket has no upper edge, so every
+    // percentile must report the largest finite bound — never a value
+    // interpolated past it, and never one below the occupied range.
+    MetricsSnapshot::HistogramValue h;
+    h.bounds = {10.0, 20.0, 40.0};
+    h.buckets = {0, 0, 0, 7};
+    h.count = 7;
+    for (double p : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(h.percentile(p), 40.0) << "p" << p;
+    }
+}
+
+TEST(MetricsTest, PercentileSingleBucketPins)
+{
+    // One finite bucket holding everything: interpolation runs from 0
+    // to the bound, and the extremes clamp to the bucket edges.
+    MetricsSnapshot::HistogramValue h;
+    h.bounds = {8.0};
+    h.buckets = {4, 0};
+    h.count = 4;
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(25), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(75), 6.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 8.0);
+}
+
+TEST(MetricsTest, PercentileRankOnBucketBoundaryReturnsTheBound)
+{
+    // Regression: a rank landing exactly on a bucket's cumulative
+    // count is the bucket's upper boundary itself — for interior
+    // buckets too, not just the first.
+    MetricsSnapshot::HistogramValue h;
+    h.bounds = {1.0, 2.0, 3.0};
+    h.buckets = {1, 1, 2, 0};
+    h.count = 4;
+    EXPECT_DOUBLE_EQ(h.percentile(25), 1.0);    // Rank 1 = bucket 0 top.
+    EXPECT_DOUBLE_EQ(h.percentile(50), 2.0);    // Rank 2 = bucket 1 top.
+    EXPECT_DOUBLE_EQ(h.percentile(100), 3.0);   // Rank 4 = bucket 2 top.
+}
+
+TEST(MetricsTest, PercentileNegativeFirstBoundStaysInsideTheBucket)
+{
+    // Regression: with a negative first bound, interpolating down from
+    // a lower edge of 0 walked past the bucket's own upper bound (p50
+    // of four samples below -10 came out as -5, above the bound).
+    MetricsSnapshot::HistogramValue h;
+    h.bounds = {-10.0, 10.0};
+    h.buckets = {4, 0, 0};
+    h.count = 4;
+    const double p50 = h.percentile(50);
+    EXPECT_LE(p50, -10.0);
+    EXPECT_DOUBLE_EQ(p50, -10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(25), -10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), -10.0);
+}
+
 TEST(MetricsTest, PercentilesFlowThroughLiveHistogramsAndExporters)
 {
     Histogram &h =

@@ -52,6 +52,112 @@ TEST(ErlangCTest, RejectsUnstableLoad)
     EXPECT_THROW(erlangC(0, 0.5), UserError);
 }
 
+namespace {
+
+/**
+ * Long-double reference: same recurrence and cancellation-free final
+ * form, carried at extended precision so the double implementation can
+ * be checked against a strictly more accurate oracle.
+ */
+double
+erlangCReference(int servers, double offered_load)
+{
+    if (offered_load == 0.0) {
+        return 0.0;
+    }
+    const long double a = offered_load;
+    const long double c = servers;
+    long double inv_b = 1.0L;
+    for (int k = 1; k <= servers; ++k) {
+        inv_b = 1.0L + inv_b * static_cast<long double>(k) / a;
+        if (inv_b > 1e4000L) {
+            return 0.0;
+        }
+    }
+    const long double b = 1.0L / inv_b;
+    return static_cast<double>(c * b / ((c - a) + a * b));
+}
+
+} // namespace
+
+TEST(ErlangCTest, MatchesLongDoubleReferenceAcrossServerScales)
+{
+    // Property sweep: servers spanning four orders of magnitude, loads
+    // from idle to deep saturation. At every point the probability is
+    // in [0, 1] and within a tight relative error of the long-double
+    // oracle.
+    for (int servers : {1, 2, 5, 10, 100, 1000, 10000}) {
+        for (double rho : {0.05, 0.3, 0.5, 0.8, 0.95, 0.999}) {
+            const double a = rho * servers;
+            const double got = erlangC(servers, a);
+            ASSERT_GE(got, 0.0) << servers << " " << rho;
+            ASSERT_LE(got, 1.0) << servers << " " << rho;
+            const double want = erlangCReference(servers, a);
+            if (want > 1e-12) {
+                ASSERT_NEAR(got / want, 1.0, 1e-9)
+                    << "servers=" << servers << " rho=" << rho;
+            } else {
+                ASSERT_LE(got, 1e-12)
+                    << "servers=" << servers << " rho=" << rho;
+            }
+        }
+    }
+}
+
+TEST(ErlangCTest, MonotoneInLoadEverywhere)
+{
+    // C(c, a) increases in a for every server count — strictly so once
+    // it is positive (large-c low-rho points sit at exactly 0 under the
+    // underflow guard). The near-saturation steps exercise the
+    // cancellation-free final form (the old 1 - rho + rho*B denominator
+    // went non-monotone there).
+    for (int servers : {1, 3, 8, 64, 512, 10000}) {
+        double prev = 0.0;
+        for (double rho : {0.1, 0.4, 0.7, 0.9, 0.99, 0.999, 0.99999}) {
+            const double c = erlangC(servers, rho * servers);
+            ASSERT_GE(c, prev) << "servers=" << servers
+                               << " rho=" << rho;
+            if (prev > 0.0) {
+                ASSERT_GT(c, prev)
+                    << "servers=" << servers << " rho=" << rho;
+            }
+            prev = c;
+        }
+        ASSERT_GT(prev, 0.0) << servers;    // Saturation end is positive.
+    }
+}
+
+TEST(ErlangCTest, NearSaturationStaysAccurate)
+{
+    // Regression for the catastrophic cancellation: as rho -> 1,
+    // C -> 1 smoothly from below. The old form lost ~|log10(1-rho)|
+    // digits and could exceed 1 or drop in rho.
+    for (double eps : {1e-6, 1e-9, 1e-12}) {
+        const double c = erlangC(16, 16.0 * (1.0 - eps));
+        EXPECT_GT(c, 0.9) << eps;
+        EXPECT_LE(c, 1.0) << eps;
+        const double want = erlangCReference(16, 16.0 * (1.0 - eps));
+        EXPECT_NEAR(c / want, 1.0, 1e-8) << eps;
+    }
+}
+
+TEST(ErlangCTest, HugeServerCountsNeverOverflow)
+{
+    // Regression for the inv_b overflow: at low utilization with many
+    // servers the inverse Erlang-B blows past double range; the guard
+    // must return exactly 0 (not inf/NaN garbage).
+    for (int servers : {1000, 5000, 10000}) {
+        const double c = erlangC(servers, 0.2 * servers);
+        EXPECT_TRUE(std::isfinite(c)) << servers;
+        EXPECT_EQ(c, 0.0) << servers;
+    }
+    // And a mid-scale point that stops just short of the guard still
+    // returns a sane probability.
+    const double c = erlangC(200, 190.0);
+    EXPECT_GT(c, 0.0);
+    EXPECT_LE(c, 1.0);
+}
+
 TEST(MeanWaitTest, MatchesMm1ClosedForm)
 {
     // M/M/1: Wq = rho / (mu - lambda).

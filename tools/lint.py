@@ -337,6 +337,7 @@ LEDGER_EVENT_NAMES = (
     "sizing.probe", "sizing.result",
     "allocator.outcome", "design.verdict",
     "evaluator.verdict", "maintenance.gate",
+    "cache.entry",
 )
 LEDGER_EVENTS_RE = re.compile(
     '"(' + "|".join(re.escape(n) for n in LEDGER_EVENT_NAMES) + ')"')
@@ -360,6 +361,44 @@ def check_ledger_events(path: Path, lines: list[str],
             f"ledger event name {m.group(0)} as a string literal; use "
             f"obs::LedgerEvent / obs::eventName (src/obs/ledger.h) so "
             f"renames cannot orphan facts"))
+    return findings
+
+
+# --------------------------------------------------------------------
+# Rule: checked-parse
+#
+# Raw std::sto* / ato* / strto* conversions have two failure modes
+# that bit the readers: they throw raw std::invalid_argument past the
+# UserError convention, and they silently accept trailing junk
+# ("12abc" parses as 12). All text->number conversion goes through the
+# checked full-token parsers in common/parse.h, which reject both and
+# carry file/line/field context. Only parse.cc itself may call the
+# std library (with suppressions).
+# --------------------------------------------------------------------
+
+CHECKED_PARSE_RE = re.compile(
+    r"\b(?:std::)?(?:stoi|stol|stoll|stoul|stoull|stof|stod|stold|"
+    r"atoi|atol|atoll|atof|strtol|strtoll|strtoul|strtoull|strtof|"
+    r"strtod|strtold)\s*\(")
+
+
+def check_checked_parse(path: Path, lines: list[str],
+                        used: set) -> list[Finding]:
+    findings = []
+    in_block = False
+    for i, raw in enumerate(lines, 1):
+        code, in_block = strip_comments(raw, in_block)
+        m = CHECKED_PARSE_RE.search(code)
+        if not m:
+            continue
+        if suppressed(raw, "checked-parse", used, path, i):
+            continue
+        findings.append(Finding(
+            path, i, "checked-parse",
+            f"'{m.group(0).strip()}' is a raw numeric conversion; use "
+            f"parseInt/parseLong/parseU64/parseDouble (common/parse.h) "
+            f"so malformed and trailing-junk tokens fail as UserError "
+            f"with source context"))
     return findings
 
 
@@ -391,6 +430,7 @@ RULES = {
     "concurrency": check_concurrency,
     "timing": check_timing,
     "ledger-events": check_ledger_events,
+    "checked-parse": check_checked_parse,
     "pragma-once": check_pragma_once,
 }
 

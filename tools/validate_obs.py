@@ -62,6 +62,7 @@ LEDGER_EVENTS = {
     "design.verdict",
     "evaluator.verdict",
     "maintenance.gate",
+    "cache.entry",
 }
 
 
