@@ -1,0 +1,236 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <ostream>
+
+#include "analyze/json_writer.h"
+#include "analyze/taint.h"
+#include "common/error.h"
+
+namespace gsku::analyze {
+
+AnalysisResult
+analyze(const AnalyzerOptions &options)
+{
+    // Resolve the rule set.
+    std::set<std::string> enabled =
+        options.enabledRules.empty() ? ruleNames() : options.enabledRules;
+    for (const std::string &r : enabled)
+        GSKU_REQUIRE(ruleNames().count(r), "unknown rule: " + r);
+    for (const std::string &r : options.disabledRules) {
+        GSKU_REQUIRE(ruleNames().count(r), "unknown rule: " + r);
+        enabled.erase(r);
+    }
+
+    Policy policy = Policy::repoDefault();
+    for (const auto &[rule, path] : options.extraAllows) {
+        GSKU_REQUIRE(ruleNames().count(rule),
+                     "unknown rule in mask: " + rule);
+        policy.allow(rule, path);
+    }
+
+    // Load and lex everything up front: the graph rules and the taint
+    // pass need the whole file set.
+    std::vector<std::string> paths =
+        options.paths.empty() ? std::vector<std::string>{"src"}
+                              : options.paths;
+    // Paths are interpreted relative to the caller's cwd, but module
+    // classification is anchored at the root.
+    AnalysisResult result;
+    for (const std::string &p : collectFiles(paths))
+        result.sources.push_back(loadSource(p, options.root));
+
+    std::vector<const SourceFile *> files;
+    files.reserve(result.sources.size());
+    for (const auto &f : result.sources)
+        files.push_back(f.get());
+
+    // Per-file suppression sets live for the whole run: the graph and
+    // taint rules mark suppressions used too, and the audit must see
+    // the union.
+    std::vector<std::unique_ptr<SuppressionSet>> ownedSups;
+    std::vector<SuppressionSet *> sups;
+    for (const SourceFile *f : files) {
+        ownedSups.push_back(
+            std::make_unique<SuppressionSet>(*f, ruleNames()));
+        sups.push_back(ownedSups.back().get());
+    }
+
+    result.fileCount = files.size();
+    result.ruleCount = enabled.size();
+
+    // 1. Token rules.
+    std::vector<Finding> determinismFindings;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::vector<Finding> fs =
+            checkFile(*files[i], policy, enabled, *sups[i]);
+        for (Finding &f : fs) {
+            if (f.rule == "rng-usage" || f.rule == "timing" ||
+                f.rule == "concurrency" || f.rule == "checked-parse") {
+                determinismFindings.push_back(f);
+            }
+            result.findings.push_back(std::move(f));
+        }
+    }
+
+    // 2. Include-graph rules.
+    result.graph = std::make_unique<IncludeGraph>(IncludeGraph::build(files));
+    if (enabled.count("include-layering")) {
+        std::vector<Finding> fs = result.graph->layeringFindings(sups);
+        result.findings.insert(result.findings.end(), fs.begin(), fs.end());
+    }
+    if (enabled.count("include-cycle")) {
+        std::vector<Finding> fs = result.graph->cycleFindings();
+        result.findings.insert(result.findings.end(), fs.begin(), fs.end());
+    }
+
+    // 3. Determinism taint (seeded by the unsuppressed token-rule
+    // findings, so it reports only what they cannot: indirect reach).
+    if (enabled.count("determinism-taint")) {
+        std::vector<Finding> fs =
+            runTaint(files, determinismFindings, sups);
+        result.findings.insert(result.findings.end(), fs.begin(), fs.end());
+    }
+
+    // 4. Suppression audit, last: every lint-ok must have earned its
+    // keep against one of the passes above.
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        std::vector<Finding> fs =
+            sups[i]->auditFindings(files[i]->relPath, enabled);
+        result.findings.insert(result.findings.end(), fs.begin(), fs.end());
+    }
+
+    std::sort(result.findings.begin(), result.findings.end(), findingLess);
+    return result;
+}
+
+void
+writeText(std::ostream &out, const AnalysisResult &result)
+{
+    for (const Finding &f : result.findings) {
+        out << f.relPath << ':' << f.line << ": [" << f.rule << "] "
+            << f.message << '\n';
+    }
+    if (!result.findings.empty()) {
+        out << "\ngsku_analyze: " << result.findings.size()
+            << " finding(s) in " << result.fileCount << " file(s)\n";
+    } else {
+        out << "gsku_analyze: clean (" << result.fileCount << " files, "
+            << result.ruleCount << " rules)\n";
+    }
+}
+
+void
+writeFindingsJson(std::ostream &out, const AnalysisResult &result)
+{
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("tool").value("gsku_analyze");
+    w.key("files").value(result.fileCount);
+    w.key("rules").value(result.ruleCount);
+    w.key("findings").beginArray();
+    for (const Finding &f : result.findings) {
+        w.beginObject();
+        w.key("path").value(f.relPath);
+        w.key("line").value(f.line);
+        w.key("col").value(f.col);
+        w.key("rule").value(f.rule);
+        w.key("message").value(f.message);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("count").value(result.findings.size());
+    w.endObject();
+    out << '\n';
+}
+
+void
+writeSarif(std::ostream &out, const AnalysisResult &result,
+           const std::string &root)
+{
+    std::error_code ec;
+    std::filesystem::path abs = std::filesystem::absolute(root, ec);
+    std::string rootUri = "file://" + abs.generic_string();
+    if (rootUri.empty() || rootUri.back() != '/')
+        rootUri += '/';
+
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("$schema")
+        .value("https://json.schemastore.org/sarif-2.1.0.json");
+    w.key("version").value("2.1.0");
+    w.key("runs").beginArray();
+    w.beginObject();
+
+    w.key("tool").beginObject();
+    w.key("driver").beginObject();
+    w.key("name").value("gsku_analyze");
+    w.key("version").value("1.0.0");
+    w.key("rules").beginArray();
+    for (const RuleInfo &r : ruleCatalog()) {
+        w.beginObject();
+        w.key("id").value(r.name);
+        w.key("shortDescription").beginObject();
+        w.key("text").value(r.summary);
+        w.endObject();
+        w.key("defaultConfiguration").beginObject();
+        w.key("level").value("error");
+        w.endObject();
+        w.endObject();
+    }
+    // The suppression audit reports under its own pseudo-rule id.
+    w.beginObject();
+    w.key("id").value("lint-ok");
+    w.key("shortDescription").beginObject();
+    w.key("text").value(
+        "Every `// lint-ok:` suppression must name a known rule and "
+        "silence a real finding.");
+    w.endObject();
+    w.key("defaultConfiguration").beginObject();
+    w.key("level").value("error");
+    w.endObject();
+    w.endObject();
+    w.endArray();
+    w.endObject(); // driver
+    w.endObject(); // tool
+
+    w.key("originalUriBaseIds").beginObject();
+    w.key("SRCROOT").beginObject();
+    w.key("uri").value(rootUri);
+    w.endObject();
+    w.endObject();
+
+    w.key("results").beginArray();
+    for (const Finding &f : result.findings) {
+        w.beginObject();
+        w.key("ruleId").value(f.rule);
+        w.key("level").value("error");
+        w.key("message").beginObject();
+        w.key("text").value(f.message);
+        w.endObject();
+        w.key("locations").beginArray();
+        w.beginObject();
+        w.key("physicalLocation").beginObject();
+        w.key("artifactLocation").beginObject();
+        w.key("uri").value(f.relPath);
+        w.key("uriBaseId").value("SRCROOT");
+        w.endObject();
+        w.key("region").beginObject();
+        w.key("startLine").value(f.line);
+        w.key("startColumn").value(f.col > 0 ? f.col : 1);
+        w.endObject();
+        w.endObject(); // physicalLocation
+        w.endObject();
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject(); // run
+    w.endArray();
+    w.endObject();
+    out << '\n';
+}
+
+} // namespace gsku::analyze

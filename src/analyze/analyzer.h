@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analyzer orchestration: collect files, run the token rules, the
+ * include-graph rules, and the determinism-taint pass, audit
+ * suppressions, and render the result as human text, findings JSON,
+ * or SARIF 2.1.0 (docs/analysis.md).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/include_graph.h"
+#include "analyze/rules.h"
+#include "analyze/source.h"
+
+namespace gsku::analyze {
+
+struct AnalyzerOptions
+{
+    /** Repo root: relative paths, module classification, and the
+     *  policy table are all anchored here. */
+    std::string root = ".";
+
+    /** Files or directories to analyze (default: src). */
+    std::vector<std::string> paths;
+
+    /** Rules to run; empty = the full catalog. */
+    std::set<std::string> enabledRules;
+
+    /** Rules to subtract after enabledRules is resolved. */
+    std::set<std::string> disabledRules;
+
+    /** Extra per-tree masks: (rule, exact file or 'dir/' prefix). */
+    std::vector<std::pair<std::string, std::string>> extraAllows;
+};
+
+struct AnalysisResult
+{
+    std::vector<Finding> findings;      ///< Sorted by findingLess.
+    std::size_t fileCount = 0;
+    std::size_t ruleCount = 0;          ///< Rules that actually ran.
+    /** The analyzed sources. graph points into these, so they live
+     *  as long as the result does. */
+    std::vector<std::unique_ptr<SourceFile>> sources;
+    std::unique_ptr<IncludeGraph> graph;
+
+    bool clean() const { return findings.empty(); }
+};
+
+/** Run the analysis. Throws UserError for unknown rules or unreadable
+ *  paths. */
+AnalysisResult analyze(const AnalyzerOptions &options);
+
+/** `path:line: [rule] message` lines plus a summary, lint.py-style. */
+void writeText(std::ostream &out, const AnalysisResult &result);
+
+/** Deterministic findings JSON (root-relative paths only, no
+ *  absolute paths or timestamps — diffable and golden-testable). */
+void writeFindingsJson(std::ostream &out, const AnalysisResult &result);
+
+/** SARIF 2.1.0 with the rule catalog as tool.driver.rules and
+ *  SRCROOT-relative artifact locations. */
+void writeSarif(std::ostream &out, const AnalysisResult &result,
+                const std::string &root);
+
+} // namespace gsku::analyze

@@ -1,0 +1,312 @@
+#include "analyze/include_graph.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "analyze/json_writer.h"
+
+namespace gsku::analyze {
+
+namespace {
+
+std::string
+dirName(const std::string &relPath)
+{
+    std::size_t slash = relPath.rfind('/');
+    return slash == std::string::npos ? std::string()
+                                      : relPath.substr(0, slash);
+}
+
+/** Normalize "a/b/../c" and "a/./c" segments (no filesystem access —
+ *  the graph works on repo-relative paths). */
+std::string
+normalize(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::size_t begin = 0;
+    while (begin <= path.size()) {
+        std::size_t end = path.find('/', begin);
+        if (end == std::string::npos)
+            end = path.size();
+        std::string part = path.substr(begin, end - begin);
+        if (part == "..") {
+            if (!parts.empty() && parts.back() != "..")
+                parts.pop_back();
+            else
+                parts.push_back(part);
+        } else if (!part.empty() && part != ".") {
+            parts.push_back(part);
+        }
+        begin = end + 1;
+    }
+    std::string out;
+    for (const std::string &p : parts) {
+        if (!out.empty())
+            out += '/';
+        out += p;
+    }
+    return out;
+}
+
+} // namespace
+
+const std::map<std::string, std::vector<std::string>> &
+IncludeGraph::layeringDag()
+{
+    // The module layering this repo actually builds on (see
+    // docs/analysis.md for the diagram). Self-dependencies are
+    // implied; a module absent from the map (bench, examples, tools,
+    // tests, fixtures) is unrestricted as an includer.
+    static const std::map<std::string, std::vector<std::string>> dag = {
+        {"obs", {}},
+        {"common", {"obs"}},
+        {"carbon", {"common", "obs"}},
+        {"perf", {"carbon", "common", "obs"}},
+        {"reliability", {"carbon", "common", "obs"}},
+        {"cluster", {"perf", "carbon", "common", "obs"}},
+        {"analyze", {"common", "obs"}},
+        {"gsf",
+         {"reliability", "cluster", "perf", "carbon", "common", "obs"}},
+    };
+    return dag;
+}
+
+IncludeGraph
+IncludeGraph::build(const std::vector<const SourceFile *> &files)
+{
+    IncludeGraph g;
+    g.files_ = files;
+
+    std::map<std::string, int> byRelPath;
+    for (std::size_t i = 0; i < files.size(); ++i)
+        byRelPath[files[i]->relPath] = static_cast<int>(i);
+
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const SourceFile &f = *files[i];
+        for (std::size_t t = 0; t + 1 < f.tokens.size(); ++t) {
+            const Token &dir = f.tokens[t];
+            if (dir.kind != TokenKind::Directive || dir.text != "include")
+                continue;
+            const Token &operand = f.tokens[t + 1];
+            if (operand.kind != TokenKind::String)
+                continue; // angle includes are system headers
+            std::string target(literalBody(operand));
+
+            Edge e;
+            e.from = static_cast<int>(i);
+            e.line = operand.line;
+            e.target = target;
+            // Project style resolves quoted includes against src/
+            // first (target_include_directories PUBLIC src), then the
+            // including directory, then the repo root.
+            for (const std::string &candidate :
+                 {normalize("src/" + target),
+                  normalize(dirName(f.relPath) + "/" + target),
+                  normalize(target)}) {
+                auto it = byRelPath.find(candidate);
+                if (it != byRelPath.end()) {
+                    e.to = it->second;
+                    break;
+                }
+            }
+            g.edges_.push_back(e);
+        }
+    }
+    return g;
+}
+
+std::vector<Finding>
+IncludeGraph::layeringFindings(std::vector<SuppressionSet *> &sups) const
+{
+    std::vector<Finding> out;
+    const auto &dag = layeringDag();
+    for (const Edge &e : edges_) {
+        const SourceFile &from = *files_[e.from];
+        auto it = dag.find(from.module);
+        if (it == dag.end())
+            continue; // unrestricted tree
+        // Module of the include target, whether or not it resolved to
+        // an analyzed file: a layering violation should not hide just
+        // because the offending header was outside the analysis set.
+        std::string toModule =
+            e.to >= 0 ? files_[e.to]->module
+                      : moduleOf(normalize("src/" + e.target));
+        if (toModule.empty() || toModule == from.module)
+            continue;
+        if (std::find(it->second.begin(), it->second.end(), toModule) !=
+            it->second.end()) {
+            continue;
+        }
+        if (sups[e.from] && sups[e.from]->suppress("include-layering",
+                                                   e.line)) {
+            continue;
+        }
+        out.push_back(
+            {from.relPath, e.line, 1, "include-layering",
+             "module '" + from.module + "' must not include '" +
+                 e.target + "' (module '" + toModule +
+                 "'): the layering DAG allows " + from.module +
+                 " -> {" + [&] {
+                     std::string deps;
+                     for (const std::string &d : it->second) {
+                         if (!deps.empty())
+                             deps += ", ";
+                         deps += d;
+                     }
+                     return deps;
+                 }() + "} only (docs/analysis.md)"});
+    }
+    return out;
+}
+
+std::vector<Finding>
+IncludeGraph::cycleFindings() const
+{
+    std::vector<Finding> out;
+
+    // Adjacency over resolved edges only.
+    std::vector<std::vector<const Edge *>> adj(files_.size());
+    for (const Edge &e : edges_)
+        if (e.to >= 0)
+            adj[e.from].push_back(&e);
+
+    enum class Color { White, Grey, Black };
+    std::vector<Color> color(files_.size(), Color::White);
+    std::vector<int> stack;
+    std::set<std::vector<int>> seenCycles;
+
+    // Iterative DFS; on a grey target, the stack slice from that
+    // target to the top is a cycle.
+    struct Frame
+    {
+        int node;
+        std::size_t next = 0;
+    };
+    for (std::size_t root = 0; root < files_.size(); ++root) {
+        if (color[root] != Color::White)
+            continue;
+        std::vector<Frame> frames{{static_cast<int>(root)}};
+        color[root] = Color::Grey;
+        stack.push_back(static_cast<int>(root));
+        while (!frames.empty()) {
+            Frame &fr = frames.back();
+            if (fr.next < adj[fr.node].size()) {
+                const Edge *e = adj[fr.node][fr.next++];
+                if (color[e->to] == Color::White) {
+                    color[e->to] = Color::Grey;
+                    stack.push_back(e->to);
+                    frames.push_back({e->to});
+                } else if (color[e->to] == Color::Grey) {
+                    auto begin = std::find(stack.begin(), stack.end(),
+                                           e->to);
+                    std::vector<int> cycle(begin, stack.end());
+                    // Canonical rotation so each cycle reports once.
+                    std::vector<int> canon = cycle;
+                    auto minIt =
+                        std::min_element(canon.begin(), canon.end());
+                    std::rotate(canon.begin(), minIt, canon.end());
+                    if (seenCycles.insert(canon).second) {
+                        std::string chain;
+                        for (int idx : cycle)
+                            chain += files_[idx]->relPath + " -> ";
+                        chain += files_[e->to]->relPath;
+                        out.push_back({files_[fr.node]->relPath, e->line,
+                                       1, "include-cycle",
+                                       "include cycle: " + chain});
+                    }
+                }
+            } else {
+                color[fr.node] = Color::Black;
+                stack.pop_back();
+                frames.pop_back();
+            }
+        }
+    }
+    return out;
+}
+
+bool
+IncludeGraph::acyclic() const
+{
+    return cycleFindings().empty();
+}
+
+void
+IncludeGraph::dumpJson(std::ostream &out) const
+{
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("files").value(files_.size());
+
+    w.key("nodes").beginArray();
+    for (const SourceFile *f : files_) {
+        w.beginObject();
+        w.key("path").value(f->relPath);
+        w.key("module").value(f->module);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("edges").beginArray();
+    for (const Edge &e : edges_) {
+        if (e.to < 0)
+            continue;
+        w.beginObject();
+        w.key("from").value(files_[e.from]->relPath);
+        w.key("to").value(files_[e.to]->relPath);
+        w.key("line").value(e.line);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("unresolved").beginArray();
+    for (const Edge &e : edges_) {
+        if (e.to >= 0)
+            continue;
+        w.beginObject();
+        w.key("from").value(files_[e.from]->relPath);
+        w.key("target").value(e.target);
+        w.key("line").value(e.line);
+        w.endObject();
+    }
+    w.endArray();
+
+    // Module condensation: the deps each module actually has.
+    std::map<std::string, std::set<std::string>> observed;
+    for (const SourceFile *f : files_)
+        if (!f->module.empty())
+            observed[f->module]; // ensure node exists
+    for (const Edge &e : edges_) {
+        if (e.to < 0)
+            continue;
+        const std::string &a = files_[e.from]->module;
+        const std::string &b = files_[e.to]->module;
+        if (!a.empty() && !b.empty() && a != b)
+            observed[a].insert(b);
+    }
+    w.key("modules").beginObject();
+    for (const auto &[mod, deps] : observed) {
+        w.key(mod).beginObject();
+        w.key("deps").beginArray();
+        for (const std::string &d : deps)
+            w.value(d);
+        w.endArray();
+        const auto &dag = layeringDag();
+        auto it = dag.find(mod);
+        if (it != dag.end()) {
+            w.key("allowed").beginArray();
+            for (const std::string &d : it->second)
+                w.value(d);
+            w.endArray();
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("acyclic").value(acyclic());
+    w.endObject();
+    out << '\n';
+}
+
+} // namespace gsku::analyze

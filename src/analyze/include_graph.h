@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Include-graph construction and the two graph rules of the analyzer
+ * (docs/analysis.md "Module layering"):
+ *
+ *  - include-layering: quoted includes between src/ modules must
+ *    follow the layering DAG this repo actually builds on —
+ *    obs at the bottom (it includes nothing but itself), then common,
+ *    then carbon, then perf and reliability, then cluster, then gsf
+ *    on top. bench/, examples/, tools/, and tests/ may include
+ *    anything. An include edge that points up or sideways couples
+ *    layers that were designed to be independently testable.
+ *
+ *  - include-cycle: the file-level include graph must be acyclic.
+ *    `#pragma once` hides cycles at compile time (one file simply
+ *    sees a truncated header), so a cycle is invisible until it
+ *    manifests as an incomplete-type error three refactors later.
+ *
+ * The graph is also a first-class artifact: dumpJson() emits the
+ * file-level edges, the module-level condensation, and the
+ * acyclicity verdict consumed by CI.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/rules.h"
+#include "analyze/source.h"
+
+namespace gsku::analyze {
+
+class IncludeGraph
+{
+  public:
+    /** One resolved or unresolved quoted include. */
+    struct Edge
+    {
+        int from = -1;          ///< Index into files().
+        int to = -1;            ///< Index into files(), -1 unresolved.
+        int line = 0;           ///< Line of the #include.
+        std::string target;     ///< Spelling inside the quotes.
+    };
+
+    /**
+     * Build the graph over `files`. Quoted targets resolve, in
+     * order, against `src/<target>` under the repo root, the
+     * including file's directory, and the repo root itself — the
+     * three forms this tree uses. Angle includes are system headers
+     * and carry no layering obligations.
+     */
+    static IncludeGraph build(const std::vector<const SourceFile *> &files);
+
+    const std::vector<const SourceFile *> &files() const { return files_; }
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** include-layering findings (suppressible on the include line). */
+    std::vector<Finding> layeringFindings(
+        std::vector<SuppressionSet *> &sups) const;
+
+    /** include-cycle findings, one per distinct cycle. */
+    std::vector<Finding> cycleFindings() const;
+
+    bool acyclic() const;
+
+    /** The allowed module -> module dependency table (self-edges
+     *  implied). Exposed for the docs generator and tests. */
+    static const std::map<std::string, std::vector<std::string>> &
+    layeringDag();
+
+    /** Machine-readable dump: nodes, edges, module condensation,
+     *  acyclicity verdict. */
+    void dumpJson(std::ostream &out) const;
+
+  private:
+    std::vector<const SourceFile *> files_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace gsku::analyze

@@ -1,0 +1,115 @@
+#include "analyze/json_writer.h"
+
+#include <cstdio>
+
+namespace gsku::analyze {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!hasItem_.empty()) {
+        if (hasItem_.back())
+            out_ << ',';
+        hasItem_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    out_ << '{';
+    hasItem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    hasItem_.pop_back();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    out_ << '[';
+    hasItem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    hasItem_.pop_back();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    separator();
+    out_ << '"' << jsonEscape(name) << "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    separator();
+    out_ << '"' << jsonEscape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separator();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+} // namespace gsku::analyze

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the analyzer's machine-readable
+ * outputs (findings JSON, SARIF, include-graph dump). Emits compact,
+ * deterministic JSON: keys in the order written, no whitespace
+ * dependence on locale, full escaping of control characters.
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsku::analyze {
+
+/** JSON-escape `s` (quotes not included). */
+std::string jsonEscape(std::string_view s);
+
+/** Comma/nesting bookkeeping for hand-rolled JSON emission. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Writes `"name":` and expects a value/beginX next. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(std::size_t v)
+    {
+        return value(static_cast<std::int64_t>(v));
+    }
+    JsonWriter &value(bool v);
+
+  private:
+    std::ostream &out_;
+    /** true = a value was already written at this nesting level. */
+    std::vector<bool> hasItem_;
+    bool pendingKey_ = false;
+
+    void separator();
+};
+
+} // namespace gsku::analyze

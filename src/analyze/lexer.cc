@@ -1,0 +1,440 @@
+#include "analyze/lexer.h"
+
+#include <cctype>
+
+namespace gsku::analyze {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c));
+}
+
+/** Encoding prefixes that may glue onto a string/char literal. */
+bool
+isLiteralPrefix(std::string_view ident)
+{
+    return ident == "u8" || ident == "u" || ident == "U" || ident == "L" ||
+           ident == "R" || ident == "u8R" || ident == "uR" ||
+           ident == "UR" || ident == "LR";
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view src) : src_(src) {}
+
+    std::vector<Token> run();
+
+  private:
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    bool atLineStart_ = true;   ///< Only whitespace seen on this line.
+    bool inDirective_ = false;  ///< Between a `#` and its (real) newline.
+    bool expectHeader_ = false; ///< Next token of an #include directive.
+    std::vector<Token> out_;
+
+    bool done() const { return pos_ >= src_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    void
+    advance()
+    {
+        if (src_[pos_] == '\n') {
+            ++line_;
+            col_ = 1;
+            atLineStart_ = true;
+        } else {
+            ++col_;
+        }
+        ++pos_;
+    }
+
+    void
+    newline()
+    {
+        // A newline ends a directive unless escaped with a backslash
+        // (possibly followed by trailing spaces, which we tolerate
+        // only in the simple backslash-newline form).
+        if (inDirective_) {
+            bool escaped =
+                !out_.empty() && pos_ > 0 && src_[pos_ - 1] == '\\';
+            // Look back past CR for CRLF files.
+            if (!escaped && pos_ > 1 && src_[pos_ - 1] == '\r' &&
+                src_[pos_ - 2] == '\\') {
+                escaped = true;
+            }
+            if (!escaped) {
+                inDirective_ = false;
+                expectHeader_ = false;
+            }
+        }
+        advance();
+    }
+
+    Token
+    make(TokenKind kind, std::size_t begin, int line, int col) const
+    {
+        Token t;
+        t.kind = kind;
+        t.text = src_.substr(begin, pos_ - begin);
+        t.line = line;
+        t.col = col;
+        t.inDirective = inDirective_;
+        return t;
+    }
+
+    void lexLineComment();
+    void lexBlockComment();
+    void lexString();
+    void lexRawString();
+    void lexCharLit();
+    void lexNumber();
+    void lexIdentifierOrLiteral();
+    void lexHeaderName();
+    void lexDirective();
+    void lexPunct();
+};
+
+void
+Lexer::lexLineComment()
+{
+    const std::size_t begin = pos_;
+    const int line = line_, col = col_;
+    while (!done() && peek() != '\n')
+        advance();
+    out_.push_back(make(TokenKind::LineComment, begin, line, col));
+}
+
+void
+Lexer::lexBlockComment()
+{
+    const std::size_t begin = pos_;
+    const int line = line_, col = col_;
+    advance(); // '/'
+    advance(); // '*'
+    while (!done()) {
+        if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            break;
+        }
+        if (peek() == '\n')
+            newline();
+        else
+            advance();
+    }
+    Token t = make(TokenKind::BlockComment, begin, line, col);
+    out_.push_back(t);
+}
+
+void
+Lexer::lexString()
+{
+    // pos_ is at the opening quote; any prefix was already consumed
+    // by the caller (which adjusts the token start itself).
+    advance(); // '"'
+    while (!done()) {
+        char c = peek();
+        if (c == '\\' && pos_ + 1 < src_.size()) {
+            advance();
+            advance();
+            continue;
+        }
+        if (c == '"') {
+            advance();
+            return;
+        }
+        if (c == '\n') {
+            // Unterminated literal: stop at the newline so the rest
+            // of the file still lexes sanely.
+            return;
+        }
+        advance();
+    }
+}
+
+void
+Lexer::lexRawString()
+{
+    // pos_ is at the opening quote of R"delim( ... )delim".
+    advance(); // '"'
+    std::size_t delimBegin = pos_;
+    while (!done() && peek() != '(' && peek() != '\n')
+        advance();
+    std::string_view delim = src_.substr(delimBegin, pos_ - delimBegin);
+    if (done() || peek() != '(')
+        return; // malformed; tolerate
+    advance();  // '('
+    // Scan for `)delim"`.
+    while (!done()) {
+        if (peek() == ')') {
+            std::size_t after = pos_ + 1;
+            if (after + delim.size() < src_.size() + 1 &&
+                src_.compare(after, delim.size(), delim) == 0 &&
+                after + delim.size() < src_.size() &&
+                src_[after + delim.size()] == '"') {
+                // Consume `)delim"`.
+                for (std::size_t i = 0; i < delim.size() + 2; ++i)
+                    advance();
+                return;
+            }
+        }
+        if (peek() == '\n')
+            newline();
+        else
+            advance();
+    }
+}
+
+void
+Lexer::lexCharLit()
+{
+    advance(); // '\''
+    while (!done()) {
+        char c = peek();
+        if (c == '\\' && pos_ + 1 < src_.size()) {
+            advance();
+            advance();
+            continue;
+        }
+        if (c == '\'') {
+            advance();
+            return;
+        }
+        if (c == '\n')
+            return; // unterminated; tolerate
+        advance();
+    }
+}
+
+void
+Lexer::lexNumber()
+{
+    const std::size_t begin = pos_;
+    const int line = line_, col = col_;
+    // pp-number: digits, identifier chars, '.', digit separators, and
+    // signs directly after an exponent marker.
+    while (!done()) {
+        char c = peek();
+        if (isIdentChar(c) || c == '.' || c == '\'') {
+            advance();
+            continue;
+        }
+        if ((c == '+' || c == '-') && pos_ > begin) {
+            char prev = src_[pos_ - 1];
+            if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+                advance();
+                continue;
+            }
+        }
+        break;
+    }
+    out_.push_back(make(TokenKind::Number, begin, line, col));
+}
+
+void
+Lexer::lexIdentifierOrLiteral()
+{
+    const std::size_t begin = pos_;
+    const int line = line_, col = col_;
+    while (!done() && isIdentChar(peek()))
+        advance();
+    std::string_view ident = src_.substr(begin, pos_ - begin);
+
+    // An encoding prefix glued to a quote turns the whole thing into
+    // one literal token: u8"...", LR"(...)", u'x', ...
+    if (isLiteralPrefix(ident) && !done()) {
+        if (peek() == '"') {
+            const bool raw = ident.back() == 'R';
+            if (raw)
+                lexRawString();
+            else
+                lexString();
+            out_.push_back(make(raw ? TokenKind::RawString
+                                    : TokenKind::String,
+                                begin, line, col));
+            return;
+        }
+        if (peek() == '\'' && ident.back() != 'R') {
+            lexCharLit();
+            out_.push_back(make(TokenKind::CharLit, begin, line, col));
+            return;
+        }
+    }
+    out_.push_back(make(TokenKind::Identifier, begin, line, col));
+}
+
+void
+Lexer::lexHeaderName()
+{
+    const std::size_t begin = pos_;
+    const int line = line_, col = col_;
+    advance(); // '<'
+    while (!done() && peek() != '>' && peek() != '\n')
+        advance();
+    if (!done() && peek() == '>')
+        advance();
+    out_.push_back(make(TokenKind::HeaderName, begin, line, col));
+}
+
+void
+Lexer::lexDirective()
+{
+    advance(); // '#'
+    inDirective_ = true;
+    while (!done() && (peek() == ' ' || peek() == '\t'))
+        advance();
+    const std::size_t begin = pos_;
+    const int line = line_, col = col_;
+    while (!done() && isIdentChar(peek()))
+        advance();
+    Token t = make(TokenKind::Directive, begin, line, col);
+    out_.push_back(t);
+    expectHeader_ = (t.text == "include" || t.text == "include_next");
+}
+
+void
+Lexer::lexPunct()
+{
+    const std::size_t begin = pos_;
+    const int line = line_, col = col_;
+    // Keep `::` and `->` as single tokens: the rules match
+    // qualified names and member accesses as 3-token sequences.
+    if ((peek() == ':' && peek(1) == ':') ||
+        (peek() == '-' && peek(1) == '>')) {
+        advance();
+        advance();
+    } else {
+        advance();
+    }
+    out_.push_back(make(TokenKind::Punct, begin, line, col));
+}
+
+std::vector<Token>
+Lexer::run()
+{
+    while (!done()) {
+        char c = peek();
+        if (c == '\n') {
+            newline();
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+            advance();
+            continue;
+        }
+        const bool lineStart = atLineStart_;
+        atLineStart_ = false;
+        if (c == '/' && peek(1) == '/') {
+            lexLineComment();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            lexBlockComment();
+            continue;
+        }
+        if (c == '#' && lineStart && !inDirective_) {
+            lexDirective();
+            continue;
+        }
+        if (c == '<' && inDirective_ && expectHeader_) {
+            lexHeaderName();
+            expectHeader_ = false;
+            continue;
+        }
+        if (c == '"') {
+            const std::size_t begin = pos_;
+            const int line = line_, col = col_;
+            lexString();
+            out_.push_back(make(TokenKind::String, begin, line, col));
+            if (expectHeader_)
+                expectHeader_ = false;
+            continue;
+        }
+        if (c == '\'') {
+            const std::size_t begin = pos_;
+            const int line = line_, col = col_;
+            lexCharLit();
+            out_.push_back(make(TokenKind::CharLit, begin, line, col));
+            continue;
+        }
+        if (isDigit(c) || (c == '.' && isDigit(peek(1)))) {
+            lexNumber();
+            continue;
+        }
+        if (isIdentStart(c)) {
+            lexIdentifierOrLiteral();
+            continue;
+        }
+        if (c == '\\') {
+            // Line splice or stray backslash: consume and move on.
+            advance();
+            continue;
+        }
+        lexPunct();
+    }
+    return out_;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view content)
+{
+    return Lexer(content).run();
+}
+
+std::string_view
+literalBody(const Token &tok)
+{
+    std::string_view t = tok.text;
+    if (tok.kind == TokenKind::String) {
+        std::size_t open = t.find('"');
+        if (open == std::string_view::npos)
+            return t;
+        t.remove_prefix(open + 1);
+        if (!t.empty() && t.back() == '"')
+            t.remove_suffix(1);
+        return t;
+    }
+    if (tok.kind == TokenKind::RawString) {
+        std::size_t open = t.find('"');
+        if (open == std::string_view::npos)
+            return t;
+        std::size_t paren = t.find('(', open);
+        if (paren == std::string_view::npos)
+            return t;
+        std::size_t delimLen = paren - open - 1;
+        std::size_t bodyBegin = paren + 1;
+        // Closing is `)delim"`.
+        std::size_t bodyEnd = t.size();
+        if (t.size() >= bodyBegin + delimLen + 2)
+            bodyEnd = t.size() - delimLen - 2;
+        if (bodyEnd < bodyBegin)
+            bodyEnd = bodyBegin;
+        return t.substr(bodyBegin, bodyEnd - bodyBegin);
+    }
+    return t;
+}
+
+} // namespace gsku::analyze

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Token-level lexer for the static analyzer (docs/analysis.md).
+ *
+ * tools/lint.py matched regexes against raw lines, so it could not
+ * tell code from comments, string literals, or raw strings — the
+ * blind spots pinned by tests/analyze/fixtures. This lexer produces a
+ * faithful token stream instead: rules in rules.cc match token
+ * sequences, so a banned identifier inside a string literal is just
+ * string content, and a `// lint-ok:` inside a string is not a
+ * suppression.
+ *
+ * Scope: this is a *lexer*, not a preprocessor or parser. It does not
+ * expand macros or track conditional compilation; it recognizes
+ * exactly the lexical shapes the rules need — identifiers, numbers,
+ * string/char literals (including raw strings and encoding prefixes),
+ * comments, punctuation (with `::` and `->` kept as single tokens),
+ * and preprocessor directives with their header-name operands.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsku::analyze {
+
+enum class TokenKind
+{
+    Identifier,    ///< Identifiers and keywords (rules match by text).
+    Number,        ///< pp-number: 12, 0x1p3, 1.5e-9, 1.0_kw, ...
+    String,        ///< "..." with optional u8/u/U/L prefix.
+    RawString,     ///< R"delim(...)delim" with optional prefix.
+    CharLit,       ///< '...' with optional prefix.
+    Punct,         ///< One operator/punctuator; `::` and `->` whole.
+    LineComment,   ///< `//...` up to (not including) the newline.
+    BlockComment,  ///< `/*...*/`, possibly spanning lines.
+    Directive,     ///< Preprocessor directive name (`include`, ...).
+    HeaderName,    ///< `<...>` operand of an #include.
+};
+
+struct Token
+{
+    TokenKind kind;
+    /** Exact source spelling (quotes, prefixes, and comment markers
+     *  included). Points into the lexed buffer, which must outlive
+     *  the token. */
+    std::string_view text;
+    int line = 0;  ///< 1-based line of the token's first character.
+    int col = 0;   ///< 1-based column of the token's first character.
+    /** True for the directive token and every operand token on a
+     *  preprocessor line (including backslash continuations). */
+    bool inDirective = false;
+};
+
+/**
+ * Lex one translation unit. Never throws on malformed input:
+ * unterminated literals and comments extend to end of file, and
+ * bytes that fit no token class are skipped — an analyzer must keep
+ * going where a compiler would stop.
+ *
+ * `content` must outlive the returned tokens.
+ */
+std::vector<Token> lex(std::string_view content);
+
+/**
+ * The body of a String/RawString token: encoding prefix, quotes, and
+ * raw-string delimiters stripped, escape sequences NOT processed
+ * (`"a\nb"` yields `a\nb`, 4 chars). For other kinds returns `text`.
+ */
+std::string_view literalBody(const Token &tok);
+
+} // namespace gsku::analyze

@@ -1,0 +1,651 @@
+#include "analyze/rules.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "obs/ledger.h"
+
+namespace gsku::analyze {
+
+namespace {
+
+// ------------------------------------------------------------------
+// Identifier-word machinery for raw-double-units (ported verbatim
+// from tools/lint.py so the two agree on every suppression).
+// ------------------------------------------------------------------
+
+const std::set<std::string> kUnitWords = {
+    "carbon", "co2", "emission", "emissions", "embodied",
+    "power", "watt", "watts", "tdp",
+    "energy", "kwh", "kg", "joule", "joules",
+    "cost", "usd", "price", "capex", "opex",
+    "intensity",
+};
+
+const std::set<std::string> kDimensionlessWords = {
+    "fraction", "share", "shares", "ratio", "factor", "savings",
+    "relative", "scale", "scaling", "normalized", "derate", "pue",
+    "loss", "slowdown", "residual", "efficiency", "premium",
+};
+
+/** snake_case / camelCase -> lowercase words ("kgCo2PerCm2" ->
+ *  kg, co2, per, cm2). ALL-CAPS runs split into single letters,
+ *  matching the Python word regex's effective behavior. */
+std::vector<std::string>
+splitWords(std::string_view ident)
+{
+    std::vector<std::string> words;
+    std::size_t i = 0;
+    auto lower = [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    };
+    auto isLowerDigit = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    };
+    while (i < ident.size()) {
+        char c = ident[i];
+        if (isLowerDigit(c)) {
+            std::string w;
+            while (i < ident.size() && isLowerDigit(ident[i]))
+                w += ident[i++];
+            words.push_back(w);
+        } else if (c >= 'A' && c <= 'Z') {
+            std::string w(1, lower(c));
+            ++i;
+            while (i < ident.size() && isLowerDigit(ident[i]))
+                w += ident[i++];
+            words.push_back(w);
+        } else {
+            ++i; // '_' and anything else separates words
+        }
+    }
+    return words;
+}
+
+bool
+intersects(const std::vector<std::string> &words,
+           const std::set<std::string> &set)
+{
+    for (const std::string &w : words)
+        if (set.count(w))
+            return true;
+    return false;
+}
+
+std::string
+joinMatching(const std::vector<std::string> &words,
+             const std::set<std::string> &set)
+{
+    std::set<std::string> hit;
+    for (const std::string &w : words)
+        if (set.count(w))
+            hit.insert(w);
+    std::string out;
+    for (const std::string &w : hit) {
+        if (!out.empty())
+            out += ", ";
+        out += w;
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// Token helpers. Rules scan `code`: the token stream with comments
+// removed, so nothing here can fire inside a comment, and string
+// content only matters to the one rule that inspects literals.
+// ------------------------------------------------------------------
+
+struct Ctx
+{
+    const SourceFile &f;
+    const std::vector<const Token *> &code;
+    SuppressionSet &sup;
+    std::vector<Finding> &out;
+};
+
+const Token *
+at(const Ctx &ctx, std::size_t i)
+{
+    return i < ctx.code.size() ? ctx.code[i] : nullptr;
+}
+
+bool
+isPunct(const Token *t, std::string_view text)
+{
+    return t && t->kind == TokenKind::Punct && t->text == text;
+}
+
+bool
+isIdent(const Token *t, std::string_view text)
+{
+    return t && t->kind == TokenKind::Identifier && t->text == text;
+}
+
+void
+report(Ctx &ctx, const std::string &rule, const Token &tok,
+       const std::string &message)
+{
+    if (ctx.sup.suppress(rule, tok.line))
+        return;
+    ctx.out.push_back(
+        {ctx.f.relPath, tok.line, tok.col, rule, message});
+}
+
+// ------------------------------------------------------------------
+// Rule: pragma-once
+// ------------------------------------------------------------------
+
+void
+checkPragmaOnce(Ctx &ctx)
+{
+    for (std::size_t i = 0; i + 1 < ctx.code.size(); ++i) {
+        const Token *t = ctx.code[i];
+        if (t->kind == TokenKind::Directive && t->text == "pragma" &&
+            isIdent(at(ctx, i + 1), "once")) {
+            return;
+        }
+    }
+    if (ctx.sup.suppressAnywhere("pragma-once"))
+        return;
+    ctx.out.push_back({ctx.f.relPath, 1, 1, "pragma-once",
+                       "header is missing '#pragma once'"});
+}
+
+// ------------------------------------------------------------------
+// Rule: rng-usage
+// ------------------------------------------------------------------
+
+const std::set<std::string, std::less<>> kRandFns = {
+    "rand", "srand", "drand48", "lrand48",
+};
+const std::set<std::string, std::less<>> kStdEngines = {
+    "random_device", "mt19937", "mt19937_64", "minstd_rand",
+    "minstd_rand0", "default_random_engine", "knuth_b",
+    "ranlux24", "ranlux48", "ranlux24_base", "ranlux48_base",
+};
+
+void
+checkRngUsage(Ctx &ctx)
+{
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        const Token *t = ctx.code[i];
+        if (t->kind != TokenKind::Identifier)
+            continue;
+        const Token *prev = i > 0 ? ctx.code[i - 1] : nullptr;
+        const Token *next = at(ctx, i + 1);
+        if (kRandFns.count(t->text) && isPunct(next, "(")) {
+            // Member calls (obj.rand(...)) are someone else's rand;
+            // qualified calls are banned only when std-qualified —
+            // which the line-based linter could not even see.
+            if (isPunct(prev, ".") || isPunct(prev, "->"))
+                continue;
+            if (isPunct(prev, "::") &&
+                !(i >= 2 && isIdent(ctx.code[i - 2], "std")))
+                continue;
+            report(ctx, "rng-usage", *t,
+                   "'" + std::string(t->text) +
+                       "()' breaks seeded reproducibility; draw from "
+                       "gsku::Rng (common/rng.h) instead");
+            continue;
+        }
+        if (t->text == "std" && isPunct(next, "::")) {
+            const Token *name = at(ctx, i + 2);
+            if (name && name->kind == TokenKind::Identifier &&
+                kStdEngines.count(name->text)) {
+                report(ctx, "rng-usage", *t,
+                       "'std::" + std::string(name->text) +
+                           "' breaks seeded reproducibility; draw from "
+                           "gsku::Rng (common/rng.h) instead");
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Rule: error-convention
+// ------------------------------------------------------------------
+
+void
+checkErrorConvention(Ctx &ctx)
+{
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        const Token *t = ctx.code[i];
+        if (!isIdent(t, "throw"))
+            continue;
+        // `throw;` (rethrow inside a catch) is allowed.
+        if (isPunct(at(ctx, i + 1), ";"))
+            continue;
+        report(ctx, "error-convention", *t,
+               "naked 'throw' bypasses the UserError/InternalError "
+               "convention; use GSKU_REQUIRE/GSKU_ASSERT "
+               "(common/error.h) or the contract macros "
+               "(common/contracts.h)");
+    }
+}
+
+// ------------------------------------------------------------------
+// Rule: concurrency
+// ------------------------------------------------------------------
+
+void
+checkConcurrency(Ctx &ctx)
+{
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        const Token *t = ctx.code[i];
+        if (isIdent(t, "std") && isPunct(at(ctx, i + 1), "::")) {
+            const Token *name = at(ctx, i + 2);
+            const Token *after = at(ctx, i + 3);
+            if (name && (name->text == "thread" || name->text == "jthread")) {
+                // std::thread::hardware_concurrency() queries without
+                // spawning; any other use constructs execution.
+                if (isPunct(after, "::"))
+                    continue;
+                report(ctx, "concurrency", *t,
+                       "'std::" + std::string(name->text) +
+                           "' spawns a raw thread; route all parallelism "
+                           "through the worker pool in common/parallel.h "
+                           "(docs/performance.md)");
+                continue;
+            }
+            if (isIdent(name, "async") &&
+                (isPunct(after, "(") || isPunct(after, "<"))) {
+                report(ctx, "concurrency", *t,
+                       "'std::async' spawns unmanaged execution; route "
+                       "all parallelism through the worker pool in "
+                       "common/parallel.h (docs/performance.md)");
+                continue;
+            }
+        }
+        if ((isPunct(t, ".") || isPunct(t, "->")) &&
+            isIdent(at(ctx, i + 1), "detach") &&
+            isPunct(at(ctx, i + 2), "(")) {
+            report(ctx, "concurrency", *ctx.code[i + 1],
+                   "'.detach()' orphans a thread; route all parallelism "
+                   "through the worker pool in common/parallel.h "
+                   "(docs/performance.md)");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Rule: timing
+// ------------------------------------------------------------------
+
+const std::set<std::string, std::less<>> kClockNames = {
+    "steady_clock", "system_clock", "high_resolution_clock",
+};
+
+void
+checkTiming(Ctx &ctx)
+{
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        const Token *t = ctx.code[i];
+        if (t->kind != TokenKind::Identifier || !kClockNames.count(t->text))
+            continue;
+        if (isPunct(at(ctx, i + 1), "::") &&
+            isIdent(at(ctx, i + 2), "now") &&
+            isPunct(at(ctx, i + 3), "(")) {
+            report(ctx, "timing", *t,
+                   "'" + std::string(t->text) +
+                       "::now()' reads a clock directly; time through "
+                       "obs::TraceSpan (src/obs/trace.h) or the bench "
+                       "WallTimer (bench/harness.h) so timing stays "
+                       "attributable (docs/observability.md)");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Rule: ledger-events
+//
+// The one rule that *inspects* string literals: a registry name
+// spelled as a literal outside the registry survives renames
+// silently. The registry itself (obs/ledger.h) is the source of
+// truth — including it here means the rule can never drift from
+// kLedgerEventNames.
+// ------------------------------------------------------------------
+
+void
+checkLedgerEvents(Ctx &ctx)
+{
+    for (const Token *t : ctx.code) {
+        if (t->kind != TokenKind::String && t->kind != TokenKind::RawString)
+            continue;
+        std::string_view body = literalBody(*t);
+        for (const char *name : obs::kLedgerEventNames) {
+            if (body != name)
+                continue;
+            report(ctx, "ledger-events", *t,
+                   "ledger event name \"" + std::string(name) +
+                       "\" as a string literal; use obs::LedgerEvent / "
+                       "obs::eventName (src/obs/ledger.h) so renames "
+                       "cannot orphan facts");
+            break;
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Rule: checked-parse
+// ------------------------------------------------------------------
+
+const std::set<std::string, std::less<>> kRawParseFns = {
+    "stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod", "stold",
+    "atoi", "atol", "atoll", "atof", "strtol", "strtoll", "strtoul",
+    "strtoull", "strtof", "strtod", "strtold",
+};
+
+void
+checkCheckedParse(Ctx &ctx)
+{
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        const Token *t = ctx.code[i];
+        if (t->kind != TokenKind::Identifier ||
+            !kRawParseFns.count(t->text) || !isPunct(at(ctx, i + 1), "(")) {
+            continue;
+        }
+        const Token *prev = i > 0 ? ctx.code[i - 1] : nullptr;
+        // Member functions that merely share a name are fine, as is
+        // a non-std namespace's own stoi.
+        if (isPunct(prev, ".") || isPunct(prev, "->"))
+            continue;
+        if (isPunct(prev, "::") &&
+            !(i >= 2 && isIdent(ctx.code[i - 2], "std")))
+            continue;
+        report(ctx, "checked-parse", *t,
+               "'" + std::string(t->text) +
+                   "()' is a raw numeric conversion; use "
+                   "parseInt/parseLong/parseU64/parseDouble "
+                   "(common/parse.h) so malformed and trailing-junk "
+                   "tokens fail as UserError with source context");
+    }
+}
+
+// ------------------------------------------------------------------
+// Rule: raw-double-units
+// ------------------------------------------------------------------
+
+const std::vector<std::string> kUnitsDirs = {
+    "src/carbon/", "src/gsf/", "src/perf/",
+};
+
+void
+checkRawDoubleUnits(Ctx &ctx)
+{
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        if (!isIdent(ctx.code[i], "double"))
+            continue;
+        // `double [&*]? name` (declaration, parameter, or return
+        // type + function name) and `double> name` (map values).
+        std::size_t j = i + 1;
+        const Token *next = at(ctx, j);
+        if (isPunct(next, "&") || isPunct(next, "*") ||
+            isPunct(next, ">")) {
+            ++j;
+        }
+        const Token *name = at(ctx, j);
+        if (!name || name->kind != TokenKind::Identifier)
+            continue;
+        std::vector<std::string> words = splitWords(name->text);
+        if (!intersects(words, kUnitWords))
+            continue;
+        if (intersects(words, kDimensionlessWords))
+            continue;
+        report(ctx, "raw-double-units", *name,
+               "'" + std::string(name->text) +
+                   "' looks dimensioned (matched: " +
+                   joinMatching(words, kUnitWords) +
+                   ") but is a raw double; use a strong type from "
+                   "common/units.h");
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------------
+// Finding ordering.
+// ------------------------------------------------------------------
+
+bool
+findingLess(const Finding &a, const Finding &b)
+{
+    if (a.relPath != b.relPath)
+        return a.relPath < b.relPath;
+    if (a.line != b.line)
+        return a.line < b.line;
+    if (a.col != b.col)
+        return a.col < b.col;
+    if (a.rule != b.rule)
+        return a.rule < b.rule;
+    return a.message < b.message;
+}
+
+// ------------------------------------------------------------------
+// Policy.
+// ------------------------------------------------------------------
+
+Policy
+Policy::repoDefault()
+{
+    Policy p;
+    p.allow("rng-usage", "src/common/rng.h");
+    p.allow("rng-usage", "src/common/rng.cc");
+    p.allow("error-convention", "src/common/error.h");
+    p.allow("error-convention", "src/common/error.cc");
+    p.allow("error-convention", "src/common/contracts.h");
+    p.allow("error-convention", "src/common/contracts.cc");
+    p.allow("concurrency", "src/common/parallel.h");
+    p.allow("concurrency", "src/common/parallel.cc");
+    p.allow("timing", "src/obs/");
+    p.allow("timing", "bench/harness.h");
+    p.allow("ledger-events", "src/obs/ledger.h");
+    return p;
+}
+
+void
+Policy::allow(const std::string &rule, const std::string &pathOrPrefix)
+{
+    masks_[rule].push_back(pathOrPrefix);
+}
+
+bool
+Policy::allowed(const std::string &rule, const std::string &relPath) const
+{
+    auto it = masks_.find(rule);
+    if (it == masks_.end())
+        return false;
+    for (const std::string &mask : it->second) {
+        if (!mask.empty() && mask.back() == '/') {
+            if (relPath.compare(0, mask.size(), mask) == 0)
+                return true;
+        } else if (relPath == mask) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// ------------------------------------------------------------------
+// Suppressions.
+// ------------------------------------------------------------------
+
+SuppressionSet::SuppressionSet(const SourceFile &file,
+                               const std::set<std::string> &knownRules)
+{
+    for (const Token &t : file.tokens) {
+        if (t.kind != TokenKind::LineComment)
+            continue;
+        // `// lint-ok: <rule> [<why>]`
+        std::string_view text = t.text;
+        text.remove_prefix(2);
+        std::size_t i = 0;
+        while (i < text.size() && (text[i] == ' ' || text[i] == '\t'))
+            ++i;
+        const std::string_view marker = "lint-ok:";
+        if (text.compare(i, marker.size(), marker) != 0)
+            continue;
+        i += marker.size();
+        while (i < text.size() && (text[i] == ' ' || text[i] == '\t'))
+            ++i;
+        std::size_t begin = i;
+        while (i < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                text[i] == '-' || text[i] == '_')) {
+            ++i;
+        }
+        std::string rule(text.substr(begin, i - begin));
+        entries_.push_back({t.line, rule, knownRules.count(rule) > 0});
+    }
+}
+
+bool
+SuppressionSet::suppress(const std::string &rule, int line)
+{
+    for (Entry &e : entries_) {
+        if (e.line == line && e.rule == rule && e.known) {
+            e.used = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SuppressionSet::suppressAnywhere(const std::string &rule)
+{
+    for (Entry &e : entries_) {
+        if (e.rule == rule && e.known) {
+            e.used = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Finding>
+SuppressionSet::auditFindings(const std::string &relPath,
+                              const std::set<std::string> &enabled) const
+{
+    std::vector<Finding> out;
+    for (const Entry &e : entries_) {
+        if (!e.known) {
+            out.push_back({relPath, e.line, 1, "lint-ok",
+                           "suppression names unknown rule '" + e.rule +
+                               "'"});
+        } else if (!e.used && enabled.count(e.rule)) {
+            out.push_back({relPath, e.line, 1, "lint-ok",
+                           "stale suppression: no '" + e.rule +
+                               "' finding on this line"});
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// Catalog + per-file driver.
+// ------------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {"raw-double-units",
+         "Dimensioned quantities in public carbon/gsf/perf headers must "
+         "use the strong types of common/units.h, not raw double."},
+        {"rng-usage",
+         "All randomness flows through gsku::Rng (common/rng.h); raw "
+         "rand()/std::random_device/standard engines are banned."},
+        {"error-convention",
+         "No naked throw outside common/error.* and common/contracts.*; "
+         "errors go through GSKU_REQUIRE/GSKU_ASSERT or contract macros."},
+        {"pragma-once",
+         "Every header starts its include guard with #pragma once."},
+        {"concurrency",
+         "All concurrency flows through the worker pool in "
+         "common/parallel.h; raw std::thread/std::async/.detach() are "
+         "banned elsewhere."},
+        {"timing",
+         "Direct std::chrono clock reads are banned outside src/obs/ and "
+         "bench/harness.h; time through obs::TraceSpan or WallTimer."},
+        {"ledger-events",
+         "Ledger event names are string literals only inside their "
+         "registry (src/obs/ledger.h); elsewhere spell "
+         "obs::LedgerEvent::X."},
+        {"checked-parse",
+         "Raw std::sto*/ato*/strto* conversions are banned; use the "
+         "checked full-token parsers in common/parse.h."},
+        {"include-layering",
+         "Includes must follow the module layering DAG (obs -> common "
+         "-> carbon -> perf/reliability -> cluster -> gsf); no upward "
+         "or sideways dependencies."},
+        {"include-cycle",
+         "The include graph must be acyclic."},
+        {"determinism-taint",
+         "No function may reach a banned determinism source (rand, "
+         "clocks, raw threads, raw parses) through other functions; "
+         "only the audited wrappers may."},
+    };
+    return catalog;
+}
+
+const std::set<std::string> &
+ruleNames()
+{
+    static const std::set<std::string> names = [] {
+        std::set<std::string> s;
+        for (const RuleInfo &r : ruleCatalog())
+            s.insert(r.name);
+        return s;
+    }();
+    return names;
+}
+
+std::vector<Finding>
+checkFile(const SourceFile &file, const Policy &policy,
+          const std::set<std::string> &enabled, SuppressionSet &sup)
+{
+    std::vector<const Token *> code;
+    code.reserve(file.tokens.size());
+    for (const Token &t : file.tokens) {
+        if (t.kind != TokenKind::LineComment &&
+            t.kind != TokenKind::BlockComment) {
+            code.push_back(&t);
+        }
+    }
+
+    std::vector<Finding> out;
+    Ctx ctx{file, code, sup, out};
+
+    auto on = [&](const char *rule) {
+        return enabled.count(rule) > 0 &&
+               !policy.allowed(rule, file.relPath);
+    };
+
+    if (file.isHeader() && on("pragma-once"))
+        checkPragmaOnce(ctx);
+    if (on("rng-usage"))
+        checkRngUsage(ctx);
+    if (on("error-convention"))
+        checkErrorConvention(ctx);
+    if (on("concurrency"))
+        checkConcurrency(ctx);
+    if (on("timing"))
+        checkTiming(ctx);
+    if (on("ledger-events"))
+        checkLedgerEvents(ctx);
+    if (on("checked-parse"))
+        checkCheckedParse(ctx);
+    if (file.isHeader() && on("raw-double-units")) {
+        bool inUnitsDir = false;
+        for (const std::string &dir : kUnitsDirs) {
+            if (file.relPath.compare(0, dir.size(), dir) == 0)
+                inUnitsDir = true;
+        }
+        if (inUnitsDir)
+            checkRawDoubleUnits(ctx);
+    }
+    return out;
+}
+
+} // namespace gsku::analyze

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Token-stream rules of the GreenSKU analyzer: the eight invariants
+ * that started life as regexes in tools/lint.py, rebuilt on the real
+ * token stream from analyze/lexer.h so they never fire inside
+ * comments or string literals (docs/analysis.md lists the catalog and
+ * rationale for each).
+ *
+ * Suppression grammar is unchanged from lint.py: append
+ * `// lint-ok: <rule> <why>` to the offending line. Suppressions are
+ * audited — one that silences nothing is itself a finding (rule
+ * `lint-ok`), so stale escapes cannot accumulate. A `lint-ok` inside
+ * a string literal is string content, not a suppression.
+ */
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/source.h"
+
+namespace gsku::analyze {
+
+struct Finding
+{
+    std::string relPath;
+    int line = 0;
+    int col = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Sort key used everywhere findings are emitted. */
+bool findingLess(const Finding &a, const Finding &b);
+
+/**
+ * Which files each rule skips. The built-in table mirrors the repo
+ * policy (the audited homes of each banned construct); `allow()`
+ * extends it per run — the per-tree masks of docs/analysis.md.
+ *
+ * Entry forms: a path ending in '/' masks the whole subtree, any
+ * other entry masks that exact root-relative file.
+ */
+class Policy
+{
+  public:
+    /** The default repo policy (rng.h may use engines, obs/ may read
+     *  clocks, bench/harness.h owns the WallTimer, ...). */
+    static Policy repoDefault();
+
+    /** Mask `rule` in `pathOrPrefix` (exact file, or dir with '/'). */
+    void allow(const std::string &rule, const std::string &pathOrPrefix);
+
+    bool allowed(const std::string &rule, const std::string &relPath) const;
+
+  private:
+    std::map<std::string, std::vector<std::string>> masks_;
+};
+
+/** Tracks `// lint-ok:` comments of one file: which rule each names,
+ *  whether it silenced anything, and the audit findings at the end. */
+class SuppressionSet
+{
+  public:
+    SuppressionSet(const SourceFile &file,
+                   const std::set<std::string> &knownRules);
+
+    /** True (and marks the suppression used) when `rule` is
+     *  suppressed on `line`. */
+    bool suppress(const std::string &rule, int line);
+
+    /** True when any line of the file suppresses `rule` (pragma-once
+     *  has no meaningful line). Marks it used. */
+    bool suppressAnywhere(const std::string &rule);
+
+    /** Unknown-rule and stale-suppression findings; call last. A
+     *  suppression is stale only when its rule actually ran this
+     *  invocation (`enabled`) and still silenced nothing — a
+     *  `--rules` subset must not manufacture stale findings. */
+    std::vector<Finding> auditFindings(
+        const std::string &relPath,
+        const std::set<std::string> &enabled) const;
+
+  private:
+    struct Entry
+    {
+        int line;
+        std::string rule;
+        bool known;
+        bool used = false;
+    };
+    std::vector<Entry> entries_;
+};
+
+/** Stable catalog entry, shared by --list-rules and the SARIF
+ *  tool.driver.rules array. */
+struct RuleInfo
+{
+    std::string name;
+    std::string summary;
+};
+
+/** All rules in reporting order: the eight token rules plus
+ *  include-layering, include-cycle, and determinism-taint. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** Names from ruleCatalog() as a set (valid `lint-ok` targets). */
+const std::set<std::string> &ruleNames();
+
+/**
+ * Run the token rules of `enabled` on one file, honoring `policy`
+ * masks and recording suppression use in `sup`. Does not run the
+ * graph rules (include_graph.h) or the taint pass (taint.h), which
+ * need the whole file set.
+ */
+std::vector<Finding> checkFile(const SourceFile &file, const Policy &policy,
+                               const std::set<std::string> &enabled,
+                               SuppressionSet &sup);
+
+} // namespace gsku::analyze

@@ -1,0 +1,111 @@
+#include "analyze/source.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fs = std::filesystem;
+
+namespace gsku::analyze {
+
+namespace {
+
+std::string
+generic(const fs::path &p)
+{
+    return p.lexically_normal().generic_string();
+}
+
+} // namespace
+
+bool
+SourceFile::isHeader() const
+{
+    return relPath.size() >= 2 &&
+           relPath.compare(relPath.size() - 2, 2, ".h") == 0;
+}
+
+std::string
+moduleOf(const std::string &relPath)
+{
+    const std::string src = "src/";
+    if (relPath.compare(0, src.size(), src) == 0) {
+        std::size_t slash = relPath.find('/', src.size());
+        if (slash != std::string::npos)
+            return relPath.substr(src.size(), slash - src.size());
+        return "";
+    }
+    for (const char *tree : {"bench", "examples", "tools", "tests"}) {
+        std::string prefix = std::string(tree) + "/";
+        if (relPath.compare(0, prefix.size(), prefix) == 0)
+            return tree;
+    }
+    return "";
+}
+
+std::string
+relativeTo(const std::string &root, const std::string &path)
+{
+    std::error_code ec;
+    fs::path absRoot = fs::weakly_canonical(root, ec);
+    if (ec)
+        absRoot = fs::path(root);
+    fs::path absPath = fs::weakly_canonical(path, ec);
+    if (ec)
+        absPath = fs::path(path);
+    fs::path rel = absPath.lexically_relative(absRoot);
+    std::string s = generic(rel);
+    if (s.empty() || s == "." || s.compare(0, 2, "..") == 0)
+        return generic(absPath);
+    return s;
+}
+
+std::vector<std::string>
+collectFiles(const std::vector<std::string> &paths)
+{
+    std::vector<std::string> files;
+    for (const std::string &p : paths) {
+        fs::path path(p);
+        std::error_code ec;
+        if (fs::is_directory(path, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(path, ec)) {
+                if (!entry.is_regular_file())
+                    continue;
+                std::string ext = entry.path().extension().string();
+                if (ext == ".h" || ext == ".cc")
+                    files.push_back(generic(entry.path()));
+            }
+            GSKU_REQUIRE(!ec, "cannot walk directory: " + p);
+        } else if (fs::is_regular_file(path, ec)) {
+            files.push_back(generic(path));
+        } else {
+            GSKU_REQUIRE(false, "no such file or directory: " + p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+std::unique_ptr<SourceFile>
+loadSource(const std::string &path, const std::string &root)
+{
+    std::ifstream in(path, std::ios::binary);
+    GSKU_REQUIRE(in.good(), "cannot read file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    auto file = std::make_unique<SourceFile>();
+    file->path = path;
+    file->relPath = relativeTo(root, path);
+    file->module = moduleOf(file->relPath);
+    file->content = buf.str();
+    file->tokens = lex(file->content);
+    return file;
+}
+
+} // namespace gsku::analyze

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Source discovery for the analyzer: loading files, computing
+ * repo-relative paths, and classifying files into the modules the
+ * layering check reasons about (docs/analysis.md "Module layering").
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace gsku::analyze {
+
+/** One lexed file. Tokens point into `content`; SourceFile is held by
+ *  unique_ptr so the views stay valid as collections grow. */
+struct SourceFile
+{
+    std::string path;     ///< Path as opened (absolute or as given).
+    std::string relPath;  ///< Root-relative, forward slashes.
+    std::string module;   ///< "carbon", "common", ... or "bench",
+                          ///< "examples", "tools", "tests"; "" = other.
+    std::string content;
+    std::vector<Token> tokens;
+
+    bool isHeader() const;
+};
+
+/**
+ * Module of a root-relative path: `src/<m>/...` yields `<m>`;
+ * `bench/...`, `examples/...`, `tools/...`, `tests/...` yield the
+ * tree name; anything else yields "".
+ */
+std::string moduleOf(const std::string &relPath);
+
+/** Root-relative forward-slash form of `path`; if `path` does not
+ *  live under `root`, its normalized form is returned unchanged. */
+std::string relativeTo(const std::string &root, const std::string &path);
+
+/**
+ * Expand files and directories into the sorted list of .h/.cc files
+ * to analyze (directories are walked recursively, sorted by path so
+ * every downstream artifact is deterministic). Throws UserError for a
+ * path that does not exist.
+ */
+std::vector<std::string> collectFiles(const std::vector<std::string> &paths);
+
+/** Read and lex one file. Throws UserError if it cannot be read. */
+std::unique_ptr<SourceFile> loadSource(const std::string &path,
+                                       const std::string &root);
+
+} // namespace gsku::analyze

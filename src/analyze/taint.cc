@@ -1,0 +1,325 @@
+#include "analyze/taint.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace gsku::analyze {
+
+namespace {
+
+/** Names that look like calls but are control flow, operators, or
+ *  type syntax. */
+const std::set<std::string, std::less<>> kNotACall = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "static_assert", "catch", "new", "delete",
+    "throw", "co_return", "co_await", "co_yield", "case", "default",
+    "else", "do", "goto", "asm", "not", "and", "or", "operator",
+    "noexcept", "requires", "typeid", "defined", "assert",
+    "int", "char", "double", "float", "bool", "void", "auto", "long",
+    "short", "unsigned", "signed", "const", "constexpr", "typename",
+};
+
+/** Seeing one of these between `)` and `{` means the parens belonged
+ *  to something that is not a function signature (a template
+ *  non-type argument, a macro in a type position, ...). */
+const std::set<std::string, std::less<>> kAbortsSignature = {
+    "struct", "class", "namespace", "enum", "union", "using",
+};
+
+bool
+isPunct(const Token *t, std::string_view text)
+{
+    return t && t->kind == TokenKind::Punct && t->text == text;
+}
+
+/** The four token rules whose findings seed taint. */
+bool
+isDeterminismRule(const std::string &rule)
+{
+    return rule == "rng-usage" || rule == "timing" ||
+           rule == "concurrency" || rule == "checked-parse";
+}
+
+} // namespace
+
+std::vector<FunctionDef>
+extractFunctions(const SourceFile &file, int fileIndex)
+{
+    // Code tokens only: comments never define functions, and macro
+    // bodies (directive lines) would only confuse brace tracking.
+    std::vector<const Token *> code;
+    for (const Token &t : file.tokens) {
+        if (t.kind == TokenKind::LineComment ||
+            t.kind == TokenKind::BlockComment || t.inDirective) {
+            continue;
+        }
+        code.push_back(&t);
+    }
+
+    std::vector<FunctionDef> defs;
+    struct Open
+    {
+        FunctionDef def;
+        int depthAtOpen;
+    };
+    std::vector<Open> fnStack;
+    int depth = 0;
+
+    auto matchParen = [&](std::size_t open) -> std::size_t {
+        // `open` indexes the '('; returns the index of its ')', or
+        // code.size() when unmatched.
+        int level = 0;
+        for (std::size_t k = open; k < code.size(); ++k) {
+            if (isPunct(code[k], "("))
+                ++level;
+            else if (isPunct(code[k], ")") && --level == 0)
+                return k;
+        }
+        return code.size();
+    };
+
+    // Scan from just past the ')' of a candidate signature for the
+    // body '{'. Returns its index, or code.size() when the candidate
+    // is a declaration/call/non-function.
+    auto findBody = [&](std::size_t afterParen) -> std::size_t {
+        bool inInitList = false;
+        std::size_t k = afterParen;
+        while (k < code.size()) {
+            const Token *t = code[k];
+            if (isPunct(t, ";") || isPunct(t, "="))
+                return code.size();
+            if (isPunct(t, "{")) {
+                // In a ctor init list, `name{...}` is a member
+                // initializer (follows an identifier or template
+                // closer); the body brace follows ')' or '}'.
+                const Token *prev = k > 0 ? code[k - 1] : nullptr;
+                if (inInitList &&
+                    (prev == nullptr ||
+                     prev->kind == TokenKind::Identifier ||
+                     isPunct(prev, ">"))) {
+                    int level = 0;
+                    while (k < code.size()) {
+                        if (isPunct(code[k], "{"))
+                            ++level;
+                        else if (isPunct(code[k], "}") && --level == 0)
+                            break;
+                        ++k;
+                    }
+                    ++k;
+                    continue;
+                }
+                return k;
+            }
+            if (isPunct(t, "(")) {
+                std::size_t close = matchParen(k);
+                if (close == code.size())
+                    return code.size();
+                k = close + 1;
+                continue;
+            }
+            if (isPunct(t, ":"))
+                inInitList = true;
+            if (t->kind == TokenKind::Identifier &&
+                kAbortsSignature.count(t->text)) {
+                return code.size();
+            }
+            bool benign =
+                t->kind == TokenKind::Identifier ||
+                t->kind == TokenKind::Number ||
+                t->kind == TokenKind::String ||
+                t->kind == TokenKind::CharLit ||
+                isPunct(t, "::") || isPunct(t, "->") || isPunct(t, "<") ||
+                isPunct(t, ">") || isPunct(t, "&") || isPunct(t, "*") ||
+                isPunct(t, ",") || isPunct(t, ":") || isPunct(t, "}");
+            if (!benign)
+                return code.size();
+            ++k;
+        }
+        return code.size();
+    };
+
+    std::size_t i = 0;
+    while (i < code.size()) {
+        const Token *t = code[i];
+        if (isPunct(t, "{")) {
+            ++depth;
+            ++i;
+            continue;
+        }
+        if (isPunct(t, "}")) {
+            --depth;
+            if (!fnStack.empty() && fnStack.back().depthAtOpen == depth) {
+                fnStack.back().def.bodyEndLine = t->line;
+                defs.push_back(fnStack.back().def);
+                fnStack.pop_back();
+            }
+            ++i;
+            continue;
+        }
+        if (!fnStack.empty()) {
+            // Inside a body: record calls only.
+            if (t->kind == TokenKind::Identifier &&
+                !kNotACall.count(t->text) &&
+                i + 1 < code.size() && isPunct(code[i + 1], "(")) {
+                fnStack.back().def.calls.push_back(std::string(t->text));
+            }
+            ++i;
+            continue;
+        }
+        // At namespace/class scope: look for `name ( ... ) ... {`.
+        if (t->kind == TokenKind::Identifier && !kNotACall.count(t->text) &&
+            i + 1 < code.size() && isPunct(code[i + 1], "(")) {
+            std::size_t close = matchParen(i + 1);
+            if (close < code.size()) {
+                std::size_t body = findBody(close + 1);
+                if (body < code.size()) {
+                    FunctionDef def;
+                    def.name = std::string(t->text);
+                    def.fileIndex = fileIndex;
+                    def.line = t->line;
+                    def.bodyBeginLine = code[body]->line;
+                    fnStack.push_back({def, depth});
+                    ++depth; // the body '{'
+                    i = body + 1;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        ++i;
+    }
+
+    // Unterminated bodies (lexer tolerance): close at EOF.
+    while (!fnStack.empty()) {
+        fnStack.back().def.bodyEndLine =
+            file.tokens.empty() ? 0 : file.tokens.back().line;
+        defs.push_back(fnStack.back().def);
+        fnStack.pop_back();
+    }
+
+    std::sort(defs.begin(), defs.end(),
+              [](const FunctionDef &a, const FunctionDef &b) {
+                  return a.line < b.line;
+              });
+    return defs;
+}
+
+std::vector<Finding>
+runTaint(const std::vector<const SourceFile *> &files,
+         const std::vector<Finding> &determinismFindings,
+         std::vector<SuppressionSet *> &sups)
+{
+    // All function definitions, in deterministic (file, line) order.
+    std::vector<FunctionDef> defs;
+    std::map<std::string, int> fileIndexByRelPath;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        fileIndexByRelPath[files[i]->relPath] = static_cast<int>(i);
+        std::vector<FunctionDef> fs =
+            extractFunctions(*files[i], static_cast<int>(i));
+        defs.insert(defs.end(), fs.begin(), fs.end());
+    }
+
+    // callee name -> defs that call it.
+    std::map<std::string, std::vector<int>> callers;
+    for (std::size_t d = 0; d < defs.size(); ++d) {
+        std::set<std::string> uniq(defs[d].calls.begin(),
+                                   defs[d].calls.end());
+        for (const std::string &callee : uniq)
+            callers[callee].push_back(static_cast<int>(d));
+    }
+
+    struct TaintInfo
+    {
+        std::vector<std::string> chain; ///< This fn down to the source.
+        std::string source;             ///< "rule at file:line".
+        bool direct;
+    };
+    std::map<int, TaintInfo> taint;
+
+    // Seed with the enclosing function of each determinism finding
+    // (innermost definition whose body spans the finding line).
+    std::deque<int> queue;
+    for (const Finding &f : determinismFindings) {
+        if (!isDeterminismRule(f.rule))
+            continue;
+        auto fileIt = fileIndexByRelPath.find(f.relPath);
+        if (fileIt == fileIndexByRelPath.end())
+            continue;
+        int best = -1;
+        int bestSpan = 0;
+        for (std::size_t d = 0; d < defs.size(); ++d) {
+            const FunctionDef &def = defs[d];
+            if (def.fileIndex != fileIt->second)
+                continue;
+            if (f.line < def.bodyBeginLine || f.line > def.bodyEndLine)
+                continue;
+            int span = def.bodyEndLine - def.bodyBeginLine;
+            if (best < 0 || span < bestSpan) {
+                best = static_cast<int>(d);
+                bestSpan = span;
+            }
+        }
+        if (best < 0 || taint.count(best))
+            continue;
+        TaintInfo info;
+        info.chain = {defs[best].name};
+        info.source = f.rule + " at " + f.relPath + ":" +
+                      std::to_string(f.line);
+        info.direct = true;
+        taint[best] = info;
+        queue.push_back(best);
+    }
+
+    // Breadth-first from callee to caller: first discovery wins, so
+    // every reported chain is shortest.
+    std::vector<Finding> out;
+    while (!queue.empty()) {
+        int d = queue.front();
+        queue.pop_front();
+        auto it = callers.find(defs[d].name);
+        if (it == callers.end())
+            continue;
+        for (int caller : it->second) {
+            if (caller == d || taint.count(caller))
+                continue;
+            const FunctionDef &def = defs[caller];
+            // A suppression on the definition line vouches for the
+            // whole function: no finding, and callers stay clean —
+            // the same semantics as the audited wrappers.
+            if (sups[def.fileIndex] &&
+                sups[def.fileIndex]->suppress("determinism-taint",
+                                              def.line)) {
+                continue;
+            }
+            TaintInfo info;
+            info.chain = taint[d].chain;
+            info.chain.insert(info.chain.begin(), defs[caller].name);
+            info.source = taint[d].source;
+            info.direct = false;
+            taint[caller] = info;
+            queue.push_back(caller);
+            std::string chain;
+            for (const std::string &n : info.chain) {
+                if (!chain.empty())
+                    chain += " -> ";
+                chain += n;
+            }
+            out.push_back(
+                {files[def.fileIndex]->relPath, def.line, 1,
+                 "determinism-taint",
+                 "function '" + def.name +
+                     "' reaches a banned determinism source through "
+                     "calls: " + chain + " (" + info.source +
+                     "); only the audited wrappers in common/ and obs/ "
+                     "may (docs/analysis.md)"});
+        }
+    }
+
+    std::sort(out.begin(), out.end(), findingLess);
+    return out;
+}
+
+} // namespace gsku::analyze

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Determinism-taint pass: the token rules catch a banned construct on
+ * the line where it is spelled; this pass catches the functions that
+ * *reach* one through other functions — the wrapper around
+ * `std::rand()` is caught by rng-usage, and every caller of that
+ * wrapper (transitively, across files) is caught here.
+ *
+ * Mechanics (docs/analysis.md "Determinism taint"):
+ *
+ *  1. Function definitions are recognized heuristically from the
+ *     token stream (name, definition line, body extent).
+ *  2. A function whose body carries a finding from one of the four
+ *     determinism rules (rng-usage, timing, concurrency,
+ *     checked-parse) is directly tainted. Suppressed findings do not
+ *     seed taint — the `lint-ok` vouched for the wrapper — and the
+ *     audited homes (rng.h, parallel.h, obs/) produce no findings,
+ *     so sanctioned wrappers never taint their callers.
+ *  3. Taint propagates from callee to caller over a name-matched
+ *     call graph spanning every analyzed file. Only *indirectly*
+ *     tainted functions are reported (the direct ones already carry
+ *     their token-rule finding), each with its shortest call chain
+ *     to the banned source.
+ *
+ * Suppress with `// lint-ok: determinism-taint <why>` on the
+ * function's definition line.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/rules.h"
+#include "analyze/source.h"
+
+namespace gsku::analyze {
+
+/** One heuristically-recognized function definition. */
+struct FunctionDef
+{
+    std::string name;      ///< Unqualified name (last identifier).
+    int fileIndex = -1;    ///< Index into the analyzed file list.
+    int line = 0;          ///< Line of the name token.
+    int bodyBeginLine = 0; ///< Line of the opening brace.
+    int bodyEndLine = 0;   ///< Line of the closing brace.
+    std::vector<std::string> calls; ///< Unqualified callee names.
+};
+
+/** Extract function definitions + their callee names from one file.
+ *  Exposed for tests; runTaint() is the rule entry point. */
+std::vector<FunctionDef> extractFunctions(const SourceFile &file,
+                                          int fileIndex);
+
+/**
+ * Run the taint pass. `determinismFindings` are the (unsuppressed)
+ * findings of the four determinism rules, used as taint seeds.
+ */
+std::vector<Finding> runTaint(
+    const std::vector<const SourceFile *> &files,
+    const std::vector<Finding> &determinismFindings,
+    std::vector<SuppressionSet *> &sups);
+
+} // namespace gsku::analyze

@@ -231,7 +231,7 @@ ThreadPool::parallelFor(std::size_t n,
 int
 ThreadPool::defaultThreads()
 {
-    if (const char *env = std::getenv("GSKU_THREADS")) {
+    if (const char *env = std::getenv("GSKU_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
         char *end = nullptr;
         // Env knob: a malformed GSKU_THREADS falls back to hardware
         // concurrency rather than throwing at pool construction.

@@ -563,7 +563,7 @@ bool g_configured = false;
 std::int64_t
 envMaxBytes()
 {
-    const char *env = std::getenv("GSKU_EVAL_CACHE_MAX_BYTES");
+    const char *env = std::getenv("GSKU_EVAL_CACHE_MAX_BYTES");  // NOLINT(concurrency-mt-unsafe)
     if (env == nullptr || *env == '\0') {
         return kDefaultMaxBytes;
     }
@@ -580,7 +580,7 @@ evalCache()
     std::lock_guard<std::mutex> lock(g_config_mutex);
     if (!g_configured) {
         g_configured = true;
-        const char *dir = std::getenv("GSKU_EVAL_CACHE");
+        const char *dir = std::getenv("GSKU_EVAL_CACHE");  // NOLINT(concurrency-mt-unsafe)
         if (dir != nullptr && *dir != '\0') {
             g_cache = new EvalCache(dir, envMaxBytes());
         }

@@ -52,7 +52,7 @@ writeEnvLedgerAtExit()
 void
 initFromEnv()
 {
-    const char *env = std::getenv("GSKU_LEDGER");
+    const char *env = std::getenv("GSKU_LEDGER");  // NOLINT(concurrency-mt-unsafe)
     if (env == nullptr || *env == '\0') {
         return;
     }

@@ -91,8 +91,8 @@ buildInfoJson()
 std::string
 threadsJson()
 {
-    const char *env = std::getenv("GSKU_THREADS");
-    const char *trace_env = std::getenv("GSKU_TRACE");
+    const char *env = std::getenv("GSKU_THREADS");  // NOLINT(concurrency-mt-unsafe)
+    const char *trace_env = std::getenv("GSKU_TRACE");  // NOLINT(concurrency-mt-unsafe)
     const unsigned hw = std::thread::hardware_concurrency();
     std::ostringstream out;
     out << "{\"gsku_threads_env\": "

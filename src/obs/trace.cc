@@ -94,7 +94,7 @@ writeEnvTraceAtExit()
 void
 initFromEnv()
 {
-    const char *env = std::getenv("GSKU_TRACE");
+    const char *env = std::getenv("GSKU_TRACE");  // NOLINT(concurrency-mt-unsafe)
     if (env == nullptr || *env == '\0') {
         return;
     }

@@ -1,0 +1,7 @@
+// Fixture: one half of a deliberate include cycle.
+#pragma once
+#include "carbon/cyc_b.h"
+
+namespace fx {
+struct A { int x; };
+} // namespace fx

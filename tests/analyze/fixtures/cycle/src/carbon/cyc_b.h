@@ -1,0 +1,7 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+#include "carbon/cyc_a.h"
+
+namespace fx {
+struct B { int y; };
+} // namespace fx

@@ -1,0 +1,7 @@
+// Fixture: layering violation — common must not reach up into gsf.
+#pragma once
+#include "gsf/fake_sizing.h"
+
+namespace fx {
+struct Uses { int z; };
+} // namespace fx

@@ -1,0 +1,6 @@
+// Fixture: the gsf-side target of the layering violation.
+#pragma once
+
+namespace fx {
+struct FakeSizing { int cores; };
+} // namespace fx

@@ -1,0 +1,13 @@
+// Fixture: bench/harness.h is on the timing allow-list.
+#pragma once
+#include <chrono>
+
+namespace fx {
+
+inline long
+wallNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace fx

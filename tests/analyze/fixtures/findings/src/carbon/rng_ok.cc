@@ -1,0 +1,29 @@
+// Fixture: rng-usage near-misses. Every line here must stay silent.
+
+namespace fx {
+
+int
+useForeignRand(OtherLib *lib)
+{
+    return lib->rand();
+}
+
+int
+useMemberRand(Sampler &s)
+{
+    return s.rand();
+}
+
+int
+useQualifiedRand()
+{
+    return acme::rand();
+}
+
+int
+randomish()
+{
+    return randSeedHelper(4);
+}
+
+} // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: rng-usage true positives. Not compiled; lexed only.
+#include <cstdlib>
+
+namespace fx {
+
+int
+rollDie()
+{
+    return std::rand() % 6 + 1;
+}
+
+int
+seedPool()
+{
+    return rand() % 100;
+}
+
+} // namespace fx

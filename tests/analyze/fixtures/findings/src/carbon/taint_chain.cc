@@ -1,0 +1,25 @@
+// Fixture: determinism-taint chain. entropyBits() is directly caught
+// by rng-usage; jitterMs() and scheduleSlot() only *reach* it.
+#include <cstdlib>
+
+namespace fx {
+
+int
+entropyBits()
+{
+    return std::rand() & 0xff;
+}
+
+int
+jitterMs()
+{
+    return entropyBits() % 3;
+}
+
+int
+scheduleSlot()
+{
+    return jitterMs() + 1;
+}
+
+} // namespace fx

@@ -1,0 +1,19 @@
+// Fixture: a vouched wrapper — the lint-ok on the banned line stops
+// both the token finding and taint propagation to callers.
+#include <cstdlib>
+
+namespace fx {
+
+int
+sanctionedNoise()
+{
+    return std::rand(); // lint-ok: rng-usage fixture-sanctioned wrapper
+}
+
+int
+usesSanctioned()
+{
+    return sanctionedNoise() + 1;
+}
+
+} // namespace fx

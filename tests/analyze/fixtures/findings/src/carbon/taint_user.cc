@@ -1,0 +1,11 @@
+// Fixture: cross-file taint — the chain runs through taint_chain.cc.
+
+namespace fx {
+
+int
+crossFileUser()
+{
+    return scheduleSlot() * 2;
+}
+
+} // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: raw-double-units true positives, including a multi-line
+// declaration the line-based regex cannot see.
+#pragma once
+
+namespace fx {
+
+struct EmbodiedRow
+{
+    double embodiedKg;
+    double
+        totalCostUsd;
+    double utilizationFraction;
+};
+
+} // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: concurrency near-misses.
+#include <thread>
+
+namespace fx {
+
+unsigned
+queryWidth()
+{
+    return std::thread::hardware_concurrency();
+}
+
+void
+detachAllBuffers(Pool &pool)
+{
+    pool.detach_all();
+}
+
+} // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: concurrency true positives, including the ->detach()
+// spelling the line-based linter's ".detach(" regex cannot see.
+#include <thread>
+
+namespace fx {
+
+void
+spawnRaw()
+{
+    std::thread worker(workBody);
+    worker.join();
+}
+
+void
+fireAndForget(Worker *w)
+{
+    w->detach();
+}
+
+void
+launchAsync()
+{
+    auto f = std::async(computeBody);
+    f.get();
+}
+
+} // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: checked-parse near-misses plus a used suppression.
+#include <string>
+
+namespace fx {
+
+int
+readViaMember(Parser &parser, const std::string &text)
+{
+    return parser.atoi(text);
+}
+
+long
+readViaForeign(const char *p)
+{
+    return acme::strtol(p);
+}
+
+int
+readVetted(const std::string &raw)
+{
+    return std::stoi(raw); // lint-ok: checked-parse fixture exercises a used suppression
+}
+
+} // namespace fx

@@ -1,0 +1,18 @@
+// Fixture: checked-parse true positives.
+#include <string>
+
+namespace fx {
+
+int
+readCount(const std::string &text)
+{
+    return std::stoi(text);
+}
+
+int
+readLegacy(const char *buf)
+{
+    return atoi(buf);
+}
+
+} // namespace fx

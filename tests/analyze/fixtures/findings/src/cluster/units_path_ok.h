@@ -1,0 +1,12 @@
+// Fixture: raw-double-units is scoped to carbon/gsf/perf headers, so
+// the same declaration is silent under src/cluster.
+#pragma once
+
+namespace fx {
+
+struct ClusterRow
+{
+    double embodiedKg;
+};
+
+} // namespace fx

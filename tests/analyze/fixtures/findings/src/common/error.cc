@@ -1,0 +1,11 @@
+// Fixture: the error-convention allow-list exempts this exact path.
+
+namespace fx {
+
+void
+raiseUserError(const char *what)
+{
+    throw UserError(what);
+}
+
+} // namespace fx

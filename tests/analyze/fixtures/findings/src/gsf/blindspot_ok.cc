@@ -1,0 +1,25 @@
+// Fixture: every banned pattern below lives in a comment or string
+// literal, so a token-aware analyzer must report nothing.
+//
+// In a comment: std::rand(), throw std::runtime_error("x"),
+// std::thread t;, steady_clock::now(), std::stoi(s), and the ledger
+// event name carbon.per_core.
+
+namespace fx {
+
+/* Block comment mentioning rand() and srand(42) and ->detach(). */
+
+const char *kDoc =
+    "call std::rand() then throw; std::thread spawns; "
+    "std::chrono::steady_clock::now(); std::stoi(text)";
+
+const char *kRawDoc = R"doc(
+    rand() inside a raw string, std::async(job), atoi(buf),
+    steady_clock::now() — none of this is code.
+)doc";
+
+char kQuote = '"';
+
+const char *kAfterOddQuote = "rand()"; // the char literal above must not derail lexing
+
+} // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: error-convention near-misses.
+
+namespace fx {
+
+void
+rethrow()
+{
+    try {
+        helper();
+    } catch (...) {
+        throw;
+    }
+}
+
+} // namespace fx

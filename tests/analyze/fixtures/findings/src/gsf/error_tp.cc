@@ -1,0 +1,12 @@
+// Fixture: error-convention true positive.
+#include <stdexcept>
+
+namespace fx {
+
+void
+failHard()
+{
+    throw std::runtime_error("boom");
+}
+
+} // namespace fx

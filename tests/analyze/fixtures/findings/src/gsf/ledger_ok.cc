@@ -1,0 +1,12 @@
+// Fixture: ledger-events near-misses.
+
+namespace fx {
+
+void
+recordProperly(Ledger &ledger)
+{
+    ledger.append(obs::eventName(obs::LedgerEvent::CarbonPerCore), 1.0);
+    ledger.append("carbon.per_core.amortized", 2.0);
+}
+
+} // namespace fx

@@ -1,0 +1,13 @@
+// Fixture: ledger-events true positives, including a raw-string
+// spelling the line-based linter cannot classify.
+
+namespace fx {
+
+void
+recordFacts(Ledger &ledger)
+{
+    ledger.append("carbon.per_core", 12.5);
+    ledger.append(R"(adoption.decision)", 1.0);
+}
+
+} // namespace fx

@@ -1,0 +1,17 @@
+// Fixture: suppression audit — one stale, one naming an unknown rule.
+
+namespace fx {
+
+int
+cleanValue()
+{
+    return 42; // lint-ok: rng-usage nothing here needs suppressing
+}
+
+int
+typoSuppression()
+{
+    return 7; // lint-ok: no-such-rule misspelled rule name
+}
+
+} // namespace fx

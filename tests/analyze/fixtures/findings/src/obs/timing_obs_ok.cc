@@ -1,0 +1,12 @@
+// Fixture: src/obs/ is the timing rule's sanctioned home.
+#include <chrono>
+
+namespace fx {
+
+long
+traceTimestamp()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: properly guarded header.
+#pragma once
+
+namespace fx {
+
+struct Guarded
+{
+    int x;
+};
+
+} // namespace fx

@@ -1,0 +1,10 @@
+// Fixture: header missing #pragma once.
+
+namespace fx {
+
+struct Guardless
+{
+    int x;
+};
+
+} // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: timing near-miss — a project clock, not a std one.
+
+namespace fx {
+
+long
+readModelClock()
+{
+    return Stopwatch::now().ticks;
+}
+
+} // namespace fx

@@ -1,0 +1,13 @@
+// Fixture: timing true positive.
+#include <chrono>
+
+namespace fx {
+
+long
+readWallClock()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    return t0.time_since_epoch().count();
+}
+
+} // namespace fx

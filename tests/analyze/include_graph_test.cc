@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Include-graph tests: edge resolution against the three quoted-
+ * include search forms, the layering DAG, synthetic cycle detection
+ * on the tests/analyze/fixtures/cycle tree, and the JSON dump CI
+ * archives.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/include_graph.h"
+#include "analyze/source.h"
+
+namespace gsku::analyze {
+namespace {
+
+const std::string kFixtures = GSKU_TEST_FIXTURES;
+
+struct CycleTree
+{
+    std::vector<std::unique_ptr<SourceFile>> owned;
+    std::vector<const SourceFile *> files;
+    IncludeGraph graph;
+};
+
+CycleTree
+loadCycleTree()
+{
+    CycleTree t;
+    const std::string root = kFixtures + "/cycle";
+    for (const std::string &p : collectFiles({root + "/src"}))
+        t.owned.push_back(loadSource(p, root));
+    for (const auto &f : t.owned)
+        t.files.push_back(f.get());
+    t.graph = IncludeGraph::build(t.files);
+    return t;
+}
+
+TEST(IncludeGraphTest, ResolvesQuotedIncludes)
+{
+    CycleTree t = loadCycleTree();
+    // cyc_a -> cyc_b, cyc_b -> cyc_a, uses_gsf -> fake_sizing: all
+    // three quoted includes resolve inside the fixture tree.
+    int resolved = 0;
+    for (const IncludeGraph::Edge &e : t.graph.edges())
+        if (e.to >= 0)
+            ++resolved;
+    EXPECT_EQ(resolved, 3);
+}
+
+TEST(IncludeGraphTest, DetectsTheFixtureCycleOnce)
+{
+    CycleTree t = loadCycleTree();
+    EXPECT_FALSE(t.graph.acyclic());
+    std::vector<Finding> fs = t.graph.cycleFindings();
+    ASSERT_EQ(fs.size(), 1u) << "each distinct cycle reports exactly once";
+    EXPECT_EQ(fs[0].rule, "include-cycle");
+    EXPECT_NE(fs[0].message.find("src/carbon/cyc_a.h"), std::string::npos);
+    EXPECT_NE(fs[0].message.find("src/carbon/cyc_b.h"), std::string::npos);
+}
+
+TEST(IncludeGraphTest, FlagsTheLayeringViolation)
+{
+    CycleTree t = loadCycleTree();
+    std::vector<SuppressionSet *> sups(t.files.size(), nullptr);
+    std::vector<Finding> fs = t.graph.layeringFindings(sups);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "include-layering");
+    EXPECT_EQ(fs[0].relPath, "src/common/uses_gsf.h");
+    EXPECT_NE(fs[0].message.find("'gsf'"), std::string::npos);
+}
+
+TEST(IncludeGraphTest, DagMatchesDocumentedLayers)
+{
+    const auto &dag = IncludeGraph::layeringDag();
+    // obs is the bottom layer; gsf the top.
+    ASSERT_TRUE(dag.count("obs"));
+    EXPECT_TRUE(dag.at("obs").empty());
+    ASSERT_TRUE(dag.count("gsf"));
+    EXPECT_EQ(dag.at("gsf").size(), 6u);
+    // Peers: perf and reliability must not depend on each other.
+    for (const std::string &dep : dag.at("perf"))
+        EXPECT_NE(dep, "reliability");
+    for (const std::string &dep : dag.at("reliability"))
+        EXPECT_NE(dep, "perf");
+}
+
+TEST(IncludeGraphTest, DumpJsonCarriesTheVerdict)
+{
+    CycleTree t = loadCycleTree();
+    std::ostringstream out;
+    t.graph.dumpJson(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"acyclic\":false"), std::string::npos);
+    EXPECT_NE(json.find("src/carbon/cyc_a.h"), std::string::npos);
+    EXPECT_NE(json.find("\"modules\""), std::string::npos);
+}
+
+TEST(IncludeGraphTest, CycleSurfacesThroughAnalyze)
+{
+    AnalyzerOptions opt;
+    opt.root = kFixtures + "/cycle";
+    opt.paths = {opt.root + "/src"};
+    AnalysisResult result = analyze(opt);
+    ASSERT_TRUE(result.graph);
+    EXPECT_FALSE(result.graph->acyclic());
+    int cycles = 0, layering = 0;
+    for (const Finding &f : result.findings) {
+        if (f.rule == "include-cycle")
+            ++cycles;
+        if (f.rule == "include-layering")
+            ++layering;
+    }
+    EXPECT_EQ(cycles, 1);
+    EXPECT_EQ(layering, 1);
+}
+
+} // namespace
+} // namespace gsku::analyze

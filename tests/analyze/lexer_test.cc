@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Lexer unit tests: the token classes the analyzer's rules depend on,
+ * with emphasis on the shapes that made tools/lint.py's regexes
+ * blind — comments, string/char literals, raw strings, merged
+ * `::` / `->` punctuators, and preprocessor directive tracking.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace gsku::analyze {
+namespace {
+
+std::vector<Token>
+codeTokens(const std::vector<Token> &tokens)
+{
+    std::vector<Token> out;
+    for (const Token &t : tokens) {
+        if (t.kind != TokenKind::LineComment &&
+            t.kind != TokenKind::BlockComment) {
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+TEST(LexerTest, IdentifiersNumbersAndPunct)
+{
+    std::string src = "int x = 1'000 + 0x1p3;";
+    auto toks = lex(src);
+    ASSERT_EQ(toks.size(), 7u);
+    EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(toks[0].text, "int");
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[2].text, "=");
+    EXPECT_EQ(toks[3].kind, TokenKind::Number);
+    EXPECT_EQ(toks[3].text, "1'000");
+    EXPECT_EQ(toks[4].text, "+");
+    EXPECT_EQ(toks[5].kind, TokenKind::Number);
+    EXPECT_EQ(toks[5].text, "0x1p3");
+    EXPECT_EQ(toks[6].text, ";");
+}
+
+TEST(LexerTest, ScopeAndArrowAreSingleTokens)
+{
+    std::string src = "std::rand(); p->detach();";
+    auto toks = lex(src);
+    ASSERT_GE(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "std");
+    EXPECT_EQ(toks[1].kind, TokenKind::Punct);
+    EXPECT_EQ(toks[1].text, "::");
+    EXPECT_EQ(toks[2].text, "rand");
+    bool sawArrow = false;
+    for (const Token &t : toks)
+        if (t.kind == TokenKind::Punct && t.text == "->")
+            sawArrow = true;
+    EXPECT_TRUE(sawArrow);
+}
+
+TEST(LexerTest, CommentsAreClassifiedNotCode)
+{
+    std::string src =
+        "// line with rand()\n"
+        "/* block with\n   std::thread */\n"
+        "int live;\n";
+    auto toks = lex(src);
+    ASSERT_GE(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, TokenKind::LineComment);
+    EXPECT_EQ(toks[1].kind, TokenKind::BlockComment);
+    auto code = codeTokens(toks);
+    ASSERT_EQ(code.size(), 3u);
+    EXPECT_EQ(code[0].text, "int");
+    EXPECT_EQ(code[0].line, 4);
+}
+
+TEST(LexerTest, StringAndCharLiterals)
+{
+    std::string src = "const char *s = \"a\\\"b rand()\"; char c = '\\'';";
+    auto toks = lex(src);
+    bool sawString = false;
+    for (const Token &t : toks) {
+        if (t.kind == TokenKind::String) {
+            sawString = true;
+            EXPECT_EQ(literalBody(t), "a\\\"b rand()");
+        }
+        // The banned identifier only exists inside the literal.
+        if (t.kind == TokenKind::Identifier) {
+            EXPECT_NE(t.text, "rand");
+        }
+    }
+    EXPECT_TRUE(sawString);
+}
+
+TEST(LexerTest, RawStringsWithDelimiters)
+{
+    std::string src =
+        "auto s = R\"doc(line one\nstd::rand() )\" )doc\";\n"
+        "auto t = R\"doc(tail)doc\";\n"
+        "int after;\n";
+    auto toks = lex(src);
+    int rawCount = 0;
+    for (const Token &t : toks) {
+        if (t.kind == TokenKind::RawString)
+            ++rawCount;
+        if (t.kind == TokenKind::Identifier) {
+            EXPECT_NE(t.text, "rand");
+        }
+    }
+    EXPECT_EQ(rawCount, 2);
+    EXPECT_EQ(toks.back().text, ";");
+}
+
+TEST(LexerTest, EncodingPrefixesGlueToLiterals)
+{
+    std::string src = "auto a = u8\"x\"; auto b = L\"y\";";
+    auto toks = lex(src);
+    int strings = 0;
+    for (const Token &t : toks) {
+        if (t.kind == TokenKind::String) {
+            ++strings;
+            EXPECT_TRUE(t.text.substr(0, 2) == "u8" ||
+                        t.text.substr(0, 1) == "L");
+        }
+    }
+    EXPECT_EQ(strings, 2);
+}
+
+TEST(LexerTest, DirectivesAndHeaderNames)
+{
+    std::string src =
+        "#include <vector>\n"
+        "#include \"common/error.h\"\n"
+        "#pragma once\n"
+        "int x;\n";
+    auto toks = lex(src);
+    ASSERT_GE(toks.size(), 6u);
+    EXPECT_EQ(toks[0].kind, TokenKind::Directive);
+    EXPECT_EQ(toks[0].text, "include");
+    EXPECT_TRUE(toks[0].inDirective);
+    EXPECT_EQ(toks[1].kind, TokenKind::HeaderName);
+    EXPECT_EQ(toks[2].kind, TokenKind::Directive);
+    EXPECT_EQ(toks[3].kind, TokenKind::String);
+    EXPECT_EQ(literalBody(toks[3]), "common/error.h");
+    EXPECT_TRUE(toks[3].inDirective);
+    // The `int x;` line is not part of any directive.
+    EXPECT_FALSE(toks.back().inDirective);
+}
+
+TEST(LexerTest, MalformedInputNeverThrows)
+{
+    EXPECT_NO_THROW(lex(std::string("\"unterminated")));
+    EXPECT_NO_THROW(lex(std::string("/* open block")));
+    EXPECT_NO_THROW(lex(std::string("R\"d(open raw")));
+    EXPECT_NO_THROW(lex(std::string("'")));
+    EXPECT_NO_THROW(lex(std::string("@ $ ` weird bytes")));
+}
+
+TEST(LexerTest, LineAndColumnTracking)
+{
+    std::string src = "a\n  bb\n";
+    auto toks = lex(src);
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].col, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[1].col, 3);
+}
+
+} // namespace
+} // namespace gsku::analyze

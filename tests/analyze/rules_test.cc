@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Golden test for the analyzer's findings on the fixture tree under
+ * tests/analyze/fixtures/findings: one true positive and one
+ * near-miss per rule, the lint.py blind-spot regressions (banned
+ * patterns inside strings, comments, and raw strings), the
+ * suppression audit, and the determinism-taint chains. The expected
+ * findings JSON is pinned in tests/analyze/golden/findings.json;
+ * regenerate it with
+ *
+ *   cd tests/analyze/fixtures/findings &&
+ *   gsku_analyze --root . src bench --quiet --json \
+ *       ../../golden/findings.json
+ *
+ * after verifying every diff line is intended.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analyze/analyzer.h"
+
+namespace gsku::analyze {
+namespace {
+
+const std::string kFixtures = GSKU_TEST_FIXTURES;
+const std::string kRepoRoot = GSKU_REPO_ROOT;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+AnalysisResult
+analyzeFixtures()
+{
+    AnalyzerOptions opt;
+    opt.root = kFixtures + "/findings";
+    opt.paths = {opt.root + "/src", opt.root + "/bench"};
+    return analyze(opt);
+}
+
+TEST(RulesGoldenTest, FindingsMatchGoldenJson)
+{
+    AnalysisResult result = analyzeFixtures();
+    std::ostringstream got;
+    writeFindingsJson(got, result);
+    std::string want =
+        readFile(kRepoRoot + "/tests/analyze/golden/findings.json");
+    EXPECT_EQ(got.str(), want)
+        << "fixture findings drifted from the golden file; inspect the "
+           "diff and regenerate per the header comment if intended";
+}
+
+TEST(RulesGoldenTest, EveryRuleFiresOnItsTruePositive)
+{
+    AnalysisResult result = analyzeFixtures();
+    std::set<std::string> fired;
+    for (const Finding &f : result.findings)
+        fired.insert(f.rule);
+    for (const char *rule :
+         {"rng-usage", "error-convention", "concurrency", "timing",
+          "ledger-events", "checked-parse", "raw-double-units",
+          "pragma-once", "determinism-taint", "lint-ok"}) {
+        EXPECT_TRUE(fired.count(rule)) << "no finding for " << rule;
+    }
+}
+
+TEST(RulesGoldenTest, NearMissFilesStaySilent)
+{
+    AnalysisResult result = analyzeFixtures();
+    for (const Finding &f : result.findings) {
+        EXPECT_EQ(f.relPath.find("_ok."), std::string::npos)
+            << "near-miss fixture fired: " << f.relPath << ":" << f.line
+            << " [" << f.rule << "] " << f.message;
+        EXPECT_EQ(f.relPath.find("blindspot"), std::string::npos)
+            << "blind-spot fixture fired: " << f.relPath << ":" << f.line;
+    }
+}
+
+TEST(RulesGoldenTest, BlindSpotsAreCaughtNotJustSilent)
+{
+    // The converse of the silence test: the spellings lint.py could
+    // not see must actually be reported.
+    AnalysisResult result = analyzeFixtures();
+    auto has = [&](const std::string &path, int line,
+                   const std::string &rule) {
+        for (const Finding &f : result.findings)
+            if (f.relPath == path && f.line == line && f.rule == rule)
+                return true;
+        return false;
+    };
+    // std::rand() — lint.py's lookbehind missed the qualified form.
+    EXPECT_TRUE(has("src/carbon/rng_tp.cc", 9, "rng-usage"));
+    // ->detach() — the ".detach(" regex missed the arrow spelling.
+    EXPECT_TRUE(has("src/cluster/concurrency_tp.cc", 17, "concurrency"));
+    // Multi-line `double\n totalCostUsd` declaration.
+    EXPECT_TRUE(has("src/carbon/units_tp.h", 11, "raw-double-units"));
+    // Raw-string ledger event name.
+    EXPECT_TRUE(has("src/gsf/ledger_tp.cc", 10, "ledger-events"));
+}
+
+TEST(RulesGoldenTest, UsedSuppressionIsNotStale)
+{
+    AnalysisResult result = analyzeFixtures();
+    for (const Finding &f : result.findings)
+        EXPECT_NE(f.relPath, "src/cluster/parse_ok.cc")
+            << f.rule << ": " << f.message;
+}
+
+TEST(RulesGoldenTest, PerTreeMasksDisableRules)
+{
+    AnalyzerOptions opt;
+    opt.root = kFixtures + "/findings";
+    opt.paths = {opt.root + "/src", opt.root + "/bench"};
+    opt.extraAllows = {{"rng-usage", "src/carbon/"},
+                       {"checked-parse", "src/cluster/parse_tp.cc"}};
+    AnalysisResult result = analyze(opt);
+    for (const Finding &f : result.findings) {
+        if (f.rule == "rng-usage") {
+            EXPECT_NE(f.relPath.substr(0, 11), "src/carbon/");
+        }
+        if (f.rule == "checked-parse") {
+            EXPECT_NE(f.relPath, "src/cluster/parse_tp.cc");
+        }
+    }
+}
+
+TEST(RulesGoldenTest, RuleSelectionSubsets)
+{
+    AnalyzerOptions opt;
+    opt.root = kFixtures + "/findings";
+    opt.paths = {opt.root + "/src", opt.root + "/bench"};
+    opt.enabledRules = {"pragma-once"};
+    AnalysisResult result = analyze(opt);
+    ASSERT_FALSE(result.findings.empty());
+    for (const Finding &f : result.findings) {
+        if (f.rule == "lint-ok") {
+            // Unknown-rule suppressions are always audited, but a
+            // --rules subset must not turn the suppressions of the
+            // rules that did not run into stale findings.
+            EXPECT_EQ(f.message.find("stale"), std::string::npos)
+                << f.relPath << ": " << f.message;
+            continue;
+        }
+        EXPECT_EQ(f.rule, "pragma-once") << f.relPath << ": " << f.message;
+    }
+}
+
+TEST(RulesGoldenTest, SarifIsWellFormed)
+{
+    AnalysisResult result = analyzeFixtures();
+    std::ostringstream out;
+    writeSarif(out, result, kFixtures + "/findings");
+    const std::string sarif = out.str();
+    EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"gsku_analyze\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"SRCROOT\""), std::string::npos);
+    EXPECT_NE(sarif.find("src/carbon/rng_tp.cc"), std::string::npos);
+}
+
+} // namespace
+} // namespace gsku::analyze

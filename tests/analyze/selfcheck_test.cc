@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Self-check: the analyzer must be clean on the repository's own
+ * tree with every rule enabled — the same invariant the CI analyze
+ * job gates on. A finding here means either new code broke a repo
+ * invariant or an analyzer change introduced a false positive;
+ * both block.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analyze/analyzer.h"
+
+namespace gsku::analyze {
+namespace {
+
+const std::string kRepoRoot = GSKU_REPO_ROOT;
+
+AnalysisResult
+analyzeRepo()
+{
+    AnalyzerOptions opt;
+    opt.root = kRepoRoot;
+    opt.paths = {kRepoRoot + "/src", kRepoRoot + "/bench",
+                 kRepoRoot + "/examples", kRepoRoot + "/tools"};
+    return analyze(opt);
+}
+
+TEST(SelfCheckTest, RepoTreeIsCleanUnderAllRules)
+{
+    AnalysisResult result = analyzeRepo();
+    std::ostringstream text;
+    writeText(text, result);
+    EXPECT_TRUE(result.clean()) << text.str();
+    EXPECT_GT(result.fileCount, 100u)
+        << "suspiciously few files: wrong root?";
+    EXPECT_EQ(result.ruleCount, ruleCatalog().size());
+}
+
+TEST(SelfCheckTest, RepoIncludeGraphIsAcyclic)
+{
+    AnalysisResult result = analyzeRepo();
+    ASSERT_TRUE(result.graph);
+    EXPECT_TRUE(result.graph->acyclic());
+}
+
+TEST(SelfCheckTest, ModuleCondensationHonorsTheDag)
+{
+    // Every observed cross-module src/ edge must be in the allowed
+    // table — the module-level restatement of zero layering findings.
+    AnalysisResult result = analyzeRepo();
+    ASSERT_TRUE(result.graph);
+    const auto &dag = IncludeGraph::layeringDag();
+    for (const IncludeGraph::Edge &e : result.graph->edges()) {
+        if (e.to < 0)
+            continue;
+        const SourceFile &from = *result.graph->files()[e.from];
+        const SourceFile &to = *result.graph->files()[e.to];
+        auto it = dag.find(from.module);
+        if (it == dag.end() || to.module == from.module)
+            continue;
+        bool allowed = false;
+        for (const std::string &d : it->second)
+            if (d == to.module)
+                allowed = true;
+        EXPECT_TRUE(allowed)
+            << from.relPath << " -> " << to.relPath << " ("
+            << from.module << " -> " << to.module << ")";
+    }
+}
+
+} // namespace
+} // namespace gsku::analyze

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Determinism-taint tests: heuristic function extraction from the
+ * token stream, intra- and cross-file taint chains over the fixture
+ * tree, and the vouched-wrapper semantics of a `lint-ok` on the
+ * banned line.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/source.h"
+#include "analyze/taint.h"
+
+namespace gsku::analyze {
+namespace {
+
+const std::string kFixtures = GSKU_TEST_FIXTURES;
+
+const FunctionDef *
+byName(const std::vector<FunctionDef> &defs, const std::string &name)
+{
+    for (const FunctionDef &d : defs)
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+TEST(TaintTest, ExtractsFunctionsAndCallees)
+{
+    const std::string root = kFixtures + "/findings";
+    auto file = loadSource(root + "/src/carbon/taint_chain.cc", root);
+    std::vector<FunctionDef> defs = extractFunctions(*file, 0);
+    ASSERT_EQ(defs.size(), 3u);
+
+    const FunctionDef *entropy = byName(defs, "entropyBits");
+    ASSERT_NE(entropy, nullptr);
+    EXPECT_GT(entropy->bodyEndLine, entropy->bodyBeginLine);
+
+    const FunctionDef *jitter = byName(defs, "jitterMs");
+    ASSERT_NE(jitter, nullptr);
+    EXPECT_NE(std::find(jitter->calls.begin(), jitter->calls.end(),
+                        "entropyBits"),
+              jitter->calls.end());
+
+    const FunctionDef *slot = byName(defs, "scheduleSlot");
+    ASSERT_NE(slot, nullptr);
+    EXPECT_NE(std::find(slot->calls.begin(), slot->calls.end(),
+                        "jitterMs"),
+              slot->calls.end());
+}
+
+TEST(TaintTest, IndirectCallersAreReportedWithChains)
+{
+    AnalyzerOptions opt;
+    opt.root = kFixtures + "/findings";
+    opt.paths = {opt.root + "/src/carbon"};
+    AnalysisResult result = analyze(opt);
+
+    auto taintFor = [&](const std::string &fn) -> const Finding * {
+        for (const Finding &f : result.findings)
+            if (f.rule == "determinism-taint" &&
+                f.message.find("'" + fn + "'") != std::string::npos)
+                return &f;
+        return nullptr;
+    };
+
+    // entropyBits holds the banned call itself: token rule, no taint.
+    EXPECT_EQ(taintFor("entropyBits"), nullptr);
+
+    const Finding *jitter = taintFor("jitterMs");
+    ASSERT_NE(jitter, nullptr);
+    EXPECT_NE(jitter->message.find("jitterMs -> entropyBits"),
+              std::string::npos);
+
+    // Two hops, still the shortest chain to the source.
+    const Finding *slot = taintFor("scheduleSlot");
+    ASSERT_NE(slot, nullptr);
+    EXPECT_NE(
+        slot->message.find("scheduleSlot -> jitterMs -> entropyBits"),
+        std::string::npos);
+
+    // Cross-file: taint_user.cc reaches the chain in taint_chain.cc.
+    const Finding *user = taintFor("crossFileUser");
+    ASSERT_NE(user, nullptr);
+    EXPECT_EQ(user->relPath, "src/carbon/taint_user.cc");
+    EXPECT_NE(user->message.find("rng-usage at "
+                                 "src/carbon/taint_chain.cc:10"),
+              std::string::npos);
+}
+
+TEST(TaintTest, SuppressedWrapperDoesNotPropagate)
+{
+    AnalyzerOptions opt;
+    opt.root = kFixtures + "/findings";
+    opt.paths = {opt.root + "/src/carbon"};
+    AnalysisResult result = analyze(opt);
+    for (const Finding &f : result.findings) {
+        EXPECT_EQ(f.relPath.find("taint_ok.cc"), std::string::npos)
+            << "the lint-ok vouches for sanctionedNoise and its "
+               "callers: "
+            << f.rule << " " << f.message;
+    }
+}
+
+TEST(TaintTest, DisablingTheRuleDropsOnlyChains)
+{
+    AnalyzerOptions opt;
+    opt.root = kFixtures + "/findings";
+    opt.paths = {opt.root + "/src/carbon"};
+    opt.disabledRules = {"determinism-taint"};
+    AnalysisResult result = analyze(opt);
+    bool sawRng = false;
+    for (const Finding &f : result.findings) {
+        EXPECT_NE(f.rule, "determinism-taint");
+        if (f.rule == "rng-usage")
+            sawRng = true;
+    }
+    EXPECT_TRUE(sawRng);
+}
+
+} // namespace
+} // namespace gsku::analyze

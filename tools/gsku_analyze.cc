@@ -1,0 +1,168 @@
+/**
+ * @file
+ * gsku_analyze — the GreenSKU repo-invariant static analyzer
+ * (docs/analysis.md). Token-aware successor to tools/lint.py: the
+ * same eight rules and `// lint-ok:` suppression grammar, rebuilt on
+ * a real lexer, plus the include-graph layering/cycle rules and the
+ * determinism-taint pass. Compile-free: it needs sources only, no
+ * compile_commands.json.
+ *
+ * Usage:
+ *   gsku_analyze [paths ...]            (default: src)
+ *     --root DIR              repo root for relative paths (default .)
+ *     --rules a,b,...         run only these rules
+ *     --disable a,b,...       subtract rules from the run set
+ *     --allow RULE:PATH       mask RULE in PATH (exact file, or a
+ *                             'dir/' prefix) — a per-tree rule mask
+ *     --json FILE             write findings JSON
+ *     --sarif FILE            write SARIF 2.1.0
+ *     --dump-include-graph FILE  write the include-graph JSON
+ *     --list-rules            print rule names and exit
+ *     --quiet                 suppress the human report on stdout
+ *
+ * Exit status: 0 clean, 1 findings (or stale suppressions), 2 usage.
+ */
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "common/error.h"
+
+namespace {
+
+void
+splitList(const std::string &arg, std::set<std::string> &out)
+{
+    std::size_t begin = 0;
+    while (begin <= arg.size()) {
+        std::size_t end = arg.find(',', begin);
+        if (end == std::string::npos)
+            end = arg.size();
+        if (end > begin)
+            out.insert(arg.substr(begin, end - begin));
+        begin = end + 1;
+    }
+}
+
+int
+usage(const std::string &message)
+{
+    std::cerr << "gsku_analyze: " << message << "\n"
+              << "usage: gsku_analyze [paths ...] [--root DIR] "
+                 "[--rules a,b] [--disable a,b]\n"
+              << "                    [--allow RULE:PATH] [--json FILE] "
+                 "[--sarif FILE]\n"
+              << "                    [--dump-include-graph FILE] "
+                 "[--list-rules] [--quiet]\n";
+    return 2;
+}
+
+bool
+writeFile(const std::string &path,
+          const std::function<void(std::ostream &)> &emit)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good()) {
+        std::cerr << "gsku_analyze: cannot write " << path << "\n";
+        return false;
+    }
+    emit(out);
+    return out.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gsku::analyze;
+
+    AnalyzerOptions options;
+    std::string jsonPath, sarifPath, graphPath;
+    bool listRules = false;
+    bool quiet = false;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&](const char *flag) -> const std::string & {
+            if (i + 1 >= args.size()) {
+                std::cerr << "gsku_analyze: " << flag
+                          << " needs an argument\n";
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else if (arg == "--root") {
+            options.root = next("--root");
+        } else if (arg == "--rules") {
+            splitList(next("--rules"), options.enabledRules);
+        } else if (arg == "--disable") {
+            splitList(next("--disable"), options.disabledRules);
+        } else if (arg == "--allow") {
+            const std::string &mask = next("--allow");
+            std::size_t colon = mask.find(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 >= mask.size()) {
+                return usage("--allow expects RULE:PATH, got '" + mask +
+                             "'");
+            }
+            options.extraAllows.emplace_back(mask.substr(0, colon),
+                                             mask.substr(colon + 1));
+        } else if (arg == "--json") {
+            jsonPath = next("--json");
+        } else if (arg == "--sarif") {
+            sarifPath = next("--sarif");
+        } else if (arg == "--dump-include-graph") {
+            graphPath = next("--dump-include-graph");
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage("unknown option '" + arg + "'");
+        } else {
+            options.paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const RuleInfo &r : ruleCatalog())
+            std::cout << r.name << "\n";
+        return 0;
+    }
+
+    try {
+        AnalysisResult result = analyze(options);
+
+        bool ioOk = true;
+        if (!jsonPath.empty()) {
+            ioOk = writeFile(jsonPath, [&](std::ostream &out) {
+                       writeFindingsJson(out, result);
+                   }) && ioOk;
+        }
+        if (!sarifPath.empty()) {
+            ioOk = writeFile(sarifPath, [&](std::ostream &out) {
+                       writeSarif(out, result, options.root);
+                   }) && ioOk;
+        }
+        if (!graphPath.empty()) {
+            ioOk = writeFile(graphPath, [&](std::ostream &out) {
+                       result.graph->dumpJson(out);
+                   }) && ioOk;
+        }
+        if (!quiet)
+            writeText(std::cout, result);
+        if (!ioOk)
+            return 2;
+        return result.clean() ? 0 : 1;
+    } catch (const gsku::UserError &e) {
+        std::cerr << "gsku_analyze: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -56,8 +56,18 @@ Suppress a finding by appending ``// lint-ok: <rule> <why>`` to the
 offending line. Suppressions are themselves audited: an unused one is an
 error, so stale escapes cannot accumulate.
 
+This script is now a thin wrapper: when a built ``gsku_analyze``
+binary is available (env var ``GSKU_ANALYZE`` or any
+``build*/tools/gsku_analyze`` under the repo root) it delegates to it,
+gaining the token-aware lexer, the include-layering / include-cycle
+graph rules, and the determinism-taint pass (docs/analysis.md). The
+pure-Python rules below are kept as a bootstrap fallback so `lint`
+still runs before any build exists (e.g. the CI lint job); pass
+``--no-delegate`` to force them.
+
 Usage:
-  tools/lint.py [--list-rules] [paths ...]   (default path: src)
+  tools/lint.py [--list-rules] [--no-delegate] [paths ...]
+  (default path: src)
 
 Exit status: 0 when clean, 1 when any finding (or stale suppression)
 remains, 2 on usage errors.
@@ -66,7 +76,9 @@ remains, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import os
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -101,21 +113,45 @@ def split_words(identifier: str) -> list[str]:
     return [w.lower() for w in WORD_SPLIT_RE.findall(identifier)]
 
 
-def strip_comments(line: str, in_block: bool) -> tuple[str, bool]:
-    """Remove comment text from one line.
+RAW_STRING_OPEN_RE = re.compile(r'(?:u8|[uUL])?R"([^ ()\\\t\v\f]*)\(')
 
-    Returns the code portion and whether a /* block comment is still
-    open after this line. String literals are not parsed — good enough
-    for this codebase's headers.
+
+def strip_comments(line, state=False, keep_strings=False):
+    """Remove comment text and (by default) literal bodies from a line.
+
+    Returns the code portion and an opaque continuation state (open
+    block comment / open raw string) to thread through successive
+    lines; pass the previous return value (or False for line 1).
+    Blanking string/char literal bodies keeps banned-pattern regexes
+    from firing on text that merely *mentions* rand()/throw/etc. —
+    the same blind-spot fix gsku_analyze makes with a real lexer.
+    ledger-events passes keep_strings=True: it inspects literal
+    contents on purpose.
     """
+    if isinstance(state, tuple):
+        in_block, raw_delim = state
+    else:
+        in_block, raw_delim = bool(state), None
     out = []
     i = 0
     n = len(line)
     while i < n:
+        if raw_delim is not None:
+            end = line.find(")" + raw_delim + '"', i)
+            if end < 0:
+                if keep_strings:
+                    out.append(line[i:])
+                return "".join(out), (in_block, raw_delim)
+            if keep_strings:
+                out.append(line[i:end])
+            out.append('""')
+            i = end + len(raw_delim) + 2
+            raw_delim = None
+            continue
         if in_block:
             end = line.find("*/", i)
             if end < 0:
-                return "".join(out), True
+                return "".join(out), (True, None)
             i = end + 2
             in_block = False
             continue
@@ -125,9 +161,33 @@ def strip_comments(line: str, in_block: bool) -> tuple[str, bool]:
             in_block = True
             i += 2
             continue
+        m = RAW_STRING_OPEN_RE.match(line, i)
+        if m:
+            raw_delim = m.group(1)
+            i = m.end()
+            continue
+        if line[i] in "\"'":
+            # A ' directly after an alphanumeric is a digit separator
+            # (1'000), not a char literal.
+            if (line[i] == "'" and out
+                    and (out[-1][-1:].isalnum() or out[-1][-1:] == "_")):
+                out.append(line[i])
+                i += 1
+                continue
+            quote = line[i]
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                step = 2 if line[i] == "\\" else 1
+                if keep_strings:
+                    out.append(line[i:i + step])
+                i += step
+            out.append(quote)
+            i += 1
+            continue
         out.append(line[i])
         i += 1
-    return "".join(out), in_block
+    return "".join(out), (in_block, raw_delim)
 
 
 class Finding:
@@ -350,7 +410,7 @@ def check_ledger_events(path: Path, lines: list[str],
         return findings
     in_block = False
     for i, raw in enumerate(lines, 1):
-        code, in_block = strip_comments(raw, in_block)
+        code, in_block = strip_comments(raw, in_block, keep_strings=True)
         m = LEDGER_EVENTS_RE.search(code)
         if not m:
             continue
@@ -434,6 +494,10 @@ RULES = {
     "pragma-once": check_pragma_once,
 }
 
+# Rules implemented only by the gsku_analyze binary.
+BINARY_ONLY_RULES = {"include-layering", "include-cycle",
+                     "determinism-taint"}
+
 
 def lint_file(path: Path) -> list[Finding]:
     try:
@@ -448,10 +512,15 @@ def lint_file(path: Path) -> list[Finding]:
         findings.extend(rule(path, lines, used))
 
     # Audit suppressions: every `// lint-ok:` must have silenced
-    # something, or it is stale and must be removed.
+    # something, or it is stale and must be removed. Rules that only
+    # exist in the gsku_analyze binary (graph and taint passes) cannot
+    # be evaluated here, so their suppressions are taken on trust; the
+    # binary audits them for real.
     for i, raw in enumerate(lines, 1):
         m = SUPPRESS_RE.search(raw)
         if not m:
+            continue
+        if m.group(1) in BINARY_ONLY_RULES:
             continue
         if m.group(1) not in RULES:
             findings.append(Finding(
@@ -480,6 +549,41 @@ def collect_files(paths: list[str]) -> list[Path]:
     return files
 
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def find_analyzer() -> Path | None:
+    """Locate a built gsku_analyze binary, or None for pure-Python mode.
+
+    ``GSKU_ANALYZE`` wins (empty string disables delegation outright);
+    otherwise pick the newest ``build*/tools/gsku_analyze`` under the
+    repo root, so an incremental rebuild in any build dir is honored.
+    """
+    env = os.environ.get("GSKU_ANALYZE")
+    if env is not None:
+        if not env:
+            return None
+        path = Path(env)
+        return path if path.is_file() and os.access(path, os.X_OK) else None
+    candidates = [
+        p for p in REPO_ROOT.glob("build*/tools/gsku_analyze")
+        if p.is_file() and os.access(p, os.X_OK)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: p.stat().st_mtime)
+
+
+def delegate(binary: Path, args: argparse.Namespace) -> int:
+    """Run gsku_analyze with translated arguments; exit codes match."""
+    cmd = [str(binary), "--root", str(REPO_ROOT)]
+    if args.list_rules:
+        cmd.append("--list-rules")
+    else:
+        cmd.extend(str(Path(p).resolve()) for p in (args.paths or ["src"]))
+    return subprocess.run(cmd).returncode
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="GreenSKU repo-invariant linter")
@@ -487,7 +591,15 @@ def main() -> int:
                         help="files or directories to lint (default: src)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule names and exit")
+    parser.add_argument("--no-delegate", action="store_true",
+                        help="skip the gsku_analyze binary and run the "
+                             "pure-Python fallback rules")
     args = parser.parse_args()
+
+    if not args.no_delegate:
+        binary = find_analyzer()
+        if binary is not None:
+            return delegate(binary, args)
 
     if args.list_rules:
         for name in RULES:
