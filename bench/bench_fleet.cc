@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Fleet-scale trace-engine benchmark: streams a multi-million-event
+ * synthetic cluster-year straight into a `gsku-trace-v1` binary file
+ * (no in-memory trace is ever built), then replays it through
+ *
+ *   - the streaming binary path (BinaryTraceReader -> VmAllocator),
+ *   - the materializing path (readTraceBinary -> VmTrace replay), and
+ *   - the streaming CSV path (writeTraceCsv -> CsvTraceReader),
+ *
+ * checksumming every replay outcome and the allocator counter deltas.
+ * All three paths must be byte-identical — the determinism contract of
+ * the trace engine — and the driver exits nonzero if they diverge.
+ * BENCH_fleet.json records events/sec per leg plus the peak-RSS
+ * high-water mark (getrusage) after each leg, which is how the
+ * streaming path's O(peak-live) memory shows up against the
+ * materializing path's O(trace).
+ *
+ * Usage: bench_fleet [events]   (default 10,000,000; CI smoke: 100000)
+ */
+#include <sys/resource.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "carbon/catalog.h"
+#include "cluster/allocator.h"
+#include "cluster/trace_binary.h"
+#include "cluster/trace_gen.h"
+#include "cluster/trace_io.h"
+#include "cluster/trace_stats.h"
+#include "common/error.h"
+#include "common/parse.h"
+#include "common/table.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "perf/app.h"
+
+namespace {
+
+/** Peak-RSS high-water mark in KB (Linux ru_maxrss units). */
+std::int64_t
+maxRssKb()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) {
+        return 0;
+    }
+    return static_cast<std::int64_t>(usage.ru_maxrss);
+}
+
+void
+addReplay(gsku::bench::Checksum &sum,
+          const gsku::cluster::MultiReplayResult &r)
+{
+    auto add_group = [&sum](const gsku::cluster::GroupMetrics &g) {
+        sum.add(static_cast<double>(g.servers));
+        sum.add(static_cast<double>(g.vms_placed));
+        sum.add(g.mean_core_packing);
+        sum.add(g.mean_mem_packing);
+        sum.add(g.mean_max_mem_utilization);
+    };
+    sum.add(r.success ? 1.0 : 0.0);
+    sum.add(static_cast<double>(r.placed));
+    sum.add(static_cast<double>(r.rejected));
+    add_group(r.baseline);
+    for (const gsku::cluster::GroupMetrics &g : r.greens) {
+        add_group(g);
+    }
+    sum.add(static_cast<double>(r.green_placed));
+    sum.add(static_cast<double>(r.green_fallbacks));
+}
+
+/** Allocator counter deltas across one replay leg; folded into the
+ *  leg checksum so the metrics pipeline is part of the parity check. */
+void
+addCounterDeltas(gsku::bench::Checksum &sum,
+                 const gsku::obs::MetricsSnapshot &before,
+                 const gsku::obs::MetricsSnapshot &after)
+{
+    for (const char *name :
+         {"allocator.placements", "allocator.rejections",
+          "allocator.green_fallbacks", "allocator.evictions"}) {
+        sum.add(static_cast<double>(after.counter(name) -
+                                    before.counter(name)));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gsku;
+
+    obs::metrics().reset();
+
+    std::uint64_t events = 10'000'000;
+    if (argc > 1) {
+        try {
+            events = parseU64(argv[1], ParseContext{"bench_fleet", 0,
+                                                    "events"});
+        } catch (const std::exception &e) {
+            std::cerr << "bench_fleet: " << e.what() << '\n';
+            return 2;
+        }
+    }
+    if (events < 1000) {
+        std::cerr << "bench_fleet: need at least 1000 events\n";
+        return 2;
+    }
+
+    // One simulated year; Little's law sizes the steady-state
+    // population so ~events/2 VMs (arrival + departure = 2 events)
+    // arrive over the year. The 1.35 margin absorbs the generator's
+    // per-seed lifetime jitter (~1.29 for seed 42) so the requested
+    // event count is a floor, not a ceiling.
+    const std::uint64_t seed = 42;
+    cluster::TraceGenParams params;
+    params.duration_h = 24.0 * 365.0;
+    params.mean_lifetime_h = 48.0;
+    params.load_jitter = 0.0;
+    const double vms_target = static_cast<double>(events) / 2.0;
+    params.target_concurrent_vms = 1.35 * vms_target *
+                                   params.mean_lifetime_h /
+                                   params.duration_h;
+    const cluster::TraceGenerator generator(params);
+
+    const std::string bin_path = "bench_fleet_trace.gskutrc";
+    const std::string csv_path = "bench_fleet_trace.csv";
+
+    struct Leg
+    {
+        std::string name;
+        double seconds = 0.0;
+        double events_per_sec = 0.0;
+        std::string checksum;
+        std::int64_t max_rss_kb = 0;
+    };
+    std::vector<Leg> legs;
+
+    // Leg 1: stream the synthetic year straight to disk.
+    bench::WallTimer timer;
+    const std::uint64_t vms = generator.generateToBinary(seed, bin_path);
+    {
+        Leg leg;
+        leg.name = "generate";
+        leg.seconds = timer.seconds();
+        leg.events_per_sec =
+            leg.seconds > 0.0 ? 2.0 * static_cast<double>(vms) /
+                                    leg.seconds
+                              : 0.0;
+        bench::Checksum sum;
+        sum.add(static_cast<double>(vms));
+        leg.checksum = sum.hex();
+        leg.max_rss_kb = maxRssKb();
+        legs.push_back(leg);
+    }
+    const double total_events = 2.0 * static_cast<double>(vms);
+    std::cout << "bench_fleet: " << vms << " VMs ("
+              << static_cast<std::uint64_t>(total_events)
+              << " events) over " << params.duration_h << " h\n\n";
+
+    std::uint64_t content_digest = 0;
+
+    // Leg 2: streaming workload summary (peaks via the shared sweep).
+    cluster::TraceStats stats;
+    timer.reset();
+    {
+        cluster::BinaryTraceReader reader(bin_path);
+        stats = cluster::summarizeTrace(reader);
+        content_digest = reader.contentDigest();
+        Leg leg;
+        leg.name = "stats_stream";
+        leg.seconds = timer.seconds();
+        leg.events_per_sec =
+            leg.seconds > 0.0 ? total_events / leg.seconds : 0.0;
+        bench::Checksum sum;
+        sum.add(static_cast<double>(stats.vm_count));
+        sum.add(static_cast<double>(stats.peak_concurrent_cores));
+        sum.add(stats.peak_concurrent_memory_gb);
+        sum.add(stats.mean_population);
+        sum.add(stats.cores.mean());
+        sum.add(stats.memory_gb.mean());
+        sum.add(stats.lifetime_h.mean());
+        sum.add(stats.touch_fraction.mean());
+        leg.checksum = sum.hex();
+        leg.max_rss_kb = maxRssKb();
+        legs.push_back(leg);
+    }
+
+    // Cluster sized off the streamed peaks: a 15% headroom baseline
+    // group plus a GreenSKU group that Gen1/Gen2 VMs adopt at a 1.05
+    // resource inflation (the fleet-refresh shape of the paper).
+    const carbon::ServerSku baseline_sku = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green_sku = carbon::StandardSkus::greenFull();
+    cluster::AdoptionTable adoption = cluster::AdoptionTable::none();
+    for (std::size_t app = 0; app < perf::AppCatalog::all().size();
+         ++app) {
+        adoption.set(app, carbon::Generation::Gen1,
+                     cluster::AdoptionDecision{true, 1.05});
+        adoption.set(app, carbon::Generation::Gen2,
+                     cluster::AdoptionDecision{true, 1.05});
+    }
+    cluster::MultiClusterSpec spec;
+    spec.baseline_sku = baseline_sku;
+    spec.baselines = static_cast<int>(
+        std::ceil(1.15 * stats.peak_concurrent_cores /
+                  static_cast<double>(baseline_sku.cores)));
+    cluster::GreenGroupSpec green_group;
+    green_group.sku = green_sku;
+    green_group.count = static_cast<int>(
+        std::ceil(0.30 * stats.peak_concurrent_cores /
+                  static_cast<double>(green_sku.cores)));
+    green_group.adoption = adoption;
+    spec.greens.push_back(green_group);
+
+    cluster::ReplayOptions options;
+    options.stop_on_reject = false;
+    const cluster::VmAllocator allocator(options);
+
+    auto replay_leg = [&](const std::string &name,
+                          auto &&body) -> const Leg & {
+        const obs::MetricsSnapshot before = obs::metrics().snapshot();
+        timer.reset();
+        const cluster::MultiReplayResult result = body();
+        Leg leg;
+        leg.name = name;
+        leg.seconds = timer.seconds();
+        leg.events_per_sec =
+            leg.seconds > 0.0 ? total_events / leg.seconds : 0.0;
+        bench::Checksum sum;
+        addReplay(sum, result);
+        addCounterDeltas(sum, before, obs::metrics().snapshot());
+        leg.checksum = sum.hex();
+        leg.max_rss_kb = maxRssKb();
+        legs.push_back(leg);
+        return legs.back();
+    };
+
+    // Leg 3: streaming replay from the binary file (the hot path).
+    replay_leg("replay_binary", [&] {
+        cluster::BinaryTraceReader reader(bin_path);
+        return allocator.replay(reader, spec);
+    });
+
+    // Leg 4: the old path — materialize the whole trace, then replay.
+    replay_leg("replay_materialized", [&] {
+        const cluster::VmTrace trace = cluster::readTraceBinary(bin_path);
+        return allocator.replay(trace, spec);
+    });
+
+    // Leg 5: streaming replay from CSV (parity across encodings; also
+    // the honest cost of the text format at fleet scale).
+    {
+        const cluster::VmTrace trace = cluster::readTraceBinary(bin_path);
+        std::ofstream csv(csv_path, std::ios::trunc);
+        if (!csv.is_open()) {
+            std::cerr << "bench_fleet: cannot write " << csv_path
+                      << '\n';
+            return 2;
+        }
+        cluster::writeTraceCsv(trace, csv);
+    }
+    replay_leg("replay_csv", [&] {
+        cluster::CsvTraceReader reader(csv_path);
+        return allocator.replay(reader, spec);
+    });
+
+    const std::string &replay_checksum = legs[2].checksum;
+    bool identical = true;
+    for (std::size_t i = 3; i < legs.size(); ++i) {
+        identical = identical && legs[i].checksum == replay_checksum;
+    }
+
+    Table table({"Leg", "Wall (s)", "Events/s", "Max RSS (MB)",
+                 "Checksum"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Left});
+    std::vector<bench::JsonObject> json_legs;
+    for (const Leg &leg : legs) {
+        table.addRow({leg.name, Table::num(leg.seconds, 3),
+                      Table::num(leg.events_per_sec, 0),
+                      Table::num(static_cast<double>(leg.max_rss_kb) /
+                                     1024.0,
+                                 1),
+                      leg.checksum});
+        bench::JsonObject j;
+        j.field("leg", leg.name)
+            .field("seconds", leg.seconds)
+            .field("events_per_sec", leg.events_per_sec)
+            .field("max_rss_kb", leg.max_rss_kb)
+            .field("checksum", leg.checksum);
+        json_legs.push_back(j);
+    }
+    std::cout << table.render() << '\n';
+
+    char digest_hex[17];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                  static_cast<unsigned long long>(content_digest));
+    bench::JsonObject doc;
+    doc.field("benchmark", std::string("fleet_trace_replay"))
+        .field("events", static_cast<std::int64_t>(total_events))
+        .field("vms", static_cast<std::int64_t>(vms))
+        .field("duration_h", params.duration_h)
+        .field("content_digest", std::string(digest_hex))
+        .field("checksums_identical", identical)
+        .array("legs", json_legs);
+    const std::string path = "BENCH_fleet.json";
+    if (!doc.writeFile(path)) {
+        std::cerr << "bench_fleet: failed to write " << path << '\n';
+        return 2;
+    }
+    std::cout << "wrote " << path << '\n';
+
+    obs::RunManifest manifest("bench_fleet");
+    manifest.config("events", static_cast<std::int64_t>(total_events))
+        .config("vms", static_cast<std::int64_t>(vms))
+        .config("duration_h", params.duration_h)
+        .config("content_digest", std::string(digest_hex))
+        .config("checksums_identical", identical)
+        .seed("trace", seed);
+    const std::string manifest_path = "MANIFEST_bench_fleet.json";
+    if (!manifest.write(manifest_path)) {
+        std::cerr << "bench_fleet: failed to write " << manifest_path
+                  << '\n';
+        return 2;
+    }
+    std::cout << "wrote " << manifest_path << '\n';
+
+    std::remove(bin_path.c_str());
+    std::remove(csv_path.c_str());
+
+    if (!identical) {
+        std::cerr << "bench_fleet: CHECKSUM MISMATCH across replay "
+                     "paths - binary/materialized/CSV replays are not "
+                     "byte-identical\n";
+        return 1;
+    }
+    std::cout << "replay checksums identical across binary, "
+                 "materialized, and CSV paths\n";
+    return 0;
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Trace format converter: moves VM traces between the CSV text format
+ * (trace_io.h) and the mmap-able `gsku-trace-v1` binary format
+ * (trace_binary.h). The input format is sniffed from the file's magic
+ * bytes, so conversion direction never needs to be spelled out; both
+ * directions preserve the semantic content digest, which `--verify`
+ * re-reads the output to prove.
+ *
+ * Usage:
+ *   trace_convert [options] <input> <output>
+ *
+ *   --name <name>       trace name for legacy CSVs without a metadata
+ *                       line (default: csv)
+ *   --verify            re-read the output and require its content
+ *                       digest to match the input's
+ *   --self-test         run a built-in round-trip check and exit
+ *   --help              show this message
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/trace_binary.h"
+#include "cluster/trace_gen.h"
+#include "cluster/trace_io.h"
+#include "common/error.h"
+
+namespace {
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: trace_convert [options] <input> <output>\n"
+           "\n"
+           "Converts between the trace CSV format and the binary\n"
+           "gsku-trace-v1 format (direction inferred from the input's\n"
+           "magic bytes).\n"
+           "\n"
+           "  --name <name>   trace name for legacy CSVs without a\n"
+           "                  metadata line (default: csv)\n"
+           "  --verify        re-read the output and require digest\n"
+           "                  equality with the input\n"
+           "  --self-test     run a built-in round-trip check and exit\n"
+           "  --help          show this message\n";
+}
+
+bool
+isBinaryTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    GSKU_REQUIRE(in.is_open(), "cannot open '" + path + "'");
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    return in.gcount() == sizeof(magic) &&
+           std::string(magic, sizeof(magic)) == "GSKUTRC1";
+}
+
+gsku::cluster::VmTrace
+readAny(const std::string &path, const std::string &fallback_name)
+{
+    using namespace gsku::cluster;
+    if (isBinaryTrace(path)) {
+        return readTraceBinary(path);
+    }
+    std::ifstream in(path);
+    GSKU_REQUIRE(in.is_open(), "cannot open '" + path + "'");
+    return readTraceCsv(in, fallback_name);
+}
+
+void
+writeAs(const gsku::cluster::VmTrace &trace, const std::string &path,
+        bool binary)
+{
+    using namespace gsku::cluster;
+    if (binary) {
+        writeTraceBinary(trace, path);
+        return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    GSKU_REQUIRE(out.is_open(), "cannot write '" + path + "'");
+    writeTraceCsv(trace, out);
+    GSKU_REQUIRE(out.good(), "failed to write '" + path + "'");
+}
+
+int
+selfTest()
+{
+    using namespace gsku::cluster;
+    TraceGenParams params;
+    params.duration_h = 24.0 * 7.0;
+    params.target_concurrent_vms = 60.0;
+    const VmTrace trace = TraceGenerator(params).generate(11);
+
+    const std::string bin1 = "trace_convert_selftest_1.gskutrc";
+    const std::string csv = "trace_convert_selftest.csv";
+    const std::string bin2 = "trace_convert_selftest_2.gskutrc";
+
+    writeTraceBinary(trace, bin1);
+    writeAs(readTraceBinary(bin1), csv, /*binary=*/false);
+    writeAs(readAny(csv, "csv"), bin2, /*binary=*/true);
+
+    BinaryTraceReader first(bin1);
+    BinaryTraceReader second(bin2);
+    const bool ok = first.contentDigest() == second.contentDigest() &&
+                    first.contentDigest() == traceContentDigest(trace) &&
+                    first.sizeHint() == second.sizeHint();
+    std::remove(bin1.c_str());
+    std::remove(csv.c_str());
+    std::remove(bin2.c_str());
+    if (!ok) {
+        std::cerr << "trace_convert: SELF-TEST FAILED — round trip "
+                     "changed the trace content digest\n";
+        return 1;
+    }
+    std::cout << "trace_convert: self-test passed ("
+              << trace.vms.size()
+              << " VMs round-tripped binary -> CSV -> binary with a "
+                 "stable content digest)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gsku;
+    using namespace gsku::cluster;
+
+    std::string fallback_name = "csv";
+    bool verify = false;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        }
+        if (arg == "--self-test") {
+            return selfTest();
+        }
+        if (arg == "--verify") {
+            verify = true;
+        } else if (arg == "--name") {
+            if (i + 1 >= argc) {
+                std::cerr << "trace_convert: --name needs a value\n";
+                return 1;
+            }
+            fallback_name = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "trace_convert: unknown option " << arg << '\n';
+            printUsage(std::cerr);
+            return 1;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) {
+        // No arguments: the smoke-test invocation runs the self-test
+        // so `ctest` exercises the converter without fixture files.
+        if (positional.empty() && !verify) {
+            return selfTest();
+        }
+        std::cerr << "trace_convert: need exactly <input> <output>\n";
+        printUsage(std::cerr);
+        return 1;
+    }
+
+    try {
+        const std::string &input = positional[0];
+        const std::string &output = positional[1];
+        const bool in_binary = isBinaryTrace(input);
+        const VmTrace trace = readAny(input, fallback_name);
+        const std::uint64_t digest = traceContentDigest(trace);
+        writeAs(trace, output, /*binary=*/!in_binary);
+
+        std::cout << "trace_convert: " << trace.vms.size() << " VMs ("
+                  << (in_binary ? "binary -> CSV" : "CSV -> binary")
+                  << ") " << input << " -> " << output << '\n';
+
+        if (verify) {
+            const VmTrace back = readAny(output, trace.name);
+            if (traceContentDigest(back) != digest) {
+                std::cerr << "trace_convert: VERIFY FAILED — output "
+                             "content digest differs from input\n";
+                return 1;
+            }
+            std::cout << "trace_convert: verified — round trip "
+                         "preserves the content digest\n";
+        }
+        return 0;
+    } catch (const UserError &e) {
+        std::cerr << "trace_convert: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -363,6 +363,32 @@ checkCheckedParse(Ctx &ctx)
 }
 
 // ------------------------------------------------------------------
+// Rule: byte-cast
+//
+// reinterpret_cast reads an object as raw bytes — exactly what a
+// binary serializer must do, and exactly what silently breaks when a
+// struct layout, endianness assumption, or alignment changes anywhere
+// else. The binary trace format (src/cluster/trace_binary.cc) is the
+// one audited home for byte reinterpretation; everywhere else, value
+// punning goes through std::memcpy into a properly-typed object.
+// ------------------------------------------------------------------
+
+void
+checkByteCast(Ctx &ctx)
+{
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        const Token *t = ctx.code[i];
+        if (!isIdent(t, "reinterpret_cast"))
+            continue;
+        report(ctx, "byte-cast", *t,
+               "'reinterpret_cast' reinterprets object bytes; raw byte "
+               "casts live only in the binary trace serializer "
+               "(src/cluster/trace_binary.cc) — use std::memcpy into a "
+               "typed value instead");
+    }
+}
+
+// ------------------------------------------------------------------
 // Rule: raw-double-units
 // ------------------------------------------------------------------
 
@@ -440,6 +466,7 @@ Policy::repoDefault()
     p.allow("timing", "src/obs/");
     p.allow("timing", "bench/harness.h");
     p.allow("ledger-events", "src/obs/ledger.h");
+    p.allow("byte-cast", "src/cluster/trace_binary.cc");
     return p;
 }
 
@@ -575,6 +602,10 @@ ruleCatalog()
         {"checked-parse",
          "Raw std::sto*/ato*/strto* conversions are banned; use the "
          "checked full-token parsers in common/parse.h."},
+        {"byte-cast",
+         "reinterpret_cast is banned outside the binary trace "
+         "serializer (src/cluster/trace_binary.cc); pun values through "
+         "std::memcpy instead."},
         {"include-layering",
          "Includes must follow the module layering DAG (obs -> common "
          "-> carbon -> perf/reliability -> cluster -> gsf); no upward "
@@ -636,6 +667,8 @@ checkFile(const SourceFile &file, const Policy &policy,
         checkLedgerEvents(ctx);
     if (on("checked-parse"))
         checkCheckedParse(ctx);
+    if (on("byte-cast"))
+        checkByteCast(ctx);
     if (file.isHeader() && on("raw-double-units")) {
         bool inUnitsDir = false;
         for (const std::string &dir : kUnitsDirs) {

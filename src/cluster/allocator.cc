@@ -8,6 +8,7 @@
 #include <set>
 #include <utility>
 
+#include "cluster/trace_binary.h"
 #include "common/contracts.h"
 #include "common/error.h"
 #include "obs/ledger.h"
@@ -175,21 +176,58 @@ struct GroupIndex
     std::set<std::size_t> empty;
 };
 
-/** Resources a VM occupies on the server it landed on. */
-struct Placement
+/**
+ * Struct-of-arrays table of live-VM placements, indexed by a reusable
+ * slot id. Bounded by the *peak concurrent* VM count rather than the
+ * maximum VM id (the old AoS layout resized a placements vector to
+ * `max id + 1`, which for a fleet-year trace with 64-bit ids is
+ * unbounded). Freed slots are recycled LIFO.
+ */
+struct LiveVmTable
 {
-    std::size_t server = 0;
-    bool on_green = false;
-    double cores = 0.0;
-    double mem = 0.0;
-    double touched = 0.0;
+    std::vector<std::size_t> server;
+    std::vector<double> cores;
+    std::vector<double> mem;
+    std::vector<double> touched;
+    std::vector<char> occupied;
+    std::vector<std::uint32_t> free_slots;
+
+    std::uint32_t
+    acquire(std::size_t srv, double c, double m, double t)
+    {
+        if (!free_slots.empty()) {
+            const std::uint32_t slot = free_slots.back();
+            free_slots.pop_back();
+            server[slot] = srv;
+            cores[slot] = c;
+            mem[slot] = m;
+            touched[slot] = t;
+            occupied[slot] = 1;
+            return slot;
+        }
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(server.size());
+        server.push_back(srv);
+        cores.push_back(c);
+        mem.push_back(m);
+        touched.push_back(t);
+        occupied.push_back(1);
+        return slot;
+    }
+
+    void
+    release(std::uint32_t slot)
+    {
+        occupied[slot] = 0;
+        free_slots.push_back(slot);
+    }
 };
 
 /** Pending departure event for the priority queue. */
 struct Departure
 {
     double time = 0.0;
-    VmId vm = 0;
+    std::uint32_t slot = 0;     ///< LiveVmTable slot of the departer.
 
     bool
     operator>(const Departure &other) const
@@ -407,9 +445,10 @@ finishGroup(const std::vector<ServerState> &servers, std::size_t begin,
 
 } // namespace
 
-ReplayResult
-VmAllocator::replay(const VmTrace &trace, const ClusterSpec &cluster,
-                    const AdoptionTable &adoption) const
+namespace {
+
+MultiClusterSpec
+toMultiSpec(const ClusterSpec &cluster, const AdoptionTable &adoption)
 {
     GSKU_REQUIRE(cluster.baselines >= 0 && cluster.greens >= 0,
                  "server counts must be non-negative");
@@ -418,8 +457,12 @@ VmAllocator::replay(const VmTrace &trace, const ClusterSpec &cluster,
     multi.baselines = cluster.baselines;
     multi.greens.push_back(
         GreenGroupSpec{cluster.green_sku, cluster.greens, adoption});
+    return multi;
+}
 
-    const MultiReplayResult r = replay(trace, multi);
+ReplayResult
+fromMultiResult(const MultiReplayResult &r)
+{
     ReplayResult out;
     out.success = r.success;
     out.placed = r.placed;
@@ -431,8 +474,40 @@ VmAllocator::replay(const VmTrace &trace, const ClusterSpec &cluster,
     return out;
 }
 
+} // namespace
+
+ReplayResult
+VmAllocator::replay(const VmTrace &trace, const ClusterSpec &cluster,
+                    const AdoptionTable &adoption) const
+{
+    return fromMultiResult(replay(trace, toMultiSpec(cluster, adoption)));
+}
+
+ReplayResult
+VmAllocator::replay(TraceReader &reader, const ClusterSpec &cluster,
+                    const AdoptionTable &adoption) const
+{
+    return fromMultiResult(
+        replay(reader, toMultiSpec(cluster, adoption)));
+}
+
 MultiReplayResult
 VmAllocator::replay(const VmTrace &trace,
+                    const MultiClusterSpec &cluster) const
+{
+    // Same copy + sort readTraceCsv-era callers relied on: traces are
+    // not required to arrive pre-sorted through this overload.
+    std::vector<VmRequest> vms = trace.vms;
+    std::sort(vms.begin(), vms.end(),
+              [](const VmRequest &a, const VmRequest &b) {
+                  return a.arrival_h < b.arrival_h;
+              });
+    VectorTraceReader reader(trace.name, trace.duration_h, vms);
+    return replay(reader, cluster);
+}
+
+MultiReplayResult
+VmAllocator::replay(TraceReader &reader,
                     const MultiClusterSpec &cluster) const
 {
     // All replay entry points funnel through this overload, so these
@@ -449,8 +524,7 @@ VmAllocator::replay(const VmTrace &trace,
         obs::metrics().counter("allocator.evictions");
     replays.inc();
     obs::TraceSpan span("allocator", "replay");
-    span.arg("trace", trace.name)
-        .arg("vms", static_cast<std::uint64_t>(trace.vms.size()));
+    span.arg("trace", reader.name()).arg("vms", reader.sizeHint());
 
     GSKU_REQUIRE(cluster.baselines >= 0,
                  "baseline count must be non-negative");
@@ -557,22 +631,10 @@ VmAllocator::replay(const VmTrace &trace,
                           options_.policy);
     };
 
-    std::vector<VmRequest> vms = trace.vms;
-    std::sort(vms.begin(), vms.end(),
-              [](const VmRequest &a, const VmRequest &b) {
-                  return a.arrival_h < b.arrival_h;
-              });
-
     std::priority_queue<Departure, std::vector<Departure>,
                         std::greater<Departure>>
         departures;
-    std::vector<Placement> placements;
-    std::vector<bool> live;
-    auto placement_of = [&](VmId id) -> Placement & {
-        GSKU_EXPECT(id < placements.size() && live[id],
-                    "departure for unknown VM");
-        return placements[id];
-    };
+    LiveVmTable live;
 
     // Conservation audit: the per-server accounting must always agree
     // with the ledger of live placements — cores and memory are neither
@@ -620,7 +682,7 @@ VmAllocator::replay(const VmTrace &trace,
         std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
                       static_cast<unsigned long long>(fp));
         obs::LedgerEntry(obs::LedgerEvent::AllocatorOutcome)
-            .field("trace", trace.name)
+            .field("trace", reader.name())
             .field("baselines", static_cast<std::int64_t>(n_base))
             .field("greens", static_cast<std::int64_t>(greens_total))
             .field("adoption_fp", fp_hex)
@@ -646,24 +708,30 @@ VmAllocator::replay(const VmTrace &trace,
     long released = 0;
     auto release = [&](const Departure &dep) {
         ++released;
-        Placement &p = placement_of(dep.vm);
-        ServerState &s = servers[p.server];
-        index_erase(p.server);
-        s.used_cores -= p.cores;
-        s.used_mem -= p.mem;
-        s.touched_mem -= p.touched;
+        GSKU_EXPECT(dep.slot < live.occupied.size() &&
+                        live.occupied[dep.slot],
+                    "departure for unknown VM");
+        const std::size_t server_id = live.server[dep.slot];
+        ServerState &s = servers[server_id];
+        index_erase(server_id);
+        s.used_cores -= live.cores[dep.slot];
+        s.used_mem -= live.mem[dep.slot];
+        s.touched_mem -= live.touched[dep.slot];
         s.vm_count -= 1;
         s.dedicated = false;
-        ledger_cores -= p.cores;
-        ledger_mem -= p.mem;
+        ledger_cores -= live.cores[dep.slot];
+        ledger_mem -= live.mem[dep.slot];
         GSKU_INVARIANT(s.used_cores >= -1e-6 && s.used_mem >= -1e-6 &&
                            s.vm_count >= 0,
                        "server resource accounting went negative");
-        index_insert(p.server);
-        live[dep.vm] = false;
+        index_insert(server_id);
+        live.release(dep.slot);
     };
 
-    for (const VmRequest &vm : vms) {
+    std::uint64_t events_seen = 0;
+    VmRequest vm;
+    while (reader.next(&vm)) {
+        ++events_seen;
         while (!departures.empty() &&
                departures.top().time <= vm.arrival_h) {
             const Departure dep = departures.top();
@@ -754,33 +822,24 @@ VmAllocator::replay(const VmTrace &trace,
 
         ServerState &s = servers[*target];
         index_erase(*target);
-        Placement p;
-        p.server = *target;
-        p.on_green = placed_group >= 0;
-        p.cores = cores;
-        p.mem = mem;
-        p.touched = vm.memory_gb * vm.max_mem_touch_fraction;
-        s.used_cores += p.cores;
-        s.used_mem += p.mem;
-        s.touched_mem += p.touched;
+        const double touched = vm.memory_gb * vm.max_mem_touch_fraction;
+        s.used_cores += cores;
+        s.used_mem += mem;
+        s.touched_mem += touched;
         s.max_touched = std::max(s.max_touched, s.touched_mem);
         s.vm_count += 1;
         s.ever_used = true;
         s.dedicated = vm.full_node;
-        ledger_cores += p.cores;
-        ledger_mem += p.mem;
+        ledger_cores += cores;
+        ledger_mem += mem;
         GSKU_INVARIANT(s.used_cores <= s.total_cores + 1e-6 &&
                            s.used_mem <= s.total_mem + 1e-6,
                        "placement oversubscribed a server");
         index_insert(*target);
 
-        if (vm.id >= placements.size()) {
-            placements.resize(vm.id + 1);
-            live.resize(vm.id + 1, false);
-        }
-        placements[vm.id] = p;
-        live[vm.id] = true;
-        departures.push(Departure{vm.departure_h, vm.id});
+        const std::uint32_t slot =
+            live.acquire(*target, cores, mem, touched);
+        departures.push(Departure{vm.departure_h, slot});
 
         ++result.placed;
         if (placed_group >= 0) {
@@ -791,10 +850,13 @@ VmAllocator::replay(const VmTrace &trace,
         }
     }
 
-    // Drain remaining departures for final snapshots.
+    // Drain remaining departures for final snapshots. By this point the
+    // stream is exhausted, so even inferred (legacy CSV) durations are
+    // final.
+    const double duration_h = reader.durationH();
     while (!departures.empty()) {
         const Departure dep = departures.top();
-        if (dep.time > trace.duration_h) {
+        if (dep.time > duration_h) {
             break;
         }
         while (next_snapshot <= dep.time) {
@@ -815,8 +877,9 @@ VmAllocator::replay(const VmTrace &trace,
                         green_ranges[g].end, green_accs[g],
                         green_placed[g]));
     }
-    GSKU_ENSURE(result.placed + result.rejected <=
-                    static_cast<long>(vms.size()),
+    GSKU_ENSURE(static_cast<std::uint64_t>(result.placed) +
+                        static_cast<std::uint64_t>(result.rejected) <=
+                    events_seen,
                 "placement outcomes exceed the trace size");
     GSKU_ENSURE(result.green_placed <= result.placed,
                 "green placements exceed total placements");

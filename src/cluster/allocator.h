@@ -26,6 +26,8 @@
 
 namespace gsku::cluster {
 
+class TraceReader;
+
 /** Whether VMs of one (application, origin-generation) pair move to the
  *  GreenSKU, and at what resource inflation. */
 struct AdoptionDecision
@@ -201,6 +203,21 @@ class VmAllocator
     /** Replay against a multi-GreenSKU cluster (see MultiClusterSpec). */
     MultiReplayResult replay(const VmTrace &trace,
                              const MultiClusterSpec &cluster) const;
+
+    /**
+     * Streaming replay: consumes VMs from @p reader in arrival order
+     * without materializing the trace. Live-VM bookkeeping is a
+     * struct-of-arrays slot table bounded by the *peak live* VM count,
+     * so a 10M-event year replays in O(peak) memory. Bit-identical to
+     * the materializing overloads on the same trace content (asserted
+     * by tests/cluster/trace_binary_test.cc and the parity suite).
+     */
+    MultiReplayResult replay(TraceReader &reader,
+                             const MultiClusterSpec &cluster) const;
+
+    /** Streaming replay against a two-group cluster. */
+    ReplayResult replay(TraceReader &reader, const ClusterSpec &cluster,
+                        const AdoptionTable &adoption) const;
 
   private:
     ReplayOptions options_;

@@ -1,10 +1,143 @@
 #include "cluster/demand.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 
 namespace gsku::cluster {
+
+ConcurrentDemandSweep::ConcurrentDemandSweep(std::size_t reserve_hint)
+{
+    const std::size_t reserve = std::max<std::size_t>(reserve_hint, 16);
+    dep_time_.reserve(reserve);
+    dep_cores_.reserve(reserve);
+    dep_mem_.reserve(reserve);
+}
+
+void
+ConcurrentDemandSweep::heapPush(double time, double cores, double mem)
+{
+    dep_time_.push_back(time);
+    dep_cores_.push_back(cores);
+    dep_mem_.push_back(mem);
+    std::size_t i = dep_time_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (dep_time_[parent] <= dep_time_[i]) {
+            break;
+        }
+        std::swap(dep_time_[parent], dep_time_[i]);
+        std::swap(dep_cores_[parent], dep_cores_[i]);
+        std::swap(dep_mem_[parent], dep_mem_[i]);
+        i = parent;
+    }
+}
+
+void
+ConcurrentDemandSweep::heapPop()
+{
+    const std::size_t last = dep_time_.size() - 1;
+    dep_time_[0] = dep_time_[last];
+    dep_cores_[0] = dep_cores_[last];
+    dep_mem_[0] = dep_mem_[last];
+    dep_time_.pop_back();
+    dep_cores_.pop_back();
+    dep_mem_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = dep_time_.size();
+    while (true) {
+        const std::size_t left = 2 * i + 1;
+        const std::size_t right = left + 1;
+        std::size_t smallest = i;
+        if (left < n && dep_time_[left] < dep_time_[smallest]) {
+            smallest = left;
+        }
+        if (right < n && dep_time_[right] < dep_time_[smallest]) {
+            smallest = right;
+        }
+        if (smallest == i) {
+            break;
+        }
+        std::swap(dep_time_[smallest], dep_time_[i]);
+        std::swap(dep_cores_[smallest], dep_cores_[i]);
+        std::swap(dep_mem_[smallest], dep_mem_[i]);
+        i = smallest;
+    }
+}
+
+void
+ConcurrentDemandSweep::flushGroup()
+{
+    if (!group_open_) {
+        return;
+    }
+    cur_cores_ += group_cores_;
+    cur_mem_ += group_mem_;
+    cur_live_ += group_live_;
+    peak_.cores = std::max(peak_.cores, cur_cores_);
+    peak_.memory_gb = std::max(peak_.memory_gb, cur_mem_);
+    if (cur_live_ > 0) {
+        peak_.max_live_vms = std::max(
+            peak_.max_live_vms, static_cast<std::uint64_t>(cur_live_));
+    }
+    group_open_ = false;
+}
+
+void
+ConcurrentDemandSweep::route(double time, double d_cores, double d_mem,
+                             long d_live)
+{
+    if (group_open_ && time != group_time_) {
+        flushGroup();
+    }
+    if (!group_open_) {
+        group_time_ = time;
+        group_cores_ = 0.0;
+        group_mem_ = 0.0;
+        group_live_ = 0;
+        group_open_ = true;
+    }
+    group_cores_ += d_cores;
+    group_mem_ += d_mem;
+    group_live_ += d_live;
+}
+
+void
+ConcurrentDemandSweep::add(double arrival_h, double departure_h,
+                           double cores, double memory_gb)
+{
+    GSKU_REQUIRE(!finished_, "sweep already finished");
+    GSKU_REQUIRE(!any_ || arrival_h >= prev_arrival_,
+                 "VMs must be added in arrival order");
+    GSKU_REQUIRE(departure_h > arrival_h,
+                 "departure must follow arrival");
+    prev_arrival_ = arrival_h;
+    any_ = true;
+
+    while (!dep_time_.empty() && dep_time_.front() <= arrival_h) {
+        route(dep_time_.front(), -dep_cores_.front(), -dep_mem_.front(),
+              -1);
+        heapPop();
+    }
+    route(arrival_h, cores, memory_gb, 1);
+    heapPush(departure_h, cores, memory_gb);
+}
+
+PeakDemand
+ConcurrentDemandSweep::finish()
+{
+    GSKU_REQUIRE(!finished_, "sweep already finished");
+    finished_ = true;
+    while (!dep_time_.empty()) {
+        route(dep_time_.front(), -dep_cores_.front(), -dep_mem_.front(),
+              -1);
+        heapPop();
+    }
+    flushGroup();
+    return peak_;
+}
 
 GrowthBufferSizer::GrowthBufferSizer(DemandParams params) : params_(params)
 {

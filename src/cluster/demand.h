@@ -20,11 +20,79 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace gsku::cluster {
+
+/** Result of a concurrent-demand sweep over a trace. */
+struct PeakDemand
+{
+    double cores = 0.0;             ///< Peak simultaneous core demand.
+    double memory_gb = 0.0;         ///< Peak simultaneous memory demand.
+    std::uint64_t max_live_vms = 0; ///< Peak concurrent VM population.
+};
+
+/**
+ * Single-pass sweep-line over an arrival-ordered VM stream computing
+ * peak concurrent core demand, memory demand, and live-VM population
+ * together. Replaces the per-dimension `std::map<double, double>`
+ * event rebuild `VmTrace::peakConcurrentCores()` /
+ * `peakConcurrentMemoryGb()` used to do on every call, and is the
+ * demand accumulator for the streaming trace readers (trace_binary.h),
+ * which never materialize the trace.
+ *
+ * Hot state is struct-of-arrays: the pending-departure min-heap is
+ * three parallel flat vectors (time, cores, memory), reserved upfront
+ * and bounded by the peak live population, not the trace length.
+ *
+ * Semantics match the old map-based sweep exactly: all deltas at an
+ * identical time are netted before the peak comparison (a VM departing
+ * the instant another arrives never counts as overlap inflation), and
+ * departures beyond the trace duration still drain.
+ */
+class ConcurrentDemandSweep
+{
+  public:
+    explicit ConcurrentDemandSweep(std::size_t reserve_hint = 1024);
+
+    /** Feed one VM; arrivals must be nondecreasing and the departure
+     *  must follow the arrival (throws UserError otherwise). */
+    void add(double arrival_h, double departure_h, double cores,
+             double memory_gb);
+
+    /** Drains pending departures and returns the peaks. Call once. */
+    PeakDemand finish();
+
+  private:
+    void route(double time, double d_cores, double d_mem, long d_live);
+    void flushGroup();
+    void heapPush(double time, double cores, double mem);
+    void heapPop();
+
+    // Pending departures, a binary min-heap on time_ kept as parallel
+    // flat vectors (struct-of-arrays).
+    std::vector<double> dep_time_;
+    std::vector<double> dep_cores_;
+    std::vector<double> dep_mem_;
+
+    // Netting group for the current distinct time point.
+    double group_time_ = 0.0;
+    double group_cores_ = 0.0;
+    double group_mem_ = 0.0;
+    long group_live_ = 0;
+    bool group_open_ = false;
+
+    double cur_cores_ = 0.0;
+    double cur_mem_ = 0.0;
+    long cur_live_ = 0;
+    PeakDemand peak_;
+    double prev_arrival_ = 0.0;
+    bool any_ = false;
+    bool finished_ = false;
+};
 
 /** Parameters of the demand-growth process and procurement pipeline. */
 struct DemandParams

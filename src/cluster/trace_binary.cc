@@ -1,0 +1,817 @@
+#include "cluster/trace_binary.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "cluster/trace_io.h"
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "perf/app.h"
+
+namespace gsku::cluster {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'S', 'K', 'U', 'T', 'R', 'C', '1'};
+constexpr char kEndMagic[8] = {'G', 'S', 'K', 'U', 'T', 'R', 'C', 'E'};
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnvBytes(std::uint64_t h, const unsigned char *data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvString(std::uint64_t h, const std::string &s)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+void
+storeU16(unsigned char *p, std::uint16_t v)
+{
+    p[0] = static_cast<unsigned char>(v & 0xffu);
+    p[1] = static_cast<unsigned char>((v >> 8) & 0xffu);
+}
+
+void
+storeU32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        p[i] = static_cast<unsigned char>((v >> (i * 8)) & 0xffu);
+    }
+}
+
+void
+storeU64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        p[i] = static_cast<unsigned char>((v >> (i * 8)) & 0xffu);
+    }
+}
+
+void
+storeF64(unsigned char *p, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    storeU64(p, bits);
+}
+
+std::uint16_t
+loadU16(const unsigned char *p)
+{
+    return static_cast<std::uint16_t>(p[0] |
+                                      (static_cast<unsigned>(p[1]) << 8));
+}
+
+std::uint32_t
+loadU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(p[i]) << (i * 8);
+    }
+    return v;
+}
+
+std::uint64_t
+loadU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(p[i]) << (i * 8);
+    }
+    return v;
+}
+
+double
+loadF64(const unsigned char *p)
+{
+    const std::uint64_t bits = loadU64(p);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+void
+appendU32(std::string &s, std::uint32_t v)
+{
+    unsigned char buf[4];
+    storeU32(buf, v);
+    s.append(reinterpret_cast<const char *>(buf), sizeof(buf));
+}
+
+void
+appendU64(std::string &s, std::uint64_t v)
+{
+    unsigned char buf[8];
+    storeU64(buf, v);
+    s.append(reinterpret_cast<const char *>(buf), sizeof(buf));
+}
+
+void
+appendF64(std::string &s, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    appendU64(s, bits);
+}
+
+void
+patchU64(std::string &s, std::size_t offset, std::uint64_t v)
+{
+    unsigned char buf[8];
+    storeU64(buf, v);
+    s.replace(offset, sizeof(buf),
+              reinterpret_cast<const char *>(buf), sizeof(buf));
+}
+
+std::uint8_t
+encodeGeneration(carbon::Generation gen)
+{
+    switch (gen) {
+      case carbon::Generation::Gen1: return 0;
+      case carbon::Generation::Gen2: return 1;
+      case carbon::Generation::Gen3: return 2;
+      case carbon::Generation::GreenSku:
+        break;
+    }
+    GSKU_REQUIRE(false, "trace VMs must originate on Gen1/2/3");
+    GSKU_ASSERT(false, "unreachable");
+}
+
+carbon::Generation
+decodeGeneration(std::uint8_t code)
+{
+    switch (code) {
+      case 0: return carbon::Generation::Gen1;
+      case 1: return carbon::Generation::Gen2;
+      case 2: return carbon::Generation::Gen3;
+      default: break;
+    }
+    GSKU_REQUIRE(false, "unknown generation code " + std::to_string(code));
+    GSKU_ASSERT(false, "unreachable");
+}
+
+obs::Counter &
+binaryReadsCounter()
+{
+    static obs::Counter &c = obs::metrics().counter("trace.binary_reads");
+    return c;
+}
+
+obs::Counter &
+binaryRecordsReadCounter()
+{
+    static obs::Counter &c =
+        obs::metrics().counter("trace.binary_records_read");
+    return c;
+}
+
+obs::Counter &
+binaryWritesCounter()
+{
+    static obs::Counter &c =
+        obs::metrics().counter("trace.binary_writes");
+    return c;
+}
+
+obs::Counter &
+binaryRecordsWrittenCounter()
+{
+    static obs::Counter &c =
+        obs::metrics().counter("trace.binary_records_written");
+    return c;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// TraceContentHasher
+// ---------------------------------------------------------------------
+
+TraceContentHasher::TraceContentHasher(const std::string &name,
+                                       double duration_h)
+{
+    mixU64(static_cast<std::uint64_t>(name.size()));
+    hash_ = fnvString(hash_, name);
+    mixDouble(duration_h);
+}
+
+void
+TraceContentHasher::mixU64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash_ ^= (v >> (i * 8)) & 0xffull;
+        hash_ *= kFnvPrime;
+    }
+}
+
+void
+TraceContentHasher::mixDouble(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mixU64(bits);
+}
+
+void
+TraceContentHasher::addVm(const VmRequest &vm)
+{
+    mixU64(vm.id);
+    mixDouble(vm.arrival_h);
+    mixDouble(vm.departure_h);
+    mixU64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(vm.cores)));
+    mixDouble(vm.memory_gb);
+    mixU64(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+        static_cast<int>(vm.origin_generation))));
+    mixU64(vm.full_node ? 1 : 0);
+    mixU64(static_cast<std::uint64_t>(vm.app_index));
+    mixDouble(vm.max_mem_touch_fraction);
+    ++count_;
+}
+
+std::uint64_t
+TraceContentHasher::finish()
+{
+    mixU64(count_);
+    return hash_;
+}
+
+std::uint64_t
+traceContentDigest(const VmTrace &trace)
+{
+    TraceContentHasher h(trace.name, trace.duration_h);
+    for (const VmRequest &vm : trace.vms) {
+        h.addVm(vm);
+    }
+    return h.finish();
+}
+
+// ---------------------------------------------------------------------
+// VectorTraceReader
+// ---------------------------------------------------------------------
+
+VectorTraceReader::VectorTraceReader(const VmTrace &trace)
+    : VectorTraceReader(trace.name, trace.duration_h, trace.vms)
+{
+}
+
+VectorTraceReader::VectorTraceReader(const std::string &name,
+                                     double duration_h,
+                                     const std::vector<VmRequest> &vms)
+    : name_(name), duration_h_(duration_h), vms_(&vms)
+{
+}
+
+bool
+VectorTraceReader::next(VmRequest *out)
+{
+    if (pos_ >= vms_->size()) {
+        return false;
+    }
+    *out = (*vms_)[pos_++];
+    return true;
+}
+
+std::uint64_t
+VectorTraceReader::contentDigest()
+{
+    TraceContentHasher h(name_, duration_h_);
+    for (const VmRequest &vm : *vms_) {
+        h.addVm(vm);
+    }
+    return h.finish();
+}
+
+// ---------------------------------------------------------------------
+// TraceBinaryWriter
+// ---------------------------------------------------------------------
+
+TraceBinaryWriter::TraceBinaryWriter(const std::string &path,
+                                     const std::string &name,
+                                     double duration_h)
+    : path_(path),
+      prev_arrival_(-std::numeric_limits<double>::infinity()),
+      content_(name, duration_h)
+{
+    GSKU_REQUIRE(std::isfinite(duration_h) && duration_h > 0.0,
+                 "trace duration must be positive");
+    const auto &apps = perf::AppCatalog::all();
+    GSKU_REQUIRE(apps.size() < 65536,
+                 "app catalog exceeds the 16-bit trace app id");
+
+    header_.append(kMagic, sizeof(kMagic));
+    appendU32(header_, kTraceBinaryVersion);
+    appendU32(header_, 0);                   // header_size, patched below.
+    appendU64(header_, 0);                   // record count, patched at
+                                             // finish().
+    appendF64(header_, duration_h);
+    appendU32(header_, static_cast<std::uint32_t>(name.size()));
+    appendU32(header_, static_cast<std::uint32_t>(apps.size()));
+    header_ += name;
+    for (const auto &app : apps) {
+        appendU32(header_, static_cast<std::uint32_t>(app.name.size()));
+        header_ += app.name;
+    }
+    while (header_.size() % 8 != 0) {
+        header_.push_back('\0');
+    }
+    unsigned char size_buf[4];
+    storeU32(size_buf, static_cast<std::uint32_t>(header_.size()));
+    header_.replace(12, sizeof(size_buf),
+                    reinterpret_cast<const char *>(size_buf),
+                    sizeof(size_buf));
+
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    GSKU_REQUIRE(out_.is_open(),
+                 "cannot open trace file '" + path_ + "' for writing");
+    out_.write(header_.data(),
+               static_cast<std::streamsize>(header_.size()));
+}
+
+void
+TraceBinaryWriter::add(const VmRequest &vm)
+{
+    GSKU_REQUIRE(!finished_, "trace writer already finished");
+    const std::string at =
+        "trace '" + path_ + "' record " + std::to_string(count_) + ": ";
+    GSKU_REQUIRE(std::isfinite(vm.arrival_h) &&
+                     std::isfinite(vm.departure_h),
+                 at + "times must be finite");
+    GSKU_REQUIRE(vm.arrival_h >= prev_arrival_,
+                 at + "records must be sorted by arrival");
+    GSKU_REQUIRE(vm.departure_h > vm.arrival_h,
+                 at + "departure must follow arrival");
+    GSKU_REQUIRE(vm.cores > 0 && vm.memory_gb > 0.0 &&
+                     std::isfinite(vm.memory_gb),
+                 at + "resources must be positive");
+    GSKU_REQUIRE(vm.max_mem_touch_fraction >= 0.0 &&
+                     vm.max_mem_touch_fraction <= 1.0,
+                 at + "touch fraction must be in [0, 1]");
+    GSKU_REQUIRE(vm.app_index < perf::AppCatalog::all().size(),
+                 at + "app index outside the catalog");
+    const std::uint8_t gen = encodeGeneration(vm.origin_generation);
+
+    unsigned char rec[kTraceBinaryRecordSize];
+    storeU64(rec + 0, vm.id);
+    storeF64(rec + 8, vm.arrival_h);
+    storeF64(rec + 16, vm.departure_h);
+    storeF64(rec + 24, vm.memory_gb);
+    storeF64(rec + 32, vm.max_mem_touch_fraction);
+    storeU32(rec + 40, static_cast<std::uint32_t>(vm.cores));
+    storeU16(rec + 44, static_cast<std::uint16_t>(vm.app_index));
+    rec[46] = gen;
+    rec[47] = vm.full_node ? 1 : 0;
+
+    records_fnv_ = fnvBytes(records_fnv_, rec, sizeof(rec));
+    content_.addVm(vm);
+    out_.write(reinterpret_cast<const char *>(rec),
+               static_cast<std::streamsize>(sizeof(rec)));
+    prev_arrival_ = vm.arrival_h;
+    ++count_;
+}
+
+std::uint64_t
+TraceBinaryWriter::finish()
+{
+    GSKU_REQUIRE(!finished_, "trace writer already finished");
+    finished_ = true;
+    content_digest_ = content_.finish();
+    patchU64(header_, 16, count_);
+    const std::uint64_t header_fnv = fnvString(kFnvOffset, header_);
+
+    std::string footer;
+    appendU64(footer, records_fnv_);
+    appendU64(footer, header_fnv);
+    appendU64(footer, content_digest_);
+    footer.append(kEndMagic, sizeof(kEndMagic));
+    out_.write(footer.data(),
+               static_cast<std::streamsize>(footer.size()));
+
+    // Re-publish the header with the final record count.
+    out_.seekp(0);
+    out_.write(header_.data(),
+               static_cast<std::streamsize>(header_.size()));
+    out_.flush();
+    GSKU_REQUIRE(out_.good(),
+                 "failed to write trace file '" + path_ + "'");
+    out_.close();
+    binaryWritesCounter().inc();
+    binaryRecordsWrittenCounter().inc(count_);
+    return count_;
+}
+
+void
+writeTraceBinary(const VmTrace &trace, const std::string &path)
+{
+    GSKU_REQUIRE(!trace.vms.empty(), "trace contains no VMs");
+    // Sort by arrival on the way out (mirroring readTraceCsv on the
+    // way in), so both encodings materialize the same VM order.
+    std::vector<std::size_t> order(trace.vms.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&trace](std::size_t a, std::size_t b) {
+                  return trace.vms[a].arrival_h < trace.vms[b].arrival_h;
+              });
+    TraceBinaryWriter writer(path, trace.name, trace.duration_h);
+    for (std::size_t i : order) {
+        writer.add(trace.vms[i]);
+    }
+    writer.finish();
+}
+
+// ---------------------------------------------------------------------
+// BinaryTraceReader
+// ---------------------------------------------------------------------
+
+struct BinaryTraceReader::Mapping
+{
+    const unsigned char *data = nullptr;
+    std::size_t size = 0;
+    void *base = nullptr;               ///< mmap base; null = fallback.
+    std::vector<unsigned char> fallback;
+
+    ~Mapping()
+    {
+        if (base != nullptr) {
+            ::munmap(base, size);
+        }
+    }
+};
+
+BinaryTraceReader::BinaryTraceReader(const std::string &path)
+    : path_(path),
+      map_(new Mapping),
+      prev_arrival_(-std::numeric_limits<double>::infinity())
+{
+    auto fail = [this](const std::string &msg) {
+        GSKU_REQUIRE(false, "trace '" + path_ + "': " + msg);
+    };
+
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0) {
+        fail("cannot open file");
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        fail("not a regular file");
+    }
+    map_->size = static_cast<std::size_t>(st.st_size);
+    if (map_->size > 0) {
+        void *p = ::mmap(nullptr, map_->size, PROT_READ, MAP_PRIVATE,
+                         fd, 0);
+        if (p != MAP_FAILED) {
+            map_->base = p;
+            map_->data = static_cast<const unsigned char *>(p);
+        } else {
+            // Fallback for filesystems that refuse mmap: buffer it.
+            map_->fallback.resize(map_->size);
+            std::size_t got = 0;
+            while (got < map_->size) {
+                const ssize_t n =
+                    ::read(fd, map_->fallback.data() + got,
+                           map_->size - got);
+                if (n <= 0) {
+                    break;
+                }
+                got += static_cast<std::size_t>(n);
+            }
+            if (got != map_->size) {
+                ::close(fd);
+                fail("short read while buffering");
+            }
+            map_->data = map_->fallback.data();
+        }
+    }
+    ::close(fd);
+
+    const unsigned char *d = map_->data;
+    const std::size_t size = map_->size;
+    if (size < kTraceBinaryHeaderFixed) {
+        fail("truncated header at offset " + std::to_string(size) +
+             ": need at least " +
+             std::to_string(kTraceBinaryHeaderFixed) + " bytes, have " +
+             std::to_string(size));
+    }
+    if (std::memcmp(d, kMagic, sizeof(kMagic)) != 0) {
+        fail("bad magic at offset 0: not a gsku-trace-v1 file");
+    }
+    const std::uint32_t version = loadU32(d + 8);
+    if (version != kTraceBinaryVersion) {
+        fail("unsupported version " + std::to_string(version) +
+             " at offset 8 (this build reads version " +
+             std::to_string(kTraceBinaryVersion) + ")");
+    }
+    const std::uint32_t header_size = loadU32(d + 12);
+    record_count_ = loadU64(d + 16);
+    duration_h_ = loadF64(d + 24);
+    const std::uint32_t name_len = loadU32(d + 32);
+    const std::uint32_t app_count = loadU32(d + 36);
+    if (header_size < kTraceBinaryHeaderFixed || header_size > size ||
+        header_size % 8 != 0) {
+        fail("implausible header_size " + std::to_string(header_size) +
+             " at offset 12");
+    }
+    if (!std::isfinite(duration_h_) || duration_h_ <= 0.0) {
+        fail("trace duration at offset 24 must be positive");
+    }
+    if (record_count_ == 0) {
+        fail("trace contains no VMs");
+    }
+
+    std::size_t cursor = kTraceBinaryHeaderFixed;
+    if (cursor + name_len > header_size) {
+        fail("trace name overruns header_size at offset " +
+             std::to_string(cursor));
+    }
+    name_.assign(reinterpret_cast<const char *>(d + cursor), name_len);
+    cursor += name_len;
+
+    const auto &apps = perf::AppCatalog::all();
+    app_remap_.reserve(app_count);
+    for (std::uint32_t a = 0; a < app_count; ++a) {
+        if (cursor + 4 > header_size) {
+            fail("app table overruns header_size at offset " +
+                 std::to_string(cursor));
+        }
+        const std::uint32_t len = loadU32(d + cursor);
+        cursor += 4;
+        if (cursor + len > header_size) {
+            fail("app name overruns header_size at offset " +
+                 std::to_string(cursor));
+        }
+        const std::string app_name(
+            reinterpret_cast<const char *>(d + cursor), len);
+        cursor += len;
+        bool found = false;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            if (apps[i].name == app_name) {
+                app_remap_.push_back(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            fail("unknown application '" + app_name +
+                 "' in the header app table");
+        }
+    }
+
+    // Structural size: header + records + footer, nothing else.
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(header_size) +
+        record_count_ * kTraceBinaryRecordSize + kTraceBinaryFooterSize;
+    if (size < expected) {
+        fail("truncated at offset " + std::to_string(size) +
+             ": expected " + std::to_string(expected) + " bytes (" +
+             std::to_string(header_size) + " header + " +
+             std::to_string(record_count_) + " records x " +
+             std::to_string(kTraceBinaryRecordSize) + " + " +
+             std::to_string(kTraceBinaryFooterSize) + " footer)");
+    }
+    if (size > expected) {
+        fail("trailing data after offset " + std::to_string(expected));
+    }
+
+    records_offset_ = header_size;
+    const std::size_t footer_off =
+        records_offset_ +
+        static_cast<std::size_t>(record_count_ * kTraceBinaryRecordSize);
+    const std::uint64_t records_fnv =
+        fnvBytes(kFnvOffset, d + records_offset_,
+                 footer_off - records_offset_);
+    if (records_fnv != loadU64(d + footer_off)) {
+        fail("record checksum mismatch at offset " +
+             std::to_string(footer_off) + " (file corrupt)");
+    }
+    const std::uint64_t header_fnv = fnvBytes(kFnvOffset, d, header_size);
+    if (header_fnv != loadU64(d + footer_off + 8)) {
+        fail("header checksum mismatch at offset " +
+             std::to_string(footer_off + 8) + " (file corrupt)");
+    }
+    content_digest_ = loadU64(d + footer_off + 16);
+    if (std::memcmp(d + footer_off + 24, kEndMagic,
+                    sizeof(kEndMagic)) != 0) {
+        fail("bad end magic at offset " +
+             std::to_string(footer_off + 24));
+    }
+    binaryReadsCounter().inc();
+}
+
+BinaryTraceReader::~BinaryTraceReader()
+{
+    if (undelivered_ > 0) {
+        binaryRecordsReadCounter().inc(undelivered_);
+    }
+}
+
+bool
+BinaryTraceReader::next(VmRequest *out)
+{
+    if (next_record_ >= record_count_) {
+        if (undelivered_ > 0) {
+            binaryRecordsReadCounter().inc(undelivered_);
+            undelivered_ = 0;
+        }
+        return false;
+    }
+    const std::size_t off =
+        records_offset_ +
+        static_cast<std::size_t>(next_record_) * kTraceBinaryRecordSize;
+    const unsigned char *p = map_->data + off;
+    auto fail = [this, off](const std::string &msg) {
+        GSKU_REQUIRE(false, "trace '" + path_ + "': record " +
+                                std::to_string(next_record_) +
+                                " at offset " + std::to_string(off) +
+                                ": " + msg);
+    };
+
+    VmRequest vm;
+    vm.id = loadU64(p + 0);
+    vm.arrival_h = loadF64(p + 8);
+    vm.departure_h = loadF64(p + 16);
+    vm.memory_gb = loadF64(p + 24);
+    vm.max_mem_touch_fraction = loadF64(p + 32);
+    const std::uint32_t cores = loadU32(p + 40);
+    const std::uint16_t app = loadU16(p + 44);
+    const std::uint8_t gen = p[46];
+    const std::uint8_t full_node = p[47];
+
+    if (!std::isfinite(vm.arrival_h) || !std::isfinite(vm.departure_h)) {
+        fail("times must be finite");
+    }
+    if (vm.arrival_h < prev_arrival_) {
+        fail("records must be sorted by arrival");
+    }
+    if (vm.departure_h <= vm.arrival_h) {
+        fail("departure must follow arrival");
+    }
+    if (cores == 0 || cores > static_cast<std::uint32_t>(
+                                  std::numeric_limits<int>::max())) {
+        fail("cores must be a positive int");
+    }
+    if (!std::isfinite(vm.memory_gb) || vm.memory_gb <= 0.0) {
+        fail("resources must be positive");
+    }
+    if (!(vm.max_mem_touch_fraction >= 0.0 &&
+          vm.max_mem_touch_fraction <= 1.0)) {
+        fail("touch fraction must be in [0, 1]");
+    }
+    if (gen > 2) {
+        fail("unknown generation code " + std::to_string(gen));
+    }
+    if (app >= app_remap_.size()) {
+        fail("app id " + std::to_string(app) +
+             " outside the header app table");
+    }
+    if (full_node > 1) {
+        fail("full_node must be 0 or 1");
+    }
+    vm.cores = static_cast<int>(cores);
+    vm.origin_generation = decodeGeneration(gen);
+    vm.app_index = app_remap_[app];
+    vm.full_node = full_node == 1;
+
+    prev_arrival_ = vm.arrival_h;
+    ++next_record_;
+    ++undelivered_;
+    *out = vm;
+    return true;
+}
+
+void
+BinaryTraceReader::reset()
+{
+    next_record_ = 0;
+    prev_arrival_ = -std::numeric_limits<double>::infinity();
+}
+
+VmTrace
+readTraceBinary(const std::string &path)
+{
+    BinaryTraceReader reader(path);
+    VmTrace trace;
+    trace.name = reader.name();
+    trace.duration_h = reader.durationH();
+    trace.vms.reserve(reader.sizeHint());
+    VmRequest vm;
+    while (reader.next(&vm)) {
+        trace.vms.push_back(vm);
+    }
+    return trace;
+}
+
+// ---------------------------------------------------------------------
+// CsvTraceReader
+// ---------------------------------------------------------------------
+
+CsvTraceReader::CsvTraceReader(const std::string &path,
+                               const std::string &fallback_name)
+    : path_(path), fallback_name_(fallback_name)
+{
+    open();
+}
+
+void
+CsvTraceReader::open()
+{
+    if (in_.is_open()) {
+        in_.close();
+    }
+    in_.clear();
+    in_.open(path_);
+    GSKU_REQUIRE(in_.is_open(),
+                 "cannot open trace CSV '" + path_ + "'");
+    line_no_ = 0;
+    const CsvTraceMeta meta = readTraceCsvPrologue(in_, &line_no_);
+    name_ = meta.present ? meta.name : fallback_name_;
+    has_meta_duration_ = meta.present;
+    duration_h_ = meta.present ? meta.duration_h : 1e-6;
+    first_data_line_ = line_no_;
+    prev_arrival_ = -std::numeric_limits<double>::infinity();
+    max_arrival_ = 0.0;
+}
+
+bool
+CsvTraceReader::next(VmRequest *out)
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++line_no_;
+        if (line.empty()) {
+            continue;
+        }
+        const VmRequest vm = parseTraceCsvRow(line, line_no_, name_);
+        GSKU_REQUIRE(vm.arrival_h >= prev_arrival_,
+                     "line " + std::to_string(line_no_) +
+                         ": rows must be sorted by arrival for "
+                         "streaming reads (readTraceCsv handles "
+                         "unsorted archives)");
+        prev_arrival_ = vm.arrival_h;
+        max_arrival_ = std::max(max_arrival_, vm.arrival_h);
+        if (!has_meta_duration_) {
+            duration_h_ = max_arrival_ + 1e-6;
+        }
+        *out = vm;
+        return true;
+    }
+    return false;
+}
+
+void
+CsvTraceReader::reset()
+{
+    open();
+}
+
+std::uint64_t
+CsvTraceReader::contentDigest()
+{
+    CsvTraceReader pass(path_, fallback_name_);
+    VmRequest vm;
+    if (!pass.has_meta_duration_) {
+        // Legacy files: the duration is only known once every arrival
+        // has been seen, and the digest mixes it first — scan twice.
+        while (pass.next(&vm)) {
+        }
+        const double duration = pass.durationH();
+        pass.reset();
+        pass.duration_h_ = duration;
+        pass.has_meta_duration_ = true;
+    }
+    TraceContentHasher h(pass.name_, pass.duration_h_);
+    while (pass.next(&vm)) {
+        h.addVm(vm);
+    }
+    return h.finish();
+}
+
+} // namespace gsku::cluster

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Compact binary VM-trace format (`gsku-trace-v1`) and the streaming
+ * `TraceReader` abstraction, built for fleet-scale replays (10M+
+ * arrival/departure events per cluster-year) where materializing a
+ * `std::vector<VmRequest>` per trace is the bottleneck.
+ *
+ * On-disk layout (all integers little-endian, doubles by bit pattern):
+ *
+ *   header   magic "GSKUTRC1" (8) | u32 version=1 | u32 header_size |
+ *            u64 record_count | f64 duration_h | u32 name_len |
+ *            u32 app_count | name bytes | app_count x (u32 len + name)
+ *            | zero padding to an 8-byte boundary
+ *   records  record_count fixed 48-byte records, sorted by arrival:
+ *            u64 id | f64 arrival_h | f64 departure_h | f64 memory_gb |
+ *            f64 max_mem_touch_fraction | i32 cores | u16 app |
+ *            u8 generation (0=Gen1, 1=Gen2, 2=Gen3) | u8 full_node
+ *   footer   u64 fnv(records) | u64 fnv(header) | u64 content_digest |
+ *            end magic "GSKUTRCE" (8)
+ *
+ * Applications are stored by *name* (the full catalog name table lives
+ * in the header and records carry indexes into it), so traces survive
+ * catalog reordering exactly like the CSV format. Both FNV-1a byte
+ * checksums are verified on open; a truncated, corrupted, or
+ * version-skewed file is rejected with a UserError naming the offset.
+ *
+ * `content_digest` is the *semantic* trace hash (name, duration, every
+ * VM field, count — see TraceContentHasher). The eval cache keys traces
+ * by this digest, so CSV and binary encodings of the same trace share
+ * cache entries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/vm.h"
+
+namespace gsku::cluster {
+
+inline constexpr std::uint32_t kTraceBinaryVersion = 1;
+inline constexpr std::size_t kTraceBinaryRecordSize = 48;
+inline constexpr std::size_t kTraceBinaryHeaderFixed = 40;
+inline constexpr std::size_t kTraceBinaryFooterSize = 32;
+
+/**
+ * FNV-1a accumulator over the semantic content of a trace: mixes the
+ * name, the duration, every VM field in arrival order, and finally the
+ * record count. Streaming writers and batch hashing produce identical
+ * digests, and the digest is encoding-independent (CSV, binary, and
+ * in-memory traces with the same content agree).
+ */
+class TraceContentHasher
+{
+  public:
+    TraceContentHasher(const std::string &name, double duration_h);
+
+    void addVm(const VmRequest &vm);
+
+    /** Mixes the VM count and returns the digest. */
+    std::uint64_t finish();
+
+  private:
+    void mixU64(std::uint64_t v);
+    void mixDouble(double v);
+
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+    std::uint64_t count_ = 0;
+};
+
+/** Semantic content digest of a materialized trace (vms in stored
+ *  order; traces are sorted by arrival everywhere in this library). */
+std::uint64_t traceContentDigest(const VmTrace &trace);
+
+/**
+ * Streams a trace's VMs in arrival order without requiring the whole
+ * trace in memory. All implementations deliver VMs with nondecreasing
+ * `arrival_h`; `reset()` rewinds to the first VM.
+ */
+class TraceReader
+{
+  public:
+    virtual ~TraceReader() = default;
+
+    virtual const std::string &name() const = 0;
+    virtual double durationH() const = 0;
+
+    /** False only for legacy CSV files without the metadata line,
+     *  whose duration is inferred and stabilizes once the stream is
+     *  exhausted. Streaming consumers that need the duration *before*
+     *  the pass (trace_stats) require this to be true. */
+    virtual bool durationKnown() const { return true; }
+
+    /** Exact VM count when known upfront; 0 when unknown (CSV). */
+    virtual std::uint64_t sizeHint() const = 0;
+
+    /** Next VM in arrival order; false at end of trace. */
+    virtual bool next(VmRequest *out) = 0;
+
+    /** Rewind so the next next() returns the first VM again. */
+    virtual void reset() = 0;
+
+    /** Semantic content digest (see TraceContentHasher). O(1) for
+     *  binary traces (stored in the footer); one full pass otherwise.
+     *  Leaves the read position unchanged. */
+    virtual std::uint64_t contentDigest() = 0;
+};
+
+/** Reader over an in-memory, arrival-sorted VM vector (non-owning:
+ *  the name/vms referenced must outlive the reader). */
+class VectorTraceReader final : public TraceReader
+{
+  public:
+    /** The trace's vms must already be sorted by arrival. */
+    explicit VectorTraceReader(const VmTrace &trace);
+    VectorTraceReader(const std::string &name, double duration_h,
+                      const std::vector<VmRequest> &vms);
+
+    const std::string &name() const override { return name_; }
+    double durationH() const override { return duration_h_; }
+    std::uint64_t sizeHint() const override { return vms_->size(); }
+    bool next(VmRequest *out) override;
+    void reset() override { pos_ = 0; }
+    std::uint64_t contentDigest() override;
+
+  private:
+    std::string name_;
+    double duration_h_ = 0.0;
+    const std::vector<VmRequest> *vms_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Streaming reader over a `gsku-trace-v1` file. The file is mapped
+ * read-only (mmap, with a buffered-read fallback) and fully validated
+ * on open: magic, version, structural sizes, and both FNV-1a byte
+ * checksums. Per-record field invariants (the same ones the CSV parser
+ * enforces) and arrival ordering are checked as records stream out.
+ * Throws UserError naming the byte offset on any violation.
+ */
+class BinaryTraceReader final : public TraceReader
+{
+  public:
+    explicit BinaryTraceReader(const std::string &path);
+    ~BinaryTraceReader() override;
+
+    BinaryTraceReader(const BinaryTraceReader &) = delete;
+    BinaryTraceReader &operator=(const BinaryTraceReader &) = delete;
+
+    const std::string &name() const override { return name_; }
+    double durationH() const override { return duration_h_; }
+    std::uint64_t sizeHint() const override { return record_count_; }
+    bool next(VmRequest *out) override;
+    void reset() override;
+    std::uint64_t contentDigest() override { return content_digest_; }
+
+  private:
+    struct Mapping;
+
+    std::string path_;
+    std::unique_ptr<Mapping> map_;
+    std::string name_;
+    double duration_h_ = 0.0;
+    std::uint64_t record_count_ = 0;
+    std::uint64_t content_digest_ = 0;
+    std::size_t records_offset_ = 0;
+    std::vector<std::size_t> app_remap_;    ///< File app id -> catalog.
+    std::uint64_t next_record_ = 0;
+    double prev_arrival_ = 0.0;
+    std::uint64_t undelivered_ = 0;         ///< For the read counter.
+};
+
+/**
+ * Streaming reader over a trace CSV file (the trace_io.h format).
+ * Rows must already be sorted by arrival (readTraceCsv sorts on load;
+ * unsorted archives must go through the materializing path); an
+ * out-of-order row raises UserError. The file's metadata comment line,
+ * when present, supplies the trace name and exact duration.
+ */
+class CsvTraceReader final : public TraceReader
+{
+  public:
+    explicit CsvTraceReader(const std::string &path,
+                            const std::string &fallback_name = "csv");
+
+    const std::string &name() const override { return name_; }
+    double durationH() const override { return duration_h_; }
+    bool durationKnown() const override { return has_meta_duration_; }
+    std::uint64_t sizeHint() const override { return 0; }
+    bool next(VmRequest *out) override;
+    void reset() override;
+    std::uint64_t contentDigest() override;
+
+  private:
+    void open();
+
+    std::string path_;
+    std::string fallback_name_;
+    std::string name_;
+    double duration_h_ = 0.0;
+    bool has_meta_duration_ = false;
+    std::ifstream in_;
+    int line_no_ = 0;
+    int first_data_line_ = 0;
+    double prev_arrival_ = 0.0;
+    double max_arrival_ = 0.0;
+};
+
+/**
+ * Streams records into a `gsku-trace-v1` file: header first, each
+ * add()ed record appended and folded into the running checksums and
+ * content digest, and finish() patches the record count into the
+ * header and publishes the footer. Records must arrive sorted by
+ * arrival time and satisfy the same field invariants as the CSV
+ * format; violations raise UserError. The file is invalid (and will
+ * be rejected by BinaryTraceReader) until finish() returns.
+ */
+class TraceBinaryWriter
+{
+  public:
+    TraceBinaryWriter(const std::string &path, const std::string &name,
+                      double duration_h);
+
+    void add(const VmRequest &vm);
+
+    /** Finalizes the file; returns the record count. */
+    std::uint64_t finish();
+
+    /** Semantic digest of the written trace; valid after finish(). */
+    std::uint64_t contentDigest() const { return content_digest_; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    std::string header_;
+    std::uint64_t count_ = 0;
+    double prev_arrival_ = 0.0;
+    std::uint64_t records_fnv_ = 0xcbf29ce484222325ull;
+    TraceContentHasher content_;
+    std::uint64_t content_digest_ = 0;
+    bool finished_ = false;
+};
+
+/** Writes @p trace to @p path in `gsku-trace-v1` (vms are sorted by
+ *  arrival on the way out, like readTraceCsv sorts on the way in). */
+void writeTraceBinary(const VmTrace &trace, const std::string &path);
+
+/** Materializes a binary trace (validating it fully). */
+VmTrace readTraceBinary(const std::string &path);
+
+} // namespace gsku::cluster

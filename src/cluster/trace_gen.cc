@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/trace_binary.h"
 #include "common/distributions.h"
 #include "common/error.h"
 #include "perf/app.h"
@@ -59,8 +60,10 @@ sampleApp(Rng &rng, const Discrete &class_dist)
 
 } // namespace
 
-VmTrace
-TraceGenerator::generate(std::uint64_t seed) const
+std::uint64_t
+TraceGenerator::generateStream(
+    std::uint64_t seed,
+    const std::function<void(const VmRequest &)> &sink) const
 {
     Rng rng(seed);
 
@@ -108,10 +111,6 @@ TraceGenerator::generate(std::uint64_t seed) const
         carbon::Generation::Gen3,
     };
 
-    VmTrace trace;
-    trace.name = "synthetic-" + std::to_string(seed);
-    trace.duration_h = params_.duration_h;
-
     double t = 0.0;
     VmId next_id = 1;
     while (true) {
@@ -144,11 +143,35 @@ TraceGenerator::generate(std::uint64_t seed) const
             params_.touch_mean + params_.touch_spread * rng.normal();
         vm.max_mem_touch_fraction = std::clamp(touch, 0.05, 1.0);
 
-        trace.vms.push_back(vm);
+        sink(vm);
     }
-    GSKU_REQUIRE(!trace.vms.empty(),
+    GSKU_REQUIRE(next_id > 1,
                  "generated an empty trace; increase duration or load");
+    return next_id - 1;
+}
+
+VmTrace
+TraceGenerator::generate(std::uint64_t seed) const
+{
+    VmTrace trace;
+    trace.name = "synthetic-" + std::to_string(seed);
+    trace.duration_h = params_.duration_h;
+    generateStream(seed, [&trace](const VmRequest &vm) {
+        trace.vms.push_back(vm);
+    });
     return trace;
+}
+
+std::uint64_t
+TraceGenerator::generateToBinary(std::uint64_t seed,
+                                 const std::string &path) const
+{
+    TraceBinaryWriter writer(path, "synthetic-" + std::to_string(seed),
+                             params_.duration_h);
+    generateStream(seed, [&writer](const VmRequest &vm) {
+        writer.add(vm);
+    });
+    return writer.finish();
 }
 
 std::vector<VmTrace>

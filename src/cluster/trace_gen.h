@@ -22,6 +22,10 @@
  */
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <string>
+
 #include "cluster/vm.h"
 #include "common/rng.h"
 
@@ -71,6 +75,24 @@ class TraceGenerator
 
     /** One trace; the same (params, seed) always yields the same trace. */
     VmTrace generate(std::uint64_t seed) const;
+
+    /**
+     * Streams the VMs of trace @p seed into @p sink in arrival order
+     * without materializing them. Draws the exact RNG sequence
+     * generate() draws, so the streamed VMs are field-identical to
+     * `generate(seed).vms` (asserted by trace_binary_test). Returns the
+     * VM count.
+     */
+    std::uint64_t
+    generateStream(std::uint64_t seed,
+                   const std::function<void(const VmRequest &)> &sink)
+        const;
+
+    /** Streams trace @p seed straight into a `gsku-trace-v1` file at
+     *  @p path (named "synthetic-<seed>"); returns the VM count. The
+     *  10M-event bench path: no in-memory trace is ever built. */
+    std::uint64_t generateToBinary(std::uint64_t seed,
+                                   const std::string &path) const;
 
     /** A family of traces with per-trace diversity (the 35 clusters). */
     std::vector<VmTrace> generateFamily(int count,

@@ -1,6 +1,8 @@
 #include "cluster/trace_io.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -21,6 +23,8 @@ const char *const kHeader[] = {
     "full_node",  "app",       "max_mem_touch_fraction",
 };
 constexpr std::size_t kColumns = std::size(kHeader);
+
+const char *const kMetaPrefix = "# gsku-trace duration_h_bits=";
 
 std::string
 generationName(carbon::Generation gen)
@@ -61,11 +65,49 @@ splitCsvLine(const std::string &line)
     return cells;
 }
 
+std::string
+doubleBitsHex(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) {
+        out[15 - i] = digits[(bits >> (i * 4)) & 0xfu];
+    }
+    return out;
+}
+
+bool
+parseDoubleBitsHex(const std::string &hex, double *out)
+{
+    if (hex.size() != 16) {
+        return false;
+    }
+    std::uint64_t bits = 0;
+    for (char c : hex) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+            digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+        } else {
+            return false;
+        }
+        bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+    }
+    std::memcpy(out, &bits, sizeof(bits));
+    return true;
+}
+
 } // namespace
 
 void
 writeTraceCsv(const VmTrace &trace, std::ostream &out)
 {
+    out << kMetaPrefix << doubleBitsHex(trace.duration_h)
+        << " name=" << trace.name << '\n';
     CsvWriter csv(out);
     csv.writeHeader(
         std::vector<std::string>(kHeader, kHeader + kColumns));
@@ -88,14 +130,34 @@ writeTraceCsv(const VmTrace &trace, std::ostream &out)
     }
 }
 
-VmTrace
-readTraceCsv(std::istream &in, const std::string &name)
+CsvTraceMeta
+readTraceCsvPrologue(std::istream &in, int *line_no)
 {
-    VmTrace trace;
-    trace.name = name;
-
+    CsvTraceMeta meta;
     std::string line;
     GSKU_REQUIRE(std::getline(in, line), "trace CSV is empty");
+    ++*line_no;
+    if (!line.empty() && line.front() == '#') {
+        const std::string prefix = kMetaPrefix;
+        GSKU_REQUIRE(line.size() > prefix.size() + 16 &&
+                         line.compare(0, prefix.size(), prefix) == 0,
+                     "line 1: unrecognized trace metadata comment");
+        const std::string bits = line.substr(prefix.size(), 16);
+        GSKU_REQUIRE(parseDoubleBitsHex(bits, &meta.duration_h),
+                     "line 1: malformed duration_h_bits '" + bits + "'");
+        const std::string name_tag = " name=";
+        const std::size_t name_at = prefix.size() + 16;
+        GSKU_REQUIRE(line.compare(name_at, name_tag.size(), name_tag) ==
+                         0,
+                     "line 1: trace metadata is missing 'name='");
+        meta.name = line.substr(name_at + name_tag.size());
+        GSKU_REQUIRE(meta.duration_h > 0.0,
+                     "line 1: trace duration must be positive");
+        meta.present = true;
+        GSKU_REQUIRE(std::getline(in, line),
+                     "trace CSV ends after the metadata line");
+        ++*line_no;
+    }
     const auto header = splitCsvLine(line);
     GSKU_REQUIRE(header.size() == kColumns,
                  "trace CSV header has " + std::to_string(header.size()) +
@@ -106,58 +168,78 @@ readTraceCsv(std::istream &in, const std::string &name)
                          " is '" + header[i] + "', expected '" +
                          kHeader[i] + "'");
     }
+    return meta;
+}
 
-    int line_no = 1;
+VmRequest
+parseTraceCsvRow(const std::string &line, int line_no,
+                 const std::string &source)
+{
+    const auto cells = splitCsvLine(line);
+    GSKU_REQUIRE(cells.size() == kColumns,
+                 "line " + std::to_string(line_no) + ": expected " +
+                     std::to_string(kColumns) + " cells, got " +
+                     std::to_string(cells.size()));
+    VmRequest vm;
+    auto ctx = [&](const char *field) {
+        return ParseContext{source, line_no, field};
+    };
+    vm.id = parseU64(cells[0], ctx("id"));
+    vm.arrival_h = parseDouble(cells[1], ctx("arrival_h"));
+    vm.departure_h = parseDouble(cells[2], ctx("departure_h"));
+    vm.cores = parseInt(cells[3], ctx("cores"));
+    vm.memory_gb = parseDouble(cells[4], ctx("memory_gb"));
+    vm.max_mem_touch_fraction =
+        parseDouble(cells[8], ctx("max_mem_touch_fraction"));
+    vm.origin_generation = parseGeneration(cells[5], line_no);
+    GSKU_REQUIRE(cells[6] == "0" || cells[6] == "1",
+                 "line " + std::to_string(line_no) +
+                     ": full_node must be 0 or 1");
+    vm.full_node = cells[6] == "1";
+
+    const auto &apps = perf::AppCatalog::all();
+    bool found = false;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        if (apps[i].name == cells[7]) {
+            vm.app_index = i;
+            found = true;
+            break;
+        }
+    }
+    GSKU_REQUIRE(found, "line " + std::to_string(line_no) +
+                            ": unknown application '" + cells[7] + "'");
+    GSKU_REQUIRE(vm.departure_h > vm.arrival_h,
+                 "line " + std::to_string(line_no) +
+                     ": departure must follow arrival");
+    GSKU_REQUIRE(vm.cores > 0 && vm.memory_gb > 0.0,
+                 "line " + std::to_string(line_no) +
+                     ": resources must be positive");
+    GSKU_REQUIRE(vm.max_mem_touch_fraction >= 0.0 &&
+                     vm.max_mem_touch_fraction <= 1.0,
+                 "line " + std::to_string(line_no) +
+                     ": touch fraction must be in [0, 1]");
+    return vm;
+}
+
+VmTrace
+readTraceCsv(std::istream &in, const std::string &name)
+{
+    VmTrace trace;
+    trace.name = name;
+
+    int line_no = 0;
+    const CsvTraceMeta meta = readTraceCsvPrologue(in, &line_no);
+    if (meta.present) {
+        trace.name = meta.name;
+    }
+
+    std::string line;
     while (std::getline(in, line)) {
         ++line_no;
         if (line.empty()) {
             continue;
         }
-        const auto cells = splitCsvLine(line);
-        GSKU_REQUIRE(cells.size() == kColumns,
-                     "line " + std::to_string(line_no) + ": expected " +
-                         std::to_string(kColumns) + " cells, got " +
-                         std::to_string(cells.size()));
-        VmRequest vm;
-        auto ctx = [&](const char *field) {
-            return ParseContext{name, line_no, field};
-        };
-        vm.id = parseU64(cells[0], ctx("id"));
-        vm.arrival_h = parseDouble(cells[1], ctx("arrival_h"));
-        vm.departure_h = parseDouble(cells[2], ctx("departure_h"));
-        vm.cores = parseInt(cells[3], ctx("cores"));
-        vm.memory_gb = parseDouble(cells[4], ctx("memory_gb"));
-        vm.max_mem_touch_fraction =
-            parseDouble(cells[8], ctx("max_mem_touch_fraction"));
-        vm.origin_generation = parseGeneration(cells[5], line_no);
-        GSKU_REQUIRE(cells[6] == "0" || cells[6] == "1",
-                     "line " + std::to_string(line_no) +
-                         ": full_node must be 0 or 1");
-        vm.full_node = cells[6] == "1";
-
-        const auto &apps = perf::AppCatalog::all();
-        bool found = false;
-        for (std::size_t i = 0; i < apps.size(); ++i) {
-            if (apps[i].name == cells[7]) {
-                vm.app_index = i;
-                found = true;
-                break;
-            }
-        }
-        GSKU_REQUIRE(found, "line " + std::to_string(line_no) +
-                                ": unknown application '" + cells[7] +
-                                "'");
-        GSKU_REQUIRE(vm.departure_h > vm.arrival_h,
-                     "line " + std::to_string(line_no) +
-                         ": departure must follow arrival");
-        GSKU_REQUIRE(vm.cores > 0 && vm.memory_gb > 0.0,
-                     "line " + std::to_string(line_no) +
-                         ": resources must be positive");
-        GSKU_REQUIRE(vm.max_mem_touch_fraction >= 0.0 &&
-                         vm.max_mem_touch_fraction <= 1.0,
-                     "line " + std::to_string(line_no) +
-                         ": touch fraction must be in [0, 1]");
-        trace.vms.push_back(vm);
+        trace.vms.push_back(parseTraceCsvRow(line, line_no, trace.name));
     }
     GSKU_REQUIRE(!trace.vms.empty(), "trace CSV contains no VMs");
 
@@ -165,11 +247,15 @@ readTraceCsv(std::istream &in, const std::string &name)
               [](const VmRequest &a, const VmRequest &b) {
                   return a.arrival_h < b.arrival_h;
               });
-    double end = 0.0;
-    for (const VmRequest &vm : trace.vms) {
-        end = std::max(end, vm.arrival_h);
+    if (meta.present) {
+        trace.duration_h = meta.duration_h;
+    } else {
+        double end = 0.0;
+        for (const VmRequest &vm : trace.vms) {
+            end = std::max(end, vm.arrival_h);
+        }
+        trace.duration_h = end + 1e-6;
     }
-    trace.duration_h = end + 1e-6;
     return trace;
 }
 

@@ -12,6 +12,18 @@
  * `generation` is Gen1|Gen2|Gen3; `app` is the application name from
  * the catalog (stored by name, resolved to an index on load, so traces
  * stay readable and survive catalog reordering).
+ *
+ * An optional metadata comment line may precede the header:
+ *
+ *   # gsku-trace duration_h_bits=<16 hex digits> name=<trace name>
+ *
+ * writeTraceCsv always emits it; readTraceCsv consumes it when
+ * present. It carries what the rows cannot: the trace name and the
+ * exact (bit-pattern) duration, so a CSV round trip preserves the
+ * trace identically to the binary format (trace_binary.h) and both
+ * encodings produce the same eval-cache content digest. Files without
+ * the line still load, with the legacy behavior (caller-supplied name,
+ * duration inferred from the last arrival).
  */
 #pragma once
 
@@ -22,14 +34,35 @@
 
 namespace gsku::cluster {
 
-/** Writes @p trace as CSV. */
+/** Writes @p trace as CSV (metadata line, header, one row per VM). */
 void writeTraceCsv(const VmTrace &trace, std::ostream &out);
 
 /**
  * Parses a trace from CSV; throws UserError naming the offending line
  * on any malformed row, unknown application, or inconsistent times.
- * The returned trace is sorted by arrival time.
+ * The returned trace is sorted by arrival time. A metadata line, when
+ * present, overrides @p name and supplies the exact duration.
  */
 VmTrace readTraceCsv(std::istream &in, const std::string &name = "csv");
+
+/** What the optional metadata line carried (or didn't). */
+struct CsvTraceMeta
+{
+    std::string name;           ///< Empty when no metadata line.
+    double duration_h = 0.0;
+    bool present = false;
+};
+
+/**
+ * Consumes the optional metadata line and the required column header
+ * from @p in, advancing @p line_no past them. Shared by readTraceCsv
+ * and the streaming CsvTraceReader (trace_binary.h).
+ */
+CsvTraceMeta readTraceCsvPrologue(std::istream &in, int *line_no);
+
+/** Parses and validates one CSV data row (shared with the streaming
+ *  reader); @p source names the input in error messages. */
+VmRequest parseTraceCsvRow(const std::string &line, int line_no,
+                           const std::string &source);
 
 } // namespace gsku::cluster

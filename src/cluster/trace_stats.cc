@@ -1,7 +1,10 @@
 #include "cluster/trace_stats.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
+#include "cluster/trace_binary.h"
 #include "common/error.h"
 
 namespace gsku::cluster {
@@ -23,44 +26,134 @@ TraceStats::classMixDeviation() const
     return worst;
 }
 
+namespace {
+
+/**
+ * Shared per-VM accumulation for the batch and streaming overloads.
+ * Counts are kept in flat arrays (one slot per catalog app, three
+ * generation slots); the share maps are only built at finish().
+ */
+class TraceStatsAccumulator
+{
+  public:
+    TraceStatsAccumulator(const std::string &name, double duration_h)
+        : duration_h_(duration_h),
+          app_counts_(perf::AppCatalog::all().size(), 0)
+    {
+        GSKU_REQUIRE(duration_h > 0.0,
+                     "trace duration must be positive");
+        stats_.trace_name = name;
+    }
+
+    void
+    add(const VmRequest &vm)
+    {
+        stats_.cores.add(vm.cores);
+        stats_.memory_gb.add(vm.memory_gb);
+        stats_.lifetime_h.add(vm.lifetimeHours());
+        stats_.touch_fraction.add(vm.max_mem_touch_fraction);
+        stats_.full_node_vms += vm.full_node ? 1 : 0;
+        GSKU_REQUIRE(vm.app_index < app_counts_.size(),
+                     "VM app index outside the catalog");
+        ++app_counts_[vm.app_index];
+        ++gen_counts_[generationSlot(vm.origin_generation)];
+        // Clip lifetimes at the trace end for the population estimate.
+        vm_hours_ += std::min(vm.departure_h, duration_h_) -
+                     vm.arrival_h;
+        ++stats_.vm_count;
+    }
+
+    TraceStats
+    finish(const PeakDemand &peak)
+    {
+        GSKU_REQUIRE(stats_.vm_count > 0,
+                     "cannot summarize an empty trace");
+        const double n = static_cast<double>(stats_.vm_count);
+        const auto &all = perf::AppCatalog::all();
+        std::map<perf::AppClass, std::uint64_t> class_counts;
+        for (std::size_t i = 0; i < app_counts_.size(); ++i) {
+            if (app_counts_[i] > 0) {
+                class_counts[all[i].cls] += app_counts_[i];
+            }
+        }
+        for (const auto &[cls, count] : class_counts) {
+            stats_.class_shares[cls] =
+                static_cast<double>(count) / n;
+        }
+        static const carbon::Generation generations[] = {
+            carbon::Generation::Gen1,
+            carbon::Generation::Gen2,
+            carbon::Generation::Gen3,
+        };
+        for (std::size_t g = 0; g < 3; ++g) {
+            if (gen_counts_[g] > 0) {
+                stats_.generation_shares[generations[g]] =
+                    static_cast<double>(gen_counts_[g]) / n;
+            }
+        }
+        stats_.peak_concurrent_cores = static_cast<int>(peak.cores);
+        stats_.peak_concurrent_memory_gb = peak.memory_gb;
+        stats_.mean_population = vm_hours_ / duration_h_;
+        return std::move(stats_);
+    }
+
+  private:
+    static std::size_t
+    generationSlot(carbon::Generation gen)
+    {
+        switch (gen) {
+          case carbon::Generation::Gen1: return 0;
+          case carbon::Generation::Gen2: return 1;
+          case carbon::Generation::Gen3: return 2;
+          case carbon::Generation::GreenSku:
+            break;
+        }
+        GSKU_REQUIRE(false, "VM origin generation must be Gen1/2/3");
+        GSKU_ASSERT(false, "unreachable");
+    }
+
+    TraceStats stats_;
+    double duration_h_ = 0.0;
+    double vm_hours_ = 0.0;
+    std::vector<std::uint64_t> app_counts_;
+    std::uint64_t gen_counts_[3] = {0, 0, 0};
+};
+
+} // namespace
+
 TraceStats
 summarizeTrace(const VmTrace &trace)
 {
     GSKU_REQUIRE(!trace.vms.empty(), "cannot summarize an empty trace");
-    GSKU_REQUIRE(trace.duration_h > 0.0,
-                 "trace duration must be positive");
-
-    TraceStats stats;
-    stats.trace_name = trace.name;
-    stats.vm_count = trace.vms.size();
-
-    std::map<perf::AppClass, int> class_counts;
-    std::map<carbon::Generation, int> gen_counts;
-    double vm_hours = 0.0;
+    TraceStatsAccumulator acc(trace.name, trace.duration_h);
     for (const VmRequest &vm : trace.vms) {
-        stats.cores.add(vm.cores);
-        stats.memory_gb.add(vm.memory_gb);
-        stats.lifetime_h.add(vm.lifetimeHours());
-        stats.touch_fraction.add(vm.max_mem_touch_fraction);
-        stats.full_node_vms += vm.full_node ? 1 : 0;
-        class_counts[perf::AppCatalog::all().at(vm.app_index).cls]++;
-        gen_counts[vm.origin_generation]++;
-        // Clip lifetimes at the trace end for the population estimate.
-        vm_hours += std::min(vm.departure_h, trace.duration_h) -
-                    vm.arrival_h;
+        acc.add(vm);
     }
+    // peakConcurrentDemand sorts internally, so unsorted traces are fine
+    // through this overload.
+    return acc.finish(trace.peakConcurrentDemand());
+}
 
-    const double n = static_cast<double>(stats.vm_count);
-    for (const auto &[cls, count] : class_counts) {
-        stats.class_shares[cls] = count / n;
+TraceStats
+summarizeTrace(TraceReader &reader)
+{
+    GSKU_REQUIRE(reader.durationKnown(),
+                 "streaming summary needs the trace duration up front "
+                 "(legacy CSV without the metadata line: use "
+                 "readTraceCsv + the batch overload)");
+    reader.reset();
+    TraceStatsAccumulator acc(reader.name(), reader.durationH());
+    ConcurrentDemandSweep sweep(
+        reader.sizeHint() > 0
+            ? static_cast<std::size_t>(reader.sizeHint()) / 64 + 16
+            : 1024);
+    VmRequest vm;
+    while (reader.next(&vm)) {
+        acc.add(vm);
+        sweep.add(vm.arrival_h, vm.departure_h,
+                  static_cast<double>(vm.cores), vm.memory_gb);
     }
-    for (const auto &[gen, count] : gen_counts) {
-        stats.generation_shares[gen] = count / n;
-    }
-    stats.peak_concurrent_cores = trace.peakConcurrentCores();
-    stats.peak_concurrent_memory_gb = trace.peakConcurrentMemoryGb();
-    stats.mean_population = vm_hours / trace.duration_h;
-    return stats;
+    return acc.finish(sweep.finish());
 }
 
 } // namespace gsku::cluster

@@ -17,6 +17,8 @@
 
 namespace gsku::cluster {
 
+class TraceReader;
+
 /** Aggregate statistics of one trace. */
 struct TraceStats
 {
@@ -52,5 +54,14 @@ struct TraceStats
 
 /** Compute the summary; throws UserError on an empty trace. */
 TraceStats summarizeTrace(const VmTrace &trace);
+
+/**
+ * Streaming summary: one pass over @p reader (rewound first), with the
+ * peaks computed by the same ConcurrentDemandSweep the batch overload
+ * uses — no materialized VM vector. Requires reader.durationKnown()
+ * (the population estimate needs the duration up front); identical to
+ * the batch summary on the same content.
+ */
+TraceStats summarizeTrace(TraceReader &reader);
 
 } // namespace gsku::cluster

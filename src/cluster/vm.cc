@@ -1,48 +1,41 @@
 #include "cluster/vm.h"
 
 #include <algorithm>
-#include <map>
+#include <numeric>
 
 namespace gsku::cluster {
 
-namespace {
-
-/** Sweep arrivals/departures accumulating a demand dimension. */
-template <typename Getter>
-double
-peakDemand(const std::vector<VmRequest> &vms, Getter get)
+PeakDemand
+VmTrace::peakConcurrentDemand() const
 {
-    // time -> delta of demand at that time.
-    std::map<double, double> deltas;
-    for (const auto &vm : vms) {
-        deltas[vm.arrival_h] += get(vm);
-        deltas[vm.departure_h] -= get(vm);
+    // One arrival-sorted index pass through the shared sweep; the old
+    // implementation rebuilt a std::map<double, double> of time deltas
+    // per dimension on every call.
+    std::vector<std::size_t> order(vms.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return vms[a].arrival_h < vms[b].arrival_h;
+              });
+    ConcurrentDemandSweep sweep(vms.size());
+    for (std::size_t i : order) {
+        const VmRequest &vm = vms[i];
+        sweep.add(vm.arrival_h, vm.departure_h,
+                  static_cast<double>(vm.cores), vm.memory_gb);
     }
-    double current = 0.0;
-    double peak = 0.0;
-    for (const auto &[t, d] : deltas) {
-        current += d;
-        peak = std::max(peak, current);
-    }
-    return peak;
+    return sweep.finish();
 }
-
-} // namespace
 
 int
 VmTrace::peakConcurrentCores() const
 {
-    return static_cast<int>(peakDemand(
-        vms, [](const VmRequest &vm) {
-            return static_cast<double>(vm.cores);
-        }));
+    return static_cast<int>(peakConcurrentDemand().cores);
 }
 
 double
 VmTrace::peakConcurrentMemoryGb() const
 {
-    return peakDemand(vms,
-                      [](const VmRequest &vm) { return vm.memory_gb; });
+    return peakConcurrentDemand().memory_gb;
 }
 
 } // namespace gsku::cluster

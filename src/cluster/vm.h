@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "carbon/sku.h"
+#include "cluster/demand.h"
 
 namespace gsku::cluster {
 
@@ -52,6 +53,13 @@ struct VmTrace
     std::string name;
     double duration_h = 0.0;
     std::vector<VmRequest> vms;     ///< Sorted by arrival time.
+
+    /**
+     * Peak simultaneous core demand, memory demand, and live-VM
+     * population (no packing effects), computed in a single sweep-line
+     * pass shared with the streaming readers (ConcurrentDemandSweep).
+     */
+    PeakDemand peakConcurrentDemand() const;
 
     /** Peak simultaneous core demand (no packing effects). */
     int peakConcurrentCores() const;

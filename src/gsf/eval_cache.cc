@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "cluster/trace_binary.h"
 #include "common/error.h"
 #include "common/parse.h"
 #include "obs/ledger.h"
@@ -136,20 +137,11 @@ EvalKeyHasher::hex() const
 void
 mixTrace(EvalKeyHasher &h, const cluster::VmTrace &trace)
 {
-    h.mix(trace.name);
-    h.mix(trace.duration_h);
-    h.mix(static_cast<std::uint64_t>(trace.vms.size()));
-    for (const cluster::VmRequest &vm : trace.vms) {
-        h.mix(vm.id);
-        h.mix(vm.arrival_h);
-        h.mix(vm.departure_h);
-        h.mix(vm.cores);
-        h.mix(vm.memory_gb);
-        h.mix(static_cast<int>(vm.origin_generation));
-        h.mix(vm.full_node);
-        h.mix(static_cast<std::uint64_t>(vm.app_index));
-        h.mix(vm.max_mem_touch_fraction);
-    }
+    // Delegate to the shared semantic trace digest (trace_binary.h):
+    // the same digest a gsku-trace-v1 file stores in its footer, so a
+    // replay keyed on a binary trace shares cache entries with a replay
+    // keyed on the CSV (or in-memory) encoding of the same content.
+    h.mix(cluster::traceContentDigest(trace));
 }
 
 void

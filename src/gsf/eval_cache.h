@@ -89,7 +89,9 @@ class EvalKeyHasher
     std::uint64_t hash_ = 0xcbf29ce484222325ull;
 };
 
-/** Content hash of a trace: name, duration, and every VM field. */
+/** Content hash of a trace: mixes cluster::traceContentDigest, the
+ *  encoding-independent digest a gsku-trace-v1 file carries in its
+ *  footer — CSV and binary encodings share cache entries. */
 void mixTrace(EvalKeyHasher &h, const cluster::VmTrace &trace);
 
 /** Full SKU serialization: capacities, generation, and every

@@ -1,0 +1,24 @@
+// Fixture: byte-cast near-misses. A reinterpret_cast mentioned in a
+// comment or string literal is text, not a cast, and memcpy punning
+// is the sanctioned alternative.
+#include <cstring>
+
+namespace fx {
+
+double
+loadDouble(const unsigned char *bytes)
+{
+    // Not reinterpret_cast<const double *>(bytes): memcpy keeps the
+    // layout assumption local and is defined behavior.
+    double v = 0.0;
+    std::memcpy(&v, bytes, sizeof(v));
+    return v;
+}
+
+const char *
+ruleName()
+{
+    return "reinterpret_cast<T> is banned here";
+}
+
+} // namespace fx

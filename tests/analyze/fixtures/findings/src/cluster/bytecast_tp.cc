@@ -1,0 +1,12 @@
+// Fixture: byte-cast true positive — reinterpret_cast outside the
+// sanctioned binary trace serializer.
+
+namespace fx {
+
+double
+loadDouble(const unsigned char *bytes)
+{
+    return *reinterpret_cast<const double *>(bytes);
+}
+
+} // namespace fx

@@ -68,8 +68,9 @@ TEST(RulesGoldenTest, EveryRuleFiresOnItsTruePositive)
         fired.insert(f.rule);
     for (const char *rule :
          {"rng-usage", "error-convention", "concurrency", "timing",
-          "ledger-events", "checked-parse", "raw-double-units",
-          "pragma-once", "determinism-taint", "lint-ok"}) {
+          "ledger-events", "checked-parse", "byte-cast",
+          "raw-double-units", "pragma-once", "determinism-taint",
+          "lint-ok"}) {
         EXPECT_TRUE(fired.count(rule)) << "no finding for " << rule;
     }
 }

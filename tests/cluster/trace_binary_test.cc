@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Tests of the `gsku-trace-v1` binary format and the streaming trace
+ * engine: bit-exact round trips across encodings, shared content
+ * digests, offset-naming rejection of corrupt/truncated/version-skewed
+ * files, streaming-vs-materialized replay parity, and the sweep-line
+ * peak-demand regression against a brute-force reference.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "carbon/sku.h"
+#include "cluster/allocator.h"
+#include "cluster/trace_binary.h"
+#include "cluster/trace_gen.h"
+#include "cluster/trace_io.h"
+#include "cluster/trace_stats.h"
+#include "common/error.h"
+
+namespace gsku::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Per-test scratch directory under the system temp dir. */
+class TraceBinaryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("gsku_trace_binary_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string path(const std::string &name) const
+    {
+        return (fs::path(dir_) / name).string();
+    }
+
+    std::string dir_;
+};
+
+VmTrace
+smallTrace(std::uint64_t seed = 9)
+{
+    TraceGenParams params;
+    params.target_concurrent_vms = 80.0;
+    params.duration_h = 24.0 * 3.0;
+    return TraceGenerator(params).generate(seed);
+}
+
+void
+expectSameVms(const std::vector<VmRequest> &a,
+              const std::vector<VmRequest> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].id, b[i].id) << "vm " << i;
+        // Exact equality on purpose: the binary format stores doubles
+        // by bit pattern, so the round trip must be bit-exact.
+        ASSERT_EQ(a[i].arrival_h, b[i].arrival_h) << "vm " << i;
+        ASSERT_EQ(a[i].departure_h, b[i].departure_h) << "vm " << i;
+        ASSERT_EQ(a[i].cores, b[i].cores) << "vm " << i;
+        ASSERT_EQ(a[i].memory_gb, b[i].memory_gb) << "vm " << i;
+        ASSERT_EQ(a[i].origin_generation, b[i].origin_generation)
+            << "vm " << i;
+        ASSERT_EQ(a[i].full_node, b[i].full_node) << "vm " << i;
+        ASSERT_EQ(a[i].app_index, b[i].app_index) << "vm " << i;
+        ASSERT_EQ(a[i].max_mem_touch_fraction,
+                  b[i].max_mem_touch_fraction)
+            << "vm " << i;
+    }
+}
+
+TEST_F(TraceBinaryTest, RoundTripsBitExact)
+{
+    const VmTrace original = smallTrace();
+    const std::string file = path("trace.gskutrc");
+    writeTraceBinary(original, file);
+    const VmTrace loaded = readTraceBinary(file);
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.duration_h, original.duration_h);
+    expectSameVms(original.vms, loaded.vms);
+}
+
+TEST_F(TraceBinaryTest, CsvToBinaryToCsvIsByteIdentical)
+{
+    const VmTrace original = smallTrace();
+    std::stringstream first_csv;
+    writeTraceCsv(original, first_csv);
+
+    std::stringstream parse_in(first_csv.str());
+    const VmTrace parsed = readTraceCsv(parse_in);
+    const std::string file = path("trace.gskutrc");
+    writeTraceBinary(parsed, file);
+
+    std::stringstream second_csv;
+    writeTraceCsv(readTraceBinary(file), second_csv);
+    EXPECT_EQ(first_csv.str(), second_csv.str());
+}
+
+TEST_F(TraceBinaryTest, ContentDigestSharedAcrossEncodings)
+{
+    const VmTrace trace = smallTrace();
+    const std::uint64_t expected = traceContentDigest(trace);
+
+    const std::string bin = path("trace.gskutrc");
+    writeTraceBinary(trace, bin);
+    BinaryTraceReader binary(bin);
+    EXPECT_EQ(binary.contentDigest(), expected);
+
+    const std::string csv = path("trace.csv");
+    {
+        std::ofstream out(csv);
+        writeTraceCsv(trace, out);
+    }
+    CsvTraceReader csv_reader(csv);
+    EXPECT_EQ(csv_reader.contentDigest(), expected);
+
+    VectorTraceReader vec(trace);
+    EXPECT_EQ(vec.contentDigest(), expected);
+
+    // Any field perturbation must change the digest.
+    VmTrace tweaked = trace;
+    tweaked.vms.front().memory_gb += 1.0;
+    EXPECT_NE(traceContentDigest(tweaked), expected);
+}
+
+TEST_F(TraceBinaryTest, StreamingReadersMatchMaterialized)
+{
+    const VmTrace trace = smallTrace();
+    const std::string bin = path("trace.gskutrc");
+    const std::string csv = path("trace.csv");
+    writeTraceBinary(trace, bin);
+    {
+        std::ofstream out(csv);
+        writeTraceCsv(trace, out);
+    }
+
+    for (int pass = 0; pass < 2; ++pass) {
+        BinaryTraceReader binary(bin);
+        CsvTraceReader csv_reader(csv);
+        EXPECT_TRUE(csv_reader.durationKnown());
+        EXPECT_EQ(binary.name(), trace.name);
+        EXPECT_EQ(csv_reader.name(), trace.name);
+        EXPECT_EQ(binary.durationH(), trace.duration_h);
+        EXPECT_EQ(csv_reader.durationH(), trace.duration_h);
+        EXPECT_EQ(binary.sizeHint(), trace.vms.size());
+
+        std::vector<VmRequest> from_binary;
+        std::vector<VmRequest> from_csv;
+        VmRequest vm;
+        if (pass == 1) {
+            // Exercise reset(): drain one VM first, then rewind.
+            ASSERT_TRUE(binary.next(&vm));
+            ASSERT_TRUE(csv_reader.next(&vm));
+            binary.reset();
+            csv_reader.reset();
+        }
+        while (binary.next(&vm)) {
+            from_binary.push_back(vm);
+        }
+        while (csv_reader.next(&vm)) {
+            from_csv.push_back(vm);
+        }
+        expectSameVms(trace.vms, from_binary);
+        expectSameVms(trace.vms, from_csv);
+    }
+}
+
+TEST_F(TraceBinaryTest, GenerateStreamMatchesGenerate)
+{
+    TraceGenParams params;
+    params.target_concurrent_vms = 60.0;
+    params.duration_h = 24.0 * 2.0;
+    const TraceGenerator gen(params);
+    const VmTrace trace = gen.generate(5);
+
+    std::vector<VmRequest> streamed;
+    const std::uint64_t count = gen.generateStream(
+        5, [&streamed](const VmRequest &vm) { streamed.push_back(vm); });
+    EXPECT_EQ(count, trace.vms.size());
+    expectSameVms(trace.vms, streamed);
+
+    const std::string bin = path("gen.gskutrc");
+    EXPECT_EQ(gen.generateToBinary(5, bin), count);
+    const VmTrace loaded = readTraceBinary(bin);
+    EXPECT_EQ(loaded.name, trace.name);
+    expectSameVms(trace.vms, loaded.vms);
+}
+
+TEST_F(TraceBinaryTest, StreamingStatsMatchesBatch)
+{
+    const VmTrace trace = smallTrace(21);
+    const std::string bin = path("trace.gskutrc");
+    writeTraceBinary(trace, bin);
+
+    const TraceStats batch = summarizeTrace(trace);
+    BinaryTraceReader reader(bin);
+    const TraceStats streamed = summarizeTrace(reader);
+
+    EXPECT_EQ(streamed.trace_name, batch.trace_name);
+    EXPECT_EQ(streamed.vm_count, batch.vm_count);
+    EXPECT_EQ(streamed.full_node_vms, batch.full_node_vms);
+    EXPECT_EQ(streamed.peak_concurrent_cores,
+              batch.peak_concurrent_cores);
+    EXPECT_EQ(streamed.peak_concurrent_memory_gb,
+              batch.peak_concurrent_memory_gb);
+    EXPECT_EQ(streamed.mean_population, batch.mean_population);
+    EXPECT_EQ(streamed.cores.mean(), batch.cores.mean());
+    EXPECT_EQ(streamed.memory_gb.mean(), batch.memory_gb.mean());
+    EXPECT_EQ(streamed.class_shares, batch.class_shares);
+    EXPECT_EQ(streamed.generation_shares, batch.generation_shares);
+}
+
+TEST_F(TraceBinaryTest, StreamingReplayMatchesMaterialized)
+{
+    const VmTrace trace = smallTrace(33);
+    const std::string bin = path("trace.gskutrc");
+    const std::string csv = path("trace.csv");
+    writeTraceBinary(trace, bin);
+    {
+        std::ofstream out(csv);
+        writeTraceCsv(trace, out);
+    }
+
+    ClusterSpec spec;
+    spec.baseline_sku = carbon::StandardSkus::baseline();
+    spec.green_sku = carbon::StandardSkus::greenFull();
+    spec.baselines = 24;
+    spec.greens = 8;
+    AdoptionTable adoption = AdoptionTable::none();
+    for (std::size_t app = 0; app < 8; ++app) {
+        adoption.set(app, carbon::Generation::Gen1,
+                     AdoptionDecision{true, 1.05});
+    }
+    ReplayOptions options;
+    options.stop_on_reject = false;
+    const VmAllocator allocator(options);
+
+    const ReplayResult materialized =
+        allocator.replay(trace, spec, adoption);
+    BinaryTraceReader bin_reader(bin);
+    const ReplayResult from_binary =
+        allocator.replay(bin_reader, spec, adoption);
+    CsvTraceReader csv_reader(csv);
+    const ReplayResult from_csv =
+        allocator.replay(csv_reader, spec, adoption);
+
+    auto expect_same = [](const ReplayResult &a, const ReplayResult &b) {
+        EXPECT_EQ(a.success, b.success);
+        EXPECT_EQ(a.placed, b.placed);
+        EXPECT_EQ(a.rejected, b.rejected);
+        EXPECT_EQ(a.green_placed, b.green_placed);
+        EXPECT_EQ(a.green_fallbacks, b.green_fallbacks);
+        auto expect_group = [](const GroupMetrics &x,
+                               const GroupMetrics &y) {
+            EXPECT_EQ(x.servers, y.servers);
+            EXPECT_EQ(x.vms_placed, y.vms_placed);
+            EXPECT_EQ(x.mean_core_packing, y.mean_core_packing);
+            EXPECT_EQ(x.mean_mem_packing, y.mean_mem_packing);
+            EXPECT_EQ(x.mean_max_mem_utilization,
+                      y.mean_max_mem_utilization);
+        };
+        expect_group(a.baseline, b.baseline);
+        expect_group(a.green, b.green);
+    };
+    expect_same(materialized, from_binary);
+    expect_same(materialized, from_csv);
+    EXPECT_GT(materialized.placed, 0);
+}
+
+TEST_F(TraceBinaryTest, SweepMatchesBruteForcePeaks)
+{
+    // Regression for the peak-demand rewrite: the shared sweep must
+    // reproduce the old std::map-of-deltas semantics exactly,
+    // including equal-time arrival/departure netting.
+    const VmTrace generated = smallTrace(17);
+
+    VmTrace crafted;
+    crafted.name = "crafted";
+    crafted.duration_h = 10.0;
+    // Equal-time handoff: departure at t=2 nets against arrival at t=2.
+    crafted.vms.push_back({1, 0.0, 2.0, 4, 16.0});
+    crafted.vms.push_back({2, 2.0, 3.0, 4, 16.0});
+    // Overlap spike.
+    crafted.vms.push_back({3, 2.5, 9.0, 8, 32.0});
+    crafted.vms.push_back({4, 2.5, 2.75, 2, 64.0});
+
+    const VmTrace *const traces[] = {&generated, &crafted};
+    for (const VmTrace *trace : traces) {
+        std::map<double, double> core_deltas;
+        std::map<double, double> mem_deltas;
+        for (const VmRequest &vm : trace->vms) {
+            core_deltas[vm.arrival_h] += vm.cores;
+            core_deltas[vm.departure_h] -= vm.cores;
+            mem_deltas[vm.arrival_h] += vm.memory_gb;
+            mem_deltas[vm.departure_h] -= vm.memory_gb;
+        }
+        double cur = 0.0;
+        double peak_cores = 0.0;
+        for (const auto &[t, d] : core_deltas) {
+            cur += d;
+            peak_cores = std::max(peak_cores, cur);
+        }
+        cur = 0.0;
+        double peak_mem = 0.0;
+        for (const auto &[t, d] : mem_deltas) {
+            cur += d;
+            peak_mem = std::max(peak_mem, cur);
+        }
+        const PeakDemand peak = trace->peakConcurrentDemand();
+        EXPECT_EQ(peak.cores, peak_cores) << trace->name;
+        EXPECT_EQ(peak.memory_gb, peak_mem) << trace->name;
+        EXPECT_EQ(trace->peakConcurrentCores(),
+                  static_cast<int>(peak_cores))
+            << trace->name;
+        EXPECT_EQ(trace->peakConcurrentMemoryGb(), peak_mem)
+            << trace->name;
+        EXPECT_GT(peak.max_live_vms, 0u);
+    }
+    // vm1's departure at t=2 nets against vm2's arrival at t=2, so the
+    // population peaks at 3 (vm2 + vm3 + vm4 at t=2.5), never 4.
+    EXPECT_EQ(crafted.peakConcurrentDemand().max_live_vms, 3u);
+}
+
+TEST_F(TraceBinaryTest, WriterRejectsBadRecords)
+{
+    const std::string file = path("bad.gskutrc");
+    EXPECT_THROW(TraceBinaryWriter(file, "t", 0.0), UserError);
+
+    TraceBinaryWriter writer(file, "t", 10.0);
+    VmRequest vm;
+    vm.id = 1;
+    vm.arrival_h = 5.0;
+    vm.departure_h = 6.0;
+    vm.cores = 2;
+    vm.memory_gb = 8.0;
+    writer.add(vm);
+
+    VmRequest unsorted = vm;
+    unsorted.id = 2;
+    unsorted.arrival_h = 4.0;
+    unsorted.departure_h = 4.5;
+    EXPECT_THROW(writer.add(unsorted), UserError);
+
+    VmRequest inverted = vm;
+    inverted.arrival_h = 7.0;
+    inverted.departure_h = 6.5;
+    EXPECT_THROW(writer.add(inverted), UserError);
+
+    EXPECT_EQ(writer.finish(), 1u);
+    EXPECT_THROW(writer.finish(), UserError);
+}
+
+TEST_F(TraceBinaryTest, RejectsCorruptFilesNamingTheOffset)
+{
+    const VmTrace trace = smallTrace();
+    const std::string good = path("good.gskutrc");
+    writeTraceBinary(trace, good);
+    std::string bytes;
+    {
+        std::ifstream in(good, std::ios::binary);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+
+    auto expect_reject = [this](const std::string &content,
+                                const std::string &needle) {
+        const std::string file = path("corrupt.gskutrc");
+        {
+            std::ofstream out(file, std::ios::binary | std::ios::trunc);
+            out.write(content.data(),
+                      static_cast<std::streamsize>(content.size()));
+        }
+        try {
+            BinaryTraceReader reader(file);
+            FAIL() << "expected rejection for: " << needle;
+        } catch (const UserError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << "needle '" << needle << "' not in: " << e.what();
+        }
+    };
+
+    // Truncations: mid-header, mid-records, mid-footer. Every message
+    // names the byte offset where validation failed.
+    expect_reject(bytes.substr(0, 20), "truncated header at offset");
+    expect_reject(bytes.substr(0, bytes.size() / 2),
+                  "truncated at offset");
+    expect_reject(bytes.substr(0, bytes.size() - 5),
+                  "truncated at offset");
+
+    std::string bad = bytes;
+    bad[0] = 'X';
+    expect_reject(bad, "bad magic at offset 0");
+
+    bad = bytes;
+    bad[8] = 9;     // version little-endian low byte.
+    expect_reject(bad, "unsupported version 9 at offset 8");
+
+    bad = bytes;
+    bad[kTraceBinaryHeaderFixed + 2] ^= 0xff;   // Inside the name.
+    expect_reject(bad, "header checksum mismatch at offset");
+
+    auto load_u32 = [&bytes](std::size_t at) {
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) {
+            v = (v << 8) |
+                static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+        }
+        return v;
+    };
+    const std::size_t header_size = load_u32(12);
+    const std::uint32_t name_len = load_u32(32);
+
+    // The app table is parsed (and resolved against the catalog) before
+    // the checksum pass, so corrupting an app *name* reports the
+    // unknown application rather than a bare checksum failure.
+    bad = bytes;
+    bad[kTraceBinaryHeaderFixed + name_len + 4] ^= 0xff;
+    expect_reject(bad, "unknown application");
+
+    bad = bytes;
+    bad[bytes.size() - kTraceBinaryFooterSize + 4] ^= 0x1;
+    expect_reject(bad, "record checksum mismatch at offset");
+
+    bad = bytes;
+    bad[header_size + 10] ^= 0xff;      // Inside the first record.
+    expect_reject(bad, "record checksum mismatch at offset");
+
+    bad = bytes;
+    bad[bytes.size() - 1] = 'X';
+    expect_reject(bad, "bad end magic");
+
+    expect_reject(bytes + "extra", "trailing data after offset");
+
+    EXPECT_THROW(BinaryTraceReader(path("missing.gskutrc")), UserError);
+}
+
+TEST_F(TraceBinaryTest, CsvReaderRequiresSortedRows)
+{
+    const std::string file = path("unsorted.csv");
+    {
+        std::ofstream out(file);
+        out << "id,arrival_h,departure_h,cores,memory_gb,generation,"
+               "full_node,app,max_mem_touch_fraction\n"
+               "2,5.0,6.0,4,16,Gen3,0,Redis,0.5\n"
+               "1,1.0,2.0,2,8,Gen1,0,Moses,0.4\n";
+    }
+    CsvTraceReader reader(file);
+    EXPECT_FALSE(reader.durationKnown());   // Legacy: no metadata line.
+    VmRequest vm;
+    ASSERT_TRUE(reader.next(&vm));
+    EXPECT_THROW(reader.next(&vm), UserError);
+
+    // The materializing reader still accepts (and sorts) the same file.
+    std::ifstream in(file);
+    EXPECT_EQ(readTraceCsv(in).vms.size(), 2u);
+}
+
+TEST_F(TraceBinaryTest, LegacyCsvDigestInfersDuration)
+{
+    const std::string file = path("legacy.csv");
+    {
+        std::ofstream out(file);
+        out << "id,arrival_h,departure_h,cores,memory_gb,generation,"
+               "full_node,app,max_mem_touch_fraction\n"
+               "1,1.0,2.0,2,8,Gen1,0,Moses,0.4\n"
+               "2,5.0,6.0,4,16,Gen3,0,Redis,0.5\n";
+    }
+    CsvTraceReader reader(file, "legacy");
+    EXPECT_EQ(reader.name(), "legacy");
+    // Digest must match the materialized trace (same inferred
+    // duration), and must not disturb the read position.
+    std::ifstream in(file);
+    const VmTrace materialized = readTraceCsv(in, "legacy");
+    EXPECT_EQ(reader.contentDigest(),
+              traceContentDigest(materialized));
+    VmRequest vm;
+    ASSERT_TRUE(reader.next(&vm));
+    EXPECT_EQ(vm.id, 1u);
+}
+
+} // namespace
+} // namespace gsku::cluster

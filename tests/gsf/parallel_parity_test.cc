@@ -10,11 +10,17 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "cluster/allocator.h"
+#include "cluster/trace_binary.h"
 #include "cluster/trace_gen.h"
+#include "cluster/trace_io.h"
 #include "common/parallel.h"
 #include "gsf/design_space.h"
 #include "gsf/eval_cache.h"
@@ -312,6 +318,118 @@ TEST(ParallelParityTest, EvalCacheColdWarmParityAcrossThreads)
     }
     EXPECT_FALSE(cold.ledger.empty());
     EXPECT_NE(cold.ledger.find("cache.entry"), std::string::npos);
+}
+
+TEST(ParallelParityTest, TraceEncodingsReplayByteIdenticalAcrossThreads)
+{
+    // The streaming replay engine (trace_binary.h) must not let the
+    // trace encoding leak into any output: binary and CSV streaming
+    // replays of the same trace content produce byte-identical results,
+    // rendered ledgers, and placement-counter deltas as the
+    // materialized replay — at 1 and at 4 pool threads.
+    namespace fs = std::filesystem;
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 120.0;
+    params.duration_h = 24.0 * 3.0;
+    const auto trace = cluster::TraceGenerator(params).generate(23);
+
+    const std::string dir =
+        (fs::temp_directory_path() / "gsku_parity_trace_enc").string();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string bin = (fs::path(dir) / "trace.gskutrc").string();
+    const std::string csv = (fs::path(dir) / "trace.csv").string();
+    cluster::writeTraceBinary(trace, bin);
+    {
+        std::ofstream out(csv);
+        cluster::writeTraceCsv(trace, out);
+    }
+
+    cluster::ClusterSpec spec;
+    spec.baseline_sku = carbon::StandardSkus::baseline();
+    spec.green_sku = carbon::StandardSkus::greenFull();
+    spec.baselines = 40;
+    spec.greens = 12;
+    cluster::AdoptionTable adoption = cluster::AdoptionTable::none();
+    for (std::size_t app = 0; app < 10; ++app) {
+        adoption.set(app, carbon::Generation::Gen1,
+                     cluster::AdoptionDecision{true, 1.05});
+    }
+    cluster::ReplayOptions options;
+    options.stop_on_reject = false;
+    const cluster::VmAllocator allocator(options);
+
+    struct Run
+    {
+        cluster::ReplayResult result;
+        std::string ledger;
+        std::uint64_t placements = 0;
+        std::uint64_t rejections = 0;
+    };
+    auto run_one = [&](const std::function<cluster::ReplayResult()> &go) {
+        Run r;
+        const std::uint64_t placements_before =
+            obs::metrics().snapshot().counter("allocator.placements");
+        const std::uint64_t rejections_before =
+            obs::metrics().snapshot().counter("allocator.rejections");
+        obs::startLedger();
+        r.result = go();
+        r.ledger = obs::renderLedger();
+        obs::stopLedger();
+        const obs::MetricsSnapshot after = obs::metrics().snapshot();
+        r.placements =
+            after.counter("allocator.placements") - placements_before;
+        r.rejections =
+            after.counter("allocator.rejections") - rejections_before;
+        return r;
+    };
+    auto expect_equal = [](const Run &a, const Run &b) {
+        EXPECT_EQ(a.result.success, b.result.success);
+        EXPECT_EQ(a.result.placed, b.result.placed);
+        EXPECT_EQ(a.result.rejected, b.result.rejected);
+        EXPECT_EQ(a.result.green_placed, b.result.green_placed);
+        EXPECT_EQ(a.result.green_fallbacks, b.result.green_fallbacks);
+        EXPECT_EQ(a.result.baseline.servers, b.result.baseline.servers);
+        EXPECT_EQ(a.result.baseline.vms_placed,
+                  b.result.baseline.vms_placed);
+        EXPECT_EQ(a.result.baseline.mean_core_packing,
+                  b.result.baseline.mean_core_packing);
+        EXPECT_EQ(a.result.baseline.mean_mem_packing,
+                  b.result.baseline.mean_mem_packing);
+        EXPECT_EQ(a.result.baseline.mean_max_mem_utilization,
+                  b.result.baseline.mean_max_mem_utilization);
+        EXPECT_EQ(a.result.green.vms_placed, b.result.green.vms_placed);
+        EXPECT_EQ(a.result.green.mean_core_packing,
+                  b.result.green.mean_core_packing);
+        EXPECT_EQ(a.ledger, b.ledger);
+        EXPECT_EQ(a.placements, b.placements);
+        EXPECT_EQ(a.rejections, b.rejections);
+    };
+
+    const int original = ThreadPool::global().threads();
+    for (int threads : {1, 4}) {
+        ThreadPool::resetGlobal(threads);
+
+        const Run materialized = run_one(
+            [&] { return allocator.replay(trace, spec, adoption); });
+        const Run from_binary = run_one([&] {
+            cluster::BinaryTraceReader reader(bin);
+            return allocator.replay(reader, spec, adoption);
+        });
+        const Run from_csv = run_one([&] {
+            cluster::CsvTraceReader reader(csv);
+            return allocator.replay(reader, spec, adoption);
+        });
+
+        expect_equal(materialized, from_binary);
+        expect_equal(materialized, from_csv);
+        EXPECT_GT(materialized.result.placed, 0);
+        EXPECT_FALSE(materialized.ledger.empty());
+        EXPECT_EQ(materialized.placements,
+                  static_cast<std::uint64_t>(materialized.result.placed));
+    }
+    ThreadPool::resetGlobal(original);
+    fs::remove_all(dir);
 }
 
 } // namespace

@@ -71,7 +71,13 @@ def main() -> int:
     errors: list[str] = []
     warnings: list[str] = []
 
-    for key in ("benchmark", "traces", "intensities"):
+    # Every top-level baseline key except the legs themselves and
+    # machine- or speed-dependent fields is config that must match, so
+    # each benchmark's JSON defines its own comparison surface.
+    volatile = {"legs", "hardware_concurrency", "checksums_identical"}
+    for key in baseline:
+        if key in volatile:
+            continue
         if baseline.get(key) != current.get(key):
             errors.append(
                 f"config mismatch on {key!r}: baseline "
@@ -79,22 +85,26 @@ def main() -> int:
 
     if not current.get("checksums_identical", False):
         errors.append("current run reports checksums_identical=false: "
-                      "results depend on the thread count")
+                      "results depend on the execution path")
 
-    base_legs = {leg["threads"]: leg for leg in baseline.get("legs", [])}
-    cur_legs = {leg["threads"]: leg for leg in current.get("legs", [])}
+    def leg_label(leg):
+        # bench_sweep keys legs by thread count, bench_fleet by name.
+        return leg.get("leg", leg.get("threads"))
+
+    base_legs = {leg_label(leg): leg for leg in baseline.get("legs", [])}
+    cur_legs = {leg_label(leg): leg for leg in current.get("legs", [])}
     if not base_legs:
         errors.append("baseline has no legs")
 
-    for threads, base in sorted(base_legs.items()):
-        cur = cur_legs.get(threads)
+    for label, base in sorted(base_legs.items(), key=lambda kv: str(kv[0])):
+        cur = cur_legs.get(label)
         if cur is None:
-            errors.append(f"leg threads={threads} present in baseline "
+            errors.append(f"leg {label!r} present in baseline "
                           f"but missing from the current run")
             continue
         if cur.get("checksum") != base.get("checksum"):
             errors.append(
-                f"CHECKSUM DRIFT at threads={threads}: baseline "
+                f"CHECKSUM DRIFT at leg {label!r}: baseline "
                 f"{base.get('checksum')} vs current "
                 f"{cur.get('checksum')} — the model outputs changed; "
                 f"if intended, refresh the committed baseline")
@@ -102,7 +112,7 @@ def main() -> int:
         cur_s = float(cur.get("seconds", 0.0))
         if base_s > 0.0 and cur_s > base_s * args.max_slowdown:
             warnings.append(
-                f"threads={threads}: {cur_s:.3f}s vs baseline "
+                f"leg {label!r}: {cur_s:.3f}s vs baseline "
                 f"{base_s:.3f}s ({cur_s / base_s:.2f}x slower than "
                 f"baseline, threshold {args.max_slowdown:.2f}x)")
 

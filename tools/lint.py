@@ -52,6 +52,14 @@ Rules (each a distinct class, all hard CI gates — see docs/analysis.md):
                     error, not a silently orphaned fact
                     (docs/observability.md).
 
+  byte-cast         ``reinterpret_cast`` is banned outside the binary
+                    trace serializer, src/cluster/trace_binary.cc — the
+                    one audited home for reading objects as raw bytes
+                    (the gsku-trace-v1 record codec). Everywhere else,
+                    value punning goes through ``std::memcpy`` into a
+                    properly-typed object, so layout and alignment
+                    assumptions stay local to the serializer.
+
 Suppress a finding by appending ``// lint-ok: <rule> <why>`` to the
 offending line. Suppressions are themselves audited: an unused one is an
 error, so stale escapes cannot accumulate.
@@ -463,6 +471,35 @@ def check_checked_parse(path: Path, lines: list[str],
 
 
 # --------------------------------------------------------------------
+# Rule: byte-cast
+# --------------------------------------------------------------------
+
+BYTE_CAST_ALLOWED = ("src/cluster/trace_binary.cc",)
+BYTE_CAST_RE = re.compile(r"\breinterpret_cast\b")
+
+
+def check_byte_cast(path: Path, lines: list[str],
+                    used: set) -> list[Finding]:
+    findings = []
+    if path.as_posix().replace("\\", "/").endswith(BYTE_CAST_ALLOWED):
+        return findings
+    in_block = False
+    for i, raw in enumerate(lines, 1):
+        code, in_block = strip_comments(raw, in_block)
+        if not BYTE_CAST_RE.search(code):
+            continue
+        if suppressed(raw, "byte-cast", used, path, i):
+            continue
+        findings.append(Finding(
+            path, i, "byte-cast",
+            "'reinterpret_cast' reinterprets object bytes; raw byte "
+            "casts live only in the binary trace serializer "
+            "(src/cluster/trace_binary.cc) — use std::memcpy into a "
+            "typed value instead"))
+    return findings
+
+
+# --------------------------------------------------------------------
 # Rule: pragma-once
 # --------------------------------------------------------------------
 
@@ -491,6 +528,7 @@ RULES = {
     "timing": check_timing,
     "ledger-events": check_ledger_events,
     "checked-parse": check_checked_parse,
+    "byte-cast": check_byte_cast,
     "pragma-once": check_pragma_once,
 }
 
