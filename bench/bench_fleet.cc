@@ -16,7 +16,14 @@
  * streaming path's O(peak-live) memory shows up against the
  * materializing path's O(trace).
  *
- * Usage: bench_fleet [events]   (default 10,000,000; CI smoke: 100000)
+ * Live telemetry: `--tsdb <path>` (or `GSKU_TSDB=<path>`) streams
+ * periodic metrics samples to a `gsku-tsdb-v1` file while the legs
+ * run — watch with `gsku_top --follow`. With `GSKU_FLIGHT=<path>` the
+ * driver also publishes an on-demand flight-recorder dump at exit so
+ * CI archives a post-mortem artifact even from healthy runs.
+ *
+ * Usage: bench_fleet [events] [--events N] [--tsdb <path>]
+ *        (default 10,000,000 events; CI smoke: 100000)
  */
 #include <sys/resource.h>
 
@@ -38,8 +45,10 @@
 #include "common/error.h"
 #include "common/parse.h"
 #include "common/table.h"
+#include "obs/flightrec.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "perf/app.h"
 
 namespace {
@@ -102,18 +111,38 @@ main(int argc, char **argv)
     obs::metrics().reset();
 
     std::uint64_t events = 10'000'000;
-    if (argc > 1) {
-        try {
-            events = parseU64(argv[1], ParseContext{"bench_fleet", 0,
+    std::string tsdb_path;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--events" && i + 1 < argc) {
+                events = parseU64(argv[++i],
+                                  ParseContext{"bench_fleet", 0,
+                                               "events"});
+            } else if (arg == "--tsdb" && i + 1 < argc) {
+                tsdb_path = argv[++i];
+            } else if (!arg.empty() && arg[0] != '-') {
+                events = parseU64(arg, ParseContext{"bench_fleet", 0,
                                                     "events"});
-        } catch (const std::exception &e) {
-            std::cerr << "bench_fleet: " << e.what() << '\n';
-            return 2;
+            } else {
+                std::cerr << "bench_fleet: unknown option '" << arg
+                          << "'\nusage: bench_fleet [events] "
+                             "[--events N] [--tsdb <path>]\n";
+                return 2;
+            }
         }
+    } catch (const std::exception &e) {
+        std::cerr << "bench_fleet: " << e.what() << '\n';
+        return 2;
     }
     if (events < 1000) {
         std::cerr << "bench_fleet: need at least 1000 events\n";
         return 2;
+    }
+
+    obs::flightRecordProgram("bench_fleet");
+    if (!tsdb_path.empty()) {
+        obs::startTimeseries(tsdb_path);
     }
 
     // One simulated year; Little's law sizes the steady-state
@@ -161,6 +190,7 @@ main(int argc, char **argv)
         leg.checksum = sum.hex();
         leg.max_rss_kb = maxRssKb();
         legs.push_back(leg);
+        obs::telemetryTick();
     }
     const double total_events = 2.0 * static_cast<double>(vms);
     std::cout << "bench_fleet: " << vms << " VMs ("
@@ -193,6 +223,7 @@ main(int argc, char **argv)
         leg.checksum = sum.hex();
         leg.max_rss_kb = maxRssKb();
         legs.push_back(leg);
+        obs::telemetryTick();
     }
 
     // Cluster sized off the streamed peaks: a 15% headroom baseline
@@ -241,6 +272,9 @@ main(int argc, char **argv)
         leg.checksum = sum.hex();
         leg.max_rss_kb = maxRssKb();
         legs.push_back(leg);
+        // Leg boundary: one serial tick so the sampler can flush a
+        // sample covering the leg's tail before the next leg starts.
+        obs::telemetryTick();
         return legs.back();
     };
 
@@ -336,6 +370,14 @@ main(int argc, char **argv)
 
     std::remove(bin_path.c_str());
     std::remove(csv_path.c_str());
+
+    // Finalize telemetry (footer + checksums) and, when the flight
+    // recorder is armed, publish an on-demand post-mortem so CI can
+    // archive the artifact from a healthy run too.
+    obs::finishTimeseries();
+    if (obs::flightRecorderEnabled()) {
+        obs::dumpFlightRecorder("bench_fleet-exit");
+    }
 
     if (!identical) {
         std::cerr << "bench_fleet: CHECKSUM MISMATCH across replay "

@@ -23,11 +23,13 @@
 #include "common/table.h"
 #include "gsf/eval_cache.h"
 #include "gsf/evaluator.h"
+#include "obs/flightrec.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gsku;
     using namespace gsku::gsf;
@@ -35,6 +37,22 @@ main()
     // Per-run metrics isolation: the manifest written at the end
     // carries only this run's counts.
     obs::metrics().reset();
+
+    // Live telemetry (see obs/timeseries.h): sampling ticks come from
+    // the engines themselves (sweep jobs, sizing probes, replay
+    // events); here we only activate the sink and finalize it. Also
+    // reachable via GSKU_TSDB without any flag.
+    obs::flightRecordProgram("bench_sweep");
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tsdb" && i + 1 < argc) {
+            obs::startTimeseries(argv[++i]);
+        } else {
+            std::cerr << "bench_sweep: unknown option '" << arg
+                      << "'\nusage: bench_sweep [--tsdb <path>]\n";
+            return 2;
+        }
+    }
 
     // A scaled-down fig11 configuration: enough distinct (trace,
     // adoption-table) sizing jobs to exercise the pool, small enough
@@ -77,6 +95,9 @@ main()
         sum.add(sweep.intensities);
         sum.add(sweep.mean_savings);
         legs.push_back({threads, seconds, sum.hex()});
+        // Leg boundary: a serial tick flushes the sampler so each
+        // thread-count leg's tail lands in the tsdb file.
+        obs::telemetryTick();
     }
     ThreadPool::resetGlobal(ThreadPool::defaultThreads());
 
@@ -136,6 +157,11 @@ main()
         return 2;
     }
     std::cout << "wrote " << manifest_path << '\n';
+
+    obs::finishTimeseries();
+    if (obs::flightRecorderEnabled()) {
+        obs::dumpFlightRecorder("bench_sweep-exit");
+    }
 
     if (!identical) {
         std::cerr << "bench_sweep: CHECKSUM MISMATCH across thread "

@@ -15,6 +15,8 @@
  *                    evaluation in-process
  *   --record <path>  write the demo run's ledger to <path>
  *   --ci <value>     demo-run carbon intensity in kg/kWh (default 0.1)
+ *   --metrics        print the metrics snapshot at exit
+ *   --trace <path>   record a Chrome-trace of the run to <path>
  *
  * Exit codes: 0 success; 1 query failed (unknown SKU, leaf-sum check
  * failure, parse error); for --diff, 1 also means the ledgers differ
@@ -34,6 +36,7 @@
 #include "gsf/tco.h"
 #include "obs/explain.h"
 #include "obs/ledger.h"
+#include "obs_flags.h"
 
 namespace {
 
@@ -48,7 +51,9 @@ printUsage(std::ostream &out)
            "                   running the demo evaluation in-process\n"
            "  --record <path>  write the demo run's ledger to <path>\n"
            "  --ci <value>     demo carbon intensity, kg/kWh "
-           "(default 0.1)\n";
+           "(default 0.1)\n"
+           "  --metrics        print the metrics snapshot at exit\n"
+           "  --trace <path>   record a Chrome-trace of the run\n";
 }
 
 /**
@@ -94,6 +99,16 @@ main(int argc, char **argv)
 {
     using namespace gsku;
 
+    // The shared observability switches, minus --ledger: here that
+    // flag *reads* a recorded ledger (and --record writes one).
+    examples::ObsOptions obs_opts = examples::parseObsOptions(
+        argc, argv, "gsku_explain", /*with_ledger=*/false);
+    if (!obs_opts.error.empty()) {
+        std::cerr << obs_opts.error << '\n';
+        return 1;
+    }
+    examples::applyObsOptions(obs_opts);
+
     std::string ledger_path;
     std::string record_path;
     std::string why_sku;
@@ -103,46 +118,54 @@ main(int argc, char **argv)
     std::string diff_b;
     double ci_value = 0.1;
 
-    auto need = [&](int i, const char *opt, int count) {
-        if (i + count >= argc) {
+    const std::vector<std::string> &args = obs_opts.remaining;
+    auto need = [&](std::size_t i, const char *opt, std::size_t count) {
+        if (i + count >= args.size()) {
             std::cerr << "gsku_explain: " << opt << " needs " << count
                       << (count == 1 ? " argument\n" : " arguments\n");
             std::exit(1);
         }
     };
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
         if (arg == "--help" || arg == "-h") {
             printUsage(std::cout);
             return 0;
         }
         if (arg == "--ledger") {
             need(i, "--ledger", 1);
-            ledger_path = argv[++i];
+            ledger_path = args[++i];
         } else if (arg == "--record") {
             need(i, "--record", 1);
-            record_path = argv[++i];
+            record_path = args[++i];
         } else if (arg == "--ci") {
             need(i, "--ci", 1);
-            ci_value = parseDouble(argv[++i],
+            ci_value = parseDouble(args[++i],
                                    ParseContext{"argv", 0, "--ci"});
         } else if (arg == "--why") {
             need(i, "--why", 1);
-            why_sku = argv[++i];
+            why_sku = args[++i];
         } else if (arg == "--compare") {
             need(i, "--compare", 2);
-            compare_a = argv[++i];
-            compare_b = argv[++i];
+            compare_a = args[++i];
+            compare_b = args[++i];
         } else if (arg == "--diff") {
             need(i, "--diff", 2);
-            diff_a = argv[++i];
-            diff_b = argv[++i];
+            diff_a = args[++i];
+            diff_b = args[++i];
         } else {
             std::cerr << "gsku_explain: unknown argument " << arg << '\n';
             printUsage(std::cerr);
             return 1;
         }
     }
+    // Observability epilogue: fold the artifact-write status into the
+    // query's exit code (artifact failure only surfaces on success).
+    auto finish = [&](int rc) {
+        const int obs_rc =
+            examples::finishObsOptions(obs_opts, "gsku_explain");
+        return rc != 0 ? rc : obs_rc;
+    };
 
     if (!diff_a.empty()) {
         const obs::LedgerFile a = obs::readLedgerFile(diff_a);
@@ -153,7 +176,7 @@ main(int argc, char **argv)
             return 1;
         }
         std::cout << diff.text;
-        return diff.changes == 0 ? 0 : 1;
+        return finish(diff.changes == 0 ? 0 : 1);
     }
 
     // Default query: explain the paper's headline design.
@@ -192,5 +215,5 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    return 0;
+    return finish(0);
 }

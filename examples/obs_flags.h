@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared observability flags for the example drivers — the
+ * sku_eval_cli pattern, factored out so every example accepts the same
+ * switches:
+ *
+ *   --metrics         print the metrics snapshot at exit
+ *   --trace <path>    record a Chrome-trace of the run to <path>
+ *   --ledger <path>   record the decision-provenance ledger to <path>
+ *
+ * Usage pattern:
+ *
+ *   ObsOptions obs_opts = parseObsOptions(argc, argv, "mytool");
+ *   if (!obs_opts.error.empty()) { ... return 1; }
+ *   applyObsOptions(obs_opts);          // start recorders
+ *   // ... parse obs_opts.remaining, run ...
+ *   return finishObsOptions(obs_opts, "mytool");  // 0 or 2
+ *
+ * The corresponding environment switches (GSKU_LEDGER, GSKU_TRACE-less
+ * tools use --trace, GSKU_TSDB for telemetry) keep working regardless:
+ * these flags only add explicit per-invocation control.
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gsku::examples {
+
+struct ObsOptions
+{
+    bool show_metrics = false;
+    std::string trace_path;
+    std::string ledger_path;
+    std::string error;                      ///< Non-empty on bad usage.
+    std::vector<std::string> remaining;     ///< Args we did not consume.
+};
+
+/** The help lines for the shared flags, for each tool's usage text. */
+inline void
+printObsFlagsHelp(std::ostream &out)
+{
+    out << "  --metrics        print the metrics snapshot at exit\n"
+           "  --trace <path>   record a Chrome-trace of the run\n"
+           "  --ledger <path>  record the decision ledger to <path>\n";
+}
+
+/**
+ * Extract the shared observability flags from argv; everything else
+ * lands in `remaining` in order (including --help, so each tool keeps
+ * its own usage text). @p with_ledger lets gsku_explain keep its
+ * pre-existing --ledger switch (which *reads* a ledger).
+ */
+inline ObsOptions
+parseObsOptions(int argc, char **argv, const std::string &prog,
+                bool with_ledger = true)
+{
+    ObsOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metrics") {
+            opts.show_metrics = true;
+        } else if (arg == "--trace") {
+            if (i + 1 >= argc) {
+                opts.error = prog + ": --trace needs a path";
+                return opts;
+            }
+            opts.trace_path = argv[++i];
+        } else if (with_ledger && arg == "--ledger") {
+            if (i + 1 >= argc) {
+                opts.error = prog + ": --ledger needs a path";
+                return opts;
+            }
+            opts.ledger_path = argv[++i];
+        } else {
+            opts.remaining.push_back(arg);
+        }
+    }
+    return opts;
+}
+
+/** Start the recorders the flags asked for. Call once, before work. */
+inline void
+applyObsOptions(const ObsOptions &opts)
+{
+    if (!opts.trace_path.empty()) {
+        obs::startTrace();
+    }
+    if (!opts.ledger_path.empty()) {
+        obs::startLedger();
+    }
+}
+
+/**
+ * The exit epilogue: print the metrics snapshot and write the trace
+ * and ledger artifacts. Returns 0, or 2 when an artifact write failed.
+ */
+inline int
+finishObsOptions(const ObsOptions &opts, const std::string &prog)
+{
+    int rc = 0;
+    if (opts.show_metrics) {
+        std::cout << "\nMetrics snapshot:\n"
+                  << obs::metrics().snapshot().toText();
+    }
+    if (!opts.trace_path.empty() && !obs::writeTrace(opts.trace_path)) {
+        std::cerr << prog << ": failed to write " << opts.trace_path
+                  << '\n';
+        rc = 2;
+    }
+    if (!opts.ledger_path.empty() &&
+        !obs::writeLedger(opts.ledger_path)) {
+        std::cerr << prog << ": failed to write " << opts.ledger_path
+                  << '\n';
+        rc = 2;
+    }
+    return rc;
+}
+
+} // namespace gsku::examples

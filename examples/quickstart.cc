@@ -11,6 +11,8 @@
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * Observability: [--metrics] [--trace <path>] [--ledger <path>]
  */
 #include <iostream>
 
@@ -20,14 +22,32 @@
 #include "cluster/trace_gen.h"
 #include "common/table.h"
 #include "gsf/evaluator.h"
+#include "obs_flags.h"
 #include "perf/cpu.h"
 #include "perf/model.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gsku;
     using namespace gsku::carbon;
+
+    examples::ObsOptions obs_opts =
+        examples::parseObsOptions(argc, argv, "quickstart");
+    if (!obs_opts.error.empty()) {
+        std::cerr << obs_opts.error << '\n';
+        return 1;
+    }
+    for (const std::string &arg : obs_opts.remaining) {
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: quickstart [options]\noptions:\n";
+            examples::printObsFlagsHelp(std::cout);
+            return 0;
+        }
+        std::cerr << "quickstart: unknown argument " << arg << '\n';
+        return 1;
+    }
+    examples::applyObsOptions(obs_opts);
 
     // ---- 1. Compose a custom GreenSKU -------------------------------
     // A Bergamo server with a 50/50 split of new DDR5 and reused DDR4
@@ -111,5 +131,5 @@ main()
               << " buffer)\n";
     std::cout << "Cluster-level carbon savings: "
               << Table::percent(eval.savings, 1) << '\n';
-    return 0;
+    return examples::finishObsOptions(obs_opts, "quickstart");
 }

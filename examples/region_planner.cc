@@ -4,6 +4,8 @@
  * (the Fig. 11 takeaway — "the best GreenSKU design depends on the data
  * center's operating conditions") and estimate the fleet-wide savings of
  * deploying each region's best design.
+ *
+ * Usage: region_planner [--metrics] [--trace <path>] [--ledger <path>]
  */
 #include <iostream>
 #include <vector>
@@ -12,12 +14,30 @@
 #include "cluster/trace_gen.h"
 #include "common/table.h"
 #include "gsf/evaluator.h"
+#include "obs_flags.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gsku;
     using namespace gsku::gsf;
+
+    examples::ObsOptions obs_opts =
+        examples::parseObsOptions(argc, argv, "region_planner");
+    if (!obs_opts.error.empty()) {
+        std::cerr << obs_opts.error << '\n';
+        return 1;
+    }
+    for (const std::string &arg : obs_opts.remaining) {
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: region_planner [options]\noptions:\n";
+            examples::printObsFlagsHelp(std::cout);
+            return 0;
+        }
+        std::cerr << "region_planner: unknown argument " << arg << '\n';
+        return 1;
+    }
+    examples::applyObsOptions(obs_opts);
 
     struct Region
     {
@@ -79,5 +99,5 @@ main()
                                   fleet_savings),
                      1)
               << '\n';
-    return 0;
+    return examples::finishObsOptions(obs_opts, "region_planner");
 }

@@ -27,6 +27,7 @@
 #include "cluster/trace_gen.h"
 #include "cluster/trace_io.h"
 #include "common/error.h"
+#include "obs_flags.h"
 
 namespace {
 
@@ -45,6 +46,7 @@ printUsage(std::ostream &out)
            "                  equality with the input\n"
            "  --self-test     run a built-in round-trip check and exit\n"
            "  --help          show this message\n";
+    gsku::examples::printObsFlagsHelp(out);
 }
 
 bool
@@ -130,26 +132,34 @@ main(int argc, char **argv)
     using namespace gsku;
     using namespace gsku::cluster;
 
+    examples::ObsOptions obs_opts =
+        examples::parseObsOptions(argc, argv, "trace_convert");
+    if (!obs_opts.error.empty()) {
+        std::cerr << obs_opts.error << '\n';
+        return 1;
+    }
+
     std::string fallback_name = "csv";
     bool verify = false;
+    bool self_test = false;
     std::vector<std::string> positional;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    const std::vector<std::string> &args = obs_opts.remaining;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
         if (arg == "--help" || arg == "-h") {
             printUsage(std::cout);
             return 0;
         }
         if (arg == "--self-test") {
-            return selfTest();
-        }
-        if (arg == "--verify") {
+            self_test = true;
+        } else if (arg == "--verify") {
             verify = true;
         } else if (arg == "--name") {
-            if (i + 1 >= argc) {
+            if (i + 1 >= args.size()) {
                 std::cerr << "trace_convert: --name needs a value\n";
                 return 1;
             }
-            fallback_name = argv[++i];
+            fallback_name = args[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "trace_convert: unknown option " << arg << '\n';
             printUsage(std::cerr);
@@ -158,11 +168,21 @@ main(int argc, char **argv)
             positional.push_back(arg);
         }
     }
+    examples::applyObsOptions(obs_opts);
+    if (self_test) {
+        const int rc = selfTest();
+        const int obs_rc =
+            examples::finishObsOptions(obs_opts, "trace_convert");
+        return rc != 0 ? rc : obs_rc;
+    }
     if (positional.size() != 2) {
         // No arguments: the smoke-test invocation runs the self-test
         // so `ctest` exercises the converter without fixture files.
         if (positional.empty() && !verify) {
-            return selfTest();
+            const int rc = selfTest();
+            const int obs_rc =
+                examples::finishObsOptions(obs_opts, "trace_convert");
+            return rc != 0 ? rc : obs_rc;
         }
         std::cerr << "trace_convert: need exactly <input> <output>\n";
         printUsage(std::cerr);
@@ -191,7 +211,7 @@ main(int argc, char **argv)
             std::cout << "trace_convert: verified — round trip "
                          "preserves the content digest\n";
         }
-        return 0;
+        return examples::finishObsOptions(obs_opts, "trace_convert");
     } catch (const UserError &e) {
         std::cerr << "trace_convert: " << e.what() << '\n';
         return 1;

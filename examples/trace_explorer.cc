@@ -5,7 +5,8 @@
  * against a right-sized mixed cluster, and dump a CSV of the per-trace
  * packing metrics — the raw material behind Figs. 9 and 10.
  *
- * Usage: trace_explorer [seed] [target_concurrent_vms]
+ * Usage: trace_explorer [options] [seed] [target_concurrent_vms]
+ * Options: [--metrics] [--trace <path>] [--ledger <path>]
  */
 #include <cstdlib>
 #include <iostream>
@@ -18,6 +19,7 @@
 #include "common/table.h"
 #include "gsf/adoption.h"
 #include "gsf/sizing.h"
+#include "obs_flags.h"
 #include "perf/app.h"
 
 int
@@ -26,12 +28,37 @@ main(int argc, char **argv)
     using namespace gsku;
     using namespace gsku::cluster;
 
+    examples::ObsOptions obs_opts =
+        examples::parseObsOptions(argc, argv, "trace_explorer");
+    if (!obs_opts.error.empty()) {
+        std::cerr << obs_opts.error << '\n';
+        return 1;
+    }
+    std::vector<std::string> positional;
+    for (const std::string &arg : obs_opts.remaining) {
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: trace_explorer [options] [seed] "
+                         "[target_concurrent_vms]\noptions:\n";
+            examples::printObsFlagsHelp(std::cout);
+            return 0;
+        }
+        if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "trace_explorer: unknown option " << arg << '\n';
+            return 1;
+        }
+        positional.push_back(arg);
+    }
+    examples::applyObsOptions(obs_opts);
+
     const std::uint64_t seed =
-        argc > 1 ? parseU64(argv[1], ParseContext{"argv", 0, "seed"}) : 7;
+        !positional.empty()
+            ? parseU64(positional[0], ParseContext{"argv", 0, "seed"})
+            : 7;
     const double target =
-        argc > 2 ? parseDouble(argv[2], ParseContext{"argv", 0,
-                                                     "target_vms"})
-                 : 250.0;
+        positional.size() > 1
+            ? parseDouble(positional[1],
+                          ParseContext{"argv", 0, "target_vms"})
+            : 250.0;
 
     TraceGenParams params;
     params.target_concurrent_vms = target;
@@ -113,5 +140,5 @@ main(int argc, char **argv)
     dump("baseline_only", sizing.baseline_only_replay.baseline);
     dump("mixed_baseline", sizing.mixed_replay.baseline);
     dump("mixed_green", sizing.mixed_replay.green);
-    return 0;
+    return examples::finishObsOptions(obs_opts, "trace_explorer");
 }

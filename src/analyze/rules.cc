@@ -427,6 +427,68 @@ checkRawDoubleUnits(Ctx &ctx)
     }
 }
 
+// ------------------------------------------------------------------
+// Rule: sigsafe
+//
+// The crash flight-recorder dump TU (src/obs/flightrec_handler*.cc,
+// see src/obs/flightrec_state.h) runs inside signal handlers, where
+// only async-signal-safe primitives are defined behavior: raw
+// write()/open()/close()/rename()/raise(), lock-free atomics, and
+// mem/str functions on fixed buffers. Everything that can allocate,
+// lock, buffer, or unwind is banned in that TU — a malloc inside a
+// SIGSEGV handler deadlocks against the thread that crashed while
+// holding the allocator lock. The rule is token-level and absolute
+// (no "it's only reachable from the normal path" exceptions): the
+// whole point of the dedicated TU is that everything in it is safe
+// to call from a handler.
+// ------------------------------------------------------------------
+
+const std::set<std::string, std::less<>> kSigUnsafe = {
+    // Allocation and deallocation.
+    "new", "delete", "malloc", "calloc", "realloc", "free",
+    // Buffered stdio and iostream.
+    "printf", "fprintf", "sprintf", "snprintf", "vsnprintf", "puts",
+    "fputs", "fwrite", "fopen", "cout", "cerr", "clog",
+    "ostringstream", "stringstream",
+    // Allocating containers (any use allocates on first growth).
+    "string", "vector", "map",
+    // Locking — the crashed thread may hold the lock.
+    "mutex", "lock_guard", "unique_lock", "condition_variable",
+    // atexit handlers and stream flushing; handlers use _exit/raise.
+    "exit",
+    // Unwinding.
+    "throw",
+};
+
+bool
+isFlightHandlerTu(const std::string &relPath)
+{
+    const std::string prefix = "src/obs/";
+    if (relPath.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    const std::size_t slash = relPath.rfind('/');
+    const std::string base =
+        slash == std::string::npos ? relPath : relPath.substr(slash + 1);
+    const std::string stem = "flightrec_handler";
+    return base.compare(0, stem.size(), stem) == 0;
+}
+
+void
+checkSigsafe(Ctx &ctx)
+{
+    for (std::size_t i = 0; i < ctx.code.size(); ++i) {
+        const Token *t = ctx.code[i];
+        if (t->kind != TokenKind::Identifier || !kSigUnsafe.count(t->text))
+            continue;
+        report(ctx, "sigsafe", *t,
+               "'" + std::string(t->text) +
+                   "' is not async-signal-safe; the crash-handler TU "
+                   "allows only raw write/open/close/rename/raise, "
+                   "lock-free atomics, and fixed-buffer formatting "
+                   "(src/obs/flightrec_state.h)");
+    }
+}
+
 } // namespace
 
 // ------------------------------------------------------------------
@@ -616,6 +678,11 @@ ruleCatalog()
          "No function may reach a banned determinism source (rand, "
          "clocks, raw threads, raw parses) through other functions; "
          "only the audited wrappers may."},
+        {"sigsafe",
+         "The crash flight-recorder dump TU (src/obs/flightrec_handler*) "
+         "must stay async-signal-safe: no allocation, stdio/iostream, "
+         "containers, locking, exit(), or throwing — raw syscalls, "
+         "atomics, and fixed-buffer formatting only."},
     };
     return catalog;
 }
@@ -669,6 +736,8 @@ checkFile(const SourceFile &file, const Policy &policy,
         checkCheckedParse(ctx);
     if (on("byte-cast"))
         checkByteCast(ctx);
+    if (on("sigsafe") && isFlightHandlerTu(file.relPath))
+        checkSigsafe(ctx);
     if (file.isHeader() && on("raw-double-units")) {
         bool inUnitsDir = false;
         for (const std::string &dir : kUnitsDirs) {

@@ -13,6 +13,7 @@
 #include "common/error.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "perf/app.h"
 
@@ -732,6 +733,11 @@ VmAllocator::replay(TraceReader &reader,
     VmRequest vm;
     while (reader.next(&vm)) {
         ++events_seen;
+        // One logical-clock unit per arrival event: the telemetry
+        // sampler snapshots the registry every N units at serial
+        // points (obs/timeseries.h), keeping tsdb output independent
+        // of wall speed and thread count.
+        obs::telemetryTick();
         while (!departures.empty() &&
                departures.top().time <= vm.arrival_h) {
             const Departure dep = departures.top();

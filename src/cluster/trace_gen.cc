@@ -6,6 +6,7 @@
 #include "cluster/trace_binary.h"
 #include "common/distributions.h"
 #include "common/error.h"
+#include "obs/timeseries.h"
 #include "perf/app.h"
 
 namespace gsku::cluster {
@@ -144,6 +145,9 @@ TraceGenerator::generateStream(
         vm.max_mem_touch_fraction = std::clamp(touch, 0.05, 1.0);
 
         sink(vm);
+        // One telemetry clock unit per generated record, so live runs
+        // of bench_fleet sample during generation too.
+        obs::telemetryTick();
     }
     GSKU_REQUIRE(next_id > 1,
                  "generated an empty trace; increase duration or load");

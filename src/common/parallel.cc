@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -9,6 +10,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -61,6 +63,10 @@ struct Batch
             .arg("worker", static_cast<std::int64_t>(tls_worker_id));
         const bool saved = tls_in_pool_task;
         tls_in_pool_task = true;
+        // Heartbeat bracket: marks the worker busy for stall detection
+        // and enters the obs parallel region, which keeps the tsdb
+        // sampler from sampling mid-batch (obs/heartbeat.h).
+        obs::beatTaskStart(tls_worker_id, i);
         try {
             (*body)(i);
         } catch (...) {
@@ -70,6 +76,7 @@ struct Batch
                 error_index = i;
             }
         }
+        obs::beatTaskEnd(tls_worker_id);
         tls_in_pool_task = saved;
         if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
             std::lock_guard<std::mutex> lock(m);
@@ -173,7 +180,17 @@ struct PoolImpl
                 span.arg("index", static_cast<std::uint64_t>(i))
                     .arg("worker",
                          static_cast<std::int64_t>(tls_worker_id));
-                body(i);
+                // Same heartbeat bracket as the pooled path, so the
+                // obs parallel-region depth (and therefore tsdb
+                // sample points) is identical at every thread count.
+                obs::beatTaskStart(tls_worker_id, i);
+                try {
+                    body(i);
+                } catch (...) {
+                    obs::beatTaskEnd(tls_worker_id);
+                    throw;
+                }
+                obs::beatTaskEnd(tls_worker_id);
             }
             tasksRunCounter().inc(n);
             return;
@@ -197,8 +214,17 @@ struct PoolImpl
             }
         }
         {
+            // Poll while waiting for stragglers: a worker stuck on one
+            // task past GSKU_STALL_SECONDS becomes a stall event in
+            // the heartbeat table and the flight recorder. The poll
+            // period only bounds detection latency — completion still
+            // arrives via the condition variable.
             std::unique_lock<std::mutex> lock(batch->m);
-            batch->cv.wait(lock, [&] { return batch->complete; });
+            while (!batch->cv.wait_for(
+                lock, std::chrono::milliseconds(100),
+                [&] { return batch->complete; })) {
+                obs::stallCheck();
+            }
         }
         if (batch->error) {
             std::rethrow_exception(batch->error);

@@ -1,0 +1,322 @@
+#include "common/tsdb_read.h"
+
+#include <fstream>
+#include <iterator>
+
+#include "common/error.h"
+
+namespace gsku::obs {
+
+namespace {
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    GSKU_REQUIRE(in.is_open(), "tsdb '" + path + "': cannot open");
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+bool
+bytesEqual(const std::string &bytes, std::size_t off, const char *want,
+           std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (bytes[off + i] != want[i])
+            return false;
+    return true;
+}
+
+constexpr char kMagic[8] = {'G', 'S', 'K', 'U', 'T', 'S', 'B', '1'};
+constexpr char kEndMagic[8] = {'G', 'S', 'K', 'U', 'T', 'S', 'B', 'E'};
+
+/**
+ * Single parser for both modes. In strict mode every violation throws
+ * UserError naming the byte offset (mirroring BinaryTraceReader's
+ * diagnostics); in tail mode structural trouble past the header just
+ * ends the parse at the last good frame.
+ */
+TimeseriesData
+parse(const std::string &path, bool strict)
+{
+    const std::string bytes = readWholeFile(path);
+    auto fail = [&](const std::string &msg) {
+        GSKU_REQUIRE(false, "tsdb '" + path + "': " + msg);
+    };
+
+    // ----- Header: strict in both modes. -----
+    if (bytes.size() < kTsdbHeaderFixed) {
+        fail("truncated header: " + std::to_string(bytes.size()) +
+             " bytes, need at least " +
+             std::to_string(kTsdbHeaderFixed));
+    }
+    if (!bytesEqual(bytes, 0, kMagic, sizeof kMagic))
+        fail("bad magic at offset 0");
+    const std::uint32_t version = tsdb::loadU32(bytes, 8);
+    if (version != kTsdbVersion) {
+        fail("unsupported version " + std::to_string(version) +
+             " at offset 8 (reader speaks " +
+             std::to_string(kTsdbVersion) + ")");
+    }
+    const std::uint32_t header_size = tsdb::loadU32(bytes, 12);
+    if (header_size < kTsdbHeaderFixed || header_size > bytes.size() ||
+        header_size % 8 != 0) {
+        fail("bad header_size " + std::to_string(header_size) +
+             " at offset 12");
+    }
+    TimeseriesData data;
+    data.sample_every = tsdb::loadU64(bytes, 16);
+    if (data.sample_every == 0)
+        fail("bad sample_every 0 at offset 16");
+    const std::uint32_t flags = tsdb::loadU32(bytes, 24);
+    if ((flags & ~1u) != 0) {
+        fail("unknown header flags 0x" + std::to_string(flags) +
+             " at offset 24");
+    }
+    data.volatile_lane = (flags & 1u) != 0;
+    const std::uint32_t name_len = tsdb::loadU32(bytes, 28);
+    if (kTsdbHeaderFixed + name_len > header_size) {
+        fail("name overruns header (name_len " +
+             std::to_string(name_len) + " at offset 28)");
+    }
+    data.program = bytes.substr(kTsdbHeaderFixed, name_len);
+
+    // ----- Locate the footer (mandatory in strict mode). -----
+    bool footer_present =
+        bytes.size() >= header_size + kTsdbFooterSize &&
+        bytesEqual(bytes, bytes.size() - sizeof kEndMagic, kEndMagic,
+                   sizeof kEndMagic);
+    if (strict) {
+        if (bytes.size() < header_size + kTsdbFooterSize) {
+            fail("truncated: " + std::to_string(bytes.size()) +
+                 " bytes leave no room for the 40-byte footer");
+        }
+        if (!footer_present) {
+            fail("bad end magic at offset " +
+                 std::to_string(bytes.size() - sizeof kEndMagic));
+        }
+    }
+    const std::size_t frames_end = footer_present
+                                       ? bytes.size() - kTsdbFooterSize
+                                       : bytes.size();
+
+    // ----- Frames. -----
+    std::uint64_t frames_fnv = tsdb::kFnvOffset;
+    std::uint64_t counted_frames = 0;
+    std::size_t off = header_size;
+    bool clean_tiling = true;
+    while (off < frames_end) {
+        if (off + 8 > frames_end) {
+            if (strict)
+                fail("truncated frame header at offset " +
+                     std::to_string(off));
+            clean_tiling = false;
+            break;
+        }
+        const std::uint32_t kind = tsdb::loadU32(bytes, off);
+        const std::uint32_t payload_len = tsdb::loadU32(bytes, off + 4);
+        const std::size_t padded =
+            8 + ((static_cast<std::size_t>(payload_len) + 7) & ~std::size_t{7});
+        if (off + padded > frames_end) {
+            if (strict) {
+                fail("frame at offset " + std::to_string(off) +
+                     " overruns the frame region (payload_len " +
+                     std::to_string(payload_len) + ")");
+            }
+            clean_tiling = false;
+            break;
+        }
+        const std::size_t p = off + 8; // payload offset
+        bool checksummed = false;
+        if (kind == 1) {
+            if (payload_len < 8 ||
+                payload_len !=
+                    8u + tsdb::loadU16(bytes, p + 6)) {
+                if (strict)
+                    fail("bad series-def frame at offset " +
+                         std::to_string(off));
+                clean_tiling = false;
+                break;
+            }
+            const std::uint32_t id = tsdb::loadU32(bytes, p);
+            if (id != data.series.size()) {
+                if (strict) {
+                    fail("series id " + std::to_string(id) +
+                         " out of order at offset " +
+                         std::to_string(off) + " (expected " +
+                         std::to_string(data.series.size()) + ")");
+                }
+                clean_tiling = false;
+                break;
+            }
+            const unsigned char value_type =
+                static_cast<unsigned char>(bytes[p + 4]);
+            const unsigned char def_flags =
+                static_cast<unsigned char>(bytes[p + 5]);
+            if (value_type > 1 || def_flags > 1) {
+                if (strict)
+                    fail("bad series-def frame at offset " +
+                         std::to_string(off));
+                clean_tiling = false;
+                break;
+            }
+            TsdbSeries series;
+            series.id = id;
+            series.is_double = value_type == 1;
+            series.is_volatile = (def_flags & 1) != 0;
+            series.name =
+                bytes.substr(p + 8, tsdb::loadU16(bytes, p + 6));
+            data.series.push_back(series);
+            checksummed = !series.is_volatile;
+        } else if (kind == 2) {
+            if (payload_len != 16) {
+                if (strict)
+                    fail("bad sample-begin frame at offset " +
+                         std::to_string(off));
+                clean_tiling = false;
+                break;
+            }
+            TsdbSample sample;
+            sample.clock = tsdb::loadU64(bytes, p);
+            sample.seq = tsdb::loadU64(bytes, p + 8);
+            if (sample.seq != data.samples.size()) {
+                if (strict) {
+                    fail("sample seq " + std::to_string(sample.seq) +
+                         " at offset " + std::to_string(off) +
+                         " (expected " +
+                         std::to_string(data.samples.size()) + ")");
+                }
+                clean_tiling = false;
+                break;
+            }
+            if (!data.samples.empty() &&
+                sample.clock <= data.samples.back().clock) {
+                if (strict) {
+                    fail("logical clock not increasing at offset " +
+                         std::to_string(off) + " (" +
+                         std::to_string(sample.clock) + " after " +
+                         std::to_string(data.samples.back().clock) +
+                         ")");
+                }
+                clean_tiling = false;
+                break;
+            }
+            data.samples.push_back(sample);
+            checksummed = true;
+        } else if (kind == 3) {
+            if (payload_len != 16 ||
+                tsdb::loadU32(bytes, p + 4) != 0) {
+                if (strict)
+                    fail("bad point frame at offset " +
+                         std::to_string(off));
+                clean_tiling = false;
+                break;
+            }
+            if (data.samples.empty()) {
+                if (strict)
+                    fail("point before any sample at offset " +
+                         std::to_string(off));
+                clean_tiling = false;
+                break;
+            }
+            TsdbPoint point;
+            point.series = tsdb::loadU32(bytes, p);
+            if (point.series >= data.series.size()) {
+                if (strict) {
+                    fail("point references undefined series " +
+                         std::to_string(point.series) +
+                         " at offset " + std::to_string(off));
+                }
+                clean_tiling = false;
+                break;
+            }
+            point.bits = tsdb::loadU64(bytes, p + 8);
+            data.samples.back().points.push_back(point);
+            checksummed = !data.series[point.series].is_volatile;
+        } else if (kind == 4) {
+            if (payload_len != 8 || data.samples.empty()) {
+                if (strict)
+                    fail("bad wall-clock frame at offset " +
+                         std::to_string(off));
+                clean_tiling = false;
+                break;
+            }
+            data.samples.back().has_wall = true;
+            data.samples.back().wall_seconds =
+                tsdb::doubleOfBits(tsdb::loadU64(bytes, p));
+        } else {
+            if (strict) {
+                fail("unknown frame kind " + std::to_string(kind) +
+                     " at offset " + std::to_string(off));
+            }
+            clean_tiling = false;
+            break;
+        }
+        if (checksummed) {
+            frames_fnv =
+                tsdb::fnvUpdate(frames_fnv, bytes, off, padded);
+        }
+        ++counted_frames;
+        off += padded;
+    }
+    data.bytes_parsed = off;
+
+    // ----- Footer. -----
+    if (footer_present && clean_tiling && off == frames_end) {
+        const std::size_t f = frames_end;
+        const std::uint64_t frame_count = tsdb::loadU64(bytes, f);
+        const std::uint64_t sample_count =
+            tsdb::loadU64(bytes, f + 8);
+        const std::uint64_t want_frames_fnv =
+            tsdb::loadU64(bytes, f + 16);
+        const std::uint64_t want_header_fnv =
+            tsdb::loadU64(bytes, f + 24);
+        if (strict) {
+            if (frame_count != counted_frames) {
+                fail("footer frame_count " +
+                     std::to_string(frame_count) + " at offset " +
+                     std::to_string(f) + " (counted " +
+                     std::to_string(counted_frames) + ")");
+            }
+            if (sample_count != data.samples.size()) {
+                fail("footer sample_count " +
+                     std::to_string(sample_count) + " at offset " +
+                     std::to_string(f + 8) + " (counted " +
+                     std::to_string(data.samples.size()) + ")");
+            }
+            if (want_frames_fnv != frames_fnv) {
+                fail("frames checksum mismatch at offset " +
+                     std::to_string(f + 16));
+            }
+            const std::uint64_t header_fnv = tsdb::fnvUpdate(
+                tsdb::kFnvOffset, bytes, 0, header_size);
+            if (want_header_fnv != header_fnv) {
+                fail("header checksum mismatch at offset " +
+                     std::to_string(f + 24));
+            }
+        }
+        data.complete = frame_count == counted_frames &&
+                        sample_count == data.samples.size();
+        data.frame_count = frame_count;
+        if (data.complete)
+            data.bytes_parsed = bytes.size();
+    }
+    return data;
+}
+
+} // namespace
+
+TimeseriesData
+readTsdb(const std::string &path)
+{
+    return parse(path, /*strict=*/true);
+}
+
+TimeseriesData
+readTsdbTail(const std::string &path)
+{
+    return parse(path, /*strict=*/false);
+}
+
+} // namespace gsku::obs

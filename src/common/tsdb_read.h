@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Validating readers for `gsku-tsdb-v1` telemetry files (format and
+ * writer: obs/timeseries.h). They live in common/, not obs/, because
+ * strict validation throws UserError with named byte offsets and obs
+ * — the bottom module of the layering DAG — must not include the
+ * error machinery; common may include obs.
+ */
+#pragma once
+
+#include <string>
+
+#include "obs/timeseries.h"
+
+namespace gsku::obs {
+
+/**
+ * Read and fully validate a tsdb file: magic, version, structural
+ * sizes, frame layout, series references, strictly increasing logical
+ * clock, footer counts, and both FNV-1a checksums (the frames digest
+ * covers the deterministic lane only). Throws UserError naming the
+ * offending byte offset on any violation.
+ */
+TimeseriesData readTsdb(const std::string &path);
+
+/**
+ * Tolerant tail read for following a growing file: validates the
+ * header strictly (throws UserError when it is invalid), then parses
+ * frames until the first incomplete or unrecognized frame and stops
+ * there. `complete` is true only when a verified footer terminates
+ * the file; `bytes_parsed` reports the consumed prefix so a follower
+ * can poll for growth.
+ */
+TimeseriesData readTsdbTail(const std::string &path);
+
+} // namespace gsku::obs

@@ -10,6 +10,7 @@
 #include "gsf/eval_cache.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace gsku::gsf {
@@ -243,6 +244,9 @@ GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
             return sizer_.size(traces[jobs[j].trace], baseline, green,
                                tables[jobs[j].table]);
         });
+    // One telemetry unit per distinct sizing job, ticked after the
+    // barrier where the registry is thread-count deterministic again.
+    obs::telemetryTick(jobs.size());
 
     // Phase 3: emissions per CI from the cached sizings.
     for (std::size_t c = 0; c < intensities.size(); ++c) {

@@ -11,6 +11,7 @@
 #include "gsf/eval_cache.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace gsku::gsf {
@@ -42,6 +43,9 @@ ClusterSizer::fits(const cluster::VmTrace &trace,
     static obs::Counter &replays =
         obs::metrics().counter("sizer.replays");
     replays.inc();
+    // One telemetry unit per sizing probe (the replay inside adds one
+    // per trace event on top).
+    obs::telemetryTick();
     cluster::VmAllocator allocator(options_);
     const bool success = allocator.replay(trace, spec, adoption).success;
     if (obs::ledgerEnabled()) {

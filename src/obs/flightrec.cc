@@ -1,0 +1,144 @@
+#include "obs/flightrec.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "obs/flightrec_state.h"
+
+namespace gsku::obs {
+
+namespace flight {
+
+// Zero-initialized static storage: safe to read from a signal handler
+// at any point after process start, even before any obs call ran.
+State g_state;
+
+} // namespace flight
+
+namespace {
+
+/** Bounded copy into a fixed slot buffer, always NUL-terminated. */
+void
+copyBounded(char *dst, std::size_t cap, const char *src, std::size_t len)
+{
+    if (len >= cap)
+        len = cap - 1;
+    std::memcpy(dst, src, len);
+    dst[len] = '\0';
+}
+
+[[noreturn]] void
+terminateHook()
+{
+    if (flight::g_state.crash_dumped.exchange(1) == 0)
+        flight::rawDump("terminate");
+    std::abort();
+}
+
+/** Install the crash handlers and terminate hook exactly once. */
+void
+installHandlers()
+{
+    static const bool installed = [] {
+        struct sigaction sa = {};
+        sa.sa_handler = flight::crashHandler;
+        // One shot: the disposition resets before the handler runs, so
+        // re-raising after the dump produces the normal death (core,
+        // exit status) the process would have had without us.
+        sa.sa_flags = SA_RESETHAND;
+        sigemptyset(&sa.sa_mask);
+        for (int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL})
+            sigaction(sig, &sa, nullptr);
+        std::set_terminate(terminateHook);
+        return true;
+    }();
+    (void)installed;
+}
+
+} // namespace
+
+bool
+flightRecorderEnabled()
+{
+    static const bool env_init = [] {
+        const char *path = std::getenv("GSKU_FLIGHT"); // NOLINT(concurrency-mt-unsafe)
+        if (path != nullptr && *path != '\0')
+            startFlightRecorder(path);
+        return true;
+    }();
+    (void)env_init;
+    return flight::g_state.enabled.load(std::memory_order_relaxed);
+}
+
+void
+startFlightRecorder(const std::string &path)
+{
+    flight::State &st = flight::g_state;
+    copyBounded(st.path, flight::kPathBytes, path.data(), path.size());
+    const std::string tmp = path + ".tmp";
+    copyBounded(st.tmp_path, flight::kPathBytes, tmp.data(), tmp.size());
+    installHandlers();
+    st.enabled.store(true, std::memory_order_release);
+}
+
+void
+flightRecordNote(const char *tag, const std::string &text)
+{
+    flight::State &st = flight::g_state;
+    if (!st.enabled.load(std::memory_order_relaxed))
+        return;
+    const std::uint64_t n =
+        st.head.fetch_add(1, std::memory_order_acq_rel);
+    flight::Slot &slot = st.slots[n % flight::kSlots];
+    const auto open = static_cast<std::uint32_t>(2 * n + 1);
+    // Best-effort seqlock: a dumper that observes an odd or mismatched
+    // seq drops the slot. A wrap race (two writers kSlots apart) can
+    // tear a slot; the seq generation check catches it.
+    slot.seq.store(open, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    copyBounded(slot.tag, flight::kTagBytes, tag, std::strlen(tag));
+    copyBounded(slot.text, flight::kTextBytes, text.data(), text.size());
+    slot.seq.store(open + 1, std::memory_order_release);
+}
+
+void
+flightRecordProgram(const std::string &name)
+{
+    copyBounded(flight::g_state.program, flight::kProgramBytes,
+                name.data(), name.size());
+}
+
+void
+flightRecordMetricsText(const std::string &text)
+{
+    flight::State &st = flight::g_state;
+    if (!st.enabled.load(std::memory_order_relaxed))
+        return;
+    // Single writer in practice (the sampler holds its own mutex), so
+    // a plain odd/even bump is enough.
+    const std::uint32_t v = st.snap_seq.load(std::memory_order_relaxed);
+    st.snap_seq.store(v + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    copyBounded(st.snapshot, flight::kSnapshotBytes, text.data(),
+                text.size());
+    st.snap_seq.store(v + 2, std::memory_order_release);
+}
+
+bool
+dumpFlightRecorder(const char *reason)
+{
+    if (!flightRecorderEnabled())
+        return false;
+    return flight::rawDump(reason);
+}
+
+std::uint64_t
+flightRecordCount()
+{
+    return flight::g_state.head.load(std::memory_order_relaxed);
+}
+
+} // namespace gsku::obs

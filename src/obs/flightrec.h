@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Crash flight recorder: a bounded lock-free ring of recent
+ * observability events (ledger facts, tsdb sample marks, stall notes)
+ * plus a prerendered copy of the latest metrics snapshot, dumped to a
+ * post-mortem text artifact (`gsku-flightrec-v1`) when the process
+ * crashes, std::terminate()s, or asks for a dump explicitly.
+ *
+ * Enabled by `GSKU_FLIGHT=<path>` (the dump destination). Activation
+ * installs handlers for SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL (with
+ * SA_RESETHAND, re-raising after the dump so exit status is
+ * preserved) and a std::terminate hook. The handler itself lives in
+ * flightrec_handler.cc, the one translation unit held to strict
+ * async-signal-safety (analyzer rule `sigsafe`): raw open/write/
+ * rename/close, hand-rolled integer formatting, no allocation, no
+ * locks, no iostream.
+ *
+ * Recording is a seqlock per ring slot: writers bump the slot
+ * sequence odd, copy bounded bytes, bump it even; the dumper skips
+ * slots it observes mid-write. Recording never blocks and never
+ * allocates after startup, so it is safe to call from ledger commit
+ * paths and the tsdb sampler. The ring is best-effort by design — a
+ * torn slot under wrap races is dropped, never corrupted.
+ *
+ * The dump is written to `<path>.tmp` and atomically renamed, so a
+ * half-written artifact is never observed. Nothing here touches the
+ * metrics registry and nothing is recorded into run outputs: the
+ * flight recorder is invisible to the byte-identity contracts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gsku::obs {
+
+/** Dump schema identifier (first line of the artifact). */
+inline constexpr const char *kFlightSchema = "gsku-flightrec-v1";
+
+/** True when a dump path is configured (GSKU_FLIGHT or
+ *  startFlightRecorder). Performs one-time env init. */
+bool flightRecorderEnabled();
+
+/** Enable recording with @p path as the dump destination; installs
+ *  crash handlers and the terminate hook on first use. */
+void startFlightRecorder(const std::string &path);
+
+/** Append one note to the ring (truncated to the slot size). @p tag
+ *  is a short category like "ledger", "sample", "stall". No-op when
+ *  disabled. */
+void flightRecordNote(const char *tag, const std::string &text);
+
+/** Record the program name echoed in the dump header. */
+void flightRecordProgram(const std::string &name);
+
+/** Replace the prerendered metrics-snapshot block embedded in dumps
+ *  (the sampler refreshes this on every tsdb sample). */
+void flightRecordMetricsText(const std::string &text);
+
+/**
+ * Write the post-mortem artifact now (on-demand flavor; @p reason is
+ * echoed in the header, default "on-demand"). Unlike the crash path,
+ * this may be called repeatedly — each call rewrites the artifact.
+ * Returns false when disabled or on I/O failure.
+ */
+bool dumpFlightRecorder(const char *reason = "on-demand");
+
+/** Events recorded since startup (monotone; ring keeps the tail). */
+std::uint64_t flightRecordCount();
+
+} // namespace gsku::obs

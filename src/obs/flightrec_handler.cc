@@ -1,0 +1,187 @@
+// The async-signal-safe half of the flight recorder: the crash handler
+// and the raw dump writer. This translation unit is held to strict
+// async-signal-safety (analyzer rule `sigsafe`, docs/analysis.md): the
+// only calls allowed here are raw syscalls (open/write/close/rename),
+// lock-free atomics, and mem/str primitives on fixed buffers — no
+// allocation, no iostream/printf, no locks, no C++ exceptions. The
+// normal-context side (env init, ring writes) lives in flightrec.cc.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/flightrec_state.h"
+
+namespace gsku::obs::flight {
+
+namespace {
+
+bool
+writeAll(int fd, const char *buf, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::write(fd, buf + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeCStr(int fd, const char *s)
+{
+    return writeAll(fd, s, std::strlen(s));
+}
+
+/** Decimal-format @p v into @p out (>= 21 bytes); returns length. */
+std::size_t
+formatU64(std::uint64_t v, char *out)
+{
+    char tmp[20];
+    std::size_t n = 0;
+    do {
+        tmp[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = tmp[n - 1 - i];
+    out[n] = '\0';
+    return n;
+}
+
+bool
+writeU64(int fd, std::uint64_t v)
+{
+    char buf[21];
+    return writeAll(fd, buf, formatU64(v, buf));
+}
+
+/** Bounded NUL search so a torn slot cannot run past its buffer. */
+std::size_t
+boundedLen(const char *s, std::size_t cap)
+{
+    std::size_t n = 0;
+    while (n < cap && s[n] != '\0')
+        ++n;
+    return n;
+}
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+    case SIGABRT: return "SIGABRT";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS:  return "SIGBUS";
+    case SIGFPE:  return "SIGFPE";
+    case SIGILL:  return "SIGILL";
+    default:      return "signal";
+    }
+}
+
+// Static (not stack) scratch: the handler may be running on a nearly
+// exhausted stack. The crash path dumps once, and on-demand dumps are
+// serialized by the callers in practice; a rare race only tears this
+// best-effort scratch, never g_state.
+char g_tag_scratch[kTagBytes];
+char g_text_scratch[kTextBytes];
+char g_snap_scratch[kSnapshotBytes];
+
+} // namespace
+
+bool
+rawDump(const char *reason)
+{
+    State &st = g_state;
+    if (!st.enabled.load(std::memory_order_acquire) ||
+        st.path[0] == '\0') {
+        return false;
+    }
+
+    const int fd =
+        ::open(st.tmp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+
+    bool ok = writeCStr(fd, "gsku-flightrec-v1\n");
+
+    ok = ok && writeCStr(fd, "program ");
+    ok = ok && writeCStr(fd, st.program[0] != '\0' ? st.program : "?");
+    ok = ok && writeCStr(fd, "\nreason ");
+    ok = ok && writeCStr(fd, reason);
+
+    const std::uint64_t head = st.head.load(std::memory_order_acquire);
+    ok = ok && writeCStr(fd, "\nevents_total ");
+    ok = ok && writeU64(fd, head);
+
+    const std::uint64_t count = head < kSlots ? head : kSlots;
+    ok = ok && writeCStr(fd, "\nring_begin ");
+    ok = ok && writeU64(fd, count);
+    ok = ok && writeCStr(fd, "\n");
+
+    for (std::uint64_t k = head - count; ok && k < head; ++k) {
+        Slot &slot = st.slots[k % kSlots];
+        const auto expect = static_cast<std::uint32_t>(2 * k + 2);
+        if (slot.seq.load(std::memory_order_acquire) != expect)
+            continue; // mid-write or already overwritten
+        std::memcpy(g_tag_scratch, slot.tag, kTagBytes);
+        std::memcpy(g_text_scratch, slot.text, kTextBytes);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != expect)
+            continue; // torn while copying
+        ok = ok && writeU64(fd, k);
+        ok = ok && writeCStr(fd, " ");
+        ok = ok && writeAll(fd, g_tag_scratch,
+                            boundedLen(g_tag_scratch, kTagBytes));
+        ok = ok && writeCStr(fd, " ");
+        ok = ok && writeAll(fd, g_text_scratch,
+                            boundedLen(g_text_scratch, kTextBytes));
+        ok = ok && writeCStr(fd, "\n");
+    }
+    ok = ok && writeCStr(fd, "ring_end\n");
+
+    const std::uint32_t snap_seq =
+        st.snap_seq.load(std::memory_order_acquire);
+    std::memcpy(g_snap_scratch, st.snapshot, kSnapshotBytes);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const bool snap_ok =
+        snap_seq % 2 == 0 &&
+        st.snap_seq.load(std::memory_order_relaxed) == snap_seq;
+    ok = ok && writeCStr(fd, "metrics_begin\n");
+    if (snap_ok && g_snap_scratch[0] != '\0') {
+        const std::size_t len =
+            boundedLen(g_snap_scratch, kSnapshotBytes);
+        ok = ok && writeAll(fd, g_snap_scratch, len);
+        if (len > 0 && g_snap_scratch[len - 1] != '\n')
+            ok = ok && writeCStr(fd, "\n");
+    }
+    ok = ok && writeCStr(fd, "metrics_end\nend gsku-flightrec-v1\n");
+
+    if (::close(fd) != 0)
+        ok = false;
+    if (ok && ::rename(st.tmp_path, st.path) != 0)
+        ok = false;
+    return ok;
+}
+
+void
+crashHandler(int signum)
+{
+    if (g_state.crash_dumped.exchange(1) == 0)
+        rawDump(signalName(signum));
+    // SA_RESETHAND restored the default disposition before we ran, so
+    // re-raising produces the process's normal death (exit status,
+    // core) as if the recorder were never installed.
+    ::raise(signum);
+}
+
+} // namespace gsku::obs::flight

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared state between the flight recorder's normal-context side
+ * (flightrec.cc: env init, ring writes, handler installation) and its
+ * async-signal-safe side (flightrec_handler.cc: the crash handler and
+ * the raw dump writer). Everything is plain-old-data with lock-free
+ * atomics — the handler TU may not allocate, lock, or format through
+ * the C library, so the state it reads must be fixed-size buffers.
+ *
+ * Internal header: not part of the obs API surface.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gsku::obs::flight {
+
+inline constexpr std::size_t kSlots = 256;       ///< Ring capacity.
+inline constexpr std::size_t kTagBytes = 24;     ///< Per-slot tag.
+inline constexpr std::size_t kTextBytes = 192;   ///< Per-slot payload.
+inline constexpr std::size_t kSnapshotBytes = 16384;
+inline constexpr std::size_t kPathBytes = 512;
+inline constexpr std::size_t kProgramBytes = 64;
+
+/**
+ * One ring slot, guarded by a per-slot seqlock: a writer claiming
+ * event n stores seq = 2n+1 (odd: in progress), copies tag/text, then
+ * stores seq = 2n+2. A reader accepts the slot only when it observes
+ * the same even, generation-matching seq before and after copying.
+ */
+struct Slot
+{
+    std::atomic<std::uint32_t> seq{0};
+    char tag[kTagBytes];
+    char text[kTextBytes];
+};
+
+struct State
+{
+    std::atomic<bool> enabled{false};
+    std::atomic<std::uint64_t> head{0};  ///< Next event number.
+    Slot slots[kSlots];
+
+    /** Prerendered metrics snapshot (seqlock like the slots, with the
+     *  writer choosing odd/even values itself). */
+    std::atomic<std::uint32_t> snap_seq{0};
+    char snapshot[kSnapshotBytes];
+
+    char path[kPathBytes];          ///< Dump destination (NUL-padded).
+    char tmp_path[kPathBytes];      ///< path + ".tmp".
+    char program[kProgramBytes];
+
+    /** The crash path dumps at most once even if several signals
+     *  cascade; on-demand dumps do not set this. */
+    std::atomic<std::uint32_t> crash_dumped{0};
+};
+
+/** The process-wide recorder state (zero-initialized static). */
+extern State g_state;
+
+/**
+ * Async-signal-safe dump (defined in flightrec_handler.cc): writes
+ * the artifact to tmp_path with raw syscalls and renames it over
+ * path. @p reason is a short NUL-terminated literal. Returns false
+ * on any I/O failure.
+ */
+bool rawDump(const char *reason);
+
+/** The installed signal handler (defined in flightrec_handler.cc);
+ *  dumps once, then re-raises via SA_RESETHAND default action. */
+void crashHandler(int signum);
+
+} // namespace gsku::obs::flight

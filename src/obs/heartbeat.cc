@@ -1,0 +1,202 @@
+#include "obs/heartbeat.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "obs/flightrec.h"
+#include "obs/timeseries.h"
+
+namespace gsku::obs {
+
+namespace {
+
+/** Seconds since the first heartbeat call, from the steady clock
+ *  (src/obs is the sanctioned home for wall-clock reads — the values
+ *  only ever feed the volatile telemetry lane, never model output). */
+double
+nowSeconds()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+struct BeatSlot
+{
+    std::atomic<std::uint32_t> busy{0};
+    std::atomic<std::uint64_t> task_index{0};
+    std::atomic<std::uint64_t> started{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> start_bits{0};  ///< f64 nowSeconds().
+    std::atomic<std::uint64_t> stall_gen{0};   ///< `started` value
+                                               ///< already reported.
+};
+
+BeatSlot g_slots[kMaxHeartbeatWorkers];
+std::atomic<std::uint64_t> g_stall_events{0};
+
+/** Nesting depth of pool-task bodies on the calling thread. */
+thread_local int tls_region_depth = 0;
+
+int
+clampWorker(int worker)
+{
+    if (worker < 0)
+        return 0;
+    if (worker >= kMaxHeartbeatWorkers)
+        return kMaxHeartbeatWorkers - 1;
+    return worker;
+}
+
+/** Parse "digits[.digits]" seconds; @p fallback on anything else. */
+double
+parseSecondsEnv(const char *s, double fallback)
+{
+    if (s == nullptr || *s == '\0')
+        return fallback;
+    double v = 0.0;
+    bool any = false;
+    const char *p = s;
+    for (; *p >= '0' && *p <= '9'; ++p) {
+        v = v * 10.0 + (*p - '0');
+        any = true;
+    }
+    if (*p == '.') {
+        ++p;
+        double scale = 0.1;
+        for (; *p >= '0' && *p <= '9'; ++p) {
+            v += (*p - '0') * scale;
+            scale *= 0.1;
+            any = true;
+        }
+    }
+    return (any && *p == '\0') ? v : fallback;
+}
+
+double
+defaultStallThreshold()
+{
+    static const double threshold = parseSecondsEnv(
+        std::getenv("GSKU_STALL_SECONDS"), 30.0); // NOLINT(concurrency-mt-unsafe)
+    return threshold;
+}
+
+} // namespace
+
+void
+beatTaskStart(int worker, std::uint64_t task_index)
+{
+    ++tls_region_depth;
+    BeatSlot &slot = g_slots[clampWorker(worker)];
+    slot.task_index.store(task_index, std::memory_order_relaxed);
+    slot.start_bits.store(tsdb::bitsOfDouble(nowSeconds()),
+                          std::memory_order_relaxed);
+    slot.started.fetch_add(1, std::memory_order_relaxed);
+    slot.busy.store(1, std::memory_order_release);
+}
+
+void
+beatTaskEnd(int worker)
+{
+    BeatSlot &slot = g_slots[clampWorker(worker)];
+    slot.busy.store(0, std::memory_order_release);
+    slot.completed.fetch_add(1, std::memory_order_relaxed);
+    --tls_region_depth;
+}
+
+bool
+inParallelRegion()
+{
+    return tls_region_depth > 0;
+}
+
+std::vector<WorkerBeat>
+heartbeatSnapshot()
+{
+    std::vector<WorkerBeat> out;
+    const double now = nowSeconds();
+    for (int w = 0; w < kMaxHeartbeatWorkers; ++w) {
+        const BeatSlot &slot = g_slots[w];
+        const std::uint64_t started =
+            slot.started.load(std::memory_order_relaxed);
+        if (started == 0)
+            continue;
+        WorkerBeat beat;
+        beat.worker = w;
+        beat.busy = slot.busy.load(std::memory_order_acquire) != 0;
+        beat.task_index =
+            slot.task_index.load(std::memory_order_relaxed);
+        beat.tasks_started = started;
+        beat.tasks_completed =
+            slot.completed.load(std::memory_order_relaxed);
+        if (beat.busy) {
+            const double start = tsdb::doubleOfBits(
+                slot.start_bits.load(std::memory_order_relaxed));
+            beat.busy_seconds = now > start ? now - start : 0.0;
+        }
+        out.push_back(beat);
+    }
+    return out;
+}
+
+std::size_t
+stallCheck(double threshold_seconds)
+{
+    const double threshold = threshold_seconds > 0.0
+                                 ? threshold_seconds
+                                 : defaultStallThreshold();
+    const double now = nowSeconds();
+    std::size_t stalled = 0;
+    for (int w = 0; w < kMaxHeartbeatWorkers; ++w) {
+        BeatSlot &slot = g_slots[w];
+        if (slot.busy.load(std::memory_order_acquire) == 0)
+            continue;
+        const double start = tsdb::doubleOfBits(
+            slot.start_bits.load(std::memory_order_relaxed));
+        const double stuck = now - start;
+        if (stuck < threshold)
+            continue;
+        ++stalled;
+        // Count each (worker, task) at most once: `started` is the
+        // task generation, and exchange makes one poller win.
+        const std::uint64_t gen =
+            slot.started.load(std::memory_order_relaxed);
+        if (slot.stall_gen.exchange(gen,
+                                    std::memory_order_acq_rel) != gen) {
+            g_stall_events.fetch_add(1, std::memory_order_relaxed);
+            flightRecordNote(
+                "stall",
+                "worker " + std::to_string(w) + " stuck on task " +
+                    std::to_string(slot.task_index.load(
+                        std::memory_order_relaxed)) +
+                    " for " + std::to_string(stuck) + "s");
+        }
+    }
+    return stalled;
+}
+
+std::uint64_t
+stallEventsTotal()
+{
+    return g_stall_events.load(std::memory_order_relaxed);
+}
+
+void
+resetHeartbeats()
+{
+    for (BeatSlot &slot : g_slots) {
+        slot.busy.store(0, std::memory_order_relaxed);
+        slot.task_index.store(0, std::memory_order_relaxed);
+        slot.started.store(0, std::memory_order_relaxed);
+        slot.completed.store(0, std::memory_order_relaxed);
+        slot.start_bits.store(0, std::memory_order_relaxed);
+        slot.stall_gen.store(0, std::memory_order_relaxed);
+    }
+    g_stall_events.store(0, std::memory_order_relaxed);
+}
+
+} // namespace gsku::obs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Worker heartbeats and stall detection for the deterministic pool.
+ *
+ * common/parallel.cc brackets every task body — on the pooled path and
+ * the serial fast path alike — with beatTaskStart()/beatTaskEnd().
+ * That gives obs two things:
+ *
+ *  - a per-worker heartbeat table (busy flag, last task index, task
+ *    counts, busy wall seconds) that feeds the volatile lane of the
+ *    tsdb sampler (obs/timeseries.h) and gsku_top's worker view; and
+ *  - the parallel-region depth for the calling thread, which the tsdb
+ *    sampler uses to take samples only at serial points where registry
+ *    counters are thread-count deterministic. The depth lives here,
+ *    not in common/parallel.h, because obs is the bottom module of the
+ *    layering DAG: common may call into obs, never the reverse.
+ *
+ * The caller side of a pool batch polls stallCheck() while waiting for
+ * stragglers: a worker busy on one task for longer than the threshold
+ * (GSKU_STALL_SECONDS, default 30; fractional values accepted) is
+ * counted once per task as a stall event and pushed into the flight
+ * recorder ring (obs/flightrec.h) so a hung run leaves a trail.
+ *
+ * Everything here is atomics on fixed-size slots — no allocation, no
+ * locks — and none of it touches the metrics registry: heartbeat state
+ * is wall-clock- and thread-count-dependent by nature, and registry
+ * writes would leak that nondeterminism into run manifests.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gsku::obs {
+
+/** Heartbeat slots cover workers 0 (the submitting caller) through
+ *  kMaxHeartbeatWorkers-1; higher ids share the last slot. */
+inline constexpr int kMaxHeartbeatWorkers = 256;
+
+/** Mark @p worker busy on task @p task_index and enter a parallel
+ *  region (depth +1 for the calling thread). */
+void beatTaskStart(int worker, std::uint64_t task_index);
+
+/** Mark @p worker idle, count the task done, leave the region. */
+void beatTaskEnd(int worker);
+
+/** True while the calling thread is inside a pool task body (at any
+ *  nesting depth). The tsdb sampler never samples when true. */
+bool inParallelRegion();
+
+/** Point-in-time view of one worker's heartbeat slot. */
+struct WorkerBeat
+{
+    int worker = 0;
+    bool busy = false;
+    std::uint64_t task_index = 0;      ///< Last task started.
+    std::uint64_t tasks_started = 0;
+    std::uint64_t tasks_completed = 0;
+    double busy_seconds = 0.0;         ///< Time on the current task
+                                       ///< (0 when idle).
+};
+
+/** Every slot that has ever beaten, in worker order. */
+std::vector<WorkerBeat> heartbeatSnapshot();
+
+/**
+ * Count workers that have been busy on a single task for longer than
+ * @p threshold_seconds (<= 0 reads GSKU_STALL_SECONDS / default 30).
+ * Each (worker, task) pair is counted as a stall *event* at most once;
+ * new events increment stallEventsTotal() and leave a note in the
+ * flight recorder. Returns the number of currently stalled workers.
+ */
+std::size_t stallCheck(double threshold_seconds = 0.0);
+
+/** Total stall events observed since process start (or reset). */
+std::uint64_t stallEventsTotal();
+
+/** Zero every slot and the stall counter (tests and bench legs). */
+void resetHeartbeats();
+
+} // namespace gsku::obs

@@ -10,6 +10,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/flightrec.h"
+
 namespace gsku::obs {
 
 namespace {
@@ -183,6 +185,11 @@ thread_local LedgerCapture *t_capture_top = nullptr;
 void
 detailRecordToCaptures(const std::string &line)
 {
+    // Both commit paths (entry destructors and cache replays) funnel
+    // through here, so this is also where every decision fact enters
+    // the crash flight recorder's ring (obs/flightrec.h; no-op unless
+    // GSKU_FLIGHT is set).
+    flightRecordNote("ledger", line);
     for (LedgerCapture *scope = t_capture_top; scope != nullptr;
          scope = scope->prev_) {
         scope->lines_.push_back(line);

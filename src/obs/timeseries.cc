@@ -1,0 +1,410 @@
+#include "obs/timeseries.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/flightrec.h"
+#include "obs/heartbeat.h"
+#include "obs/metrics.h"
+
+namespace gsku::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'S', 'K', 'U', 'T', 'S', 'B', '1'};
+constexpr char kEndMagic[8] = {'G', 'S', 'K', 'U', 'T', 'S', 'B', 'E'};
+
+/** Patch a little-endian u32 into an already-built buffer. */
+void
+storeU32At(std::string &bytes, std::size_t off, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes[off + static_cast<std::size_t>(i)] =
+            static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+/** Parse a decimal u64 env knob; @p fallback on anything malformed. */
+std::uint64_t
+parseU64Env(const char *s, std::uint64_t fallback)
+{
+    if (s == nullptr || *s == '\0')
+        return fallback;
+    std::uint64_t v = 0;
+    for (const char *p = s; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return fallback;
+        v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+    }
+    return v;
+}
+
+/**
+ * Writer state behind one mutex. Leaked singleton (never destroyed)
+ * so worker threads and atexit hooks can always reach it. The mutex
+ * is uncontended in practice: samples are only taken by a thread
+ * outside any parallel region, and while such a thread runs engine
+ * code every pool worker is idle (parallelFor blocks its caller).
+ */
+struct Store
+{
+    std::mutex mu;
+    std::ofstream out;
+    bool open = false;
+    std::string path;
+    std::uint64_t every = kTsdbDefaultSampleEvery;
+    bool volatile_lane = false;
+
+    std::uint64_t header_fnv = 0;
+    std::uint64_t frames_fnv = tsdb::kFnvOffset;
+    std::uint64_t frame_count = 0;
+    std::uint64_t sample_count = 0;
+    std::uint64_t last_sample_clock = 0;
+
+    std::map<std::string, std::uint32_t> ids;  ///< name -> series id.
+    std::vector<bool> is_volatile;             ///< by series id.
+    std::vector<bool> have_last;               ///< by series id.
+    std::vector<std::uint64_t> last_bits;      ///< by series id.
+
+    std::chrono::steady_clock::time_point start;  ///< Wall lane only.
+};
+
+Store &
+store()
+{
+    static Store *s = new Store;
+    return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_clock{0};
+
+void
+writeFrame(Store &s, std::uint32_t kind, const std::string &payload,
+           bool checksummed)
+{
+    std::string frame;
+    tsdb::appendU32(frame, kind);
+    tsdb::appendU32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame += payload;
+    tsdb::padTo8(frame);
+    s.out.write(frame.data(),
+                static_cast<std::streamsize>(frame.size()));
+    ++s.frame_count;
+    // The checksum covers the whole frame including padding, but only
+    // the deterministic lane: volatile defs/points and wall frames
+    // are excluded so the digest is thread-count- and machine-stable.
+    if (checksummed)
+        s.frames_fnv = tsdb::fnvUpdate(s.frames_fnv, frame);
+}
+
+/** Emit one value: define the series on first sight, then write the
+ *  point only when the value changed (delta by omission). */
+void
+emitPoint(Store &s, const std::string &name, bool is_double,
+          std::uint64_t bits)
+{
+    const bool vol = tsdbSeriesIsVolatile(name);
+    if (vol && !s.volatile_lane)
+        return;
+    std::uint32_t id = 0;
+    auto it = s.ids.find(name);
+    if (it == s.ids.end()) {
+        id = static_cast<std::uint32_t>(s.ids.size());
+        s.ids.emplace(name, id);
+        s.is_volatile.push_back(vol);
+        s.have_last.push_back(false);
+        s.last_bits.push_back(0);
+        std::string def;
+        tsdb::appendU32(def, id);
+        def.push_back(is_double ? 1 : 0);
+        def.push_back(vol ? 1 : 0);
+        tsdb::appendU16(def, static_cast<std::uint16_t>(name.size()));
+        def += name;
+        writeFrame(s, 1, def, !vol);
+    } else {
+        id = it->second;
+    }
+    if (s.have_last[id] && s.last_bits[id] == bits)
+        return;
+    s.have_last[id] = true;
+    s.last_bits[id] = bits;
+    std::string point;
+    tsdb::appendU32(point, id);
+    tsdb::appendU32(point, 0);
+    tsdb::appendU64(point, bits);
+    writeFrame(s, 3, point, !s.is_volatile[id]);
+}
+
+void
+emitDouble(Store &s, const std::string &name, double v)
+{
+    emitPoint(s, name, true, tsdb::bitsOfDouble(v));
+}
+
+void
+sampleLocked(Store &s, std::uint64_t clock)
+{
+    s.last_sample_clock = clock;
+    const MetricsSnapshot snap = metrics().snapshot();
+
+    std::string begin;
+    tsdb::appendU64(begin, clock);
+    tsdb::appendU64(begin, s.sample_count);
+    writeFrame(s, 2, begin, true);
+
+    for (const auto &[name, v] : snap.counters)
+        emitPoint(s, name, false, v);
+    for (const auto &[name, v] : snap.gauges)
+        emitDouble(s, name, v);
+    for (const auto &[name, h] : snap.histograms) {
+        emitPoint(s, name + ".count", false, h.count);
+        emitDouble(s, name + ".sum", h.sum);
+        emitDouble(s, name + ".p50", h.percentile(50.0));
+        emitDouble(s, name + ".p95", h.percentile(95.0));
+        emitDouble(s, name + ".p99", h.percentile(99.0));
+    }
+
+    if (s.volatile_lane) {
+        for (const WorkerBeat &beat : heartbeatSnapshot()) {
+            const std::string prefix =
+                "worker." + std::to_string(beat.worker);
+            emitPoint(s, prefix + ".busy", false, beat.busy ? 1 : 0);
+            emitPoint(s, prefix + ".tasks_completed", false,
+                      beat.tasks_completed);
+            emitPoint(s, prefix + ".task_index", false,
+                      beat.task_index);
+            emitDouble(s, prefix + ".busy_seconds",
+                       beat.busy_seconds);
+        }
+        emitPoint(s, "parallel.stall_events", false,
+                  stallEventsTotal());
+        std::string wall;
+        tsdb::appendU64(
+            wall, tsdb::bitsOfDouble(std::chrono::duration<double>(
+                                         std::chrono::steady_clock::now() -
+                                         s.start)
+                                         .count()));
+        writeFrame(s, 4, wall, false);
+    }
+
+    ++s.sample_count;
+    s.out.flush();
+
+    if (flightRecorderEnabled()) {
+        flightRecordNote("sample",
+                         "clock=" + std::to_string(clock) +
+                             " seq=" +
+                             std::to_string(s.sample_count - 1));
+        flightRecordMetricsText(snap.toText());
+    }
+}
+
+bool
+finishLocked(Store &s)
+{
+    if (!s.open)
+        return true;
+    // Final sample so the last values always land in the file, no
+    // matter where the period boundary fell.
+    const std::uint64_t clock =
+        g_clock.load(std::memory_order_relaxed);
+    if (clock != s.last_sample_clock)
+        sampleLocked(s, clock);
+
+    std::string footer;
+    tsdb::appendU64(footer, s.frame_count);
+    tsdb::appendU64(footer, s.sample_count);
+    tsdb::appendU64(footer, s.frames_fnv);
+    tsdb::appendU64(footer, s.header_fnv);
+    footer.append(kEndMagic, sizeof kEndMagic);
+    s.out.write(footer.data(),
+                static_cast<std::streamsize>(footer.size()));
+    s.out.flush();
+    const bool ok = static_cast<bool>(s.out);
+    s.out.close();
+    s.open = false;
+    g_enabled.store(false, std::memory_order_release);
+    return ok;
+}
+
+void
+finishAtExit()
+{
+    finishTimeseries();
+}
+
+/** One-time GSKU_TSDB / GSKU_FLIGHT env activation (ledger pattern). */
+bool
+ensureEnvInit()
+{
+    static const bool done = [] {
+        const char *path = std::getenv("GSKU_TSDB"); // NOLINT(concurrency-mt-unsafe)
+        if (path != nullptr && *path != '\0')
+            startTimeseries(path);
+        // Piggyback: processes that tick telemetry should also have
+        // their crash recorder armed without any other obs call.
+        flightRecorderEnabled();
+        return true;
+    }();
+    return done;
+}
+
+} // namespace
+
+bool
+timeseriesEnabled()
+{
+    ensureEnvInit();
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+startTimeseries(const std::string &path, std::uint64_t sample_every)
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    finishLocked(s);
+
+    s.path = path;
+    std::uint64_t every = sample_every;
+    if (every == 0) {
+        every = parseU64Env(
+            std::getenv("GSKU_TSDB_EVERY"), // NOLINT(concurrency-mt-unsafe)
+            kTsdbDefaultSampleEvery);
+    }
+    s.every = every == 0 ? 1 : every;
+    const char *vol =
+        std::getenv("GSKU_TSDB_VOLATILE"); // NOLINT(concurrency-mt-unsafe)
+    s.volatile_lane = vol != nullptr && vol[0] == '1';
+
+    s.out.open(path, std::ios::binary | std::ios::trunc);
+    if (!s.out.is_open())
+        return; // telemetry is best-effort; never fail the run
+
+    std::string header;
+    header.append(kMagic, sizeof kMagic);
+    tsdb::appendU32(header, kTsdbVersion);
+    tsdb::appendU32(header, 0); // header_size, patched below
+    tsdb::appendU64(header, s.every);
+    tsdb::appendU32(header, s.volatile_lane ? 1 : 0);
+    const std::string name = kTsdbSchema;
+    tsdb::appendU32(header, static_cast<std::uint32_t>(name.size()));
+    header += name;
+    tsdb::padTo8(header);
+    storeU32At(header, 12, static_cast<std::uint32_t>(header.size()));
+
+    s.header_fnv = tsdb::fnvUpdate(tsdb::kFnvOffset, header);
+    s.frames_fnv = tsdb::kFnvOffset;
+    s.frame_count = 0;
+    s.sample_count = 0;
+    s.last_sample_clock = 0;
+    s.ids.clear();
+    s.is_volatile.clear();
+    s.have_last.clear();
+    s.last_bits.clear();
+    s.start = std::chrono::steady_clock::now();
+    s.out.write(header.data(),
+                static_cast<std::streamsize>(header.size()));
+
+    s.open = true;
+    g_enabled.store(true, std::memory_order_release);
+
+    static const bool atexit_registered = [] {
+        std::atexit(finishAtExit);
+        return true;
+    }();
+    (void)atexit_registered;
+
+    // Baseline sample: the registry state at activation, so every file
+    // starts with a full series catalog and a point of reference.
+    sampleLocked(s, g_clock.load(std::memory_order_relaxed));
+}
+
+bool
+finishTimeseries()
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return finishLocked(s);
+}
+
+void
+telemetryTick(std::uint64_t units)
+{
+    ensureEnvInit();
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return;
+    const std::uint64_t clock =
+        g_clock.fetch_add(units, std::memory_order_relaxed) + units;
+    // Inside a parallel region only the clock advances: registry
+    // counters are not thread-count deterministic mid-batch, and the
+    // serial thread will catch up at the next tick past the period.
+    if (inParallelRegion())
+        return;
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.open)
+        return;
+    if (clock - s.last_sample_clock < s.every)
+        return;
+    sampleLocked(s, clock);
+}
+
+std::uint64_t
+telemetryClock()
+{
+    return g_clock.load(std::memory_order_relaxed);
+}
+
+bool
+tsdbSeriesIsVolatile(const std::string &name)
+{
+    if (name == "parallel.pool_threads" ||
+        name == "parallel.stall_events") {
+        return true;
+    }
+    return name.rfind("worker.", 0) == 0 ||
+           name.rfind("wall.", 0) == 0;
+}
+
+double
+TsdbPoint::asDouble() const
+{
+    return tsdb::doubleOfBits(bits);
+}
+
+const TsdbSeries *
+TimeseriesData::findSeries(const std::string &name) const
+{
+    for (const TsdbSeries &s : series)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::map<std::string, double>
+TimeseriesData::finalValues() const
+{
+    std::map<std::uint32_t, const TsdbSeries *> byId;
+    for (const TsdbSeries &s : series)
+        byId[s.id] = &s;
+    std::map<std::string, double> out;
+    for (const TsdbSample &sample : samples) {
+        for (const TsdbPoint &p : sample.points) {
+            auto it = byId.find(p.series);
+            if (it == byId.end())
+                continue;
+            out[it->second->name] =
+                it->second->is_double
+                    ? p.asDouble()
+                    : static_cast<double>(p.bits);
+        }
+    }
+    return out;
+}
+
+} // namespace gsku::obs

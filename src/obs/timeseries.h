@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Live telemetry time series (`gsku-tsdb-v1`): a periodic sampler that
+ * snapshots the metrics registry on a deterministic *logical* clock and
+ * streams the samples into a compact versioned binary file, modeled on
+ * the gsku-trace-v1 container (src/cluster/trace_binary.h).
+ *
+ * The logical clock advances by `telemetryTick(units)` calls placed at
+ * the engines' event loops (trace replay events, generator records,
+ * sweep jobs, sizing probes, bench legs) — never by wall time — so a
+ * run samples at the same points no matter how fast the machine is or
+ * how many pool threads execute it. Ticks issued from inside a
+ * parallel region only advance the clock; the sample itself is taken
+ * at the next tick on a serial section (obs::inParallelRegion() ==
+ * false, see obs/heartbeat.h), where every registry counter is
+ * thread-count deterministic (the byte-identity contract of
+ * common/parallel.h). The result: the tsdb file is byte-identical at
+ * 1 and N threads.
+ *
+ * On-disk layout (all integers little-endian, doubles by bit pattern):
+ *
+ *   header   magic "GSKUTSB1" (8) | u32 version=1 | u32 header_size |
+ *            u64 sample_every | u32 flags (bit0 = volatile lane) |
+ *            u32 name_len | name bytes | zero padding to 8 bytes
+ *   frames   8-byte-aligned frames, each `u32 kind | u32 payload_len |
+ *            payload | zero padding to 8 bytes`:
+ *              kind 1  series-def   u32 series_id | u8 value_type
+ *                                   (0 = u64 counter, 1 = f64 gauge) |
+ *                                   u8 flags (bit0 = volatile) |
+ *                                   u16 name_len | name bytes
+ *              kind 2  sample-begin u64 logical_clock | u64 sample_seq
+ *              kind 3  point        u32 series_id | u32 zero |
+ *                                   u64 value_bits
+ *              kind 4  wall-clock   f64 seconds since telemetry start
+ *   footer   u64 frame_count | u64 sample_count | u64 frames_fnv |
+ *            u64 header_fnv | end magic "GSKUTSBE" (8)
+ *
+ * Series definitions are in-stream (not in the footer) so a live file
+ * can be followed while it grows. A point is emitted only when the
+ * series value changed since the last emitted point (delta by
+ * omission); histograms expand into `.count`, `.sum`, `.p50`, `.p95`,
+ * and `.p99` series.
+ *
+ * The volatile lane — wall-clock frames plus series whose values are
+ * legitimately machine- or thread-count-dependent (worker heartbeats,
+ * `parallel.pool_threads`, stall counts) — is excluded from
+ * `frames_fnv` and only written at all when `GSKU_TSDB_VOLATILE=1`,
+ * so the default file stays byte-reproducible end to end.
+ *
+ * Activation mirrors the ledger: `GSKU_TSDB=<path>` enables sampling
+ * for the process and finalizes the file atexit; drivers can also call
+ * startTimeseries()/finishTimeseries() explicitly (the `--tsdb` flag).
+ * `GSKU_TSDB_EVERY=<n>` overrides the sample period (default 10000
+ * ticks). Telemetry never writes to the metrics registry, so manifests
+ * and engine outputs are byte-identical with sampling on or off.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsku::obs {
+
+inline constexpr std::uint32_t kTsdbVersion = 1;
+inline constexpr std::size_t kTsdbHeaderFixed = 32;
+inline constexpr std::size_t kTsdbFooterSize = 40;
+inline constexpr std::uint64_t kTsdbDefaultSampleEvery = 10000;
+
+/** Schema string recorded by validate_obs.py and gsku_top. */
+inline constexpr const char *kTsdbSchema = "gsku-tsdb-v1";
+
+// ---------------------------------------------------------------------
+// Sampler (writer side).
+// ---------------------------------------------------------------------
+
+/** True when a tsdb writer is live (GSKU_TSDB or startTimeseries). */
+bool timeseriesEnabled();
+
+/**
+ * Start streaming samples of the metrics registry to @p path. Replaces
+ * any live writer (finalizing it first). @p sample_every <= 0 keeps
+ * the GSKU_TSDB_EVERY / default period.
+ */
+void startTimeseries(const std::string &path,
+                     std::uint64_t sample_every = 0);
+
+/** Finalize and close the live tsdb file (writes the footer). Safe to
+ *  call when no writer is live. Returns false on I/O failure. */
+bool finishTimeseries();
+
+/**
+ * Advance the logical telemetry clock by @p units work units, and take
+ * a registry sample if a writer is live, the clock crossed the sample
+ * period, and the calling thread is not inside a parallel region. A
+ * disabled tick is one relaxed atomic load.
+ */
+void telemetryTick(std::uint64_t units = 1);
+
+/** Current logical clock value (0 when telemetry is disabled). */
+std::uint64_t telemetryClock();
+
+// ---------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------
+
+/** One series declared by a kind-1 frame. */
+struct TsdbSeries
+{
+    std::uint32_t id = 0;
+    std::string name;
+    bool is_double = false;     ///< value_type 1 (f64 gauge lane).
+    bool is_volatile = false;   ///< Excluded from frames_fnv.
+};
+
+/** One kind-3 point inside a sample. */
+struct TsdbPoint
+{
+    std::uint32_t series = 0;
+    std::uint64_t bits = 0;     ///< u64 value or f64 bit pattern.
+
+    double asDouble() const;
+};
+
+/** One sample: a kind-2 frame plus its points and optional wall lane. */
+struct TsdbSample
+{
+    std::uint64_t clock = 0;
+    std::uint64_t seq = 0;
+    std::vector<TsdbPoint> points;
+    bool has_wall = false;
+    double wall_seconds = 0.0;
+};
+
+/** Parsed tsdb file (or live prefix of one, in tail mode). */
+struct TimeseriesData
+{
+    std::uint64_t sample_every = 0;
+    bool volatile_lane = false;
+    std::string program;
+    std::vector<TsdbSeries> series;
+    std::vector<TsdbSample> samples;
+
+    bool complete = false;          ///< Footer present and verified.
+    std::uint64_t frame_count = 0;  ///< From the footer (complete only).
+    std::size_t bytes_parsed = 0;   ///< Prefix consumed (tail mode).
+
+    const TsdbSeries *findSeries(const std::string &name) const;
+
+    /** Final value of every series (last point wins), as doubles. */
+    std::map<std::string, double> finalValues() const;
+};
+
+// The validating readers — readTsdb() (strict, throws UserError naming
+// the offending byte offset) and readTsdbTail() (tolerant prefix parse
+// for following a growing file) — live in common/tsdb_read.h: obs is
+// the bottom layer of the module DAG and must not include the error
+// machinery, while common may include obs.
+
+/** Name-based volatility classification shared by writer, reader, and
+ *  tools: worker heartbeats, wall lane, pool shape, stall counts. */
+bool tsdbSeriesIsVolatile(const std::string &name);
+
+// ---------------------------------------------------------------------
+// Byte codec shared by the writer (obs) and the reader (common).
+// Little-endian byte loops — no reinterpret_cast (byte-cast rule); the
+// files are small enough that a plain read beats mmap anyway.
+// ---------------------------------------------------------------------
+
+namespace tsdb {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t
+fnvUpdate(std::uint64_t h, const std::string &bytes)
+{
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnvUpdate(std::uint64_t h, const std::string &bytes, std::size_t begin,
+          std::size_t len)
+{
+    for (std::size_t i = begin; i < begin + len; ++i) {
+        h ^= static_cast<unsigned char>(bytes[i]);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+inline void
+appendU16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+inline void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+inline std::uint64_t
+bitsOfDouble(double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return bits;
+}
+
+inline double
+doubleOfBits(std::uint64_t bits)
+{
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+inline std::uint16_t
+loadU16(const std::string &bytes, std::size_t off)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<unsigned char>(bytes[off]) |
+        (static_cast<unsigned char>(bytes[off + 1]) << 8));
+}
+
+inline std::uint32_t
+loadU32(const std::string &bytes, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+        v = (v << 8) |
+            static_cast<unsigned char>(bytes[off + static_cast<std::size_t>(i)]);
+    }
+    return v;
+}
+
+inline std::uint64_t
+loadU64(const std::string &bytes, std::size_t off)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+        v = (v << 8) |
+            static_cast<unsigned char>(bytes[off + static_cast<std::size_t>(i)]);
+    }
+    return v;
+}
+
+/** Zero-pad @p out to the next 8-byte boundary. */
+inline void
+padTo8(std::string &out)
+{
+    while (out.size() % 8 != 0)
+        out.push_back('\0');
+}
+
+} // namespace tsdb
+
+} // namespace gsku::obs

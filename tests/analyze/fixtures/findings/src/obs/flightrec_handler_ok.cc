@@ -1,0 +1,36 @@
+// Near-miss for the sigsafe rule: a crash-handler TU that stays on
+// the async-signal-safe allowlist — raw syscalls, fixed buffers,
+// hand-rolled formatting, and _exit (the underscore spelling; plain
+// exit() runs atexit handlers and flushes streams). Words like
+// malloc or cout in comments must not fire either: rules scan the
+// comment-stripped token stream.
+
+namespace gsku::obs::flight {
+
+unsigned long
+formatDecimal(unsigned long value, char *out, unsigned long cap)
+{
+    unsigned long n = 0;
+    do {
+        if (n < cap)
+            out[n++] = static_cast<char>('0' + value % 10);
+        value /= 10;
+    } while (value != 0);
+    for (unsigned long i = 0; i < n / 2; ++i) {
+        const char tmp = out[i];
+        out[i] = out[n - 1 - i];
+        out[n - 1 - i] = tmp;
+    }
+    return n;
+}
+
+void
+rawDump(int fd, const char *line, unsigned long len)
+{
+    ::write(fd, line, len);
+    ::fsync(fd);
+    if (fd < 0)
+        ::_exit(1);
+}
+
+} // namespace gsku::obs::flight

@@ -1,0 +1,32 @@
+// True positives for the sigsafe rule: this file's basename starts
+// with "flightrec_handler", so it is treated as the crash-handler TU
+// and every async-signal-unsafe identifier below must be reported.
+
+namespace gsku::obs::flight {
+
+void
+dumpWithAllocation()
+{
+    void *raw = malloc(64);
+    free(raw);
+    int *heap = new int(7);
+    delete heap;
+}
+
+void
+dumpWithBufferedIo(int value)
+{
+    char buf[32];
+    snprintf(buf, sizeof buf, "%d", value);
+    printf("%d", value);
+}
+
+void
+dumpWithLocking()
+{
+    static mutex mu;
+    lock_guard guard(mu);
+    exit(1);
+}
+
+} // namespace gsku::obs::flight

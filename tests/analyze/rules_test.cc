@@ -70,7 +70,7 @@ TEST(RulesGoldenTest, EveryRuleFiresOnItsTruePositive)
          {"rng-usage", "error-convention", "concurrency", "timing",
           "ledger-events", "checked-parse", "byte-cast",
           "raw-double-units", "pragma-once", "determinism-taint",
-          "lint-ok"}) {
+          "sigsafe", "lint-ok"}) {
         EXPECT_TRUE(fired.count(rule)) << "no finding for " << rule;
     }
 }

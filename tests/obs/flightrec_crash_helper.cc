@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Crash-injection helper for flightrec_test: arms the flight recorder
+ * at the path in argv[1], seeds the ring with a couple of notes, then
+ * either crashes (argv[2] == "abort", exercising the async-signal-safe
+ * handler path end to end) or dumps on demand (argv[2] == "dump").
+ * The parent test asserts the recovered artifact is well formed.
+ */
+#include <cstdlib>
+#include <string>
+
+#include "obs/flightrec.h"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return 2;
+    gsku::obs::startFlightRecorder(argv[1]);
+    gsku::obs::flightRecordProgram("crash_helper");
+    gsku::obs::flightRecordNote("test", "first-note");
+    gsku::obs::flightRecordNote("test", "before-crash");
+    gsku::obs::flightRecordMetricsText("counter helper.runs = 1");
+
+    const std::string mode = argv[2];
+    if (mode == "abort")
+        std::abort();   // SIGABRT -> handler dumps, then re-raises.
+    if (mode == "dump")
+        return gsku::obs::dumpFlightRecorder("explicit") ? 0 : 1;
+    return 2;
+}

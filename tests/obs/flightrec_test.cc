@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the crash flight recorder (obs/flightrec.h). The crash path
+ * cannot run in-process — the handler re-raises and would kill the
+ * test runner — so a helper binary (flightrec_crash_helper, path baked
+ * in via GSKU_CRASH_HELPER) SIGABRTs under an armed recorder and this
+ * test asserts the recovered `gsku-flightrec-v1` artifact is well
+ * formed: schema first line, program/reason headers, the seeded ring
+ * notes, and the terminating end marker (the atomic-rename contract
+ * means a dump is never observed half-written). On-demand dumps are
+ * exercised both through the helper and in-process.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/flightrec.h"
+
+namespace gsku::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FlightRecTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("gsku_flightrec_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string path(const std::string &name) const
+    {
+        return (fs::path(dir_) / name).string();
+    }
+
+    std::string dir_;
+};
+
+std::string
+slurp(const std::string &file)
+{
+    std::ifstream in(file, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Run the crash helper; returns std::system's status. */
+int
+runHelper(const std::string &dump, const std::string &mode)
+{
+    const std::string cmd = std::string(GSKU_CRASH_HELPER) + " '" +
+                            dump + "' " + mode + " 2>/dev/null";
+    return std::system(cmd.c_str()); // NOLINT(concurrency-mt-unsafe)
+}
+
+void
+expectWellFormedDump(const std::string &text, const std::string &reason)
+{
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.rfind(std::string(kFlightSchema) + "\n", 0), 0u)
+        << "dump must open with the schema line";
+    EXPECT_NE(text.find("program crash_helper\n"), std::string::npos);
+    EXPECT_NE(text.find("reason " + reason + "\n"), std::string::npos);
+    EXPECT_NE(text.find("ring_begin "), std::string::npos);
+    EXPECT_NE(text.find("first-note"), std::string::npos);
+    EXPECT_NE(text.find("before-crash"), std::string::npos);
+    EXPECT_NE(text.find("ring_end\n"), std::string::npos);
+    EXPECT_NE(text.find("metrics_begin\n"), std::string::npos);
+    EXPECT_NE(text.find("counter helper.runs = 1"), std::string::npos);
+    // The end marker proves the dump ran to completion before the
+    // atomic rename.
+    const std::string end = std::string("end ") + kFlightSchema + "\n";
+    EXPECT_EQ(text.rfind(end), text.size() - end.size());
+}
+
+TEST_F(FlightRecTest, CrashRecoversAWellFormedDump)
+{
+    const std::string dump = path("crash.flight");
+    const int status = runHelper(dump, "abort");
+    // The handler re-raises with SA_RESETHAND, so the helper still
+    // dies from SIGABRT: crash status is preserved, not swallowed.
+    EXPECT_NE(status, 0);
+    ASSERT_TRUE(fs::exists(dump))
+        << "crash handler left no post-mortem artifact";
+    // No half-written temp file survives the atomic rename.
+    EXPECT_FALSE(fs::exists(dump + ".tmp"));
+    expectWellFormedDump(slurp(dump), "SIGABRT");
+}
+
+TEST_F(FlightRecTest, OnDemandDumpMatchesCrashShape)
+{
+    const std::string dump = path("demand.flight");
+    const int status = runHelper(dump, "dump");
+    EXPECT_EQ(status, 0);
+    ASSERT_TRUE(fs::exists(dump));
+    expectWellFormedDump(slurp(dump), "explicit");
+}
+
+TEST_F(FlightRecTest, InProcessRecorderDumpsRepeatedly)
+{
+    const std::string dump = path("local.flight");
+    startFlightRecorder(dump);
+    EXPECT_TRUE(flightRecorderEnabled());
+    const std::uint64_t before = flightRecordCount();
+    flightRecordNote("test", "in-process-note");
+    EXPECT_EQ(flightRecordCount(), before + 1);
+
+    ASSERT_TRUE(dumpFlightRecorder("unit-test"));
+    const std::string first = slurp(dump);
+    EXPECT_EQ(first.rfind(std::string(kFlightSchema) + "\n", 0), 0u);
+    EXPECT_NE(first.find("reason unit-test\n"), std::string::npos);
+    EXPECT_NE(first.find("in-process-note"), std::string::npos);
+
+    // Unlike the crash path, on-demand dumps may repeat; each rewrite
+    // reflects the ring at that moment.
+    flightRecordNote("test", "second-wave");
+    ASSERT_TRUE(dumpFlightRecorder("unit-test"));
+    EXPECT_NE(slurp(dump).find("second-wave"), std::string::npos);
+}
+
+} // namespace
+} // namespace gsku::obs

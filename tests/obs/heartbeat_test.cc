@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests of worker heartbeats and stall detection (obs/heartbeat.h):
+ * the beat lifecycle around task bodies, parallel-region depth for
+ * the calling thread, slot clamping above kMaxHeartbeatWorkers, and
+ * stall events counted once per (worker, task).
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/heartbeat.h"
+
+namespace gsku::obs {
+namespace {
+
+class HeartbeatTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetHeartbeats(); }
+    void TearDown() override { resetHeartbeats(); }
+};
+
+const WorkerBeat *
+findWorker(const std::vector<WorkerBeat> &beats, int worker)
+{
+    for (const WorkerBeat &b : beats)
+        if (b.worker == worker)
+            return &b;
+    return nullptr;
+}
+
+TEST_F(HeartbeatTest, BeatLifecycleTracksTasks)
+{
+    EXPECT_FALSE(inParallelRegion());
+    EXPECT_TRUE(heartbeatSnapshot().empty());
+
+    beatTaskStart(2, 7);
+    EXPECT_TRUE(inParallelRegion());
+    {
+        const auto beats = heartbeatSnapshot();
+        const WorkerBeat *w = findWorker(beats, 2);
+        ASSERT_NE(w, nullptr);
+        EXPECT_TRUE(w->busy);
+        EXPECT_EQ(w->task_index, 7u);
+        EXPECT_EQ(w->tasks_started, 1u);
+        EXPECT_EQ(w->tasks_completed, 0u);
+    }
+
+    beatTaskEnd(2);
+    EXPECT_FALSE(inParallelRegion());
+    {
+        const auto beats = heartbeatSnapshot();
+        const WorkerBeat *w = findWorker(beats, 2);
+        ASSERT_NE(w, nullptr);
+        EXPECT_FALSE(w->busy);
+        EXPECT_EQ(w->tasks_completed, 1u);
+        EXPECT_EQ(w->busy_seconds, 0.0);
+    }
+}
+
+TEST_F(HeartbeatTest, RegionDepthNests)
+{
+    beatTaskStart(0, 1);
+    beatTaskStart(0, 2);    // Nested region on the same thread.
+    EXPECT_TRUE(inParallelRegion());
+    beatTaskEnd(0);
+    EXPECT_TRUE(inParallelRegion());
+    beatTaskEnd(0);
+    EXPECT_FALSE(inParallelRegion());
+}
+
+TEST_F(HeartbeatTest, WorkersAboveTableShareTheLastSlot)
+{
+    beatTaskStart(kMaxHeartbeatWorkers + 5, 1);
+    beatTaskEnd(kMaxHeartbeatWorkers + 5);
+    const auto beats = heartbeatSnapshot();
+    const WorkerBeat *w = findWorker(beats, kMaxHeartbeatWorkers - 1);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->tasks_completed, 1u);
+}
+
+TEST_F(HeartbeatTest, StallCountedOncePerTask)
+{
+    EXPECT_EQ(stallEventsTotal(), 0u);
+    EXPECT_EQ(stallCheck(1e-9), 0u);    // Nobody busy: no stalls.
+
+    beatTaskStart(1, 3);
+    // With a nano threshold the busy worker reads as stalled as soon
+    // as any wall time has elapsed on the task.
+    std::size_t stalled = 0;
+    for (int i = 0; i < 1000 && stalled == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        stalled = stallCheck(1e-9);
+    }
+    EXPECT_EQ(stalled, 1u);
+    EXPECT_EQ(stallEventsTotal(), 1u);
+
+    // Still stalled on the same task: reported, but not re-counted.
+    EXPECT_EQ(stallCheck(1e-9), 1u);
+    EXPECT_EQ(stallEventsTotal(), 1u);
+
+    // A generous threshold sees no stall at all.
+    EXPECT_EQ(stallCheck(3600.0), 0u);
+
+    beatTaskEnd(1);
+    EXPECT_EQ(stallCheck(1e-9), 0u);
+    EXPECT_EQ(stallEventsTotal(), 1u);
+
+    // The next task on the same worker is a fresh (worker, task) pair.
+    beatTaskStart(1, 4);
+    stalled = 0;
+    for (int i = 0; i < 1000 && stalled == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        stalled = stallCheck(1e-9);
+    }
+    EXPECT_EQ(stalled, 1u);
+    EXPECT_EQ(stallEventsTotal(), 2u);
+    beatTaskEnd(1);
+}
+
+} // namespace
+} // namespace gsku::obs

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Tests of the `gsku-tsdb-v1` telemetry container: write/read round
+ * trips through the logical-clock sampler, delta-by-omission point
+ * encoding, the volatile lane (and its exclusion from the frames
+ * checksum), tolerant tail reads of a growing file, and offset-naming
+ * rejection of corrupt/truncated/version-skewed files — mirroring the
+ * trace_binary_test suite for gsku-trace-v1.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/tsdb_read.h"
+#include "obs/heartbeat.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace gsku::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Per-test scratch directory under the system temp dir. */
+class TimeseriesTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("gsku_timeseries_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        finishTimeseries();
+        ::unsetenv("GSKU_TSDB_VOLATILE");
+        fs::remove_all(dir_);
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return (fs::path(dir_) / name).string();
+    }
+
+    std::string dir_;
+};
+
+std::string
+slurp(const std::string &file)
+{
+    std::ifstream in(file, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/**
+ * Write a small but structurally complete tsdb file: a baseline
+ * sample at activation, periodic samples as the counter moves, and a
+ * final sample at finish. Returns the counter's final value.
+ */
+std::uint64_t
+writeSmallTsdb(const std::string &file, const std::string &counter_name,
+               int samples = 3)
+{
+    Counter &c = metrics().counter(counter_name);
+    startTimeseries(file, /*sample_every=*/4);
+    for (int i = 0; i < samples; ++i) {
+        c.inc(10);
+        telemetryTick(4);    // Crosses the period: one sample per loop.
+    }
+    // Move the counter and the clock (without crossing the period) so
+    // finish() has to take its final catch-up sample.
+    c.inc(1);
+    telemetryTick(1);
+    EXPECT_TRUE(finishTimeseries());
+    return c.value();
+}
+
+TEST_F(TimeseriesTest, RoundTripsThroughTheSampler)
+{
+    const std::string file = path("run.gskutsdb");
+    const std::uint64_t final_value =
+        writeSmallTsdb(file, "tstest.roundtrip");
+
+    const TimeseriesData data = readTsdb(file);
+    EXPECT_TRUE(data.complete);
+    EXPECT_EQ(data.program, kTsdbSchema);
+    EXPECT_EQ(data.sample_every, 4u);
+    EXPECT_FALSE(data.volatile_lane);
+    // Baseline + 3 periodic + 1 final.
+    EXPECT_EQ(data.samples.size(), 5u);
+
+    // Logical clocks strictly increase; seqs are dense from zero.
+    for (std::size_t i = 0; i < data.samples.size(); ++i) {
+        EXPECT_EQ(data.samples[i].seq, i);
+        if (i > 0) {
+            EXPECT_GT(data.samples[i].clock,
+                      data.samples[i - 1].clock);
+        }
+        EXPECT_FALSE(data.samples[i].has_wall);
+    }
+
+    const TsdbSeries *series = data.findSeries("tstest.roundtrip");
+    ASSERT_NE(series, nullptr);
+    EXPECT_FALSE(series->is_double);
+    EXPECT_FALSE(series->is_volatile);
+    const auto finals = data.finalValues();
+    EXPECT_EQ(finals.at("tstest.roundtrip"),
+              static_cast<double>(final_value));
+}
+
+TEST_F(TimeseriesTest, DeltaByOmissionSkipsUnchangedSeries)
+{
+    // A counter frozen before activation lands exactly one point (the
+    // baseline sample); a moving counter lands one per sample.
+    Counter &frozen = metrics().counter("tstest.frozen");
+    frozen.inc(7);
+    const std::string file = path("delta.gskutsdb");
+    writeSmallTsdb(file, "tstest.moving");
+
+    const TimeseriesData data = readTsdb(file);
+    const TsdbSeries *fs_ = data.findSeries("tstest.frozen");
+    const TsdbSeries *ms = data.findSeries("tstest.moving");
+    ASSERT_NE(fs_, nullptr);
+    ASSERT_NE(ms, nullptr);
+    std::size_t frozen_points = 0;
+    std::size_t moving_points = 0;
+    for (const TsdbSample &sample : data.samples) {
+        for (const TsdbPoint &p : sample.points) {
+            frozen_points += p.series == fs_->id ? 1 : 0;
+            moving_points += p.series == ms->id ? 1 : 0;
+        }
+    }
+    EXPECT_EQ(frozen_points, 1u);
+    EXPECT_EQ(moving_points, data.samples.size());
+}
+
+TEST_F(TimeseriesTest, SamplingNeverWritesTheRegistry)
+{
+    // The byte-identity contract: telemetry observes the registry and
+    // never feeds back, so a full write cycle with no engine activity
+    // leaves every metric exactly where it was.
+    const std::string before = metrics().snapshot().toJson();
+    startTimeseries(path("silent.gskutsdb"), 2);
+    telemetryTick(2);
+    telemetryTick(2);
+    EXPECT_TRUE(finishTimeseries());
+    EXPECT_EQ(metrics().snapshot().toJson(), before);
+}
+
+TEST_F(TimeseriesTest, VolatileNameClassification)
+{
+    EXPECT_TRUE(tsdbSeriesIsVolatile("parallel.pool_threads"));
+    EXPECT_TRUE(tsdbSeriesIsVolatile("parallel.stall_events"));
+    EXPECT_TRUE(tsdbSeriesIsVolatile("worker.3.busy_seconds"));
+    EXPECT_TRUE(tsdbSeriesIsVolatile("wall.seconds"));
+    EXPECT_FALSE(tsdbSeriesIsVolatile("parallel.tasks_run"));
+    EXPECT_FALSE(tsdbSeriesIsVolatile("replay.vms_placed"));
+    EXPECT_FALSE(tsdbSeriesIsVolatile("workers"));   // No dot prefix.
+}
+
+TEST_F(TimeseriesTest, VolatileLaneIsOptInAndChecksumExcluded)
+{
+    // Default: volatile series stay out of the file entirely.
+    const std::string plain = path("plain.gskutsdb");
+    writeSmallTsdb(plain, "tstest.lane");
+    const TimeseriesData off = readTsdb(plain);
+    EXPECT_FALSE(off.volatile_lane);
+    for (const TsdbSeries &s : off.series)
+        EXPECT_FALSE(s.is_volatile) << s.name;
+
+    // Opted in: worker heartbeats, the stall counter, and the wall
+    // lane appear, flagged volatile — and the strict reader still
+    // verifies both checksums, because volatile frames are excluded
+    // from frames_fnv by writer and reader alike.
+    ::setenv("GSKU_TSDB_VOLATILE", "1", 1);
+    beatTaskStart(1, 42);
+    beatTaskEnd(1);
+    const std::string vol_file = path("volatile.gskutsdb");
+    writeSmallTsdb(vol_file, "tstest.lane");
+    const TimeseriesData on = readTsdb(vol_file);
+    EXPECT_TRUE(on.volatile_lane);
+    EXPECT_TRUE(on.complete);
+
+    bool saw_volatile = false;
+    for (const TsdbSeries &s : on.series) {
+        EXPECT_EQ(s.is_volatile, tsdbSeriesIsVolatile(s.name))
+            << s.name;
+        saw_volatile = saw_volatile || s.is_volatile;
+    }
+    EXPECT_TRUE(saw_volatile);
+    ASSERT_NE(on.findSeries("parallel.stall_events"), nullptr);
+    ASSERT_FALSE(on.samples.empty());
+    EXPECT_TRUE(on.samples.front().has_wall);
+    EXPECT_GE(on.samples.front().wall_seconds, 0.0);
+}
+
+TEST_F(TimeseriesTest, TailReadFollowsAGrowingFile)
+{
+    const std::string file = path("grow.gskutsdb");
+    writeSmallTsdb(file, "tstest.tail");
+    const std::string bytes = slurp(file);
+    const TimeseriesData full = readTsdb(file);
+
+    // A complete file tail-reads as complete.
+    const TimeseriesData done = readTsdbTail(file);
+    EXPECT_TRUE(done.complete);
+    EXPECT_EQ(done.samples.size(), full.samples.size());
+    EXPECT_EQ(done.bytes_parsed, bytes.size());
+
+    // Strip the footer and some trailing frame bytes: exactly what a
+    // follower sees mid-run. The tail read stops at the last whole
+    // frame and reports the consumed prefix.
+    const std::string partial =
+        bytes.substr(0, bytes.size() - kTsdbFooterSize - 3);
+    const std::string live = path("live.gskutsdb");
+    {
+        std::ofstream out(live, std::ios::binary);
+        out.write(partial.data(),
+                  static_cast<std::streamsize>(partial.size()));
+    }
+    const TimeseriesData tail = readTsdbTail(live);
+    EXPECT_FALSE(tail.complete);
+    EXPECT_LE(tail.bytes_parsed, partial.size());
+    EXPECT_GT(tail.samples.size(), 0u);
+    EXPECT_LE(tail.samples.size(), full.samples.size());
+    for (std::size_t i = 0; i < tail.samples.size(); ++i) {
+        EXPECT_EQ(tail.samples[i].clock, full.samples[i].clock);
+        EXPECT_EQ(tail.samples[i].seq, full.samples[i].seq);
+    }
+
+    // The strict reader refuses the same prefix.
+    EXPECT_THROW(readTsdb(live), UserError);
+}
+
+TEST_F(TimeseriesTest, RejectsCorruptFilesNamingTheOffset)
+{
+    const std::string good = path("good.gskutsdb");
+    writeSmallTsdb(good, "tstest.corrupt");
+    const std::string bytes = slurp(good);
+    ASSERT_GE(bytes.size(), kTsdbHeaderFixed + kTsdbFooterSize);
+
+    auto expect_reject = [this](const std::string &content,
+                                const std::string &needle) {
+        const std::string file = path("corrupt.gskutsdb");
+        {
+            std::ofstream out(file, std::ios::binary | std::ios::trunc);
+            out.write(content.data(),
+                      static_cast<std::streamsize>(content.size()));
+        }
+        try {
+            readTsdb(file);
+            FAIL() << "expected rejection for: " << needle;
+        } catch (const UserError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << "needle '" << needle << "' not in: " << e.what();
+        }
+    };
+
+    expect_reject(bytes.substr(0, 20), "truncated header");
+
+    std::string bad = bytes;
+    bad[0] = 'X';
+    expect_reject(bad, "bad magic at offset 0");
+
+    bad = bytes;
+    bad[8] = 9;     // Version little-endian low byte.
+    expect_reject(bad, "unsupported version 9 at offset 8");
+
+    bad = bytes;
+    bad[12] = 12;   // header_size 12: below the fixed minimum.
+    bad[13] = bad[14] = bad[15] = 0;
+    expect_reject(bad, "bad header_size 12 at offset 12");
+
+    bad = bytes;
+    for (std::size_t i = 16; i < 24; ++i)
+        bad[i] = 0;                 // sample_every 0.
+    expect_reject(bad, "bad sample_every 0 at offset 16");
+
+    bad = bytes;
+    bad[24] = static_cast<char>(bad[24] | 2);   // Unknown flag bit.
+    expect_reject(bad, "unknown header flags");
+
+    const std::size_t header_size = tsdb::loadU32(bytes, 12);
+    const std::size_t footer = bytes.size() - kTsdbFooterSize;
+
+    // First frame is the baseline sample-begin: corrupting its seq
+    // breaks the dense numbering before any checksum is consulted.
+    bad = bytes;
+    bad[header_size + 8 + 8] =
+        static_cast<char>(bad[header_size + 8 + 8] ^ 0xff);
+    expect_reject(bad, "sample seq");
+
+    bad = bytes;
+    bad[header_size] = 9;           // Frame kind 2 -> 9.
+    expect_reject(bad, "unknown frame kind 9");
+
+    // Flip one payload byte of the first point frame (located by
+    // walking the frame tiling): structurally intact, so only the
+    // deterministic-lane checksum catches it.
+    {
+        std::size_t off = header_size;
+        std::size_t point_payload = 0;
+        while (off + 8 <= footer) {
+            const std::uint32_t kind = tsdb::loadU32(bytes, off);
+            const std::uint32_t len = tsdb::loadU32(bytes, off + 4);
+            if (kind == 3) {
+                point_payload = off + 8;
+                break;
+            }
+            off += 8 + ((static_cast<std::size_t>(len) + 7) &
+                        ~std::size_t{7});
+        }
+        ASSERT_GT(point_payload, 0u) << "no point frame found";
+        bad = bytes;
+        bad[point_payload + 8] =
+            static_cast<char>(bad[point_payload + 8] ^ 0x1);
+        expect_reject(bad, "frames checksum mismatch at offset");
+
+        // Point at a series id far past the defined table.
+        bad = bytes;
+        bad[point_payload] = static_cast<char>(0xff);
+        bad[point_payload + 1] = 0;
+        bad[point_payload + 2] = 0;
+        bad[point_payload + 3] = 0;
+        expect_reject(bad, "point references undefined series 255");
+    }
+
+    // Header tampering past the fixed fields is caught by header_fnv.
+    bad = bytes;
+    bad[kTsdbHeaderFixed + 2] =
+        static_cast<char>(bad[kTsdbHeaderFixed + 2] ^ 0xff);
+    expect_reject(bad, "header checksum mismatch at offset");
+
+    // Footer field tampering: counts and both digests.
+    bad = bytes;
+    bad[footer] = static_cast<char>(bad[footer] ^ 0x1);
+    expect_reject(bad, "footer frame_count");
+
+    bad = bytes;
+    bad[footer + 8] = static_cast<char>(bad[footer + 8] ^ 0x1);
+    expect_reject(bad, "footer sample_count");
+
+    bad = bytes;
+    bad[footer + 16] = static_cast<char>(bad[footer + 16] ^ 0x1);
+    expect_reject(bad, "frames checksum mismatch at offset");
+
+    bad = bytes;
+    bad[footer + 24] = static_cast<char>(bad[footer + 24] ^ 0x1);
+    expect_reject(bad, "header checksum mismatch at offset");
+
+    bad = bytes;
+    bad[bytes.size() - 1] = 'X';
+    expect_reject(bad, "bad end magic");
+
+    expect_reject(bytes + "extra", "bad end magic");
+    expect_reject(bytes.substr(0, bytes.size() - 5), "bad end magic");
+    expect_reject(bytes.substr(0, header_size + 4),
+                  "leave no room for the 40-byte footer");
+
+    EXPECT_THROW(readTsdb(path("missing.gskutsdb")), UserError);
+}
+
+} // namespace
+} // namespace gsku::obs

@@ -17,6 +17,14 @@ Two classes of check, with different severities:
             ``--strict-time`` to turn those warnings into failures on
             a machine you trust for timing.
 
+            Peak memory works the same way when both legs record
+            ``max_rss_kb`` (bench_fleet does): ``--max-rss-growth``
+            sets the warning ratio (default 1.25 = warn beyond 25%
+            more resident memory than the baseline — RSS is far less
+            machine-noisy than wall clock, so the band is tighter),
+            and ``--strict-rss`` turns those warnings into failures.
+            A leg using *less* memory than baseline never warns.
+
 Typical use (CI):
   bench/bench_sweep
   tools/bench_compare.py --baseline bench/baselines/BENCH_sweep.baseline.json \\
@@ -63,6 +71,13 @@ def main() -> int:
                              "by more than this ratio (default 1.5)")
     parser.add_argument("--strict-time", action="store_true",
                         help="treat wall-clock warnings as failures")
+    parser.add_argument("--max-rss-growth", type=float, default=1.25,
+                        metavar="RATIO",
+                        help="warn when a leg's max_rss_kb exceeds the "
+                             "baseline by more than this ratio "
+                             "(default 1.25)")
+    parser.add_argument("--strict-rss", action="store_true",
+                        help="treat peak-memory warnings as failures")
     args = parser.parse_args()
 
     baseline = load(Path(args.baseline))
@@ -70,6 +85,7 @@ def main() -> int:
 
     errors: list[str] = []
     warnings: list[str] = []
+    rss_warnings: list[str] = []
 
     # Every top-level baseline key except the legs themselves and
     # machine- or speed-dependent fields is config that must match, so
@@ -115,18 +131,30 @@ def main() -> int:
                 f"leg {label!r}: {cur_s:.3f}s vs baseline "
                 f"{base_s:.3f}s ({cur_s / base_s:.2f}x slower than "
                 f"baseline, threshold {args.max_slowdown:.2f}x)")
+        base_rss = float(base.get("max_rss_kb", 0.0))
+        cur_rss = float(cur.get("max_rss_kb", 0.0))
+        if base_rss > 0.0 and cur_rss > base_rss * args.max_rss_growth:
+            rss_warnings.append(
+                f"leg {label!r}: max_rss {cur_rss:.0f} kB vs baseline "
+                f"{base_rss:.0f} kB ({cur_rss / base_rss:.2f}x more "
+                f"resident memory, threshold "
+                f"{args.max_rss_growth:.2f}x)")
 
-    for w in warnings:
+    for w in warnings + rss_warnings:
         print(f"warning: {w}")
     for e in errors:
         print(f"error: {e}")
 
-    if errors or (args.strict_time and warnings):
+    if errors or (args.strict_time and warnings) or \
+            (args.strict_rss and rss_warnings):
         print(f"\nbench_compare.py: FAIL ({len(errors)} error(s), "
-              f"{len(warnings)} timing warning(s))", file=sys.stderr)
+              f"{len(warnings)} timing warning(s), "
+              f"{len(rss_warnings)} memory warning(s))", file=sys.stderr)
         return 1
-    status = "clean" if not warnings else \
-        f"clean with {len(warnings)} timing warning(s)"
+    soft = warnings + rss_warnings
+    status = "clean" if not soft else \
+        f"clean with {len(warnings)} timing and " \
+        f"{len(rss_warnings)} memory warning(s)"
     print(f"bench_compare.py: {status} "
           f"({len(base_legs)} leg(s) compared)")
     return 0

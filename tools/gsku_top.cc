@@ -1,0 +1,441 @@
+/**
+ * @file
+ * gsku_top: render a `gsku-tsdb-v1` telemetry file (obs/timeseries.h)
+ * as text tables or JSON — the "top" view onto a fleet-scale run.
+ *
+ * Usage:
+ *   gsku_top [options] <run.tsdb> [baseline.tsdb]
+ *
+ * Options:
+ *   --json           emit the parsed file as JSON instead of tables
+ *   --series <name>  print the full clock/value history of one series
+ *   --last <n>       rows of sample history in the default view (8)
+ *   --follow         poll a growing file and print samples as they land
+ *   --diff           compare two runs: needs two tsdb paths; prints a
+ *                    per-series delta table and exits 1 when the
+ *                    deterministic series differ (e.g. a regression in
+ *                    replay event counts between two commits)
+ *   --help           show usage
+ *
+ * Exit codes: 0 ok / identical, 1 diff found or bad usage, 2 read or
+ * validation failure (the UserError text names the byte offset).
+ */
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parse.h"
+#include "common/table.h"
+#include "common/tsdb_read.h"
+
+namespace {
+
+using gsku::Align;
+using gsku::Table;
+using gsku::obs::TimeseriesData;
+using gsku::obs::TsdbSample;
+using gsku::obs::TsdbSeries;
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: gsku_top [options] <run.tsdb> [baseline.tsdb]\n"
+           "options:\n"
+           "  --json           emit JSON instead of tables\n"
+           "  --series <name>  print one series' clock/value history\n"
+           "  --last <n>       sample-history rows in the default view\n"
+           "  --follow         poll a growing file, print new samples\n"
+           "  --diff           compare two runs (two paths required)\n"
+           "  --help           show this message\n";
+}
+
+/** Render a point value according to its series' lane. */
+std::string
+formatValue(const TsdbSeries &series, std::uint64_t bits)
+{
+    if (series.is_double) {
+        return Table::num(gsku::obs::tsdb::doubleOfBits(bits), 3);
+    }
+    return std::to_string(bits);
+}
+
+std::string
+formatDouble(bool is_double, double v)
+{
+    if (is_double) {
+        return Table::num(v, 3);
+    }
+    return std::to_string(static_cast<long long>(v));
+}
+
+/** First and last emitted value per series id, walking every sample. */
+struct SeriesSpan
+{
+    bool seen = false;
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+    std::size_t points = 0;
+};
+
+std::vector<SeriesSpan>
+spansOf(const TimeseriesData &data)
+{
+    std::vector<SeriesSpan> spans(data.series.size());
+    for (const TsdbSample &sample : data.samples) {
+        for (const auto &point : sample.points) {
+            SeriesSpan &span = spans[point.series];
+            if (!span.seen) {
+                span.seen = true;
+                span.first = point.bits;
+            }
+            span.last = point.bits;
+            ++span.points;
+        }
+    }
+    return spans;
+}
+
+void
+printHeaderLine(const std::string &path, const TimeseriesData &data)
+{
+    std::cout << "gsku_top: " << path << "  schema " << data.program
+              << "  sample_every " << data.sample_every << "  samples "
+              << data.samples.size()
+              << (data.volatile_lane ? "  volatile-lane" : "")
+              << (data.complete ? "  (complete)" : "  (growing)") << "\n\n";
+}
+
+void
+renderTables(const std::string &path, const TimeseriesData &data,
+             std::size_t last_rows)
+{
+    printHeaderLine(path, data);
+
+    Table series_table({"Series", "Lane", "Points", "First", "Last"},
+                       {Align::Left, Align::Left, Align::Right,
+                        Align::Right, Align::Right});
+    const std::vector<SeriesSpan> spans = spansOf(data);
+    for (const TsdbSeries &series : data.series) {
+        const SeriesSpan &span = spans[series.id];
+        std::string lane = series.is_double ? "f64" : "u64";
+        if (series.is_volatile) {
+            lane += " volatile";
+        }
+        series_table.addRow(
+            {series.name, lane, std::to_string(span.points),
+             span.seen ? formatValue(series, span.first) : "-",
+             span.seen ? formatValue(series, span.last) : "-"});
+    }
+    std::cout << series_table.render() << '\n';
+
+    if (data.samples.empty()) {
+        return;
+    }
+    Table history({"Sample", "Clock", "Points", "Wall (s)"},
+                  {Align::Right, Align::Right, Align::Right, Align::Right});
+    const std::size_t begin =
+        data.samples.size() > last_rows ? data.samples.size() - last_rows
+                                        : 0;
+    for (std::size_t i = begin; i < data.samples.size(); ++i) {
+        const TsdbSample &sample = data.samples[i];
+        history.addRow({std::to_string(sample.seq),
+                        std::to_string(sample.clock),
+                        std::to_string(sample.points.size()),
+                        sample.has_wall ? Table::num(sample.wall_seconds, 3)
+                                        : "-"});
+    }
+    std::cout << "last " << (data.samples.size() - begin) << " samples:\n"
+              << history.render();
+}
+
+int
+renderSeries(const std::string &path, const TimeseriesData &data,
+             const std::string &name)
+{
+    const TsdbSeries *series = data.findSeries(name);
+    if (series == nullptr) {
+        std::cerr << "gsku_top: no series '" << name << "' in " << path
+                  << '\n';
+        return 1;
+    }
+    Table history({"Clock", name},
+                  {Align::Right, Align::Right});
+    for (const TsdbSample &sample : data.samples) {
+        for (const auto &point : sample.points) {
+            if (point.series == series->id) {
+                history.addRow({std::to_string(sample.clock),
+                                formatValue(*series, point.bits)});
+            }
+        }
+    }
+    std::cout << history.render();
+    return 0;
+}
+
+/** Minimal JSON string escaping: series names are metric identifiers,
+ *  but stay correct for anything. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += "\\u0020";
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+renderJson(const TimeseriesData &data)
+{
+    std::cout << "{\n  \"schema\": \"" << jsonEscape(data.program)
+              << "\",\n  \"sample_every\": " << data.sample_every
+              << ",\n  \"volatile_lane\": "
+              << (data.volatile_lane ? "true" : "false")
+              << ",\n  \"complete\": " << (data.complete ? "true" : "false")
+              << ",\n  \"samples\": [";
+    for (std::size_t i = 0; i < data.samples.size(); ++i) {
+        const TsdbSample &sample = data.samples[i];
+        std::cout << (i == 0 ? "\n" : ",\n")
+                  << "    {\"clock\": " << sample.clock
+                  << ", \"seq\": " << sample.seq << ", \"points\": {";
+        for (std::size_t p = 0; p < sample.points.size(); ++p) {
+            const TsdbSeries &series = data.series[sample.points[p].series];
+            std::cout << (p == 0 ? "" : ", ") << '"'
+                      << jsonEscape(series.name) << "\": ";
+            if (series.is_double) {
+                std::cout << Table::num(gsku::obs::tsdb::doubleOfBits(
+                                            sample.points[p].bits),
+                                        6);
+            } else {
+                std::cout << sample.points[p].bits;
+            }
+        }
+        std::cout << "}";
+        if (sample.has_wall) {
+            std::cout << ", \"wall_seconds\": "
+                      << Table::num(sample.wall_seconds, 6);
+        }
+        std::cout << "}";
+    }
+    std::cout << "\n  ],\n  \"final\": {";
+    const std::map<std::string, double> final = data.finalValues();
+    bool first = true;
+    for (const auto &[name, value] : final) {
+        const TsdbSeries *series = data.findSeries(name);
+        std::cout << (first ? "\n" : ",\n") << "    \""
+                  << jsonEscape(name) << "\": "
+                  << (series != nullptr && series->is_double
+                          ? Table::num(value, 6)
+                          : std::to_string(
+                                static_cast<long long>(value)));
+        first = false;
+    }
+    std::cout << "\n  }\n}\n";
+}
+
+/**
+ * Per-series comparison of two runs' final values. Volatile series
+ * (worker heartbeats, wall clock, pool shape) are shown but never
+ * counted as differences: they are machine-dependent by design.
+ */
+int
+renderDiff(const std::string &path_a, const TimeseriesData &a,
+           const std::string &path_b, const TimeseriesData &b)
+{
+    std::cout << "gsku_top --diff\n  A: " << path_a << "  ("
+              << a.samples.size() << " samples)\n  B: " << path_b << "  ("
+              << b.samples.size() << " samples)\n\n";
+
+    const std::map<std::string, double> fa = a.finalValues();
+    const std::map<std::string, double> fb = b.finalValues();
+    std::map<std::string, std::pair<bool, bool>> names;
+    for (const auto &[name, value] : fa) {
+        names[name].first = true;
+    }
+    for (const auto &[name, value] : fb) {
+        names[name].second = true;
+    }
+
+    Table table({"Series", "A", "B", "Delta"},
+                {Align::Left, Align::Right, Align::Right, Align::Right});
+    int differing = 0;
+    for (const auto &[name, present] : names) {
+        const bool is_volatile = gsku::obs::tsdbSeriesIsVolatile(name);
+        const TsdbSeries *series = a.findSeries(name);
+        if (series == nullptr) {
+            series = b.findSeries(name);
+        }
+        const bool is_double = series != nullptr && series->is_double;
+        const double va = present.first ? fa.at(name) : 0.0;
+        const double vb = present.second ? fb.at(name) : 0.0;
+        const bool differs =
+            !present.first || !present.second || va != vb;
+        if (differs && !is_volatile) {
+            ++differing;
+        }
+        std::string note;
+        if (!present.first) {
+            note = "only-B";
+        } else if (!present.second) {
+            note = "only-A";
+        } else if (!differs) {
+            note = "=";
+        } else {
+            note = formatDouble(is_double, vb - va);
+            if (vb > va) {
+                note = "+" + note;
+            }
+        }
+        if (is_volatile) {
+            note += " (volatile)";
+        }
+        table.addRow({name,
+                      present.first ? formatDouble(is_double, va) : "-",
+                      present.second ? formatDouble(is_double, vb) : "-",
+                      note});
+    }
+    std::cout << table.render() << '\n';
+    if (differing > 0) {
+        std::cout << differing
+                  << " deterministic series differ between the runs\n";
+        return 1;
+    }
+    std::cout << "deterministic series identical between the runs\n";
+    return 0;
+}
+
+/**
+ * Follow a growing file: poll readTsdbTail, print each new sample as a
+ * one-line summary, stop when the footer lands (writer finished).
+ */
+int
+follow(const std::string &path)
+{
+    std::size_t printed = 0;
+    bool announced = false;
+    while (true) {
+        TimeseriesData data;
+        try {
+            data = gsku::obs::readTsdbTail(path);
+        } catch (const gsku::UserError &e) {
+            std::cerr << "gsku_top: " << e.what() << '\n';
+            return 2;
+        }
+        if (!announced) {
+            printHeaderLine(path, data);
+            announced = true;
+        }
+        for (; printed < data.samples.size(); ++printed) {
+            const TsdbSample &sample = data.samples[printed];
+            std::cout << "sample " << sample.seq << "  clock "
+                      << sample.clock << "  points "
+                      << sample.points.size();
+            if (sample.has_wall) {
+                std::cout << "  wall " << Table::num(sample.wall_seconds, 3)
+                          << "s";
+            }
+            std::cout << '\n' << std::flush;
+        }
+        if (data.complete) {
+            std::cout << "(writer finished: " << data.samples.size()
+                      << " samples)\n";
+            return 0;
+        }
+        // A growing telemetry file gains a sample every GSKU_TSDB_EVERY
+        // engine events; 200 ms keeps the follower responsive without
+        // hammering the filesystem.
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool do_follow = false;
+    bool do_diff = false;
+    std::string series_name;
+    std::size_t last_rows = 8;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        }
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--follow") {
+            do_follow = true;
+        } else if (arg == "--diff") {
+            do_diff = true;
+        } else if (arg == "--series") {
+            if (i + 1 >= argc) {
+                std::cerr << "gsku_top: --series needs a name\n";
+                return 1;
+            }
+            series_name = argv[++i];
+        } else if (arg == "--last") {
+            if (i + 1 >= argc) {
+                std::cerr << "gsku_top: --last needs a count\n";
+                return 1;
+            }
+            last_rows = static_cast<std::size_t>(gsku::parseU64(
+                argv[++i], gsku::ParseContext{"argv", 0, "--last"}));
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "gsku_top: unknown option " << arg << '\n';
+            printUsage(std::cerr);
+            return 1;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (do_diff) {
+        if (paths.size() != 2) {
+            std::cerr << "gsku_top: --diff needs exactly two tsdb paths\n";
+            return 1;
+        }
+    } else if (paths.size() != 1) {
+        printUsage(std::cerr);
+        return 1;
+    }
+
+    try {
+        if (do_follow) {
+            return follow(paths[0]);
+        }
+        if (do_diff) {
+            const TimeseriesData a = gsku::obs::readTsdb(paths[0]);
+            const TimeseriesData b = gsku::obs::readTsdb(paths[1]);
+            return renderDiff(paths[0], a, paths[1], b);
+        }
+        const TimeseriesData data = gsku::obs::readTsdb(paths[0]);
+        if (json) {
+            renderJson(data);
+            return 0;
+        }
+        if (!series_name.empty()) {
+            return renderSeries(paths[0], data, series_name);
+        }
+        renderTables(paths[0], data, last_rows);
+        return 0;
+    } catch (const gsku::UserError &e) {
+        std::cerr << "gsku_top: " << e.what() << '\n';
+        return 2;
+    }
+}

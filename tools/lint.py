@@ -517,6 +517,55 @@ def check_pragma_once(path: Path, lines: list[str],
 
 
 # --------------------------------------------------------------------
+# Rule: sigsafe
+# --------------------------------------------------------------------
+
+# Identifiers banned in the crash flight-recorder dump TU. Mirrors
+# kSigUnsafe in src/analyze/rules.cc; the handler runs inside a signal
+# so it may only use raw syscalls, lock-free atomics, and fixed-buffer
+# formatting (src/obs/flightrec_state.h). `_exit` is fine — it is a
+# different word from `exit` and skips atexit handlers.
+SIGSAFE_BANNED = (
+    "new", "delete", "malloc", "calloc", "realloc", "free",
+    "printf", "fprintf", "sprintf", "snprintf", "vsnprintf",
+    "puts", "fputs", "fwrite", "fopen",
+    "cout", "cerr", "clog", "ostringstream", "stringstream",
+    "string", "vector", "map",
+    "mutex", "lock_guard", "unique_lock", "condition_variable",
+    "exit", "throw",
+)
+
+SIGSAFE_RE = re.compile(
+    r"\b(" + "|".join(SIGSAFE_BANNED) + r")\b")
+
+
+def check_sigsafe(path: Path, lines: list[str],
+                  used: set) -> list[Finding]:
+    posix = path.as_posix()
+    if "src/obs/" not in posix and not posix.startswith("obs/"):
+        return []
+    if not path.name.startswith("flightrec_handler"):
+        return []
+    findings = []
+    state = False
+    for i, raw in enumerate(lines, 1):
+        code, state = strip_comments(raw, state)
+        hits = sorted({m.group(1) for m in SIGSAFE_RE.finditer(code)})
+        if not hits:
+            continue
+        if suppressed(raw, "sigsafe", used, path, i):
+            continue
+        for name in hits:
+            findings.append(Finding(
+                path, i, "sigsafe",
+                f"'{name}' is not async-signal-safe; the crash-handler "
+                f"TU allows only raw write/open/close/rename/raise, "
+                f"lock-free atomics, and fixed-buffer formatting "
+                f"(src/obs/flightrec_state.h)"))
+    return findings
+
+
+# --------------------------------------------------------------------
 # Driver.
 # --------------------------------------------------------------------
 
@@ -530,6 +579,7 @@ RULES = {
     "checked-parse": check_checked_parse,
     "byte-cast": check_byte_cast,
     "pragma-once": check_pragma_once,
+    "sigsafe": check_sigsafe,
 }
 
 # Rules implemented only by the gsku_analyze binary.

@@ -20,6 +20,18 @@ Checks (each a hard CI gate — see docs/observability.md):
             CI uses this to prove the engines actually ran through the
             instrumented paths.
 
+  tsdb      The file is a ``gsku-tsdb-v1`` telemetry time series
+            (src/obs/timeseries.h): magic and version, a header naming
+            the schema, 8-byte-aligned frames with sequential series
+            ids, sample sequence numbers counting from zero, a strictly
+            increasing logical clock, points only after a sample and
+            only for defined series, and a footer whose frame and
+            sample counts and both FNV-1a checksums (header, and the
+            deterministic frame lane) match a from-scratch re-parse.
+            Series flagged volatile must also *be* volatile by the
+            shared name classification (worker.*, wall.*, pool shape,
+            stall counts) and vice versa.
+
   ledger    The file is a ``gsku-ledger-v1`` decision ledger
             (src/obs/ledger.h): a schema header whose event count
             matches the body, followed by flat JSONL facts with known
@@ -31,7 +43,7 @@ Checks (each a hard CI gate — see docs/observability.md):
 
 Usage:
   tools/validate_obs.py [--trace trace.json]... [--manifest m.json]...
-                        [--ledger ledger.jsonl]...
+                        [--ledger ledger.jsonl]... [--tsdb run.tsdb]...
                         [--require-nonzero COUNTER...]
 
 Exit status: 0 when every check passes, 1 on any failure, 2 on usage
@@ -64,6 +76,30 @@ LEDGER_EVENTS = {
     "maintenance.gate",
     "cache.entry",
 }
+
+
+# Mirrors src/obs/timeseries.h (the gsku-tsdb-v1 container).
+TSDB_MAGIC = b"GSKUTSB1"
+TSDB_END_MAGIC = b"GSKUTSBE"
+TSDB_SCHEMA = "gsku-tsdb-v1"
+TSDB_VERSION = 1
+TSDB_HEADER_FIXED = 32
+TSDB_FOOTER_SIZE = 40
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a(h: int, data: bytes) -> int:
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def tsdb_name_is_volatile(name: str) -> bool:
+    """Mirrors obs::tsdbSeriesIsVolatile in src/obs/timeseries.cc."""
+    return (name in ("parallel.pool_threads", "parallel.stall_events")
+            or name.startswith("worker.") or name.startswith("wall."))
 
 
 def fail(errors: list[str], message: str) -> None:
@@ -189,6 +225,188 @@ def validate_manifest(path: Path, errors: list[str],
                          f"{value}; expected > 0")
 
 
+def validate_tsdb(path: Path, errors: list[str]) -> None:
+    """From-scratch parse of a gsku-tsdb-v1 file: deliberately not a
+    port of the C++ reader but an independent implementation of the
+    format doc in src/obs/timeseries.h, so a bug in the writer and the
+    reader has to be made twice to slip through CI."""
+    try:
+        data = path.read_bytes()
+    except OSError as e:
+        fail(errors, f"{path}: cannot read: {e}")
+        return
+    if len(data) < TSDB_HEADER_FIXED + TSDB_FOOTER_SIZE:
+        fail(errors, f"{path}: {len(data)} bytes is too small for a "
+                     f"header and footer")
+        return
+    if data[:8] != TSDB_MAGIC:
+        fail(errors, f"{path}: bad magic {data[:8]!r}")
+        return
+    version = int.from_bytes(data[8:12], "little")
+    if version != TSDB_VERSION:
+        fail(errors, f"{path}: version {version}, expected "
+                     f"{TSDB_VERSION}")
+        return
+    header_size = int.from_bytes(data[12:16], "little")
+    if (header_size < TSDB_HEADER_FIXED or header_size % 8 != 0
+            or header_size > len(data) - TSDB_FOOTER_SIZE):
+        fail(errors, f"{path}: bad header_size {header_size}")
+        return
+    sample_every = int.from_bytes(data[16:24], "little")
+    if sample_every == 0:
+        fail(errors, f"{path}: sample_every is 0")
+    header_flags = int.from_bytes(data[24:28], "little")
+    if header_flags & ~1:
+        fail(errors, f"{path}: unknown header flags "
+                     f"{header_flags:#x}")
+    volatile_lane = bool(header_flags & 1)
+    name_len = int.from_bytes(data[28:32], "little")
+    if TSDB_HEADER_FIXED + name_len > header_size:
+        fail(errors, f"{path}: schema name overruns the header")
+        return
+    name = data[TSDB_HEADER_FIXED:TSDB_HEADER_FIXED + name_len]
+    if name.decode("ascii", "replace") != TSDB_SCHEMA:
+        fail(errors, f"{path}: schema name {name!r}, expected "
+                     f"{TSDB_SCHEMA!r}")
+
+    if data[-8:] != TSDB_END_MAGIC:
+        fail(errors, f"{path}: bad end magic at offset "
+                     f"{len(data) - 8}")
+        return
+    frames_end = len(data) - TSDB_FOOTER_SIZE
+
+    series: list[dict] = []
+    samples = 0
+    prev_clock = -1
+    frames = 0
+    frames_fnv = FNV_OFFSET
+    off = header_size
+    while off < frames_end:
+        if off + 8 > frames_end:
+            fail(errors, f"{path}: truncated frame header at offset "
+                         f"{off}")
+            return
+        kind = int.from_bytes(data[off:off + 4], "little")
+        payload_len = int.from_bytes(data[off + 4:off + 8], "little")
+        padded = 8 + ((payload_len + 7) & ~7)
+        if off + padded > frames_end:
+            fail(errors, f"{path}: frame at offset {off} overruns the "
+                         f"frame region (payload_len {payload_len})")
+            return
+        p = off + 8
+        checksummed = False
+        if kind == 1:
+            sname_len = int.from_bytes(data[p + 6:p + 8], "little")
+            if payload_len != 8 + sname_len:
+                fail(errors, f"{path}: bad series-def payload at "
+                             f"offset {off}")
+                return
+            sid = int.from_bytes(data[p:p + 4], "little")
+            if sid != len(series):
+                fail(errors, f"{path}: series id {sid} at offset "
+                             f"{off}, expected {len(series)}")
+                return
+            value_type = data[p + 4]
+            sflags = data[p + 5]
+            if value_type > 1 or sflags > 1:
+                fail(errors, f"{path}: bad series-def fields at "
+                             f"offset {off}")
+                return
+            sname = data[p + 8:p + 8 + sname_len].decode(
+                "ascii", "replace")
+            is_volatile = bool(sflags & 1)
+            if is_volatile != tsdb_name_is_volatile(sname):
+                fail(errors,
+                     f"{path}: series '{sname}' volatile flag "
+                     f"{is_volatile} contradicts the name "
+                     f"classification")
+            if is_volatile and not volatile_lane:
+                fail(errors, f"{path}: volatile series '{sname}' in a "
+                             f"file whose header says the volatile "
+                             f"lane is off")
+            series.append({"name": sname, "volatile": is_volatile})
+            checksummed = not is_volatile
+        elif kind == 2:
+            if payload_len != 16:
+                fail(errors, f"{path}: bad sample-begin payload at "
+                             f"offset {off}")
+                return
+            clock = int.from_bytes(data[p:p + 8], "little")
+            seq = int.from_bytes(data[p + 8:p + 16], "little")
+            if seq != samples:
+                fail(errors, f"{path}: sample seq {seq} at offset "
+                             f"{off}, expected {samples}")
+                return
+            if clock <= prev_clock:
+                fail(errors, f"{path}: logical clock not strictly "
+                             f"increasing at offset {off} ({clock} "
+                             f"after {prev_clock})")
+                return
+            prev_clock = clock
+            samples += 1
+            checksummed = True
+        elif kind == 3:
+            if payload_len != 16:
+                fail(errors, f"{path}: bad point payload at offset "
+                             f"{off}")
+                return
+            if samples == 0:
+                fail(errors, f"{path}: point before any sample at "
+                             f"offset {off}")
+                return
+            sid = int.from_bytes(data[p:p + 4], "little")
+            if int.from_bytes(data[p + 4:p + 8], "little") != 0:
+                fail(errors, f"{path}: nonzero reserved point field "
+                             f"at offset {off}")
+            if sid >= len(series):
+                fail(errors, f"{path}: point references undefined "
+                             f"series {sid} at offset {off}")
+                return
+            checksummed = not series[sid]["volatile"]
+        elif kind == 4:
+            if payload_len != 8 or samples == 0:
+                fail(errors, f"{path}: bad wall-clock frame at offset "
+                             f"{off}")
+                return
+            if not volatile_lane:
+                fail(errors, f"{path}: wall-clock frame at offset "
+                             f"{off} in a file whose header says the "
+                             f"volatile lane is off")
+        else:
+            fail(errors, f"{path}: unknown frame kind {kind} at "
+                         f"offset {off}")
+            return
+        if checksummed:
+            frames_fnv = fnv1a(frames_fnv, data[off:off + padded])
+        frames += 1
+        off += padded
+    if off != frames_end:
+        fail(errors, f"{path}: frames do not tile the frame region "
+                     f"(ended at {off}, footer at {frames_end})")
+        return
+
+    f = frames_end
+    footer_frames = int.from_bytes(data[f:f + 8], "little")
+    footer_samples = int.from_bytes(data[f + 8:f + 16], "little")
+    footer_frames_fnv = int.from_bytes(data[f + 16:f + 24], "little")
+    footer_header_fnv = int.from_bytes(data[f + 24:f + 32], "little")
+    if footer_frames != frames:
+        fail(errors, f"{path}: footer frame_count {footer_frames}, "
+                     f"counted {frames}")
+    if footer_samples != samples:
+        fail(errors, f"{path}: footer sample_count {footer_samples}, "
+                     f"counted {samples}")
+    if footer_frames_fnv != frames_fnv:
+        fail(errors, f"{path}: frames checksum mismatch (footer "
+                     f"{footer_frames_fnv:#018x}, computed "
+                     f"{frames_fnv:#018x})")
+    if footer_header_fnv != fnv1a(FNV_OFFSET, data[:header_size]):
+        fail(errors, f"{path}: header checksum mismatch")
+    if samples == 0:
+        fail(errors, f"{path}: no samples (a finalized telemetry run "
+                     f"writes at least the baseline sample)")
+
+
 def validate_ledger(path: Path, errors: list[str]) -> None:
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
@@ -285,15 +503,19 @@ def main() -> int:
     parser.add_argument("--ledger", action="append", default=[],
                         metavar="FILE",
                         help="decision-ledger JSONL file to validate")
+    parser.add_argument("--tsdb", action="append", default=[],
+                        metavar="FILE",
+                        help="gsku-tsdb-v1 telemetry file to validate")
     parser.add_argument("--require-nonzero", nargs="*", default=[],
                         metavar="COUNTER",
                         help="counters that must be > 0 in every "
                              "validated manifest")
     args = parser.parse_args()
 
-    if not args.trace and not args.manifest and not args.ledger:
+    if (not args.trace and not args.manifest and not args.ledger
+            and not args.tsdb):
         parser.error("nothing to validate: pass --trace, --manifest, "
-                     "and/or --ledger")
+                     "--ledger, and/or --tsdb")
 
     errors: list[str] = []
     checked = 0
@@ -320,6 +542,14 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         validate_ledger(path, errors)
+        checked += 1
+    for name in args.tsdb:
+        path = Path(name)
+        if not path.is_file():
+            print(f"validate_obs.py: no such file: {path}",
+                  file=sys.stderr)
+            return 2
+        validate_tsdb(path, errors)
         checked += 1
 
     for e in errors:
