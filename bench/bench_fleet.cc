@@ -22,11 +22,15 @@
  * driver also publishes an on-demand flight-recorder dump at exit so
  * CI archives a post-mortem artifact even from healthy runs.
  *
+ * Deterministic profiling: `--profile <path>` (or
+ * `GSKU_PROFILE=<path>`) writes a `gsku-profile-v1` work-unit profile
+ * plus a flamegraph-compatible <path>.collapsed — byte-identical at
+ * any thread count (obs/profile.h); render with `gsku_prof`.
+ *
  * Usage: bench_fleet [events] [--events N] [--tsdb <path>]
+ *        [--profile <path>]
  *        (default 10,000,000 events; CI smoke: 100000)
  */
-#include <sys/resource.h>
-
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -48,21 +52,13 @@
 #include "obs/flightrec.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/timeseries.h"
 #include "perf/app.h"
 
 namespace {
 
-/** Peak-RSS high-water mark in KB (Linux ru_maxrss units). */
-std::int64_t
-maxRssKb()
-{
-    struct rusage usage = {};
-    if (getrusage(RUSAGE_SELF, &usage) != 0) {
-        return 0;
-    }
-    return static_cast<std::int64_t>(usage.ru_maxrss);
-}
+using gsku::bench::maxRssKb;
 
 void
 addReplay(gsku::bench::Checksum &sum,
@@ -112,6 +108,7 @@ main(int argc, char **argv)
 
     std::uint64_t events = 10'000'000;
     std::string tsdb_path;
+    std::string profile_path;
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -121,13 +118,16 @@ main(int argc, char **argv)
                                                "events"});
             } else if (arg == "--tsdb" && i + 1 < argc) {
                 tsdb_path = argv[++i];
+            } else if (arg == "--profile" && i + 1 < argc) {
+                profile_path = argv[++i];
             } else if (!arg.empty() && arg[0] != '-') {
                 events = parseU64(arg, ParseContext{"bench_fleet", 0,
                                                     "events"});
             } else {
                 std::cerr << "bench_fleet: unknown option '" << arg
                           << "'\nusage: bench_fleet [events] "
-                             "[--events N] [--tsdb <path>]\n";
+                             "[--events N] [--tsdb <path>] "
+                             "[--profile <path>]\n";
                 return 2;
             }
         }
@@ -143,6 +143,10 @@ main(int argc, char **argv)
     obs::flightRecordProgram("bench_fleet");
     if (!tsdb_path.empty()) {
         obs::startTimeseries(tsdb_path);
+    }
+    obs::setProfileProgram("bench_fleet");
+    if (!profile_path.empty()) {
+        obs::startProfile();
     }
 
     // One simulated year; Little's law sizes the steady-state
@@ -375,6 +379,11 @@ main(int argc, char **argv)
     // recorder is armed, publish an on-demand post-mortem so CI can
     // archive the artifact from a healthy run too.
     obs::finishTimeseries();
+    if (!profile_path.empty() && !obs::writeProfile(profile_path)) {
+        std::cerr << "bench_fleet: failed to write " << profile_path
+                  << '\n';
+        return 2;
+    }
     if (obs::flightRecorderEnabled()) {
         obs::dumpFlightRecorder("bench_fleet-exit");
     }

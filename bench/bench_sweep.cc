@@ -26,6 +26,7 @@
 #include "obs/flightrec.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/timeseries.h"
 
 int
@@ -43,13 +44,22 @@ main(int argc, char **argv)
     // events); here we only activate the sink and finalize it. Also
     // reachable via GSKU_TSDB without any flag.
     obs::flightRecordProgram("bench_sweep");
+    obs::setProfileProgram("bench_sweep");
+    std::string profile_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--tsdb" && i + 1 < argc) {
             obs::startTimeseries(argv[++i]);
+        } else if (arg == "--profile" && i + 1 < argc) {
+            // Deterministic work-unit profile (obs/profile.h): the
+            // legs pin their own thread counts, so the artifact is
+            // byte-identical whatever GSKU_THREADS says.
+            profile_path = argv[++i];
+            obs::startProfile();
         } else {
             std::cerr << "bench_sweep: unknown option '" << arg
-                      << "'\nusage: bench_sweep [--tsdb <path>]\n";
+                      << "'\nusage: bench_sweep [--tsdb <path>] "
+                         "[--profile <path>]\n";
             return 2;
         }
     }
@@ -79,6 +89,7 @@ main(int argc, char **argv)
         int threads = 0;
         double seconds = 0.0;
         std::string checksum;
+        std::int64_t max_rss_kb = 0;
     };
     std::vector<Leg> legs;
 
@@ -94,7 +105,8 @@ main(int argc, char **argv)
         bench::Checksum sum;
         sum.add(sweep.intensities);
         sum.add(sweep.mean_savings);
-        legs.push_back({threads, seconds, sum.hex()});
+        legs.push_back({threads, seconds, sum.hex(),
+                        bench::maxRssKb()});
         // Leg boundary: a serial tick flushes the sampler so each
         // thread-count leg's tail lands in the tsdb file.
         obs::telemetryTick();
@@ -106,19 +118,25 @@ main(int argc, char **argv)
         identical = identical && leg.checksum == legs.front().checksum;
     }
 
-    Table table({"Threads", "Wall (s)", "Speedup", "Checksum"},
-                {Align::Right, Align::Right, Align::Right, Align::Left});
+    Table table({"Threads", "Wall (s)", "Speedup", "Max RSS (MB)",
+                 "Checksum"},
+                {Align::Right, Align::Right, Align::Right, Align::Right,
+                 Align::Left});
     std::vector<bench::JsonObject> json_legs;
     for (const Leg &leg : legs) {
         const double speedup =
             leg.seconds > 0.0 ? legs.front().seconds / leg.seconds : 0.0;
         table.addRow({std::to_string(leg.threads),
                       Table::num(leg.seconds, 3), Table::num(speedup, 2),
+                      Table::num(static_cast<double>(leg.max_rss_kb) /
+                                     1024.0,
+                                 1),
                       leg.checksum});
         bench::JsonObject j;
         j.field("threads", leg.threads)
             .field("seconds", leg.seconds)
             .field("speedup", speedup)
+            .field("max_rss_kb", leg.max_rss_kb)
             .field("checksum", leg.checksum);
         json_legs.push_back(j);
     }
@@ -159,6 +177,11 @@ main(int argc, char **argv)
     std::cout << "wrote " << manifest_path << '\n';
 
     obs::finishTimeseries();
+    if (!profile_path.empty() && !obs::writeProfile(profile_path)) {
+        std::cerr << "bench_sweep: failed to write " << profile_path
+                  << '\n';
+        return 2;
+    }
     if (obs::flightRecorderEnabled()) {
         obs::dumpFlightRecorder("bench_sweep-exit");
     }

@@ -11,6 +11,8 @@
  */
 #pragma once
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +24,23 @@
 #include <vector>
 
 namespace gsku::bench {
+
+/**
+ * Peak resident set size of the process so far, in kB (0 if the
+ * platform cannot report it). Shared by every bench driver so each
+ * BENCH_*.json leg records `max_rss_kb` and bench_compare.py's RSS
+ * band applies fleet-wide. The value is cumulative over the process —
+ * a later leg can only report an equal or larger peak.
+ */
+inline std::int64_t
+maxRssKb()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) {
+        return 0;
+    }
+    return static_cast<std::int64_t>(usage.ru_maxrss);
+}
 
 /** Wall-clock timer; starts on construction. */
 class WallTimer

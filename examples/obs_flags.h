@@ -1,12 +1,15 @@
 /**
  * @file
- * Shared observability flags for the example drivers — the
- * sku_eval_cli pattern, factored out so every example accepts the same
- * switches:
+ * Shared observability flags for the example drivers, so every
+ * example CLI accepts the same switches:
  *
  *   --metrics         print the metrics snapshot at exit
  *   --trace <path>    record a Chrome-trace of the run to <path>
  *   --ledger <path>   record the decision-provenance ledger to <path>
+ *   --tsdb <path>     stream live telemetry to a gsku-tsdb-v1 file
+ *   --flight <path>   arm the flight recorder; dump to <path> at exit
+ *   --profile <path>  write a deterministic gsku-profile-v1 work-unit
+ *                     profile (plus <path>.collapsed) at exit
  *
  * Usage pattern:
  *
@@ -16,9 +19,10 @@
  *   // ... parse obs_opts.remaining, run ...
  *   return finishObsOptions(obs_opts, "mytool");  // 0 or 2
  *
- * The corresponding environment switches (GSKU_LEDGER, GSKU_TRACE-less
- * tools use --trace, GSKU_TSDB for telemetry) keep working regardless:
- * these flags only add explicit per-invocation control.
+ * The corresponding environment switches (GSKU_LEDGER, GSKU_TSDB,
+ * GSKU_FLIGHT, GSKU_PROFILE) keep working regardless: these flags only
+ * add explicit per-invocation control, giving the example CLIs
+ * telemetry/flight-recorder/profiler parity with the bench drivers.
  */
 #pragma once
 
@@ -26,8 +30,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/flightrec.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace gsku::examples {
@@ -37,6 +44,10 @@ struct ObsOptions
     bool show_metrics = false;
     std::string trace_path;
     std::string ledger_path;
+    std::string tsdb_path;
+    std::string flight_path;
+    std::string profile_path;
+    std::string prog;                       ///< For artifact headers.
     std::string error;                      ///< Non-empty on bad usage.
     std::vector<std::string> remaining;     ///< Args we did not consume.
 };
@@ -47,7 +58,11 @@ printObsFlagsHelp(std::ostream &out)
 {
     out << "  --metrics        print the metrics snapshot at exit\n"
            "  --trace <path>   record a Chrome-trace of the run\n"
-           "  --ledger <path>  record the decision ledger to <path>\n";
+           "  --ledger <path>  record the decision ledger to <path>\n"
+           "  --tsdb <path>    stream live telemetry to <path>\n"
+           "  --flight <path>  arm the flight recorder, dump at exit\n"
+           "  --profile <path> write a deterministic work-unit "
+           "profile\n";
 }
 
 /**
@@ -61,22 +76,40 @@ parseObsOptions(int argc, char **argv, const std::string &prog,
                 bool with_ledger = true)
 {
     ObsOptions opts;
+    opts.prog = prog;
+    auto take_path = [&](int &i, const char *flag,
+                         std::string *out) -> bool {
+        if (i + 1 >= argc) {
+            opts.error = prog + ": " + flag + " needs a path";
+            return false;
+        }
+        *out = argv[++i];
+        return true;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--metrics") {
             opts.show_metrics = true;
         } else if (arg == "--trace") {
-            if (i + 1 >= argc) {
-                opts.error = prog + ": --trace needs a path";
+            if (!take_path(i, "--trace", &opts.trace_path)) {
                 return opts;
             }
-            opts.trace_path = argv[++i];
         } else if (with_ledger && arg == "--ledger") {
-            if (i + 1 >= argc) {
-                opts.error = prog + ": --ledger needs a path";
+            if (!take_path(i, "--ledger", &opts.ledger_path)) {
                 return opts;
             }
-            opts.ledger_path = argv[++i];
+        } else if (arg == "--tsdb") {
+            if (!take_path(i, "--tsdb", &opts.tsdb_path)) {
+                return opts;
+            }
+        } else if (arg == "--flight") {
+            if (!take_path(i, "--flight", &opts.flight_path)) {
+                return opts;
+            }
+        } else if (arg == "--profile") {
+            if (!take_path(i, "--profile", &opts.profile_path)) {
+                return opts;
+            }
         } else {
             opts.remaining.push_back(arg);
         }
@@ -88,17 +121,31 @@ parseObsOptions(int argc, char **argv, const std::string &prog,
 inline void
 applyObsOptions(const ObsOptions &opts)
 {
+    // Name the artifacts after the tool whether activation came from
+    // a flag or from the environment (GSKU_FLIGHT / GSKU_PROFILE).
+    obs::flightRecordProgram(opts.prog);
+    obs::setProfileProgram(opts.prog);
     if (!opts.trace_path.empty()) {
         obs::startTrace();
     }
     if (!opts.ledger_path.empty()) {
         obs::startLedger();
     }
+    if (!opts.tsdb_path.empty()) {
+        obs::startTimeseries(opts.tsdb_path);
+    }
+    if (!opts.flight_path.empty()) {
+        obs::startFlightRecorder(opts.flight_path);
+    }
+    if (!opts.profile_path.empty()) {
+        obs::startProfile();
+    }
 }
 
 /**
- * The exit epilogue: print the metrics snapshot and write the trace
- * and ledger artifacts. Returns 0, or 2 when an artifact write failed.
+ * The exit epilogue: print the metrics snapshot and write the trace,
+ * ledger, telemetry, flight-recorder, and profile artifacts. Returns
+ * 0, or 2 when an artifact write failed.
  */
 inline int
 finishObsOptions(const ObsOptions &opts, const std::string &prog)
@@ -116,6 +163,18 @@ finishObsOptions(const ObsOptions &opts, const std::string &prog)
     if (!opts.ledger_path.empty() &&
         !obs::writeLedger(opts.ledger_path)) {
         std::cerr << prog << ": failed to write " << opts.ledger_path
+                  << '\n';
+        rc = 2;
+    }
+    // Finalize telemetry (footer + checksums) whether it was started
+    // by --tsdb or by GSKU_TSDB in the environment.
+    obs::finishTimeseries();
+    if (!opts.flight_path.empty()) {
+        obs::dumpFlightRecorder((prog + "-exit").c_str());
+    }
+    if (!opts.profile_path.empty() &&
+        !obs::writeProfile(opts.profile_path)) {
+        std::cerr << prog << ": failed to write " << opts.profile_path
                   << '\n';
         rc = 2;
     }

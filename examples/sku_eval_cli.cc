@@ -7,9 +7,8 @@
  *   sku_eval_cli [options] "<spec>" [carbon_intensity]
  *   sku_eval_cli                       # evaluates GreenSKU-Full
  *
- * Options:
- *   --metrics           print the metrics snapshot after the evaluation
- *   --trace <path>      record a Chrome-trace of the run to <path>
+ * Options: the shared observability flags (see examples/obs_flags.h:
+ * --metrics, --trace, --ledger, --tsdb, --flight, --profile), plus
  *   --eval-cache <dir>  persist evaluation results under <dir> and
  *                       reuse them on later runs (same as setting
  *                       GSKU_EVAL_CACHE)
@@ -29,11 +28,11 @@
 #include "common/error.h"
 #include "common/parse.h"
 #include "common/table.h"
+#include "obs_flags.h"
 #include "gsf/eval_cache.h"
 #include "gsf/evaluator.h"
 #include "gsf/tiering.h"
 #include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace {
 
@@ -42,12 +41,9 @@ printUsage(std::ostream &out)
 {
     out << "usage: sku_eval_cli [options] [\"<spec>\"] "
            "[carbon_intensity]\n"
-           "options:\n"
-           "  --metrics           print the metrics snapshot after the "
-           "evaluation\n"
-           "  --trace <path>      record a Chrome-trace of the run to "
-           "<path>\n"
-           "  --eval-cache <dir>  persist evaluation results under "
+           "options:\n";
+    gsku::examples::printObsFlagsHelp(out);
+    out << "  --eval-cache <dir>  persist evaluation results under "
            "<dir> (same as GSKU_EVAL_CACHE)\n"
            "  --help              show this message\n"
            "spec example:\n"
@@ -62,30 +58,26 @@ main(int argc, char **argv)
 {
     using namespace gsku;
 
-    bool show_metrics = false;
-    std::string trace_path;
+    examples::ObsOptions obs_opts =
+        examples::parseObsOptions(argc, argv, "sku_eval_cli");
+    if (!obs_opts.error.empty()) {
+        std::cerr << obs_opts.error << '\n';
+        return 1;
+    }
     std::vector<std::string> positional;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+    for (std::size_t i = 0; i < obs_opts.remaining.size(); ++i) {
+        const std::string &arg = obs_opts.remaining[i];
         if (arg == "--help" || arg == "-h") {
             printUsage(std::cout);
             return 0;
         }
-        if (arg == "--metrics") {
-            show_metrics = true;
-        } else if (arg == "--trace") {
-            if (i + 1 >= argc) {
-                std::cerr << "sku_eval_cli: --trace needs a path\n";
-                return 1;
-            }
-            trace_path = argv[++i];
-        } else if (arg == "--eval-cache") {
-            if (i + 1 >= argc) {
+        if (arg == "--eval-cache") {
+            if (i + 1 >= obs_opts.remaining.size()) {
                 std::cerr
                     << "sku_eval_cli: --eval-cache needs a directory\n";
                 return 1;
             }
-            gsf::configureEvalCache(argv[++i]);
+            gsf::configureEvalCache(obs_opts.remaining[++i]);
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "sku_eval_cli: unknown option " << arg << '\n';
             printUsage(std::cerr);
@@ -94,9 +86,7 @@ main(int argc, char **argv)
             positional.push_back(arg);
         }
     }
-    if (!trace_path.empty()) {
-        obs::startTrace();
-    }
+    examples::applyObsOptions(obs_opts);
     obs::metrics().reset();
 
     const std::string spec =
@@ -162,16 +152,7 @@ main(int argc, char **argv)
 
     // Observability epilogue shared by both exit paths.
     auto finish = [&]() -> int {
-        if (show_metrics) {
-            std::cout << "\nMetrics snapshot:\n"
-                      << obs::metrics().snapshot().toText();
-        }
-        if (!trace_path.empty() && !obs::writeTrace(trace_path)) {
-            std::cerr << "sku_eval_cli: failed to write " << trace_path
-                      << '\n';
-            return 2;
-        }
-        return 0;
+        return examples::finishObsOptions(obs_opts, "sku_eval_cli");
     };
 
     if (sku.generation != carbon::Generation::GreenSku) {

@@ -655,8 +655,10 @@ ruleCatalog()
          "common/parallel.h; raw std::thread/std::async/.detach() are "
          "banned elsewhere."},
         {"timing",
-         "Direct std::chrono clock reads are banned outside src/obs/ and "
-         "bench/harness.h; time through obs::TraceSpan or WallTimer."},
+         "Direct std::chrono clock reads are banned outside src/obs/ "
+         "(trace spans, telemetry, the profiler's volatile wall lane in "
+         "profile.cc) and bench/harness.h; time through obs::TraceSpan, "
+         "obs::ProfileScope, or WallTimer."},
         {"ledger-events",
          "Ledger event names are string literals only inside their "
          "registry (src/obs/ledger.h); elsewhere spell "

@@ -13,6 +13,7 @@
 #include "common/error.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "perf/app.h"
@@ -526,6 +527,7 @@ VmAllocator::replay(TraceReader &reader,
     replays.inc();
     obs::TraceSpan span("allocator", "replay");
     span.arg("trace", reader.name()).arg("vms", reader.sizeHint());
+    obs::ProfileScope prof("allocator.replay");
 
     GSKU_REQUIRE(cluster.baselines >= 0,
                  "baseline count must be non-negative");
@@ -813,6 +815,14 @@ VmAllocator::replay(TraceReader &reader,
             if (options_.stop_on_reject) {
                 result.greens.resize(cluster.greens.size());
                 ledger_outcome();
+                // Work units accumulate locally and post once per
+                // replay (the DES discipline): per-event shared
+                // atomics would contend across pool threads.
+                obs::profileWork(events_seen);
+                obs::profileWork(
+                    "placements",
+                    static_cast<std::uint64_t>(result.placed) +
+                        static_cast<std::uint64_t>(result.rejected));
                 placements_total.inc(
                     static_cast<std::uint64_t>(result.placed));
                 rejections_total.inc(
@@ -894,6 +904,10 @@ VmAllocator::replay(TraceReader &reader,
         g.checkInvariants();
     }
     ledger_outcome();
+    obs::profileWork(events_seen);
+    obs::profileWork("placements",
+                     static_cast<std::uint64_t>(result.placed) +
+                         static_cast<std::uint64_t>(result.rejected));
     placements_total.inc(static_cast<std::uint64_t>(result.placed));
     rejections_total.inc(static_cast<std::uint64_t>(result.rejected));
     fallbacks_total.inc(

@@ -6,6 +6,7 @@
 #include "cluster/trace_binary.h"
 #include "common/distributions.h"
 #include "common/error.h"
+#include "obs/profile.h"
 #include "obs/timeseries.h"
 #include "perf/app.h"
 
@@ -66,6 +67,7 @@ TraceGenerator::generateStream(
     std::uint64_t seed,
     const std::function<void(const VmRequest &)> &sink) const
 {
+    obs::ProfileScope prof("trace_gen.generate");
     Rng rng(seed);
 
     // Per-trace diversity: load level, memory tilt, lifetime scale.
@@ -151,6 +153,9 @@ TraceGenerator::generateStream(
     }
     GSKU_REQUIRE(next_id > 1,
                  "generated an empty trace; increase duration or load");
+    // One work unit per generated record, posted once per stream (the
+    // DES discipline — no shared atomics inside the loop).
+    obs::profileWork(static_cast<std::uint64_t>(next_id - 1));
     return next_id - 1;
 }
 

@@ -12,6 +12,7 @@
 #include "common/error.h"
 #include "obs/heartbeat.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace gsku {
@@ -43,6 +44,11 @@ struct Batch
     std::size_t n = 0;
     const std::function<void(std::size_t)> *body = nullptr;
 
+    /** Submitting thread's innermost profile domain: workers install
+     *  it around each task so work units nest identically whether a
+     *  batch ran inline or on the pool (obs/profile.h). */
+    obs::profiledetail::ProfileNode *profile_domain = nullptr;
+
     std::atomic<std::size_t> next{0};   ///< Next unclaimed task index.
     std::atomic<std::size_t> done{0};   ///< Completed task count.
 
@@ -63,6 +69,10 @@ struct Batch
             .arg("worker", static_cast<std::int64_t>(tls_worker_id));
         const bool saved = tls_in_pool_task;
         tls_in_pool_task = true;
+        // Inherit the submitter's domain path; the serial fast path
+        // needs no installer because the caller's stack is already
+        // the right context.
+        obs::ProfileTaskScope profile_scope(profile_domain);
         // Heartbeat bracket: marks the worker busy for stall detection
         // and enters the obs parallel region, which keeps the tsdb
         // sampler from sampling mid-batch (obs/heartbeat.h).
@@ -199,6 +209,7 @@ struct PoolImpl
         auto batch = std::make_shared<Batch>();
         batch->n = n;
         batch->body = &body;
+        batch->profile_domain = obs::profileCurrentDomain();
         {
             std::lock_guard<std::mutex> lock(queue_mutex);
             queue.push_back(batch);

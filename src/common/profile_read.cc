@@ -1,0 +1,308 @@
+#include "common/profile_read.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+
+#include "common/error.h"
+
+namespace gsku::obs {
+
+namespace {
+
+/**
+ * Offset-tracking scanner for the fixed gsku-profile-v1 JSON layout.
+ * The writer (obs/profile.cc) is canonical — keys in one fixed order,
+ * no escapes — so the reader insists on exactly that shape and every
+ * violation names the byte offset where the document went wrong.
+ */
+struct Scanner
+{
+    const std::string &path;
+    const std::string &bytes;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        GSKU_REQUIRE(false, "profile '" + path + "': " + msg);
+    }
+
+    [[noreturn]] void
+    failHere(const std::string &msg) const
+    {
+        fail(msg + " at offset " + std::to_string(pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < bytes.size() &&
+               (bytes[pos] == ' ' || bytes[pos] == '\n' ||
+                bytes[pos] == '\r' || bytes[pos] == '\t')) {
+            ++pos;
+        }
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (pos >= bytes.size() || bytes[pos] != c) {
+            failHere(std::string("expected '") + c + "'");
+        }
+        ++pos;
+    }
+
+    /** `"key": ` — the fixed key layout makes a wrong key a named
+     *  structural error, not a silently ignored field. */
+    void
+    expectKey(const char *key)
+    {
+        const std::string got = parseString();
+        if (got != key) {
+            failHere("expected key \"" + std::string(key) +
+                     "\", found \"" + got + "\"");
+        }
+        expect(':');
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        const std::size_t start = pos;
+        while (pos < bytes.size() && bytes[pos] != '"') {
+            if (bytes[pos] == '\\' ||
+                static_cast<unsigned char>(bytes[pos]) < 0x20) {
+                failHere("unsupported character in string");
+            }
+            ++pos;
+        }
+        if (pos >= bytes.size()) {
+            failHere("unterminated string");
+        }
+        const std::string out = bytes.substr(start, pos - start);
+        ++pos;   // Closing quote.
+        return out;
+    }
+
+    std::uint64_t
+    parseU64()
+    {
+        skipWs();
+        if (pos >= bytes.size() || bytes[pos] < '0' ||
+            bytes[pos] > '9') {
+            failHere("expected unsigned integer");
+        }
+        std::uint64_t v = 0;
+        while (pos < bytes.size() && bytes[pos] >= '0' &&
+               bytes[pos] <= '9') {
+            const std::uint64_t digit =
+                static_cast<std::uint64_t>(bytes[pos] - '0');
+            if (v > (~0ull - digit) / 10) {
+                failHere("integer overflows u64");
+            }
+            v = v * 10 + digit;
+            ++pos;
+        }
+        return v;
+    }
+
+    bool
+    parseBool()
+    {
+        skipWs();
+        if (bytes.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            return true;
+        }
+        if (bytes.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            return false;
+        }
+        failHere("expected true or false");
+    }
+};
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    GSKU_REQUIRE(in.is_open(), "profile '" + path + "': cannot open");
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/** Parent path of a ';'-joined domain path ("" for top level). */
+std::string
+parentOf(const std::string &path)
+{
+    const std::size_t cut = path.rfind(';');
+    return cut == std::string::npos ? std::string() : path.substr(0, cut);
+}
+
+} // namespace
+
+ProfileData
+readProfile(const std::string &path)
+{
+    const std::string bytes = readWholeFile(path);
+    Scanner s{path, bytes};
+    ProfileData data;
+
+    s.expect('{');
+    s.expectKey("schema");
+    const std::size_t schema_off = s.pos;
+    const std::string schema = s.parseString();
+    if (schema != "gsku-profile-v1") {
+        GSKU_REQUIRE(false, "profile '" + path +
+                                "': unsupported schema \"" + schema +
+                                "\" at offset " +
+                                std::to_string(schema_off));
+    }
+    s.expect(',');
+    s.expectKey("program");
+    data.program = s.parseString();
+    s.expect(',');
+    s.expectKey("wall_lane");
+    data.wall_lane = s.parseBool();
+    s.expect(',');
+    s.expectKey("total_units");
+    data.total_units = s.parseU64();
+    s.expect(',');
+    s.expectKey("domains");
+    s.expect('[');
+
+    s.skipWs();
+    if (s.pos < bytes.size() && bytes[s.pos] == ']') {
+        ++s.pos;
+    } else {
+        for (;;) {
+            const std::size_t entry_off = s.pos;
+            ProfileEntry entry;
+            s.expect('{');
+            s.expectKey("path");
+            entry.path = s.parseString();
+            if (entry.path.empty()) {
+                s.fail("empty domain path at offset " +
+                       std::to_string(entry_off));
+            }
+            s.expect(',');
+            s.expectKey("self_units");
+            entry.self_units = s.parseU64();
+            s.expect(',');
+            s.expectKey("total_units");
+            entry.total_units = s.parseU64();
+            s.expect(',');
+            s.expectKey("scopes");
+            entry.scopes = s.parseU64();
+            s.skipWs();
+            if (s.pos < bytes.size() && bytes[s.pos] == ',') {
+                if (!data.wall_lane) {
+                    s.failHere("wall_ns present without wall_lane");
+                }
+                s.expect(',');
+                s.expectKey("wall_ns");
+                entry.wall_ns = s.parseU64();
+            } else if (data.wall_lane) {
+                s.failHere("missing wall_ns under wall_lane");
+            }
+            s.expect('}');
+
+            if (!data.entries.empty() &&
+                data.entries.back().path >= entry.path) {
+                s.fail("unsorted domain path \"" + entry.path +
+                       "\" at offset " + std::to_string(entry_off));
+            }
+            if (entry.total_units < entry.self_units) {
+                s.fail("total_units below self_units for \"" +
+                       entry.path + "\" at offset " +
+                       std::to_string(entry_off));
+            }
+            data.entries.push_back(std::move(entry));
+
+            s.skipWs();
+            if (s.pos < bytes.size() && bytes[s.pos] == ',') {
+                ++s.pos;
+                continue;
+            }
+            s.expect(']');
+            break;
+        }
+    }
+
+    s.expect(',');
+    s.expectKey("checksum_fnv1a64");
+    const std::size_t checksum_off = s.pos;
+    const std::string checksum_hex = s.parseString();
+    if (checksum_hex.size() != 16) {
+        s.fail("checksum must be 16 hex digits at offset " +
+               std::to_string(checksum_off));
+    }
+    data.checksum = 0;
+    for (char c : checksum_hex) {
+        int nibble;
+        if (c >= '0' && c <= '9') {
+            nibble = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+            nibble = 10 + (c - 'a');
+        } else {
+            s.fail("checksum must be 16 hex digits at offset " +
+                   std::to_string(checksum_off));
+        }
+        data.checksum = (data.checksum << 4) |
+                        static_cast<std::uint64_t>(nibble);
+    }
+    s.expect('}');
+    s.skipWs();
+    if (s.pos != bytes.size()) {
+        s.failHere("trailing bytes");
+    }
+
+    // ----- Semantic validation: the totals must be internally
+    // consistent and the deterministic-lane checksum must match. -----
+    std::uint64_t self_sum = 0;
+    std::map<std::string, std::uint64_t> child_totals;
+    for (const ProfileEntry &entry : data.entries) {
+        self_sum += entry.self_units;
+        if (entry.path != "(unscoped)") {
+            child_totals[parentOf(entry.path)] += entry.total_units;
+        }
+    }
+    if (self_sum != data.total_units) {
+        s.fail("total_units " + std::to_string(data.total_units) +
+               " does not match the sum of self_units " +
+               std::to_string(self_sum));
+    }
+    for (const ProfileEntry &entry : data.entries) {
+        const auto it = child_totals.find(entry.path);
+        const std::uint64_t children =
+            it == child_totals.end() ? 0 : it->second;
+        if (entry.total_units != entry.self_units + children) {
+            s.fail("inconsistent total_units for \"" + entry.path +
+                   "\": " + std::to_string(entry.total_units) +
+                   " != self " + std::to_string(entry.self_units) +
+                   " + children " + std::to_string(children));
+        }
+    }
+
+    ProfileSnapshot snap;
+    snap.entries = data.entries;
+    const std::uint64_t computed = profileChecksum(snap);
+    if (computed != data.checksum) {
+        s.fail("checksum mismatch: file records " + checksum_hex +
+               ", deterministic lane hashes to " +
+               [&] {
+                   char buf[17];
+                   std::snprintf(buf, sizeof(buf), "%016llx",
+                                 static_cast<unsigned long long>(
+                                     computed));
+                   return std::string(buf);
+               }());
+    }
+    return data;
+}
+
+} // namespace gsku::obs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Validating reader for `gsku-profile-v1` work-unit profiles (format
+ * and writer: obs/profile.h). It lives in common/, not obs/, because
+ * strict validation throws UserError with named byte offsets and obs
+ * — the bottom module of the layering DAG — must not include the
+ * error machinery; common may include obs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+
+namespace gsku::obs {
+
+/** A fully parsed and validated profile artifact. */
+struct ProfileData
+{
+    std::string program;
+    bool wall_lane = false;
+    std::uint64_t total_units = 0;
+    std::uint64_t checksum = 0;            ///< As recorded (verified).
+    std::vector<ProfileEntry> entries;     ///< Sorted by path, unique.
+};
+
+/**
+ * Read and fully validate a profile file: fixed gsku-profile-v1 key
+ * layout, strictly increasing unique domain paths, per-domain and
+ * top-level unit-total consistency, and the FNV-1a checksum over the
+ * deterministic lane. Throws UserError naming the offending byte
+ * offset on any violation.
+ */
+ProfileData readProfile(const std::string &path);
+
+} // namespace gsku::obs

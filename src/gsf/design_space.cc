@@ -10,6 +10,7 @@
 #include "gsf/eval_cache.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace gsku::gsf {
@@ -126,6 +127,7 @@ DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
                              const DesignRange &range,
                              long *considered) const
 {
+    obs::ProfileScope prof("design_space.explore");
     EvalCache *cache = evalCache();
     if (cache == nullptr) {
         return exploreUncached(baseline, range, considered);
@@ -133,11 +135,14 @@ DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
     const std::string key = designSpaceCacheKey(
         baseline, range, constraints_, model_.params());
     if (auto payload = cache->fetch(key, "design_space")) {
+        // Hit vs miss cost split (see evaluator.cc).
+        obs::ProfileScope hit("evalcache.hit");
         std::vector<RankedDesign> designs;
         long cached_considered = 0;
         std::vector<std::string> captured;
         if (decodeRankedDesigns(*payload, &designs, &cached_considered,
                                 &captured)) {
+            obs::profileWork();
             obs::replayLedgerLines(captured);
             if (considered != nullptr) {
                 *considered = cached_considered;
@@ -146,6 +151,8 @@ DesignSpaceExplorer::explore(const carbon::ServerSku &baseline,
         }
         cache->noteUndecodable();    // Undecodable payload: recompute.
     }
+    obs::ProfileScope miss("evalcache.miss");
+    obs::profileWork();
     obs::LedgerCapture capture;
     long fresh_considered = 0;
     std::vector<RankedDesign> designs =
@@ -197,6 +204,8 @@ DesignSpaceExplorer::exploreUncached(const carbon::ServerSku &baseline,
 
     auto evaluate_one =
         [&](std::size_t i) -> std::optional<RankedDesign> {
+        // One work unit per candidate SKU evaluated.
+        obs::profileWork("candidates");
         const Combo &c = combos[i];
         const auto sku =
             buildCandidate(c.ddr5, c.ddr4, c.new_ssd, c.reused_ssd);

@@ -8,6 +8,7 @@
 #include "common/parse.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace gsku::gsf {
 
@@ -503,6 +504,9 @@ EvalCache::EvalCache(const std::string &dir, std::int64_t max_bytes)
 std::optional<std::string>
 EvalCache::fetch(const std::string &key, const char *kind)
 {
+    // One work unit per cache probe, attributed to the caller's
+    // domain: probe volume drifting is itself a perf signal.
+    obs::profileWork("evalcache.probe");
     CacheGetResult result = disk_.get(key);
     switch (result.status) {
     case CacheGetStatus::Hit:

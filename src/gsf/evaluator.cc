@@ -10,6 +10,7 @@
 #include "gsf/eval_cache.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
@@ -74,15 +75,23 @@ GsfEvaluator::evaluateCluster(const cluster::VmTrace &trace,
     const std::string key =
         clusterEvalCacheKey(trace, baseline, green, ci, options_);
     if (auto payload = cache->fetch(key, "cluster_eval")) {
+        // Hit vs miss cost split: decode-and-replay work lands under
+        // evalcache.hit, the full recompute under evalcache.miss, so
+        // a cache key that silently stops hitting shows up as a
+        // work-unit drift in the profile.
+        obs::ProfileScope prof("evalcache.hit");
         ClusterEvaluation eval;
         std::vector<std::string> captured;
         if (decodeClusterEvaluation(*payload, &eval, &captured)) {
             eval.sizing.checkInvariants();
+            obs::profileWork();
             obs::replayLedgerLines(captured);
             return eval;
         }
         cache->noteUndecodable();    // Undecodable payload: recompute.
     }
+    obs::ProfileScope prof("evalcache.miss");
+    obs::profileWork();
     obs::LedgerCapture capture;
     ClusterEvaluation eval =
         evaluateClusterUncached(trace, baseline, green, ci);
@@ -169,6 +178,7 @@ GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
         obs::metrics().counter("evaluator.sweeps");
     sweeps.inc();
     obs::TraceSpan span("evaluator", "sweep");
+    obs::ProfileScope prof("evaluator.sweep");
     span.arg("sku", green.name)
         .arg("traces", static_cast<std::uint64_t>(traces.size()))
         .arg("intensities",
@@ -241,6 +251,9 @@ GsfEvaluator::sweep(const std::vector<cluster::VmTrace> &traces,
     }
     const std::vector<SizingResult> sized =
         parallelMap<SizingResult>(jobs.size(), [&](std::size_t j) {
+            // One work unit per distinct sizing job; pool tasks
+            // inherit the evaluator.sweep domain (obs/profile.h).
+            obs::profileWork("jobs");
             return sizer_.size(traces[jobs[j].trace], baseline, green,
                                tables[jobs[j].table]);
         });

@@ -11,6 +11,7 @@
 #include "gsf/eval_cache.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
@@ -44,8 +45,9 @@ ClusterSizer::fits(const cluster::VmTrace &trace,
         obs::metrics().counter("sizer.replays");
     replays.inc();
     // One telemetry unit per sizing probe (the replay inside adds one
-    // per trace event on top).
+    // per trace event on top); one profiled probe unit likewise.
     obs::telemetryTick();
+    obs::profileWork("probe");
     cluster::VmAllocator allocator(options_);
     const bool success = allocator.replay(trace, spec, adoption).success;
     if (obs::ledgerEnabled()) {
@@ -103,6 +105,7 @@ ClusterSizer::size(const cluster::VmTrace &trace,
                    const carbon::ServerSku &green,
                    const cluster::AdoptionTable &adoption) const
 {
+    obs::ProfileScope prof("sizer.size");
     EvalCache *cache = evalCache();
     if (cache == nullptr) {
         return sizeUncached(trace, baseline, green, adoption);
@@ -110,15 +113,21 @@ ClusterSizer::size(const cluster::VmTrace &trace,
     const std::string key =
         sizingCacheKey(trace, baseline, green, adoption, options_);
     if (auto payload = cache->fetch(key, "sizing")) {
+        // Hit vs miss cost split (see evaluator.cc): decode work
+        // nests under evalcache.hit, recompute under evalcache.miss.
+        obs::ProfileScope hit("evalcache.hit");
         SizingResult result;
         std::vector<std::string> captured;
         if (decodeSizingResult(*payload, &result, &captured)) {
             result.checkInvariants();
+            obs::profileWork();
             obs::replayLedgerLines(captured);
             return result;
         }
         cache->noteUndecodable();    // Undecodable payload: recompute.
     }
+    obs::ProfileScope miss("evalcache.miss");
+    obs::profileWork();
     obs::LedgerCapture capture;
     SizingResult result = sizeUncached(trace, baseline, green, adoption);
     cache->store(key, "sizing",

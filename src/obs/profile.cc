@@ -1,0 +1,447 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "obs/timeseries.h"
+
+namespace gsku::obs {
+
+namespace profiledetail {
+
+/** Immutable-once-published cache slots per node: enough for the few
+ *  distinct children a domain alternates between (e.g. evalcache
+ *  hit/miss/probe); colder lookups fall back to the mutex map. */
+inline constexpr int kChildCacheSlots = 4;
+
+/**
+ * One node of the global domain-path trie. Unit counters are relaxed
+ * atomics: additions are commutative, so the aggregate is independent
+ * of which pool thread performed the work. Nodes are never freed
+ * (the trie is a leaked singleton, like the tracer's registry), so
+ * raw child pointers stay valid for thread-local stacks that outlive
+ * a profiling session.
+ */
+struct ProfileNode
+{
+    std::string name;                ///< Path component ("" = root).
+    ProfileNode *parent = nullptr;
+
+    std::atomic<std::uint64_t> self_units{0};
+    std::atomic<std::uint64_t> scopes{0};
+    std::atomic<std::uint64_t> wall_ns{0};   ///< Volatile lane.
+
+    /** Lock-free child lookup: slots are written under the profiler
+     *  mutex and published by the release store on cached_count;
+     *  readers acquire-load the count and pointer-compare keys. */
+    const char *cached_key[kChildCacheSlots] = {};
+    ProfileNode *cached_node[kChildCacheSlots] = {};
+    std::atomic<int> cached_count{0};
+
+    std::map<std::string, ProfileNode *> children;   ///< Mutex-guarded.
+};
+
+} // namespace profiledetail
+
+namespace {
+
+using profiledetail::ProfileNode;
+using profiledetail::kChildCacheSlots;
+
+/** Whether work units are currently recorded. */
+std::atomic<bool> g_enabled{false};
+
+/** Global profiler state. Leaked singleton: thread-local domain
+ *  pointers on worker threads and the atexit writer must never
+ *  observe a destroyed trie. */
+struct Profiler
+{
+    std::mutex mutex;
+    ProfileNode root;
+    std::string program;     ///< "program" field of the next export.
+    std::string env_path;    ///< GSKU_PROFILE target ("" = none).
+    bool wall_lane = false;  ///< GSKU_PROFILE_WALL volatile lane.
+};
+
+Profiler &
+profiler()
+{
+    static Profiler *p = new Profiler;
+    return *p;
+}
+
+/** Innermost open domain of the calling thread (nullptr = root). */
+thread_local ProfileNode *tls_current = nullptr;
+
+std::uint64_t
+nowNs()
+{
+    // Volatile-lane clock. src/obs/profile.cc is a sanctioned home of
+    // the `timing` rule; the reading never enters the checksum.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Find or create the @p name child of @p parent. Hot path is a
+ *  pointer-compare scan of the published cache slots; misses take the
+ *  profiler mutex. */
+ProfileNode *
+childOf(ProfileNode *parent, const char *name)
+{
+    const int published =
+        parent->cached_count.load(std::memory_order_acquire);
+    for (int i = 0; i < published; ++i) {
+        if (parent->cached_key[i] == name) {
+            return parent->cached_node[i];
+        }
+    }
+
+    Profiler &p = profiler();
+    std::lock_guard<std::mutex> lock(p.mutex);
+    // Recheck under the lock: another thread may have published the
+    // same literal while we waited.
+    const int now_published =
+        parent->cached_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < now_published; ++i) {
+        if (parent->cached_key[i] == name) {
+            return parent->cached_node[i];
+        }
+    }
+    ProfileNode *node;
+    const auto it = parent->children.find(name);
+    if (it != parent->children.end()) {
+        node = it->second;
+    } else {
+        node = new ProfileNode;
+        node->name = name;
+        node->parent = parent;
+        parent->children.emplace(node->name, node);
+    }
+    if (now_published < kChildCacheSlots) {
+        parent->cached_key[now_published] = name;
+        parent->cached_node[now_published] = node;
+        parent->cached_count.store(now_published + 1,
+                                   std::memory_order_release);
+    }
+    return node;
+}
+
+ProfileNode *
+currentOrRoot()
+{
+    return tls_current != nullptr ? tls_current : &profiler().root;
+}
+
+void
+writeEnvProfileAtExit()
+{
+    const std::string path = profiler().env_path;
+    if (!path.empty()) {
+        writeProfile(path);
+    }
+}
+
+/** One-time init: GSKU_PROFILE=<path> enables profiling for the
+ *  process and registers an atexit writer for <path>;
+ *  GSKU_PROFILE_WALL=1 turns on the volatile wall lane. */
+void
+initFromEnv()
+{
+    Profiler &p = profiler();
+    {
+        std::lock_guard<std::mutex> lock(p.mutex);
+        const char *wall = std::getenv("GSKU_PROFILE_WALL");  // NOLINT(concurrency-mt-unsafe)
+        p.wall_lane = wall != nullptr && *wall != '\0' &&
+                      std::string(wall) != "0";
+    }
+    const char *env = std::getenv("GSKU_PROFILE");  // NOLINT(concurrency-mt-unsafe)
+    if (env == nullptr || *env == '\0') {
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(p.mutex);
+        p.env_path = env;
+    }
+    g_enabled.store(true, std::memory_order_relaxed);
+    std::atexit(writeEnvProfileAtExit);
+}
+
+/** Zero every counter in the trie (caller holds the mutex). */
+void
+resetNode(ProfileNode *node)
+{
+    node->self_units.store(0, std::memory_order_relaxed);
+    node->scopes.store(0, std::memory_order_relaxed);
+    node->wall_ns.store(0, std::memory_order_relaxed);
+    for (const auto &[name, child] : node->children) {
+        resetNode(child);
+    }
+}
+
+/** Depth-first collection in sorted-child order; @p path is the
+ *  ';'-joined prefix ("" at the root). Returns the subtree total. */
+std::uint64_t
+collectNode(const ProfileNode *node, const std::string &path,
+            std::vector<ProfileEntry> &out)
+{
+    ProfileEntry entry;
+    entry.path = path;
+    entry.self_units = node->self_units.load(std::memory_order_relaxed);
+    entry.scopes = node->scopes.load(std::memory_order_relaxed);
+    entry.wall_ns = node->wall_ns.load(std::memory_order_relaxed);
+
+    std::uint64_t total = entry.self_units;
+    const std::size_t slot = out.size();
+    out.push_back(entry);   // Placeholder; total patched below.
+    for (const auto &[name, child] : node->children) {
+        const std::string child_path =
+            path.empty() ? name : path + ";" + name;
+        total += collectNode(child, child_path, out);
+    }
+    out[slot].total_units = total;
+    // Trie nodes outlive startProfile() resets; a subtree with no
+    // units, no scope entries, and no surviving children since the
+    // last reset carries no information, and exporting it would make
+    // the artifact depend on what ran before the reset. Prune it
+    // (never the root — the caller handles that).
+    if (!path.empty() && total == 0 && entry.scopes == 0 &&
+        out.size() == slot + 1) {
+        out.pop_back();
+    }
+    return total;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+/** Write @p content to @p path atomically (temp file + rename). */
+bool
+publishFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::trunc);
+        file << content;
+        if (!file) {
+            return false;
+        }
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace
+
+bool
+profileEnabled()
+{
+    static const bool env_checked = [] {
+        initFromEnv();
+        return true;
+    }();
+    (void)env_checked;
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+startProfile()
+{
+    profileEnabled();   // Ensure env init ran first.
+    Profiler &p = profiler();
+    {
+        std::lock_guard<std::mutex> lock(p.mutex);
+        resetNode(&p.root);
+    }
+    g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+stopProfile()
+{
+    g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+setProfileProgram(const std::string &program)
+{
+    Profiler &p = profiler();
+    std::lock_guard<std::mutex> lock(p.mutex);
+    p.program = program;
+}
+
+ProfileSnapshot
+snapshotProfile()
+{
+    Profiler &p = profiler();
+    ProfileSnapshot snap;
+    std::vector<ProfileEntry> raw;
+    {
+        std::lock_guard<std::mutex> lock(p.mutex);
+        snap.wall_lane = p.wall_lane;
+        collectNode(&p.root, "", raw);
+    }
+    // The root's own counters are work recorded outside any scope;
+    // export them as a pseudo-leaf so no unit is ever dropped.
+    for (ProfileEntry &entry : raw) {
+        if (entry.path.empty()) {
+            if (entry.self_units == 0 && entry.scopes == 0) {
+                continue;
+            }
+            entry.path = "(unscoped)";
+            entry.total_units = entry.self_units;
+        }
+        snap.total_units += entry.self_units;
+        snap.entries.push_back(std::move(entry));
+    }
+    std::sort(snap.entries.begin(), snap.entries.end(),
+              [](const ProfileEntry &a, const ProfileEntry &b) {
+                  return a.path < b.path;
+              });
+    return snap;
+}
+
+std::uint64_t
+profileChecksum(const ProfileSnapshot &snapshot)
+{
+    std::string bytes;
+    for (const ProfileEntry &entry : snapshot.entries) {
+        bytes += entry.path;
+        bytes += '\n';
+        tsdb::appendU64(bytes, entry.self_units);
+        tsdb::appendU64(bytes, entry.scopes);
+    }
+    return tsdb::fnvUpdate(tsdb::kFnvOffset, bytes);
+}
+
+bool
+writeProfile(const std::string &path)
+{
+    const ProfileSnapshot snap = snapshotProfile();
+    const std::uint64_t checksum = profileChecksum(snap);
+    std::string program;
+    {
+        Profiler &p = profiler();
+        std::lock_guard<std::mutex> lock(p.mutex);
+        program = p.program;
+    }
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"schema\": \"gsku-profile-v1\",\n"
+         << "  \"program\": \"" << program << "\",\n"
+         << "  \"wall_lane\": " << (snap.wall_lane ? "true" : "false")
+         << ",\n"
+         << "  \"total_units\": " << snap.total_units << ",\n"
+         << "  \"domains\": [";
+    for (std::size_t i = 0; i < snap.entries.size(); ++i) {
+        const ProfileEntry &e = snap.entries[i];
+        json << (i ? ",\n    " : "\n    ") << "{\"path\": \"" << e.path
+             << "\", \"self_units\": " << e.self_units
+             << ", \"total_units\": " << e.total_units
+             << ", \"scopes\": " << e.scopes;
+        if (snap.wall_lane) {
+            json << ", \"wall_ns\": " << e.wall_ns;
+        }
+        json << "}";
+    }
+    json << "\n  ],\n"
+         << "  \"checksum_fnv1a64\": \"" << hex16(checksum) << "\"\n"
+         << "}\n";
+
+    std::ostringstream collapsed;
+    for (const ProfileEntry &e : snap.entries) {
+        if (e.self_units > 0) {
+            collapsed << e.path << " " << e.self_units << "\n";
+        }
+    }
+
+    return publishFile(path, json.str()) &&
+           publishFile(path + ".collapsed", collapsed.str());
+}
+
+ProfileScope::ProfileScope(const char *domain)
+{
+    if (!profileEnabled()) {
+        return;
+    }
+    node_ = childOf(currentOrRoot(), domain);
+    node_->scopes.fetch_add(1, std::memory_order_relaxed);
+    saved_ = tls_current;
+    tls_current = node_;
+    if (profiler().wall_lane) {
+        start_ns_ = nowNs();
+    }
+}
+
+ProfileScope::~ProfileScope()
+{
+    if (node_ == nullptr) {
+        return;
+    }
+    if (start_ns_ != 0) {
+        node_->wall_ns.fetch_add(nowNs() - start_ns_,
+                                 std::memory_order_relaxed);
+    }
+    tls_current = saved_;
+}
+
+void
+profileWork(std::uint64_t n)
+{
+    if (!profileEnabled()) {
+        return;
+    }
+    currentOrRoot()->self_units.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+profileWork(const char *leaf, std::uint64_t n)
+{
+    if (!profileEnabled()) {
+        return;
+    }
+    childOf(currentOrRoot(), leaf)
+        ->self_units.fetch_add(n, std::memory_order_relaxed);
+}
+
+profiledetail::ProfileNode *
+profileCurrentDomain()
+{
+    if (!profileEnabled()) {
+        return nullptr;
+    }
+    return currentOrRoot();
+}
+
+ProfileTaskScope::ProfileTaskScope(profiledetail::ProfileNode *domain)
+{
+    if (domain == nullptr) {
+        return;
+    }
+    active_ = true;
+    saved_ = tls_current;
+    tls_current = domain;
+}
+
+ProfileTaskScope::~ProfileTaskScope()
+{
+    if (active_) {
+        tls_current = saved_;
+    }
+}
+
+} // namespace gsku::obs

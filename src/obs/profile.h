@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deterministic work-unit profiler (`gsku-profile-v1`): RAII domain
+ * scopes plus counted work units, aggregated into a canonical,
+ * timestamp-free profile that is byte-identical at 1 vs N pool
+ * threads and on any hardware. Wall-clock is the one signal the CI
+ * container cannot be trusted to report (one CPU — see CHANGES.md,
+ * PR 2), so perf regressions are gated on counted work instead:
+ * VM events replayed, placements attempted, sweep jobs, Erlang
+ * evaluations, cache probes, DES events, trace records generated.
+ *
+ * Design rules (same discipline as trace.h):
+ *
+ *  - Near-zero cost when disabled: a ProfileScope constructor and a
+ *    profileWork() tick are each one relaxed atomic load, and no
+ *    clock is ever read.
+ *  - Enabled either programmatically (startProfile/writeProfile) or
+ *    by GSKU_PROFILE=<path>, in which case the profile is written to
+ *    <path> (plus <path>.collapsed) automatically at process exit.
+ *  - Deterministic: work units land on a global domain-path trie via
+ *    commutative relaxed additions, so the aggregate is independent
+ *    of pool scheduling. The export sorts domain paths and contains
+ *    no timestamps, pids, or thread ids — byte-identical runs give
+ *    byte-identical artifacts (tests/gsf/parallel_parity_test.cc).
+ *  - Pool tasks inherit the submitting thread's domain path
+ *    (common/parallel.cc installs a ProfileTaskScope), so nesting is
+ *    the same whether a batch ran inline or on workers.
+ *  - Optional volatile lane: GSKU_PROFILE_WALL=1 adds per-domain
+ *    wall nanoseconds to the JSON, excluded from the checksum and
+ *    the collapsed export. The clock reads stay inside
+ *    src/obs/profile.cc, a sanctioned home of the `timing` rule.
+ *
+ * Artifact: writeProfile(path) emits a gsku-profile-v1 JSON document
+ * and a flamegraph-compatible collapsed-stack file at
+ * <path>.collapsed (`domain;subdomain;leaf <units>` — feed straight
+ * into flamegraph.pl or speedscope). Strict validating reader:
+ * common/profile_read.h. Renderer / differ: tools/gsku_prof.cc.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsku::obs {
+
+namespace profiledetail {
+struct ProfileNode;
+} // namespace profiledetail
+
+/** True while work units are being recorded. The first call
+ *  initializes profiling from the GSKU_PROFILE environment variable. */
+bool profileEnabled();
+
+/** Begin recording (idempotent). Resets all accumulated work units so
+ *  the next export covers exactly the work since this call. */
+void startProfile();
+
+/** Stop recording. Accumulated units are kept for a later export. */
+void stopProfile();
+
+/** Record @p program as the "program" field of the next export (the
+ *  bench drivers and example CLIs set their own name). */
+void setProfileProgram(const std::string &program);
+
+/** One exported domain: the ';'-joined path from the domain-stack
+ *  root, its directly-attributed units, and its scope entry count. */
+struct ProfileEntry
+{
+    std::string path;                ///< "evaluator.sweep;sizer.size".
+    std::uint64_t self_units = 0;    ///< Units attributed here.
+    std::uint64_t total_units = 0;   ///< self + all descendants.
+    std::uint64_t scopes = 0;        ///< ProfileScope entries.
+    std::uint64_t wall_ns = 0;       ///< Volatile lane (0 unless on).
+};
+
+/** Canonical aggregate: entries sorted by path, unique. */
+struct ProfileSnapshot
+{
+    std::vector<ProfileEntry> entries;
+    std::uint64_t total_units = 0;   ///< Sum of all self_units.
+    bool wall_lane = false;          ///< GSKU_PROFILE_WALL was set.
+};
+
+/** Aggregate the current counters into a canonical snapshot. */
+ProfileSnapshot snapshotProfile();
+
+/**
+ * FNV-1a 64 digest of the deterministic lane: for every entry in
+ * path order, the path bytes, a '\n', then self_units and scopes as
+ * little-endian u64. The volatile wall lane is excluded, so the
+ * checksum is hardware-independent. validate_obs.py --profile
+ * recomputes this independently.
+ */
+std::uint64_t profileChecksum(const ProfileSnapshot &snapshot);
+
+/**
+ * Snapshot and write the gsku-profile-v1 JSON to @p path and the
+ * collapsed-stack export to <path>.collapsed, each atomically (temp
+ * file + rename). Returns false on I/O failure.
+ */
+bool writeProfile(const std::string &path);
+
+/**
+ * RAII domain scope: pushes @p domain onto the calling thread's
+ * domain stack; profileWork() ticks between construction and
+ * destruction attribute to this path. When profiling is disabled the
+ * constructor is a single relaxed load. @p domain must be a string
+ * literal (it is keyed by pointer on the hot path).
+ */
+class ProfileScope
+{
+  public:
+    explicit ProfileScope(const char *domain);
+    ~ProfileScope();
+
+    ProfileScope(const ProfileScope &) = delete;
+    ProfileScope &operator=(const ProfileScope &) = delete;
+
+  private:
+    profiledetail::ProfileNode *node_ = nullptr;
+    profiledetail::ProfileNode *saved_ = nullptr;
+    std::uint64_t start_ns_ = 0;
+};
+
+/** Attribute @p n work units to the innermost open domain (the trie
+ *  root when no scope is open). One relaxed load when disabled. Hot
+ *  loops should accumulate locally and tick once per batch — the DES
+ *  discipline — rather than per event. */
+void profileWork(std::uint64_t n = 1);
+
+/** Attribute @p n units to the @p leaf child of the innermost open
+ *  domain without pushing a scope (for counted sub-steps like
+ *  "probe" or "placements"). @p leaf must be a string literal. */
+void profileWork(const char *leaf, std::uint64_t n = 1);
+
+/** Opaque handle to the calling thread's innermost open domain, for
+ *  propagation into pool tasks (nullptr when profiling is off). */
+profiledetail::ProfileNode *profileCurrentDomain();
+
+/** RAII installer used by common/parallel.cc: makes @p domain the
+ *  calling thread's innermost domain for the duration of a pool
+ *  task, so tasks nest identically inline and on workers. A nullptr
+ *  domain is a no-op. */
+class ProfileTaskScope
+{
+  public:
+    explicit ProfileTaskScope(profiledetail::ProfileNode *domain);
+    ~ProfileTaskScope();
+
+    ProfileTaskScope(const ProfileTaskScope &) = delete;
+    ProfileTaskScope &operator=(const ProfileTaskScope &) = delete;
+
+  private:
+    profiledetail::ProfileNode *saved_ = nullptr;
+    bool active_ = false;
+};
+
+} // namespace gsku::obs

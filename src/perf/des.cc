@@ -8,6 +8,7 @@
 #include "common/distributions.h"
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace gsku::perf {
@@ -93,6 +94,7 @@ DesResult
 QueueSimulator::run(std::uint64_t seed) const
 {
     obs::TraceSpan span("des", "run");
+    obs::ProfileScope prof("des.run");
     span.arg("servers", static_cast<std::int64_t>(config_.servers))
         .arg("seed", static_cast<std::uint64_t>(seed));
     // Accumulated locally and added once at the end: the event loop is
@@ -187,6 +189,7 @@ QueueSimulator::run(std::uint64_t seed) const
     static obs::Counter &events =
         obs::metrics().counter("des.events_processed");
     events.inc(events_processed);
+    obs::profileWork(events_processed);
     return result;
 }
 

@@ -4,12 +4,16 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/profile.h"
 
 namespace gsku::perf {
 
 double
 erlangC(int servers, double offered_load)
 {
+    // One work unit per Erlang-C evaluation: the queueing model's
+    // cost driver for the profile (obs/profile.h).
+    obs::profileWork("erlang.eval");
     GSKU_REQUIRE(servers >= 1, "erlangC needs at least one server");
     GSKU_REQUIRE(offered_load >= 0.0, "offered load must be non-negative");
     GSKU_REQUIRE(offered_load < static_cast<double>(servers),

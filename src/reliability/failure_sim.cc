@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/stats.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace gsku::reliability {
@@ -89,6 +90,7 @@ FleetFailureSimulator::runTrials(int trials, int months,
         obs::metrics().counter("failure_sim.trials");
     trial_count.inc(static_cast<std::uint64_t>(trials));
     obs::TraceSpan span("failure_sim", "runTrials");
+    obs::ProfileScope prof("failure_sim.trials");
     span.arg("trials", static_cast<std::int64_t>(trials))
         .arg("months", static_cast<std::int64_t>(months));
 
@@ -103,6 +105,9 @@ FleetFailureSimulator::runTrials(int trials, int months,
 
     const auto runs = parallelMap<std::vector<MonthlyFailureStat>>(
         static_cast<std::size_t>(trials), [&](std::size_t i) {
+            // One work unit per Monte-Carlo trial; pool tasks inherit
+            // the failure_sim.trials domain (obs/profile.h).
+            obs::profileWork("trial");
             FleetFailureSimulator sim(params_, fleet_size_, 0);
             sim.rng_ = streams[i];
             return sim.run(months, smoothing_window);

@@ -1,0 +1,15 @@
+// Fixture: timing true positive — an engine hand-rolling profile
+// wall time instead of using obs::ProfileScope's volatile lane.
+#include <chrono>
+
+namespace fx {
+
+double
+sweepWallSeconds()
+{
+    const auto t0 = std::chrono::high_resolution_clock::now();
+    const auto t1 = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace fx

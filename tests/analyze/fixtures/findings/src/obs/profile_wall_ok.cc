@@ -1,0 +1,14 @@
+// Fixture: the profiler's volatile wall lane (src/obs/profile.cc)
+// reads the steady clock inside src/obs/, a sanctioned timing home.
+#include <chrono>
+
+namespace fx {
+
+unsigned long long
+profileWallNs()
+{
+    return static_cast<unsigned long long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+} // namespace fx

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "gsf/evaluator.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "reliability/failure_sim.h"
 
@@ -430,6 +432,100 @@ TEST(ParallelParityTest, TraceEncodingsReplayByteIdenticalAcrossThreads)
     }
     ThreadPool::resetGlobal(original);
     fs::remove_all(dir);
+}
+
+TEST(ParallelParityTest, WorkUnitProfileIsByteIdenticalAcrossThreads)
+{
+    // The work-unit profiler (obs/profile.h) counts logical work on a
+    // global trie via commutative additions and exports a canonical,
+    // timestamp-free document, so the written artifact — JSON and the
+    // collapsed flamegraph sidecar — must be byte-identical whatever
+    // the pool schedule was.
+    namespace fs = std::filesystem;
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 120.0;
+    params.duration_h = 24.0 * 3.0;
+    const auto traces =
+        cluster::TraceGenerator(params).generateFamily(3, /*base_seed=*/9);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const std::vector<double> grid = {0.05, 0.3};
+
+    const std::string dir =
+        (fs::temp_directory_path() / "gsku_parity_profile").string();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    auto slurp = [](const std::string &file) {
+        std::ifstream in(file, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    };
+
+    obs::setProfileProgram("parallel_parity_test");
+    const int original = ThreadPool::global().threads();
+    std::vector<std::string> jsons;
+    std::vector<std::string> collapsed;
+    for (int threads : {1, 4}) {
+        ThreadPool::resetGlobal(threads);
+        obs::startProfile();    // Resets: each leg profiles one sweep.
+        const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+        evaluator.sweep(traces, baseline, green, grid);
+        obs::stopProfile();
+        const std::string file = (fs::path(dir) / ("profile_" +
+                                  std::to_string(threads) + ".json"))
+                                     .string();
+        ASSERT_TRUE(obs::writeProfile(file));
+        jsons.push_back(slurp(file));
+        collapsed.push_back(slurp(file + ".collapsed"));
+    }
+    ThreadPool::resetGlobal(original);
+    fs::remove_all(dir);
+
+    EXPECT_FALSE(jsons[0].empty());
+    EXPECT_EQ(jsons[0], jsons[1]);
+    EXPECT_FALSE(collapsed[0].empty());
+    EXPECT_EQ(collapsed[0], collapsed[1]);
+    // The profile must actually attribute the sweep's work.
+    EXPECT_NE(jsons[0].find("evaluator.sweep;jobs"), std::string::npos);
+    EXPECT_NE(jsons[0].find("allocator.replay"), std::string::npos);
+}
+
+TEST(ParallelParityTest, ProfilingLeavesOutputsByteIdentical)
+{
+    // The profiler is strictly observational: enabling it must leave
+    // every model output byte-identical, at 1 and at 4 pool threads.
+    cluster::TraceGenParams params;
+    params.target_concurrent_vms = 120.0;
+    params.duration_h = 24.0 * 3.0;
+    const auto traces =
+        cluster::TraceGenerator(params).generateFamily(2, /*base_seed=*/13);
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const carbon::ServerSku green = carbon::StandardSkus::greenFull();
+    const std::vector<double> grid = {0.05, 0.3};
+
+    const int original = ThreadPool::global().threads();
+    for (int threads : {1, 4}) {
+        ThreadPool::resetGlobal(threads);
+        const gsf::GsfEvaluator evaluator{gsf::GsfEvaluator::Options{}};
+
+        ASSERT_FALSE(obs::profileEnabled());
+        const gsf::IntensitySweep plain =
+            evaluator.sweep(traces, baseline, green, grid);
+
+        obs::startProfile();
+        const gsf::IntensitySweep profiled =
+            evaluator.sweep(traces, baseline, green, grid);
+        const obs::ProfileSnapshot snap = obs::snapshotProfile();
+        obs::stopProfile();
+
+        ASSERT_EQ(plain.mean_savings.size(), profiled.mean_savings.size());
+        for (std::size_t i = 0; i < plain.mean_savings.size(); ++i) {
+            EXPECT_EQ(plain.mean_savings[i], profiled.mean_savings[i]);
+        }
+        // The instrumentation itself must have fired.
+        EXPECT_GT(snap.total_units, 0u);
+    }
+    ThreadPool::resetGlobal(original);
 }
 
 } // namespace

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests of the `gsku-profile-v1` deterministic work-unit profiler:
+ * scope/work attribution into the domain trie, the canonical snapshot
+ * and checksum, write/read round trips through the strict reader
+ * (common/profile_read.h), the flamegraph collapsed sidecar, and
+ * offset-naming rejection of corrupt profiles — mirroring the
+ * timeseries_test suite for gsku-tsdb-v1.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/profile_read.h"
+#include "obs/profile.h"
+
+namespace gsku::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Per-test scratch directory under the system temp dir. */
+class ProfileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("gsku_profile_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        stopProfile();
+        fs::remove_all(dir_);
+    }
+
+    std::string path(const std::string &name) const
+    {
+        return (fs::path(dir_) / name).string();
+    }
+
+    std::string dir_;
+};
+
+std::string
+slurp(const std::string &file)
+{
+    std::ifstream in(file, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Record a small three-domain workload (17 units) on this thread. */
+void
+recordSmallWorkload()
+{
+    {
+        ProfileScope outer("alpha");
+        profileWork(5);
+        {
+            ProfileScope inner("beta");
+            profileWork(7);
+        }
+        profileWork("gamma", 3);
+    }
+    profileWork(2);    // Outside any scope: "(unscoped)".
+}
+
+TEST_F(ProfileTest, AttributesWorkToTheInnermostDomain)
+{
+    startProfile();
+    recordSmallWorkload();
+    const ProfileSnapshot snap = snapshotProfile();
+
+    ASSERT_EQ(snap.entries.size(), 4u);
+    EXPECT_EQ(snap.total_units, 17u);
+    EXPECT_FALSE(snap.wall_lane);
+
+    // Sorted by path; "(unscoped)" sorts before the letters.
+    EXPECT_EQ(snap.entries[0].path, "(unscoped)");
+    EXPECT_EQ(snap.entries[0].self_units, 2u);
+    EXPECT_EQ(snap.entries[0].total_units, 2u);
+
+    EXPECT_EQ(snap.entries[1].path, "alpha");
+    EXPECT_EQ(snap.entries[1].self_units, 5u);
+    EXPECT_EQ(snap.entries[1].total_units, 15u);    // 5 + 7 + 3.
+    EXPECT_EQ(snap.entries[1].scopes, 1u);
+
+    EXPECT_EQ(snap.entries[2].path, "alpha;beta");
+    EXPECT_EQ(snap.entries[2].self_units, 7u);
+    EXPECT_EQ(snap.entries[2].scopes, 1u);
+
+    EXPECT_EQ(snap.entries[3].path, "alpha;gamma");
+    EXPECT_EQ(snap.entries[3].self_units, 3u);
+    EXPECT_EQ(snap.entries[3].scopes, 0u);    // Leaf tick, no scope.
+}
+
+TEST_F(ProfileTest, StartResetsAndStopFreezes)
+{
+    startProfile();
+    recordSmallWorkload();
+    stopProfile();
+
+    // Stopped: new work does not land...
+    profileWork(100);
+    {
+        ProfileScope scope("omega");
+        profileWork(100);
+    }
+    EXPECT_EQ(snapshotProfile().total_units, 17u);
+
+    // ...and a fresh start() resets the accumulated units.
+    startProfile();
+    EXPECT_EQ(snapshotProfile().total_units, 0u);
+    profileWork(4);
+    EXPECT_EQ(snapshotProfile().total_units, 4u);
+}
+
+TEST_F(ProfileTest, RoundTripsThroughWriterAndReader)
+{
+    startProfile();
+    setProfileProgram("profile_test");
+    recordSmallWorkload();
+
+    const std::string file = path("run.profile.json");
+    ASSERT_TRUE(writeProfile(file));
+
+    // The strict reader re-validates totals and the checksum.
+    const ProfileData data = readProfile(file);
+    EXPECT_EQ(data.program, "profile_test");
+    EXPECT_FALSE(data.wall_lane);
+    EXPECT_EQ(data.total_units, 17u);
+    ASSERT_EQ(data.entries.size(), 4u);
+    EXPECT_EQ(data.entries[1].path, "alpha");
+    EXPECT_EQ(data.entries[1].total_units, 15u);
+    EXPECT_EQ(data.checksum, profileChecksum(snapshotProfile()));
+
+    // The collapsed flamegraph sidecar lists exactly the domains with
+    // nonzero self units, in path order.
+    EXPECT_EQ(slurp(file + ".collapsed"),
+              "(unscoped) 2\n"
+              "alpha 5\n"
+              "alpha;beta 7\n"
+              "alpha;gamma 3\n");
+}
+
+TEST_F(ProfileTest, PoolTasksInheritTheSubmittersDomain)
+{
+    startProfile();
+    const int original = ThreadPool::global().threads();
+    ThreadPool::resetGlobal(4);
+    {
+        ProfileScope scope("fanout");
+        parallelMap<int>(8, [](std::size_t i) {
+            profileWork("tasks", static_cast<std::uint64_t>(i) + 1);
+            return static_cast<int>(i);
+        });
+    }
+    ThreadPool::resetGlobal(original);
+
+    const ProfileSnapshot snap = snapshotProfile();
+    ASSERT_EQ(snap.entries.size(), 2u);
+    EXPECT_EQ(snap.entries[0].path, "fanout");
+    EXPECT_EQ(snap.entries[1].path, "fanout;tasks");
+    EXPECT_EQ(snap.entries[1].self_units, 36u);    // 1+2+...+8.
+}
+
+TEST_F(ProfileTest, ChecksumCoversExactlyTheDeterministicLane)
+{
+    ProfileSnapshot snap;
+    snap.entries = {{"a", 1, 3, 1, 0}, {"a;b", 2, 2, 1, 0}};
+    const std::uint64_t base = profileChecksum(snap);
+
+    // Wall time is volatile: it never moves the checksum.
+    snap.entries[0].wall_ns = 123456789;
+    snap.entries[1].wall_ns = 42;
+    EXPECT_EQ(profileChecksum(snap), base);
+
+    // Units, scope counts, and paths all do.
+    snap.entries[1].self_units = 3;
+    EXPECT_NE(profileChecksum(snap), base);
+    snap.entries[1].self_units = 2;
+    snap.entries[1].scopes = 2;
+    EXPECT_NE(profileChecksum(snap), base);
+    snap.entries[1].scopes = 1;
+    snap.entries[1].path = "a;c";
+    EXPECT_NE(profileChecksum(snap), base);
+}
+
+/** A syntactically well-formed document whose two-entry domain list
+ *  and checksum the corrupt-profile tests below mutate. */
+std::string
+validDoc()
+{
+    ProfileSnapshot snap;
+    snap.entries = {{"a", 1, 3, 1, 0}, {"a;b", 2, 2, 1, 0}};
+    return std::string("{\"schema\": \"gsku-profile-v1\", ") +
+           "\"program\": \"t\", \"wall_lane\": false, " +
+           "\"total_units\": 3, \"domains\": [" +
+           "{\"path\": \"a\", \"self_units\": 1, \"total_units\": 3, " +
+           "\"scopes\": 1}, " +
+           "{\"path\": \"a;b\", \"self_units\": 2, \"total_units\": 2, " +
+           "\"scopes\": 1}], \"checksum_fnv1a64\": \"" +
+           hex16(profileChecksum(snap)) + "\"}";
+}
+
+TEST_F(ProfileTest, ReaderAcceptsTheHandcraftedDocument)
+{
+    const std::string file = path("ok.profile.json");
+    std::ofstream(file) << validDoc();
+    const ProfileData data = readProfile(file);
+    EXPECT_EQ(data.program, "t");
+    EXPECT_EQ(data.total_units, 3u);
+    ASSERT_EQ(data.entries.size(), 2u);
+}
+
+TEST_F(ProfileTest, RejectsCorruptProfilesNamingTheOffset)
+{
+    auto expect_reject = [this](const std::string &content,
+                                const std::string &needle) {
+        const std::string file = path("bad.profile.json");
+        std::ofstream(file, std::ios::trunc) << content;
+        try {
+            readProfile(file);
+            FAIL() << "accepted a corrupt profile; wanted error "
+                   << "containing: " << needle;
+        } catch (const UserError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << "error was: " << e.what();
+        }
+    };
+    const std::string good = validDoc();
+    auto replace = [&](const std::string &from, const std::string &to) {
+        std::string out = good;
+        const std::size_t at = out.find(from);
+        EXPECT_NE(at, std::string::npos) << from;
+        return out.replace(at, from.size(), to);
+    };
+
+    expect_reject("", "expected '{' at offset 0");
+    expect_reject(good.substr(0, 14), "unterminated string");
+    expect_reject(replace("gsku-profile-v1", "gsku-profile-v9"),
+                  "unsupported schema \"gsku-profile-v9\"");
+    expect_reject(replace("\"program\"", "\"prog\""),
+                  "expected key \"program\", found \"prog\"");
+    expect_reject(replace("\"path\": \"a\"", "\"path\": \"\""),
+                  "empty domain path at offset");
+    expect_reject(replace("\"a\"", "\"z\""),
+                  "unsorted domain path \"a;b\" at offset");
+    expect_reject(replace("\"total_units\": 3, \"scopes\": 1}",
+                          "\"total_units\": 0, \"scopes\": 1}"),
+                  "total_units below self_units for \"a\"");
+    expect_reject(replace("\"scopes\": 1}, ",
+                          "\"scopes\": 1, \"wall_ns\": 5}, "),
+                  "wall_ns present without wall_lane");
+    expect_reject(replace("\"wall_lane\": false", "\"wall_lane\": true"),
+                  "missing wall_ns under wall_lane");
+    expect_reject(replace("\"self_units\": 2",
+                          "\"self_units\": 99999999999999999999"),
+                  "integer overflows u64");
+    expect_reject(replace("\"checksum_fnv1a64\": \"",
+                          "\"checksum_fnv1a64\": \"zz"),
+                  "checksum must be 16 hex digits");
+    expect_reject(good + "x", "trailing bytes");
+    expect_reject(replace("\"total_units\": 3, \"domains\"",
+                          "\"total_units\": 99, \"domains\""),
+                  "total_units 99 does not match the sum of "
+                  "self_units 3");
+    expect_reject(replace("\"total_units\": 3, \"scopes\"",
+                          "\"total_units\": 5, \"scopes\""),
+                  "inconsistent total_units for \"a\": 5 != self 1 + "
+                  "children 2");
+    std::string wrong_sum = good;
+    wrong_sum.replace(wrong_sum.find("checksum_fnv1a64\": \"") +
+                          std::string("checksum_fnv1a64\": \"").size(),
+                      16, "0000000000000000");
+    expect_reject(wrong_sum, "checksum mismatch: file records "
+                             "0000000000000000");
+}
+
+} // namespace
+} // namespace gsku::obs

@@ -25,14 +25,36 @@ Two classes of check, with different severities:
             and ``--strict-rss`` turns those warnings into failures.
             A leg using *less* memory than baseline never warns.
 
+A third, fully strict surface compares ``gsku-profile-v1`` work-unit
+profiles (src/obs/profile.h). Work units are deterministic logical
+counts — VM events replayed, placements attempted, sweep jobs, Erlang
+evaluations, cache probes — so unlike wall clock they are
+hardware-independent and every drift check is a hard failure:
+
+  profile   ``--profile-baseline``/``--profile-current`` compare two
+            profiles domain by domain. Schema or program mismatches,
+            domains added or removed, a domain's self units moving
+            between zero and nonzero, or a unit ratio outside the
+            ``--max-unit-drift`` band (default 1.0 = exact equality;
+            widen it only for benchmarks with intentionally variable
+            work) are all errors. Wall time never enters the
+            comparison.
+
 Typical use (CI):
-  bench/bench_sweep
+  bench/bench_sweep --profile PROFILE_sweep.json
   tools/bench_compare.py --baseline bench/baselines/BENCH_sweep.baseline.json \\
-                         --current BENCH_sweep.json
+                         --current BENCH_sweep.json \\
+                         --profile-baseline bench/baselines/PROFILE_sweep.baseline.json \\
+                         --profile-current PROFILE_sweep.json
 
 Refreshing the baseline after an intended output change:
   bench/bench_sweep && cp BENCH_sweep.json \\
       bench/baselines/BENCH_sweep.baseline.json
+
+``--self-test`` runs the gate against built-in fixtures (a baseline
+profile vs a drifted one) and fails unless every injected regression —
+unit drift, a dropped domain, a new domain, zero-to-nonzero movement —
+is caught; CI runs it so the gate itself is tested.
 
 Exit status: 0 when every strict check passes (warnings allowed), 1 on
 any strict failure (or timing failure under --strict-time), 2 on usage
@@ -57,13 +79,125 @@ def load(path: Path):
         sys.exit(2)
 
 
+def compare_profiles(baseline, current, band: float) -> list[str]:
+    """Hard drift checks between two gsku-profile-v1 documents.
+
+    Returns the list of errors; work units are deterministic, so there
+    is no warning tier here.
+    """
+    errors: list[str] = []
+    for label, doc in (("baseline", baseline), ("current", current)):
+        if doc.get("schema") != "gsku-profile-v1":
+            errors.append(f"profile {label}: schema is "
+                          f"{doc.get('schema')!r}, expected "
+                          f"'gsku-profile-v1'")
+    if errors:
+        return errors
+    if baseline.get("program") != current.get("program"):
+        errors.append(f"profile program mismatch: baseline "
+                      f"{baseline.get('program')!r} vs current "
+                      f"{current.get('program')!r}")
+
+    base_domains = {d["path"]: d for d in baseline.get("domains", [])}
+    cur_domains = {d["path"]: d for d in current.get("domains", [])}
+    if not base_domains:
+        errors.append("profile baseline has no domains")
+
+    for path, base in sorted(base_domains.items()):
+        cur = cur_domains.get(path)
+        if cur is None:
+            errors.append(f"profile domain '{path}' disappeared: the "
+                          f"instrumented path no longer runs (or lost "
+                          f"its instrumentation)")
+            continue
+        base_units = int(base.get("self_units", 0))
+        cur_units = int(cur.get("self_units", 0))
+        if (base_units == 0) != (cur_units == 0):
+            errors.append(f"profile domain '{path}' moved between "
+                          f"zero and nonzero work ({base_units} -> "
+                          f"{cur_units} self units)")
+            continue
+        if base_units == 0:
+            continue
+        ratio = cur_units / base_units
+        if ratio > band or ratio < 1.0 / band:
+            errors.append(
+                f"WORK-UNIT DRIFT at domain '{path}': {cur_units} vs "
+                f"baseline {base_units} self units ({ratio:.4f}x, "
+                f"allowed band {1.0 / band:.4f}x..{band:.4f}x) — the "
+                f"amount of work changed; if intended, refresh the "
+                f"committed profile baseline")
+    for path in sorted(set(cur_domains) - set(base_domains)):
+        errors.append(f"profile domain '{path}' is new: "
+                      f"{cur_domains[path].get('self_units')} self "
+                      f"unit(s) not covered by the baseline; refresh "
+                      f"the committed profile baseline to adopt it")
+    return errors
+
+
+def self_test() -> int:
+    """Prove the profile gate catches every injected regression."""
+    base = {
+        "schema": "gsku-profile-v1",
+        "program": "bench_sweep",
+        "wall_lane": False,
+        "total_units": 1100,
+        "domains": [
+            {"path": "evaluator.sweep", "self_units": 0,
+             "total_units": 1100, "scopes": 1},
+            {"path": "evaluator.sweep;jobs", "self_units": 1000,
+             "total_units": 1000, "scopes": 48},
+            {"path": "evaluator.sweep;sizer.size", "self_units": 100,
+             "total_units": 100, "scopes": 48},
+        ],
+        "checksum_fnv1a64": "0" * 16,
+    }
+    clean = compare_profiles(base, base, band=1.0)
+    failures: list[str] = []
+    if clean:
+        failures.append(f"identical profiles produced errors: {clean}")
+
+    import copy
+    drifted = copy.deepcopy(base)
+    drifted["domains"][1]["self_units"] = 1013          # unit drift
+    del drifted["domains"][2]                           # dropped domain
+    drifted["domains"].append(                          # new domain
+        {"path": "trace_gen.generate", "self_units": 7,
+         "total_units": 7, "scopes": 1})
+    drifted["domains"][0]["self_units"] = 3             # zero -> nonzero
+    caught = compare_profiles(base, drifted, band=1.0)
+    for needle in ("WORK-UNIT DRIFT at domain 'evaluator.sweep;jobs'",
+                   "'evaluator.sweep;sizer.size' disappeared",
+                   "'trace_gen.generate' is new",
+                   "'evaluator.sweep' moved between zero and nonzero"):
+        if not any(needle in e for e in caught):
+            failures.append(f"injected regression not caught: "
+                            f"expected an error matching {needle!r}")
+
+    # The band must tolerate exactly what it promises: 1013/1000 is
+    # inside a 1.05 band, so only the structural injections remain.
+    banded = compare_profiles(base, drifted, band=1.05)
+    if any("WORK-UNIT DRIFT" in e for e in banded):
+        failures.append("1.3% unit drift flagged despite a 1.05 band")
+
+    for f in failures:
+        print(f"self-test failure: {f}", file=sys.stderr)
+    if failures:
+        print(f"bench_compare.py: SELF-TEST FAIL ({len(failures)} "
+              f"failure(s))", file=sys.stderr)
+        return 1
+    print("bench_compare.py: self-test clean (drift, dropped, new, "
+          "and zero-crossing domains all caught)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Compare a bench JSON against a committed baseline")
-    parser.add_argument("--baseline", required=True, metavar="FILE",
+    parser.add_argument("--baseline", metavar="FILE",
                         help="committed baseline JSON "
                              "(bench/baselines/*.baseline.json)")
-    parser.add_argument("--current", required=True, metavar="FILE",
+    parser.add_argument("--current", metavar="FILE",
                         help="freshly produced bench JSON")
     parser.add_argument("--max-slowdown", type=float, default=1.5,
                         metavar="RATIO",
@@ -78,14 +212,58 @@ def main() -> int:
                              "(default 1.25)")
     parser.add_argument("--strict-rss", action="store_true",
                         help="treat peak-memory warnings as failures")
+    parser.add_argument("--profile-baseline", metavar="FILE",
+                        help="committed gsku-profile-v1 baseline "
+                             "(bench/baselines/PROFILE_*.baseline.json)")
+    parser.add_argument("--profile-current", metavar="FILE",
+                        help="freshly produced gsku-profile-v1 JSON")
+    parser.add_argument("--max-unit-drift", type=float, default=1.0,
+                        metavar="RATIO",
+                        help="fail when a domain's self units drift "
+                             "from the baseline by more than this "
+                             "ratio in either direction (default 1.0 "
+                             "= exact equality; units are "
+                             "deterministic)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the profile gate against built-in "
+                             "drift fixtures and exit")
     args = parser.parse_args()
 
-    baseline = load(Path(args.baseline))
-    current = load(Path(args.current))
+    if args.self_test:
+        return self_test()
+    if bool(args.baseline) != bool(args.current):
+        parser.error("--baseline and --current go together")
+    if bool(args.profile_baseline) != bool(args.profile_current):
+        parser.error("--profile-baseline and --profile-current go "
+                     "together")
+    if not args.baseline and not args.profile_baseline:
+        parser.error("nothing to compare: pass --baseline/--current, "
+                     "--profile-baseline/--profile-current, or "
+                     "--self-test")
+    if args.max_unit_drift < 1.0:
+        parser.error("--max-unit-drift must be >= 1.0")
 
     errors: list[str] = []
     warnings: list[str] = []
     rss_warnings: list[str] = []
+
+    if args.profile_baseline:
+        errors.extend(compare_profiles(
+            load(Path(args.profile_baseline)),
+            load(Path(args.profile_current)), args.max_unit_drift))
+
+    if not args.baseline:
+        for e in errors:
+            print(f"error: {e}")
+        if errors:
+            print(f"\nbench_compare.py: FAIL ({len(errors)} "
+                  f"error(s))", file=sys.stderr)
+            return 1
+        print("bench_compare.py: clean (profiles compared)")
+        return 0
+
+    baseline = load(Path(args.baseline))
+    current = load(Path(args.current))
 
     # Every top-level baseline key except the legs themselves and
     # machine- or speed-dependent fields is config that must match, so

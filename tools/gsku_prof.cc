@@ -1,0 +1,310 @@
+/**
+ * @file
+ * gsku_prof: render a `gsku-profile-v1` deterministic work-unit
+ * profile (obs/profile.h) as text tables, collapsed flamegraph stacks,
+ * or JSON — and diff two profiles with diff(1) exit semantics, which
+ * is what the CI perf-regression gate builds on.
+ *
+ * Usage:
+ *   gsku_prof [options] <run.profile.json>
+ *   gsku_prof --diff <a.profile.json> <b.profile.json>
+ *
+ * Options:
+ *   --top <n>     show only the n domains with the most self units
+ *   --collapsed   print flamegraph collapsed stacks ("a;b;c <units>")
+ *   --json        re-emit the parsed profile as JSON
+ *   --diff        compare the deterministic lanes of two profiles:
+ *                 silent + exit 0 when identical, per-domain delta
+ *                 table + exit 1 when they differ (wall_ns is
+ *                 volatile and never compared)
+ *   --help        show usage
+ *
+ * Exit codes follow diff(1): 0 identical / rendered, 1 profiles
+ * differ, 2 trouble (bad usage, unreadable or corrupt profile — the
+ * UserError text names the byte offset).
+ */
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parse.h"
+#include "common/profile_read.h"
+#include "common/table.h"
+
+namespace {
+
+using gsku::Align;
+using gsku::obs::ProfileData;
+using gsku::Table;
+using gsku::obs::ProfileEntry;
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: gsku_prof [options] <run.profile.json>\n"
+           "       gsku_prof --diff <a.profile.json> <b.profile.json>\n"
+           "options:\n"
+           "  --top <n>    show only the n largest domains by self "
+           "units\n"
+           "  --collapsed  print flamegraph collapsed stacks\n"
+           "  --json       re-emit the parsed profile as JSON\n"
+           "  --diff       compare two profiles (diff(1) exit codes)\n"
+           "  --help       show this message\n";
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) {
+        out[15 - i] = digits[(v >> (i * 4)) & 0xfu];
+    }
+    return out;
+}
+
+/** Entries sorted by self units (desc), path as the tiebreak so the
+ *  rendering is as deterministic as the artifact itself. */
+std::vector<ProfileEntry>
+bySelfUnits(const ProfileData &data)
+{
+    std::vector<ProfileEntry> entries = data.entries;
+    std::sort(entries.begin(), entries.end(),
+              [](const ProfileEntry &a, const ProfileEntry &b) {
+                  if (a.self_units != b.self_units) {
+                      return a.self_units > b.self_units;
+                  }
+                  return a.path < b.path;
+              });
+    return entries;
+}
+
+void
+renderTable(const std::string &path, const ProfileData &data,
+            std::size_t top)
+{
+    std::cout << "gsku_prof: " << path << "  program " << data.program
+              << "  total_units " << data.total_units << "  checksum "
+              << hex16(data.checksum)
+              << (data.wall_lane ? "  wall-lane (volatile)" : "")
+              << "\n\n";
+
+    std::vector<std::string> headers = {"Domain", "Self", "Total",
+                                        "Scopes", "Self %"};
+    std::vector<Align> aligns = {Align::Left, Align::Right, Align::Right,
+                                 Align::Right, Align::Right};
+    if (data.wall_lane) {
+        headers.push_back("Wall (ms)");
+        aligns.push_back(Align::Right);
+    }
+    Table table(headers, aligns);
+
+    const std::vector<ProfileEntry> entries = bySelfUnits(data);
+    const std::size_t rows = std::min(top, entries.size());
+    for (std::size_t i = 0; i < rows; ++i) {
+        const ProfileEntry &e = entries[i];
+        const double share =
+            data.total_units > 0
+                ? static_cast<double>(e.self_units) /
+                      static_cast<double>(data.total_units)
+                : 0.0;
+        std::vector<std::string> row = {
+            e.path, std::to_string(e.self_units),
+            std::to_string(e.total_units), std::to_string(e.scopes),
+            Table::percent(share, 1)};
+        if (data.wall_lane) {
+            row.push_back(
+                Table::num(static_cast<double>(e.wall_ns) / 1e6, 2));
+        }
+        table.addRow(row);
+    }
+    std::cout << table.render();
+    if (rows < entries.size()) {
+        std::cout << "(" << entries.size() - rows
+                  << " smaller domains hidden; use --top "
+                  << entries.size() << " for all)\n";
+    }
+}
+
+/** The same collapsed-stack lines writeProfile() puts next to the
+ *  JSON artifact: one "path units" line per domain with self units. */
+void
+renderCollapsed(const ProfileData &data)
+{
+    for (const ProfileEntry &e : data.entries) {
+        if (e.self_units > 0) {
+            std::cout << e.path << ' ' << e.self_units << '\n';
+        }
+    }
+}
+
+void
+renderJson(const ProfileData &data)
+{
+    std::cout << "{\"schema\": \"gsku-profile-v1\", \"program\": \""
+              << data.program << "\", \"wall_lane\": "
+              << (data.wall_lane ? "true" : "false")
+              << ", \"total_units\": " << data.total_units
+              << ", \"domains\": [";
+    for (std::size_t i = 0; i < data.entries.size(); ++i) {
+        const ProfileEntry &e = data.entries[i];
+        std::cout << (i ? ", " : "") << "{\"path\": \"" << e.path
+                  << "\", \"self_units\": " << e.self_units
+                  << ", \"total_units\": " << e.total_units
+                  << ", \"scopes\": " << e.scopes;
+        if (data.wall_lane) {
+            std::cout << ", \"wall_ns\": " << e.wall_ns;
+        }
+        std::cout << "}";
+    }
+    std::cout << "], \"checksum_fnv1a64\": \"" << hex16(data.checksum)
+              << "\"}\n";
+}
+
+/**
+ * Compare the deterministic lanes of two profiles. Quiet and 0 when
+ * identical (like diff on equal files); a per-domain delta table and 1
+ * when not. wall_ns is volatile by contract and never enters the
+ * comparison.
+ */
+int
+diffProfiles(const std::string &path_a, const ProfileData &a,
+             const std::string &path_b, const ProfileData &b)
+{
+    // The checksum covers exactly the deterministic lane (sorted
+    // paths + self units + scope counts), so equal checksums mean
+    // equal profiles and the diff is empty.
+    if (a.checksum == b.checksum) {
+        return 0;
+    }
+
+    std::map<std::string, const ProfileEntry *> in_a;
+    std::map<std::string, const ProfileEntry *> in_b;
+    for (const ProfileEntry &e : a.entries) {
+        in_a[e.path] = &e;
+    }
+    for (const ProfileEntry &e : b.entries) {
+        in_b[e.path] = &e;
+    }
+
+    std::cout << "--- " << path_a << "  (" << a.program << ", "
+              << a.total_units << " units)\n"
+              << "+++ " << path_b << "  (" << b.program << ", "
+              << b.total_units << " units)\n\n";
+
+    Table table({"Domain", "Self A", "Self B", "Delta", "Scopes A",
+                 "Scopes B"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right});
+    auto u64str = [](const ProfileEntry *e, std::uint64_t v) {
+        return e ? std::to_string(v) : std::string("-");
+    };
+    std::size_t changed = 0;
+    for (const auto &[path, ea] : in_a) {
+        auto it = in_b.find(path);
+        const ProfileEntry *eb = it == in_b.end() ? nullptr : it->second;
+        const bool same = eb != nullptr &&
+                          ea->self_units == eb->self_units &&
+                          ea->scopes == eb->scopes;
+        if (same) {
+            continue;
+        }
+        ++changed;
+        const std::int64_t delta =
+            static_cast<std::int64_t>(eb ? eb->self_units : 0) -
+            static_cast<std::int64_t>(ea->self_units);
+        table.addRow({path, std::to_string(ea->self_units),
+                      u64str(eb, eb ? eb->self_units : 0),
+                      (delta >= 0 ? "+" : "") + std::to_string(delta),
+                      std::to_string(ea->scopes),
+                      u64str(eb, eb ? eb->scopes : 0)});
+    }
+    for (const auto &[path, eb] : in_b) {
+        if (in_a.count(path)) {
+            continue;
+        }
+        ++changed;
+        table.addRow({path, "-", std::to_string(eb->self_units),
+                      "+" + std::to_string(eb->self_units), "-",
+                      std::to_string(eb->scopes)});
+    }
+    std::cout << table.render() << changed
+              << " domain(s) differ in the deterministic lane\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool collapsed = false;
+    bool json = false;
+    bool diff = false;
+    std::size_t top = std::string::npos;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        }
+        if (arg == "--collapsed") {
+            collapsed = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--diff") {
+            diff = true;
+        } else if (arg == "--top") {
+            if (i + 1 >= argc) {
+                std::cerr << "gsku_prof: --top needs a count\n";
+                return 2;
+            }
+            try {
+                top = static_cast<std::size_t>(gsku::parseInt(
+                    argv[++i],
+                    gsku::ParseContext{"argv", 0, "--top count"}));
+            } catch (const gsku::UserError &e) {
+                std::cerr << "gsku_prof: " << e.what() << '\n';
+                return 2;
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "gsku_prof: unknown option " << arg << '\n';
+            printUsage(std::cerr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    const std::size_t want = diff ? 2 : 1;
+    if (paths.size() != want) {
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    try {
+        if (diff) {
+            const ProfileData a = gsku::obs::readProfile(paths[0]);
+            const ProfileData b = gsku::obs::readProfile(paths[1]);
+            return diffProfiles(paths[0], a, paths[1], b);
+        }
+        const ProfileData data = gsku::obs::readProfile(paths[0]);
+        if (collapsed) {
+            renderCollapsed(data);
+        } else if (json) {
+            renderJson(data);
+        } else {
+            renderTable(paths[0], data, top);
+        }
+        return 0;
+    } catch (const gsku::UserError &e) {
+        std::cerr << "gsku_prof: " << e.what() << '\n';
+        return 2;
+    }
+}

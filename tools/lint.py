@@ -360,6 +360,9 @@ def check_concurrency(path: Path, lines: list[str],
 # Rule: timing
 # --------------------------------------------------------------------
 
+# src/obs/ covers every sanctioned clock consumer: trace spans,
+# telemetry sampling, heartbeats, and the work-unit profiler's
+# volatile wall lane (src/obs/profile.cc).
 TIMING_ALLOWED_DIRS = ("src/obs/",)
 TIMING_ALLOWED_FILES = ("bench/harness.h",)
 TIMING_BANNED_RE = re.compile(

@@ -32,6 +32,19 @@ Checks (each a hard CI gate — see docs/observability.md):
             shared name classification (worker.*, wall.*, pool shape,
             stall counts) and vice versa.
 
+  profile   The file is a ``gsku-profile-v1`` deterministic work-unit
+            profile (src/obs/profile.h): schema and program, sorted
+            unique domain paths, per-entry total >= self, each
+            parent's total equal to its self units plus its direct
+            children's totals, the file total equal to the sum of all
+            self units, ``wall_ns`` present exactly when the header
+            says the volatile wall lane is on, and a recorded FNV-1a
+            checksum that matches a from-scratch re-hash of the
+            deterministic lane (paths + self units + scope counts —
+            never wall time). When a ``<path>.collapsed`` flamegraph
+            sidecar exists it must list exactly the domains with
+            nonzero self units, in the same order.
+
   ledger    The file is a ``gsku-ledger-v1`` decision ledger
             (src/obs/ledger.h): a schema header whose event count
             matches the body, followed by flat JSONL facts with known
@@ -44,6 +57,7 @@ Checks (each a hard CI gate — see docs/observability.md):
 Usage:
   tools/validate_obs.py [--trace trace.json]... [--manifest m.json]...
                         [--ledger ledger.jsonl]... [--tsdb run.tsdb]...
+                        [--profile run.profile.json]...
                         [--require-nonzero COUNTER...]
 
 Exit status: 0 when every check passes, 1 on any failure, 2 on usage
@@ -407,6 +421,137 @@ def validate_tsdb(path: Path, errors: list[str]) -> None:
                      f"writes at least the baseline sample)")
 
 
+PROFILE_SCHEMA = "gsku-profile-v1"
+
+
+def validate_profile(path: Path, errors: list[str]) -> None:
+    """From-scratch validation of a gsku-profile-v1 work-unit profile:
+    deliberately not a port of the C++ reader (common/profile_read.cc)
+    but an independent implementation of the format doc in
+    src/obs/profile.h, so a bug in the writer and the reader has to be
+    made twice to slip through CI."""
+    doc = load_json(path, errors)
+    if doc is None:
+        return
+    if not isinstance(doc, dict):
+        fail(errors, f"{path}: profile is not a JSON object")
+        return
+    if doc.get("schema") != PROFILE_SCHEMA:
+        fail(errors, f"{path}: schema is {doc.get('schema')!r}, "
+                     f"expected {PROFILE_SCHEMA!r}")
+        return
+    if not isinstance(doc.get("program"), str) or not doc["program"]:
+        fail(errors, f"{path}: 'program' must be a non-empty string")
+    wall_lane = doc.get("wall_lane")
+    if not isinstance(wall_lane, bool):
+        fail(errors, f"{path}: 'wall_lane' must be a boolean")
+        return
+    total_units = doc.get("total_units")
+    if not isinstance(total_units, int) or total_units < 0:
+        fail(errors, f"{path}: 'total_units' is not a non-negative "
+                     f"integer")
+        return
+    domains = doc.get("domains")
+    if not isinstance(domains, list):
+        fail(errors, f"{path}: 'domains' missing or not a list")
+        return
+
+    paths: list[str] = []
+    for i, e in enumerate(domains):
+        if not isinstance(e, dict):
+            fail(errors, f"{path}: domain {i} is not an object")
+            return
+        dpath = e.get("path")
+        if not isinstance(dpath, str) or not dpath:
+            fail(errors, f"{path}: domain {i} has no path")
+            return
+        paths.append(dpath)
+        for key in ("self_units", "total_units", "scopes"):
+            if not isinstance(e.get(key), int) or e[key] < 0:
+                fail(errors, f"{path}: domain '{dpath}' field '{key}' "
+                             f"is not a non-negative integer")
+                return
+        if wall_lane != ("wall_ns" in e):
+            fail(errors, f"{path}: domain '{dpath}' "
+                         f"{'misses' if wall_lane else 'carries'} "
+                         f"wall_ns but the header says wall_lane="
+                         f"{str(wall_lane).lower()}")
+        if e["total_units"] < e["self_units"]:
+            fail(errors, f"{path}: domain '{dpath}' total_units "
+                         f"{e['total_units']} < self_units "
+                         f"{e['self_units']}")
+
+    if paths != sorted(paths):
+        fail(errors, f"{path}: domain paths are not sorted")
+    if len(set(paths)) != len(paths):
+        fail(errors, f"{path}: duplicate domain paths")
+
+    # Unit conservation: every counted unit is some domain's self
+    # work, and an inner node's total is its self plus its direct
+    # children's totals. "(unscoped)" is a pseudo-leaf for work ticked
+    # outside any ProfileScope; it has no place in the tree.
+    self_sum = sum(e["self_units"] for e in domains
+                   if isinstance(e, dict))
+    if self_sum != total_units:
+        fail(errors, f"{path}: self units sum to {self_sum}, "
+                     f"total_units says {total_units}")
+    by_path = {e["path"]: e for e in domains}
+    child_totals: dict[str, int] = {}
+    for e in domains:
+        if e["path"] == "(unscoped)":
+            continue
+        parent, sep, _ = e["path"].rpartition(";")
+        if sep:
+            child_totals[parent] = (child_totals.get(parent, 0)
+                                    + e["total_units"])
+            if parent not in by_path:
+                fail(errors, f"{path}: domain '{e['path']}' has no "
+                             f"parent entry '{parent}'")
+    for e in domains:
+        if e["path"] == "(unscoped)":
+            if e["total_units"] != e["self_units"]:
+                fail(errors, f"{path}: '(unscoped)' total_units must "
+                             f"equal self_units")
+            continue
+        want = e["self_units"] + child_totals.get(e["path"], 0)
+        if e["total_units"] != want:
+            fail(errors, f"{path}: domain '{e['path']}' total_units "
+                         f"{e['total_units']} != self {e['self_units']}"
+                         f" + child totals "
+                         f"{child_totals.get(e['path'], 0)}")
+
+    # The checksum covers exactly the deterministic lane: sorted
+    # paths, self units, scope counts — never wall_ns.
+    recorded = doc.get("checksum_fnv1a64")
+    if (not isinstance(recorded, str) or len(recorded) != 16
+            or any(c not in "0123456789abcdef" for c in recorded)):
+        fail(errors, f"{path}: 'checksum_fnv1a64' is not 16 lowercase "
+                     f"hex digits")
+        return
+    h = FNV_OFFSET
+    for e in domains:
+        h = fnv1a(h, e["path"].encode("utf-8") + b"\n"
+                  + e["self_units"].to_bytes(8, "little")
+                  + e["scopes"].to_bytes(8, "little"))
+    if f"{h:016x}" != recorded:
+        fail(errors, f"{path}: checksum mismatch (file records "
+                     f"{recorded}, deterministic lane hashes to "
+                     f"{h:016x})")
+
+    # The flamegraph sidecar is derived data; when present it must
+    # agree with the JSON exactly.
+    collapsed = path.with_name(path.name + ".collapsed")
+    if collapsed.is_file():
+        want_lines = [f"{e['path']} {e['self_units']}"
+                      for e in domains if e["self_units"] > 0]
+        got_lines = collapsed.read_text(
+            encoding="utf-8").splitlines()
+        if got_lines != want_lines:
+            fail(errors, f"{collapsed}: collapsed stacks disagree "
+                         f"with the JSON profile ({len(got_lines)} "
+                         f"line(s) vs {len(want_lines)} expected)")
+
+
 def validate_ledger(path: Path, errors: list[str]) -> None:
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
@@ -506,6 +651,10 @@ def main() -> int:
     parser.add_argument("--tsdb", action="append", default=[],
                         metavar="FILE",
                         help="gsku-tsdb-v1 telemetry file to validate")
+    parser.add_argument("--profile", action="append", default=[],
+                        metavar="FILE",
+                        help="gsku-profile-v1 work-unit profile to "
+                             "validate")
     parser.add_argument("--require-nonzero", nargs="*", default=[],
                         metavar="COUNTER",
                         help="counters that must be > 0 in every "
@@ -513,9 +662,9 @@ def main() -> int:
     args = parser.parse_args()
 
     if (not args.trace and not args.manifest and not args.ledger
-            and not args.tsdb):
+            and not args.tsdb and not args.profile):
         parser.error("nothing to validate: pass --trace, --manifest, "
-                     "--ledger, and/or --tsdb")
+                     "--ledger, --tsdb, and/or --profile")
 
     errors: list[str] = []
     checked = 0
@@ -550,6 +699,14 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         validate_tsdb(path, errors)
+        checked += 1
+    for name in args.profile:
+        path = Path(name)
+        if not path.is_file():
+            print(f"validate_obs.py: no such file: {path}",
+                  file=sys.stderr)
+            return 2
+        validate_profile(path, errors)
         checked += 1
 
     for e in errors:
