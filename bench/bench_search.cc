@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Timed benchmark of the simulated-annealing design-space search
+ * (gsf/search.h), with a built-in correctness anchor: before timing
+ * anything it runs the exhaustive DesignSpaceExplorer over the same
+ * default DesignRange and exits nonzero unless the SA engine's best
+ * design is exactly the exhaustive rank-1 design. A stochastic search
+ * whose result drifted away from ground truth would fail here long
+ * before any checksum gate saw it.
+ *
+ * Then the same anneal runs at 1, 2, and 4 pool threads (via
+ * ThreadPool::resetGlobal), checksumming the rendered Pareto archive
+ * (names + exact objective bit patterns) and the best design's savings
+ * row. The determinism contract of gsf/search.h is that restarts
+ * pre-fork their RNG streams and merge in restart order, so every leg
+ * must produce byte-identical results; any mismatch exits nonzero.
+ *
+ * Writes BENCH_search.json (compared against the committed
+ * bench/baselines/BENCH_search.baseline.json by tools/bench_compare.py
+ * in CI) and MANIFEST_bench_search.json. The evalcache_hits /
+ * evalcache_misses fields at the top level let CI assert that a warm
+ * eval cache actually serves the search (hits > misses on the second
+ * run); bench_compare.py treats them as volatile, like wall times.
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "carbon/catalog.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "gsf/design_space.h"
+#include "gsf/eval_cache.h"
+#include "gsf/search.h"
+#include "obs/flightrec.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
+
+namespace {
+
+/** Fold a rendered string into the checksum byte by byte: the archive
+ *  render is names plus hex bit patterns, so any renamed point or
+ *  last-bit objective drift changes the sum. */
+void
+addString(gsku::bench::Checksum &sum, const std::string &s)
+{
+    for (char c : s) {
+        sum.add(static_cast<double>(static_cast<unsigned char>(c)));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gsku;
+    using namespace gsku::gsf;
+
+    // Per-run metrics isolation: the manifest and the evalcache_* JSON
+    // fields carry only this run's counts.
+    obs::metrics().reset();
+
+    obs::flightRecordProgram("bench_search");
+    obs::setProfileProgram("bench_search");
+    std::string profile_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tsdb" && i + 1 < argc) {
+            obs::startTimeseries(argv[++i]);
+        } else if (arg == "--profile" && i + 1 < argc) {
+            profile_path = argv[++i];
+            obs::startProfile();
+        } else {
+            std::cerr << "bench_search: unknown option '" << arg
+                      << "'\nusage: bench_search [--tsdb <path>] "
+                         "[--profile <path>]\n";
+            return 2;
+        }
+    }
+
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    const SkuSearch search;
+    const SearchOptions options;   // Defaults: the pinned benchmark config.
+
+    // ---- Phase 1: agreement with exhaustive ground truth. ----------
+    DesignSpaceExplorer explorer(search.carbonModel(),
+                                 search.constraints());
+    long considered = 0;
+    const std::vector<RankedDesign> exhaustive =
+        explorer.explore(baseline, options.range, &considered);
+    if (exhaustive.empty()) {
+        std::cerr << "bench_search: exhaustive exploration found no "
+                     "feasible design\n";
+        return 1;
+    }
+
+    const SearchResult probe = search.anneal(baseline, options);
+    const bool agreement =
+        probe.found && probe.best.sku.name == exhaustive.front().sku.name;
+    std::cout << "bench_search: exhaustive rank-1 "
+              << exhaustive.front().sku.name << " (" << considered
+              << " considered, " << exhaustive.size()
+              << " feasible), SA best "
+              << (probe.found ? probe.best.sku.name : std::string("-"))
+              << (agreement ? " [agreement]" : " [MISMATCH]") << "\n\n";
+    if (!agreement) {
+        std::cerr << "bench_search: SA best design does not match the "
+                     "exhaustive optimum - retune SearchOptions\n";
+        return 1;
+    }
+
+    // ---- Phase 2: thread-count legs. -------------------------------
+    const int hw = ThreadPool::defaultThreads();
+    const std::vector<int> thread_counts = {1, 2, 4};
+
+    struct Leg
+    {
+        int threads = 0;
+        double seconds = 0.0;
+        std::string checksum;
+        std::int64_t max_rss_kb = 0;
+    };
+    std::vector<Leg> legs;
+
+    for (int threads : thread_counts) {
+        ThreadPool::resetGlobal(threads);
+
+        const bench::WallTimer timer;
+        const SearchResult result = search.anneal(baseline, options);
+        const double seconds = timer.seconds();
+
+        bench::Checksum sum;
+        addString(sum, result.archive.render());
+        addString(sum, result.best.sku.name);
+        sum.add(result.best.savings.total_savings);
+        sum.add(result.best_objectives.carbon_per_core_kg);
+        sum.add(result.best_objectives.tco_per_core_usd);
+        sum.add(result.best_objectives.slo_margin);
+        sum.add(static_cast<double>(result.stats.evaluations));
+        legs.push_back({threads, seconds, sum.hex(), bench::maxRssKb()});
+        obs::telemetryTick();
+    }
+    ThreadPool::resetGlobal(ThreadPool::defaultThreads());
+
+    bool identical = true;
+    for (const Leg &leg : legs) {
+        identical = identical && leg.checksum == legs.front().checksum;
+    }
+
+    Table table({"Threads", "Wall (s)", "Speedup", "Max RSS (MB)",
+                 "Checksum"},
+                {Align::Right, Align::Right, Align::Right, Align::Right,
+                 Align::Left});
+    std::vector<bench::JsonObject> json_legs;
+    for (const Leg &leg : legs) {
+        const double speedup =
+            leg.seconds > 0.0 ? legs.front().seconds / leg.seconds : 0.0;
+        table.addRow({std::to_string(leg.threads),
+                      Table::num(leg.seconds, 3), Table::num(speedup, 2),
+                      Table::num(static_cast<double>(leg.max_rss_kb) /
+                                     1024.0,
+                                 1),
+                      leg.checksum});
+        bench::JsonObject j;
+        j.field("threads", leg.threads)
+            .field("seconds", leg.seconds)
+            .field("speedup", speedup)
+            .field("max_rss_kb", leg.max_rss_kb)
+            .field("checksum", leg.checksum);
+        json_legs.push_back(j);
+    }
+    std::cout << table.render() << '\n';
+
+    const obs::MetricsSnapshot metrics = obs::metrics().snapshot();
+    const std::int64_t cache_hits =
+        static_cast<std::int64_t>(metrics.counter("evalcache.hits"));
+    const std::int64_t cache_misses =
+        static_cast<std::int64_t>(metrics.counter("evalcache.misses"));
+
+    bench::JsonObject doc;
+    doc.field("benchmark", std::string("gsf_sa_search"))
+        .field("seed", static_cast<std::int64_t>(options.seed))
+        .field("restarts", options.restarts)
+        .field("steps", options.steps)
+        .field("agreement_with_exhaustive", agreement)
+        .field("archive_size", static_cast<std::int64_t>(
+                                   legs.empty() ? 0 : probe.archive.size()))
+        .field("evalcache_hits", cache_hits)
+        .field("evalcache_misses", cache_misses)
+        .field("hardware_concurrency", hw)
+        .field("checksums_identical", identical)
+        .array("legs", json_legs);
+    const std::string path = "BENCH_search.json";
+    if (!doc.writeFile(path)) {
+        std::cerr << "bench_search: failed to write " << path << '\n';
+        return 2;
+    }
+    std::cout << "wrote " << path << '\n';
+
+    obs::RunManifest manifest("bench_search");
+    manifest.config("restarts", static_cast<std::int64_t>(options.restarts))
+        .config("steps", static_cast<std::int64_t>(options.steps))
+        .config("initial_temperature", options.initial_temperature)
+        .config("cooling", options.cooling)
+        .config("thread_counts", std::string("1,2,4"))
+        .config("agreement_with_exhaustive", agreement)
+        .config("checksums_identical", identical)
+        .config("eval_cache_enabled", evalCache() != nullptr)
+        .seed("search", options.seed);
+    const std::string manifest_path = "MANIFEST_bench_search.json";
+    if (!manifest.write(manifest_path)) {
+        std::cerr << "bench_search: failed to write " << manifest_path
+                  << '\n';
+        return 2;
+    }
+    std::cout << "wrote " << manifest_path << '\n';
+
+    obs::finishTimeseries();
+    if (!profile_path.empty() && !obs::writeProfile(profile_path)) {
+        std::cerr << "bench_search: failed to write " << profile_path
+                  << '\n';
+        return 2;
+    }
+    if (obs::flightRecorderEnabled()) {
+        obs::dumpFlightRecorder("bench_search-exit");
+    }
+
+    if (!identical) {
+        std::cerr << "bench_search: CHECKSUM MISMATCH across thread "
+                     "counts - the search is not deterministic\n";
+        return 1;
+    }
+    std::cout << "checksums identical across thread counts "
+                 "(deterministic), eval cache " << cache_hits
+              << " hit(s) / " << cache_misses << " miss(es)\n";
+    return 0;
+}

@@ -202,7 +202,15 @@ extractFunctions(const SourceFile &file, int fileIndex)
 
     std::sort(defs.begin(), defs.end(),
               [](const FunctionDef &a, const FunctionDef &b) {
-                  return a.line < b.line;
+                  if (a.line != b.line) {
+                      return a.line < b.line;
+                  }
+                  // Tie keys: name, then body extent — two defs can
+                  // share a line (one-line lambdas, macro expansions).
+                  if (a.name != b.name) {
+                      return a.name < b.name;
+                  }
+                  return a.bodyEndLine < b.bodyEndLine;
               });
     return defs;
 }

@@ -500,10 +500,8 @@ VmAllocator::replay(const VmTrace &trace,
     // Same copy + sort readTraceCsv-era callers relied on: traces are
     // not required to arrive pre-sorted through this overload.
     std::vector<VmRequest> vms = trace.vms;
-    std::sort(vms.begin(), vms.end(),
-              [](const VmRequest &a, const VmRequest &b) {
-                  return a.arrival_h < b.arrival_h;
-              });
+    // Tie key: VM id, via the shared arrival order (cluster/vm.h).
+    std::sort(vms.begin(), vms.end(), arrivalBefore);
     VectorTraceReader reader(trace.name, trace.duration_h, vms);
     return replay(reader, cluster);
 }

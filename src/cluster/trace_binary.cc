@@ -438,7 +438,8 @@ writeTraceBinary(const VmTrace &trace, const std::string &path)
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(),
               [&trace](std::size_t a, std::size_t b) {
-                  return trace.vms[a].arrival_h < trace.vms[b].arrival_h;
+                  // Tie key: VM id (shared arrival order, vm.h).
+                  return arrivalBefore(trace.vms[a], trace.vms[b]);
               });
     TraceBinaryWriter writer(path, trace.name, trace.duration_h);
     for (std::size_t i : order) {

@@ -243,10 +243,8 @@ readTraceCsv(std::istream &in, const std::string &name)
     }
     GSKU_REQUIRE(!trace.vms.empty(), "trace CSV contains no VMs");
 
-    std::sort(trace.vms.begin(), trace.vms.end(),
-              [](const VmRequest &a, const VmRequest &b) {
-                  return a.arrival_h < b.arrival_h;
-              });
+    // Tie key: VM id, via the shared arrival order (cluster/vm.h).
+    std::sort(trace.vms.begin(), trace.vms.end(), arrivalBefore);
     if (meta.present) {
         trace.duration_h = meta.duration_h;
     } else {

@@ -15,7 +15,8 @@ VmTrace::peakConcurrentDemand() const
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(),
               [this](std::size_t a, std::size_t b) {
-                  return vms[a].arrival_h < vms[b].arrival_h;
+                  // Tie key: VM id (shared arrival order, vm.h).
+                  return arrivalBefore(vms[a], vms[b]);
               });
     ConcurrentDemandSweep sweep(vms.size());
     for (std::size_t i : order) {

@@ -47,6 +47,23 @@ struct VmRequest
     double lifetimeHours() const { return departure_h - arrival_h; }
 };
 
+/**
+ * The one arrival order every sort site uses (trace_io, trace_binary,
+ * allocator, peakConcurrentDemand): arrival time, ties broken by VM id
+ * (unique within a trace). A total order — arrival-only comparators
+ * left equal-arrival VMs in stdlib-dependent order, which silently
+ * broke the "CSV and binary encodings materialize the same VM order"
+ * contract whenever arrivals tied.
+ */
+inline bool
+arrivalBefore(const VmRequest &a, const VmRequest &b)
+{
+    if (a.arrival_h != b.arrival_h) {
+        return a.arrival_h < b.arrival_h;
+    }
+    return a.id < b.id;
+}
+
 /** A VM arrival/departure trace for one cluster. */
 struct VmTrace
 {

@@ -1,6 +1,7 @@
 #include "gsf/design_space.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <sstream>
 
@@ -246,19 +247,33 @@ DesignSpaceExplorer::exploreUncached(const carbon::ServerSku &baseline,
     if (considered != nullptr) {
         *considered = static_cast<long>(combos.size());
     }
-    std::sort(designs.begin(), designs.end(),
-              [](const RankedDesign &a, const RankedDesign &b) {
-                  return a.savings.total_savings > b.savings.total_savings;
-              });
+    std::sort(designs.begin(), designs.end(), rankedDesignLess);
     return designs;
+}
+
+bool
+rankedDesignLess(const RankedDesign &a, const RankedDesign &b)
+{
+    if (a.savings.total_savings != b.savings.total_savings) {
+        return a.savings.total_savings > b.savings.total_savings;
+    }
+    // Tie key: sku.name (unique per candidate), so equal-savings
+    // candidates rank deterministically on every standard library.
+    return a.sku.name < b.sku.name;
 }
 
 std::size_t
 DesignSpaceExplorer::rankOf(const std::vector<RankedDesign> &designs,
                             const carbon::SavingsRow &savings)
 {
+    GSKU_REQUIRE(std::isfinite(savings.total_savings),
+                 "rankOf needs finite savings");
+    // Competition ranking: 1 + count of strictly-greater entries, so
+    // ties share the best rank (see the header contract).
     std::size_t rank = 1;
     for (const RankedDesign &d : designs) {
+        GSKU_REQUIRE(std::isfinite(d.savings.total_savings),
+                     "rankOf needs finite savings");
         if (d.savings.total_savings > savings.total_savings) {
             ++rank;
         }

@@ -55,6 +55,16 @@ struct RankedDesign
     carbon::SavingsRow savings;
 };
 
+/**
+ * The canonical ranking order explore() sorts by: total savings
+ * descending, ties broken by SKU name ascending. Candidate names are
+ * unique within a range, so this is a total order — without the name
+ * tie-break, equal-savings candidates landed in whatever order
+ * std::sort's implementation left them, making the ranked artifact
+ * (and the eval-cache payload built from it) stdlib-dependent.
+ */
+bool rankedDesignLess(const RankedDesign &a, const RankedDesign &b);
+
 /** The exploration driver. */
 class DesignSpaceExplorer
 {
@@ -84,8 +94,14 @@ class DesignSpaceExplorer
             const DesignRange &range = {},
             long *considered = nullptr) const;
 
-    /** 1-based rank @p sku's total savings would hold in @p designs
-     *  (designs must be sorted as explore() returns them). */
+    /**
+     * 1-based rank @p savings would hold in @p designs (sorted as
+     * explore() returns them), under *competition ranking*: 1 + the
+     * number of designs with strictly greater total savings, so ties
+     * share the best rank ("1224" ranking) and a design better than
+     * every entry ranks 1. Requires finite savings on both sides —
+     * a NaN would silently rank 1.
+     */
     static std::size_t rankOf(const std::vector<RankedDesign> &designs,
                               const carbon::SavingsRow &savings);
 

@@ -213,6 +213,23 @@ mixPerfConfig(EvalKeyHasher &h, const perf::PerfConfig &c)
 }
 
 void
+mixTcoParams(EvalKeyHasher &h, const TcoParams &p)
+{
+    // std::map iterates in key order, so the digest is stable.
+    h.mix(static_cast<std::uint64_t>(p.component_cost.size()));
+    for (const auto &[name, cost] : p.component_cost) {
+        h.mix(name);
+        h.mix(cost.asUsd());
+    }
+    h.mix(p.ddr5_price.asUsdPerGb());
+    h.mix(p.reused_ddr4_price.asUsdPerGb());
+    h.mix(p.new_ssd_price.asUsdPerTb());
+    h.mix(p.energy_price.asUsdPerKwh());
+    h.mix(p.rack_cost.asUsd());
+    h.mix(p.dc_facility_cost.asUsd());
+}
+
+void
 mixAfrParams(EvalKeyHasher &h, const reliability::AfrParams &p)
 {
     h.mix(p.dimm_afr);
@@ -286,6 +303,24 @@ designSpaceCacheKey(const carbon::ServerSku &baseline,
     h.mix(constraints.max_ssd_units);
     h.mix(constraints.min_storage_tb);
     mixModelParams(h, model_params);
+    return h.hex();
+}
+
+std::string
+searchEvalCacheKey(const carbon::ServerSku &baseline,
+                   const carbon::ServerSku &candidate,
+                   const carbon::ModelParams &model_params,
+                   const TcoParams &tco_params,
+                   const perf::PerfConfig &perf_config,
+                   std::uint64_t model_version)
+{
+    EvalKeyHasher h;
+    mixCommon(h, "search_eval", model_version);
+    mixSku(h, baseline);
+    mixSku(h, candidate);
+    mixModelParams(h, model_params);
+    mixTcoParams(h, tco_params);
+    mixPerfConfig(h, perf_config);
     return h.hex();
 }
 
@@ -854,6 +889,45 @@ decodeRankedDesigns(const std::string &payload,
     }
     *considered = static_cast<long>(considered64);
     return true;
+}
+
+std::string
+encodeSearchEval(const SearchEval &eval,
+                 const std::vector<std::string> &ledger)
+{
+    PayloadWriter w;
+    w.line(eval.savings.sku_name)
+        .f64(eval.savings.per_core.operational.asKg())
+        .f64(eval.savings.per_core.embodied.asKg())
+        .f64(eval.savings.operational_savings)
+        .f64(eval.savings.embodied_savings)
+        .f64(eval.savings.total_savings)
+        .f64(eval.objectives.carbon_per_core_kg)
+        .f64(eval.objectives.tco_per_core_usd)
+        .f64(eval.objectives.slo_margin);
+    w.lines(ledger);
+    return w.str();
+}
+
+bool
+decodeSearchEval(const std::string &payload, SearchEval *eval,
+                 std::vector<std::string> *ledger)
+{
+    PayloadReader r(payload);
+    double op_kg = 0.0;
+    double emb_kg = 0.0;
+    if (!r.line(&eval->savings.sku_name) || !r.f64(&op_kg) ||
+        !r.f64(&emb_kg) || !r.f64(&eval->savings.operational_savings) ||
+        !r.f64(&eval->savings.embodied_savings) ||
+        !r.f64(&eval->savings.total_savings) ||
+        !r.f64(&eval->objectives.carbon_per_core_kg) ||
+        !r.f64(&eval->objectives.tco_per_core_usd) ||
+        !r.f64(&eval->objectives.slo_margin)) {
+        return false;
+    }
+    eval->savings.per_core.operational = CarbonMass::kg(op_kg);
+    eval->savings.per_core.embodied = CarbonMass::kg(emb_kg);
+    return r.lines(ledger) && r.atEnd();
 }
 
 } // namespace gsku::gsf

@@ -18,6 +18,9 @@
  *   sizing        ClusterSizer::size — a full SizingResult.
  *   cluster_eval  GsfEvaluator::evaluateCluster — per-CI emissions.
  *   design_space  DesignSpaceExplorer::explore — ranked designs.
+ *   search_eval   SkuSearch::evaluate — one candidate's savings row
+ *                 and Pareto objectives (SA revisits neighbors
+ *                 constantly, so warm searches are nearly all hits).
  *
  * Safety model (proved by tests/gsf/eval_cache_test.cc and the
  * cold-vs-warm parity legs of parallel_parity_test):
@@ -50,6 +53,7 @@
 #include "common/diskcache.h"
 #include "gsf/design_space.h"
 #include "gsf/evaluator.h"
+#include "gsf/search.h"
 #include "gsf/sizing.h"
 
 namespace gsku::gsf {
@@ -227,6 +231,18 @@ designSpaceCacheKey(const carbon::ServerSku &baseline,
                     const carbon::ModelParams &model_params,
                     std::uint64_t model_version = kEvalCacheModelVersion);
 
+/** Per-candidate search evaluation. Deliberately excludes the search
+ *  options and constraints: a feasible candidate's evaluation depends
+ *  only on the two SKUs and the three model parameterizations, so
+ *  every restart, seed, and range shares entries. */
+std::string
+searchEvalCacheKey(const carbon::ServerSku &baseline,
+                   const carbon::ServerSku &candidate,
+                   const carbon::ModelParams &model_params,
+                   const TcoParams &tco_params,
+                   const perf::PerfConfig &perf_config,
+                   std::uint64_t model_version = kEvalCacheModelVersion);
+
 // ---------------------------------------------------------------------
 // Payload codecs. Encoders append the captured ledger lines last;
 // decoders return false on any malformation (callers recompute).
@@ -252,5 +268,10 @@ bool decodeRankedDesigns(const std::string &payload,
                          std::vector<RankedDesign> *designs,
                          long *considered,
                          std::vector<std::string> *ledger);
+
+std::string encodeSearchEval(const SearchEval &eval,
+                             const std::vector<std::string> &ledger);
+bool decodeSearchEval(const std::string &payload, SearchEval *eval,
+                      std::vector<std::string> *ledger);
 
 } // namespace gsku::gsf

@@ -1,0 +1,126 @@
+#include "gsf/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace gsku::gsf {
+
+namespace {
+
+std::string
+hexBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[bits & 0xfull];
+        bits >>= 4;
+    }
+    return out;
+}
+
+/** The canonical total order: carbon asc, tco asc, margin desc, name
+ *  asc. Names are unique in an archive, so this never reports
+ *  equivalence between distinct points. */
+bool
+pointLess(const ParetoPoint &a, const ParetoPoint &b)
+{
+    if (a.objectives.carbon_per_core_kg != b.objectives.carbon_per_core_kg) {
+        return a.objectives.carbon_per_core_kg <
+               b.objectives.carbon_per_core_kg;
+    }
+    if (a.objectives.tco_per_core_usd != b.objectives.tco_per_core_usd) {
+        return a.objectives.tco_per_core_usd < b.objectives.tco_per_core_usd;
+    }
+    if (a.objectives.slo_margin != b.objectives.slo_margin) {
+        return a.objectives.slo_margin > b.objectives.slo_margin;
+    }
+    return a.name < b.name;
+}
+
+} // namespace
+
+bool
+ParetoArchive::dominates(const SearchObjectives &a,
+                         const SearchObjectives &b)
+{
+    const bool no_worse = a.carbon_per_core_kg <= b.carbon_per_core_kg &&
+                          a.tco_per_core_usd <= b.tco_per_core_usd &&
+                          a.slo_margin >= b.slo_margin;
+    const bool better = a.carbon_per_core_kg < b.carbon_per_core_kg ||
+                        a.tco_per_core_usd < b.tco_per_core_usd ||
+                        a.slo_margin > b.slo_margin;
+    return no_worse && better;
+}
+
+bool
+ParetoArchive::insert(const ParetoPoint &point)
+{
+    GSKU_REQUIRE(std::isfinite(point.objectives.carbon_per_core_kg) &&
+                     std::isfinite(point.objectives.tco_per_core_usd) &&
+                     std::isfinite(point.objectives.slo_margin),
+                 "Pareto objectives must be finite");
+    for (const ParetoPoint &held : points_) {
+        if (held.name == point.name) {
+            return false;   // Same design offered twice.
+        }
+        if (dominates(held.objectives, point.objectives)) {
+            return false;
+        }
+    }
+    // The newcomer survives: evict everything it dominates. (A point it
+    // dominates cannot dominate it back, so eviction is safe after the
+    // survival check.)
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&](const ParetoPoint &held) {
+                                     return dominates(point.objectives,
+                                                      held.objectives);
+                                 }),
+                  points_.end());
+    points_.push_back(point);
+    return true;
+}
+
+void
+ParetoArchive::merge(const ParetoArchive &other)
+{
+    for (const ParetoPoint &point : other.points_) {
+        insert(point);
+    }
+}
+
+std::vector<ParetoPoint>
+ParetoArchive::points() const
+{
+    std::vector<ParetoPoint> out = points_;
+    // Tie key: name (unique), after the three objectives.
+    std::sort(out.begin(), out.end(), pointLess);
+    return out;
+}
+
+std::string
+ParetoArchive::render() const
+{
+    std::string out;
+    for (const ParetoPoint &p : points()) {
+        out += p.name;
+        out += ' ';
+        out += hexBits(p.objectives.carbon_per_core_kg);
+        out += ' ';
+        out += hexBits(p.objectives.tco_per_core_usd);
+        out += ' ';
+        out += hexBits(p.objectives.slo_margin);
+        out += ' ';
+        out += hexBits(p.savings.total_savings);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace gsku::gsf

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dominance-filtered Pareto archive over the three design objectives
+ * the SA search engine (gsf/search.h) trades off: lifetime carbon per
+ * core, lifetime TCO per core, and perf-SLO margin. §VIII of the paper
+ * anticipates a search framework that "could ... repeatedly run GSF to
+ * evaluate emissions"; a single scalar verdict cannot express the
+ * carbon/cost/performance tension, so the search reports the whole
+ * non-dominated frontier instead.
+ *
+ * Determinism contract: the archive is a *set* — the non-dominated
+ * subset of everything inserted — so its contents are independent of
+ * insertion order, and points() renders them in one canonical order
+ * (carbon asc, tco asc, margin desc, name asc). Byte-identical at any
+ * thread count when fed byte-identical points (asserted by
+ * tests/gsf/search_test.cc and parallel_parity_test.cc).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "carbon/model.h"
+
+namespace gsku::gsf {
+
+/** The three search objectives of one evaluated design. */
+struct SearchObjectives
+{
+    /** DC-amortized lifetime emissions per core, kgCO2e (minimize). */
+    double carbon_per_core_kg = 0.0; // lint-ok: raw-double-units per-core ratio; raw bits are the dominance/render surface
+
+    /** Rack-amortized lifetime cost per core, USD (minimize). */
+    double tco_per_core_usd = 0.0; // lint-ok: raw-double-units per-core ratio; raw bits are the dominance/render surface
+
+    /**
+     * Worst-case relative p95 headroom against the baseline-derived
+     * SLO across latency-reporting apps (maximize). Apps that cannot
+     * meet their SLO even on a DDR5-only design are excluded (they are
+     * undeployable on every candidate, so they differentiate nothing);
+     * -1 when a remaining app cannot meet its SLO on this design at
+     * any candidate VM size (the CXL latency penalty, §III).
+     */
+    double slo_margin = 0.0;
+};
+
+/** One non-dominated design: identity, objectives, and the savings row
+ *  the carbon model produced for it. */
+struct ParetoPoint
+{
+    std::string name;               ///< Candidate SKU name (unique).
+    SearchObjectives objectives;
+    carbon::SavingsRow savings;
+};
+
+/**
+ * The archive. insert() keeps the set non-dominated: a new point is
+ * dropped when an existing point dominates it, and evicts every point
+ * it dominates. Points with identical objectives all survive (neither
+ * dominates), except exact name duplicates, which collapse to one.
+ */
+class ParetoArchive
+{
+  public:
+    /** True iff @p a dominates @p b: no worse in every objective and
+     *  strictly better in at least one. */
+    static bool dominates(const SearchObjectives &a,
+                          const SearchObjectives &b);
+
+    /** Offer @p point; true iff it joined the archive. */
+    bool insert(const ParetoPoint &point);
+
+    /** Insert every point of @p other (archive merge). */
+    void merge(const ParetoArchive &other);
+
+    /** Number of points currently held. */
+    std::size_t size() const { return points_.size(); }
+
+    /** The frontier in canonical order: carbon asc, then tco asc, then
+     *  margin desc, then name asc (a total order — names are unique). */
+    std::vector<ParetoPoint> points() const;
+
+    /**
+     * Canonical text rendering, one `name carbonbits tcobits marginbits
+     * savingsbits` line per point in points() order, doubles as 16-hex
+     * bit patterns — the byte-identity surface the parity tests and
+     * bench_search checksums compare.
+     */
+    std::string render() const;
+
+  private:
+    std::vector<ParetoPoint> points_;   ///< Unordered working set.
+};
+
+} // namespace gsku::gsf

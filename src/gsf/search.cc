@@ -1,0 +1,542 @@
+#include "gsf/search.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "gsf/eval_cache.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "perf/app.h"
+#include "perf/cpu.h"
+
+namespace gsku::gsf {
+
+namespace {
+
+/** The typed move set: one lattice dimension stepped by one range
+ *  index. Table order is part of the deterministic contract — the rng
+ *  indexes it, and the quench scans it front to back. */
+struct Move
+{
+    const char *name;
+    int dim;        ///< 0 ddr5, 1 cxl_ddr4, 2 new_ssd, 3 reused_ssd.
+    int delta;      ///< ±1 range-index step.
+};
+
+constexpr Move kMoves[] = {
+    {"ddr5+", 0, +1},       {"ddr5-", 0, -1},
+    {"cxl_ddr4+", 1, +1},   {"cxl_ddr4-", 1, -1},
+    {"new_ssd+", 2, +1},    {"new_ssd-", 2, -1},
+    {"reused_ssd+", 3, +1}, {"reused_ssd-", 3, -1},
+};
+
+constexpr std::size_t kMoveCount = sizeof(kMoves) / sizeof(kMoves[0]);
+
+/** Lattice position: one index per DesignRange dimension. */
+struct LatticeState
+{
+    std::array<std::size_t, 4> idx = {0, 0, 0, 0};
+};
+
+std::size_t
+dimSize(const DesignRange &range, int dim)
+{
+    switch (dim) {
+    case 0: return range.ddr5_dimms.size();
+    case 1: return range.cxl_ddr4_dimms.size();
+    case 2: return range.new_ssds.size();
+    default: return range.reused_ssds.size();
+    }
+}
+
+/** Component counts at a lattice position. */
+struct Counts
+{
+    int ddr5 = 0;
+    int cxl_ddr4 = 0;
+    int new_ssd = 0;
+    int reused_ssd = 0;
+};
+
+Counts
+countsAt(const DesignRange &range, const LatticeState &s)
+{
+    return Counts{range.ddr5_dimms[s.idx[0]],
+                  range.cxl_ddr4_dimms[s.idx[1]],
+                  range.new_ssds[s.idx[2]],
+                  range.reused_ssds[s.idx[3]]};
+}
+
+/** Mirrors DesignSpaceExplorer::buildCandidate's naming scheme (pinned
+ *  by tests/gsf/search_test.cc) so search.move facts join with
+ *  design.verdict facts on the "candidate" field even for infeasible
+ *  candidates, which have no SKU object to take the name from. */
+std::string
+candidateName(const Counts &c)
+{
+    std::ostringstream name;
+    name << "B/" << c.ddr5 << "x64/" << c.cxl_ddr4 << "x32cxl/"
+         << c.new_ssd << "+" << c.reused_ssd << "ssd";
+    return name.str();
+}
+
+/** The explore() ordering: savings desc, then name asc — the SA "best"
+ *  uses the same total order, so agreement with explore()'s rank-1 is
+ *  exact even under savings ties. */
+bool
+betterDesign(const carbon::SavingsRow &a, const std::string &a_name,
+             const carbon::SavingsRow &b, const std::string &b_name)
+{
+    if (a.total_savings != b.total_savings) {
+        return a.total_savings > b.total_savings;
+    }
+    return a_name < b_name;
+}
+
+/** One search.move fact. (restart, step) is the uniqueness key within
+ *  the ledger's deduplicated fact set. */
+void
+noteMove(int restart, int step, const char *move,
+         const std::string &candidate, bool accepted, const char *reason)
+{
+    obs::LedgerEntry(obs::LedgerEvent::SearchMove)
+        .field("restart", restart)
+        .field("step", step)
+        .field("move", move)
+        .field("candidate", candidate)
+        .field("accepted", accepted)
+        .field("reason", reason);
+}
+
+struct SearchCounters
+{
+    obs::Counter &moves;
+    obs::Counter &accepted;
+    obs::Counter &rejected;
+    obs::Counter &evals;
+    obs::Counter &restarts;
+};
+
+SearchCounters &
+counters()
+{
+    static SearchCounters c{
+        obs::metrics().counter("search.moves"),
+        obs::metrics().counter("search.accepted"),
+        obs::metrics().counter("search.rejected"),
+        obs::metrics().counter("search.evals"),
+        obs::metrics().counter("search.restarts"),
+    };
+    return c;
+}
+
+/** Everything one restart reports back for the index-ordered merge. */
+struct RestartOutcome
+{
+    bool found = false;
+    RankedDesign best;
+    SearchObjectives best_objectives;
+    LatticeState best_state;
+    std::vector<ParetoPoint> points;    ///< First-visit order.
+    SearchStats stats;
+};
+
+/**
+ * One restart: anneal from a random lattice position, then quench with
+ * deterministic steepest-ascent until no neighbor improves. The whole
+ * trajectory is a pure function of @p rng's stream and the (cached or
+ * fresh — bit-identical either way) evaluation results.
+ */
+RestartOutcome
+runRestart(const SkuSearch &search, const DesignSpaceExplorer &explorer,
+           const carbon::ServerSku &baseline,
+           const SearchOptions &options, int restart, Rng rng)
+{
+    const DesignRange &range = options.range;
+    RestartOutcome out;
+
+    // Per-restart memo: SA revisits neighbors constantly; one cache
+    // probe per distinct candidate keeps probe counts — and with them
+    // the work-unit profile — deterministic at every thread count.
+    std::unordered_map<std::string, SearchEval> memo;
+    const bool ledger = obs::ledgerEnabled();
+    int step = 0;
+
+    // Evaluate the candidate at @p s (memoized); nullptr when it
+    // violates the deployability constraints. First visits update the
+    // restart's best design and Pareto point list.
+    auto visit = [&](const LatticeState &s,
+                     std::string *name) -> const SearchEval * {
+        const Counts c = countsAt(range, s);
+        *name = candidateName(c);
+        auto it = memo.find(*name);
+        if (it != memo.end()) {
+            return &it->second;
+        }
+        const auto sku = explorer.buildCandidate(c.ddr5, c.cxl_ddr4,
+                                                 c.new_ssd, c.reused_ssd);
+        if (!sku) {
+            return nullptr;
+        }
+        const SearchEval eval = search.evaluate(baseline, *sku);
+        ++out.stats.evaluations;
+        out.points.push_back(
+            ParetoPoint{*name, eval.objectives, eval.savings});
+        if (!out.found ||
+            betterDesign(eval.savings, *name, out.best.savings,
+                         out.best.sku.name)) {
+            out.found = true;
+            out.best = RankedDesign{*sku, eval.savings};
+            out.best_objectives = eval.objectives;
+            out.best_state = s;
+        }
+        return &memo.emplace(*name, eval).first->second;
+    };
+
+    // Rejection-sample a feasible start: the feasible region is a
+    // minority of the lattice (~19% on the default range), and an
+    // infeasible start can never move — every move is only accepted
+    // into feasibility, so the walk would probe the start's neighbors
+    // until the step budget ran out.
+    constexpr int kStartAttempts = 128;
+    LatticeState cur;
+    bool started = false;
+    for (int attempt = 0; attempt < kStartAttempts && !started;
+         ++attempt) {
+        for (int d = 0; d < 4; ++d) {
+            cur.idx[static_cast<std::size_t>(d)] =
+                rng.uniformInt(dimSize(range, d));
+        }
+        const Counts c = countsAt(range, cur);
+        started = explorer
+                      .buildCandidate(c.ddr5, c.cxl_ddr4, c.new_ssd,
+                                      c.reused_ssd)
+                      .has_value();
+    }
+    double cur_savings = -std::numeric_limits<double>::infinity();
+    {
+        obs::profileWork("sa_moves");
+        ++out.stats.moves;
+        std::string name;
+        const SearchEval *eval =
+            started ? visit(cur, &name) : nullptr;
+        if (eval != nullptr) {
+            cur_savings = eval->savings.total_savings;
+            ++out.stats.accepted;
+            if (ledger) {
+                noteMove(restart, step, "start", name, true, "start");
+            }
+        } else {
+            // No feasible start found: the restart contributes nothing
+            // (the range is all-infeasible or nearly so).
+            ++out.stats.rejected;
+            ++out.stats.infeasible;
+            if (ledger) {
+                noteMove(restart, step, "start",
+                         candidateName(countsAt(range, cur)), false,
+                         "infeasible");
+            }
+            return out;
+        }
+    }
+
+    // Annealing: geometric cooling, Metropolis acceptance on the
+    // total-savings energy (the explore() ranking objective).
+    double temp = options.initial_temperature;
+    for (int s = 0; s < options.steps; ++s, temp *= options.cooling) {
+        ++step;
+        obs::profileWork("sa_moves");
+        ++out.stats.moves;
+        const Move &mv =
+            kMoves[rng.uniformInt(static_cast<std::uint64_t>(kMoveCount))];
+        const std::size_t dim = static_cast<std::size_t>(mv.dim);
+        const std::size_t at = cur.idx[dim];
+        if ((mv.delta < 0 && at == 0) ||
+            (mv.delta > 0 && at + 1 >= dimSize(range, mv.dim))) {
+            ++out.stats.rejected;
+            if (ledger) {
+                noteMove(restart, step, mv.name,
+                         candidateName(countsAt(range, cur)), false,
+                         "bounds");
+            }
+            continue;
+        }
+        LatticeState next = cur;
+        next.idx[dim] = mv.delta > 0 ? at + 1 : at - 1;
+        std::string name;
+        const SearchEval *eval = visit(next, &name);
+        if (eval == nullptr) {
+            ++out.stats.rejected;
+            ++out.stats.infeasible;
+            if (ledger) {
+                noteMove(restart, step, mv.name, name, false,
+                         "infeasible");
+            }
+            continue;
+        }
+        const double delta = eval->savings.total_savings - cur_savings;
+        bool take = delta >= 0.0;
+        const char *reason = "improve";
+        if (!take) {
+            // Metropolis: accept a worsening move with p = e^(Δ/T).
+            reason = "metropolis";
+            take = rng.uniform() < std::exp(delta / temp);
+        }
+        if (take) {
+            cur = next;
+            cur_savings = eval->savings.total_savings;
+            ++out.stats.accepted;
+        } else {
+            ++out.stats.rejected;
+        }
+        if (ledger) {
+            noteMove(restart, step, mv.name, name, take, reason);
+        }
+    }
+
+    // Quench: deterministic steepest-ascent from the restart's best
+    // state until no neighbor improves, so every restart ends on a
+    // local optimum of (total_savings desc, name asc).
+    if (out.found) {
+        LatticeState q = out.best_state;
+        carbon::SavingsRow q_savings = out.best.savings;
+        std::string q_name = out.best.sku.name;
+        for (;;) {
+            const SearchEval *chosen = nullptr;
+            LatticeState chosen_state;
+            std::string chosen_name;
+            const char *chosen_move = nullptr;
+            for (const Move &mv : kMoves) {     // Fixed scan order.
+                const std::size_t dim = static_cast<std::size_t>(mv.dim);
+                const std::size_t at = q.idx[dim];
+                if ((mv.delta < 0 && at == 0) ||
+                    (mv.delta > 0 && at + 1 >= dimSize(range, mv.dim))) {
+                    continue;
+                }
+                LatticeState n = q;
+                n.idx[dim] = mv.delta > 0 ? at + 1 : at - 1;
+                std::string name;
+                const SearchEval *eval = visit(n, &name);
+                if (eval == nullptr) {
+                    continue;
+                }
+                if (chosen == nullptr ||
+                    betterDesign(eval->savings, name, chosen->savings,
+                                 chosen_name)) {
+                    chosen = eval;
+                    chosen_state = n;
+                    chosen_name = name;
+                    chosen_move = mv.name;
+                }
+            }
+            if (chosen == nullptr ||
+                !betterDesign(chosen->savings, chosen_name, q_savings,
+                              q_name)) {
+                break;      // Local optimum: no strictly-better step.
+            }
+            ++step;
+            obs::profileWork("sa_moves");
+            ++out.stats.moves;
+            ++out.stats.accepted;
+            if (ledger) {
+                noteMove(restart, step, chosen_move, chosen_name, true,
+                         "quench");
+            }
+            q = chosen_state;
+            q_savings = chosen->savings;
+            q_name = chosen_name;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SkuSearch::SkuSearch(carbon::ModelParams carbon_params,
+                     TcoParams tco_params, perf::PerfConfig perf_config,
+                     DesignConstraints constraints)
+    : carbon_params_(carbon_params), tco_params_(tco_params),
+      perf_config_(perf_config), constraints_(constraints),
+      model_(carbon_params_), tco_(tco_params_, carbon_params_),
+      perf_(perf_config_), explorer_(model_, constraints_)
+{
+}
+
+SearchEval
+SkuSearch::evaluateUncached(const carbon::ServerSku &baseline,
+                            const carbon::ServerSku &candidate) const
+{
+    SearchEval eval;
+    eval.savings = model_.savingsVs(baseline, candidate);
+    eval.objectives.carbon_per_core_kg =
+        model_.perCore(candidate).total().asKg();
+    eval.objectives.tco_per_core_usd =
+        tco_.perCore(candidate).total().asUsd();
+
+    // SLO margin: worst-case relative p95 headroom across the
+    // latency-reporting apps, each at the VM size its scaling factor
+    // selected. The candidate's one perf-relevant attribute is whether
+    // its memory is CXL-backed (§III latency penalty).
+    const bool cxl_backed = candidate.cxl_memory.asGb() > 0.0;
+    const perf::CpuSpec baseline_cpu =
+        perf::CpuCatalog::forGeneration(baseline.generation);
+    const perf::CpuSpec green = perf::CpuCatalog::bergamo();
+    double margin = std::numeric_limits<double>::infinity();
+    for (const perf::AppProfile &app : perf::AppCatalog::all()) {
+        if (app.throughput_only) {
+            continue;
+        }
+        // Apps that cannot meet their SLO even on a DDR5-only design
+        // (Masstree/Silo-class, §III) are undeployable on *every*
+        // candidate in this space; keeping them would pin the margin
+        // at -1 for all designs and erase the objective.
+        const perf::ScalingResult reference =
+            perf_.scalingFactor(app, baseline_cpu,
+                                /*cxl_backed=*/false);
+        if (!reference.feasible) {
+            continue;
+        }
+        const perf::ScalingResult scaling =
+            cxl_backed
+                ? perf_.scalingFactor(app, baseline_cpu, true)
+                : reference;
+        double app_margin = -1.0;   // No candidate VM size meets SLO.
+        if (scaling.feasible) {
+            const perf::SloSpec slo = perf_.slo(app, baseline_cpu);
+            const double p95 = perf_.p95LatencyMs(
+                app, green, scaling.green_cores, slo.load_qps,
+                cxl_backed);
+            app_margin = (slo.p95_ms - p95) / slo.p95_ms;
+        }
+        margin = std::min(margin, app_margin);
+    }
+    // An empty latency-app catalog leaves no SLO to violate.
+    eval.objectives.slo_margin = std::isfinite(margin) ? margin : 0.0;
+    return eval;
+}
+
+SearchEval
+SkuSearch::evaluate(const carbon::ServerSku &baseline,
+                    const carbon::ServerSku &candidate) const
+{
+    EvalCache *cache = evalCache();
+    if (cache == nullptr) {
+        return evaluateUncached(baseline, candidate);
+    }
+    const std::string key = searchEvalCacheKey(
+        baseline, candidate, carbon_params_, tco_params_, perf_config_);
+    if (auto payload = cache->fetch(key, "search_eval")) {
+        // Hit vs miss cost split (see evaluator.cc).
+        obs::ProfileScope hit("evalcache.hit");
+        SearchEval eval;
+        std::vector<std::string> captured;
+        if (decodeSearchEval(*payload, &eval, &captured)) {
+            obs::profileWork();
+            obs::replayLedgerLines(captured);
+            return eval;
+        }
+        cache->noteUndecodable();   // Undecodable payload: recompute.
+    }
+    obs::ProfileScope miss("evalcache.miss");
+    obs::profileWork();
+    obs::LedgerCapture capture;
+    const SearchEval eval = evaluateUncached(baseline, candidate);
+    cache->store(key, "search_eval",
+                 encodeSearchEval(eval, capture.lines()));
+    return eval;
+}
+
+SearchResult
+SkuSearch::anneal(const carbon::ServerSku &baseline,
+                  const SearchOptions &options) const
+{
+    obs::ProfileScope prof("search.anneal");
+    obs::TraceSpan span("search", "anneal");
+    GSKU_REQUIRE(options.restarts > 0 && options.steps > 0,
+                 "search needs at least one restart and one step");
+    GSKU_REQUIRE(options.initial_temperature > 0.0 &&
+                     options.cooling > 0.0 && options.cooling < 1.0,
+                 "cooling schedule must be geometric with T0 > 0");
+    GSKU_REQUIRE(!options.range.ddr5_dimms.empty() &&
+                     !options.range.cxl_ddr4_dimms.empty() &&
+                     !options.range.new_ssds.empty() &&
+                     !options.range.reused_ssds.empty(),
+                 "search range must not be empty");
+
+    // Pre-fork every restart's stream from the master seed NOW, in
+    // restart order: the seed alone determines each trajectory, no
+    // matter which worker runs it.
+    Rng master(options.seed);
+    std::vector<Rng> streams;
+    streams.reserve(static_cast<std::size_t>(options.restarts));
+    for (int r = 0; r < options.restarts; ++r) {
+        streams.push_back(master.fork());
+    }
+
+    auto run_restart = [&](std::size_t r) -> RestartOutcome {
+        return runRestart(*this, explorer_, baseline, options,
+                          static_cast<int>(r), streams[r]);
+    };
+    // With a ledger capture live on this thread (a caller is recording
+    // an eval-cache payload), run restarts serially: captures are
+    // thread-local, and facts emitted on pool workers would escape it.
+    std::vector<RestartOutcome> outcomes;
+    if (obs::ledgerCaptureActive()) {
+        outcomes.reserve(static_cast<std::size_t>(options.restarts));
+        for (std::size_t r = 0;
+             r < static_cast<std::size_t>(options.restarts); ++r) {
+            outcomes.push_back(run_restart(r));
+        }
+    } else {
+        outcomes = parallelMap<RestartOutcome>(
+            static_cast<std::size_t>(options.restarts), run_restart);
+    }
+
+    // Merge in restart-index order (deterministic at any thread
+    // count); the archive's dominance filter is order-independent, so
+    // the frontier is a pure function of the union of points.
+    SearchResult result;
+    for (const RestartOutcome &out : outcomes) {
+        if (out.found &&
+            (!result.found ||
+             betterDesign(out.best.savings, out.best.sku.name,
+                          result.best.savings, result.best.sku.name))) {
+            result.found = true;
+            result.best = out.best;
+            result.best_objectives = out.best_objectives;
+        }
+        for (const ParetoPoint &p : out.points) {
+            result.archive.insert(p);
+        }
+        result.stats.moves += out.stats.moves;
+        result.stats.accepted += out.stats.accepted;
+        result.stats.rejected += out.stats.rejected;
+        result.stats.infeasible += out.stats.infeasible;
+        result.stats.evaluations += out.stats.evaluations;
+    }
+
+    counters().moves.inc(static_cast<std::uint64_t>(result.stats.moves));
+    counters().accepted.inc(
+        static_cast<std::uint64_t>(result.stats.accepted));
+    counters().rejected.inc(
+        static_cast<std::uint64_t>(result.stats.rejected));
+    counters().evals.inc(
+        static_cast<std::uint64_t>(result.stats.evaluations));
+    counters().restarts.inc(static_cast<std::uint64_t>(options.restarts));
+    span.arg("moves", static_cast<std::uint64_t>(result.stats.moves))
+        .arg("archive",
+             static_cast<std::uint64_t>(result.archive.size()));
+    return result;
+}
+
+} // namespace gsku::gsf

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Seeded simulated-annealing search over SKU configurations — the
+ * "future search framework [that] could ... repeatedly run GSF to
+ * evaluate emissions" §VIII anticipates. Where DesignSpaceExplorer
+ * exhaustively enumerates a DesignRange, this engine walks it: a typed
+ * move set (±DDR5 DIMM, ±CXL DDR4 DIMM, ±new SSD, ±reused SSD), a
+ * geometric cooling schedule, and independent restarts, each finished
+ * with a deterministic steepest-ascent quench so every restart lands on
+ * a local optimum of total carbon savings.
+ *
+ * Determinism contract (tests/gsf/search_test.cc and
+ * parallel_parity_test.cc):
+ *
+ *  - Every restart draws from its own pre-forked Rng stream (forked
+ *    from the master seed in restart order before any work starts), so
+ *    the seed fully determines every trajectory.
+ *  - Restarts run on the worker pool via parallelMap and are merged in
+ *    restart-index order, so the SearchResult is byte-identical at any
+ *    thread count.
+ *  - Candidate evaluations flow through the persistent eval cache
+ *    (record kind `search_eval`): results are exact bit patterns, so a
+ *    warm run replays the cold trajectory move for move, and the
+ *    captured ledger lines keep cold and warm ledgers byte-identical.
+ *
+ * Observability: each annealing/quench move is one `search.move`
+ * ledger fact, one `search.moves` counter tick, and one
+ * profileWork("sa_moves") work unit (docs/observability.md).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "carbon/model.h"
+#include "carbon/sku.h"
+#include "gsf/design_space.h"
+#include "gsf/pareto.h"
+#include "gsf/tco.h"
+#include "perf/model.h"
+
+namespace gsku::gsf {
+
+/** One cached candidate evaluation: the carbon model's savings row
+ *  plus the three Pareto objectives. */
+struct SearchEval
+{
+    carbon::SavingsRow savings;
+    SearchObjectives objectives;
+};
+
+/** Annealing knobs. Defaults are tuned so the default DesignRange's
+ *  exhaustive optimum is found (bench_search pins the agreement). */
+struct SearchOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Independent restarts; each gets a pre-forked Rng stream. */
+    int restarts = 6;
+
+    /** Annealing steps per restart (the quench adds more). */
+    int steps = 400;
+
+    /** Initial temperature in total-savings fraction units. */
+    double initial_temperature = 0.05;
+
+    /** Geometric cooling: temperature *= cooling after every step. */
+    double cooling = 0.985;
+
+    /** The move lattice (also the restart-start sample space). */
+    DesignRange range;
+};
+
+/** Aggregate move accounting across all restarts. */
+struct SearchStats
+{
+    long moves = 0;         ///< Annealing + quench moves attempted.
+    long accepted = 0;      ///< Moves taken (improving or Metropolis).
+    long rejected = 0;      ///< Moves declined (bounds, infeasible, or
+                            ///< Metropolis loss).
+    long infeasible = 0;    ///< Rejections whose candidate violated the
+                            ///< deployability constraints.
+    long evaluations = 0;   ///< Distinct feasible candidates evaluated
+                            ///< (per-restart memo collapses revisits).
+};
+
+/** What a search run returns. */
+struct SearchResult
+{
+    /** False only when no restart ever reached a feasible design. */
+    bool found = false;
+
+    /** Highest-total-savings design seen (ties broken by name, the
+     *  same order DesignSpaceExplorer::explore returns). */
+    RankedDesign best;
+    SearchObjectives best_objectives;
+
+    /** Dominance-filtered frontier over every feasible design any
+     *  restart evaluated. */
+    ParetoArchive archive;
+
+    SearchStats stats;
+};
+
+/**
+ * The engine. Owns its models (carbon, TCO, perf) so one search sees
+ * one consistent parameterization; all queries are const.
+ */
+class SkuSearch
+{
+  public:
+    explicit SkuSearch(carbon::ModelParams carbon_params = {},
+                       TcoParams tco_params = {},
+                       perf::PerfConfig perf_config = {},
+                       DesignConstraints constraints = {});
+
+    /** Run the annealer against @p baseline. */
+    SearchResult anneal(const carbon::ServerSku &baseline,
+                        const SearchOptions &options = {}) const;
+
+    /**
+     * Evaluate one feasible candidate: savings row vs @p baseline,
+     * per-core carbon, per-core TCO, and the worst-case SLO margin
+     * across latency-reporting apps (the candidate's CXL backing is
+     * the one perf-relevant attribute). Served from the persistent
+     * eval cache (kind `search_eval`) when enabled.
+     */
+    SearchEval evaluate(const carbon::ServerSku &baseline,
+                        const carbon::ServerSku &candidate) const;
+
+    const carbon::CarbonModel &carbonModel() const { return model_; }
+    const DesignConstraints &constraints() const { return constraints_; }
+
+  private:
+    /** Uncached evaluate(); runs entirely on the calling thread so a
+     *  LedgerCapture sees every fact it emits. */
+    SearchEval evaluateUncached(const carbon::ServerSku &baseline,
+                                const carbon::ServerSku &candidate) const;
+
+    carbon::ModelParams carbon_params_;
+    TcoParams tco_params_;
+    perf::PerfConfig perf_config_;
+    DesignConstraints constraints_;
+    carbon::CarbonModel model_;
+    TcoModel tco_;
+    perf::PerfModel perf_;
+    DesignSpaceExplorer explorer_;
+};
+
+} // namespace gsku::gsf

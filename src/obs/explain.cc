@@ -138,7 +138,14 @@ carbonHeadlines(const LedgerFile &ledger, const std::string &sku)
     auto records = where(ledger, LedgerEvent::CarbonPerCore, "sku", sku);
     std::sort(records.begin(), records.end(),
               [](const LedgerRecord *a, const LedgerRecord *b) {
-                  return a->num("ci_kg_per_kwh") < b->num("ci_kg_per_kwh");
+                  const double ci_a = a->num("ci_kg_per_kwh");
+                  const double ci_b = b->num("ci_kg_per_kwh");
+                  if (ci_a != ci_b) {
+                      return ci_a < ci_b;
+                  }
+                  // Tie key: the raw line (unique in a ledger, which
+                  // is a deduplicated set).
+                  return a->raw < b->raw;
               });
     return records;
 }

@@ -52,6 +52,8 @@ enum class LedgerEvent
     CacheEntry,         ///< Eval-cache record: the key digest of one
                         ///< cached computation (same fact on store and
                         ///< hit, so cold/warm ledgers dedup identical).
+    SearchMove,         ///< One SA move: candidate, verdict, reason
+                        ///< (gsf/search.h).
 };
 
 /**
@@ -72,6 +74,7 @@ inline constexpr const char *kLedgerEventNames[] = {
     "evaluator.verdict",
     "maintenance.gate",
     "cache.entry",
+    "search.move",
 };
 
 inline constexpr std::size_t kLedgerEventCount =

@@ -187,7 +187,15 @@ drainTrace()
                   if (a.ts_us != b.ts_us) {
                       return a.ts_us < b.ts_us;
                   }
-                  return a.dur_us > b.dur_us;
+                  if (a.dur_us != b.dur_us) {
+                      return a.dur_us > b.dur_us;
+                  }
+                  // Tie keys: category then name — zero-duration
+                  // spans can share (tid, ts, dur) on coarse clocks.
+                  if (a.category != b.category) {
+                      return a.category < b.category;
+                  }
+                  return a.name < b.name;
               });
     return out;
 }

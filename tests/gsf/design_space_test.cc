@@ -1,6 +1,10 @@
 /** @file Design-space explorer tests (§VIII search loop). */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "common/error.h"
 #include "gsf/design_space.h"
 
@@ -88,6 +92,70 @@ TEST_F(DesignSpaceTest, TighterConstraintsShrinkTheSpace)
     for (const auto &d : restricted) {
         ASSERT_DOUBLE_EQ(d.sku.cxlMemoryFraction(), 0.0);
     }
+}
+
+TEST_F(DesignSpaceTest, RankedDesignLessBreaksSavingsTiesByName)
+{
+    // Regression: the explore() sort used to key on total_savings
+    // alone, so equal-savings candidates landed in stdlib-dependent
+    // order. rankedDesignLess must order ties by name, ascending.
+    RankedDesign a;
+    a.sku.name = "B/12x64/0x32cxl/2+4ssd";
+    a.savings.total_savings = 0.25;
+    RankedDesign b;
+    b.sku.name = "B/12x64/0x32cxl/4+0ssd";
+    b.savings.total_savings = 0.25;       // Deliberately tied.
+
+    EXPECT_TRUE(rankedDesignLess(a, b));
+    EXPECT_FALSE(rankedDesignLess(b, a));
+    EXPECT_FALSE(rankedDesignLess(a, a));  // Irreflexive (strict weak).
+    // Savings still dominates the name when they differ.
+    b.savings.total_savings = 0.30;
+    EXPECT_TRUE(rankedDesignLess(b, a));
+    EXPECT_FALSE(rankedDesignLess(a, b));
+
+    std::vector<RankedDesign> designs = {a, b};
+    std::sort(designs.begin(), designs.end(), rankedDesignLess);
+    EXPECT_EQ(designs[0].sku.name, b.sku.name);
+}
+
+TEST_F(DesignSpaceTest, RankOfUsesCompetitionRankingOnTies)
+{
+    // "1224" ranking: ties share the best rank; the next rank skips.
+    auto design = [](const char *name, double savings) {
+        RankedDesign d;
+        d.sku.name = name;
+        d.savings.total_savings = savings;
+        return d;
+    };
+    const std::vector<RankedDesign> designs = {
+        design("a", 0.30), design("b", 0.20), design("c", 0.20),
+        design("d", 0.10)};
+
+    carbon::SavingsRow query;
+    query.total_savings = 0.35;    // Beats everything: rank 1.
+    EXPECT_EQ(DesignSpaceExplorer::rankOf(designs, query), 1u);
+    query.total_savings = 0.30;    // Ties the leader: still rank 1.
+    EXPECT_EQ(DesignSpaceExplorer::rankOf(designs, query), 1u);
+    query.total_savings = 0.20;    // Ties b and c: shares rank 2.
+    EXPECT_EQ(DesignSpaceExplorer::rankOf(designs, query), 2u);
+    query.total_savings = 0.15;    // Between the tie block and d.
+    EXPECT_EQ(DesignSpaceExplorer::rankOf(designs, query), 4u);
+    query.total_savings = 0.05;    // Below everything: rank 5.
+    EXPECT_EQ(DesignSpaceExplorer::rankOf(designs, query), 5u);
+
+    // Boundary: an empty ranking always yields rank 1.
+    EXPECT_EQ(DesignSpaceExplorer::rankOf({}, query), 1u);
+
+    // Non-finite savings would silently rank 1; both sides must be
+    // finite.
+    query.total_savings = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(DesignSpaceExplorer::rankOf(designs, query), UserError);
+    query.total_savings = 0.2;
+    auto poisoned = designs;
+    poisoned[1].savings.total_savings =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(DesignSpaceExplorer::rankOf(poisoned, query), UserError);
 }
 
 TEST_F(DesignSpaceTest, Validation)

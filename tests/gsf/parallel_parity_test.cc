@@ -26,6 +26,7 @@
 #include "gsf/design_space.h"
 #include "gsf/eval_cache.h"
 #include "gsf/evaluator.h"
+#include "gsf/search.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -109,6 +110,46 @@ TEST(ParallelParityTest, DesignSpaceExplorationIsByteIdentical)
         EXPECT_EQ(serial.designs[i].savings.embodied_savings,
                   parallel.designs[i].savings.embodied_savings);
     }
+}
+
+TEST(ParallelParityTest, SimulatedAnnealingSearchIsByteIdentical)
+{
+    // The SA engine pre-forks one Rng stream per restart and merges
+    // restart outcomes in restart-index order, so the best design, the
+    // rendered Pareto archive, and every move counter must be
+    // byte-identical at any thread count.
+    const carbon::ServerSku baseline = carbon::StandardSkus::baseline();
+    gsf::SearchOptions options;
+    options.seed = 29;
+    options.range.ddr5_dimms = {10, 12, 14, 16};
+    options.range.cxl_ddr4_dimms = {0, 4, 8};
+    options.range.new_ssds = {0, 2};
+    options.range.reused_ssds = {0, 8};
+
+    struct Outcome
+    {
+        std::string best;
+        double savings = 0.0;
+        std::string archive;
+        gsf::SearchStats stats;
+    };
+    const auto [serial, parallel] = atOneAndFourThreads<Outcome>([&] {
+        const gsf::SkuSearch search;
+        const gsf::SearchResult result = search.anneal(baseline, options);
+        return Outcome{result.best.sku.name,
+                       result.best.savings.total_savings,
+                       result.archive.render(), result.stats};
+    });
+
+    EXPECT_FALSE(serial.best.empty());
+    EXPECT_EQ(serial.best, parallel.best);
+    EXPECT_EQ(serial.savings, parallel.savings);
+    EXPECT_EQ(serial.archive, parallel.archive);
+    EXPECT_EQ(serial.stats.moves, parallel.stats.moves);
+    EXPECT_EQ(serial.stats.accepted, parallel.stats.accepted);
+    EXPECT_EQ(serial.stats.rejected, parallel.stats.rejected);
+    EXPECT_EQ(serial.stats.infeasible, parallel.stats.infeasible);
+    EXPECT_EQ(serial.stats.evaluations, parallel.stats.evaluations);
 }
 
 TEST(ParallelParityTest, FailureTrialsAreByteIdentical)

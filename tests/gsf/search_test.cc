@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Simulated-annealing search engine tests (gsf/search.h + pareto.h):
+ * seeded determinism, Pareto dominance-filter properties, agreement
+ * with the exhaustive explorer, cold/warm eval-cache parity, and the
+ * search.move ledger surface.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "gsf/design_space.h"
+#include "gsf/eval_cache.h"
+#include "gsf/pareto.h"
+#include "gsf/search.h"
+#include "obs/ledger.h"
+
+namespace gsku::gsf {
+namespace {
+
+/** A small range that keeps each anneal well under a second. */
+DesignRange
+smallRange()
+{
+    DesignRange range;
+    range.ddr5_dimms = {10, 12, 14};
+    range.cxl_ddr4_dimms = {0, 4};
+    range.new_ssds = {0, 2};
+    range.reused_ssds = {0, 8};
+    return range;
+}
+
+class SearchTest : public ::testing::Test
+{
+  protected:
+    carbon::ServerSku baseline_ = carbon::StandardSkus::baseline();
+    SkuSearch search_;
+};
+
+TEST_F(SearchTest, SameSeedIsByteIdentical)
+{
+    SearchOptions options;
+    options.range = smallRange();
+    options.seed = 17;
+
+    const SearchResult a = search_.anneal(baseline_, options);
+    const SearchResult b = search_.anneal(baseline_, options);
+    ASSERT_TRUE(a.found);
+    EXPECT_EQ(a.best.sku.name, b.best.sku.name);
+    EXPECT_EQ(a.best.savings.total_savings, b.best.savings.total_savings);
+    EXPECT_EQ(a.archive.render(), b.archive.render());
+    EXPECT_EQ(a.stats.moves, b.stats.moves);
+    EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+    EXPECT_EQ(a.stats.rejected, b.stats.rejected);
+    EXPECT_EQ(a.stats.evaluations, b.stats.evaluations);
+}
+
+TEST_F(SearchTest, FindsTheExhaustiveOptimumOnTheDefaultRange)
+{
+    // The correctness anchor (also gated by bench_search): on the
+    // default DesignRange with default options, SA must land on
+    // explore()'s rank-1 design exactly — name and savings bits.
+    DesignSpaceExplorer explorer(search_.carbonModel(),
+                                 search_.constraints());
+    const std::vector<RankedDesign> exhaustive =
+        explorer.explore(baseline_);
+    ASSERT_FALSE(exhaustive.empty());
+
+    const SearchResult result = search_.anneal(baseline_);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.best.sku.name, exhaustive.front().sku.name);
+    EXPECT_EQ(result.best.savings.total_savings,
+              exhaustive.front().savings.total_savings);
+    EXPECT_GT(result.stats.evaluations, 0);
+    EXPECT_GT(result.stats.accepted, 0);
+    EXPECT_GE(result.archive.size(), 1u);
+    // Every archive point names a design the exhaustive ranking knows.
+    for (const ParetoPoint &point : result.archive.points()) {
+        const bool known = std::any_of(
+            exhaustive.begin(), exhaustive.end(),
+            [&](const RankedDesign &d) { return d.sku.name == point.name; });
+        EXPECT_TRUE(known) << point.name;
+    }
+}
+
+TEST_F(SearchTest, InfeasibleRangeReportsNotFound)
+{
+    // 6 x 64 GB = 3 GB/core with zero storage: every lattice point
+    // violates the constraints, so no restart can even start.
+    SearchOptions options;
+    options.range.ddr5_dimms = {6};
+    options.range.cxl_ddr4_dimms = {0};
+    options.range.new_ssds = {0};
+    options.range.reused_ssds = {0};
+
+    const SearchResult result = search_.anneal(baseline_, options);
+    EXPECT_FALSE(result.found);
+    EXPECT_EQ(result.archive.size(), 0u);
+    EXPECT_EQ(result.stats.evaluations, 0);
+    EXPECT_EQ(result.stats.accepted, 0);
+}
+
+TEST_F(SearchTest, Validation)
+{
+    SearchOptions bad;
+    bad.restarts = 0;
+    EXPECT_THROW(search_.anneal(baseline_, bad), UserError);
+    bad = SearchOptions{};
+    bad.cooling = 1.0;
+    EXPECT_THROW(search_.anneal(baseline_, bad), UserError);
+    bad = SearchOptions{};
+    bad.initial_temperature = 0.0;
+    EXPECT_THROW(search_.anneal(baseline_, bad), UserError);
+    bad = SearchOptions{};
+    bad.range.new_ssds.clear();
+    EXPECT_THROW(search_.anneal(baseline_, bad), UserError);
+}
+
+TEST_F(SearchTest, LedgerRecordsSearchMoves)
+{
+    SearchOptions options;
+    options.range = smallRange();
+    options.restarts = 2;
+    options.steps = 30;
+
+    obs::startLedger();
+    search_.anneal(baseline_, options);
+    const std::string ledger = obs::renderLedger();
+    obs::stopLedger();
+
+    EXPECT_NE(ledger.find("\"event\": \"search.move\""),
+              std::string::npos);
+    EXPECT_NE(ledger.find("\"move\": \"start\""), std::string::npos);
+    // Candidate names in move facts join with design.verdict facts:
+    // same naming scheme, including for infeasible candidates.
+    EXPECT_NE(ledger.find("\"candidate\": \"B/"), std::string::npos);
+    EXPECT_NE(ledger.find("x32cxl/"), std::string::npos);
+}
+
+TEST_F(SearchTest, ColdAndWarmEvalCacheRunsAreByteIdentical)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "gsku_search_evalcache").string();
+    fs::remove_all(dir);
+    configureEvalCache(dir);
+
+    SearchOptions options;
+    options.range = smallRange();
+
+    struct Run
+    {
+        std::string best;
+        double savings = 0.0;
+        std::string archive;
+        long evaluations = 0;
+        std::string ledger;
+    };
+    auto run_once = [&] {
+        Run r;
+        obs::startLedger();
+        const SearchResult result = search_.anneal(baseline_, options);
+        r.best = result.best.sku.name;
+        r.savings = result.best.savings.total_savings;
+        r.archive = result.archive.render();
+        r.evaluations = result.stats.evaluations;
+        r.ledger = obs::renderLedger();
+        obs::stopLedger();
+        return r;
+    };
+
+    const Run cold = run_once();    // Populates the cache.
+    const Run warm = run_once();    // Served from disk.
+    configureEvalCache("");
+    fs::remove_all(dir);
+
+    EXPECT_EQ(cold.best, warm.best);
+    EXPECT_EQ(cold.savings, warm.savings);
+    EXPECT_EQ(cold.archive, warm.archive);
+    EXPECT_EQ(cold.evaluations, warm.evaluations);
+    // The ledger must be byte-identical too: payloads replay the
+    // captured carbon/tco/perf facts on hits.
+    EXPECT_EQ(cold.ledger, warm.ledger);
+    EXPECT_FALSE(cold.ledger.empty());
+    EXPECT_NE(cold.ledger.find("\"kind\": \"search_eval\""),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Pareto archive properties.
+
+ParetoPoint
+point(const std::string &name, double carbon, double tco, double margin)
+{
+    ParetoPoint p;
+    p.name = name;
+    p.objectives.carbon_per_core_kg = carbon;
+    p.objectives.tco_per_core_usd = tco;
+    p.objectives.slo_margin = margin;
+    return p;
+}
+
+TEST(ParetoTest, DominanceIsStrictAndDirectional)
+{
+    const SearchObjectives better = point("", 1.0, 1.0, 0.5).objectives;
+    const SearchObjectives worse = point("", 2.0, 2.0, 0.0).objectives;
+    const SearchObjectives mixed = point("", 0.5, 3.0, 0.0).objectives;
+
+    EXPECT_TRUE(ParetoArchive::dominates(better, worse));
+    EXPECT_FALSE(ParetoArchive::dominates(worse, better));
+    // Trade-offs dominate in neither direction.
+    EXPECT_FALSE(ParetoArchive::dominates(better, mixed));
+    EXPECT_FALSE(ParetoArchive::dominates(mixed, better));
+    // Equal objectives: no strict improvement, no dominance.
+    EXPECT_FALSE(ParetoArchive::dominates(better, better));
+}
+
+TEST(ParetoTest, InsertKeepsOnlyTheFrontier)
+{
+    ParetoArchive archive;
+    EXPECT_TRUE(archive.insert(point("a", 2.0, 2.0, 0.0)));
+    // Dominated on arrival: rejected.
+    EXPECT_FALSE(archive.insert(point("b", 3.0, 3.0, -0.5)));
+    // A trade-off joins.
+    EXPECT_TRUE(archive.insert(point("c", 3.0, 1.0, 0.0)));
+    EXPECT_EQ(archive.size(), 2u);
+    // A dominator evicts what it beats ("a"), keeps the trade-off.
+    EXPECT_TRUE(archive.insert(point("d", 1.0, 2.0, 0.5)));
+    const std::vector<ParetoPoint> points = archive.points();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].name, "d");
+    EXPECT_EQ(points[1].name, "c");
+    // Same name resubmitted: collapses, no duplicate.
+    EXPECT_FALSE(archive.insert(point("d", 1.0, 2.0, 0.5)));
+    EXPECT_EQ(archive.size(), 2u);
+}
+
+TEST(ParetoTest, ArchiveIsInsertionOrderIndependent)
+{
+    // Property test: shuffling the insertion order never changes the
+    // rendered frontier — the archive is a set.
+    std::vector<ParetoPoint> points;
+    Rng gen(123);
+    for (int i = 0; i < 40; ++i) {
+        points.push_back(point("p" + std::to_string(i),
+                               1.0 + gen.uniform(),
+                               100.0 + 10.0 * gen.uniform(),
+                               gen.uniform() - 0.5));
+    }
+
+    ParetoArchive reference;
+    for (const ParetoPoint &p : points) {
+        reference.insert(p);
+    }
+    const std::string expected = reference.render();
+    EXPECT_FALSE(expected.empty());
+
+    for (int trial = 0; trial < 10; ++trial) {
+        // Fisher-Yates with the repo Rng (std <random> is banned in
+        // model code; keep tests on the same primitive).
+        for (std::size_t i = points.size() - 1; i > 0; --i) {
+            std::swap(points[i], points[gen.uniformInt(i + 1)]);
+        }
+        ParetoArchive shuffled;
+        for (const ParetoPoint &p : points) {
+            shuffled.insert(p);
+        }
+        ASSERT_EQ(shuffled.render(), expected);
+    }
+
+    // Frontier invariant: no surviving point dominates another.
+    const std::vector<ParetoPoint> frontier = reference.points();
+    for (const ParetoPoint &a : frontier) {
+        for (const ParetoPoint &b : frontier) {
+            EXPECT_FALSE(ParetoArchive::dominates(a.objectives,
+                                                  b.objectives) &&
+                         a.name != b.name)
+                << a.name << " dominates " << b.name;
+        }
+    }
+}
+
+TEST(ParetoTest, MergeEqualsBulkInsert)
+{
+    ParetoArchive left;
+    left.insert(point("a", 1.0, 2.0, 0.1));
+    left.insert(point("b", 2.0, 1.0, 0.1));
+    ParetoArchive right;
+    right.insert(point("c", 0.5, 3.0, 0.1));
+    right.insert(point("d", 3.0, 3.0, -0.5));   // Dominated by a and b.
+
+    ParetoArchive merged = left;
+    merged.merge(right);
+
+    ParetoArchive bulk;
+    for (const char *name : {"a", "b", "c", "d"}) {
+        const double carbon = name[0] == 'a'   ? 1.0
+                              : name[0] == 'b' ? 2.0
+                              : name[0] == 'c' ? 0.5
+                                               : 3.0;
+        const double tco = name[0] == 'a'   ? 2.0
+                           : name[0] == 'b' ? 1.0
+                           : name[0] == 'c' ? 3.0
+                                            : 3.0;
+        bulk.insert(point(name, carbon, tco,
+                          name[0] == 'd' ? -0.5 : 0.1));
+    }
+    EXPECT_EQ(merged.render(), bulk.render());
+    EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST(ParetoTest, RejectsNonFiniteObjectives)
+{
+    ParetoArchive archive;
+    EXPECT_THROW(archive.insert(point(
+                     "nan", std::numeric_limits<double>::quiet_NaN(),
+                     1.0, 0.0)),
+                 UserError);
+    EXPECT_THROW(archive.insert(point(
+                     "inf", 1.0,
+                     std::numeric_limits<double>::infinity(), 0.0)),
+                 UserError);
+}
+
+} // namespace
+} // namespace gsku::gsf

@@ -39,7 +39,7 @@ parseRendered()
 
 TEST(LedgerTest, RegistryCoversEveryEventExactlyOnce)
 {
-    ASSERT_EQ(kLedgerEventCount, 13u);
+    ASSERT_EQ(kLedgerEventCount, 14u);
     std::set<std::string> names;
     for (std::size_t i = 0; i < kLedgerEventCount; ++i) {
         names.insert(kLedgerEventNames[i]);
@@ -52,6 +52,8 @@ TEST(LedgerTest, RegistryCoversEveryEventExactlyOnce)
                  "maintenance.gate");   // lint-ok: ledger-events pins the registry
     EXPECT_STREQ(eventName(LedgerEvent::CacheEntry),
                  "cache.entry");        // lint-ok: ledger-events pins the registry
+    EXPECT_STREQ(eventName(LedgerEvent::SearchMove),
+                 "search.move");        // lint-ok: ledger-events pins the registry
 }
 
 TEST(LedgerTest, EveryEventTypeRoundTripsThroughRenderAndParse)
@@ -66,7 +68,7 @@ TEST(LedgerTest, EveryEventTypeRoundTripsThroughRenderAndParse)
         LedgerEvent::SizingProbe,     LedgerEvent::SizingResult,
         LedgerEvent::AllocatorOutcome, LedgerEvent::DesignVerdict,
         LedgerEvent::EvaluatorVerdict, LedgerEvent::MaintenanceGate,
-        LedgerEvent::CacheEntry,
+        LedgerEvent::CacheEntry,      LedgerEvent::SearchMove,
     };
     for (LedgerEvent event : all) {
         LedgerEntry(event)

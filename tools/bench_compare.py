@@ -268,7 +268,11 @@ def main() -> int:
     # Every top-level baseline key except the legs themselves and
     # machine- or speed-dependent fields is config that must match, so
     # each benchmark's JSON defines its own comparison surface.
-    volatile = {"legs", "hardware_concurrency", "checksums_identical"}
+    # evalcache_* counts depend on cache temperature (a warm CI leg
+    # hits where the baseline-recording cold run missed), so like wall
+    # times they are reported but never compared.
+    volatile = {"legs", "hardware_concurrency", "checksums_identical",
+                "evalcache_hits", "evalcache_misses"}
     for key in baseline:
         if key in volatile:
             continue

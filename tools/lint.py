@@ -408,7 +408,7 @@ LEDGER_EVENT_NAMES = (
     "sizing.probe", "sizing.result",
     "allocator.outcome", "design.verdict",
     "evaluator.verdict", "maintenance.gate",
-    "cache.entry",
+    "cache.entry", "search.move",
 )
 LEDGER_EVENTS_RE = re.compile(
     '"(' + "|".join(re.escape(n) for n in LEDGER_EVENT_NAMES) + ')"')

@@ -89,6 +89,7 @@ LEDGER_EVENTS = {
     "evaluator.verdict",
     "maintenance.gate",
     "cache.entry",
+    "search.move",
 }
 
 
